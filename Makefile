@@ -1,0 +1,30 @@
+# Convenience targets; everything is plain `go` underneath.
+
+.PHONY: all build vet test race bench experiments examples cover
+
+all: build vet test
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./...
+
+bench:
+	go test -bench=. -benchmem ./...
+
+experiments:
+	go run ./cmd/iqsbench -all
+
+examples:
+	for e in quickstart estimation fairnn diversity external approximate stabbing; do \
+		echo "=== $$e ==="; go run ./examples/$$e; echo; done
+
+cover:
+	go test -cover ./internal/...

@@ -1,0 +1,529 @@
+// bench_test.go exposes every experiment's workload as a testing.B
+// benchmark — one benchmark (family) per table in DESIGN.md §2. The
+// narrative tables themselves are produced by cmd/iqsbench; these
+// benchmarks give ns/op and allocs/op for the same code paths.
+package repro_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/alias"
+	"repro/internal/bst"
+	"repro/internal/coverage"
+	"repro/internal/em"
+	"repro/internal/emiqs"
+	"repro/internal/halfplane"
+	"repro/internal/intervaltree"
+	"repro/internal/kdtree"
+	"repro/internal/permsample"
+	"repro/internal/quadtree"
+	"repro/internal/rangesample"
+	"repro/internal/rangetree"
+	"repro/internal/rng"
+	"repro/internal/setunion"
+	"repro/internal/treesample"
+)
+
+func seededData(n int, weighted bool) (values, weights []float64) {
+	r := rng.New(1)
+	values = make([]float64, n)
+	weights = make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+		if weighted {
+			weights[i] = r.Float64()*9 + 0.5
+		} else {
+			weights[i] = 1
+		}
+	}
+	return
+}
+
+// --- E1: Theorem 1 ---------------------------------------------------
+
+func BenchmarkE1AliasBuild(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 15, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			_, w := seededData(n, true)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				alias.MustNew(w)
+			}
+		})
+	}
+}
+
+func BenchmarkE1AliasSample(b *testing.B) {
+	for _, n := range []int{1 << 10, 1 << 20} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			_, w := seededData(n, true)
+			a := alias.MustNew(w)
+			r := rng.New(2)
+			b.ResetTimer()
+			var sink int
+			for i := 0; i < b.N; i++ {
+				sink = a.Sample(r)
+			}
+			_ = sink
+		})
+	}
+}
+
+// --- E2/E3/E4/E14: 1-D range sampling --------------------------------
+
+func rangeBench(b *testing.B, s rangesample.Sampler, sCount int) {
+	b.Helper()
+	r := rng.New(3)
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 0.9
+		dst, _ = s.Query(r, bst.Interval{Lo: lo, Hi: lo + 0.1}, sCount, dst[:0])
+	}
+}
+
+func BenchmarkE2TreeWalk(b *testing.B) {
+	values, weights := seededData(1<<18, true)
+	tw, err := rangesample.NewTreeWalk(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) { rangeBench(b, tw, s) })
+	}
+}
+
+func BenchmarkE3AliasAug(b *testing.B) {
+	values, weights := seededData(1<<18, true)
+	aa, err := rangesample.NewAliasAug(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) { rangeBench(b, aa, s) })
+	}
+}
+
+func BenchmarkE4Chunked(b *testing.B) {
+	values, weights := seededData(1<<18, true)
+	ck, err := rangesample.NewChunked(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{1, 64, 1024} {
+		b.Run(fmt.Sprintf("s=%d", s), func(b *testing.B) { rangeBench(b, ck, s) })
+	}
+}
+
+func BenchmarkE14NaiveVsIQS(b *testing.B) {
+	values, weights := seededData(1<<18, true)
+	nv, err := rangesample.NewNaive(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck, err := rangesample.NewChunked(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("naive/sel=10%", func(b *testing.B) { rangeBench(b, nv, 64) })
+	b.Run("chunked/sel=10%", func(b *testing.B) { rangeBench(b, ck, 64) })
+}
+
+// --- E5: tree sampling -----------------------------------------------
+
+func buildBalancedTree(b *testing.B, leaves int) *treesample.Tree {
+	b.Helper()
+	bld := treesample.NewBuilder()
+	root := bld.AddRoot()
+	queue := []treesample.NodeID{root}
+	for len(queue) < leaves {
+		nd := queue[0]
+		queue = queue[1:]
+		queue = append(queue, bld.AddChild(nd), bld.AddChild(nd))
+	}
+	r := rng.New(4)
+	for _, leaf := range queue {
+		bld.SetLeafWeight(leaf, r.Float64()+0.01)
+	}
+	tree, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tree
+}
+
+func BenchmarkE5Euler(b *testing.B) {
+	tree := buildBalancedTree(b, 1<<16)
+	ws := treesample.NewWalkSampler(tree)
+	es := treesample.NewEulerSampler(tree)
+	r := rng.New(5)
+	b.Run("walk/s=64", func(b *testing.B) {
+		var dst []treesample.NodeID
+		for i := 0; i < b.N; i++ {
+			dst = ws.Query(r, tree.Root(), 64, dst[:0])
+		}
+	})
+	b.Run("euler/s=64", func(b *testing.B) {
+		var dst []treesample.NodeID
+		for i := 0; i < b.N; i++ {
+			dst = es.Query(r, tree.Root(), 64, dst[:0])
+		}
+	})
+}
+
+// --- E6/E7: multi-dimensional ----------------------------------------
+
+func seededPoints(n, d int) ([][]float64, []float64) {
+	r := rng.New(6)
+	pts := make([][]float64, n)
+	w := make([]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+		w[i] = r.Float64() + 0.1
+	}
+	return pts, w
+}
+
+func BenchmarkE6KDTree(b *testing.B) {
+	for _, n := range []int{1 << 14, 1 << 18} {
+		pts, w := seededPoints(n, 2)
+		kd, err := kdtree.NewSampler(pts, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("kd/n=%d", n), func(b *testing.B) {
+			r := rng.New(7)
+			q := kdtree.Rect{Min: []float64{0.3, 0.3}, Max: []float64{0.7, 0.7}}
+			var dst []int
+			for i := 0; i < b.N; i++ {
+				dst, _ = kd.Query(r, q, 64, dst[:0])
+			}
+		})
+		qt, err := quadtree.NewSampler(pts, w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("quad/n=%d", n), func(b *testing.B) {
+			r := rng.New(7)
+			q := quadtree.Rect{Min: [2]float64{0.3, 0.3}, Max: [2]float64{0.7, 0.7}}
+			var dst []int
+			for i := 0; i < b.N; i++ {
+				dst, _ = qt.Query(r, q, 64, dst[:0])
+			}
+		})
+	}
+}
+
+func BenchmarkE7RangeTree(b *testing.B) {
+	pts, w := seededPoints(1<<14, 2)
+	ly, err := rangetree.NewLayered(pts, w, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{16, 1024} {
+		b.Run(fmt.Sprintf("layered/s=%d", s), func(b *testing.B) {
+			r := rng.New(8)
+			q := rangetree.Rect{Min: []float64{0.3, 0.3}, Max: []float64{0.7, 0.7}}
+			var dst []int
+			for i := 0; i < b.N; i++ {
+				dst, _ = ly.Query(r, q, s, dst[:0])
+			}
+		})
+	}
+	for _, mode := range []rangetree.Mode{rangetree.WalkMode, rangetree.AliasMode} {
+		rt, err := rangetree.New(pts, w, mode)
+		if err != nil {
+			b.Fatal(err)
+		}
+		name := "walk"
+		if mode == rangetree.AliasMode {
+			name = "alias"
+		}
+		for _, s := range []int{16, 1024} {
+			b.Run(fmt.Sprintf("%s/s=%d", name, s), func(b *testing.B) {
+				r := rng.New(8)
+				q := rangetree.Rect{Min: []float64{0.3, 0.3}, Max: []float64{0.7, 0.7}}
+				var dst []int
+				for i := 0; i < b.N; i++ {
+					dst, _ = rt.Query(r, q, s, dst[:0])
+				}
+			})
+		}
+	}
+}
+
+// --- E8: approximate coverage ----------------------------------------
+
+func BenchmarkE8ApproxCover(b *testing.B) {
+	const n = 1 << 16
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1
+	}
+	sp, _, err := coverage.NewComplementSampler(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(9)
+	q := coverage.Interval{Lo: float64(n / 10), Hi: float64(n * 9 / 10)}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var e error
+		dst, _, e = sp.Query(r, q, 16, dst[:0])
+		if e != nil {
+			b.Fatal(e)
+		}
+	}
+}
+
+// --- E9: set union sampling ------------------------------------------
+
+func BenchmarkE9SetUnion(b *testing.B) {
+	r := rng.New(10)
+	sets := make([][]int, 64)
+	for i := range sets {
+		s := make([]int, 2000)
+		base := i * 1000
+		for j := range s {
+			s[j] = (base + r.Intn(4000)) % 100000
+		}
+		sets[i] = s
+	}
+	c, err := setunion.New(sets, 11)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, g := range []int{2, 8, 32} {
+		G := make([]int, g)
+		for i := range G {
+			G[i] = i
+		}
+		b.Run(fmt.Sprintf("g=%d", g), func(b *testing.B) {
+			var dst []int
+			for i := 0; i < b.N; i++ {
+				var ok bool
+				var e error
+				dst, ok, e = c.Query(r, G, 1, dst[:0])
+				if e != nil || !ok {
+					b.Fatalf("ok=%v err=%v", ok, e)
+				}
+			}
+		})
+	}
+}
+
+// --- E10/E11: external memory ----------------------------------------
+
+func BenchmarkE10EMPool(b *testing.B) {
+	const n = 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(12)
+	dev, err := em.NewDevice(256, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool, err := emiqs.NewSetSampler(dev, values, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("pool/s=256", func(b *testing.B) {
+		var dst []float64
+		start := dev.IOs()
+		for i := 0; i < b.N; i++ {
+			dst = pool.Query(r, 256, dst[:0])
+		}
+		b.ReportMetric(float64(dev.IOs()-start)/float64(b.N), "IOs/op")
+	})
+	devN, err := em.NewDevice(256, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	naive, err := emiqs.NewNaiveSetSampler(devN, values)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("naive/s=256", func(b *testing.B) {
+		var dst []float64
+		start := devN.IOs()
+		for i := 0; i < b.N; i++ {
+			dst = naive.Query(r, 256, dst[:0])
+		}
+		b.ReportMetric(float64(devN.IOs()-start)/float64(b.N), "IOs/op")
+	})
+}
+
+func BenchmarkE11EMRange(b *testing.B) {
+	const n = 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(13)
+	dev, err := em.NewDevice(256, 4096)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rs, err := emiqs.NewRangeSampler(dev, values, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm the pools once.
+	rs.Query(r, 1000, 60000, 1024, nil)
+	b.ResetTimer()
+	var dst []float64
+	start := dev.IOs()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		dst, ok = rs.Query(r, 1000, 60000, 1024, dst[:0])
+		if !ok {
+			b.Fatal("empty")
+		}
+	}
+	b.ReportMetric(float64(dev.IOs()-start)/float64(b.N), "IOs/op")
+}
+
+// --- E12/E13: the dependent baseline ---------------------------------
+
+func BenchmarkE12PermBaseline(b *testing.B) {
+	values, _ := seededData(1<<18, false)
+	ps, err := permsample.New(values, 14)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(15)
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 0.9
+		dst, _ = ps.Query(lo, lo+0.1, 64, dst[:0])
+	}
+}
+
+func BenchmarkE13RepeatedQuery(b *testing.B) {
+	values, weights := seededData(1<<18, false)
+	ck, err := rangesample.NewChunked(values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(16)
+	q := bst.Interval{Lo: 0.45, Hi: 0.55}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = ck.Query(r, q, 10, dst[:0])
+	}
+}
+
+// --- A1/A2/A3: ablations ----------------------------------------------
+
+func BenchmarkA1ChunkSize(b *testing.B) {
+	values, weights := seededData(1<<18, true)
+	for _, cs := range []int{4, 18, 256} {
+		ck, err := rangesample.NewChunkedSize(values, weights, cs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("chunk=%d", cs), func(b *testing.B) { rangeBench(b, ck, 64) })
+	}
+}
+
+func BenchmarkA2CoverSampling(b *testing.B) {
+	r := rng.New(17)
+	weights := make([]float64, 64)
+	for i := range weights {
+		weights[i] = r.Float64() + 0.1
+	}
+	b.Run("alias-build-and-draw", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			a := alias.MustNew(weights)
+			for j := 0; j < 64; j++ {
+				sink = a.Sample(r)
+			}
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkA3DynamicAlias(b *testing.B) {
+	d := alias.NewDynamic()
+	r := rng.New(18)
+	for i := 0; i < 1<<16; i++ {
+		if err := d.Insert(i, r.Float64()+0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("update", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			key := 1<<16 + i
+			if err := d.Insert(key, r.Float64()+0.1); err != nil {
+				b.Fatal(err)
+			}
+			if err := d.Delete(key); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sample", func(b *testing.B) {
+		var sink int
+		for i := 0; i < b.N; i++ {
+			sink = d.Sample(r)
+		}
+		_ = sink
+	})
+}
+
+// --- E15/E16: additional Theorem 5 instantiations ----------------------
+
+func BenchmarkE15IntervalStab(b *testing.B) {
+	r := rng.New(19)
+	const n = 1 << 17
+	ivs := make([]intervaltree.Interval, n)
+	wts := make([]float64, n)
+	for i := range ivs {
+		l := r.Float64() * 100
+		ivs[i] = intervaltree.Interval{L: l, R: l + r.Float64()*10}
+		wts[i] = r.Float64() + 0.1
+	}
+	tree, err := intervaltree.New(ivs, wts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = tree.Query(r, 5+r.Float64()*90, 16, dst[:0])
+	}
+}
+
+func BenchmarkE16Halfplane(b *testing.B) {
+	r := rng.New(20)
+	const n = 1 << 15
+	pts := make([][]float64, n)
+	wts := make([]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.Float64()*2 - 1, r.Float64()*2 - 1}
+		wts[i] = r.Float64() + 0.1
+	}
+	ix, err := halfplane.New(pts, wts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := halfplane.Halfplane{A: 1, B: 1, C: -0.8}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _, _ = ix.Query(r, q, 16, dst[:0])
+	}
+}

@@ -1,0 +1,50 @@
+// Command iqsbench regenerates the experiment tables indexed in
+// DESIGN.md (E1–E14, A1–A3).
+//
+// Usage:
+//
+//	iqsbench -list
+//	iqsbench -experiment E4 [-seed 42]
+//	iqsbench -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("experiment", "", "experiment id (E1..E14, A1..A3)")
+		all   = flag.Bool("all", false, "run every experiment")
+		list  = flag.Bool("list", false, "list experiments")
+		seed  = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+	case *all:
+		for _, e := range bench.All() {
+			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
+			e.Run(os.Stdout, *seed)
+			fmt.Println()
+		}
+	case *expID != "":
+		e, ok := bench.Find(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "iqsbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(2)
+		}
+		e.Run(os.Stdout, *seed)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,227 @@
+// Command iqsdemo is an interactive shell over a 1-D IQS sampler: load a
+// value,weight CSV (e.g. from iqsgen) or generate synthetic data, then
+// issue sampling queries and watch independence at work.
+//
+//	iqsdemo -csv data.csv
+//	iqsdemo -n 1000000 -weights zipf
+//
+// Commands at the prompt:
+//
+//	sample <lo> <hi> <s>     s independent weighted samples of S∩[lo,hi]
+//	wor <lo> <hi> <s>        without-replacement sample (uniform weights)
+//	count <lo> <hi>          |S∩[lo,hi]|
+//	save <path>              persist a snapshot
+//	help | quit
+package main
+
+import (
+	"bufio"
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		csvPath = flag.String("csv", "", "value,weight CSV (header optional); empty = synthetic")
+		n       = flag.Int("n", 100000, "synthetic dataset size")
+		wkind   = flag.String("weights", "uniform", "uniform | zipf | random (synthetic)")
+		kind    = flag.String("structure", "chunked", "chunked | aliasaug | treewalk | naive")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	values, weights, err := loadData(*csvPath, *n, *wkind, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iqsdemo: %v\n", err)
+		os.Exit(1)
+	}
+	k, err := parseKind(*kind)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iqsdemo: %v\n", err)
+		os.Exit(2)
+	}
+	s, err := core.NewRangeSampler(k, values, weights)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "iqsdemo: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("loaded %d elements into a %v sampler; type 'help' for commands\n", s.Len(), s.Kind())
+	repl(s, core.NewRand(*seed+1), os.Stdin, os.Stdout)
+}
+
+func parseKind(name string) (core.Kind, error) {
+	switch name {
+	case "chunked":
+		return core.KindChunked, nil
+	case "aliasaug":
+		return core.KindAliasAug, nil
+	case "treewalk":
+		return core.KindTreeWalk, nil
+	case "naive":
+		return core.KindNaive, nil
+	default:
+		return 0, fmt.Errorf("unknown structure %q", name)
+	}
+}
+
+func loadData(csvPath string, n int, wkind string, seed uint64) ([]float64, []float64, error) {
+	if csvPath == "" {
+		r := rng.New(seed)
+		values := dataset.UniformValues(r, n)
+		for i := range values {
+			values[i] *= 1000
+		}
+		var weights []float64
+		switch wkind {
+		case "zipf":
+			weights = dataset.ZipfWeights(r, n, 1)
+		case "random":
+			weights = dataset.RandomWeights(r, n, 0.5, 10)
+		default:
+			weights = dataset.UniformWeights(n)
+		}
+		return values, weights, nil
+	}
+	f, err := os.Open(csvPath)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	rd := csv.NewReader(f)
+	rd.FieldsPerRecord = -1 // allow rows with and without a weight column
+	var values, weights []float64
+	for {
+		rec, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rec) < 1 {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			continue // header or junk line
+		}
+		w := 1.0
+		if len(rec) > 1 {
+			if pw, err := strconv.ParseFloat(strings.TrimSpace(rec[1]), 64); err == nil {
+				w = pw
+			}
+		}
+		values = append(values, v)
+		weights = append(weights, w)
+	}
+	if len(values) == 0 {
+		return nil, nil, fmt.Errorf("no numeric rows in %s", csvPath)
+	}
+	return values, weights, nil
+}
+
+// repl runs the command loop; split out for testability.
+func repl(s *core.RangeSampler, r *core.Rand, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			fmt.Fprint(out, "> ")
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "quit", "exit":
+			return
+		case "help":
+			fmt.Fprintln(out, "commands: sample <lo> <hi> <s> | wor <lo> <hi> <s> | count <lo> <hi> | save <path> | quit")
+		case "count":
+			if lo, hi, _, ok := parseArgs(out, fields, 2); ok {
+				fmt.Fprintf(out, "%d\n", s.Count(lo, hi))
+			}
+		case "sample":
+			if lo, hi, k, ok := parseArgs(out, fields, 3); ok {
+				vals, found := s.Sample(r, lo, hi, k)
+				if !found {
+					fmt.Fprintln(out, "(empty range)")
+				} else {
+					printVals(out, vals)
+				}
+			}
+		case "wor":
+			if lo, hi, k, ok := parseArgs(out, fields, 3); ok {
+				vals, err := s.SampleWoR(r, lo, hi, k)
+				if err != nil {
+					fmt.Fprintf(out, "error: %v\n", err)
+				} else {
+					printVals(out, vals)
+				}
+			}
+		case "save":
+			if len(fields) != 2 {
+				fmt.Fprintln(out, "usage: save <path>")
+				break
+			}
+			if err := saveTo(s, fields[1]); err != nil {
+				fmt.Fprintf(out, "error: %v\n", err)
+			} else {
+				fmt.Fprintf(out, "saved to %s\n", fields[1])
+			}
+		default:
+			fmt.Fprintf(out, "unknown command %q (try 'help')\n", fields[0])
+		}
+		fmt.Fprint(out, "> ")
+	}
+}
+
+func saveTo(s *core.RangeSampler, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return s.Save(f)
+}
+
+func parseArgs(out io.Writer, fields []string, want int) (lo, hi float64, k int, ok bool) {
+	if len(fields) != want+1 {
+		fmt.Fprintf(out, "usage: %s needs %d arguments\n", fields[0], want)
+		return 0, 0, 0, false
+	}
+	var err error
+	if lo, err = strconv.ParseFloat(fields[1], 64); err != nil {
+		fmt.Fprintf(out, "bad lo %q\n", fields[1])
+		return 0, 0, 0, false
+	}
+	if hi, err = strconv.ParseFloat(fields[2], 64); err != nil {
+		fmt.Fprintf(out, "bad hi %q\n", fields[2])
+		return 0, 0, 0, false
+	}
+	if want == 3 {
+		if k, err = strconv.Atoi(fields[3]); err != nil || k < 1 {
+			fmt.Fprintf(out, "bad s %q\n", fields[3])
+			return 0, 0, 0, false
+		}
+	}
+	return lo, hi, k, true
+}
+
+func printVals(out io.Writer, vals []float64) {
+	for i, v := range vals {
+		if i > 0 {
+			fmt.Fprint(out, " ")
+		}
+		fmt.Fprintf(out, "%.4g", v)
+	}
+	fmt.Fprintln(out)
+}

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParseKind(t *testing.T) {
+	for name, want := range map[string]core.Kind{
+		"chunked": core.KindChunked, "aliasaug": core.KindAliasAug,
+		"treewalk": core.KindTreeWalk, "naive": core.KindNaive,
+	} {
+		got, err := parseKind(name)
+		if err != nil || got != want {
+			t.Fatalf("parseKind(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := parseKind("nope"); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestLoadDataSynthetic(t *testing.T) {
+	for _, wk := range []string{"uniform", "zipf", "random"} {
+		values, weights, err := loadData("", 100, wk, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(values) != 100 || len(weights) != 100 {
+			t.Fatalf("%s: %d/%d", wk, len(values), len(weights))
+		}
+	}
+}
+
+func TestLoadDataCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "data.csv")
+	content := "value,weight\n1.5,2\n2.5,3\n3.5\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	values, weights, err := loadData(path, 0, "", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(values) != 3 {
+		t.Fatalf("rows = %d", len(values))
+	}
+	if values[0] != 1.5 || weights[0] != 2 {
+		t.Fatalf("row 0 = %v/%v", values[0], weights[0])
+	}
+	if weights[2] != 1 {
+		t.Fatalf("missing weight should default to 1, got %v", weights[2])
+	}
+	// Empty / junk file.
+	bad := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(bad, []byte("a,b\nc,d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := loadData(bad, 0, "", 1); err == nil {
+		t.Fatal("non-numeric CSV accepted")
+	}
+	if _, _, err := loadData(filepath.Join(dir, "missing.csv"), 0, "", 1); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestREPLEndToEnd(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5}
+	s, err := core.NewRangeSampler(core.KindChunked, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	snap := filepath.Join(dir, "s.snap")
+	in := strings.NewReader(strings.Join([]string{
+		"help",
+		"count 2 4",
+		"sample 2 4 3",
+		"wor 2 4 2",
+		"sample 10 20 1",
+		"bogus",
+		"count 1",      // wrong arity
+		"sample a b 1", // bad floats
+		"save " + snap,
+		"",
+		"quit",
+	}, "\n"))
+	var out strings.Builder
+	repl(s, core.NewRand(1), in, &out)
+	got := out.String()
+	for _, want := range []string{
+		"commands:", "3\n", "(empty range)", "unknown command", "needs 2 arguments",
+		"bad lo", "saved to",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("output missing %q:\n%s", want, got)
+		}
+	}
+	// The snapshot must round-trip.
+	f, err := os.Open(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	loaded, err := core.Load(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != 5 {
+		t.Fatalf("reloaded Len = %d", loaded.Len())
+	}
+}

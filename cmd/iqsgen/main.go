@@ -1,0 +1,118 @@
+// Command iqsgen generates the synthetic datasets and query workloads
+// used by the experiments, as CSV on stdout — handy for comparing this
+// library against external systems on identical inputs.
+//
+// Usage:
+//
+//	iqsgen -kind values  -n 100000 [-dist uniform|clustered] [-weights uniform|zipf|random]
+//	iqsgen -kind points  -n 100000 -d 2 [-dist uniform|clustered]
+//	iqsgen -kind queries -n 100000 -q 1000 -selectivity 0.1
+//	iqsgen -kind sets    -m 64 -u 100000 -size 2000 -overlap 0.5
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "values", "values | points | queries | sets")
+		n       = flag.Int("n", 100000, "number of elements / points")
+		d       = flag.Int("d", 2, "point dimensionality")
+		dist    = flag.String("dist", "uniform", "uniform | clustered")
+		weights = flag.String("weights", "uniform", "uniform | zipf | random")
+		q       = flag.Int("q", 1000, "number of queries")
+		sel     = flag.Float64("selectivity", 0.1, "query selectivity")
+		m       = flag.Int("m", 64, "number of sets")
+		u       = flag.Int("u", 100000, "set universe size")
+		size    = flag.Int("size", 2000, "set size")
+		overlap = flag.Float64("overlap", 0.5, "set overlap fraction")
+		seed    = flag.Uint64("seed", 42, "random seed")
+	)
+	flag.Parse()
+
+	r := rng.New(*seed)
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	switch *kind {
+	case "values":
+		vals := genValues(r, *n, *dist)
+		wts := genWeights(r, *n, *weights)
+		fmt.Fprintln(w, "value,weight")
+		for i := range vals {
+			fmt.Fprintf(w, "%g,%g\n", vals[i], wts[i])
+		}
+	case "points":
+		var pts [][]float64
+		if *dist == "clustered" {
+			pts = dataset.ClusteredPoints(r, *n, *d, 8, 0.03)
+		} else {
+			pts = dataset.UniformPoints(r, *n, *d)
+		}
+		for j := 0; j < *d; j++ {
+			if j > 0 {
+				fmt.Fprint(w, ",")
+			}
+			fmt.Fprintf(w, "x%d", j)
+		}
+		fmt.Fprintln(w)
+		for _, p := range pts {
+			for j, c := range p {
+				if j > 0 {
+					fmt.Fprint(w, ",")
+				}
+				fmt.Fprintf(w, "%g", c)
+			}
+			fmt.Fprintln(w)
+		}
+	case "queries":
+		vals := genValues(r, *n, *dist)
+		sort.Float64s(vals)
+		qs := dataset.IntervalQueries(r, vals, *q, *sel)
+		fmt.Fprintln(w, "lo,hi")
+		for _, iv := range qs {
+			fmt.Fprintf(w, "%g,%g\n", iv.Lo, iv.Hi)
+		}
+	case "sets":
+		sets, err := dataset.OverlappingSets(r, *m, *u, *size, *overlap)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iqsgen: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w, "set,element")
+		for i, s := range sets {
+			for _, e := range s {
+				fmt.Fprintf(w, "%d,%d\n", i, e)
+			}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "iqsgen: unknown kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func genValues(r *rng.Source, n int, dist string) []float64 {
+	if dist == "clustered" {
+		return dataset.ClusteredValues(r, n, 8, 0.01)
+	}
+	return dataset.UniformValues(r, n)
+}
+
+func genWeights(r *rng.Source, n int, kind string) []float64 {
+	switch kind {
+	case "zipf":
+		return dataset.ZipfWeights(r, n, 1.0)
+	case "random":
+		return dataset.RandomWeights(r, n, 0.5, 10)
+	default:
+		return dataset.UniformWeights(n)
+	}
+}

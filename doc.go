@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "Algorithmic
+// Techniques for Independent Query Sampling" (Yufei Tao, PODS 2022).
+//
+// Independent query sampling (IQS) returns, for a query predicate q and a
+// sample size s, s random elements of the query result S_q — with the
+// guarantee that the outputs of all queries ever asked are mutually
+// independent. The paper distills the known solutions into four generic
+// techniques; this repository implements all of them, every substrate
+// they rest on, and an experiment harness reproducing every quantitative
+// claim:
+//
+//	internal/alias        Theorem 1 (Walker's alias method) + dynamization
+//	internal/treesample   §3.2 tree sampling, §5 Euler-tour reduction
+//	internal/rangesample  §3–4: TreeWalk, AliasAug (Lemma 2), Chunked
+//	                      (Theorem 3), Dynamic, Naive baseline
+//	internal/coverage     Theorems 5–6, Corollary 7 (generic transforms)
+//	internal/kdtree       Theorem 5 on the kd-tree
+//	internal/rangetree    Theorem 5 on the range tree
+//	internal/quadtree     the Looz–Meyerhenke comparator
+//	internal/setunion     Theorem 8 (random permutation technique)
+//	internal/fairnn       §2 fair nearest neighbour search
+//	internal/em, emiqs    §8 external-memory model and structures
+//	internal/core         the unified public API
+//	internal/bench        the experiment harness (cmd/iqsbench)
+//
+// See README.md for a tour, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results.
+package repro

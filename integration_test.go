@@ -1,0 +1,227 @@
+// Integration tests: end-to-end flows across modules, mirroring the
+// examples with assertions — the public API drives the technique
+// packages which drive the substrates, and the statistical guarantees
+// are verified with internal/stats.
+package repro_test
+
+import (
+	"io"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fairnn"
+	"repro/internal/permsample"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// TestEndToEndEstimationGuarantee reruns the estimation example as a
+// test: the ε–δ guarantee must hold through the full public-API stack.
+func TestEndToEndEstimationGuarantee(t *testing.T) {
+	r := core.NewRand(100)
+	const n = 50_000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+	}
+	s, err := core.NewRangeSampler(core.KindChunked, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const eps, delta = 0.05, 0.1
+	k := stats.SampleSizeForEstimate(eps, delta)
+	qLo, qHi, mid := 0.2, 0.8, 0.5
+	truth := 0.0
+	cnt := 0
+	for _, v := range values {
+		if v >= qLo && v <= qHi {
+			cnt++
+			if v < mid {
+				truth++
+			}
+		}
+	}
+	truth /= float64(cnt)
+	const estimates = 300
+	bad := 0
+	for i := 0; i < estimates; i++ {
+		out, ok := s.Sample(r, qLo, qHi, k)
+		if !ok {
+			t.Fatal("empty")
+		}
+		hits := 0
+		for _, v := range out {
+			if v < mid {
+				hits++
+			}
+		}
+		if math.Abs(float64(hits)/float64(k)-truth) > eps {
+			bad++
+		}
+	}
+	// Hoeffding guarantees E[bad] ≤ δ·estimates = 30; allow 2x slack.
+	if bad > 60 {
+		t.Fatalf("bad estimates = %d/%d", bad, estimates)
+	}
+}
+
+// TestEndToEndDiversity verifies the coupon-collector behaviour of
+// repeated queries through the public API, against the frozen baseline.
+func TestEndToEndDiversity(t *testing.T) {
+	r := core.NewRand(101)
+	const n = 4096
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := core.NewRangeSampler(core.KindAliasAug, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := permsample.New(values, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := 100.0, 199.0 // |S_q| = 100
+	iqsSeen := map[float64]bool{}
+	depSeen := map[int]bool{}
+	for q := 0; q < 150; q++ {
+		out, ok := s.Sample(r, lo, hi, 10)
+		if !ok {
+			t.Fatal("empty")
+		}
+		for _, v := range out {
+			iqsSeen[v] = true
+		}
+		dout, _ := dep.Query(lo, hi, 10, nil)
+		for _, pos := range dout {
+			depSeen[pos] = true
+		}
+	}
+	if len(iqsSeen) < 95 {
+		t.Fatalf("IQS saw only %d of 100 after 150 queries", len(iqsSeen))
+	}
+	if len(depSeen) != 10 {
+		t.Fatalf("dependent baseline saw %d, want exactly its frozen 10", len(depSeen))
+	}
+}
+
+// TestEndToEndFairNN drives the fairnn stack (grids → setunion → sketch →
+// rejection) and checks long-run fairness.
+func TestEndToEndFairNN(t *testing.T) {
+	r := rng.New(103)
+	pts := dataset.ClusteredPoints(r, 400, 2, 1, 0.01)
+	idx, err := fairnn.New(pts, 0.05, 8, 104)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query at the cluster centre.
+	q := []float64{pts[0][0], pts[0][1]}
+	cand := idx.CandidateNear(q)
+	if len(cand) < 20 {
+		t.Skipf("only %d candidates", len(cand))
+	}
+	counts := map[int]int{}
+	const queries = 20000
+	for i := 0; i < queries; i++ {
+		out, ok, err := idx.Query(r, q, 1, nil)
+		if err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+		counts[out[0]]++
+	}
+	obs := make([]int, 0, len(cand))
+	for _, c := range cand {
+		obs = append(obs, counts[c])
+	}
+	stat, err := stats.ChiSquareUniform(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := stats.ChiSquareCritical(len(obs)-1, 1e-4); stat > crit {
+		t.Fatalf("fairness chi2 = %v > %v", stat, crit)
+	}
+}
+
+// TestEndToEndPointSamplerAgreement: the three multi-dimensional
+// structures must agree on range weight and stay inside the rectangle.
+func TestEndToEndPointSamplerAgreement(t *testing.T) {
+	r := rng.New(105)
+	pts := dataset.UniformPoints(r, 500, 2)
+	w := dataset.RandomWeights(r, 500, 0.5, 3)
+	min, max := []float64{0.25, 0.25}, []float64{0.75, 0.75}
+	var weights []float64
+	for _, kind := range []core.PointKind{core.PointKD, core.PointRangeTree, core.PointQuadtree} {
+		ps, err := core.NewPointSampler(kind, pts, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		weights = append(weights, ps.RangeWeight(min, max))
+		out, ok := ps.Sample(core.NewRand(106), min, max, 500)
+		if !ok {
+			t.Fatalf("kind %d: empty", kind)
+		}
+		for _, idx := range out {
+			p := pts[idx]
+			if p[0] < 0.25 || p[0] > 0.75 || p[1] < 0.25 || p[1] > 0.75 {
+				t.Fatalf("kind %d: sample outside", kind)
+			}
+		}
+	}
+	if math.Abs(weights[0]-weights[1]) > 1e-9 || math.Abs(weights[1]-weights[2]) > 1e-9 {
+		t.Fatalf("structures disagree on range weight: %v", weights)
+	}
+}
+
+// TestBenchHarnessSmoke runs the cheap experiments end-to-end so the
+// harness itself is covered by `go test`.
+func TestBenchHarnessSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, id := range []string{"E8", "E13", "A2"} {
+		e, ok := bench.Find(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		e.Run(io.Discard, 1)
+	}
+	if _, ok := bench.Find("NOPE"); ok {
+		t.Fatal("Find accepted an unknown id")
+	}
+	if len(bench.All()) < 17 {
+		t.Fatalf("only %d experiments registered", len(bench.All()))
+	}
+}
+
+// TestSamplerOutputPassesKS: uniform values sampled over the full domain
+// must pass a Kolmogorov–Smirnov uniformity test end to end.
+func TestSamplerOutputPassesKS(t *testing.T) {
+	r := core.NewRand(200)
+	const n = 20000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+	}
+	s, err := core.NewRangeSampler(core.KindChunked, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := s.Sample(r, 0, 1, 5000)
+	if !ok {
+		t.Fatal("empty")
+	}
+	d, err := stats.KSUniform(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The sample follows the empirical (not exactly uniform) dataset;
+	// with n=20000 source points and 5000 draws, the combined KS noise
+	// stays well under this bound.
+	if d > 0.035 {
+		t.Fatalf("KS distance %v too large", d)
+	}
+}

@@ -1,0 +1,163 @@
+// Package alias implements Walker's alias method for weighted set sampling
+// (Theorem 1 of the paper): a structure of O(n) space, built in O(n) time,
+// from which an independent weighted sample is drawn in O(1) time.
+//
+// The construction follows Section 3.1 of the paper: the total weight W is
+// spread into n "urns" of capacity W/n each; every urn holds one or two
+// elements. A sample picks a uniform urn, then flips a biased coin between
+// the urn's (at most) two occupants. Each draw consumes fresh randomness,
+// so samples across calls — and hence across queries built on top of this
+// structure — are mutually independent.
+//
+// The package also provides Dynamic, a weighted sampler supporting
+// insertions, deletions and weight updates (Direction 1 in the paper's
+// concluding remarks) with O(1) expected sample time and O(1) amortized
+// update time, via level-bucketed rejection sampling.
+package alias
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// ErrEmpty is returned when constructing a sampler over no elements.
+var ErrEmpty = errors.New("alias: empty input")
+
+// ErrBadWeight is returned when a weight is not strictly positive or not
+// finite.
+var ErrBadWeight = errors.New("alias: weights must be positive and finite")
+
+// Alias is Walker's alias structure over elements 0..n-1. The zero value
+// is not usable; construct with New.
+type Alias struct {
+	n int
+	// prob[i] is the probability that urn i resolves to its primary
+	// element i (scaled so that 1.0 means "always i").
+	prob []float64
+	// alias[i] is the secondary element sharing urn i.
+	alias []int32
+	total float64
+}
+
+// New builds the alias structure over weights. weights[i] is the weight of
+// element i; all must be positive and finite. Build time and space are
+// O(n).
+func New(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	total := 0.0
+	for i, w := range weights {
+		if !(w > 0) || w > maxFinite {
+			return nil, fmt.Errorf("%w: weights[%d] = %v", ErrBadWeight, i, w)
+		}
+		total += w
+	}
+	if !(total > 0) || total > maxFinite {
+		return nil, fmt.Errorf("%w: total = %v", ErrBadWeight, total)
+	}
+
+	a := &Alias{
+		n:     n,
+		prob:  make([]float64, n),
+		alias: make([]int32, n),
+		total: total,
+	}
+
+	// Scale weights so that the average urn load is exactly 1.
+	scaled := make([]float64, n)
+	scale := float64(n) / total
+	for i, w := range weights {
+		scaled[i] = w * scale
+	}
+
+	// Two worklists: elements below the urn capacity ("small") and at or
+	// above it ("large"). Each step empties one small element into an
+	// urn, topping the urn up from a large element.
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, l)
+		}
+	}
+	// Leftovers are urns holding exactly their own element. Floating
+	// point can leave a residue in either list.
+	for _, l := range large {
+		a.prob[l] = 1
+		a.alias[l] = l
+	}
+	for _, s := range small {
+		a.prob[s] = 1
+		a.alias[s] = s
+	}
+	return a, nil
+}
+
+// MustNew is New but panics on error; for use with programmatically
+// generated weights known to be valid.
+func MustNew(weights []float64) *Alias {
+	a, err := New(weights)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+const maxFinite = 1.7976931348623157e308
+
+// Len returns the number of elements.
+func (a *Alias) Len() int { return a.n }
+
+// Total returns the total weight the structure was built over.
+func (a *Alias) Total() float64 { return a.total }
+
+// Sample draws one independent weighted sample: element i is returned with
+// probability weights[i]/Total(). O(1) time; two random numbers consumed.
+func (a *Alias) Sample(r *rng.Source) int {
+	u := r.Intn(a.n)
+	if r.Float64() < a.prob[u] {
+		return u
+	}
+	return int(a.alias[u])
+}
+
+// SampleMany appends s independent weighted samples to dst and returns the
+// extended slice. O(s) time.
+func (a *Alias) SampleMany(r *rng.Source, s int, dst []int) []int {
+	for i := 0; i < s; i++ {
+		dst = append(dst, a.Sample(r))
+	}
+	return dst
+}
+
+// Counts draws s independent weighted samples and returns how many times
+// each element in [0, n) occurred. This is the "multinomial split"
+// primitive used by Lemma 2 / Theorem 3 query algorithms to decide how
+// many samples each canonical piece contributes. O(n + s) time.
+func (a *Alias) Counts(r *rng.Source, s int) []int {
+	counts := make([]int, a.n)
+	for i := 0; i < s; i++ {
+		counts[a.Sample(r)]++
+	}
+	return counts
+}

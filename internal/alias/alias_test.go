@@ -1,0 +1,233 @@
+package alias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil); err != ErrEmpty {
+		t.Fatalf("New(nil) err = %v, want ErrEmpty", err)
+	}
+	if _, err := New([]float64{}); err != ErrEmpty {
+		t.Fatalf("New(empty) err = %v, want ErrEmpty", err)
+	}
+	for _, bad := range [][]float64{
+		{0},
+		{-1},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+		{1, 0, 2},
+	} {
+		if _, err := New(bad); err == nil {
+			t.Fatalf("New(%v) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	a := MustNew([]float64{3.5})
+	r := rng.New(1)
+	for i := 0; i < 100; i++ {
+		if got := a.Sample(r); got != 0 {
+			t.Fatalf("Sample = %d, want 0", got)
+		}
+	}
+	if a.Len() != 1 || a.Total() != 3.5 {
+		t.Fatalf("Len/Total = %d/%v", a.Len(), a.Total())
+	}
+}
+
+// chiSquare returns the chi-square statistic of observed counts against
+// the expected distribution given by weights (normalised internally).
+func chiSquare(counts []int, weights []float64, draws int) float64 {
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	stat := 0.0
+	for i, c := range counts {
+		expected := float64(draws) * weights[i] / total
+		d := float64(c) - expected
+		stat += d * d / expected
+	}
+	return stat
+}
+
+// chi-square critical values at alpha = 1e-4 for small dof, used to keep
+// these statistical tests essentially flake-free with fixed seeds.
+func chi2Crit(dof int) float64 {
+	// Wilson–Hilferty approximation.
+	z := 3.719 // z-score at 1e-4
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestUniformWeightsDistribution(t *testing.T) {
+	const n, draws = 8, 200000
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	a := MustNew(w)
+	r := rng.New(99)
+	counts := a.Counts(r, draws)
+	if stat := chiSquare(counts, w, draws); stat > chi2Crit(n-1) {
+		t.Fatalf("uniform chi2 = %v > %v (counts %v)", stat, chi2Crit(n-1), counts)
+	}
+}
+
+func TestSkewedWeightsDistribution(t *testing.T) {
+	w := []float64{1, 2, 4, 8, 16, 32, 64, 128}
+	a := MustNew(w)
+	r := rng.New(7)
+	const draws = 400000
+	counts := a.Counts(r, draws)
+	if stat := chiSquare(counts, w, draws); stat > chi2Crit(len(w)-1) {
+		t.Fatalf("skewed chi2 = %v (counts %v)", stat, counts)
+	}
+}
+
+func TestExtremeWeightRatio(t *testing.T) {
+	// One element carries almost all mass.
+	w := []float64{1e-9, 1, 1e-9}
+	a := MustNew(w)
+	r := rng.New(5)
+	const draws = 100000
+	counts := a.Counts(r, draws)
+	if counts[1] < draws-10 {
+		t.Fatalf("dominant element sampled only %d/%d times", counts[1], draws)
+	}
+}
+
+func TestProbabilitiesFormValidTable(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 200 {
+			return true
+		}
+		w := make([]float64, len(raw))
+		for i, v := range raw {
+			w[i] = float64(v%1000) + 0.5
+		}
+		a, err := New(w)
+		if err != nil {
+			return false
+		}
+		// Reconstruct each element's implied probability from the urn
+		// table and compare to w_i/W. This verifies conditions (1)-(2)
+		// of Section 3.1 numerically.
+		implied := make([]float64, len(w))
+		for u := 0; u < a.n; u++ {
+			implied[u] += a.prob[u] / float64(a.n)
+			implied[a.alias[u]] += (1 - a.prob[u]) / float64(a.n)
+		}
+		total := 0.0
+		for _, x := range w {
+			total += x
+		}
+		for i := range w {
+			if math.Abs(implied[i]-w[i]/total) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleManyLength(t *testing.T) {
+	a := MustNew([]float64{1, 2, 3})
+	r := rng.New(2)
+	out := a.SampleMany(r, 17, nil)
+	if len(out) != 17 {
+		t.Fatalf("SampleMany returned %d samples", len(out))
+	}
+	out = a.SampleMany(r, 3, out)
+	if len(out) != 20 {
+		t.Fatalf("SampleMany append returned %d samples", len(out))
+	}
+	for _, v := range out {
+		if v < 0 || v > 2 {
+			t.Fatalf("sample %d out of range", v)
+		}
+	}
+}
+
+func TestCountsSum(t *testing.T) {
+	a := MustNew([]float64{5, 1, 1})
+	r := rng.New(3)
+	counts := a.Counts(r, 1000)
+	sum := 0
+	for _, c := range counts {
+		sum += c
+	}
+	if sum != 1000 {
+		t.Fatalf("Counts sum = %d", sum)
+	}
+}
+
+func TestIndependenceAcrossDraws(t *testing.T) {
+	// With two equal-weight elements, consecutive draws form pairs whose
+	// four outcomes must be equally likely — a minimal serial-correlation
+	// check of cross-draw independence.
+	a := MustNew([]float64{1, 1})
+	r := rng.New(123)
+	var pairs [4]int
+	const draws = 100000
+	prev := a.Sample(r)
+	for i := 0; i < draws; i++ {
+		cur := a.Sample(r)
+		pairs[prev*2+cur]++
+		prev = cur
+	}
+	expected := float64(draws) / 4
+	for i, c := range pairs {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pair %02b count = %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	r := rng.New(1)
+	const n = 100000
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = r.Float64() + 0.001
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MustNew(w)
+	}
+}
+
+func BenchmarkSample(b *testing.B) {
+	r := rng.New(1)
+	const n = 100000
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = r.Float64() + 0.001
+	}
+	a := MustNew(w)
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = a.Sample(r)
+	}
+	_ = sink
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew(nil) did not panic")
+		}
+	}()
+	MustNew(nil)
+}

@@ -1,0 +1,220 @@
+package alias
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Dynamic is a weighted sampler over a mutable set of elements, addressing
+// Direction 1 ("Dynamization") of the paper's concluding remarks. It
+// supports Insert, Delete and UpdateWeight in O(1) time and Sample in
+// O(L) expected time, where L is the number of occupied weight levels
+// (L ≤ log2(w_max/w_min) + 1, a small constant for realistic weight
+// spreads). Samples are independent across calls.
+//
+// Design (level-bucketed rejection): elements are grouped into levels by
+// the power-of-two bracket of their weight — level ℓ holds elements with
+// weight in [2^ℓ, 2^{ℓ+1}). Each level has a capacity bound
+// U_ℓ = |members(ℓ)| · 2^{ℓ+1}, which overestimates the level's true
+// total weight by at most 2x. Sampling selects a level with probability
+// proportional to U_ℓ, picks a uniform member, and accepts it with
+// probability weight/2^{ℓ+1} ∈ [1/2, 1). A rejected proposal restarts.
+//
+// Correctness: P(element e accepted in one round)
+//
+//	= (U_ℓ/ΣU) · (1/|members(ℓ)|) · (w(e)/2^{ℓ+1}) = w(e)/ΣU,
+//
+// identical for every element up to its weight, so conditioned on
+// acceptance the output is an exact weighted sample. Since U_ℓ ≤ 2·total,
+// the per-round acceptance probability is ≥ 1/2 and the expected number
+// of rounds is ≤ 2.
+//
+// The capacity bounds are powers of two scaled by integer counts, so
+// ΣU is maintained incrementally without floating-point drift.
+//
+// The cited optimal result ([16] in the paper, for integer weights)
+// achieves O(1) worst-case sampling; this structure trades that for
+// simplicity while keeping O(1) expected time whenever the weight spread
+// is polynomial (L = O(log n) levels, visited geometrically rarely).
+type Dynamic struct {
+	levels map[int]*level
+	// position of each element: level exponent and slot within the level.
+	where  map[int]slot
+	weight map[int]float64
+	total  float64 // live total weight (informational)
+
+	// ordered cache of occupied level exponents; rebuilt lazily when the
+	// occupied set changes.
+	order      []int
+	orderDirty bool
+	capTotal   float64 // Σ_ℓ |members(ℓ)|·2^{ℓ+1}, maintained exactly
+}
+
+type level struct {
+	exp     int // members have weight in [2^exp, 2^{exp+1})
+	members []int
+}
+
+type slot struct {
+	exp int
+	idx int
+}
+
+// NewDynamic returns an empty dynamic sampler.
+func NewDynamic() *Dynamic {
+	return &Dynamic{
+		levels: make(map[int]*level),
+		where:  make(map[int]slot),
+		weight: make(map[int]float64),
+	}
+}
+
+// Len returns the number of elements currently in the set.
+func (d *Dynamic) Len() int { return len(d.weight) }
+
+// Total returns the current total weight.
+func (d *Dynamic) Total() float64 { return d.total }
+
+// Weight returns the weight of element key, or 0 if absent.
+func (d *Dynamic) Weight(key int) float64 { return d.weight[key] }
+
+// Contains reports whether key is present.
+func (d *Dynamic) Contains(key int) bool {
+	_, ok := d.weight[key]
+	return ok
+}
+
+// Insert adds element key with weight w. It returns an error if key is
+// already present or w is invalid. O(1).
+func (d *Dynamic) Insert(key int, w float64) error {
+	if _, ok := d.weight[key]; ok {
+		return fmt.Errorf("alias: duplicate key %d", key)
+	}
+	if !(w > 0) || w > maxFinite {
+		return fmt.Errorf("%w: %v", ErrBadWeight, w)
+	}
+	exp := weightExp(w)
+	lv := d.levels[exp]
+	if lv == nil {
+		lv = &level{exp: exp}
+		d.levels[exp] = lv
+		d.orderDirty = true
+	}
+	d.where[key] = slot{exp: exp, idx: len(lv.members)}
+	lv.members = append(lv.members, key)
+	d.weight[key] = w
+	d.total += w
+	d.capTotal += math.Ldexp(1, exp+1)
+	return nil
+}
+
+// Delete removes element key. It returns an error if key is absent. O(1).
+func (d *Dynamic) Delete(key int) error {
+	pos, ok := d.where[key]
+	if !ok {
+		return fmt.Errorf("alias: unknown key %d", key)
+	}
+	w := d.weight[key]
+	lv := d.levels[pos.exp]
+	last := len(lv.members) - 1
+	moved := lv.members[last]
+	lv.members[pos.idx] = moved
+	lv.members = lv.members[:last]
+	if moved != key {
+		d.where[moved] = slot{exp: pos.exp, idx: pos.idx}
+	}
+	if len(lv.members) == 0 {
+		delete(d.levels, pos.exp)
+		d.orderDirty = true
+	}
+	delete(d.where, key)
+	delete(d.weight, key)
+	d.total -= w
+	d.capTotal -= math.Ldexp(1, pos.exp+1)
+	return nil
+}
+
+// UpdateWeight changes the weight of an existing element. O(1).
+func (d *Dynamic) UpdateWeight(key int, w float64) error {
+	if _, ok := d.weight[key]; !ok {
+		return fmt.Errorf("alias: unknown key %d", key)
+	}
+	if err := d.Delete(key); err != nil {
+		return err
+	}
+	return d.Insert(key, w)
+}
+
+// Sample draws one independent weighted sample. Expected time O(L) with
+// L the number of occupied levels; expected number of rejection rounds
+// is at most 2. It panics if the set is empty.
+func (d *Dynamic) Sample(r *rng.Source) int {
+	if len(d.weight) == 0 {
+		panic("alias: Sample on empty Dynamic")
+	}
+	d.ensureOrder()
+	for {
+		lv := d.sampleLevelByCapacity(r)
+		key := lv.members[r.Intn(len(lv.members))]
+		capWeight := math.Ldexp(1, lv.exp+1)
+		if r.Float64() < d.weight[key]/capWeight {
+			return key
+		}
+	}
+}
+
+// SampleMany appends s independent weighted samples to dst.
+func (d *Dynamic) SampleMany(r *rng.Source, s int, dst []int) []int {
+	for i := 0; i < s; i++ {
+		dst = append(dst, d.Sample(r))
+	}
+	return dst
+}
+
+// sampleLevelByCapacity returns a level with probability U_ℓ/ΣU by a
+// cumulative scan over the (cached, ordered) occupied levels.
+func (d *Dynamic) sampleLevelByCapacity(r *rng.Source) *level {
+	x := r.Float64() * d.capTotal
+	var lastNonEmpty *level
+	for _, exp := range d.order {
+		lv := d.levels[exp]
+		if lv == nil || len(lv.members) == 0 {
+			continue
+		}
+		lastNonEmpty = lv
+		u := float64(len(lv.members)) * math.Ldexp(1, exp+1)
+		if x < u {
+			return lv
+		}
+		x -= u
+	}
+	// Floating-point slack: fall through to the last occupied level.
+	return lastNonEmpty
+}
+
+func (d *Dynamic) ensureOrder() {
+	if !d.orderDirty && len(d.order) > 0 {
+		return
+	}
+	d.order = d.order[:0]
+	for exp := range d.levels {
+		d.order = append(d.order, exp)
+	}
+	// Insertion sort: L is tiny and this avoids importing sort here.
+	for i := 1; i < len(d.order); i++ {
+		for j := i; j > 0 && d.order[j] < d.order[j-1]; j-- {
+			d.order[j], d.order[j-1] = d.order[j-1], d.order[j]
+		}
+	}
+	d.orderDirty = false
+}
+
+// Levels returns the number of occupied weight levels (diagnostic).
+func (d *Dynamic) Levels() int { return len(d.levels) }
+
+// weightExp returns ℓ such that w ∈ [2^ℓ, 2^{ℓ+1}).
+func weightExp(w float64) int {
+	return math.Ilogb(w)
+}

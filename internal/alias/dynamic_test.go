@@ -1,0 +1,239 @@
+package alias
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDynamicInsertDelete(t *testing.T) {
+	d := NewDynamic()
+	if d.Len() != 0 {
+		t.Fatal("new Dynamic not empty")
+	}
+	if err := d.Insert(1, 2.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Insert(1, 3.0); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if err := d.Insert(2, -1); err == nil {
+		t.Fatal("negative weight insert succeeded")
+	}
+	if err := d.Insert(2, math.NaN()); err == nil {
+		t.Fatal("NaN weight insert succeeded")
+	}
+	if err := d.Delete(99); err == nil {
+		t.Fatal("delete of absent key succeeded")
+	}
+	if err := d.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Len() != 0 || d.Contains(1) {
+		t.Fatal("delete did not remove element")
+	}
+}
+
+func TestDynamicUpdateWeight(t *testing.T) {
+	d := NewDynamic()
+	if err := d.UpdateWeight(1, 2); err == nil {
+		t.Fatal("update of absent key succeeded")
+	}
+	must(t, d.Insert(1, 1))
+	must(t, d.UpdateWeight(1, 100))
+	if got := d.Weight(1); got != 100 {
+		t.Fatalf("Weight = %v", got)
+	}
+	if math.Abs(d.Total()-100) > 1e-12 {
+		t.Fatalf("Total = %v", d.Total())
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicDistribution(t *testing.T) {
+	d := NewDynamic()
+	w := []float64{1, 2, 4, 8, 0.5, 3, 7, 100}
+	for i, x := range w {
+		must(t, d.Insert(i, x))
+	}
+	r := rng.New(41)
+	const draws = 400000
+	counts := make([]int, len(w))
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(r)]++
+	}
+	if stat := chiSquare(counts, w, draws); stat > chi2Crit(len(w)-1) {
+		t.Fatalf("dynamic chi2 = %v (counts %v)", stat, counts)
+	}
+}
+
+func TestDynamicDistributionAfterChurn(t *testing.T) {
+	// Heavy churn: insert 200, delete half, update a quarter, then check
+	// the surviving distribution is still exact.
+	d := NewDynamic()
+	r := rng.New(43)
+	for i := 0; i < 200; i++ {
+		must(t, d.Insert(i, r.Float64()*10+0.01))
+	}
+	for i := 0; i < 200; i += 2 {
+		must(t, d.Delete(i))
+	}
+	for i := 1; i < 200; i += 8 {
+		must(t, d.UpdateWeight(i, r.Float64()*100+0.01))
+	}
+	live := map[int]float64{}
+	total := 0.0
+	for i := 1; i < 200; i += 2 {
+		live[i] = d.Weight(i)
+		total += d.Weight(i)
+	}
+	const draws = 500000
+	counts := map[int]int{}
+	for i := 0; i < draws; i++ {
+		counts[d.Sample(r)]++
+	}
+	stat := 0.0
+	for k, w := range live {
+		expected := float64(draws) * w / total
+		diff := float64(counts[k]) - expected
+		stat += diff * diff / expected
+	}
+	if stat > chi2Crit(len(live)-1) {
+		t.Fatalf("post-churn chi2 = %v with dof %d (crit %v)", stat, len(live)-1, chi2Crit(len(live)-1))
+	}
+}
+
+func TestDynamicSingleElement(t *testing.T) {
+	d := NewDynamic()
+	must(t, d.Insert(42, 0.001))
+	r := rng.New(4)
+	for i := 0; i < 50; i++ {
+		if got := d.Sample(r); got != 42 {
+			t.Fatalf("Sample = %d", got)
+		}
+	}
+}
+
+func TestDynamicEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Sample on empty Dynamic did not panic")
+		}
+	}()
+	NewDynamic().Sample(rng.New(1))
+}
+
+func TestDynamicWideWeightSpread(t *testing.T) {
+	// Weights spanning 30 orders of magnitude: levels machinery must
+	// still produce an exact distribution dominated by the heavy element.
+	d := NewDynamic()
+	must(t, d.Insert(0, 1e-15))
+	must(t, d.Insert(1, 1e15))
+	must(t, d.Insert(2, 1))
+	r := rng.New(8)
+	for i := 0; i < 1000; i++ {
+		if got := d.Sample(r); got != 1 {
+			t.Fatalf("draw %d: got %d, heavy element should dominate", i, got)
+		}
+	}
+	if d.Levels() != 3 {
+		t.Fatalf("Levels = %d, want 3", d.Levels())
+	}
+}
+
+func TestDynamicTotalTracksOperations(t *testing.T) {
+	f := func(ops []uint16) bool {
+		d := NewDynamic()
+		ref := map[int]float64{}
+		for _, op := range ops {
+			key := int(op % 32)
+			w := float64(op%97)/7 + 0.125
+			if _, ok := ref[key]; ok {
+				if op%3 == 0 {
+					if d.Delete(key) != nil {
+						return false
+					}
+					delete(ref, key)
+				} else {
+					if d.UpdateWeight(key, w) != nil {
+						return false
+					}
+					ref[key] = w
+				}
+			} else {
+				if d.Insert(key, w) != nil {
+					return false
+				}
+				ref[key] = w
+			}
+		}
+		if d.Len() != len(ref) {
+			return false
+		}
+		want := 0.0
+		for k, w := range ref {
+			if math.Abs(d.Weight(k)-w) > 1e-9 {
+				return false
+			}
+			want += w
+		}
+		return math.Abs(d.Total()-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicSampleManyLength(t *testing.T) {
+	d := NewDynamic()
+	must(t, d.Insert(0, 1))
+	must(t, d.Insert(1, 2))
+	out := d.SampleMany(rng.New(5), 25, nil)
+	if len(out) != 25 {
+		t.Fatalf("SampleMany returned %d", len(out))
+	}
+}
+
+func BenchmarkDynamicSample(b *testing.B) {
+	d := NewDynamic()
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		if err := d.Insert(i, r.Float64()+0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = d.Sample(r)
+	}
+	_ = sink
+}
+
+func BenchmarkDynamicInsertDelete(b *testing.B) {
+	d := NewDynamic()
+	r := rng.New(1)
+	for i := 0; i < 100000; i++ {
+		if err := d.Insert(i, r.Float64()+0.001); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := 100000 + i
+		if err := d.Insert(key, r.Float64()+0.001); err != nil {
+			b.Fatal(err)
+		}
+		if err := d.Delete(key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

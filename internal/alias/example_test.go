@@ -1,0 +1,41 @@
+package alias_test
+
+import (
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/rng"
+)
+
+// ExampleAlias demonstrates Theorem 1: constant-time weighted sampling.
+func ExampleAlias() {
+	// Three outcomes with weights 1 : 2 : 7.
+	a := alias.MustNew([]float64{1, 2, 7})
+	r := rng.New(42)
+	counts := make([]int, 3)
+	for i := 0; i < 100000; i++ {
+		counts[a.Sample(r)]++
+	}
+	// The heavy outcome dominates ~70% of draws.
+	fmt.Println("heaviest sampled most:", counts[2] > counts[1] && counts[1] > counts[0])
+	fmt.Printf("share of element 2: %.1f (expect ~0.7)\n", float64(counts[2])/100000)
+	// Output:
+	// heaviest sampled most: true
+	// share of element 2: 0.7 (expect ~0.7)
+}
+
+// ExampleDynamic shows Direction 1: updates without rebuilding.
+func ExampleDynamic() {
+	d := alias.NewDynamic()
+	_ = d.Insert(1, 5.0)
+	_ = d.Insert(2, 5.0)
+	fmt.Println("len:", d.Len(), "total:", d.Total())
+	_ = d.Delete(1)
+	fmt.Println("after delete:", d.Len())
+	r := rng.New(7)
+	fmt.Println("only remaining key sampled:", d.Sample(r))
+	// Output:
+	// len: 2 total: 10
+	// after delete: 1
+	// only remaining key sampled: 2
+}

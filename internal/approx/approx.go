@@ -1,0 +1,205 @@
+// Package approx implements ε-approximate independent query sampling —
+// Direction 4 of the paper's concluding remarks:
+//
+//	"Many estimation tasks can be carried out with approximate sampling,
+//	 namely, the sample probability of a possible outcome is allowed to
+//	 slightly deviate from its intended value. ... How does the value ε
+//	 affect the space and query complexities of IQS?"
+//
+// The structure here answers 1-D weighted range sampling queries where
+// each element e ∈ S_q is returned with probability within a (1±ε)
+// factor of w(e)/w(S_q), trading exactness for simplicity and speed:
+//
+//   - weights are quantised to powers of (1+ε), grouping the elements
+//     into L = O(log_{1+ε}(w_max/w_min)) weight classes;
+//   - each class keeps its members' sorted positions, so the number of
+//     class members inside any query range — and a uniform such member —
+//     follow from two binary searches and one random offset;
+//   - a query computes the L class counts (O(L·log n)), builds a
+//     Theorem 1 alias over the quantised class masses (O(L)), and then
+//     draws each sample in O(1).
+//
+// Space O(n + L); query O(L·log n + s). For constant ε the class count L
+// is O(log(w_max/w_min)), so the query is O(log(w_max/w_min)·log n + s)
+// — independent of how the weights are distributed, and with a per-sample
+// constant several times smaller than the exact structures (no alias
+// trees, no chunk machinery). Cross-query independence is exact; only
+// the per-element probabilities are approximate.
+package approx
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/rng"
+)
+
+// ErrEmpty is returned when building over no elements.
+var ErrEmpty = errors.New("approx: empty input")
+
+// ErrBadEpsilon is returned for ε outside (0, 1).
+var ErrBadEpsilon = errors.New("approx: epsilon must be in (0, 1)")
+
+// ErrBadWeight is returned for non-positive or non-finite weights.
+var ErrBadWeight = errors.New("approx: weights must be positive and finite")
+
+// Sampler answers ε-approximate weighted range sampling queries.
+type Sampler struct {
+	eps    float64
+	values []float64 // sorted
+	// classOf[i] is the weight class of sorted position i.
+	classOf []int32
+	// classes[c] holds the sorted positions of class-c members.
+	classes [][]int32
+	// classMass[c] is the quantised per-member weight of class c.
+	classMass []float64
+	trueW     []float64 // exact weights (for diagnostics/tests)
+}
+
+// New builds the sampler over values and weights with approximation
+// parameter eps ∈ (0, 1).
+func New(values, weights []float64, eps float64) (*Sampler, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("approx: values and weights length mismatch")
+	}
+	if !(eps > 0 && eps < 1) {
+		return nil, ErrBadEpsilon
+	}
+	for _, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return nil, ErrBadWeight
+		}
+	}
+	s := &Sampler{
+		eps:    eps,
+		values: append([]float64(nil), values...),
+		trueW:  append([]float64(nil), weights...),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	for i, j := range idx {
+		s.values[i] = values[j]
+		s.trueW[i] = weights[j]
+	}
+	// Quantise: class c holds weights in [(1+ε)^c·w_min, (1+ε)^{c+1}·w_min).
+	wMin := s.trueW[0]
+	for _, w := range s.trueW {
+		if w < wMin {
+			wMin = w
+		}
+	}
+	logBase := math.Log1p(eps)
+	classIdx := map[int]int{}
+	s.classOf = make([]int32, n)
+	for i, w := range s.trueW {
+		c := int(math.Floor(math.Log(w/wMin) / logBase))
+		ci, ok := classIdx[c]
+		if !ok {
+			ci = len(s.classes)
+			classIdx[c] = ci
+			s.classes = append(s.classes, nil)
+			// Midpoint mass: the representative weight of the class is
+			// (1+ε)^{c+1/2}·w_min, within (1±ε/2-ish) of every member.
+			s.classMass = append(s.classMass, wMin*math.Exp((float64(c)+0.5)*logBase))
+		}
+		s.classOf[i] = int32(ci)
+		s.classes[ci] = append(s.classes[ci], int32(i))
+	}
+	// Positions within each class are appended in sorted-value order, so
+	// they are already sorted.
+	return s, nil
+}
+
+// Len returns the number of elements.
+func (s *Sampler) Len() int { return len(s.values) }
+
+// NumClasses returns L, the number of weight classes.
+func (s *Sampler) NumClasses() int { return len(s.classes) }
+
+// Epsilon returns the approximation parameter.
+func (s *Sampler) Epsilon() float64 { return s.eps }
+
+// Value returns the i-th smallest value.
+func (s *Sampler) Value(i int) float64 { return s.values[i] }
+
+// Weight returns the exact weight of the i-th smallest value.
+func (s *Sampler) Weight(i int) float64 { return s.trueW[i] }
+
+// Query appends k ε-approximate weighted samples from S ∩ [lo, hi] to
+// dst as sorted positions. ok is false when the range is empty. Each
+// element's sampling probability is within a multiplicative (1±ε) of its
+// exact weighted probability; outputs are independent across queries.
+func (s *Sampler) Query(r *rng.Source, lo, hi float64, k int, dst []int) ([]int, bool) {
+	a := sort.SearchFloat64s(s.values, lo)
+	b := sort.Search(len(s.values), func(i int) bool { return s.values[i] > hi }) - 1
+	if a > b {
+		return dst, false
+	}
+	// Per-class membership counts within [a, b].
+	type classRange struct {
+		ci       int
+		off, cnt int
+	}
+	var ranges []classRange
+	masses := make([]float64, 0, len(s.classes))
+	for ci, members := range s.classes {
+		offA := sort.Search(len(members), func(i int) bool { return int(members[i]) >= a })
+		offB := sort.Search(len(members), func(i int) bool { return int(members[i]) > b })
+		cnt := offB - offA
+		if cnt == 0 {
+			continue
+		}
+		ranges = append(ranges, classRange{ci: ci, off: offA, cnt: cnt})
+		masses = append(masses, float64(cnt)*s.classMass[ci])
+	}
+	if len(ranges) == 0 {
+		return dst, false
+	}
+	top := alias.MustNew(masses)
+	for i := 0; i < k; i++ {
+		cr := ranges[top.Sample(r)]
+		pos := s.classes[cr.ci][cr.off+r.Intn(cr.cnt)]
+		dst = append(dst, int(pos))
+	}
+	return dst, true
+}
+
+// MaxProbabilityRatio returns, for a query range, the worst-case ratio
+// between an element's approximate and exact sampling probabilities
+// (diagnostic used by the tests and the A-series ablations). A correct
+// build keeps it within [1/(1+ε), 1+ε].
+func (s *Sampler) MaxProbabilityRatio(lo, hi float64) float64 {
+	a := sort.SearchFloat64s(s.values, lo)
+	b := sort.Search(len(s.values), func(i int) bool { return s.values[i] > hi }) - 1
+	if a > b {
+		return 1
+	}
+	exactTotal := 0.0
+	approxTotal := 0.0
+	for i := a; i <= b; i++ {
+		exactTotal += s.trueW[i]
+		approxTotal += s.classMass[s.classOf[i]]
+	}
+	worst := 1.0
+	for i := a; i <= b; i++ {
+		exact := s.trueW[i] / exactTotal
+		apx := s.classMass[s.classOf[i]] / approxTotal
+		ratio := apx / exact
+		if ratio < 1 {
+			ratio = 1 / ratio
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst
+}

@@ -1,0 +1,217 @@
+package approx
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil, 0.1); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]float64{1}, []float64{1, 2}, 0.1); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	for _, eps := range []float64{0, 1, -0.5, 2} {
+		if _, err := New([]float64{1}, []float64{1}, eps); err != ErrBadEpsilon {
+			t.Fatalf("eps=%v err = %v", eps, err)
+		}
+	}
+	if _, err := New([]float64{1}, []float64{0}, 0.1); err != ErrBadWeight {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]float64{1}, []float64{math.Inf(1)}, 0.1); err != ErrBadWeight {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestProbabilityRatioWithinEpsilon(t *testing.T) {
+	r := rng.New(1)
+	f := func(raw []uint16, epsRaw uint8) bool {
+		if len(raw) < 2 || len(raw) > 300 {
+			return true
+		}
+		eps := 0.05 + float64(epsRaw%90)/100 // 0.05 .. 0.94
+		values := make([]float64, len(raw))
+		weights := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(i)
+			weights[i] = float64(v%997) + 0.5
+		}
+		s, err := New(values, weights, eps)
+		if err != nil {
+			return false
+		}
+		lo := float64(r.Intn(len(raw)))
+		hi := lo + float64(r.Intn(len(raw)))
+		ratio := s.MaxProbabilityRatio(lo, hi)
+		// Quantisation keeps per-element mass within (1±ε) of exact;
+		// normalising by the quantised total can widen this to (1+ε)².
+		return ratio <= (1+eps)*(1+eps)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformWeightsAreExact(t *testing.T) {
+	// All-equal weights collapse to one class: sampling is exactly
+	// uniform regardless of ε.
+	const n = 40
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 3
+	}
+	s, err := New(values, weights, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumClasses() != 1 {
+		t.Fatalf("classes = %d, want 1", s.NumClasses())
+	}
+	if ratio := s.MaxProbabilityRatio(0, n-1); ratio > 1+1e-12 {
+		t.Fatalf("ratio = %v, want 1 up to float rounding", ratio)
+	}
+	r := rng.New(2)
+	const draws = 100000
+	counts := make([]int, n)
+	out, ok := s.Query(r, 5, 34, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, pos := range out {
+		if pos < 5 || pos > 34 {
+			t.Fatalf("pos %d outside", pos)
+		}
+		counts[pos]++
+	}
+	expected := float64(draws) / 30
+	for i := 5; i <= 34; i++ {
+		if math.Abs(float64(counts[i])-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pos %d count %d", i, counts[i])
+		}
+	}
+}
+
+func TestEmpiricalDistributionNearExact(t *testing.T) {
+	// With small ε the empirical distribution must sit close to the
+	// exact weighted one.
+	const n = 24
+	r := rng.New(3)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = r.Float64()*20 + 0.5
+	}
+	s, err := New(values, weights, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 400000
+	counts := make([]int, n)
+	out, ok := s.Query(r, 0, n-1, draws, nil)
+	if !ok {
+		t.Fatal("empty")
+	}
+	for _, pos := range out {
+		counts[pos]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, c := range counts {
+		exact := weights[i] / total
+		got := float64(c) / draws
+		// Allow ε-band plus sampling noise.
+		if got < exact/1.2-0.01 || got > exact*1.2+0.01 {
+			t.Fatalf("pos %d freq %v, exact %v", i, got, exact)
+		}
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	s, err := New([]float64{1, 2, 3}, []float64{1, 2, 3}, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for _, q := range [][2]float64{{-5, 0}, {4, 9}, {2.2, 2.8}} {
+		if _, ok := s.Query(r, q[0], q[1], 1, nil); ok {
+			t.Fatalf("query %v returned ok", q)
+		}
+	}
+	if got := s.MaxProbabilityRatio(-5, 0); got != 1 {
+		t.Fatalf("empty ratio = %v", got)
+	}
+}
+
+func TestClassCountBounded(t *testing.T) {
+	// Weight spread 2^20 with ε=0.5 → L ≤ log_{1.5}(2^20)+1 ≈ 35.
+	const n = 1000
+	r := rng.New(5)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = math.Pow(2, 20*r.Float64())
+	}
+	s, err := New(values, weights, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maxL := int(20/math.Log2(1.5)) + 2
+	if s.NumClasses() > maxL {
+		t.Fatalf("classes = %d > %d", s.NumClasses(), maxL)
+	}
+}
+
+func TestSortsInput(t *testing.T) {
+	s, err := New([]float64{3, 1, 2}, []float64{30, 10, 20}, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(0) != 1 || s.Weight(0) != 10 || s.Value(2) != 3 || s.Weight(2) != 30 {
+		t.Fatal("values/weights not sorted together")
+	}
+}
+
+func BenchmarkApproxQuery(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 18
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+		weights[i] = r.Float64()*9 + 0.5
+	}
+	s, err := New(values, weights, 0.1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 0.9
+		dst, _ = s.Query(r, lo, lo+0.1, 64, dst[:0])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	s, err := New([]float64{1, 2, 3}, []float64{1, 2, 3}, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.Epsilon() != 0.25 {
+		t.Fatalf("Epsilon = %v", s.Epsilon())
+	}
+}

@@ -1,0 +1,159 @@
+// Package bench is the experiment harness: each Experiment regenerates
+// one of the tables indexed in DESIGN.md §2 (E1–E16, D4, A1–A3), printing
+// paper-style rows to a writer. cmd/iqsbench is a thin CLI over this
+// package, and the repository's bench_test.go exposes the same workloads
+// as testing.B benchmarks.
+//
+// The harness measures wall-clock time (RAM experiments) or simulated
+// I/Os (EM experiments). Absolute numbers are machine-specific; the
+// *shape* — who wins, by what factor, where crossovers fall — is the
+// reproduction target, as recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Experiment is a runnable experiment producing a table.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(w io.Writer, seed uint64)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"E1", "Theorem 1: alias structure build/sample cost and exactness", RunE1},
+		{"E2", "§3.2 tree sampling: per-sample cost grows with log n", RunE2},
+		{"E3", "Lemma 2 (alias augmentation): O(log n + s) query", RunE3},
+		{"E4", "Theorem 3 (chunking): linear space, O(log n + s) query", RunE4},
+		{"E5", "Lemma 4 (Euler tour): subtree sampling cost", RunE5},
+		{"E6", "Theorem 5 on kd-tree: O(n^{1-1/d} + s) vs quadtree", RunE6},
+		{"E7", "Theorem 5 on range tree: polylog cover, walk vs alias mode", RunE7},
+		{"E8", "Theorem 6: approximate coverage rejection cost", RunE8},
+		{"E9", "Theorem 8: set union sampling cost vs g", RunE9},
+		{"E10", "§8 EM set sampling: pool vs naive I/Os", RunE10},
+		{"E11", "§8 EM range sampling: I/Os vs naive random access", RunE11},
+		{"E12", "§2 Benefit 1: error concentration, IQS vs dependent", RunE12},
+		{"E13", "§2 Benefits 2-3: freshness of repeated queries", RunE13},
+		{"E14", "§1 motivation: IQS vs report-then-sample crossover", RunE14},
+		{"E15", "Theorem 5 portability: interval stabbing IQS", RunE15},
+		{"E16", "Halfplane sampling via convex layers", RunE16},
+		{"D4", "§9 Direction 4: approximate IQS, ε vs cost", RunD4},
+		{"A1", "Ablation: chunk-size constant in Theorem 3", RunA1},
+		{"A2", "Ablation: alias vs CDF binary search for cover sampling", RunA2},
+		{"A3", "Ablation: dynamic alias vs rebuild-per-update", RunA3},
+	}
+}
+
+// Find returns the experiment with the given id (case-sensitive).
+func Find(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// table is a simple aligned-column printer.
+type table struct {
+	w      io.Writer
+	header []string
+	rows   [][]string
+}
+
+func newTable(w io.Writer, header ...string) *table {
+	return &table{w: w, header: header}
+}
+
+func (t *table) row(cells ...interface{}) {
+	r := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			r[i] = v
+		case float64:
+			r[i] = fmt.Sprintf("%.3g", v)
+		default:
+			r[i] = fmt.Sprint(v)
+		}
+	}
+	t.rows = append(t.rows, r)
+}
+
+func (t *table) flush() {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	printRow := func(cells []string) {
+		for i, c := range cells {
+			fmt.Fprintf(t.w, "%-*s", widths[i]+2, c)
+		}
+		fmt.Fprintln(t.w)
+	}
+	printRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		for j := 0; j < widths[i]; j++ {
+			sep[i] += "-"
+		}
+	}
+	printRow(sep)
+	for _, r := range t.rows {
+		printRow(r)
+	}
+}
+
+// medianTime runs fn `reps` times and returns the median duration.
+func medianTime(reps int, fn func()) time.Duration {
+	if reps < 1 {
+		reps = 1
+	}
+	ds := make([]time.Duration, reps)
+	for i := range ds {
+		start := time.Now()
+		fn()
+		ds[i] = time.Since(start)
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a] < ds[b] })
+	return ds[len(ds)/2]
+}
+
+// nsPerOp converts a duration over `ops` operations to ns/op.
+func nsPerOp(d time.Duration, ops int) float64 {
+	if ops == 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(ops)
+}
+
+// seededValues builds n distinct-ish values and weights.
+func seededValues(seed uint64, n int, weighted bool) (values, weights []float64) {
+	r := rng.New(seed)
+	values = make([]float64, n)
+	weights = make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+		if weighted {
+			weights[i] = r.Float64()*9 + 0.5
+		} else {
+			weights[i] = 1
+		}
+	}
+	return values, weights
+}

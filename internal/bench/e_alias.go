@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/alias"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// RunE1 regenerates the Theorem 1 table: build time grows linearly with
+// n, per-sample time stays flat (O(1)), and the empirical distribution
+// passes a chi-square test against the weights.
+func RunE1(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E1 — Theorem 1 (alias structure): O(n) build, O(1) sample, exact distribution")
+	t := newTable(w, "n", "build_ms", "build_ns_per_elem", "ns_per_sample", "chi2_ok")
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		r := rng.New(seed)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64()*9 + 0.5
+		}
+		var a *alias.Alias
+		build := medianTime(3, func() { a = alias.MustNew(weights) })
+
+		const sampleOps = 1 << 20
+		var sink int
+		sample := medianTime(3, func() {
+			for i := 0; i < sampleOps; i++ {
+				sink = a.Sample(r)
+			}
+		})
+		_ = sink
+
+		// Exactness on a small prefix view: chi-square on 16 buckets.
+		chi2OK := "yes"
+		{
+			small := alias.MustNew(weights[:16])
+			const draws = 200000
+			counts := small.Counts(r, draws)
+			total := 0.0
+			for _, x := range weights[:16] {
+				total += x
+			}
+			expected := make([]float64, 16)
+			for i, x := range weights[:16] {
+				expected[i] = draws * x / total
+			}
+			statVal, err := stats.ChiSquare(counts, expected)
+			if err != nil || statVal > stats.ChiSquareCritical(15, 1e-4) {
+				chi2OK = fmt.Sprintf("NO (chi2=%.1f)", statVal)
+			}
+		}
+		t.row(n,
+			float64(build.Microseconds())/1000,
+			nsPerOp(build, n),
+			nsPerOp(sample, sampleOps),
+			chi2OK)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: build_ns_per_elem and ns_per_sample flat across n (Theorem 1)")
+}
+
+// RunA3 compares the Dynamic alias sampler against the strawman that
+// rebuilds a static alias structure on every update.
+func RunA3(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "A3 — dynamization: level-bucketed Dynamic vs rebuild-per-update")
+	t := newTable(w, "n", "dyn_update_ns", "dyn_sample_ns", "rebuild_update_ns", "speedup")
+	for _, n := range []int{1_000, 10_000, 100_000} {
+		r := rng.New(seed)
+		weights := make([]float64, n)
+		for i := range weights {
+			weights[i] = r.Float64()*9 + 0.5
+		}
+
+		d := alias.NewDynamic()
+		for i, x := range weights {
+			if err := d.Insert(i, x); err != nil {
+				panic(err)
+			}
+		}
+		const ops = 2000
+		dynUpd := medianTime(3, func() {
+			for i := 0; i < ops; i++ {
+				key := n + i
+				if err := d.Insert(key, r.Float64()+0.5); err != nil {
+					panic(err)
+				}
+				if err := d.Delete(key); err != nil {
+					panic(err)
+				}
+			}
+		})
+		var sink int
+		dynSmp := medianTime(3, func() {
+			for i := 0; i < ops; i++ {
+				sink = d.Sample(r)
+			}
+		})
+		_ = sink
+
+		// Strawman: full rebuild per weight change.
+		rebuilds := 8
+		reb := medianTime(1, func() {
+			for i := 0; i < rebuilds; i++ {
+				weights[i%n] = r.Float64() + 0.5
+				_ = alias.MustNew(weights)
+			}
+		})
+		dynNs := nsPerOp(dynUpd, ops*2)
+		rebNs := nsPerOp(reb, rebuilds)
+		t.row(n, dynNs, nsPerOp(dynSmp, ops), rebNs, rebNs/dynNs)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: dyn_update_ns flat in n; rebuild cost grows linearly (speedup ~ n)")
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/approx"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+)
+
+// RunD4 regenerates the Direction 4 (approximate IQS) table: how ε trades
+// per-element probability error against query speed and structure size,
+// versus the exact Theorem 3 structure.
+func RunD4(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "D4 — approximate IQS (§9 Direction 4): ε vs cost (n = 2^20, weights spread 2^10)")
+	t := newTable(w, "structure", "eps", "classes", "ns_per_query_s64", "worst_prob_ratio")
+	const n = 1 << 20
+	r := rng.New(seed)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+		weights[i] = 1 + r.Float64()*1023 // spread 2^10
+	}
+	sorted := sortedCopy(values)
+	queries := queryWorkload(r, sorted, 200, 0.1)
+
+	ck, err := rangesample.NewChunked(values, weights)
+	if err != nil {
+		panic(err)
+	}
+	var dst []int
+	dExact := medianTime(3, func() {
+		for _, q := range queries {
+			dst, _ = ck.Query(r, q, 64, dst[:0])
+		}
+	})
+	t.row("chunked (exact)", 0, "-", nsPerOp(dExact, len(queries)), 1.0)
+
+	for _, eps := range []float64{0.01, 0.05, 0.2, 0.5} {
+		ap, err := approx.New(values, weights, eps)
+		if err != nil {
+			panic(err)
+		}
+		d := medianTime(3, func() {
+			for _, q := range queries {
+				dst, _ = ap.Query(r, q.Lo, q.Hi, 64, dst[:0])
+			}
+		})
+		worst := 1.0
+		for _, q := range queries[:20] {
+			if ratio := ap.MaxProbabilityRatio(q.Lo, q.Hi); ratio > worst {
+				worst = ratio
+			}
+		}
+		t.row("approx", eps, ap.NumClasses(), nsPerOp(d, len(queries)), worst)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: classes shrink with ε; worst_prob_ratio ≤ (1+ε)²; larger ε buys speed")
+}

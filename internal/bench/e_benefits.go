@@ -1,0 +1,169 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/permsample"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// RunE12 regenerates the §2 Benefit 1 table. Fix a range query and
+// estimate, from s samples, the fraction of its elements lying in a
+// sub-interval. Repeat the estimate m times. With IQS the number of
+// erroneous estimates concentrates sharply around m·δ̂ (δ̂ = per-estimate
+// failure rate); with the dependent permutation baseline every repeat
+// returns the same estimate, so a run has either 0 or m failures — the
+// "little can be said" regime the paper warns about.
+func RunE12(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E12 — §2 Benefit 1: concentration of estimation errors (m = 400 estimates/run, 200 runs)")
+	const (
+		n     = 1 << 16
+		eps   = 0.05
+		m     = 400
+		runs  = 200
+		query = 0.5 // estimate P(value in left half of the range)
+	)
+	sSize := stats.SampleSizeForEstimate(eps, 0.1)
+	fmt.Fprintf(w, "per-estimate: s = %d samples, ε = %.2f\n", sSize, eps)
+
+	r := rng.New(seed)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+	}
+	ck, err := rangesample.NewChunked(values, uniformOnes(n))
+	if err != nil {
+		panic(err)
+	}
+	qLo, qHi := 0.25, 0.75
+	mid := (qLo + qHi) / 2
+	// Ground truth.
+	trueP := 0.0
+	cnt := 0
+	for _, v := range values {
+		if v >= qLo && v <= qHi {
+			cnt++
+			if v < mid {
+				trueP++
+			}
+		}
+	}
+	trueP /= float64(cnt)
+
+	// IQS runs.
+	iqsBad := make([]float64, runs)
+	var dst []int
+	for run := 0; run < runs; run++ {
+		bad := 0
+		for est := 0; est < m; est++ {
+			dst, _ = ck.Query(r, rangesample.Interval{Lo: qLo, Hi: qHi}, sSize, dst[:0])
+			hits := 0
+			for _, pos := range dst {
+				if ck.Value(pos) < mid {
+					hits++
+				}
+			}
+			if math.Abs(float64(hits)/float64(sSize)-trueP) > eps {
+				bad++
+			}
+		}
+		iqsBad[run] = float64(bad) / m
+	}
+
+	// Dependent runs: a fresh permutation per run, but the m estimates
+	// inside a run all reuse the same (frozen) sample.
+	depBad := make([]float64, runs)
+	for run := 0; run < runs; run++ {
+		ps, err := permsample.New(values, r.Uint64())
+		if err != nil {
+			panic(err)
+		}
+		out, ok := ps.Query(qLo, qHi, sSize, nil)
+		if !ok {
+			panic("empty")
+		}
+		hits := 0
+		for _, pos := range out {
+			if ps.Value(pos) < mid {
+				hits++
+			}
+		}
+		fail := math.Abs(float64(hits)/float64(len(out))-trueP) > eps
+		if fail {
+			depBad[run] = 1 // every one of the m estimates is wrong
+		}
+	}
+
+	si := stats.Summarize(iqsBad)
+	sd := stats.Summarize(depBad)
+	t := newTable(w, "method", "mean_bad_rate", "stdev", "max_bad_rate", "runs_fully_wrong")
+	fullyWrong := 0
+	for _, v := range depBad {
+		if v == 1 {
+			fullyWrong++
+		}
+	}
+	t.row("IQS (chunked)", si.Mean, math.Sqrt(si.Variance), si.Max, 0)
+	t.row("dependent (permutation)", sd.Mean, math.Sqrt(sd.Variance), sd.Max, fullyWrong)
+	t.flush()
+	fmt.Fprintln(w, "expect: IQS max_bad_rate stays near its mean (concentration); dependent runs are all-or-nothing — some runs have a 100% error rate")
+}
+
+func uniformOnes(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// RunE13 regenerates the §2 Benefits 2–3 table: repeating one query and
+// counting the distinct elements returned over time. IQS keeps surfacing
+// fresh elements (diversity/fairness); the permutation baseline freezes
+// after the first answer.
+func RunE13(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E13 — §2 Benefits 2-3: distinct results over repeated identical queries (|S_q| = 100, s = 10)")
+	const n = 1 << 12
+	r := rng.New(seed)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ck, err := rangesample.NewChunked(values, uniformOnes(n))
+	if err != nil {
+		panic(err)
+	}
+	ps, err := permsample.New(values, seed+1)
+	if err != nil {
+		panic(err)
+	}
+	qLo, qHi := 1000.0, 1099.0
+	const s = 10
+	iqsSeen := map[int]bool{}
+	depSeen := map[int]bool{}
+	t := newTable(w, "queries", "distinct_IQS", "distinct_dependent", "coupon_expectation")
+	var dst []int
+	checkpoints := map[int]bool{1: true, 5: true, 10: true, 20: true, 50: true, 100: true}
+	for qi := 1; qi <= 100; qi++ {
+		dst, _ = ck.Query(r, rangesample.Interval{Lo: qLo, Hi: qHi}, s, dst[:0])
+		for _, pos := range dst {
+			iqsSeen[int(ck.Value(pos))] = true
+		}
+		out, _ := ps.Query(qLo, qHi, s, nil)
+		for _, pos := range out {
+			depSeen[pos] = true
+		}
+		if checkpoints[qi] {
+			// Coupon-collector expectation for t·s uniform draws over 100.
+			draws := float64(qi * s)
+			expect := 100 * (1 - math.Pow(1-1.0/100, draws))
+			t.row(qi, len(iqsSeen), len(depSeen), expect)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: distinct_IQS tracks the coupon-collector curve to 100; distinct_dependent stays at s = 10 forever")
+}

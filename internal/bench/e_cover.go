@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// RunE8 regenerates the Theorem 6 table: the complement-range sampler's
+// rejection loop accepts within a constant expected number of attempts,
+// and Corollary 7's cover cache removes the per-query alias build.
+func RunE8(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E8 — Theorem 6/Corollary 7: complement range sampling (n = 2^16)")
+	t := newTable(w, "inside_frac", "cover_size", "ns_per_query_s16", "cached_ns_per_query_s16")
+	r := rng.New(seed)
+	const n = 1 << 16
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1
+	}
+	sp, c, err := coverage.NewComplementSampler(values, weights)
+	if err != nil {
+		panic(err)
+	}
+	cached, err := coverage.NewCachedApproxSampler[coverage.Interval](c, weights)
+	if err != nil {
+		panic(err)
+	}
+	var dst []int
+	for _, frac := range []float64{0.1, 0.4, 0.6, 0.9, 0.99} {
+		k := int(frac * n)
+		q := coverage.Interval{Lo: float64((n - k) / 2), Hi: float64((n-k)/2 + k - 1)}
+		cov := c.ApproxCover(q, nil)
+		const queries = 200
+		d := medianTime(3, func() {
+			for i := 0; i < queries; i++ {
+				var e error
+				dst, _, e = sp.Query(r, q, 16, dst[:0])
+				if e != nil {
+					panic(e)
+				}
+			}
+		})
+		dc := medianTime(3, func() {
+			for i := 0; i < queries; i++ {
+				var e error
+				dst, _, e = cached.Query(r, q, 16, dst[:0])
+				if e != nil {
+					panic(e)
+				}
+			}
+		})
+		t.row(fmt.Sprintf("%.0f%%", frac*100), len(cov), nsPerOp(d, queries), nsPerOp(dc, queries))
+	}
+	size, hits, misses := cached.CacheStats()
+	t.flush()
+	fmt.Fprintf(w, "cover cache: %d distinct covers, %d hits, %d misses\n", size, hits, misses)
+	fmt.Fprintln(w, "expect: cover_size ≤ 2 for all inside fractions; cost flat (rejection O(1) expected)")
+}
+
+// RunA2 compares the two ways to distribute s samples over a cover: the
+// Theorem 1 alias structure vs binary search on the cover's CDF.
+func RunA2(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "A2 — cover-distribution ablation: alias vs CDF binary search")
+	t := newTable(w, "cover_size", "s", "alias_ns", "cdf_ns", "ratio")
+	r := rng.New(seed)
+	for _, covSize := range []int{8, 32, 128, 1024} {
+		weights := make([]float64, covSize)
+		for i := range weights {
+			weights[i] = r.Float64() + 0.1
+		}
+		prefix := make([]float64, covSize+1)
+		for i, x := range weights {
+			prefix[i+1] = prefix[i] + x
+		}
+		total := prefix[covSize]
+		for _, s := range []int{16, 1024} {
+			var sink int
+			dA := medianTime(5, func() {
+				a := alias.MustNew(weights) // built per query, as in Theorem 5
+				for i := 0; i < s; i++ {
+					sink = a.Sample(r)
+				}
+			})
+			dC := medianTime(5, func() {
+				for i := 0; i < s; i++ {
+					x := r.Float64() * total
+					sink = sort.SearchFloat64s(prefix[1:], x)
+				}
+			})
+			_ = sink
+			aNs := nsPerOp(dA, s)
+			cNs := nsPerOp(dC, s)
+			t.row(covSize, s, aNs, cNs, cNs/aNs)
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: alias wins once s ≳ cover_size (O(|C|+s) vs O(s·log|C|)); CDF wins for s ≪ |C|")
+}

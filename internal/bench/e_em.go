@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/em"
+	"repro/internal/emiqs"
+	"repro/internal/rng"
+)
+
+// RunE10 regenerates the §8 set-sampling table: I/Os per query for the
+// naive, sorted-batch and pool structures across sample sizes — the pool
+// meets the Hu et al. lower-bound shape.
+func RunE10(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E10 — §8 EM set sampling (n = 2^16, B = 256, M = 4096): I/Os per query")
+	t := newTable(w, "s", "naive_IOs", "sorted_IOs", "pool_IOs_amortized")
+	const n = 1 << 16
+	const b, m = 256, 4096
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(seed)
+
+	for _, s := range []int{16, 256, 4096, 65536} {
+		// Naive: one random I/O per sample.
+		dNaive, err := em.NewDevice(b, m)
+		if err != nil {
+			panic(err)
+		}
+		naive, err := emiqs.NewNaiveSetSampler(dNaive, values)
+		if err != nil {
+			panic(err)
+		}
+		dNaive.ResetStats()
+		naive.Query(r, s, nil)
+		naiveIOs := dNaive.IOs()
+
+		// Sorted-batch (no pool).
+		dNaive.ResetStats()
+		naive.SortedQuery(r, s, nil)
+		sortedIOs := dNaive.IOs()
+
+		// Pool: amortize over enough queries to include rebuilds.
+		dPool, err := em.NewDevice(b, m)
+		if err != nil {
+			panic(err)
+		}
+		pool, err := emiqs.NewSetSampler(dPool, values, r)
+		if err != nil {
+			panic(err)
+		}
+		dPool.ResetStats()
+		queries := 2 * n / s
+		if queries < 4 {
+			queries = 4
+		}
+		for i := 0; i < queries; i++ {
+			pool.Query(r, s, nil)
+		}
+		poolIOs := float64(dPool.IOs()) / float64(queries)
+
+		t.row(s, naiveIOs, sortedIOs, poolIOs)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: naive = s; sorted caps at ~n/B for huge s; pool ≈ (s/B)·log_{M/B}(n/B) — smallest throughout")
+}
+
+// RunE11 regenerates the §8 range-sampling table: warm per-query I/Os of
+// the dyadic-pool structure vs naive random access, across selectivities.
+func RunE11(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E11 — §8 EM WR range sampling (n = 2^16, B = 256, M = 4096, s = 1024)")
+	t := newTable(w, "selectivity", "|S_q|", "naive_IOs", "pool_IOs_warm", "speedup")
+	const n = 1 << 16
+	const b, m = 256, 4096
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(seed)
+	d, err := em.NewDevice(b, m)
+	if err != nil {
+		panic(err)
+	}
+	rs, err := emiqs.NewRangeSampler(d, values, r)
+	if err != nil {
+		panic(err)
+	}
+	const s = 1024
+	for _, sel := range []float64{0.01, 0.1, 0.5, 1.0} {
+		k := int(sel * n)
+		if k < 2 {
+			k = 2
+		}
+		lo := float64((n - k) / 2)
+		hi := lo + float64(k) - 1
+		// Warm pools on this range.
+		if _, ok := rs.Query(r, lo, hi, s, nil); !ok {
+			panic("warm query empty")
+		}
+		d.ResetStats()
+		const queries = 8
+		for i := 0; i < queries; i++ {
+			if _, ok := rs.Query(r, lo, hi, s, nil); !ok {
+				panic("query empty")
+			}
+		}
+		poolIOs := float64(d.IOs()) / queries
+		naiveIOs := float64(s) // one random I/O per sample
+		t.row(fmt.Sprintf("%.0f%%", sel*100), k, naiveIOs, poolIOs, naiveIOs/poolIOs)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: pool_IOs ≈ log_B n + s/B + pool-refill amortization ≪ naive s; speedup grows with B")
+}

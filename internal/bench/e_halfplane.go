@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/halfplane"
+	"repro/internal/rng"
+)
+
+// RunE16 exercises the convex-layers halfplane sampler (the planar
+// cousin of the §6 halfspace discussion): IQS cost vs report-then-sample
+// across cut depths.
+func RunE16(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E16 — halfplane sampling via convex layers (n = 2^16, s = 16)")
+	t := newTable(w, "cut_depth", "|S_q|", "touched_layers", "iqs_ns", "report_ns", "speedup")
+	r := rng.New(seed)
+	const n = 1 << 16
+	pts := make([][]float64, n)
+	wts := make([]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.Float64()*2 - 1, r.Float64()*2 - 1}
+		wts[i] = r.Float64() + 0.1
+	}
+	ix, err := halfplane.New(pts, wts)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(w, "convex layers: %d\n", ix.NumLayers())
+	for _, c := range []float64{-1.2, -0.5, 0, 0.8} {
+		q := halfplane.Halfplane{A: math.Sqrt2 / 2, B: math.Sqrt2 / 2, C: c}
+		k := len(ix.Report(q, nil))
+		if k == 0 {
+			continue
+		}
+		tl := ix.TouchedLayers(q)
+		var dst []int
+		dIQS := medianTime(3, func() {
+			for i := 0; i < 50; i++ {
+				var e error
+				dst, _, e = ix.Query(r, q, 16, dst[:0])
+				if e != nil {
+					panic(e)
+				}
+			}
+		})
+		dRep := medianTime(3, func() {
+			for i := 0; i < 50; i++ {
+				all := ix.Report(q, dst[:0])
+				for j := 0; j < 16 && len(all) > 0; j++ {
+					_ = all[r.Intn(len(all))]
+				}
+			}
+		})
+		iqsNs := nsPerOp(dIQS, 50)
+		repNs := nsPerOp(dRep, 50)
+		t.row(fmt.Sprintf("c=%.1f", c), k, tl, iqsNs, repNs, repNs/iqsNs)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: iqs cost tracks touched_layers, not |S_q|; speedup grows as the cut deepens")
+}

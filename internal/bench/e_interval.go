@@ -1,0 +1,60 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/intervaltree"
+	"repro/internal/rng"
+)
+
+// RunE15 exercises Theorem 5 on a different reporting query — interval
+// stabbing — showing the coverage technique's portability: query cost
+// stays polylogarithmic in n while a report-then-sample baseline pays
+// |S_q|.
+func RunE15(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E15 — Theorem 5 on the interval tree: stabbing IQS vs report-then-sample (s = 16)")
+	t := newTable(w, "n", "|S_q|", "iqs_ns_per_query", "report_ns_per_query", "speedup")
+	r := rng.New(seed)
+	for _, n := range []int{1 << 14, 1 << 17, 1 << 20} {
+		ivs := make([]intervaltree.Interval, n)
+		wts := make([]float64, n)
+		for i := range ivs {
+			l := r.Float64() * 100
+			ivs[i] = intervaltree.Interval{L: l, R: l + r.Float64()*10}
+			wts[i] = r.Float64()*4 + 0.2
+		}
+		tree, err := intervaltree.New(ivs, wts)
+		if err != nil {
+			panic(err)
+		}
+		const queries = 100
+		qs := make([]float64, queries)
+		for i := range qs {
+			qs[i] = 5 + r.Float64()*90
+		}
+		k := len(tree.Report(qs[0], nil))
+		var dst []int
+		dIQS := medianTime(3, func() {
+			for _, q := range qs {
+				dst, _ = tree.Query(r, q, 16, dst[:0])
+			}
+		})
+		// Report-then-sample baseline: materialise S_q, then pick 16.
+		dRep := medianTime(3, func() {
+			for _, q := range qs {
+				all := tree.Report(q, dst[:0])
+				if len(all) > 0 {
+					for i := 0; i < 16; i++ {
+						_ = all[r.Intn(len(all))]
+					}
+				}
+			}
+		})
+		iqsNs := nsPerOp(dIQS, queries)
+		repNs := nsPerOp(dRep, queries)
+		t.row(n, k, iqsNs, repNs, repNs/iqsNs)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: iqs cost polylog in n; report cost grows with |S_q| ∝ n; speedup grows with n")
+}

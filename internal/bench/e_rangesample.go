@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+
+	"repro/internal/bst"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+)
+
+// queryWorkload builds q random interval queries of the given selectivity
+// over sorted values.
+func queryWorkload(r *rng.Source, sorted []float64, q int, selectivity float64) []bst.Interval {
+	n := len(sorted)
+	span := int(selectivity * float64(n))
+	if span < 1 {
+		span = 1
+	}
+	if span > n {
+		span = n
+	}
+	out := make([]bst.Interval, q)
+	for i := range out {
+		a := r.Intn(n - span + 1)
+		out[i] = bst.Interval{Lo: sorted[a], Hi: sorted[a+span-1]}
+	}
+	return out
+}
+
+func sortedCopy(v []float64) []float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s
+}
+
+// runRangeGrid measures ns/query for one sampler over an (n fixed,
+// s sweep) grid.
+func runRangeGrid(t *table, label string, s rangesample.Sampler, queries []bst.Interval, r *rng.Source, n int, sSweep []int) {
+	var dst []int
+	for _, sCount := range sSweep {
+		d := medianTime(3, func() {
+			for _, q := range queries {
+				dst, _ = s.Query(r, q, sCount, dst[:0])
+			}
+		})
+		t.row(label, n, sCount, nsPerOp(d, len(queries)))
+	}
+}
+
+// RunE2 regenerates the §3.2 tree-walk table: per-sample cost ~ log n.
+func RunE2(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E2 — §3.2 TreeWalk: per-sample cost grows with log n")
+	t := newTable(w, "structure", "n", "s", "ns_per_query")
+	r := rng.New(seed)
+	for _, n := range []int{1 << 14, 1 << 17, 1 << 20} {
+		values, weights := seededValues(seed+uint64(n), n, true)
+		tw, err := rangesample.NewTreeWalk(values, weights)
+		if err != nil {
+			panic(err)
+		}
+		queries := queryWorkload(r, sortedCopy(values), 200, 0.1)
+		runRangeGrid(t, "treewalk", tw, queries, r, n, []int{1, 16, 256})
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: ns_per_query ≈ (log n)·s for large s — doubling log n scales the s=256 rows")
+}
+
+// RunE3 regenerates the Lemma 2 table: after the O(log n) cover step,
+// each extra sample costs O(1).
+func RunE3(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E3 — Lemma 2 AliasAug: O(log n + s) query (flat per-sample cost)")
+	t := newTable(w, "structure", "n", "s", "ns_per_query", "ns_per_sample")
+	r := rng.New(seed)
+	for _, n := range []int{1 << 14, 1 << 17, 1 << 20} {
+		values, weights := seededValues(seed+uint64(n), n, true)
+		aa, err := rangesample.NewAliasAug(values, weights)
+		if err != nil {
+			panic(err)
+		}
+		queries := queryWorkload(r, sortedCopy(values), 200, 0.1)
+		var dst []int
+		for _, sCount := range []int{1, 16, 256, 4096} {
+			d := medianTime(3, func() {
+				for _, q := range queries {
+					dst, _ = aa.Query(r, q, sCount, dst[:0])
+				}
+			})
+			perQ := nsPerOp(d, len(queries))
+			t.row("aliasaug", n, sCount, perQ, perQ/float64(sCount))
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: ns_per_sample converges to a constant independent of n as s grows")
+}
+
+// RunE4 regenerates the Theorem 3 table: Chunked matches AliasAug's query
+// time at a fraction of the space.
+func RunE4(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E4 — Theorem 3 Chunked: query parity with Lemma 2 at O(n) space")
+	t := newTable(w, "structure", "n", "build_heap_MB", "s", "ns_per_query")
+	r := rng.New(seed)
+	for _, n := range []int{1 << 17, 1 << 20} {
+		values, weights := seededValues(seed+uint64(n), n, true)
+		queries := queryWorkload(r, sortedCopy(values), 200, 0.1)
+		for _, which := range []string{"aliasaug", "chunked"} {
+			heapMB, s := buildMeasured(which, values, weights)
+			var dst []int
+			for _, sCount := range []int{16, 1024} {
+				d := medianTime(3, func() {
+					for _, q := range queries {
+						dst, _ = s.Query(r, q, sCount, dst[:0])
+					}
+				})
+				t.row(which, n, heapMB, sCount, nsPerOp(d, len(queries)))
+			}
+		}
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: chunked ≈ aliasaug in ns_per_query with several-fold smaller build_heap_MB")
+}
+
+// buildMeasured builds the named structure measuring live-heap growth.
+func buildMeasured(which string, values, weights []float64) (float64, rangesample.Sampler) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	var s rangesample.Sampler
+	var err error
+	switch which {
+	case "aliasaug":
+		s, err = rangesample.NewAliasAug(values, weights)
+	case "chunked":
+		s, err = rangesample.NewChunked(values, weights)
+	case "treewalk":
+		s, err = rangesample.NewTreeWalk(values, weights)
+	case "naive":
+		s, err = rangesample.NewNaive(values, weights)
+	}
+	if err != nil {
+		panic(err)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&after)
+	heap := float64(after.HeapAlloc) - float64(before.HeapAlloc)
+	if heap < 0 {
+		heap = 0
+	}
+	return heap / (1 << 20), s
+}
+
+// RunE14 regenerates the §1 motivation table: the naive
+// report-then-sample approach degrades linearly in |S_q| while the IQS
+// structure stays flat.
+func RunE14(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E14 — §1 motivation: IQS vs report-then-sample, s = 64")
+	t := newTable(w, "selectivity", "|S_q|", "naive_ns", "chunked_ns", "speedup")
+	r := rng.New(seed)
+	const n = 1 << 20
+	values, weights := seededValues(seed, n, true)
+	nv, err := rangesample.NewNaive(values, weights)
+	if err != nil {
+		panic(err)
+	}
+	ck, err := rangesample.NewChunked(values, weights)
+	if err != nil {
+		panic(err)
+	}
+	sorted := sortedCopy(values)
+	var dst []int
+	for _, sel := range []float64{0.001, 0.01, 0.1, 0.5} {
+		queries := queryWorkload(r, sorted, 30, sel)
+		const s = 64
+		dN := medianTime(3, func() {
+			for _, q := range queries {
+				dst, _ = nv.Query(r, q, s, dst[:0])
+			}
+		})
+		dC := medianTime(3, func() {
+			for _, q := range queries {
+				dst, _ = ck.Query(r, q, s, dst[:0])
+			}
+		})
+		nNs := nsPerOp(dN, len(queries))
+		cNs := nsPerOp(dC, len(queries))
+		t.row(fmt.Sprintf("%.1f%%", sel*100), int(sel*n), nNs, cNs, nNs/cNs)
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: naive_ns grows ~linearly with |S_q|; chunked_ns flat; speedup explodes")
+}
+
+// RunA1 sweeps the chunk size of Theorem 3 around the Θ(log n) optimum.
+func RunA1(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "A1 — chunk-size ablation for Theorem 3 (n = 2^20, log2 n = 20)")
+	t := newTable(w, "chunk_size", "num_chunks", "build_heap_MB", "ns_per_query_s16", "ns_per_query_s1024")
+	r := rng.New(seed)
+	const n = 1 << 20
+	values, weights := seededValues(seed, n, true)
+	sorted := sortedCopy(values)
+	queries := queryWorkload(r, sorted, 200, 0.1)
+	for _, cs := range []int{2, 8, 20, 64, 256, 2048} {
+		runtime.GC()
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		ck, err := rangesample.NewChunkedSize(values, weights, cs)
+		if err != nil {
+			panic(err)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		heap := (float64(after.HeapAlloc) - float64(before.HeapAlloc)) / (1 << 20)
+		if heap < 0 {
+			heap = 0
+		}
+		var dst []int
+		res := make([]float64, 0, 2)
+		for _, sCount := range []int{16, 1024} {
+			d := medianTime(3, func() {
+				for _, q := range queries {
+					dst, _ = ck.Query(r, q, sCount, dst[:0])
+				}
+			})
+			res = append(res, nsPerOp(d, len(queries)))
+		}
+		t.row(cs, ck.NumChunks(), heap, res[0], res[1])
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: space shrinks then flattens as chunks grow; query cost degrades for chunk_size ≫ log n (partial-chunk rebuild dominates)")
+}

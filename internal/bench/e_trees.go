@@ -1,0 +1,172 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/kdtree"
+	"repro/internal/quadtree"
+	"repro/internal/rangetree"
+	"repro/internal/rng"
+	"repro/internal/treesample"
+)
+
+// balancedTree builds a balanced binary tree with the given number of
+// leaves and pseudorandom weights.
+func balancedTree(leaves int, seed uint64) *treesample.Tree {
+	b := treesample.NewBuilder()
+	root := b.AddRoot()
+	queue := []treesample.NodeID{root}
+	for len(queue) < leaves {
+		nd := queue[0]
+		queue = queue[1:]
+		queue = append(queue, b.AddChild(nd), b.AddChild(nd))
+	}
+	r := rng.New(seed)
+	for _, leaf := range queue {
+		b.SetLeafWeight(leaf, r.Float64()+0.01)
+	}
+	t, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// RunE5 regenerates the Lemma 4 table: the Euler sampler answers subtree
+// queries independent of subtree depth, while the §3.2 walk pays the
+// height.
+func RunE5(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E5 — Lemma 4: Euler-tour sampling vs top-down walk (n = 2^18 leaves)")
+	t := newTable(w, "sampler", "n_leaves", "s", "ns_per_query")
+	const leaves = 1 << 18
+	tree := balancedTree(leaves, seed)
+	ws := treesample.NewWalkSampler(tree)
+	es := treesample.NewEulerSampler(tree)
+	r := rng.New(seed + 1)
+	root := tree.Root()
+	var dst []treesample.NodeID
+	for _, sCount := range []int{1, 16, 256} {
+		dW := medianTime(3, func() {
+			for i := 0; i < 100; i++ {
+				dst = ws.Query(r, root, sCount, dst[:0])
+			}
+		})
+		dE := medianTime(3, func() {
+			for i := 0; i < 100; i++ {
+				dst = es.Query(r, root, sCount, dst[:0])
+			}
+		})
+		t.row("walk", leaves, sCount, nsPerOp(dW, 100))
+		t.row("euler", leaves, sCount, nsPerOp(dE, 100))
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: euler beats walk by ~height (18x) per sample at large s")
+}
+
+// RunE6 regenerates the kd-tree table: query cost grows like sqrt(n) in
+// 2-D and the quadtree comparator tracks it.
+func RunE6(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E6 — Theorem 5 on kd-tree vs quadtree (2-D, s = 64, 40% squares)")
+	t := newTable(w, "structure", "n", "sqrt_n", "cover", "ns_per_query")
+	r := rng.New(seed)
+	for _, n := range []int{1 << 12, 1 << 14, 1 << 16, 1 << 18} {
+		pts := make([][]float64, n)
+		wts := make([]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.Float64(), r.Float64()}
+			wts[i] = r.Float64() + 0.1
+		}
+		kd, err := kdtree.NewSampler(pts, wts)
+		if err != nil {
+			panic(err)
+		}
+		qt, err := quadtree.NewSampler(pts, wts)
+		if err != nil {
+			panic(err)
+		}
+		const queries = 50
+		rects := make([]kdtree.Rect, queries)
+		qrects := make([]quadtree.Rect, queries)
+		for i := range rects {
+			lo0, lo1 := r.Float64()*0.6, r.Float64()*0.6
+			rects[i] = kdtree.Rect{Min: []float64{lo0, lo1}, Max: []float64{lo0 + 0.4, lo1 + 0.4}}
+			qrects[i] = quadtree.Rect{Min: [2]float64{lo0, lo1}, Max: [2]float64{lo0 + 0.4, lo1 + 0.4}}
+		}
+		coverSize := len(kd.Tree.Cover(rects[0], nil))
+		var dst []int
+		dKD := medianTime(3, func() {
+			for i := range rects {
+				dst, _ = kd.Query(r, rects[i], 64, dst[:0])
+			}
+		})
+		dQT := medianTime(3, func() {
+			for i := range qrects {
+				dst, _ = qt.Query(r, qrects[i], 64, dst[:0])
+			}
+		})
+		t.row("kdtree", n, int(math.Sqrt(float64(n))), coverSize, nsPerOp(dKD, queries))
+		t.row("quadtree", n, int(math.Sqrt(float64(n))), "-", nsPerOp(dQT, queries))
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: ns_per_query tracks sqrt_n growth (4x n → 2x time) once covers dominate")
+}
+
+// RunE7 regenerates the range tree table: polylog covers; alias mode
+// removes the per-sample log factor; the fractional-cascading layered
+// variant (footnote 5) shrinks the cover to O(log n).
+func RunE7(w io.Writer, seed uint64) {
+	fmt.Fprintln(w, "E7 — Theorem 5 on range tree (2-D): walk vs alias vs layered (footnote 5)")
+	t := newTable(w, "mode", "n", "cover", "s", "ns_per_query")
+	r := rng.New(seed)
+	for _, n := range []int{1 << 12, 1 << 14} {
+		pts := make([][]float64, n)
+		wts := make([]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.Float64(), r.Float64()}
+			wts[i] = r.Float64() + 0.1
+		}
+		const queries = 50
+		rects := make([]rangetree.Rect, queries)
+		for i := range rects {
+			lo0, lo1 := r.Float64()*0.6, r.Float64()*0.6
+			rects[i] = rangetree.Rect{Min: []float64{lo0, lo1}, Max: []float64{lo0 + 0.4, lo1 + 0.4}}
+		}
+		run := func(name string, cover int, query func(q rangetree.Rect, s int, dst []int) []int) {
+			var dst []int
+			for _, sCount := range []int{16, 1024} {
+				d := medianTime(3, func() {
+					for i := range rects {
+						dst = query(rects[i], sCount, dst[:0])
+					}
+				})
+				t.row(name, n, cover, sCount, nsPerOp(d, queries))
+			}
+		}
+		for _, mode := range []rangetree.Mode{rangetree.WalkMode, rangetree.AliasMode} {
+			rt, err := rangetree.New(pts, wts, mode)
+			if err != nil {
+				panic(err)
+			}
+			name := "walk"
+			if mode == rangetree.AliasMode {
+				name = "alias"
+			}
+			run(name, rt.CoverSize(rects[0]), func(q rangetree.Rect, s int, dst []int) []int {
+				out, _ := rt.Query(r, q, s, dst)
+				return out
+			})
+		}
+		ly, err := rangetree.NewLayered(pts, wts, true)
+		if err != nil {
+			panic(err)
+		}
+		run("layered", ly.CoverSize(rects[0]), func(q rangetree.Rect, s int, dst []int) []int {
+			out, _ := ly.Query(r, q, s, dst)
+			return out
+		})
+	}
+	t.flush()
+	fmt.Fprintln(w, "expect: cover ~ log² n for walk/alias but ~log n for layered; alias/layered flat per sample; layered cheapest cover step")
+}

@@ -1,0 +1,323 @@
+// Package bst implements the static weight-augmented balanced binary
+// search tree that Sections 3.2 and 4 of the paper build on, obeying the
+// paper's conventions:
+//
+//   - the tree has height O(log n);
+//   - it has n leaves, each storing one input value as its key, in sorted
+//     order left to right;
+//   - every internal node has exactly two children, and its key equals the
+//     smallest leaf key in its right subtree;
+//   - every node u carries w(u), the total weight of the leaves in its
+//     subtree.
+//
+// Because the tree is built over the sorted input, each node spans a
+// contiguous range of leaf positions; the package exposes that span,
+// which is what the canonical-node decomposition (Figure 1), the
+// Euler-tour reduction (Section 5) and the chunking structure (Section
+// 4.2) all consume.
+//
+// The tree is static: the paper's dynamic structures live in
+// internal/rangesample (Dynamic) instead.
+package bst
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// ErrEmpty is returned when constructing a tree over no elements.
+var ErrEmpty = errors.New("bst: empty input")
+
+// ErrBadWeight is returned for non-positive or non-finite weights.
+var ErrBadWeight = errors.New("bst: weights must be positive and finite")
+
+// ErrBadValue is returned for NaN or infinite values, which would break
+// the sorted-order invariant silently.
+var ErrBadValue = errors.New("bst: values must be finite")
+
+// NodeID identifies a node within a Tree. The root is Tree.Root().
+type NodeID int32
+
+// None is the NodeID of a missing child.
+const None NodeID = -1
+
+// Interval is a closed query interval [Lo, Hi] over the real domain.
+type Interval struct {
+	Lo, Hi float64
+}
+
+// Contains reports whether v lies in the closed interval.
+func (q Interval) Contains(v float64) bool { return q.Lo <= v && v <= q.Hi }
+
+type node struct {
+	key         float64 // leaf: stored value; internal: min leaf key of right subtree
+	weight      float64 // total weight of leaves in the subtree
+	left, right NodeID  // None for leaves
+	lo, hi      int32   // span of leaf positions [lo, hi] covered
+}
+
+// Tree is the static weight-augmented BST.
+type Tree struct {
+	nodes  []node
+	values []float64 // leaf values in sorted order
+	weight []float64 // leaf weights aligned with values
+	root   NodeID
+}
+
+// New builds a tree over the given values and weights (weights[i] belongs
+// to values[i]). The input need not be sorted; it is copied and sorted
+// internally. Duplicate values are allowed (range queries treat them as
+// distinct elements with equal keys). Build time is O(n log n) including
+// the sort; the tree itself is assembled in O(n).
+func New(values, weights []float64) (*Tree, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("bst: values and weights length mismatch")
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return nil, ErrBadWeight
+		}
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return nil, ErrBadValue
+		}
+	}
+	t := &Tree{
+		values: append([]float64(nil), values...),
+		weight: append([]float64(nil), weights...),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	for i, j := range idx {
+		t.values[i] = values[j]
+		t.weight[i] = weights[j]
+	}
+	// A tree over n leaves has exactly 2n-1 nodes.
+	t.nodes = make([]node, 0, 2*n-1)
+	t.root = t.build(0, int32(n-1))
+	return t, nil
+}
+
+// NewSorted builds a tree over values already in non-decreasing order,
+// keeping the caller's exact pairing of values[i] with weights[i] at leaf
+// position i (useful when equal values carry distinct weights and the
+// caller needs a guaranteed leaf layout). Returns an error if values are
+// not sorted.
+func NewSorted(values, weights []float64) (*Tree, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("bst: values and weights length mismatch")
+	}
+	for i, w := range weights {
+		if !(w > 0) {
+			return nil, ErrBadWeight
+		}
+		if i > 0 && values[i] < values[i-1] {
+			return nil, errors.New("bst: values not sorted")
+		}
+	}
+	t := &Tree{
+		values: append([]float64(nil), values...),
+		weight: append([]float64(nil), weights...),
+	}
+	t.nodes = make([]node, 0, 2*n-1)
+	t.root = t.build(0, int32(n-1))
+	return t, nil
+}
+
+// NewUniform builds a tree where every element has weight 1.
+func NewUniform(values []float64) (*Tree, error) {
+	w := make([]float64, len(values))
+	for i := range w {
+		w[i] = 1
+	}
+	return New(values, w)
+}
+
+// build assembles the subtree over leaf positions [lo, hi] and returns
+// its NodeID.
+func (t *Tree) build(lo, hi int32) NodeID {
+	id := NodeID(len(t.nodes))
+	if lo == hi {
+		t.nodes = append(t.nodes, node{
+			key:    t.values[lo],
+			weight: t.weight[lo],
+			left:   None,
+			right:  None,
+			lo:     lo,
+			hi:     hi,
+		})
+		return id
+	}
+	t.nodes = append(t.nodes, node{lo: lo, hi: hi})
+	mid := lo + (hi-lo)/2
+	left := t.build(lo, mid)
+	right := t.build(mid+1, hi)
+	nd := &t.nodes[id]
+	nd.left = left
+	nd.right = right
+	nd.key = t.values[mid+1] // smallest leaf key in the right subtree
+	nd.weight = t.nodes[left].weight + t.nodes[right].weight
+	return id
+}
+
+// Len returns the number of elements (leaves).
+func (t *Tree) Len() int { return len(t.values) }
+
+// NumNodes returns the total node count (2n−1).
+func (t *Tree) NumNodes() int { return len(t.nodes) }
+
+// Root returns the root node.
+func (t *Tree) Root() NodeID { return t.root }
+
+// Value returns the i-th smallest stored value.
+func (t *Tree) Value(i int) float64 { return t.values[i] }
+
+// LeafWeight returns the weight of the i-th smallest stored value.
+func (t *Tree) LeafWeight(i int) float64 { return t.weight[i] }
+
+// Values returns the sorted values; the slice aliases internal state.
+func (t *Tree) Values() []float64 { return t.values }
+
+// IsLeaf reports whether id is a leaf.
+func (t *Tree) IsLeaf(id NodeID) bool { return t.nodes[id].left == None }
+
+// Children returns the two children of an internal node.
+func (t *Tree) Children(id NodeID) (left, right NodeID) {
+	return t.nodes[id].left, t.nodes[id].right
+}
+
+// Key returns the node's key (split key for internal nodes, the stored
+// value for leaves).
+func (t *Tree) Key(id NodeID) float64 { return t.nodes[id].key }
+
+// Weight returns w(id), the total weight of the node's subtree.
+func (t *Tree) Weight(id NodeID) float64 { return t.nodes[id].weight }
+
+// Span returns the contiguous leaf-position range [lo, hi] covered by the
+// node's subtree (Proposition 1 of the paper).
+func (t *Tree) Span(id NodeID) (lo, hi int) {
+	return int(t.nodes[id].lo), int(t.nodes[id].hi)
+}
+
+// Count returns the number of leaves under the node.
+func (t *Tree) Count(id NodeID) int {
+	return int(t.nodes[id].hi-t.nodes[id].lo) + 1
+}
+
+// Height returns the height of the tree (0 for a single leaf).
+func (t *Tree) Height() int {
+	return t.heightOf(t.root)
+}
+
+func (t *Tree) heightOf(id NodeID) int {
+	if t.IsLeaf(id) {
+		return 0
+	}
+	l, r := t.Children(id)
+	hl := t.heightOf(l)
+	hr := t.heightOf(r)
+	if hl > hr {
+		return hl + 1
+	}
+	return hr + 1
+}
+
+// LeafRange maps a value interval q to the range of leaf positions [a, b]
+// whose values lie in q. ok is false when no value falls in q. O(log n).
+func (t *Tree) LeafRange(q Interval) (a, b int, ok bool) {
+	a = sort.SearchFloat64s(t.values, q.Lo)
+	b = sort.Search(len(t.values), func(i int) bool { return t.values[i] > q.Hi }) - 1
+	if a > b {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+// Cover returns the canonical nodes for the leaf-position range [a, b]:
+// O(log n) nodes with disjoint subtrees whose leaves are exactly
+// positions a..b (the black nodes of Figure 1). Results are appended to
+// dst and returned.
+func (t *Tree) Cover(a, b int, dst []NodeID) []NodeID {
+	if a < 0 || b >= len(t.values) || a > b {
+		panic("bst: Cover range out of bounds")
+	}
+	return t.cover(t.root, int32(a), int32(b), dst)
+}
+
+func (t *Tree) cover(id NodeID, a, b int32, dst []NodeID) []NodeID {
+	nd := &t.nodes[id]
+	if a <= nd.lo && nd.hi <= b {
+		return append(dst, id)
+	}
+	if nd.hi < a || b < nd.lo {
+		return dst
+	}
+	dst = t.cover(nd.left, a, b, dst)
+	dst = t.cover(nd.right, a, b, dst)
+	return dst
+}
+
+// CoverInterval is Cover composed with LeafRange: the canonical nodes of
+// a value interval. Returns nil when the interval is empty.
+func (t *Tree) CoverInterval(q Interval, dst []NodeID) []NodeID {
+	a, b, ok := t.LeafRange(q)
+	if !ok {
+		return dst
+	}
+	return t.Cover(a, b, dst)
+}
+
+// Report appends the leaf positions in [a, b] to dst — the conventional
+// range-reporting query, O(log n + k). (Positions translate to values via
+// Value.)
+func (t *Tree) Report(a, b int, dst []int) []int {
+	for i := a; i <= b; i++ {
+		dst = append(dst, i)
+	}
+	return dst
+}
+
+// SampleLeaf draws one independent weighted leaf from the subtree of id
+// using the top-down strategy of Section 3.2: at each internal node,
+// descend into a child with probability proportional to the child's
+// subtree weight. O(height) time. Returns the leaf position.
+//
+// For a binary tree the per-node "alias structure" degenerates to a
+// single biased coin, so no preprocessing beyond the subtree weights is
+// required.
+func (t *Tree) SampleLeaf(r *rng.Source, id NodeID) int {
+	for !t.IsLeaf(id) {
+		nd := &t.nodes[id]
+		if r.Float64()*nd.weight < t.nodes[nd.left].weight {
+			id = nd.left
+		} else {
+			id = nd.right
+		}
+	}
+	return int(t.nodes[id].lo)
+}
+
+// RangeWeight returns the total weight of leaves in positions [a, b],
+// computed from the canonical cover in O(log n) time.
+func (t *Tree) RangeWeight(a, b int) float64 {
+	var scratch [64]NodeID
+	cov := t.Cover(a, b, scratch[:0])
+	sum := 0.0
+	for _, id := range cov {
+		sum += t.nodes[id].weight
+	}
+	return sum
+}

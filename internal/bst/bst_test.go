@@ -1,0 +1,378 @@
+package bst
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func mustTree(t *testing.T, values, weights []float64) *Tree {
+	t.Helper()
+	tr, err := New(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func uniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := New([]float64{1}, []float64{0}); err != ErrBadWeight {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]float64{1}, []float64{math.NaN()}); err != ErrBadWeight {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSingleLeaf(t *testing.T) {
+	tr := mustTree(t, []float64{5}, []float64{2})
+	if tr.Len() != 1 || tr.NumNodes() != 1 || tr.Height() != 0 {
+		t.Fatalf("Len/NumNodes/Height = %d/%d/%d", tr.Len(), tr.NumNodes(), tr.Height())
+	}
+	if !tr.IsLeaf(tr.Root()) {
+		t.Fatal("root of single-element tree is not a leaf")
+	}
+	if tr.Weight(tr.Root()) != 2 {
+		t.Fatalf("root weight = %v", tr.Weight(tr.Root()))
+	}
+}
+
+func TestSortsInput(t *testing.T) {
+	tr := mustTree(t, []float64{3, 1, 2}, []float64{30, 10, 20})
+	want := []float64{1, 2, 3}
+	for i, v := range want {
+		if tr.Value(i) != v {
+			t.Fatalf("Value(%d) = %v, want %v", i, tr.Value(i), v)
+		}
+	}
+	// Weights must follow their values through the sort.
+	wantW := []float64{10, 20, 30}
+	for i, w := range wantW {
+		if tr.LeafWeight(i) != w {
+			t.Fatalf("LeafWeight(%d) = %v, want %v", i, tr.LeafWeight(i), w)
+		}
+	}
+}
+
+func TestStructuralInvariants(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 300 {
+			return true
+		}
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v) + float64(i)/1000 // mostly distinct
+		}
+		tr, err := New(values, uniformWeights(len(values)))
+		if err != nil {
+			return false
+		}
+		n := tr.Len()
+		if tr.NumNodes() != 2*n-1 {
+			return false
+		}
+		// Height must be O(log n) — the even split gives ceil(log2 n).
+		if n > 1 && tr.Height() > int(math.Ceil(math.Log2(float64(n))))+1 {
+			return false
+		}
+		// Every internal node: key == smallest leaf key of right subtree,
+		// weight == sum of child weights, span == union of child spans.
+		ok := true
+		var walk func(id NodeID)
+		walk = func(id NodeID) {
+			if tr.IsLeaf(id) {
+				lo, hi := tr.Span(id)
+				if lo != hi {
+					ok = false
+				}
+				return
+			}
+			l, r := tr.Children(id)
+			llo, lhi := tr.Span(l)
+			rlo, rhi := tr.Span(r)
+			lo, hi := tr.Span(id)
+			if llo != lo || rhi != hi || lhi+1 != rlo {
+				ok = false
+			}
+			if tr.Key(id) != tr.Value(rlo) {
+				ok = false
+			}
+			if math.Abs(tr.Weight(id)-(tr.Weight(l)+tr.Weight(r))) > 1e-9 {
+				ok = false
+			}
+			walk(l)
+			walk(r)
+		}
+		walk(tr.Root())
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafRange(t *testing.T) {
+	tr := mustTree(t, []float64{10, 20, 30, 40, 50}, uniformWeights(5))
+	cases := []struct {
+		q        Interval
+		a, b     int
+		nonEmpty bool
+	}{
+		{Interval{15, 45}, 1, 3, true},
+		{Interval{10, 50}, 0, 4, true},
+		{Interval{20, 20}, 1, 1, true},
+		{Interval{-5, 5}, 0, 0, false},
+		{Interval{55, 99}, 0, 0, false},
+		{Interval{21, 29}, 0, 0, false},
+		{Interval{50, 10}, 0, 0, false},
+	}
+	for _, c := range cases {
+		a, b, ok := tr.LeafRange(c.q)
+		if ok != c.nonEmpty {
+			t.Fatalf("LeafRange(%v) ok = %v", c.q, ok)
+		}
+		if ok && (a != c.a || b != c.b) {
+			t.Fatalf("LeafRange(%v) = [%d,%d], want [%d,%d]", c.q, a, b, c.a, c.b)
+		}
+	}
+}
+
+func TestCoverProperties(t *testing.T) {
+	r := rng.New(91)
+	for _, n := range []int{1, 2, 3, 7, 64, 100, 255} {
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = float64(i)
+			weights[i] = r.Float64() + 0.01
+		}
+		tr := mustTree(t, values, weights)
+		for trial := 0; trial < 50; trial++ {
+			a := r.Intn(n)
+			b := a + r.Intn(n-a)
+			cov := tr.Cover(a, b, nil)
+			// Canonical nodes must be disjoint and exactly tile [a,b].
+			var spans [][2]int
+			for _, id := range cov {
+				lo, hi := tr.Span(id)
+				spans = append(spans, [2]int{lo, hi})
+			}
+			sort.Slice(spans, func(i, j int) bool { return spans[i][0] < spans[j][0] })
+			cur := a
+			for _, sp := range spans {
+				if sp[0] != cur {
+					t.Fatalf("n=%d [%d,%d]: cover gap/overlap at %d (spans %v)", n, a, b, cur, spans)
+				}
+				cur = sp[1] + 1
+			}
+			if cur != b+1 {
+				t.Fatalf("n=%d [%d,%d]: cover ends at %d", n, a, b, cur-1)
+			}
+			// Cover size must be O(log n): at most 2*ceil(log2 n)+2.
+			bound := 2
+			if n > 1 {
+				bound = 2*int(math.Ceil(math.Log2(float64(n)))) + 2
+			}
+			if len(cov) > bound {
+				t.Fatalf("n=%d: cover size %d exceeds bound %d", n, len(cov), bound)
+			}
+		}
+	}
+}
+
+func TestRangeWeightMatchesNaive(t *testing.T) {
+	r := rng.New(17)
+	const n = 200
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i) * 2
+		weights[i] = r.Float64()*5 + 0.1
+	}
+	tr := mustTree(t, values, weights)
+	for trial := 0; trial < 100; trial++ {
+		a := r.Intn(n)
+		b := a + r.Intn(n-a)
+		want := 0.0
+		for i := a; i <= b; i++ {
+			want += weights[i]
+		}
+		if got := tr.RangeWeight(a, b); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("RangeWeight(%d,%d) = %v, want %v", a, b, got, want)
+		}
+	}
+}
+
+func TestSampleLeafDistribution(t *testing.T) {
+	weights := []float64{1, 3, 2, 8, 1, 5}
+	values := []float64{0, 1, 2, 3, 4, 5}
+	tr := mustTree(t, values, weights)
+	r := rng.New(61)
+	const draws = 300000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tr.SampleLeaf(r, tr.Root())]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, c := range counts {
+		expected := float64(draws) * weights[i] / total
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("leaf %d sampled %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestSampleLeafFromSubtree(t *testing.T) {
+	// Sampling from a canonical node must stay within its span.
+	r := rng.New(62)
+	tr := mustTree(t, []float64{0, 1, 2, 3, 4, 5, 6, 7}, uniformWeights(8))
+	cov := tr.Cover(2, 5, nil)
+	for _, id := range cov {
+		lo, hi := tr.Span(id)
+		for i := 0; i < 100; i++ {
+			leaf := tr.SampleLeaf(r, id)
+			if leaf < lo || leaf > hi {
+				t.Fatalf("leaf %d outside span [%d,%d]", leaf, lo, hi)
+			}
+		}
+	}
+}
+
+func TestCoverPanicsOnBadRange(t *testing.T) {
+	tr := mustTree(t, []float64{1, 2, 3}, uniformWeights(3))
+	for _, c := range [][2]int{{-1, 1}, {0, 3}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Cover(%v) did not panic", c)
+				}
+			}()
+			tr.Cover(c[0], c[1], nil)
+		}()
+	}
+}
+
+func TestReport(t *testing.T) {
+	tr := mustTree(t, []float64{5, 1, 3}, uniformWeights(3))
+	got := tr.Report(0, 2, nil)
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("Report = %v", got)
+	}
+}
+
+func TestDuplicateValues(t *testing.T) {
+	tr := mustTree(t, []float64{2, 2, 2, 1, 3}, uniformWeights(5))
+	a, b, ok := tr.LeafRange(Interval{2, 2})
+	if !ok || a != 1 || b != 3 {
+		t.Fatalf("LeafRange(2,2) = %d,%d,%v", a, b, ok)
+	}
+}
+
+func BenchmarkCover(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 20
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	tr, err := New(values, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var scratch [64]NodeID
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := r.Intn(n / 2)
+		_ = tr.Cover(a, a+n/4, scratch[:0])
+	}
+}
+
+func TestIntervalContains(t *testing.T) {
+	q := Interval{Lo: 1, Hi: 3}
+	if !q.Contains(1) || !q.Contains(3) || !q.Contains(2) {
+		t.Fatal("closed interval endpoints rejected")
+	}
+	if q.Contains(0.9) || q.Contains(3.1) {
+		t.Fatal("outside values accepted")
+	}
+}
+
+func TestNewSorted(t *testing.T) {
+	tr, err := NewSorted([]float64{1, 2, 2, 3}, []float64{10, 20, 21, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The exact pairing must be preserved leaf-by-leaf.
+	for i, want := range []float64{10, 20, 21, 30} {
+		if tr.LeafWeight(i) != want {
+			t.Fatalf("LeafWeight(%d) = %v, want %v", i, tr.LeafWeight(i), want)
+		}
+	}
+	if _, err := NewSorted(nil, nil); err != ErrEmpty {
+		t.Fatalf("empty err = %v", err)
+	}
+	if _, err := NewSorted([]float64{2, 1}, []float64{1, 1}); err == nil {
+		t.Fatal("unsorted accepted")
+	}
+	if _, err := NewSorted([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := NewSorted([]float64{1}, []float64{0}); err != ErrBadWeight {
+		t.Fatalf("bad weight err = %v", err)
+	}
+}
+
+func TestNewUniformAndAccessors(t *testing.T) {
+	tr, err := NewUniform([]float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Values(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("Values = %v", got)
+	}
+	if tr.Weight(tr.Root()) != 3 {
+		t.Fatalf("uniform root weight = %v", tr.Weight(tr.Root()))
+	}
+	if got := tr.Count(tr.Root()); got != 3 {
+		t.Fatalf("Count(root) = %d", got)
+	}
+}
+
+func TestCoverInterval(t *testing.T) {
+	tr := mustTree(t, []float64{1, 2, 3, 4, 5}, uniformWeights(5))
+	cov := tr.CoverInterval(Interval{Lo: 2, Hi: 4}, nil)
+	total := 0
+	for _, id := range cov {
+		total += tr.Count(id)
+	}
+	if total != 3 {
+		t.Fatalf("CoverInterval covers %d leaves, want 3", total)
+	}
+	if got := tr.CoverInterval(Interval{Lo: 9, Hi: 10}, nil); len(got) != 0 {
+		t.Fatalf("empty interval cover = %v", got)
+	}
+}

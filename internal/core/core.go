@@ -1,0 +1,425 @@
+// Package core is the public face of the library: a unified API over the
+// independent query sampling (IQS) structures that the rest of
+// internal/... implements, mirroring the paper's catalogue:
+//
+//	RangeSampler        1-D weighted range sampling (§3–4: Naive,
+//	                    TreeWalk, AliasAug/Lemma 2, Chunked/Theorem 3)
+//	DynamicRangeSampler updatable variant (Hu et al. direction)
+//	PointSampler        multi-dimensional weighted range sampling via
+//	                    Theorem 5 covers (kd-tree, range tree, quadtree)
+//	SetUnionSampler     Theorem 8 set union sampling
+//	FairNN              r-fair nearest neighbour search (§2 Benefit 2)
+//
+// Guarantees common to every sampler: each query's output has exactly the
+// advertised distribution (uniform or weight-proportional over the
+// qualifying elements), and outputs of different queries are mutually
+// independent (Equation 1 of the paper) — every query consumes fresh
+// randomness from the *rng.Source the caller passes, and no query result
+// is ever cached or reused.
+//
+// All constructors copy their inputs; samplers are safe for concurrent
+// *reads* as long as each goroutine uses its own *rng.Source (the dynamic
+// structures and SetUnionSampler mutate internal state on updates or
+// rebuilds and need external locking in concurrent settings).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/bst"
+	"repro/internal/kdtree"
+	"repro/internal/quadtree"
+	"repro/internal/rangesample"
+	"repro/internal/rangetree"
+	"repro/internal/rng"
+	"repro/internal/setunion"
+	"repro/internal/wor"
+)
+
+// Rand is the deterministic random source all queries draw from.
+type Rand = rng.Source
+
+// NewRand returns a seeded random source.
+func NewRand(seed uint64) *Rand { return rng.New(seed) }
+
+// Kind selects the 1-D range-sampling structure.
+type Kind int
+
+const (
+	// KindChunked is the Theorem 3 structure: O(n) space,
+	// O(log n + s) query. The default.
+	KindChunked Kind = iota
+	// KindAliasAug is the Lemma 2 structure: O(n log n) space,
+	// O(log n + s) query.
+	KindAliasAug
+	// KindTreeWalk is the §3.2 structure: O(n) space, O(s·log n) query.
+	KindTreeWalk
+	// KindNaive is the report-then-sample baseline: O(|S_q| + s) query.
+	KindNaive
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindChunked:
+		return "chunked"
+	case KindAliasAug:
+		return "aliasaug"
+	case KindTreeWalk:
+		return "treewalk"
+	case KindNaive:
+		return "naive"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ErrSampleTooLarge is returned by WoR queries requesting more samples
+// than there are qualifying elements.
+var ErrSampleTooLarge = errors.New("core: WoR sample size exceeds |S∩q|")
+
+// RangeSampler answers weighted range-sampling IQS queries over a static
+// set of real values.
+type RangeSampler struct {
+	kind  Kind
+	inner rangesample.Sampler
+}
+
+// NewRangeSampler builds a sampler of the given kind over values and
+// weights (weights[i] belongs to values[i]; pass nil weights for the
+// uniform/WR regime).
+func NewRangeSampler(kind Kind, values, weights []float64) (*RangeSampler, error) {
+	if weights == nil {
+		weights = make([]float64, len(values))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	var (
+		inner rangesample.Sampler
+		err   error
+	)
+	switch kind {
+	case KindChunked:
+		inner, err = rangesample.NewChunked(values, weights)
+	case KindAliasAug:
+		inner, err = rangesample.NewAliasAug(values, weights)
+	case KindTreeWalk:
+		inner, err = rangesample.NewTreeWalk(values, weights)
+	case KindNaive:
+		inner, err = rangesample.NewNaive(values, weights)
+	default:
+		return nil, fmt.Errorf("core: unknown kind %v", kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &RangeSampler{kind: kind, inner: inner}, nil
+}
+
+// Kind returns the structure kind.
+func (s *RangeSampler) Kind() Kind { return s.kind }
+
+// Len returns the number of stored elements.
+func (s *RangeSampler) Len() int { return s.inner.Len() }
+
+// Sample draws k independent weighted samples from S ∩ [lo, hi],
+// returned as values. ok is false when the range is empty.
+func (s *RangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) {
+	var scratch [64]int
+	pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, k, scratch[:0])
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(pos))
+	for i, p := range pos {
+		out[i] = s.inner.Value(p)
+	}
+	return out, true
+}
+
+// Count returns |S ∩ [lo, hi]| in O(log n).
+func (s *RangeSampler) Count(lo, hi float64) int {
+	n := s.inner.Len()
+	a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
+	b := sort.Search(n, func(i int) bool { return s.inner.Value(i) > hi }) - 1
+	if a > b {
+		return 0
+	}
+	return b - a + 1
+}
+
+// SampleWoR draws a uniformly random size-k subset of S ∩ [lo, hi]
+// (without replacement) for the uniform-weight regime, by the WR→WoR
+// conversion of Section 2. Returns ErrSampleTooLarge when k exceeds the
+// range count.
+func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
+	cnt := s.Count(lo, hi)
+	if k > cnt {
+		return nil, ErrSampleTooLarge
+	}
+	if cnt == 0 {
+		return nil, ErrSampleTooLarge
+	}
+	// Draw WR positions, dedupe until k distinct (O(k) expected when
+	// k ≤ cnt/2; falls back to direct enumeration when k is a large
+	// fraction of the range).
+	if 2*k > cnt {
+		// Dense regime: enumerate range positions and partial-shuffle.
+		n := s.inner.Len()
+		a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
+		idx, err := wor.UniformWoR(r, cnt, k)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, k)
+		for i, off := range idx {
+			out[i] = s.inner.Value(a + off)
+		}
+		return out, nil
+	}
+	// Sparse regime: WR draws deduplicated by position (coupon
+	// collecting, O(k) expected draws for k ≤ cnt/2).
+	seen := make(map[int]struct{}, k)
+	var scratch [16]int
+	out := make([]float64, 0, k)
+	for len(out) < k {
+		pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, 1, scratch[:0])
+		if !ok {
+			return nil, ErrSampleTooLarge
+		}
+		if _, dup := seen[pos[0]]; dup {
+			continue
+		}
+		seen[pos[0]] = struct{}{}
+		out = append(out, s.inner.Value(pos[0]))
+	}
+	return out, nil
+}
+
+// SampleWeightedWoR draws a weighted sample without replacement of size
+// k from S ∩ [lo, hi] (successive sampling: each draw is
+// weight-proportional among the not-yet-chosen elements). For k below
+// half the range count it deduplicates independent weighted WR draws —
+// which realises exactly the successive-sampling distribution — and for
+// dense k it falls back to Efraimidis–Spirakis keys over the enumerated
+// range (O(|S∩q|)). Returns ErrSampleTooLarge when k exceeds the range
+// count.
+func (s *RangeSampler) SampleWeightedWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
+	cnt := s.Count(lo, hi)
+	if k > cnt || cnt == 0 {
+		return nil, ErrSampleTooLarge
+	}
+	n := s.inner.Len()
+	a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
+	if 2*k > cnt {
+		// Dense regime: enumerate the range's weights and run one-pass
+		// weighted WoR.
+		weights := make([]float64, cnt)
+		for i := 0; i < cnt; i++ {
+			weights[i] = s.inner.Weight(a + i)
+		}
+		idx, err := wor.WeightedWoR(r, weights, k)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]float64, k)
+		for i, off := range idx {
+			out[i] = s.inner.Value(a + off)
+		}
+		return out, nil
+	}
+	// Sparse regime: weighted WR draws deduplicated by position. A
+	// weighted WR draw conditioned on being new is exactly the next
+	// successive-sampling pick.
+	seen := make(map[int]struct{}, k)
+	var scratch [16]int
+	out := make([]float64, 0, k)
+	// Guard against pathological weight skew making dedupe slow: bound
+	// total attempts generously, and on overflow discard the partial
+	// draw and redo the whole sample via the (exact) dense path with
+	// fresh randomness — a mixture of two exact procedures stays exact.
+	maxAttempts := 64 * (k + 16)
+	for attempts := 0; len(out) < k; attempts++ {
+		if attempts > maxAttempts {
+			weights := make([]float64, cnt)
+			for i := 0; i < cnt; i++ {
+				weights[i] = s.inner.Weight(a + i)
+			}
+			idx, err := wor.WeightedWoR(r, weights, k)
+			if err != nil {
+				return nil, err
+			}
+			fresh := make([]float64, k)
+			for i, off := range idx {
+				fresh[i] = s.inner.Value(a + off)
+			}
+			return fresh, nil
+		}
+		pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, 1, scratch[:0])
+		if !ok {
+			return nil, ErrSampleTooLarge
+		}
+		if _, dup := seen[pos[0]]; dup {
+			continue
+		}
+		seen[pos[0]] = struct{}{}
+		out = append(out, s.inner.Value(pos[0]))
+	}
+	return out, nil
+}
+
+// DynamicRangeSampler is the updatable 1-D weighted range sampler.
+type DynamicRangeSampler struct {
+	inner *rangesample.Dynamic
+}
+
+// NewDynamicRangeSampler returns an empty updatable sampler; seed drives
+// only the internal tree shape.
+func NewDynamicRangeSampler(seed uint64) *DynamicRangeSampler {
+	return &DynamicRangeSampler{inner: rangesample.NewDynamic(seed)}
+}
+
+// Insert adds an element (duplicates allowed). O(log n) expected.
+func (d *DynamicRangeSampler) Insert(value, weight float64) error {
+	return d.inner.Insert(value, weight)
+}
+
+// Delete removes one element with the given value. O(log n) expected.
+func (d *DynamicRangeSampler) Delete(value float64) error {
+	return d.inner.Delete(value)
+}
+
+// Len returns the number of stored elements.
+func (d *DynamicRangeSampler) Len() int { return d.inner.Len() }
+
+// Sample draws k independent weighted samples from S ∩ [lo, hi].
+func (d *DynamicRangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) {
+	return d.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, k, nil)
+}
+
+// Count returns |S ∩ [lo, hi]|.
+func (d *DynamicRangeSampler) Count(lo, hi float64) int {
+	return d.inner.Count(bst.Interval{Lo: lo, Hi: hi})
+}
+
+// PointKind selects the multi-dimensional structure.
+type PointKind int
+
+const (
+	// PointKD is the kd-tree instantiation of Theorem 5: O(n) space,
+	// O(n^{1−1/d} + s) query. The default.
+	PointKD PointKind = iota
+	// PointRangeTree is the range-tree instantiation: O(n log^{d−1} n)
+	// space, O(log^d n + s·log n) query (walk mode).
+	PointRangeTree
+	// PointQuadtree is the 2-D quadtree comparator.
+	PointQuadtree
+)
+
+// PointSampler answers multi-dimensional weighted range-sampling IQS
+// queries (rectangles) over a static point set.
+type PointSampler struct {
+	kind PointKind
+	dim  int
+	kd   *kdtree.Sampler
+	rt   *rangetree.Tree
+	qt   *quadtree.Sampler
+}
+
+// NewPointSampler builds a sampler of the given kind over pts (all of
+// one dimension) and weights (nil for uniform).
+func NewPointSampler(kind PointKind, pts [][]float64, weights []float64) (*PointSampler, error) {
+	if weights == nil {
+		weights = make([]float64, len(pts))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	ps := &PointSampler{kind: kind}
+	if len(pts) > 0 {
+		ps.dim = len(pts[0])
+	}
+	var err error
+	switch kind {
+	case PointKD:
+		ps.kd, err = kdtree.NewSampler(pts, weights)
+	case PointRangeTree:
+		ps.rt, err = rangetree.New(pts, weights, rangetree.WalkMode)
+	case PointQuadtree:
+		if len(pts) > 0 && len(pts[0]) != 2 {
+			return nil, errors.New("core: quadtree requires 2-D points")
+		}
+		ps.qt, err = quadtree.NewSampler(pts, weights)
+	default:
+		return nil, fmt.Errorf("core: unknown point kind %d", int(kind))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ps, nil
+}
+
+// Sample draws k independent weighted samples of the points inside the
+// rectangle [min, max], returned as indices into the pts slice given at
+// construction. ok is false when the rectangle is empty.
+func (ps *PointSampler) Sample(r *Rand, min, max []float64, k int) ([]int, bool) {
+	switch ps.kind {
+	case PointKD:
+		return ps.kd.Query(r, kdtree.Rect{Min: min, Max: max}, k, nil)
+	case PointRangeTree:
+		return ps.rt.Query(r, rangetree.Rect{Min: min, Max: max}, k, nil)
+	default:
+		return ps.qt.Query(r, quadtree.Rect{
+			Min: [2]float64{min[0], min[1]},
+			Max: [2]float64{max[0], max[1]},
+		}, k, nil)
+	}
+}
+
+// RangeWeight returns the total weight inside the rectangle.
+func (ps *PointSampler) RangeWeight(min, max []float64) float64 {
+	switch ps.kind {
+	case PointKD:
+		return ps.kd.RangeWeight(kdtree.Rect{Min: min, Max: max})
+	case PointRangeTree:
+		return ps.rt.RangeWeight(rangetree.Rect{Min: min, Max: max})
+	default:
+		return ps.qt.RangeWeight(quadtree.Rect{
+			Min: [2]float64{min[0], min[1]},
+			Max: [2]float64{max[0], max[1]},
+		})
+	}
+}
+
+// SetUnionSampler answers Theorem 8 queries: uniform samples from the
+// union of a selected group of sets.
+type SetUnionSampler struct {
+	inner *setunion.Collection
+}
+
+// NewSetUnionSampler builds the structure over sets of element ids.
+func NewSetUnionSampler(sets [][]int, seed uint64) (*SetUnionSampler, error) {
+	c, err := setunion.New(sets, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &SetUnionSampler{inner: c}, nil
+}
+
+// Sample draws k independent uniform samples from the union of the sets
+// named by indices G.
+func (su *SetUnionSampler) Sample(r *Rand, G []int, k int) ([]int, bool, error) {
+	return su.inner.Query(r, G, k, nil)
+}
+
+// UnionSizeEstimate returns the sketch-based factor-1.5 estimate of the
+// union size.
+func (su *SetUnionSampler) UnionSizeEstimate(G []int) (float64, error) {
+	return su.inner.UnionSizeEstimate(G)
+}
+
+// bstInterval is a tiny constructor shared by the sampling entry points.
+func bstInterval(lo, hi float64) bst.Interval { return bst.Interval{Lo: lo, Hi: hi} }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindChunked: "chunked", KindAliasAug: "aliasaug",
+		KindTreeWalk: "treewalk", KindNaive: "naive",
+	} {
+		if k.String() != want {
+			t.Fatalf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Fatal("unknown kind string")
+	}
+}
+
+func TestNewRangeSamplerErrors(t *testing.T) {
+	if _, err := NewRangeSampler(KindChunked, nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := NewRangeSampler(Kind(99), []float64{1}, nil); err == nil {
+		t.Fatal("bad kind accepted")
+	}
+}
+
+func TestAllKindsSampleAndAgree(t *testing.T) {
+	values := []float64{5, 1, 9, 3, 7, 2, 8, 4, 6, 0}
+	weights := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, kind := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		s, err := NewRangeSampler(kind, values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := NewRand(1)
+		out, ok := s.Sample(r, 2, 7, 10000)
+		if !ok {
+			t.Fatalf("%v: empty", kind)
+		}
+		for _, v := range out {
+			if v < 2 || v > 7 {
+				t.Fatalf("%v: sample %v outside", kind, v)
+			}
+		}
+		if got := s.Count(2, 7); got != 6 {
+			t.Fatalf("%v: Count = %d", kind, got)
+		}
+		if got := s.Count(20, 30); got != 0 {
+			t.Fatalf("%v: Count empty = %d", kind, got)
+		}
+		if _, ok := s.Sample(r, 20, 30, 1); ok {
+			t.Fatalf("%v: empty range ok", kind)
+		}
+	}
+}
+
+func TestUniformWeightsDefault(t *testing.T) {
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := NewRangeSampler(KindChunked, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(2)
+	const draws = 100000
+	counts := make([]int, 50)
+	out, ok := s.Sample(r, 0, 49, draws)
+	if !ok {
+		t.Fatal("empty")
+	}
+	for _, v := range out {
+		counts[int(v)]++
+	}
+	expected := float64(draws) / 50
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > chi2Crit(49) {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+}
+
+func TestSampleWoR(t *testing.T) {
+	values := make([]float64, 30)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := NewRangeSampler(KindChunked, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(3)
+	// Sparse regime (k small).
+	out, err := s.SampleWoR(r, 5, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWoR(t, out, 5, 24, 4)
+	// Dense regime (k a large fraction).
+	out, err = s.SampleWoR(r, 5, 24, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWoR(t, out, 5, 24, 18)
+	// Exact full range.
+	out, err = s.SampleWoR(r, 5, 24, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWoR(t, out, 5, 24, 20)
+	// Too large.
+	if _, err := s.SampleWoR(r, 5, 24, 21); err != ErrSampleTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.SampleWoR(r, 100, 200, 1); err != ErrSampleTooLarge {
+		t.Fatalf("empty range err = %v", err)
+	}
+}
+
+func checkWoR(t *testing.T, out []float64, lo, hi float64, k int) {
+	t.Helper()
+	if len(out) != k {
+		t.Fatalf("len = %d, want %d", len(out), k)
+	}
+	seen := map[float64]bool{}
+	for _, v := range out {
+		if v < lo || v > hi {
+			t.Fatalf("value %v outside", v)
+		}
+		if seen[v] {
+			t.Fatalf("duplicate %v in WoR sample", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestSampleWoRMarginals(t *testing.T) {
+	values := make([]float64, 10)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := NewRangeSampler(KindAliasAug, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(4)
+	counts := make([]int, 10)
+	const trials = 30000
+	for i := 0; i < trials; i++ {
+		out, err := s.SampleWoR(r, 0, 9, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range out {
+			counts[int(v)]++
+		}
+	}
+	expected := float64(trials) * 3 / 10
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d marginal %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestDynamicRangeSampler(t *testing.T) {
+	d := NewDynamicRangeSampler(5)
+	for i := 0; i < 20; i++ {
+		if err := d.Insert(float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() != 20 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	r := NewRand(6)
+	out, ok := d.Sample(r, 5, 14, 100)
+	if !ok {
+		t.Fatal("empty")
+	}
+	for _, v := range out {
+		if v < 5 || v > 14 {
+			t.Fatalf("sample %v outside", v)
+		}
+	}
+	if got := d.Count(5, 14); got != 10 {
+		t.Fatalf("Count = %d", got)
+	}
+	if err := d.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Count(5, 14); got != 9 {
+		t.Fatalf("Count after delete = %d", got)
+	}
+}
+
+func TestPointSamplerKinds(t *testing.T) {
+	r := rng.New(7)
+	pts := make([][]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64()}
+	}
+	min, max := []float64{0.2, 0.2}, []float64{0.8, 0.8}
+	var want []int
+	for i, p := range pts {
+		if p[0] >= 0.2 && p[0] <= 0.8 && p[1] >= 0.2 && p[1] <= 0.8 {
+			want = append(want, i)
+		}
+	}
+	sort.Ints(want)
+	inWant := map[int]bool{}
+	for _, i := range want {
+		inWant[i] = true
+	}
+	for _, kind := range []PointKind{PointKD, PointRangeTree, PointQuadtree} {
+		ps, err := NewPointSampler(kind, pts, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rr := NewRand(8)
+		out, ok := ps.Sample(rr, min, max, 2000)
+		if !ok {
+			t.Fatalf("kind %d: empty", kind)
+		}
+		for _, idx := range out {
+			if !inWant[idx] {
+				t.Fatalf("kind %d: sampled %d outside", kind, idx)
+			}
+		}
+		if got := ps.RangeWeight(min, max); math.Abs(got-float64(len(want))) > 1e-9 {
+			t.Fatalf("kind %d: RangeWeight = %v, want %d", kind, got, len(want))
+		}
+	}
+	if _, err := NewPointSampler(PointQuadtree, [][]float64{{1, 2, 3}}, nil); err == nil {
+		t.Fatal("3-D quadtree accepted")
+	}
+	if _, err := NewPointSampler(PointKind(9), pts, nil); err == nil {
+		t.Fatal("bad point kind accepted")
+	}
+}
+
+func TestSetUnionSampler(t *testing.T) {
+	su, err := NewSetUnionSampler([][]int{{1, 2, 3}, {3, 4}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(10)
+	out, ok, err := su.Sample(r, []int{0, 1}, 5000)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	counts := map[int]int{}
+	for _, e := range out {
+		counts[e]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("distinct = %d, want 4", len(counts))
+	}
+	est, err := su.UnionSizeEstimate([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 4 {
+		t.Fatalf("estimate = %v (small sets are exact)", est)
+	}
+}
+
+func TestNewSetUnionSamplerError(t *testing.T) {
+	if _, err := NewSetUnionSampler(nil, 1); err == nil {
+		t.Fatal("empty collection accepted")
+	}
+}

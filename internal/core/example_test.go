@@ -1,0 +1,74 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ExampleRangeSampler shows the 60-second path: build the Theorem 3
+// structure and draw independent weighted samples from a range.
+func ExampleRangeSampler() {
+	values := []float64{10, 20, 30, 40, 50}
+	weights := []float64{1, 1, 1, 1, 96} // the 50 dominates
+
+	r := core.NewRand(7)
+	s, err := core.NewRangeSampler(core.KindChunked, values, weights)
+	if err != nil {
+		panic(err)
+	}
+	out, ok := s.Sample(r, 15, 55, 5)
+	fmt.Println("non-empty:", ok, "samples:", len(out))
+	fmt.Println("in range:", out[0] >= 15 && out[0] <= 55)
+	fmt.Println("count:", s.Count(15, 55))
+	// Output:
+	// non-empty: true samples: 5
+	// in range: true
+	// count: 4
+}
+
+// ExampleRangeSampler_sampleWoR demonstrates without-replacement
+// sampling: the result is a uniformly random subset, all distinct.
+func ExampleRangeSampler_sampleWoR() {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	r := core.NewRand(11)
+	s, err := core.NewRangeSampler(core.KindAliasAug, values, nil)
+	if err != nil {
+		panic(err)
+	}
+	out, err := s.SampleWoR(r, 2, 7, 3)
+	if err != nil {
+		panic(err)
+	}
+	distinct := map[float64]bool{}
+	for _, v := range out {
+		distinct[v] = true
+	}
+	fmt.Println("size:", len(out), "all distinct:", len(distinct) == len(out))
+	// Output:
+	// size: 3 all distinct: true
+}
+
+// ExampleSetUnionSampler demonstrates Theorem 8: uniform samples from a
+// union of overlapping sets, without overlap bias.
+func ExampleSetUnionSampler() {
+	sets := [][]int{
+		{1, 2, 3},
+		{3, 4}, // 3 overlaps
+	}
+	su, err := core.NewSetUnionSampler(sets, 5)
+	if err != nil {
+		panic(err)
+	}
+	est, err := su.UnionSizeEstimate([]int{0, 1})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("union size estimate:", est)
+	r := core.NewRand(6)
+	out, ok, err := su.Sample(r, []int{0, 1}, 4)
+	fmt.Println("ok:", ok, "err:", err, "samples:", len(out))
+	// Output:
+	// union size estimate: 4
+	// ok: true err: <nil> samples: 4
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/approx"
+	"repro/internal/fairnn"
+)
+
+// ParallelSample draws k independent weighted samples from S ∩ [lo, hi]
+// using `workers` goroutines. Static samplers are safe for concurrent
+// reads; each worker derives its own independent random stream from r
+// via Split, so the combined output has exactly the same distribution as
+// a sequential Sample — the samples are iid either way, and concatenation
+// order carries no information. ok is false when the range is empty.
+//
+// Useful when s is large (millions of samples feeding a training job):
+// throughput scales with cores because the per-sample step of the
+// Chunked/AliasAug structures is branch-light table lookups.
+func (s *RangeSampler) ParallelSample(r *Rand, lo, hi float64, k, workers int) ([]float64, bool) {
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > k {
+		workers = k
+	}
+	if s.Count(lo, hi) == 0 {
+		return nil, false
+	}
+	out := make([]float64, k)
+	var wg sync.WaitGroup
+	chunk := (k + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * chunk
+		end := start + chunk
+		if end > k {
+			end = k
+		}
+		if start >= end {
+			break
+		}
+		wr := r.Split()
+		wg.Add(1)
+		go func(start, end int, wr *Rand) {
+			defer wg.Done()
+			var scratch [256]int
+			for start < end {
+				batch := end - start
+				if batch > len(scratch) {
+					batch = len(scratch)
+				}
+				pos, ok := s.inner.Query(wr, bstInterval(lo, hi), batch, scratch[:0])
+				if !ok {
+					return
+				}
+				for _, p := range pos {
+					out[start] = s.inner.Value(p)
+					start++
+				}
+			}
+		}(start, end, wr)
+	}
+	wg.Wait()
+	return out, true
+}
+
+// FairNN answers r-fair nearest neighbour queries (§2 Benefit 2): a
+// query returns independent uniform samples of the points within a fixed
+// radius of the query point.
+type FairNN struct {
+	inner *fairnn.Index
+}
+
+// NewFairNN builds the index over pts with the given radius. numGrids
+// trades recall against work (Θ(log n) recommended).
+func NewFairNN(pts [][]float64, radius float64, numGrids int, seed uint64) (*FairNN, error) {
+	idx, err := fairnn.New(pts, radius, numGrids, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &FairNN{inner: idx}, nil
+}
+
+// Sample draws k independent uniform near neighbours of q (point
+// indices). ok is false when nothing is within the radius.
+func (f *FairNN) Sample(r *Rand, q []float64, k int) ([]int, bool, error) {
+	return f.inner.Query(r, q, k, nil)
+}
+
+// Recall estimates the candidate recall for q (diagnostic).
+func (f *FairNN) Recall(q []float64) float64 { return f.inner.Recall(q) }
+
+// ApproxRangeSampler answers ε-approximate weighted range-sampling
+// queries (§9 Direction 4): per-element probabilities may deviate from
+// exact by a (1±ε)² factor, in exchange for a smaller and often faster
+// structure. Cross-query independence remains exact.
+type ApproxRangeSampler struct {
+	inner *approx.Sampler
+}
+
+// NewApproxRangeSampler builds the sampler with approximation parameter
+// eps ∈ (0, 1); nil weights mean uniform (which the structure answers
+// exactly).
+func NewApproxRangeSampler(values, weights []float64, eps float64) (*ApproxRangeSampler, error) {
+	if weights == nil {
+		weights = make([]float64, len(values))
+		for i := range weights {
+			weights[i] = 1
+		}
+	}
+	s, err := approx.New(values, weights, eps)
+	if err != nil {
+		return nil, err
+	}
+	return &ApproxRangeSampler{inner: s}, nil
+}
+
+// Sample draws k ε-approximate weighted samples from S ∩ [lo, hi].
+func (a *ApproxRangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) {
+	var scratch [64]int
+	pos, ok := a.inner.Query(r, lo, hi, k, scratch[:0])
+	if !ok {
+		return nil, false
+	}
+	out := make([]float64, len(pos))
+	for i, p := range pos {
+		out[i] = a.inner.Value(p)
+	}
+	return out, true
+}
+
+// Epsilon returns the approximation parameter.
+func (a *ApproxRangeSampler) Epsilon() float64 { return a.inner.Epsilon() }

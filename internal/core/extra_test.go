@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestFairNNWrapper(t *testing.T) {
+	r := rng.New(1)
+	pts := make([][]float64, 200)
+	for i := range pts {
+		pts[i] = []float64{0.5 + r.NormFloat64()*0.01, 0.5 + r.NormFloat64()*0.01}
+	}
+	f, err := NewFairNN(pts, 0.05, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRand(3)
+	q := []float64{0.5, 0.5}
+	out, ok, err := f.Sample(rr, q, 20)
+	if err != nil || !ok || len(out) != 20 {
+		t.Fatalf("ok=%v err=%v len=%d", ok, err, len(out))
+	}
+	for _, idx := range out {
+		dx, dy := pts[idx][0]-0.5, pts[idx][1]-0.5
+		if math.Sqrt(dx*dx+dy*dy) > 0.05+1e-12 {
+			t.Fatalf("sample %d too far", idx)
+		}
+	}
+	if rec := f.Recall(q); rec < 0.5 {
+		t.Fatalf("recall %v", rec)
+	}
+	// Far query.
+	if _, ok, err := f.Sample(rr, []float64{9, 9}, 1); err != nil || ok {
+		t.Fatalf("far query ok=%v err=%v", ok, err)
+	}
+	if _, err := NewFairNN(nil, 1, 1, 1); err == nil {
+		t.Fatal("empty accepted")
+	}
+}
+
+func TestApproxRangeSamplerWrapper(t *testing.T) {
+	values := make([]float64, 100)
+	weights := make([]float64, 100)
+	r := rng.New(4)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = r.Float64()*9 + 0.5
+	}
+	a, err := NewApproxRangeSampler(values, weights, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Epsilon() != 0.1 {
+		t.Fatalf("eps = %v", a.Epsilon())
+	}
+	rr := NewRand(5)
+	out, ok := a.Sample(rr, 20, 60, 50)
+	if !ok || len(out) != 50 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+	for _, v := range out {
+		if v < 20 || v > 60 {
+			t.Fatalf("value %v outside", v)
+		}
+	}
+	if _, ok := a.Sample(rr, 200, 300, 1); ok {
+		t.Fatal("empty range returned ok")
+	}
+	// nil weights → uniform, exact.
+	u, err := NewApproxRangeSampler(values, nil, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := u.Sample(rr, 0, 99, 10); !ok {
+		t.Fatal("uniform sample failed")
+	}
+	if _, err := NewApproxRangeSampler(values, weights, 0); err == nil {
+		t.Fatal("eps=0 accepted")
+	}
+}
+
+func TestParallelSample(t *testing.T) {
+	values := make([]float64, 5000)
+	weights := make([]float64, 5000)
+	r := rng.New(9)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = r.Float64() + 0.5
+	}
+	s, err := NewRangeSampler(KindChunked, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := NewRand(10)
+	out, ok := s.ParallelSample(rr, 1000, 3999, 10000, 4)
+	if !ok || len(out) != 10000 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+	for _, v := range out {
+		if v < 1000 || v > 3999 {
+			t.Fatalf("value %v outside", v)
+		}
+	}
+	// Distribution must match the sequential path (two-sample chi2 over
+	// 16 buckets).
+	seq, _ := s.Sample(rr, 1000, 3999, 10000)
+	bucket := func(v float64) int { return int((v - 1000) / 188) }
+	var a, b [16]int
+	for _, v := range out {
+		a[min(bucket(v), 15)]++
+	}
+	for _, v := range seq {
+		b[min(bucket(v), 15)]++
+	}
+	chi2 := 0.0
+	for i := range a {
+		x, y := float64(a[i]), float64(b[i])
+		if x+y == 0 {
+			continue
+		}
+		d := x - y
+		chi2 += d * d / (x + y)
+	}
+	if chi2 > chi2Crit(15) {
+		t.Fatalf("parallel vs sequential chi2 = %v", chi2)
+	}
+	// Degenerate knobs.
+	if out, ok := s.ParallelSample(rr, 1000, 3999, 3, 16); !ok || len(out) != 3 {
+		t.Fatalf("workers>k: ok=%v len=%d", ok, len(out))
+	}
+	if out, ok := s.ParallelSample(rr, 1000, 3999, 5, 0); !ok || len(out) != 5 {
+		t.Fatalf("workers=0: ok=%v len=%d", ok, len(out))
+	}
+	if _, ok := s.ParallelSample(rr, 9000, 9999, 5, 2); ok {
+		t.Fatal("empty range returned ok")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

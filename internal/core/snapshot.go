@@ -1,0 +1,85 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Snapshot I/O: a RangeSampler is persisted as its (kind, values,
+// weights) triple and rebuilt on load. The structures build in
+// O(n log n), so rebuilding is the honest serialisation strategy — the
+// alternative (dumping every alias table and tree node) would be an
+// order of magnitude more format surface for a constant-factor saving.
+// Crucially, none of the *sampling randomness* is part of the state:
+// queries draw fresh randomness per call, so a reloaded sampler is
+// statistically indistinguishable from the original.
+
+// snapshotMagic identifies the format; bump the version byte on change.
+var snapshotMagic = [8]byte{'i', 'q', 's', 's', 'n', 'a', 'p', 1}
+
+// ErrBadSnapshot is returned by Load for malformed input.
+var ErrBadSnapshot = errors.New("core: bad snapshot")
+
+// Save writes the sampler's dataset snapshot to w.
+func (s *RangeSampler) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	n := s.inner.Len()
+	hdr := make([]byte, 12)
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(s.kind))
+	binary.LittleEndian.PutUint64(hdr[4:12], uint64(n))
+	if _, err := bw.Write(hdr); err != nil {
+		return err
+	}
+	buf := make([]byte, 16)
+	for i := 0; i < n; i++ {
+		binary.LittleEndian.PutUint64(buf[0:8], math.Float64bits(s.inner.Value(i)))
+		binary.LittleEndian.PutUint64(buf[8:16], math.Float64bits(s.inner.Weight(i)))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save and rebuilds the sampler.
+func Load(r io.Reader) (*RangeSampler, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	if magic != snapshotMagic {
+		return nil, fmt.Errorf("%w: magic mismatch", ErrBadSnapshot)
+	}
+	hdr := make([]byte, 12)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSnapshot, err)
+	}
+	kind := Kind(binary.LittleEndian.Uint32(hdr[0:4]))
+	n := binary.LittleEndian.Uint64(hdr[4:12])
+	if n == 0 || n > 1<<40 {
+		return nil, fmt.Errorf("%w: implausible element count %d", ErrBadSnapshot, n)
+	}
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	buf := make([]byte, 16)
+	for i := uint64(0); i < n; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: truncated at element %d: %v", ErrBadSnapshot, i, err)
+		}
+		values[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[0:8]))
+		weights[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8:16]))
+	}
+	s, err := NewRangeSampler(kind, values, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: rebuild failed: %v", ErrBadSnapshot, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	r := rng.New(1)
+	values := make([]float64, 300)
+	weights := make([]float64, 300)
+	for i := range values {
+		values[i] = r.Float64() * 100
+		weights[i] = r.Float64() + 0.1
+	}
+	for _, kind := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		s, err := NewRangeSampler(kind, values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("kind %v: %v", kind, err)
+		}
+		if loaded.Kind() != kind || loaded.Len() != 300 {
+			t.Fatalf("kind %v: reloaded kind/len = %v/%d", kind, loaded.Kind(), loaded.Len())
+		}
+		if loaded.Count(10, 90) != s.Count(10, 90) {
+			t.Fatalf("kind %v: counts differ after reload", kind)
+		}
+		// Same query distribution (two-sample chi2 over coarse buckets).
+		rr := NewRand(2)
+		a, _ := s.Sample(rr, 10, 90, 20000)
+		b, _ := loaded.Sample(rr, 10, 90, 20000)
+		var ca, cb [8]int
+		for _, v := range a {
+			ca[int(v/12.5)%8]++
+		}
+		for _, v := range b {
+			cb[int(v/12.5)%8]++
+		}
+		chi2 := 0.0
+		for i := range ca {
+			x, y := float64(ca[i]), float64(cb[i])
+			if x+y == 0 {
+				continue
+			}
+			d := x - y
+			chi2 += d * d / (x + y)
+		}
+		if chi2 > chi2Crit(7) {
+			t.Fatalf("kind %v: reloaded distribution differs, chi2=%v", kind, chi2)
+		}
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+	if _, err := Load(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated: valid header, missing records.
+	s, err := NewRangeSampler(KindChunked, []float64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Load(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated snapshot accepted")
+	}
+	// Corrupt weights (NaN) must fail the rebuild.
+	full := buf.Bytes()
+	for i := len(full) - 8; i < len(full); i++ {
+		full[i] = 0xFF
+	}
+	if _, err := Load(bytes.NewReader(full)); err == nil {
+		t.Fatal("NaN-weight snapshot accepted")
+	}
+	_ = math.NaN()
+}

@@ -1,0 +1,94 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSampleWeightedWoR(t *testing.T) {
+	values := make([]float64, 30)
+	weights := make([]float64, 30)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = float64(i%5) + 1
+	}
+	s, err := NewRangeSampler(KindChunked, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(6)
+	// Sparse regime.
+	out, err := s.SampleWeightedWoR(r, 5, 24, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWoR(t, out, 5, 24, 4)
+	// Dense regime.
+	out, err = s.SampleWeightedWoR(r, 5, 24, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkWoR(t, out, 5, 24, 18)
+	// Errors.
+	if _, err := s.SampleWeightedWoR(r, 5, 24, 21); err != ErrSampleTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.SampleWeightedWoR(r, 100, 200, 1); err != ErrSampleTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSampleWeightedWoRFirstPickDistribution(t *testing.T) {
+	// With k=1 the weighted WoR sample is a plain weighted sample.
+	values := []float64{0, 1, 2, 3}
+	weights := []float64{1, 2, 4, 8}
+	s, err := NewRangeSampler(KindAliasAug, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(7)
+	const trials = 120000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		out, err := s.SampleWeightedWoR(r, 0, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[int(out[0])]++
+	}
+	total := 15.0
+	for i, c := range counts {
+		expected := trials * weights[i] / total
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("value %d count %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestSampleWeightedWoRHeavySkew(t *testing.T) {
+	// Extreme skew exercises the dedupe path's fallback without
+	// violating WoR semantics.
+	values := []float64{0, 1, 2, 3, 4, 5, 6, 7}
+	weights := []float64{1e9, 1, 1, 1, 1, 1, 1, 1}
+	s, err := NewRangeSampler(KindChunked, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(8)
+	for trial := 0; trial < 50; trial++ {
+		out, err := s.SampleWeightedWoR(r, 0, 7, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkWoR(t, out, 0, 7, 3)
+		found := false
+		for _, v := range out {
+			if v == 0 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("dominant element missing from weighted WoR sample")
+		}
+	}
+}

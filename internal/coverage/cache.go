@@ -1,0 +1,109 @@
+package coverage
+
+import (
+	"encoding/binary"
+
+	"repro/internal/alias"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+)
+
+// CachedApproxSampler is the Corollary 7 transform: the alias structure
+// over each distinct approximate cover is computed once and memoised, so
+// that repeated predicates sharing a cover pay O(s) expected per query
+// instead of O(|Ĉ_q| + s). The extra space is O(Σ_{C ∈ Ĉ} |C|), the sum
+// of the distinct cover sizes — exactly the trade stated in the
+// corollary.
+//
+// The corollary's usefulness hinges on approximate covers being shared by
+// many predicates (the paper's §6 remark); the §6 Complement example
+// below has only O(log² n) distinct covers across all possible intervals.
+type CachedApproxSampler[Q any] struct {
+	idx   ApproxIndex[Q]
+	pos   *rangesample.PosSampler
+	cache map[string]*cachedCover
+	// stats
+	hits, misses         int
+	maxAttemptsPerSample int
+}
+
+type cachedCover struct {
+	cov []Node
+	top *alias.Alias
+}
+
+// NewCachedApproxSampler builds the transform; weights as in NewSampler.
+func NewCachedApproxSampler[Q any](idx ApproxIndex[Q], weights []float64) (*CachedApproxSampler[Q], error) {
+	inner, err := NewApproxSampler(idx, weights)
+	if err != nil {
+		return nil, err
+	}
+	return &CachedApproxSampler[Q]{
+		idx:   idx,
+		pos:   inner.pos,
+		cache: make(map[string]*cachedCover),
+	}, nil
+}
+
+// coverKey serialises a cover's spans into a map key.
+func coverKey(cov []Node) string {
+	buf := make([]byte, 0, len(cov)*8)
+	var tmp [8]byte
+	for _, nd := range cov {
+		binary.LittleEndian.PutUint32(tmp[0:4], uint32(nd.Lo))
+		binary.LittleEndian.PutUint32(tmp[4:8], uint32(nd.Hi))
+		buf = append(buf, tmp[:]...)
+	}
+	return string(buf)
+}
+
+// Query is ApproxSampler.Query with cover-level alias memoisation.
+func (sp *CachedApproxSampler[Q]) Query(r *rng.Source, q Q, s int, dst []int) ([]int, bool, error) {
+	var scratch [128]Node
+	cov := sp.idx.ApproxCover(q, scratch[:0])
+	if len(cov) == 0 {
+		return dst, false, nil
+	}
+	key := coverKey(cov)
+	entry, ok := sp.cache[key]
+	if !ok {
+		sp.misses++
+		w := make([]float64, len(cov))
+		for i, nd := range cov {
+			w[i] = nd.Weight
+		}
+		entry = &cachedCover{
+			cov: append([]Node(nil), cov...),
+			top: alias.MustNew(w),
+		}
+		sp.cache[key] = entry
+	} else {
+		sp.hits++
+	}
+	maxAttempts := sp.maxAttemptsPerSample
+	if maxAttempts == 0 {
+		maxAttempts = 64
+	}
+	var one [1]int
+	for i := 0; i < s; i++ {
+		accepted := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			nd := entry.cov[entry.top.Sample(r)]
+			pos := sp.pos.Query(r, nd.Lo, nd.Hi, 1, one[:0])[0]
+			if sp.idx.Contains(q, pos) {
+				dst = append(dst, pos)
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return dst, false, ErrRejectionStuck
+		}
+	}
+	return dst, true, nil
+}
+
+// CacheStats returns (distinct covers cached, hits, misses).
+func (sp *CachedApproxSampler[Q]) CacheStats() (size, hits, misses int) {
+	return len(sp.cache), sp.hits, sp.misses
+}

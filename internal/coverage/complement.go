@@ -1,0 +1,177 @@
+package coverage
+
+import (
+	"errors"
+	"sort"
+)
+
+// Complement implements the worked example of Section 6: sampling from
+// S ∖ q for an interval q over sorted 1-D values. In a BST, an exact
+// cover of a complement range can require Ω(log n) canonical nodes, but
+// an approximate cover of size at most 2 always exists (attributed to Hu
+// et al. [18] in the paper). This type realises that bound:
+//
+//   - if q contains at most half of S, the root alone approximately
+//     covers the complement (density ≥ 1/2);
+//   - otherwise the complement's prefix piece [0, a−1] and suffix piece
+//     [b+1, n−1] are each covered by the smallest BST spine node
+//     containing them, which over-counts by a factor < 2 (an even-split
+//     spine halves geometrically), and the two spine nodes have disjoint
+//     subtrees precisely because q covers more than half of S.
+//
+// Complement implements ApproxIndex[Interval] and is consumed through
+// ApproxSampler/CachedApproxSampler (Theorem 6 / Corollary 7).
+type Complement struct {
+	values  []float64 // sorted
+	weights []float64
+	prefix  []float64 // prefix[i] = Σ weights[0..i-1]
+}
+
+// Interval is a closed interval [Lo, Hi]; the predicate is "NOT in the
+// interval".
+type Interval struct {
+	Lo, Hi float64
+}
+
+// ErrEmpty is returned when constructing over no elements.
+var ErrEmpty = errors.New("coverage: empty input")
+
+// NewComplement builds the structure over values and weights (unsorted
+// input is sorted internally, weights following their values).
+func NewComplement(values, weights []float64) (*Complement, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("coverage: values and weights length mismatch")
+	}
+	c := &Complement{
+		values:  append([]float64(nil), values...),
+		weights: append([]float64(nil), weights...),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return values[idx[a]] < values[idx[b]] })
+	for i, j := range idx {
+		c.values[i] = values[j]
+		c.weights[i] = weights[j]
+		if !(c.weights[i] > 0) {
+			return nil, errors.New("coverage: weights must be positive")
+		}
+	}
+	c.prefix = make([]float64, n+1)
+	for i, w := range c.weights {
+		c.prefix[i+1] = c.prefix[i] + w
+	}
+	return c, nil
+}
+
+// NumElements implements ApproxIndex.
+func (c *Complement) NumElements() int { return len(c.values) }
+
+// Contains implements ApproxIndex: position pos satisfies the predicate
+// when its value lies outside q.
+func (c *Complement) Contains(q Interval, pos int) bool {
+	v := c.values[pos]
+	return v < q.Lo || v > q.Hi
+}
+
+// Value returns the i-th smallest stored value.
+func (c *Complement) Value(i int) float64 { return c.values[i] }
+
+// insideRange returns the position range [a, b] of values inside q;
+// empty=true when no value is inside.
+func (c *Complement) insideRange(q Interval) (a, b int, empty bool) {
+	a = sort.SearchFloat64s(c.values, q.Lo)
+	b = sort.Search(len(c.values), func(i int) bool { return c.values[i] > q.Hi }) - 1
+	if a > b {
+		return 0, 0, true
+	}
+	return a, b, false
+}
+
+// spanWeight returns the total weight of positions [lo, hi].
+func (c *Complement) spanWeight(lo, hi int) float64 {
+	return c.prefix[hi+1] - c.prefix[lo]
+}
+
+// leftSpine returns the smallest even-split spine span [0, m] covering
+// position p. The even-split spine is the sequence of left children from
+// the root of the §3.2 BST, whose sizes halve geometrically, so
+// m+1 < 2(p+1).
+func leftSpine(n, p int) int {
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if mid >= p {
+			hi = mid
+		} else {
+			break
+		}
+	}
+	return hi
+}
+
+// rightSpine returns the largest start m of an even-split right-spine
+// span [m, n-1] covering position p (so n-m < 2(n-p)).
+func rightSpine(n, p int) int {
+	lo, hi := 0, n-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if mid+1 <= p {
+			lo = mid + 1
+		} else {
+			break
+		}
+	}
+	return lo
+}
+
+// ApproxCover implements ApproxIndex. The returned cover has size ≤ 2.
+func (c *Complement) ApproxCover(q Interval, dst []Node) []Node {
+	n := len(c.values)
+	a, b, empty := c.insideRange(q)
+	if empty {
+		// Complement is everything.
+		return append(dst, Node{Lo: 0, Hi: n - 1, Weight: c.spanWeight(0, n-1)})
+	}
+	k := b - a + 1
+	if k == n {
+		// Complement is empty.
+		return dst
+	}
+	if k <= n/2 {
+		// Root alone: density = (n-k)/n ≥ 1/2.
+		return append(dst, Node{Lo: 0, Hi: n - 1, Weight: c.spanWeight(0, n-1)})
+	}
+	// q covers more than half: cover the prefix [0,a-1] and suffix
+	// [b+1,n-1] with their spine nodes.
+	if a > 0 {
+		m := leftSpine(n, a-1)
+		dst = append(dst, Node{Lo: 0, Hi: m, Weight: c.spanWeight(0, m)})
+	}
+	if b < n-1 {
+		m := rightSpine(n, b+1)
+		dst = append(dst, Node{Lo: m, Hi: n - 1, Weight: c.spanWeight(m, n-1)})
+	}
+	return dst
+}
+
+var _ ApproxIndex[Interval] = (*Complement)(nil)
+
+// NewComplementSampler is a convenience constructor wiring Complement
+// into the Theorem 6 transform.
+func NewComplementSampler(values, weights []float64) (*ApproxSampler[Interval], *Complement, error) {
+	c, err := NewComplement(values, weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	sp, err := NewApproxSampler[Interval](c, c.weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sp, c, nil
+}

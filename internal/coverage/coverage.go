@@ -1,0 +1,197 @@
+// Package coverage implements the paper's Technique 2 ("Coverage",
+// Theorem 5) and Technique 3 ("Approximate Coverage", Theorem 6 and
+// Corollary 7) as generic transforms.
+//
+// Setting: a tree-based reporting structure stores each element of S at a
+// distinct leaf. Linearise the leaves by a depth-first traversal (every
+// subtree spans a contiguous range of the leaf sequence — Proposition 1).
+// Given a predicate q, the structure produces a cover C_q: a set of nodes
+// with disjoint subtrees whose leaves are exactly S_q (Theorem 5), or an
+// approximate cover Ĉ_q whose leaves contain S_q with |S_q| =
+// Ω(|∪ S(u)|) (Theorem 6).
+//
+// The transforms below convert any such structure into an IQS structure:
+//
+//	Sampler        Theorem 5: query cost O(|C_q| + s) plus cover finding
+//	ApproxSampler  Theorem 6: query cost O(|Ĉ_q| + s) expected, via
+//	               rejection, plus cover finding
+//	CoverCache     Corollary 7: memoises per-cover alias structures,
+//	               removing the O(|Ĉ_q|) alias-building term for repeated
+//	               covers at the price of extra space
+//
+// Concrete instantiations in this repository: internal/kdtree (cover size
+// O(n^{1-1/d})), internal/rangetree (cover size O(log^d n)), and the
+// Complement sampler below (the §6 worked example with approximate covers
+// of size ≤ 2).
+package coverage
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+)
+
+// Node is one cover element: a contiguous span [Lo, Hi] over the
+// structure's depth-first leaf sequence, with the subtree's total weight.
+type Node struct {
+	Lo, Hi int
+	Weight float64
+}
+
+// Index is a tree-based reporting structure in the sense of Theorem 5:
+// it can produce, for any predicate of type Q, an exact cover over its
+// leaf sequence.
+type Index[Q any] interface {
+	// Cover appends the cover C_q to dst: disjoint spans whose union of
+	// leaves is exactly S_q. An empty result means S_q = ∅.
+	Cover(q Q, dst []Node) []Node
+	// NumElements returns the length of the leaf sequence.
+	NumElements() int
+}
+
+// Sampler is the Theorem 5 transform: it adds O(m) structures (subtree
+// weights plus the Lemma 4 engine over the leaf sequence) to an Index and
+// answers weighted IQS queries in O(|C_q| + s) time plus the index's
+// cover-finding time.
+type Sampler[Q any] struct {
+	idx Index[Q]
+	pos *rangesample.PosSampler
+}
+
+// NewSampler builds the transform. weights[i] is the weight of the
+// element at leaf-sequence position i; len(weights) must equal
+// idx.NumElements().
+func NewSampler[Q any](idx Index[Q], weights []float64) (*Sampler[Q], error) {
+	if len(weights) != idx.NumElements() {
+		return nil, fmt.Errorf("coverage: %d weights for %d elements",
+			len(weights), idx.NumElements())
+	}
+	return &Sampler[Q]{idx: idx, pos: rangesample.NewPosSampler(weights)}, nil
+}
+
+// Query appends s independent weighted samples from S_q to dst as
+// leaf-sequence positions. ok is false when S_q is empty.
+//
+// Algorithm (proof of Theorem 5): find C_q; build an alias structure over
+// the cover weights on the fly (Theorem 1, O(|C_q|)); draw the per-node
+// sample counts in O(s); finish each node's quota from the leaf-sequence
+// sampler.
+func (sp *Sampler[Q]) Query(r *rng.Source, q Q, s int, dst []int) ([]int, bool) {
+	var scratch [128]Node
+	cov := sp.idx.Cover(q, scratch[:0])
+	if len(cov) == 0 {
+		return dst, false
+	}
+	if len(cov) == 1 {
+		return sp.pos.Query(r, cov[0].Lo, cov[0].Hi, s, dst), true
+	}
+	w := make([]float64, len(cov))
+	for i, nd := range cov {
+		w[i] = nd.Weight
+	}
+	counts := alias.MustNew(w).Counts(r, s)
+	for i, cnt := range counts {
+		if cnt > 0 {
+			dst = sp.pos.Query(r, cov[i].Lo, cov[i].Hi, cnt, dst)
+		}
+	}
+	return dst, true
+}
+
+// RangeWeight returns the total weight of S_q (the sum of cover weights).
+func (sp *Sampler[Q]) RangeWeight(q Q) float64 {
+	var scratch [128]Node
+	cov := sp.idx.Cover(q, scratch[:0])
+	sum := 0.0
+	for _, nd := range cov {
+		sum += nd.Weight
+	}
+	return sum
+}
+
+// ApproxIndex is a tree-based structure in the sense of Theorem 6: it
+// produces approximate covers and can test membership of an element
+// (identified by its leaf-sequence position) in S_q.
+type ApproxIndex[Q any] interface {
+	// ApproxCover appends Ĉ_q to dst: disjoint spans whose leaves
+	// contain S_q, with |S_q| = Ω(total leaves covered). Empty result
+	// means S_q = ∅.
+	ApproxCover(q Q, dst []Node) []Node
+	// Contains reports whether the element at leaf position pos
+	// satisfies q.
+	Contains(q Q, pos int) bool
+	// NumElements returns the length of the leaf sequence.
+	NumElements() int
+}
+
+// ErrRejectionStuck is returned when the rejection loop fails to accept
+// for far longer than the Theorem 6 contract (constant expected repeats)
+// allows — the ApproxIndex is violating the Ω(·) condition.
+var ErrRejectionStuck = errors.New("coverage: rejection loop stuck; approximate cover violates the density condition")
+
+// ApproxSampler is the Theorem 6 transform: like Sampler, but each
+// candidate drawn from the approximate cover is kept only if it satisfies
+// q; rejected candidates are redrawn. With a valid approximate cover the
+// expected number of repeats per sample is O(1).
+//
+// Note on weights: the paper states Theorem 6 for WR sampling (uniform
+// weights), where the Ω(·) density condition is cardinality-based. The
+// transform below is exact for arbitrary weights, but the O(1)-repeats
+// guarantee needs the density condition to hold in *weight*: the
+// elements of S_q must carry a constant fraction of the cover's total
+// weight (the weighted extension is due to Afshani–Phillips [2]).
+type ApproxSampler[Q any] struct {
+	idx ApproxIndex[Q]
+	pos *rangesample.PosSampler
+	// maxAttemptsPerSample bounds the rejection loop (safety valve, not
+	// part of the paper's model). 0 means the default of 64.
+	maxAttemptsPerSample int
+}
+
+// NewApproxSampler builds the transform; weights as in NewSampler.
+func NewApproxSampler[Q any](idx ApproxIndex[Q], weights []float64) (*ApproxSampler[Q], error) {
+	if len(weights) != idx.NumElements() {
+		return nil, fmt.Errorf("coverage: %d weights for %d elements",
+			len(weights), idx.NumElements())
+	}
+	return &ApproxSampler[Q]{idx: idx, pos: rangesample.NewPosSampler(weights)}, nil
+}
+
+// Query appends s independent weighted samples from S_q. It reports
+// ErrRejectionStuck if the cover's density condition is violated.
+func (sp *ApproxSampler[Q]) Query(r *rng.Source, q Q, s int, dst []int) ([]int, bool, error) {
+	var scratch [128]Node
+	cov := sp.idx.ApproxCover(q, scratch[:0])
+	if len(cov) == 0 {
+		return dst, false, nil
+	}
+	w := make([]float64, len(cov))
+	for i, nd := range cov {
+		w[i] = nd.Weight
+	}
+	top := alias.MustNew(w)
+	maxAttempts := sp.maxAttemptsPerSample
+	if maxAttempts == 0 {
+		maxAttempts = 64
+	}
+	var one [1]int
+	for i := 0; i < s; i++ {
+		accepted := false
+		for attempt := 0; attempt < maxAttempts; attempt++ {
+			nd := cov[top.Sample(r)]
+			pos := sp.pos.Query(r, nd.Lo, nd.Hi, 1, one[:0])[0]
+			if sp.idx.Contains(q, pos) {
+				dst = append(dst, pos)
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			return dst, false, ErrRejectionStuck
+		}
+	}
+	return dst, true, nil
+}

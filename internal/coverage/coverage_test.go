@@ -1,0 +1,374 @@
+package coverage
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// rangeIndex is a toy exact Index over n elements: the predicate is a
+// position range [Lo, Hi], covered by splitting into fixed-size blocks
+// (so covers have >1 node and partial blocks are exercised).
+type rangeIndex struct {
+	weights []float64
+	block   int
+}
+
+type posRangeQ struct{ Lo, Hi int }
+
+func (ri *rangeIndex) NumElements() int { return len(ri.weights) }
+
+func (ri *rangeIndex) Cover(q posRangeQ, dst []Node) []Node {
+	if q.Lo > q.Hi || q.Hi >= len(ri.weights) || q.Lo < 0 {
+		return dst
+	}
+	for lo := q.Lo; lo <= q.Hi; {
+		hi := min((lo/ri.block+1)*ri.block-1, q.Hi)
+		w := 0.0
+		for i := lo; i <= hi; i++ {
+			w += ri.weights[i]
+		}
+		dst = append(dst, Node{Lo: lo, Hi: hi, Weight: w})
+		lo = hi + 1
+	}
+	return dst
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	r := rng.New(1)
+	const n = 40
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = r.Float64()*4 + 0.5
+	}
+	idx := &rangeIndex{weights: weights, block: 7}
+	sp, err := NewSampler[posRangeQ](idx, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := posRangeQ{5, 33}
+	total := 0.0
+	for i := q.Lo; i <= q.Hi; i++ {
+		total += weights[i]
+	}
+	const draws = 300000
+	counts := make([]int, n)
+	out, ok := sp.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, pos := range out {
+		if pos < q.Lo || pos > q.Hi {
+			t.Fatalf("pos %d outside query", pos)
+		}
+		counts[pos]++
+	}
+	chi2 := 0.0
+	for i := q.Lo; i <= q.Hi; i++ {
+		expected := draws * weights[i] / total
+		d := float64(counts[i]) - expected
+		chi2 += d * d / expected
+	}
+	if chi2 > chi2Crit(q.Hi-q.Lo) {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+	if got := sp.RangeWeight(q); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("RangeWeight = %v, want %v", got, total)
+	}
+}
+
+func TestSamplerEmptyCover(t *testing.T) {
+	idx := &rangeIndex{weights: []float64{1, 1, 1}, block: 2}
+	sp, err := NewSampler[posRangeQ](idx, idx.weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := sp.Query(rng.New(1), posRangeQ{2, 1}, 5, nil); ok {
+		t.Fatal("empty cover returned ok")
+	}
+}
+
+func TestSamplerWeightsMismatch(t *testing.T) {
+	idx := &rangeIndex{weights: []float64{1, 1}, block: 2}
+	if _, err := NewSampler[posRangeQ](idx, []float64{1}); err == nil {
+		t.Fatal("weight length mismatch accepted")
+	}
+}
+
+func TestComplementCoverProperties(t *testing.T) {
+	r := rng.New(2)
+	f := func(nRaw, loRaw, spanRaw uint16) bool {
+		n := int(nRaw%200) + 1
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = float64(i)
+			weights[i] = 1
+		}
+		c, err := NewComplement(values, weights)
+		if err != nil {
+			return false
+		}
+		lo := float64(loRaw % uint16(n+10))
+		hi := lo + float64(spanRaw%uint16(n+10))
+		q := Interval{Lo: lo, Hi: hi}
+		cov := c.ApproxCover(q, nil)
+		// Size at most 2 — the §6 claim.
+		if len(cov) > 2 {
+			return false
+		}
+		// Count the true complement.
+		m := 0
+		for _, v := range values {
+			if v < lo || v > hi {
+				m++
+			}
+		}
+		if m == 0 {
+			return len(cov) == 0
+		}
+		// Every complement element must be covered; covered total must be
+		// at most 4x the complement size (the constant here is 2 per
+		// piece).
+		covered := 0
+		for _, nd := range cov {
+			covered += nd.Hi - nd.Lo + 1
+		}
+		for i, v := range values {
+			if v < lo || v > hi {
+				in := false
+				for _, nd := range cov {
+					if i >= nd.Lo && i <= nd.Hi {
+						in = true
+					}
+				}
+				if !in {
+					return false
+				}
+			}
+		}
+		if covered > 4*m {
+			return false
+		}
+		// Disjointness.
+		if len(cov) == 2 && cov[0].Hi >= cov[1].Lo && cov[1].Hi >= cov[0].Lo {
+			// Overlapping spans.
+			if !(cov[0].Hi < cov[1].Lo || cov[1].Hi < cov[0].Lo) {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComplementSamplerDistribution(t *testing.T) {
+	const n = 50
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1
+	}
+	sp, c, err := NewComplementSampler(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	// q covers [10, 44] (35 of 50 elements, > half): complement is
+	// {0..9} ∪ {45..49}, exercising the two-spine-node branch.
+	q := Interval{Lo: 10, Hi: 44}
+	const draws = 150000
+	counts := map[int]int{}
+	out, ok, err := sp.Query(r, q, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, pos := range out {
+		v := c.Value(pos)
+		if v >= 10 && v <= 44 {
+			t.Fatalf("sampled %v inside q", v)
+		}
+		counts[pos]++
+	}
+	expected := float64(draws) / 15
+	for pos, cnt := range counts {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pos %d count %d, expected ~%v", pos, cnt, expected)
+		}
+	}
+	if len(counts) != 15 {
+		t.Fatalf("only %d of 15 complement elements sampled", len(counts))
+	}
+}
+
+func TestComplementSmallQUsesRoot(t *testing.T) {
+	const n = 20
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1
+	}
+	c, err := NewComplement(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := c.ApproxCover(Interval{Lo: 5, Hi: 8}, nil) // 4 ≤ n/2 inside
+	if len(cov) != 1 || cov[0].Lo != 0 || cov[0].Hi != n-1 {
+		t.Fatalf("cover = %v, want root", cov)
+	}
+}
+
+func TestComplementEmptyComplement(t *testing.T) {
+	values := []float64{1, 2, 3}
+	weights := []float64{1, 1, 1}
+	sp, _, err := NewComplementSampler(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ok, err := sp.Query(rng.New(4), Interval{Lo: 0, Hi: 5}, 3, nil)
+	if ok || err != nil {
+		t.Fatalf("ok=%v err=%v for empty complement", ok, err)
+	}
+}
+
+func TestComplementEmptyIntersection(t *testing.T) {
+	// q misses S entirely: complement is everything.
+	values := []float64{1, 2, 3, 4}
+	weights := []float64{1, 1, 1, 1}
+	sp, _, err := NewComplementSampler(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := sp.Query(rng.New(5), Interval{Lo: 100, Hi: 200}, 100, nil)
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	seen := map[int]bool{}
+	for _, pos := range out {
+		seen[pos] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("sampled %d of 4 elements", len(seen))
+	}
+}
+
+// brokenIndex violates the density condition: its cover contains no
+// satisfying element.
+type brokenIndex struct{ n int }
+
+func (b *brokenIndex) NumElements() int { return b.n }
+func (b *brokenIndex) ApproxCover(q struct{}, dst []Node) []Node {
+	return append(dst, Node{Lo: 0, Hi: b.n - 1, Weight: float64(b.n)})
+}
+func (b *brokenIndex) Contains(q struct{}, pos int) bool { return false }
+
+func TestRejectionStuck(t *testing.T) {
+	idx := &brokenIndex{n: 8}
+	weights := make([]float64, 8)
+	for i := range weights {
+		weights[i] = 1
+	}
+	sp, err := NewApproxSampler[struct{}](idx, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.Query(rng.New(6), struct{}{}, 1, nil); err != ErrRejectionStuck {
+		t.Fatalf("err = %v, want ErrRejectionStuck", err)
+	}
+}
+
+func TestCachedApproxSampler(t *testing.T) {
+	const n = 64
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1
+	}
+	c, err := NewComplement(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := NewCachedApproxSampler[Interval](c, c.weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	// Different predicates sharing the root cover must hit the cache.
+	for i := 0; i < 50; i++ {
+		q := Interval{Lo: float64(10 + i%5), Hi: float64(12 + i%5)}
+		if _, ok, err := sp.Query(r, q, 3, nil); !ok || err != nil {
+			t.Fatalf("query %d: ok=%v err=%v", i, ok, err)
+		}
+	}
+	size, hits, misses := sp.CacheStats()
+	if size != 1 {
+		t.Fatalf("cache size = %d, want 1 (all small-q covers are the root)", size)
+	}
+	if hits != 49 || misses != 1 {
+		t.Fatalf("hits/misses = %d/%d", hits, misses)
+	}
+	// Distribution sanity on the cached path.
+	out, ok, err := sp.Query(r, Interval{Lo: 0, Hi: 31}, 60000, nil)
+	if !ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	counts := map[int]int{}
+	for _, pos := range out {
+		if pos < 32 {
+			t.Fatalf("sampled pos %d inside q", pos)
+		}
+		counts[pos]++
+	}
+	expected := 60000.0 / 32
+	for pos, cnt := range counts {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pos %d count %d", pos, cnt)
+		}
+	}
+}
+
+func TestCachedRejectionStuck(t *testing.T) {
+	idx := &brokenIndex{n: 4}
+	weights := []float64{1, 1, 1, 1}
+	sp, err := NewCachedApproxSampler[struct{}](idx, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := sp.Query(rng.New(8), struct{}{}, 1, nil); err != ErrRejectionStuck {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestConstructorWeightMismatches(t *testing.T) {
+	c, err := NewComplement([]float64{1, 2}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewApproxSampler[Interval](c, []float64{1}); err == nil {
+		t.Fatal("approx sampler length mismatch accepted")
+	}
+	if _, err := NewCachedApproxSampler[Interval](c, []float64{1}); err == nil {
+		t.Fatal("cached sampler length mismatch accepted")
+	}
+	if _, _, err := NewComplementSampler([]float64{1}, []float64{-1}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := NewComplement([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("complement length mismatch accepted")
+	}
+}

@@ -1,0 +1,178 @@
+// Package dataset generates the synthetic workloads used by the
+// experiments. The paper has no evaluation datasets of its own (it is a
+// tutorial), so these generators realise the data regimes its analysis
+// distinguishes: uniform and clustered value distributions, uniform and
+// heavy-tailed (Zipf) weights, multi-dimensional point clouds, and query
+// workloads with controlled selectivity.
+package dataset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// UniformValues returns n values uniform in [0, 1).
+func UniformValues(r *rng.Source, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.Float64()
+	}
+	return v
+}
+
+// ClusteredValues returns n values drawn from k Gaussian clusters with
+// the given standard deviation, centred uniformly in [0, 1).
+func ClusteredValues(r *rng.Source, n, k int, sigma float64) []float64 {
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]float64, k)
+	for i := range centers {
+		centers[i] = r.Float64()
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = centers[r.Intn(k)] + r.NormFloat64()*sigma
+	}
+	return v
+}
+
+// UniformWeights returns n unit weights (the WR regime).
+func UniformWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}
+
+// ZipfWeights returns n weights w_i ∝ 1/rank^alpha with a random rank
+// assignment — the heavy-tailed regime where weighted sampling differs
+// most from WR.
+func ZipfWeights(r *rng.Source, n int, alpha float64) []float64 {
+	w := make([]float64, n)
+	perm := r.Perm(n)
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(perm[i]+1), alpha)
+	}
+	return w
+}
+
+// RandomWeights returns n weights uniform in (lo, hi].
+func RandomWeights(r *rng.Source, n int, lo, hi float64) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = lo + r.Float64()*(hi-lo)
+		if w[i] <= 0 {
+			w[i] = lo
+		}
+	}
+	return w
+}
+
+// UniformPoints returns n points uniform in [0, 1)^d.
+func UniformPoints(r *rng.Source, n, d int) [][]float64 {
+	pts := make([][]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// ClusteredPoints returns n points from k Gaussian clusters in [0, 1)^d.
+func ClusteredPoints(r *rng.Source, n, d, k int, sigma float64) [][]float64 {
+	if k < 1 {
+		k = 1
+	}
+	centers := UniformPoints(r, k, d)
+	pts := make([][]float64, n)
+	for i := range pts {
+		c := centers[r.Intn(k)]
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = c[j] + r.NormFloat64()*sigma
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// Interval is a query interval (duplicated locally to avoid an import
+// cycle with the structure packages; convert at call sites).
+type Interval struct {
+	Lo, Hi float64
+}
+
+// IntervalQueries returns q query intervals over sorted values whose
+// result sizes are ≈ selectivity·n, placed uniformly at random.
+func IntervalQueries(r *rng.Source, sortedValues []float64, q int, selectivity float64) []Interval {
+	n := len(sortedValues)
+	span := int(selectivity * float64(n))
+	if span < 1 {
+		span = 1
+	}
+	if span > n {
+		span = n
+	}
+	out := make([]Interval, q)
+	for i := range out {
+		a := r.Intn(n - span + 1)
+		b := a + span - 1
+		out[i] = Interval{Lo: sortedValues[a], Hi: sortedValues[b]}
+	}
+	return out
+}
+
+// RectQuery is an axis-parallel rectangle workload entry.
+type RectQuery struct {
+	Min, Max []float64
+}
+
+// RectQueries returns q random axis-parallel rectangles in [0,1]^d with
+// side length `side` per dimension.
+func RectQueries(r *rng.Source, d, q int, side float64) []RectQuery {
+	out := make([]RectQuery, q)
+	for i := range out {
+		minC := make([]float64, d)
+		maxC := make([]float64, d)
+		for j := 0; j < d; j++ {
+			lo := r.Float64() * (1 - side)
+			minC[j], maxC[j] = lo, lo+side
+		}
+		out[i] = RectQuery{Min: minC, Max: maxC}
+	}
+	return out
+}
+
+// OverlappingSets returns m sets over a universe of u elements where each
+// set holds `size` elements drawn from a window of the universe, with
+// consecutive windows overlapping by the given fraction — the workload
+// for set union sampling.
+func OverlappingSets(r *rng.Source, m, u, size int, overlap float64) ([][]int, error) {
+	if m < 1 || u < 1 || size < 1 {
+		return nil, fmt.Errorf("dataset: bad set parameters m=%d u=%d size=%d", m, u, size)
+	}
+	if overlap < 0 || overlap >= 1 {
+		return nil, fmt.Errorf("dataset: overlap %v outside [0,1)", overlap)
+	}
+	step := int(float64(size) * (1 - overlap))
+	if step < 1 {
+		step = 1
+	}
+	sets := make([][]int, m)
+	for i := range sets {
+		base := (i * step) % u
+		s := make([]int, size)
+		for j := range s {
+			s[j] = (base + r.Intn(size*2)) % u
+		}
+		sets[i] = s
+	}
+	return sets, nil
+}

@@ -1,0 +1,176 @@
+package dataset
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestUniformValues(t *testing.T) {
+	r := rng.New(1)
+	v := UniformValues(r, 1000)
+	if len(v) != 1000 {
+		t.Fatalf("len = %d", len(v))
+	}
+	for _, x := range v {
+		if x < 0 || x >= 1 {
+			t.Fatalf("value %v out of range", x)
+		}
+	}
+}
+
+func TestClusteredValues(t *testing.T) {
+	r := rng.New(2)
+	v := ClusteredValues(r, 5000, 3, 0.01)
+	if len(v) != 5000 {
+		t.Fatalf("len = %d", len(v))
+	}
+	// Clusters should concentrate mass: the interquartile range is far
+	// smaller than for uniform data... instead check simple sanity: the
+	// variance is finite and values mostly within [-0.1, 1.1].
+	inRange := 0
+	for _, x := range v {
+		if x > -0.1 && x < 1.1 {
+			inRange++
+		}
+	}
+	if inRange < 4900 {
+		t.Fatalf("only %d of 5000 values near [0,1]", inRange)
+	}
+	// k<1 coerced.
+	if got := ClusteredValues(r, 10, 0, 0.01); len(got) != 10 {
+		t.Fatal("k=0 failed")
+	}
+}
+
+func TestWeights(t *testing.T) {
+	r := rng.New(3)
+	for name, w := range map[string][]float64{
+		"uniform": UniformWeights(100),
+		"zipf":    ZipfWeights(r, 100, 1.2),
+		"random":  RandomWeights(r, 100, 0.5, 2),
+	} {
+		if len(w) != 100 {
+			t.Fatalf("%s: len %d", name, len(w))
+		}
+		for _, x := range w {
+			if !(x > 0) {
+				t.Fatalf("%s: non-positive weight %v", name, x)
+			}
+		}
+	}
+	// Zipf must be heavy-tailed: max/min = n^alpha.
+	w := ZipfWeights(r, 1000, 1)
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, x := range w {
+		mn = math.Min(mn, x)
+		mx = math.Max(mx, x)
+	}
+	if mx/mn < 500 {
+		t.Fatalf("zipf spread %v too small", mx/mn)
+	}
+}
+
+func TestPoints(t *testing.T) {
+	r := rng.New(4)
+	pts := UniformPoints(r, 200, 3)
+	if len(pts) != 200 || len(pts[0]) != 3 {
+		t.Fatalf("shape %dx%d", len(pts), len(pts[0]))
+	}
+	cpts := ClusteredPoints(r, 200, 2, 4, 0.02)
+	if len(cpts) != 200 || len(cpts[0]) != 2 {
+		t.Fatal("clustered shape wrong")
+	}
+}
+
+func TestIntervalQueries(t *testing.T) {
+	r := rng.New(5)
+	values := UniformValues(r, 1000)
+	sort.Float64s(values)
+	qs := IntervalQueries(r, values, 50, 0.1)
+	if len(qs) != 50 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		if q.Hi < q.Lo {
+			t.Fatalf("inverted query %+v", q)
+		}
+		// Selectivity ≈ 10%: count values inside.
+		cnt := 0
+		for _, v := range values {
+			if v >= q.Lo && v <= q.Hi {
+				cnt++
+			}
+		}
+		if cnt < 50 || cnt > 200 {
+			t.Fatalf("query selects %d of 1000, want ~100", cnt)
+		}
+	}
+	// Extremes clamp.
+	qs = IntervalQueries(r, values, 1, 0)
+	if len(qs) != 1 {
+		t.Fatal("zero selectivity failed")
+	}
+	qs = IntervalQueries(r, values, 1, 2)
+	if qs[0].Lo != values[0] || qs[0].Hi != values[len(values)-1] {
+		t.Fatal("overselectivity not clamped to full range")
+	}
+}
+
+func TestRectQueries(t *testing.T) {
+	r := rng.New(6)
+	qs := RectQueries(r, 2, 20, 0.3)
+	if len(qs) != 20 {
+		t.Fatalf("len = %d", len(qs))
+	}
+	for _, q := range qs {
+		for j := 0; j < 2; j++ {
+			if q.Max[j]-q.Min[j] < 0.29 || q.Max[j] > 1.001 || q.Min[j] < 0 {
+				t.Fatalf("bad rect %+v", q)
+			}
+		}
+	}
+}
+
+func TestOverlappingSets(t *testing.T) {
+	r := rng.New(7)
+	if _, err := OverlappingSets(r, 0, 10, 5, 0.5); err == nil {
+		t.Fatal("m=0 accepted")
+	}
+	if _, err := OverlappingSets(r, 5, 10, 5, 1.5); err == nil {
+		t.Fatal("overlap>1 accepted")
+	}
+	sets, err := OverlappingSets(r, 10, 1000, 50, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 10 {
+		t.Fatalf("len = %d", len(sets))
+	}
+	for _, s := range sets {
+		if len(s) != 50 {
+			t.Fatalf("set size %d", len(s))
+		}
+		for _, e := range s {
+			if e < 0 || e >= 1000 {
+				t.Fatalf("element %d outside universe", e)
+			}
+		}
+	}
+	// Consecutive sets should share elements at 0.5 overlap.
+	shared := 0
+	in0 := map[int]bool{}
+	for _, e := range sets[0] {
+		in0[e] = true
+	}
+	for _, e := range sets[1] {
+		if in0[e] {
+			shared++
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no overlap between consecutive sets")
+	}
+}

@@ -1,0 +1,180 @@
+package em
+
+import "fmt"
+
+// Array is a vector of fixed-stride records stored across consecutive
+// disk blocks. A record is `stride` words; records never straddle block
+// boundaries (each block holds ⌊B/stride⌋ records), so a record access
+// costs exactly one I/O and a sequential scan costs ⌈n·stride/B⌉-ish
+// I/Os.
+type Array struct {
+	dev     *Device
+	first   BlockID
+	n       int // number of records
+	stride  int
+	perBlk  int // records per block
+	nBlocks int
+}
+
+// NewArray allocates an EM array of n records with the given stride.
+func NewArray(dev *Device, n, stride int) *Array {
+	if stride < 1 || stride > dev.b {
+		panic(fmt.Sprintf("em: stride %d invalid for block size %d", stride, dev.b))
+	}
+	perBlk := dev.b / stride
+	nBlocks := (n + perBlk - 1) / perBlk
+	if nBlocks == 0 {
+		nBlocks = 1
+	}
+	return &Array{
+		dev:     dev,
+		first:   dev.Alloc(nBlocks),
+		n:       n,
+		stride:  stride,
+		perBlk:  perBlk,
+		nBlocks: nBlocks,
+	}
+}
+
+// Len returns the number of records.
+func (a *Array) Len() int { return a.n }
+
+// Stride returns the record width in words.
+func (a *Array) Stride() int { return a.stride }
+
+// Blocks returns the number of blocks occupied (the space metric).
+func (a *Array) Blocks() int { return a.nBlocks }
+
+// blockOf returns the block id and in-block offset (in words) of record i.
+func (a *Array) blockOf(i int) (BlockID, int) {
+	if i < 0 || i >= a.n {
+		panic(fmt.Sprintf("em: record %d out of [0,%d)", i, a.n))
+	}
+	return a.first + BlockID(i/a.perBlk), (i % a.perBlk) * a.stride
+}
+
+// Get reads record i into dst (length ≥ stride): one I/O.
+func (a *Array) Get(i int, dst []Word) {
+	id, off := a.blockOf(i)
+	buf := make([]Word, a.dev.b)
+	a.dev.Read(id, buf)
+	copy(dst, buf[off:off+a.stride])
+}
+
+// Set writes record i from src: one read-modify-write (2 I/Os, as the
+// model requires whole-block transfers).
+func (a *Array) Set(i int, src []Word) {
+	id, off := a.blockOf(i)
+	buf := make([]Word, a.dev.b)
+	a.dev.Read(id, buf)
+	copy(buf[off:off+a.stride], src[:a.stride])
+	a.dev.Write(id, buf)
+}
+
+// Scanner reads records sequentially at one I/O per block.
+type Scanner struct {
+	a    *Array
+	next int
+	buf  []Word
+	blk  BlockID // currently buffered block, -1 if none
+}
+
+// Scan returns a Scanner positioned at record `from`.
+func (a *Array) Scan(from int) *Scanner {
+	return &Scanner{a: a, next: from, buf: make([]Word, a.dev.b), blk: -1}
+}
+
+// Next reads the next record into dst and reports whether one was read.
+func (s *Scanner) Next(dst []Word) bool {
+	if s.next >= s.a.n {
+		return false
+	}
+	id, off := s.a.blockOf(s.next)
+	if id != s.blk {
+		s.a.dev.Read(id, s.buf)
+		s.blk = id
+	}
+	copy(dst, s.buf[off:off+s.a.stride])
+	s.next++
+	return true
+}
+
+// Pos returns the index of the record Next will read.
+func (s *Scanner) Pos() int { return s.next }
+
+// RandomReader reads records in arbitrary order while buffering one
+// block: consecutive reads within the same block cost no extra I/O, so a
+// monotone sequence of record indexes costs at most one I/O per distinct
+// block — the access pattern behind the sort-based batch sampling of
+// Section 8.
+type RandomReader struct {
+	a   *Array
+	buf []Word
+	blk BlockID
+}
+
+// RandomReader returns a reader with an empty buffer.
+func (a *Array) RandomReader() *RandomReader {
+	return &RandomReader{a: a, buf: make([]Word, a.dev.b), blk: -1}
+}
+
+// Get reads record i into dst, costing one I/O only when i's block is
+// not the buffered one.
+func (r *RandomReader) Get(i int, dst []Word) {
+	id, off := r.a.blockOf(i)
+	if id != r.blk {
+		r.a.dev.Read(id, r.buf)
+		r.blk = id
+	}
+	copy(dst, r.buf[off:off+r.a.stride])
+}
+
+// Writer writes records sequentially at one I/O per block (flushing each
+// block once when it fills or on Flush).
+type Writer struct {
+	a     *Array
+	next  int
+	buf   []Word
+	blk   BlockID
+	dirty bool
+}
+
+// Write returns a Writer positioned at record `from`. Writing must
+// proceed strictly sequentially.
+func (a *Array) Write(from int) *Writer {
+	w := &Writer{a: a, next: from, buf: make([]Word, a.dev.b), blk: -1}
+	return w
+}
+
+// Append writes src as the next record.
+func (w *Writer) Append(src []Word) {
+	if w.next >= w.a.n {
+		panic("em: Writer past end of array")
+	}
+	id, off := w.a.blockOf(w.next)
+	if id != w.blk {
+		w.flush()
+		// Partial leading block: preserve existing contents.
+		if off != 0 || w.next+w.a.perBlk-1 >= w.a.n {
+			w.a.dev.Read(id, w.buf)
+		} else {
+			for i := range w.buf {
+				w.buf[i] = 0
+			}
+		}
+		w.blk = id
+	}
+	copy(w.buf[off:off+w.a.stride], src[:w.a.stride])
+	w.dirty = true
+	w.next++
+}
+
+func (w *Writer) flush() {
+	if w.dirty && w.blk >= 0 {
+		w.a.dev.Write(w.blk, w.buf)
+		w.dirty = false
+	}
+}
+
+// Flush writes out the buffered block; call once after the last Append.
+func (w *Writer) Flush() { w.flush() }

@@ -1,0 +1,170 @@
+package em
+
+import (
+	"errors"
+	"math"
+)
+
+// BTree is a static B-tree over a sorted stride-1 Array — the
+// conventional EM reporting structure the paper contrasts IQS against in
+// Section 8 ("the B-tree achieves the purpose in O(log_B n + k/B)
+// I/Os"). Internal nodes are stored one per block and hold up to
+// fanout = B/2 (separator, child) pairs; leaves are the data blocks
+// themselves. Search costs O(log_B n) I/Os; RangeReport costs
+// O(log_B n + k/B).
+type BTree struct {
+	dev    *Device
+	data   *Array // sorted values, stride 1
+	perBlk int
+	n      int
+	fanout int
+	// levels[0] is the leaf-summary level: one (minValue, blockIndex)
+	// entry per data block, packed into node blocks; higher levels
+	// summarise the level below. levels[len-1] is the root (single
+	// block).
+	levels []*Array // each an Array of stride-2 records (key, child)
+}
+
+// ErrNotSorted is returned when the input array is not sorted.
+var ErrNotSorted = errors.New("em: BTree input not sorted")
+
+// BuildBTree constructs a static B-tree over data, which must be a
+// sorted stride-1 array. Build cost O(n/B) I/Os (one scan per level).
+func BuildBTree(dev *Device, data *Array) (*BTree, error) {
+	if data.Stride() != 1 {
+		return nil, errors.New("em: BTree requires stride-1 data")
+	}
+	n := data.Len()
+	if n == 0 {
+		return nil, errors.New("em: BTree over empty array")
+	}
+	t := &BTree{
+		dev:    dev,
+		data:   data,
+		perBlk: dev.B(),
+		n:      n,
+		fanout: dev.B() / 2,
+	}
+	if t.fanout < 2 {
+		t.fanout = 2
+	}
+	// Level 0: one (firstValue, dataBlockIdx) entry per data block, and
+	// verify sortedness on the way.
+	nBlocks := (n + t.perBlk - 1) / t.perBlk
+	lvl := NewArray(dev, nBlocks, 2)
+	{
+		sc := data.Scan(0)
+		w := lvl.Write(0)
+		rec := make([]Word, 1)
+		last := math.Inf(-1)
+		for i := 0; sc.Next(rec); i++ {
+			if rec[0] < last {
+				return nil, ErrNotSorted
+			}
+			last = rec[0]
+			if i%t.perBlk == 0 {
+				w.Append([]Word{rec[0], Word(i / t.perBlk)})
+			}
+		}
+		w.Flush()
+	}
+	t.levels = append(t.levels, lvl)
+	// Higher levels until one block suffices.
+	for t.levels[len(t.levels)-1].Len() > t.fanout {
+		below := t.levels[len(t.levels)-1]
+		cnt := (below.Len() + t.fanout - 1) / t.fanout
+		up := NewArray(dev, cnt, 2)
+		sc := below.Scan(0)
+		w := up.Write(0)
+		rec := make([]Word, 2)
+		for i := 0; sc.Next(rec); i++ {
+			if i%t.fanout == 0 {
+				w.Append([]Word{rec[0], Word(i)})
+			}
+		}
+		w.Flush()
+		t.levels = append(t.levels, up)
+	}
+	return t, nil
+}
+
+// Len returns the number of keys.
+func (t *BTree) Len() int { return t.n }
+
+// Height returns the number of internal levels (≈ log_B n).
+func (t *BTree) Height() int { return len(t.levels) }
+
+// Search returns the position of the first key ≥ x (n when all keys are
+// smaller). O(log_B n) I/Os: one node block per level plus one data
+// block.
+func (t *BTree) Search(x float64) int {
+	// Descend: at each level find the last entry with key ≤ x within the
+	// current window of `fanout` entries.
+	top := t.levels[len(t.levels)-1]
+	lo, hi := 0, top.Len()-1
+	rec := make([]Word, 2)
+	for li := len(t.levels) - 1; li >= 0; li-- {
+		lv := t.levels[li]
+		rd := lv.RandomReader()
+		best := -1
+		bestChild := 0.0
+		for i := lo; i <= hi && i < lv.Len(); i++ {
+			rd.Get(i, rec)
+			if rec[0] <= x {
+				best = i
+				bestChild = rec[1]
+			} else {
+				break
+			}
+		}
+		if best < 0 {
+			// x precedes every key.
+			return 0
+		}
+		if li == 0 {
+			// bestChild is a data block index; scan it.
+			blk := int(bestChild)
+			start := blk * t.perBlk
+			end := start + t.perBlk
+			if end > t.n {
+				end = t.n
+			}
+			sc := t.data.Scan(start)
+			val := make([]Word, 1)
+			for p := start; p < end && sc.Next(val); p++ {
+				if val[0] >= x {
+					return p
+				}
+			}
+			return end
+		}
+		lo = int(bestChild)
+		hi = lo + t.fanout - 1
+	}
+	return 0
+}
+
+// RangeReport appends the values in [x, y] to dst: O(log_B n + k/B)
+// I/Os.
+func (t *BTree) RangeReport(x, y float64, dst []float64) []float64 {
+	pos := t.Search(x)
+	sc := t.data.Scan(pos)
+	rec := make([]Word, 1)
+	for sc.Next(rec) {
+		if rec[0] > y {
+			break
+		}
+		dst = append(dst, rec[0])
+	}
+	return dst
+}
+
+// Count returns |keys in [x, y]| in O(log_B n) I/Os.
+func (t *BTree) Count(x, y float64) int {
+	if y < x {
+		return 0
+	}
+	a := t.Search(x)
+	b := t.Search(math.Nextafter(y, math.Inf(1)))
+	return b - a
+}

@@ -1,0 +1,169 @@
+package em
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func buildSortedArray(t testing.TB, dev *Device, values []float64) *Array {
+	t.Helper()
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	a := NewArray(dev, len(sorted), 1)
+	w := a.Write(0)
+	for _, v := range sorted {
+		w.Append([]Word{v})
+	}
+	w.Flush()
+	return a
+}
+
+func TestBTreeErrors(t *testing.T) {
+	d, _ := NewDevice(8, 64)
+	if _, err := BuildBTree(d, NewArray(d, 3, 2)); err == nil {
+		t.Fatal("stride-2 accepted")
+	}
+	// Unsorted input.
+	a := NewArray(d, 3, 1)
+	w := a.Write(0)
+	w.Append([]Word{3})
+	w.Append([]Word{1})
+	w.Append([]Word{2})
+	w.Flush()
+	if _, err := BuildBTree(d, a); err != ErrNotSorted {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBTreeSearchMatchesSort(t *testing.T) {
+	r := rng.New(1)
+	f := func(raw []uint16, probe uint16) bool {
+		if len(raw) == 0 || len(raw) > 400 {
+			return true
+		}
+		d, err := NewDevice(8, 64)
+		if err != nil {
+			return false
+		}
+		values := make([]float64, len(raw))
+		for i, v := range raw {
+			values[i] = float64(v % 500)
+		}
+		a := buildSortedArray(t, d, values)
+		bt, err := BuildBTree(d, a)
+		if err != nil {
+			return false
+		}
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		x := float64(probe % 520)
+		want := sort.SearchFloat64s(sorted, x)
+		_ = r
+		return bt.Search(x) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeRangeReport(t *testing.T) {
+	d, _ := NewDevice(16, 128)
+	values := make([]float64, 300)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	a := buildSortedArray(t, d, values)
+	bt, err := BuildBTree(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := bt.RangeReport(50.5, 60.5, nil)
+	if len(out) != 10 {
+		t.Fatalf("reported %d values: %v", len(out), out)
+	}
+	for i, v := range out {
+		if v != float64(51+i) {
+			t.Fatalf("out[%d] = %v", i, v)
+		}
+	}
+	if got := bt.Count(50.5, 60.5); got != 10 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := bt.Count(1000, 2000); got != 0 {
+		t.Fatalf("empty Count = %d", got)
+	}
+	if got := bt.Count(60, 50); got != 0 {
+		t.Fatalf("inverted Count = %d", got)
+	}
+	if got := bt.Count(0, 299); got != 300 {
+		t.Fatalf("full Count = %d", got)
+	}
+}
+
+func TestBTreeSearchIOCost(t *testing.T) {
+	// Search must cost O(log_B n) I/Os, far below a full scan.
+	const n = 1 << 14
+	d, _ := NewDevice(64, 1024)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	a := buildSortedArray(t, d, values)
+	bt, err := BuildBTree(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	bt.Search(12345)
+	// height+1 levels × ≤2 blocks each, plus the data block.
+	bound := int64(2*bt.Height() + 2)
+	if d.IOs() > bound {
+		t.Fatalf("search I/Os = %d > %d (height %d)", d.IOs(), bound, bt.Height())
+	}
+}
+
+func TestBTreeReportIOCost(t *testing.T) {
+	const n = 1 << 14
+	d, _ := NewDevice(64, 1024)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	a := buildSortedArray(t, d, values)
+	bt, err := BuildBTree(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.ResetStats()
+	const k = 1000
+	out := bt.RangeReport(2000, 2000+k-1, nil)
+	if len(out) != k {
+		t.Fatalf("reported %d", len(out))
+	}
+	// O(log_B n + k/B): generous bound 2·height + k/B + 3.
+	bound := int64(2*bt.Height() + k/64 + 3)
+	if d.IOs() > bound {
+		t.Fatalf("report I/Os = %d > %d", d.IOs(), bound)
+	}
+}
+
+func TestBTreeSingleBlock(t *testing.T) {
+	d, _ := NewDevice(8, 64)
+	a := buildSortedArray(t, d, []float64{1, 2, 3})
+	bt, err := BuildBTree(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := bt.Search(2); got != 1 {
+		t.Fatalf("Search(2) = %d", got)
+	}
+	if got := bt.Search(0); got != 0 {
+		t.Fatalf("Search(0) = %d", got)
+	}
+	if got := bt.Search(9); got != 3 {
+		t.Fatalf("Search(9) = %d", got)
+	}
+}

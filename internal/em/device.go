@@ -1,0 +1,99 @@
+// Package em simulates the external memory (EM) model of Aggarwal and
+// Vitter, the setting of Section 8 of the paper: a machine with M words
+// of memory and a disk formatted into blocks of B words; an I/O reads or
+// writes one block; the cost of an algorithm is the number of I/Os (CPU
+// time is free); the space of a structure is the number of blocks
+// occupied.
+//
+// The Device type is the simulated disk: it allocates blocks, serves
+// reads and writes of whole blocks, and counts I/Os. Algorithms in this
+// package and in internal/emiqs are written to respect the memory budget
+// M — they never materialise more than O(M) words in RAM at a time — so
+// the I/O counters reproduce the model's cost metric exactly (DESIGN.md
+// substitution 5).
+package em
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Word is the unit of storage in the model.
+type Word = float64
+
+// BlockID identifies a disk block.
+type BlockID int
+
+// ErrBadGeometry is returned for invalid M/B configurations.
+var ErrBadGeometry = errors.New("em: need B >= 1 and M >= 2B")
+
+// Device is a simulated disk with I/O accounting.
+type Device struct {
+	b, m   int
+	blocks [][]Word
+	reads  int64
+	writes int64
+}
+
+// NewDevice creates a device with block size b words and memory capacity
+// m words. The model requires m ≥ 2b (the memory holds at least two
+// blocks).
+func NewDevice(b, m int) (*Device, error) {
+	if b < 1 || m < 2*b {
+		return nil, fmt.Errorf("%w: B=%d M=%d", ErrBadGeometry, b, m)
+	}
+	return &Device{b: b, m: m}, nil
+}
+
+// B returns the block size in words.
+func (d *Device) B() int { return d.b }
+
+// M returns the memory capacity in words.
+func (d *Device) M() int { return d.m }
+
+// Alloc reserves n fresh zeroed blocks and returns the id of the first;
+// the ids are consecutive.
+func (d *Device) Alloc(n int) BlockID {
+	first := BlockID(len(d.blocks))
+	for i := 0; i < n; i++ {
+		d.blocks = append(d.blocks, make([]Word, d.b))
+	}
+	return first
+}
+
+// NumBlocks returns the number of allocated blocks (the space metric).
+func (d *Device) NumBlocks() int { return len(d.blocks) }
+
+// Read copies block id into dst (which must have length ≥ B) and counts
+// one I/O.
+func (d *Device) Read(id BlockID, dst []Word) {
+	if int(id) < 0 || int(id) >= len(d.blocks) {
+		panic(fmt.Sprintf("em: read of unallocated block %d", id))
+	}
+	d.reads++
+	copy(dst, d.blocks[id])
+}
+
+// Write copies src (length ≤ B) into block id and counts one I/O.
+func (d *Device) Write(id BlockID, src []Word) {
+	if int(id) < 0 || int(id) >= len(d.blocks) {
+		panic(fmt.Sprintf("em: write of unallocated block %d", id))
+	}
+	if len(src) > d.b {
+		panic("em: write larger than block")
+	}
+	d.writes++
+	copy(d.blocks[id], src)
+}
+
+// Reads returns the read I/O count since the last ResetStats.
+func (d *Device) Reads() int64 { return d.reads }
+
+// Writes returns the write I/O count since the last ResetStats.
+func (d *Device) Writes() int64 { return d.writes }
+
+// IOs returns reads + writes.
+func (d *Device) IOs() int64 { return d.reads + d.writes }
+
+// ResetStats zeroes the I/O counters (block contents are untouched).
+func (d *Device) ResetStats() { d.reads, d.writes = 0, 0 }

@@ -1,0 +1,292 @@
+package em
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDeviceGeometry(t *testing.T) {
+	if _, err := NewDevice(0, 10); err == nil {
+		t.Fatal("B=0 accepted")
+	}
+	if _, err := NewDevice(8, 8); err == nil {
+		t.Fatal("M<2B accepted")
+	}
+	d, err := NewDevice(8, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.B() != 8 || d.M() != 16 {
+		t.Fatalf("B/M = %d/%d", d.B(), d.M())
+	}
+}
+
+func TestDeviceReadWriteCounts(t *testing.T) {
+	d, err := NewDevice(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := d.Alloc(2)
+	if d.NumBlocks() != 2 {
+		t.Fatalf("NumBlocks = %d", d.NumBlocks())
+	}
+	d.Write(id, []Word{1, 2, 3, 4})
+	buf := make([]Word, 4)
+	d.Read(id, buf)
+	if buf[2] != 3 {
+		t.Fatalf("read back %v", buf)
+	}
+	if d.Reads() != 1 || d.Writes() != 1 || d.IOs() != 2 {
+		t.Fatalf("stats %d/%d", d.Reads(), d.Writes())
+	}
+	d.ResetStats()
+	if d.IOs() != 0 {
+		t.Fatal("ResetStats did not reset")
+	}
+}
+
+func TestDevicePanics(t *testing.T) {
+	d, _ := NewDevice(4, 8)
+	for _, fn := range []func(){
+		func() { d.Read(5, make([]Word, 4)) },
+		func() { d.Write(0, make([]Word, 4)) }, // unallocated
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestArrayGetSet(t *testing.T) {
+	d, _ := NewDevice(8, 64)
+	a := NewArray(d, 10, 2)
+	for i := 0; i < 10; i++ {
+		a.Set(i, []Word{float64(i), float64(i * 10)})
+	}
+	rec := make([]Word, 2)
+	for i := 0; i < 10; i++ {
+		a.Get(i, rec)
+		if rec[0] != float64(i) || rec[1] != float64(i*10) {
+			t.Fatalf("record %d = %v", i, rec)
+		}
+	}
+	// 8 words/block, stride 2 → 4 records per block → 3 blocks for 10.
+	if a.Blocks() != 3 {
+		t.Fatalf("Blocks = %d", a.Blocks())
+	}
+}
+
+func TestScannerIOCount(t *testing.T) {
+	d, _ := NewDevice(16, 64)
+	const n = 100
+	a := NewArray(d, n, 1)
+	w := a.Write(0)
+	for i := 0; i < n; i++ {
+		w.Append([]Word{float64(i)})
+	}
+	w.Flush()
+	d.ResetStats()
+	sc := a.Scan(0)
+	rec := make([]Word, 1)
+	cnt := 0
+	for sc.Next(rec) {
+		if rec[0] != float64(cnt) {
+			t.Fatalf("record %d = %v", cnt, rec[0])
+		}
+		cnt++
+	}
+	if cnt != n {
+		t.Fatalf("scanned %d", cnt)
+	}
+	wantIOs := int64((n + 15) / 16)
+	if d.Reads() != wantIOs {
+		t.Fatalf("scan reads = %d, want %d", d.Reads(), wantIOs)
+	}
+}
+
+func TestWriterIOCount(t *testing.T) {
+	d, _ := NewDevice(16, 64)
+	const n = 64
+	a := NewArray(d, n, 1)
+	d.ResetStats()
+	w := a.Write(0)
+	for i := 0; i < n; i++ {
+		w.Append([]Word{float64(i)})
+	}
+	w.Flush()
+	if d.Writes() != 4 {
+		t.Fatalf("writes = %d, want 4 (sequential blocks)", d.Writes())
+	}
+}
+
+func TestSortCorrect(t *testing.T) {
+	f := func(raw []uint16, bExp, mExp uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 500 {
+			raw = raw[:500]
+		}
+		b := 4 + int(bExp%4)*4
+		m := 2*b + int(mExp%4)*b
+		d, err := NewDevice(b, m)
+		if err != nil {
+			return false
+		}
+		n := len(raw)
+		a := NewArray(d, n, 2)
+		w := a.Write(0)
+		for i, v := range raw {
+			w.Append([]Word{float64(v), float64(i)})
+		}
+		w.Flush()
+		Sort(d, a)
+		// Read back: keys ascending, payload permuted consistently.
+		sc := a.Scan(0)
+		rec := make([]Word, 2)
+		var keys []float64
+		seenPayload := map[int]bool{}
+		for sc.Next(rec) {
+			keys = append(keys, rec[0])
+			p := int(rec[1])
+			if p < 0 || p >= n || seenPayload[p] {
+				return false
+			}
+			if float64(raw[p]) != rec[0] {
+				return false // payload separated from its key
+			}
+			seenPayload[p] = true
+		}
+		if len(keys) != n {
+			return false
+		}
+		return sort.Float64sAreSorted(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortIOComplexity(t *testing.T) {
+	// I/O count should be Θ((n/B)·log_{M/B}(n/B)); check against a
+	// generous constant.
+	const n = 1 << 14
+	b, m := 64, 1024
+	d, _ := NewDevice(b, m)
+	a := NewArray(d, n, 1)
+	r := rng.New(1)
+	w := a.Write(0)
+	for i := 0; i < n; i++ {
+		w.Append([]Word{r.Float64()})
+	}
+	w.Flush()
+	d.ResetStats()
+	Sort(d, a)
+	nb := float64(n) / float64(b)
+	logTerm := math.Log(nb) / math.Log(float64(m)/float64(b))
+	bound := int64(8 * nb * (logTerm + 1))
+	if d.IOs() > bound {
+		t.Fatalf("sort I/Os = %d exceeds bound %d", d.IOs(), bound)
+	}
+	// And it must genuinely be sorted.
+	sc := a.Scan(0)
+	rec := make([]Word, 1)
+	last := math.Inf(-1)
+	for sc.Next(rec) {
+		if rec[0] < last {
+			t.Fatal("not sorted")
+		}
+		last = rec[0]
+	}
+}
+
+func TestSortTiny(t *testing.T) {
+	d, _ := NewDevice(4, 8)
+	a := NewArray(d, 1, 1)
+	w := a.Write(0)
+	w.Append([]Word{5})
+	w.Flush()
+	Sort(d, a)
+	rec := make([]Word, 1)
+	a.Get(0, rec)
+	if rec[0] != 5 {
+		t.Fatalf("got %v", rec[0])
+	}
+}
+
+func TestArrayPanics(t *testing.T) {
+	d, _ := NewDevice(8, 64)
+	for _, fn := range []func(){
+		func() { NewArray(d, 3, 0) },
+		func() { NewArray(d, 3, 9) },
+		func() { a := NewArray(d, 3, 1); a.Get(3, make([]Word, 1)) },
+		func() { a := NewArray(d, 3, 1); a.Get(-1, make([]Word, 1)) },
+		func() {
+			a := NewArray(d, 1, 1)
+			w := a.Write(0)
+			w.Append([]Word{1})
+			w.Append([]Word{2}) // past end
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestBTreeLenHeight(t *testing.T) {
+	d, _ := NewDevice(8, 64)
+	a := buildSortedArray(t, d, []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	bt, err := BuildBTree(d, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bt.Len() != 10 {
+		t.Fatalf("Len = %d", bt.Len())
+	}
+	if bt.Height() < 1 {
+		t.Fatalf("Height = %d", bt.Height())
+	}
+}
+
+func TestWriterMidStreamStart(t *testing.T) {
+	// Writing from a non-zero, non-block-aligned offset must preserve
+	// preceding content.
+	d, _ := NewDevice(4, 8)
+	a := NewArray(d, 8, 1)
+	w := a.Write(0)
+	for i := 0; i < 8; i++ {
+		w.Append([]Word{float64(i)})
+	}
+	w.Flush()
+	w2 := a.Write(2)
+	w2.Append([]Word{99})
+	w2.Flush()
+	rec := make([]Word, 1)
+	a.Get(1, rec)
+	if rec[0] != 1 {
+		t.Fatalf("preceding record clobbered: %v", rec[0])
+	}
+	a.Get(2, rec)
+	if rec[0] != 99 {
+		t.Fatalf("mid-stream write lost: %v", rec[0])
+	}
+	a.Get(3, rec)
+	if rec[0] != 3 {
+		t.Fatalf("following record clobbered: %v", rec[0])
+	}
+}

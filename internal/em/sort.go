@@ -1,0 +1,148 @@
+package em
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Sort sorts the array's records in place by ascending record[0] (the
+// key word), using the textbook EM merge sort: run formation with M-word
+// in-memory sorts, then (M/B − 1)-way merge passes. Total cost is
+// O((n/B)·log_{M/B}(n/B)) I/Os — the sorting bound the paper's Section 8
+// quotes throughout.
+func Sort(dev *Device, a *Array) {
+	n := a.Len()
+	if n <= 1 {
+		return
+	}
+	stride := a.Stride()
+	recsPerMem := dev.M() / stride
+	if recsPerMem < 1 {
+		recsPerMem = 1
+	}
+
+	// Phase 1: run formation. Each run is a sorted span of ≤ recsPerMem
+	// records, staged through a temp array.
+	tmp := NewArray(dev, n, stride)
+	var runs []span
+	{
+		sc := a.Scan(0)
+		w := tmp.Write(0)
+		buf := make([]Word, recsPerMem*stride)
+		rec := make([]Word, stride)
+		pos := 0
+		for pos < n {
+			cnt := 0
+			for cnt < recsPerMem && sc.Next(rec) {
+				copy(buf[cnt*stride:], rec[:stride])
+				cnt++
+			}
+			// In-memory sort of the run (CPU is free in the model).
+			idx := make([]int, cnt)
+			for i := range idx {
+				idx[i] = i
+			}
+			sort.SliceStable(idx, func(x, y int) bool {
+				return buf[idx[x]*stride] < buf[idx[y]*stride]
+			})
+			for _, i := range idx {
+				w.Append(buf[i*stride : i*stride+stride])
+			}
+			runs = append(runs, span{lo: pos, hi: pos + cnt - 1})
+			pos += cnt
+		}
+		w.Flush()
+	}
+
+	// Phase 2: merge passes, alternating between tmp and a second temp
+	// (the final pass lands back in a).
+	fanout := dev.M()/dev.B() - 1
+	if fanout < 2 {
+		fanout = 2
+	}
+	src := tmp
+	for len(runs) > 1 {
+		var dst *Array
+		var nextRuns []span
+		// If this pass reduces to a single run, write directly into a.
+		if (len(runs)+fanout-1)/fanout == 1 {
+			dst = a
+		} else {
+			dst = NewArray(dev, n, stride)
+		}
+		w := dst.Write(0)
+		for lo := 0; lo < len(runs); lo += fanout {
+			hi := lo + fanout
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			group := runs[lo:hi]
+			mergeRuns(src, group, w, stride)
+			nextRuns = append(nextRuns, span{lo: group[0].lo, hi: group[len(group)-1].hi})
+		}
+		w.Flush()
+		runs = nextRuns
+		src = dst
+	}
+	if src != a {
+		// Single run formed directly in tmp (n fit in one memory load):
+		// copy back.
+		sc := src.Scan(0)
+		w := a.Write(0)
+		rec := make([]Word, stride)
+		for sc.Next(rec) {
+			w.Append(rec)
+		}
+		w.Flush()
+	}
+}
+
+type mergeHead struct {
+	key Word
+	rec []Word
+	sc  *Scanner
+	end int // exclusive record bound of this run
+}
+
+type mergeHeap []mergeHead
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeHead)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// span is an inclusive record range forming one sorted run.
+type span struct{ lo, hi int }
+
+// mergeRuns merges the given sorted runs of src (each span inclusive)
+// into w.
+func mergeRuns(src *Array, group []span, w *Writer, stride int) {
+	h := make(mergeHeap, 0, len(group))
+	for _, rn := range group {
+		sc := src.Scan(rn.lo)
+		rec := make([]Word, stride)
+		if sc.Pos() <= rn.hi && sc.Next(rec) {
+			h = append(h, mergeHead{key: rec[0], rec: append([]Word(nil), rec...), sc: sc, end: rn.hi + 1})
+		}
+	}
+	heap.Init(&h)
+	rec := make([]Word, stride)
+	for h.Len() > 0 {
+		top := h[0]
+		w.Append(top.rec)
+		if top.sc.Pos() < top.end && top.sc.Next(rec) {
+			copy(h[0].rec, rec)
+			h[0].key = rec[0]
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+}

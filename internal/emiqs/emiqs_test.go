@@ -1,0 +1,299 @@
+package emiqs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/em"
+	"repro/internal/rng"
+)
+
+func newDev(t testing.TB, b, m int) *em.Device {
+	t.Helper()
+	d, err := em.NewDevice(b, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestSetSamplerEmpty(t *testing.T) {
+	d := newDev(t, 8, 64)
+	if _, err := NewSetSampler(d, nil, rng.New(1)); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewNaiveSetSampler(d, nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSetSamplerUniform(t *testing.T) {
+	d := newDev(t, 16, 256)
+	const n = 32
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(2)
+	s, err := NewSetSampler(d, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const draws = 64000 // forces many pool rebuilds (pool size n=32)
+	counts := make([]int, n)
+	out := s.Query(r, draws, nil)
+	if len(out) != draws {
+		t.Fatalf("drew %d", len(out))
+	}
+	for _, v := range out {
+		counts[int(v)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		diff := float64(c) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(n-1) {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+	if s.Rebuilds() < draws/n-2 {
+		t.Fatalf("rebuilds = %d, expected ~%d", s.Rebuilds(), draws/n)
+	}
+}
+
+func TestSetSamplerBeatsNaiveOnIOs(t *testing.T) {
+	// The headline EM claim (E10): amortized pool cost
+	// O((s/B)·log_{M/B}(n/B)) ≪ naive O(s).
+	const n = 1 << 14
+	b, m := 256, 4096
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(3)
+
+	dPool := newDev(t, b, m)
+	pool, err := NewSetSampler(dPool, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dPool.ResetStats()
+	const totalSamples = 1 << 15 // exceeds n: includes a rebuild
+	pool.Query(r, totalSamples, nil)
+	poolIOs := dPool.IOs()
+
+	dNaive := newDev(t, b, m)
+	naive, err := NewNaiveSetSampler(dNaive, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dNaive.ResetStats()
+	naive.Query(r, totalSamples, nil)
+	naiveIOs := dNaive.IOs()
+
+	if naiveIOs != totalSamples {
+		t.Fatalf("naive I/Os = %d, want %d", naiveIOs, totalSamples)
+	}
+	if poolIOs*4 > naiveIOs {
+		t.Fatalf("pool I/Os = %d not ≪ naive %d", poolIOs, naiveIOs)
+	}
+}
+
+func TestSortedQueryMatchesDistribution(t *testing.T) {
+	d := newDev(t, 16, 256)
+	const n = 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	naive, err := NewNaiveSetSampler(d, values)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	const draws = 32000
+	counts := make([]int, n)
+	out := naive.SortedQuery(r, draws, nil)
+	for _, v := range out {
+		counts[int(v)]++
+	}
+	expected := float64(draws) / n
+	chi2 := 0.0
+	for _, c := range counts {
+		diff := float64(c) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(n-1) {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+}
+
+func TestRangeSamplerEmpty(t *testing.T) {
+	d := newDev(t, 8, 64)
+	if _, err := NewRangeSampler(d, nil, rng.New(1)); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRangeSamplerWithinRangeAndUniform(t *testing.T) {
+	d := newDev(t, 8, 128)
+	const n = 200
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(5)
+	rs, err := NewRangeSampler(d, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Query cutting partial blocks on both sides and a dyadic interior.
+	x, y := 13.0, 177.0
+	k := int(y) - int(x) + 1
+	const draws = 200000
+	counts := make([]int, k)
+	out, ok := rs.Query(r, x, y, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	if len(out) != draws {
+		t.Fatalf("drew %d", len(out))
+	}
+	for _, v := range out {
+		if v < x || v > y {
+			t.Fatalf("sample %v outside [%v,%v]", v, x, y)
+		}
+		counts[int(v)-int(x)]++
+	}
+	expected := float64(draws) / float64(k)
+	chi2 := 0.0
+	for _, c := range counts {
+		diff := float64(c) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(k-1) {
+		t.Fatalf("chi2 = %v (crit %v)", chi2, chi2Crit(k-1))
+	}
+}
+
+func TestRangeSamplerSingleBlockQuery(t *testing.T) {
+	d := newDev(t, 16, 256)
+	const n = 100
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(6)
+	rs, err := NewRangeSampler(d, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := rs.Query(r, 3, 7, 1000, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	counts := map[int]int{}
+	for _, v := range out {
+		if v < 3 || v > 7 {
+			t.Fatalf("sample %v outside", v)
+		}
+		counts[int(v)]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("hit %d of 5 values", len(counts))
+	}
+}
+
+func TestRangeSamplerEmptyRanges(t *testing.T) {
+	d := newDev(t, 8, 64)
+	values := []float64{10, 20, 30}
+	r := rng.New(7)
+	rs, err := NewRangeSampler(d, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range [][2]float64{{-5, 5}, {31, 99}, {21, 29}, {25, 15}} {
+		if _, ok := rs.Query(r, q[0], q[1], 3, nil); ok {
+			t.Fatalf("query %v returned ok", q)
+		}
+	}
+}
+
+func TestRangeSamplerIOsBeatNaive(t *testing.T) {
+	// Large s over a wide range: pool consumption should cost far fewer
+	// I/Os than one random access per sample.
+	const n = 1 << 14
+	b, m := 64, 2048
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(8)
+	d := newDev(t, b, m)
+	rs, err := NewRangeSampler(d, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm the pools on the query range once.
+	const s = 4096
+	rs.Query(r, 100, 16000, s, nil)
+	d.ResetStats()
+	out, ok := rs.Query(r, 100, 16000, s, nil)
+	if !ok || len(out) != s {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+	// Warm queries should pay ≈ s/B + boundary I/Os, far below s.
+	if d.IOs() > int64(s/4) {
+		t.Fatalf("warm query I/Os = %d, not ≪ s = %d", d.IOs(), s)
+	}
+}
+
+func BenchmarkSetSamplerPool(b *testing.B) {
+	const n = 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	r := rng.New(1)
+	d := newDev(b, 256, 4096)
+	s, err := NewSetSampler(d, values, r)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst = s.Query(r, 64, dst[:0])
+	}
+}
+
+func TestSamplerAccessors(t *testing.T) {
+	d := newDev(t, 8, 64)
+	values := []float64{1, 2, 3, 4, 5}
+	r := rng.New(30)
+	s, err := NewSetSampler(d, values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 5 {
+		t.Fatalf("SetSampler Len = %d", s.Len())
+	}
+	rs, err := NewRangeSampler(newDev(t, 8, 64), values, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Len() != 5 {
+		t.Fatalf("RangeSampler Len = %d", rs.Len())
+	}
+	if _, ok := rs.Query(r, 2, 4, 0, nil); ok {
+		t.Fatal("s=0 returned ok")
+	}
+}

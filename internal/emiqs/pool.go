@@ -1,0 +1,212 @@
+// Package emiqs implements the external-memory IQS structures of Section
+// 8 of the paper on top of the simulated EM model (internal/em):
+//
+//   - SetSampler: the sample-pool structure for set sampling. It stores
+//     the n elements in an array plus a pool of n precomputed WR samples;
+//     a query returns the next s clean samples at ~⌈s/B⌉ I/Os and rebuilds
+//     the pool in O((n/B)·log_{M/B}(n/B)) I/Os when it runs dry, matching
+//     the lower bound of Hu et al. [18] (amortized
+//     O((s/B)·log_{M/B}(n/B)) per query, versus O(s) for the naive
+//     random-access method).
+//
+//   - NaiveSetSampler: the comparator that spends one random I/O per
+//     sample.
+//
+//   - RangeSampler: WR range sampling in EM, following the spirit of Hu
+//     et al.'s superlinear-space structure: a dyadic hierarchy over the
+//     leaf blocks of the sorted array where every node owns a sample pool
+//     of its subrange, rebuilt with the sort-based batch sampler. Space
+//     O((n/B)·log(n/B)) blocks; a query costs O(log_B n) I/Os to locate
+//     the range plus amortized O(1 + s/B·log_{M/B}) to consume pools.
+//
+// All samplers draw query randomness from the caller's *rng.Source, so
+// outputs are independent across queries; pool entries are fresh iid
+// samples consumed exactly once.
+package emiqs
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/em"
+	"repro/internal/rng"
+)
+
+// ErrEmpty is returned when building over no elements.
+var ErrEmpty = errors.New("emiqs: empty input")
+
+// fillPool writes `count` iid uniform samples of data records
+// [lo, hi] (stride-1 values) into pool records [0, count), using the
+// sort-based three-pass method so that the cost is O(sort(count) +
+// touched-blocks) I/Os rather than `count` random I/Os:
+//
+//  1. write (randomIndex, slot) pairs sequentially;
+//  2. sort by randomIndex; fetch values with a monotone block-buffered
+//     reader, emitting (slot, value);
+//  3. sort by slot; the values, scanned in slot order, are the iid
+//     sample sequence in generation order.
+func fillPool(dev *em.Device, data *em.Array, lo, hi int, pool *em.Array, count int, r *rng.Source) {
+	span := hi - lo + 1
+	t1 := em.NewArray(dev, count, 2)
+	{
+		w := t1.Write(0)
+		for slot := 0; slot < count; slot++ {
+			idx := lo + r.Intn(span)
+			w.Append([]em.Word{em.Word(idx), em.Word(slot)})
+		}
+		w.Flush()
+	}
+	em.Sort(dev, t1)
+	t2 := em.NewArray(dev, count, 2)
+	{
+		sc := t1.Scan(0)
+		w := t2.Write(0)
+		rd := data.RandomReader()
+		rec := make([]em.Word, 2)
+		val := make([]em.Word, 1)
+		for sc.Next(rec) {
+			rd.Get(int(rec[0]), val)
+			w.Append([]em.Word{rec[1], val[0]})
+		}
+		w.Flush()
+	}
+	em.Sort(dev, t2)
+	{
+		sc := t2.Scan(0)
+		w := pool.Write(0)
+		rec := make([]em.Word, 2)
+		for sc.Next(rec) {
+			w.Append([]em.Word{rec[1]})
+		}
+		w.Flush()
+	}
+}
+
+// SetSampler is the Section 8 set-sampling structure.
+type SetSampler struct {
+	dev  *em.Device
+	data *em.Array
+	pool *em.Array
+	// clean is the cursor of the next unused pool entry. Keeping the
+	// cursor in memory costs O(1) words, within the model's budget.
+	clean    int
+	rebuilds int
+}
+
+// NewSetSampler stores values on the device and builds the first pool.
+func NewSetSampler(dev *em.Device, values []float64, r *rng.Source) (*SetSampler, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	s := &SetSampler{dev: dev}
+	s.data = em.NewArray(dev, n, 1)
+	w := s.data.Write(0)
+	for _, v := range values {
+		w.Append([]em.Word{v})
+	}
+	w.Flush()
+	s.pool = em.NewArray(dev, n, 1)
+	fillPool(dev, s.data, 0, n-1, s.pool, n, r)
+	return s, nil
+}
+
+// Len returns n.
+func (s *SetSampler) Len() int { return s.data.Len() }
+
+// Rebuilds returns how many pool rebuilds have occurred (diagnostic).
+func (s *SetSampler) Rebuilds() int { return s.rebuilds }
+
+// Query appends `count` independent WR samples of the whole set to dst.
+// Amortized cost O(1 + (count/B)·log_{M/B}(n/B)) I/Os.
+func (s *SetSampler) Query(r *rng.Source, count int, dst []float64) []float64 {
+	rec := make([]em.Word, 1)
+	for count > 0 {
+		if s.clean >= s.pool.Len() {
+			fillPool(s.dev, s.data, 0, s.data.Len()-1, s.pool, s.pool.Len(), r)
+			s.clean = 0
+			s.rebuilds++
+		}
+		sc := s.pool.Scan(s.clean)
+		for count > 0 && s.clean < s.pool.Len() {
+			if !sc.Next(rec) {
+				break
+			}
+			dst = append(dst, rec[0])
+			s.clean++
+			count--
+		}
+	}
+	return dst
+}
+
+// NaiveSetSampler answers set-sampling queries by one random I/O per
+// sample — the approach the paper calls "terrible" in EM.
+type NaiveSetSampler struct {
+	data *em.Array
+	mem  int
+}
+
+// NewNaiveSetSampler stores values on the device.
+func NewNaiveSetSampler(dev *em.Device, values []float64) (*NaiveSetSampler, error) {
+	if len(values) == 0 {
+		return nil, ErrEmpty
+	}
+	s := &NaiveSetSampler{data: em.NewArray(dev, len(values), 1), mem: dev.M()}
+	w := s.data.Write(0)
+	for _, v := range values {
+		w.Append([]em.Word{v})
+	}
+	w.Flush()
+	return s, nil
+}
+
+// Query appends `count` independent WR samples at one I/O each.
+func (s *NaiveSetSampler) Query(r *rng.Source, count int, dst []float64) []float64 {
+	rec := make([]em.Word, 1)
+	for i := 0; i < count; i++ {
+		s.data.Get(r.Intn(s.data.Len()), rec)
+		dst = append(dst, rec[0])
+	}
+	return dst
+}
+
+// SortedQuery appends `count` independent WR samples using the batched
+// sorted-position trick without a pool: generate a memory-full of
+// positions, sort them in RAM, read the touched blocks monotonically,
+// repeat. Per batch of m ≈ M/2 samples the cost is min(m, n/B) block
+// reads, so the total is ⌈count/m⌉·min(m, n/B) I/Os — the de-amortized
+// middle ground between the naive sampler (one I/O per sample) and the
+// pool (sorting bound amortized): its worst-case per-query cost is
+// bounded without any shared pool state. (Used by E10.)
+func (s *NaiveSetSampler) SortedQuery(r *rng.Source, count int, dst []float64) []float64 {
+	batch := s.mem / 2
+	if batch < 1 {
+		batch = 1
+	}
+	rec := make([]em.Word, 1)
+	for count > 0 {
+		m := count
+		if m > batch {
+			m = batch
+		}
+		pos := make([]int, m)
+		for i := range pos {
+			pos[i] = r.Intn(s.data.Len())
+		}
+		order := make([]int, m)
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return pos[order[a]] < pos[order[b]] })
+		vals := make([]float64, m)
+		rd := s.data.RandomReader()
+		for _, oi := range order {
+			rd.Get(pos[oi], rec)
+			vals[oi] = rec[0]
+		}
+		dst = append(dst, vals...)
+		count -= m
+	}
+	return dst
+}

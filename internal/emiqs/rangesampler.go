@@ -1,0 +1,339 @@
+package emiqs
+
+import (
+	"math"
+
+	"repro/internal/alias"
+	"repro/internal/em"
+	"repro/internal/rng"
+)
+
+// RangeSampler answers WR range-sampling queries (uniform weights, the
+// scenario of Hu et al. [18] as discussed in the paper's Section 8) in
+// the EM model.
+//
+// Layout: the values are sorted into an EM array of nb blocks. A fence
+// array (one minimum per block) supports B-ary search in O(log_B n)
+// I/Os. Above the blocks sits a dyadic hierarchy: node (ℓ, i) covers
+// blocks [i·2^ℓ, (i+1)·2^ℓ) for ℓ ≥ 1, and owns a sample pool holding as
+// many precomputed WR samples of its key range as it has elements,
+// filled lazily with the sort-based batch sampler and consumed at
+// ⌈s/B⌉-ish I/Os per visit. Space is O((n/B)·log(n/B)) blocks — the
+// superlinear-space regime of Hu et al.'s first structure.
+//
+// A query splits S ∩ q into a partial head block, a dyadic cover of the
+// full interior blocks, and a partial tail block; distributes the s
+// samples multinomially by element counts (CPU is free in the model);
+// reads each partial block once; and consumes pool entries for the
+// interior. Amortized query cost: O(log_B n + min(s, log(n/B)) +
+// (s/B)·log_{M/B}(n/B)) I/Os, versus O(s) for per-sample random access.
+//
+// Model note: the pool cursors (O(n/B) words) are kept memory-resident;
+// storing them on disk would add at most two I/Os per touched node and
+// does not change any experiment's shape.
+type RangeSampler struct {
+	dev    *em.Device
+	data   *em.Array // sorted values, stride 1
+	fences []float64 // in-memory copy used only to *build* the EM fence array
+	fenceA *em.Array
+	perBlk int
+	nb     int // data blocks
+	n      int
+
+	// Dyadic pools: level ℓ ≥ 1, index i covers blocks
+	// [i·2^ℓ, min(nb, (i+1)·2^ℓ)).
+	levels []dyLevel
+}
+
+type dyLevel struct {
+	pools   []*em.Array
+	cursors []int
+}
+
+// NewRangeSampler sorts values onto the device and builds the hierarchy
+// (pools fill lazily on first use).
+func NewRangeSampler(dev *em.Device, values []float64, r *rng.Source) (*RangeSampler, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	rs := &RangeSampler{dev: dev, n: n}
+	rs.data = em.NewArray(dev, n, 1)
+	w := rs.data.Write(0)
+	for _, v := range values {
+		w.Append([]em.Word{v})
+	}
+	w.Flush()
+	em.Sort(dev, rs.data)
+	rs.perBlk = dev.B() // stride 1
+	rs.nb = (n + rs.perBlk - 1) / rs.perBlk
+
+	// Fence array: one minimum per block.
+	rs.fenceA = em.NewArray(dev, rs.nb, 1)
+	{
+		sc := rs.data.Scan(0)
+		fw := rs.fenceA.Write(0)
+		rec := make([]em.Word, 1)
+		i := 0
+		for sc.Next(rec) {
+			if i%rs.perBlk == 0 {
+				fw.Append([]em.Word{rec[0]})
+			}
+			i++
+		}
+		fw.Flush()
+	}
+
+	// Dyadic levels (lazy pools: cursor starts at pool length).
+	for l := 1; (1 << l) <= rs.nb; l++ {
+		width := 1 << l
+		cnt := (rs.nb + width - 1) / width
+		lv := dyLevel{
+			pools:   make([]*em.Array, cnt),
+			cursors: make([]int, cnt),
+		}
+		for i := 0; i < cnt; i++ {
+			lo, hi := rs.nodeElemRange(l, i)
+			m := hi - lo + 1
+			lv.pools[i] = em.NewArray(dev, m, 1)
+			lv.cursors[i] = m // empty: forces a fill on first use
+		}
+		rs.levels = append(rs.levels, lv)
+	}
+	return rs, nil
+}
+
+// nodeElemRange returns the element-position range [lo, hi] of dyadic
+// node (level, i).
+func (rs *RangeSampler) nodeElemRange(level, i int) (lo, hi int) {
+	width := 1 << level
+	bLo := i * width
+	bHi := bLo + width - 1
+	if bHi >= rs.nb {
+		bHi = rs.nb - 1
+	}
+	lo = bLo * rs.perBlk
+	hi = (bHi+1)*rs.perBlk - 1
+	if hi >= rs.n {
+		hi = rs.n - 1
+	}
+	return lo, hi
+}
+
+// Len returns n.
+func (rs *RangeSampler) Len() int { return rs.n }
+
+// fenceSearch returns the last block whose fence is ≤ x (or -1), using
+// B-ary search over the fence array: O(log_B nb) I/Os.
+func (rs *RangeSampler) fenceSearch(x float64) int {
+	lo, hi := 0, rs.nb-1
+	rd := rs.fenceA.RandomReader()
+	rec := make([]em.Word, 1)
+	// Check the first fence.
+	rd.Get(0, rec)
+	if rec[0] > x {
+		return -1
+	}
+	// B-ary narrowing: probe B evenly spaced fences per round. Probes in
+	// one round are ascending, so distinct blocks cost ≤ B()/probe I/Os;
+	// the round count is O(log_B nb).
+	for hi > lo {
+		if hi-lo+1 <= rs.dev.B() {
+			// Final round: linear within one or two fence blocks.
+			best := lo
+			for j := lo; j <= hi; j++ {
+				rd.Get(j, rec)
+				if rec[0] <= x {
+					best = j
+				} else {
+					break
+				}
+			}
+			return best
+		}
+		step := (hi - lo) / rs.dev.B()
+		if step < 1 {
+			step = 1
+		}
+		best := lo
+		for j := lo; j <= hi; j += step {
+			rd.Get(j, rec)
+			if rec[0] <= x {
+				best = j
+			} else {
+				break
+			}
+		}
+		lo = best
+		if best+step < hi {
+			hi = best + step
+		}
+	}
+	return lo
+}
+
+// blockOfValue locates the exact position range of values in [x, y]
+// inside block b (reading the block once). Returns positions relative to
+// the whole array.
+func (rs *RangeSampler) scanBlock(b int, x, y float64) (lo, hi int, vals []float64) {
+	start := b * rs.perBlk
+	end := start + rs.perBlk - 1
+	if end >= rs.n {
+		end = rs.n - 1
+	}
+	sc := rs.data.Scan(start)
+	rec := make([]em.Word, 1)
+	lo, hi = -1, -2
+	for p := start; p <= end && sc.Next(rec); p++ {
+		vals = append(vals, rec[0])
+		if rec[0] >= x && rec[0] <= y {
+			if lo < 0 {
+				lo = p
+			}
+			hi = p
+		}
+	}
+	return lo, hi, vals
+}
+
+// Query appends `s` independent uniform samples of S ∩ [x, y] to dst.
+// ok is false when the range is empty.
+func (rs *RangeSampler) Query(r *rng.Source, x, y float64, s int, dst []float64) ([]float64, bool) {
+	if y < x || s <= 0 {
+		return dst, false
+	}
+	// Locate boundary blocks.
+	ba := rs.fenceSearch(x)
+	if ba < 0 {
+		ba = 0
+	}
+	bb := rs.fenceSearch(y)
+	if bb < 0 {
+		return dst, false // y below the first value
+	}
+	aPos, aHi, aVals := rs.scanBlock(ba, x, y)
+	if ba == bb {
+		if aPos < 0 {
+			return dst, false
+		}
+		// Whole query inside one block: sample in memory.
+		span := aHi - aPos + 1
+		base := ba * rs.perBlk
+		for i := 0; i < s; i++ {
+			dst = append(dst, aVals[aPos-base+r.Intn(span)])
+		}
+		return dst, true
+	}
+	bPos, bHi, bVals := rs.scanBlock(bb, x, y)
+
+	// Pieces: head partial (positions aPos..end of block ba), interior
+	// full blocks (ba+1..bb-1) decomposed dyadically, tail partial.
+	type piece struct {
+		count    int
+		kind     int // 0 head, 1 tail, 2 dyadic
+		level, i int // dyadic node
+	}
+	var pieces []piece
+	headEnd := (ba+1)*rs.perBlk - 1
+	if headEnd >= rs.n {
+		headEnd = rs.n - 1
+	}
+	if aPos >= 0 {
+		pieces = append(pieces, piece{count: headEnd - aPos + 1, kind: 0})
+	}
+	if bPos >= 0 {
+		tailStart := bb * rs.perBlk
+		pieces = append(pieces, piece{count: bHi - tailStart + 1, kind: 1})
+	}
+	// Dyadic cover of [ba+1, bb-1].
+	for lo := ba + 1; lo <= bb-1; {
+		// Largest aligned width fitting in [lo, bb-1].
+		level := 0
+		for (lo&((1<<(level+1))-1)) == 0 && lo+(1<<(level+1))-1 <= bb-1 && (1<<(level+1)) <= rs.nb {
+			level++
+		}
+		width := 1 << level
+		if level == 0 {
+			// Single full block: treat as its own piece (read directly).
+			pieces = append(pieces, piece{count: rs.blockCount(lo), kind: 3, i: lo})
+			lo++
+			continue
+		}
+		i := lo / width
+		eLo, eHi := rs.nodeElemRange(level, i)
+		pieces = append(pieces, piece{count: eHi - eLo + 1, kind: 2, level: level, i: i})
+		lo += width
+	}
+	if len(pieces) == 0 {
+		return dst, false
+	}
+	weights := make([]float64, len(pieces))
+	for i, p := range pieces {
+		weights[i] = float64(p.count)
+	}
+	counts := alias.MustNew(weights).Counts(r, s)
+
+	for pi, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		p := pieces[pi]
+		switch p.kind {
+		case 0: // head partial, block already in memory
+			base := ba * rs.perBlk
+			span := headEnd - aPos + 1
+			for i := 0; i < cnt; i++ {
+				dst = append(dst, aVals[aPos-base+r.Intn(span)])
+			}
+		case 1: // tail partial
+			base := bb * rs.perBlk
+			span := bHi - base + 1
+			for i := 0; i < cnt; i++ {
+				dst = append(dst, bVals[r.Intn(span)])
+			}
+		case 3: // single full block: one read, sample in memory
+			_, _, vals := rs.scanBlock(p.i, math.Inf(-1), math.Inf(1))
+			for i := 0; i < cnt; i++ {
+				dst = append(dst, vals[r.Intn(len(vals))])
+			}
+		case 2: // dyadic node: consume pool
+			dst = rs.consumePool(r, p.level, p.i, cnt, dst)
+		}
+	}
+	return dst, true
+}
+
+// blockCount returns the number of records in block b.
+func (rs *RangeSampler) blockCount(b int) int {
+	start := b * rs.perBlk
+	end := start + rs.perBlk
+	if end > rs.n {
+		end = rs.n
+	}
+	return end - start
+}
+
+// consumePool draws cnt samples from the pool of dyadic node (level, i),
+// refilling it (lazily) when exhausted.
+func (rs *RangeSampler) consumePool(r *rng.Source, level, i, cnt int, dst []float64) []float64 {
+	lv := &rs.levels[level-1]
+	pool := lv.pools[i]
+	rec := make([]em.Word, 1)
+	for cnt > 0 {
+		if lv.cursors[i] >= pool.Len() {
+			eLo, eHi := rs.nodeElemRange(level, i)
+			fillPool(rs.dev, rs.data, eLo, eHi, pool, pool.Len(), r)
+			lv.cursors[i] = 0
+		}
+		sc := pool.Scan(lv.cursors[i])
+		for cnt > 0 && lv.cursors[i] < pool.Len() {
+			if !sc.Next(rec) {
+				break
+			}
+			dst = append(dst, rec[0])
+			lv.cursors[i]++
+			cnt--
+		}
+	}
+	return dst
+}

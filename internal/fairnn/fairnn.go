@@ -1,0 +1,245 @@
+// Package fairnn implements r-fair nearest neighbour search — the
+// motivating application of Section 2 (Benefit 2) and Section 7 of the
+// paper. Given a query point q, an r-near query returns the points within
+// distance r of q; the fair version returns a uniformly random such
+// point, independent of all past queries' outputs (IQS with s = 1).
+//
+// Following the blueprint of Har-Peled–Mahabadi [17] and Aumüller et al.
+// [6–8], the index hashes points into buckets and reduces the query to
+// set union sampling (Theorem 8) over the buckets containing q, followed
+// by a distance-rejection step. Where those papers use LSH, this package
+// uses L randomly shifted uniform grids of cell width 2r (DESIGN.md
+// substitution 3): a point within distance r of q lands in q's cell of a
+// given grid with constant probability per axis, so with L = Θ(log n)
+// grids every near point is in some shared cell with high probability.
+// The candidate sets of different grids overlap heavily — exactly the
+// regime set union sampling exists for.
+//
+// The guarantee is the standard LSH-style one: each query returns a
+// uniform sample of R(q) := (∪ candidate cells) ∩ ball(q, r), which
+// contains every near point with probability ≥ 1 − 1/poly(n); samples are
+// independent across queries.
+package fairnn
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/setunion"
+)
+
+// ErrEmpty is returned when building over no points.
+var ErrEmpty = errors.New("fairnn: empty input")
+
+// Index is the fair r-near neighbour structure.
+type Index struct {
+	pts      [][]float64
+	dim      int
+	radius   float64
+	numGrids int
+	cellSize float64
+	offsets  [][]float64
+	// cellSet[g] maps a grid-g cell key to its set index in coll.
+	cellSet []map[string]int
+	coll    *setunion.Collection
+	// maxAttemptsPerSample bounds the distance-rejection loop.
+	maxAttempts int
+}
+
+// New builds the index over pts with the given radius. numGrids controls
+// the recall/work trade (Θ(log n) recommended; minimum 1). seed drives
+// the grid shifts and the set-union structure.
+func New(pts [][]float64, radius float64, numGrids int, seed uint64) (*Index, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if !(radius > 0) {
+		return nil, errors.New("fairnn: radius must be positive")
+	}
+	if numGrids < 1 {
+		return nil, errors.New("fairnn: numGrids must be at least 1")
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, errors.New("fairnn: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("fairnn: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	idx := &Index{
+		pts:         pts,
+		dim:         d,
+		radius:      radius,
+		numGrids:    numGrids,
+		cellSize:    2 * radius,
+		offsets:     make([][]float64, numGrids),
+		cellSet:     make([]map[string]int, numGrids),
+		maxAttempts: 256,
+	}
+	r := rng.New(seed)
+	var sets [][]int
+	for g := 0; g < numGrids; g++ {
+		off := make([]float64, d)
+		for j := range off {
+			off[j] = r.Float64() * idx.cellSize
+		}
+		idx.offsets[g] = off
+		idx.cellSet[g] = make(map[string]int)
+		for i, p := range pts {
+			key := idx.cellKey(g, p)
+			si, ok := idx.cellSet[g][key]
+			if !ok {
+				si = len(sets)
+				sets = append(sets, nil)
+				idx.cellSet[g][key] = si
+			}
+			sets[si] = append(sets[si], i)
+		}
+	}
+	coll, err := setunion.New(sets, r.Uint64())
+	if err != nil {
+		return nil, err
+	}
+	idx.coll = coll
+	return idx, nil
+}
+
+// cellKey returns the grid-g cell identifier of point p.
+func (idx *Index) cellKey(g int, p []float64) string {
+	buf := make([]byte, 0, idx.dim*9)
+	for j := 0; j < idx.dim; j++ {
+		c := int64(math.Floor((p[j] + idx.offsets[g][j]) / idx.cellSize))
+		for k := 0; k < 8; k++ {
+			buf = append(buf, byte(c>>(8*k)))
+		}
+		buf = append(buf, ',')
+	}
+	return string(buf)
+}
+
+// dist2 returns the squared Euclidean distance.
+func dist2(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
+// candidateGroup returns the set indices of q's cells across the grids.
+func (idx *Index) candidateGroup(q []float64) []int {
+	var G []int
+	seen := map[int]struct{}{}
+	for g := 0; g < idx.numGrids; g++ {
+		if si, ok := idx.cellSet[g][idx.cellKey(g, q)]; ok {
+			if _, dup := seen[si]; !dup {
+				seen[si] = struct{}{}
+				G = append(G, si)
+			}
+		}
+	}
+	return G
+}
+
+// Query appends s independent uniform samples of R(q) (the candidate
+// near points of q) to dst as point indices. ok is false when R(q) is
+// empty. Sample outputs are independent across queries.
+func (idx *Index) Query(r *rng.Source, q []float64, s int, dst []int) ([]int, bool, error) {
+	if len(q) != idx.dim {
+		return dst, false, fmt.Errorf("fairnn: query dimension %d, want %d", len(q), idx.dim)
+	}
+	G := idx.candidateGroup(q)
+	if len(G) == 0 {
+		return dst, false, nil
+	}
+	r2 := idx.radius * idx.radius
+	var one [1]int
+	for drawn := 0; drawn < s; {
+		accepted := false
+		for attempt := 0; attempt < idx.maxAttempts; attempt++ {
+			out, ok, err := idx.coll.Query(r, G, 1, one[:0])
+			if err != nil {
+				return dst, false, err
+			}
+			if !ok {
+				return dst, false, nil
+			}
+			cand := out[0]
+			if dist2(idx.pts[cand], q) <= r2 {
+				dst = append(dst, cand)
+				drawn++
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			// The candidate cells contain no (or a vanishing fraction
+			// of) points inside the ball.
+			if drawn == 0 {
+				return dst, false, nil
+			}
+			return dst, true, nil
+		}
+	}
+	return dst, true, nil
+}
+
+// NearBruteForce returns the exact r-near set of q (test/benchmark
+// helper; O(n·d)).
+func (idx *Index) NearBruteForce(q []float64) []int {
+	r2 := idx.radius * idx.radius
+	var out []int
+	for i, p := range idx.pts {
+		if dist2(p, q) <= r2 {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// CandidateNear returns R(q) exactly: the points in q's candidate cells
+// that lie within the ball (test helper; scans all points and tests cell
+// co-membership per grid).
+func (idx *Index) CandidateNear(q []float64) []int {
+	r2 := idx.radius * idx.radius
+	seen := map[int]struct{}{}
+	var out []int
+	for i, p := range idx.pts {
+		if dist2(p, q) > r2 {
+			continue
+		}
+		for g := 0; g < idx.numGrids; g++ {
+			if idx.cellKey(g, p) == idx.cellKey(g, q) {
+				if _, dup := seen[i]; !dup {
+					seen[i] = struct{}{}
+					out = append(out, i)
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Recall estimates, for diagnostics, the fraction of true near points of
+// q that are candidates.
+func (idx *Index) Recall(q []float64) float64 {
+	near := idx.NearBruteForce(q)
+	if len(near) == 0 {
+		return 1
+	}
+	cand := idx.CandidateNear(q)
+	return float64(len(cand)) / float64(len(near))
+}
+
+// NumGrids returns the number of shifted grids.
+func (idx *Index) NumGrids() int { return idx.numGrids }
+
+// Radius returns the query radius.
+func (idx *Index) Radius() float64 { return idx.radius }

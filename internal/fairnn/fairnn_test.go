@@ -1,0 +1,238 @@
+package fairnn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func clusteredPoints(n int, seed uint64) [][]float64 {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	for i := range pts {
+		// Two clusters plus background noise.
+		switch i % 3 {
+		case 0:
+			pts[i] = []float64{0.3 + r.NormFloat64()*0.02, 0.3 + r.NormFloat64()*0.02}
+		case 1:
+			pts[i] = []float64{0.7 + r.NormFloat64()*0.02, 0.7 + r.NormFloat64()*0.02}
+		default:
+			pts[i] = []float64{r.Float64(), r.Float64()}
+		}
+	}
+	return pts
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 1, 1, 1); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}}, 0, 1, 1); err == nil {
+		t.Fatal("zero radius accepted")
+	}
+	if _, err := New([][]float64{{1, 2}}, 1, 0, 1); err == nil {
+		t.Fatal("zero grids accepted")
+	}
+	if _, err := New([][]float64{{1, 2}, {1}}, 1, 1, 1); err == nil {
+		t.Fatal("ragged dims accepted")
+	}
+	if _, err := New([][]float64{{}}, 1, 1, 1); err == nil {
+		t.Fatal("zero-dim accepted")
+	}
+}
+
+func TestQueryDimMismatch(t *testing.T) {
+	idx, err := New([][]float64{{1, 2}}, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := idx.Query(rng.New(1), []float64{1}, 1, nil); err == nil {
+		t.Fatal("wrong-dimension query accepted")
+	}
+}
+
+func TestSamplesAreNear(t *testing.T) {
+	pts := clusteredPoints(600, 2)
+	idx, err := New(pts, 0.08, 8, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	q := []float64{0.3, 0.3}
+	out, ok, err := idx.Query(r, q, 50, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, i := range out {
+		if math.Sqrt(dist2(pts[i], q)) > idx.Radius()+1e-12 {
+			t.Fatalf("sample %d at distance %v > radius", i, math.Sqrt(dist2(pts[i], q)))
+		}
+	}
+}
+
+func TestEmptyNeighbourhood(t *testing.T) {
+	pts := clusteredPoints(100, 5)
+	idx, err := New(pts, 0.01, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A query far outside the data square.
+	out, ok, err := idx.Query(rng.New(7), []float64{50, 50}, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok || len(out) != 0 {
+		t.Fatalf("ok=%v len=%d for empty neighbourhood", ok, len(out))
+	}
+}
+
+func TestFairnessUniformOverCandidates(t *testing.T) {
+	// Dense cluster: the candidate near set is large; repeated fair
+	// queries must hit each candidate uniformly.
+	r := rng.New(8)
+	pts := make([][]float64, 60)
+	for i := range pts {
+		pts[i] = []float64{0.5 + r.NormFloat64()*0.01, 0.5 + r.NormFloat64()*0.01}
+	}
+	idx, err := New(pts, 0.05, 8, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	cand := idx.CandidateNear(q)
+	if len(cand) < 30 {
+		t.Fatalf("setup: only %d candidates", len(cand))
+	}
+	isCand := map[int]bool{}
+	for _, i := range cand {
+		isCand[i] = true
+	}
+	const queries = 30000
+	counts := map[int]int{}
+	for i := 0; i < queries; i++ {
+		out, ok, err := idx.Query(r, q, 1, nil)
+		if err != nil || !ok {
+			t.Fatalf("query %d: ok=%v err=%v", i, ok, err)
+		}
+		if !isCand[out[0]] {
+			t.Fatalf("sampled non-candidate %d", out[0])
+		}
+		counts[out[0]]++
+	}
+	expected := float64(queries) / float64(len(cand))
+	for i, cnt := range counts {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("candidate %d sampled %d, expected ~%v", i, cnt, expected)
+		}
+	}
+}
+
+func TestRecallHighWithManyGrids(t *testing.T) {
+	pts := clusteredPoints(500, 10)
+	idx, err := New(pts, 0.06, 12, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	sumRecall, trials := 0.0, 0
+	for i := 0; i < 40; i++ {
+		q := []float64{0.28 + r.Float64()*0.04, 0.28 + r.Float64()*0.04}
+		if len(idx.NearBruteForce(q)) == 0 {
+			continue
+		}
+		sumRecall += idx.Recall(q)
+		trials++
+	}
+	if trials == 0 {
+		t.Skip("no populated queries")
+	}
+	if avg := sumRecall / float64(trials); avg < 0.9 {
+		t.Fatalf("average recall %v < 0.9 with 12 grids", avg)
+	}
+}
+
+func TestIndependentAcrossQueries(t *testing.T) {
+	// Two near points: repeated fair queries must alternate randomly,
+	// unlike the permutation baseline which would freeze on one.
+	pts := [][]float64{{0.500, 0.5}, {0.501, 0.5}}
+	idx, err := New(pts, 0.05, 6, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	q := []float64{0.5005, 0.5}
+	var pairs [4]int
+	out, ok, err := idx.Query(r, q, 1, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	prev := out[0]
+	const queries = 20000
+	for i := 0; i < queries; i++ {
+		out, ok, err := idx.Query(r, q, 1, nil)
+		if err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+		pairs[prev*2+out[0]]++
+		prev = out[0]
+	}
+	expected := float64(queries) / 4
+	for i, cnt := range pairs {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pair %02b count %d, expected ~%v", i, cnt, expected)
+		}
+	}
+}
+
+func BenchmarkFairQuery(b *testing.B) {
+	r := rng.New(1)
+	pts := make([][]float64, 1<<15)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64()}
+	}
+	idx, err := New(pts, 0.02, 8, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := []float64{0.5, 0.5}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _, _ = idx.Query(r, q, 1, dst[:0])
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	pts := clusteredPoints(50, 20)
+	idx, err := New(pts, 0.1, 5, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.NumGrids() != 5 {
+		t.Fatalf("NumGrids = %d", idx.NumGrids())
+	}
+	if idx.Radius() != 0.1 {
+		t.Fatalf("Radius = %v", idx.Radius())
+	}
+	// Recall of a query with no true neighbours is defined as 1.
+	if got := idx.Recall([]float64{99, 99}); got != 1 {
+		t.Fatalf("empty Recall = %v", got)
+	}
+}
+
+func TestQueryMultipleSamples(t *testing.T) {
+	r := rng.New(22)
+	pts := make([][]float64, 40)
+	for i := range pts {
+		pts[i] = []float64{0.5 + r.NormFloat64()*0.005, 0.5 + r.NormFloat64()*0.005}
+	}
+	idx, err := New(pts, 0.05, 6, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := idx.Query(r, []float64{0.5, 0.5}, 25, nil)
+	if err != nil || !ok || len(out) != 25 {
+		t.Fatalf("ok=%v err=%v len=%d", ok, err, len(out))
+	}
+}

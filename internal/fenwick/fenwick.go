@@ -1,0 +1,113 @@
+// Package fenwick implements a binary indexed tree (Fenwick tree) over
+// float64 weights, providing prefix and range sums in O(log n) time and
+// point updates in O(log n) time.
+//
+// The paper's Theorem 3 structure needs a "range sum structure which
+// allows us to calculate Σ_{i=a}^{b} w(I_i) in O(log n) time" (Section
+// 4.2); this package is that structure. It also provides WeightedSearch,
+// the inverse-CDF lookup used to locate the chunk containing a given
+// cumulative weight, which the EM structures use for block-level
+// sampling.
+package fenwick
+
+import "fmt"
+
+// Tree is a Fenwick tree over n float64 values, indexed 0..n-1.
+type Tree struct {
+	tree []float64 // 1-based internal array
+	n    int
+}
+
+// New returns a Fenwick tree of n zeros.
+func New(n int) *Tree {
+	if n < 0 {
+		panic(fmt.Sprintf("fenwick: negative size %d", n))
+	}
+	return &Tree{tree: make([]float64, n+1), n: n}
+}
+
+// FromSlice builds a tree initialised to vals in O(n) time.
+func FromSlice(vals []float64) *Tree {
+	t := New(len(vals))
+	copy(t.tree[1:], vals)
+	// In-place O(n) construction: push each node's value to its parent.
+	for i := 1; i <= t.n; i++ {
+		parent := i + (i & -i)
+		if parent <= t.n {
+			t.tree[parent] += t.tree[i]
+		}
+	}
+	return t
+}
+
+// Len returns the number of indexed positions.
+func (t *Tree) Len() int { return t.n }
+
+// Add adds delta to position i.
+func (t *Tree) Add(i int, delta float64) {
+	if i < 0 || i >= t.n {
+		panic(fmt.Sprintf("fenwick: index %d out of range [0,%d)", i, t.n))
+	}
+	for j := i + 1; j <= t.n; j += j & -j {
+		t.tree[j] += delta
+	}
+}
+
+// PrefixSum returns the sum of positions [0, i]. PrefixSum(-1) is 0.
+func (t *Tree) PrefixSum(i int) float64 {
+	if i >= t.n {
+		panic(fmt.Sprintf("fenwick: index %d out of range [0,%d)", i, t.n))
+	}
+	sum := 0.0
+	for j := i + 1; j > 0; j -= j & -j {
+		sum += t.tree[j]
+	}
+	return sum
+}
+
+// RangeSum returns the sum of positions [a, b] inclusive. Returns 0 when
+// a > b.
+func (t *Tree) RangeSum(a, b int) float64 {
+	if a > b {
+		return 0
+	}
+	if a < 0 || b >= t.n {
+		panic(fmt.Sprintf("fenwick: range [%d,%d] out of [0,%d)", a, b, t.n))
+	}
+	return t.PrefixSum(b) - t.PrefixSum(a-1)
+}
+
+// Total returns the sum of all positions.
+func (t *Tree) Total() float64 {
+	if t.n == 0 {
+		return 0
+	}
+	return t.PrefixSum(t.n - 1)
+}
+
+// WeightedSearch returns the smallest index i such that
+// PrefixSum(i) > x, i.e. the position selected by cumulative weight x ∈
+// [0, Total()). If x ≥ Total() (possible through floating-point slack),
+// the last position with positive influence is returned. O(log n).
+func (t *Tree) WeightedSearch(x float64) int {
+	if t.n == 0 {
+		panic("fenwick: WeightedSearch on empty tree")
+	}
+	pos := 0
+	// Largest power of two ≤ n.
+	bit := 1
+	for bit<<1 <= t.n {
+		bit <<= 1
+	}
+	for ; bit > 0; bit >>= 1 {
+		next := pos + bit
+		if next <= t.n && t.tree[next] <= x {
+			x -= t.tree[next]
+			pos = next
+		}
+	}
+	if pos >= t.n {
+		pos = t.n - 1
+	}
+	return pos
+}

@@ -1,0 +1,200 @@
+package fenwick
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestEmpty(t *testing.T) {
+	tr := New(0)
+	if tr.Len() != 0 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.Total() != 0 {
+		t.Fatalf("Total = %v", tr.Total())
+	}
+}
+
+func TestAddAndPrefixSum(t *testing.T) {
+	tr := New(10)
+	tr.Add(0, 1)
+	tr.Add(5, 2)
+	tr.Add(9, 4)
+	cases := []struct {
+		i    int
+		want float64
+	}{{0, 1}, {4, 1}, {5, 3}, {8, 3}, {9, 7}}
+	for _, c := range cases {
+		if got := tr.PrefixSum(c.i); got != c.want {
+			t.Fatalf("PrefixSum(%d) = %v, want %v", c.i, got, c.want)
+		}
+	}
+	if got := tr.PrefixSum(-1); got != 0 {
+		t.Fatalf("PrefixSum(-1) = %v", got)
+	}
+}
+
+func TestFromSliceMatchesAdds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		vals := make([]float64, len(raw))
+		for i, v := range raw {
+			vals[i] = float64(v) / 3
+		}
+		a := FromSlice(vals)
+		b := New(len(vals))
+		for i, v := range vals {
+			b.Add(i, v)
+		}
+		for i := range vals {
+			if math.Abs(a.PrefixSum(i)-b.PrefixSum(i)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeSum(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	tr := FromSlice(vals)
+	if got := tr.RangeSum(1, 3); got != 9 {
+		t.Fatalf("RangeSum(1,3) = %v", got)
+	}
+	if got := tr.RangeSum(0, 4); got != 15 {
+		t.Fatalf("RangeSum(0,4) = %v", got)
+	}
+	if got := tr.RangeSum(2, 2); got != 3 {
+		t.Fatalf("RangeSum(2,2) = %v", got)
+	}
+	if got := tr.RangeSum(3, 1); got != 0 {
+		t.Fatalf("RangeSum(3,1) = %v, want 0", got)
+	}
+}
+
+func TestRangeSumAgainstNaive(t *testing.T) {
+	r := rng.New(12)
+	const n = 64
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64() * 10
+	}
+	tr := FromSlice(vals)
+	for a := 0; a < n; a++ {
+		for b := a; b < n; b++ {
+			want := 0.0
+			for i := a; i <= b; i++ {
+				want += vals[i]
+			}
+			if got := tr.RangeSum(a, b); math.Abs(got-want) > 1e-6 {
+				t.Fatalf("RangeSum(%d,%d) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestPanicsOnBadIndex(t *testing.T) {
+	tr := New(5)
+	for _, fn := range []func(){
+		func() { tr.Add(-1, 1) },
+		func() { tr.Add(5, 1) },
+		func() { tr.PrefixSum(5) },
+		func() { tr.RangeSum(-1, 3) },
+		func() { tr.RangeSum(0, 5) },
+		func() { New(-1) },
+		func() { New(0).WeightedSearch(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestWeightedSearch(t *testing.T) {
+	tr := FromSlice([]float64{1, 0, 2, 0, 3}) // prefix sums: 1,1,3,3,6
+	cases := []struct {
+		x    float64
+		want int
+	}{{0, 0}, {0.99, 0}, {1, 2}, {2.5, 2}, {3, 4}, {5.9, 4}, {6, 4}, {100, 4}}
+	for _, c := range cases {
+		if got := tr.WeightedSearch(c.x); got != c.want {
+			t.Fatalf("WeightedSearch(%v) = %d, want %d", c.x, got, c.want)
+		}
+	}
+}
+
+func TestWeightedSearchDistribution(t *testing.T) {
+	// Sampling positions by WeightedSearch(U*Total) must reproduce the
+	// weight distribution — this is the inverse-CDF sampler used by the
+	// EM code.
+	r := rng.New(21)
+	weights := []float64{1, 2, 4, 1, 8}
+	tr := FromSlice(weights)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tr.WeightedSearch(r.Float64()*tr.Total())]++
+	}
+	total := tr.Total()
+	for i, c := range counts {
+		expected := float64(draws) * weights[i] / total
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected+1) {
+			t.Fatalf("position %d count %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestDynamicUpdates(t *testing.T) {
+	tr := FromSlice([]float64{1, 1, 1, 1})
+	tr.Add(2, 5)    // now 1,1,6,1
+	tr.Add(0, -0.5) // now 0.5,1,6,1
+	if got := tr.Total(); math.Abs(got-8.5) > 1e-12 {
+		t.Fatalf("Total = %v", got)
+	}
+	if got := tr.RangeSum(1, 2); math.Abs(got-7) > 1e-12 {
+		t.Fatalf("RangeSum(1,2) = %v", got)
+	}
+}
+
+func BenchmarkPrefixSum(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 20
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	tr := FromSlice(vals)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = tr.PrefixSum(i & (n - 1))
+	}
+	_ = sink
+}
+
+func BenchmarkWeightedSearch(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 20
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = r.Float64()
+	}
+	tr := FromSlice(vals)
+	total := tr.Total()
+	b.ResetTimer()
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink = tr.WeightedSearch(r.Float64() * total)
+	}
+	_ = sink
+}

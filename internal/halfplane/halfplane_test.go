@@ -1,0 +1,321 @@
+package halfplane
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func makePoints(n int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	w := make([]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.Float64()*2 - 1, r.Float64()*2 - 1}
+		w[i] = r.Float64()*3 + 0.2
+	}
+	return pts, w
+}
+
+func randHalfplane(r *rng.Source) Halfplane {
+	theta := r.Float64() * 2 * math.Pi
+	return Halfplane{
+		A: math.Cos(theta),
+		B: math.Sin(theta),
+		C: r.Float64()*2 - 1,
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]float64{{1}}, nil); err == nil {
+		t.Fatal("1-D accepted")
+	}
+	if _, err := New([][]float64{{1, 2}}, []float64{0}); err != ErrBadWeight {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLayersPartitionPoints(t *testing.T) {
+	pts, w := makePoints(500, 1)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int32]int{}
+	total := 0
+	for _, ly := range ix.layers {
+		for _, id := range ly.idx {
+			seen[id]++
+			total++
+		}
+	}
+	if total != 500 || len(seen) != 500 {
+		t.Fatalf("layers hold %d slots over %d ids, want 500/500", total, len(seen))
+	}
+	for id, cnt := range seen {
+		if cnt != 1 {
+			t.Fatalf("point %d appears %d times", id, cnt)
+		}
+	}
+}
+
+func TestReportMatchesBruteForce(t *testing.T) {
+	pts, w := makePoints(400, 2)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(3)
+	f := func(seed uint16) bool {
+		rr := rng.New(uint64(seed) + 500)
+		q := randHalfplane(rr)
+		got := ix.Report(q, nil)
+		sort.Ints(got)
+		var want []int
+		for i, p := range pts {
+			if q.Contains(p[0], p[1]) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRangeWeightMatchesBruteForce(t *testing.T) {
+	pts, w := makePoints(300, 4)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(5)
+	for trial := 0; trial < 200; trial++ {
+		q := randHalfplane(r)
+		want := 0.0
+		for i, p := range pts {
+			if q.Contains(p[0], p[1]) {
+				want += w[i]
+			}
+		}
+		if got := ix.RangeWeight(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("RangeWeight = %v, want %v (q=%+v)", got, want, q)
+		}
+	}
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestQueryDistribution(t *testing.T) {
+	pts, w := makePoints(100, 6)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Halfplane{A: 1, B: 0.5, C: 0.3}
+	inside := map[int]float64{}
+	total := 0.0
+	for i, p := range pts {
+		if q.Contains(p[0], p[1]) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	if len(inside) < 10 {
+		t.Fatalf("setup: only %d inside", len(inside))
+	}
+	r := rng.New(7)
+	const draws = 300000
+	counts := map[int]int{}
+	out, ok, err := ix.Query(r, q, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, idx := range out {
+		if _, in := inside[idx]; !in {
+			t.Fatalf("sampled %d outside halfplane", idx)
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("chi2 = %v (dof %d)", chi2, len(inside)-1)
+	}
+}
+
+func TestEmptyHalfplane(t *testing.T) {
+	pts, w := makePoints(50, 8)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	q := Halfplane{A: 1, B: 0, C: -10} // x ≤ -10: nothing
+	if _, ok, err := ix.Query(r, q, 2, nil); ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if got := ix.RangeWeight(q); got != 0 {
+		t.Fatalf("RangeWeight = %v", got)
+	}
+}
+
+func TestDegenerateNormal(t *testing.T) {
+	pts, w := makePoints(30, 10)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(11)
+	// 0·x + 0·y ≤ 1: everything.
+	out, ok, err := ix.Query(r, Halfplane{A: 0, B: 0, C: 1}, 100, nil)
+	if err != nil || !ok || len(out) != 100 {
+		t.Fatalf("ok=%v err=%v len=%d", ok, err, len(out))
+	}
+	// 0·x + 0·y ≤ -1: nothing.
+	if _, ok, err := ix.Query(r, Halfplane{A: 0, B: 0, C: -1}, 1, nil); ok || err != nil {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCollinearAndDuplicatePoints(t *testing.T) {
+	// All points on a line, with duplicates: peeling must terminate and
+	// each point carry weight exactly once.
+	pts := [][]float64{{0, 0}, {1, 1}, {2, 2}, {1, 1}, {3, 3}, {0, 0}}
+	ix, err := New(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ly := range ix.layers {
+		total += len(ly.idx)
+	}
+	if total != 6 {
+		t.Fatalf("layers hold %d slots, want 6", total)
+	}
+	r := rng.New(12)
+	q := Halfplane{A: 1, B: 0, C: 1.5} // x ≤ 1.5: points 0,1,3,5
+	out, ok, err := ix.Query(r, q, 4000, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	counts := map[int]int{}
+	for _, idx := range out {
+		if idx != 0 && idx != 1 && idx != 3 && idx != 5 {
+			t.Fatalf("sampled %d outside", idx)
+		}
+		counts[idx]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("hit %d of 4 qualifying duplicates", len(counts))
+	}
+}
+
+func TestTouchedLayersShallow(t *testing.T) {
+	// A halfplane clipping just a corner should touch few layers.
+	pts, w := makePoints(2000, 13)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Halfplane{A: 1, B: 1, C: -1.5} // deep corner cut
+	if got := ix.Report(q, nil); len(got) > 0 {
+		tl := ix.TouchedLayers(q)
+		if tl > ix.NumLayers()/2 {
+			t.Fatalf("shallow query touched %d of %d layers", tl, ix.NumLayers())
+		}
+	}
+	// The full-plane query touches every layer.
+	full := Halfplane{A: 1, B: 0, C: 10}
+	if got := ix.TouchedLayers(full); got != ix.NumLayers() {
+		t.Fatalf("full query touched %d of %d layers", got, ix.NumLayers())
+	}
+}
+
+func TestCrossQueryIndependence(t *testing.T) {
+	pts := [][]float64{{0, 0}, {1, 0}}
+	ix, err := New(pts, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	q := Halfplane{A: 0, B: 1, C: 1}
+	var pairs [4]int
+	out, _, err := ix.Query(r, q, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := out[0]
+	const queries = 40000
+	for i := 0; i < queries; i++ {
+		out, _, err := ix.Query(r, q, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[prev*2+out[0]]++
+		prev = out[0]
+	}
+	expected := float64(queries) / 4
+	for i, cnt := range pairs {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pair %02b count %d", i, cnt)
+		}
+	}
+}
+
+func BenchmarkHalfplaneQuery(b *testing.B) {
+	pts, w := makePoints(1<<15, 1)
+	ix, err := New(pts, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := randHalfplane(r)
+		dst, _, _ = ix.Query(r, q, 16, dst[:0])
+	}
+}
+
+func TestLenAndNumLayers(t *testing.T) {
+	pts, w := makePoints(20, 30)
+	ix, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Len() != 20 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if ix.NumLayers() < 1 {
+		t.Fatalf("NumLayers = %d", ix.NumLayers())
+	}
+}

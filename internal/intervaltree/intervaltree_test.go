@@ -1,0 +1,258 @@
+package intervaltree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func makeIntervals(n int, seed uint64) ([]Interval, []float64) {
+	r := rng.New(seed)
+	ivs := make([]Interval, n)
+	w := make([]float64, n)
+	for i := range ivs {
+		l := r.Float64() * 100
+		ivs[i] = Interval{L: l, R: l + r.Float64()*20}
+		w[i] = r.Float64()*4 + 0.2
+	}
+	return ivs, w
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]Interval{{L: 2, R: 1}}, nil); err != ErrBadInterval {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]Interval{{L: 1, R: 2}}, []float64{0}); err != ErrBadWeight {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([]Interval{{L: 1, R: 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestReportMatchesBruteForce(t *testing.T) {
+	ivs, w := makeIntervals(400, 1)
+	tree, err := New(ivs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	f := func(raw uint16) bool {
+		q := float64(raw%1300) / 10
+		got := tree.Report(q, nil)
+		sort.Ints(got)
+		var want []int
+		for i, iv := range ivs {
+			if iv.Contains(q) {
+				want = append(want, i)
+			}
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStabWeightMatchesBruteForce(t *testing.T) {
+	ivs, w := makeIntervals(300, 3)
+	tree, err := New(ivs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	for trial := 0; trial < 200; trial++ {
+		q := r.Float64() * 130
+		want := 0.0
+		for i, iv := range ivs {
+			if iv.Contains(q) {
+				want += w[i]
+			}
+		}
+		if got := tree.StabWeight(q); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("StabWeight(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestQueryDistribution(t *testing.T) {
+	// Overlapping intervals around q = 50.
+	ivs, w := makeIntervals(120, 5)
+	tree, err := New(ivs, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const q = 50.0
+	inside := map[int]float64{}
+	total := 0.0
+	for i, iv := range ivs {
+		if iv.Contains(q) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	if len(inside) < 5 {
+		t.Fatalf("setup: only %d stabbed", len(inside))
+	}
+	r := rng.New(6)
+	const draws = 300000
+	counts := map[int]int{}
+	out, ok := tree.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, idx := range out {
+		if _, in := inside[idx]; !in {
+			t.Fatalf("sampled interval %d not containing q", idx)
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+}
+
+func TestQueryEmpty(t *testing.T) {
+	tree, err := New([]Interval{{L: 10, R: 20}, {L: 30, R: 40}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(7)
+	for _, q := range []float64{5, 25, 45} {
+		if _, ok := tree.Query(r, q, 2, nil); ok {
+			t.Fatalf("stab %v returned ok", q)
+		}
+		if got := tree.StabWeight(q); got != 0 {
+			t.Fatalf("StabWeight(%v) = %v", q, got)
+		}
+	}
+}
+
+func TestQueryAtCentreAndEndpoints(t *testing.T) {
+	ivs := []Interval{{L: 0, R: 10}, {L: 5, R: 5}, {L: 5, R: 15}}
+	tree, err := New(ivs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	out, ok := tree.Query(r, 5, 3000, nil)
+	if !ok {
+		t.Fatal("stab 5 empty")
+	}
+	seen := map[int]bool{}
+	for _, idx := range out {
+		seen[idx] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("stab 5 hit %d of 3 intervals", len(seen))
+	}
+	// Closed endpoints.
+	out, ok = tree.Query(r, 0, 100, nil)
+	if !ok {
+		t.Fatal("stab 0 empty")
+	}
+	for _, idx := range out {
+		if idx != 0 {
+			t.Fatalf("stab 0 sampled %d", idx)
+		}
+	}
+}
+
+func TestIdenticalIntervals(t *testing.T) {
+	ivs := make([]Interval, 50)
+	for i := range ivs {
+		ivs[i] = Interval{L: 1, R: 2}
+	}
+	tree, err := New(ivs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	out, ok := tree.Query(r, 1.5, 5000, nil)
+	if !ok {
+		t.Fatal("empty")
+	}
+	seen := map[int]bool{}
+	for _, idx := range out {
+		seen[idx] = true
+	}
+	if len(seen) < 40 {
+		t.Fatalf("only %d of 50 identical intervals sampled", len(seen))
+	}
+}
+
+func TestCrossQueryIndependence(t *testing.T) {
+	ivs := []Interval{{L: 0, R: 10}, {L: 0, R: 10}}
+	tree, err := New(ivs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	var pairs [4]int
+	out, _ := tree.Query(r, 5, 1, nil)
+	prev := out[0]
+	const queries = 40000
+	for i := 0; i < queries; i++ {
+		out, _ := tree.Query(r, 5, 1, nil)
+		pairs[prev*2+out[0]]++
+		prev = out[0]
+	}
+	expected := float64(queries) / 4
+	for i, c := range pairs {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pair %02b count %d", i, c)
+		}
+	}
+}
+
+func BenchmarkStabQuery(b *testing.B) {
+	ivs, w := makeIntervals(1<<17, 1)
+	tree, err := New(ivs, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = tree.Query(r, r.Float64()*100, 16, dst[:0])
+	}
+}
+
+func TestLen(t *testing.T) {
+	tree, err := New([]Interval{{L: 1, R: 2}, {L: 3, R: 4}}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Len() != 2 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+}

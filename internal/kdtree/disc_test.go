@@ -1,0 +1,154 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestDiscContains(t *testing.T) {
+	q := Disc{Center: []float64{0, 0}, Radius: 1}
+	if !q.Contains([]float64{0.6, 0.6}) {
+		t.Fatal("inside point rejected")
+	}
+	if q.Contains([]float64{0.8, 0.8}) {
+		t.Fatal("outside point accepted")
+	}
+	if !q.Contains([]float64{1, 0}) {
+		t.Fatal("boundary point rejected (ball is closed)")
+	}
+}
+
+func TestDiscCoverContainsAllQualifying(t *testing.T) {
+	pts, w := makePoints(500, 2, 70)
+	tree, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := tree.DiscQueries()
+	r := rng.New(71)
+	for trial := 0; trial < 50; trial++ {
+		q := Disc{
+			Center: []float64{r.Float64(), r.Float64()},
+			Radius: 0.05 + r.Float64()*0.3,
+		}
+		cov := di.ApproxCover(q, nil)
+		inCover := map[int]bool{}
+		for _, nd := range cov {
+			for i := nd.Lo; i <= nd.Hi; i++ {
+				inCover[i] = true
+			}
+		}
+		for i := 0; i < tree.Len(); i++ {
+			if q.Contains(tree.Point(i)) && !inCover[i] {
+				t.Fatalf("qualifying point %d missing from cover", i)
+			}
+		}
+	}
+}
+
+func TestDiscSamplerDistribution(t *testing.T) {
+	const n = 300
+	pts, w := makePoints(n, 2, 72)
+	sp, err := NewDiscSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Disc{Center: []float64{0.5, 0.5}, Radius: 0.3}
+	inside := map[int]float64{}
+	total := 0.0
+	for i, p := range pts {
+		if q.Contains(p) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	if len(inside) < 10 {
+		t.Fatalf("setup: only %d inside", len(inside))
+	}
+	r := rng.New(73)
+	const draws = 300000
+	counts := map[int]int{}
+	out, ok, err := sp.Query(r, q, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, idx := range out {
+		if _, in := inside[idx]; !in {
+			t.Fatalf("sampled %d outside ball", idx)
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("chi2 = %v (dof %d)", chi2, len(inside)-1)
+	}
+}
+
+func TestDiscEmpty(t *testing.T) {
+	pts, w := makePoints(50, 2, 74)
+	sp, err := NewDiscSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Disc{Center: []float64{10, 10}, Radius: 0.1}
+	out, ok, err := sp.Query(rng.New(75), q, 3, nil)
+	if err != nil || ok || len(out) != 0 {
+		t.Fatalf("ok=%v err=%v len=%d", ok, err, len(out))
+	}
+}
+
+func TestDiscDimensionPanic(t *testing.T) {
+	pts, w := makePoints(10, 2, 76)
+	tree, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dimension disc did not panic")
+		}
+	}()
+	tree.DiscQueries().ApproxCover(Disc{Center: []float64{0}, Radius: 1}, nil)
+}
+
+func TestDiscBoundaryDensity(t *testing.T) {
+	// Uniform data: the covered-but-outside fraction should be modest, so
+	// the rejection loop terminates quickly (Theorem 6's premise).
+	pts, w := makePoints(2000, 2, 77)
+	tree, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	di := tree.DiscQueries()
+	q := Disc{Center: []float64{0.5, 0.5}, Radius: 0.25}
+	cov := di.ApproxCover(q, nil)
+	covered, qualifying := 0, 0
+	for _, nd := range cov {
+		for i := nd.Lo; i <= nd.Hi; i++ {
+			covered++
+			if q.Contains(tree.Point(i)) {
+				qualifying++
+			}
+		}
+	}
+	if qualifying == 0 {
+		t.Skip("no qualifying points")
+	}
+	density := float64(qualifying) / float64(covered)
+	if density < 0.3 {
+		t.Fatalf("density %v too low: boundary dominates (covered %d, qualifying %d)",
+			density, covered, qualifying)
+	}
+	// The boundary should be O(sqrt n)-ish: covered - qualifying small
+	// relative to n.
+	if covered-qualifying > 8*int(math.Sqrt(2000))+len(cov) {
+		t.Logf("note: boundary slack %d (cover %d nodes)", covered-qualifying, len(cov))
+	}
+}

@@ -1,0 +1,314 @@
+// Package kdtree implements a kd-tree over points in R^d and its IQS
+// conversion via the coverage technique — the first example under
+// Theorem 5 of the paper:
+//
+//	"A kd-tree on S uses O(n) space and permits us to find a cover C_q of
+//	 size O(n^{1−1/d}) for every q: Theorem 5 directly gives an IQS
+//	 structure of O(n) space and O(n^{1−1/d} + s) query time for the
+//	 multi-dimensional weighted range sampling problem."
+//
+// The tree is the classic Bentley kd-tree: median splits cycling through
+// the axes, one point per leaf. Because the build lays points out in the
+// tree's in-order, every subtree spans a contiguous range of the point
+// array (Proposition 1), which is exactly what the coverage transform
+// consumes.
+package kdtree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// Rect is an axis-parallel rectangle [Min[i], Max[i]] per dimension
+// (closed on both sides).
+type Rect struct {
+	Min, Max []float64
+}
+
+// Contains reports whether p lies in the rectangle.
+func (q Rect) Contains(p []float64) bool {
+	for i := range q.Min {
+		if p[i] < q.Min[i] || p[i] > q.Max[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// ErrEmpty is returned when building over no points.
+var ErrEmpty = errors.New("kdtree: empty input")
+
+// Tree is a kd-tree over n points in R^d.
+type Tree struct {
+	dim         int
+	pts         [][]float64 // points in leaf (in-order) layout
+	orig        []int       // orig[i] = caller's index of the point at leaf position i
+	leafWeights []float64   // weights in leaf layout
+	nodes       []node
+	boxData     []float64 // backing store for node bounding boxes
+	root        int32
+}
+
+type node struct {
+	left, right int32 // -1 for leaves
+	lo, hi      int32 // leaf-position span
+	// bbox of the points in the subtree, laid out [min0..min_{d-1},
+	// max0..max_{d-1}] in boxes.
+	boxOff int32
+	weight float64
+}
+
+// boxes backing store lives on the tree to keep node small.
+type buildCtx struct {
+	t       *Tree
+	weights []float64
+	boxes   []float64
+	r       *rng.Source
+}
+
+// New builds a kd-tree over pts (all of identical dimension d ≥ 1) with
+// per-point weights. Points are copied; the original order is preserved
+// through OrigIndex. Build time O(n log n) expected (randomised median
+// selection).
+func New(pts [][]float64, weights []float64) (*Tree, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("kdtree: points and weights length mismatch")
+	}
+	d := len(pts[0])
+	if d == 0 {
+		return nil, errors.New("kdtree: zero-dimensional points")
+	}
+	for i, p := range pts {
+		if len(p) != d {
+			return nil, fmt.Errorf("kdtree: point %d has dimension %d, want %d", i, len(p), d)
+		}
+	}
+	for _, w := range weights {
+		if !(w > 0) {
+			return nil, errors.New("kdtree: weights must be positive and finite")
+		}
+	}
+	t := &Tree{
+		dim:  d,
+		pts:  make([][]float64, n),
+		orig: make([]int, n),
+	}
+	for i, p := range pts {
+		t.pts[i] = append([]float64(nil), p...)
+		t.orig[i] = i
+	}
+	w := append([]float64(nil), weights...)
+	ctx := &buildCtx{
+		t:       t,
+		weights: w,
+		// 2n-1 nodes, 2d floats per box.
+		boxes: make([]float64, 0, (2*n-1)*2*d),
+		r:     rng.New(0x6b64747265655f31), // structural pivots only
+	}
+	t.nodes = make([]node, 0, 2*n-1)
+	t.root = build(ctx, 0, n-1, 0)
+	t.boxData = ctx.boxes
+	t.leafWeights = w
+	return t, nil
+}
+
+func build(c *buildCtx, lo, hi, depth int) int32 {
+	t := c.t
+	id := int32(len(t.nodes))
+	boxOff := int32(len(c.boxes))
+	c.boxes = append(c.boxes, make([]float64, 2*t.dim)...)
+	if lo == hi {
+		t.nodes = append(t.nodes, node{
+			left: -1, right: -1,
+			lo: int32(lo), hi: int32(hi),
+			boxOff: boxOff,
+			weight: c.weights[lo],
+		})
+		box := c.boxes[boxOff : boxOff+int32(2*t.dim)]
+		for i := 0; i < t.dim; i++ {
+			box[i] = t.pts[lo][i]
+			box[t.dim+i] = t.pts[lo][i]
+		}
+		return id
+	}
+	t.nodes = append(t.nodes, node{lo: int32(lo), hi: int32(hi), boxOff: boxOff})
+	axis := depth % t.dim
+	mid := lo + (hi-lo)/2
+	selectNth(c, lo, hi, mid, axis)
+	l := build(c, lo, mid, depth+1)
+	r := build(c, mid+1, hi, depth+1)
+	nd := &t.nodes[id]
+	nd.left, nd.right = l, r
+	nd.weight = t.nodes[l].weight + t.nodes[r].weight
+	// Union of child boxes.
+	box := c.boxes[boxOff : boxOff+int32(2*t.dim)]
+	lb := c.boxes[t.nodes[l].boxOff : t.nodes[l].boxOff+int32(2*t.dim)]
+	rb := c.boxes[t.nodes[r].boxOff : t.nodes[r].boxOff+int32(2*t.dim)]
+	for i := 0; i < t.dim; i++ {
+		box[i] = min(lb[i], rb[i])
+		box[t.dim+i] = max(lb[t.dim+i], rb[t.dim+i])
+	}
+	return id
+}
+
+// selectNth partially sorts positions [lo, hi] so that position nth holds
+// the element of rank nth by coordinate axis (randomised quickselect).
+func selectNth(c *buildCtx, lo, hi, nth, axis int) {
+	t := c.t
+	for lo < hi {
+		// Random pivot.
+		p := lo + c.r.Intn(hi-lo+1)
+		pv := t.pts[p][axis]
+		// Three-way partition (handles duplicate coordinates).
+		lt, i, gt := lo, lo, hi
+		for i <= gt {
+			v := t.pts[i][axis]
+			switch {
+			case v < pv:
+				c.swap(lt, i)
+				lt++
+				i++
+			case v > pv:
+				c.swap(i, gt)
+				gt--
+			default:
+				i++
+			}
+		}
+		switch {
+		case nth < lt:
+			hi = lt - 1
+		case nth > gt:
+			lo = gt + 1
+		default:
+			return
+		}
+	}
+}
+
+func (c *buildCtx) swap(i, j int) {
+	t := c.t
+	t.pts[i], t.pts[j] = t.pts[j], t.pts[i]
+	t.orig[i], t.orig[j] = t.orig[j], t.orig[i]
+	c.weights[i], c.weights[j] = c.weights[j], c.weights[i]
+}
+
+// Len returns the number of points.
+func (t *Tree) Len() int { return len(t.pts) }
+
+// Dim returns the dimensionality.
+func (t *Tree) Dim() int { return t.dim }
+
+// Point returns the point at leaf position i (aliases internal state).
+func (t *Tree) Point(i int) []float64 { return t.pts[i] }
+
+// OrigIndex returns the caller's original index of the point at leaf
+// position i.
+func (t *Tree) OrigIndex(i int) int { return t.orig[i] }
+
+// LeafWeights returns the weights in leaf order (aliases internal state).
+func (t *Tree) LeafWeights() []float64 { return t.leafWeights }
+
+// NumElements implements coverage.Index.
+func (t *Tree) NumElements() int { return len(t.pts) }
+
+// Cover implements coverage.Index for rectangle predicates: it returns
+// the canonical kd-tree cover of q, of size O(n^{1−1/d}).
+func (t *Tree) Cover(q Rect, dst []coverage.Node) []coverage.Node {
+	if len(q.Min) != t.dim || len(q.Max) != t.dim {
+		panic(fmt.Sprintf("kdtree: query dimension %d/%d, want %d", len(q.Min), len(q.Max), t.dim))
+	}
+	return t.cover(t.root, q, dst)
+}
+
+func (t *Tree) cover(id int32, q Rect, dst []coverage.Node) []coverage.Node {
+	nd := &t.nodes[id]
+	box := t.boxData[nd.boxOff : nd.boxOff+int32(2*t.dim)]
+	// Disjoint?
+	for i := 0; i < t.dim; i++ {
+		if box[t.dim+i] < q.Min[i] || box[i] > q.Max[i] {
+			return dst
+		}
+	}
+	// Fully contained?
+	contained := true
+	for i := 0; i < t.dim; i++ {
+		if box[i] < q.Min[i] || box[t.dim+i] > q.Max[i] {
+			contained = false
+			break
+		}
+	}
+	if contained {
+		return append(dst, coverage.Node{Lo: int(nd.lo), Hi: int(nd.hi), Weight: nd.weight})
+	}
+	if nd.left == -1 {
+		// Leaf partially overlapping: include iff the point qualifies.
+		if q.Contains(t.pts[nd.lo]) {
+			return append(dst, coverage.Node{Lo: int(nd.lo), Hi: int(nd.hi), Weight: nd.weight})
+		}
+		return dst
+	}
+	dst = t.cover(nd.left, q, dst)
+	return t.cover(nd.right, q, dst)
+}
+
+// Report appends the leaf positions of all points in q (conventional
+// reporting query, for baselines and tests).
+func (t *Tree) Report(q Rect, dst []int) []int {
+	var scratch [256]coverage.Node
+	cov := t.Cover(q, scratch[:0])
+	for _, nd := range cov {
+		for i := nd.Lo; i <= nd.Hi; i++ {
+			dst = append(dst, i)
+		}
+	}
+	return dst
+}
+
+var _ coverage.Index[Rect] = (*Tree)(nil)
+
+// Sampler bundles a kd-tree with the Theorem 5 transform: an IQS
+// structure for multi-dimensional weighted range sampling with O(n)
+// space (tree) + O(n log n) sampling engine and O(n^{1−1/d} + s) query
+// time.
+type Sampler struct {
+	Tree *Tree
+	cov  *coverage.Sampler[Rect]
+}
+
+// NewSampler builds the kd-tree and its coverage transform.
+func NewSampler(pts [][]float64, weights []float64) (*Sampler, error) {
+	t, err := New(pts, weights)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := coverage.NewSampler[Rect](t, t.leafWeights)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{Tree: t, cov: cs}, nil
+}
+
+// Query appends s independent weighted samples from S ∩ q to dst as the
+// caller's original point indices. ok is false when the range is empty.
+func (sp *Sampler) Query(r *rng.Source, q Rect, s int, dst []int) ([]int, bool) {
+	var scratch [64]int
+	buf, ok := sp.cov.Query(r, q, s, scratch[:0])
+	if !ok {
+		return dst, false
+	}
+	for _, pos := range buf {
+		dst = append(dst, sp.Tree.orig[pos])
+	}
+	return dst, true
+}
+
+// RangeWeight returns the total weight of points in q.
+func (sp *Sampler) RangeWeight(q Rect) float64 { return sp.cov.RangeWeight(q) }

@@ -1,0 +1,301 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+func makePoints(n, d int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	w := make([]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+		w[i] = r.Float64()*3 + 0.2
+	}
+	return pts, w
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := New([][]float64{{1, 2}, {1}}, []float64{1, 1}); err == nil {
+		t.Fatal("ragged dimensions accepted")
+	}
+	if _, err := New([][]float64{{1}}, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := New([][]float64{{}}, []float64{1}); err == nil {
+		t.Fatal("zero-dimensional accepted")
+	}
+}
+
+func TestReportMatchesBruteForce(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		pts, w := makePoints(300, d, uint64(10+d))
+		tree, err := New(pts, w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(20 + d))
+		for trial := 0; trial < 50; trial++ {
+			q := Rect{Min: make([]float64, d), Max: make([]float64, d)}
+			for j := 0; j < d; j++ {
+				a, b := r.Float64(), r.Float64()
+				if a > b {
+					a, b = b, a
+				}
+				q.Min[j], q.Max[j] = a, b
+			}
+			var got []int
+			for _, pos := range tree.Report(q, nil) {
+				got = append(got, tree.OrigIndex(pos))
+			}
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if q.Contains(p) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("d=%d: report size %d, want %d", d, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d: report mismatch at %d", d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverDisjointAndTight(t *testing.T) {
+	pts, w := makePoints(256, 2, 30)
+	tree, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(31)
+	f := func(raw [4]uint16) bool {
+		var q Rect
+		q.Min = []float64{float64(raw[0]%100) / 100, float64(raw[1]%100) / 100}
+		q.Max = []float64{q.Min[0] + float64(raw[2]%100)/100, q.Min[1] + float64(raw[3]%100)/100}
+		cov := tree.Cover(q, nil)
+		// Spans must be disjoint.
+		sort.Slice(cov, func(i, j int) bool { return cov[i].Lo < cov[j].Lo })
+		for i := 1; i < len(cov); i++ {
+			if cov[i].Lo <= cov[i-1].Hi {
+				return false
+			}
+		}
+		// Union of spans = exactly the satisfying points.
+		inCover := map[int]bool{}
+		for _, nd := range cov {
+			for i := nd.Lo; i <= nd.Hi; i++ {
+				inCover[i] = true
+			}
+		}
+		for i := 0; i < tree.Len(); i++ {
+			if q.Contains(tree.Point(i)) != inCover[i] {
+				return false
+			}
+		}
+		_ = r
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverSizeSublinear(t *testing.T) {
+	// The kd-tree guarantee: cover size O(sqrt(n)) in 2-D. Check the
+	// empirical max over queries stays within a generous constant.
+	const n = 1 << 12
+	pts, w := makePoints(n, 2, 40)
+	tree, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(41)
+	maxCover := 0
+	for trial := 0; trial < 100; trial++ {
+		lo0, lo1 := r.Float64()*0.5, r.Float64()*0.5
+		q := Rect{Min: []float64{lo0, lo1}, Max: []float64{lo0 + 0.4, lo1 + 0.4}}
+		cov := tree.Cover(q, nil)
+		if len(cov) > maxCover {
+			maxCover = len(cov)
+		}
+	}
+	bound := int(12 * math.Sqrt(n))
+	if maxCover > bound {
+		t.Fatalf("max cover size %d exceeds %d", maxCover, bound)
+	}
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestSamplerDistribution2D(t *testing.T) {
+	const n = 64
+	pts, w := makePoints(n, 2, 50)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0.2, 0.2}, Max: []float64{0.8, 0.8}}
+	inside := map[int]float64{}
+	total := 0.0
+	for i, p := range pts {
+		if q.Contains(p) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	if len(inside) < 5 {
+		t.Fatalf("test setup: only %d points inside", len(inside))
+	}
+	r := rng.New(51)
+	const draws = 300000
+	counts := map[int]int{}
+	out, ok := sp.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, idx := range out {
+		if _, in := inside[idx]; !in {
+			t.Fatalf("sampled point %d outside query", idx)
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("chi2 = %v (dof %d)", chi2, len(inside)-1)
+	}
+	if got := sp.RangeWeight(q); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("RangeWeight = %v, want %v", got, total)
+	}
+}
+
+func TestSamplerEmptyQuery(t *testing.T) {
+	pts, w := makePoints(32, 2, 60)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{5, 5}, Max: []float64{6, 6}}
+	if _, ok := sp.Query(rng.New(61), q, 3, nil); ok {
+		t.Fatal("empty query returned ok")
+	}
+	if got := sp.RangeWeight(q); got != 0 {
+		t.Fatalf("RangeWeight = %v", got)
+	}
+}
+
+func TestSamplerSinglePoint(t *testing.T) {
+	sp, err := NewSampler([][]float64{{0.5, 0.5}}, []float64{3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0, 0}, Max: []float64{1, 1}}
+	out, ok := sp.Query(rng.New(62), q, 4, nil)
+	if !ok || len(out) != 4 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+	for _, idx := range out {
+		if idx != 0 {
+			t.Fatalf("idx = %d", idx)
+		}
+	}
+}
+
+func TestDuplicateCoordinates(t *testing.T) {
+	// Many identical points: the three-way partition must not blow up.
+	pts := make([][]float64, 100)
+	w := make([]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{1, 1}
+		w[i] = 1
+	}
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0, 0}, Max: []float64{2, 2}}
+	out, ok := sp.Query(rng.New(63), q, 1000, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	seen := map[int]bool{}
+	for _, idx := range out {
+		seen[idx] = true
+	}
+	if len(seen) < 50 {
+		t.Fatalf("only %d of 100 duplicates ever sampled", len(seen))
+	}
+}
+
+func TestQueryDimensionPanics(t *testing.T) {
+	tree, err := New([][]float64{{1, 2}}, []float64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong-dimension query did not panic")
+		}
+	}()
+	tree.Cover(Rect{Min: []float64{0}, Max: []float64{1}}, nil)
+}
+
+func BenchmarkCover2D(b *testing.B) {
+	pts, w := makePoints(1<<16, 2, 1)
+	tree, err := New(pts, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	q := Rect{Min: []float64{0.25, 0.25}, Max: []float64{0.75, 0.75}}
+	var scratch []coverage.Node
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = tree.Cover(q, scratch[:0])
+	}
+}
+
+func BenchmarkSamplerQuery2D(b *testing.B) {
+	pts, w := makePoints(1<<16, 2, 1)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	q := Rect{Min: []float64{0.25, 0.25}, Max: []float64{0.75, 0.75}}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = sp.Query(r, q, 64, dst[:0])
+	}
+}

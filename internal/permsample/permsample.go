@@ -1,0 +1,221 @@
+// Package permsample implements the conventional (dependent) query
+// sampling structure described in Section 2 of the paper, which serves as
+// the foil for IQS throughout the experiments:
+//
+//	"In preprocessing, we can randomly permute the elements in S and
+//	 define the rank of each element as its position in the permutation.
+//	 Given q and s, a query simply returns the set Q ⊆ S_q of s elements
+//	 having the lowest ranks in S_q. It is clear that Q is a random WoR
+//	 sample set of S_q. Equally obvious is that the outputs of different
+//	 queries are correlated; e.g., repeating the query with the same q
+//	 and s always yields the same Q."
+//
+// Each individual output is a perfectly uniform WoR sample of S_q — but
+// outputs across queries are deterministic functions of one permutation,
+// so they are maximally dependent. Experiments E12/E13 quantify what that
+// costs.
+//
+// The retrieval runs in O(log n + s·log(s + log n)) time via a min-rank
+// segment tree with heap extraction (the paper cites an O(log n + s)
+// top-k range reporting structure [12]; the extra log factor is a
+// simplicity trade that does not affect the experiments, which compare
+// statistical behaviour, not speed, of this baseline).
+package permsample
+
+import (
+	"container/heap"
+	"errors"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/wor"
+)
+
+// ErrEmpty is returned when building over no elements.
+var ErrEmpty = errors.New("permsample: empty input")
+
+// Structure is the dependent query-sampling structure.
+type Structure struct {
+	values []float64 // sorted
+	rank   []int32   // rank[i] = permutation position of values[i]
+	// seg is a segment tree over rank: seg[node] = position of the
+	// minimum rank in the node's span.
+	seg  []int32
+	n    int
+	size int // segment tree base size (power of two ≥ n)
+}
+
+// New builds the structure over values; seed drives the one-off random
+// permutation (the only randomness this structure ever uses — that is
+// the point).
+func New(values []float64, seed uint64) (*Structure, error) {
+	n := len(values)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	st := &Structure{
+		values: append([]float64(nil), values...),
+		n:      n,
+	}
+	sort.Float64s(st.values)
+	r := rng.New(seed)
+	perm := r.Perm(n)
+	st.rank = make([]int32, n)
+	for i, p := range perm {
+		st.rank[i] = int32(p)
+	}
+	st.size = 1
+	for st.size < n {
+		st.size *= 2
+	}
+	st.seg = make([]int32, 2*st.size)
+	for i := range st.seg {
+		st.seg[i] = -1
+	}
+	for i := 0; i < n; i++ {
+		st.seg[st.size+i] = int32(i)
+	}
+	for i := st.size - 1; i >= 1; i-- {
+		st.seg[i] = st.argmin(st.seg[2*i], st.seg[2*i+1])
+	}
+	return st, nil
+}
+
+func (st *Structure) argmin(a, b int32) int32 {
+	switch {
+	case a < 0:
+		return b
+	case b < 0:
+		return a
+	case st.rank[a] <= st.rank[b]:
+		return a
+	default:
+		return b
+	}
+}
+
+// Len returns the number of elements.
+func (st *Structure) Len() int { return st.n }
+
+// Value returns the i-th smallest value.
+func (st *Structure) Value(i int) float64 { return st.values[i] }
+
+// Rank returns the permutation rank of position i (diagnostic).
+func (st *Structure) Rank(i int) int { return int(st.rank[i]) }
+
+// segNode is a heap entry: a segment-tree node whose span lies within the
+// query range, keyed by the rank of its minimum.
+type segNode struct {
+	node   int32
+	minPos int32
+	lo, hi int32 // span of the node clipped to nothing (full node span)
+}
+
+type nodeHeap struct {
+	items []segNode
+	st    *Structure
+}
+
+func (h *nodeHeap) Len() int { return len(h.items) }
+func (h *nodeHeap) Less(i, j int) bool {
+	return h.st.rank[h.items[i].minPos] < h.st.rank[h.items[j].minPos]
+}
+func (h *nodeHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *nodeHeap) Push(x interface{}) { h.items = append(h.items, x.(segNode)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// Query returns the (at most) s elements of S ∩ [lo, hi] with the lowest
+// permutation ranks, as positions into the sorted order — a WoR "sample"
+// of S_q that is identical on every repetition. ok is false when S ∩ q is
+// empty.
+func (st *Structure) Query(lo, hi float64, s int, dst []int) ([]int, bool) {
+	a := sort.SearchFloat64s(st.values, lo)
+	b := sort.Search(st.n, func(i int) bool { return st.values[i] > hi }) - 1
+	if a > b {
+		return dst, false
+	}
+	// Collect canonical segment-tree nodes covering [a, b].
+	h := &nodeHeap{st: st}
+	st.collect(1, 0, st.size-1, int32(a), int32(b), h)
+	heap.Init(h)
+	for s > 0 && h.Len() > 0 {
+		it := heap.Pop(h).(segNode)
+		// Emit the min position, then split its node around it so the
+		// remaining positions stay reachable.
+		dst = append(dst, int(it.minPos))
+		s--
+		st.pushChildrenExcluding(h, it, it.minPos)
+	}
+	return dst, true
+}
+
+// QueryWR adapts the structure to WR sampling via the O(s) WoR→WR
+// conversion the paper cites as [19] (Section 2: "The above approach can
+// be easily adapted for WR sampling... The dependence issue persists,
+// nevertheless."). The conversion consumes randomness from r, so
+// repeated calls return different *multisets* — but they are all
+// resamplings of the same frozen WoR set, so cross-query dependence
+// persists exactly as the paper notes.
+func (st *Structure) QueryWR(r *rng.Source, lo, hi float64, s int, dst []int) ([]int, bool) {
+	// The conversion may need up to s distinct values.
+	worSet, ok := st.Query(lo, hi, s, nil)
+	if !ok {
+		return dst, false
+	}
+	// |S_q| for the collision probability.
+	a := sort.SearchFloat64s(st.values, lo)
+	b := sort.Search(st.n, func(i int) bool { return st.values[i] > hi }) - 1
+	nq := b - a + 1
+	wr, err := wor.WoRToWR(r, worSet, nq, s)
+	if err != nil {
+		// Only possible when |S_q| < s distinct values exist; fall back
+		// to resampling the frozen set uniformly.
+		for i := 0; i < s; i++ {
+			dst = append(dst, worSet[r.Intn(len(worSet))])
+		}
+		return dst, true
+	}
+	return append(dst, wr...), true
+}
+
+// collect pushes canonical nodes of [a, b] onto the heap (unheapified).
+func (st *Structure) collect(node int32, nlo, nhi int, a, b int32, h *nodeHeap) {
+	if int(b) < nlo || nhi < int(a) || st.seg[node] < 0 {
+		return
+	}
+	if int(a) <= nlo && nhi <= int(b) {
+		h.items = append(h.items, segNode{node: node, minPos: st.seg[node], lo: int32(nlo), hi: int32(nhi)})
+		return
+	}
+	mid := (nlo + nhi) / 2
+	st.collect(2*node, nlo, mid, a, b, h)
+	st.collect(2*node+1, mid+1, nhi, a, b, h)
+}
+
+// pushChildrenExcluding descends from it.node to the leaf holding pos,
+// pushing at each step the sibling subtree (whose min is unaffected by
+// the removal) onto the heap.
+func (st *Structure) pushChildrenExcluding(h *nodeHeap, it segNode, pos int32) {
+	node, nlo, nhi := it.node, int(it.lo), int(it.hi)
+	for nlo < nhi {
+		mid := (nlo + nhi) / 2
+		left, right := 2*node, 2*node+1
+		if int(pos) <= mid {
+			if st.seg[right] >= 0 {
+				heap.Push(h, segNode{node: right, minPos: st.seg[right], lo: int32(mid + 1), hi: int32(nhi)})
+			}
+			node, nhi = left, mid
+		} else {
+			if st.seg[left] >= 0 {
+				heap.Push(h, segNode{node: left, minPos: st.seg[left], lo: int32(nlo), hi: int32(mid)})
+			}
+			node, nlo = right, mid+1
+		}
+	}
+}

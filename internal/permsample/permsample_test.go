@@ -1,0 +1,228 @@
+package permsample
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestNewEmpty(t *testing.T) {
+	if _, err := New(nil, 1); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestQueryDeterministic(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	st, err := New(values, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, ok1 := st.Query(10, 60, 5, nil)
+	b, ok2 := st.Query(10, 60, 5, nil)
+	if !ok1 || !ok2 {
+		t.Fatal("query empty")
+	}
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("lens %d/%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("repeated query returned different output — baseline must be dependent")
+		}
+	}
+}
+
+func TestQueryReturnsLowestRanks(t *testing.T) {
+	values := make([]float64, 64)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	st, err := New(values, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(loRaw, spanRaw, sRaw uint8) bool {
+		lo := float64(loRaw % 64)
+		hi := lo + float64(spanRaw%64)
+		s := int(sRaw%10) + 1
+		out, ok := st.Query(lo, hi, s, nil)
+		if !ok {
+			return lo > 63
+		}
+		// Brute force: positions in [lo, hi], sorted by rank.
+		var want []int
+		for i := 0; i < st.Len(); i++ {
+			if st.Value(i) >= lo && st.Value(i) <= hi {
+				want = append(want, i)
+			}
+		}
+		sort.Slice(want, func(a, b int) bool { return st.Rank(want[a]) < st.Rank(want[b]) })
+		if s > len(want) {
+			s = len(want)
+		}
+		if len(out) != s {
+			return false
+		}
+		for i := 0; i < s; i++ {
+			if out[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryEmptyRange(t *testing.T) {
+	st, err := New([]float64{1, 2, 3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Query(10, 20, 2, nil); ok {
+		t.Fatal("empty range returned ok")
+	}
+	if _, ok := st.Query(2.5, 2.9, 2, nil); ok {
+		t.Fatal("gap range returned ok")
+	}
+}
+
+func TestSingleOutputIsUniformAcrossSeeds(t *testing.T) {
+	// Over many independently built structures, the first-ranked element
+	// of a fixed range must be uniform: a single output of the baseline
+	// is a fair sample, only the cross-query behaviour is degenerate.
+	values := make([]float64, 8)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	counts := make([]int, 8)
+	const builds = 40000
+	seedGen := rng.New(99)
+	for b := 0; b < builds; b++ {
+		st, err := New(values, seedGen.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		out, ok := st.Query(0, 7, 1, nil)
+		if !ok || len(out) != 1 {
+			t.Fatal("query failed")
+		}
+		counts[out[0]]++
+	}
+	expected := float64(builds) / 8
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d chosen first %d times, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestSRequestsMoreThanAvailable(t *testing.T) {
+	st, err := New([]float64{1, 2, 3}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok := st.Query(0, 10, 99, nil)
+	if !ok || len(out) != 3 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+	seen := map[int]bool{}
+	for _, p := range out {
+		if seen[p] {
+			t.Fatal("duplicate position in WoR output")
+		}
+		seen[p] = true
+	}
+}
+
+func TestUnsortedInput(t *testing.T) {
+	st, err := New([]float64{5, 1, 3}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Value(0) != 1 || st.Value(2) != 5 {
+		t.Fatal("values not sorted")
+	}
+}
+
+func BenchmarkQuery(b *testing.B) {
+	r := rng.New(1)
+	const n = 1 << 18
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = r.Float64()
+	}
+	st, err := New(values, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 0.5
+		dst, _ = st.Query(lo, lo+0.25, 16, dst[:0])
+	}
+}
+
+func TestQueryWR(t *testing.T) {
+	values := make([]float64, 50)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	st, err := New(values, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(10)
+	out, ok := st.QueryWR(r, 10, 39, 8, nil)
+	if !ok || len(out) != 8 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+	for _, pos := range out {
+		if v := st.Value(pos); v < 10 || v > 39 {
+			t.Fatalf("value %v outside", v)
+		}
+	}
+	// Empty range.
+	if _, ok := st.QueryWR(r, 100, 200, 3, nil); ok {
+		t.Fatal("empty range ok")
+	}
+	// s exceeding |S_q| still yields s outputs (resampling fallback).
+	out, ok = st.QueryWR(r, 10, 12, 9, nil)
+	if !ok || len(out) != 9 {
+		t.Fatalf("oversized: ok=%v len=%d", ok, len(out))
+	}
+}
+
+func TestQueryWRStillDependent(t *testing.T) {
+	// The WR variant must still draw from the same frozen WoR set: the
+	// union of many WR draws equals the first s distinct ranked values,
+	// never the whole range.
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	st, err := New(values, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(12)
+	seen := map[int]bool{}
+	for q := 0; q < 300; q++ {
+		out, _ := st.QueryWR(r, 0, 99, 5, nil)
+		for _, pos := range out {
+			seen[pos] = true
+		}
+	}
+	if len(seen) > 5 {
+		t.Fatalf("WR variant leaked %d distinct values — dependence broken?", len(seen))
+	}
+}

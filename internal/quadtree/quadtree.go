@@ -1,0 +1,262 @@
+// Package quadtree implements a 2-D point quadtree and its IQS conversion,
+// the structure Looz and Meyerhenke applied tree sampling to (Section 3.2
+// remark of the paper): O(n) space and O((√n + s) log n) query time under
+// data assumptions. Here it serves as the comparator for the kd-tree
+// instantiation of Theorem 5 (experiment E6).
+//
+// The tree recursively splits the data bounding square into four
+// quadrants until a cell holds at most BucketSize points (or the depth
+// cap is hit, which handles duplicate points). Points are laid out in
+// depth-first order, so every cell spans a contiguous range of the point
+// array and the coverage transform applies directly.
+package quadtree
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/coverage"
+	"repro/internal/rng"
+)
+
+// BucketSize is the leaf capacity.
+const BucketSize = 8
+
+// maxDepth caps recursion so coincident points terminate.
+const maxDepth = 48
+
+// Rect is an axis-parallel rectangle (closed).
+type Rect struct {
+	Min, Max [2]float64
+}
+
+// Contains reports whether (x, y) lies in the rectangle.
+func (q Rect) Contains(x, y float64) bool {
+	return x >= q.Min[0] && x <= q.Max[0] && y >= q.Min[1] && y <= q.Max[1]
+}
+
+// ErrEmpty is returned when building over no points.
+var ErrEmpty = errors.New("quadtree: empty input")
+
+// Tree is a quadtree over n points in R².
+type Tree struct {
+	xs, ys      []float64 // point coordinates in depth-first layout
+	orig        []int
+	leafWeights []float64
+	nodes       []qnode
+	root        int32
+}
+
+type qnode struct {
+	children [4]int32 // -1 when absent; all -1 for leaf cells
+	lo, hi   int32
+	weight   float64
+	// cell bounds
+	minX, minY, maxX, maxY float64
+	leaf                   bool
+}
+
+// New builds the quadtree over pts (x, y pairs) with weights.
+func New(pts [][]float64, weights []float64) (*Tree, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("quadtree: points and weights length mismatch")
+	}
+	t := &Tree{
+		xs:          make([]float64, n),
+		ys:          make([]float64, n),
+		orig:        make([]int, n),
+		leafWeights: make([]float64, n),
+	}
+	for i, p := range pts {
+		if len(p) != 2 {
+			return nil, fmt.Errorf("quadtree: point %d has dimension %d, want 2", i, len(p))
+		}
+		if !(weights[i] > 0) {
+			return nil, errors.New("quadtree: weights must be positive and finite")
+		}
+		t.xs[i], t.ys[i] = p[0], p[1]
+		t.orig[i] = i
+		t.leafWeights[i] = weights[i]
+	}
+	minX, minY := t.xs[0], t.ys[0]
+	maxX, maxY := minX, minY
+	for i := 1; i < n; i++ {
+		minX = min(minX, t.xs[i])
+		maxX = max(maxX, t.xs[i])
+		minY = min(minY, t.ys[i])
+		maxY = max(maxY, t.ys[i])
+	}
+	t.root = t.build(0, n-1, minX, minY, maxX, maxY, 0)
+	return t, nil
+}
+
+func (t *Tree) build(lo, hi int, minX, minY, maxX, maxY float64, depth int) int32 {
+	id := int32(len(t.nodes))
+	t.nodes = append(t.nodes, qnode{
+		children: [4]int32{-1, -1, -1, -1},
+		lo:       int32(lo), hi: int32(hi),
+		minX: minX, minY: minY, maxX: maxX, maxY: maxY,
+	})
+	w := 0.0
+	for i := lo; i <= hi; i++ {
+		w += t.leafWeights[i]
+	}
+	t.nodes[id].weight = w
+	if hi-lo+1 <= BucketSize || depth >= maxDepth {
+		t.nodes[id].leaf = true
+		return id
+	}
+	cx, cy := (minX+maxX)/2, (minY+maxY)/2
+	// Partition [lo,hi] into the four quadrants in place:
+	// 0: x<cx,y<cy  1: x≥cx,y<cy  2: x<cx,y≥cy  3: x≥cx,y≥cy
+	quad := func(i int) int {
+		q := 0
+		if t.xs[i] >= cx {
+			q |= 1
+		}
+		if t.ys[i] >= cy {
+			q |= 2
+		}
+		return q
+	}
+	// Counting sort by quadrant (stable enough; in-place via cycle is
+	// overkill — use a temp permutation).
+	counts := [4]int{}
+	for i := lo; i <= hi; i++ {
+		counts[quad(i)]++
+	}
+	starts := [4]int{lo, lo + counts[0], lo + counts[0] + counts[1], lo + counts[0] + counts[1] + counts[2]}
+	next := starts
+	k := hi - lo + 1
+	tx := make([]float64, k)
+	ty := make([]float64, k)
+	to := make([]int, k)
+	tw := make([]float64, k)
+	for i := lo; i <= hi; i++ {
+		q := quad(i)
+		p := next[q] - lo
+		next[q]++
+		tx[p], ty[p], to[p], tw[p] = t.xs[i], t.ys[i], t.orig[i], t.leafWeights[i]
+	}
+	copy(t.xs[lo:hi+1], tx)
+	copy(t.ys[lo:hi+1], ty)
+	copy(t.orig[lo:hi+1], to)
+	copy(t.leafWeights[lo:hi+1], tw)
+
+	bounds := [4][4]float64{
+		{minX, minY, cx, cy},
+		{cx, minY, maxX, cy},
+		{minX, cy, cx, maxY},
+		{cx, cy, maxX, maxY},
+	}
+	for q := 0; q < 4; q++ {
+		if counts[q] == 0 {
+			continue
+		}
+		clo := starts[q]
+		chi := clo + counts[q] - 1
+		b := bounds[q]
+		child := t.build(clo, chi, b[0], b[1], b[2], b[3], depth+1)
+		t.nodes[id].children[q] = child
+	}
+	return id
+}
+
+// Len returns the number of points.
+func (t *Tree) Len() int { return len(t.xs) }
+
+// NumElements implements coverage.Index.
+func (t *Tree) NumElements() int { return len(t.xs) }
+
+// OrigIndex returns the caller's index of the point at layout position i.
+func (t *Tree) OrigIndex(i int) int { return t.orig[i] }
+
+// LeafWeights returns the weights in layout order (aliases state).
+func (t *Tree) LeafWeights() []float64 { return t.leafWeights }
+
+// Cover implements coverage.Index for rectangle predicates.
+func (t *Tree) Cover(q Rect, dst []coverage.Node) []coverage.Node {
+	return t.cover(t.root, q, dst)
+}
+
+func (t *Tree) cover(id int32, q Rect, dst []coverage.Node) []coverage.Node {
+	nd := &t.nodes[id]
+	if nd.maxX < q.Min[0] || nd.minX > q.Max[0] || nd.maxY < q.Min[1] || nd.minY > q.Max[1] {
+		return dst
+	}
+	if nd.minX >= q.Min[0] && nd.maxX <= q.Max[0] && nd.minY >= q.Min[1] && nd.maxY <= q.Max[1] {
+		return append(dst, coverage.Node{Lo: int(nd.lo), Hi: int(nd.hi), Weight: nd.weight})
+	}
+	if nd.leaf {
+		// Boundary cell: emit qualifying points as unit spans, merging
+		// adjacent qualifying runs.
+		runStart := -1
+		runWeight := 0.0
+		for i := int(nd.lo); i <= int(nd.hi); i++ {
+			if q.Contains(t.xs[i], t.ys[i]) {
+				if runStart < 0 {
+					runStart = i
+					runWeight = 0
+				}
+				runWeight += t.leafWeights[i]
+				continue
+			}
+			if runStart >= 0 {
+				dst = append(dst, coverage.Node{Lo: runStart, Hi: i - 1, Weight: runWeight})
+				runStart = -1
+			}
+		}
+		if runStart >= 0 {
+			dst = append(dst, coverage.Node{Lo: runStart, Hi: int(nd.hi), Weight: runWeight})
+		}
+		return dst
+	}
+	for _, c := range nd.children {
+		if c >= 0 {
+			dst = t.cover(c, q, dst)
+		}
+	}
+	return dst
+}
+
+var _ coverage.Index[Rect] = (*Tree)(nil)
+
+// Sampler bundles the quadtree with the Theorem 5 transform.
+type Sampler struct {
+	Tree *Tree
+	cov  *coverage.Sampler[Rect]
+}
+
+// NewSampler builds the tree and its coverage transform.
+func NewSampler(pts [][]float64, weights []float64) (*Sampler, error) {
+	t, err := New(pts, weights)
+	if err != nil {
+		return nil, err
+	}
+	cs, err := coverage.NewSampler[Rect](t, t.leafWeights)
+	if err != nil {
+		return nil, err
+	}
+	return &Sampler{Tree: t, cov: cs}, nil
+}
+
+// Query appends s independent weighted samples from S ∩ q as original
+// point indices.
+func (sp *Sampler) Query(r *rng.Source, q Rect, s int, dst []int) ([]int, bool) {
+	var scratch [64]int
+	buf, ok := sp.cov.Query(r, q, s, scratch[:0])
+	if !ok {
+		return dst, false
+	}
+	for _, pos := range buf {
+		dst = append(dst, sp.Tree.orig[pos])
+	}
+	return dst, true
+}
+
+// RangeWeight returns the total weight of points in q.
+func (sp *Sampler) RangeWeight(q Rect) float64 { return sp.cov.RangeWeight(q) }

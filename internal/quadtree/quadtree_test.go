@@ -1,0 +1,206 @@
+package quadtree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func makePoints(n int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	w := make([]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.Float64(), r.Float64()}
+		w[i] = r.Float64()*3 + 0.2
+	}
+	return pts, w
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]float64{{1, 2}}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := New([][]float64{{1}}, []float64{1}); err == nil {
+		t.Fatal("1-d point accepted")
+	}
+	if _, err := New([][]float64{{1, 2}}, []float64{0}); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+}
+
+func TestCoverMatchesBruteForce(t *testing.T) {
+	pts, w := makePoints(400, 1)
+	tree, err := New(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	f := func(raw [4]uint8) bool {
+		q := Rect{
+			Min: [2]float64{float64(raw[0]) / 256, float64(raw[1]) / 256},
+			Max: [2]float64{float64(raw[0])/256 + float64(raw[2])/128, float64(raw[1])/256 + float64(raw[3])/128},
+		}
+		cov := tree.Cover(q, nil)
+		// Spans disjoint.
+		sort.Slice(cov, func(i, j int) bool { return cov[i].Lo < cov[j].Lo })
+		for i := 1; i < len(cov); i++ {
+			if cov[i].Lo <= cov[i-1].Hi {
+				return false
+			}
+		}
+		inCover := map[int]bool{}
+		total := 0.0
+		for _, nd := range cov {
+			total += nd.Weight
+			for i := nd.Lo; i <= nd.Hi; i++ {
+				inCover[i] = true
+			}
+		}
+		want := 0.0
+		for i := 0; i < tree.Len(); i++ {
+			inside := q.Contains(tree.xs[i], tree.ys[i])
+			if inside != inCover[i] {
+				return false
+			}
+			if inside {
+				want += tree.leafWeights[i]
+			}
+		}
+		_ = r
+		return math.Abs(total-want) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestSamplerDistribution(t *testing.T) {
+	const n = 80
+	pts, w := makePoints(n, 3)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: [2]float64{0.2, 0.2}, Max: [2]float64{0.8, 0.8}}
+	inside := map[int]float64{}
+	total := 0.0
+	for i, p := range pts {
+		if q.Contains(p[0], p[1]) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	r := rng.New(4)
+	const draws = 250000
+	counts := map[int]int{}
+	out, ok := sp.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, idx := range out {
+		if _, in := inside[idx]; !in {
+			t.Fatalf("sampled %d outside query", idx)
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("chi2 = %v", chi2)
+	}
+}
+
+func TestCoincidentPoints(t *testing.T) {
+	// All points identical: depth cap must terminate the build.
+	pts := make([][]float64, 100)
+	w := make([]float64, 100)
+	for i := range pts {
+		pts[i] = []float64{0.5, 0.5}
+		w[i] = 1
+	}
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: [2]float64{0, 0}, Max: [2]float64{1, 1}}
+	out, ok := sp.Query(rng.New(5), q, 500, nil)
+	if !ok || len(out) != 500 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	pts, w := makePoints(32, 6)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: [2]float64{2, 2}, Max: [2]float64{3, 3}}
+	if _, ok := sp.Query(rng.New(7), q, 2, nil); ok {
+		t.Fatal("empty query returned ok")
+	}
+}
+
+func BenchmarkSamplerQuery(b *testing.B) {
+	pts, w := makePoints(1<<16, 1)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	q := Rect{Min: [2]float64{0.25, 0.25}, Max: [2]float64{0.75, 0.75}}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = sp.Query(r, q, 64, dst[:0])
+	}
+}
+
+func TestAccessorsAndRangeWeight(t *testing.T) {
+	pts, w := makePoints(64, 9)
+	sp, err := NewSampler(pts, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := sp.Tree
+	// OrigIndex must be a permutation of 0..n-1.
+	seen := map[int]bool{}
+	for i := 0; i < tree.Len(); i++ {
+		oi := tree.OrigIndex(i)
+		if oi < 0 || oi >= tree.Len() || seen[oi] {
+			t.Fatalf("OrigIndex broken at %d", i)
+		}
+		seen[oi] = true
+	}
+	if got := len(tree.LeafWeights()); got != 64 {
+		t.Fatalf("LeafWeights len = %d", got)
+	}
+	q := Rect{Min: [2]float64{0.2, 0.2}, Max: [2]float64{0.8, 0.8}}
+	want := 0.0
+	for i, p := range pts {
+		if q.Contains(p[0], p[1]) {
+			want += w[i]
+		}
+	}
+	if got := sp.RangeWeight(q); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("RangeWeight = %v, want %v", got, want)
+	}
+}

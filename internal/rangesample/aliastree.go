@@ -1,0 +1,160 @@
+package rangesample
+
+import (
+	"repro/internal/alias"
+	"repro/internal/rng"
+)
+
+// posTree is the engine behind Lemma 2: a balanced binary tree over
+// positions 0..n-1 in which every node stores an alias structure
+// (Theorem 1) over the weights of the positions it spans. Total space and
+// build time are O(n log n) — each of the O(log n) levels holds aliases
+// over n positions in aggregate.
+//
+// QueryPos answers "draw s independent weighted samples from positions
+// [a, b]" in O(log n + s) time: O(log n) to collect the canonical cover
+// and build a top-level alias over it, then O(1) per sample.
+type posTree struct {
+	weights []float64
+	nodes   []posNode
+	root    int32
+}
+
+type posNode struct {
+	left, right int32 // -1 for leaves
+	lo, hi      int32
+	weight      float64
+	al          *alias.Alias // nil for leaves
+}
+
+func newPosTree(weights []float64) *posTree {
+	n := len(weights)
+	if n == 0 {
+		panic("rangesample: newPosTree on empty weights")
+	}
+	t := &posTree{
+		weights: weights,
+		nodes:   make([]posNode, 0, 2*n-1),
+	}
+	t.root = t.build(0, int32(n-1))
+	return t
+}
+
+func (t *posTree) build(lo, hi int32) int32 {
+	id := int32(len(t.nodes))
+	if lo == hi {
+		t.nodes = append(t.nodes, posNode{
+			left: -1, right: -1, lo: lo, hi: hi, weight: t.weights[lo],
+		})
+		return id
+	}
+	t.nodes = append(t.nodes, posNode{lo: lo, hi: hi})
+	mid := lo + (hi-lo)/2
+	l := t.build(lo, mid)
+	rt := t.build(mid+1, hi)
+	nd := &t.nodes[id]
+	nd.left, nd.right = l, rt
+	nd.weight = t.nodes[l].weight + t.nodes[rt].weight
+	nd.al = alias.MustNew(t.weights[lo : hi+1])
+	return id
+}
+
+// cover appends the canonical node ids for positions [a, b].
+func (t *posTree) cover(id int32, a, b int32, dst []int32) []int32 {
+	nd := &t.nodes[id]
+	if a <= nd.lo && nd.hi <= b {
+		return append(dst, id)
+	}
+	if nd.hi < a || b < nd.lo {
+		return dst
+	}
+	dst = t.cover(nd.left, a, b, dst)
+	return t.cover(nd.right, a, b, dst)
+}
+
+// rangeWeight returns the total weight of positions [a, b] in O(log n).
+func (t *posTree) rangeWeight(a, b int) float64 {
+	var scratch [64]int32
+	cov := t.cover(t.root, int32(a), int32(b), scratch[:0])
+	sum := 0.0
+	for _, id := range cov {
+		sum += t.nodes[id].weight
+	}
+	return sum
+}
+
+// queryPos appends s independent weighted samples from positions [a, b]
+// to dst. Panics if the range is out of bounds.
+func (t *posTree) queryPos(r *rng.Source, a, b, s int, dst []int) []int {
+	if a < 0 || b >= len(t.weights) || a > b {
+		panic("rangesample: queryPos range out of bounds")
+	}
+	var scratch [64]int32
+	cov := t.cover(t.root, int32(a), int32(b), scratch[:0])
+	if len(cov) == 1 {
+		// Single canonical node: sample directly from its alias.
+		nd := &t.nodes[cov[0]]
+		for i := 0; i < s; i++ {
+			dst = append(dst, int(nd.lo)+t.sampleNode(r, nd))
+		}
+		return dst
+	}
+	covWeights := make([]float64, len(cov))
+	for i, id := range cov {
+		covWeights[i] = t.nodes[id].weight
+	}
+	top := alias.MustNew(covWeights)
+	for i := 0; i < s; i++ {
+		nd := &t.nodes[cov[top.Sample(r)]]
+		dst = append(dst, int(nd.lo)+t.sampleNode(r, nd))
+	}
+	return dst
+}
+
+// sampleNode draws a position offset within nd's span via its alias (or
+// 0 for a leaf).
+func (t *posTree) sampleNode(r *rng.Source, nd *posNode) int {
+	if nd.al == nil {
+		return 0
+	}
+	return nd.al.Sample(r)
+}
+
+// AliasAug is the Lemma 2 structure ("alias augmentation", §4.1):
+// a BST over the sorted values in which every node is augmented with an
+// alias structure on its subtree's elements. Space O(n log n), build
+// O(n log n), query O(log n + s).
+type AliasAug struct {
+	base
+	tree *posTree
+}
+
+// NewAliasAug builds the structure over values and weights.
+func NewAliasAug(values, weights []float64) (*AliasAug, error) {
+	b, err := newBase(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	return &AliasAug{base: b, tree: newPosTree(b.weights)}, nil
+}
+
+// Query implements Sampler.
+func (aa *AliasAug) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
+	a, b, ok := aa.posRange(q)
+	if !ok {
+		return dst, false
+	}
+	return aa.tree.queryPos(r, a, b, s, dst), true
+}
+
+// RangeWeight returns the total weight of S ∩ q in O(log n); 0 when
+// empty. Exposed for estimation examples.
+func (aa *AliasAug) RangeWeight(q Interval) float64 {
+	a, b, ok := aa.posRange(q)
+	if !ok {
+		return 0
+	}
+	return aa.tree.rangeWeight(a, b)
+}
+
+var _ Sampler = (*AliasAug)(nil)

@@ -1,0 +1,207 @@
+package rangesample
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alias"
+	"repro/internal/fenwick"
+	"repro/internal/rng"
+)
+
+// Chunked is the Theorem 3 structure (§4.2): the sorted input is divided
+// into g = Θ(n / log n) chunks of Θ(log n) consecutive elements. A
+// Lemma 2 structure (posTree) over the g chunk totals supports
+// chunk-aligned sampling in O(log g + s) time using only
+// O(g·log g) = O(n) space; a per-chunk alias structure finishes each
+// sampled chunk in O(1); and a Fenwick tree provides the range-sum needed
+// to weight the two partial end chunks (the paper's "slightly augmented
+// BST", Chapter 14 of CLRS).
+//
+// A query splits [x, y] into q1 (partial head chunk), q2 (chunk-aligned
+// middle) and q3 (partial tail chunk) exactly as in Figure 2, distributes
+// the s samples over the three pieces with an on-the-fly alias (Theorem
+// 1), and resolves each piece in O(log n + s_j) time.
+//
+// Total: O(n) space, O(n log n) preprocessing (dominated by sorting),
+// O(log n + s) query.
+type Chunked struct {
+	base
+	chunkSize int
+	numChunks int
+	// chunkAlias[c] samples an offset within chunk c.
+	chunkAlias []*alias.Alias
+	// top is the Lemma 2 structure over chunk totals.
+	top *posTree
+	// sums provides O(log g) range sums over chunk totals.
+	sums *fenwick.Tree
+}
+
+// NewChunked builds the structure with the paper's chunk size
+// Θ(log n).
+func NewChunked(values, weights []float64) (*Chunked, error) {
+	n := len(values)
+	c := 1
+	if n > 1 {
+		c = int(math.Ceil(math.Log2(float64(n))))
+	}
+	return NewChunkedSize(values, weights, c)
+}
+
+// NewChunkedSize builds the structure with an explicit chunk size
+// (exposed for the A1 ablation). chunkSize must be ≥ 1.
+func NewChunkedSize(values, weights []float64, chunkSize int) (*Chunked, error) {
+	if chunkSize < 1 {
+		return nil, fmt.Errorf("rangesample: chunk size %d < 1", chunkSize)
+	}
+	b, err := newBase(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	n := len(b.values)
+	g := (n + chunkSize - 1) / chunkSize
+	ch := &Chunked{
+		base:       b,
+		chunkSize:  chunkSize,
+		numChunks:  g,
+		chunkAlias: make([]*alias.Alias, g),
+	}
+	totals := make([]float64, g)
+	for ci := 0; ci < g; ci++ {
+		lo, hi := ch.chunkBounds(ci)
+		sum := 0.0
+		for i := lo; i <= hi; i++ {
+			sum += b.weights[i]
+		}
+		totals[ci] = sum
+		ch.chunkAlias[ci] = alias.MustNew(b.weights[lo : hi+1])
+	}
+	ch.top = newPosTree(totals)
+	ch.sums = fenwick.FromSlice(totals)
+	return ch, nil
+}
+
+// chunkBounds returns the position range [lo, hi] of chunk ci.
+func (ch *Chunked) chunkBounds(ci int) (lo, hi int) {
+	lo = ci * ch.chunkSize
+	hi = lo + ch.chunkSize - 1
+	if hi >= len(ch.values) {
+		hi = len(ch.values) - 1
+	}
+	return lo, hi
+}
+
+// NumChunks returns g, the number of chunks (diagnostic).
+func (ch *Chunked) NumChunks() int { return ch.numChunks }
+
+// Query implements Sampler.
+func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
+	pa, pb, ok := ch.posRange(q)
+	if !ok {
+		return dst, false
+	}
+	ca, cb := pa/ch.chunkSize, pb/ch.chunkSize
+
+	if ca == cb {
+		// The whole query lives inside one chunk of O(log n) elements:
+		// build an alias over the sub-range on the fly.
+		return ch.samplePartial(r, pa, pb, s, dst), true
+	}
+
+	// Split into q1 (head partial), q2 (aligned middle), q3 (tail
+	// partial), per Figure 2.
+	h1lo, h1hi := pa, (ca+1)*ch.chunkSize-1 // within chunk ca
+	h3lo, h3hi := cb*ch.chunkSize, pb       // within chunk cb
+	w1 := ch.sumRangeSmall(h1lo, h1hi)
+	w3 := ch.sumRangeSmall(h3lo, h3hi)
+	w2 := 0.0
+	if ca+1 <= cb-1 {
+		w2 = ch.sums.RangeSum(ca+1, cb-1)
+	}
+
+	// Distribute s over the three pieces (Theorem 1 on ≤3 weights).
+	pieceW := make([]float64, 0, 3)
+	pieceID := make([]int, 0, 3)
+	for id, w := range []float64{w1, w2, w3} {
+		if w > 0 {
+			pieceW = append(pieceW, w)
+			pieceID = append(pieceID, id)
+		}
+	}
+	counts := alias.MustNew(pieceW).Counts(r, s)
+	var s1, s2, s3 int
+	for i, c := range counts {
+		switch pieceID[i] {
+		case 0:
+			s1 = c
+		case 1:
+			s2 = c
+		case 2:
+			s3 = c
+		}
+	}
+
+	if s1 > 0 {
+		dst = ch.samplePartial(r, h1lo, h1hi, s1, dst)
+	}
+	if s3 > 0 {
+		dst = ch.samplePartial(r, h3lo, h3hi, s3, dst)
+	}
+	if s2 > 0 {
+		// Chunk-aligned middle: sample s2 chunks from the Lemma 2
+		// structure, then finish each with the chunk's own alias.
+		var chunkScratch [64]int
+		chunks := ch.top.queryPos(r, ca+1, cb-1, s2, chunkScratch[:0])
+		for _, ci := range chunks {
+			lo, _ := ch.chunkBounds(ci)
+			dst = append(dst, lo+ch.chunkAlias[ci].Sample(r))
+		}
+	}
+	return dst, true
+}
+
+// samplePartial draws s weighted samples from positions [lo, hi] (a range
+// spanning at most one chunk, i.e. O(log n) elements) by building an
+// alias structure on the fly.
+func (ch *Chunked) samplePartial(r *rng.Source, lo, hi, s int, dst []int) []int {
+	if lo == hi {
+		for i := 0; i < s; i++ {
+			dst = append(dst, lo)
+		}
+		return dst
+	}
+	al := alias.MustNew(ch.weights[lo : hi+1])
+	for i := 0; i < s; i++ {
+		dst = append(dst, lo+al.Sample(r))
+	}
+	return dst
+}
+
+// sumRangeSmall sums weights over [lo, hi] directly (≤ chunkSize terms).
+func (ch *Chunked) sumRangeSmall(lo, hi int) float64 {
+	sum := 0.0
+	for i := lo; i <= hi; i++ {
+		sum += ch.weights[i]
+	}
+	return sum
+}
+
+// RangeWeight returns the total weight of S ∩ q in O(log n).
+func (ch *Chunked) RangeWeight(q Interval) float64 {
+	pa, pb, ok := ch.posRange(q)
+	if !ok {
+		return 0
+	}
+	ca, cb := pa/ch.chunkSize, pb/ch.chunkSize
+	if ca == cb {
+		return ch.sumRangeSmall(pa, pb)
+	}
+	w := ch.sumRangeSmall(pa, (ca+1)*ch.chunkSize-1) +
+		ch.sumRangeSmall(cb*ch.chunkSize, pb)
+	if ca+1 <= cb-1 {
+		w += ch.sums.RangeSum(ca+1, cb-1)
+	}
+	return w
+}
+
+var _ Sampler = (*Chunked)(nil)

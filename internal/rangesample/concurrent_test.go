@@ -1,0 +1,66 @@
+package rangesample
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// TestConcurrentReaders verifies the documented guarantee that static
+// samplers are safe for concurrent queries as long as each goroutine
+// brings its own *rng.Source. Run with -race to make this meaningful.
+func TestConcurrentReaders(t *testing.T) {
+	values, weights := makeDataset(4096, 77)
+	samplers := map[string]Sampler{}
+	{
+		aa, err := NewAliasAug(values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ck, err := NewChunked(values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, err := NewTreeWalk(values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		samplers["aliasaug"], samplers["chunked"], samplers["treewalk"] = aa, ck, tw
+	}
+	for name, s := range samplers {
+		s := s
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			errs := make(chan string, 8)
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rng.New(seed)
+					var dst []int
+					for i := 0; i < 500; i++ {
+						lo := float64(r.Intn(4000))
+						q := iv(lo, lo+64)
+						var ok bool
+						dst, ok = s.Query(r, q, 8, dst[:0])
+						if !ok {
+							continue
+						}
+						for _, pos := range dst {
+							if v := s.Value(pos); v < lo || v > lo+64 {
+								errs <- "sample out of range"
+								return
+							}
+						}
+					}
+				}(uint64(1000 + g))
+			}
+			wg.Wait()
+			close(errs)
+			for e := range errs {
+				t.Fatal(e)
+			}
+		})
+	}
+}

@@ -1,0 +1,242 @@
+package rangesample
+
+import (
+	"errors"
+
+	"repro/internal/rng"
+)
+
+// Dynamic is an updatable weighted range-sampling structure, covering the
+// direction opened by Hu et al. [18] (the paper notes their WR structure
+// supports O(log n) insertions and deletions, and poses dynamization as
+// Direction 1 of Section 9).
+//
+// It is a treap (randomised balanced BST) keyed by value, augmented with
+// subtree weight sums. Insert and Delete run in O(log n) expected time. A
+// query splits the treap at the interval endpoints, draws s independent
+// weighted samples from the middle piece by weighted root-to-node
+// descents, and merges the pieces back — O((1+s)·log n) expected time.
+//
+// (Hu et al. achieve O(log n + s); the extra log factor here buys a much
+// simpler dynamization than their sample-buffer machinery. See DESIGN.md
+// substitutions.)
+//
+// Unlike the static structures, results are returned as values, since
+// sorted positions shift under updates.
+type Dynamic struct {
+	root *treapNode
+	rand *rng.Source // structural randomness (priorities) only
+	size int
+}
+
+type treapNode struct {
+	value    float64
+	weight   float64 // this element's weight
+	subtotal float64 // total weight of the subtree
+	priority uint64
+	left     *treapNode
+	right    *treapNode
+	count    int // subtree size
+}
+
+// ErrNotFound is returned by Delete when no element has the given value.
+var ErrNotFound = errors.New("rangesample: value not found")
+
+// NewDynamic returns an empty dynamic structure. structuralSeed drives
+// only the treap priorities (the shape of the tree), never the query
+// sampling, so query outputs remain independent across queries even for
+// a fixed seed.
+func NewDynamic(structuralSeed uint64) *Dynamic {
+	return &Dynamic{rand: rng.New(structuralSeed)}
+}
+
+// Len returns the number of stored elements.
+func (d *Dynamic) Len() int { return d.size }
+
+// TotalWeight returns the total weight of all stored elements.
+func (d *Dynamic) TotalWeight() float64 {
+	if d.root == nil {
+		return 0
+	}
+	return d.root.subtotal
+}
+
+func (n *treapNode) pull() {
+	n.subtotal = n.weight
+	n.count = 1
+	if n.left != nil {
+		n.subtotal += n.left.subtotal
+		n.count += n.left.count
+	}
+	if n.right != nil {
+		n.subtotal += n.right.subtotal
+		n.count += n.right.count
+	}
+}
+
+// split partitions t into (< v) and (≥ v).
+func split(t *treapNode, v float64) (l, r *treapNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.value < v {
+		l2, r2 := split(t.right, v)
+		t.right = l2
+		t.pull()
+		return t, r2
+	}
+	l2, r2 := split(t.left, v)
+	t.left = r2
+	t.pull()
+	return l2, t
+}
+
+// splitLE partitions t into (≤ v) and (> v).
+func splitLE(t *treapNode, v float64) (l, r *treapNode) {
+	if t == nil {
+		return nil, nil
+	}
+	if t.value <= v {
+		l2, r2 := splitLE(t.right, v)
+		t.right = l2
+		t.pull()
+		return t, r2
+	}
+	l2, r2 := splitLE(t.left, v)
+	t.left = r2
+	t.pull()
+	return l2, t
+}
+
+func merge(l, r *treapNode) *treapNode {
+	if l == nil {
+		return r
+	}
+	if r == nil {
+		return l
+	}
+	if l.priority > r.priority {
+		l.right = merge(l.right, r)
+		l.pull()
+		return l
+	}
+	r.left = merge(l, r.left)
+	r.pull()
+	return r
+}
+
+// Insert adds an element. Duplicate values are permitted; each insertion
+// is a distinct element. O(log n) expected.
+func (d *Dynamic) Insert(value, weight float64) error {
+	if !(weight > 0) {
+		return ErrBadWeight
+	}
+	nd := &treapNode{
+		value:    value,
+		weight:   weight,
+		priority: d.rand.Uint64(),
+	}
+	nd.pull()
+	l, r := split(d.root, value)
+	d.root = merge(merge(l, nd), r)
+	d.size++
+	return nil
+}
+
+// Delete removes one element with the given value (an arbitrary one if
+// duplicated). O(log n) expected.
+func (d *Dynamic) Delete(value float64) error {
+	var deleted bool
+	d.root = deleteOne(d.root, value, &deleted)
+	if !deleted {
+		return ErrNotFound
+	}
+	d.size--
+	return nil
+}
+
+func deleteOne(t *treapNode, v float64, deleted *bool) *treapNode {
+	if t == nil {
+		return nil
+	}
+	switch {
+	case v < t.value:
+		t.left = deleteOne(t.left, v, deleted)
+	case v > t.value:
+		t.right = deleteOne(t.right, v, deleted)
+	default:
+		*deleted = true
+		return merge(t.left, t.right)
+	}
+	t.pull()
+	return t
+}
+
+// Query draws s independent weighted samples (as values) from S ∩ q,
+// appending to dst. ok is false when the intersection is empty.
+// O((1+s)·log n) expected time; outputs are independent across queries.
+func (d *Dynamic) Query(r *rng.Source, q Interval, s int, dst []float64) ([]float64, bool) {
+	// Carve out the subtreap holding exactly S ∩ [Lo, Hi].
+	left, rest := split(d.root, q.Lo)
+	mid, right := splitLE(rest, q.Hi)
+	defer func() {
+		d.root = merge(merge(left, mid), right)
+	}()
+	if mid == nil {
+		return dst, false
+	}
+	for i := 0; i < s; i++ {
+		dst = append(dst, sampleTreap(r, mid))
+	}
+	return dst, true
+}
+
+// RangeWeight returns the total weight of S ∩ q. O(log n) expected.
+func (d *Dynamic) RangeWeight(q Interval) float64 {
+	left, rest := split(d.root, q.Lo)
+	mid, right := splitLE(rest, q.Hi)
+	w := 0.0
+	if mid != nil {
+		w = mid.subtotal
+	}
+	d.root = merge(merge(left, mid), right)
+	return w
+}
+
+// Count returns |S ∩ q|. O(log n) expected.
+func (d *Dynamic) Count(q Interval) int {
+	left, rest := split(d.root, q.Lo)
+	mid, right := splitLE(rest, q.Hi)
+	c := 0
+	if mid != nil {
+		c = mid.count
+	}
+	d.root = merge(merge(left, mid), right)
+	return c
+}
+
+// sampleTreap draws one weighted element from the subtreap t by a
+// top-down descent: at each node choose the node itself or one of its
+// subtrees with probability proportional to their weights (the §3.2
+// strategy adapted to trees that store elements at internal nodes too).
+func sampleTreap(r *rng.Source, t *treapNode) float64 {
+	for {
+		x := r.Float64() * t.subtotal
+		if t.left != nil {
+			if x < t.left.subtotal {
+				t = t.left
+				continue
+			}
+			x -= t.left.subtotal
+		}
+		if x < t.weight {
+			return t.value
+		}
+		// Floating-point slack can push x past weight when right is
+		// nil; return the node itself in that case.
+		if t.right == nil {
+			return t.value
+		}
+		t = t.right
+	}
+}

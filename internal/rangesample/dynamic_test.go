@@ -1,0 +1,248 @@
+package rangesample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestDynamicEmpty(t *testing.T) {
+	d := NewDynamic(1)
+	if d.Len() != 0 || d.TotalWeight() != 0 {
+		t.Fatalf("Len/Total = %d/%v", d.Len(), d.TotalWeight())
+	}
+	r := rng.New(2)
+	if _, ok := d.Query(r, iv(0, 1), 1, nil); ok {
+		t.Fatal("query on empty structure returned ok")
+	}
+	if err := d.Delete(5); err != ErrNotFound {
+		t.Fatalf("Delete on empty = %v", err)
+	}
+}
+
+func TestDynamicInsertQueryDelete(t *testing.T) {
+	d := NewDynamic(3)
+	if err := d.Insert(1, 0); err != ErrBadWeight {
+		t.Fatalf("zero weight accepted: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := d.Insert(float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if d.Len() != 10 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if got := d.Count(iv(2, 6)); got != 5 {
+		t.Fatalf("Count = %d", got)
+	}
+	if got := d.RangeWeight(iv(2, 6)); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("RangeWeight = %v", got)
+	}
+	if err := d.Delete(4); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Count(iv(2, 6)); got != 4 {
+		t.Fatalf("Count after delete = %d", got)
+	}
+	if err := d.Delete(4); err != ErrNotFound {
+		t.Fatalf("double delete = %v", err)
+	}
+}
+
+func TestDynamicDistribution(t *testing.T) {
+	d := NewDynamic(5)
+	weights := []float64{1, 3, 2, 8, 1, 5, 4, 2}
+	for i, w := range weights {
+		if err := d.Insert(float64(i), w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := rng.New(6)
+	q := iv(1, 6) // elements 1..6
+	total := 0.0
+	for i := 1; i <= 6; i++ {
+		total += weights[i]
+	}
+	const draws = 300000
+	counts := make([]int, 6)
+	out, ok := d.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, v := range out {
+		counts[int(v)-1]++
+	}
+	chi2 := 0.0
+	for i := 0; i < 6; i++ {
+		expected := draws * weights[i+1] / total
+		diff := float64(counts[i]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(5) {
+		t.Fatalf("dynamic chi2 = %v (counts %v)", chi2, counts)
+	}
+}
+
+func TestDynamicQueryPreservesStructure(t *testing.T) {
+	// Query splits and re-merges the treap; repeated mixed operations
+	// must keep it consistent.
+	d := NewDynamic(7)
+	r := rng.New(8)
+	ref := map[float64]float64{}
+	for i := 0; i < 500; i++ {
+		v := float64(r.Intn(200))
+		if _, exists := ref[v]; !exists {
+			w := r.Float64() + 0.1
+			if err := d.Insert(v, w); err != nil {
+				t.Fatal(err)
+			}
+			ref[v] = w
+		}
+		if i%3 == 0 {
+			d.Query(r, iv(float64(r.Intn(200)), float64(r.Intn(200))+20), 2, nil)
+		}
+		if i%7 == 0 && len(ref) > 0 {
+			for v := range ref {
+				if err := d.Delete(v); err != nil {
+					t.Fatal(err)
+				}
+				delete(ref, v)
+				break
+			}
+		}
+	}
+	if d.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", d.Len(), len(ref))
+	}
+	wantTotal := 0.0
+	for _, w := range ref {
+		wantTotal += w
+	}
+	if math.Abs(d.TotalWeight()-wantTotal) > 1e-6 {
+		t.Fatalf("TotalWeight = %v, want %v", d.TotalWeight(), wantTotal)
+	}
+	// Count over the full domain must equal Len.
+	if got := d.Count(iv(-1, 1000)); got != len(ref) {
+		t.Fatalf("full Count = %d, want %d", got, len(ref))
+	}
+}
+
+func TestDynamicSamplesWithinRange(t *testing.T) {
+	d := NewDynamic(9)
+	r := rng.New(10)
+	for i := 0; i < 300; i++ {
+		if err := d.Insert(float64(i), r.Float64()+0.1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(loRaw, spanRaw uint16) bool {
+		lo := float64(loRaw % 300)
+		hi := lo + float64(spanRaw%300)
+		out, ok := d.Query(r, iv(lo, hi), 4, nil)
+		if !ok {
+			return lo > 299 // only possible if range empty
+		}
+		for _, v := range out {
+			if v < lo || v > hi {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDynamicDuplicates(t *testing.T) {
+	d := NewDynamic(11)
+	for i := 0; i < 3; i++ {
+		if err := d.Insert(7, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.Count(iv(7, 7)); got != 3 {
+		t.Fatalf("Count = %d", got)
+	}
+	if err := d.Delete(7); err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Count(iv(7, 7)); got != 2 {
+		t.Fatalf("Count after delete = %d", got)
+	}
+}
+
+func TestDynamicMatchesStaticDistribution(t *testing.T) {
+	// The dynamic structure must realise the same query distribution as
+	// the static structures over the same data.
+	const n = 32
+	values, weights := makeDataset(n, 12)
+	d := NewDynamic(13)
+	for i := range values {
+		if err := d.Insert(values[i], weights[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	aa, err := NewAliasAug(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := iv(4, 27)
+	r := rng.New(14)
+	const draws = 200000
+	dynCounts := make([]int, n)
+	statCounts := make([]int, n)
+	dOut, _ := d.Query(r, q, draws, nil)
+	for _, v := range dOut {
+		dynCounts[int(v)]++
+	}
+	sOut, _ := aa.Query(r, q, draws, nil)
+	for _, pos := range sOut {
+		statCounts[int(aa.Value(pos))]++
+	}
+	// Compare the two empirical distributions via two-sample chi2.
+	chi2 := 0.0
+	dof := 0
+	for i := 4; i <= 27; i++ {
+		a, b := float64(dynCounts[i]), float64(statCounts[i])
+		if a+b == 0 {
+			continue
+		}
+		diff := a - b
+		chi2 += diff * diff / (a + b)
+		dof++
+	}
+	if chi2 > chi2Crit(dof-1) {
+		t.Fatalf("dynamic vs static chi2 = %v (dof %d)", chi2, dof)
+	}
+}
+
+func BenchmarkDynamicInsert(b *testing.B) {
+	d := NewDynamic(1)
+	r := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Insert(r.Float64(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDynamicQuery(b *testing.B) {
+	d := NewDynamic(1)
+	r := rng.New(2)
+	for i := 0; i < 1<<17; i++ {
+		if err := d.Insert(r.Float64(), r.Float64()+0.01); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var dst []float64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lo := r.Float64() * 0.5
+		dst, _ = d.Query(r, iv(lo, lo+0.25), 16, dst[:0])
+	}
+}

@@ -1,0 +1,76 @@
+package rangesample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzChunkedQuery differentially fuzzes the Theorem 3 structure against
+// the Naive baseline: for any query bounds, both must agree on range
+// membership, and Chunked's samples must stay inside the interval.
+//
+//	go test -fuzz=FuzzChunkedQuery ./internal/rangesample
+func FuzzChunkedQuery(f *testing.F) {
+	f.Add(0.1, 0.9, uint8(4))
+	f.Add(-1.0, 2.0, uint8(1))
+	f.Add(0.5, 0.5, uint8(16))
+	f.Add(0.9, 0.1, uint8(3)) // inverted
+
+	const n = 257
+	values, weights := makeDataset(n, 123)
+	// Rescale values into [0,1) fractions of n for denser fuzz hits.
+	for i := range values {
+		values[i] = values[i] / n
+	}
+	ck, err := NewChunked(values, weights)
+	if err != nil {
+		f.Fatal(err)
+	}
+	nv, err := NewNaive(values, weights)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, lo, hi float64, sRaw uint8) {
+		if math.IsNaN(lo) || math.IsNaN(hi) {
+			t.Skip()
+		}
+		s := int(sRaw%32) + 1
+		q := Interval{Lo: lo, Hi: hi}
+		r := rng.New(9)
+		outC, okC := ck.Query(r, q, s, nil)
+		_, okN := nv.Query(r, q, s, nil)
+		if okC != okN {
+			t.Fatalf("emptiness disagreement for %v: chunked=%v naive=%v", q, okC, okN)
+		}
+		if !okC {
+			return
+		}
+		if len(outC) != s {
+			t.Fatalf("chunked returned %d of %d samples", len(outC), s)
+		}
+		for _, pos := range outC {
+			v := ck.Value(pos)
+			if v < lo || v > hi {
+				t.Fatalf("sample %v outside [%v,%v]", v, lo, hi)
+			}
+		}
+		// Weights must agree too.
+		if math.Abs(ck.RangeWeight(q)-naiveRangeWeight(nv, q)) > 1e-6 {
+			t.Fatalf("range weight disagreement for %v", q)
+		}
+	})
+}
+
+// naiveRangeWeight computes the range weight by scanning the baseline.
+func naiveRangeWeight(nv *Naive, q Interval) float64 {
+	sum := 0.0
+	for i := 0; i < nv.Len(); i++ {
+		if v := nv.Value(i); v >= q.Lo && v <= q.Hi {
+			sum += nv.Weight(i)
+		}
+	}
+	return sum
+}

@@ -1,0 +1,89 @@
+package rangesample
+
+import (
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/rng"
+)
+
+// MultiSampler is implemented by structures that can answer weighted
+// sampling over a union of intervals (disjunctive range predicates, e.g.
+// "price in [10,20] OR [50,60]").
+type MultiSampler interface {
+	Sampler
+	// RangeWeight returns the total weight of S ∩ q.
+	RangeWeight(q Interval) float64
+}
+
+// QueryMulti draws s independent weighted samples from S ∩ (q₁ ∪ q₂ ∪
+// ...), appending positions to dst. Overlapping and unsorted intervals
+// are normalised first (sort + merge), so each element is counted once
+// regardless of how many intervals cover it. ok is false when the union
+// is empty.
+//
+// Cost: O(m log m) to normalise m intervals, O(m log n) for their
+// weights, then the usual O(log n + s_i) per interval with samples
+// distributed by an alias structure over the interval weights (the same
+// Theorem 1 split used inside every cover-based query).
+func QueryMulti(r *rng.Source, s MultiSampler, qs []Interval, count int, dst []int) ([]int, bool) {
+	merged := MergeIntervals(qs)
+	if len(merged) == 0 {
+		return dst, false
+	}
+	weights := make([]float64, 0, len(merged))
+	live := merged[:0]
+	for _, q := range merged {
+		w := s.RangeWeight(q)
+		if w > 0 {
+			weights = append(weights, w)
+			live = append(live, q)
+		}
+	}
+	if len(live) == 0 {
+		return dst, false
+	}
+	if len(live) == 1 {
+		return s.Query(r, live[0], count, dst)
+	}
+	counts := alias.MustNew(weights).Counts(r, count)
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		var ok bool
+		dst, ok = s.Query(r, live[i], c, dst)
+		if !ok {
+			// Cannot happen: weight was positive.
+			return dst, false
+		}
+	}
+	return dst, true
+}
+
+// MergeIntervals sorts and merges overlapping or touching intervals,
+// dropping inverted ones (Hi < Lo). The result is disjoint and ascending.
+func MergeIntervals(qs []Interval) []Interval {
+	valid := make([]Interval, 0, len(qs))
+	for _, q := range qs {
+		if q.Hi >= q.Lo {
+			valid = append(valid, q)
+		}
+	}
+	if len(valid) == 0 {
+		return nil
+	}
+	sort.Slice(valid, func(a, b int) bool { return valid[a].Lo < valid[b].Lo })
+	out := valid[:1]
+	for _, q := range valid[1:] {
+		last := &out[len(out)-1]
+		if q.Lo <= last.Hi {
+			if q.Hi > last.Hi {
+				last.Hi = q.Hi
+			}
+			continue
+		}
+		out = append(out, q)
+	}
+	return out
+}

@@ -1,0 +1,165 @@
+package rangesample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestMergeIntervals(t *testing.T) {
+	cases := []struct {
+		in   []Interval
+		want []Interval
+	}{
+		{nil, nil},
+		{[]Interval{iv(3, 1)}, nil}, // inverted dropped
+		{[]Interval{iv(1, 2)}, []Interval{iv(1, 2)}},
+		{[]Interval{iv(5, 8), iv(1, 2)}, []Interval{iv(1, 2), iv(5, 8)}},
+		{[]Interval{iv(1, 4), iv(3, 6)}, []Interval{iv(1, 6)}},
+		{[]Interval{iv(1, 4), iv(4, 6)}, []Interval{iv(1, 6)}}, // touching merge
+		{[]Interval{iv(1, 10), iv(2, 3)}, []Interval{iv(1, 10)}},
+		{[]Interval{iv(1, 2), iv(2, 3), iv(5, 6), iv(9, 1)}, []Interval{iv(1, 3), iv(5, 6)}},
+	}
+	for _, c := range cases {
+		got := MergeIntervals(c.in)
+		if len(got) != len(c.want) {
+			t.Fatalf("Merge(%v) = %v, want %v", c.in, got, c.want)
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Fatalf("Merge(%v) = %v, want %v", c.in, got, c.want)
+			}
+		}
+	}
+}
+
+func TestQueryMultiDistribution(t *testing.T) {
+	const n = 64
+	values, weights := makeDataset(n, 55)
+	ck, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(56)
+	// Two disjoint bands plus one overlapping the first.
+	qs := []Interval{iv(5, 15), iv(40, 55), iv(10, 20)}
+	inUnion := func(v float64) bool {
+		return (v >= 5 && v <= 20) || (v >= 40 && v <= 55)
+	}
+	total := 0.0
+	for i := 0; i < n; i++ {
+		if inUnion(values[i]) {
+			total += weights[i]
+		}
+	}
+	const draws = 200000
+	counts := make([]int, n)
+	out, ok := QueryMulti(r, ck, qs, draws, nil)
+	if !ok {
+		t.Fatal("union empty")
+	}
+	if len(out) != draws {
+		t.Fatalf("drew %d", len(out))
+	}
+	for _, pos := range out {
+		v := ck.Value(pos)
+		if !inUnion(v) {
+			t.Fatalf("sampled %v outside union", v)
+		}
+		counts[int(v)]++
+	}
+	chi2 := 0.0
+	dof := 0
+	for i := 0; i < n; i++ {
+		if !inUnion(values[i]) {
+			continue
+		}
+		expected := draws * weights[i] / total
+		diff := float64(counts[i]) - expected
+		chi2 += diff * diff / expected
+		dof++
+	}
+	if chi2 > chi2Crit(dof-1) {
+		t.Fatalf("multi-range chi2 = %v", chi2)
+	}
+}
+
+func TestQueryMultiEdgeCases(t *testing.T) {
+	values, weights := makeDataset(32, 57)
+	aa, err := NewAliasAug(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(58)
+	if _, ok := QueryMulti(r, aa, nil, 3, nil); ok {
+		t.Fatal("no intervals returned ok")
+	}
+	if _, ok := QueryMulti(r, aa, []Interval{iv(100, 200)}, 3, nil); ok {
+		t.Fatal("empty union returned ok")
+	}
+	// Single interval fast path.
+	out, ok := QueryMulti(r, aa, []Interval{iv(5, 10)}, 7, nil)
+	if !ok || len(out) != 7 {
+		t.Fatalf("ok=%v len=%d", ok, len(out))
+	}
+}
+
+func TestQueryMultiEqualsMergedSingle(t *testing.T) {
+	// Union of overlapping intervals must equal one merged query.
+	values, weights := makeDataset(48, 59)
+	ck, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw, cRaw uint8) bool {
+		a := float64(aRaw % 48)
+		b := a + float64(bRaw%10)
+		c := b - float64(cRaw%5) // overlaps [a,b]
+		if c < a {
+			c = a
+		}
+		r := rng.New(60)
+		qs := []Interval{iv(a, b), iv(c, b+3)}
+		out, ok := QueryMulti(r, ck, qs, 16, nil)
+		if !ok {
+			return true
+		}
+		for _, pos := range out {
+			v := ck.Value(pos)
+			if v < a || v > b+3 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryMultiWeightConsistency(t *testing.T) {
+	// Sum of merged RangeWeights equals brute-force union weight.
+	values, weights := makeDataset(100, 61)
+	ck, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs := []Interval{iv(10, 30), iv(25, 50), iv(80, 90)}
+	merged := MergeIntervals(qs)
+	got := 0.0
+	for _, q := range merged {
+		got += ck.RangeWeight(q)
+	}
+	want := 0.0
+	for i := 0; i < 100; i++ {
+		v := values[i]
+		if (v >= 10 && v <= 50) || (v >= 80 && v <= 90) {
+			want += weights[i]
+		}
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("union weight %v, want %v", got, want)
+	}
+}

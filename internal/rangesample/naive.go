@@ -1,0 +1,68 @@
+package rangesample
+
+import (
+	"repro/internal/rng"
+)
+
+// Naive is the baseline the paper argues against in Section 1: it
+// retrieves the full query result S_q and then samples from it. Space is
+// O(n); a query costs O(log n + |S_q| + s) time, which degrades linearly
+// with the result size no matter how few samples are requested. It exists
+// as the comparator for experiment E14.
+type Naive struct {
+	base
+	// prefix[i] = total weight of positions [0, i); one extra slot.
+	prefix []float64
+}
+
+// NewNaive builds the baseline structure.
+func NewNaive(values, weights []float64) (*Naive, error) {
+	b, err := newBase(values, weights)
+	if err != nil {
+		return nil, err
+	}
+	n := &Naive{base: b}
+	n.prefix = make([]float64, len(n.values)+1)
+	for i, w := range n.weights {
+		n.prefix[i+1] = n.prefix[i] + w
+	}
+	return n, nil
+}
+
+// Query implements Sampler. To make the baseline honest, it materialises
+// the result's weight vector (the O(|S_q|) "reporting" cost the paper
+// says is unavoidable for this approach) and then draws s samples by
+// inverse-CDF binary search over the materialised prefix sums.
+func (nv *Naive) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
+	a, b, ok := nv.posRange(q)
+	if !ok {
+		return dst, false
+	}
+	// "Report" the result: copy out the cumulative weights of S_q. This
+	// pass is what the paper's IQS structures avoid.
+	k := b - a + 1
+	cum := make([]float64, k)
+	run := 0.0
+	for i := 0; i < k; i++ {
+		run += nv.weights[a+i]
+		cum[i] = run
+	}
+	total := cum[k-1]
+	for i := 0; i < s; i++ {
+		x := r.Float64() * total
+		// Binary search for the first cum[j] > x.
+		lo, hi := 0, k-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if cum[mid] > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		dst = append(dst, a+lo)
+	}
+	return dst, true
+}
+
+var _ Sampler = (*Naive)(nil)

@@ -1,0 +1,91 @@
+package rangesample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPosSamplerUniformPath(t *testing.T) {
+	p := NewPosSampler([]float64{2, 2, 2, 2, 2, 2})
+	if !p.Uniform() {
+		t.Fatal("uniform weights not detected")
+	}
+	r := rng.New(1)
+	const draws = 120000
+	counts := make([]int, 4)
+	out := p.Query(r, 1, 4, draws, nil)
+	for _, pos := range out {
+		if pos < 1 || pos > 4 {
+			t.Fatalf("pos %d out of range", pos)
+		}
+		counts[pos-1]++
+	}
+	expected := float64(draws) / 4
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pos %d count %d", i+1, c)
+		}
+	}
+	if got := p.RangeWeight(1, 4); got != 8 {
+		t.Fatalf("RangeWeight = %v", got)
+	}
+}
+
+func TestPosSamplerWeightedPath(t *testing.T) {
+	w := []float64{1, 4, 2, 8, 1}
+	p := NewPosSampler(w)
+	if p.Uniform() {
+		t.Fatal("non-uniform weights detected as uniform")
+	}
+	r := rng.New(2)
+	const draws = 240000
+	counts := make([]int, 3)
+	out := p.Query(r, 1, 3, draws, nil)
+	total := w[1] + w[2] + w[3]
+	for _, pos := range out {
+		counts[pos-1]++
+	}
+	for i := 0; i < 3; i++ {
+		expected := draws * w[i+1] / total
+		if math.Abs(float64(counts[i])-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pos %d count %d, expected ~%v", i+1, counts[i], expected)
+		}
+	}
+	if got := p.RangeWeight(1, 3); math.Abs(got-14) > 1e-12 {
+		t.Fatalf("RangeWeight = %v", got)
+	}
+	if got := p.RangeWeight(3, 1); got != 0 {
+		t.Fatalf("inverted RangeWeight = %v", got)
+	}
+}
+
+func TestPosSamplerPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewPosSampler(nil) },
+		func() { NewPosSampler([]float64{1, 0}) },
+		func() { NewPosSampler([]float64{1, 1}).Query(rng.New(1), -1, 0, 1, nil) },
+		func() { NewPosSampler([]float64{1, 1}).Query(rng.New(1), 0, 2, 1, nil) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPosSamplerSinglePosition(t *testing.T) {
+	p := NewPosSampler([]float64{3, 1})
+	r := rng.New(3)
+	out := p.Query(r, 1, 1, 10, nil)
+	for _, pos := range out {
+		if pos != 1 {
+			t.Fatalf("pos = %d", pos)
+		}
+	}
+}

@@ -1,0 +1,129 @@
+// Package rangesample implements independent query sampling (IQS) for
+// one-dimensional weighted range queries — the running problem of the
+// paper's Sections 3–4.
+//
+// Problem (Weighted Range Sampling, §3.2): the input S is a set of n real
+// values, each with a positive weight. Given an interval q = [x, y] and an
+// integer s ≥ 1, a query returns s independent weighted samples from
+// S_q := q ∩ S, and the outputs of all queries are mutually independent.
+//
+// The package provides five interchangeable structures, mirroring the
+// paper's development:
+//
+//	Naive     report-then-sample baseline: O(n) space, O(log n + |S_q| + s) query
+//	TreeWalk  §3.2 tree sampling: O(n) space, O((1+s)·log n) query
+//	AliasAug  Lemma 2 (alias augmentation): O(n log n) space, O(log n + s) query
+//	Chunked   Theorem 3 (chunking): O(n) space, O(log n + s) query
+//	Dynamic   updatable structure (Hu et al. direction): O(log n) updates,
+//	          O((1+s)·log n) query
+//
+// All structures answer the same query distribution exactly (not
+// approximately), and every query consumes fresh randomness from the
+// caller's *rng.Source, which is what delivers cross-query independence
+// (Equation 1 of the paper).
+//
+// Samples are returned as positions into the sorted order of S; translate
+// to values with Value(pos).
+package rangesample
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/bst"
+	"repro/internal/rng"
+)
+
+// Interval is re-exported from internal/bst for convenience: the closed
+// query interval [Lo, Hi].
+type Interval = bst.Interval
+
+// ErrEmpty is returned when a structure is built over no elements.
+var ErrEmpty = errors.New("rangesample: empty input")
+
+// ErrBadWeight is returned for non-positive or non-finite weights.
+var ErrBadWeight = errors.New("rangesample: weights must be positive and finite")
+
+// ErrBadValue is returned for NaN or infinite values, which would
+// silently corrupt the sorted order every structure depends on.
+var ErrBadValue = errors.New("rangesample: values must be finite")
+
+// Sampler is the common query interface of all structures in this
+// package.
+type Sampler interface {
+	// Query appends s independent weighted samples from S ∩ q to dst as
+	// positions into the sorted order, returning the extended slice. The
+	// boolean is false (and dst unchanged) when S ∩ q is empty.
+	Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool)
+	// Len returns the number of stored elements.
+	Len() int
+	// Value returns the i-th smallest stored value.
+	Value(i int) float64
+	// Weight returns the weight of the i-th smallest stored value.
+	Weight(i int) float64
+}
+
+// base carries the sorted value/weight arrays shared by the static
+// structures.
+type base struct {
+	values  []float64
+	weights []float64
+}
+
+func newBase(values, weights []float64) (base, error) {
+	n := len(values)
+	if n == 0 {
+		return base{}, ErrEmpty
+	}
+	if len(weights) != n {
+		return base{}, errors.New("rangesample: values and weights length mismatch")
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return base{}, ErrBadWeight
+		}
+		if math.IsNaN(values[i]) || math.IsInf(values[i], 0) {
+			return base{}, ErrBadValue
+		}
+	}
+	b := base{
+		values:  append([]float64(nil), values...),
+		weights: append([]float64(nil), weights...),
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return values[idx[x]] < values[idx[y]] })
+	for i, j := range idx {
+		b.values[i] = values[j]
+		b.weights[i] = weights[j]
+	}
+	return b, nil
+}
+
+func (b *base) Len() int             { return len(b.values) }
+func (b *base) Value(i int) float64  { return b.values[i] }
+func (b *base) Weight(i int) float64 { return b.weights[i] }
+
+// posRange maps a value interval to the sorted-position range [a, b]; ok
+// is false when no stored value lies in q.
+func (b *base) posRange(q Interval) (a, bIdx int, ok bool) {
+	a = sort.SearchFloat64s(b.values, q.Lo)
+	bIdx = sort.Search(len(b.values), func(i int) bool { return b.values[i] > q.Hi }) - 1
+	if a > bIdx {
+		return 0, 0, false
+	}
+	return a, bIdx, true
+}
+
+// uniform returns a slice of n unit weights (helper for WR-sampling
+// callers and tests).
+func uniform(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	return w
+}

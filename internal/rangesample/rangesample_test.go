@@ -1,0 +1,417 @@
+package rangesample
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// makeDataset returns n values 0,1,...,n-1 with pseudorandom weights.
+func makeDataset(n int, seed uint64) (values, weights []float64) {
+	r := rng.New(seed)
+	values = make([]float64, n)
+	weights = make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = r.Float64()*9 + 0.5
+	}
+	return values, weights
+}
+
+// allSamplers builds every static structure over the same data.
+func allSamplers(t *testing.T, values, weights []float64) map[string]Sampler {
+	t.Helper()
+	out := map[string]Sampler{}
+	nv, err := NewNaive(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["naive"] = nv
+	tw, err := NewTreeWalk(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["treewalk"] = tw
+	aa, err := NewAliasAug(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["aliasaug"] = aa
+	ck, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["chunked"] = ck
+	ck3, err := NewChunkedSize(values, weights, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out["chunked3"] = ck3
+	return out
+}
+
+// iv builds a closed interval (keyed constructor keeping vet happy with
+// the aliased bst.Interval type).
+func iv(lo, hi float64) Interval { return Interval{Lo: lo, Hi: hi} }
+
+func chi2Crit(dof int) float64 {
+	z := 3.719 // alpha = 1e-4
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func TestConstructorErrors(t *testing.T) {
+	for name, build := range map[string]func([]float64, []float64) (Sampler, error){
+		"naive":    func(v, w []float64) (Sampler, error) { return NewNaive(v, w) },
+		"treewalk": func(v, w []float64) (Sampler, error) { return NewTreeWalk(v, w) },
+		"aliasaug": func(v, w []float64) (Sampler, error) { return NewAliasAug(v, w) },
+		"chunked":  func(v, w []float64) (Sampler, error) { return NewChunked(v, w) },
+	} {
+		if _, err := build(nil, nil); err == nil {
+			t.Fatalf("%s: empty input accepted", name)
+		}
+		if _, err := build([]float64{1, 2}, []float64{1}); err == nil {
+			t.Fatalf("%s: mismatched lengths accepted", name)
+		}
+		if _, err := build([]float64{1, 2}, []float64{1, -1}); err == nil {
+			t.Fatalf("%s: negative weight accepted", name)
+		}
+	}
+	if _, err := NewChunkedSize([]float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("chunk size 0 accepted")
+	}
+}
+
+func TestEmptyRange(t *testing.T) {
+	values, weights := makeDataset(100, 1)
+	r := rng.New(2)
+	for name, s := range allSamplers(t, values, weights) {
+		for _, q := range []Interval{iv(-10, -5), iv(1000, 2000), iv(5.2, 5.8), iv(50, 40)} {
+			out, ok := s.Query(r, q, 5, nil)
+			if ok || len(out) != 0 {
+				t.Fatalf("%s: query %v returned ok=%v len=%d", name, q, ok, len(out))
+			}
+		}
+	}
+}
+
+func TestSamplesWithinRange(t *testing.T) {
+	values, weights := makeDataset(257, 3)
+	r := rng.New(4)
+	samplers := allSamplers(t, values, weights)
+	f := func(loRaw, spanRaw uint16) bool {
+		lo := float64(loRaw % 257)
+		hi := lo + float64(spanRaw%257)
+		q := iv(lo, hi)
+		for _, s := range samplers {
+			out, ok := s.Query(r, q, 8, nil)
+			if !ok {
+				continue
+			}
+			for _, pos := range out {
+				v := s.Value(pos)
+				if v < lo || v > hi {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDistributionAgreement is the central correctness test: all four
+// structures must realise the exact weighted distribution over S ∩ q.
+func TestDistributionAgreement(t *testing.T) {
+	const n = 64
+	values, weights := makeDataset(n, 5)
+	samplers := allSamplers(t, values, weights)
+	queries := []Interval{
+		iv(0, n-1),     // everything
+		iv(10.5, 42.5), // interior, cuts chunks
+		iv(0, 7),       // prefix
+		iv(n-5, n-1),   // suffix
+		iv(31, 33),     // few elements
+		iv(17, 17),     // single element
+	}
+	for name, s := range samplers {
+		r := rng.New(100)
+		for _, q := range queries {
+			a, b := int(math.Ceil(q.Lo)), int(math.Floor(q.Hi))
+			k := b - a + 1
+			total := 0.0
+			for i := a; i <= b; i++ {
+				total += weights[i]
+			}
+			const draws = 60000
+			counts := make([]int, k)
+			out, ok := s.Query(r, q, draws, nil)
+			if !ok {
+				t.Fatalf("%s: query %v unexpectedly empty", name, q)
+			}
+			for _, pos := range out {
+				v := int(s.Value(pos))
+				if v < a || v > b {
+					t.Fatalf("%s: sampled %d outside [%d,%d]", name, v, a, b)
+				}
+				counts[v-a]++
+			}
+			if k == 1 {
+				continue
+			}
+			chi2 := 0.0
+			for i := 0; i < k; i++ {
+				expected := draws * weights[a+i] / total
+				d := float64(counts[i]) - expected
+				chi2 += d * d / expected
+			}
+			if chi2 > chi2Crit(k-1) {
+				t.Fatalf("%s query %v: chi2 = %v > crit %v", name, q, chi2, chi2Crit(k-1))
+			}
+		}
+	}
+}
+
+// TestUniformWeights exercises the WR special case (all weights equal).
+func TestUniformWeights(t *testing.T) {
+	const n = 100
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	samplers := allSamplers(t, values, uniform(n))
+	q := iv(20, 79) // 60 elements
+	for name, s := range samplers {
+		r := rng.New(7)
+		const draws = 120000
+		counts := make([]int, 60)
+		out, _ := s.Query(r, q, draws, nil)
+		for _, pos := range out {
+			counts[int(s.Value(pos))-20]++
+		}
+		expected := float64(draws) / 60
+		chi2 := 0.0
+		for _, c := range counts {
+			d := float64(c) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > chi2Crit(59) {
+			t.Fatalf("%s: uniform chi2 = %v", name, chi2)
+		}
+	}
+}
+
+func TestSingleElementDataset(t *testing.T) {
+	for name, s := range allSamplers(t, []float64{5}, []float64{2}) {
+		r := rng.New(8)
+		out, ok := s.Query(r, iv(0, 10), 3, nil)
+		if !ok || len(out) != 3 {
+			t.Fatalf("%s: ok=%v len=%d", name, ok, len(out))
+		}
+		for _, pos := range out {
+			if s.Value(pos) != 5 {
+				t.Fatalf("%s: value %v", name, s.Value(pos))
+			}
+		}
+		if _, ok := s.Query(r, iv(6, 10), 1, nil); ok {
+			t.Fatalf("%s: empty query returned ok", name)
+		}
+	}
+}
+
+func TestUnsortedInputHandled(t *testing.T) {
+	values := []float64{30, 10, 20}
+	weights := []float64{3, 1, 2}
+	for name, s := range allSamplers(t, values, weights) {
+		if s.Value(0) != 10 || s.Value(1) != 20 || s.Value(2) != 30 {
+			t.Fatalf("%s: values not sorted", name)
+		}
+		if s.Weight(0) != 1 || s.Weight(2) != 3 {
+			t.Fatalf("%s: weights did not follow values", name)
+		}
+	}
+}
+
+func TestRangeWeight(t *testing.T) {
+	const n = 128
+	values, weights := makeDataset(n, 9)
+	aa, _ := NewAliasAug(values, weights)
+	ck, _ := NewChunked(values, weights)
+	r := rng.New(10)
+	for trial := 0; trial < 200; trial++ {
+		a := r.Intn(n)
+		b := a + r.Intn(n-a)
+		q := iv(float64(a), float64(b))
+		want := 0.0
+		for i := a; i <= b; i++ {
+			want += weights[i]
+		}
+		if got := aa.RangeWeight(q); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("aliasaug RangeWeight(%v) = %v, want %v", q, got, want)
+		}
+		if got := ck.RangeWeight(q); math.Abs(got-want) > 1e-6 {
+			t.Fatalf("chunked RangeWeight(%v) = %v, want %v", q, got, want)
+		}
+	}
+	if got := aa.RangeWeight(iv(-5, -1)); got != 0 {
+		t.Fatalf("empty RangeWeight = %v", got)
+	}
+	if got := ck.RangeWeight(iv(-5, -1)); got != 0 {
+		t.Fatalf("empty RangeWeight = %v", got)
+	}
+}
+
+func TestChunkedVariousSizes(t *testing.T) {
+	// Chunk-size ablation correctness: the distribution must not depend
+	// on the chunk size.
+	const n = 64
+	values, weights := makeDataset(n, 11)
+	q := iv(5.5, 58.5)
+	a, b := 6, 58
+	total := 0.0
+	for i := a; i <= b; i++ {
+		total += weights[i]
+	}
+	for _, cs := range []int{1, 2, 5, 16, 64, 200} {
+		ck, err := NewChunkedSize(values, weights, cs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(12)
+		const draws = 60000
+		counts := make([]int, b-a+1)
+		out, _ := ck.Query(r, q, draws, nil)
+		for _, pos := range out {
+			counts[int(ck.Value(pos))-a]++
+		}
+		chi2 := 0.0
+		for i := range counts {
+			expected := draws * weights[a+i] / total
+			d := float64(counts[i]) - expected
+			chi2 += d * d / expected
+		}
+		if chi2 > chi2Crit(b-a) {
+			t.Fatalf("chunk size %d: chi2 = %v", cs, chi2)
+		}
+	}
+}
+
+func TestChunkedAlignedQuery(t *testing.T) {
+	// Queries that are exactly chunk aligned exercise the w1=w3=0 paths.
+	values, weights := makeDataset(40, 13)
+	ck, err := NewChunkedSize(values, weights, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	out, ok := ck.Query(r, iv(10, 29), 1000, nil) // chunks 1..2 exactly
+	if !ok {
+		t.Fatal("aligned query empty")
+	}
+	for _, pos := range out {
+		if v := ck.Value(pos); v < 10 || v > 29 {
+			t.Fatalf("sampled %v outside [10,29]", v)
+		}
+	}
+}
+
+func TestCrossQueryIndependenceRepeatedQuery(t *testing.T) {
+	// Equation (1): repeating the same query must give fresh independent
+	// samples. With s=1 over two equal-weight elements, consecutive query
+	// outputs form pairs whose four outcomes must be equally likely.
+	values := []float64{0, 1}
+	for name, s := range allSamplers(t, values, uniform(2)) {
+		r := rng.New(15)
+		q := iv(0, 1)
+		var pairs [4]int
+		const queries = 40000
+		prevOut, _ := s.Query(r, q, 1, nil)
+		prev := int(s.Value(prevOut[0]))
+		for i := 0; i < queries; i++ {
+			out, _ := s.Query(r, q, 1, nil)
+			cur := int(s.Value(out[0]))
+			pairs[prev*2+cur]++
+			prev = cur
+		}
+		expected := float64(queries) / 4
+		for i, c := range pairs {
+			if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+				t.Fatalf("%s: pair %02b count %d, expected ~%v", name, i, c, expected)
+			}
+		}
+	}
+}
+
+func TestDuplicateValuesSampled(t *testing.T) {
+	values := []float64{5, 5, 5, 1, 9}
+	weights := []float64{1, 1, 1, 1, 1}
+	for name, s := range allSamplers(t, values, weights) {
+		r := rng.New(16)
+		out, ok := s.Query(r, iv(5, 5), 3000, nil)
+		if !ok {
+			t.Fatalf("%s: duplicate query empty", name)
+		}
+		posSeen := map[int]int{}
+		for _, pos := range out {
+			if s.Value(pos) != 5 {
+				t.Fatalf("%s: wrong value %v", name, s.Value(pos))
+			}
+			posSeen[pos]++
+		}
+		if len(posSeen) != 3 {
+			t.Fatalf("%s: only %d of 3 duplicate positions sampled", name, len(posSeen))
+		}
+	}
+}
+
+func TestRejectsNaNAndInfValues(t *testing.T) {
+	bads := [][]float64{
+		{1, math.NaN(), 3},
+		{1, math.Inf(1), 3},
+		{math.Inf(-1), 2, 3},
+	}
+	for _, values := range bads {
+		w := uniform(3)
+		if _, err := NewChunked(values, w); err == nil {
+			t.Fatalf("chunked accepted %v", values)
+		}
+		if _, err := NewAliasAug(values, w); err == nil {
+			t.Fatalf("aliasaug accepted %v", values)
+		}
+		if _, err := NewNaive(values, w); err == nil {
+			t.Fatalf("naive accepted %v", values)
+		}
+	}
+	// Infinite weight.
+	if _, err := NewChunked([]float64{1, 2}, []float64{1, math.Inf(1)}); err == nil {
+		t.Fatal("infinite weight accepted")
+	}
+}
+
+func TestInfiniteQueryBounds(t *testing.T) {
+	// Open-sided queries via ±Inf must work (3-sided and unbounded).
+	values, weights := makeDataset(50, 70)
+	ck, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(71)
+	out, ok := ck.Query(r, iv(math.Inf(-1), math.Inf(1)), 100, nil)
+	if !ok || len(out) != 100 {
+		t.Fatalf("unbounded query: ok=%v len=%d", ok, len(out))
+	}
+	out, ok = ck.Query(r, iv(math.Inf(-1), 25), 50, nil)
+	if !ok {
+		t.Fatal("left-open query empty")
+	}
+	for _, pos := range out {
+		if ck.Value(pos) > 25 {
+			t.Fatalf("left-open sample %v > 25", ck.Value(pos))
+		}
+	}
+}

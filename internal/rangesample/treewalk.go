@@ -1,0 +1,67 @@
+package rangesample
+
+import (
+	"repro/internal/alias"
+	"repro/internal/bst"
+	"repro/internal/rng"
+)
+
+// TreeWalk is the Section 3.2 structure: a weight-augmented BST where a
+// sample is drawn by (1) picking a canonical node of the query with
+// probability proportional to its subtree weight and (2) walking top-down
+// from that node, descending into children with probability proportional
+// to their subtree weights.
+//
+// Space O(n); query time O(log n) per sample, i.e. O((1+s)·log n) for s
+// samples. AliasAug and Chunked improve the per-sample cost to O(1); this
+// structure is their natural comparator (experiment E2).
+type TreeWalk struct {
+	tree *bst.Tree
+}
+
+// NewTreeWalk builds the structure over values and weights.
+func NewTreeWalk(values, weights []float64) (*TreeWalk, error) {
+	t, err := bst.New(values, weights)
+	if err != nil {
+		if err == bst.ErrEmpty {
+			return nil, ErrEmpty
+		}
+		if err == bst.ErrBadWeight {
+			return nil, ErrBadWeight
+		}
+		return nil, err
+	}
+	return &TreeWalk{tree: t}, nil
+}
+
+// Len implements Sampler.
+func (t *TreeWalk) Len() int { return t.tree.Len() }
+
+// Value implements Sampler.
+func (t *TreeWalk) Value(i int) float64 { return t.tree.Value(i) }
+
+// Weight implements Sampler.
+func (t *TreeWalk) Weight(i int) float64 { return t.tree.LeafWeight(i) }
+
+// Query implements Sampler.
+func (t *TreeWalk) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
+	var scratch [64]bst.NodeID
+	cov := t.tree.CoverInterval(q, scratch[:0])
+	if len(cov) == 0 {
+		return dst, false
+	}
+	// Distribute the s samples over the canonical nodes with an alias
+	// structure built on the fly (Theorem 1), exactly as in §3.2/§4.1.
+	covWeights := make([]float64, len(cov))
+	for i, id := range cov {
+		covWeights[i] = t.tree.Weight(id)
+	}
+	top := alias.MustNew(covWeights)
+	for i := 0; i < s; i++ {
+		node := cov[top.Sample(r)]
+		dst = append(dst, t.tree.SampleLeaf(r, node))
+	}
+	return dst, true
+}
+
+var _ Sampler = (*TreeWalk)(nil)

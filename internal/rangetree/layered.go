@@ -1,0 +1,296 @@
+package rangetree
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/alias"
+	"repro/internal/bst"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+)
+
+// Layered is the fractional-cascading variant of the 2-D range tree —
+// footnote 5 of the paper:
+//
+//	"the query time can be further reduced to O(log^{d−1} n + s), by
+//	 incorporating additional ideas based on fractional cascading."
+//
+// Construction (the classic layered range tree): a balanced BST over the
+// x-coordinates; every node u stores the y-values of its subtree as a
+// sorted array, plus two *bridge* arrays mapping each position in u's
+// y-array to the smallest not-smaller position in each child's y-array.
+// A query performs ONE binary search for [y1, y2] at the root; as the
+// two x-paths descend, the y-range in every visited node follows from
+// the parent's range through the bridges in O(1). Each canonical node u
+// therefore knows its qualifying elements as a contiguous run of its
+// y-array — a Lemma 4-style element-aligned range — with no per-node
+// binary search.
+//
+// Query time: O(log n) to locate the cover (d = 2, so log^{d−1} n =
+// log n), then O(1) per sample in the uniform-weight (WR) regime via
+// position arithmetic, or O(log n) per sample for general weights
+// through each node's weighted engine — with AliasEngines enabled,
+// general weights are also O(1) per sample at one extra log factor of
+// space. Space: O(n log n) for the arrays and bridges.
+type Layered struct {
+	pts    [][]float64
+	wts    []float64
+	xtree  *bst.Tree
+	xelems []int32 // element ids in x-sorted order (xtree leaf order)
+	// Per node (indexed by bst.NodeID): y-sorted element ids, weight
+	// prefix sums, and bridges into the two children.
+	ys       [][]int32
+	prefix   [][]float64
+	bridgeL  [][]int32
+	bridgeR  [][]int32
+	engines  []*rangesample.PosSampler // per-node weighted engines (optional)
+	aliasOn  bool
+	uniformW bool
+}
+
+// NewLayered builds the structure over 2-D points. aliasEngines selects
+// whether per-node Lemma 2 engines are built for O(1)-per-sample
+// weighted queries (costing one extra log factor of space); without
+// them, weighted sampling within a node is done by inverse-CDF binary
+// search over the node's weight prefix (O(log n) per sample), and
+// uniform-weight inputs always use O(1) position arithmetic.
+func NewLayered(pts [][]float64, weights []float64, aliasEngines bool) (*Layered, error) {
+	n := len(pts)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if len(weights) != n {
+		return nil, errors.New("rangetree: points and weights length mismatch")
+	}
+	for i, p := range pts {
+		if len(p) != 2 {
+			return nil, errors.New("rangetree: Layered requires 2-D points")
+		}
+		if !(weights[i] > 0) {
+			return nil, errors.New("rangetree: weights must be positive and finite")
+		}
+	}
+	l := &Layered{pts: pts, wts: weights, aliasOn: aliasEngines, uniformW: true}
+	for _, w := range weights {
+		if w != weights[0] {
+			l.uniformW = false
+			break
+		}
+	}
+	// x-sorted element order, ties by id.
+	order := make([]int32, n)
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		xa, xb := pts[order[a]][0], pts[order[b]][0]
+		if xa != xb {
+			return xa < xb
+		}
+		return order[a] < order[b]
+	})
+	xs := make([]float64, n)
+	xw := make([]float64, n)
+	for i, id := range order {
+		xs[i] = pts[id][0]
+		xw[i] = weights[id]
+	}
+	xt, err := bst.NewSorted(xs, xw)
+	if err != nil {
+		return nil, err
+	}
+	l.xtree = xt
+	l.xelems = order
+
+	m := xt.NumNodes()
+	l.ys = make([][]int32, m)
+	l.prefix = make([][]float64, m)
+	l.bridgeL = make([][]int32, m)
+	l.bridgeR = make([][]int32, m)
+	if aliasEngines {
+		l.engines = make([]*rangesample.PosSampler, m)
+	}
+	l.buildNode(xt.Root())
+	return l, nil
+}
+
+// buildNode fills ys/prefix/bridges bottom-up by merging children.
+func (l *Layered) buildNode(id bst.NodeID) {
+	t := l.xtree
+	if t.IsLeaf(id) {
+		lo, _ := t.Span(id)
+		l.ys[id] = []int32{l.xelems[lo]}
+	} else {
+		left, right := t.Children(id)
+		l.buildNode(left)
+		l.buildNode(right)
+		a, b := l.ys[left], l.ys[right]
+		merged := make([]int32, 0, len(a)+len(b))
+		bl := make([]int32, 0, len(a)+len(b)+1)
+		br := make([]int32, 0, len(a)+len(b)+1)
+		i, j := 0, 0
+		for i < len(a) || j < len(b) {
+			bl = append(bl, int32(i))
+			br = append(br, int32(j))
+			if j >= len(b) || (i < len(a) && l.yLess(a[i], b[j])) {
+				merged = append(merged, a[i])
+				i++
+			} else {
+				merged = append(merged, b[j])
+				j++
+			}
+		}
+		// Sentinel entries so a parent range ending at len(merged) maps
+		// to the children's array ends.
+		bl = append(bl, int32(len(a)))
+		br = append(br, int32(len(b)))
+		l.ys[id] = merged
+		l.bridgeL[id] = bl
+		l.bridgeR[id] = br
+	}
+	// Weight prefix over the node's y-order.
+	ys := l.ys[id]
+	pf := make([]float64, len(ys)+1)
+	for i, e := range ys {
+		pf[i+1] = pf[i] + l.wts[e]
+	}
+	l.prefix[id] = pf
+	if l.aliasOn && !l.uniformW {
+		w := make([]float64, len(ys))
+		for i, e := range ys {
+			w[i] = l.wts[e]
+		}
+		l.engines[id] = rangesample.NewPosSampler(w)
+	}
+}
+
+// yLess orders elements by (y, id) — the order of every ys array.
+func (l *Layered) yLess(a, b int32) bool {
+	ya, yb := l.pts[a][1], l.pts[b][1]
+	if ya != yb {
+		return ya < yb
+	}
+	return a < b
+}
+
+// Len returns the number of points.
+func (l *Layered) Len() int { return len(l.pts) }
+
+// layeredCover is one canonical node with its cascaded y-range [a, b).
+type layeredCover struct {
+	id   bst.NodeID
+	a, b int32
+}
+
+// cover collects the canonical x-nodes of [x1, x2] with their cascaded
+// y-ranges for [y1, y2], in O(log n) total.
+func (l *Layered) cover(q Rect, dst []layeredCover) []layeredCover {
+	t := l.xtree
+	// x positions.
+	iv := bst.Interval{Lo: q.Min[0], Hi: q.Max[0]}
+	xa, xb, ok := t.LeafRange(iv)
+	if !ok {
+		return dst
+	}
+	// Root y-range by binary search (the only binary search performed).
+	root := t.Root()
+	rootYs := l.ys[root]
+	ya := int32(sort.Search(len(rootYs), func(i int) bool {
+		return l.pts[rootYs[i]][1] >= q.Min[1]
+	}))
+	yb := int32(sort.Search(len(rootYs), func(i int) bool {
+		return l.pts[rootYs[i]][1] > q.Max[1]
+	}))
+	if ya >= yb {
+		return dst
+	}
+	return l.descend(root, int32(xa), int32(xb), ya, yb, dst)
+}
+
+// descend walks toward the canonical nodes, cascading the y-range.
+func (l *Layered) descend(id bst.NodeID, xa, xb, ya, yb int32, dst []layeredCover) []layeredCover {
+	if ya >= yb {
+		return dst
+	}
+	t := l.xtree
+	lo, hi := t.Span(id)
+	if int32(lo) > xb || int32(hi) < xa {
+		return dst
+	}
+	if xa <= int32(lo) && int32(hi) <= xb {
+		return append(dst, layeredCover{id: id, a: ya, b: yb})
+	}
+	left, right := t.Children(id)
+	// Cascade: the child's y-range follows from the bridges in O(1).
+	bl, br := l.bridgeL[id], l.bridgeR[id]
+	dst = l.descend(left, xa, xb, bl[ya], bl[yb], dst)
+	return l.descend(right, xa, xb, br[ya], br[yb], dst)
+}
+
+// Query appends s independent weighted samples of the points in q to dst
+// as original point indices. O(log n + s) for uniform weights or with
+// alias engines; O(log n + s·log n) otherwise.
+func (l *Layered) Query(r *rng.Source, q Rect, s int, dst []int) ([]int, bool) {
+	var scratch [64]layeredCover
+	cov := l.cover(q, scratch[:0])
+	if len(cov) == 0 {
+		return dst, false
+	}
+	w := make([]float64, len(cov))
+	for i, c := range cov {
+		w[i] = l.prefix[c.id][c.b] - l.prefix[c.id][c.a]
+	}
+	counts := alias.MustNew(w).Counts(r, s)
+	for i, cnt := range counts {
+		if cnt == 0 {
+			continue
+		}
+		c := cov[i]
+		switch {
+		case l.uniformW:
+			span := int(c.b - c.a)
+			for j := 0; j < cnt; j++ {
+				pos := int(c.a) + r.Intn(span)
+				dst = append(dst, int(l.ys[c.id][pos]))
+			}
+		case l.aliasOn:
+			var buf [64]int
+			out := l.engines[c.id].Query(r, int(c.a), int(c.b)-1, cnt, buf[:0])
+			for _, pos := range out {
+				dst = append(dst, int(l.ys[c.id][pos]))
+			}
+		default:
+			// Inverse-CDF binary search over the node's weight prefix.
+			pf := l.prefix[c.id]
+			base := pf[c.a]
+			total := pf[c.b] - base
+			for j := 0; j < cnt; j++ {
+				x := base + r.Float64()*total
+				pos := sort.Search(int(c.b-c.a), func(k int) bool {
+					return pf[int(c.a)+k+1] > x
+				})
+				dst = append(dst, int(l.ys[c.id][int(c.a)+pos]))
+			}
+		}
+	}
+	return dst, true
+}
+
+// RangeWeight returns the total weight of points in q in O(log n).
+func (l *Layered) RangeWeight(q Rect) float64 {
+	var scratch [64]layeredCover
+	cov := l.cover(q, scratch[:0])
+	sum := 0.0
+	for _, c := range cov {
+		sum += l.prefix[c.id][c.b] - l.prefix[c.id][c.a]
+	}
+	return sum
+}
+
+// CoverSize returns the number of canonical nodes for q (O(log n) by the
+// cascading bound, versus O(log² n) for the uncascaded tree).
+func (l *Layered) CoverSize(q Rect) int {
+	var scratch [64]layeredCover
+	return len(l.cover(q, scratch[:0]))
+}

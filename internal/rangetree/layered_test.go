@@ -1,0 +1,243 @@
+package rangetree
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestLayeredErrors(t *testing.T) {
+	if _, err := NewLayered(nil, nil, false); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewLayered([][]float64{{1, 2, 3}}, []float64{1}, false); err == nil {
+		t.Fatal("3-D accepted")
+	}
+	if _, err := NewLayered([][]float64{{1, 2}}, []float64{0}, false); err == nil {
+		t.Fatal("zero weight accepted")
+	}
+	if _, err := NewLayered([][]float64{{1, 2}}, []float64{1, 2}, false); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestLayeredRangeWeightMatchesBruteForce(t *testing.T) {
+	pts, w := makePoints(300, 2, 80)
+	for _, engines := range []bool{false, true} {
+		l, err := NewLayered(pts, w, engines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(81)
+		f := func(raw [4]uint8) bool {
+			q := Rect{
+				Min: []float64{float64(raw[0]) / 256, float64(raw[1]) / 256},
+				Max: []float64{float64(raw[0])/256 + float64(raw[2])/200, float64(raw[1])/256 + float64(raw[3])/200},
+			}
+			want := 0.0
+			for i, p := range pts {
+				if q.Contains(p) {
+					want += w[i]
+				}
+			}
+			_ = r
+			return math.Abs(l.RangeWeight(q)-want) < 1e-9
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("engines=%v: %v", engines, err)
+		}
+	}
+}
+
+func TestLayeredDistributionWeighted(t *testing.T) {
+	const n = 64
+	pts, w := makePoints(n, 2, 82)
+	for _, engines := range []bool{false, true} {
+		l, err := NewLayered(pts, w, engines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q := Rect{Min: []float64{0.15, 0.15}, Max: []float64{0.85, 0.85}}
+		inside := map[int]float64{}
+		total := 0.0
+		for i, p := range pts {
+			if q.Contains(p) {
+				inside[i] = w[i]
+				total += w[i]
+			}
+		}
+		if len(inside) < 5 {
+			t.Fatal("setup: too few inside")
+		}
+		r := rng.New(83)
+		const draws = 300000
+		counts := map[int]int{}
+		out, ok := l.Query(r, q, draws, nil)
+		if !ok {
+			t.Fatal("empty")
+		}
+		for _, idx := range out {
+			if _, in := inside[idx]; !in {
+				t.Fatalf("engines=%v: sampled %d outside", engines, idx)
+			}
+			counts[idx]++
+		}
+		chi2 := 0.0
+		for idx, wi := range inside {
+			expected := draws * wi / total
+			diff := float64(counts[idx]) - expected
+			chi2 += diff * diff / expected
+		}
+		if chi2 > chi2Crit(len(inside)-1) {
+			t.Fatalf("engines=%v: chi2 = %v", engines, chi2)
+		}
+	}
+}
+
+func TestLayeredUniformFastPath(t *testing.T) {
+	const n = 80
+	pts, _ := makePoints(n, 2, 84)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	l, err := NewLayered(pts, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0.1, 0.1}, Max: []float64{0.9, 0.9}}
+	var inside []int
+	for i, p := range pts {
+		if q.Contains(p) {
+			inside = append(inside, i)
+		}
+	}
+	r := rng.New(85)
+	const draws = 200000
+	counts := map[int]int{}
+	out, ok := l.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("empty")
+	}
+	for _, idx := range out {
+		counts[idx]++
+	}
+	expected := float64(draws) / float64(len(inside))
+	for _, idx := range inside {
+		if math.Abs(float64(counts[idx])-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("point %d count %d, expected ~%v", idx, counts[idx], expected)
+		}
+	}
+}
+
+func TestLayeredCoverSmallerThanUncascaded(t *testing.T) {
+	const n = 1 << 12
+	pts, w := makePoints(n, 2, 86)
+	l, err := NewLayered(pts, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(pts, w, WalkMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(87)
+	logn := math.Log2(n)
+	sumL, sumU := 0, 0
+	for trial := 0; trial < 50; trial++ {
+		q := randRect(r, 2)
+		cl := l.CoverSize(q)
+		cu := rt.CoverSize(q)
+		sumL += cl
+		sumU += cu
+		// Layered cover is bounded by the x-canonical count O(log n).
+		if cl > 2*int(logn)+2 {
+			t.Fatalf("layered cover %d exceeds O(log n)", cl)
+		}
+	}
+	if sumL >= sumU {
+		t.Fatalf("layered covers (%d total) not smaller than uncascaded (%d)", sumL, sumU)
+	}
+}
+
+func TestLayeredEmptyQueries(t *testing.T) {
+	pts, w := makePoints(50, 2, 88)
+	l, err := NewLayered(pts, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(89)
+	for _, q := range []Rect{
+		{Min: []float64{5, 5}, Max: []float64{6, 6}},
+		{Min: []float64{0.5, 5}, Max: []float64{0.6, 6}},
+		{Min: []float64{0.5, 0.5}, Max: []float64{0.4, 0.4}},
+	} {
+		if _, ok := l.Query(r, q, 2, nil); ok {
+			t.Fatalf("query %v returned ok", q)
+		}
+		if got := l.RangeWeight(q); got != 0 {
+			t.Fatalf("RangeWeight = %v", got)
+		}
+	}
+}
+
+func TestLayeredMatchesUncascadedDistribution(t *testing.T) {
+	const n = 40
+	pts, w := makePoints(n, 2, 90)
+	l, err := NewLayered(pts, w, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(pts, w, WalkMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0.2, 0.2}, Max: []float64{0.8, 0.8}}
+	r := rng.New(91)
+	const draws = 150000
+	a := map[int]int{}
+	bCounts := map[int]int{}
+	outL, okL := l.Query(r, q, draws, nil)
+	outU, okU := rt.Query(r, q, draws, nil)
+	if !okL || !okU {
+		t.Fatal("empty")
+	}
+	for _, idx := range outL {
+		a[idx]++
+	}
+	for _, idx := range outU {
+		bCounts[idx]++
+	}
+	// Two-sample chi2.
+	chi2 := 0.0
+	dof := 0
+	for idx := range a {
+		x, y := float64(a[idx]), float64(bCounts[idx])
+		if x+y == 0 {
+			continue
+		}
+		diff := x - y
+		chi2 += diff * diff / (x + y)
+		dof++
+	}
+	if chi2 > chi2Crit(dof-1) {
+		t.Fatalf("layered vs uncascaded chi2 = %v", chi2)
+	}
+}
+
+func BenchmarkLayeredQuery(b *testing.B) {
+	pts, w := makePoints(1<<16, 2, 1)
+	l, err := NewLayered(pts, w, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	q := Rect{Min: []float64{0.25, 0.25}, Max: []float64{0.75, 0.75}}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = l.Query(r, q, 64, dst[:0])
+	}
+}

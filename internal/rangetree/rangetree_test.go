@@ -1,0 +1,288 @@
+package rangetree
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func makePoints(n, d int, seed uint64) ([][]float64, []float64) {
+	r := rng.New(seed)
+	pts := make([][]float64, n)
+	w := make([]float64, n)
+	for i := range pts {
+		p := make([]float64, d)
+		for j := range p {
+			p[j] = r.Float64()
+		}
+		pts[i] = p
+		w[i] = r.Float64()*3 + 0.2
+	}
+	return pts, w
+}
+
+func randRect(r *rng.Source, d int) Rect {
+	q := Rect{Min: make([]float64, d), Max: make([]float64, d)}
+	for j := 0; j < d; j++ {
+		a, b := r.Float64(), r.Float64()
+		if a > b {
+			a, b = b, a
+		}
+		q.Min[j], q.Max[j] = a, b
+	}
+	return q
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, nil, WalkMode); err != ErrEmpty {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]float64{{1}}, []float64{1, 2}, WalkMode); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := New([][]float64{{1, 2}, {3}}, []float64{1, 1}, WalkMode); err == nil {
+		t.Fatal("ragged dims accepted")
+	}
+	if _, err := New([][]float64{{1}}, []float64{-1}, WalkMode); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := New([][]float64{{}}, []float64{1}, WalkMode); err == nil {
+		t.Fatal("zero-dim accepted")
+	}
+}
+
+func TestReportMatchesBruteForce(t *testing.T) {
+	for _, d := range []int{1, 2, 3} {
+		pts, w := makePoints(200, d, uint64(d))
+		tr, err := New(pts, w, WalkMode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.New(uint64(100 + d))
+		for trial := 0; trial < 40; trial++ {
+			q := randRect(r, d)
+			got := tr.Report(q, nil)
+			sort.Ints(got)
+			var want []int
+			for i, p := range pts {
+				if q.Contains(p) {
+					want = append(want, i)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("d=%d: report %d, want %d", d, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("d=%d: mismatch at %d", d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestCoverSizePolylog(t *testing.T) {
+	const n = 1 << 12
+	pts, w := makePoints(n, 2, 7)
+	tr, err := New(pts, w, WalkMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	logn := math.Log2(n)
+	bound := int(4 * logn * logn) // generous constant on O(log² n)
+	for trial := 0; trial < 100; trial++ {
+		q := randRect(r, 2)
+		if got := tr.CoverSize(q); got > bound {
+			t.Fatalf("cover size %d exceeds %d", got, bound)
+		}
+	}
+}
+
+func chi2Crit(dof int) float64 {
+	z := 3.719
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+func testDistribution(t *testing.T, mode Mode, seed uint64) {
+	t.Helper()
+	const n = 64
+	pts, w := makePoints(n, 2, seed)
+	tr, err := New(pts, w, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0.15, 0.15}, Max: []float64{0.85, 0.85}}
+	inside := map[int]float64{}
+	total := 0.0
+	for i, p := range pts {
+		if q.Contains(p) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	if len(inside) < 5 {
+		t.Fatalf("setup: only %d inside", len(inside))
+	}
+	r := rng.New(seed + 1)
+	const draws = 300000
+	counts := map[int]int{}
+	out, ok := tr.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, idx := range out {
+		if _, in := inside[idx]; !in {
+			t.Fatalf("sampled %d outside query", idx)
+		}
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("mode %v chi2 = %v", mode, chi2)
+	}
+	if got := tr.RangeWeight(q); math.Abs(got-total) > 1e-9 {
+		t.Fatalf("RangeWeight = %v, want %v", got, total)
+	}
+}
+
+func TestWalkModeDistribution(t *testing.T)  { testDistribution(t, WalkMode, 20) }
+func TestAliasModeDistribution(t *testing.T) { testDistribution(t, AliasMode, 30) }
+
+func TestDistribution3D(t *testing.T) {
+	const n = 48
+	pts, w := makePoints(n, 3, 40)
+	tr, err := New(pts, w, WalkMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{0.1, 0.1, 0.1}, Max: []float64{0.9, 0.9, 0.9}}
+	inside := map[int]float64{}
+	total := 0.0
+	for i, p := range pts {
+		if q.Contains(p) {
+			inside[i] = w[i]
+			total += w[i]
+		}
+	}
+	r := rng.New(41)
+	const draws = 200000
+	counts := map[int]int{}
+	out, ok := tr.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, idx := range out {
+		counts[idx]++
+	}
+	chi2 := 0.0
+	for idx, wi := range inside {
+		expected := draws * wi / total
+		diff := float64(counts[idx]) - expected
+		chi2 += diff * diff / expected
+	}
+	if chi2 > chi2Crit(len(inside)-1) {
+		t.Fatalf("3D chi2 = %v", chi2)
+	}
+}
+
+func TestEmptyQuery(t *testing.T) {
+	pts, w := makePoints(32, 2, 50)
+	tr, err := New(pts, w, WalkMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{5, 5}, Max: []float64{6, 6}}
+	if _, ok := tr.Query(rng.New(51), q, 3, nil); ok {
+		t.Fatal("empty query returned ok")
+	}
+	if got := tr.RangeWeight(q); got != 0 {
+		t.Fatalf("RangeWeight = %v", got)
+	}
+}
+
+func TestDuplicateCoordsDistinctWeights(t *testing.T) {
+	// Regression guard for the leaf-alignment hazard: equal coordinates
+	// with very different weights must keep their own weights.
+	pts := [][]float64{{1, 1}, {1, 1}, {1, 2}, {2, 1}}
+	w := []float64{100, 1, 1, 1}
+	tr, err := New(pts, w, WalkMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Rect{Min: []float64{1, 1}, Max: []float64{1, 1}} // pts 0 and 1 only
+	r := rng.New(52)
+	const draws = 50000
+	counts := map[int]int{}
+	out, ok := tr.Query(r, q, draws, nil)
+	if !ok {
+		t.Fatal("query empty")
+	}
+	for _, idx := range out {
+		if idx != 0 && idx != 1 {
+			t.Fatalf("sampled %d outside query", idx)
+		}
+		counts[idx]++
+	}
+	// Point 0 should take ~100/101 of samples.
+	p0 := float64(counts[0]) / draws
+	if math.Abs(p0-100.0/101) > 0.01 {
+		t.Fatalf("heavy duplicate sampled with frequency %v, want ~0.990", p0)
+	}
+}
+
+func TestSamplesAlwaysInsideProperty(t *testing.T) {
+	pts, w := makePoints(128, 2, 60)
+	tr, err := New(pts, w, AliasMode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(61)
+	f := func(raw [4]uint8) bool {
+		q := Rect{
+			Min: []float64{float64(raw[0]) / 256, float64(raw[1]) / 256},
+			Max: []float64{float64(raw[0])/256 + float64(raw[2])/256, float64(raw[1])/256 + float64(raw[3])/256},
+		}
+		out, ok := tr.Query(r, q, 6, nil)
+		if !ok {
+			return true
+		}
+		for _, idx := range out {
+			if !q.Contains(pts[idx]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQueryWalk(b *testing.B)  { benchQuery(b, WalkMode) }
+func BenchmarkQueryAlias(b *testing.B) { benchQuery(b, AliasMode) }
+
+func benchQuery(b *testing.B, mode Mode) {
+	pts, w := makePoints(1<<14, 2, 1)
+	tr, err := New(pts, w, mode)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(2)
+	q := Rect{Min: []float64{0.25, 0.25}, Max: []float64{0.75, 0.75}}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dst, _ = tr.Query(r, q, 64, dst[:0])
+	}
+}

@@ -1,0 +1,162 @@
+// Package rng provides the deterministic pseudo-random number generator
+// used by every sampling structure in this repository.
+//
+// All IQS structures take an explicit *rng.Source so that experiments are
+// reproducible bit-for-bit from a seed, and so that the independence
+// guarantees can be audited: a structure draws fresh randomness at query
+// time only, never reusing preprocessing randomness across queries.
+//
+// The generator is xoshiro256** (Blackman & Vigna) seeded through
+// splitmix64, which is the standard recommendation for initialising
+// xoshiro state. It is not cryptographically secure; it is fast,
+// full-period (2^256−1) and passes BigCrush, which is what a sampling
+// library needs.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic random source. It is NOT safe for concurrent
+// use; create one Source per goroutine (use Split for derived streams).
+type Source struct {
+	s0, s1, s2, s3 uint64
+}
+
+// splitmix64 advances the seeding state and returns the next value.
+func splitmix64(x *uint64) uint64 {
+	*x += 0x9e3779b97f4a7c15
+	z := *x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded deterministically from seed.
+func New(seed uint64) *Source {
+	s := &Source{}
+	x := seed
+	s.s0 = splitmix64(&x)
+	s.s1 = splitmix64(&x)
+	s.s2 = splitmix64(&x)
+	s.s3 = splitmix64(&x)
+	// xoshiro must not start in the all-zero state; splitmix64 of any
+	// seed cannot produce four zero outputs in a row, but guard anyway.
+	if s.s0|s.s1|s.s2|s.s3 == 0 {
+		s.s0 = 1
+	}
+	return s
+}
+
+// Split derives an independent-stream Source from r. The derived stream is
+// seeded from two outputs of r, so distinct calls yield distinct streams.
+func (r *Source) Split() *Source {
+	a := r.Uint64()
+	b := r.Uint64()
+	return New(a ^ bits.RotateLeft64(b, 32))
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	result := bits.RotateLeft64(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = bits.RotateLeft64(r.s3, 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+// Uses Lemire's nearly-divisionless unbiased bounded generation.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// IntRange returns a uniform integer in [lo, hi] inclusive. Panics if
+// hi < lo.
+func (r *Source) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("rng: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 random bits.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Source) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle randomises the order of n elements using the provided swap
+// function (Fisher–Yates, back-to-front).
+func (r *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// NormFloat64 returns a standard normal variate (Marsaglia polar method).
+// Used only by dataset generators, never by the sampling structures.
+func (r *Source) NormFloat64() float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return u * math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// ExpFloat64 returns an exponential variate with rate 1.
+func (r *Source) ExpFloat64() float64 {
+	for {
+		u := r.Float64()
+		if u > 0 {
+			return -math.Log(u)
+		}
+	}
+}

@@ -1,0 +1,352 @@
+// Package setunion implements Technique 4 of the paper ("Random
+// Permutation", Section 7): the set union sampling problem and the
+// Theorem 8 structure.
+//
+// Problem: F is a collection of sets over a common element domain. Given
+// G ⊆ F, a query returns an element sampled uniformly at random from
+// ∪G (the union of the sets in G), independently of all previous
+// queries' outputs. The problem is the core of fair near neighbour
+// search (Section 2, Benefit 2; see internal/fairnn).
+//
+// Structure (following Aumüller et al. [8], refined in [7], as presented
+// by the paper):
+//
+//   - a random permutation Π of the distinct elements assigns each a rank
+//     in [1, U];
+//   - each set stores its members' ranks in sorted order (a static BST —
+//     realised here as a sorted array with binary search, which answers
+//     the same rank-range reporting queries in O(log n + k));
+//   - each set of size ≥ log₂ n carries a KMV sketch so that Û_G, a
+//     factor-1.5 estimate of |∪G|, can be derived by merging g sketches
+//     (smaller sets sketch on the fly);
+//   - a query cuts the rank space into Û_G intervals, picks one uniformly,
+//     materialises the union's members inside it (expected O(1) of them),
+//     and accepts a uniform member with probability |∪I|/m for a cap
+//     m = Θ(log n); repeats otherwise.
+//
+// Each success returns an exactly uniform element of ∪G (Equation 5 of
+// the paper: acceptance probability 1/(Û_G·m) is the same for every
+// element). Expected cost per sample is O(g log² n).
+//
+// The structure answers each query correctly with high probability; as in
+// the paper, it rebuilds itself with fresh randomness every U queries so
+// that the guarantee holds over unbounded query sequences (the amortised
+// rebuild cost is O(log n) per query).
+package setunion
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+// ErrEmptyCollection is returned when constructing over no sets.
+var ErrEmptyCollection = errors.New("setunion: empty collection")
+
+// ErrBadSet is returned for queries naming an unknown set index.
+var ErrBadSet = errors.New("setunion: set index out of range")
+
+// Collection is the Theorem 8 structure.
+type Collection struct {
+	sets [][]int // original member lists (element ids)
+	// elements of the union domain
+	universe []int       // distinct element ids
+	rankOf   map[int]int // element id -> rank in [1, U]
+	byRank   []int       // byRank[r-1] = element id with rank r
+	// per-set sorted member ranks
+	ranks [][]int
+	// sketches for sets of size >= sketchMin
+	sketches  []*sketch.KMV
+	hasher    sketch.Hasher
+	k         int
+	sketchMin int
+	n         int // Σ |S| over all sets (the paper's n)
+
+	r *rng.Source // structural randomness (permutation, salts, rebuilds)
+
+	queriesSinceRebuild int
+	rebuildEvery        int
+}
+
+// New builds the structure over sets of element ids. seed drives the
+// structural randomness (permutation, sketch salt); query randomness
+// comes from the caller's source. Build time O(n log n) expected.
+func New(sets [][]int, seed uint64) (*Collection, error) {
+	if len(sets) == 0 {
+		return nil, ErrEmptyCollection
+	}
+	n := 0
+	for _, s := range sets {
+		n += len(s)
+	}
+	if n == 0 {
+		return nil, ErrEmptyCollection
+	}
+	c := &Collection{
+		sets: make([][]int, len(sets)),
+		r:    rng.New(seed),
+		n:    n,
+	}
+	for i, s := range sets {
+		c.sets[i] = append([]int(nil), s...)
+	}
+	c.build()
+	return c, nil
+}
+
+// build (re)creates all randomness-dependent state: the permutation, the
+// rank arrays and the sketches.
+func (c *Collection) build() {
+	// Distinct universe.
+	seen := make(map[int]struct{})
+	c.universe = c.universe[:0]
+	for _, s := range c.sets {
+		for _, e := range s {
+			if _, dup := seen[e]; !dup {
+				seen[e] = struct{}{}
+				c.universe = append(c.universe, e)
+			}
+		}
+	}
+	// Random permutation of the universe → ranks.
+	c.r.Shuffle(len(c.universe), func(i, j int) {
+		c.universe[i], c.universe[j] = c.universe[j], c.universe[i]
+	})
+	c.rankOf = make(map[int]int, len(c.universe))
+	c.byRank = append(c.byRank[:0], c.universe...)
+	for i, e := range c.universe {
+		c.rankOf[e] = i + 1
+	}
+	// Per-set sorted rank arrays.
+	c.ranks = make([][]int, len(c.sets))
+	for i, s := range c.sets {
+		rs := make([]int, 0, len(s))
+		dedup := make(map[int]struct{}, len(s))
+		for _, e := range s {
+			if _, dup := dedup[e]; dup {
+				continue
+			}
+			dedup[e] = struct{}{}
+			rs = append(rs, c.rankOf[e])
+		}
+		sort.Ints(rs)
+		c.ranks[i] = rs
+	}
+	// Sketches: ε=1/2, δ=1/n³ as in the paper, on sets of size ≥ log₂ n.
+	logn := math.Log2(float64(c.n) + 2)
+	c.sketchMin = int(logn)
+	if c.sketchMin < 1 {
+		c.sketchMin = 1
+	}
+	delta := 1 / (float64(c.n) * float64(c.n) * float64(c.n))
+	c.k = sketch.KForEpsilonDelta(0.5, delta)
+	c.hasher = sketch.NewHasher(c.r.Uint64())
+	c.sketches = make([]*sketch.KMV, len(c.sets))
+	for i, rs := range c.ranks {
+		if len(rs) >= c.sketchMin {
+			s, err := sketch.Build(c.hasher, c.k, rs)
+			if err != nil {
+				panic(fmt.Sprintf("setunion: sketch build: %v", err))
+			}
+			c.sketches[i] = s
+		}
+	}
+	c.rebuildEvery = len(c.universe)
+	if c.rebuildEvery < 1 {
+		c.rebuildEvery = 1
+	}
+	c.queriesSinceRebuild = 0
+}
+
+// NumSets returns |F|.
+func (c *Collection) NumSets() int { return len(c.sets) }
+
+// UniverseSize returns U, the number of distinct elements.
+func (c *Collection) UniverseSize() int { return len(c.universe) }
+
+// TotalSize returns n = Σ |S|.
+func (c *Collection) TotalSize() int { return c.n }
+
+// UnionSizeEstimate merges the sketches of the sets in G and returns the
+// ε=1/2 estimate Û_G of |∪G|. O(g log² n) expected.
+func (c *Collection) UnionSizeEstimate(G []int) (float64, error) {
+	merged, err := c.mergedSketch(G)
+	if err != nil {
+		return 0, err
+	}
+	return merged.Estimate(), nil
+}
+
+func (c *Collection) mergedSketch(G []int) (*sketch.KMV, error) {
+	if len(G) == 0 {
+		return nil, errors.New("setunion: empty query group")
+	}
+	var merged *sketch.KMV
+	for _, gi := range G {
+		if gi < 0 || gi >= len(c.sets) {
+			return nil, fmt.Errorf("%w: %d", ErrBadSet, gi)
+		}
+		s := c.sketches[gi]
+		if s == nil {
+			// Small set: sketch on the fly (O(log² n) expected).
+			var err error
+			s, err = sketch.Build(c.hasher, c.k, c.ranks[gi])
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			s = s.Clone()
+		}
+		if merged == nil {
+			merged = s.Clone()
+			continue
+		}
+		if err := merged.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// rankRange returns the members of set gi whose ranks fall in [lo, hi]
+// (binary search over the sorted rank array).
+func (c *Collection) rankRange(gi, lo, hi int, dst []int) []int {
+	rs := c.ranks[gi]
+	i := sort.SearchInts(rs, lo)
+	for ; i < len(rs) && rs[i] <= hi; i++ {
+		dst = append(dst, rs[i])
+	}
+	return dst
+}
+
+// Query appends s independent uniform samples from ∪G to dst (as element
+// ids). ok is false when the union is empty. Expected time O(s·g·log² n).
+//
+// The structure transparently rebuilds itself with fresh randomness every
+// U queries, extending the high-probability correctness guarantee to
+// unbounded query sequences as described in the paper.
+func (c *Collection) Query(r *rng.Source, G []int, s int, dst []int) ([]int, bool, error) {
+	if c.queriesSinceRebuild >= c.rebuildEvery {
+		c.build()
+	}
+	c.queriesSinceRebuild++
+
+	merged, err := c.mergedSketch(G)
+	if err != nil {
+		return dst, false, err
+	}
+	uEst := merged.Estimate()
+	if uEst <= 0 {
+		// All sets in G are empty.
+		return dst, false, nil
+	}
+	uG := int(math.Ceil(uEst))
+	U := len(c.universe)
+	if uG > U {
+		uG = U
+	}
+	if uG < 1 {
+		uG = 1
+	}
+	// Cap m = c·log₂ n with c = 4; doubled adaptively if an interval
+	// ever exceeds it (keeps the output exactly uniform: for any fixed
+	// cap the acceptance distribution is uniform, and the final output
+	// is a mixture of uniforms).
+	m := 4 * (int(math.Log2(float64(c.n)+2)) + 1)
+
+	scratch := make([]int, 0, 4*m)
+	for drawn := 0; drawn < s; {
+		// Pick interval j ∈ [0, uG) and materialise ∪I_j.
+		j := r.Intn(uG)
+		lo := j*U/uG + 1
+		hi := (j + 1) * U / uG
+		if hi < lo {
+			continue // empty slack interval (possible when uG > U/…)
+		}
+		scratch = scratch[:0]
+		for _, gi := range G {
+			scratch = c.rankRange(gi, lo, hi, scratch)
+		}
+		if len(scratch) == 0 {
+			continue
+		}
+		// Dedupe ranks (sets may overlap).
+		sort.Ints(scratch)
+		uniq := scratch[:1]
+		for _, v := range scratch[1:] {
+			if v != uniq[len(uniq)-1] {
+				uniq = append(uniq, v)
+			}
+		}
+		if len(uniq) > m {
+			// Interval denser than the cap allows: double the cap and
+			// retry the sample from scratch.
+			m *= 2
+			continue
+		}
+		// Coin with heads probability |∪I|/m.
+		if r.Float64()*float64(m) < float64(len(uniq)) {
+			rank := uniq[r.Intn(len(uniq))]
+			dst = append(dst, c.byRank[rank-1])
+			drawn++
+		}
+	}
+	return dst, true, nil
+}
+
+// QueryWoR appends a uniformly random size-s *subset* of ∪G (without
+// replacement) to dst, by deduplicating WR draws — O(s) expected extra
+// draws while s ≤ |∪G|/2, coupon-collector beyond. Returns ok=false with
+// no error when s exceeds |∪G| (detected via the exact size, computed
+// only in that unlikely branch after 8(s+8) fruitless draws).
+func (c *Collection) QueryWoR(r *rng.Source, G []int, s int, dst []int) ([]int, bool, error) {
+	seen := make(map[int]struct{}, s)
+	var one [1]int
+	budget := 8 * (s + 8)
+	for len(seen) < s {
+		out, ok, err := c.Query(r, G, 1, one[:0])
+		if err != nil || !ok {
+			return dst, false, err
+		}
+		if _, dup := seen[out[0]]; dup {
+			budget--
+			if budget <= 0 {
+				// Possibly s > |∪G|: check exactly once.
+				exact, err := c.UnionSizeExact(G)
+				if err != nil {
+					return dst, false, err
+				}
+				if s > exact {
+					return dst, false, nil
+				}
+				budget = 8 * (s + 8) // rare: just keep collecting
+			}
+			continue
+		}
+		seen[out[0]] = struct{}{}
+		dst = append(dst, out[0])
+	}
+	return dst, true, nil
+}
+
+// UnionSizeExact computes |∪G| exactly (test/benchmark helper; not part
+// of the sublinear query path).
+func (c *Collection) UnionSizeExact(G []int) (int, error) {
+	seen := map[int]struct{}{}
+	for _, gi := range G {
+		if gi < 0 || gi >= len(c.sets) {
+			return 0, fmt.Errorf("%w: %d", ErrBadSet, gi)
+		}
+		for _, rk := range c.ranks[gi] {
+			seen[rk] = struct{}{}
+		}
+	}
+	return len(seen), nil
+}
+
+// Rebuild forces an immediate rebuild with fresh randomness.
+func (c *Collection) Rebuild() { c.build() }

@@ -1,0 +1,379 @@
+package setunion
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(nil, 1); err != ErrEmptyCollection {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := New([][]int{{}, {}}, 1); err != ErrEmptyCollection {
+		t.Fatalf("all-empty err = %v", err)
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	c, err := New([][]int{{1, 2}, {3}}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	if _, _, err := c.Query(r, []int{5}, 1, nil); err == nil {
+		t.Fatal("out-of-range set index accepted")
+	}
+	if _, _, err := c.Query(r, nil, 1, nil); err == nil {
+		t.Fatal("empty group accepted")
+	}
+}
+
+func TestDisjointSetsUniform(t *testing.T) {
+	sets := [][]int{
+		{1, 2, 3},
+		{10, 11},
+		{20, 21, 22, 23, 24},
+	}
+	c, err := New(sets, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(4)
+	const draws = 100000
+	counts := map[int]int{}
+	out, ok, err := c.Query(r, []int{0, 1, 2}, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	if len(out) != draws {
+		t.Fatalf("drew %d", len(out))
+	}
+	for _, e := range out {
+		counts[e]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("sampled %d distinct, want 10", len(counts))
+	}
+	expected := float64(draws) / 10
+	for e, cnt := range counts {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d count %d, expected ~%v", e, cnt, expected)
+		}
+	}
+}
+
+func TestOverlappingSetsUniform(t *testing.T) {
+	// Heavy overlap: an element in many sets must NOT be oversampled —
+	// the whole point of the permutation technique.
+	sets := [][]int{
+		{1, 2, 3, 4, 5},
+		{1, 2, 3, 4, 5, 6},
+		{1, 2, 3, 4, 5, 6, 7},
+		{1, 8},
+	}
+	c, err := New(sets, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(6)
+	const draws = 160000
+	counts := map[int]int{}
+	out, ok, err := c.Query(r, []int{0, 1, 2, 3}, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, e := range out {
+		counts[e]++
+	}
+	if len(counts) != 8 {
+		t.Fatalf("sampled %d distinct, want 8", len(counts))
+	}
+	expected := float64(draws) / 8
+	for e, cnt := range counts {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d count %d, expected ~%v (overlap bias?)", e, cnt, expected)
+		}
+	}
+}
+
+func TestSubsetGroup(t *testing.T) {
+	sets := [][]int{
+		{1, 2, 3},
+		{4, 5},
+		{6},
+	}
+	c, err := New(sets, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(8)
+	const draws = 60000
+	counts := map[int]int{}
+	out, ok, err := c.Query(r, []int{1, 2}, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, e := range out {
+		if e == 1 || e == 2 || e == 3 {
+			t.Fatalf("sampled %d from a set outside G", e)
+		}
+		counts[e]++
+	}
+	expected := float64(draws) / 3
+	for e, cnt := range counts {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d count %d", e, cnt)
+		}
+	}
+}
+
+func TestSingleSingletonSet(t *testing.T) {
+	c, err := New([][]int{{42}}, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, ok, err := c.Query(rng.New(10), []int{0}, 5, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, e := range out {
+		if e != 42 {
+			t.Fatalf("sampled %d", e)
+		}
+	}
+}
+
+func TestLargeSetsWithSketches(t *testing.T) {
+	// Sets above the sketch threshold exercise the pre-built-sketch and
+	// merge paths.
+	const size = 3000
+	a := make([]int, size)
+	b := make([]int, size)
+	for i := range a {
+		a[i] = i
+		b[i] = size/2 + i // half overlap
+	}
+	c, err := New([][]int{a, b}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := c.UnionSizeEstimate([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, err := c.UnionSizeExact([]int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact != size*3/2 {
+		t.Fatalf("exact union = %d", exact)
+	}
+	if est < float64(exact)/2 || est > 1.5*float64(exact) {
+		t.Fatalf("estimate %v outside band of %d", est, exact)
+	}
+	// Sample and verify coverage of both halves.
+	r := rng.New(12)
+	out, ok, err := c.Query(r, []int{0, 1}, 3000, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	var loHalf, overlap, hiHalf int
+	for _, e := range out {
+		switch {
+		case e < size/2:
+			loHalf++
+		case e < size:
+			overlap++
+		default:
+			hiHalf++
+		}
+	}
+	// Each third of the union should get ~1/3 of samples.
+	for i, cnt := range []int{loHalf, overlap, hiHalf} {
+		if math.Abs(float64(cnt)-1000) > 6*math.Sqrt(1000) {
+			t.Fatalf("third %d count %d, expected ~1000", i, cnt)
+		}
+	}
+}
+
+func TestDuplicateElementsWithinSet(t *testing.T) {
+	c, err := New([][]int{{7, 7, 7, 8}}, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(14)
+	const draws = 40000
+	counts := map[int]int{}
+	out, ok, err := c.Query(r, []int{0}, draws, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	for _, e := range out {
+		counts[e]++
+	}
+	// Duplicates inside a set must not bias the distribution.
+	if math.Abs(float64(counts[7])-draws/2) > 6*math.Sqrt(draws/2) {
+		t.Fatalf("counts = %v, want ~50/50", counts)
+	}
+}
+
+func TestRebuildKeepsAnswering(t *testing.T) {
+	sets := [][]int{{1, 2}, {3}}
+	c, err := New(sets, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(16)
+	// Push well past the rebuild threshold (U = 3).
+	for i := 0; i < 50; i++ {
+		out, ok, err := c.Query(r, []int{0, 1}, 2, nil)
+		if err != nil || !ok || len(out) != 2 {
+			t.Fatalf("query %d: ok=%v err=%v len=%d", i, ok, err, len(out))
+		}
+	}
+	c.Rebuild()
+	if _, ok, err := c.Query(r, []int{0}, 1, nil); err != nil || !ok {
+		t.Fatalf("post-rebuild: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestCrossQueryIndependence(t *testing.T) {
+	// Repeated identical queries on a 2-element union: consecutive
+	// outputs must form independent pairs.
+	c, err := New([][]int{{0}, {1}}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(18)
+	var pairs [4]int
+	const queries = 40000
+	out, _, err := c.Query(r, []int{0, 1}, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := out[0]
+	for i := 0; i < queries; i++ {
+		out, _, err := c.Query(r, []int{0, 1}, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairs[prev*2+out[0]]++
+		prev = out[0]
+	}
+	expected := float64(queries) / 4
+	for i, cnt := range pairs {
+		if math.Abs(float64(cnt)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("pair %02b count %d, expected ~%v", i, cnt, expected)
+		}
+	}
+}
+
+func BenchmarkQueryG8(b *testing.B) {
+	r := rng.New(1)
+	sets := make([][]int, 64)
+	for i := range sets {
+		s := make([]int, 2000)
+		for j := range s {
+			s[j] = r.Intn(50000)
+		}
+		sets[i] = s
+	}
+	c, err := New(sets, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	G := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	var dst []int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var ok bool
+		dst, ok, err = c.Query(r, G, 1, dst[:0])
+		if err != nil || !ok {
+			b.Fatalf("ok=%v err=%v", ok, err)
+		}
+	}
+}
+
+func TestAccessorsAndEstimateErrors(t *testing.T) {
+	c, err := New([][]int{{1, 2, 2}, {2, 3}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumSets() != 2 {
+		t.Fatalf("NumSets = %d", c.NumSets())
+	}
+	if c.UniverseSize() != 3 {
+		t.Fatalf("UniverseSize = %d", c.UniverseSize())
+	}
+	if c.TotalSize() != 5 {
+		t.Fatalf("TotalSize = %d (raw multiset size)", c.TotalSize())
+	}
+	if _, err := c.UnionSizeEstimate([]int{9}); err == nil {
+		t.Fatal("bad set index accepted by estimate")
+	}
+	if _, err := c.UnionSizeEstimate(nil); err == nil {
+		t.Fatal("empty group accepted by estimate")
+	}
+	if _, err := c.UnionSizeExact([]int{9}); err == nil {
+		t.Fatal("bad set index accepted by exact")
+	}
+}
+
+func TestQueryWoR(t *testing.T) {
+	c, err := New([][]int{{1, 2, 3, 4}, {3, 4, 5, 6}}, 31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(32)
+	out, ok, err := c.QueryWoR(r, []int{0, 1}, 4, nil)
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+	seen := map[int]bool{}
+	for _, e := range out {
+		if e < 1 || e > 6 {
+			t.Fatalf("element %d outside union", e)
+		}
+		if seen[e] {
+			t.Fatalf("duplicate %d in WoR output", e)
+		}
+		seen[e] = true
+	}
+	// Oversized request: |∪G| = 6 < 7.
+	if _, ok, err := c.QueryWoR(r, []int{0, 1}, 7, nil); ok || err != nil {
+		t.Fatalf("oversized: ok=%v err=%v", ok, err)
+	}
+	// Exact full union.
+	out, ok, err = c.QueryWoR(r, []int{0, 1}, 6, nil)
+	if err != nil || !ok || len(out) != 6 {
+		t.Fatalf("full union: ok=%v err=%v len=%d", ok, err, len(out))
+	}
+}
+
+func TestQueryWoRMarginals(t *testing.T) {
+	c, err := New([][]int{{0, 1, 2}, {2, 3, 4, 5}}, 33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(34)
+	const trials = 30000
+	counts := map[int]int{}
+	for i := 0; i < trials; i++ {
+		out, ok, err := c.QueryWoR(r, []int{0, 1}, 2, nil)
+		if err != nil || !ok {
+			t.Fatalf("ok=%v err=%v", ok, err)
+		}
+		for _, e := range out {
+			counts[e]++
+		}
+	}
+	// Inclusion probability 2/6 per element.
+	expected := float64(trials) * 2 / 6
+	for e := 0; e <= 5; e++ {
+		if math.Abs(float64(counts[e])-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d marginal %d, expected ~%v", e, counts[e], expected)
+		}
+	}
+}

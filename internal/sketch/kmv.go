@@ -1,0 +1,171 @@
+// Package sketch implements the KMV (k minimum values, "bottom-k")
+// distinct-count sketch used by the set union sampling structure of
+// Section 7 of the paper. A sketch of a set S stores the k smallest
+// hashes of S's elements under a shared random hash function; |S| is then
+// estimated as (k−1)/h_(k), where h_(k) is the k-th smallest hash mapped
+// into (0, 1). Two sketches over the same hash merge into a sketch of the
+// union by keeping the k smallest of the combined hash sets.
+//
+// With k = Θ(1/ε² · log 1/δ) the estimate has relative error at most ε
+// with probability ≥ 1 − δ, matching the sketch interface the paper's
+// Theorem 8 assumes ([9] in its references): O(1/ε² · log 1/δ) words,
+// O(|S| log 1/δ) construction, constant-time estimation, and mergeability.
+package sketch
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Hasher is the shared salted hash: elements must be hashed identically
+// across all sketches that will be merged.
+type Hasher struct {
+	salt uint64
+}
+
+// NewHasher returns a hasher with the given salt (pick the salt with the
+// structure's rng at build time).
+func NewHasher(salt uint64) Hasher { return Hasher{salt: salt} }
+
+// Hash maps an element id to a uniform 64-bit value (splitmix64 finaliser
+// over the salted id; full avalanche, so distinct ids give independent-
+// looking hashes).
+func (h Hasher) Hash(element int) uint64 {
+	x := uint64(element) ^ h.salt
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// KMV is a bottom-k sketch. The zero value is not usable; construct with
+// NewKMV or Build.
+type KMV struct {
+	k int
+	// hashes holds the smallest ≤ k distinct hashes seen, as a sorted
+	// slice (ascending). For the sizes used here (k ≤ a few hundred) a
+	// sorted slice beats a heap through cache behaviour and simplicity.
+	hashes []uint64
+	// seen counts distinct hashes when fewer than k have been observed
+	// (then the estimate is exact).
+	saturated bool
+}
+
+// ErrBadK is returned for k < 1.
+var ErrBadK = errors.New("sketch: k must be at least 1")
+
+// NewKMV returns an empty sketch with capacity k.
+func NewKMV(k int) (*KMV, error) {
+	if k < 1 {
+		return nil, ErrBadK
+	}
+	return &KMV{k: k, hashes: make([]uint64, 0, k)}, nil
+}
+
+// KForEpsilonDelta returns a k giving relative error ≤ eps with
+// probability ≥ 1−delta (standard KMV analysis: k ≈ 3/eps² · ln(2/δ)
+// suffices by Chernoff bounds on the k-th order statistic).
+func KForEpsilonDelta(eps, delta float64) int {
+	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
+		return 64
+	}
+	k := int(math.Ceil(3 / (eps * eps) * math.Log(2/delta)))
+	if k < 8 {
+		k = 8
+	}
+	return k
+}
+
+// Build constructs a sketch over the elements in O(|elements| + k log k)
+// expected time.
+func Build(h Hasher, k int, elements []int) (*KMV, error) {
+	s, err := NewKMV(k)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range elements {
+		s.Add(h.Hash(e))
+	}
+	return s, nil
+}
+
+// K returns the sketch capacity.
+func (s *KMV) K() int { return s.k }
+
+// Add inserts a hash value.
+func (s *KMV) Add(hash uint64) {
+	// Reject duplicates and values too large to matter.
+	idx := sort.Search(len(s.hashes), func(i int) bool { return s.hashes[i] >= hash })
+	if idx < len(s.hashes) && s.hashes[idx] == hash {
+		return
+	}
+	if len(s.hashes) < s.k {
+		s.hashes = append(s.hashes, 0)
+		copy(s.hashes[idx+1:], s.hashes[idx:])
+		s.hashes[idx] = hash
+		if len(s.hashes) == s.k {
+			s.saturated = true
+		}
+		return
+	}
+	if idx >= s.k {
+		return // larger than the current k-th minimum
+	}
+	copy(s.hashes[idx+1:], s.hashes[idx:s.k-1])
+	s.hashes[idx] = hash
+}
+
+// Merge folds other into s (s becomes a sketch of the union). Both must
+// share the same k and hasher. O(k).
+func (s *KMV) Merge(other *KMV) error {
+	if other.k != s.k {
+		return errors.New("sketch: merging sketches with different k")
+	}
+	merged := make([]uint64, 0, s.k)
+	i, j := 0, 0
+	var last uint64
+	haveLast := false
+	for len(merged) < s.k && (i < len(s.hashes) || j < len(other.hashes)) {
+		var v uint64
+		switch {
+		case i >= len(s.hashes):
+			v = other.hashes[j]
+			j++
+		case j >= len(other.hashes):
+			v = s.hashes[i]
+			i++
+		case s.hashes[i] <= other.hashes[j]:
+			v = s.hashes[i]
+			i++
+		default:
+			v = other.hashes[j]
+			j++
+		}
+		if haveLast && v == last {
+			continue
+		}
+		merged = append(merged, v)
+		last, haveLast = v, true
+	}
+	s.hashes = merged
+	// Convention: with k distinct hashes retained, the estimator is in
+	// force; below k the count is exact.
+	s.saturated = len(s.hashes) == s.k
+	return nil
+}
+
+// Clone returns an independent copy.
+func (s *KMV) Clone() *KMV {
+	return &KMV{k: s.k, hashes: append([]uint64(nil), s.hashes...), saturated: s.saturated}
+}
+
+// Estimate returns the estimated number of distinct elements.
+func (s *KMV) Estimate() float64 {
+	if !s.saturated {
+		return float64(len(s.hashes)) // exact below k
+	}
+	kth := s.hashes[s.k-1]
+	frac := (float64(kth) + 1) / math.Pow(2, 64) // map to (0,1]
+	return float64(s.k-1) / frac
+}

@@ -1,0 +1,223 @@
+package sketch
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewKMVErrors(t *testing.T) {
+	if _, err := NewKMV(0); err != ErrBadK {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := NewKMV(-5); err != ErrBadK {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestExactBelowK(t *testing.T) {
+	h := NewHasher(42)
+	s, err := Build(h, 64, []int{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Estimate(); got != 5 {
+		t.Fatalf("Estimate = %v, want exactly 5", got)
+	}
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	h := NewHasher(42)
+	s, err := Build(h, 64, []int{7, 7, 7, 8, 8, 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Estimate(); got != 3 {
+		t.Fatalf("Estimate = %v, want 3", got)
+	}
+}
+
+func TestEstimateAccuracy(t *testing.T) {
+	h := NewHasher(7)
+	k := KForEpsilonDelta(0.5, 0.001)
+	for _, n := range []int{1000, 10000, 100000} {
+		elems := make([]int, n)
+		for i := range elems {
+			elems[i] = i * 13
+		}
+		s, err := Build(h, k, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Estimate()
+		if got < float64(n)/2 || got > 1.5*float64(n) {
+			t.Fatalf("n=%d: estimate %v outside [n/2, 1.5n]", n, got)
+		}
+	}
+}
+
+func TestEstimateTighterK(t *testing.T) {
+	h := NewHasher(9)
+	k := KForEpsilonDelta(0.1, 0.001)
+	const n = 50000
+	elems := make([]int, n)
+	for i := range elems {
+		elems[i] = i
+	}
+	s, err := Build(h, k, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Estimate()
+	if math.Abs(got-n)/n > 0.1 {
+		t.Fatalf("estimate %v deviates more than 10%% from %d", got, n)
+	}
+}
+
+func TestMergeEqualsUnionSketch(t *testing.T) {
+	h := NewHasher(11)
+	f := func(aRaw, bRaw []uint16) bool {
+		a := make([]int, len(aRaw))
+		for i, v := range aRaw {
+			a[i] = int(v)
+		}
+		b := make([]int, len(bRaw))
+		for i, v := range bRaw {
+			b[i] = int(v)
+		}
+		sa, err := Build(h, 32, a)
+		if err != nil {
+			return false
+		}
+		sb, err := Build(h, 32, b)
+		if err != nil {
+			return false
+		}
+		if err := sa.Merge(sb); err != nil {
+			return false
+		}
+		union, err := Build(h, 32, append(append([]int{}, a...), b...))
+		if err != nil {
+			return false
+		}
+		// Merged sketch must be identical to the sketch of the union.
+		if len(sa.hashes) != len(union.hashes) {
+			return false
+		}
+		for i := range sa.hashes {
+			if sa.hashes[i] != union.hashes[i] {
+				return false
+			}
+		}
+		return sa.Estimate() == union.Estimate()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeDifferentK(t *testing.T) {
+	a, _ := NewKMV(8)
+	b, _ := NewKMV(16)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merge with different k accepted")
+	}
+}
+
+func TestMergeUnionEstimate(t *testing.T) {
+	h := NewHasher(13)
+	k := KForEpsilonDelta(0.5, 0.001)
+	// Two overlapping sets: |A|=30000, |B|=30000, |A∪B|=45000.
+	a := make([]int, 30000)
+	b := make([]int, 30000)
+	for i := range a {
+		a[i] = i
+	}
+	for i := range b {
+		b[i] = 15000 + i
+	}
+	sa, err := Build(h, k, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Build(h, k, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sa.Merge(sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sa.Estimate()
+	if got < 45000/2 || got > 45000*3/2 {
+		t.Fatalf("union estimate %v outside factor-1.5 band of 45000", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	h := NewHasher(17)
+	s, err := Build(h, 8, []int{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := s.Clone()
+	c.Add(h.Hash(99))
+	if s.Estimate() == c.Estimate() {
+		t.Fatal("clone shares state with original")
+	}
+}
+
+func TestKForEpsilonDeltaDefaults(t *testing.T) {
+	if got := KForEpsilonDelta(0, 0.5); got != 64 {
+		t.Fatalf("invalid eps gave k=%d", got)
+	}
+	if got := KForEpsilonDelta(0.5, 0); got != 64 {
+		t.Fatalf("invalid delta gave k=%d", got)
+	}
+	if got := KForEpsilonDelta(0.9999, 0.9999); got < 8 {
+		t.Fatalf("k=%d below floor", got)
+	}
+}
+
+func TestHasherDeterministic(t *testing.T) {
+	h1 := NewHasher(5)
+	h2 := NewHasher(5)
+	h3 := NewHasher(6)
+	if h1.Hash(123) != h2.Hash(123) {
+		t.Fatal("same salt, different hashes")
+	}
+	if h1.Hash(123) == h3.Hash(123) {
+		t.Fatal("different salts, same hash")
+	}
+}
+
+func BenchmarkAdd(b *testing.B) {
+	h := NewHasher(1)
+	s, err := NewKMV(256)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(h.Hash(i))
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	h := NewHasher(1)
+	elems := make([]int, 10000)
+	for i := range elems {
+		elems[i] = i
+	}
+	sa, _ := Build(h, 256, elems)
+	for i := range elems {
+		elems[i] = i + 5000
+	}
+	sb, _ := Build(h, 256, elems)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := sa.Clone()
+		if err := c.Merge(sb); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+// Package stats provides the statistical machinery used to *verify* the
+// IQS structures and to run the paper's Section 2 experiments: chi-square
+// goodness-of-fit tests, Kolmogorov–Smirnov distance, binomial tails, and
+// the ε–δ estimation harness of Benefit 1 (selectivity estimation from
+// random samples).
+package stats
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrBadInput is returned on dimension mismatches or empty inputs.
+var ErrBadInput = errors.New("stats: bad input")
+
+// ChiSquare returns the chi-square statistic of observed counts against
+// expected counts (which must be positive and of equal length).
+func ChiSquare(observed []int, expected []float64) (float64, error) {
+	if len(observed) != len(expected) || len(observed) == 0 {
+		return 0, ErrBadInput
+	}
+	stat := 0.0
+	for i, o := range observed {
+		e := expected[i]
+		if !(e > 0) {
+			return 0, ErrBadInput
+		}
+		d := float64(o) - e
+		stat += d * d / e
+	}
+	return stat, nil
+}
+
+// ChiSquareUniform tests observed counts against the uniform
+// distribution over len(observed) cells.
+func ChiSquareUniform(observed []int) (float64, error) {
+	if len(observed) == 0 {
+		return 0, ErrBadInput
+	}
+	total := 0
+	for _, o := range observed {
+		total += o
+	}
+	if total == 0 {
+		return 0, ErrBadInput
+	}
+	expected := make([]float64, len(observed))
+	for i := range expected {
+		expected[i] = float64(total) / float64(len(observed))
+	}
+	return ChiSquare(observed, expected)
+}
+
+// ChiSquareCritical returns the approximate critical value of the
+// chi-square distribution with dof degrees of freedom at the given
+// upper-tail probability alpha (Wilson–Hilferty approximation; accurate
+// to a few percent for dof ≥ 3, adequate for pass/fail testing).
+func ChiSquareCritical(dof int, alpha float64) float64 {
+	if dof < 1 {
+		return 0
+	}
+	z := normalQuantile(1 - alpha)
+	d := float64(dof)
+	x := 1 - 2/(9*d) + z*math.Sqrt(2/(9*d))
+	return d * x * x * x
+}
+
+// normalQuantile returns Φ⁻¹(p) (Acklam's rational approximation,
+// |ε| < 1.15e-9).
+func normalQuantile(p float64) float64 {
+	if p <= 0 || p >= 1 {
+		if p <= 0 {
+			return math.Inf(-1)
+		}
+		return math.Inf(1)
+	}
+	a := []float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := []float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := []float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := []float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+	const pLow = 0.02425
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		return (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		return (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		return -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+}
+
+// NormalQuantile exposes Φ⁻¹ for harness code.
+func NormalQuantile(p float64) float64 { return normalQuantile(p) }
+
+// KSUniform returns the Kolmogorov–Smirnov distance between the sample
+// (values in [0,1]) and the uniform distribution.
+func KSUniform(sample []float64) (float64, error) {
+	if len(sample) == 0 {
+		return 0, ErrBadInput
+	}
+	s := append([]float64(nil), sample...)
+	sortFloat64s(s)
+	n := float64(len(s))
+	maxD := 0.0
+	for i, v := range s {
+		if v < 0 || v > 1 {
+			return 0, ErrBadInput
+		}
+		d1 := math.Abs(float64(i+1)/n - v)
+		d2 := math.Abs(v - float64(i)/n)
+		if d1 > maxD {
+			maxD = d1
+		}
+		if d2 > maxD {
+			maxD = d2
+		}
+	}
+	return maxD, nil
+}
+
+// BinomialTailBound returns the Chernoff–Hoeffding upper bound on
+// P(|X − np| ≥ t) for X ~ Binomial(n, p).
+func BinomialTailBound(n int, p, t float64) float64 {
+	if n <= 0 || t <= 0 {
+		return 1
+	}
+	return 2 * math.Exp(-2*t*t/float64(n))
+}
+
+// SampleSizeForEstimate returns the number of independent samples needed
+// to estimate a proportion within absolute error eps with probability at
+// least 1−delta (the paper's folklore O((1/ε²)·log(1/δ)) bound, with the
+// Hoeffding constant).
+func SampleSizeForEstimate(eps, delta float64) int {
+	if eps <= 0 || delta <= 0 || delta >= 1 {
+		return 1
+	}
+	return int(math.Ceil(math.Log(2/delta) / (2 * eps * eps)))
+}
+
+// Proportion returns the fraction of samples for which pred holds.
+func Proportion(samples []int, pred func(int) bool) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	c := 0
+	for _, s := range samples {
+		if pred(s) {
+			c++
+		}
+	}
+	return float64(c) / float64(len(samples))
+}
+
+// Summary holds moments of a sequence.
+type Summary struct {
+	N        int
+	Mean     float64
+	Variance float64
+	Min, Max float64
+}
+
+// Summarize computes the summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.N == 0 {
+		return Summary{}
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	ss := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if s.N > 1 {
+		s.Variance = ss / float64(s.N-1)
+	}
+	return s
+}
+
+func sortFloat64s(s []float64) { sort.Float64s(s) }

@@ -1,0 +1,188 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestChiSquareErrors(t *testing.T) {
+	if _, err := ChiSquare(nil, nil); err != ErrBadInput {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ChiSquare([]int{1}, []float64{1, 2}); err != ErrBadInput {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ChiSquare([]int{1}, []float64{0}); err != ErrBadInput {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ChiSquareUniform(nil); err != ErrBadInput {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := ChiSquareUniform([]int{0, 0}); err != ErrBadInput {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestChiSquareExact(t *testing.T) {
+	// Observed exactly equals expected → statistic 0.
+	got, err := ChiSquare([]int{10, 20, 30}, []float64{10, 20, 30})
+	if err != nil || got != 0 {
+		t.Fatalf("got %v err %v", got, err)
+	}
+	// Hand-computed case.
+	got, err = ChiSquare([]int{12, 8}, []float64{10, 10})
+	if err != nil || math.Abs(got-0.8) > 1e-12 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestChiSquareCriticalKnownValues(t *testing.T) {
+	// Compare against table values (to a few percent).
+	cases := []struct {
+		dof   int
+		alpha float64
+		want  float64
+	}{
+		{1, 0.05, 3.841},
+		{5, 0.05, 11.07},
+		{10, 0.05, 18.31},
+		{10, 0.01, 23.21},
+		{30, 0.05, 43.77},
+	}
+	for _, c := range cases {
+		got := ChiSquareCritical(c.dof, c.alpha)
+		if math.Abs(got-c.want)/c.want > 0.05 {
+			t.Fatalf("crit(%d, %v) = %v, want ~%v", c.dof, c.alpha, got, c.want)
+		}
+	}
+	if got := ChiSquareCritical(0, 0.05); got != 0 {
+		t.Fatalf("crit(0) = %v", got)
+	}
+}
+
+func TestNormalQuantile(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.025, -1.959964},
+		{0.9999, 3.719},
+	}
+	for _, c := range cases {
+		if got := NormalQuantile(c.p); math.Abs(got-c.want) > 0.01 {
+			t.Fatalf("quantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if !math.IsInf(NormalQuantile(0), -1) || !math.IsInf(NormalQuantile(1), 1) {
+		t.Fatal("boundary quantiles not infinite")
+	}
+}
+
+func TestKSUniform(t *testing.T) {
+	if _, err := KSUniform(nil); err != ErrBadInput {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := KSUniform([]float64{2}); err != ErrBadInput {
+		t.Fatalf("out-of-range err = %v", err)
+	}
+	// Uniform sample should have small KS distance.
+	r := rng.New(1)
+	const n = 10000
+	sample := make([]float64, n)
+	for i := range sample {
+		sample[i] = r.Float64()
+	}
+	d, err := KSUniform(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Critical value at alpha=0.001 is ~1.95/sqrt(n).
+	if d > 1.95/math.Sqrt(n) {
+		t.Fatalf("KS = %v too large for uniform data", d)
+	}
+	// A clearly non-uniform sample must have large distance.
+	for i := range sample {
+		sample[i] = r.Float64() * 0.5
+	}
+	d, err = KSUniform(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d < 0.4 {
+		t.Fatalf("KS = %v too small for half-range data", d)
+	}
+}
+
+func TestSampleSizeForEstimate(t *testing.T) {
+	// ε=0.05, δ=0.1: Hoeffding gives ln(20)/(2·0.0025) ≈ 600.
+	got := SampleSizeForEstimate(0.05, 0.1)
+	if got < 500 || got > 700 {
+		t.Fatalf("sample size = %d", got)
+	}
+	if got := SampleSizeForEstimate(0, 0.5); got != 1 {
+		t.Fatalf("invalid eps gave %d", got)
+	}
+}
+
+func TestEstimationGuaranteeEndToEnd(t *testing.T) {
+	// The Benefit-1 pipeline: estimate a proportion from independent
+	// samples; error must be within ε with frequency ≥ 1−δ.
+	r := rng.New(7)
+	const eps, delta = 0.05, 0.1
+	sSize := SampleSizeForEstimate(eps, delta)
+	trueP := 0.37
+	fails := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		samples := make([]int, sSize)
+		for i := range samples {
+			if r.Bernoulli(trueP) {
+				samples[i] = 1
+			}
+		}
+		est := Proportion(samples, func(v int) bool { return v == 1 })
+		if math.Abs(est-trueP) > eps {
+			fails++
+		}
+	}
+	// Hoeffding guarantees ≤ δ·trials = 40 expected failures; allow 2x.
+	if fails > 80 {
+		t.Fatalf("estimation failed %d/%d times", fails, trials)
+	}
+}
+
+func TestBinomialTailBound(t *testing.T) {
+	if got := BinomialTailBound(0, 0.5, 1); got != 1 {
+		t.Fatalf("degenerate bound = %v", got)
+	}
+	b1 := BinomialTailBound(100, 0.5, 10)
+	b2 := BinomialTailBound(100, 0.5, 30)
+	if !(b2 < b1 && b1 < 1) {
+		t.Fatalf("bounds not decreasing: %v, %v", b1, b2)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary %+v", s)
+	}
+	s = Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Variance-5.0/3) > 1e-12 {
+		t.Fatalf("variance %v", s.Variance)
+	}
+}
+
+func TestProportion(t *testing.T) {
+	if got := Proportion(nil, func(int) bool { return true }); got != 0 {
+		t.Fatalf("empty proportion %v", got)
+	}
+	got := Proportion([]int{1, 2, 3, 4}, func(v int) bool { return v%2 == 0 })
+	if got != 0.5 {
+		t.Fatalf("proportion %v", got)
+	}
+}

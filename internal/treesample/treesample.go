@@ -1,0 +1,308 @@
+// Package treesample implements the tree sampling problem of Section 3.2
+// of the paper and its improvement in Section 5:
+//
+// Tree Sampling: T is a tree of n nodes whose leaves carry positive
+// weights; w(u) of an internal node is the total weight of the leaves in
+// its subtree. Given a node q and an integer s ≥ 1, a query returns s
+// independent weighted samples from the subtree of q, and all queries'
+// outputs are mutually independent.
+//
+// Two samplers are provided:
+//
+//	WalkSampler   §3.2: an alias structure (Theorem 1) at every internal
+//	              node over its children; one sample costs O(height).
+//	EulerSampler  §5 / Lemma 4: a depth-first traversal linearises the
+//	              leaves (Proposition 1: every subtree spans a contiguous
+//	              leaf range), reducing tree sampling to element-aligned
+//	              weighted range sampling. Queries cost O(1+s) for
+//	              uniform weights and O(log n + s) otherwise (DESIGN.md
+//	              substitution 1).
+//
+// Trees are built with Builder, which supports arbitrary fanout.
+package treesample
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+)
+
+// NodeID identifies a node of a Tree; the root of a built tree is
+// Tree.Root().
+type NodeID int32
+
+// Builder assembles a rooted tree incrementally.
+type Builder struct {
+	parent  []NodeID
+	weights []float64 // per node; only leaf values are used
+	built   bool
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// AddRoot creates the root node and returns its id. It must be called
+// exactly once, before any AddChild.
+func (b *Builder) AddRoot() NodeID {
+	if len(b.parent) != 0 {
+		panic("treesample: AddRoot called twice")
+	}
+	b.parent = append(b.parent, -1)
+	b.weights = append(b.weights, 0)
+	return 0
+}
+
+// AddChild creates a new child of p and returns its id.
+func (b *Builder) AddChild(p NodeID) NodeID {
+	if int(p) < 0 || int(p) >= len(b.parent) {
+		panic(fmt.Sprintf("treesample: AddChild of unknown node %d", p))
+	}
+	id := NodeID(len(b.parent))
+	b.parent = append(b.parent, p)
+	b.weights = append(b.weights, 0)
+	return id
+}
+
+// SetLeafWeight assigns the weight of a leaf node. Calling it on a node
+// that later gains children is an error detected at Build time.
+func (b *Builder) SetLeafWeight(id NodeID, w float64) {
+	b.weights[id] = w
+}
+
+// ErrNoNodes is returned by Build on an empty builder.
+var ErrNoNodes = errors.New("treesample: no nodes")
+
+// ErrBadLeafWeight is returned when a leaf has no positive weight.
+var ErrBadLeafWeight = errors.New("treesample: every leaf needs a positive finite weight")
+
+// Build finalises the tree. Every leaf must have been given a positive
+// weight via SetLeafWeight.
+func (b *Builder) Build() (*Tree, error) {
+	if len(b.parent) == 0 {
+		return nil, ErrNoNodes
+	}
+	n := len(b.parent)
+	t := &Tree{
+		parent:   append([]NodeID(nil), b.parent...),
+		children: make([][]NodeID, n),
+		weight:   make([]float64, n),
+		spanLo:   make([]int32, n),
+		spanHi:   make([]int32, n),
+		depth:    make([]int32, n),
+	}
+	for id := 1; id < n; id++ {
+		p := b.parent[id]
+		t.children[p] = append(t.children[p], NodeID(id))
+	}
+	// Depth-first traversal from the root: assign Euler leaf order,
+	// spans, subtree weights and depths. Iterative to handle deep trees.
+	type frame struct {
+		id    NodeID
+		child int
+	}
+	stack := []frame{{id: 0}}
+	t.depth[0] = 0
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		kids := t.children[f.id]
+		if f.child == 0 {
+			if len(kids) == 0 { // leaf
+				w := b.weights[f.id]
+				if !(w > 0) {
+					return nil, fmt.Errorf("%w: node %d", ErrBadLeafWeight, f.id)
+				}
+				pos := int32(len(t.leafOrder))
+				t.spanLo[f.id], t.spanHi[f.id] = pos, pos
+				t.weight[f.id] = w
+				t.leafOrder = append(t.leafOrder, f.id)
+				t.leafWeights = append(t.leafWeights, w)
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			t.spanLo[f.id] = int32(len(t.leafOrder))
+		}
+		if f.child < len(kids) {
+			c := kids[f.child]
+			f.child++
+			t.depth[c] = t.depth[f.id] + 1
+			stack = append(stack, frame{id: c})
+			continue
+		}
+		// All children done.
+		t.spanHi[f.id] = int32(len(t.leafOrder)) - 1
+		sum := 0.0
+		for _, c := range kids {
+			sum += t.weight[c]
+		}
+		t.weight[f.id] = sum
+		stack = stack[:len(stack)-1]
+	}
+	b.built = true
+	return t, nil
+}
+
+// FromParents builds a tree directly from a parent array: parent[i] is
+// the parent of node i (parent[0] must be -1, the root), and
+// leafWeights[i] must be positive for every node that never appears as a
+// parent. Convenience over Builder for bulk construction.
+func FromParents(parent []int, leafWeights []float64) (*Tree, error) {
+	if len(parent) == 0 {
+		return nil, ErrNoNodes
+	}
+	if len(leafWeights) != len(parent) {
+		return nil, fmt.Errorf("treesample: %d weights for %d nodes", len(leafWeights), len(parent))
+	}
+	if parent[0] != -1 {
+		return nil, fmt.Errorf("treesample: node 0 must be the root (parent -1), got %d", parent[0])
+	}
+	b := NewBuilder()
+	b.AddRoot()
+	for i := 1; i < len(parent); i++ {
+		p := parent[i]
+		if p < 0 || p >= i {
+			return nil, fmt.Errorf("treesample: parent[%d] = %d must be in [0, %d)", i, p, i)
+		}
+		b.AddChild(NodeID(p))
+	}
+	for i, w := range leafWeights {
+		if w != 0 {
+			b.SetLeafWeight(NodeID(i), w)
+		}
+	}
+	return b.Build()
+}
+
+// Tree is a finalised weighted tree.
+type Tree struct {
+	parent      []NodeID
+	children    [][]NodeID
+	weight      []float64
+	spanLo      []int32 // contiguous Euler leaf span per node (Prop. 1)
+	spanHi      []int32
+	depth       []int32
+	leafOrder   []NodeID  // leaves in depth-first order (the sequence Π)
+	leafWeights []float64 // weights aligned with leafOrder
+}
+
+// Root returns the root node id.
+func (t *Tree) Root() NodeID { return 0 }
+
+// NumNodes returns the number of nodes.
+func (t *Tree) NumNodes() int { return len(t.parent) }
+
+// NumLeaves returns the number of leaves.
+func (t *Tree) NumLeaves() int { return len(t.leafOrder) }
+
+// Children returns the children of id (aliases internal state).
+func (t *Tree) Children(id NodeID) []NodeID { return t.children[id] }
+
+// IsLeaf reports whether id has no children.
+func (t *Tree) IsLeaf(id NodeID) bool { return len(t.children[id]) == 0 }
+
+// Weight returns w(id): the node's weight (leaf) or total subtree leaf
+// weight (internal).
+func (t *Tree) Weight(id NodeID) float64 { return t.weight[id] }
+
+// Depth returns the node's depth (root = 0).
+func (t *Tree) Depth(id NodeID) int { return int(t.depth[id]) }
+
+// Span returns the node's contiguous Euler leaf range [lo, hi]
+// (Proposition 1).
+func (t *Tree) Span(id NodeID) (lo, hi int) {
+	return int(t.spanLo[id]), int(t.spanHi[id])
+}
+
+// LeafAt returns the leaf node occupying Euler position pos.
+func (t *Tree) LeafAt(pos int) NodeID { return t.leafOrder[pos] }
+
+// LeafWeights returns the weights of the Euler leaf sequence (aliases
+// internal state).
+func (t *Tree) LeafWeights() []float64 { return t.leafWeights }
+
+// WalkSampler is the §3.2 structure: an alias table per internal node
+// over its children's subtree weights. Space O(n); one sample costs time
+// proportional to the height of the queried subtree.
+type WalkSampler struct {
+	tree *Tree
+	// childAlias[id] samples a child index of node id; nil for leaves
+	// and for nodes with a single child (where the choice is forced).
+	childAlias []*alias.Alias
+}
+
+// NewWalkSampler preprocesses t in O(n) total time (Theorem 1 per node).
+func NewWalkSampler(t *Tree) *WalkSampler {
+	ws := &WalkSampler{tree: t, childAlias: make([]*alias.Alias, t.NumNodes())}
+	for id := 0; id < t.NumNodes(); id++ {
+		kids := t.children[id]
+		if len(kids) < 2 {
+			continue
+		}
+		w := make([]float64, len(kids))
+		for i, c := range kids {
+			w[i] = t.weight[c]
+		}
+		ws.childAlias[id] = alias.MustNew(w)
+	}
+	return ws
+}
+
+// Sample draws one independent weighted leaf from the subtree of q by
+// the top-down strategy. O(height of subtree) time.
+func (ws *WalkSampler) Sample(r *rng.Source, q NodeID) NodeID {
+	t := ws.tree
+	for !t.IsLeaf(q) {
+		kids := t.children[q]
+		if len(kids) == 1 {
+			q = kids[0]
+			continue
+		}
+		q = kids[ws.childAlias[q].Sample(r)]
+	}
+	return q
+}
+
+// Query appends s independent weighted leaf samples from the subtree of
+// q to dst.
+func (ws *WalkSampler) Query(r *rng.Source, q NodeID, s int, dst []NodeID) []NodeID {
+	for i := 0; i < s; i++ {
+		dst = append(dst, ws.Sample(r, q))
+	}
+	return dst
+}
+
+// EulerSampler is the Section 5 structure: tree sampling reduced to
+// element-aligned weighted range sampling over the depth-first leaf
+// sequence Π (Lemma 4). O(n) — or O(n log n) for non-uniform weights —
+// space; a query costs O(1+s) for uniform weights and O(log n + s)
+// otherwise.
+type EulerSampler struct {
+	tree *Tree
+	pos  *rangesample.PosSampler
+}
+
+// NewEulerSampler preprocesses t.
+func NewEulerSampler(t *Tree) *EulerSampler {
+	return &EulerSampler{tree: t, pos: rangesample.NewPosSampler(t.leafWeights)}
+}
+
+// Sample draws one independent weighted leaf from the subtree of q.
+func (es *EulerSampler) Sample(r *rng.Source, q NodeID) NodeID {
+	var buf [1]int
+	out := es.pos.Query(r, int(es.tree.spanLo[q]), int(es.tree.spanHi[q]), 1, buf[:0])
+	return es.tree.leafOrder[out[0]]
+}
+
+// Query appends s independent weighted leaf samples from the subtree of
+// q to dst.
+func (es *EulerSampler) Query(r *rng.Source, q NodeID, s int, dst []NodeID) []NodeID {
+	var scratch [64]int
+	buf := scratch[:0]
+	buf = es.pos.Query(r, int(es.tree.spanLo[q]), int(es.tree.spanHi[q]), s, buf)
+	for _, pos := range buf {
+		dst = append(dst, es.tree.leafOrder[pos])
+	}
+	return dst
+}

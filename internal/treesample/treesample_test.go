@@ -1,0 +1,447 @@
+package treesample
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// buildSampleTree builds the tree used across tests:
+//
+//	     root
+//	    /    \
+//	   a      b
+//	 / | \     \
+//	L1 L2 L3    c
+//	           / \
+//	         L4   L5
+//
+// with leaf weights L1..L5 = 1, 2, 3, 4, 10.
+func buildSampleTree(t *testing.T) (*Tree, map[string]NodeID) {
+	t.Helper()
+	b := NewBuilder()
+	root := b.AddRoot()
+	a := b.AddChild(root)
+	bb := b.AddChild(root)
+	l1 := b.AddChild(a)
+	l2 := b.AddChild(a)
+	l3 := b.AddChild(a)
+	c := b.AddChild(bb)
+	l4 := b.AddChild(c)
+	l5 := b.AddChild(c)
+	b.SetLeafWeight(l1, 1)
+	b.SetLeafWeight(l2, 2)
+	b.SetLeafWeight(l3, 3)
+	b.SetLeafWeight(l4, 4)
+	b.SetLeafWeight(l5, 10)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree, map[string]NodeID{
+		"root": root, "a": a, "b": bb, "c": c,
+		"l1": l1, "l2": l2, "l3": l3, "l4": l4, "l5": l5,
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := NewBuilder().Build(); err != ErrNoNodes {
+		t.Fatalf("err = %v", err)
+	}
+	b := NewBuilder()
+	root := b.AddRoot()
+	b.AddChild(root) // leaf without weight
+	if _, err := b.Build(); err == nil {
+		t.Fatal("leaf without weight accepted")
+	}
+	b2 := NewBuilder()
+	r2 := b2.AddRoot()
+	l := b2.AddChild(r2)
+	b2.SetLeafWeight(l, -1)
+	if _, err := b2.Build(); err == nil {
+		t.Fatal("negative leaf weight accepted")
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewBuilder()
+	b.AddRoot()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("double AddRoot did not panic")
+			}
+		}()
+		b.AddRoot()
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("AddChild of unknown node did not panic")
+			}
+		}()
+		b.AddChild(99)
+	}()
+}
+
+func TestTreeInvariants(t *testing.T) {
+	tree, ids := buildSampleTree(t)
+	if tree.NumNodes() != 9 || tree.NumLeaves() != 5 {
+		t.Fatalf("nodes/leaves = %d/%d", tree.NumNodes(), tree.NumLeaves())
+	}
+	// Subtree weights.
+	wants := map[string]float64{
+		"root": 20, "a": 6, "b": 14, "c": 14,
+		"l1": 1, "l2": 2, "l3": 3, "l4": 4, "l5": 10,
+	}
+	for name, want := range wants {
+		if got := tree.Weight(ids[name]); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("Weight(%s) = %v, want %v", name, got, want)
+		}
+	}
+	// Proposition 1: spans are contiguous and nested.
+	lo, hi := tree.Span(ids["root"])
+	if lo != 0 || hi != 4 {
+		t.Fatalf("root span [%d,%d]", lo, hi)
+	}
+	alo, ahi := tree.Span(ids["a"])
+	if ahi-alo != 2 {
+		t.Fatalf("a span [%d,%d]", alo, ahi)
+	}
+	clo, chi := tree.Span(ids["c"])
+	blo, bhi := tree.Span(ids["b"])
+	if clo != blo || chi != bhi {
+		t.Fatalf("c span [%d,%d] != b span [%d,%d]", clo, chi, blo, bhi)
+	}
+	// Depths.
+	if tree.Depth(ids["root"]) != 0 || tree.Depth(ids["l4"]) != 3 {
+		t.Fatalf("depths root=%d l4=%d", tree.Depth(ids["root"]), tree.Depth(ids["l4"]))
+	}
+	// Leaf order covers all leaves once.
+	seen := map[NodeID]bool{}
+	for i := 0; i < tree.NumLeaves(); i++ {
+		leaf := tree.LeafAt(i)
+		if !tree.IsLeaf(leaf) || seen[leaf] {
+			t.Fatalf("leaf order broken at %d", i)
+		}
+		seen[leaf] = true
+	}
+}
+
+func checkSubtreeDistribution(t *testing.T, tree *Tree, q NodeID, draw func(*rng.Source) NodeID, seed uint64) {
+	t.Helper()
+	lo, hi := tree.Span(q)
+	total := tree.Weight(q)
+	r := rng.New(seed)
+	const draws = 200000
+	counts := map[NodeID]int{}
+	for i := 0; i < draws; i++ {
+		leaf := draw(r)
+		plo, _ := tree.Span(leaf)
+		if plo < lo || plo > hi {
+			t.Fatalf("sampled leaf %d outside subtree span [%d,%d]", leaf, lo, hi)
+		}
+		counts[leaf]++
+	}
+	for pos := lo; pos <= hi; pos++ {
+		leaf := tree.LeafAt(pos)
+		expected := draws * tree.Weight(leaf) / total
+		if math.Abs(float64(counts[leaf])-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("leaf %d sampled %d times, expected ~%v", leaf, counts[leaf], expected)
+		}
+	}
+}
+
+func TestWalkSamplerDistribution(t *testing.T) {
+	tree, ids := buildSampleTree(t)
+	ws := NewWalkSampler(tree)
+	for i, q := range []NodeID{ids["root"], ids["a"], ids["b"], ids["c"]} {
+		checkSubtreeDistribution(t, tree, q, func(r *rng.Source) NodeID {
+			return ws.Sample(r, q)
+		}, uint64(100+i))
+	}
+}
+
+func TestEulerSamplerDistribution(t *testing.T) {
+	tree, ids := buildSampleTree(t)
+	es := NewEulerSampler(tree)
+	for i, q := range []NodeID{ids["root"], ids["a"], ids["b"], ids["c"]} {
+		checkSubtreeDistribution(t, tree, q, func(r *rng.Source) NodeID {
+			return es.Sample(r, q)
+		}, uint64(200+i))
+	}
+}
+
+func TestLeafQueryReturnsSelf(t *testing.T) {
+	tree, ids := buildSampleTree(t)
+	ws := NewWalkSampler(tree)
+	es := NewEulerSampler(tree)
+	r := rng.New(3)
+	for _, name := range []string{"l1", "l5"} {
+		if got := ws.Sample(r, ids[name]); got != ids[name] {
+			t.Fatalf("walk Sample(%s) = %d", name, got)
+		}
+		if got := es.Sample(r, ids[name]); got != ids[name] {
+			t.Fatalf("euler Sample(%s) = %d", name, got)
+		}
+	}
+}
+
+func TestQueryBatch(t *testing.T) {
+	tree, ids := buildSampleTree(t)
+	ws := NewWalkSampler(tree)
+	es := NewEulerSampler(tree)
+	r := rng.New(4)
+	if got := ws.Query(r, ids["root"], 13, nil); len(got) != 13 {
+		t.Fatalf("walk Query len = %d", len(got))
+	}
+	if got := es.Query(r, ids["root"], 13, nil); len(got) != 13 {
+		t.Fatalf("euler Query len = %d", len(got))
+	}
+}
+
+func TestUnaryChainTree(t *testing.T) {
+	// Degenerate tree: a unary chain ending in one leaf. Exercises the
+	// single-child fast path.
+	b := NewBuilder()
+	cur := b.AddRoot()
+	for i := 0; i < 50; i++ {
+		cur = b.AddChild(cur)
+	}
+	b.SetLeafWeight(cur, 7)
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWalkSampler(tree)
+	es := NewEulerSampler(tree)
+	r := rng.New(5)
+	if got := ws.Sample(r, tree.Root()); got != cur {
+		t.Fatalf("walk got %d", got)
+	}
+	if got := es.Sample(r, tree.Root()); got != cur {
+		t.Fatalf("euler got %d", got)
+	}
+	if tree.Depth(cur) != 50 {
+		t.Fatalf("depth = %d", tree.Depth(cur))
+	}
+}
+
+func TestWideFanout(t *testing.T) {
+	// A star with 1000 leaves of weight i+1: exercises the per-node
+	// alias with large fanout.
+	b := NewBuilder()
+	root := b.AddRoot()
+	for i := 0; i < 1000; i++ {
+		l := b.AddChild(root)
+		b.SetLeafWeight(l, float64(i+1))
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := NewWalkSampler(tree)
+	r := rng.New(6)
+	const draws = 500000
+	var sum float64
+	for i := 0; i < draws; i++ {
+		leaf := ws.Sample(r, tree.Root())
+		sum += tree.Weight(leaf)
+	}
+	// E[w] = Σw²/Σw for weights 1..1000: Σw² = n(n+1)(2n+1)/6.
+	n := 1000.0
+	want := (n * (n + 1) * (2*n + 1) / 6) / (n * (n + 1) / 2)
+	got := sum / draws
+	if math.Abs(got-want)/want > 0.01 {
+		t.Fatalf("mean sampled weight %v, want %v", got, want)
+	}
+}
+
+func TestUniformLeavesUseFastPath(t *testing.T) {
+	b := NewBuilder()
+	root := b.AddRoot()
+	for i := 0; i < 16; i++ {
+		l := b.AddChild(root)
+		b.SetLeafWeight(l, 1)
+	}
+	tree, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := NewEulerSampler(tree)
+	r := rng.New(7)
+	counts := map[NodeID]int{}
+	const draws = 160000
+	for i := 0; i < draws; i++ {
+		counts[es.Sample(r, tree.Root())]++
+	}
+	expected := float64(draws) / 16
+	for leaf, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("leaf %d count %d", leaf, c)
+		}
+	}
+}
+
+func BenchmarkWalkSample(b *testing.B) {
+	bld := NewBuilder()
+	root := bld.AddRoot()
+	// Balanced binary tree of ~2^16 leaves via BFS construction.
+	queue := []NodeID{root}
+	for len(queue) < 1<<16 {
+		nd := queue[0]
+		queue = queue[1:]
+		queue = append(queue, bld.AddChild(nd), bld.AddChild(nd))
+	}
+	r := rng.New(1)
+	for _, leaf := range queue {
+		bld.SetLeafWeight(leaf, r.Float64()+0.01)
+	}
+	tree, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ws := NewWalkSampler(tree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ws.Sample(r, tree.Root())
+	}
+}
+
+func BenchmarkEulerSample(b *testing.B) {
+	bld := NewBuilder()
+	root := bld.AddRoot()
+	queue := []NodeID{root}
+	for len(queue) < 1<<16 {
+		nd := queue[0]
+		queue = queue[1:]
+		queue = append(queue, bld.AddChild(nd), bld.AddChild(nd))
+	}
+	r := rng.New(1)
+	for _, leaf := range queue {
+		bld.SetLeafWeight(leaf, r.Float64()+0.01)
+	}
+	tree, err := bld.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	es := NewEulerSampler(tree)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es.Sample(r, tree.Root())
+	}
+}
+
+func TestFromParents(t *testing.T) {
+	// Same shape as buildSampleTree: root(0) -> a(1), b(2); a -> l1(3),
+	// l2(4), l3(5); b -> c(6); c -> l4(7), l5(8).
+	parent := []int{-1, 0, 0, 1, 1, 1, 2, 6, 6}
+	weights := []float64{0, 0, 0, 1, 2, 3, 0, 4, 10}
+	tree, err := FromParents(parent, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.NumNodes() != 9 || tree.NumLeaves() != 5 {
+		t.Fatalf("nodes/leaves = %d/%d", tree.NumNodes(), tree.NumLeaves())
+	}
+	if got := tree.Weight(tree.Root()); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("root weight = %v", got)
+	}
+}
+
+func TestFromParentsErrors(t *testing.T) {
+	if _, err := FromParents(nil, nil); err != ErrNoNodes {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := FromParents([]int{-1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := FromParents([]int{0}, []float64{1}); err == nil {
+		t.Fatal("non-root node 0 accepted")
+	}
+	if _, err := FromParents([]int{-1, 5}, []float64{0, 1}); err == nil {
+		t.Fatal("forward parent reference accepted")
+	}
+	if _, err := FromParents([]int{-1, 0}, []float64{0, 0}); err == nil {
+		t.Fatal("leaf without weight accepted")
+	}
+}
+
+func TestWalkAndEulerAgreeOnRandomTrees(t *testing.T) {
+	// Property: on arbitrary random trees, the two samplers realise the
+	// same distribution for the same subtree query.
+	r := rng.New(300)
+	for trial := 0; trial < 10; trial++ {
+		// Random tree with 30-80 nodes: attach each new node to a random
+		// existing one; leaves get random weights.
+		b := NewBuilder()
+		nodes := []NodeID{b.AddRoot()}
+		total := 30 + r.Intn(50)
+		for i := 1; i < total; i++ {
+			nodes = append(nodes, b.AddChild(nodes[r.Intn(len(nodes))]))
+		}
+		tree0 := map[NodeID]bool{}
+		for _, nd := range nodes {
+			tree0[nd] = true
+		}
+		// Leaves = nodes that never became parents; find by trial build.
+		for _, nd := range nodes {
+			b.SetLeafWeight(nd, r.Float64()*5+0.1)
+		}
+		tree, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws := NewWalkSampler(tree)
+		es := NewEulerSampler(tree)
+		q := nodes[r.Intn(len(nodes))]
+		const draws = 30000
+		wc := map[NodeID]int{}
+		ec := map[NodeID]int{}
+		for i := 0; i < draws; i++ {
+			wc[ws.Sample(r, q)]++
+			ec[es.Sample(r, q)]++
+		}
+		// Two-sample chi2 over leaves with any mass.
+		chi2 := 0.0
+		dof := 0
+		for leaf, a := range wc {
+			x, y := float64(a), float64(ec[leaf])
+			d := x - y
+			chi2 += d * d / (x + y)
+			dof++
+		}
+		for leaf, y := range ec {
+			if _, dup := wc[leaf]; !dup {
+				chi2 += float64(y)
+				dof++
+			}
+		}
+		if dof > 1 {
+			crit := 50.0 + 3*float64(dof) // generous
+			if chi2 > crit {
+				t.Fatalf("trial %d: walk vs euler chi2 = %v (dof %d)", trial, chi2, dof)
+			}
+		}
+	}
+}
+
+func TestChildrenAndLeafWeights(t *testing.T) {
+	tree, ids := buildSampleTree(t)
+	kids := tree.Children(ids["a"])
+	if len(kids) != 3 {
+		t.Fatalf("a has %d children", len(kids))
+	}
+	lw := tree.LeafWeights()
+	if len(lw) != 5 {
+		t.Fatalf("LeafWeights len = %d", len(lw))
+	}
+	sum := 0.0
+	for _, w := range lw {
+		sum += w
+	}
+	if math.Abs(sum-20) > 1e-12 {
+		t.Fatalf("leaf weight sum = %v", sum)
+	}
+}

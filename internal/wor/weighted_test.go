@@ -1,0 +1,104 @@
+package wor
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestWeightedWoRBasics(t *testing.T) {
+	r := rng.New(1)
+	if _, err := WeightedWoR(r, []float64{1, 2}, 3); err != ErrSampleTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+	if out, err := WeightedWoR(r, []float64{1, 2}, 0); err != nil || out != nil {
+		t.Fatalf("s=0: out=%v err=%v", out, err)
+	}
+	if _, err := WeightedWoR(r, []float64{1, -2}, 1); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	out, err := WeightedWoR(r, []float64{1, 2, 3, 4}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]bool{}
+	for _, i := range out {
+		if seen[i] {
+			t.Fatal("duplicate index")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("got %d distinct", len(seen))
+	}
+}
+
+func TestWeightedWoRFirstInclusionProbability(t *testing.T) {
+	// For s=1, WeightedWoR reduces to exact weighted sampling.
+	r := rng.New(2)
+	weights := []float64{1, 2, 4, 8}
+	total := 15.0
+	const trials = 120000
+	counts := make([]int, 4)
+	for i := 0; i < trials; i++ {
+		out, err := WeightedWoR(r, weights, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[out[0]]++
+	}
+	for i, c := range counts {
+		expected := trials * weights[i] / total
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("index %d count %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestWeightedWoRHeavyDominates(t *testing.T) {
+	// One huge weight must always be included for s >= 1.
+	r := rng.New(3)
+	weights := []float64{1e-6, 1e-6, 1e9, 1e-6}
+	for trial := 0; trial < 200; trial++ {
+		out, err := WeightedWoR(r, weights, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := false
+		for _, i := range out {
+			if i == 2 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatal("heavy element excluded from WoR sample")
+		}
+	}
+}
+
+func TestWeightedWoRUniformMatchesUniformWoR(t *testing.T) {
+	// Equal weights: element marginals must be s/n.
+	r := rng.New(4)
+	const n, s, trials = 8, 3, 60000
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 2.5
+	}
+	counts := make([]int, n)
+	for trial := 0; trial < trials; trial++ {
+		out, err := WeightedWoR(r, weights, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, i := range out {
+			counts[i]++
+		}
+	}
+	expected := float64(trials) * s / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("index %d marginal %d, expected ~%v", i, c, expected)
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package wor
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+func TestUniformWRBounds(t *testing.T) {
+	r := rng.New(1)
+	out := UniformWR(r, 10, 1000)
+	if len(out) != 1000 {
+		t.Fatalf("len = %d", len(out))
+	}
+	for _, v := range out {
+		if v < 0 || v >= 10 {
+			t.Fatalf("value %d out of range", v)
+		}
+	}
+}
+
+func TestUniformWoRIsSubset(t *testing.T) {
+	r := rng.New(2)
+	f := func(nRaw, sRaw uint8) bool {
+		n := int(nRaw%100) + 1
+		s := int(sRaw) % (n + 1)
+		out, err := UniformWoR(r, n, s)
+		if err != nil {
+			return false
+		}
+		if len(out) != s {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformWoRTooLarge(t *testing.T) {
+	if _, err := UniformWoR(rng.New(1), 3, 4); err != ErrSampleTooLarge {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestUniformWoRSubsetUniformity(t *testing.T) {
+	// n=5, s=2: C(5,2)=10 subsets, each should appear with prob 1/10.
+	r := rng.New(33)
+	const draws = 100000
+	counts := map[[2]int]int{}
+	for i := 0; i < draws; i++ {
+		out, err := UniformWoR(r, 5, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sort.Ints(out)
+		counts[[2]int{out[0], out[1]}]++
+	}
+	if len(counts) != 10 {
+		t.Fatalf("observed %d distinct subsets, want 10", len(counts))
+	}
+	expected := float64(draws) / 10
+	for k, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("subset %v count %d, expected ~%v", k, c, expected)
+		}
+	}
+}
+
+func TestUniformWoRElementMarginals(t *testing.T) {
+	// Every element should be included with probability s/n.
+	r := rng.New(44)
+	const n, s, draws = 8, 3, 80000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		out, _ := UniformWoR(r, n, s)
+		for _, v := range out {
+			counts[v]++
+		}
+	}
+	expected := float64(draws) * s / n
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d marginal %d, expected ~%v", i, c, expected)
+		}
+	}
+}
+
+func TestWoRToWRDistribution(t *testing.T) {
+	// Convert WoR samples over n=4 to WR samples of size 3; each of the
+	// 4^3 = 64 sequences should be equally likely.
+	r := rng.New(55)
+	const n, s, draws = 4, 3, 256000
+	counts := map[[3]int]int{}
+	for i := 0; i < draws; i++ {
+		worSample, err := UniformWoR(r, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := WoRToWR(r, worSample, n, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[[3]int{wr[0], wr[1], wr[2]}]++
+	}
+	if len(counts) != 64 {
+		t.Fatalf("observed %d distinct sequences, want 64", len(counts))
+	}
+	expected := float64(draws) / 64
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// dof=63, crit at 1e-4 ≈ 107.
+	if chi2 > 107 {
+		t.Fatalf("WoR->WR chi2 = %v", chi2)
+	}
+}
+
+func TestWoRToWRExhaustsInput(t *testing.T) {
+	// If the WoR sample is smaller than the number of distinct values
+	// the WR process demands, conversion must fail rather than repeat.
+	r := rng.New(9)
+	_, err := WoRToWR(r, []int{0}, 1000, 5)
+	// With n=1000 and s=5 the process almost surely needs >1 distinct
+	// value; retry a few seeds to make the expectation deterministic.
+	for seed := uint64(10); err == nil && seed < 50; seed++ {
+		_, err = WoRToWR(rng.New(seed), []int{0}, 1000, 5)
+	}
+	if err == nil {
+		t.Fatal("conversion with starved WoR input never failed")
+	}
+}
+
+func TestWRToWoR(t *testing.T) {
+	r := rng.New(6)
+	const n, s = 20, 10
+	out, err := WRToWoR(r, n, s, func() int { return r.Intn(n) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != s {
+		t.Fatalf("len = %d", len(out))
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate %d in WoR output", v)
+		}
+		seen[v] = true
+	}
+	if _, err := WRToWoR(r, 3, 4, func() int { return 0 }); err != ErrSampleTooLarge {
+		t.Fatalf("oversized request err = %v", err)
+	}
+}
+
+func TestReservoirBasics(t *testing.T) {
+	r := rng.New(7)
+	rv := NewReservoir(5)
+	for i := 0; i < 3; i++ {
+		rv.Offer(r, i)
+	}
+	if rv.Seen() != 3 || len(rv.Sample()) != 3 {
+		t.Fatalf("seen/len = %d/%d", rv.Seen(), len(rv.Sample()))
+	}
+	for i := 3; i < 1000; i++ {
+		rv.Offer(r, i)
+	}
+	if len(rv.Sample()) != 5 {
+		t.Fatalf("reservoir size = %d", len(rv.Sample()))
+	}
+}
+
+func TestReservoirUniform(t *testing.T) {
+	// Each of 20 stream elements should survive with probability 5/20.
+	r := rng.New(71)
+	const trials = 40000
+	counts := make([]int, 20)
+	for trial := 0; trial < trials; trial++ {
+		rv := NewReservoir(5)
+		for i := 0; i < 20; i++ {
+			rv.Offer(r, i)
+		}
+		for _, v := range rv.Sample() {
+			counts[v]++
+		}
+	}
+	expected := float64(trials) * 5 / 20
+	for i, c := range counts {
+		if math.Abs(float64(c)-expected) > 6*math.Sqrt(expected) {
+			t.Fatalf("element %d survived %d times, expected ~%v", i, c, expected)
+		}
+	}
+}
