@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race bench experiments examples cover
+.PHONY: all build vet test race chaos fuzz bench experiments examples cover
 
 all: build vet test
 
@@ -14,7 +14,15 @@ test:
 	go test ./...
 
 race:
-	go test -race ./...
+	go test -race -shuffle=on ./...
+
+# Fault-injection chaos test for the hardened service layer: concurrent
+# clients, EM faults on every mirror I/O, race detector on.
+chaos:
+	go test -race -run 'Chaos|Cancel' -count=1 -v ./internal/service
+
+fuzz:
+	go test -fuzz FuzzChunkedQuery -fuzztime 10s ./internal/rangesample
 
 bench:
 	go test -bench=. -benchmem ./...

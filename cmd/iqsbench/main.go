@@ -11,40 +11,60 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/bench"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args with its own FlagSet,
+// writes results to stdout and diagnostics to stderr, and returns the
+// process exit code. Unknown experiment IDs and invocations without a
+// mode flag print a usage message and exit non-zero.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("iqsbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID = flag.String("experiment", "", "experiment id (E1..E14, A1..A3)")
-		all   = flag.Bool("all", false, "run every experiment")
-		list  = flag.Bool("list", false, "list experiments")
-		seed  = flag.Uint64("seed", 42, "random seed")
+		expID = fs.String("experiment", "", "experiment id (E1..E14, A1..A3)")
+		all   = fs.Bool("all", false, "run every experiment")
+		list  = fs.Bool("list", false, "list experiments")
+		seed  = fs.Uint64("seed", 42, "random seed")
 	)
-	flag.Parse()
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: iqsbench -list | -experiment <id> [-seed N] | -all [-seed N]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	switch {
 	case *list:
 		for _, e := range bench.All() {
-			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+			fmt.Fprintf(stdout, "%-4s %s\n", e.ID, e.Title)
 		}
 	case *all:
 		for _, e := range bench.All() {
-			fmt.Printf("==== %s: %s ====\n", e.ID, e.Title)
-			e.Run(os.Stdout, *seed)
-			fmt.Println()
+			fmt.Fprintf(stdout, "==== %s: %s ====\n", e.ID, e.Title)
+			e.Run(stdout, *seed)
+			fmt.Fprintln(stdout)
 		}
 	case *expID != "":
 		e, ok := bench.Find(*expID)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "iqsbench: unknown experiment %q (use -list)\n", *expID)
-			os.Exit(2)
+			fmt.Fprintf(stderr, "iqsbench: unknown experiment %q (use -list)\n", *expID)
+			fs.Usage()
+			return 2
 		}
-		e.Run(os.Stdout, *seed)
+		e.Run(stdout, *seed)
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fmt.Fprintln(stderr, "iqsbench: no mode flag given")
+		fs.Usage()
+		return 2
 	}
+	return 0
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	for _, id := range []string{"E1", "E14", "A1"} {
+		if !strings.Contains(out.String(), id) {
+			t.Errorf("-list output missing %s", id)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-experiment", "E1", "-seed", "7"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if out.Len() == 0 {
+		t.Error("experiment produced no output")
+	}
+}
+
+func TestRunUnknownExperimentFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-experiment", "E99"}, &out, &errw); code == 0 {
+		t.Fatal("unknown experiment must exit non-zero")
+	}
+	msg := errw.String()
+	if !strings.Contains(msg, "unknown experiment") || !strings.Contains(msg, "usage:") {
+		t.Errorf("missing diagnostics+usage, got: %s", msg)
+	}
+}
+
+func TestRunNoModeFlagFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run(nil, &out, &errw); code == 0 {
+		t.Fatal("no mode flag must exit non-zero")
+	}
+	if !strings.Contains(errw.String(), "usage:") {
+		t.Errorf("missing usage message, got: %s", errw.String())
+	}
+}
+
+func TestRunBadFlagFails(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &out, &errw); code == 0 {
+		t.Fatal("bad flag must exit non-zero")
+	}
+}

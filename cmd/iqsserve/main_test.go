@@ -1,0 +1,34 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunSmallLoad(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-clients", "4", "-requests", "400", "-n", "256", "-fault", "0.05"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	for _, want := range []string{"requests", "panics contained", "downgrades", "EM faults", "datasets:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("health summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-fault", "2"}, &out, &errw); code == 0 {
+		t.Fatal("fault probability > 1 must exit non-zero")
+	}
+	if !strings.Contains(errw.String(), "usage:") {
+		t.Errorf("missing usage, got: %s", errw.String())
+	}
+	if code := run([]string{"-no-such"}, &out, &errw); code == 0 {
+		t.Fatal("unknown flag must exit non-zero")
+	}
+}

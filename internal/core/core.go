@@ -26,6 +26,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/bst"
@@ -80,6 +81,49 @@ func (k Kind) String() string {
 // than there are qualifying elements.
 var ErrSampleTooLarge = errors.New("core: WoR sample size exceeds |S∩q|")
 
+// ErrBadWeight is returned by constructors and updates for weights that
+// are not strictly positive and finite — the inputs that would otherwise
+// surface as panics or corrupt samplers deep inside the internal
+// structure packages.
+var ErrBadWeight = errors.New("core: weights must be positive and finite")
+
+// ErrBadValue is returned by constructors and updates for NaN or
+// infinite values/coordinates, which would silently corrupt the sorted
+// orders the structures depend on.
+var ErrBadValue = errors.New("core: values must be finite")
+
+// ErrBadRange is returned by query paths for inverted (lo > hi) or NaN
+// range endpoints. ±Inf endpoints are legal (they mean "unbounded").
+var ErrBadRange = errors.New("core: bad query range")
+
+// validateSeries rejects the inputs the internal packages would choke
+// on, with core-level typed errors. A nil weights slice means uniform
+// and is always valid.
+func validateSeries(values, weights []float64) error {
+	if weights != nil && len(weights) != len(values) {
+		return fmt.Errorf("%w: %d values vs %d weights", ErrBadValue, len(values), len(weights))
+	}
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: values[%d] = %v", ErrBadValue, i, v)
+		}
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return fmt.Errorf("%w: weights[%d] = %v", ErrBadWeight, i, w)
+		}
+	}
+	return nil
+}
+
+// ValidateRange rejects inverted and NaN query ranges with ErrBadRange.
+func ValidateRange(lo, hi float64) error {
+	if math.IsNaN(lo) || math.IsNaN(hi) || lo > hi {
+		return fmt.Errorf("%w: [%v, %v]", ErrBadRange, lo, hi)
+	}
+	return nil
+}
+
 // RangeSampler answers weighted range-sampling IQS queries over a static
 // set of real values.
 type RangeSampler struct {
@@ -91,6 +135,9 @@ type RangeSampler struct {
 // weights (weights[i] belongs to values[i]; pass nil weights for the
 // uniform/WR regime).
 func NewRangeSampler(kind Kind, values, weights []float64) (*RangeSampler, error) {
+	if err := validateSeries(values, weights); err != nil {
+		return nil, err
+	}
 	if weights == nil {
 		weights = make([]float64, len(values))
 		for i := range weights {
@@ -128,6 +175,9 @@ func (s *RangeSampler) Len() int { return s.inner.Len() }
 // Sample draws k independent weighted samples from S ∩ [lo, hi],
 // returned as values. ok is false when the range is empty.
 func (s *RangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) {
+	if ValidateRange(lo, hi) != nil {
+		return nil, false
+	}
 	var scratch [64]int
 	pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, k, scratch[:0])
 	if !ok {
@@ -140,8 +190,11 @@ func (s *RangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) 
 	return out, true
 }
 
-// Count returns |S ∩ [lo, hi]| in O(log n).
+// Count returns |S ∩ [lo, hi]| in O(log n); an invalid range counts 0.
 func (s *RangeSampler) Count(lo, hi float64) int {
+	if ValidateRange(lo, hi) != nil {
+		return 0
+	}
 	n := s.inner.Len()
 	a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
 	b := sort.Search(n, func(i int) bool { return s.inner.Value(i) > hi }) - 1
@@ -156,6 +209,9 @@ func (s *RangeSampler) Count(lo, hi float64) int {
 // conversion of Section 2. Returns ErrSampleTooLarge when k exceeds the
 // range count.
 func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return nil, err
+	}
 	cnt := s.Count(lo, hi)
 	if k > cnt {
 		return nil, ErrSampleTooLarge
@@ -208,6 +264,9 @@ func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, err
 // range (O(|S∩q|)). Returns ErrSampleTooLarge when k exceeds the range
 // count.
 func (s *RangeSampler) SampleWeightedWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return nil, err
+	}
 	cnt := s.Count(lo, hi)
 	if k > cnt || cnt == 0 {
 		return nil, ErrSampleTooLarge
@@ -283,7 +342,15 @@ func NewDynamicRangeSampler(seed uint64) *DynamicRangeSampler {
 }
 
 // Insert adds an element (duplicates allowed). O(log n) expected.
+// Invalid inputs are rejected with ErrBadValue/ErrBadWeight before they
+// can corrupt the tree.
 func (d *DynamicRangeSampler) Insert(value, weight float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: value = %v", ErrBadValue, value)
+	}
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		return fmt.Errorf("%w: weight = %v", ErrBadWeight, weight)
+	}
 	return d.inner.Insert(value, weight)
 }
 
@@ -332,6 +399,21 @@ type PointSampler struct {
 // NewPointSampler builds a sampler of the given kind over pts (all of
 // one dimension) and weights (nil for uniform).
 func NewPointSampler(kind PointKind, pts [][]float64, weights []float64) (*PointSampler, error) {
+	if weights != nil && len(weights) != len(pts) {
+		return nil, fmt.Errorf("%w: %d points vs %d weights", ErrBadValue, len(pts), len(weights))
+	}
+	for i, p := range pts {
+		for _, c := range p {
+			if math.IsNaN(c) || math.IsInf(c, 0) {
+				return nil, fmt.Errorf("%w: pts[%d] has coordinate %v", ErrBadValue, i, c)
+			}
+		}
+	}
+	for i, w := range weights {
+		if !(w > 0) || math.IsInf(w, 1) {
+			return nil, fmt.Errorf("%w: weights[%d] = %v", ErrBadWeight, i, w)
+		}
+	}
 	if weights == nil {
 		weights = make([]float64, len(pts))
 		for i := range weights {

@@ -1,0 +1,173 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"repro/internal/rangesample"
+	"repro/internal/wor"
+)
+
+// Context-aware entry points. Every long-running loop — naive report
+// scans, batched draws, WoR dedupe loops, chunked (re)builds — polls the
+// context cooperatively at least every PollEvery units of work, so a
+// canceled or deadline-expired request returns ctx.Err() promptly
+// instead of holding a goroutine until the query completes. These are
+// the paths internal/service threads per-request deadlines through.
+
+// PollEvery is the cancellation poll granularity of the context-aware
+// sampling paths: the number of samples drawn (or dedupe attempts made)
+// between ctx.Err checks.
+const PollEvery = 256
+
+// ErrEmptyRange is returned by the context-aware sampling paths when
+// S ∩ [lo, hi] is empty (the plain paths report this as ok=false).
+var ErrEmptyRange = errors.New("core: empty range")
+
+// NewRangeSamplerContext is NewRangeSampler honouring ctx during the
+// build: the chunked structure polls ctx inside its per-chunk loop, and
+// every kind checks ctx before and after the O(n log n) work. Returns
+// ctx.Err() when the build was abandoned.
+func NewRangeSamplerContext(ctx context.Context, kind Kind, values, weights []float64) (*RangeSampler, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if kind == KindChunked {
+		if err := validateSeries(values, weights); err != nil {
+			return nil, err
+		}
+		w := weights
+		if w == nil {
+			w = make([]float64, len(values))
+			for i := range w {
+				w[i] = 1
+			}
+		}
+		inner, err := rangesample.NewChunkedStop(values, w, func() bool { return ctx.Err() != nil })
+		if err != nil {
+			if errors.Is(err, rangesample.ErrCanceled) {
+				return nil, ctx.Err()
+			}
+			return nil, err
+		}
+		return &RangeSampler{kind: kind, inner: inner}, nil
+	}
+	s, err := NewRangeSampler(kind, values, weights)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// SampleContext is Sample honouring ctx: draws are made in batches of at
+// most PollEvery with a ctx check between batches, and the naive
+// structure additionally polls ctx inside its O(|S_q|) report scan.
+// Returns ErrEmptyRange when the range holds no elements and ctx.Err()
+// on cancellation; the two never mix with a non-nil sample slice.
+func (s *RangeSampler) SampleContext(ctx context.Context, r *Rand, lo, hi float64, k int) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	if st, isStop := s.inner.(rangesample.StopSampler); isStop {
+		// One call: the structure polls ctx inside its own long loops
+		// (batching here would repeat the naive report scan per batch).
+		stop := func() bool { return ctx.Err() != nil }
+		pos, ok, err := st.QueryStop(stop, r, bstInterval(lo, hi), k, nil)
+		if err != nil {
+			return nil, ctx.Err()
+		}
+		if !ok {
+			return nil, ErrEmptyRange
+		}
+		out := make([]float64, len(pos))
+		for i, p := range pos {
+			out[i] = s.inner.Value(p)
+		}
+		return out, nil
+	}
+	// O(log n + s) structures: draw in batches of PollEvery with a ctx
+	// check between batches.
+	out := make([]float64, 0, k)
+	var scratch [PollEvery]int
+	for len(out) < k {
+		batch := k - len(out)
+		if batch > PollEvery {
+			batch = PollEvery
+		}
+		pos, ok := s.inner.Query(r, bstInterval(lo, hi), batch, scratch[:0])
+		if !ok {
+			return nil, ErrEmptyRange
+		}
+		for _, p := range pos {
+			out = append(out, s.inner.Value(p))
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// SampleWoRContext is SampleWoR honouring ctx: the sparse dedupe loop
+// polls ctx every PollEvery attempts and the dense enumeration checks it
+// before and after the O(|S∩q|) pass.
+func (s *RangeSampler) SampleWoRContext(ctx context.Context, r *Rand, lo, hi float64, k int) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cnt := s.Count(lo, hi)
+	if k > cnt || cnt == 0 {
+		return nil, ErrSampleTooLarge
+	}
+	if 2*k > cnt {
+		// Dense regime, as in SampleWoR.
+		n := s.inner.Len()
+		a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
+		idx, err := wor.UniformWoR(r, cnt, k)
+		if err != nil {
+			return nil, err
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out := make([]float64, k)
+		for i, off := range idx {
+			out[i] = s.inner.Value(a + off)
+		}
+		return out, nil
+	}
+	// Sparse regime: WR draws deduplicated by position, polling ctx.
+	seen := make(map[int]struct{}, k)
+	var scratch [16]int
+	out := make([]float64, 0, k)
+	for attempts := 0; len(out) < k; attempts++ {
+		if attempts%PollEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		pos, ok := s.inner.Query(r, bstInterval(lo, hi), 1, scratch[:0])
+		if !ok {
+			return nil, ErrSampleTooLarge
+		}
+		if _, dup := seen[pos[0]]; dup {
+			continue
+		}
+		seen[pos[0]] = struct{}{}
+		out = append(out, s.inner.Value(pos[0]))
+	}
+	return out, nil
+}

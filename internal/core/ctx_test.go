@@ -1,0 +1,158 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+)
+
+func TestConstructorValidationTypedErrors(t *testing.T) {
+	bad := []struct {
+		name    string
+		values  []float64
+		weights []float64
+		want    error
+	}{
+		{"nan value", []float64{1, math.NaN()}, nil, ErrBadValue},
+		{"inf value", []float64{math.Inf(1), 2}, nil, ErrBadValue},
+		{"nan weight", []float64{1, 2}, []float64{1, math.NaN()}, ErrBadWeight},
+		{"negative weight", []float64{1, 2}, []float64{1, -1}, ErrBadWeight},
+		{"zero weight", []float64{1, 2}, []float64{0, 1}, ErrBadWeight},
+		{"inf weight", []float64{1, 2}, []float64{1, math.Inf(1)}, ErrBadWeight},
+		{"length mismatch", []float64{1, 2}, []float64{1}, ErrBadValue},
+	}
+	for _, k := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		for _, c := range bad {
+			if _, err := NewRangeSampler(k, c.values, c.weights); !errors.Is(err, c.want) {
+				t.Errorf("%v/%s: err = %v, want %v", k, c.name, err, c.want)
+			}
+		}
+	}
+	if _, err := NewPointSampler(PointKD, [][]float64{{1, math.NaN()}}, nil); !errors.Is(err, ErrBadValue) {
+		t.Errorf("point NaN coordinate: %v", err)
+	}
+	if _, err := NewPointSampler(PointKD, [][]float64{{1, 2}}, []float64{-3}); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("point negative weight: %v", err)
+	}
+	if _, err := NewApproxRangeSampler([]float64{math.Inf(-1)}, nil, 0.1); !errors.Is(err, ErrBadValue) {
+		t.Errorf("approx inf value: %v", err)
+	}
+	d := NewDynamicRangeSampler(1)
+	if err := d.Insert(math.NaN(), 1); !errors.Is(err, ErrBadValue) {
+		t.Errorf("dynamic NaN value: %v", err)
+	}
+	if err := d.Insert(1, -2); !errors.Is(err, ErrBadWeight) {
+		t.Errorf("dynamic negative weight: %v", err)
+	}
+}
+
+func TestBadRangeTypedErrors(t *testing.T) {
+	s, err := NewRangeSampler(KindChunked, []float64{1, 2, 3}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRand(1)
+	for _, q := range [][2]float64{{3, 1}, {math.NaN(), 2}, {1, math.NaN()}} {
+		if _, err := s.SampleWoR(r, q[0], q[1], 1); !errors.Is(err, ErrBadRange) {
+			t.Errorf("SampleWoR(%v): %v", q, err)
+		}
+		if _, err := s.SampleWeightedWoR(r, q[0], q[1], 1); !errors.Is(err, ErrBadRange) {
+			t.Errorf("SampleWeightedWoR(%v): %v", q, err)
+		}
+		if _, err := s.SampleContext(context.Background(), r, q[0], q[1], 1); !errors.Is(err, ErrBadRange) {
+			t.Errorf("SampleContext(%v): %v", q, err)
+		}
+		if got, ok := s.Sample(r, q[0], q[1], 1); ok || got != nil {
+			t.Errorf("Sample(%v) = %v, %v; want nil, false", q, got, ok)
+		}
+		if c := s.Count(q[0], q[1]); c != 0 {
+			t.Errorf("Count(%v) = %d", q, c)
+		}
+	}
+	// Unbounded (±Inf) endpoints stay legal.
+	if _, ok := s.Sample(r, math.Inf(-1), math.Inf(1), 2); !ok {
+		t.Error("unbounded range rejected")
+	}
+}
+
+func TestSampleContextCanceledPerKind(t *testing.T) {
+	n := 100000
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	for _, k := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		s, err := NewRangeSampler(k, values, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		start := time.Now()
+		if _, err := s.SampleContext(ctx, NewRand(1), 0, float64(n), 1<<20); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err = %v, want context.Canceled", k, err)
+		}
+		if el := time.Since(start); el > 2*time.Second {
+			t.Errorf("%v: canceled query took %v", k, el)
+		}
+	}
+}
+
+func TestSampleContextDeadlineAndWoR(t *testing.T) {
+	values := make([]float64, 50000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	s, err := NewRangeSampler(KindNaive, values, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	if _, err := s.SampleContext(ctx, NewRand(1), 0, 50000, 1000); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("SampleContext: %v, want DeadlineExceeded", err)
+	}
+	if _, err := s.SampleWoRContext(ctx, NewRand(1), 0, 50000, 100); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("SampleWoRContext: %v, want DeadlineExceeded", err)
+	}
+	// A live context behaves like the plain paths.
+	got, err := s.SampleContext(context.Background(), NewRand(2), 100, 200, 50)
+	if err != nil || len(got) != 50 {
+		t.Fatalf("live SampleContext: %v, %d samples", err, len(got))
+	}
+	wor, err := s.SampleWoRContext(context.Background(), NewRand(3), 100, 200, 20)
+	if err != nil || len(wor) != 20 {
+		t.Fatalf("live SampleWoRContext: %v, %d samples", err, len(wor))
+	}
+	seen := map[float64]bool{}
+	for _, v := range wor {
+		if seen[v] {
+			t.Fatalf("WoR returned duplicate %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNewRangeSamplerContextCancellation(t *testing.T) {
+	values := make([]float64, 200000)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, k := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		if _, err := NewRangeSamplerContext(ctx, k, values, nil); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: build err = %v, want context.Canceled", k, err)
+		}
+	}
+	s, err := NewRangeSamplerContext(context.Background(), KindChunked, values, nil)
+	if err != nil || s.Len() != len(values) {
+		t.Fatalf("live build: %v", err)
+	}
+	// ErrEmptyRange for a live context over an empty range.
+	if _, err := s.SampleContext(context.Background(), NewRand(1), -10, -5, 3); !errors.Is(err, ErrEmptyRange) {
+		t.Errorf("empty range: %v, want ErrEmptyRange", err)
+	}
+}

@@ -102,6 +102,9 @@ type ApproxRangeSampler struct {
 // eps ∈ (0, 1); nil weights mean uniform (which the structure answers
 // exactly).
 func NewApproxRangeSampler(values, weights []float64, eps float64) (*ApproxRangeSampler, error) {
+	if err := validateSeries(values, weights); err != nil {
+		return nil, err
+	}
 	if weights == nil {
 		weights = make([]float64, len(values))
 		for i := range weights {

@@ -27,12 +27,16 @@ type BlockID int
 // ErrBadGeometry is returned for invalid M/B configurations.
 var ErrBadGeometry = errors.New("em: need B >= 1 and M >= 2B")
 
-// Device is a simulated disk with I/O accounting.
+// Device is a simulated disk with I/O accounting and optional
+// transient-fault injection (see FaultPolicy). A Device is not safe for
+// concurrent use; callers that share one across goroutines (e.g. the
+// service layer's EM mirror) must serialise access externally.
 type Device struct {
 	b, m   int
 	blocks [][]Word
 	reads  int64
 	writes int64
+	faults *faultState // nil when fault injection is off
 }
 
 // NewDevice creates a device with block size b words and memory capacity
@@ -64,26 +68,59 @@ func (d *Device) Alloc(n int) BlockID {
 // NumBlocks returns the number of allocated blocks (the space metric).
 func (d *Device) NumBlocks() int { return len(d.blocks) }
 
-// Read copies block id into dst (which must have length ≥ B) and counts
-// one I/O.
-func (d *Device) Read(id BlockID, dst []Word) {
+// TryRead copies block id into dst (which must have length ≥ B) and
+// counts one I/O. Under an installed FaultPolicy it may instead return a
+// *FaultError without transferring the block.
+func (d *Device) TryRead(id BlockID, dst []Word) error {
 	if int(id) < 0 || int(id) >= len(d.blocks) {
 		panic(fmt.Sprintf("em: read of unallocated block %d", id))
 	}
+	if d.faults != nil {
+		if err := d.faults.decide("read", d.faults.policy.ReadFailProb, id); err != nil {
+			return err
+		}
+	}
 	d.reads++
 	copy(dst, d.blocks[id])
+	return nil
 }
 
-// Write copies src (length ≤ B) into block id and counts one I/O.
-func (d *Device) Write(id BlockID, src []Word) {
+// Read is TryRead for callers that treat the device as infallible (all
+// the in-package access structures). An injected fault surfaces as a
+// *FaultError panic, which em.CatchFault or the service layer's panic
+// containment converts back into an error at the operation boundary.
+func (d *Device) Read(id BlockID, dst []Word) {
+	if err := d.TryRead(id, dst); err != nil {
+		panic(err.(*FaultError))
+	}
+}
+
+// TryWrite copies src (length ≤ B) into block id and counts one I/O.
+// Under an installed FaultPolicy it may instead return a *FaultError
+// without touching the block.
+func (d *Device) TryWrite(id BlockID, src []Word) error {
 	if int(id) < 0 || int(id) >= len(d.blocks) {
 		panic(fmt.Sprintf("em: write of unallocated block %d", id))
 	}
 	if len(src) > d.b {
 		panic("em: write larger than block")
 	}
+	if d.faults != nil {
+		if err := d.faults.decide("write", d.faults.policy.WriteFailProb, id); err != nil {
+			return err
+		}
+	}
 	d.writes++
 	copy(d.blocks[id], src)
+	return nil
+}
+
+// Write is TryWrite for infallible callers; injected faults panic with a
+// *FaultError exactly like Read.
+func (d *Device) Write(id BlockID, src []Word) {
+	if err := d.TryWrite(id, src); err != nil {
+		panic(err.(*FaultError))
+	}
 }
 
 // Reads returns the read I/O count since the last ResetStats.

@@ -1,0 +1,171 @@
+package em
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Fault injection: real disks fail transiently, and the EM treatment of
+// the paper's Section 8 (like the systems it models) must tolerate that.
+// A FaultPolicy attached to a Device makes individual block I/Os fail
+// with configurable probability and adds optional per-I/O latency, so the
+// retry and degradation machinery in internal/emiqs and internal/service
+// can be exercised deterministically from a seed.
+
+// ErrFault is the sentinel matched (via errors.Is) by every injected
+// transient I/O fault.
+var ErrFault = errors.New("em: injected transient I/O fault")
+
+// FaultError reports one injected transient fault. It unwraps to
+// ErrFault.
+type FaultError struct {
+	Op    string // "read" or "write"
+	Block BlockID
+}
+
+// Error implements error.
+func (e *FaultError) Error() string {
+	return fmt.Sprintf("em: injected transient %s fault on block %d", e.Op, e.Block)
+}
+
+// Is reports whether target is ErrFault, so errors.Is(err, ErrFault)
+// matches any injected fault.
+func (e *FaultError) Is(target error) bool { return target == ErrFault }
+
+// FaultPolicy configures transient-fault injection on a Device. The zero
+// probability fields make the corresponding operation infallible.
+type FaultPolicy struct {
+	// ReadFailProb and WriteFailProb are per-I/O probabilities in [0, 1]
+	// that the operation fails with a *FaultError instead of transferring
+	// the block.
+	ReadFailProb  float64
+	WriteFailProb float64
+	// Latency is added to every I/O (fault or not); zero adds none.
+	Latency time.Duration
+	// MaxConsecutive, when positive, forces a success after that many
+	// consecutive injected faults, guaranteeing the fault stream is
+	// transient even at probability 1. Zero means no cap.
+	MaxConsecutive int
+	// Seed drives the fault decisions deterministically.
+	Seed uint64
+}
+
+// faultState is the per-device mutable fault bookkeeping. It has its own
+// mutex so fault decisions stay race-free even when the Device itself is
+// guarded externally.
+type faultState struct {
+	mu          sync.Mutex
+	policy      FaultPolicy
+	r           *rng.Source
+	consecutive int
+	injected    int64
+}
+
+// decide returns a *FaultError when this I/O should fail, applying the
+// latency and the MaxConsecutive cap.
+func (fs *faultState) decide(op string, prob float64, id BlockID) error {
+	fs.mu.Lock()
+	fail := false
+	if prob > 0 && !(fs.policy.MaxConsecutive > 0 && fs.consecutive >= fs.policy.MaxConsecutive) {
+		fail = fs.r.Bernoulli(prob)
+	}
+	if fail {
+		fs.consecutive++
+		fs.injected++
+	} else {
+		fs.consecutive = 0
+	}
+	latency := fs.policy.Latency
+	fs.mu.Unlock()
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if fail {
+		return &FaultError{Op: op, Block: id}
+	}
+	return nil
+}
+
+// SetFaultPolicy installs (or, with nil, removes) a fault-injection
+// policy. With no policy the fallible I/O paths cost nothing extra.
+func (d *Device) SetFaultPolicy(p *FaultPolicy) {
+	if p == nil {
+		d.faults = nil
+		return
+	}
+	d.faults = &faultState{policy: *p, r: rng.New(p.Seed)}
+}
+
+// FaultsInjected returns how many transient faults have been injected
+// since the policy was installed.
+func (d *Device) FaultsInjected() int64 {
+	if d.faults == nil {
+		return 0
+	}
+	d.faults.mu.Lock()
+	defer d.faults.mu.Unlock()
+	return d.faults.injected
+}
+
+// RetryPolicy bounds how persistently an EM operation is retried after
+// transient faults: up to MaxAttempts tries with exponential backoff
+// starting at BaseDelay and capped at MaxDelay.
+type RetryPolicy struct {
+	MaxAttempts int
+	BaseDelay   time.Duration
+	MaxDelay    time.Duration
+}
+
+// DefaultRetry is a sensible policy for simulated devices: five attempts
+// backing off 100µs → 1.6ms.
+var DefaultRetry = RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond, MaxDelay: 5 * time.Millisecond}
+
+// WithRetry runs op, retrying (with exponential backoff) as long as it
+// returns an injected transient fault, up to p.MaxAttempts attempts. Any
+// other error, and success, return immediately. When the attempts are
+// exhausted the last fault is returned wrapped with the attempt count.
+func WithRetry(p RetryPolicy, op func() error) error {
+	attempts := p.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := p.BaseDelay
+	var err error
+	for a := 0; a < attempts; a++ {
+		if err = op(); err == nil || !errors.Is(err, ErrFault) {
+			return err
+		}
+		if a == attempts-1 {
+			break
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+			if p.MaxDelay > 0 && delay > p.MaxDelay {
+				delay = p.MaxDelay
+			}
+		}
+	}
+	return fmt.Errorf("em: %d attempts exhausted: %w", attempts, err)
+}
+
+// CatchFault runs fn and converts a *FaultError panic — the way faults
+// surface from the infallible Read/Write used deep inside scanners and
+// sort passes — into an ordinary error. Other panics propagate.
+func CatchFault(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if fe, ok := r.(*FaultError); ok {
+				err = fe
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}

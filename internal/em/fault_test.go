@@ -1,0 +1,138 @@
+package em
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFaultInjectionDeterministic(t *testing.T) {
+	mk := func() *Device {
+		d, err := NewDevice(4, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.Alloc(4)
+		d.SetFaultPolicy(&FaultPolicy{ReadFailProb: 0.5, WriteFailProb: 0.5, Seed: 11})
+		return d
+	}
+	trace := func(d *Device) []bool {
+		var out []bool
+		buf := make([]Word, d.B())
+		for i := 0; i < 64; i++ {
+			out = append(out, d.TryRead(BlockID(i%4), buf) != nil)
+			out = append(out, d.TryWrite(BlockID(i%4), buf) != nil)
+		}
+		return out
+	}
+	a, b := trace(mk()), trace(mk())
+	faults := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault stream not deterministic at op %d", i)
+		}
+		if a[i] {
+			faults++
+		}
+	}
+	if faults == 0 || faults == len(a) {
+		t.Fatalf("implausible fault count %d/%d at p=0.5", faults, len(a))
+	}
+}
+
+func TestFaultErrorMatchesSentinelAndSkipsIO(t *testing.T) {
+	d, err := NewDevice(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Alloc(1)
+	d.SetFaultPolicy(&FaultPolicy{ReadFailProb: 1, Seed: 1})
+	buf := make([]Word, 4)
+	rerr := d.TryRead(0, buf)
+	if rerr == nil || !errors.Is(rerr, ErrFault) {
+		t.Fatalf("want fault matching ErrFault, got %v", rerr)
+	}
+	var fe *FaultError
+	if !errors.As(rerr, &fe) || fe.Op != "read" {
+		t.Fatalf("want *FaultError{Op: read}, got %#v", rerr)
+	}
+	if d.Reads() != 0 {
+		t.Fatalf("faulted read counted as I/O: %d", d.Reads())
+	}
+	if d.FaultsInjected() != 1 {
+		t.Fatalf("FaultsInjected = %d, want 1", d.FaultsInjected())
+	}
+}
+
+func TestMaxConsecutiveForcesProgress(t *testing.T) {
+	d, err := NewDevice(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Alloc(1)
+	d.SetFaultPolicy(&FaultPolicy{ReadFailProb: 1, MaxConsecutive: 3, Seed: 2})
+	buf := make([]Word, 4)
+	run := 0
+	for i := 0; i < 20; i++ {
+		if d.TryRead(0, buf) != nil {
+			run++
+			if run > 3 {
+				t.Fatalf("run of %d consecutive faults exceeds cap 3", run)
+			}
+		} else {
+			run = 0
+		}
+	}
+	if d.Reads() == 0 {
+		t.Fatal("no read ever succeeded despite MaxConsecutive cap")
+	}
+}
+
+func TestWithRetryExhaustionAndRecovery(t *testing.T) {
+	// Fails twice, then succeeds: WithRetry should absorb the faults.
+	n := 0
+	err := WithRetry(RetryPolicy{MaxAttempts: 5}, func() error {
+		n++
+		if n < 3 {
+			return &FaultError{Op: "read", Block: 0}
+		}
+		return nil
+	})
+	if err != nil || n != 3 {
+		t.Fatalf("want success after 3 attempts, got err=%v n=%d", err, n)
+	}
+	// Always fails: the exhaustion error still matches ErrFault.
+	err = WithRetry(RetryPolicy{MaxAttempts: 3}, func() error {
+		return &FaultError{Op: "write", Block: 1}
+	})
+	if err == nil || !errors.Is(err, ErrFault) {
+		t.Fatalf("want exhausted fault error, got %v", err)
+	}
+	// Non-fault errors are not retried.
+	boom := errors.New("boom")
+	n = 0
+	err = WithRetry(RetryPolicy{MaxAttempts: 5}, func() error { n++; return boom })
+	if !errors.Is(err, boom) || n != 1 {
+		t.Fatalf("non-fault error retried: err=%v n=%d", err, n)
+	}
+}
+
+func TestCatchFaultConvertsPanic(t *testing.T) {
+	d, err := NewDevice(4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Alloc(1)
+	d.SetFaultPolicy(&FaultPolicy{WriteFailProb: 1, Seed: 3})
+	buf := make([]Word, 4)
+	cerr := CatchFault(func() { d.Write(0, buf) })
+	if cerr == nil || !errors.Is(cerr, ErrFault) {
+		t.Fatalf("want caught fault, got %v", cerr)
+	}
+	// Non-fault panics must propagate.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-fault panic swallowed")
+		}
+	}()
+	_ = CatchFault(func() { panic("other") })
+}

@@ -1,0 +1,49 @@
+package emiqs
+
+import (
+	"repro/internal/em"
+	"repro/internal/rng"
+)
+
+// Fault-tolerant query paths. When the backing Device has a FaultPolicy
+// installed, block I/Os deep inside scans and pool refills surface as
+// *em.FaultError panics. The *Retry entry points contain those panics at
+// the query boundary and re-run the whole operation under the caller's
+// bounded exponential-backoff policy.
+//
+// Retrying a whole query after a mid-flight fault is distributionally
+// harmless: pool entries are iid precomputed samples consumed at most
+// once, so a retry that skips the entries a failed attempt already
+// consumed draws from the same distribution, and every completed query
+// still returns s iid samples of its range.
+
+// QueryRetry is Query with bounded retry + exponential backoff against
+// injected transient faults. It appends s samples to dst on success; ok
+// is false when the range is empty. After rp.MaxAttempts faulted
+// attempts the last fault is returned (errors.Is(err, em.ErrFault)).
+func (rs *RangeSampler) QueryRetry(r *rng.Source, x, y float64, s int, dst []float64, rp em.RetryPolicy) ([]float64, bool, error) {
+	var (
+		out []float64
+		ok  bool
+	)
+	err := em.WithRetry(rp, func() error {
+		return em.CatchFault(func() { out, ok = rs.Query(r, x, y, s, dst) })
+	})
+	if err != nil {
+		return dst, false, err
+	}
+	return out, ok, nil
+}
+
+// QueryRetry is SetSampler.Query with bounded retry + exponential
+// backoff against injected transient faults.
+func (s *SetSampler) QueryRetry(r *rng.Source, count int, dst []float64, rp em.RetryPolicy) ([]float64, error) {
+	var out []float64
+	err := em.WithRetry(rp, func() error {
+		return em.CatchFault(func() { out = s.Query(r, count, dst) })
+	})
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}

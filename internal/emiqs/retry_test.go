@@ -1,0 +1,75 @@
+package emiqs
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/em"
+	"repro/internal/rng"
+)
+
+func faultFreeDevice(t *testing.T) *em.Device {
+	t.Helper()
+	dev, err := em.NewDevice(16, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestRangeSamplerQueryRetrySurvivesFaults(t *testing.T) {
+	dev := faultFreeDevice(t)
+	values := make([]float64, 128)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	rs, err := NewRangeSampler(dev, values, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Faults start only after the (fault-free) build. An attempt that
+	// triggers a pool refill performs on the order of a hundred I/Os, so
+	// the per-I/O fault rate must be low enough that whole-operation
+	// retry converges; at 1% an attempt is clean with probability ≈ 0.3
+	// and 50 attempts essentially always suffice.
+	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 0.01, WriteFailProb: 0.01, Seed: 5})
+	rp := em.RetryPolicy{MaxAttempts: 50, BaseDelay: time.Microsecond, MaxDelay: 10 * time.Microsecond}
+	r := rng.New(2)
+	total := 0
+	for q := 0; q < 30; q++ {
+		out, ok, err := rs.QueryRetry(r, 20, 100, 10, nil, rp)
+		if err != nil {
+			t.Fatalf("query %d: %v", q, err)
+		}
+		if !ok {
+			t.Fatalf("query %d: empty range", q)
+		}
+		for _, v := range out {
+			if v < 20 || v > 100 {
+				t.Fatalf("query %d: sample %v outside range", q, v)
+			}
+		}
+		total += len(out)
+	}
+	if total != 30*10 {
+		t.Fatalf("got %d samples, want %d", total, 30*10)
+	}
+	if dev.FaultsInjected() == 0 {
+		t.Fatal("no faults injected at p=0.01 — test exercised nothing")
+	}
+}
+
+func TestSetSamplerQueryRetryExhaustsOnPermanentFault(t *testing.T) {
+	dev := faultFreeDevice(t)
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	ss, err := NewSetSampler(dev, values, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 1, Seed: 4})
+	_, qerr := ss.QueryRetry(rng.New(4), 4, nil, em.RetryPolicy{MaxAttempts: 3})
+	if qerr == nil || !errors.Is(qerr, em.ErrFault) {
+		t.Fatalf("want exhausted fault error, got %v", qerr)
+	}
+}

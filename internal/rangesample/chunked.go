@@ -51,8 +51,30 @@ func NewChunked(values, weights []float64) (*Chunked, error) {
 // NewChunkedSize builds the structure with an explicit chunk size
 // (exposed for the A1 ablation). chunkSize must be ≥ 1.
 func NewChunkedSize(values, weights []float64, chunkSize int) (*Chunked, error) {
+	return NewChunkedSizeStop(values, weights, chunkSize, nil)
+}
+
+// NewChunkedStop is NewChunked with a cooperative stop predicate: the
+// per-chunk build loop polls stop and abandons the build with
+// ErrCanceled when it fires, bounding how long a doomed (re)build holds
+// the CPU after its budget expires. stop may be nil.
+func NewChunkedStop(values, weights []float64, stop func() bool) (*Chunked, error) {
+	n := len(values)
+	c := 1
+	if n > 1 {
+		c = int(math.Ceil(math.Log2(float64(n))))
+	}
+	return NewChunkedSizeStop(values, weights, c, stop)
+}
+
+// NewChunkedSizeStop is NewChunkedSize with a cooperative stop
+// predicate (see NewChunkedStop).
+func NewChunkedSizeStop(values, weights []float64, chunkSize int, stop func() bool) (*Chunked, error) {
 	if chunkSize < 1 {
 		return nil, fmt.Errorf("rangesample: chunk size %d < 1", chunkSize)
+	}
+	if stop != nil && stop() {
+		return nil, ErrCanceled
 	}
 	b, err := newBase(values, weights)
 	if err != nil {
@@ -68,6 +90,9 @@ func NewChunkedSize(values, weights []float64, chunkSize int) (*Chunked, error) 
 	}
 	totals := make([]float64, g)
 	for ci := 0; ci < g; ci++ {
+		if stop != nil && ci%64 == 0 && stop() {
+			return nil, ErrCanceled
+		}
 		lo, hi := ch.chunkBounds(ci)
 		sum := 0.0
 		for i := lo; i <= hi; i++ {

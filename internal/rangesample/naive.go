@@ -34,9 +34,17 @@ func NewNaive(values, weights []float64) (*Naive, error) {
 // says is unavoidable for this approach) and then draws s samples by
 // inverse-CDF binary search over the materialised prefix sums.
 func (nv *Naive) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
+	out, ok, _ := nv.QueryStop(nil, r, q, s, dst)
+	return out, ok
+}
+
+// QueryStop implements StopSampler: the O(|S_q|) report pass and the
+// O(s) draw loop both poll stop, so a canceled query returns within
+// stopPollEvery iterations no matter how large the range is.
+func (nv *Naive) QueryStop(stop func() bool, r *rng.Source, q Interval, s int, dst []int) ([]int, bool, error) {
 	a, b, ok := nv.posRange(q)
 	if !ok {
-		return dst, false
+		return dst, false, nil
 	}
 	// "Report" the result: copy out the cumulative weights of S_q. This
 	// pass is what the paper's IQS structures avoid.
@@ -44,11 +52,18 @@ func (nv *Naive) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool
 	cum := make([]float64, k)
 	run := 0.0
 	for i := 0; i < k; i++ {
+		if stop != nil && i%stopPollEvery == 0 && stop() {
+			return dst, false, ErrCanceled
+		}
 		run += nv.weights[a+i]
 		cum[i] = run
 	}
 	total := cum[k-1]
+	n := len(dst)
 	for i := 0; i < s; i++ {
+		if stop != nil && i%stopPollEvery == 0 && stop() {
+			return dst[:n], false, ErrCanceled
+		}
 		x := r.Float64() * total
 		// Binary search for the first cum[j] > x.
 		lo, hi := 0, k-1
@@ -62,7 +77,7 @@ func (nv *Naive) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool
 		}
 		dst = append(dst, a+lo)
 	}
-	return dst, true
+	return dst, true, nil
 }
 
-var _ Sampler = (*Naive)(nil)
+var _ StopSampler = (*Naive)(nil)

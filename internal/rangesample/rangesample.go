@@ -49,6 +49,10 @@ var ErrBadWeight = errors.New("rangesample: weights must be positive and finite"
 // silently corrupt the sorted order every structure depends on.
 var ErrBadValue = errors.New("rangesample: values must be finite")
 
+// ErrCanceled is returned by the stop-aware entry points (StopSampler,
+// NewChunkedStop) when the caller's stop predicate fired mid-operation.
+var ErrCanceled = errors.New("rangesample: operation canceled")
+
 // Sampler is the common query interface of all structures in this
 // package.
 type Sampler interface {
@@ -63,6 +67,23 @@ type Sampler interface {
 	// Weight returns the weight of the i-th smallest stored value.
 	Weight(i int) float64
 }
+
+// StopSampler is implemented by structures whose query contains long
+// data-dependent loops (the Naive report pass scans all of S ∩ q) and
+// that therefore poll a stop predicate cooperatively inside those loops.
+// stop may be nil (never stops); when it fires the query returns
+// ErrCanceled with dst unchanged. Structures with O(log n + s) queries
+// don't implement this — their callers bound latency by batching s.
+type StopSampler interface {
+	Sampler
+	// QueryStop is Query polling stop() every stopPollEvery iterations.
+	QueryStop(stop func() bool, r *rng.Source, q Interval, s int, dst []int) ([]int, bool, error)
+}
+
+// stopPollEvery is the loop-iteration granularity of stop checks: small
+// enough that cancellation latency is a few microseconds, large enough
+// that the predicate (typically ctx.Err) stays off the hot path.
+const stopPollEvery = 1024
 
 // base carries the sorted value/weight arrays shared by the static
 // structures.

@@ -1,0 +1,95 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestCancellationPerKind proves every sampler kind propagates
+// context.Canceled and context.DeadlineExceeded through the service
+// promptly on large inputs: the query loops poll the context at least
+// every core.PollEvery units of work, so even a million-sample request
+// against a 200k-element set returns in poll-interval time, not
+// query-completion time.
+func TestCancellationPerKind(t *testing.T) {
+	values := seq(200000)
+	s := New(Options{})
+	bg := context.Background()
+	for _, k := range []core.Kind{core.KindChunked, core.KindAliasAug, core.KindTreeWalk, core.KindNaive} {
+		if err := s.Create(bg, k.String(), k, values, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []core.Kind{core.KindChunked, core.KindAliasAug, core.KindTreeWalk, core.KindNaive} {
+		t.Run(k.String(), func(t *testing.T) {
+			r := core.NewRand(7)
+			// Pre-canceled context: the first poll sees it.
+			ctx, cancel := context.WithCancel(bg)
+			cancel()
+			start := time.Now()
+			_, err := s.Sample(ctx, r, k.String(), 0, 200000, 1<<20)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("Sample: %v, want context.Canceled", err)
+			}
+			if el := time.Since(start); el > 2*time.Second {
+				t.Fatalf("canceled Sample took %v", el)
+			}
+			// Expired deadline.
+			dctx, dcancel := context.WithDeadline(bg, time.Now().Add(-time.Millisecond))
+			defer dcancel()
+			_, err = s.Sample(dctx, r, k.String(), 0, 200000, 1<<20)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("Sample: %v, want context.DeadlineExceeded", err)
+			}
+			_, err = s.SampleWoR(dctx, r, k.String(), 0, 200000, 1000)
+			if !errors.Is(err, context.DeadlineExceeded) {
+				t.Fatalf("SampleWoR: %v, want context.DeadlineExceeded", err)
+			}
+			// Mid-flight cancellation: start a huge query, cancel while
+			// it runs, and require the poll interval to notice.
+			mctx, mcancel := context.WithCancel(bg)
+			done := make(chan error, 1)
+			go func() {
+				_, err := s.Sample(mctx, core.NewRand(8), k.String(), 0, 200000, 1<<24)
+				done <- err
+			}()
+			time.Sleep(5 * time.Millisecond)
+			mcancel()
+			select {
+			case err := <-done:
+				// Either the cancel landed mid-query or the query was
+				// already complete (nil) — both are legal; what is not
+				// legal is hanging.
+				if err != nil && !errors.Is(err, context.Canceled) {
+					t.Fatalf("mid-flight: %v", err)
+				}
+			case <-time.After(30 * time.Second):
+				t.Fatal("query did not notice cancellation")
+			}
+		})
+	}
+}
+
+// TestUpdateCancellation proves update paths honour ctx too.
+func TestUpdateCancellation(t *testing.T) {
+	s := New(Options{})
+	bg := context.Background()
+	if err := s.Create(bg, "d", core.KindChunked, seq(100), nil); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(bg)
+	cancel()
+	if err := s.Insert(ctx, "d", 1000, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Insert: %v", err)
+	}
+	if err := s.Delete(ctx, "d", 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Delete: %v", err)
+	}
+	if n, _ := s.Count(bg, "d", 0, 1000); n != 100 {
+		t.Fatalf("canceled updates must not apply: n=%d", n)
+	}
+}

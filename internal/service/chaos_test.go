@@ -1,0 +1,176 @@
+package service
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/stats"
+)
+
+// TestChaosServiceUnderFaults is the acceptance chaos test: 32
+// concurrent clients push 10k+ mixed query/update requests through the
+// service while the EM mirror injects transient faults at p = 0.05.
+// Requirements proved here:
+//
+//   - zero process panics (the test binary survives; every contained
+//     panic would surface as a typed *InternalError instead);
+//   - every error crossing the boundary is in the typed vocabulary;
+//   - the surviving samples still pass the chi-squared uniformity check
+//     used by the distribution tests elsewhere in the repo;
+//   - when rebuild faults are forced (p = 1), the dataset degrades to
+//     naive with a recorded DowngradeEvent — and keeps answering.
+//
+// Run it with -race (the `make chaos` target does).
+func TestChaosServiceUnderFaults(t *testing.T) {
+	dev, err := em.NewDevice(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 0.05, WriteFailProb: 0.05, Seed: 1})
+	svc := New(Options{
+		Mirror:      dev,
+		Retry:       em.RetryPolicy{MaxAttempts: 8, BaseDelay: 20 * time.Microsecond, MaxDelay: 200 * time.Microsecond},
+		BuildBudget: 10 * time.Second,
+	})
+	bg := context.Background()
+
+	const stableN = 256
+	if err := svc.Create(bg, "stable", core.KindChunked, seq(stableN), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.Create(bg, "hot", core.KindChunked, seq(512), nil); err != nil {
+		t.Fatal(err)
+	}
+
+	const (
+		clients   = 32
+		perClient = 313 // 32 × 313 = 10016 ≥ 10k requests
+	)
+	var (
+		wg        sync.WaitGroup
+		mu        sync.Mutex
+		bins      = make([]int, stableN) // samples surviving from "stable"
+		completed int
+		badErrs   []error
+	)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := core.NewRand(uint64(1000 + g))
+			local := make([]int, stableN)
+			var inserted []float64
+			var localBad []error
+			done := 0
+			for i := 0; i < perClient; i++ {
+				ctx, cancel := context.WithTimeout(bg, 5*time.Second)
+				var err error
+				switch i % 10 {
+				case 0, 1, 2, 3, 4, 5:
+					var out []float64
+					out, err = svc.Sample(ctx, r, "stable", 0, stableN-1, 4)
+					for _, v := range out {
+						local[int(v)]++
+					}
+				case 6:
+					_, err = svc.Count(ctx, "stable", float64(r.Intn(stableN)), float64(stableN))
+				case 7:
+					_, err = svc.SampleWoR(ctx, r, "stable", 0, stableN-1, 8)
+				case 8:
+					v := float64(1_000_000 + g*10_000 + i)
+					if err = svc.Insert(ctx, "hot", v, 1+r.Float64()); err == nil {
+						inserted = append(inserted, v)
+					}
+				case 9:
+					if len(inserted) > 0 {
+						v := inserted[len(inserted)-1]
+						if err = svc.Delete(ctx, "hot", v); err == nil {
+							inserted = inserted[:len(inserted)-1]
+						}
+					} else {
+						// Deliberately missing: must fail *typed*.
+						err = svc.Delete(ctx, "hot", -math.Pi)
+					}
+				}
+				cancel()
+				if err != nil && !IsTyped(err) {
+					localBad = append(localBad, err)
+				}
+				done++
+			}
+			mu.Lock()
+			for b, c := range local {
+				bins[b] += c
+			}
+			completed += done
+			badErrs = append(badErrs, localBad...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	if completed != clients*perClient {
+		t.Fatalf("completed %d of %d requests", completed, clients*perClient)
+	}
+	for _, e := range badErrs {
+		t.Errorf("untyped error crossed the service boundary: %v", e)
+	}
+	if dev.FaultsInjected() == 0 {
+		t.Fatal("no EM faults injected — the chaos exercised nothing")
+	}
+
+	// Distribution check on the surviving samples: uniform weights over
+	// stableN values, so the bin counts must pass the same chi-squared
+	// uniformity test the repo's distribution tests use.
+	total := 0
+	for _, c := range bins {
+		total += c
+	}
+	if total < 10000 {
+		t.Fatalf("only %d surviving samples", total)
+	}
+	chi2, err := stats.ChiSquareUniform(bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := stats.ChiSquareCritical(stableN-1, 1e-4); chi2 > crit {
+		t.Errorf("surviving samples not uniform: chi2 = %.1f > crit %.1f over %d samples", chi2, crit, total)
+	}
+
+	h := svc.Health()
+	if h.Requests < int64(clients*perClient) {
+		t.Errorf("health lost requests: %+v", h)
+	}
+	t.Logf("health after chaos: %+v (EM faults %d)", h, dev.FaultsInjected())
+
+	// Forced rebuild faults: every mirror I/O fails, so the next update
+	// must degrade "hot" to naive, record the downgrade, and keep
+	// serving.
+	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 1, WriteFailProb: 1, Seed: 2})
+	before := len(svc.Downgrades())
+	if err := svc.Insert(bg, "hot", 9e6, 1); err != nil {
+		t.Fatalf("insert under forced faults should degrade, not fail: %v", err)
+	}
+	evs := svc.Downgrades()
+	if len(evs) <= before {
+		t.Fatal("forced rebuild fault recorded no DowngradeEvent")
+	}
+	last := evs[len(evs)-1]
+	if last.Dataset != "hot" || last.From != core.KindChunked || last.Op != "rebuild" {
+		t.Fatalf("unexpected downgrade event: %+v", last)
+	}
+	for _, d := range svc.Health().Datasets {
+		if d.Name == "hot" && (!d.Degraded || d.Active != core.KindNaive) {
+			t.Fatalf("hot not degraded to naive: %+v", d)
+		}
+	}
+	out, err := svc.Sample(bg, core.NewRand(99), "hot", 0, 1e7, 16)
+	if err != nil || len(out) != 16 {
+		t.Fatalf("degraded hot dataset stopped answering: %v, %d", err, len(out))
+	}
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// ErrUnknownDataset is returned for operations naming a dataset the
+// service does not host.
+var ErrUnknownDataset = errors.New("service: unknown dataset")
+
+// ErrDatasetExists is returned by Create for a name already in use.
+var ErrDatasetExists = errors.New("service: dataset already exists")
+
+// ErrValueNotFound is returned by Delete when no element has the given
+// value.
+var ErrValueNotFound = errors.New("service: value not found")
+
+// InternalError reports an internal invariant panic that was contained
+// at the service boundary: the process keeps serving, the failing
+// request gets this typed error, and the structure kind and operation
+// identify the failing component. It is the only way a panic from the
+// structure packages crosses the service boundary.
+type InternalError struct {
+	Kind  core.Kind // structure kind the operation ran against
+	Op    string    // "build", "rebuild", "sample", "wor", "count", ...
+	Value any       // recovered panic value
+	Stack string    // stack at the recovery point, for the health log
+}
+
+// Error implements error.
+func (e *InternalError) Error() string {
+	return fmt.Sprintf("service: contained panic in %s on %v sampler: %v", e.Op, e.Kind, e.Value)
+}
+
+// IsTyped reports whether err belongs to the service's documented error
+// vocabulary: service sentinels, *InternalError, the typed core errors,
+// and context cancellation. The chaos tests use it to prove no raw
+// error ever leaks through the boundary.
+func IsTyped(err error) bool {
+	if err == nil {
+		return false
+	}
+	var ie *InternalError
+	return errors.As(err, &ie) ||
+		errors.Is(err, ErrUnknownDataset) ||
+		errors.Is(err, ErrDatasetExists) ||
+		errors.Is(err, ErrValueNotFound) ||
+		errors.Is(err, ErrEmptyDataset) ||
+		errors.Is(err, core.ErrBadWeight) ||
+		errors.Is(err, core.ErrBadValue) ||
+		errors.Is(err, core.ErrBadRange) ||
+		errors.Is(err, core.ErrSampleTooLarge) ||
+		errors.Is(err, core.ErrEmptyRange) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

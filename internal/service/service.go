@@ -1,0 +1,502 @@
+// Package service is the hardened request layer over internal/core: the
+// component that makes the paper's samplers usable under real concurrent
+// traffic. It adds, on top of the raw structures:
+//
+//   - Per-request deadlines and cooperative cancellation: every query
+//     and update threads a context.Context into the core's context-aware
+//     paths, which poll it inside their long loops (naive report scans,
+//     batched draws, WoR dedupe, chunked rebuilds).
+//
+//   - Panic containment: an internal invariant panic in any structure
+//     package is recovered at the service boundary and converted into a
+//     typed *InternalError carrying the structure kind and operation —
+//     it never kills the process.
+//
+//   - Graceful degradation: every index kind has the Naive
+//     report-then-sample baseline as a correct slow path. When a build
+//     or rebuild panics, faults, or exceeds its budget, the service
+//     falls back to KindNaive for that dataset, records a
+//     DowngradeEvent, and keeps answering with the exact same query
+//     distribution. A later successful rebuild restores the requested
+//     kind.
+//
+//   - Snapshot-swap concurrency: reads grab an immutable snapshot under
+//     a brief RLock and query it lock-free (static samplers are safe for
+//     concurrent reads); updates copy the master arrays, rebuild outside
+//     any reader-visible lock, and swap the snapshot pointer atomically.
+//     Concurrent readers never observe a mid-rebuild structure.
+//
+//   - Optional EM persistence mirror: each (re)build persists the
+//     dataset through an *em.Device which may have a FaultPolicy
+//     installed; transient faults are absorbed by bounded retry with
+//     exponential backoff, and persistent faults degrade the dataset
+//     instead of failing the process.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime/debug"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+)
+
+// ErrEmptyDataset is returned by Create for zero elements and by Delete
+// when removing the last element (a dataset never becomes empty).
+var ErrEmptyDataset = errors.New("service: dataset must hold at least one element")
+
+// Options configures a Service.
+type Options struct {
+	// BuildBudget bounds every index build/rebuild; past it the build is
+	// cooperatively abandoned and the dataset degrades to KindNaive.
+	// Zero means no budget.
+	BuildBudget time.Duration
+	// Mirror, when non-nil, is the EM device every (re)build persists
+	// the dataset through — the simulated disk of DESIGN.md substitution
+	// 5, typically with a FaultPolicy installed.
+	Mirror *em.Device
+	// Retry bounds the mirror-persistence retries; zero-valued means
+	// em.DefaultRetry.
+	Retry em.RetryPolicy
+}
+
+// DowngradeEvent records one fallback to the naive sampler.
+type DowngradeEvent struct {
+	Time    time.Time
+	Dataset string
+	From    core.Kind // the kind that failed to (re)build
+	Op      string    // "build" or "rebuild"
+	Reason  string
+}
+
+// Health is a point-in-time summary of the service's counters.
+type Health struct {
+	Requests        int64
+	Failures        int64 // requests that returned an error (all typed)
+	PanicsContained int64
+	Downgrades      int64
+	Rebuilds        int64 // successful snapshot swaps from updates
+	EMFaults        int64 // transient faults injected by the mirror
+	Datasets        []DatasetHealth
+}
+
+// DatasetHealth describes one hosted dataset.
+type DatasetHealth struct {
+	Name      string
+	Requested core.Kind
+	Active    core.Kind
+	Degraded  bool
+	Len       int
+}
+
+// snapshot is the immutable unit readers hold: once published it is
+// never mutated, so any number of goroutines may query it concurrently
+// (each with its own *core.Rand).
+type snapshot struct {
+	sampler *core.RangeSampler
+	active  core.Kind
+}
+
+// dataset pairs the published snapshot with the master element arrays
+// updates rebuild from.
+type dataset struct {
+	name      string
+	requested core.Kind
+
+	mu   sync.RWMutex // guards snap (pointer swap only)
+	snap *snapshot
+
+	updMu           sync.Mutex // serialises updates; guards values/weights
+	values, weights []float64
+}
+
+func (ds *dataset) snapshot() *snapshot {
+	ds.mu.RLock()
+	sn := ds.snap
+	ds.mu.RUnlock()
+	return sn
+}
+
+func (ds *dataset) publish(sn *snapshot) {
+	ds.mu.Lock()
+	ds.snap = sn
+	ds.mu.Unlock()
+}
+
+// Service hosts named datasets and serves hardened sampling traffic.
+// All methods are safe for concurrent use; callers supply one
+// *core.Rand per goroutine, as everywhere else in this repository.
+type Service struct {
+	opts Options
+
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+
+	mirrorMu sync.Mutex // serialises access to the shared EM mirror
+
+	requests        atomic.Int64
+	failures        atomic.Int64
+	panicsContained atomic.Int64
+	downgrades      atomic.Int64
+	rebuilds        atomic.Int64
+
+	evMu   sync.Mutex
+	events []DowngradeEvent
+}
+
+// New returns an empty service.
+func New(opts Options) *Service {
+	return &Service{opts: opts, datasets: make(map[string]*dataset)}
+}
+
+// guard runs fn with panic containment: a panic increments the health
+// counter and comes back as a typed *InternalError instead of unwinding
+// past the service boundary.
+func (s *Service) guard(kind core.Kind, op string, fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.panicsContained.Add(1)
+			err = &InternalError{Kind: kind, Op: op, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
+}
+
+// track counts the request and, on return, its failure.
+func (s *Service) track(err *error) func() {
+	s.requests.Add(1)
+	return func() {
+		if *err != nil {
+			s.failures.Add(1)
+		}
+	}
+}
+
+func (s *Service) lookup(name string) (*dataset, error) {
+	s.mu.RLock()
+	ds := s.datasets[name]
+	s.mu.RUnlock()
+	if ds == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDataset, name)
+	}
+	return ds, nil
+}
+
+// mirrorPersist writes the dataset through the EM mirror (and touches it
+// back) under bounded retry with exponential backoff. Injected faults
+// surface as *em.FaultError panics inside the array layers; CatchFault
+// turns each into an error and WithRetry absorbs transient runs.
+func (s *Service) mirrorPersist(values []float64) error {
+	dev := s.opts.Mirror
+	if dev == nil || len(values) == 0 {
+		return nil
+	}
+	rp := s.opts.Retry
+	if rp.MaxAttempts == 0 {
+		rp = em.DefaultRetry
+	}
+	s.mirrorMu.Lock()
+	defer s.mirrorMu.Unlock()
+	return em.WithRetry(rp, func() error {
+		return em.CatchFault(func() {
+			arr := em.NewArray(dev, len(values), 1)
+			w := arr.Write(0)
+			for _, v := range values {
+				w.Append([]em.Word{v})
+			}
+			w.Flush()
+			// Read-back touch of both ends verifies the blocks landed.
+			rec := make([]em.Word, 1)
+			arr.Get(0, rec)
+			arr.Get(len(values)-1, rec)
+		})
+	})
+}
+
+// build constructs a snapshot of the requested kind, degrading to
+// KindNaive — and recording the downgrade — when the mirror faults
+// persistently, the build panics, or the budget expires. Caller
+// cancellation and input-validation errors are returned as-is (no
+// fallback: the request itself is bad or gone).
+func (s *Service) build(parent context.Context, name string, kind core.Kind, values, weights []float64, op string) (*snapshot, error) {
+	ctx := parent
+	if s.opts.BuildBudget > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(parent, s.opts.BuildBudget)
+		defer cancel()
+	}
+	var reasons []string
+	if err := s.mirrorPersist(values); err != nil {
+		reasons = append(reasons, fmt.Sprintf("EM mirror: %v", err))
+	}
+	if len(reasons) == 0 {
+		var sampler *core.RangeSampler
+		berr := s.guard(kind, op, func() error {
+			var e error
+			sampler, e = core.NewRangeSamplerContext(ctx, kind, values, weights)
+			return e
+		})
+		if berr == nil {
+			return &snapshot{sampler: sampler, active: kind}, nil
+		}
+		var ie *InternalError
+		switch {
+		case errors.As(berr, &ie):
+			reasons = append(reasons, berr.Error())
+		case parent.Err() != nil:
+			return nil, parent.Err() // the caller gave up; no fallback
+		case errors.Is(berr, context.DeadlineExceeded) || errors.Is(berr, context.Canceled):
+			reasons = append(reasons, fmt.Sprintf("build budget %v exceeded", s.opts.BuildBudget))
+		default:
+			return nil, berr // typed validation error (bad weight/value)
+		}
+	}
+	// Graceful degradation: the naive baseline answers the exact same
+	// query distribution, so serving it beats serving nothing.
+	var fb *core.RangeSampler
+	ferr := s.guard(core.KindNaive, op+"-fallback", func() error {
+		var e error
+		fb, e = core.NewRangeSampler(core.KindNaive, values, weights)
+		return e
+	})
+	if ferr != nil {
+		return nil, ferr
+	}
+	s.downgrades.Add(1)
+	ev := DowngradeEvent{
+		Time:    time.Now(),
+		Dataset: name,
+		From:    kind,
+		Op:      op,
+		Reason:  strings.Join(reasons, "; "),
+	}
+	s.evMu.Lock()
+	s.events = append(s.events, ev)
+	s.evMu.Unlock()
+	return &snapshot{sampler: fb, active: core.KindNaive}, nil
+}
+
+// Create builds and hosts a dataset. Nil weights mean uniform. The
+// inputs are copied; invalid inputs are rejected with the typed core
+// errors. If the index build fails the dataset is still created, served
+// by the naive fallback.
+func (s *Service) Create(ctx context.Context, name string, kind core.Kind, values, weights []float64) (err error) {
+	defer s.track(&err)()
+	if len(values) == 0 {
+		return ErrEmptyDataset
+	}
+	if weights != nil && len(weights) != len(values) {
+		return fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
+	}
+	s.mu.RLock()
+	_, taken := s.datasets[name]
+	s.mu.RUnlock()
+	if taken {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	vcopy := append([]float64(nil), values...)
+	var wcopy []float64
+	if weights == nil {
+		wcopy = make([]float64, len(values))
+		for i := range wcopy {
+			wcopy[i] = 1
+		}
+	} else {
+		wcopy = append([]float64(nil), weights...)
+	}
+	snap, err := s.build(ctx, name, kind, vcopy, wcopy, "build")
+	if err != nil {
+		return err
+	}
+	ds := &dataset{name: name, requested: kind, values: vcopy, weights: wcopy, snap: snap}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	s.datasets[name] = ds
+	return nil
+}
+
+// Sample draws k independent weighted samples from the dataset's
+// S ∩ [lo, hi], honouring ctx.
+func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int) (out []float64, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	snap := ds.snapshot()
+	err = s.guard(snap.active, "sample", func() error {
+		var e error
+		out, e = snap.sampler.SampleContext(ctx, r, lo, hi, k)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleWoR draws a uniformly random size-k subset of S ∩ [lo, hi]
+// without replacement (uniform-weight regime), honouring ctx.
+func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int) (out []float64, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	snap := ds.snapshot()
+	err = s.guard(snap.active, "wor", func() error {
+		var e error
+		out, e = snap.sampler.SampleWoRContext(ctx, r, lo, hi, k)
+		return e
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Count returns |S ∩ [lo, hi]|.
+func (s *Service) Count(ctx context.Context, name string, lo, hi float64) (n int, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if err = ctx.Err(); err != nil {
+		return 0, err
+	}
+	snap := ds.snapshot()
+	err = s.guard(snap.active, "count", func() error {
+		n = snap.sampler.Count(lo, hi)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// Insert adds an element and swaps in a rebuilt snapshot. Readers keep
+// the old snapshot until the new one is fully built; on any rebuild
+// error the update is rejected and the dataset is unchanged (except
+// that build failures of the requested kind degrade to a naive snapshot
+// that includes the update).
+func (s *Service) Insert(ctx context.Context, name string, value, weight float64) (err error) {
+	defer s.track(&err)()
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: value = %v", core.ErrBadValue, value)
+	}
+	if !(weight > 0) || math.IsInf(weight, 1) {
+		return fmt.Errorf("%w: weight = %v", core.ErrBadWeight, weight)
+	}
+	ds, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	ds.updMu.Lock()
+	defer ds.updMu.Unlock()
+	if err = ctx.Err(); err != nil {
+		return err
+	}
+	nv := append(append([]float64(nil), ds.values...), value)
+	nw := append(append([]float64(nil), ds.weights...), weight)
+	return s.swapIn(ctx, ds, nv, nw)
+}
+
+// Delete removes one element with the given value and swaps in a
+// rebuilt snapshot.
+func (s *Service) Delete(ctx context.Context, name string, value float64) (err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	ds.updMu.Lock()
+	defer ds.updMu.Unlock()
+	if err = ctx.Err(); err != nil {
+		return err
+	}
+	at := -1
+	for i, v := range ds.values {
+		if v == value {
+			at = i
+			break
+		}
+	}
+	if at < 0 {
+		return fmt.Errorf("%w: %v", ErrValueNotFound, value)
+	}
+	if len(ds.values) == 1 {
+		return ErrEmptyDataset
+	}
+	nv := make([]float64, 0, len(ds.values)-1)
+	nw := make([]float64, 0, len(ds.weights)-1)
+	nv = append(append(nv, ds.values[:at]...), ds.values[at+1:]...)
+	nw = append(append(nw, ds.weights[:at]...), ds.weights[at+1:]...)
+	return s.swapIn(ctx, ds, nv, nw)
+}
+
+// swapIn rebuilds from the new master arrays and publishes the snapshot
+// (copy-on-rebuild: readers never see intermediate state). Caller holds
+// ds.updMu.
+func (s *Service) swapIn(ctx context.Context, ds *dataset, nv, nw []float64) error {
+	snap, err := s.build(ctx, ds.name, ds.requested, nv, nw, "rebuild")
+	if err != nil {
+		return err
+	}
+	ds.values, ds.weights = nv, nw
+	ds.publish(snap)
+	s.rebuilds.Add(1)
+	return nil
+}
+
+// Health returns the current counters and per-dataset states.
+func (s *Service) Health() Health {
+	h := Health{
+		Requests:        s.requests.Load(),
+		Failures:        s.failures.Load(),
+		PanicsContained: s.panicsContained.Load(),
+		Downgrades:      s.downgrades.Load(),
+		Rebuilds:        s.rebuilds.Load(),
+	}
+	if s.opts.Mirror != nil {
+		h.EMFaults = s.opts.Mirror.FaultsInjected()
+	}
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for n := range s.datasets {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		ds := s.datasets[n]
+		snap := ds.snapshot()
+		h.Datasets = append(h.Datasets, DatasetHealth{
+			Name:      n,
+			Requested: ds.requested,
+			Active:    snap.active,
+			Degraded:  snap.active != ds.requested,
+			Len:       snap.sampler.Len(),
+		})
+	}
+	s.mu.RUnlock()
+	return h
+}
+
+// Downgrades returns a copy of the recorded fallback events.
+func (s *Service) Downgrades() []DowngradeEvent {
+	s.evMu.Lock()
+	defer s.evMu.Unlock()
+	return append([]DowngradeEvent(nil), s.events...)
+}
