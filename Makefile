@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz bench experiments examples cover
+.PHONY: all build vet test race chaos fuzz bench experiments examples cover serve loadtest
 
 all: build vet test
 
@@ -36,3 +36,12 @@ examples:
 
 cover:
 	go test -cover ./internal/...
+
+# Run the sharded HTTP query server until Ctrl-C (SIGINT drains cleanly).
+serve:
+	go run ./cmd/iqsserve -addr 127.0.0.1:8080 -shards 4
+
+# Self-contained load test: in-process server + 32 clients for 10s, with
+# a small admission window so backpressure (429s) is visible.
+loadtest:
+	go run ./cmd/iqsserve -load -addr 127.0.0.1:0 -duration 10s -clients 32 -inflight 8

@@ -5,7 +5,9 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/alias"
@@ -22,6 +24,7 @@ import (
 	"repro/internal/rangetree"
 	"repro/internal/rng"
 	"repro/internal/setunion"
+	"repro/internal/shard"
 	"repro/internal/treesample"
 )
 
@@ -526,4 +529,52 @@ func BenchmarkE16Halfplane(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		dst, _, _ = ix.Query(r, q, 16, dst[:0])
 	}
+}
+
+// --- S1: sharded coordinator -----------------------------------------
+
+func BenchmarkS1ShardedSample(b *testing.B) {
+	const n = 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ctx := context.Background()
+	for _, k := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			coord, err := shard.New(ctx, "bench", values, nil, shard.Options{Shards: k})
+			if err != nil {
+				b.Fatal(err)
+			}
+			r := rng.New(7)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Sample(ctx, r, 0, n/2, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkS1ShardedSampleParallel(b *testing.B) {
+	const n = 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ctx := context.Background()
+	coord, err := shard.New(ctx, "bench", values, nil, shard.Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var seq atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(100 + seq.Add(1))
+		for pb.Next() {
+			if _, err := coord.Sample(ctx, r, 0, n/2, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

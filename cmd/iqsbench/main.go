@@ -29,7 +29,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iqsbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		expID = fs.String("experiment", "", "experiment id (E1..E14, A1..A3)")
+		expID = fs.String("experiment", "", "experiment id (E1..E16, A1..A3, S1)")
 		all   = fs.Bool("all", false, "run every experiment")
 		list  = fs.Bool("list", false, "list experiments")
 		seed  = fs.Uint64("seed", 42, "random seed")

@@ -1,16 +1,18 @@
-// Command iqsserve runs the hardened query service under load: it
-// spins up N client goroutines issuing mixed query/update traffic
-// against datasets hosted by internal/service while the EM mirror
-// device injects transient faults, then prints a health summary —
-// requests, failures, contained panics, downgrades, rebuilds, and
-// per-dataset state.
+// Command iqsserve serves independent range-sampling queries over
+// HTTP: it range-partitions a dataset into K shards (internal/shard),
+// fronts the coordinator with the admission-controlled JSON API of
+// internal/server, and drains cleanly on SIGINT/SIGTERM.
 //
-//	iqsserve -clients 16 -requests 20000 -fault 0.05
+//	iqsserve -addr 127.0.0.1:8080 -shards 4 -n 65536
+//	curl 'http://127.0.0.1:8080/sample?lo=100&hi=900&k=8'
 //
-// The point of the demo: with faults injected into every mirror I/O at
-// the given probability, the process never crashes, every failed
-// request gets a typed error, and datasets that cannot rebuild degrade
-// to the naive baseline instead of going dark.
+// With -load it doubles as its own load generator: the server starts
+// in-process and -clients HTTP clients hammer it for -duration, then
+// the run reports throughput, latency percentiles, and how often
+// admission control shed requests (429 busy / 503 draining).
+//
+// With -fault > 0 every shard gets a fault-injected EM mirror, so the
+// PR 1 degradation machinery is live under HTTP traffic too.
 package main
 
 import (
@@ -18,153 +20,237 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
+	"sort"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/em"
+	"repro/internal/server"
 	"repro/internal/service"
+	"repro/internal/shard"
 )
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+func parseKind(name string) (core.Kind, error) {
+	for _, k := range []core.Kind{core.KindChunked, core.KindAliasAug, core.KindTreeWalk, core.KindNaive} {
+		if k.String() == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q (want chunked|aliasaug|treewalk|naive)", name)
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iqsserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		clients  = fs.Int("clients", 16, "concurrent client goroutines")
-		requests = fs.Int("requests", 20000, "total requests across all clients")
-		fault    = fs.Float64("fault", 0.05, "EM fault probability per mirror I/O")
-		n        = fs.Int("n", 4096, "elements per dataset")
-		seed     = fs.Uint64("seed", 42, "random seed")
-		timeout  = fs.Duration("timeout", 5*time.Second, "per-request timeout")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		shards   = fs.Int("shards", 4, "shard count K")
+		seed     = fs.Uint64("seed", 42, "base random seed")
+		duration = fs.Duration("duration", 0, "auto-stop after this long; 0 means run until SIGINT/SIGTERM")
+		n        = fs.Int("n", 1<<16, "dataset size")
+		kindName = fs.String("kind", "chunked", "per-shard structure: chunked|aliasaug|treewalk|naive")
+		timeout  = fs.Duration("timeout", 5*time.Second, "per-request deadline")
+		inflight = fs.Int("inflight", 64, "max concurrently executing requests")
+		queue    = fs.Int("queue", 0, "max waiting requests beyond inflight before 429; 0 means 2x inflight")
+		fault    = fs.Float64("fault", 0, "EM fault probability per mirror I/O; 0 disables the mirrors")
+		load     = fs.Bool("load", false, "load-generator mode: serve in-process and hammer with -clients")
+		clients  = fs.Int("clients", 16, "concurrent load clients (with -load)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: iqsserve [-clients N] [-requests N] [-fault P] [-n N] [-seed S] [-timeout D]")
+		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *clients < 1 || *requests < 1 || *fault < 0 || *fault > 1 || *n < 2 {
+	if *shards < 1 || *n < 2 || *inflight < 1 || *queue < 0 || *timeout <= 0 ||
+		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
 	}
-
-	dev, err := em.NewDevice(64, 1<<16)
+	kind, err := parseKind(*kindName)
 	if err != nil {
 		fmt.Fprintf(stderr, "iqsserve: %v\n", err)
-		return 1
+		return 2
 	}
-	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: *fault, WriteFailProb: *fault, Seed: *seed})
-	svc := service.New(service.Options{
-		Mirror:      dev,
-		Retry:       em.RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond},
-		BuildBudget: 30 * time.Second,
-	})
+	if *load && *duration == 0 {
+		*duration = 2 * time.Second
+	}
 
-	ctx := context.Background()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *duration > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *duration)
+		defer cancel()
+	}
+
+	var svcOpts func(int) service.Options
+	var devs []*em.Device
+	if *fault > 0 {
+		devs = make([]*em.Device, *shards)
+		for i := range devs {
+			dev, err := em.NewDevice(64, 1<<16)
+			if err != nil {
+				fmt.Fprintf(stderr, "iqsserve: %v\n", err)
+				return 1
+			}
+			dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: *fault, WriteFailProb: *fault, Seed: *seed + uint64(i) + 1})
+			devs[i] = dev
+		}
+		svcOpts = func(i int) service.Options {
+			return service.Options{
+				Mirror:      devs[i],
+				Retry:       em.RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond},
+				BuildBudget: 30 * time.Second,
+			}
+		}
+	}
+
 	values := make([]float64, *n)
 	for i := range values {
 		values[i] = float64(i)
 	}
-	if err := svc.Create(ctx, "queries", core.KindChunked, values, nil); err != nil {
-		fmt.Fprintf(stderr, "iqsserve: create queries: %v\n", err)
-		return 1
-	}
-	if err := svc.Create(ctx, "updates", core.KindChunked, values[:min(*n, 512)], nil); err != nil {
-		fmt.Fprintf(stderr, "iqsserve: create updates: %v\n", err)
+	coord, err := shard.New(context.Background(), "iqs", values, nil, shard.Options{
+		Shards:  *shards,
+		Kind:    kind,
+		Service: svcOpts,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "iqsserve: build engine: %v\n", err)
 		return 1
 	}
 
-	fmt.Fprintf(stdout, "iqsserve: %d clients, %d requests, fault p=%.3g on mirror I/O\n",
-		*clients, *requests, *fault)
-	start := time.Now()
+	srv := server.New(coord, server.Options{
+		MaxInFlight: *inflight,
+		MaxQueue:    *queue,
+		Timeout:     *timeout,
+		Seed:        *seed,
+	})
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "iqsserve: listen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "iqsserve: listening on %s (%d shards, n=%d, kind=%s, inflight=%d)\n",
+		l.Addr(), *shards, *n, kind, *inflight)
 
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	if *load {
+		runLoad(ctx, stdout, "http://"+l.Addr().String(), *clients, *n, *seed)
+	} else {
+		<-ctx.Done()
+	}
+
+	shctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shctx); err != nil {
+		fmt.Fprintf(stderr, "iqsserve: shutdown: %v\n", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && err != http.ErrServerClosed {
+		fmt.Fprintf(stderr, "iqsserve: serve: %v\n", err)
+		return 1
+	}
+
+	h := coord.Health()
+	fmt.Fprintf(stdout, "iqsserve: drained cleanly (engine requests %d, failures %d, panics contained %d, downgrades %d",
+		h.Aggregate.Requests, h.Aggregate.Failures, h.Aggregate.PanicsContained, h.Aggregate.Downgrades)
+	if devs != nil {
+		var faults int64
+		for _, dev := range devs {
+			faults += dev.FaultsInjected()
+		}
+		fmt.Fprintf(stdout, ", EM faults %d", faults)
+	}
+	fmt.Fprintln(stdout, ")")
+	return 0
+}
+
+// runLoad hammers base with clients goroutines until ctx expires, then
+// reports throughput, latency percentiles, and admission-control sheds.
+func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int, seed uint64) {
+	fmt.Fprintf(stdout, "iqsserve: load mode, %d clients against %s\n", clients, base)
 	var (
-		wg                 sync.WaitGroup
-		issued, errTyped   atomic.Int64
-		errUntyped, canned atomic.Int64
+		wg                     sync.WaitGroup
+		ok, busy, gone, failed atomic.Int64
+		mu                     sync.Mutex
+		lats                   []time.Duration
 	)
-	perClient := (*requests + *clients - 1) / *clients
-	hi := float64(*n - 1)
-	for g := 0; g < *clients; g++ {
+	start := time.Now()
+	for g := 0; g < clients; g++ {
 		wg.Add(1)
 		go func(g int) {
 			defer wg.Done()
-			r := core.NewRand(*seed + uint64(g) + 1)
-			var inserted []float64
-			for i := 0; i < perClient; i++ {
-				rctx, cancel := context.WithTimeout(ctx, *timeout)
-				var err error
-				switch i % 8 {
-				case 0, 1, 2, 3:
-					_, err = svc.Sample(rctx, r, "queries", hi*r.Float64()/2, hi, 8)
-				case 4:
-					_, err = svc.SampleWoR(rctx, r, "queries", 0, hi, 16)
-				case 5:
-					_, err = svc.Count(rctx, "queries", 0, hi*r.Float64())
-				case 6:
-					v := float64(1_000_000 + g*100_000 + i)
-					if err = svc.Insert(rctx, "updates", v, 1+r.Float64()); err == nil {
-						inserted = append(inserted, v)
-					}
-				case 7:
-					if len(inserted) > 0 {
-						v := inserted[len(inserted)-1]
-						if err = svc.Delete(rctx, "updates", v); err == nil {
-							inserted = inserted[:len(inserted)-1]
-						}
-					}
+			r := core.NewRand(seed + uint64(g) + 1)
+			cli := &http.Client{Timeout: 30 * time.Second}
+			var local []time.Duration
+			for i := 0; ctx.Err() == nil; i++ {
+				lo := float64(r.Intn(n / 2))
+				hi := lo + float64(1+r.Intn(n/2))
+				url := fmt.Sprintf("%s/sample?lo=%g&hi=%g&k=8", base, lo, hi)
+				if i%8 == 7 {
+					url += "&wor=true"
 				}
-				cancel()
-				issued.Add(1)
+				req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 				if err != nil {
-					if service.IsTyped(err) {
-						errTyped.Add(1)
-						if err == context.DeadlineExceeded {
-							canned.Add(1)
-						}
-					} else {
-						errUntyped.Add(1)
+					failed.Add(1)
+					continue
+				}
+				t0 := time.Now()
+				resp, err := cli.Do(req)
+				if err != nil {
+					if ctx.Err() == nil {
+						failed.Add(1)
 					}
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+					local = append(local, time.Since(t0))
+				case http.StatusTooManyRequests:
+					busy.Add(1)
+				case http.StatusServiceUnavailable:
+					gone.Add(1)
+				default:
+					failed.Add(1)
 				}
 			}
+			mu.Lock()
+			lats = append(lats, local...)
+			mu.Unlock()
 		}(g)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
-	h := svc.Health()
-	fmt.Fprintf(stdout, "\ndone in %v (%.0f req/s)\n", elapsed.Round(time.Millisecond),
-		float64(issued.Load())/elapsed.Seconds())
-	fmt.Fprintf(stdout, "requests          %d\n", h.Requests)
-	fmt.Fprintf(stdout, "failures          %d (typed %d, timeouts %d, untyped %d)\n",
-		h.Failures, errTyped.Load(), canned.Load(), errUntyped.Load())
-	fmt.Fprintf(stdout, "panics contained  %d\n", h.PanicsContained)
-	fmt.Fprintf(stdout, "downgrades        %d\n", h.Downgrades)
-	fmt.Fprintf(stdout, "rebuilds          %d\n", h.Rebuilds)
-	fmt.Fprintf(stdout, "EM faults         %d (injected by device)\n", dev.FaultsInjected())
-	fmt.Fprintln(stdout, "datasets:")
-	for _, d := range h.Datasets {
-		state := "ok"
-		if d.Degraded {
-			state = "DEGRADED"
-		}
-		fmt.Fprintf(stdout, "  %-10s requested=%-9v active=%-9v len=%-7d %s\n",
-			d.Name, d.Requested, d.Active, d.Len, state)
+	total := ok.Load() + busy.Load() + gone.Load() + failed.Load()
+	fmt.Fprintf(stdout, "load: %d requests in %v (%.0f req/s)\n",
+		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "load: ok %d, shed 429 (busy) %d, shed 503 (draining) %d, failed %d\n",
+		ok.Load(), busy.Load(), gone.Load(), failed.Load())
+	if len(lats) > 0 {
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		pct := func(p float64) time.Duration { return lats[min(len(lats)-1, int(p*float64(len(lats))))] }
+		fmt.Fprintf(stdout, "load: latency p50 %v, p95 %v, p99 %v, max %v\n",
+			pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond),
+			pct(0.99).Round(time.Microsecond), lats[len(lats)-1].Round(time.Microsecond))
 	}
-	for _, ev := range svc.Downgrades() {
-		fmt.Fprintf(stdout, "downgrade: %s %s during %s: %s\n", ev.Time.Format("15:04:05.000"), ev.Dataset, ev.Op, ev.Reason)
-	}
-	if errUntyped.Load() > 0 {
-		fmt.Fprintln(stderr, "iqsserve: untyped errors escaped the service boundary")
-		return 1
-	}
-	return 0
 }

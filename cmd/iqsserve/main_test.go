@@ -2,33 +2,91 @@ package main
 
 import (
 	"bytes"
+	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
 
-func TestRunSmallLoad(t *testing.T) {
-	var out, errw bytes.Buffer
-	code := run([]string{"-clients", "4", "-requests", "400", "-n", "256", "-fault", "0.05"}, &out, &errw)
-	if code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+func TestRunBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-shards", "0"},
+		{"-n", "1"},
+		{"-inflight", "0"},
+		{"-fault", "2"},
+		{"-duration", "-1s"},
+		{"-kind", "btree"},
+		{"-no-such-flag"},
 	}
-	s := out.String()
-	for _, want := range []string{"requests", "panics contained", "downgrades", "EM faults", "datasets:"} {
-		if !strings.Contains(s, want) {
-			t.Errorf("health summary missing %q:\n%s", want, s)
+	for _, args := range cases {
+		var out, errw bytes.Buffer
+		if code := run(args, &out, &errw); code != 2 {
+			t.Errorf("%v: exit %d, want 2 (stderr: %s)", args, code, errw.String())
 		}
 	}
 }
 
-func TestRunBadFlags(t *testing.T) {
+// TestRunServeMode starts the server for a bounded duration and checks
+// it comes up, auto-stops, and drains cleanly with exit 0.
+func TestRunServeMode(t *testing.T) {
 	var out, errw bytes.Buffer
-	if code := run([]string{"-fault", "2"}, &out, &errw); code == 0 {
-		t.Fatal("fault probability > 1 must exit non-zero")
+	code := run([]string{"-addr", "127.0.0.1:0", "-duration", "200ms", "-n", "1024", "-shards", "3"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
 	}
-	if !strings.Contains(errw.String(), "usage:") {
-		t.Errorf("missing usage, got: %s", errw.String())
+	s := out.String()
+	if !strings.Contains(s, "listening on") {
+		t.Errorf("no listening banner:\n%s", s)
 	}
-	if code := run([]string{"-no-such"}, &out, &errw); code == 0 {
-		t.Fatal("unknown flag must exit non-zero")
+	if !strings.Contains(s, "drained cleanly") {
+		t.Errorf("no clean-drain report:\n%s", s)
+	}
+}
+
+// TestRunLoadMode runs the built-in load generator against a tiny
+// admission window: with 8 clients and only inflight=1/queue=1 the
+// server must shed with 429s while still serving traffic, and the run
+// must still drain cleanly.
+func TestRunLoadMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-load", "-addr", "127.0.0.1:0", "-duration", "600ms",
+		"-clients", "8", "-inflight", "1", "-queue", "1", "-n", "1024",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	s := out.String()
+	m := regexp.MustCompile(`ok (\d+), shed 429 \(busy\) (\d+)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no load report:\n%s", s)
+	}
+	okN, _ := strconv.Atoi(m[1])
+	busyN, _ := strconv.Atoi(m[2])
+	if okN == 0 {
+		t.Errorf("load run served nothing:\n%s", s)
+	}
+	if busyN == 0 {
+		t.Errorf("admission control never engaged (no 429s) despite inflight=1 and 8 clients:\n%s", s)
+	}
+	if !strings.Contains(s, "drained cleanly") {
+		t.Errorf("no clean-drain report:\n%s", s)
+	}
+}
+
+// TestRunLoadModeWithFaults keeps the PR 1 chaos contract alive over
+// HTTP: fault-injected shard mirrors under load traffic must not crash
+// the binary or poison the exit code.
+func TestRunLoadModeWithFaults(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-load", "-addr", "127.0.0.1:0", "-duration", "400ms",
+		"-clients", "4", "-n", "512", "-fault", "0.05", "-shards", "2",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "EM faults") {
+		t.Errorf("no EM fault report:\n%s", out.String())
 	}
 }

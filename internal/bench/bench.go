@@ -49,6 +49,7 @@ func All() []Experiment {
 		{"A1", "Ablation: chunk-size constant in Theorem 3", RunA1},
 		{"A2", "Ablation: alias vs CDF binary search for cover sampling", RunA2},
 		{"A3", "Ablation: dynamic alias vs rebuild-per-update", RunA3},
+		{"S1", "Sharded coordinator vs single node: throughput and latency", RunS1},
 	}
 }
 

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// RunS1 measures what sharding buys (and costs): range-sampling
+// throughput and per-query latency of a single service instance vs a
+// shard.Coordinator at K ∈ {2, 4, 8}, sequentially and under 8
+// concurrent clients. Sequential sharded queries pay the fan-out and
+// budget-split overhead; the concurrent rows show the per-shard
+// services absorbing the parallelism.
+func RunS1(w io.Writer, seed uint64) {
+	const (
+		n       = 1 << 16
+		budget  = 64
+		queries = 400
+		clients = 8
+	)
+	fmt.Fprintf(w, "S1 — sharded coordinator vs single node (n = 2^16, s = %d, %d queries)\n", budget, queries)
+	t := newTable(w, "engine", "seq_us/query", "seq_qps", "conc8_us/query", "conc8_qps")
+
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ctx := context.Background()
+
+	type engine struct {
+		name   string
+		sample func(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error)
+	}
+	var engines []engine
+
+	svc := service.New(service.Options{})
+	if err := svc.Create(ctx, "single", core.KindChunked, values, nil); err != nil {
+		panic(err)
+	}
+	engines = append(engines, engine{"single", func(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+		return svc.Sample(ctx, r, "single", lo, hi, k)
+	}})
+
+	for _, k := range []int{2, 4, 8} {
+		coord, err := shard.New(ctx, "bench", values, nil, shard.Options{Shards: k})
+		if err != nil {
+			panic(err)
+		}
+		engines = append(engines, engine{fmt.Sprintf("shard K=%d", k), coord.Sample})
+	}
+
+	for _, e := range engines {
+		// Sequential: one client, median-of-3 timed passes.
+		rSeq := core.NewRand(seed + 1)
+		seq := medianTime(3, func() {
+			for i := 0; i < queries; i++ {
+				lo := float64(rSeq.Intn(n / 2))
+				hi := lo + float64(n/4)
+				if _, err := e.sample(ctx, rSeq, lo, hi, budget); err != nil {
+					panic(err)
+				}
+			}
+		})
+
+		// Concurrent: 8 clients, each with its own rng stream, splitting
+		// the same total query count.
+		start := time.Now()
+		var wg sync.WaitGroup
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				r := core.NewRand(seed + uint64(c) + 100)
+				for i := 0; i < queries/clients; i++ {
+					lo := float64(r.Intn(n / 2))
+					hi := lo + float64(n/4)
+					if _, err := e.sample(ctx, r, lo, hi, budget); err != nil {
+						panic(err)
+					}
+				}
+			}(c)
+		}
+		wg.Wait()
+		conc := time.Since(start)
+
+		concQueries := (queries / clients) * clients
+		t.row(e.name,
+			nsPerOp(seq, queries)/1e3, float64(queries)/seq.Seconds(),
+			nsPerOp(conc, concQueries)/1e3, float64(concQueries)/conc.Seconds())
+	}
+	t.flush()
+}

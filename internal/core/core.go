@@ -129,6 +129,22 @@ func ValidateRange(lo, hi float64) error {
 type RangeSampler struct {
 	kind  Kind
 	inner rangesample.Sampler
+	// prefix[i] is the total weight of the i smallest elements, built
+	// once per construction so RangeWeight is O(log n) — the lookup the
+	// sharded coordinator performs per shard per query to split sample
+	// budgets.
+	prefix []float64
+}
+
+// finishRangeSampler wraps a built structure, computing the weight
+// prefix sums every construction path shares.
+func finishRangeSampler(kind Kind, inner rangesample.Sampler) *RangeSampler {
+	n := inner.Len()
+	prefix := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i] + inner.Weight(i)
+	}
+	return &RangeSampler{kind: kind, inner: inner, prefix: prefix}
 }
 
 // NewRangeSampler builds a sampler of the given kind over values and
@@ -163,7 +179,7 @@ func NewRangeSampler(kind Kind, values, weights []float64) (*RangeSampler, error
 	if err != nil {
 		return nil, err
 	}
-	return &RangeSampler{kind: kind, inner: inner}, nil
+	return finishRangeSampler(kind, inner), nil
 }
 
 // Kind returns the structure kind.
@@ -171,6 +187,24 @@ func (s *RangeSampler) Kind() Kind { return s.kind }
 
 // Len returns the number of stored elements.
 func (s *RangeSampler) Len() int { return s.inner.Len() }
+
+// TotalWeight returns the total weight of all stored elements.
+func (s *RangeSampler) TotalWeight() float64 { return s.prefix[len(s.prefix)-1] }
+
+// RangeWeight returns the total weight of S ∩ [lo, hi] in O(log n) via
+// the construction-time prefix sums; an invalid range weighs 0.
+func (s *RangeSampler) RangeWeight(lo, hi float64) float64 {
+	if ValidateRange(lo, hi) != nil {
+		return 0
+	}
+	n := s.inner.Len()
+	a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
+	b := sort.Search(n, func(i int) bool { return s.inner.Value(i) > hi })
+	if a >= b {
+		return 0
+	}
+	return s.prefix[b] - s.prefix[a]
+}
 
 // Sample draws k independent weighted samples from S ∩ [lo, hi],
 // returned as values. ok is false when the range is empty.

@@ -51,7 +51,7 @@ func NewRangeSamplerContext(ctx context.Context, kind Kind, values, weights []fl
 			}
 			return nil, err
 		}
-		return &RangeSampler{kind: kind, inner: inner}, nil
+		return finishRangeSampler(kind, inner), nil
 	}
 	s, err := NewRangeSampler(kind, values, weights)
 	if err != nil {

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+func TestRangeWeight(t *testing.T) {
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	weights := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	for _, kind := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		s, err := NewRangeSampler(kind, values, weights)
+		if err != nil {
+			t.Fatalf("%v: %v", kind, err)
+		}
+		cases := []struct {
+			lo, hi float64
+			want   float64
+		}{
+			{math.Inf(-1), math.Inf(1), 36},
+			{1, 8, 36},
+			{2, 4, 9},
+			{4.5, 4.9, 0},
+			{8, 8, 8},
+			{9, 10, 0},
+			{-5, 0, 0},
+			{3, 2, 0}, // inverted range weighs 0
+		}
+		for _, c := range cases {
+			if got := s.RangeWeight(c.lo, c.hi); math.Abs(got-c.want) > 1e-9 {
+				t.Errorf("%v: RangeWeight(%v, %v) = %v, want %v", kind, c.lo, c.hi, got, c.want)
+			}
+		}
+		if got := s.TotalWeight(); math.Abs(got-36) > 1e-9 {
+			t.Errorf("%v: TotalWeight() = %v, want 36", kind, got)
+		}
+	}
+}
+
+// TestRangeWeightContextBuild checks the chunked context-aware
+// construction path also carries the prefix sums.
+func TestRangeWeightContextBuild(t *testing.T) {
+	values := []float64{10, 20, 30}
+	weights := []float64{1, 2, 4}
+	s, err := NewRangeSamplerContext(context.Background(), KindChunked, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.RangeWeight(15, 30); math.Abs(got-6) > 1e-9 {
+		t.Errorf("RangeWeight(15, 30) = %v, want 6", got)
+	}
+}

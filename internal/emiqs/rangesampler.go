@@ -3,7 +3,6 @@ package emiqs
 import (
 	"math"
 
-	"repro/internal/alias"
 	"repro/internal/em"
 	"repro/internal/rng"
 )
@@ -271,7 +270,12 @@ func (rs *RangeSampler) Query(r *rng.Source, x, y float64, s int, dst []float64)
 	for i, p := range pieces {
 		weights[i] = float64(p.count)
 	}
-	counts := alias.MustNew(weights).Counts(r, s)
+	counts, err := rng.Multinomial(r, s, weights)
+	if err != nil {
+		// Piece counts are positive by construction; a failure here is a
+		// broken invariant, not an input error.
+		panic(err)
+	}
 
 	for pi, cnt := range counts {
 		if cnt == 0 {

@@ -1,0 +1,108 @@
+package rng
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrBadMultinomial is returned by Multinomial for weights that are
+// negative, NaN or infinite, or that sum to zero (or overflow to +Inf).
+var ErrBadMultinomial = errors.New("rng: multinomial weights must be non-negative, finite, with positive sum")
+
+// Multinomial draws one sample from the multinomial distribution: s
+// independent category draws with P(category i) = weights[i]/ΣW,
+// returned as per-category counts. The marginal of counts[i] is
+// Binomial(s, weights[i]/ΣW). Zero weights are allowed and always
+// receive count 0; s ≤ 0 returns all-zero counts.
+//
+// This is the "multinomial split" primitive of Lemma 2 / Theorem 3 —
+// how a sample budget is divided across canonical pieces (and, at the
+// system level, across shards) so that per-piece sampling composes into
+// an exact global sample. It uses the same Walker alias mechanism as
+// internal/alias.Counts, reimplemented here because package alias
+// depends on rng; callers that already hold an *alias.Alias should keep
+// using Counts. O(len(weights) + s) time.
+func Multinomial(r *Source, s int, weights []float64) ([]int, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("%w: no categories", ErrBadMultinomial)
+	}
+	counts := make([]int, n)
+	// Collect the strictly positive categories; the draw runs over those
+	// and maps back through idx.
+	idx := make([]int, 0, n)
+	pos := make([]float64, 0, n)
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 1) {
+			return nil, fmt.Errorf("%w: weights[%d] = %v", ErrBadMultinomial, i, w)
+		}
+		if w > 0 {
+			idx = append(idx, i)
+			pos = append(pos, w)
+			total += w
+		}
+	}
+	if !(total > 0) || math.IsInf(total, 1) {
+		return nil, fmt.Errorf("%w: total = %v", ErrBadMultinomial, total)
+	}
+	if s <= 0 {
+		return counts, nil
+	}
+	if len(pos) == 1 {
+		counts[idx[0]] = s
+		return counts, nil
+	}
+
+	// Walker alias construction over the positive categories (see
+	// internal/alias for the annotated version): scale so the average urn
+	// load is 1, then pair each under-full urn with an over-full one.
+	m := len(pos)
+	prob := make([]float64, m)
+	alias := make([]int32, m)
+	scaled := make([]float64, m)
+	scale := float64(m) / total
+	for i, w := range pos {
+		scaled[i] = w * scale
+	}
+	small := make([]int32, 0, m)
+	large := make([]int32, 0, m)
+	for i := m - 1; i >= 0; i-- {
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		sm := small[len(small)-1]
+		small = small[:len(small)-1]
+		lg := large[len(large)-1]
+		prob[sm] = scaled[sm]
+		alias[sm] = lg
+		scaled[lg] -= 1 - scaled[sm]
+		if scaled[lg] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, lg)
+		}
+	}
+	for _, lg := range large {
+		prob[lg] = 1
+		alias[lg] = lg
+	}
+	for _, sm := range small {
+		prob[sm] = 1
+		alias[sm] = sm
+	}
+
+	for i := 0; i < s; i++ {
+		u := r.Intn(m)
+		j := u
+		if r.Float64() >= prob[u] {
+			j = int(alias[u])
+		}
+		counts[idx[j]]++
+	}
+	return counts, nil
+}

@@ -1,0 +1,127 @@
+package rng
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestMultinomialCountsSumToBudget(t *testing.T) {
+	r := New(1)
+	weights := []float64{3, 0, 1, 2.5, 0.5}
+	for _, s := range []int{0, 1, 7, 1000} {
+		counts, err := Multinomial(r, s, weights)
+		if err != nil {
+			t.Fatalf("Multinomial(s=%d): %v", s, err)
+		}
+		if len(counts) != len(weights) {
+			t.Fatalf("got %d counts, want %d", len(counts), len(weights))
+		}
+		sum := 0
+		for i, c := range counts {
+			if c < 0 {
+				t.Fatalf("negative count at %d", i)
+			}
+			if weights[i] == 0 && c != 0 {
+				t.Fatalf("zero-weight category %d got %d draws", i, c)
+			}
+			sum += c
+		}
+		if sum != s {
+			t.Fatalf("counts sum to %d, want %d", sum, s)
+		}
+	}
+}
+
+// TestMultinomialBinomialMarginals checks that counts[i] behaves like
+// Binomial(s, w_i/W): over many trials the empirical mean and variance
+// must match s·p and s·p·(1−p) within generous sampling tolerance.
+func TestMultinomialBinomialMarginals(t *testing.T) {
+	r := New(7)
+	weights := []float64{5, 1, 0, 3, 1}
+	totalW := 10.0
+	const (
+		s      = 200
+		trials = 4000
+	)
+	sums := make([]float64, len(weights))
+	sqSums := make([]float64, len(weights))
+	for tr := 0; tr < trials; tr++ {
+		counts, err := Multinomial(r, s, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, c := range counts {
+			sums[i] += float64(c)
+			sqSums[i] += float64(c) * float64(c)
+		}
+	}
+	for i, w := range weights {
+		p := w / totalW
+		mean := sums[i] / trials
+		variance := sqSums[i]/trials - mean*mean
+		wantMean := float64(s) * p
+		wantVar := float64(s) * p * (1 - p)
+		// Mean of `trials` i.i.d. Binomials has sd sqrt(wantVar/trials);
+		// allow 6 sigma. Variance allowed a loose 20% relative band.
+		if tol := 6 * math.Sqrt(wantVar/trials); math.Abs(mean-wantMean) > tol+1e-9 {
+			t.Errorf("category %d: mean %.3f, want %.3f ± %.3f", i, mean, wantMean, tol)
+		}
+		if wantVar > 0 && math.Abs(variance-wantVar) > 0.2*wantVar+1 {
+			t.Errorf("category %d: variance %.3f, want ≈ %.3f", i, variance, wantVar)
+		}
+	}
+}
+
+func TestMultinomialSingleCategory(t *testing.T) {
+	r := New(3)
+	counts, err := Multinomial(r, 42, []float64{0, 9, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[0] != 0 || counts[1] != 42 || counts[2] != 0 {
+		t.Fatalf("got %v, want all 42 draws on category 1", counts)
+	}
+}
+
+func TestMultinomialBadWeights(t *testing.T) {
+	r := New(5)
+	for _, weights := range [][]float64{
+		nil,
+		{},
+		{0, 0},
+		{1, -0.5},
+		{1, math.NaN()},
+		{1, math.Inf(1)},
+	} {
+		if _, err := Multinomial(r, 10, weights); !errors.Is(err, ErrBadMultinomial) {
+			t.Errorf("weights %v: got err %v, want ErrBadMultinomial", weights, err)
+		}
+	}
+}
+
+// TestMultinomialChiSquare checks the joint distribution against the
+// weights with a chi-square goodness-of-fit on one large draw. (The
+// alias package cannot be imported here — it depends on rng — so the
+// equivalence with alias.Counts is distributional, not bitwise.)
+func TestMultinomialChiSquare(t *testing.T) {
+	r := New(11)
+	weights := []float64{8, 4, 2, 1, 1}
+	totalW := 16.0
+	const s = 160000
+	counts, err := Multinomial(r, s, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := 0.0
+	for i, w := range weights {
+		e := float64(s) * w / totalW
+		d := float64(counts[i]) - e
+		stat += d * d / e
+	}
+	// dof = 4; P(χ²₄ > 23) ≈ 1.3e-4 — a deterministic seed keeps this
+	// stable across runs.
+	if stat > 23 {
+		t.Fatalf("chi-square %.2f too large for counts %v", stat, counts)
+	}
+}

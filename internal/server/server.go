@@ -1,0 +1,409 @@
+// Package server is the stdlib net/http serving front end over the
+// sharded batch query engine: JSON endpoints for single queries
+// (/sample), batched queries (/batch), liveness (/healthz), and
+// operational counters (/stats), hardened the same way the layers
+// below are:
+//
+//   - Admission control: at most MaxInFlight requests execute
+//     concurrently; up to MaxQueue more may wait. Past that the server
+//     sheds load with 429 Too Many Requests (and Retry-After) instead
+//     of queueing unboundedly; during drain every request gets 503.
+//
+//   - Per-request deadlines: each admitted request runs under a
+//     context.WithTimeout derived from the connection context, so the
+//     cancellation plumbing of internal/core bounds tail latency even
+//     for pathological queries.
+//
+//   - Graceful shutdown: Shutdown flips the server into draining mode
+//     (healthz turns 503, new work is refused) and then lets in-flight
+//     requests finish via http.Server.Shutdown.
+//
+// Randomness: the server owns a base seed and gives every request its
+// own derived rng stream, so concurrent requests never share a Source
+// and repeated identical requests return fresh independent samples —
+// the IQS contract, now over HTTP.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// Engine is the query backend the server fronts; *shard.Coordinator
+// implements it.
+type Engine interface {
+	Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error)
+	SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error)
+	Batch(ctx context.Context, r *core.Rand, queries []shard.Query) []shard.Result
+	Count(ctx context.Context, lo, hi float64) (int, error)
+	Health() shard.Health
+	Downgrades() []shard.Downgrade
+}
+
+// Options configures a Server.
+type Options struct {
+	// MaxInFlight bounds concurrently executing requests; 0 means 64.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot before the
+	// server sheds with 429; 0 means 2×MaxInFlight.
+	MaxQueue int
+	// Timeout is the per-request deadline; 0 means 5s.
+	Timeout time.Duration
+	// Seed is the base of the per-request rng streams.
+	Seed uint64
+	// MaxBatch bounds queries per /batch request; 0 means 256.
+	MaxBatch int
+	// MaxK bounds the sample budget of one query; 0 means 1<<20.
+	MaxK int
+}
+
+// Server serves the engine over HTTP. Create with New.
+type Server struct {
+	eng  Engine
+	opts Options
+
+	sem      chan struct{}
+	queued   atomic.Int64
+	draining atomic.Bool
+	reqSeq   atomic.Uint64
+
+	served       atomic.Int64
+	failed       atomic.Int64 // requests answered with a 4xx/5xx error body
+	rejectedBusy atomic.Int64 // 429: queue full
+	rejectedGone atomic.Int64 // 503: draining or deadline while queued
+
+	hs *http.Server
+}
+
+// New returns a server fronting eng.
+func New(eng Engine, opts Options) *Server {
+	if opts.MaxInFlight <= 0 {
+		opts.MaxInFlight = 64
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 2 * opts.MaxInFlight
+	}
+	if opts.Timeout <= 0 {
+		opts.Timeout = 5 * time.Second
+	}
+	if opts.MaxBatch <= 0 {
+		opts.MaxBatch = 256
+	}
+	if opts.MaxK <= 0 {
+		opts.MaxK = 1 << 20
+	}
+	s := &Server{
+		eng:  eng,
+		opts: opts,
+		sem:  make(chan struct{}, opts.MaxInFlight),
+	}
+	s.hs = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s
+}
+
+// Handler returns the route mux (exported for httptest).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sample", s.handleSample)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Serve accepts connections on l until Shutdown. It returns
+// http.ErrServerClosed after a clean drain, like net/http.
+func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
+
+// Shutdown drains gracefully: new requests are refused with 503 while
+// in-flight ones finish (bounded by ctx).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.hs.Shutdown(ctx)
+}
+
+// Stats is the /stats payload.
+type Stats struct {
+	Served       int64           `json:"served"`
+	Failed       int64           `json:"failed"`
+	RejectedBusy int64           `json:"rejected_429"`
+	RejectedGone int64           `json:"rejected_503"`
+	InFlight     int             `json:"in_flight"`
+	Queued       int64           `json:"queued"`
+	Draining     bool            `json:"draining"`
+	Engine       shard.Health    `json:"engine"`
+	Downgrades   []downgradeJSON `json:"downgrades,omitempty"`
+}
+
+type downgradeJSON struct {
+	Shard   int    `json:"shard"`
+	Dataset string `json:"dataset"`
+	From    string `json:"from"`
+	Op      string `json:"op"`
+	Reason  string `json:"reason"`
+	Time    string `json:"time"`
+}
+
+// admit implements the backpressure contract. It returns a release
+// func and 0 on admission, or the HTTP status the request must be shed
+// with (429 queue full, 503 draining/expired while queued).
+func (s *Server) admit(ctx context.Context) (func(), int) {
+	if s.draining.Load() {
+		s.rejectedGone.Add(1)
+		return nil, http.StatusServiceUnavailable
+	}
+	if q := s.queued.Add(1); q > int64(s.opts.MaxInFlight+s.opts.MaxQueue) {
+		s.queued.Add(-1)
+		s.rejectedBusy.Add(1)
+		return nil, http.StatusTooManyRequests
+	}
+	select {
+	case s.sem <- struct{}{}:
+		s.queued.Add(-1)
+		return func() { <-s.sem }, 0
+	case <-ctx.Done():
+		s.queued.Add(-1)
+		s.rejectedGone.Add(1)
+		return nil, http.StatusServiceUnavailable
+	}
+}
+
+// statusOf maps the typed error vocabulary to HTTP statuses. Untyped
+// errors map to 500 — the chaos tests prove none occur.
+func statusOf(err error) int {
+	var ie *service.InternalError
+	switch {
+	case errors.Is(err, core.ErrBadRange), errors.Is(err, core.ErrBadValue), errors.Is(err, core.ErrBadWeight):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrEmptyRange), errors.Is(err, core.ErrSampleTooLarge):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	case errors.As(err, &ie):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
+	s.failed.Add(1)
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// shed answers a request refused by admission control.
+func (s *Server) shed(w http.ResponseWriter, status int) {
+	if status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, status, map[string]string{"error": http.StatusText(status)})
+}
+
+// requestRand derives a fresh rng stream for one request.
+func (s *Server) requestRand() *core.Rand {
+	return rng.New(s.opts.Seed + 0x9e3779b97f4a7c15*s.reqSeq.Add(1))
+}
+
+// sampleParams are the /sample inputs, accepted as query parameters
+// (GET) or a JSON body (POST).
+type sampleParams struct {
+	Lo  float64 `json:"lo"`
+	Hi  float64 `json:"hi"`
+	K   int     `json:"k"`
+	WoR bool    `json:"wor"`
+}
+
+func parseSampleParams(r *http.Request) (sampleParams, error) {
+	var p sampleParams
+	if r.Method == http.MethodPost {
+		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
+			return p, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return p, nil
+	}
+	q := r.URL.Query()
+	var err error
+	if p.Lo, err = strconv.ParseFloat(q.Get("lo"), 64); err != nil {
+		return p, fmt.Errorf("bad lo: %q", q.Get("lo"))
+	}
+	if p.Hi, err = strconv.ParseFloat(q.Get("hi"), 64); err != nil {
+		return p, fmt.Errorf("bad hi: %q", q.Get("hi"))
+	}
+	if p.K, err = strconv.Atoi(q.Get("k")); err != nil {
+		return p, fmt.Errorf("bad k: %q", q.Get("k"))
+	}
+	if wor := q.Get("wor"); wor != "" {
+		if p.WoR, err = strconv.ParseBool(wor); err != nil {
+			return p, fmt.Errorf("bad wor: %q", wor)
+		}
+	}
+	return p, nil
+}
+
+func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+	release, status := s.admit(r.Context())
+	if status != 0 {
+		s.shed(w, status)
+		return
+	}
+	defer release()
+	p, err := parseSampleParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if p.K < 0 || p.K > s.opts.MaxK {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("k = %d out of [0, %d]", p.K, s.opts.MaxK))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	start := time.Now()
+	var out []float64
+	if p.WoR {
+		out, err = s.eng.SampleWoR(ctx, s.requestRand(), p.Lo, p.Hi, p.K)
+	} else {
+		out, err = s.eng.Sample(ctx, s.requestRand(), p.Lo, p.Hi, p.K)
+	}
+	if err != nil {
+		s.writeError(w, statusOf(err), err)
+		return
+	}
+	s.served.Add(1)
+	if out == nil {
+		out = []float64{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"samples":    out,
+		"count":      len(out),
+		"elapsed_us": time.Since(start).Microseconds(),
+	})
+}
+
+// batchRequest is the /batch body.
+type batchRequest struct {
+	Queries []sampleParams `json:"queries"`
+}
+
+// batchResult is one entry of the /batch response.
+type batchResult struct {
+	Samples []float64 `json:"samples,omitempty"`
+	Error   string    `json:"error,omitempty"`
+	Status  int       `json:"status"`
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	release, status := s.admit(r.Context())
+	if status != 0 {
+		s.shed(w, status)
+		return
+	}
+	defer release()
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return
+	}
+	if len(req.Queries) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty batch"))
+		return
+	}
+	if len(req.Queries) > s.opts.MaxBatch {
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d exceeds limit %d", len(req.Queries), s.opts.MaxBatch))
+		return
+	}
+	queries := make([]shard.Query, len(req.Queries))
+	for i, q := range req.Queries {
+		if q.K < 0 || q.K > s.opts.MaxK {
+			s.writeError(w, http.StatusBadRequest, fmt.Errorf("queries[%d]: k = %d out of [0, %d]", i, q.K, s.opts.MaxK))
+			return
+		}
+		queries[i] = shard.Query{Lo: q.Lo, Hi: q.Hi, K: q.K, WoR: q.WoR}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	results := s.eng.Batch(ctx, s.requestRand(), queries)
+	out := make([]batchResult, len(results))
+	for i, res := range results {
+		if res.Err != nil {
+			out[i] = batchResult{Error: res.Err.Error(), Status: statusOf(res.Err)}
+			continue
+		}
+		samples := res.Samples
+		if samples == nil {
+			samples = []float64{}
+		}
+		out[i] = batchResult{Samples: samples, Status: http.StatusOK}
+	}
+	s.served.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	h := s.eng.Health()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"shards":   h.Shards,
+		"len":      h.Len,
+		"degraded": h.Degraded,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{
+		Served:       s.served.Load(),
+		Failed:       s.failed.Load(),
+		RejectedBusy: s.rejectedBusy.Load(),
+		RejectedGone: s.rejectedGone.Load(),
+		InFlight:     len(s.sem),
+		Queued:       s.queued.Load(),
+		Draining:     s.draining.Load(),
+		Engine:       s.eng.Health(),
+	}
+	for _, d := range s.eng.Downgrades() {
+		st.Downgrades = append(st.Downgrades, downgradeJSON{
+			Shard:   d.Shard,
+			Dataset: d.Event.Dataset,
+			From:    d.Event.From.String(),
+			Op:      d.Event.Op,
+			Reason:  d.Event.Reason,
+			Time:    d.Event.Time.Format(time.RFC3339Nano),
+		})
+	}
+	writeJSON(w, http.StatusOK, st)
+}

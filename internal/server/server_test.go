@@ -1,0 +1,376 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/shard"
+)
+
+func newTestServer(t *testing.T, n, shards int, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "http", values, nil, shard.Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int) map[string]any {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return m
+}
+
+func TestSampleEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 1000, 4, Options{})
+	m := getJSON(t, ts.URL+"/sample?lo=100&hi=899&k=32", http.StatusOK)
+	samples := m["samples"].([]any)
+	if len(samples) != 32 {
+		t.Fatalf("got %d samples", len(samples))
+	}
+	for _, s := range samples {
+		v := s.(float64)
+		if v < 100 || v > 899 {
+			t.Fatalf("sample %v outside range", v)
+		}
+	}
+	// WoR flavour.
+	m = getJSON(t, ts.URL+"/sample?lo=0&hi=999&k=50&wor=true", http.StatusOK)
+	seen := map[float64]bool{}
+	for _, s := range m["samples"].([]any) {
+		v := s.(float64)
+		if seen[v] {
+			t.Fatalf("duplicate %v in WoR response", v)
+		}
+		seen[v] = true
+	}
+	// Independence across identical requests: two calls must differ.
+	a := fmt.Sprint(getJSON(t, ts.URL+"/sample?lo=0&hi=999&k=16", http.StatusOK)["samples"])
+	b := fmt.Sprint(getJSON(t, ts.URL+"/sample?lo=0&hi=999&k=16", http.StatusOK)["samples"])
+	if a == b {
+		t.Fatal("two identical requests returned identical samples — rng streams shared")
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	_, ts := newTestServer(t, 100, 2, Options{MaxK: 1000})
+	cases := []struct {
+		query string
+		want  int
+	}{
+		{"lo=abc&hi=1&k=1", http.StatusBadRequest},
+		{"lo=0&hi=1&k=zzz", http.StatusBadRequest},
+		{"lo=5&hi=1&k=1", http.StatusBadRequest},              // inverted range
+		{"lo=0.2&hi=0.8&k=1", http.StatusUnprocessableEntity}, // empty range
+		{"lo=0&hi=99&k=101&wor=true", http.StatusUnprocessableEntity},
+		{"lo=0&hi=99&k=5000", http.StatusBadRequest}, // beyond MaxK
+	}
+	for _, c := range cases {
+		m := getJSON(t, ts.URL+"/sample?"+c.query, c.want)
+		if m["error"] == nil || m["error"] == "" {
+			t.Errorf("%s: no error message", c.query)
+		}
+	}
+	resp, err := http.Head(ts.URL + "/sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("HEAD /sample: %d", resp.StatusCode)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, 500, 4, Options{MaxBatch: 4})
+	body := `{"queries":[
+		{"lo":0,"hi":499,"k":8},
+		{"lo":10,"hi":20,"k":5,"wor":true},
+		{"lo":9,"hi":3,"k":1}
+	]}`
+	resp, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch status %d", resp.StatusCode)
+	}
+	var out struct {
+		Results []struct {
+			Samples []float64 `json:"samples"`
+			Error   string    `json:"error"`
+			Status  int       `json:"status"`
+		} `json:"results"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 3 {
+		t.Fatalf("got %d results", len(out.Results))
+	}
+	if out.Results[0].Status != 200 || len(out.Results[0].Samples) != 8 {
+		t.Fatalf("q0: %+v", out.Results[0])
+	}
+	if out.Results[1].Status != 200 || len(out.Results[1].Samples) != 5 {
+		t.Fatalf("q1: %+v", out.Results[1])
+	}
+	if out.Results[2].Status != http.StatusBadRequest || out.Results[2].Error == "" {
+		t.Fatalf("q2: %+v", out.Results[2])
+	}
+
+	// Oversized and malformed batches are refused whole.
+	over := batchRequest{Queries: make([]sampleParams, 5)}
+	raw, _ := json.Marshal(over)
+	resp2, err := http.Post(ts.URL+"/batch", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized batch: %d", resp2.StatusCode)
+	}
+	resp3, err := http.Post(ts.URL+"/batch", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed batch: %d", resp3.StatusCode)
+	}
+}
+
+func TestHealthzAndStats(t *testing.T) {
+	_, ts := newTestServer(t, 300, 3, Options{})
+	m := getJSON(t, ts.URL+"/healthz", http.StatusOK)
+	if m["status"] != "ok" || m["shards"].(float64) != 3 || m["len"].(float64) != 300 {
+		t.Fatalf("healthz: %v", m)
+	}
+	getJSON(t, ts.URL+"/sample?lo=0&hi=299&k=4", http.StatusOK)
+	st := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if st["served"].(float64) < 1 {
+		t.Fatalf("stats served: %v", st["served"])
+	}
+	eng := st["engine"].(map[string]any)
+	if eng["Shards"].(float64) != 3 {
+		t.Fatalf("stats engine: %v", eng)
+	}
+}
+
+// slowEngine wedges Sample until released, to fill admission slots
+// deterministically.
+type slowEngine struct {
+	inner   Engine
+	release chan struct{}
+}
+
+func (s *slowEngine) Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	return s.inner.Sample(ctx, r, lo, hi, k)
+}
+
+func (s *slowEngine) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return s.inner.SampleWoR(ctx, r, lo, hi, k)
+}
+func (s *slowEngine) Batch(ctx context.Context, r *core.Rand, q []shard.Query) []shard.Result {
+	return s.inner.Batch(ctx, r, q)
+}
+func (s *slowEngine) Count(ctx context.Context, lo, hi float64) (int, error) {
+	return s.inner.Count(ctx, lo, hi)
+}
+func (s *slowEngine) Health() shard.Health          { return s.inner.Health() }
+func (s *slowEngine) Downgrades() []shard.Downgrade { return s.inner.Downgrades() }
+
+func TestAdmissionControl429(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "adm", values, nil, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowEngine{inner: eng, release: make(chan struct{})}
+	srv := New(slow, Options{MaxInFlight: 2, MaxQueue: 1, Timeout: 10 * time.Second})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Saturate the 2 execution slots plus the full waiter allowance
+	// (MaxInFlight+MaxQueue = 3 waiting requests).
+	var wg sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, err := http.Get(ts.URL + "/sample?lo=0&hi=99&k=1")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	// Wait until all five are inside admission (2 executing + 3 queued).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(srv.sem) == 2 && srv.queued.Load() == 3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("saturation never reached: in-flight %d queued %d", len(srv.sem), srv.queued.Load())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// The next request must shed with 429 + Retry-After.
+	resp, err := http.Get(ts.URL + "/sample?lo=0&hi=99&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(slow.release)
+	wg.Wait()
+	if srv.rejectedBusy.Load() == 0 {
+		t.Error("429 not counted")
+	}
+}
+
+func TestGracefulShutdown(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "drain", values, nil, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowEngine{inner: eng, release: make(chan struct{})}
+	srv := New(slow, Options{MaxInFlight: 4, Timeout: 10 * time.Second})
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(l) }()
+	base := "http://" + l.Addr().String()
+
+	// One in-flight request...
+	inflight := make(chan int, 1)
+	go func() {
+		resp, err := http.Get(base + "/sample?lo=0&hi=99&k=1")
+		if err != nil {
+			inflight <- -1
+			return
+		}
+		resp.Body.Close()
+		inflight <- resp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for len(srv.sem) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("in-flight request never admitted")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// ...then shutdown: it must wait for the in-flight request, refuse
+	// new ones with 503, and Serve must return ErrServerClosed.
+	shutDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		shutDone <- srv.Shutdown(ctx)
+	}()
+	for !srv.draining.Load() {
+		time.Sleep(time.Millisecond)
+	}
+	// Draining: healthz flips to 503; direct handler avoids the closed
+	// listener.
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("healthz while draining: %d, want 503", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/sample?lo=0&hi=99&k=1", nil))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Errorf("sample while draining: %d, want 503", rec.Code)
+	}
+
+	close(slow.release)
+	if code := <-inflight; code != http.StatusOK {
+		t.Errorf("in-flight request during drain finished with %d, want 200", code)
+	}
+	if err := <-shutDone; err != nil {
+		t.Errorf("Shutdown: %v", err)
+	}
+	if err := <-serveDone; err != http.ErrServerClosed {
+		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
+	}
+	if srv.rejectedGone.Load() == 0 {
+		t.Error("503 not counted")
+	}
+}
+
+func TestRequestDeadline(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "slow", values, nil, shard.Options{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := &slowEngine{inner: eng, release: make(chan struct{})} // never released
+	srv := New(slow, Options{Timeout: 50 * time.Millisecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	start := time.Now()
+	resp, err := http.Get(ts.URL + "/sample?lo=0&hi=99&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled request: %d, want 504", resp.StatusCode)
+	}
+	if e := time.Since(start); e > 3*time.Second {
+		t.Fatalf("deadline not enforced: took %v", e)
+	}
+}

@@ -366,6 +366,29 @@ func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, 
 	return out, nil
 }
 
+// RangeWeight returns the total weight of S ∩ [lo, hi] in O(log n). The
+// sharded coordinator calls it per shard per query to split the sample
+// budget multinomially over in-range shard weights.
+func (s *Service) RangeWeight(ctx context.Context, name string, lo, hi float64) (w float64, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	if err = ctx.Err(); err != nil {
+		return 0, err
+	}
+	snap := ds.snapshot()
+	err = s.guard(snap.active, "rangeweight", func() error {
+		w = snap.sampler.RangeWeight(lo, hi)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	return w, nil
+}
+
 // Count returns |S ∩ [lo, hi]|.
 func (s *Service) Count(ctx context.Context, name string, lo, hi float64) (n int, err error) {
 	defer s.track(&err)()

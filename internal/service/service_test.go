@@ -208,3 +208,25 @@ func TestCallerCancellationIsNotDowngraded(t *testing.T) {
 		t.Fatalf("caller cancellation must not create/degrade: %+v", h)
 	}
 }
+
+func TestRangeWeight(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	values := []float64{1, 2, 3, 4}
+	weights := []float64{1, 2, 3, 4}
+	if err := s.Create(ctx, "d", core.KindChunked, values, weights); err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.RangeWeight(ctx, "d", 2, 3)
+	if err != nil || math.Abs(w-5) > 1e-9 {
+		t.Fatalf("RangeWeight(2, 3) = %v, %v; want 5", w, err)
+	}
+	if _, err := s.RangeWeight(ctx, "missing", 0, 1); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := s.RangeWeight(canceled, "d", 0, 1); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled: %v", err)
+	}
+}

@@ -1,0 +1,188 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+// TestChaosShardedFanOutUnderFaults extends the PR 1 chaos contract to
+// the sharded coordinator: 24 concurrent clients push mixed traffic
+// through a K=4 coordinator whose shards each own a fault-injected EM
+// mirror (p = 0.05 per I/O). Proved here, under -race:
+//
+//   - zero panics escape (contained per shard as *service.InternalError);
+//   - every error crossing the coordinator is in the typed vocabulary;
+//   - surviving samples stay uniform (chi-squared), i.e. faults never
+//     bias the merged distribution;
+//   - forced rebuild faults degrade exactly the owning shard, the
+//     coordinator aggregates the downgrade events with correct shard
+//     tags, and the aggregate counter equals the per-shard sum.
+func TestChaosShardedFanOutUnderFaults(t *testing.T) {
+	const (
+		shards  = 4
+		n       = 512
+		clients = 24
+		perCli  = 200
+	)
+	devs := make([]*em.Device, shards)
+	for i := range devs {
+		dev, err := em.NewDevice(64, 4096)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 0.05, WriteFailProb: 0.05, Seed: uint64(i + 1)})
+		devs[i] = dev
+	}
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ctx := context.Background()
+	c, err := New(ctx, "chaos", values, nil, Options{
+		Shards: shards,
+		Service: func(i int) service.Options {
+			return service.Options{
+				Mirror:      devs[i],
+				Retry:       em.RetryPolicy{MaxAttempts: 8, BaseDelay: 20 * time.Microsecond, MaxDelay: 200 * time.Microsecond},
+				BuildBudget: 10 * time.Second,
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		wg      sync.WaitGroup
+		mu      sync.Mutex
+		bins    = make([]int, n)
+		badErrs []error
+	)
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			r := core.NewRand(uint64(9000 + g))
+			local := make([]int, n)
+			var localBad []error
+			var inserted []float64
+			for i := 0; i < perCli; i++ {
+				qctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+				var err error
+				switch i % 8 {
+				case 0, 1, 2, 3:
+					var out []float64
+					out, err = c.Sample(qctx, r, 0, n-1, 8)
+					for _, v := range out {
+						local[int(v)]++
+					}
+				case 4:
+					_, err = c.SampleWoR(qctx, r, 0, n-1, 16)
+				case 5:
+					_, err = c.Count(qctx, float64(r.Intn(n)), n-1)
+				case 6:
+					v := float64(1_000_000 + g*10_000 + i)
+					if err = c.Insert(qctx, v, 1+r.Float64()); err == nil {
+						inserted = append(inserted, v)
+					}
+				case 7:
+					if len(inserted) > 0 {
+						v := inserted[len(inserted)-1]
+						if err = c.Delete(qctx, v); err == nil {
+							inserted = inserted[:len(inserted)-1]
+						}
+					} else {
+						err = c.Delete(qctx, -math.Pi) // missing: must fail typed
+					}
+				}
+				cancel()
+				if err != nil && !service.IsTyped(err) {
+					localBad = append(localBad, err)
+				}
+			}
+			mu.Lock()
+			for b, cnt := range local {
+				bins[b] += cnt
+			}
+			badErrs = append(badErrs, localBad...)
+			mu.Unlock()
+		}(g)
+	}
+	wg.Wait()
+
+	for _, e := range badErrs {
+		t.Errorf("untyped error crossed the coordinator boundary: %v", e)
+	}
+	faults := int64(0)
+	for _, dev := range devs {
+		faults += dev.FaultsInjected()
+	}
+	if faults == 0 {
+		t.Fatal("no EM faults injected — the chaos exercised nothing")
+	}
+
+	total := 0
+	for _, cnt := range bins {
+		total += cnt
+	}
+	if total < 10000 {
+		t.Fatalf("only %d surviving samples", total)
+	}
+	chi2, err := stats.ChiSquareUniform(bins)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := stats.ChiSquareCritical(n-1, 1e-4); chi2 > crit {
+		t.Errorf("surviving merged samples not uniform: chi2 = %.1f > crit %.1f over %d samples", chi2, crit, total)
+	}
+
+	h := c.Health()
+	if h.Aggregate.Requests == 0 {
+		t.Fatal("aggregate health lost all requests")
+	}
+	var perShardDowngrades int64
+	for _, sh := range h.PerShard {
+		perShardDowngrades += sh.Downgrades
+	}
+	if h.Aggregate.Downgrades != perShardDowngrades {
+		t.Errorf("aggregate downgrades %d != per-shard sum %d", h.Aggregate.Downgrades, perShardDowngrades)
+	}
+	if int64(len(c.Downgrades())) != perShardDowngrades {
+		t.Errorf("Downgrades() returned %d events, counters say %d", len(c.Downgrades()), perShardDowngrades)
+	}
+	t.Logf("aggregate after chaos: %+v (EM faults %d)", h.Aggregate, faults)
+
+	// Forced rebuild faults on shard 0's mirror only: an update routed
+	// into shard 0 must degrade that shard alone, with a correctly
+	// tagged event.
+	devs[0].SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 1, WriteFailProb: 1, Seed: 99})
+	before := len(c.Downgrades())
+	if err := c.Insert(ctx, -1, 1); err != nil { // -1 routes below shard 0's data
+		t.Fatalf("insert under forced faults should degrade, not fail: %v", err)
+	}
+	evs := c.Downgrades()
+	if len(evs) <= before {
+		t.Fatal("forced rebuild fault recorded no downgrade event")
+	}
+	last := evs[len(evs)-1]
+	if last.Shard != 0 || last.Event.Op != "rebuild" {
+		t.Fatalf("downgrade mis-tagged: %+v", last)
+	}
+	h = c.Health()
+	if h.Degraded != 1 {
+		t.Fatalf("exactly shard 0 should be degraded, got %d degraded shards", h.Degraded)
+	}
+	// The degraded shard keeps answering through the coordinator.
+	out, err := c.Sample(ctx, core.NewRand(31), -1, 10, 8)
+	if err != nil || len(out) != 8 {
+		t.Fatalf("degraded shard stopped answering: %v, %d", err, len(out))
+	}
+}

@@ -1,0 +1,496 @@
+// Package shard scales the hardened query service horizontally: a
+// Coordinator range-partitions one dataset into K shards, hosts each
+// shard in its own internal/service instance — inheriting per-shard
+// cancellation, panic containment, and graceful degradation — and
+// answers global queries by splitting the sample budget across the
+// shards that overlap the query range.
+//
+// Correctness of the split is the paper's own canonical-decomposition
+// argument (Lemma 2 / Theorem 3, and the weighted-partition sampling of
+// Afshani–Phillips) lifted from tree nodes to shards. S ∩ q is the
+// disjoint union of the per-shard S_i ∩ q, so:
+//
+//   - WR/weighted: draw per-shard budgets (s_1..s_K) ~ Multinomial(s,
+//     W_i/W) over the in-range shard weights W_i (rng.Multinomial, the
+//     alias.Counts mechanism), then draw s_i weighted samples inside
+//     shard i. The merged multiset is s independent global weighted
+//     samples, exactly.
+//
+//   - WoR: per-shard budgets follow the multivariate hypergeometric
+//     law instead, realised by drawing a global uniform WoR sample of
+//     ranks with wor.UniformWoR (Floyd) and bucketing it by shard
+//     prefix counts. Uniform WoR subsets of each shard then compose
+//     into a uniform WoR subset of S ∩ q — never with a duplicate,
+//     because the shards are disjoint by construction.
+//
+// Fan-out runs on a bounded worker pool with a per-shard context
+// derived from the request context: the first shard error cancels the
+// siblings, and per-shard downgrade/fault events aggregate into one
+// coordinator-level health view.
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/wor"
+)
+
+// Options configures a Coordinator.
+type Options struct {
+	// Shards is the partition count K; at least 1. Shards exceeding the
+	// number of distinct values are collapsed (a shard never starts
+	// empty).
+	Shards int
+	// Kind is the per-shard index structure; the zero value is
+	// core.KindChunked.
+	Kind core.Kind
+	// Workers bounds the fan-out worker pool; 0 means Shards.
+	Workers int
+	// Service, when non-nil, supplies the service.Options for shard i —
+	// the hook chaos tests use to give each shard its own fault-injected
+	// EM mirror. Nil means zero Options for every shard.
+	Service func(shard int) service.Options
+}
+
+// Query is one batched range-sampling request.
+type Query struct {
+	Lo, Hi float64
+	K      int
+	WoR    bool
+}
+
+// Result is the outcome of one batched query.
+type Result struct {
+	Samples []float64
+	Err     error
+}
+
+// Downgrade tags a per-shard service downgrade event with its shard
+// index, for coordinator-level aggregation.
+type Downgrade struct {
+	Shard int
+	Event service.DowngradeEvent
+}
+
+// Health aggregates the per-shard service health views.
+type Health struct {
+	Shards    int
+	Len       int            // total elements across shards
+	Degraded  int            // shards currently serving a fallback kind
+	Aggregate service.Health // counters summed across shards
+	PerShard  []service.Health
+}
+
+// host is one shard: a dedicated service instance and the half-open
+// value interval [lo, hi) it owns for update routing.
+type host struct {
+	svc    *service.Service
+	lo, hi float64
+}
+
+// Coordinator routes range-sampling traffic over K range-partitioned
+// shards. All methods are safe for concurrent use; callers supply one
+// *core.Rand per goroutine, as everywhere else in this repository.
+type Coordinator struct {
+	name    string
+	kind    core.Kind
+	workers int
+	hosts   []host
+}
+
+// dsName is the dataset name each shard's service hosts its slice
+// under.
+const dsName = "shard"
+
+// New range-partitions values (and weights; nil means uniform) into
+// opts.Shards contiguous runs of near-equal size and builds one service
+// instance per run. Values with equal keys always land in the same
+// shard, so update routing by value is deterministic.
+func New(ctx context.Context, name string, values, weights []float64, opts Options) (*Coordinator, error) {
+	if opts.Shards < 1 {
+		return nil, fmt.Errorf("%w: shards = %d", core.ErrBadValue, opts.Shards)
+	}
+	if len(values) == 0 {
+		return nil, service.ErrEmptyDataset
+	}
+	if weights != nil && len(weights) != len(values) {
+		return nil, fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
+	}
+	type pair struct{ v, w float64 }
+	pairs := make([]pair, len(values))
+	for i, v := range values {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		pairs[i] = pair{v, w}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+
+	// Cut into K near-equal runs, advancing each cut past duplicates so
+	// equal values never straddle a boundary.
+	k := opts.Shards
+	if k > len(pairs) {
+		k = len(pairs)
+	}
+	var runs [][2]int // [start, end)
+	start := 0
+	for i := 0; i < k && start < len(pairs); i++ {
+		end := start + (len(pairs)-start)/(k-i)
+		if end <= start {
+			end = start + 1
+		}
+		for end < len(pairs) && pairs[end].v == pairs[end-1].v {
+			end++
+		}
+		runs = append(runs, [2]int{start, end})
+		start = end
+	}
+
+	c := &Coordinator{name: name, kind: opts.Kind, workers: opts.Workers}
+	if c.workers <= 0 {
+		c.workers = len(runs)
+	}
+	for i, run := range runs {
+		sv := make([]float64, 0, run[1]-run[0])
+		sw := make([]float64, 0, run[1]-run[0])
+		for _, p := range pairs[run[0]:run[1]] {
+			sv = append(sv, p.v)
+			sw = append(sw, p.w)
+		}
+		var sopts service.Options
+		if opts.Service != nil {
+			sopts = opts.Service(i)
+		}
+		svc := service.New(sopts)
+		if err := svc.Create(ctx, dsName, opts.Kind, sv, sw); err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		lo := math.Inf(-1)
+		if i > 0 {
+			lo = pairs[run[0]].v
+		}
+		hi := math.Inf(1)
+		if i < len(runs)-1 {
+			hi = pairs[runs[i+1][0]].v
+		}
+		c.hosts = append(c.hosts, host{svc: svc, lo: lo, hi: hi})
+	}
+	return c, nil
+}
+
+// Shards returns the shard count.
+func (c *Coordinator) Shards() int { return len(c.hosts) }
+
+// Name returns the dataset name the coordinator was created with.
+func (c *Coordinator) Name() string { return c.name }
+
+// overlapping returns the indices of shards whose owned interval
+// intersects [lo, hi].
+func (c *Coordinator) overlapping(lo, hi float64) []int {
+	out := make([]int, 0, len(c.hosts))
+	for i, h := range c.hosts {
+		// Shard i owns values in [h.lo, h.hi); it overlaps the closed
+		// query [lo, hi] unless the query ends before the shard starts
+		// or starts at/after the shard's exclusive end.
+		if hi < h.lo || lo >= h.hi {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// owner returns the index of the shard whose interval contains value
+// (the intervals tile the real line, so the first shard ending past the
+// value owns it).
+func (c *Coordinator) owner(value float64) int {
+	for i, h := range c.hosts {
+		if value < h.hi {
+			return i
+		}
+	}
+	return len(c.hosts) - 1
+}
+
+// fanOut runs draw for every shard with a positive budget on the
+// bounded worker pool, each under a context that the first error
+// cancels. Each task gets its own rng stream, split from r in
+// deterministic order before any goroutine starts. The merged samples
+// come back shuffled with r so the output order carries no shard
+// signal.
+func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, budgets []int,
+	draw func(ctx context.Context, r *core.Rand, shard, k int) ([]float64, error)) ([]float64, error) {
+
+	type job struct {
+		shard, k int
+		r        *core.Rand
+	}
+	jobs := make([]job, 0, len(shards))
+	total := 0
+	for i, s := range shards {
+		if budgets[i] <= 0 {
+			continue
+		}
+		jobs = append(jobs, job{shard: s, k: budgets[i], r: r.Split()})
+		total += budgets[i]
+	}
+	if len(jobs) == 0 {
+		return nil, nil
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, c.workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	parts := make([][]float64, len(jobs))
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-fctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fctx.Err()
+				}
+				mu.Unlock()
+				return
+			}
+			j := jobs[ji]
+			out, err := draw(fctx, j.r, j.shard, j.k)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel() // first error stops the sibling shards
+				return
+			}
+			parts[ji] = out
+		}(ji)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		// Prefer the caller's own cancellation cause over the derived
+		// context's when both fired.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return nil, firstErr
+	}
+	merged := make([]float64, 0, total)
+	for _, p := range parts {
+		merged = append(merged, p...)
+	}
+	r.Shuffle(len(merged), func(i, j int) { merged[i], merged[j] = merged[j], merged[i] })
+	return merged, nil
+}
+
+// Sample draws k independent weighted samples from S ∩ [lo, hi],
+// splitting the budget multinomially over in-range shard weights and
+// fanning out. Returns core.ErrEmptyRange when no shard holds in-range
+// weight.
+func (c *Coordinator) Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	shards := c.overlapping(lo, hi)
+	weights := make([]float64, len(shards))
+	total := 0.0
+	for i, s := range shards {
+		w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		weights[i] = w
+		total += w
+	}
+	if !(total > 0) {
+		return nil, core.ErrEmptyRange
+	}
+	budgets, err := rng.Multinomial(r, k, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
+	}
+	return c.fanOut(ctx, r, shards, budgets, func(ctx context.Context, r *core.Rand, shard, k int) ([]float64, error) {
+		return c.hosts[shard].svc.Sample(ctx, r, dsName, lo, hi, k)
+	})
+}
+
+// SampleWoR draws a uniformly random size-k subset of S ∩ [lo, hi]
+// without replacement (uniform-weight regime). The per-shard budgets
+// are multivariate hypergeometric — a global uniform WoR rank draw
+// bucketed by shard prefix counts — so the merged subset is exactly
+// uniform over all size-k subsets, with no duplicates possible across
+// the disjoint shards.
+func (c *Coordinator) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	shards := c.overlapping(lo, hi)
+	counts := make([]int, len(shards))
+	total := 0
+	for i, s := range shards {
+		n, err := c.hosts[s].svc.Count(ctx, dsName, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		counts[i] = n
+		total += n
+	}
+	if k > total || total == 0 {
+		return nil, core.ErrSampleTooLarge
+	}
+	if k <= 0 {
+		return nil, nil
+	}
+	ranks, err := wor.UniformWoR(r, total, k)
+	if err != nil {
+		return nil, err
+	}
+	budgets := make([]int, len(shards))
+	for _, rank := range ranks {
+		for i := range shards {
+			if rank < counts[i] {
+				budgets[i]++
+				break
+			}
+			rank -= counts[i]
+		}
+	}
+	return c.fanOut(ctx, r, shards, budgets, func(ctx context.Context, r *core.Rand, shard, k int) ([]float64, error) {
+		return c.hosts[shard].svc.SampleWoR(ctx, r, dsName, lo, hi, k)
+	})
+}
+
+// Count returns |S ∩ [lo, hi]| summed across shards.
+func (c *Coordinator) Count(ctx context.Context, lo, hi float64) (int, error) {
+	total := 0
+	for _, s := range c.overlapping(lo, hi) {
+		n, err := c.hosts[s].svc.Count(ctx, dsName, lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// RangeWeight returns the total weight of S ∩ [lo, hi] summed across
+// shards.
+func (c *Coordinator) RangeWeight(ctx context.Context, lo, hi float64) (float64, error) {
+	total := 0.0
+	for _, s := range c.overlapping(lo, hi) {
+		w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
+		if err != nil {
+			return 0, err
+		}
+		total += w
+	}
+	return total, nil
+}
+
+// Insert routes the element to the shard owning its value. The static
+// partition bounds are kept: a shard absorbs all inserts falling in its
+// interval.
+func (c *Coordinator) Insert(ctx context.Context, value, weight float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: value = %v", core.ErrBadValue, value)
+	}
+	return c.hosts[c.owner(value)].svc.Insert(ctx, dsName, value, weight)
+}
+
+// Delete routes the removal to the shard owning the value.
+func (c *Coordinator) Delete(ctx context.Context, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: value = %v", core.ErrBadValue, value)
+	}
+	return c.hosts[c.owner(value)].svc.Delete(ctx, dsName, value)
+}
+
+// Batch answers queries concurrently on the worker pool, one Result per
+// query in order. Each query gets its own rng stream split from r;
+// per-query errors land in the Result rather than failing the batch.
+func (c *Coordinator) Batch(ctx context.Context, r *core.Rand, queries []Query) []Result {
+	results := make([]Result, len(queries))
+	rands := make([]*core.Rand, len(queries))
+	for i := range queries {
+		rands[i] = r.Split()
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers)
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			q := queries[i]
+			if q.WoR {
+				results[i].Samples, results[i].Err = c.SampleWoR(ctx, rands[i], q.Lo, q.Hi, q.K)
+			} else {
+				results[i].Samples, results[i].Err = c.Sample(ctx, rands[i], q.Lo, q.Hi, q.K)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Health sums the per-shard counters and reports each shard's view.
+func (c *Coordinator) Health() Health {
+	h := Health{Shards: len(c.hosts)}
+	for _, hs := range c.hosts {
+		sh := hs.svc.Health()
+		h.PerShard = append(h.PerShard, sh)
+		h.Aggregate.Requests += sh.Requests
+		h.Aggregate.Failures += sh.Failures
+		h.Aggregate.PanicsContained += sh.PanicsContained
+		h.Aggregate.Downgrades += sh.Downgrades
+		h.Aggregate.Rebuilds += sh.Rebuilds
+		h.Aggregate.EMFaults += sh.EMFaults
+		for _, d := range sh.Datasets {
+			h.Len += d.Len
+			if d.Degraded {
+				h.Degraded++
+			}
+		}
+	}
+	return h
+}
+
+// Downgrades returns every shard's downgrade events tagged with the
+// shard index.
+func (c *Coordinator) Downgrades() []Downgrade {
+	var out []Downgrade
+	for i, hs := range c.hosts {
+		for _, ev := range hs.svc.Downgrades() {
+			out = append(out, Downgrade{Shard: i, Event: ev})
+		}
+	}
+	return out
+}

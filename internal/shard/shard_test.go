@@ -1,0 +1,402 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/stats"
+)
+
+func mkCoordinator(t *testing.T, n, k int, weighted bool) (*Coordinator, []float64, []float64) {
+	t.Helper()
+	r := core.NewRand(17)
+	values := make([]float64, n)
+	var weights []float64
+	if weighted {
+		weights = make([]float64, n)
+	}
+	for i := range values {
+		values[i] = float64(i)
+		if weighted {
+			weights[i] = 0.5 + 9*r.Float64()
+		}
+	}
+	c, err := New(context.Background(), "test", values, weights, Options{Shards: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, values, weights
+}
+
+func TestPartitionCoversInput(t *testing.T) {
+	ctx := context.Background()
+	c, values, _ := mkCoordinator(t, 1000, 4, true)
+	if c.Shards() != 4 {
+		t.Fatalf("Shards() = %d, want 4", c.Shards())
+	}
+	n, err := c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if err != nil || n != len(values) {
+		t.Fatalf("global Count = %d, %v; want %d", n, err, len(values))
+	}
+	h := c.Health()
+	if h.Len != len(values) || h.Shards != 4 || h.Degraded != 0 {
+		t.Fatalf("health: %+v", h)
+	}
+	// A sub-range count must agree with the brute-force count.
+	lo, hi := 123.0, 771.0
+	n, err = c.Count(ctx, lo, hi)
+	if err != nil || n != 649 {
+		t.Fatalf("Count(%v, %v) = %d, %v; want 649", lo, hi, n, err)
+	}
+}
+
+func TestMoreShardsThanValues(t *testing.T) {
+	c, err := New(context.Background(), "tiny", []float64{5, 1, 3}, nil, Options{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 3 {
+		t.Fatalf("Shards() = %d, want collapsed to 3", c.Shards())
+	}
+}
+
+func TestDuplicateValuesStayTogether(t *testing.T) {
+	// 100 copies of the same value cannot straddle shard boundaries.
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = 7
+	}
+	c, err := New(context.Background(), "dup", values, nil, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 1 {
+		t.Fatalf("Shards() = %d, want 1 (all values equal)", c.Shards())
+	}
+}
+
+func TestSampleInRangeAndErrors(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := mkCoordinator(t, 500, 4, true)
+	r := core.NewRand(3)
+
+	out, err := c.Sample(ctx, r, 100, 399, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 64 {
+		t.Fatalf("got %d samples, want 64", len(out))
+	}
+	for _, v := range out {
+		if v < 100 || v > 399 {
+			t.Fatalf("sample %v outside [100, 399]", v)
+		}
+	}
+
+	if _, err := c.Sample(ctx, r, 100.5, 100.9, 4); !errors.Is(err, core.ErrEmptyRange) {
+		t.Fatalf("empty range: %v", err)
+	}
+	if _, err := c.Sample(ctx, r, 10, 5, 4); !errors.Is(err, core.ErrBadRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if out, err := c.Sample(ctx, r, 0, 499, 0); err != nil || out != nil {
+		t.Fatalf("k=0: %v, %v", out, err)
+	}
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, err := c.Sample(canceled, r, 0, 499, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled: %v", err)
+	}
+}
+
+func TestSampleWoRNoDuplicatesAcrossShards(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := mkCoordinator(t, 400, 4, false)
+	r := core.NewRand(5)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + r.Intn(350)
+		out, err := c.SampleWoR(ctx, r, 10, 380, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != k {
+			t.Fatalf("got %d, want %d", len(out), k)
+		}
+		seen := make(map[float64]struct{}, k)
+		for _, v := range out {
+			if v < 10 || v > 380 {
+				t.Fatalf("WoR sample %v outside range", v)
+			}
+			if _, dup := seen[v]; dup {
+				t.Fatalf("duplicate %v in cross-shard WoR sample (trial %d, k=%d)", v, trial, k)
+			}
+			seen[v] = struct{}{}
+		}
+	}
+	// k equal to the full range count returns exactly the range.
+	out, err := c.SampleWoR(ctx, r, 0, 399, 400)
+	if err != nil || len(out) != 400 {
+		t.Fatalf("full-range WoR: %d, %v", len(out), err)
+	}
+	// k beyond the range count is a typed error.
+	if _, err := c.SampleWoR(ctx, r, 0, 399, 401); !errors.Is(err, core.ErrSampleTooLarge) {
+		t.Fatalf("oversized WoR: %v", err)
+	}
+}
+
+func TestInsertDeleteRouting(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := mkCoordinator(t, 100, 4, false)
+	before, _ := c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if err := c.Insert(ctx, 41.5, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(ctx, -10, 1); err != nil { // below every shard: routed to the first
+		t.Fatal(err)
+	}
+	if err := c.Insert(ctx, 1e9, 1); err != nil { // above every shard: routed to the last
+		t.Fatal(err)
+	}
+	after, _ := c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if after != before+3 {
+		t.Fatalf("count after inserts: %d, want %d", after, before+3)
+	}
+	n, _ := c.Count(ctx, 41.5, 41.5)
+	if n != 1 {
+		t.Fatalf("inserted value not found: count = %d", n)
+	}
+	if err := c.Delete(ctx, 41.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, 41.5); !errors.Is(err, service.ErrValueNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	if err := c.Insert(ctx, math.NaN(), 1); !errors.Is(err, core.ErrBadValue) {
+		t.Fatalf("NaN insert: %v", err)
+	}
+	// Inserts must be visible to sampling (snapshot swap propagated).
+	r := core.NewRand(9)
+	out, err := c.Sample(ctx, r, -10, -10, 3)
+	if err != nil || len(out) != 3 || out[0] != -10 {
+		t.Fatalf("sampling the routed insert: %v, %v", out, err)
+	}
+}
+
+func TestRangeWeightSumsShards(t *testing.T) {
+	ctx := context.Background()
+	c, _, weights := mkCoordinator(t, 300, 4, true)
+	want := 0.0
+	for i := 50; i <= 249; i++ {
+		want += weights[i]
+	}
+	got, err := c.RangeWeight(ctx, 50, 249)
+	if err != nil || math.Abs(got-want) > 1e-6 {
+		t.Fatalf("RangeWeight = %v, %v; want %v", got, err, want)
+	}
+}
+
+func TestBatch(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := mkCoordinator(t, 200, 4, false)
+	r := core.NewRand(21)
+	queries := []Query{
+		{Lo: 0, Hi: 199, K: 10},
+		{Lo: 50, Hi: 60, K: 5, WoR: true},
+		{Lo: 10, Hi: 5, K: 3},               // inverted: per-query error
+		{Lo: 0.2, Hi: 0.8, K: 2},            // empty: per-query error
+		{Lo: 0, Hi: 199, K: 300, WoR: true}, // oversized WoR: per-query error
+	}
+	results := c.Batch(ctx, r, queries)
+	if len(results) != len(queries) {
+		t.Fatalf("got %d results", len(results))
+	}
+	if results[0].Err != nil || len(results[0].Samples) != 10 {
+		t.Fatalf("q0: %+v", results[0])
+	}
+	if results[1].Err != nil || len(results[1].Samples) != 5 {
+		t.Fatalf("q1: %+v", results[1])
+	}
+	if !errors.Is(results[2].Err, core.ErrBadRange) {
+		t.Fatalf("q2: %v", results[2].Err)
+	}
+	if !errors.Is(results[3].Err, core.ErrEmptyRange) {
+		t.Fatalf("q3: %v", results[3].Err)
+	}
+	if !errors.Is(results[4].Err, core.ErrSampleTooLarge) {
+		t.Fatalf("q4: %v", results[4].Err)
+	}
+}
+
+// TestShardedMatchesSingleNodeChiSquare is the acceptance test for the
+// multinomial budget split: at the same seed budget, samples drawn
+// through the K=4 sharded path and through a single-node sampler must
+// both match the weight distribution conditioned on the query range —
+// a two-sample homogeneity chi-square against the pooled expectation.
+func TestShardedMatchesSingleNodeChiSquare(t *testing.T) {
+	const (
+		n       = 1000
+		budget  = 64
+		queries = 1200 // 1200 × 64 = 76 800 samples per engine
+		cells   = 20
+	)
+	r := core.NewRand(101)
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 0.5 + 9*r.Float64()
+	}
+	single, err := core.NewRangeSampler(core.KindChunked, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	sharded, err := New(ctx, "chi", values, weights, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lo, hi := 100.0, 899.0
+	cellOf := func(v float64) int {
+		c := int((v - lo) / (hi + 1 - lo) * cells)
+		if c < 0 {
+			c = 0
+		}
+		if c >= cells {
+			c = cells - 1
+		}
+		return c
+	}
+
+	singleObs := make([]int, cells)
+	shardObs := make([]int, cells)
+	rs := core.NewRand(555)
+	rc := core.NewRand(555) // same seed budget for both engines
+	for q := 0; q < queries; q++ {
+		out, ok := single.Sample(rs, lo, hi, budget)
+		if !ok {
+			t.Fatal("single-node sample failed")
+		}
+		for _, v := range out {
+			singleObs[cellOf(v)]++
+		}
+		out2, err := sharded.Sample(ctx, rc, lo, hi, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out2) != budget {
+			t.Fatalf("sharded returned %d of %d samples", len(out2), budget)
+		}
+		for _, v := range out2 {
+			shardObs[cellOf(v)]++
+		}
+	}
+
+	// Two-sample chi-square: expected cell mass is the pooled proportion
+	// scaled to each engine's total. dof = cells − 1.
+	total := float64(2 * queries * budget)
+	pooled := make([]float64, cells)
+	for i := range pooled {
+		pooled[i] = float64(singleObs[i]+shardObs[i]) / total
+		if pooled[i] == 0 {
+			t.Fatalf("cell %d empty in both engines", i)
+		}
+	}
+	expected := make([]float64, cells)
+	for i := range expected {
+		expected[i] = pooled[i] * total / 2
+	}
+	chiS, err := stats.ChiSquare(singleObs, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chiC, err := stats.ChiSquare(shardObs, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stat := chiS + chiC
+	crit := stats.ChiSquareCritical(cells-1, 1e-4)
+	t.Logf("two-sample chi-square: %.2f (critical %.2f at alpha=1e-4, dof=%d, %d samples/engine)",
+		stat, crit, cells-1, queries*budget)
+	if stat > crit {
+		t.Errorf("sharded vs single-node distinguishable: chi2 = %.2f > %.2f", stat, crit)
+	}
+
+	// Each engine must also match the *theoretical* conditional weight
+	// distribution, not merely each other.
+	theo := make([]float64, cells)
+	wTotal := 0.0
+	for i := 100; i <= 899; i++ {
+		theo[cellOf(values[i])] += weights[i]
+		wTotal += weights[i]
+	}
+	for i := range theo {
+		theo[i] = theo[i] / wTotal * float64(queries*budget)
+	}
+	for name, obs := range map[string][]int{"single": singleObs, "sharded": shardObs} {
+		chi, err := stats.ChiSquare(obs, theo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chi > crit {
+			t.Errorf("%s engine deviates from weight distribution: chi2 = %.2f > %.2f", name, chi, crit)
+		}
+	}
+}
+
+// TestCrossShardIndependence checks Equation 1 at the coordinator
+// level: outputs of *repeated* queries must be mutually independent,
+// in particular which shard answers query t must not predict which
+// shard answers query t+1. Non-overlapping query pairs are bucketed by
+// (shard of t, shard of t+1) and chi-squared against the product of
+// the marginal shard-hit probabilities.
+func TestCrossShardIndependence(t *testing.T) {
+	const (
+		n     = 800
+		pairs = 20000
+		k     = 4 // shards
+	)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	ctx := context.Background()
+	c, err := New(ctx, "indep", values, nil, Options{Shards: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRand(777)
+	shardOf := func(v float64) int { return int(v) / (n / k) }
+
+	joint := make([]int, k*k)
+	for p := 0; p < pairs; p++ {
+		a, err := c.Sample(ctx, r, 0, n-1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := c.Sample(ctx, r, 0, n-1, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joint[shardOf(a[0])*k+shardOf(b[0])]++
+	}
+	// Uniform weights and equal shard sizes: every joint cell expects
+	// pairs/k² hits under independence.
+	expected := make([]float64, k*k)
+	for i := range expected {
+		expected[i] = float64(pairs) / float64(k*k)
+	}
+	chi, err := stats.ChiSquare(joint, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := stats.ChiSquareCritical(k*k-1, 1e-4)
+	t.Logf("cross-shard independence chi-square: %.2f (critical %.2f)", chi, crit)
+	if chi > crit {
+		t.Errorf("consecutive queries correlated across shards: chi2 = %.2f > %.2f\njoint: %v", chi, crit, joint)
+	}
+}

@@ -1,0 +1,150 @@
+package wor
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// FuzzWRWoRRoundTrip drives the O(s) conversions both ways and checks
+// the structural invariants hold for every (n, s, seed):
+//
+//	UniformWoR(n, s)            → s distinct indices in [0, n)
+//	WoRToWR(wor, n, s)          → s indices, support ⊆ wor
+//	WRToWoR over that WR stream → distinct indices, support ⊆ the WR set
+func FuzzWRWoRRoundTrip(f *testing.F) {
+	f.Add(uint64(1), 16, 4)
+	f.Add(uint64(7), 1, 1)
+	f.Add(uint64(42), 512, 512)
+	f.Add(uint64(99), 100, 0)
+	f.Fuzz(func(t *testing.T, seed uint64, n, s int) {
+		// Bound the search space: population 1..512, sample 0..n.
+		if n < 1 {
+			n = -n
+		}
+		n = n%512 + 1
+		if s < 0 {
+			s = -s
+		}
+		s = s % (n + 1)
+		r := rng.New(seed)
+
+		worSample, err := UniformWoR(r, n, s)
+		if err != nil {
+			t.Fatalf("UniformWoR(n=%d, s=%d): %v", n, s, err)
+		}
+		if len(worSample) != s {
+			t.Fatalf("UniformWoR returned %d indices, want %d", len(worSample), s)
+		}
+		inWoR := make(map[int]bool, s)
+		for _, v := range worSample {
+			if v < 0 || v >= n {
+				t.Fatalf("index %d outside [0, %d)", v, n)
+			}
+			if inWoR[v] {
+				t.Fatalf("duplicate %d in WoR sample", v)
+			}
+			inWoR[v] = true
+		}
+
+		wr, err := WoRToWR(r, worSample, n, s)
+		if err != nil {
+			t.Fatalf("WoRToWR: %v", err)
+		}
+		if len(wr) != s {
+			t.Fatalf("WoRToWR returned %d indices, want %d", len(wr), s)
+		}
+		inWR := make(map[int]bool, s)
+		for _, v := range wr {
+			if !inWoR[v] {
+				t.Fatalf("WR value %d not drawn from the WoR support", v)
+			}
+			inWR[v] = true
+		}
+
+		// Close the loop: WR draws over the distinct WR support convert
+		// back to a WoR sample of that support.
+		support := make([]int, 0, len(inWR))
+		for v := range inWR {
+			support = append(support, v)
+		}
+		if len(support) == 0 {
+			return
+		}
+		s2 := len(support)
+		back, err := WRToWoR(r, s2, s2, func() int { return support[r.Intn(s2)] })
+		if err != nil {
+			t.Fatalf("WRToWoR: %v", err)
+		}
+		seen := make(map[int]bool, len(back))
+		for _, v := range back {
+			if !inWR[v] {
+				t.Fatalf("round-tripped value %d escaped the support", v)
+			}
+			if seen[v] {
+				t.Fatalf("duplicate %d after WRToWoR", v)
+			}
+			seen[v] = true
+		}
+		if len(back) != s2 {
+			t.Fatalf("round trip lost values: %d of %d", len(back), s2)
+		}
+	})
+}
+
+// TestWoRMergeDisjointShardsNoDuplicates is the property the sharded
+// coordinator's SampleWoR path rests on: bucket a global uniform WoR
+// rank sample by disjoint parts, draw a uniform WoR subset of matching
+// size inside each part, and the merged result is duplicate-free with
+// exactly the requested size — for every split point and budget.
+func TestWoRMergeDisjointShardsNoDuplicates(t *testing.T) {
+	r := rng.New(0xD15C0)
+	for trial := 0; trial < 200; trial++ {
+		n1 := 1 + r.Intn(64)
+		n2 := 1 + r.Intn(64)
+		n := n1 + n2
+		k := r.Intn(n + 1)
+
+		// Global rank draw fixes the per-part budgets (multivariate
+		// hypergeometric), exactly as shard.Coordinator.SampleWoR does.
+		ranks, err := UniformWoR(r, n, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k1 := 0
+		for _, rank := range ranks {
+			if rank < n1 {
+				k1++
+			}
+		}
+		k2 := k - k1
+
+		part1, err := UniformWoR(r, n1, k1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		part2, err := UniformWoR(r, n2, k2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		merged := make([]int, 0, k)
+		merged = append(merged, part1...)
+		for _, v := range part2 {
+			merged = append(merged, n1+v) // shard 2 owns [n1, n)
+		}
+
+		if len(merged) != k {
+			t.Fatalf("trial %d: merged %d, want %d (k1=%d k2=%d)", trial, len(merged), k, k1, k2)
+		}
+		seen := make(map[int]bool, k)
+		for _, v := range merged {
+			if v < 0 || v >= n {
+				t.Fatalf("trial %d: %d outside [0, %d)", trial, v, n)
+			}
+			if seen[v] {
+				t.Fatalf("trial %d: duplicate %d across disjoint shards", trial, v)
+			}
+			seen[v] = true
+		}
+	}
+}
