@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz bench experiments examples cover serve loadtest
+.PHONY: all build vet test race chaos fuzz bench bench-json pprof experiments examples cover serve loadtest
 
 all: build vet test
 
@@ -26,6 +26,20 @@ fuzz:
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# Reproducible hot-path benchmark snapshot: runs the serving-stack and
+# core sampling benchmarks with -benchmem and merges the results into
+# BENCH_hotpath.json under the given label (override with LABEL=...).
+LABEL ?= after
+bench-json:
+	go run ./cmd/benchjson -label $(LABEL) -out BENCH_hotpath.json
+
+# Profile the serving stack under load: in-process server + clients with
+# the pprof endpoint up. While it runs (or against any -pprof server):
+#   go tool pprof http://127.0.0.1:6060/debug/pprof/heap
+#   go tool pprof http://127.0.0.1:6060/debug/pprof/profile?seconds=10
+pprof:
+	go run ./cmd/iqsserve -load -addr 127.0.0.1:0 -duration 30s -clients 16 -pprof 127.0.0.1:6060
 
 experiments:
 	go run ./cmd/iqsbench -all

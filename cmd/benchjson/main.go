@@ -1,0 +1,173 @@
+// Command benchjson runs the hot-path benchmark suite with -benchmem and
+// records the results as JSON entries in BENCH_hotpath.json at the repo
+// root, so the performance trajectory accumulates PR over PR:
+//
+//	go run ./cmd/benchjson -label after            # run + append
+//	go run ./cmd/benchjson -validate               # schema-check only
+//
+// Each entry carries the benchmark name, ns/op, B/op, allocs/op, and the
+// derived single-goroutine qps (1e9/ns_per_op). Entries are keyed by
+// (label, name): re-running with the same label overwrites that label's
+// entries in place instead of duplicating them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Entry is one benchmark measurement in BENCH_hotpath.json.
+type Entry struct {
+	Label       string  `json:"label"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	QPS         float64 `json:"qps"`
+}
+
+// benchLine matches `go test -bench -benchmem` result lines, e.g.
+// BenchmarkServerSample-8   12345   98765 ns/op   4321 B/op   21 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		label     = fs.String("label", "after", "label stored with each entry (e.g. before, after, pr7)")
+		out       = fs.String("out", "BENCH_hotpath.json", "output JSON file")
+		benchRe   = fs.String("bench", "RangeSample|ServiceSample|ShardSample|ShardBatch|ServerSample|ServerBatch", "benchmark regex passed to go test -bench")
+		benchtime = fs.String("benchtime", "1s", "benchtime passed to go test")
+		pkgs      = fs.String("pkgs", "./internal/core ./internal/service ./internal/shard ./internal/server", "space-separated package list")
+		validate  = fs.Bool("validate", false, "only validate that the output file is well-formed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *validate {
+		entries, err := load(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		for i, e := range entries {
+			if e.Label == "" || e.Name == "" || !(e.NsPerOp > 0) {
+				fmt.Fprintf(os.Stderr, "benchjson: entry %d malformed: %+v\n", i, e)
+				return 1
+			}
+		}
+		fmt.Printf("benchjson: %s ok, %d entries\n", *out, len(entries))
+		return 0
+	}
+
+	cmdArgs := append([]string{"test", "-run", "^$", "-bench", *benchRe,
+		"-benchmem", "-benchtime", *benchtime, "-count", "1"},
+		strings.Fields(*pkgs)...)
+	cmd := exec.Command("go", cmdArgs...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: go test: %v\n%s", err, raw)
+		return 1
+	}
+	fresh := parse(string(raw), *label)
+	if len(fresh) == 0 {
+		fmt.Fprintf(os.Stderr, "benchjson: no benchmark results parsed\n%s", raw)
+		return 1
+	}
+	entries, err := load(*out)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	entries = merge(entries, fresh)
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	for _, e := range fresh {
+		fmt.Printf("%-45s %12.1f ns/op %8d B/op %6d allocs/op %12.0f qps\n",
+			e.Label+"/"+e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.QPS)
+	}
+	fmt.Printf("benchjson: wrote %d entries (%d new/updated) to %s\n", len(entries), len(fresh), *out)
+	return 0
+}
+
+// load reads the existing entries; a missing file is an empty trajectory.
+func load(path string) ([]Entry, error) {
+	raw, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var entries []Entry
+	if err := json.Unmarshal(raw, &entries); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return entries, nil
+}
+
+// parse extracts Entry values from go test -bench output.
+func parse(out, label string) []Entry {
+	var entries []Entry
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		ns, _ := strconv.ParseFloat(m[2], 64)
+		var bpo, apo int64
+		if m[3] != "" {
+			bpo, _ = strconv.ParseInt(m[3], 10, 64)
+			apo, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		e := Entry{Label: label, Name: m[1], NsPerOp: ns, BytesPerOp: bpo, AllocsPerOp: apo}
+		if ns > 0 {
+			e.QPS = 1e9 / ns
+		}
+		entries = append(entries, e)
+	}
+	return entries
+}
+
+// merge replaces same-(label, name) entries and appends the rest,
+// keeping the stored order stable for reviewable diffs.
+func merge(old, fresh []Entry) []Entry {
+	out := make([]Entry, 0, len(old)+len(fresh))
+	replaced := make(map[string]Entry, len(fresh))
+	for _, e := range fresh {
+		replaced[e.Label+"\x00"+e.Name] = e
+	}
+	seen := make(map[string]bool, len(fresh))
+	for _, e := range old {
+		key := e.Label + "\x00" + e.Name
+		if ne, ok := replaced[key]; ok {
+			out = append(out, ne)
+			seen[key] = true
+			continue
+		}
+		out = append(out, e)
+	}
+	for _, e := range fresh {
+		if !seen[e.Label+"\x00"+e.Name] {
+			out = append(out, e)
+		}
+	}
+	return out
+}

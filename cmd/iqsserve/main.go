@@ -22,6 +22,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -66,9 +67,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fault    = fs.Float64("fault", 0, "EM fault probability per mirror I/O; 0 disables the mirrors")
 		load     = fs.Bool("load", false, "load-generator mode: serve in-process and hammer with -clients")
 		clients  = fs.Int("clients", 16, "concurrent load clients (with -load)")
+		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this host:port (empty disables); profile the hot path with e.g. go tool pprof http://HOST:PORT/debug/pprof/heap")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N]")
+		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -79,6 +81,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
+	}
+	if *pprofOn != "" {
+		if _, err := net.ResolveTCPAddr("tcp", *pprofOn); err != nil {
+			fmt.Fprintf(stderr, "iqsserve: bad -pprof address %q: %v\n", *pprofOn, err)
+			return 2
+		}
 	}
 	kind, err := parseKind(*kindName)
 	if err != nil {
@@ -139,6 +147,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Timeout:     *timeout,
 		Seed:        *seed,
 	})
+
+	// Flag-guarded profiling endpoint on its own mux and listener, so
+	// the pprof handlers are never reachable through the serving address
+	// and the query mux stays free of debug routes.
+	if *pprofOn != "" {
+		pl, err := net.Listen("tcp", *pprofOn)
+		if err != nil {
+			fmt.Fprintf(stderr, "iqsserve: pprof listen: %v\n", err)
+			return 1
+		}
+		defer pl.Close()
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() { _ = http.Serve(pl, pmux) }()
+		fmt.Fprintf(stdout, "iqsserve: pprof on http://%s/debug/pprof/\n", pl.Addr())
+	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "iqsserve: listen: %v\n", err)

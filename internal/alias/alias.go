@@ -43,32 +43,45 @@ type Alias struct {
 
 // New builds the alias structure over weights. weights[i] is the weight of
 // element i; all must be positive and finite. Build time and space are
-// O(n).
+// O(n). For repeated small builds on a hot path, use Builder, which reuses
+// its construction buffers across calls.
 func New(weights []float64) (*Alias, error) {
 	n := len(weights)
 	if n == 0 {
 		return nil, ErrEmpty
 	}
-	total := 0.0
-	for i, w := range weights {
-		if !(w > 0) || w > maxFinite {
-			return nil, fmt.Errorf("%w: weights[%d] = %v", ErrBadWeight, i, w)
-		}
-		total += w
-	}
-	if !(total > 0) || total > maxFinite {
-		return nil, fmt.Errorf("%w: total = %v", ErrBadWeight, total)
-	}
-
 	a := &Alias{
 		n:     n,
 		prob:  make([]float64, n),
 		alias: make([]int32, n),
-		total: total,
 	}
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	if err := build(a, weights, scaled, small, large); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// build fills a (whose prob/alias are already sized to len(weights))
+// using the provided construction buffers: scaled must have length
+// len(weights); small and large must be empty with capacity ≥ n.
+func build(a *Alias, weights, scaled []float64, small, large []int32) error {
+	n := len(weights)
+	total := 0.0
+	for i, w := range weights {
+		if !(w > 0) || w > maxFinite {
+			return fmt.Errorf("%w: weights[%d] = %v", ErrBadWeight, i, w)
+		}
+		total += w
+	}
+	if !(total > 0) || total > maxFinite {
+		return fmt.Errorf("%w: total = %v", ErrBadWeight, total)
+	}
+	a.total = total
 
 	// Scale weights so that the average urn load is exactly 1.
-	scaled := make([]float64, n)
 	scale := float64(n) / total
 	for i, w := range weights {
 		scaled[i] = w * scale
@@ -77,8 +90,6 @@ func New(weights []float64) (*Alias, error) {
 	// Two worklists: elements below the urn capacity ("small") and at or
 	// above it ("large"). Each step empties one small element into an
 	// urn, topping the urn up from a large element.
-	small := make([]int32, 0, n)
-	large := make([]int32, 0, n)
 	for i := n - 1; i >= 0; i-- {
 		if scaled[i] < 1 {
 			small = append(small, int32(i))
@@ -110,7 +121,7 @@ func New(weights []float64) (*Alias, error) {
 		a.prob[s] = 1
 		a.alias[s] = s
 	}
-	return a, nil
+	return nil
 }
 
 // MustNew is New but panics on error; for use with programmatically
@@ -155,7 +166,19 @@ func (a *Alias) SampleMany(r *rng.Source, s int, dst []int) []int {
 // primitive used by Lemma 2 / Theorem 3 query algorithms to decide how
 // many samples each canonical piece contributes. O(n + s) time.
 func (a *Alias) Counts(r *rng.Source, s int) []int {
-	counts := make([]int, a.n)
+	return a.CountsInto(r, s, make([]int, a.n))
+}
+
+// CountsInto is Counts writing into counts, which must have length n; it
+// is zeroed first and returned. Allocation-free given a caller-owned
+// buffer.
+func (a *Alias) CountsInto(r *rng.Source, s int, counts []int) []int {
+	if len(counts) != a.n {
+		panic("alias: CountsInto buffer length mismatch")
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
 	for i := 0; i < s; i++ {
 		counts[a.Sample(r)]++
 	}

@@ -1,0 +1,53 @@
+// Builder: reusable construction state for the alias method, so that the
+// chunked/tree query algorithms — which rebuild small alias tables on the
+// fly for every partial chunk and canonical cover (Theorem 3) — can run
+// allocation-free once warm.
+package alias
+
+// Builder owns the slices an alias construction needs (the table itself
+// plus scaled weights and the two worklists) and reuses them across
+// Rebuild calls. The zero value is ready to use. Not safe for concurrent
+// use, and the *Alias returned by one Rebuild is invalidated by the
+// next: callers needing the table to outlive the builder must use New.
+type Builder struct {
+	a      Alias
+	scaled []float64
+	small  []int32
+	large  []int32
+}
+
+// Rebuild constructs the alias structure over weights in the builder's
+// buffers, growing them only past their high-water mark. The returned
+// *Alias points into the builder and is valid until the next Rebuild.
+// Construction is identical to New: same validation, same worklist
+// order, same table contents.
+func (b *Builder) Rebuild(weights []float64) (*Alias, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, ErrEmpty
+	}
+	if cap(b.a.prob) < n {
+		b.a.prob = make([]float64, n)
+		b.a.alias = make([]int32, n)
+		b.scaled = make([]float64, n)
+		b.small = make([]int32, 0, n)
+		b.large = make([]int32, 0, n)
+	}
+	b.a.n = n
+	b.a.prob = b.a.prob[:n]
+	b.a.alias = b.a.alias[:n]
+	if err := build(&b.a, weights, b.scaled[:n], b.small[:0], b.large[:0]); err != nil {
+		return nil, err
+	}
+	return &b.a, nil
+}
+
+// MustRebuild is Rebuild but panics on error; for programmatically
+// generated weights known to be valid.
+func (b *Builder) MustRebuild(weights []float64) *Alias {
+	a, err := b.Rebuild(weights)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

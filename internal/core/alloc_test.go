@@ -1,0 +1,247 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/stats"
+)
+
+// Allocation-discipline assertions for the *Into hot paths: once the
+// arena is warm, a WR range sample must not allocate at all, and the
+// WoR paths must stay within a small constant (Go map clearing and the
+// rare dedupe-map growth are allowed; fresh slices per call are not).
+// Under -race the counts are skipped — detector instrumentation
+// allocates — but the paths still run, keeping them race-checked.
+
+// assertAllocs runs fn once to warm the arena, then requires at most
+// max allocations per run.
+func assertAllocs(t *testing.T, name string, max float64, fn func()) {
+	t.Helper()
+	fn() // warm the arena and any lazily built buffers
+	if race.Enabled {
+		t.Logf("%s: race build, allocation count not asserted", name)
+		return
+	}
+	got := testing.AllocsPerRun(200, fn)
+	if got > max {
+		t.Errorf("%s: %v allocs/op, want ≤ %v", name, got, max)
+	}
+}
+
+func TestSampleIntoZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	for _, kind := range []Kind{KindChunked, KindAliasAug, KindTreeWalk} {
+		for _, weighted := range []bool{true, false} {
+			s := goldenSampler(t, kind, weighted)
+			sc := NewScratch()
+			r := NewRand(42)
+			buf := make([]float64, 0, 64)
+
+			label := kind.String()
+			if weighted {
+				label += "/weighted"
+			} else {
+				label += "/uniform"
+			}
+
+			assertAllocs(t, label+" SampleInto", 0, func() {
+				out, ok := s.SampleInto(r, 100.5, 400.5, 16, buf[:0], sc)
+				if !ok || len(out) != 16 {
+					t.Fatal("bad sample")
+				}
+			})
+			assertAllocs(t, label+" SampleContextInto", 0, func() {
+				out, err := s.SampleContextInto(ctx, r, 100.5, 400.5, 16, buf[:0], sc)
+				if err != nil || len(out) != 16 {
+					t.Fatal("bad sample")
+				}
+			})
+			// WoR paths clear and occasionally grow the dedupe map; a
+			// small constant covers that without re-permitting per-call
+			// slices.
+			assertAllocs(t, label+" SampleWoRInto", 4, func() {
+				out, err := s.SampleWoRInto(r, 50, 460, 8, buf[:0], sc)
+				if err != nil || len(out) != 8 {
+					t.Fatal("bad sample")
+				}
+			})
+			assertAllocs(t, label+" SampleWeightedWoRInto", 4, func() {
+				out, err := s.SampleWeightedWoRInto(r, 50, 460, 8, buf[:0], sc)
+				if err != nil || len(out) != 8 {
+					t.Fatal("bad sample")
+				}
+			})
+		}
+	}
+}
+
+// TestNaiveIntoAllocs pins the baseline separately: its report pass is
+// inherently O(|S_q|) but the buffer comes from the arena, so a warm
+// arena still answers without fresh allocations.
+func TestNaiveIntoAllocs(t *testing.T) {
+	s := goldenSampler(t, KindNaive, true)
+	sc := NewScratch()
+	r := NewRand(42)
+	buf := make([]float64, 0, 64)
+	assertAllocs(t, "naive SampleInto", 0, func() {
+		out, ok := s.SampleInto(r, 100.5, 400.5, 16, buf[:0], sc)
+		if !ok || len(out) != 16 {
+			t.Fatal("bad sample")
+		}
+	})
+}
+
+// TestIntoUniformity re-runs the distribution checks against the Into
+// variants: WR sampling through a warm arena must stay uniform (for unit
+// weights) and weight-proportional, query over query, at the same
+// significance levels the allocating paths are held to.
+func TestIntoUniformity(t *testing.T) {
+	for _, kind := range []Kind{KindChunked, KindAliasAug, KindTreeWalk, KindNaive} {
+		t.Run(kind.String(), func(t *testing.T) {
+			n := 128
+			values := make([]float64, n)
+			for i := range values {
+				values[i] = float64(i)
+			}
+			s, err := NewRangeSampler(kind, values, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := NewScratch()
+			r := NewRand(1234)
+
+			lo, hi := 10.0, 73.0 // 64 in-range values
+			cells := 64
+			observed := make([]int, cells)
+			draws := 64 * cells
+			buf := make([]float64, 0, 16)
+			for d := 0; d < draws/16; d++ {
+				out, ok := s.SampleInto(r, lo, hi, 16, buf[:0], sc)
+				if !ok {
+					t.Fatal("empty range")
+				}
+				for _, v := range out {
+					observed[int(v)-10]++
+				}
+			}
+			stat, err := stats.ChiSquareUniform(observed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			crit := stats.ChiSquareCritical(cells-1, 1e-4)
+			if stat > crit {
+				t.Errorf("SampleInto uniformity: chi2 %.2f > crit %.2f", stat, crit)
+			}
+		})
+	}
+}
+
+// TestIntoWeightProportional checks the weighted regime of the Into path
+// against the expected weight-proportional cell counts.
+func TestIntoWeightProportional(t *testing.T) {
+	n := 64
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1 + float64(i%4) // weights 1..4
+	}
+	s, err := NewRangeSampler(KindChunked, values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewScratch()
+	r := NewRand(99)
+
+	lo, hi := 8.0, 39.0 // 32 in-range values
+	cells := 32
+	observed := make([]int, cells)
+	total := 0.0
+	for i := 8; i <= 39; i++ {
+		total += weights[i]
+	}
+	draws := 128 * cells
+	buf := make([]float64, 0, 16)
+	for d := 0; d < draws/16; d++ {
+		out, ok := s.SampleInto(r, lo, hi, 16, buf[:0], sc)
+		if !ok {
+			t.Fatal("empty range")
+		}
+		for _, v := range out {
+			observed[int(v)-8]++
+		}
+	}
+	expected := make([]float64, cells)
+	for i := 0; i < cells; i++ {
+		expected[i] = float64(draws) * weights[8+i] / total
+	}
+	stat, err := stats.ChiSquare(observed, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crit := stats.ChiSquareCritical(cells-1, 1e-4)
+	if stat > crit {
+		t.Errorf("SampleInto weighted: chi2 %.2f > crit %.2f", stat, crit)
+	}
+}
+
+// BenchmarkRangeSampleInto is the post-refactor counterpart of
+// BenchmarkRangeSample: the same query through the arena-backed path,
+// which must report 0 B/op and 0 allocs/op.
+func BenchmarkRangeSampleInto(b *testing.B) {
+	for _, weighted := range []bool{false, true} {
+		name := "wr"
+		if weighted {
+			name = "weighted"
+		}
+		b.Run(name, func(b *testing.B) {
+			s := benchSampler(b, weighted)
+			sc := NewScratch()
+			r := NewRand(1)
+			buf := make([]float64, 0, 16)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, ok := s.SampleInto(r, 1000, 50000, 16, buf[:0], sc)
+				if !ok || len(out) != 16 {
+					b.Fatal("bad sample")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRangeSampleWoRInto measures the arena-backed WoR paths.
+func BenchmarkRangeSampleWoRInto(b *testing.B) {
+	s := benchSampler(b, false)
+	sc := NewScratch()
+	r := NewRand(1)
+	buf := make([]float64, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.SampleWoRInto(r, 1000, 50000, 16, buf[:0], sc)
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+// BenchmarkRangeSampleWeightedWoRInto measures the arena-backed weighted
+// WoR path (sparse regime with occasional dense fallback).
+func BenchmarkRangeSampleWeightedWoRInto(b *testing.B) {
+	s := benchSampler(b, true)
+	sc := NewScratch()
+	r := NewRand(1)
+	buf := make([]float64, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.SampleWeightedWoRInto(r, 1000, 50000, 16, buf[:0], sc)
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}

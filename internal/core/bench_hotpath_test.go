@@ -1,0 +1,79 @@
+package core
+
+import (
+	"testing"
+)
+
+// Hot-path benchmarks for the bench-json pipeline (make bench-json).
+// BenchmarkRangeSample measures the allocating entry points;
+// BenchmarkRangeSampleInto (in into_test.go) measures the append-style
+// zero-allocation variants. Comparing the two quantifies the per-query
+// constant factor the paper's O(1)-per-sample claims are about.
+
+func benchSampler(b *testing.B, weighted bool) *RangeSampler {
+	b.Helper()
+	n := 1 << 16
+	values := make([]float64, n)
+	var weights []float64
+	if weighted {
+		weights = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+		if weighted {
+			weights[i] = 1 + float64((i*7)%13)
+		}
+	}
+	s, err := NewRangeSampler(KindChunked, values, weights)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+func BenchmarkRangeSample(b *testing.B) {
+	for _, bc := range []struct {
+		name     string
+		weighted bool
+	}{{"wr", false}, {"weighted", true}} {
+		b.Run(bc.name, func(b *testing.B) {
+			s := benchSampler(b, bc.weighted)
+			r := NewRand(1)
+			lo, hi := 1000.0, 50000.0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				out, ok := s.Sample(r, lo, hi, 16)
+				if !ok || len(out) != 16 {
+					b.Fatal("bad sample")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkRangeSampleWoR(b *testing.B) {
+	s := benchSampler(b, false)
+	r := NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.SampleWoR(r, 1000, 50000, 16)
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkRangeSampleWeightedWoR(b *testing.B) {
+	s := benchSampler(b, true)
+	r := NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.SampleWeightedWoR(r, 1000, 50000, 16)
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}

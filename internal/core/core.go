@@ -35,9 +35,26 @@ import (
 	"repro/internal/rangesample"
 	"repro/internal/rangetree"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 	"repro/internal/setunion"
 	"repro/internal/wor"
 )
+
+// Scratch is the reusable per-goroutine arena the *Into sampling entry
+// points thread their temporaries through; see package scratch for the
+// ownership rules. NewScratch and the pooled GetScratch/PutScratch pair
+// keep callers of this package off the internal import path.
+type Scratch = scratch.Arena
+
+// NewScratch returns a fresh arena.
+func NewScratch() *Scratch { return new(scratch.Arena) }
+
+// GetScratch returns a warm arena from the process-wide pool.
+func GetScratch() *Scratch { return scratch.Get() }
+
+// PutScratch returns an arena to the pool; the caller must not retain
+// any buffer borrowed from it.
+func PutScratch(sc *Scratch) { scratch.Put(sc) }
 
 // Rand is the deterministic random source all queries draw from.
 type Rand = rng.Source
@@ -129,6 +146,11 @@ func ValidateRange(lo, hi float64) error {
 type RangeSampler struct {
 	kind  Kind
 	inner rangesample.Sampler
+	// scInner is inner's scratch-aware query interface, asserted once at
+	// construction so the hot path pays no per-call type switch; nil when
+	// the structure has no scratch-aware query (Into paths then fall back
+	// to the allocating Query).
+	scInner rangesample.ScratchSampler
 	// prefix[i] is the total weight of the i smallest elements, built
 	// once per construction so RangeWeight is O(log n) — the lookup the
 	// sharded coordinator performs per shard per query to split sample
@@ -144,7 +166,19 @@ func finishRangeSampler(kind Kind, inner rangesample.Sampler) *RangeSampler {
 	for i := 0; i < n; i++ {
 		prefix[i+1] = prefix[i] + inner.Weight(i)
 	}
-	return &RangeSampler{kind: kind, inner: inner, prefix: prefix}
+	s := &RangeSampler{kind: kind, inner: inner, prefix: prefix}
+	s.scInner, _ = inner.(rangesample.ScratchSampler)
+	return s
+}
+
+// queryScratch routes a position query through the structure's
+// scratch-aware path when it has one. Both paths consume randomness
+// identically.
+func (s *RangeSampler) queryScratch(r *Rand, q bst.Interval, k int, dst []int, sc *scratch.Arena) ([]int, bool) {
+	if s.scInner != nil {
+		return s.scInner.QueryScratch(r, q, k, dst, sc)
+	}
+	return s.inner.Query(r, q, k, dst)
 }
 
 // NewRangeSampler builds a sampler of the given kind over values and
@@ -209,19 +243,32 @@ func (s *RangeSampler) RangeWeight(lo, hi float64) float64 {
 // Sample draws k independent weighted samples from S ∩ [lo, hi],
 // returned as values. ok is false when the range is empty.
 func (s *RangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) {
-	if ValidateRange(lo, hi) != nil {
-		return nil, false
-	}
-	var scratch [64]int
-	pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, k, scratch[:0])
+	var sc scratch.Arena
+	out, ok := s.SampleInto(r, lo, hi, k, nil, &sc)
 	if !ok {
 		return nil, false
 	}
-	out := make([]float64, len(pos))
-	for i, p := range pos {
-		out[i] = s.inner.Value(p)
-	}
 	return out, true
+}
+
+// SampleInto is Sample appending the sampled values to dst, with every
+// temporary — position buffer, on-the-fly alias builds, cover weights —
+// drawn from the caller-owned arena, so a warm arena makes the query
+// allocation-free (beyond dst growth). Randomness consumption matches
+// Sample exactly: for the same *rng.Source state both return the same
+// values. dst is returned unchanged when ok is false.
+func (s *RangeSampler) SampleInto(r *Rand, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, bool) {
+	if ValidateRange(lo, hi) != nil {
+		return dst, false
+	}
+	pos, ok := s.queryScratch(r, bstInterval(lo, hi), k, sc.Pos(k), sc)
+	if !ok {
+		return dst, false
+	}
+	for _, p := range pos {
+		dst = append(dst, s.inner.Value(p))
+	}
+	return dst, true
 }
 
 // Count returns |S ∩ [lo, hi]| in O(log n); an invalid range counts 0.
@@ -243,15 +290,25 @@ func (s *RangeSampler) Count(lo, hi float64) int {
 // conversion of Section 2. Returns ErrSampleTooLarge when k exceeds the
 // range count.
 func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
-	if err := ValidateRange(lo, hi); err != nil {
+	var sc scratch.Arena
+	out, err := s.SampleWoRInto(r, lo, hi, k, make([]float64, 0, k), &sc)
+	if err != nil {
 		return nil, err
 	}
-	cnt := s.Count(lo, hi)
-	if k > cnt {
-		return nil, ErrSampleTooLarge
+	return out, nil
+}
+
+// SampleWoRInto is SampleWoR appending to dst with all temporaries —
+// Floyd's dedupe set, the WR-draw position buffer — drawn from the
+// caller-owned arena. Randomness consumption matches SampleWoR exactly.
+// dst is returned unchanged on error.
+func (s *RangeSampler) SampleWoRInto(r *Rand, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return dst, err
 	}
-	if cnt == 0 {
-		return nil, ErrSampleTooLarge
+	cnt := s.Count(lo, hi)
+	if k > cnt || cnt == 0 {
+		return dst, ErrSampleTooLarge
 	}
 	// Draw WR positions, dedupe until k distinct (O(k) expected when
 	// k ≤ cnt/2; falls back to direct enumeration when k is a large
@@ -260,33 +317,31 @@ func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, err
 		// Dense regime: enumerate range positions and partial-shuffle.
 		n := s.inner.Len()
 		a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
-		idx, err := wor.UniformWoR(r, cnt, k)
+		idx, err := wor.UniformWoRInto(r, cnt, k, sc.Pos(k), sc.Seen(k))
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
-		out := make([]float64, k)
-		for i, off := range idx {
-			out[i] = s.inner.Value(a + off)
+		for _, off := range idx {
+			dst = append(dst, s.inner.Value(a+off))
 		}
-		return out, nil
+		return dst, nil
 	}
 	// Sparse regime: WR draws deduplicated by position (coupon
 	// collecting, O(k) expected draws for k ≤ cnt/2).
-	seen := make(map[int]struct{}, k)
-	var scratch [16]int
-	out := make([]float64, 0, k)
-	for len(out) < k {
-		pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, 1, scratch[:0])
+	seen := sc.Seen(k)
+	base := len(dst)
+	for len(dst)-base < k {
+		pos, ok := s.queryScratch(r, bstInterval(lo, hi), 1, sc.Pos(1), sc)
 		if !ok {
-			return nil, ErrSampleTooLarge
+			return dst[:base], ErrSampleTooLarge
 		}
 		if _, dup := seen[pos[0]]; dup {
 			continue
 		}
 		seen[pos[0]] = struct{}{}
-		out = append(out, s.inner.Value(pos[0]))
+		dst = append(dst, s.inner.Value(pos[0]))
 	}
-	return out, nil
+	return dst, nil
 }
 
 // SampleWeightedWoR draws a weighted sample without replacement of size
@@ -298,70 +353,79 @@ func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, err
 // range (O(|S∩q|)). Returns ErrSampleTooLarge when k exceeds the range
 // count.
 func (s *RangeSampler) SampleWeightedWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
-	if err := ValidateRange(lo, hi); err != nil {
+	var sc scratch.Arena
+	out, err := s.SampleWeightedWoRInto(r, lo, hi, k, make([]float64, 0, k), &sc)
+	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// SampleWeightedWoRInto is SampleWeightedWoR appending to dst with the
+// dedupe set, the Efraimidis–Spirakis key heap and the materialised
+// in-range weight vector drawn from the caller-owned arena. The weight
+// vector is materialised at most once per call — shared by the dense
+// regime and the sparse regime's overflow fallback — instead of being
+// rebuilt inside the retry loop. Randomness consumption matches
+// SampleWeightedWoR exactly. dst is returned unchanged on error.
+func (s *RangeSampler) SampleWeightedWoRInto(r *Rand, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return dst, err
 	}
 	cnt := s.Count(lo, hi)
 	if k > cnt || cnt == 0 {
-		return nil, ErrSampleTooLarge
+		return dst, ErrSampleTooLarge
 	}
 	n := s.inner.Len()
 	a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
 	if 2*k > cnt {
 		// Dense regime: enumerate the range's weights and run one-pass
 		// weighted WoR.
-		weights := make([]float64, cnt)
-		for i := 0; i < cnt; i++ {
-			weights[i] = s.inner.Weight(a + i)
-		}
-		idx, err := wor.WeightedWoR(r, weights, k)
-		if err != nil {
-			return nil, err
-		}
-		out := make([]float64, k)
-		for i, off := range idx {
-			out[i] = s.inner.Value(a + off)
-		}
-		return out, nil
+		return s.denseWeightedWoRInto(r, a, cnt, k, dst, sc)
 	}
 	// Sparse regime: weighted WR draws deduplicated by position. A
 	// weighted WR draw conditioned on being new is exactly the next
 	// successive-sampling pick.
-	seen := make(map[int]struct{}, k)
-	var scratch [16]int
-	out := make([]float64, 0, k)
+	seen := sc.Seen(k)
+	base := len(dst)
 	// Guard against pathological weight skew making dedupe slow: bound
 	// total attempts generously, and on overflow discard the partial
 	// draw and redo the whole sample via the (exact) dense path with
 	// fresh randomness — a mixture of two exact procedures stays exact.
 	maxAttempts := 64 * (k + 16)
-	for attempts := 0; len(out) < k; attempts++ {
+	for attempts := 0; len(dst)-base < k; attempts++ {
 		if attempts > maxAttempts {
-			weights := make([]float64, cnt)
-			for i := 0; i < cnt; i++ {
-				weights[i] = s.inner.Weight(a + i)
-			}
-			idx, err := wor.WeightedWoR(r, weights, k)
-			if err != nil {
-				return nil, err
-			}
-			fresh := make([]float64, k)
-			for i, off := range idx {
-				fresh[i] = s.inner.Value(a + off)
-			}
-			return fresh, nil
+			return s.denseWeightedWoRInto(r, a, cnt, k, dst[:base], sc)
 		}
-		pos, ok := s.inner.Query(r, bst.Interval{Lo: lo, Hi: hi}, 1, scratch[:0])
+		pos, ok := s.queryScratch(r, bstInterval(lo, hi), 1, sc.Pos(1), sc)
 		if !ok {
-			return nil, ErrSampleTooLarge
+			return dst[:base], ErrSampleTooLarge
 		}
 		if _, dup := seen[pos[0]]; dup {
 			continue
 		}
 		seen[pos[0]] = struct{}{}
-		out = append(out, s.inner.Value(pos[0]))
+		dst = append(dst, s.inner.Value(pos[0]))
 	}
-	return out, nil
+	return dst, nil
+}
+
+// denseWeightedWoRInto materialises the weights of the cnt in-range
+// elements starting at sorted position a (once, into the arena) and runs
+// one-pass weighted WoR over them, appending the sampled values to dst.
+func (s *RangeSampler) denseWeightedWoRInto(r *Rand, a, cnt, k int, dst []float64, sc *scratch.Arena) ([]float64, error) {
+	weights := sc.Weights(cnt)
+	for i := 0; i < cnt; i++ {
+		weights[i] = s.inner.Weight(a + i)
+	}
+	idx, err := wor.WeightedWoRInto(r, weights, k, sc.Pos(k), sc.Floats(k))
+	if err != nil {
+		return dst, err
+	}
+	for _, off := range idx {
+		dst = append(dst, s.inner.Value(a+off))
+	}
+	return dst, nil
 }
 
 // DynamicRangeSampler is the updatable 1-D weighted range sampler.

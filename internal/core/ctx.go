@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"repro/internal/rangesample"
+	"repro/internal/scratch"
 	"repro/internal/wor"
 )
 
@@ -78,96 +79,136 @@ func (s *RangeSampler) SampleContext(ctx context.Context, r *Rand, lo, hi float6
 	if k <= 0 {
 		return nil, nil
 	}
+	var sc scratch.Arena
+	out, err := s.SampleContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), &sc)
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SampleContextInto is SampleContext appending to dst with all
+// temporaries drawn from the caller-owned arena — the variant the
+// serving stack uses so a steady request load recycles one arena per
+// worker instead of allocating per query. Randomness consumption matches
+// SampleContext exactly. dst is returned unchanged on error.
+func (s *RangeSampler) SampleContextInto(ctx context.Context, r *Rand, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return dst, err
+	}
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if k <= 0 {
+		return dst, nil
+	}
 	if st, isStop := s.inner.(rangesample.StopSampler); isStop {
 		// One call: the structure polls ctx inside its own long loops
 		// (batching here would repeat the naive report scan per batch).
 		stop := func() bool { return ctx.Err() != nil }
-		pos, ok, err := st.QueryStop(stop, r, bstInterval(lo, hi), k, nil)
+		pos, ok, err := s.queryStopScratch(st, stop, r, bstInterval(lo, hi), k, sc.Pos(k), sc)
 		if err != nil {
-			return nil, ctx.Err()
+			return dst, ctx.Err()
 		}
 		if !ok {
-			return nil, ErrEmptyRange
+			return dst, ErrEmptyRange
 		}
-		out := make([]float64, len(pos))
-		for i, p := range pos {
-			out[i] = s.inner.Value(p)
+		for _, p := range pos {
+			dst = append(dst, s.inner.Value(p))
 		}
-		return out, nil
+		return dst, nil
 	}
 	// O(log n + s) structures: draw in batches of PollEvery with a ctx
-	// check between batches.
-	out := make([]float64, 0, k)
-	var scratch [PollEvery]int
-	for len(out) < k {
-		batch := k - len(out)
+	// check between batches, reusing one arena-backed position buffer.
+	base := len(dst)
+	for len(dst)-base < k {
+		batch := k - (len(dst) - base)
 		if batch > PollEvery {
 			batch = PollEvery
 		}
-		pos, ok := s.inner.Query(r, bstInterval(lo, hi), batch, scratch[:0])
+		pos, ok := s.queryScratch(r, bstInterval(lo, hi), batch, sc.Pos(batch), sc)
 		if !ok {
-			return nil, ErrEmptyRange
+			return dst[:base], ErrEmptyRange
 		}
 		for _, p := range pos {
-			out = append(out, s.inner.Value(p))
+			dst = append(dst, s.inner.Value(p))
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return dst[:base], err
 		}
 	}
-	return out, nil
+	return dst, nil
+}
+
+// queryStopScratch routes a stop-aware position query through the
+// structure's scratch-aware path when it has one.
+func (s *RangeSampler) queryStopScratch(st rangesample.StopSampler, stop func() bool, r *Rand, q rangesample.Interval, k int, dst []int, sc *scratch.Arena) ([]int, bool, error) {
+	if sst, ok := st.(rangesample.StopScratchSampler); ok {
+		return sst.QueryStopScratch(stop, r, q, k, dst, sc)
+	}
+	return st.QueryStop(stop, r, q, k, dst)
 }
 
 // SampleWoRContext is SampleWoR honouring ctx: the sparse dedupe loop
 // polls ctx every PollEvery attempts and the dense enumeration checks it
 // before and after the O(|S∩q|) pass.
 func (s *RangeSampler) SampleWoRContext(ctx context.Context, r *Rand, lo, hi float64, k int) ([]float64, error) {
-	if err := ValidateRange(lo, hi); err != nil {
+	var sc scratch.Arena
+	out, err := s.SampleWoRContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), &sc)
+	if err != nil {
 		return nil, err
 	}
+	return out, nil
+}
+
+// SampleWoRContextInto is SampleWoRContext appending to dst with all
+// temporaries drawn from the caller-owned arena. Randomness consumption
+// matches SampleWoRContext exactly. dst is returned unchanged on error.
+func (s *RangeSampler) SampleWoRContextInto(ctx context.Context, r *Rand, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, error) {
+	if err := ValidateRange(lo, hi); err != nil {
+		return dst, err
+	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return dst, err
 	}
 	cnt := s.Count(lo, hi)
 	if k > cnt || cnt == 0 {
-		return nil, ErrSampleTooLarge
+		return dst, ErrSampleTooLarge
 	}
 	if 2*k > cnt {
 		// Dense regime, as in SampleWoR.
 		n := s.inner.Len()
 		a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
-		idx, err := wor.UniformWoR(r, cnt, k)
+		idx, err := wor.UniformWoRInto(r, cnt, k, sc.Pos(k), sc.Seen(k))
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return dst, err
 		}
-		out := make([]float64, k)
-		for i, off := range idx {
-			out[i] = s.inner.Value(a + off)
+		for _, off := range idx {
+			dst = append(dst, s.inner.Value(a+off))
 		}
-		return out, nil
+		return dst, nil
 	}
 	// Sparse regime: WR draws deduplicated by position, polling ctx.
-	seen := make(map[int]struct{}, k)
-	var scratch [16]int
-	out := make([]float64, 0, k)
-	for attempts := 0; len(out) < k; attempts++ {
+	seen := sc.Seen(k)
+	base := len(dst)
+	for attempts := 0; len(dst)-base < k; attempts++ {
 		if attempts%PollEvery == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return dst[:base], err
 			}
 		}
-		pos, ok := s.inner.Query(r, bstInterval(lo, hi), 1, scratch[:0])
+		pos, ok := s.queryScratch(r, bstInterval(lo, hi), 1, sc.Pos(1), sc)
 		if !ok {
-			return nil, ErrSampleTooLarge
+			return dst[:base], ErrSampleTooLarge
 		}
 		if _, dup := seen[pos[0]]; dup {
 			continue
 		}
 		seen[pos[0]] = struct{}{}
-		out = append(out, s.inner.Value(pos[0]))
+		dst = append(dst, s.inner.Value(pos[0]))
 	}
-	return out, nil
+	return dst, nil
 }

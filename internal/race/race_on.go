@@ -1,0 +1,6 @@
+//go:build race
+
+package race
+
+// Enabled reports whether the build is race-instrumented.
+const Enabled = true

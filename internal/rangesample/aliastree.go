@@ -3,6 +3,7 @@ package rangesample
 import (
 	"repro/internal/alias"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // posTree is the engine behind Lemma 2: a balanced binary tree over
@@ -86,11 +87,18 @@ func (t *posTree) rangeWeight(a, b int) float64 {
 // queryPos appends s independent weighted samples from positions [a, b]
 // to dst. Panics if the range is out of bounds.
 func (t *posTree) queryPos(r *rng.Source, a, b, s int, dst []int) []int {
+	var sc scratch.Arena
+	return t.queryPosScratch(r, a, b, s, dst, &sc)
+}
+
+// queryPosScratch is queryPos with the canonical-cover weight vector and
+// top-level alias drawn from sc (Weights and Alias accessors).
+func (t *posTree) queryPosScratch(r *rng.Source, a, b, s int, dst []int, sc *scratch.Arena) []int {
 	if a < 0 || b >= len(t.weights) || a > b {
 		panic("rangesample: queryPos range out of bounds")
 	}
-	var scratch [64]int32
-	cov := t.cover(t.root, int32(a), int32(b), scratch[:0])
+	var covBuf [64]int32
+	cov := t.cover(t.root, int32(a), int32(b), covBuf[:0])
 	if len(cov) == 1 {
 		// Single canonical node: sample directly from its alias.
 		nd := &t.nodes[cov[0]]
@@ -99,11 +107,11 @@ func (t *posTree) queryPos(r *rng.Source, a, b, s int, dst []int) []int {
 		}
 		return dst
 	}
-	covWeights := make([]float64, len(cov))
+	covWeights := sc.Weights(len(cov))
 	for i, id := range cov {
 		covWeights[i] = t.nodes[id].weight
 	}
-	top := alias.MustNew(covWeights)
+	top := sc.Alias().MustRebuild(covWeights)
 	for i := 0; i < s; i++ {
 		nd := &t.nodes[cov[top.Sample(r)]]
 		dst = append(dst, int(nd.lo)+t.sampleNode(r, nd))
@@ -147,6 +155,15 @@ func (aa *AliasAug) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, b
 	return aa.tree.queryPos(r, a, b, s, dst), true
 }
 
+// QueryScratch implements ScratchSampler.
+func (aa *AliasAug) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool) {
+	a, b, ok := aa.posRange(q)
+	if !ok {
+		return dst, false
+	}
+	return aa.tree.queryPosScratch(r, a, b, s, dst, sc), true
+}
+
 // RangeWeight returns the total weight of S ∩ q in O(log n); 0 when
 // empty. Exposed for estimation examples.
 func (aa *AliasAug) RangeWeight(q Interval) float64 {
@@ -158,3 +175,4 @@ func (aa *AliasAug) RangeWeight(q Interval) float64 {
 }
 
 var _ Sampler = (*AliasAug)(nil)
+var _ ScratchSampler = (*AliasAug)(nil)

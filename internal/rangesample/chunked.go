@@ -7,6 +7,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/fenwick"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Chunked is the Theorem 3 structure (§4.2): the sorted input is divided
@@ -121,6 +122,14 @@ func (ch *Chunked) NumChunks() int { return ch.numChunks }
 
 // Query implements Sampler.
 func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
+	var sc scratch.Arena
+	return ch.QueryScratch(r, q, s, dst, &sc)
+}
+
+// QueryScratch implements ScratchSampler: the same query algorithm with
+// the piece-distribution alias, partial-chunk aliases and cover buffers
+// drawn from sc, so a warm arena makes the query allocation-free.
+func (ch *Chunked) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool) {
 	pa, pb, ok := ch.posRange(q)
 	if !ok {
 		return dst, false
@@ -130,7 +139,7 @@ func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bo
 	if ca == cb {
 		// The whole query lives inside one chunk of O(log n) elements:
 		// build an alias over the sub-range on the fly.
-		return ch.samplePartial(r, pa, pb, s, dst), true
+		return ch.samplePartial(r, pa, pb, s, dst, sc), true
 	}
 
 	// Split into q1 (head partial), q2 (aligned middle), q3 (tail
@@ -144,16 +153,26 @@ func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bo
 		w2 = ch.sums.RangeSum(ca+1, cb-1)
 	}
 
-	// Distribute s over the three pieces (Theorem 1 on ≤3 weights).
-	pieceW := make([]float64, 0, 3)
-	pieceID := make([]int, 0, 3)
-	for id, w := range []float64{w1, w2, w3} {
-		if w > 0 {
-			pieceW = append(pieceW, w)
-			pieceID = append(pieceID, id)
-		}
+	// Distribute s over the three pieces (Theorem 1 on ≤3 weights). The
+	// piece arrays are fixed-size stack buffers; only the alias build
+	// itself touches the arena.
+	var pieceW [3]float64
+	var pieceID [3]int
+	np := 0
+	if w1 > 0 {
+		pieceW[np], pieceID[np] = w1, 0
+		np++
 	}
-	counts := alias.MustNew(pieceW).Counts(r, s)
+	if w2 > 0 {
+		pieceW[np], pieceID[np] = w2, 1
+		np++
+	}
+	if w3 > 0 {
+		pieceW[np], pieceID[np] = w3, 2
+		np++
+	}
+	var countBuf [3]int
+	counts := sc.Alias().MustRebuild(pieceW[:np]).CountsInto(r, s, countBuf[:np])
 	var s1, s2, s3 int
 	for i, c := range counts {
 		switch pieceID[i] {
@@ -167,16 +186,15 @@ func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bo
 	}
 
 	if s1 > 0 {
-		dst = ch.samplePartial(r, h1lo, h1hi, s1, dst)
+		dst = ch.samplePartial(r, h1lo, h1hi, s1, dst, sc)
 	}
 	if s3 > 0 {
-		dst = ch.samplePartial(r, h3lo, h3hi, s3, dst)
+		dst = ch.samplePartial(r, h3lo, h3hi, s3, dst, sc)
 	}
 	if s2 > 0 {
 		// Chunk-aligned middle: sample s2 chunks from the Lemma 2
 		// structure, then finish each with the chunk's own alias.
-		var chunkScratch [64]int
-		chunks := ch.top.queryPos(r, ca+1, cb-1, s2, chunkScratch[:0])
+		chunks := ch.top.queryPosScratch(r, ca+1, cb-1, s2, sc.Ints(s2), sc)
 		for _, ci := range chunks {
 			lo, _ := ch.chunkBounds(ci)
 			dst = append(dst, lo+ch.chunkAlias[ci].Sample(r))
@@ -187,15 +205,15 @@ func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bo
 
 // samplePartial draws s weighted samples from positions [lo, hi] (a range
 // spanning at most one chunk, i.e. O(log n) elements) by building an
-// alias structure on the fly.
-func (ch *Chunked) samplePartial(r *rng.Source, lo, hi, s int, dst []int) []int {
+// alias structure on the fly in the arena's builder.
+func (ch *Chunked) samplePartial(r *rng.Source, lo, hi, s int, dst []int, sc *scratch.Arena) []int {
 	if lo == hi {
 		for i := 0; i < s; i++ {
 			dst = append(dst, lo)
 		}
 		return dst
 	}
-	al := alias.MustNew(ch.weights[lo : hi+1])
+	al := sc.Alias().MustRebuild(ch.weights[lo : hi+1])
 	for i := 0; i < s; i++ {
 		dst = append(dst, lo+al.Sample(r))
 	}
@@ -230,3 +248,4 @@ func (ch *Chunked) RangeWeight(q Interval) float64 {
 }
 
 var _ Sampler = (*Chunked)(nil)
+var _ ScratchSampler = (*Chunked)(nil)

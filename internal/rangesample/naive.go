@@ -2,6 +2,7 @@ package rangesample
 
 import (
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Naive is the baseline the paper argues against in Section 1: it
@@ -38,10 +39,25 @@ func (nv *Naive) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool
 	return out, ok
 }
 
+// QueryScratch implements ScratchSampler.
+func (nv *Naive) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool) {
+	out, ok, _ := nv.QueryStopScratch(nil, r, q, s, dst, sc)
+	return out, ok
+}
+
 // QueryStop implements StopSampler: the O(|S_q|) report pass and the
 // O(s) draw loop both poll stop, so a canceled query returns within
 // stopPollEvery iterations no matter how large the range is.
 func (nv *Naive) QueryStop(stop func() bool, r *rng.Source, q Interval, s int, dst []int) ([]int, bool, error) {
+	var sc scratch.Arena
+	return nv.QueryStopScratch(stop, r, q, s, dst, &sc)
+}
+
+// QueryStopScratch implements StopScratchSampler. The O(|S_q|) report
+// buffer comes from the arena's Floats accessor, so its size tracks the
+// largest range the arena has served (the baseline's inherent cost — the
+// paper's IQS structures are what avoid it).
+func (nv *Naive) QueryStopScratch(stop func() bool, r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool, error) {
 	a, b, ok := nv.posRange(q)
 	if !ok {
 		return dst, false, nil
@@ -49,7 +65,7 @@ func (nv *Naive) QueryStop(stop func() bool, r *rng.Source, q Interval, s int, d
 	// "Report" the result: copy out the cumulative weights of S_q. This
 	// pass is what the paper's IQS structures avoid.
 	k := b - a + 1
-	cum := make([]float64, k)
+	cum := sc.Floats(k)
 	run := 0.0
 	for i := 0; i < k; i++ {
 		if stop != nil && i%stopPollEvery == 0 && stop() {
@@ -81,3 +97,5 @@ func (nv *Naive) QueryStop(stop func() bool, r *rng.Source, q Interval, s int, d
 }
 
 var _ StopSampler = (*Naive)(nil)
+var _ StopScratchSampler = (*Naive)(nil)
+var _ ScratchSampler = (*Naive)(nil)

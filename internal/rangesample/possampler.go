@@ -1,6 +1,9 @@
 package rangesample
 
-import "repro/internal/rng"
+import (
+	"repro/internal/rng"
+	"repro/internal/scratch"
+)
 
 // PosSampler answers position-range IQS queries over a fixed weighted
 // sequence: given [a, b] and s, it draws s independent weighted samples
@@ -69,6 +72,23 @@ func (p *PosSampler) Query(r *rng.Source, a, b, s int, dst []int) []int {
 		return dst
 	}
 	return p.tree.queryPos(r, a, b, s, dst)
+}
+
+// QueryScratch is Query with temporaries drawn from sc; the uniform fast
+// path needs none, the weighted path reuses the arena for its cover
+// alias.
+func (p *PosSampler) QueryScratch(r *rng.Source, a, b, s int, dst []int, sc *scratch.Arena) []int {
+	if a < 0 || b >= len(p.weights) || a > b {
+		panic("rangesample: PosSampler query out of range")
+	}
+	if p.isUniform {
+		span := b - a + 1
+		for i := 0; i < s; i++ {
+			dst = append(dst, a+r.Intn(span))
+		}
+		return dst
+	}
+	return p.tree.queryPosScratch(r, a, b, s, dst, sc)
 }
 
 // RangeWeight returns the total weight of positions [a, b] in O(1).

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/bst"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // Interval is re-exported from internal/bst for convenience: the closed
@@ -78,6 +79,29 @@ type StopSampler interface {
 	Sampler
 	// QueryStop is Query polling stop() every stopPollEvery iterations.
 	QueryStop(stop func() bool, r *rng.Source, q Interval, s int, dst []int) ([]int, bool, error)
+}
+
+// ScratchSampler is implemented by structures whose query runs
+// allocation-free given a caller-owned scratch arena: the on-the-fly
+// alias builds over canonical covers and partial chunks, and the cover
+// weight vectors, live in the arena instead of fresh heap slices.
+// QueryScratch consumes randomness identically to Query, so for the
+// same *rng.Source state both produce the same samples. The arena is
+// single-goroutine state; see scratch.Arena for the ownership rules
+// (a query uses Ints, Floats, Weights and Alias — never Pos or Seen,
+// which belong to the internal/core caller).
+type ScratchSampler interface {
+	Sampler
+	// QueryScratch is Query with all temporaries drawn from sc.
+	QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool)
+}
+
+// StopScratchSampler combines stop-aware and scratch-aware querying
+// (the Naive baseline's O(|S_q|) report buffer comes from the arena).
+type StopScratchSampler interface {
+	StopSampler
+	// QueryStopScratch is QueryStop with all temporaries drawn from sc.
+	QueryStopScratch(stop func() bool, r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool, error)
 }
 
 // stopPollEvery is the loop-iteration granularity of stop checks: small

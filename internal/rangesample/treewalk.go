@@ -1,9 +1,9 @@
 package rangesample
 
 import (
-	"repro/internal/alias"
 	"repro/internal/bst"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // TreeWalk is the Section 3.2 structure: a weight-augmented BST where a
@@ -45,18 +45,24 @@ func (t *TreeWalk) Weight(i int) float64 { return t.tree.LeafWeight(i) }
 
 // Query implements Sampler.
 func (t *TreeWalk) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
-	var scratch [64]bst.NodeID
-	cov := t.tree.CoverInterval(q, scratch[:0])
+	var sc scratch.Arena
+	return t.QueryScratch(r, q, s, dst, &sc)
+}
+
+// QueryScratch implements ScratchSampler.
+func (t *TreeWalk) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) ([]int, bool) {
+	var covBuf [64]bst.NodeID
+	cov := t.tree.CoverInterval(q, covBuf[:0])
 	if len(cov) == 0 {
 		return dst, false
 	}
 	// Distribute the s samples over the canonical nodes with an alias
 	// structure built on the fly (Theorem 1), exactly as in §3.2/§4.1.
-	covWeights := make([]float64, len(cov))
+	covWeights := sc.Weights(len(cov))
 	for i, id := range cov {
 		covWeights[i] = t.tree.Weight(id)
 	}
-	top := alias.MustNew(covWeights)
+	top := sc.Alias().MustRebuild(covWeights)
 	for i := 0; i < s; i++ {
 		node := cov[top.Sample(r)]
 		dst = append(dst, t.tree.SampleLeaf(r, node))
@@ -65,3 +71,4 @@ func (t *TreeWalk) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bo
 }
 
 var _ Sampler = (*TreeWalk)(nil)
+var _ ScratchSampler = (*TreeWalk)(nil)

@@ -1,0 +1,102 @@
+// Package scratch provides the reusable per-goroutine arena the sampling
+// hot paths thread their per-query temporaries through, so that a warm
+// arena makes a query — alias rebuilds for partial chunks and canonical
+// covers, WoR dedupe sets, weighted-WoR key heaps, position buffers —
+// allocation-free no matter how many times it runs.
+//
+// Ownership discipline (DESIGN.md §6): an Arena is single-goroutine
+// state, like *rng.Source. Each accessor (Pos, Ints, Floats, Weights,
+// Seen, Alias) owns one buffer; a caller may hold at most one live
+// borrow per accessor at a time, and a nested callee may use any
+// accessor its caller is not currently holding. The sampling call tree
+// partitions them statically:
+//
+//	Pos      caller-level position accumulation (internal/core)
+//	Ints     structure-internal int scratch (chunk id lists)
+//	Floats   dense float scratch (naive CDF, Efraimidis–Spirakis keys)
+//	Weights  weight vectors (canonical-cover weights, in-range weights)
+//	Seen     WoR dedupe set
+//	Alias    the shared alias.Builder (strictly sequential rebuilds)
+//
+// Buffers are handed out with undefined contents unless documented
+// otherwise; callers must fully overwrite what they read.
+package scratch
+
+import (
+	"sync"
+
+	"repro/internal/alias"
+)
+
+// Arena is the reusable scratch state. The zero value is ready to use;
+// buffers grow to the high-water mark of the queries run through it and
+// are then reused. Not safe for concurrent use.
+type Arena struct {
+	pos     []int
+	ints    []int
+	floats  []float64
+	weights []float64
+	seen    map[int]struct{}
+	builder alias.Builder
+}
+
+// Pos returns a zero-length []int with capacity ≥ n, for append-style
+// accumulation of sample positions at the API boundary.
+func (a *Arena) Pos(n int) []int {
+	if cap(a.pos) < n {
+		a.pos = make([]int, 0, n)
+	}
+	return a.pos[:0]
+}
+
+// Ints returns a zero-length []int with capacity ≥ n, for
+// structure-internal index lists.
+func (a *Arena) Ints(n int) []int {
+	if cap(a.ints) < n {
+		a.ints = make([]int, 0, n)
+	}
+	return a.ints[:0]
+}
+
+// Floats returns a length-n []float64 with undefined contents.
+func (a *Arena) Floats(n int) []float64 {
+	if cap(a.floats) < n {
+		a.floats = make([]float64, n)
+	}
+	return a.floats[:n]
+}
+
+// Weights returns a length-n []float64 with undefined contents, distinct
+// from Floats so weight vectors and key/CDF scratch can be live at once.
+func (a *Arena) Weights(n int) []float64 {
+	if cap(a.weights) < n {
+		a.weights = make([]float64, n)
+	}
+	return a.weights[:n]
+}
+
+// Seen returns an empty map for WoR position dedupe, cleared on every
+// call and reused across calls.
+func (a *Arena) Seen(hint int) map[int]struct{} {
+	if a.seen == nil {
+		a.seen = make(map[int]struct{}, hint)
+		return a.seen
+	}
+	clear(a.seen)
+	return a.seen
+}
+
+// Alias returns the arena's alias builder. Rebuilds must be strictly
+// sequential: the *alias.Alias from one Rebuild is dead after the next.
+func (a *Arena) Alias() *alias.Builder { return &a.builder }
+
+// pool backs Get/Put so the serving stack reuses arenas across requests
+// without sharing them between in-flight goroutines.
+var pool = sync.Pool{New: func() any { return new(Arena) }}
+
+// Get returns a warm arena from the process-wide pool.
+func Get() *Arena { return pool.Get().(*Arena) }
+
+// Put returns an arena to the pool. The caller must not retain any
+// buffer borrowed from it.
+func Put(a *Arena) { pool.Put(a) }

@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/shard"
+)
+
+// BenchmarkServerSample drives the full HTTP /sample path — admission,
+// parameter parse, engine query, JSON encode — through the handler
+// without sockets, so -benchmem isolates the serving stack's per-request
+// allocations (the numbers BENCH_hotpath.json tracks PR over PR).
+
+func benchServer(b *testing.B) *Server {
+	b.Helper()
+	n := 1 << 14
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+	}
+	coord, err := shard.New(context.Background(), "bench", values, nil, shard.Options{Shards: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return New(coord, Options{Seed: 7})
+}
+
+func BenchmarkServerSample(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/sample?lo=100&hi=9000&k=16", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func BenchmarkServerBatch(b *testing.B) {
+	s := benchServer(b)
+	h := s.Handler()
+	body := `{"queries":[{"lo":0,"hi":8000,"k":8},{"lo":100,"hi":9000,"k":8},{"lo":50,"hi":4000,"k":8,"wor":true}]}`
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}

@@ -25,13 +25,16 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -42,10 +45,14 @@ import (
 )
 
 // Engine is the query backend the server fronts; *shard.Coordinator
-// implements it.
+// implements it. The Into variants append into a caller-owned buffer
+// (returned unchanged on error) so the hot /sample path can recycle
+// pooled response buffers instead of allocating per request.
 type Engine interface {
 	Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error)
+	SampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error)
 	SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error)
+	SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error)
 	Batch(ctx context.Context, r *core.Rand, queries []shard.Query) []shard.Result
 	Count(ctx context.Context, lo, hi float64) (int, error)
 	Health() shard.Health
@@ -84,6 +91,8 @@ type Server struct {
 	rejectedBusy atomic.Int64 // 429: queue full
 	rejectedGone atomic.Int64 // 503: draining or deadline while queued
 
+	baseMallocs uint64 // runtime.MemStats.Mallocs at New, for /stats deltas
+
 	hs *http.Server
 }
 
@@ -109,6 +118,9 @@ func New(eng Engine, opts Options) *Server {
 		opts: opts,
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	s.baseMallocs = ms.Mallocs
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -137,17 +149,24 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return s.hs.Shutdown(ctx)
 }
 
-// Stats is the /stats payload.
+// Stats is the /stats payload. The allocation counters come from
+// runtime.MemStats deltas since New: Mallocs counts heap objects
+// process-wide, so MallocsPerRequest is an upper bound on the serving
+// stack's per-request allocation cost — the live counterpart of the
+// -benchmem numbers BENCH_hotpath.json tracks.
 type Stats struct {
-	Served       int64           `json:"served"`
-	Failed       int64           `json:"failed"`
-	RejectedBusy int64           `json:"rejected_429"`
-	RejectedGone int64           `json:"rejected_503"`
-	InFlight     int             `json:"in_flight"`
-	Queued       int64           `json:"queued"`
-	Draining     bool            `json:"draining"`
-	Engine       shard.Health    `json:"engine"`
-	Downgrades   []downgradeJSON `json:"downgrades,omitempty"`
+	Served            int64           `json:"served"`
+	Failed            int64           `json:"failed"`
+	RejectedBusy      int64           `json:"rejected_429"`
+	RejectedGone      int64           `json:"rejected_503"`
+	InFlight          int             `json:"in_flight"`
+	Queued            int64           `json:"queued"`
+	Draining          bool            `json:"draining"`
+	Mallocs           uint64          `json:"mallocs_since_start"`
+	MallocsPerRequest float64         `json:"mallocs_per_request"`
+	HeapAllocBytes    uint64          `json:"heap_alloc_bytes"`
+	Engine            shard.Health    `json:"engine"`
+	Downgrades        []downgradeJSON `json:"downgrades,omitempty"`
 }
 
 type downgradeJSON struct {
@@ -203,10 +222,35 @@ func statusOf(err error) int {
 	}
 }
 
+// encodeScratch pairs a reusable buffer with a json.Encoder bound to
+// it, so the per-response encoder and its internal state are recycled
+// rather than rebuilt per request.
+type encodeScratch struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var encPool = sync.Pool{New: func() any {
+	es := &encodeScratch{}
+	es.enc = json.NewEncoder(&es.buf)
+	return es
+}}
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	es := encPool.Get().(*encodeScratch)
+	es.buf.Reset()
+	if err := es.enc.Encode(v); err != nil {
+		// Encoding failed before anything hit the wire; answer with a
+		// plain 500 rather than a truncated body.
+		encPool.Put(es)
+		http.Error(w, `{"error":"encode failure"}`, http.StatusInternalServerError)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Length", strconv.Itoa(es.buf.Len()))
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(es.buf.Bytes())
+	encPool.Put(es)
 }
 
 func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
@@ -226,6 +270,23 @@ func (s *Server) shed(w http.ResponseWriter, status int) {
 func (s *Server) requestRand() *core.Rand {
 	return rng.New(s.opts.Seed + 0x9e3779b97f4a7c15*s.reqSeq.Add(1))
 }
+
+// sampleResponse is the /sample payload; a typed struct encodes
+// without the per-key interface boxing a map[string]any costs on every
+// request.
+type sampleResponse struct {
+	Samples   []float64 `json:"samples"`
+	Count     int       `json:"count"`
+	ElapsedUS int64     `json:"elapsed_us"`
+}
+
+// samplePool recycles /sample result buffers: the engine appends into a
+// pooled buffer via SampleInto and the buffer is returned after the
+// response is encoded.
+var samplePool = sync.Pool{New: func() any {
+	b := make([]float64, 0, 1024)
+	return &b
+}}
 
 // sampleParams are the /sample inputs, accepted as query parameters
 // (GET) or a JSON body (POST).
@@ -286,25 +347,29 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
 	defer cancel()
 	start := time.Now()
+	bp := samplePool.Get().(*[]float64)
 	var out []float64
 	if p.WoR {
-		out, err = s.eng.SampleWoR(ctx, s.requestRand(), p.Lo, p.Hi, p.K)
+		out, err = s.eng.SampleWoRInto(ctx, s.requestRand(), p.Lo, p.Hi, p.K, (*bp)[:0])
 	} else {
-		out, err = s.eng.Sample(ctx, s.requestRand(), p.Lo, p.Hi, p.K)
+		out, err = s.eng.SampleInto(ctx, s.requestRand(), p.Lo, p.Hi, p.K, (*bp)[:0])
 	}
 	if err != nil {
+		samplePool.Put(bp)
 		s.writeError(w, statusOf(err), err)
 		return
 	}
 	s.served.Add(1)
 	if out == nil {
-		out = []float64{}
+		out = (*bp)[:0] // encode as [], matching the pre-pool behaviour
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"samples":    out,
-		"count":      len(out),
-		"elapsed_us": time.Since(start).Microseconds(),
+	writeJSON(w, http.StatusOK, sampleResponse{
+		Samples:   out,
+		Count:     len(out),
+		ElapsedUS: time.Since(start).Microseconds(),
 	})
+	*bp = out[:0] // keep any growth the engine caused
+	samplePool.Put(bp)
 }
 
 // batchRequest is the /batch body.
@@ -385,15 +450,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
 	st := Stats{
-		Served:       s.served.Load(),
-		Failed:       s.failed.Load(),
-		RejectedBusy: s.rejectedBusy.Load(),
-		RejectedGone: s.rejectedGone.Load(),
-		InFlight:     len(s.sem),
-		Queued:       s.queued.Load(),
-		Draining:     s.draining.Load(),
-		Engine:       s.eng.Health(),
+		Served:         s.served.Load(),
+		Failed:         s.failed.Load(),
+		RejectedBusy:   s.rejectedBusy.Load(),
+		RejectedGone:   s.rejectedGone.Load(),
+		InFlight:       len(s.sem),
+		Queued:         s.queued.Load(),
+		Draining:       s.draining.Load(),
+		Mallocs:        ms.Mallocs - s.baseMallocs,
+		HeapAllocBytes: ms.HeapAlloc,
+		Engine:         s.eng.Health(),
+	}
+	if st.Served > 0 {
+		st.MallocsPerRequest = float64(st.Mallocs) / float64(st.Served)
 	}
 	for _, d := range s.eng.Downgrades() {
 		st.Downgrades = append(st.Downgrades, downgradeJSON{

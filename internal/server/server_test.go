@@ -202,8 +202,24 @@ func (s *slowEngine) Sample(ctx context.Context, r *core.Rand, lo, hi float64, k
 	return s.inner.Sample(ctx, r, lo, hi, k)
 }
 
+// SampleInto wedges too: the handler's hot path runs through the Into
+// variants, and the admission tests need those requests to hold their
+// slots.
+func (s *slowEngine) SampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		return dst, ctx.Err()
+	}
+	return s.inner.SampleInto(ctx, r, lo, hi, k, dst)
+}
+
 func (s *slowEngine) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
 	return s.inner.SampleWoR(ctx, r, lo, hi, k)
+}
+
+func (s *slowEngine) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	return s.inner.SampleWoRInto(ctx, r, lo, hi, k, dst)
 }
 func (s *slowEngine) Batch(ctx context.Context, r *core.Rand, q []shard.Query) []shard.Result {
 	return s.inner.Batch(ctx, r, q)

@@ -1,0 +1,34 @@
+package service
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkServiceSample measures the hardened single-node request path
+// (snapshot read, guard, core query) for the bench-json pipeline.
+func BenchmarkServiceSample(b *testing.B) {
+	n := 1 << 16
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+		weights[i] = 1 + float64((i*7)%13)
+	}
+	s := New(Options{})
+	ctx := context.Background()
+	if err := s.Create(ctx, "bench", core.KindChunked, values, weights); err != nil {
+		b.Fatal(err)
+	}
+	r := core.NewRand(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.Sample(ctx, r, "bench", 1000, 50000, 16)
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}

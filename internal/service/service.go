@@ -327,7 +327,11 @@ func (s *Service) Create(ctx context.Context, name string, kind core.Kind, value
 }
 
 // Sample draws k independent weighted samples from the dataset's
-// S ∩ [lo, hi], honouring ctx.
+// S ∩ [lo, hi], honouring ctx. The returned slice is freshly allocated
+// and owned by the caller; the query's internal temporaries come from a
+// pooled arena, so a steady request load recycles scratch instead of
+// allocating per query. Use SampleInto to also recycle the result
+// buffer.
 func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int) (out []float64, err error) {
 	defer s.track(&err)()
 	ds, err := s.lookup(name)
@@ -335,9 +339,15 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 		return nil, err
 	}
 	snap := ds.snapshot()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
 	err = s.guard(snap.active, "sample", func() error {
 		var e error
-		out, e = snap.sampler.SampleContext(ctx, r, lo, hi, k)
+		var dst []float64
+		if k > 0 {
+			dst = make([]float64, 0, k)
+		}
+		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k, dst, sc)
 		return e
 	})
 	if err != nil {
@@ -346,8 +356,35 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 	return out, nil
 }
 
+// SampleInto is Sample appending into caller-owned dst — the
+// zero-steady-state-allocation path the sharded coordinator and HTTP
+// front end run per request. dst is returned unchanged on error, so a
+// pooled buffer can be recycled regardless of outcome.
+func (s *Service) SampleInto(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int, dst []float64) (out []float64, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return dst, err
+	}
+	snap := ds.snapshot()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	out = dst
+	err = s.guard(snap.active, "sample", func() error {
+		var e error
+		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k, out, sc)
+		return e
+	})
+	if err != nil {
+		return dst, err
+	}
+	return out, nil
+}
+
 // SampleWoR draws a uniformly random size-k subset of S ∩ [lo, hi]
-// without replacement (uniform-weight regime), honouring ctx.
+// without replacement (uniform-weight regime), honouring ctx. Like
+// Sample it recycles its internal temporaries from a pooled arena; use
+// SampleWoRInto to also recycle the result buffer.
 func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int) (out []float64, err error) {
 	defer s.track(&err)()
 	ds, err := s.lookup(name)
@@ -355,13 +392,38 @@ func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, 
 		return nil, err
 	}
 	snap := ds.snapshot()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
 	err = s.guard(snap.active, "wor", func() error {
 		var e error
-		out, e = snap.sampler.SampleWoRContext(ctx, r, lo, hi, k)
+		out, e = snap.sampler.SampleWoRContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), sc)
 		return e
 	})
 	if err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// SampleWoRInto is SampleWoR appending into caller-owned dst. dst is
+// returned unchanged on error.
+func (s *Service) SampleWoRInto(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int, dst []float64) (out []float64, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return dst, err
+	}
+	snap := ds.snapshot()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	out = dst
+	err = s.guard(snap.active, "wor", func() error {
+		var e error
+		out, e = snap.sampler.SampleWoRContextInto(ctx, r, lo, hi, k, out, sc)
+		return e
+	})
+	if err != nil {
+		return dst, err
 	}
 	return out, nil
 }

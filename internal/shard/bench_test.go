@@ -1,0 +1,62 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// Hot-path benchmarks for the bench-json pipeline: the sharded engine's
+// single-query and batched paths, with -benchmem quantifying per-request
+// allocation pressure (budget split, fan-out, shuffle-merge).
+
+func benchCoordinator(b *testing.B, shards int) *Coordinator {
+	b.Helper()
+	n := 1 << 16
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+		weights[i] = 1 + float64((i*7)%13)
+	}
+	c, err := New(context.Background(), "bench", values, weights, Options{Shards: shards})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkShardSample(b *testing.B) {
+	c := benchCoordinator(b, 4)
+	r := core.NewRand(1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := c.Sample(ctx, r, 1000, 50000, 16)
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+func BenchmarkShardBatch(b *testing.B) {
+	c := benchCoordinator(b, 4)
+	r := core.NewRand(1)
+	ctx := context.Background()
+	queries := make([]Query, 16)
+	for i := range queries {
+		queries[i] = Query{Lo: float64(i * 1000), Hi: float64(i*1000 + 20000), K: 8}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := c.Batch(ctx, r, queries)
+		for _, res := range results {
+			if res.Err != nil {
+				b.Fatal(res.Err)
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -220,14 +221,24 @@ func (c *Coordinator) owner(value float64) int {
 	return len(c.hosts) - 1
 }
 
+// partPool recycles the per-job sample buffers the fan-out workers draw
+// into: under a steady query load each job appends into a pooled buffer
+// via service.SampleInto instead of allocating a fresh slice per shard
+// per query.
+var partPool = sync.Pool{New: func() any {
+	b := make([]float64, 0, 256)
+	return &b
+}}
+
 // fanOut runs draw for every shard with a positive budget on the
 // bounded worker pool, each under a context that the first error
 // cancels. Each task gets its own rng stream, split from r in
-// deterministic order before any goroutine starts. The merged samples
-// come back shuffled with r so the output order carries no shard
-// signal.
-func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, budgets []int,
-	draw func(ctx context.Context, r *core.Rand, shard, k int) ([]float64, error)) ([]float64, error) {
+// deterministic order before any goroutine starts. Per-shard partials
+// land in pooled buffers and are appended to dst; the appended region
+// comes back shuffled with r so the output order carries no shard
+// signal. dst is returned unchanged on error.
+func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, budgets []int, dst []float64,
+	draw func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error)) ([]float64, error) {
 
 	type job struct {
 		shard, k int
@@ -243,7 +254,7 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 		total += budgets[i]
 	}
 	if len(jobs) == 0 {
-		return nil, nil
+		return dst, nil
 	}
 
 	fctx, cancel := context.WithCancel(ctx)
@@ -255,6 +266,20 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 		firstErr error
 	)
 	parts := make([][]float64, len(jobs))
+	bufs := make([]*[]float64, len(jobs))
+	defer func() {
+		// Recycle after the merge below has copied the partials out (the
+		// deferred call runs once the return value is final).
+		for ji, bp := range bufs {
+			if bp == nil {
+				continue
+			}
+			if parts[ji] != nil {
+				*bp = parts[ji][:0] // keep any growth the draw caused
+			}
+			partPool.Put(bp)
+		}
+	}()
 	for ji := range jobs {
 		wg.Add(1)
 		go func(ji int) {
@@ -271,7 +296,9 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 				return
 			}
 			j := jobs[ji]
-			out, err := draw(fctx, j.r, j.shard, j.k)
+			bp := partPool.Get().(*[]float64)
+			bufs[ji] = bp
+			out, err := draw(fctx, j.r, j.shard, j.k, (*bp)[:0])
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -289,16 +316,18 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 		// Prefer the caller's own cancellation cause over the derived
 		// context's when both fired.
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return dst, err
 		}
-		return nil, firstErr
+		return dst, firstErr
 	}
-	merged := make([]float64, 0, total)
+	base := len(dst)
+	dst = slices.Grow(dst, total)
 	for _, p := range parts {
-		merged = append(merged, p...)
+		dst = append(dst, p...)
 	}
-	r.Shuffle(len(merged), func(i, j int) { merged[i], merged[j] = merged[j], merged[i] })
-	return merged, nil
+	tail := dst[base:]
+	r.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+	return dst, nil
 }
 
 // Sample draws k independent weighted samples from S ∩ [lo, hi],
@@ -306,14 +335,22 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 // fanning out. Returns core.ErrEmptyRange when no shard holds in-range
 // weight.
 func (c *Coordinator) Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return c.SampleInto(ctx, r, lo, hi, k, nil)
+}
+
+// SampleInto is Sample appending into caller-owned dst, so the HTTP
+// front end can recycle one response buffer per worker. Randomness
+// consumption matches Sample exactly; dst is returned unchanged on
+// error.
+func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
 	if err := core.ValidateRange(lo, hi); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if k <= 0 {
-		return nil, nil
+		return dst, nil
 	}
 	shards := c.overlapping(lo, hi)
 	weights := make([]float64, len(shards))
@@ -321,20 +358,20 @@ func (c *Coordinator) Sample(ctx context.Context, r *core.Rand, lo, hi float64, 
 	for i, s := range shards {
 		w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		weights[i] = w
 		total += w
 	}
 	if !(total > 0) {
-		return nil, core.ErrEmptyRange
+		return dst, core.ErrEmptyRange
 	}
 	budgets, err := rng.Multinomial(r, k, weights)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
+		return dst, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
 	}
-	return c.fanOut(ctx, r, shards, budgets, func(ctx context.Context, r *core.Rand, shard, k int) ([]float64, error) {
-		return c.hosts[shard].svc.Sample(ctx, r, dsName, lo, hi, k)
+	return c.fanOut(ctx, r, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
+		return c.hosts[shard].svc.SampleInto(ctx, r, dsName, lo, hi, k, buf)
 	})
 }
 
@@ -345,11 +382,18 @@ func (c *Coordinator) Sample(ctx context.Context, r *core.Rand, lo, hi float64, 
 // uniform over all size-k subsets, with no duplicates possible across
 // the disjoint shards.
 func (c *Coordinator) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return c.SampleWoRInto(ctx, r, lo, hi, k, nil)
+}
+
+// SampleWoRInto is SampleWoR appending into caller-owned dst.
+// Randomness consumption matches SampleWoR exactly; dst is returned
+// unchanged on error.
+func (c *Coordinator) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
 	if err := core.ValidateRange(lo, hi); err != nil {
-		return nil, err
+		return dst, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return dst, err
 	}
 	shards := c.overlapping(lo, hi)
 	counts := make([]int, len(shards))
@@ -357,20 +401,20 @@ func (c *Coordinator) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float6
 	for i, s := range shards {
 		n, err := c.hosts[s].svc.Count(ctx, dsName, lo, hi)
 		if err != nil {
-			return nil, err
+			return dst, err
 		}
 		counts[i] = n
 		total += n
 	}
 	if k > total || total == 0 {
-		return nil, core.ErrSampleTooLarge
+		return dst, core.ErrSampleTooLarge
 	}
 	if k <= 0 {
-		return nil, nil
+		return dst, nil
 	}
 	ranks, err := wor.UniformWoR(r, total, k)
 	if err != nil {
-		return nil, err
+		return dst, err
 	}
 	budgets := make([]int, len(shards))
 	for _, rank := range ranks {
@@ -382,8 +426,8 @@ func (c *Coordinator) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float6
 			rank -= counts[i]
 		}
 	}
-	return c.fanOut(ctx, r, shards, budgets, func(ctx context.Context, r *core.Rand, shard, k int) ([]float64, error) {
-		return c.hosts[shard].svc.SampleWoR(ctx, r, dsName, lo, hi, k)
+	return c.fanOut(ctx, r, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
+		return c.hosts[shard].svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, buf)
 	})
 }
 

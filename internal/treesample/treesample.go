@@ -28,6 +28,7 @@ import (
 	"repro/internal/alias"
 	"repro/internal/rangesample"
 	"repro/internal/rng"
+	"repro/internal/scratch"
 )
 
 // NodeID identifies a node of a Tree; the root of a built tree is
@@ -298,9 +299,15 @@ func (es *EulerSampler) Sample(r *rng.Source, q NodeID) NodeID {
 // Query appends s independent weighted leaf samples from the subtree of
 // q to dst.
 func (es *EulerSampler) Query(r *rng.Source, q NodeID, s int, dst []NodeID) []NodeID {
-	var scratch [64]int
-	buf := scratch[:0]
-	buf = es.pos.Query(r, int(es.tree.spanLo[q]), int(es.tree.spanHi[q]), s, buf)
+	var sc scratch.Arena
+	return es.QueryScratch(r, q, s, dst, &sc)
+}
+
+// QueryScratch is Query with the Euler-position buffer and the range
+// sampler's temporaries drawn from sc, so a warm arena answers subtree
+// queries allocation-free. Randomness consumption matches Query exactly.
+func (es *EulerSampler) QueryScratch(r *rng.Source, q NodeID, s int, dst []NodeID, sc *scratch.Arena) []NodeID {
+	buf := es.pos.QueryScratch(r, int(es.tree.spanLo[q]), int(es.tree.spanHi[q]), s, sc.Pos(s), sc)
 	for _, pos := range buf {
 		dst = append(dst, es.tree.leafOrder[pos])
 	}
