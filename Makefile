@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz bench bench-json pprof experiments examples cover serve loadtest
+.PHONY: all build vet test race chaos fuzz bench bench-json pprof experiments examples cover serve loadtest metrics-smoke
 
 all: build vet test
 
@@ -59,3 +59,9 @@ serve:
 # a small admission window so backpressure (429s) is visible.
 loadtest:
 	go run ./cmd/iqsserve -load -addr 127.0.0.1:0 -duration 10s -clients 32 -inflight 8
+
+# Observability smoke: boot iqsserve with 5% EM faults and trace
+# sampling on, drive load, validate the /metrics exposition with
+# cmd/metricscheck, and drain on SIGINT.
+metrics-smoke:
+	sh scripts/metrics_smoke.sh

@@ -20,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -33,6 +34,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/em"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/shard"
@@ -55,29 +57,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("iqsserve", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		shards   = fs.Int("shards", 4, "shard count K")
-		seed     = fs.Uint64("seed", 42, "base random seed")
-		duration = fs.Duration("duration", 0, "auto-stop after this long; 0 means run until SIGINT/SIGTERM")
-		n        = fs.Int("n", 1<<16, "dataset size")
-		kindName = fs.String("kind", "chunked", "per-shard structure: chunked|aliasaug|treewalk|naive")
-		timeout  = fs.Duration("timeout", 5*time.Second, "per-request deadline")
-		inflight = fs.Int("inflight", 64, "max concurrently executing requests")
-		queue    = fs.Int("queue", 0, "max waiting requests beyond inflight before 429; 0 means 2x inflight")
-		fault    = fs.Float64("fault", 0, "EM fault probability per mirror I/O; 0 disables the mirrors")
-		load     = fs.Bool("load", false, "load-generator mode: serve in-process and hammer with -clients")
-		clients  = fs.Int("clients", 16, "concurrent load clients (with -load)")
-		pprofOn  = fs.String("pprof", "", "serve net/http/pprof on this host:port (empty disables); profile the hot path with e.g. go tool pprof http://HOST:PORT/debug/pprof/heap")
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		shards    = fs.Int("shards", 4, "shard count K")
+		seed      = fs.Uint64("seed", 42, "base random seed")
+		duration  = fs.Duration("duration", 0, "auto-stop after this long; 0 means run until SIGINT/SIGTERM")
+		n         = fs.Int("n", 1<<16, "dataset size")
+		kindName  = fs.String("kind", "chunked", "per-shard structure: chunked|aliasaug|treewalk|naive")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-request deadline")
+		inflight  = fs.Int("inflight", 64, "max concurrently executing requests")
+		queue     = fs.Int("queue", 0, "max waiting requests beyond inflight before 429; 0 means 2x inflight")
+		fault     = fs.Float64("fault", 0, "EM fault probability per mirror I/O; 0 disables the mirrors")
+		load      = fs.Bool("load", false, "load-generator mode: serve in-process and hammer with -clients")
+		clients   = fs.Int("clients", 16, "concurrent load clients (with -load)")
+		pprofOn   = fs.String("pprof", "", "serve net/http/pprof on this host:port (empty disables); profile the hot path with e.g. go tool pprof http://HOST:PORT/debug/pprof/heap")
+		traceRate = fs.Float64("trace-sample-rate", 0, "fraction of requests whose per-stage span timings are logged as JSON on stderr (0 disables)")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A]")
+		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *shards < 1 || *n < 2 || *inflight < 1 || *queue < 0 || *timeout <= 0 ||
-		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 {
+		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 ||
+		*traceRate < 0 || *traceRate > 1 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
@@ -127,6 +131,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	// One registry for the whole stack: the coordinator, every shard
+	// service, and the HTTP front end all register here, so /metrics
+	// exposes the full request path. Structured warnings (downgrades,
+	// quality breaches) and sampled trace lines go to stderr as JSON.
+	reg := metrics.NewRegistry()
+	logger := slog.New(slog.NewJSONHandler(stderr, nil))
+
 	values := make([]float64, *n)
 	for i := range values {
 		values[i] = float64(i)
@@ -135,6 +146,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Shards:  *shards,
 		Kind:    kind,
 		Service: svcOpts,
+		Metrics: reg,
+		Logger:  logger,
 	})
 	if err != nil {
 		fmt.Fprintf(stderr, "iqsserve: build engine: %v\n", err)
@@ -142,10 +155,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	srv := server.New(coord, server.Options{
-		MaxInFlight: *inflight,
-		MaxQueue:    *queue,
-		Timeout:     *timeout,
-		Seed:        *seed,
+		MaxInFlight:     *inflight,
+		MaxQueue:        *queue,
+		Timeout:         *timeout,
+		Seed:            *seed,
+		Metrics:         reg,
+		TraceSampleRate: *traceRate,
+		Logger:          logger,
 	})
 
 	// Flag-guarded profiling endpoint on its own mux and listener, so

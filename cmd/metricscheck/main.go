@@ -1,0 +1,152 @@
+// Command metricscheck validates a running iqsserve instance's
+// /metrics endpoint: it optionally drives a burst of /sample and
+// /batch traffic, scrapes the exposition, checks that it parses as
+// Prometheus text format, and asserts a required set of series is
+// present with sane values. Exit status is non-zero on any failure,
+// which makes it the backbone of `make metrics-smoke` and the CI
+// metrics step.
+//
+//	metricscheck -base http://127.0.0.1:8080 -drive 50
+//	metricscheck -base http://127.0.0.1:8080 -require iqs_server_served_total,iqs_sample_quality_ratio
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+var defaultRequired = []string{
+	"iqs_server_served_total",
+	"iqs_server_request_seconds_count",
+	"iqs_server_stage_seconds_count",
+	"iqs_server_in_flight",
+	"iqs_server_queue_depth",
+	"iqs_service_requests_total",
+	"iqs_service_sample_seconds_count",
+	"iqs_shard_fanout_seconds_count",
+	"iqs_shard_merge_seconds_count",
+	"iqs_sample_quality_ratio",
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("metricscheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base    = fs.String("base", "http://127.0.0.1:8080", "server base URL; /metrics and /sample are derived from it")
+		drive   = fs.Int("drive", 50, "requests to issue before scraping so the series are non-empty; 0 scrapes as-is")
+		require = fs.String("require", "", "comma-separated series names that must be present (default: the standard serving-stack set)")
+		timeout = fs.Duration("timeout", 10*time.Second, "per-HTTP-request deadline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	required := defaultRequired
+	if *require != "" {
+		required = strings.Split(*require, ",")
+	}
+	client := &http.Client{Timeout: *timeout}
+	baseURL := strings.TrimRight(*base, "/")
+
+	var wantSamples int
+	for i := 0; i < *drive; i++ {
+		if i%10 == 9 {
+			resp, err := client.Post(baseURL+"/batch", "application/json",
+				strings.NewReader(`{"queries":[{"lo":0,"hi":100,"k":4},{"lo":10,"hi":400,"k":8,"wor":true}]}`))
+			if err != nil {
+				fmt.Fprintf(stderr, "metricscheck: drive /batch: %v\n", err)
+				return 1
+			}
+			drain(resp)
+			continue
+		}
+		url := fmt.Sprintf("%s/sample?lo=%d&hi=%d&k=8", baseURL, i%100, 200+i%800)
+		if i%5 == 4 {
+			url += "&wor=true"
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			fmt.Fprintf(stderr, "metricscheck: drive /sample: %v\n", err)
+			return 1
+		}
+		if resp.Header.Get("X-Request-ID") == "" {
+			drain(resp)
+			fmt.Fprintln(stderr, "metricscheck: /sample response missing X-Request-ID")
+			return 1
+		}
+		drain(resp)
+		wantSamples++
+	}
+
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		fmt.Fprintf(stderr, "metricscheck: scrape: %v\n", err)
+		return 1
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		fmt.Fprintf(stderr, "metricscheck: /metrics status %d\n", resp.StatusCode)
+		return 1
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		fmt.Fprintf(stderr, "metricscheck: /metrics content type %q, want text/plain\n", ct)
+		return 1
+	}
+	exp, err := metrics.ParseExposition(resp.Body)
+	if err != nil {
+		fmt.Fprintf(stderr, "metricscheck: exposition does not parse: %v\n", err)
+		return 1
+	}
+
+	bad := 0
+	for _, name := range required {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		if v := exp.SumAcross(name); v == 0 {
+			if _, ok := exp.Get(name); !ok {
+				fmt.Fprintf(stderr, "metricscheck: required series %q missing\n", name)
+				bad++
+			}
+		}
+	}
+	if *drive > 0 {
+		if v := exp.SumAcross("iqs_server_request_seconds_count"); v < float64(*drive) {
+			fmt.Fprintf(stderr, "metricscheck: request histogram count %v < %d driven requests\n", v, *drive)
+			bad++
+		}
+		if v, _ := exp.Get("iqs_server_served_total"); v <= 0 {
+			fmt.Fprintln(stderr, "metricscheck: served_total is zero after driving load")
+			bad++
+		}
+	}
+	// /stats mallocs are process-wide and deliberately excluded from the
+	// exposition; their presence would mean the caveat regressed.
+	for name := range exp.Types {
+		if strings.Contains(name, "malloc") {
+			fmt.Fprintf(stderr, "metricscheck: malloc-derived series %q must not be exported\n", name)
+			bad++
+		}
+	}
+	if bad > 0 {
+		return 1
+	}
+	fmt.Fprintf(stdout, "metricscheck: ok (%d series families, %d samples driven)\n", len(exp.Types), wantSamples)
+	return 0
+}
+
+func drain(resp *http.Response) {
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}

@@ -16,6 +16,7 @@ package em
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Word is the unit of storage in the model.
@@ -30,12 +31,14 @@ var ErrBadGeometry = errors.New("em: need B >= 1 and M >= 2B")
 // Device is a simulated disk with I/O accounting and optional
 // transient-fault injection (see FaultPolicy). A Device is not safe for
 // concurrent use; callers that share one across goroutines (e.g. the
-// service layer's EM mirror) must serialise access externally.
+// service layer's EM mirror) must serialise access externally. The I/O
+// counters are atomic so observability scrapers may read them while an
+// externally-serialised operation is in flight.
 type Device struct {
 	b, m   int
 	blocks [][]Word
-	reads  int64
-	writes int64
+	reads  atomic.Int64
+	writes atomic.Int64
 	faults *faultState // nil when fault injection is off
 }
 
@@ -80,7 +83,7 @@ func (d *Device) TryRead(id BlockID, dst []Word) error {
 			return err
 		}
 	}
-	d.reads++
+	d.reads.Add(1)
 	copy(dst, d.blocks[id])
 	return nil
 }
@@ -110,7 +113,7 @@ func (d *Device) TryWrite(id BlockID, src []Word) error {
 			return err
 		}
 	}
-	d.writes++
+	d.writes.Add(1)
 	copy(d.blocks[id], src)
 	return nil
 }
@@ -124,13 +127,13 @@ func (d *Device) Write(id BlockID, src []Word) {
 }
 
 // Reads returns the read I/O count since the last ResetStats.
-func (d *Device) Reads() int64 { return d.reads }
+func (d *Device) Reads() int64 { return d.reads.Load() }
 
 // Writes returns the write I/O count since the last ResetStats.
-func (d *Device) Writes() int64 { return d.writes }
+func (d *Device) Writes() int64 { return d.writes.Load() }
 
 // IOs returns reads + writes.
-func (d *Device) IOs() int64 { return d.reads + d.writes }
+func (d *Device) IOs() int64 { return d.reads.Load() + d.writes.Load() }
 
 // ResetStats zeroes the I/O counters (block contents are untouched).
-func (d *Device) ResetStats() { d.reads, d.writes = 0, 0 }
+func (d *Device) ResetStats() { d.reads.Store(0); d.writes.Store(0) }

@@ -1,0 +1,126 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// DefBuckets are the default latency buckets in seconds: 10µs to 5s,
+// roughly log-spaced, chosen so the serving stack's p50 lands mid-range
+// and the per-request Timeout (default 5s) lands in the last finite
+// bucket.
+var DefBuckets = []float64{
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6,
+	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3,
+	0.1, 0.25, 0.5, 1, 2.5, 5,
+}
+
+// Histogram is a fixed-bucket histogram with atomic per-bucket counters:
+// Observe is a binary search over the (immutable) bucket bounds plus two
+// atomic adds, so concurrent observers never contend on a lock and never
+// allocate. Quantiles are estimated at read time by linear interpolation
+// inside the owning bucket — exact enough for p50/p95/p99 reporting when
+// the buckets are log-spaced.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	total  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram returns an unregistered histogram with the given bucket
+// upper bounds (nil or empty means DefBuckets). Bounds are sorted and
+// deduplicated; a trailing +Inf bound is dropped (it is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefBuckets
+	}
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	out := bs[:0]
+	for _, b := range bs {
+		if math.IsInf(b, 1) {
+			continue
+		}
+		if len(out) > 0 && out[len(out)-1] == b {
+			continue
+		}
+		out = append(out, b)
+	}
+	return &Histogram{bounds: out, counts: make([]atomic.Int64, len(out)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// sort.SearchFloat64s returns the first bucket whose upper bound
+	// holds v (le semantics: bucket i covers (bounds[i-1], bounds[i]]).
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// snapshot reads the counters loosely (observers may land between
+// loads); the exposition consumer tolerates that, and the race test pins
+// that count and buckets stay consistent once traffic quiesces.
+func (h *Histogram) snapshot() (counts []int64, total int64, sum float64) {
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, h.total.Load(), h.Sum()
+}
+
+// Quantile estimates the p-quantile (p in [0,1]) of the observed values
+// by linear interpolation inside the owning bucket. It returns 0 with no
+// observations, and the last finite bound when the quantile lands in the
+// +Inf bucket.
+func (h *Histogram) Quantile(p float64) float64 {
+	counts, total, _ := h.snapshot()
+	if total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	rank := p * float64(total)
+	cum := 0.0
+	for i, c := range counts {
+		prev := cum
+		cum += float64(c)
+		if cum < rank || c == 0 {
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: no upper bound to interpolate toward.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		frac := (rank - prev) / float64(c)
+		if frac < 0 {
+			frac = 0
+		}
+		return lo + (hi-lo)*frac
+	}
+	return h.bounds[len(h.bounds)-1]
+}

@@ -1,0 +1,325 @@
+// Package metrics is the dependency-free instrumentation layer of the
+// serving stack: atomic counters and gauges, lock-cheap fixed-bucket
+// latency histograms with quantile estimation, a registry that renders
+// everything in the Prometheus text exposition format, per-request
+// tracing (request IDs + per-stage spans propagated via context), and a
+// streaming chi-squared uniformity monitor that turns the paper's
+// distribution guarantees into a runtime alarm.
+//
+// Design constraints, in order:
+//
+//   - The observe path must be safe for concurrent use and must not
+//     allocate: counters and gauges are single atomics, histograms are a
+//     binary search plus two atomic adds. Nothing on the hot path takes
+//     a lock.
+//
+//   - A nil *Registry is fully functional: every constructor returns a
+//     working unregistered instrument, so library layers can instrument
+//     unconditionally and only the process decides what is exported.
+//
+//   - Rendering is scrape-time work: the registry walks its families
+//     under a lock only when /metrics is hit, never on the request path.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one constant name="value" pair attached to a metric series.
+type Label struct{ Name, Value string }
+
+// L is shorthand for constructing a Label.
+func L(name, value string) Label { return Label{Name: name, Value: value} }
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; n must be non-negative for the exported series to stay
+// monotone (not enforced, by design — the race test enforces it).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic float64 that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// metricKind discriminates family types in the registry.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindCounterFunc
+	kindHistogram
+)
+
+func (k metricKind) expositionType() string {
+	switch k {
+	case kindCounter, kindCounterFunc:
+		return "counter"
+	case kindGauge, kindGaugeFunc:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// instance is one labelled series inside a family.
+type instance struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups every series sharing a metric name.
+type family struct {
+	name string
+	help string
+	kind metricKind
+
+	order []string // label signatures in registration order
+	insts map[string]*instance
+}
+
+// Registry holds metric families and renders them as Prometheus text.
+// All methods are safe for concurrent use. A nil *Registry is valid:
+// constructors return working unregistered instruments and
+// WritePrometheus writes nothing.
+type Registry struct {
+	mu       sync.Mutex
+	families []*family
+	byName   map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*family)}
+}
+
+// signature renders a label set canonically ("a=\"x\",b=\"y\"", sorted).
+func signature(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Name < ls[j].Name })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// register finds or creates the (family, instance) pair for name+labels.
+// Re-registering the same name and labels returns the existing instance;
+// registering the same name with a different kind panics (programmer
+// error, caught at construction time).
+func (r *Registry) register(name, help string, kind metricKind, labels []Label, mk func() *instance) *instance {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.byName[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, insts: make(map[string]*instance)}
+		r.byName[name] = f
+		r.families = append(r.families, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s re-registered as %s, was %s",
+			name, kind.expositionType(), f.kind.expositionType()))
+	}
+	sig := signature(labels)
+	if in := f.insts[sig]; in != nil {
+		return in
+	}
+	in := mk()
+	in.labels = append([]Label(nil), labels...)
+	f.insts[sig] = in
+	f.order = append(f.order, sig)
+	return in
+}
+
+// Counter returns the counter registered under name with the given
+// labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	return r.register(name, help, kindCounter, labels, func() *instance {
+		return &instance{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the gauge registered under name with the given labels,
+// creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	return r.register(name, help, kindGauge, labels, func() *instance {
+		return &instance{g: &Gauge{}}
+	}).g
+}
+
+// GaugeFunc registers a gauge whose value is read by calling fn at
+// scrape time — for mirroring counters owned elsewhere (queue depths,
+// device I/O totals). fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindGaugeFunc, labels, func() *instance {
+		return &instance{fn: fn}
+	})
+}
+
+// CounterFunc is GaugeFunc exported with type counter, for values that
+// are semantically monotone (I/O totals, injected-fault totals).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.register(name, help, kindCounterFunc, labels, func() *instance {
+		return &instance{fn: fn}
+	})
+}
+
+// Histogram returns the histogram registered under name with the given
+// labels, creating it with the given bucket upper bounds on first use
+// (nil means DefBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return NewHistogram(buckets)
+	}
+	return r.register(name, help, kindHistogram, labels, func() *instance {
+		return &instance{h: NewHistogram(buckets)}
+	}).h
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeSeries(w io.Writer, name, sig, suffix, extraLabel string, v float64) error {
+	labels := sig
+	if extraLabel != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += extraLabel
+	}
+	if labels != "" {
+		labels = "{" + labels + "}"
+	}
+	_, err := fmt.Fprintf(w, "%s%s%s %s\n", name, suffix, labels, formatValue(v))
+	return err
+}
+
+// WritePrometheus renders every family in the text exposition format
+// (# HELP / # TYPE headers, histogram _bucket/_sum/_count expansion).
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.families...)
+	r.mu.Unlock()
+	for _, f := range fams {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind.expositionType()); err != nil {
+			return err
+		}
+		r.mu.Lock()
+		order := append([]string(nil), f.order...)
+		insts := make([]*instance, len(order))
+		for i, sig := range order {
+			insts[i] = f.insts[sig]
+		}
+		r.mu.Unlock()
+		for i, in := range insts {
+			sig := order[i]
+			var err error
+			switch f.kind {
+			case kindCounter:
+				err = writeSeries(w, f.name, sig, "", "", float64(in.c.Value()))
+			case kindGauge:
+				err = writeSeries(w, f.name, sig, "", "", in.g.Value())
+			case kindGaugeFunc, kindCounterFunc:
+				err = writeSeries(w, f.name, sig, "", "", in.fn())
+			case kindHistogram:
+				err = in.h.write(w, f.name, sig)
+			}
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// write renders one histogram series set; cumulative buckets, then sum
+// and count, as the exposition format requires.
+func (h *Histogram) write(w io.Writer, name, sig string) error {
+	counts, total, sum := h.snapshot()
+	cum := int64(0)
+	for i, b := range h.bounds {
+		cum += counts[i]
+		le := `le="` + formatValue(b) + `"`
+		if err := writeSeries(w, name, sig, "_bucket", le, float64(cum)); err != nil {
+			return err
+		}
+	}
+	if err := writeSeries(w, name, sig, "_bucket", `le="+Inf"`, float64(total)); err != nil {
+		return err
+	}
+	if err := writeSeries(w, name, sig, "_sum", "", sum); err != nil {
+		return err
+	}
+	return writeSeries(w, name, sig, "_count", "", float64(total))
+}

@@ -1,0 +1,201 @@
+package metrics
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("t_total", "help", L("path", "/x"))
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	// Same name+labels returns the same instance.
+	if c2 := reg.Counter("t_total", "help", L("path", "/x")); c2 != c {
+		t.Fatal("re-registration returned a new counter")
+	}
+	// Different labels: new series, same family.
+	c3 := reg.Counter("t_total", "help", L("path", "/y"))
+	c3.Inc()
+	g := reg.Gauge("t_gauge", "help")
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+	reg.GaugeFunc("t_fn", "help", func() float64 { return 7 })
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE t_total counter",
+		`t_total{path="/x"} 5`,
+		`t_total{path="/y"} 1`,
+		"# TYPE t_gauge gauge",
+		"t_gauge 2.5",
+		"t_fn 7",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNilRegistryIsFunctional(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total", "")
+	c.Inc()
+	if c.Value() != 1 {
+		t.Fatal("nil-registry counter broken")
+	}
+	h := reg.Histogram("x_seconds", "", nil)
+	h.Observe(0.001)
+	if h.Count() != 1 {
+		t.Fatal("nil-registry histogram broken")
+	}
+	reg.Gauge("x", "").Set(1)
+	reg.GaugeFunc("y", "", func() float64 { return 0 })
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil || buf.Len() != 0 {
+		t.Fatalf("nil registry wrote %q, %v", buf.String(), err)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("m", "")
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4, 8})
+	// 100 observations uniform over (0, 4]: 25 per bucket 1,2 and 50 in (2,4].
+	for i := 0; i < 100; i++ {
+		h.Observe(4 * (float64(i) + 0.5) / 100)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if s := h.Sum(); math.Abs(s-200) > 1 {
+		t.Fatalf("sum = %v, want ≈200", s)
+	}
+	if q := h.Quantile(0.5); math.Abs(q-2) > 0.25 {
+		t.Fatalf("p50 = %v, want ≈2", q)
+	}
+	if q := h.Quantile(0.95); math.Abs(q-3.8) > 0.3 {
+		t.Fatalf("p95 = %v, want ≈3.8", q)
+	}
+	// Values past the last bound land in +Inf and report the last bound.
+	h2 := NewHistogram([]float64{1})
+	h2.Observe(100)
+	if q := h2.Quantile(0.99); q != 1 {
+		t.Fatalf("overflow quantile = %v, want 1", q)
+	}
+	if h.Quantile(0.5) < h.Quantile(0.05) {
+		t.Fatal("quantiles not monotone")
+	}
+	if NewHistogram(nil).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile not 0")
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := NewHistogram(nil)
+	var wg sync.WaitGroup
+	const G, N = 8, 1000
+	for g := 0; g < G; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < N; i++ {
+				h.Observe(0.001 * float64(g+1))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if h.Count() != G*N {
+		t.Fatalf("count = %d, want %d", h.Count(), G*N)
+	}
+	wantSum := 0.0
+	for g := 1; g <= G; g++ {
+		wantSum += 0.001 * float64(g) * N
+	}
+	if math.Abs(h.Sum()-wantSum) > 1e-9*wantSum {
+		t.Fatalf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestExpositionRoundTrip(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("rt_total", "requests", L("code", "200")).Add(3)
+	reg.Gauge("rt_quality", `weird "label"`, L("ds", `a\b`)).Set(0.5)
+	h := reg.Histogram("rt_seconds", "latency", []float64{0.001, 0.01}, L("path", "/s"))
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("self-rendered exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if v, ok := exp.Get("rt_total", `code="200"`); !ok || v != 3 {
+		t.Fatalf("rt_total = %v, %v", v, ok)
+	}
+	if exp.Types["rt_seconds"] != "histogram" {
+		t.Fatalf("rt_seconds type = %q", exp.Types["rt_seconds"])
+	}
+	// Histogram invariants: cumulative buckets end at count, sum matches.
+	if v, ok := exp.Get("rt_seconds_bucket", `le="+Inf"`); !ok || v != 3 {
+		t.Fatalf("+Inf bucket = %v, %v", v, ok)
+	}
+	if v, ok := exp.Get("rt_seconds_count", `path="/s"`); !ok || v != 3 {
+		t.Fatalf("count = %v, %v", v, ok)
+	}
+	lo, _ := exp.Get("rt_seconds_bucket", `le="0.001"`)
+	mid, _ := exp.Get("rt_seconds_bucket", `le="0.01"`)
+	if !(lo <= mid && mid <= 3) {
+		t.Fatalf("buckets not cumulative: %v %v", lo, mid)
+	}
+}
+
+func TestParseExpositionRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"no_value_here\n",
+		`unbalanced{a="b" 1` + "\n",
+		`badlabel{a=b} 1` + "\n",
+		`m{a="b"} notafloat` + "\n",
+		"",
+	} {
+		if _, err := ParseExposition(strings.NewReader(bad)); err == nil {
+			t.Errorf("parsed malformed input %q", bad)
+		}
+	}
+}
+
+func TestRequestID(t *testing.T) {
+	a := RequestID(1, 1)
+	b := RequestID(1, 2)
+	if len(a) != 16 || a == b {
+		t.Fatalf("ids %q %q", a, b)
+	}
+	if a != RequestID(1, 1) {
+		t.Fatal("not deterministic")
+	}
+}

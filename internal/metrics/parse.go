@@ -1,0 +1,175 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Minimal Prometheus text-exposition parser — enough to validate what
+// the registry renders and to let the smoke checker and the race test
+// read scraped values back without a client_golang dependency.
+
+// Sample is one parsed series line.
+type Sample struct {
+	Name   string // metric name without the label block
+	Labels string // raw label block content (without braces), "" if none
+	Value  float64
+}
+
+// Exposition is a parsed scrape.
+type Exposition struct {
+	Samples []Sample
+	Types   map[string]string // family name -> declared TYPE
+}
+
+// Get returns the value of the first sample whose name matches and
+// whose label block contains every given fragment (e.g. `path="/sample"`).
+func (e *Exposition) Get(name string, labelFragments ...string) (float64, bool) {
+next:
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		for _, f := range labelFragments {
+			if !strings.Contains(s.Labels, f) {
+				continue next
+			}
+		}
+		return s.Value, true
+	}
+	return 0, false
+}
+
+// SumAcross sums every sample of the family whose label block contains
+// all fragments (for summing a counter across its label values).
+func (e *Exposition) SumAcross(name string, labelFragments ...string) float64 {
+	total := 0.0
+next:
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		for _, f := range labelFragments {
+			if !strings.Contains(s.Labels, f) {
+				continue next
+			}
+		}
+		total += s.Value
+	}
+	return total
+}
+
+// ParseExposition parses r strictly: every non-comment, non-blank line
+// must be `name[{labels}] value`, label blocks must be well-formed
+// (quoted values, balanced braces), and values must parse as Go floats
+// (+Inf/NaN included). The first malformed line fails the whole parse —
+// that strictness is the point of the smoke check.
+func ParseExposition(r io.Reader) (*Exposition, error) {
+	exp := &Exposition{Types: make(map[string]string)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if strings.TrimSpace(line) == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				exp.Types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		s, err := parseSampleLine(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		exp.Samples = append(exp.Samples, s)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(exp.Samples) == 0 {
+		return nil, fmt.Errorf("no samples in exposition")
+	}
+	return exp, nil
+}
+
+func parseSampleLine(line string) (Sample, error) {
+	var s Sample
+	rest := line
+	if i := strings.IndexAny(rest, "{ "); i < 0 {
+		return s, fmt.Errorf("no value separator in %q", line)
+	} else if rest[i] == '{' {
+		s.Name = rest[:i]
+		end := strings.LastIndex(rest, "}")
+		if end < i {
+			return s, fmt.Errorf("unbalanced label braces in %q", line)
+		}
+		s.Labels = rest[i+1 : end]
+		if err := checkLabels(s.Labels); err != nil {
+			return s, fmt.Errorf("%v in %q", err, line)
+		}
+		rest = strings.TrimSpace(rest[end+1:])
+	} else {
+		s.Name = rest[:i]
+		rest = strings.TrimSpace(rest[i+1:])
+	}
+	if s.Name == "" {
+		return s, fmt.Errorf("empty metric name in %q", line)
+	}
+	// A timestamp may follow the value; take the first field as value.
+	fields := strings.Fields(rest)
+	if len(fields) < 1 {
+		return s, fmt.Errorf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return s, fmt.Errorf("bad value %q", fields[0])
+	}
+	s.Value = v
+	return s, nil
+}
+
+// checkLabels validates `name="value",...` syntax, allowing escaped
+// quotes inside values.
+func checkLabels(block string) error {
+	rest := block
+	for rest != "" {
+		eq := strings.Index(rest, "=")
+		if eq <= 0 {
+			return fmt.Errorf("bad label pair %q", rest)
+		}
+		if len(rest) < eq+2 || rest[eq+1] != '"' {
+			return fmt.Errorf("unquoted label value in %q", rest)
+		}
+		i := eq + 2
+		for i < len(rest) {
+			if rest[i] == '\\' {
+				i += 2
+				continue
+			}
+			if rest[i] == '"' {
+				break
+			}
+			i++
+		}
+		if i >= len(rest) {
+			return fmt.Errorf("unterminated label value in %q", rest)
+		}
+		rest = rest[i+1:]
+		if rest == "" {
+			break
+		}
+		if rest[0] != ',' {
+			return fmt.Errorf("expected ',' in label block at %q", rest)
+		}
+		rest = rest[1:]
+	}
+	return nil
+}

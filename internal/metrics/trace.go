@@ -1,0 +1,131 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// Per-request tracing. A Trace is created at server admission, carries
+// the request ID every layer attaches to its structured logs (and the
+// server returns as X-Request-Id), and — for sampled requests — records
+// named per-stage spans as the request flows server → service → shard →
+// core. Traces are pooled: the unsampled hot path costs one context
+// value and the ID string, nothing else.
+//
+// All methods are nil-safe: layers call TraceFrom(ctx).StartSpan(...)
+// unconditionally and pay nothing when no trace is installed.
+
+// Span is one timed stage of a request, with Start and End as offsets
+// from the trace origin.
+type Span struct {
+	Name       string
+	Start, End time.Duration
+}
+
+// Trace carries one request's ID and, when sampled, its span log.
+type Trace struct {
+	id      string
+	sampled bool
+	origin  time.Time
+
+	mu    sync.Mutex
+	spans []Span // reused across pool cycles
+}
+
+var tracePool = sync.Pool{New: func() any {
+	return &Trace{spans: make([]Span, 0, 16)}
+}}
+
+// NewTrace returns a pooled trace with the given request ID; sampled
+// controls whether spans are recorded. Release it when the request is
+// fully finished (response written, logs emitted).
+func NewTrace(id string, sampled bool) *Trace {
+	t := tracePool.Get().(*Trace)
+	t.id = id
+	t.sampled = sampled
+	t.origin = time.Now()
+	t.spans = t.spans[:0]
+	return t
+}
+
+// Release returns the trace to the pool. The caller must not use the
+// trace — or any ctx carrying it — afterwards.
+func (t *Trace) Release() {
+	if t == nil {
+		return
+	}
+	tracePool.Put(t)
+}
+
+// ID returns the request ID ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Sampled reports whether spans are being recorded.
+func (t *Trace) Sampled() bool { return t != nil && t.sampled }
+
+// nopEnd is the shared end func for unsampled spans, so the unsampled
+// path never allocates a closure.
+var nopEnd = func() {}
+
+// StartSpan opens a named span and returns the func that closes it.
+// Safe for concurrent use (shard fan-out workers record in parallel).
+func (t *Trace) StartSpan(name string) func() {
+	if t == nil || !t.sampled {
+		return nopEnd
+	}
+	start := time.Since(t.origin)
+	return func() {
+		end := time.Since(t.origin)
+		t.mu.Lock()
+		t.spans = append(t.spans, Span{Name: name, Start: start, End: end})
+		t.mu.Unlock()
+	}
+}
+
+// Spans returns a copy of the recorded spans.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+type traceKey struct{}
+
+// ContextWithTrace installs t in ctx.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace installed in ctx, or nil.
+func TraceFrom(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+const hexDigits = "0123456789abcdef"
+
+// RequestID derives a 16-hex-digit request ID from a base seed and a
+// per-request sequence number via a splitmix64 finalizer — unique per
+// (seed, seq) and deterministic, so load-test logs can be correlated
+// across runs.
+func RequestID(seed, seq uint64) string {
+	x := seed + 0x9e3779b97f4a7c15*(seq+1)
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	x ^= x >> 31
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = hexDigits[x&0xf]
+		x >>= 4
+	}
+	return string(b[:])
+}

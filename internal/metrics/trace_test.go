@@ -1,0 +1,86 @@
+package metrics
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceSpans(t *testing.T) {
+	tr := NewTrace("abc", true)
+	defer tr.Release()
+	end := tr.StartSpan("stage1")
+	time.Sleep(time.Millisecond)
+	end()
+	tr.StartSpan("stage2")() // zero-length span is fine
+	spans := tr.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	if spans[0].Name != "stage1" || spans[0].End < spans[0].Start {
+		t.Fatalf("bad span %+v", spans[0])
+	}
+	if spans[0].End-spans[0].Start < 500*time.Microsecond {
+		t.Fatalf("span did not measure the sleep: %+v", spans[0])
+	}
+	if tr.ID() != "abc" || !tr.Sampled() {
+		t.Fatal("id/sampled lost")
+	}
+}
+
+func TestTraceUnsampledAndNil(t *testing.T) {
+	tr := NewTrace("id", false)
+	defer tr.Release()
+	tr.StartSpan("x")()
+	if got := tr.Spans(); len(got) != 0 {
+		t.Fatalf("unsampled trace recorded %d spans", len(got))
+	}
+	var nilTr *Trace
+	nilTr.StartSpan("y")() // must not panic
+	nilTr.Release()
+	if nilTr.ID() != "" || nilTr.Sampled() || nilTr.Spans() != nil {
+		t.Fatal("nil trace not inert")
+	}
+}
+
+func TestTraceContextRoundTrip(t *testing.T) {
+	tr := NewTrace("ctx-id", true)
+	defer tr.Release()
+	ctx := ContextWithTrace(context.Background(), tr)
+	if got := TraceFrom(ctx); got != tr {
+		t.Fatal("trace lost in context")
+	}
+	if TraceFrom(context.Background()) != nil {
+		t.Fatal("phantom trace")
+	}
+}
+
+func TestTraceConcurrentSpans(t *testing.T) {
+	tr := NewTrace("conc", true)
+	defer tr.Release()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			end := tr.StartSpan("worker")
+			end()
+		}()
+	}
+	wg.Wait()
+	if got := len(tr.Spans()); got != 16 {
+		t.Fatalf("got %d spans, want 16", got)
+	}
+}
+
+func TestTracePoolReuseResetsSpans(t *testing.T) {
+	tr := NewTrace("one", true)
+	tr.StartSpan("s")()
+	tr.Release()
+	tr2 := NewTrace("two", true)
+	defer tr2.Release()
+	if len(tr2.Spans()) != 0 {
+		t.Fatal("pooled trace leaked spans")
+	}
+}

@@ -1,0 +1,279 @@
+package metrics
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/stats"
+)
+
+// Streaming distribution self-check. The IQS contract is that every
+// served sample is drawn weight-proportionally (or, WoR, uniformly)
+// from S ∩ [lo, hi]; a bug anywhere in the pipeline — a stale alias
+// table, a mis-split shard budget, a biased merge — silently corrupts
+// every estimate built on the samples (the q-error blowups of Li et
+// al.). The Uniformity monitor turns that guarantee into a runtime
+// alarm: it folds every stride-th served sample into a running per-cell
+// histogram, accumulates — per query — the exact conditional
+// expectation of each cell given the query's range, and keeps a
+// chi-squared statistic over the accumulated (observed, expected)
+// pairs. The critical value comes from internal/stats
+// (Wilson–Hilferty); a quality ratio statistic/critical > 1 at the
+// configured alpha trips the breach callback.
+//
+// Cells are equal-weight quantile ranges of the dataset (duplicates
+// never straddle a cell, mirroring the shard partitioner), so the check
+// is equally sensitive across the weight mass rather than across the
+// value domain.
+
+// UniformityOptions configures a monitor; zero values mean the
+// documented defaults.
+type UniformityOptions struct {
+	// Cells is the histogram cell count (quantile cells); 0 means 32.
+	Cells int
+	// Stride folds every Stride-th served sample; 0 means 16, 1 folds
+	// every sample.
+	Stride int
+	// Alpha is the upper-tail probability of the chi-squared critical
+	// value; 0 means 1e-6 (a deliberately conservative alarm: with
+	// ~30 cells the monitor virtually never fires on a correct
+	// sampler, yet a constant-factor bias trips it within a few
+	// hundred folded samples).
+	Alpha float64
+	// MinFolded suppresses the statistic until this many samples have
+	// been folded; 0 means 256.
+	MinFolded int64
+	// Gauge, when non-nil, is set to statistic/critical after every
+	// fold (0 while below MinFolded) — the exported quality signal.
+	Gauge *Gauge
+	// OnBreach, when non-nil, fires each time the quality ratio
+	// crosses 1 from below (not on every fold above it).
+	OnBreach func(stat, critical float64, folded int64)
+}
+
+// Uniformity is the streaming chi-squared monitor. All methods are safe
+// for concurrent use; Fold takes a mutex but never allocates.
+type Uniformity struct {
+	opts UniformityOptions
+
+	vals    []float64 // sorted dataset values
+	prefixW []float64 // prefix weights, len n+1
+	cellIdx []int     // cell i covers sorted indices [cellIdx[i], cellIdx[i+1])
+	cellHi  []float64 // last value of each cell, for sample bucketing
+
+	mu        sync.Mutex
+	strideCtr int64
+	folded    int64
+	obs       []int64
+	exp       []float64
+	breached  bool
+	stat      float64
+	critical  float64
+}
+
+// NewUniformity builds a monitor over the dataset (nil weights mean
+// uniform). The inputs are copied. Datasets too small for two cells
+// yield an inert monitor (Fold is a no-op, quality stays 0).
+func NewUniformity(values, weights []float64, opts UniformityOptions) *Uniformity {
+	if opts.Cells <= 0 {
+		opts.Cells = 32
+	}
+	if opts.Stride <= 0 {
+		opts.Stride = 16
+	}
+	if opts.Alpha <= 0 {
+		opts.Alpha = 1e-6
+	}
+	if opts.MinFolded <= 0 {
+		opts.MinFolded = 256
+	}
+	u := &Uniformity{opts: opts}
+
+	n := len(values)
+	type pair struct{ v, w float64 }
+	ps := make([]pair, n)
+	for i, v := range values {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		ps[i] = pair{v, w}
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].v < ps[j].v })
+	u.vals = make([]float64, n)
+	u.prefixW = make([]float64, n+1)
+	for i, p := range ps {
+		u.vals[i] = p.v
+		u.prefixW[i+1] = u.prefixW[i] + p.w
+	}
+
+	// Equal-weight quantile cuts, advanced past duplicate values so a
+	// sample value maps to exactly one cell.
+	total := u.prefixW[n]
+	u.cellIdx = append(u.cellIdx, 0)
+	for c := 1; c < opts.Cells && u.cellIdx[len(u.cellIdx)-1] < n; c++ {
+		target := total * float64(c) / float64(opts.Cells)
+		cut := sort.SearchFloat64s(u.prefixW, target)
+		if cut > n {
+			cut = n
+		}
+		for cut < n && cut > 0 && u.vals[cut] == u.vals[cut-1] {
+			cut++
+		}
+		if last := u.cellIdx[len(u.cellIdx)-1]; cut <= last {
+			continue
+		}
+		if cut < n {
+			u.cellIdx = append(u.cellIdx, cut)
+		}
+	}
+	u.cellIdx = append(u.cellIdx, n)
+	cells := len(u.cellIdx) - 1
+	if cells < 2 || n == 0 {
+		u.cellIdx = nil // inert
+		return u
+	}
+	u.cellHi = make([]float64, cells)
+	for i := 0; i < cells; i++ {
+		u.cellHi[i] = u.vals[u.cellIdx[i+1]-1]
+	}
+	u.obs = make([]int64, cells)
+	u.exp = make([]float64, cells)
+	return u
+}
+
+// Fold accounts a served query: samples were drawn from S ∩ [lo, hi],
+// weight-proportionally when wor is false, uniformly (the WoR marginal:
+// each in-range element included with equal probability) when wor is
+// true. Only every stride-th sample is bucketed; the per-cell expected
+// mass — conditional on this query's range — is accumulated alongside,
+// so queries over any mix of ranges compose into one valid test.
+func (u *Uniformity) Fold(lo, hi float64, samples []float64, wor bool) {
+	if u == nil || u.cellIdx == nil || len(samples) == 0 {
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	m := int64(0)
+	stride := int64(u.opts.Stride)
+	for _, v := range samples {
+		u.strideCtr++
+		if u.strideCtr%stride != 0 {
+			continue
+		}
+		c := sort.SearchFloat64s(u.cellHi, v)
+		if c >= len(u.obs) {
+			c = len(u.obs) - 1
+		}
+		u.obs[c]++
+		m++
+	}
+	if m == 0 {
+		return
+	}
+	u.folded += m
+
+	// Index bounds of S ∩ [lo, hi] in the sorted order.
+	n := len(u.vals)
+	L := sort.SearchFloat64s(u.vals, lo)
+	R := sort.Search(n, func(i int) bool { return u.vals[i] > hi })
+	var totalIn float64
+	if wor {
+		totalIn = float64(R - L)
+	} else {
+		totalIn = u.prefixW[R] - u.prefixW[L]
+	}
+	if !(totalIn > 0) {
+		return
+	}
+	for i := range u.exp {
+		a, b := u.cellIdx[i], u.cellIdx[i+1]
+		if a < L {
+			a = L
+		}
+		if b > R {
+			b = R
+		}
+		if b <= a {
+			continue
+		}
+		var w float64
+		if wor {
+			w = float64(b - a)
+		} else {
+			w = u.prefixW[b] - u.prefixW[a]
+		}
+		u.exp[i] += float64(m) * w / totalIn
+	}
+	u.recompute()
+}
+
+// minExpected is the classic chi-squared validity floor: cells with
+// less accumulated expectation are left out of the statistic (and the
+// degrees of freedom) until they have seen enough mass.
+const minExpected = 5.0
+
+// recompute refreshes the statistic, critical value, gauge, and breach
+// state. Caller holds u.mu.
+func (u *Uniformity) recompute() {
+	stat := 0.0
+	included := 0
+	for i, e := range u.exp {
+		if e < minExpected {
+			continue
+		}
+		d := float64(u.obs[i]) - e
+		stat += d * d / e
+		included++
+	}
+	if included < 2 || u.folded < u.opts.MinFolded {
+		u.stat, u.critical = 0, 0
+		if u.opts.Gauge != nil {
+			u.opts.Gauge.Set(0)
+		}
+		return
+	}
+	crit := stats.ChiSquareCritical(included-1, u.opts.Alpha)
+	u.stat, u.critical = stat, crit
+	ratio := stat / crit
+	if u.opts.Gauge != nil {
+		u.opts.Gauge.Set(ratio)
+	}
+	if ratio > 1 {
+		if !u.breached && u.opts.OnBreach != nil {
+			u.opts.OnBreach(stat, crit, u.folded)
+		}
+		u.breached = true
+	} else {
+		u.breached = false
+	}
+}
+
+// Snapshot returns the current statistic, critical value, and folded
+// sample count (stat and critical are 0 below MinFolded).
+func (u *Uniformity) Snapshot() (stat, critical float64, folded int64) {
+	if u == nil || u.cellIdx == nil {
+		return 0, 0, 0
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.stat, u.critical, u.folded
+}
+
+// Quality returns statistic/critical (0 while inert or warming up) —
+// the value the exported gauge carries.
+func (u *Uniformity) Quality() float64 {
+	stat, crit, _ := u.Snapshot()
+	if crit <= 0 {
+		return 0
+	}
+	return stat / crit
+}
+
+// Cells returns the number of active cells (0 when inert).
+func (u *Uniformity) Cells() int {
+	if u == nil {
+		return 0
+	}
+	return len(u.cellHi)
+}

@@ -1,0 +1,170 @@
+package metrics
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// drawQueries drives the monitor with q random range queries of k
+// samples each, produced by draw(lo, hi, k) (values must lie in the
+// dataset), folding every sample (stride 1).
+func drawQueries(u *Uniformity, r *rng.Source, n, q, k int, wor bool,
+	draw func(r *rng.Source, L, R, k int) []float64) {
+	for i := 0; i < q; i++ {
+		L := r.Intn(n / 2)
+		R := L + 1 + r.Intn(n-L-1)
+		lo, hi := float64(L), float64(R)
+		u.Fold(lo, hi, draw(r, L, R, k), wor)
+	}
+}
+
+func uniformDraw(r *rng.Source, L, R, k int) []float64 {
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = float64(L + r.Intn(R-L+1))
+	}
+	return out
+}
+
+func testValues(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return v
+}
+
+func TestUniformityQuietOnCorrectSampler(t *testing.T) {
+	const n = 1024
+	breaches := 0
+	u := NewUniformity(testValues(n), nil, UniformityOptions{
+		Stride:   1,
+		OnBreach: func(stat, crit float64, folded int64) { breaches++ },
+	})
+	r := rng.New(7)
+	drawQueries(u, r, n, 400, 16, false, uniformDraw)
+	stat, crit, folded := u.Snapshot()
+	if folded < 6000 {
+		t.Fatalf("folded %d, expected all samples at stride 1", folded)
+	}
+	if breaches != 0 || stat > crit {
+		t.Fatalf("correct sampler tripped the monitor: stat %.1f crit %.1f breaches %d", stat, crit, breaches)
+	}
+	if u.Quality() > 1 {
+		t.Fatalf("quality %v > 1 on correct sampler", u.Quality())
+	}
+}
+
+func TestUniformityQuietOnWeightedSampler(t *testing.T) {
+	const n = 1024
+	vals := testValues(n)
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = 1 + float64(i%7) // lumpy but valid weights
+	}
+	prefix := make([]float64, n+1)
+	for i, w := range weights {
+		prefix[i+1] = prefix[i] + w
+	}
+	// Exact weight-proportional draw within [L, R] by inverse CDF.
+	weightedDraw := func(r *rng.Source, L, R, k int) []float64 {
+		out := make([]float64, k)
+		for i := range out {
+			target := prefix[L] + r.Float64()*(prefix[R+1]-prefix[L])
+			j := sort.SearchFloat64s(prefix, target)
+			if j > 0 {
+				j--
+			}
+			if j < L {
+				j = L
+			}
+			if j > R {
+				j = R
+			}
+			out[i] = vals[j]
+		}
+		return out
+	}
+	u := NewUniformity(vals, weights, UniformityOptions{Stride: 1})
+	drawQueries(u, rng.New(11), n, 400, 16, false, weightedDraw)
+	if q := u.Quality(); q > 1 {
+		t.Fatalf("quality %v > 1 on correct weighted sampler", q)
+	}
+}
+
+func TestUniformityFiresOnBiasedSampler(t *testing.T) {
+	const n = 1024
+	breaches := 0
+	var gauge Gauge
+	u := NewUniformity(testValues(n), nil, UniformityOptions{
+		Stride: 1,
+		Gauge:  &gauge,
+		OnBreach: func(stat, crit float64, folded int64) {
+			breaches++
+			if stat <= crit {
+				t.Errorf("breach with stat %.1f <= crit %.1f", stat, crit)
+			}
+		},
+	})
+	// Biased: only ever samples the lower half of the query range.
+	biased := func(r *rng.Source, L, R, k int) []float64 {
+		mid := L + (R-L)/2 + 1
+		return uniformDraw(r, L, mid-1, k)
+	}
+	drawQueries(u, rng.New(3), n, 400, 16, false, biased)
+	if breaches == 0 {
+		t.Fatal("biased sampler never tripped the monitor")
+	}
+	if gauge.Value() <= 1 {
+		t.Fatalf("quality gauge %v, want > 1 under bias", gauge.Value())
+	}
+}
+
+func TestUniformityWoRMode(t *testing.T) {
+	const n = 512
+	// WoR marginal: every in-range element equally likely. A correct
+	// uniform draw must stay quiet even over a weighted dataset,
+	// because wor=true switches expectations to count-proportional.
+	weights := make([]float64, n)
+	for i := range weights {
+		weights[i] = float64(1 + i) // strongly non-uniform weights
+	}
+	u := NewUniformity(testValues(n), weights, UniformityOptions{Stride: 1})
+	drawQueries(u, rng.New(5), n, 400, 8, true, uniformDraw)
+	if q := u.Quality(); q > 1 {
+		t.Fatalf("quality %v > 1 on correct WoR sampler", q)
+	}
+}
+
+func TestUniformityWarmupAndInert(t *testing.T) {
+	u := NewUniformity(testValues(256), nil, UniformityOptions{Stride: 1, MinFolded: 1 << 30})
+	drawQueries(u, rng.New(1), 256, 50, 8, false, uniformDraw)
+	if stat, crit, _ := u.Snapshot(); stat != 0 || crit != 0 {
+		t.Fatalf("stat %v crit %v below MinFolded, want 0", stat, crit)
+	}
+	// A dataset too small to cut into two cells yields an inert monitor.
+	tiny := NewUniformity([]float64{1}, nil, UniformityOptions{})
+	tiny.Fold(0, 2, []float64{1}, false)
+	if _, _, folded := tiny.Snapshot(); folded != 0 || tiny.Cells() != 0 {
+		t.Fatal("tiny monitor not inert")
+	}
+	// Duplicate-heavy data: duplicates never straddle cells, so folding
+	// a duplicated value is unambiguous and must not panic.
+	dup := make([]float64, 256)
+	for i := range dup {
+		dup[i] = float64(i / 64) // 4 distinct values
+	}
+	du := NewUniformity(dup, nil, UniformityOptions{Stride: 1, Cells: 16})
+	du.Fold(0, 3, []float64{0, 1, 2, 3, 3, 3}, false)
+}
+
+func TestUniformityStride(t *testing.T) {
+	u := NewUniformity(testValues(256), nil, UniformityOptions{Stride: 4, MinFolded: 1})
+	samples := uniformDraw(rng.New(2), 0, 255, 100)
+	u.Fold(0, 255, samples, false)
+	if _, _, folded := u.Snapshot(); folded != 25 {
+		t.Fatalf("stride 4 folded %d of 100, want 25", folded)
+	}
+}

@@ -1,0 +1,398 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/em"
+	"repro/internal/metrics"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// newMetricsServer builds a full stack — faulty EM mirrors optional —
+// sharing one registry between the engine and the front end, the way
+// cmd/iqsserve wires it.
+func newMetricsServer(t *testing.T, n, shards int, faultProb float64, opts Options) (*Server, *httptest.Server, *metrics.Registry) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	sopts := shard.Options{Shards: shards, Metrics: reg}
+	if faultProb > 0 {
+		devs := make([]*em.Device, shards)
+		for i := range devs {
+			dev, err := em.NewDevice(64, 1<<14)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: faultProb, WriteFailProb: faultProb, Seed: uint64(i + 1)})
+			devs[i] = dev
+		}
+		sopts.Service = func(i int) service.Options {
+			return service.Options{
+				Metrics: reg,
+				Mirror:  devs[i],
+				Retry:   em.RetryPolicy{MaxAttempts: 8, BaseDelay: 20 * time.Microsecond, MaxDelay: 200 * time.Microsecond},
+			}
+		}
+	}
+	eng, err := shard.New(context.Background(), "m", values, nil, sopts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Metrics = reg
+	srv := New(eng, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, reg
+}
+
+func scrape(t *testing.T, url string) *metrics.Exposition {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	exp, err := metrics.ParseExposition(resp.Body)
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v", err)
+	}
+	return exp
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, _ := newMetricsServer(t, 2048, 4, 0, Options{})
+	for i := 0; i < 20; i++ {
+		url := ts.URL + "/sample?lo=10&hi=2000&k=16"
+		if i%4 == 3 {
+			url += "&wor=true"
+		}
+		getJSON(t, url, http.StatusOK)
+	}
+	resp, err := http.Post(ts.URL+"/batch", "application/json",
+		strings.NewReader(`{"queries":[{"lo":0,"hi":2047,"k":8},{"lo":5,"hi":50,"k":4,"wor":true}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/sample?lo=abc&hi=1&k=1", http.StatusBadRequest)
+
+	exp := scrape(t, ts.URL)
+	if v, ok := exp.Get("iqs_server_served_total"); !ok || v != 21 {
+		t.Fatalf("served_total = %v, %v (want 21)", v, ok)
+	}
+	if v, ok := exp.Get("iqs_server_failed_total"); !ok || v != 1 {
+		t.Fatalf("failed_total = %v, %v", v, ok)
+	}
+	// Every /sample request — including the failed decode — lands in the
+	// end-to-end latency histogram.
+	if v, ok := exp.Get("iqs_server_request_seconds_count", `path="/sample"`); !ok || v != 21 {
+		t.Fatalf("request_seconds_count{/sample} = %v, %v", v, ok)
+	}
+	if v, ok := exp.Get("iqs_server_request_seconds_count", `path="/batch"`); !ok || v != 1 {
+		t.Fatalf("request_seconds_count{/batch} = %v, %v", v, ok)
+	}
+	for _, fam := range []string{"iqs_server_request_seconds", "iqs_server_stage_seconds",
+		"iqs_service_sample_seconds", "iqs_shard_fanout_seconds", "iqs_shard_merge_seconds"} {
+		if exp.Types[fam] != "histogram" {
+			t.Errorf("%s type = %q, want histogram", fam, exp.Types[fam])
+		}
+	}
+	// Engine-layer series share the registry: per-shard service traffic,
+	// fan-out timings, and the quality gauges are all present.
+	if v := exp.SumAcross("iqs_service_requests_total"); v <= 0 {
+		t.Fatalf("service requests not exported (sum %v)", v)
+	}
+	if v := exp.SumAcross("iqs_shard_fanout_seconds_count"); v != 22 {
+		t.Fatalf("fanout histogram count %v, want 22", v)
+	}
+	if _, ok := exp.Get("iqs_sample_quality_ratio", `shard="0"`); !ok {
+		t.Fatal("quality gauge for shard 0 missing")
+	}
+	if v, ok := exp.Get("iqs_server_in_flight"); !ok || v != 0 {
+		t.Fatalf("in_flight gauge = %v, %v", v, ok)
+	}
+	// Stage histograms cover admit/decode/encode.
+	for _, stage := range []string{"admit", "decode", "encode"} {
+		if v, ok := exp.Get("iqs_server_stage_seconds_count", `stage="`+stage+`"`); !ok || v <= 0 {
+			t.Errorf("stage %q count = %v, %v", stage, v, ok)
+		}
+	}
+}
+
+func TestRequestIDHeader(t *testing.T) {
+	_, ts, _ := newMetricsServer(t, 256, 2, 0, Options{})
+	ids := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/sample?lo=0&hi=255&k=4")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		id := resp.Header.Get("X-Request-ID")
+		if len(id) != 16 {
+			t.Fatalf("X-Request-ID %q, want 16 hex chars", id)
+		}
+		if ids[id] {
+			t.Fatalf("duplicate request id %q", id)
+		}
+		ids[id] = true
+	}
+	// Error responses carry the id too.
+	resp, err := http.Get(ts.URL + "/sample?lo=bad&hi=1&k=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.Header.Get("X-Request-ID") == "" {
+		t.Fatal("error response without X-Request-ID")
+	}
+}
+
+func TestTraceLogging(t *testing.T) {
+	var mu sync.Mutex
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(syncWriter{&mu, &buf}, nil))
+	_, ts, _ := newMetricsServer(t, 512, 2, 0, Options{TraceSampleRate: 1, Logger: logger})
+	resp, err := http.Get(ts.URL + "/sample?lo=0&hi=511&k=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	id := resp.Header.Get("X-Request-ID")
+	mu.Lock()
+	out := buf.String()
+	mu.Unlock()
+	for _, want := range []string{`"msg":"trace"`, `"request_id":"` + id + `"`, `"path":"/sample"`,
+		"admit", "decode", "engine", "encode", "service.sample", "shard.fanout"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace line missing %q:\n%s", want, out)
+		}
+	}
+
+	// Rate 0: no trace lines, but ids still issued.
+	var buf2 bytes.Buffer
+	logger2 := slog.New(slog.NewJSONHandler(syncWriter{&mu, &buf2}, nil))
+	_, ts2, _ := newMetricsServer(t, 512, 2, 0, Options{Logger: logger2})
+	resp2, err := http.Get(ts2.URL + "/sample?lo=0&hi=511&k=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.Header.Get("X-Request-ID") == "" {
+		t.Fatal("no request id with tracing off")
+	}
+	mu.Lock()
+	out2 := buf2.String()
+	mu.Unlock()
+	if strings.Contains(out2, `"msg":"trace"`) {
+		t.Fatalf("trace logged with rate 0: %s", out2)
+	}
+}
+
+type syncWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (s syncWriter) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Write(p)
+}
+
+// TestRetryAfterDerived pins the shed-backoff law: deeper queues quote
+// longer waits, clamped to [1, 60] seconds.
+func TestRetryAfterDerived(t *testing.T) {
+	srv, _, _ := newMetricsServer(t, 64, 1, 0, Options{MaxInFlight: 4, Timeout: 2 * time.Second})
+	cases := []struct {
+		queued int64
+		want   int64
+	}{
+		{0, 1},
+		{2, 1},
+		{4, 2},
+		{12, 6},
+		{100000, 60},
+	}
+	for _, c := range cases {
+		srv.queued.Store(c.queued)
+		if got := srv.retryAfterSecs(); got != c.want {
+			t.Errorf("queued %d: Retry-After %d, want %d", c.queued, got, c.want)
+		}
+	}
+	srv.queued.Store(0)
+	// The header value must always parse as a positive integer.
+	rec := httptest.NewRecorder()
+	srv.shed(rec, http.StatusTooManyRequests)
+	secs, err := strconv.ParseInt(rec.Header().Get("Retry-After"), 10, 64)
+	if err != nil || secs < 1 {
+		t.Fatalf("Retry-After %q not a positive integer", rec.Header().Get("Retry-After"))
+	}
+}
+
+// TestQueryEscapedFallback exercises the allocating fallback of the
+// RawQuery fast path: escaped parameters must still parse, matching
+// url.Values semantics.
+func TestQueryEscapedFallback(t *testing.T) {
+	_, ts, _ := newMetricsServer(t, 2048, 2, 0, Options{})
+	// lo=1e%2B2 unescapes to 1e+2 = 100.
+	m := getJSON(t, ts.URL+"/sample?lo=1e%2B2&hi=900&k=8", http.StatusOK)
+	samples := m["samples"].([]any)
+	if len(samples) != 8 {
+		t.Fatalf("escaped query returned %d samples", len(samples))
+	}
+	for _, s := range samples {
+		if v := s.(float64); v < 100 || v > 900 {
+			t.Fatalf("sample %v outside unescaped range [100, 900]", v)
+		}
+	}
+	// First occurrence wins on duplicates, like url.Values.Get.
+	m = getJSON(t, ts.URL+"/sample?lo=0&lo=2000&hi=50&k=4", http.StatusOK)
+	if len(m["samples"].([]any)) != 4 {
+		t.Fatal("duplicate-key query failed")
+	}
+}
+
+// TestMetricsScrapeRace is the concurrency acceptance test: clients
+// hammer /sample and /batch (with 5% EM faults live) while scrapers
+// pull /metrics and /stats, all under -race in CI. Asserts counter
+// monotonicity across scrapes and, at quiescence, exact agreement
+// between the latency histogram count and the requests issued.
+func TestMetricsScrapeRace(t *testing.T) {
+	_, ts, _ := newMetricsServer(t, 4096, 4, 0.05, Options{MaxInFlight: 32, Timeout: 10 * time.Second})
+	const (
+		clients   = 4
+		perClient = 50
+	)
+	var sampleReqs, batchReqs, oks atomic64
+	stop := make(chan struct{})
+	var scrapeErr error
+	var scrapeMu sync.Mutex
+
+	var wg, scrapeWg sync.WaitGroup
+	// Scrapers: parse every exposition and require served_total to be
+	// non-decreasing while traffic is in flight.
+	for s := 0; s < 2; s++ {
+		scrapeWg.Add(1)
+		go func() {
+			defer scrapeWg.Done()
+			last := -1.0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					continue
+				}
+				exp, perr := metrics.ParseExposition(resp.Body)
+				resp.Body.Close()
+				if perr != nil {
+					scrapeMu.Lock()
+					scrapeErr = perr
+					scrapeMu.Unlock()
+					return
+				}
+				v, _ := exp.Get("iqs_server_served_total")
+				if v < last {
+					scrapeMu.Lock()
+					scrapeErr = fmt.Errorf("served_total went backwards: %v -> %v", last, v)
+					scrapeMu.Unlock()
+					return
+				}
+				last = v
+				if resp, err := http.Get(ts.URL + "/stats"); err == nil {
+					resp.Body.Close()
+				}
+			}
+		}()
+	}
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				if i%10 == 9 {
+					batchReqs.add(1)
+					resp, err := http.Post(ts.URL+"/batch", "application/json",
+						strings.NewReader(`{"queries":[{"lo":0,"hi":4095,"k":8}]}`))
+					if err == nil {
+						if resp.StatusCode == http.StatusOK {
+							oks.add(1)
+						}
+						resp.Body.Close()
+					}
+					continue
+				}
+				sampleReqs.add(1)
+				url := fmt.Sprintf("%s/sample?lo=%d&hi=%d&k=8", ts.URL, (g*97+i)%2000, 2100+(g*31+i)%1900)
+				if i%5 == 4 {
+					url += "&wor=true"
+				}
+				resp, err := http.Get(url)
+				if err == nil {
+					if resp.StatusCode == http.StatusOK {
+						oks.add(1)
+					}
+					resp.Body.Close()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	scrapeWg.Wait()
+	scrapeMu.Lock()
+	if scrapeErr != nil {
+		t.Fatal(scrapeErr)
+	}
+	scrapeMu.Unlock()
+
+	exp := scrape(t, ts.URL)
+	if v, _ := exp.Get("iqs_server_request_seconds_count", `path="/sample"`); v != float64(sampleReqs.load()) {
+		t.Fatalf("sample histogram count %v, want %d issued requests", v, sampleReqs.load())
+	}
+	if v, _ := exp.Get("iqs_server_request_seconds_count", `path="/batch"`); v != float64(batchReqs.load()) {
+		t.Fatalf("batch histogram count %v, want %d issued requests", v, batchReqs.load())
+	}
+	if v, _ := exp.Get("iqs_server_served_total"); v != float64(oks.load()) {
+		t.Fatalf("served_total %v, want %d observed 200s", v, oks.load())
+	}
+	// Under 5%% faults the mirrors saw retries or faults; the EM series
+	// must be live on the same endpoint.
+	if v := exp.SumAcross("iqs_em_faults_total"); v <= 0 {
+		t.Fatalf("no EM faults exported under 5%% fault policy (sum %v)", v)
+	}
+}
+
+// atomic64 is a tiny wrapper to keep the test free of sync/atomic
+// import clutter at call sites.
+type atomic64 struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (a *atomic64) add(d int64) { a.mu.Lock(); a.v += d; a.mu.Unlock() }
+func (a *atomic64) load() int64 { a.mu.Lock(); defer a.mu.Unlock(); return a.v }

@@ -30,15 +30,20 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/shard"
@@ -74,27 +79,62 @@ type Options struct {
 	MaxBatch int
 	// MaxK bounds the sample budget of one query; 0 means 1<<20.
 	MaxK int
+	// Metrics is the registry /metrics serves and the server's own
+	// instruments register in. Nil means a private registry — the
+	// endpoint then exports only the server's series; pass the same
+	// registry the engine was built with to export the whole stack.
+	Metrics *metrics.Registry
+	// TraceSampleRate is the fraction of requests whose per-stage span
+	// timings are logged (realised as every round(1/rate)-th request);
+	// 0 disables span logging. Every request gets an X-Request-ID
+	// either way.
+	TraceSampleRate float64
+	// Logger receives the sampled trace lines. Nil discards.
+	Logger *slog.Logger
 }
 
 // Server serves the engine over HTTP. Create with New.
 type Server struct {
 	eng  Engine
 	opts Options
+	reg  *metrics.Registry
+	log  *slog.Logger
 
 	sem      chan struct{}
 	queued   atomic.Int64
 	draining atomic.Bool
 	reqSeq   atomic.Uint64
 
-	served       atomic.Int64
-	failed       atomic.Int64 // requests answered with a 4xx/5xx error body
-	rejectedBusy atomic.Int64 // 429: queue full
-	rejectedGone atomic.Int64 // 503: draining or deadline while queued
+	// traceEvery samples every traceEvery-th request for span logging
+	// (0: tracing off) — a deterministic realisation of TraceSampleRate
+	// with no per-request randomness.
+	traceEvery uint64
+
+	served       *metrics.Counter
+	failed       *metrics.Counter // requests answered with a 4xx/5xx error body
+	rejectedBusy *metrics.Counter // 429: queue full
+	rejectedGone *metrics.Counter // 503: draining or deadline while queued
+
+	// request[path] is the end-to-end handler latency ("/sample",
+	// "/batch"); stage[i] isolates admit / decode / encode.
+	reqSample *metrics.Histogram
+	reqBatch  *metrics.Histogram
+	stage     [3]*metrics.Histogram
 
 	baseMallocs uint64 // runtime.MemStats.Mallocs at New, for /stats deltas
 
 	hs *http.Server
 }
+
+// Stage indices for Server.stage and the spans logged for sampled
+// requests.
+const (
+	stageAdmit = iota
+	stageDecode
+	stageEncode
+)
+
+var stageNames = [3]string{"admit", "decode", "encode"}
 
 // New returns a server fronting eng.
 func New(eng Engine, opts Options) *Server {
@@ -113,11 +153,45 @@ func New(eng Engine, opts Options) *Server {
 	if opts.MaxK <= 0 {
 		opts.MaxK = 1 << 20
 	}
+	if opts.Metrics == nil {
+		opts.Metrics = metrics.NewRegistry()
+	}
 	s := &Server{
 		eng:  eng,
 		opts: opts,
+		reg:  opts.Metrics,
+		log:  opts.Logger,
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
+	if s.log == nil {
+		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
+	if r := opts.TraceSampleRate; r >= 1 {
+		s.traceEvery = 1
+	} else if r > 0 {
+		s.traceEvery = uint64(math.Round(1 / r))
+	}
+	reg := s.reg
+	s.served = reg.Counter("iqs_server_served_total", "Requests answered 200.")
+	s.failed = reg.Counter("iqs_server_failed_total", "Requests answered with a 4xx/5xx error body.")
+	s.rejectedBusy = reg.Counter("iqs_server_rejected_total", "Requests shed by admission control.", metrics.L("reason", "busy"))
+	s.rejectedGone = reg.Counter("iqs_server_rejected_total", "Requests shed by admission control.", metrics.L("reason", "draining"))
+	s.reqSample = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/sample"))
+	s.reqBatch = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/batch"))
+	for i, name := range stageNames {
+		s.stage[i] = reg.Histogram("iqs_server_stage_seconds", "Per-stage handler latency.", nil, metrics.L("stage", name))
+	}
+	reg.GaugeFunc("iqs_server_in_flight", "Requests currently executing.",
+		func() float64 { return float64(len(s.sem)) })
+	reg.GaugeFunc("iqs_server_queue_depth", "Requests admitted or waiting for an execution slot.",
+		func() float64 { return float64(s.queued.Load()) })
+	reg.GaugeFunc("iqs_server_draining", "1 while the server refuses new work for shutdown.",
+		func() float64 {
+			if s.draining.Load() {
+				return 1
+			}
+			return 0
+		})
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	s.baseMallocs = ms.Mallocs
@@ -135,6 +209,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/batch", s.handleBatch)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -151,9 +226,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 
 // Stats is the /stats payload. The allocation counters come from
 // runtime.MemStats deltas since New: Mallocs counts heap objects
-// process-wide, so MallocsPerRequest is an upper bound on the serving
-// stack's per-request allocation cost — the live counterpart of the
-// -benchmem numbers BENCH_hotpath.json tracks.
+// PROCESS-WIDE, so MallocsPerRequest is polluted by everything else the
+// process does — scrapes of /stats and /metrics, GC bookkeeping,
+// background goroutines, other endpoints — and is only an upper bound
+// on the serving stack's per-request allocation cost (the live
+// counterpart of the -benchmem numbers BENCH_hotpath.json tracks; trust
+// those for regression gating). For the same reason the malloc counters
+// are deliberately NOT exported on /metrics: a monotone process-wide
+// proxy series invites alerting on noise the serving path never caused.
 type Stats struct {
 	Served            int64           `json:"served"`
 	Failed            int64           `json:"failed"`
@@ -258,17 +338,70 @@ func (s *Server) writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
 }
 
+// retryAfterSecs estimates how long a 429'd client should back off:
+// the queue ahead of it holds ~queued/MaxInFlight timeout-bounded
+// rounds of work, clamped to [1s, 60s]. A deeper queue quotes a longer
+// wait instead of the old constant "1", which stampeded every shed
+// client back at once.
+func (s *Server) retryAfterSecs() int64 {
+	rounds := float64(s.queued.Load()) / float64(s.opts.MaxInFlight)
+	secs := int64(math.Ceil(rounds * s.opts.Timeout.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
 // shed answers a request refused by admission control.
 func (s *Server) shed(w http.ResponseWriter, status int) {
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSecs(), 10))
 	}
 	writeJSON(w, status, map[string]string{"error": http.StatusText(status)})
 }
 
-// requestRand derives a fresh rng stream for one request.
-func (s *Server) requestRand() *core.Rand {
-	return rng.New(s.opts.Seed + 0x9e3779b97f4a7c15*s.reqSeq.Add(1))
+// randFor derives the request's rng stream from its sequence number —
+// the same number its X-Request-ID is derived from, so a logged request
+// id pins down the exact random stream the response was drawn with.
+func (s *Server) randFor(seq uint64) *core.Rand {
+	return rng.New(s.opts.Seed + 0x9e3779b97f4a7c15*seq)
+}
+
+// beginRequest assigns the request its sequence number and id, sets the
+// X-Request-ID response header, and — for sampled requests — installs a
+// span-recording trace in the returned context. The unsampled path adds
+// no context allocation: TraceFrom on the untouched context returns nil
+// and every span call is a no-op.
+func (s *Server) beginRequest(w http.ResponseWriter, r *http.Request) (ctx context.Context, seq uint64, tr *metrics.Trace) {
+	seq = s.reqSeq.Add(1)
+	id := metrics.RequestID(s.opts.Seed, seq)
+	w.Header().Set("X-Request-ID", id)
+	ctx = r.Context()
+	if s.traceEvery > 0 && seq%s.traceEvery == 0 {
+		tr = metrics.NewTrace(id, true)
+		ctx = metrics.ContextWithTrace(ctx, tr)
+	}
+	return ctx, seq, tr
+}
+
+// finishTrace logs the sampled request's spans and releases the trace.
+func (s *Server) finishTrace(tr *metrics.Trace, path string, total time.Duration) {
+	if tr == nil {
+		return
+	}
+	attrs := make([]slog.Attr, 0, 8)
+	attrs = append(attrs,
+		slog.String("request_id", tr.ID()),
+		slog.String("path", path),
+		slog.Duration("total", total))
+	for _, sp := range tr.Spans() {
+		attrs = append(attrs, slog.Duration(sp.Name, sp.End-sp.Start))
+	}
+	s.log.LogAttrs(context.Background(), slog.LevelInfo, "trace", attrs...)
+	tr.Release()
 }
 
 // sampleResponse is the /sample payload; a typed struct encodes
@@ -297,6 +430,26 @@ type sampleParams struct {
 	WoR bool    `json:"wor"`
 }
 
+// queryValue returns the first value of key in the request's query
+// string without allocating: numeric /sample parameters never need URL
+// escaping, so the common case is a direct scan of RawQuery with
+// strings.Cut. Queries carrying escapes ('%' or '+') fall back to the
+// stdlib parser.
+func queryValue(r *http.Request, key string) string {
+	raw := r.URL.RawQuery
+	if strings.ContainsAny(raw, "%+") {
+		return r.URL.Query().Get(key)
+	}
+	for raw != "" {
+		var pair string
+		pair, raw, _ = strings.Cut(raw, "&")
+		if k, v, _ := strings.Cut(pair, "="); k == key {
+			return v
+		}
+	}
+	return ""
+}
+
 func parseSampleParams(r *http.Request) (sampleParams, error) {
 	var p sampleParams
 	if r.Method == http.MethodPost {
@@ -305,18 +458,18 @@ func parseSampleParams(r *http.Request) (sampleParams, error) {
 		}
 		return p, nil
 	}
-	q := r.URL.Query()
 	var err error
-	if p.Lo, err = strconv.ParseFloat(q.Get("lo"), 64); err != nil {
-		return p, fmt.Errorf("bad lo: %q", q.Get("lo"))
+	lo, hi, k := queryValue(r, "lo"), queryValue(r, "hi"), queryValue(r, "k")
+	if p.Lo, err = strconv.ParseFloat(lo, 64); err != nil {
+		return p, fmt.Errorf("bad lo: %q", lo)
 	}
-	if p.Hi, err = strconv.ParseFloat(q.Get("hi"), 64); err != nil {
-		return p, fmt.Errorf("bad hi: %q", q.Get("hi"))
+	if p.Hi, err = strconv.ParseFloat(hi, 64); err != nil {
+		return p, fmt.Errorf("bad hi: %q", hi)
 	}
-	if p.K, err = strconv.Atoi(q.Get("k")); err != nil {
-		return p, fmt.Errorf("bad k: %q", q.Get("k"))
+	if p.K, err = strconv.Atoi(k); err != nil {
+		return p, fmt.Errorf("bad k: %q", k)
 	}
-	if wor := q.Get("wor"); wor != "" {
+	if wor := queryValue(r, "wor"); wor != "" {
 		if p.WoR, err = strconv.ParseBool(wor); err != nil {
 			return p, fmt.Errorf("bad wor: %q", wor)
 		}
@@ -329,13 +482,26 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
 		return
 	}
-	release, status := s.admit(r.Context())
+	reqStart := time.Now()
+	rctx, seq, tr := s.beginRequest(w, r)
+	defer func() {
+		s.reqSample.Observe(time.Since(reqStart).Seconds())
+		s.finishTrace(tr, "/sample", time.Since(reqStart))
+	}()
+	endAdmit := tr.StartSpan("admit")
+	release, status := s.admit(rctx)
+	s.stage[stageAdmit].Observe(time.Since(reqStart).Seconds())
+	endAdmit()
 	if status != 0 {
 		s.shed(w, status)
 		return
 	}
 	defer release()
+	endDecode := tr.StartSpan("decode")
+	decodeStart := time.Now()
 	p, err := parseSampleParams(r)
+	s.stage[stageDecode].Observe(time.Since(decodeStart).Seconds())
+	endDecode()
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, err)
 		return
@@ -344,16 +510,18 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("k = %d out of [0, %d]", p.K, s.opts.MaxK))
 		return
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	ctx, cancel := context.WithTimeout(rctx, s.opts.Timeout)
 	defer cancel()
 	start := time.Now()
+	endEngine := tr.StartSpan("engine")
 	bp := samplePool.Get().(*[]float64)
 	var out []float64
 	if p.WoR {
-		out, err = s.eng.SampleWoRInto(ctx, s.requestRand(), p.Lo, p.Hi, p.K, (*bp)[:0])
+		out, err = s.eng.SampleWoRInto(ctx, s.randFor(seq), p.Lo, p.Hi, p.K, (*bp)[:0])
 	} else {
-		out, err = s.eng.SampleInto(ctx, s.requestRand(), p.Lo, p.Hi, p.K, (*bp)[:0])
+		out, err = s.eng.SampleInto(ctx, s.randFor(seq), p.Lo, p.Hi, p.K, (*bp)[:0])
 	}
+	endEngine()
 	if err != nil {
 		samplePool.Put(bp)
 		s.writeError(w, statusOf(err), err)
@@ -363,11 +531,15 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	if out == nil {
 		out = (*bp)[:0] // encode as [], matching the pre-pool behaviour
 	}
+	endEncode := tr.StartSpan("encode")
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, sampleResponse{
 		Samples:   out,
 		Count:     len(out),
 		ElapsedUS: time.Since(start).Microseconds(),
 	})
+	s.stage[stageEncode].Observe(time.Since(encodeStart).Seconds())
+	endEncode()
 	*bp = out[:0] // keep any growth the engine caused
 	samplePool.Put(bp)
 }
@@ -389,14 +561,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
 		return
 	}
-	release, status := s.admit(r.Context())
+	reqStart := time.Now()
+	rctx, seq, tr := s.beginRequest(w, r)
+	defer func() {
+		s.reqBatch.Observe(time.Since(reqStart).Seconds())
+		s.finishTrace(tr, "/batch", time.Since(reqStart))
+	}()
+	endAdmit := tr.StartSpan("admit")
+	release, status := s.admit(rctx)
+	s.stage[stageAdmit].Observe(time.Since(reqStart).Seconds())
+	endAdmit()
 	if status != 0 {
 		s.shed(w, status)
 		return
 	}
 	defer release()
+	endDecode := tr.StartSpan("decode")
+	decodeStart := time.Now()
 	var req batchRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	err := json.NewDecoder(r.Body).Decode(&req)
+	s.stage[stageDecode].Observe(time.Since(decodeStart).Seconds())
+	endDecode()
+	if err != nil {
 		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
 		return
 	}
@@ -416,9 +602,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		queries[i] = shard.Query{Lo: q.Lo, Hi: q.Hi, K: q.K, WoR: q.WoR}
 	}
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	ctx, cancel := context.WithTimeout(rctx, s.opts.Timeout)
 	defer cancel()
-	results := s.eng.Batch(ctx, s.requestRand(), queries)
+	endEngine := tr.StartSpan("engine")
+	results := s.eng.Batch(ctx, s.randFor(seq), queries)
+	endEngine()
 	out := make([]batchResult, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -432,7 +620,11 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		out[i] = batchResult{Samples: samples, Status: http.StatusOK}
 	}
 	s.served.Add(1)
+	endEncode := tr.StartSpan("encode")
+	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
+	s.stage[stageEncode].Observe(time.Since(encodeStart).Seconds())
+	endEncode()
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -453,10 +645,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	st := Stats{
-		Served:         s.served.Load(),
-		Failed:         s.failed.Load(),
-		RejectedBusy:   s.rejectedBusy.Load(),
-		RejectedGone:   s.rejectedGone.Load(),
+		Served:         s.served.Value(),
+		Failed:         s.failed.Value(),
+		RejectedBusy:   s.rejectedBusy.Value(),
+		RejectedGone:   s.rejectedGone.Value(),
 		InFlight:       len(s.sem),
 		Queued:         s.queued.Load(),
 		Draining:       s.draining.Load(),
@@ -478,4 +670,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleMetrics renders the registry in the Prometheus text exposition
+// format. Scraping is read-only and lock-cheap: instruments are atomics
+// and the registry locks only to walk its family list.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
 }

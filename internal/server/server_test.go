@@ -282,7 +282,7 @@ func TestAdmissionControl429(t *testing.T) {
 	}
 	close(slow.release)
 	wg.Wait()
-	if srv.rejectedBusy.Load() == 0 {
+	if srv.rejectedBusy.Value() == 0 {
 		t.Error("429 not counted")
 	}
 }
@@ -359,7 +359,7 @@ func TestGracefulShutdown(t *testing.T) {
 	if err := <-serveDone; err != http.ErrServerClosed {
 		t.Errorf("Serve returned %v, want http.ErrServerClosed", err)
 	}
-	if srv.rejectedGone.Load() == 0 {
+	if srv.rejectedGone.Value() == 0 {
 		t.Error("503 not counted")
 	}
 }

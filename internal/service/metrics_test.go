@@ -1,0 +1,163 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/metrics"
+)
+
+func newBufLogger(w io.Writer) *slog.Logger {
+	return slog.New(slog.NewJSONHandler(w, nil))
+}
+
+// TestDowngradeRingBounded is the regression test for the unbounded
+// downgrade-event slice: 10k recorded downgrades must hold the retained
+// set at the configured cap while keeping the newest events, and the
+// total downgrade counter must keep counting past the cap.
+func TestDowngradeRingBounded(t *testing.T) {
+	const cap_, total = 16, 10000
+	s := New(Options{DowngradeEventCap: cap_})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < total/8; i++ {
+				s.downgrades.Inc()
+				s.recordDowngrade(DowngradeEvent{Dataset: fmt.Sprintf("%d-%d", g, i)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	evs := s.Downgrades()
+	if len(evs) != cap_ {
+		t.Fatalf("ring holds %d events after %d downgrades, want cap %d", len(evs), total, cap_)
+	}
+	if got := s.Health().Downgrades; got != total {
+		t.Fatalf("downgrade counter %d, want %d (cap must not truncate accounting)", got, total)
+	}
+	// Sequentially recorded tails are retained newest-last.
+	s2 := New(Options{DowngradeEventCap: 4})
+	for i := 0; i < 10; i++ {
+		s2.recordDowngrade(DowngradeEvent{Reason: fmt.Sprintf("ev%d", i)})
+	}
+	got := s2.Downgrades()
+	want := []string{"ev6", "ev7", "ev8", "ev9"}
+	for i, ev := range got {
+		if ev.Reason != want[i] {
+			t.Fatalf("ring order: got %v at %d, want %v", ev.Reason, i, want[i])
+		}
+	}
+}
+
+// TestDowngradeRingBoundedEndToEnd drives real downgrades through a
+// permanently faulting mirror: every rebuild degrades, and the retained
+// events stay at the cap.
+func TestDowngradeRingBoundedEndToEnd(t *testing.T) {
+	dev, err := em.NewDevice(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{WriteFailProb: 1, Seed: 7})
+	s := New(Options{
+		Mirror:            dev,
+		Retry:             em.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		DowngradeEventCap: 8,
+	})
+	bg := context.Background()
+	if err := s.Create(bg, "d", core.KindChunked, seq(64), nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.Insert(bg, "d", float64(100+i), 1); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if evs := s.Downgrades(); len(evs) != 8 {
+		t.Fatalf("retained %d events, want 8", len(evs))
+	}
+	if h := s.Health(); h.Downgrades != 41 { // 1 create + 40 rebuilds
+		t.Fatalf("downgrades counted %d, want 41", h.Downgrades)
+	}
+}
+
+// TestServiceMetricsExported checks the service's instruments land in
+// the registry: request/latency series, downgrade and EM mirror
+// counters, and the per-dataset quality gauge.
+func TestServiceMetricsExported(t *testing.T) {
+	dev, err := em.NewDevice(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	s := New(Options{Metrics: reg, Mirror: dev, MetricLabels: []metrics.Label{metrics.L("shard", "0")}})
+	bg := context.Background()
+	if err := s.Create(bg, "ds", core.KindChunked, seq(512), nil); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRand(3)
+	for i := 0; i < 300; i++ {
+		if _, err := s.Sample(bg, r, "ds", 0, 511, 8); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := metrics.ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, buf.String())
+	}
+	if v, ok := exp.Get("iqs_service_requests_total", `shard="0"`); !ok || v != 301 { // create + 300 samples
+		t.Fatalf("iqs_service_requests_total = %v, %v", v, ok)
+	}
+	if v := exp.SumAcross("iqs_service_sample_seconds_count"); v != 300 {
+		t.Fatalf("sample latency histogram count %v, want 300", v)
+	}
+	if _, ok := exp.Get("iqs_sample_quality_ratio", `dataset="ds"`); !ok {
+		t.Fatalf("quality gauge missing:\n%s", buf.String())
+	}
+	if q, ok := exp.Get("iqs_sample_quality_ratio", `dataset="ds"`); !ok || q > 1 {
+		t.Fatalf("quality ratio %v on a correct sampler, want <= 1", q)
+	}
+	if v, ok := exp.Get("iqs_em_writes_total", `shard="0"`); !ok || v <= 0 {
+		t.Fatalf("iqs_em_writes_total = %v, %v", v, ok)
+	}
+}
+
+// TestDowngradeWarnCarriesRequestID ties the three tracing pieces
+// together at the service layer: a downgrade triggered by a request
+// whose context carries a trace logs the request id.
+func TestDowngradeWarnCarriesRequestID(t *testing.T) {
+	dev, err := em.NewDevice(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{WriteFailProb: 1, Seed: 9})
+	var buf bytes.Buffer
+	s := New(Options{
+		Mirror: dev,
+		Retry:  em.RetryPolicy{MaxAttempts: 2, BaseDelay: time.Microsecond, MaxDelay: time.Microsecond},
+		Logger: newBufLogger(&buf),
+	})
+	tr := metrics.NewTrace("feedfacefeedface", true)
+	defer tr.Release()
+	ctx := metrics.ContextWithTrace(context.Background(), tr)
+	if err := s.Create(ctx, "d", core.KindChunked, seq(32), nil); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "feedfacefeedface") {
+		t.Fatalf("downgrade warning missing request id: %s", buf.String())
+	}
+}

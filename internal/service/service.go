@@ -37,16 +37,18 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
+	"log/slog"
 	"math"
 	"runtime/debug"
 	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/em"
+	"repro/internal/metrics"
 )
 
 // ErrEmptyDataset is returned by Create for zero elements and by Delete
@@ -66,6 +68,27 @@ type Options struct {
 	// Retry bounds the mirror-persistence retries; zero-valued means
 	// em.DefaultRetry.
 	Retry em.RetryPolicy
+	// Metrics, when non-nil, is the registry the service exports its
+	// counters, per-kind latency histograms, EM mirror I/O totals, and
+	// per-dataset sample-quality gauges through. Nil still collects
+	// (instruments work unregistered) but exports nothing.
+	Metrics *metrics.Registry
+	// MetricLabels are constant labels stamped on every series this
+	// instance registers — the sharded coordinator uses them to tag
+	// each shard's service with its shard index.
+	MetricLabels []metrics.Label
+	// Logger receives structured warnings (downgrades, sample-quality
+	// breaches), each carrying the request ID of the triggering request
+	// when one is in the context. Nil discards.
+	Logger *slog.Logger
+	// Quality configures the per-dataset chi-squared uniformity
+	// monitors (cells, fold stride, alpha, warm-up); the Gauge and
+	// OnBreach fields are owned by the service and ignored.
+	Quality metrics.UniformityOptions
+	// DowngradeEventCap bounds the retained downgrade-event ring
+	// buffer; 0 means 256. The total downgrade count is unaffected
+	// (Health.Downgrades keeps counting past the cap).
+	DowngradeEventCap int
 }
 
 // DowngradeEvent records one fallback to the naive sampler.
@@ -99,10 +122,13 @@ type DatasetHealth struct {
 
 // snapshot is the immutable unit readers hold: once published it is
 // never mutated, so any number of goroutines may query it concurrently
-// (each with its own *core.Rand).
+// (each with its own *core.Rand). The quality monitor rides on the
+// snapshot because its expectations are a function of the exact element
+// set — every rebuild gets a fresh monitor with a fresh baseline.
 type snapshot struct {
 	sampler *core.RangeSampler
 	active  core.Kind
+	monitor *metrics.Uniformity // internally synchronised; shared by readers
 }
 
 // dataset pairs the published snapshot with the master element arrays
@@ -136,25 +162,129 @@ func (ds *dataset) publish(sn *snapshot) {
 // *core.Rand per goroutine, as everywhere else in this repository.
 type Service struct {
 	opts Options
+	log  *slog.Logger
 
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 
 	mirrorMu sync.Mutex // serialises access to the shared EM mirror
 
-	requests        atomic.Int64
-	failures        atomic.Int64
-	panicsContained atomic.Int64
-	downgrades      atomic.Int64
-	rebuilds        atomic.Int64
+	// Health counters are metrics.Counters (single atomics) so the
+	// same increment feeds both the Health() API and the /metrics
+	// exposition; with a nil registry they are ordinary unregistered
+	// atomics.
+	requests        *metrics.Counter
+	failures        *metrics.Counter
+	panicsContained *metrics.Counter
+	downgrades      *metrics.Counter
+	rebuilds        *metrics.Counter
+	mirrorRetries   *metrics.Counter
 
+	// latency[op][kind] is the per-kind sample latency histogram; op 0
+	// is weighted WR sampling, op 1 is WoR.
+	latency [2][]*metrics.Histogram
+
+	// Downgrade events are retained in a fixed-size ring: evBuf is the
+	// storage, evNext the next write slot, evLen the live count. The
+	// total downgrade count lives in the downgrades counter, so the
+	// ring overflowing loses detail, never accounting.
 	evMu   sync.Mutex
-	events []DowngradeEvent
+	evBuf  []DowngradeEvent
+	evNext int
+	evLen  int
+}
+
+// latencyKinds are the structure kinds the per-kind histograms cover.
+var latencyKinds = []core.Kind{core.KindChunked, core.KindAliasAug, core.KindTreeWalk, core.KindNaive}
+
+// nopLogger discards everything; it keeps every s.log call site
+// unconditional.
+func nopLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
 }
 
 // New returns an empty service.
 func New(opts Options) *Service {
-	return &Service{opts: opts, datasets: make(map[string]*dataset)}
+	if opts.DowngradeEventCap <= 0 {
+		opts.DowngradeEventCap = 256
+	}
+	s := &Service{opts: opts, datasets: make(map[string]*dataset)}
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = nopLogger()
+	}
+	reg, ls := opts.Metrics, opts.MetricLabels
+	s.requests = reg.Counter("iqs_service_requests_total", "Requests handled by the service layer.", ls...)
+	s.failures = reg.Counter("iqs_service_failures_total", "Requests answered with a (typed) error.", ls...)
+	s.panicsContained = reg.Counter("iqs_service_panics_contained_total", "Panics recovered at the service boundary.", ls...)
+	s.downgrades = reg.Counter("iqs_service_downgrades_total", "Fallbacks to the naive sampler.", ls...)
+	s.rebuilds = reg.Counter("iqs_service_rebuilds_total", "Successful snapshot swaps from updates.", ls...)
+	s.mirrorRetries = reg.Counter("iqs_em_mirror_retries_total", "EM mirror persistence attempts beyond the first.", ls...)
+	for op, opName := range []string{"sample", "wor"} {
+		s.latency[op] = make([]*metrics.Histogram, len(latencyKinds))
+		for _, k := range latencyKinds {
+			kls := append(append([]metrics.Label(nil), ls...),
+				metrics.L("op", opName), metrics.L("kind", k.String()))
+			s.latency[op][int(k)] = reg.Histogram("iqs_service_sample_seconds",
+				"Service-layer sample latency by op and active structure kind.", nil, kls...)
+		}
+	}
+	if dev := opts.Mirror; dev != nil {
+		reg.CounterFunc("iqs_em_reads_total", "EM mirror block reads.",
+			func() float64 { return float64(dev.Reads()) }, ls...)
+		reg.CounterFunc("iqs_em_writes_total", "EM mirror block writes.",
+			func() float64 { return float64(dev.Writes()) }, ls...)
+		reg.CounterFunc("iqs_em_faults_total", "Transient faults injected by the EM mirror.",
+			func() float64 { return float64(dev.FaultsInjected()) }, ls...)
+	}
+	return s
+}
+
+// opSample / opWoR index the latency histogram's op dimension.
+const (
+	opSample = 0
+	opWoR    = 1
+)
+
+// observeLatency records one sample draw in the (op, kind) histogram.
+func (s *Service) observeLatency(op int, kind core.Kind, seconds float64) {
+	if int(kind) < len(s.latency[op]) && s.latency[op][int(kind)] != nil {
+		s.latency[op][int(kind)].Observe(seconds)
+	}
+}
+
+// newMonitor builds the per-dataset quality monitor for a fresh
+// snapshot. The gauge is resolved through the registry, so rebuilds of
+// the same dataset keep exporting through the same series.
+func (s *Service) newMonitor(name string, values, weights []float64) *metrics.Uniformity {
+	qo := s.opts.Quality
+	ls := append(append([]metrics.Label(nil), s.opts.MetricLabels...), metrics.L("dataset", name))
+	qo.Gauge = s.opts.Metrics.Gauge("iqs_sample_quality_ratio",
+		"Chi-squared statistic over its critical value for served samples; > 1 flags a uniformity breach.", ls...)
+	log := s.log
+	qo.OnBreach = func(stat, crit float64, folded int64) {
+		log.Warn("sample quality breach",
+			slog.String("dataset", name),
+			slog.Float64("chi2", stat),
+			slog.Float64("critical", crit),
+			slog.Int64("folded", folded))
+	}
+	return metrics.NewUniformity(values, weights, qo)
+}
+
+// recordDowngrade appends ev to the fixed-size event ring, evicting the
+// oldest entry once the ring is full.
+func (s *Service) recordDowngrade(ev DowngradeEvent) {
+	s.evMu.Lock()
+	if s.evBuf == nil {
+		s.evBuf = make([]DowngradeEvent, s.opts.DowngradeEventCap)
+	}
+	s.evBuf[s.evNext] = ev
+	s.evNext = (s.evNext + 1) % len(s.evBuf)
+	if s.evLen < len(s.evBuf) {
+		s.evLen++
+	}
+	s.evMu.Unlock()
 }
 
 // guard runs fn with panic containment: a panic increments the health
@@ -205,7 +335,11 @@ func (s *Service) mirrorPersist(values []float64) error {
 	}
 	s.mirrorMu.Lock()
 	defer s.mirrorMu.Unlock()
+	attempt := 0
 	return em.WithRetry(rp, func() error {
+		if attempt++; attempt > 1 {
+			s.mirrorRetries.Inc()
+		}
 		return em.CatchFault(func() {
 			arr := em.NewArray(dev, len(values), 1)
 			w := arr.Write(0)
@@ -245,7 +379,7 @@ func (s *Service) build(parent context.Context, name string, kind core.Kind, val
 			return e
 		})
 		if berr == nil {
-			return &snapshot{sampler: sampler, active: kind}, nil
+			return &snapshot{sampler: sampler, active: kind, monitor: s.newMonitor(name, values, weights)}, nil
 		}
 		var ie *InternalError
 		switch {
@@ -278,10 +412,14 @@ func (s *Service) build(parent context.Context, name string, kind core.Kind, val
 		Op:      op,
 		Reason:  strings.Join(reasons, "; "),
 	}
-	s.evMu.Lock()
-	s.events = append(s.events, ev)
-	s.evMu.Unlock()
-	return &snapshot{sampler: fb, active: core.KindNaive}, nil
+	s.recordDowngrade(ev)
+	s.log.Warn("index downgraded to naive",
+		slog.String("dataset", name),
+		slog.String("from", kind.String()),
+		slog.String("op", op),
+		slog.String("reason", ev.Reason),
+		slog.String("request_id", metrics.TraceFrom(parent).ID()))
+	return &snapshot{sampler: fb, active: core.KindNaive, monitor: s.newMonitor(name, values, weights)}, nil
 }
 
 // Create builds and hosts a dataset. Nil weights mean uniform. The
@@ -339,6 +477,8 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 		return nil, err
 	}
 	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
+	start := time.Now()
 	sc := core.GetScratch()
 	defer core.PutScratch(sc)
 	err = s.guard(snap.active, "sample", func() error {
@@ -350,9 +490,12 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k, dst, sc)
 		return e
 	})
+	s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
+	end()
 	if err != nil {
 		return nil, err
 	}
+	snap.monitor.Fold(lo, hi, out, false)
 	return out, nil
 }
 
@@ -367,6 +510,8 @@ func (s *Service) SampleInto(ctx context.Context, r *core.Rand, name string, lo,
 		return dst, err
 	}
 	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
+	start := time.Now()
 	sc := core.GetScratch()
 	defer core.PutScratch(sc)
 	out = dst
@@ -375,9 +520,12 @@ func (s *Service) SampleInto(ctx context.Context, r *core.Rand, name string, lo,
 		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k, out, sc)
 		return e
 	})
+	s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
+	end()
 	if err != nil {
 		return dst, err
 	}
+	snap.monitor.Fold(lo, hi, out[len(dst):], false)
 	return out, nil
 }
 
@@ -392,6 +540,8 @@ func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, 
 		return nil, err
 	}
 	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.wor")
+	start := time.Now()
 	sc := core.GetScratch()
 	defer core.PutScratch(sc)
 	err = s.guard(snap.active, "wor", func() error {
@@ -399,9 +549,12 @@ func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, 
 		out, e = snap.sampler.SampleWoRContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), sc)
 		return e
 	})
+	s.observeLatency(opWoR, snap.active, time.Since(start).Seconds())
+	end()
 	if err != nil {
 		return nil, err
 	}
+	snap.monitor.Fold(lo, hi, out, true)
 	return out, nil
 }
 
@@ -414,6 +567,8 @@ func (s *Service) SampleWoRInto(ctx context.Context, r *core.Rand, name string, 
 		return dst, err
 	}
 	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.wor")
+	start := time.Now()
 	sc := core.GetScratch()
 	defer core.PutScratch(sc)
 	out = dst
@@ -422,9 +577,12 @@ func (s *Service) SampleWoRInto(ctx context.Context, r *core.Rand, name string, 
 		out, e = snap.sampler.SampleWoRContextInto(ctx, r, lo, hi, k, out, sc)
 		return e
 	})
+	s.observeLatency(opWoR, snap.active, time.Since(start).Seconds())
+	end()
 	if err != nil {
 		return dst, err
 	}
+	snap.monitor.Fold(lo, hi, out[len(dst):], true)
 	return out, nil
 }
 
@@ -549,11 +707,11 @@ func (s *Service) swapIn(ctx context.Context, ds *dataset, nv, nw []float64) err
 // Health returns the current counters and per-dataset states.
 func (s *Service) Health() Health {
 	h := Health{
-		Requests:        s.requests.Load(),
-		Failures:        s.failures.Load(),
-		PanicsContained: s.panicsContained.Load(),
-		Downgrades:      s.downgrades.Load(),
-		Rebuilds:        s.rebuilds.Load(),
+		Requests:        s.requests.Value(),
+		Failures:        s.failures.Value(),
+		PanicsContained: s.panicsContained.Value(),
+		Downgrades:      s.downgrades.Value(),
+		Rebuilds:        s.rebuilds.Value(),
 	}
 	if s.opts.Mirror != nil {
 		h.EMFaults = s.opts.Mirror.FaultsInjected()
@@ -579,9 +737,15 @@ func (s *Service) Health() Health {
 	return h
 }
 
-// Downgrades returns a copy of the recorded fallback events.
+// Downgrades returns a copy of the retained fallback events, oldest
+// first. At most Options.DowngradeEventCap events are retained; older
+// ones are evicted (the Health.Downgrades counter is unaffected).
 func (s *Service) Downgrades() []DowngradeEvent {
 	s.evMu.Lock()
 	defer s.evMu.Unlock()
-	return append([]DowngradeEvent(nil), s.events...)
+	out := make([]DowngradeEvent, 0, s.evLen)
+	for i := 0; i < s.evLen; i++ {
+		out = append(out, s.evBuf[(s.evNext-s.evLen+i+len(s.evBuf))%len(s.evBuf)])
+	}
+	return out
 }

@@ -32,12 +32,16 @@ package shard
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"math"
 	"slices"
 	"sort"
+	"strconv"
 	"sync"
+	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/service"
 	"repro/internal/wor"
@@ -58,6 +62,20 @@ type Options struct {
 	// the hook chaos tests use to give each shard its own fault-injected
 	// EM mirror. Nil means zero Options for every shard.
 	Service func(shard int) service.Options
+	// Metrics, when non-nil, receives the coordinator's fan-out and
+	// merge latency histograms and is handed down to every shard's
+	// service (unless the Service hook set its own registry).
+	Metrics *metrics.Registry
+	// MetricLabels are constant labels stamped on the coordinator's own
+	// series; shard services additionally get a shard="i" label.
+	MetricLabels []metrics.Label
+	// Logger is handed to shard services that the Service hook left
+	// without one. Nil discards.
+	Logger *slog.Logger
+	// Quality configures the per-shard sample-quality monitors when the
+	// Service hook is nil (a hook owns the whole service.Options it
+	// returns, quality included).
+	Quality metrics.UniformityOptions
 }
 
 // Query is one batched range-sampling request.
@@ -104,6 +122,13 @@ type Coordinator struct {
 	kind    core.Kind
 	workers int
 	hosts   []host
+
+	// fanout[op] (0 sample, 1 wor) times the full per-query fan-out —
+	// budget split, worker draws, merge; merge isolates the final
+	// append-and-shuffle. Always non-nil (unregistered when Options.
+	// Metrics is nil).
+	fanout [2]*metrics.Histogram
+	merge  *metrics.Histogram
 }
 
 // dsName is the dataset name each shard's service hosts its slice
@@ -159,6 +184,13 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 	if c.workers <= 0 {
 		c.workers = len(runs)
 	}
+	for op, opName := range []string{"sample", "wor"} {
+		ls := append(append([]metrics.Label(nil), opts.MetricLabels...), metrics.L("op", opName))
+		c.fanout[op] = opts.Metrics.Histogram("iqs_shard_fanout_seconds",
+			"Wall time of the full per-query shard fan-out (budget split, draws, merge).", nil, ls...)
+	}
+	c.merge = opts.Metrics.Histogram("iqs_shard_merge_seconds",
+		"Time to merge and shuffle per-shard partials into the response buffer.", nil, opts.MetricLabels...)
 	for i, run := range runs {
 		sv := make([]float64, 0, run[1]-run[0])
 		sw := make([]float64, 0, run[1]-run[0])
@@ -169,6 +201,18 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 		var sopts service.Options
 		if opts.Service != nil {
 			sopts = opts.Service(i)
+		} else {
+			sopts.Quality = opts.Quality
+		}
+		if sopts.Metrics == nil {
+			sopts.Metrics = opts.Metrics
+		}
+		if sopts.Logger == nil {
+			sopts.Logger = opts.Logger
+		}
+		if sopts.MetricLabels == nil {
+			sopts.MetricLabels = append(append([]metrics.Label(nil), opts.MetricLabels...),
+				metrics.L("shard", strconv.Itoa(i)))
 		}
 		svc := service.New(sopts)
 		if err := svc.Create(ctx, dsName, opts.Kind, sv, sw); err != nil {
@@ -237,7 +281,7 @@ var partPool = sync.Pool{New: func() any {
 // land in pooled buffers and are appended to dst; the appended region
 // comes back shuffled with r so the output order carries no shard
 // signal. dst is returned unchanged on error.
-func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, budgets []int, dst []float64,
+func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, op int, shards []int, budgets []int, dst []float64,
 	draw func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error)) ([]float64, error) {
 
 	type job struct {
@@ -256,6 +300,12 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 	if len(jobs) == 0 {
 		return dst, nil
 	}
+	endSpan := metrics.TraceFrom(ctx).StartSpan("shard.fanout")
+	fanStart := time.Now()
+	defer func() {
+		c.fanout[op].Observe(time.Since(fanStart).Seconds())
+		endSpan()
+	}()
 
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -320,6 +370,7 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 		}
 		return dst, firstErr
 	}
+	mergeStart := time.Now()
 	base := len(dst)
 	dst = slices.Grow(dst, total)
 	for _, p := range parts {
@@ -327,6 +378,7 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, shards []int, bu
 	}
 	tail := dst[base:]
 	r.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+	c.merge.Observe(time.Since(mergeStart).Seconds())
 	return dst, nil
 }
 
@@ -370,7 +422,7 @@ func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float
 	if err != nil {
 		return dst, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
 	}
-	return c.fanOut(ctx, r, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
+	return c.fanOut(ctx, r, 0, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
 		return c.hosts[shard].svc.SampleInto(ctx, r, dsName, lo, hi, k, buf)
 	})
 }
@@ -426,7 +478,7 @@ func (c *Coordinator) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi fl
 			rank -= counts[i]
 		}
 	}
-	return c.fanOut(ctx, r, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
+	return c.fanOut(ctx, r, 1, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
 		return c.hosts[shard].svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, buf)
 	})
 }

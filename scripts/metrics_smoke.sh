@@ -1,0 +1,71 @@
+#!/usr/bin/env sh
+# metrics_smoke.sh — boot iqsserve with fault injection and tracing on,
+# drive load through metricscheck, validate the /metrics exposition,
+# and drain cleanly. Exits non-zero on any failure. Used by
+# `make metrics-smoke` and the CI metrics step.
+set -eu
+
+BIN_DIR=${BIN_DIR:-/tmp/iqs-metrics-smoke}
+DRIVE=${DRIVE:-60}
+mkdir -p "$BIN_DIR"
+
+go build -o "$BIN_DIR/iqsserve" ./cmd/iqsserve
+go build -o "$BIN_DIR/metricscheck" ./cmd/metricscheck
+
+SERVER_OUT="$BIN_DIR/server.out"
+SERVER_ERR="$BIN_DIR/server.err"
+: >"$SERVER_OUT"
+: >"$SERVER_ERR"
+
+# Port 0: the kernel picks a free port; iqsserve prints the bound
+# address on the "listening on" line, which we parse below.
+"$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 \
+  -fault 0.05 -trace-sample-rate 0.25 \
+  >"$SERVER_OUT" 2>"$SERVER_ERR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+ADDR=
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^iqsserve: listening on \([^ ]*\) .*/\1/p' "$SERVER_OUT")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "metrics-smoke: server died during startup" >&2
+    cat "$SERVER_ERR" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "metrics-smoke: server never reported its address" >&2
+  cat "$SERVER_OUT" "$SERVER_ERR" >&2
+  exit 1
+fi
+echo "metrics-smoke: server on $ADDR"
+
+"$BIN_DIR/metricscheck" -base "http://$ADDR" -drive "$DRIVE"
+
+# With trace sampling at 0.25 and $DRIVE requests driven, at least one
+# span-timing trace line must have been logged.
+if ! grep -q '"msg":"trace"' "$SERVER_ERR"; then
+  echo "metrics-smoke: no trace lines logged at -trace-sample-rate 0.25" >&2
+  cat "$SERVER_ERR" >&2
+  exit 1
+fi
+
+# Graceful drain: SIGINT, then the server must report a clean exit.
+kill -INT "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "metrics-smoke: server exited with status $WAIT_STATUS" >&2
+  cat "$SERVER_ERR" >&2
+  exit 1
+fi
+if ! grep -q 'drained cleanly' "$SERVER_OUT"; then
+  echo "metrics-smoke: server did not drain cleanly" >&2
+  cat "$SERVER_OUT" >&2
+  exit 1
+fi
+echo "metrics-smoke: PASS"
