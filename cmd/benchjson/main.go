@@ -45,9 +45,9 @@ func run(args []string) int {
 	var (
 		label     = fs.String("label", "after", "label stored with each entry (e.g. before, after, pr7)")
 		out       = fs.String("out", "BENCH_hotpath.json", "output JSON file")
-		benchRe   = fs.String("bench", "RangeSample|ServiceSample|ShardSample|ShardBatch|ServerSample|ServerBatch", "benchmark regex passed to go test -bench")
+		benchRe   = fs.String("bench", "RangeSample|ServiceSample|ShardSample|ShardBatch|ServerSample|ServerBatch|Fill|Uint64Scalar|AliasSample|UniformWoR|WeightedWoR", "benchmark regex passed to go test -bench")
 		benchtime = fs.String("benchtime", "1s", "benchtime passed to go test")
-		pkgs      = fs.String("pkgs", "./internal/core ./internal/service ./internal/shard ./internal/server", "space-separated package list")
+		pkgs      = fs.String("pkgs", "./internal/core ./internal/service ./internal/shard ./internal/server ./internal/rng ./internal/alias ./internal/wor", "space-separated package list")
 		validate  = fs.Bool("validate", false, "only validate that the output file is well-formed")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -147,25 +147,32 @@ func parse(out, label string) []Entry {
 }
 
 // merge replaces same-(label, name) entries and appends the rest,
-// keeping the stored order stable for reviewable diffs.
+// keeping the stored order stable for reviewable diffs. Files written
+// by the old append-only behaviour may already hold duplicate keys;
+// only the first occurrence survives a merge, so one run repairs them.
 func merge(old, fresh []Entry) []Entry {
 	out := make([]Entry, 0, len(old)+len(fresh))
 	replaced := make(map[string]Entry, len(fresh))
 	for _, e := range fresh {
 		replaced[e.Label+"\x00"+e.Name] = e
 	}
-	seen := make(map[string]bool, len(fresh))
+	seen := make(map[string]bool, len(old)+len(fresh))
 	for _, e := range old {
 		key := e.Label + "\x00" + e.Name
+		if seen[key] {
+			continue // pre-existing duplicate: drop
+		}
+		seen[key] = true
 		if ne, ok := replaced[key]; ok {
 			out = append(out, ne)
-			seen[key] = true
 			continue
 		}
 		out = append(out, e)
 	}
 	for _, e := range fresh {
-		if !seen[e.Label+"\x00"+e.Name] {
+		key := e.Label + "\x00" + e.Name
+		if !seen[key] {
+			seen[key] = true
 			out = append(out, e)
 		}
 	}

@@ -71,9 +71,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		clients   = fs.Int("clients", 16, "concurrent load clients (with -load)")
 		pprofOn   = fs.String("pprof", "", "serve net/http/pprof on this host:port (empty disables); profile the hot path with e.g. go tool pprof http://HOST:PORT/debug/pprof/heap")
 		traceRate = fs.Float64("trace-sample-rate", 0, "fraction of requests whose per-stage span timings are logged as JSON on stderr (0 disables)")
+		coalesce  = fs.Int("coalesce", 16, "max concurrent /sample requests coalesced into one engine batch; 0 disables coalescing")
+		linger    = fs.Duration("linger", 0, "how long a non-full batch waits for straggler requests; 0 means 100µs when coalescing is on")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P]")
+		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -81,7 +83,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *shards < 1 || *n < 2 || *inflight < 1 || *queue < 0 || *timeout <= 0 ||
 		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 ||
-		*traceRate < 0 || *traceRate > 1 {
+		*traceRate < 0 || *traceRate > 1 || *coalesce < 0 || *linger < 0 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
@@ -162,6 +164,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Metrics:         reg,
 		TraceSampleRate: *traceRate,
 		Logger:          logger,
+		Coalesce:        *coalesce,
+		Linger:          *linger,
 	})
 
 	// Flag-guarded profiling endpoint on its own mux and listener, so
@@ -188,8 +192,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "iqsserve: listen: %v\n", err)
 		return 1
 	}
-	fmt.Fprintf(stdout, "iqsserve: listening on %s (%d shards, n=%d, kind=%s, inflight=%d)\n",
-		l.Addr(), *shards, *n, kind, *inflight)
+	fmt.Fprintf(stdout, "iqsserve: listening on %s (%d shards, n=%d, kind=%s, inflight=%d, coalesce=%d)\n",
+		l.Addr(), *shards, *n, kind, *inflight, *coalesce)
 
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(l) }()

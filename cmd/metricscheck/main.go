@@ -33,6 +33,11 @@ var defaultRequired = []string{
 	"iqs_shard_fanout_seconds_count",
 	"iqs_shard_merge_seconds_count",
 	"iqs_sample_quality_ratio",
+	// Coalescer series: registered unconditionally, so they must be
+	// present (zero is fine when -coalesce is off).
+	"iqs_coalesce_batch_size_count",
+	"iqs_coalesce_linger_seconds_count",
+	"iqs_coalesced_requests_total",
 }
 
 func main() {

@@ -1,0 +1,75 @@
+// Bulk kernels for the alias structure: s draws against one table share
+// all setup, so the variates are pre-generated in cache-friendly runs
+// (rng.FillUint64 under a rng.Block) instead of two generator calls per
+// sample. Draw-for-draw identical to the scalar Sample loop: each
+// sample still consumes one bounded urn pick then one coin word, in the
+// same order, from the same stream.
+package alias
+
+import "repro/internal/rng"
+
+// bulkWords is the stack buffer the bulk kernels run their variate
+// blocks through; two words per sample means blocks of bulkWords/2
+// samples between refills. Kept to 512 bytes deliberately: these are
+// leaf frames on fan-out goroutines, and a larger array would force a
+// stack grow-and-copy per goroutine that costs more than blocking
+// saves.
+const bulkWords = 64
+
+// SampleBlock draws one sample with its variates pulled through bk —
+// the primitive the range-sampling bulk loops interleave with other
+// block draws. Consumes exactly the words Sample would.
+func (a *Alias) SampleBlock(bk *rng.Block) int {
+	u := bk.Intn(a.n)
+	if bk.Float64() < a.prob[u] {
+		return u
+	}
+	return int(a.alias[u])
+}
+
+// SampleBulk appends s independent weighted samples, each offset by
+// off, to dst, generating variates in blocks. Stream-identical to
+// s scalar Sample calls (guaranteed minimum two words per sample;
+// Lemire rejections overflow to direct draws in order).
+func (a *Alias) SampleBulk(r *rng.Source, s, off int, dst []int) []int {
+	var raw [bulkWords]uint64
+	bk := rng.MakeBlock(r, raw[:])
+	for done := 0; done < s; {
+		chunk := s - done
+		if chunk > bulkWords/2 {
+			chunk = bulkWords / 2
+		}
+		bk.Prime(2 * chunk)
+		for i := 0; i < chunk; i++ {
+			dst = append(dst, off+a.SampleBlock(&bk))
+		}
+		done += chunk
+	}
+	return dst
+}
+
+// CountsBulkInto is CountsInto with block-generated variates: counts
+// must have length n, is zeroed, filled with the occurrence counts of
+// s draws, and returned. Stream-identical to CountsInto.
+func (a *Alias) CountsBulkInto(r *rng.Source, s int, counts []int) []int {
+	if len(counts) != a.n {
+		panic("alias: CountsBulkInto buffer length mismatch")
+	}
+	for i := range counts {
+		counts[i] = 0
+	}
+	var raw [bulkWords]uint64
+	bk := rng.MakeBlock(r, raw[:])
+	for done := 0; done < s; {
+		chunk := s - done
+		if chunk > bulkWords/2 {
+			chunk = bulkWords / 2
+		}
+		bk.Prime(2 * chunk)
+		for i := 0; i < chunk; i++ {
+			counts[a.SampleBlock(&bk)]++
+		}
+		done += chunk
+	}
+	return counts
+}

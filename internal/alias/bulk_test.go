@@ -1,0 +1,146 @@
+package alias
+
+import (
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/rng"
+)
+
+func bulkWeights(n int) []float64 {
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = float64(1 + (i*7)%13)
+	}
+	return w
+}
+
+// TestSampleBulkMatchesScalar drives SampleBulk and a scalar Sample
+// loop from identically seeded sources: outputs and the final
+// generator state must match exactly.
+func TestSampleBulkMatchesScalar(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 17, 1000} {
+		a, err := New(bulkWeights(n))
+		if err != nil {
+			t.Fatalf("New(%d): %v", n, err)
+		}
+		for _, s := range []int{0, 1, 7, 128, 129, 500} {
+			rs, rb := rng.New(uint64(n*1000+s)), rng.New(uint64(n*1000+s))
+			want := make([]int, 0, s)
+			for i := 0; i < s; i++ {
+				want = append(want, 10+a.Sample(rs))
+			}
+			got := a.SampleBulk(rb, s, 10, nil)
+			if len(got) != len(want) {
+				t.Fatalf("n=%d s=%d: got %d samples want %d", n, s, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("n=%d s=%d: sample %d: got %d want %d", n, s, i, got[i], want[i])
+				}
+			}
+			if *rs != *rb {
+				t.Fatalf("n=%d s=%d: final states diverge", n, s)
+			}
+		}
+	}
+}
+
+func TestCountsBulkIntoMatchesScalar(t *testing.T) {
+	a, err := New(bulkWeights(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rb := rng.New(42), rng.New(42)
+	want := a.CountsInto(rs, 777, make([]int, 37))
+	got := a.CountsBulkInto(rb, 777, make([]int, 37))
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("count %d: got %d want %d", i, got[i], want[i])
+		}
+	}
+	if *rs != *rb {
+		t.Fatal("final states diverge")
+	}
+}
+
+func TestSampleBlockMatchesSample(t *testing.T) {
+	a, err := New(bulkWeights(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, rb := rng.New(5), rng.New(5)
+	var buf [32]uint64
+	bk := rng.MakeBlock(rb, buf[:])
+	for i := 0; i < 200; i++ {
+		if i%16 == 0 {
+			k := 2 * (200 - i)
+			if k > 32 {
+				k = 32
+			}
+			bk.Prime(k)
+		}
+		if g, w := a.SampleBlock(&bk), a.Sample(rs); g != w {
+			t.Fatalf("draw %d: got %d want %d", i, g, w)
+		}
+	}
+	if *rs != *rb {
+		t.Fatal("final states diverge")
+	}
+}
+
+// TestSampleBulkZeroAlloc pins the bulk kernel's variate supply on the
+// stack: appending into pre-sized dst must not touch the heap.
+func TestSampleBulkZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race build: allocation counts not asserted")
+	}
+	a, err := New(bulkWeights(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	dst := make([]int, 0, 512)
+	got := testing.AllocsPerRun(200, func() {
+		dst = a.SampleBulk(r, 512, 0, dst[:0])
+	})
+	if got != 0 {
+		t.Errorf("SampleBulk: %v allocs/op, want 0", got)
+	}
+	counts := make([]int, 256)
+	got = testing.AllocsPerRun(200, func() {
+		a.CountsBulkInto(r, 512, counts)
+	})
+	if got != 0 {
+		t.Errorf("CountsBulkInto: %v allocs/op, want 0", got)
+	}
+}
+
+func BenchmarkAliasSampleScalar(b *testing.B) {
+	a, err := New(bulkWeights(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	s := 0
+	for i := 0; i < b.N; i++ {
+		s += a.Sample(r)
+	}
+	sinkInt = s
+}
+
+func BenchmarkAliasSampleBulk(b *testing.B) {
+	a, err := New(bulkWeights(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := rng.New(1)
+	dst := make([]int, 0, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += 512 {
+		dst = a.SampleBulk(r, 512, 0, dst[:0])
+	}
+	sinkInt = dst[0]
+}
+
+var sinkInt int

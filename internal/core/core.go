@@ -243,8 +243,9 @@ func (s *RangeSampler) RangeWeight(lo, hi float64) float64 {
 // Sample draws k independent weighted samples from S ∩ [lo, hi],
 // returned as values. ok is false when the range is empty.
 func (s *RangeSampler) Sample(r *Rand, lo, hi float64, k int) ([]float64, bool) {
-	var sc scratch.Arena
-	out, ok := s.SampleInto(r, lo, hi, k, nil, &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	out, ok := s.SampleInto(r, lo, hi, k, nil, sc)
 	if !ok {
 		return nil, false
 	}
@@ -290,8 +291,9 @@ func (s *RangeSampler) Count(lo, hi float64) int {
 // conversion of Section 2. Returns ErrSampleTooLarge when k exceeds the
 // range count.
 func (s *RangeSampler) SampleWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
-	var sc scratch.Arena
-	out, err := s.SampleWoRInto(r, lo, hi, k, make([]float64, 0, k), &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	out, err := s.SampleWoRInto(r, lo, hi, k, make([]float64, 0, k), sc)
 	if err != nil {
 		return nil, err
 	}
@@ -317,7 +319,7 @@ func (s *RangeSampler) SampleWoRInto(r *Rand, lo, hi float64, k int, dst []float
 		// Dense regime: enumerate range positions and partial-shuffle.
 		n := s.inner.Len()
 		a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
-		idx, err := wor.UniformWoRInto(r, cnt, k, sc.Pos(k), sc.Seen(k))
+		idx, err := wor.UniformWoRBulkInto(r, cnt, k, sc.Pos(k), sc.Seen(k))
 		if err != nil {
 			return dst, err
 		}
@@ -353,8 +355,9 @@ func (s *RangeSampler) SampleWoRInto(r *Rand, lo, hi float64, k int, dst []float
 // range (O(|S∩q|)). Returns ErrSampleTooLarge when k exceeds the range
 // count.
 func (s *RangeSampler) SampleWeightedWoR(r *Rand, lo, hi float64, k int) ([]float64, error) {
-	var sc scratch.Arena
-	out, err := s.SampleWeightedWoRInto(r, lo, hi, k, make([]float64, 0, k), &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	out, err := s.SampleWeightedWoRInto(r, lo, hi, k, make([]float64, 0, k), sc)
 	if err != nil {
 		return nil, err
 	}
@@ -418,7 +421,7 @@ func (s *RangeSampler) denseWeightedWoRInto(r *Rand, a, cnt, k int, dst []float6
 	for i := 0; i < cnt; i++ {
 		weights[i] = s.inner.Weight(a + i)
 	}
-	idx, err := wor.WeightedWoRInto(r, weights, k, sc.Pos(k), sc.Floats(k))
+	idx, err := wor.WeightedWoRBulkInto(r, weights, k, sc.Pos(k), sc.Floats(k))
 	if err != nil {
 		return dst, err
 	}

@@ -79,8 +79,9 @@ func (s *RangeSampler) SampleContext(ctx context.Context, r *Rand, lo, hi float6
 	if k <= 0 {
 		return nil, nil
 	}
-	var sc scratch.Arena
-	out, err := s.SampleContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	out, err := s.SampleContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), sc)
 	if err != nil {
 		return nil, err
 	}
@@ -153,8 +154,9 @@ func (s *RangeSampler) queryStopScratch(st rangesample.StopSampler, stop func() 
 // polls ctx every PollEvery attempts and the dense enumeration checks it
 // before and after the O(|S∩q|) pass.
 func (s *RangeSampler) SampleWoRContext(ctx context.Context, r *Rand, lo, hi float64, k int) ([]float64, error) {
-	var sc scratch.Arena
-	out, err := s.SampleWoRContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	out, err := s.SampleWoRContextInto(ctx, r, lo, hi, k, make([]float64, 0, k), sc)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +181,7 @@ func (s *RangeSampler) SampleWoRContextInto(ctx context.Context, r *Rand, lo, hi
 		// Dense regime, as in SampleWoR.
 		n := s.inner.Len()
 		a := sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
-		idx, err := wor.UniformWoRInto(r, cnt, k, sc.Pos(k), sc.Seen(k))
+		idx, err := wor.UniformWoRBulkInto(r, cnt, k, sc.Pos(k), sc.Seen(k))
 		if err != nil {
 			return dst, err
 		}

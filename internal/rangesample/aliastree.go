@@ -19,7 +19,15 @@ type posTree struct {
 	weights []float64
 	nodes   []posNode
 	root    int32
+	// cache memoizes canonical-cover decompositions per query range;
+	// it lives and dies with this immutable tree instance.
+	cache *coverCache
 }
+
+// bulkRangeWords sizes the arena word buffers the range-sampling bulk
+// loops stage raw variates through between Block refills (sc.Words —
+// never the stack, see scratch.Arena.Words).
+const bulkRangeWords = 256
 
 type posNode struct {
 	left, right int32 // -1 for leaves
@@ -36,6 +44,7 @@ func newPosTree(weights []float64) *posTree {
 	t := &posTree{
 		weights: weights,
 		nodes:   make([]posNode, 0, 2*n-1),
+		cache:   newCoverCache(defaultCoverCacheCap),
 	}
 	t.root = t.build(0, int32(n-1))
 	return t
@@ -87,36 +96,86 @@ func (t *posTree) rangeWeight(a, b int) float64 {
 // queryPos appends s independent weighted samples from positions [a, b]
 // to dst. Panics if the range is out of bounds.
 func (t *posTree) queryPos(r *rng.Source, a, b, s int, dst []int) []int {
-	var sc scratch.Arena
-	return t.queryPosScratch(r, a, b, s, dst, &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	return t.queryPosScratch(r, a, b, s, dst, sc)
 }
 
-// queryPosScratch is queryPos with the canonical-cover weight vector and
-// top-level alias drawn from sc (Weights and Alias accessors).
+// queryPosScratch is queryPos with the canonical-cover decomposition
+// served from the tree's LRU cache (hot ranges skip the cover walk and
+// top-alias build entirely) and the samples drawn through bulk kernels.
+// Stream-identical to the scalar loop: the cover walk and alias build
+// consume no randomness, the cached top alias has the same table a
+// fresh build would, and the Block supplies words in generation order.
 func (t *posTree) queryPosScratch(r *rng.Source, a, b, s int, dst []int, sc *scratch.Arena) []int {
 	if a < 0 || b >= len(t.weights) || a > b {
 		panic("rangesample: queryPos range out of bounds")
 	}
-	var covBuf [64]int32
-	cov := t.cover(t.root, int32(a), int32(b), covBuf[:0])
+	e := t.cache.get(packRange(a, b))
+	if e == nil {
+		e = t.cache.put(t.buildCoverEntry(a, b, sc))
+	}
+	cov := e.cov
 	if len(cov) == 1 {
 		// Single canonical node: sample directly from its alias.
 		nd := &t.nodes[cov[0]]
-		for i := 0; i < s; i++ {
-			dst = append(dst, int(nd.lo)+t.sampleNode(r, nd))
+		if nd.al == nil {
+			for i := 0; i < s; i++ {
+				dst = append(dst, int(nd.lo))
+			}
+			return dst
 		}
-		return dst
+		return nd.al.SampleBulk(r, s, int(nd.lo), dst)
 	}
-	covWeights := sc.Weights(len(cov))
-	for i, id := range cov {
-		covWeights[i] = t.nodes[id].weight
-	}
-	top := sc.Alias().MustRebuild(covWeights)
-	for i := 0; i < s; i++ {
-		nd := &t.nodes[cov[top.Sample(r)]]
-		dst = append(dst, int(nd.lo)+t.sampleNode(r, nd))
+	top := e.al
+	bk := rng.MakeBlock(r, sc.Words(bulkRangeWords))
+	for done := 0; done < s; {
+		chunk := s - done
+		if chunk > bulkRangeWords/e.minRaw {
+			chunk = bulkRangeWords / e.minRaw
+		}
+		bk.Prime(e.minRaw * chunk)
+		for i := 0; i < chunk; i++ {
+			nd := &t.nodes[cov[top.SampleBlock(&bk)]]
+			if nd.al != nil {
+				dst = append(dst, int(nd.lo)+nd.al.SampleBlock(&bk))
+			} else {
+				dst = append(dst, int(nd.lo))
+			}
+		}
+		done += chunk
 	}
 	return dst
+}
+
+// buildCoverEntry computes the canonical cover of [a, b] and, for
+// multi-node covers, an owning top-level alias over the cover weights
+// (alias.New and the arena builder produce identical tables, so cached
+// and per-query aliases are draw-for-draw interchangeable). minRaw is
+// the guaranteed-minimum raw-word consumption per sample: two for the
+// top-level pick, plus two more only when every cover node is internal
+// (leaf nodes consume no further randomness).
+func (t *posTree) buildCoverEntry(a, b int, sc *scratch.Arena) *coverEntry {
+	var covBuf [64]int32
+	c := t.cover(t.root, int32(a), int32(b), covBuf[:0])
+	cov := make([]int32, len(c))
+	copy(cov, c)
+	e := &coverEntry{key: packRange(a, b), cov: cov}
+	if len(cov) > 1 {
+		covWeights := sc.Weights(len(cov))
+		for i, id := range cov {
+			covWeights[i] = t.nodes[id].weight
+		}
+		e.al = alias.MustNew(covWeights)
+		e.minRaw = 4
+		for _, id := range cov {
+			if t.nodes[id].al == nil {
+				e.minRaw = 2
+				break
+			}
+		}
+	}
+	return e
 }
 
 // sampleNode draws a position offset within nd's span via its alias (or

@@ -36,6 +36,9 @@ type Chunked struct {
 	top *posTree
 	// sums provides O(log g) range sums over chunk totals.
 	sums *fenwick.Tree
+	// pcache memoizes partial-chunk aliases by position range; like the
+	// posTree cover cache it dies with this immutable instance.
+	pcache *coverCache
 }
 
 // NewChunked builds the structure with the paper's chunk size
@@ -88,6 +91,7 @@ func NewChunkedSizeStop(values, weights []float64, chunkSize int, stop func() bo
 		chunkSize:  chunkSize,
 		numChunks:  g,
 		chunkAlias: make([]*alias.Alias, g),
+		pcache:     newCoverCache(defaultCoverCacheCap),
 	}
 	totals := make([]float64, g)
 	for ci := 0; ci < g; ci++ {
@@ -122,8 +126,9 @@ func (ch *Chunked) NumChunks() int { return ch.numChunks }
 
 // Query implements Sampler.
 func (ch *Chunked) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
-	var sc scratch.Arena
-	return ch.QueryScratch(r, q, s, dst, &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	return ch.QueryScratch(r, q, s, dst, sc)
 }
 
 // QueryScratch implements ScratchSampler: the same query algorithm with
@@ -172,7 +177,7 @@ func (ch *Chunked) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc 
 		np++
 	}
 	var countBuf [3]int
-	counts := sc.Alias().MustRebuild(pieceW[:np]).CountsInto(r, s, countBuf[:np])
+	counts := sc.Alias().MustRebuild(pieceW[:np]).CountsBulkInto(r, s, countBuf[:np])
 	var s1, s2, s3 int
 	for i, c := range counts {
 		switch pieceID[i] {
@@ -193,19 +198,32 @@ func (ch *Chunked) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc 
 	}
 	if s2 > 0 {
 		// Chunk-aligned middle: sample s2 chunks from the Lemma 2
-		// structure, then finish each with the chunk's own alias.
+		// structure, then finish each with the chunk's own alias. The
+		// finish draws run through a Block (two words minimum per
+		// chunk sample, rejections overflowing to direct draws).
 		chunks := ch.top.queryPosScratch(r, ca+1, cb-1, s2, sc.Ints(s2), sc)
-		for _, ci := range chunks {
-			lo, _ := ch.chunkBounds(ci)
-			dst = append(dst, lo+ch.chunkAlias[ci].Sample(r))
+		bk := rng.MakeBlock(r, sc.Words(bulkRangeWords))
+		for off := 0; off < len(chunks); {
+			cn := len(chunks) - off
+			if cn > bulkRangeWords/2 {
+				cn = bulkRangeWords / 2
+			}
+			bk.Prime(2 * cn)
+			for _, ci := range chunks[off : off+cn] {
+				lo, _ := ch.chunkBounds(ci)
+				dst = append(dst, lo+ch.chunkAlias[ci].SampleBlock(&bk))
+			}
+			off += cn
 		}
 	}
 	return dst, true
 }
 
 // samplePartial draws s weighted samples from positions [lo, hi] (a range
-// spanning at most one chunk, i.e. O(log n) elements) by building an
-// alias structure on the fly in the arena's builder.
+// spanning at most one chunk, i.e. O(log n) elements). The on-the-fly
+// alias is memoized in pcache keyed by the range, so hot queries reuse
+// it; alias.New builds the same table the arena builder would, keeping
+// the draws stream-identical to the scalar path.
 func (ch *Chunked) samplePartial(r *rng.Source, lo, hi, s int, dst []int, sc *scratch.Arena) []int {
 	if lo == hi {
 		for i := 0; i < s; i++ {
@@ -213,11 +231,12 @@ func (ch *Chunked) samplePartial(r *rng.Source, lo, hi, s int, dst []int, sc *sc
 		}
 		return dst
 	}
-	al := sc.Alias().MustRebuild(ch.weights[lo : hi+1])
-	for i := 0; i < s; i++ {
-		dst = append(dst, lo+al.Sample(r))
+	key := packRange(lo, hi)
+	e := ch.pcache.get(key)
+	if e == nil {
+		e = ch.pcache.put(&coverEntry{key: key, al: alias.MustNew(ch.weights[lo : hi+1]), minRaw: 2})
 	}
-	return dst
+	return e.al.SampleBulk(r, s, lo, dst)
 }
 
 // sumRangeSmall sums weights over [lo, hi] directly (≤ chunkSize terms).

@@ -1,0 +1,145 @@
+package rangesample
+
+import (
+	"sync"
+
+	"repro/internal/alias"
+)
+
+// coverCache is a small bounded LRU of canonical-cover decompositions
+// keyed by position range, so hot ranges skip the BST cover walk and
+// the top-level alias (re)build entirely. One cache hangs off each
+// immutable structure instance (posTree, Chunked): a snapshot rebuild
+// constructs fresh structures with fresh empty caches, so a stale
+// decomposition can never outlive the structure it indexes.
+//
+// Entries are immutable after insertion. The mutex guards only the map
+// and the recency list; readers sample from an entry's cov/alias after
+// releasing the lock, which is safe precisely because nothing mutates
+// an entry — eviction merely drops the cache's reference and the entry
+// is reclaimed once in-flight queries finish.
+type coverCache struct {
+	mu         sync.Mutex
+	cap        int
+	m          map[uint64]*coverEntry
+	head, tail *coverEntry // head = most recently used
+	hits       uint64
+	misses     uint64
+}
+
+// coverEntry is one cached decomposition. cov holds canonical node ids
+// (posTree) and is nil for partial-chunk entries; al is the top-level
+// (or partial-range) alias, nil when the cover is a single node whose
+// own alias serves directly; minRaw is the guaranteed-minimum raw-word
+// consumption per sample for Block priming.
+type coverEntry struct {
+	key        uint64
+	cov        []int32
+	al         *alias.Alias
+	minRaw     int
+	prev, next *coverEntry
+}
+
+// defaultCoverCacheCap bounds each structure's decomposition cache. A
+// few hundred distinct hot ranges cover realistic serving skew; beyond
+// that the LRU recycles.
+const defaultCoverCacheCap = 256
+
+func newCoverCache(capacity int) *coverCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &coverCache{cap: capacity, m: make(map[uint64]*coverEntry, capacity)}
+}
+
+// packRange packs a position range into a cache key. Positions are
+// int32 throughout the structures, so 32 bits per end is exact.
+func packRange(a, b int) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
+}
+
+// get returns the entry for key, promoting it to most-recent, or nil.
+func (c *coverCache) get(key uint64) *coverEntry {
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		c.misses++
+		c.mu.Unlock()
+		return nil
+	}
+	c.hits++
+	c.moveToFront(e)
+	c.mu.Unlock()
+	return e
+}
+
+// put inserts e (built by the caller outside the lock), evicting the
+// least-recently-used entry at capacity. If the key was inserted
+// concurrently by another miss, the incumbent wins — both entries are
+// built deterministically from the same immutable structure, so their
+// contents are interchangeable.
+func (c *coverCache) put(e *coverEntry) *coverEntry {
+	c.mu.Lock()
+	if old := c.m[e.key]; old != nil {
+		c.moveToFront(old)
+		c.mu.Unlock()
+		return old
+	}
+	if len(c.m) >= c.cap {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.m, lru.key)
+	}
+	c.m[e.key] = e
+	e.prev, e.next = nil, c.head
+	if c.head != nil {
+		c.head.prev = e
+	}
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+	c.mu.Unlock()
+	return e
+}
+
+func (c *coverCache) moveToFront(e *coverEntry) {
+	if c.head == e {
+		return
+	}
+	c.unlink(e)
+	e.prev, e.next = nil, c.head
+	c.head.prev = e
+	c.head = e
+	if c.tail == nil {
+		c.tail = e
+	}
+}
+
+func (c *coverCache) unlink(e *coverEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Len reports the resident entry count.
+func (c *coverCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Stats reports hit/miss counts (diagnostic; tests assert on these).
+func (c *coverCache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

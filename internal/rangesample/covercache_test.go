@@ -1,0 +1,167 @@
+package rangesample
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/scratch"
+)
+
+func TestCoverCacheLRUEviction(t *testing.T) {
+	c := newCoverCache(3)
+	for k := uint64(1); k <= 3; k++ {
+		c.put(&coverEntry{key: k})
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d, want 3", c.Len())
+	}
+	// Touch 1 so 2 becomes least-recent, then overflow.
+	if c.get(1) == nil {
+		t.Fatal("key 1 missing before eviction")
+	}
+	c.put(&coverEntry{key: 4})
+	if c.Len() != 3 {
+		t.Fatalf("len after eviction = %d, want 3", c.Len())
+	}
+	if c.get(2) != nil {
+		t.Fatal("key 2 should have been evicted as LRU")
+	}
+	for _, k := range []uint64{1, 3, 4} {
+		if c.get(k) == nil {
+			t.Fatalf("key %d missing after eviction", k)
+		}
+	}
+	hits, misses := c.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("stats not tracked: hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCoverCacheDuplicatePutKeepsIncumbent(t *testing.T) {
+	c := newCoverCache(4)
+	first := &coverEntry{key: 7}
+	c.put(first)
+	if got := c.put(&coverEntry{key: 7}); got != first {
+		t.Fatal("duplicate put replaced the incumbent entry")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+}
+
+// TestQueryCacheWarmsAndStaysCorrect drives the same ranges twice and
+// checks the second (cache-hit) pass produces exactly the stream the
+// first cold pass did from the same seed.
+func TestQueryCacheWarmsAndStaysCorrect(t *testing.T) {
+	n := 4096
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i) + 0.5
+		weights[i] = float64(1 + (i*7)%13)
+	}
+	cold, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sc scratch.Arena
+	// The first range lives inside one chunk (chunk size is 12 at
+	// n=4096), so every pass is forced through samplePartial; the
+	// others exercise the three-piece split and the top cover cache.
+	ranges := []Interval{{Lo: 12.5, Hi: 22.5}, {Lo: 10.5, Hi: 300.5}, {Lo: 1000, Hi: 3500}, {Lo: 77, Hi: 78}}
+	// Pre-warm the second instance's caches with a throwaway pass.
+	for _, q := range ranges {
+		warm.QueryScratch(rng.New(999), q, 64, nil, &sc)
+	}
+	for _, q := range ranges {
+		want, ok := cold.QueryScratch(rng.New(42), q, 200, nil, &sc)
+		if !ok {
+			t.Fatalf("cold query %+v empty", q)
+		}
+		got, ok := warm.QueryScratch(rng.New(42), q, 200, nil, &sc)
+		if !ok {
+			t.Fatalf("warm query %+v empty", q)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("range %+v sample %d: warm %d != cold %d", q, i, got[i], want[i])
+			}
+		}
+	}
+	if hits, _ := warm.pcache.Stats(); hits == 0 {
+		t.Fatal("warm instance recorded no partial-cache hits")
+	}
+	if hits, _ := warm.top.cache.Stats(); hits == 0 {
+		t.Fatal("warm instance recorded no cover-cache hits")
+	}
+}
+
+// TestCacheHammerAcrossRebuilds is the -race guard for satellite (c):
+// queriers hammer cache-hot ranges while the "snapshot" is repeatedly
+// swapped for a freshly built structure. Because each structure owns
+// its cache, a rebuild can never serve a stale decomposition — every
+// sample must stay inside the queried position range of the structure
+// that produced it.
+func TestCacheHammerAcrossRebuilds(t *testing.T) {
+	build := func(n int) *Chunked {
+		values := make([]float64, n)
+		weights := make([]float64, n)
+		for i := range values {
+			values[i] = float64(i) + 0.5
+			weights[i] = float64(1 + (i*3)%7)
+		}
+		ch, err := NewChunked(values, weights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	var cur atomic.Pointer[Chunked]
+	cur.Store(build(2048))
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			var sc scratch.Arena
+			var dst []int
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ch := cur.Load()
+				q := Interval{Lo: 100.5, Hi: 900.5}
+				dst, _ = ch.QueryScratch(r, q, 32, dst[:0], &sc)
+				for _, p := range dst {
+					v := ch.values[p]
+					if v < q.Lo || v > q.Hi {
+						t.Errorf("sample value %v outside [%v, %v]", v, q.Lo, q.Hi)
+						return
+					}
+				}
+			}
+		}(uint64(g) + 1)
+	}
+	// Swap snapshots under the queriers' feet; alternate sizes so a
+	// stale cross-structure decomposition would index out of range.
+	for i := 0; i < 50; i++ {
+		if i%2 == 0 {
+			cur.Store(build(1024))
+		} else {
+			cur.Store(build(4096))
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

@@ -49,8 +49,9 @@ func (nv *Naive) QueryScratch(r *rng.Source, q Interval, s int, dst []int, sc *s
 // O(s) draw loop both poll stop, so a canceled query returns within
 // stopPollEvery iterations no matter how large the range is.
 func (nv *Naive) QueryStop(stop func() bool, r *rng.Source, q Interval, s int, dst []int) ([]int, bool, error) {
-	var sc scratch.Arena
-	return nv.QueryStopScratch(stop, r, q, s, dst, &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	return nv.QueryStopScratch(stop, r, q, s, dst, sc)
 }
 
 // QueryStopScratch implements StopScratchSampler. The O(|S_q|) report

@@ -45,8 +45,9 @@ func (t *TreeWalk) Weight(i int) float64 { return t.tree.LeafWeight(i) }
 
 // Query implements Sampler.
 func (t *TreeWalk) Query(r *rng.Source, q Interval, s int, dst []int) ([]int, bool) {
-	var sc scratch.Arena
-	return t.QueryScratch(r, q, s, dst, &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	return t.QueryScratch(r, q, s, dst, sc)
 }
 
 // QueryScratch implements ScratchSampler.

@@ -1,0 +1,172 @@
+// Block generation: the bulk-kernel layer's variate supply. The sampling
+// structures draw randomness one call at a time on the scalar path; the
+// bulk kernels instead pre-generate runs of raw 64-bit variates into
+// caller scratch with the xoshiro state held in registers, then consume
+// them through a Block cursor. The contract that makes this safe to drop
+// under golden-seeded code is exact-consumption equivalence:
+//
+//   - Fill* produce exactly the words the same number of scalar calls
+//     would, leaving the Source in the identical state.
+//
+//   - A Block hands buffered words out in generation order and falls
+//     back to the live Source when the buffer runs dry, so the consumed
+//     word sequence — and hence every derived sample — is identical to
+//     the scalar path no matter how draws interleave. Callers prime a
+//     Block with the *guaranteed minimum* word consumption of the loop
+//     ahead (rejection resampling may consume more, never less); Prime
+//     panics if primed words were left unconsumed, which would desync
+//     the stream.
+package rng
+
+import "math/bits"
+
+// FillUint64 fills dst with the next len(dst) raw words, exactly as
+// len(dst) successive Uint64 calls would, with the generator state kept
+// in locals for the whole run.
+func (r *Source) FillUint64(dst []uint64) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		dst[i] = bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// FillFloat64 fills dst with uniform [0, 1) variates, exactly as
+// len(dst) successive Float64 calls would (one raw word each).
+func (r *Source) FillFloat64(dst []float64) {
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		u := bits.RotateLeft64(s1*5, 7) * 9
+		t := s1 << 17
+		s2 ^= s0
+		s3 ^= s1
+		s1 ^= s2
+		s0 ^= s3
+		s2 ^= t
+		s3 = bits.RotateLeft64(s3, 45)
+		dst[i] = float64(u>>11) / (1 << 53)
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// FillBounded fills dst with uniform values in [0, n), exactly as
+// len(dst) successive Uint64n calls would (Lemire rejection included —
+// a rejected word costs an extra raw draw on both paths). Panics if
+// n == 0.
+func (r *Source) FillBounded(dst []uint64, n uint64) {
+	if n == 0 {
+		panic("rng: FillBounded called with n == 0")
+	}
+	thresh := -n % n
+	s0, s1, s2, s3 := r.s0, r.s1, r.s2, r.s3
+	for i := range dst {
+		var hi, lo uint64
+		for {
+			u := bits.RotateLeft64(s1*5, 7) * 9
+			t := s1 << 17
+			s2 ^= s0
+			s3 ^= s1
+			s1 ^= s2
+			s0 ^= s3
+			s2 ^= t
+			s3 = bits.RotateLeft64(s3, 45)
+			hi, lo = bits.Mul64(u, n)
+			if lo >= thresh {
+				break
+			}
+		}
+		dst[i] = hi
+	}
+	r.s0, r.s1, r.s2, r.s3 = s0, s1, s2, s3
+}
+
+// Block is a cursor over a run of pre-generated raw words. It is a
+// value type meant to live on the caller's stack around a sampling
+// loop; the buffer is caller scratch (typically a fixed stack array).
+// Not safe for concurrent use, like the Source it wraps.
+type Block struct {
+	src *Source
+	buf []uint64
+	i   int // next unread word
+	n   int // filled words
+}
+
+// MakeBlock returns a Block drawing from src through buf. The block
+// starts empty; call Prime before a bulk loop.
+func MakeBlock(src *Source, buf []uint64) Block {
+	return Block{src: src, buf: buf}
+}
+
+// Prime pre-generates min(k, cap) raw words, where k must be a lower
+// bound on the words the upcoming loop consumes — rejection resampling
+// may pull extra words (served from the buffer while it lasts, then
+// straight from the Source), but the loop must never consume fewer than
+// k, or the Source would advance past what the scalar path consumed.
+// Prime panics if previously primed words are still unread: that is a
+// miscounted lower bound, and silently discarding the words would
+// desynchronise the stream from the scalar path.
+func (b *Block) Prime(k int) {
+	if b.i != b.n {
+		panic("rng: Block.Prime with unconsumed variates")
+	}
+	if k > len(b.buf) {
+		k = len(b.buf)
+	}
+	if k <= 0 {
+		b.i, b.n = 0, 0
+		return
+	}
+	b.src.FillUint64(b.buf[:k])
+	b.i, b.n = 0, k
+}
+
+// Uint64 pops the next raw word, falling back to the live Source when
+// the primed run is exhausted.
+func (b *Block) Uint64() uint64 {
+	if b.i < b.n {
+		u := b.buf[b.i]
+		b.i++
+		return u
+	}
+	return b.src.Uint64()
+}
+
+// Float64 is Source.Float64 over the block's word stream.
+func (b *Block) Float64() float64 {
+	return float64(b.Uint64()>>11) / (1 << 53)
+}
+
+// Uint64n is Source.Uint64n over the block's word stream: identical
+// Lemire rejection, with retries consuming further words in order.
+func (b *Block) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	hi, lo := bits.Mul64(b.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(b.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn is Source.Intn over the block's word stream.
+func (b *Block) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(b.Uint64n(uint64(n)))
+}
+
+// Remaining reports how many primed words are still unread
+// (diagnostic; tests use it to assert exact consumption).
+func (b *Block) Remaining() int { return b.n - b.i }

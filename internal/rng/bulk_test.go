@@ -1,0 +1,214 @@
+package rng
+
+import (
+	"testing"
+
+	"repro/internal/race"
+)
+
+// The bulk layer's one invariant: block generation is stream-identical
+// to scalar calls. Every test here drives a Fill/Block path and its
+// scalar twin from identically seeded sources and requires the same
+// outputs AND the same final generator state.
+
+func sameState(a, b *Source) bool {
+	return *a == *b
+}
+
+func TestFillUint64MatchesScalar(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 64, 1000} {
+		rs, rb := New(uint64(n)+1), New(uint64(n)+1)
+		want := make([]uint64, n)
+		for i := range want {
+			want[i] = rs.Uint64()
+		}
+		got := make([]uint64, n)
+		rb.FillUint64(got)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: word %d: got %x want %x", n, i, got[i], want[i])
+			}
+		}
+		if !sameState(rs, rb) {
+			t.Fatalf("n=%d: final states diverge", n)
+		}
+	}
+}
+
+func TestFillFloat64MatchesScalar(t *testing.T) {
+	rs, rb := New(99), New(99)
+	want := make([]float64, 500)
+	for i := range want {
+		want[i] = rs.Float64()
+	}
+	got := make([]float64, 500)
+	rb.FillFloat64(got)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("float %d: got %v want %v", i, got[i], want[i])
+		}
+	}
+	if !sameState(rs, rb) {
+		t.Fatal("final states diverge")
+	}
+}
+
+func TestFillBoundedMatchesScalar(t *testing.T) {
+	for _, n := range []uint64{1, 2, 3, 10, 1 << 20, 1<<63 + 3} {
+		rs, rb := New(n), New(n)
+		want := make([]uint64, 300)
+		for i := range want {
+			want[i] = rs.Uint64n(n)
+		}
+		got := make([]uint64, 300)
+		rb.FillBounded(got, n)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d: value %d: got %d want %d", n, i, got[i], want[i])
+			}
+		}
+		if !sameState(rs, rb) {
+			t.Fatalf("n=%d: final states diverge", n)
+		}
+	}
+}
+
+// TestBlockMatchesScalar interleaves every Block draw kind and checks
+// the consumed stream against the same scalar calls, across priming
+// patterns that exercise buffered pops, fallback, and re-priming.
+func TestBlockMatchesScalar(t *testing.T) {
+	var buf [32]uint64
+	for _, prime := range []int{0, 1, 8, 32} {
+		rs, rb := New(7), New(7)
+		bk := MakeBlock(rb, buf[:])
+		// Guaranteed minimum consumption of the loop below per round:
+		// 1 (Uint64) + 1 (Float64) + 1 (Uint64n) + 1 (Intn) = 4 words.
+		rounds := 20
+		primed := prime
+		if primed > 4*rounds {
+			primed = 4 * rounds
+		}
+		bk.Prime(primed)
+		for i := 0; i < rounds; i++ {
+			if g, w := bk.Uint64(), rs.Uint64(); g != w {
+				t.Fatalf("prime=%d round %d Uint64: got %x want %x", prime, i, g, w)
+			}
+			if g, w := bk.Float64(), rs.Float64(); g != w {
+				t.Fatalf("prime=%d round %d Float64: got %v want %v", prime, i, g, w)
+			}
+			if g, w := bk.Uint64n(1000), rs.Uint64n(1000); g != w {
+				t.Fatalf("prime=%d round %d Uint64n: got %d want %d", prime, i, g, w)
+			}
+			if g, w := bk.Intn(17), rs.Intn(17); g != w {
+				t.Fatalf("prime=%d round %d Intn: got %d want %d", prime, i, g, w)
+			}
+		}
+		if bk.Remaining() != 0 {
+			t.Fatalf("prime=%d: %d primed words unconsumed", prime, bk.Remaining())
+		}
+		if !sameState(rs, rb) {
+			t.Fatalf("prime=%d: final states diverge", prime)
+		}
+	}
+}
+
+func TestBlockRePrime(t *testing.T) {
+	var buf [8]uint64
+	rs, rb := New(3), New(3)
+	bk := MakeBlock(rb, buf[:])
+	for chunk := 0; chunk < 5; chunk++ {
+		bk.Prime(8)
+		for i := 0; i < 8; i++ {
+			if g, w := bk.Uint64(), rs.Uint64(); g != w {
+				t.Fatalf("chunk %d word %d: got %x want %x", chunk, i, g, w)
+			}
+		}
+	}
+	if !sameState(rs, rb) {
+		t.Fatal("final states diverge")
+	}
+}
+
+func TestBlockPrimeUnconsumedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Prime over unconsumed words did not panic")
+		}
+	}()
+	var buf [8]uint64
+	bk := MakeBlock(New(1), buf[:])
+	bk.Prime(4)
+	bk.Uint64()
+	bk.Prime(4) // 3 words still unread: must panic
+}
+
+// TestBlockZeroAlloc pins the bulk supply as allocation-free: a stack
+// buffer plus a Block must add nothing to the heap.
+func TestBlockZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race build: allocation counts not asserted")
+	}
+	r := New(11)
+	got := testing.AllocsPerRun(200, func() {
+		var buf [64]uint64
+		bk := MakeBlock(r, buf[:])
+		bk.Prime(64)
+		s := uint64(0)
+		for i := 0; i < 64; i++ {
+			s += bk.Uint64()
+		}
+		if s == 0 {
+			t.Fatal("unexpected zero sum")
+		}
+	})
+	if got != 0 {
+		t.Errorf("Block loop: %v allocs/op, want 0", got)
+	}
+	fl := make([]float64, 256)
+	got = testing.AllocsPerRun(200, func() { r.FillFloat64(fl) })
+	if got != 0 {
+		t.Errorf("FillFloat64: %v allocs/op, want 0", got)
+	}
+}
+
+func BenchmarkUint64Scalar(b *testing.B) {
+	r := New(1)
+	var s uint64
+	for i := 0; i < b.N; i++ {
+		s += r.Uint64()
+	}
+	sinkU64 = s
+}
+
+func BenchmarkFillUint64(b *testing.B) {
+	r := New(1)
+	buf := make([]uint64, 1024)
+	b.SetBytes(8 * 1024)
+	for i := 0; i < b.N; i++ {
+		r.FillUint64(buf)
+	}
+	sinkU64 = buf[0]
+}
+
+func BenchmarkFillBounded(b *testing.B) {
+	r := New(1)
+	buf := make([]uint64, 1024)
+	for i := 0; i < b.N; i++ {
+		r.FillBounded(buf, 12345)
+	}
+	sinkU64 = buf[0]
+}
+
+func BenchmarkFillFloat64(b *testing.B) {
+	r := New(1)
+	buf := make([]float64, 1024)
+	for i := 0; i < b.N; i++ {
+		r.FillFloat64(buf)
+	}
+	sinkF64 = buf[0]
+}
+
+var (
+	sinkU64 uint64
+	sinkF64 float64
+)

@@ -36,6 +36,7 @@ type Arena struct {
 	ints    []int
 	floats  []float64
 	weights []float64
+	words   []uint64
 	seen    map[int]struct{}
 	builder alias.Builder
 }
@@ -73,6 +74,18 @@ func (a *Arena) Weights(n int) []float64 {
 		a.weights = make([]float64, n)
 	}
 	return a.weights[:n]
+}
+
+// Words returns a length-n []uint64 with undefined contents, the
+// staging buffer for block-RNG variates on the bulk sampling paths.
+// Arena-backed rather than stack-allocated: a multi-KB block array in
+// a sampling frame forces a stack grow-and-copy on every fresh fan-out
+// goroutine, which costs more than the block generation saves.
+func (a *Arena) Words(n int) []uint64 {
+	if cap(a.words) < n {
+		a.words = make([]uint64, n)
+	}
+	return a.words[:n]
 }
 
 // Seen returns an empty map for WoR position dedupe, cleared on every

@@ -6,6 +6,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/shard"
 )
@@ -16,6 +17,10 @@ import (
 // allocations (the numbers BENCH_hotpath.json tracks PR over PR).
 
 func benchServer(b *testing.B) *Server {
+	return benchServerOpts(b, Options{Seed: 7})
+}
+
+func benchServerOpts(b *testing.B, opts Options) *Server {
 	b.Helper()
 	n := 1 << 14
 	values := make([]float64, n)
@@ -26,7 +31,7 @@ func benchServer(b *testing.B) *Server {
 	if err != nil {
 		b.Fatal(err)
 	}
-	return New(coord, Options{Seed: 7})
+	return New(coord, opts)
 }
 
 func BenchmarkServerSample(b *testing.B) {
@@ -41,6 +46,43 @@ func BenchmarkServerSample(b *testing.B) {
 		if rec.Code != http.StatusOK {
 			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
 		}
+	}
+}
+
+// BenchmarkServerSampleParallel is the concurrent serving benchmark
+// the coalescer targets: many goroutines drive /sample at once, so the
+// coalesced variant amortises one engine pass (snapshot, scratch
+// arena, structure traversal) across a whole batch where the
+// uncoalesced variant pays it per request. qps = 1e9/ns_per_op.
+func BenchmarkServerSampleParallel(b *testing.B) {
+	for _, cfg := range []struct {
+		name     string
+		coalesce int
+	}{
+		{"uncoalesced", 0},
+		{"coalesced", 16},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s := benchServerOpts(b, Options{Seed: 7, Coalesce: cfg.coalesce, MaxInFlight: 64, MaxQueue: 1 << 16})
+			h := s.Handler()
+			b.ReportAllocs()
+			b.SetParallelism(16)
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				req := httptest.NewRequest(http.MethodGet, "/sample?lo=100&hi=9000&k=16", nil)
+				for pb.Next() {
+					rec := httptest.NewRecorder()
+					h.ServeHTTP(rec, req)
+					if rec.Code != http.StatusOK {
+						b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+					}
+				}
+			})
+			b.StopTimer()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			_ = s.Shutdown(ctx)
+			cancel()
+		})
 	}
 }
 

@@ -1,0 +1,173 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/shard"
+)
+
+// errCoalescerStopped is returned by coalescer.do when the dispatcher
+// has already shut down. Under Serve's ordering it cannot happen (the
+// dispatcher outlives every handler); it guards direct-Handler harnesses.
+var errCoalescerStopped = errors.New("server: coalescer stopped")
+
+// coalesceJob carries one /sample request into the dispatcher and back.
+// done is closed after the job's batch has executed; until then the
+// request's buffer is shared with the dispatcher.
+type coalesceJob struct {
+	req  *shard.MultiQuery
+	done chan struct{}
+}
+
+// coalescer groups concurrent /sample requests into single engine
+// SampleMulti calls. One dispatcher goroutine owns batch formation:
+//
+//	collect — block for the first job, then drain whatever else is
+//	          already queued, up to maxBatch.
+//	linger  — if the batch is not full AND more requests hold execution
+//	          slots than are in the batch (stragglers are imminent),
+//	          wait up to linger for them. An otherwise-idle server skips
+//	          this state entirely, so serial latency never pays it.
+//	flush   — run the batch through Engine.SampleMulti under a detached
+//	          per-batch deadline, then release every waiter.
+//
+// Requests keep their own rng stream and response buffer through the
+// batch (shard.MultiQuery), so coalescing is invisible in the output:
+// each response is byte-identical to the uncoalesced path's for the
+// same X-Request-ID. The channel is buffered to maxBatch so the next
+// batch forms while the current one executes.
+type coalescer struct {
+	s        *Server
+	ch       chan *coalesceJob
+	maxBatch int
+	linger   time.Duration
+	stop     chan struct{}
+	stopOnce sync.Once
+	stopped  chan struct{}
+}
+
+func newCoalescer(s *Server, maxBatch int, linger time.Duration) *coalescer {
+	c := &coalescer{
+		s:        s,
+		ch:       make(chan *coalesceJob, maxBatch),
+		maxBatch: maxBatch,
+		linger:   linger,
+		stop:     make(chan struct{}),
+		stopped:  make(chan struct{}),
+	}
+	go c.run()
+	return c
+}
+
+// do submits the request and waits for its batch to complete. The wait
+// is unconditional once the job is enqueued: req's buffer is shared
+// with the dispatcher, so the handler must not reclaim it early even if
+// the handler's own context expires — the batch runs under its own
+// deadline of the same length, so the wait is bounded regardless.
+func (c *coalescer) do(ctx context.Context, req *shard.MultiQuery) error {
+	j := &coalesceJob{req: req, done: make(chan struct{})}
+	select {
+	case c.ch <- j:
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-c.stopped:
+		return errCoalescerStopped
+	}
+	<-j.done
+	return nil
+}
+
+// shutdown stops the dispatcher after flushing anything still queued.
+// Idempotent. Call only after the HTTP server has drained: Serve's
+// ordering guarantees no handler is inside do by then.
+func (c *coalescer) shutdown() {
+	c.stopOnce.Do(func() { close(c.stop) })
+	<-c.stopped
+}
+
+func (c *coalescer) run() {
+	defer close(c.stopped)
+	batch := make([]*coalesceJob, 0, c.maxBatch)
+	for {
+		// Collect: block for the batch's first job.
+		select {
+		case j := <-c.ch:
+			batch = append(batch, j)
+		case <-c.stop:
+			c.drain(batch)
+			return
+		}
+		// Drain everything already queued, without waiting.
+	fill:
+		for len(batch) < c.maxBatch {
+			select {
+			case j := <-c.ch:
+				batch = append(batch, j)
+			default:
+				break fill
+			}
+		}
+		// Linger: len(s.sem) counts requests holding execution slots —
+		// the batched ones (blocked in do) plus any still parsing or
+		// en route to the channel. Wait for those stragglers only while
+		// they exist; an idle server flushes immediately.
+		lingerStart := time.Now()
+		if c.linger > 0 && len(batch) < c.maxBatch && len(c.s.sem) > len(batch) {
+			deadline := time.NewTimer(c.linger)
+		wait:
+			for len(batch) < c.maxBatch && len(c.s.sem) > len(batch) {
+				select {
+				case j := <-c.ch:
+					batch = append(batch, j)
+				case <-deadline.C:
+					break wait
+				case <-c.stop:
+					break wait // flush below; the next collect exits.
+				}
+			}
+			deadline.Stop()
+		}
+		c.flush(batch, time.Since(lingerStart))
+		batch = batch[:0]
+	}
+}
+
+// drain flushes the carried batch plus anything left in the channel at
+// shutdown, so no waiter is abandoned.
+func (c *coalescer) drain(batch []*coalesceJob) {
+	for {
+		select {
+		case j := <-c.ch:
+			batch = append(batch, j)
+			continue
+		default:
+		}
+		break
+	}
+	if len(batch) > 0 {
+		c.flush(batch, 0)
+	}
+}
+
+// flush executes one batch and releases its waiters. The batch runs
+// under its own detached deadline (not any single request's context):
+// one client disconnecting must not cancel its batchmates.
+func (c *coalescer) flush(batch []*coalesceJob, lingered time.Duration) {
+	s := c.s
+	s.coalBatchSize.Observe(float64(len(batch)))
+	s.coalLinger.Observe(lingered.Seconds())
+	s.coalesced.Add(int64(len(batch)))
+	reqs := make([]*shard.MultiQuery, len(batch))
+	for i, j := range batch {
+		reqs[i] = j.req
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), s.opts.Timeout)
+	s.eng.SampleMulti(ctx, reqs)
+	cancel()
+	for _, j := range batch {
+		close(j.done)
+	}
+}

@@ -1,0 +1,350 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// coalescePair builds two servers over identically built engines with
+// the same seed: one uncoalesced, one coalesced. The Nth request sent
+// to either gets the same sequence number, hence the same X-Request-ID
+// and the same rng stream — so matching responses by position also
+// matches them by request id.
+func coalescePair(t *testing.T, n, shards, maxBatch int) (plain, coal *Server, tsPlain, tsCoal *httptest.Server) {
+	t.Helper()
+	build := func() Engine {
+		values := make([]float64, n)
+		for i := range values {
+			values[i] = float64(i)
+		}
+		eng, err := shard.New(context.Background(), "coal", values, nil, shard.Options{Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return eng
+	}
+	const seed = 0xc0a1
+	plain = New(build(), Options{Seed: seed})
+	coal = New(build(), Options{Seed: seed, Coalesce: maxBatch})
+	tsPlain = httptest.NewServer(plain.Handler())
+	tsCoal = httptest.NewServer(coal.Handler())
+	t.Cleanup(func() {
+		tsPlain.Close()
+		tsCoal.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = coal.Shutdown(ctx)
+	})
+	return plain, coal, tsPlain, tsCoal
+}
+
+func getSample(t *testing.T, url string) (id string, samples []float64, status int) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	id = resp.Header.Get("X-Request-ID")
+	status = resp.StatusCode
+	if status != http.StatusOK {
+		return id, nil, status
+	}
+	var body sampleResponse
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+	return id, body.Samples, status
+}
+
+// TestCoalescedMatchesUncoalescedSerial is the determinism contract
+// over HTTP: the same request sequence against a coalesced and an
+// uncoalesced server (same seed) yields byte-identical responses,
+// matched by X-Request-ID. Serial requests coalesce into batches of
+// one, proving the SampleMulti plumbing itself changes nothing.
+func TestCoalescedMatchesUncoalescedSerial(t *testing.T) {
+	_, _, tsPlain, tsCoal := coalescePair(t, 2000, 4, 16)
+	queries := []string{
+		"/sample?lo=100&hi=899&k=32",
+		"/sample?lo=0&hi=1999&k=64&wor=true",
+		"/sample?lo=500&hi=501&k=8",
+		"/sample?lo=0&hi=1999&k=0",
+		"/sample?lo=3000&hi=4000&k=4",        // empty range: 422 both ways
+		"/sample?lo=1500&hi=1600&k=16&wor=1", // WoR inside a narrow range
+	}
+	for _, q := range queries {
+		idP, sP, stP := getSample(t, tsPlain.URL+q)
+		idC, sC, stC := getSample(t, tsCoal.URL+q)
+		if idP != idC {
+			t.Fatalf("%s: request ids diverge: %s vs %s", q, idP, idC)
+		}
+		if stP != stC {
+			t.Fatalf("%s (id %s): status %d uncoalesced vs %d coalesced", q, idP, stP, stC)
+		}
+		if len(sP) != len(sC) {
+			t.Fatalf("%s (id %s): %d samples uncoalesced vs %d coalesced", q, idP, len(sP), len(sC))
+		}
+		for i := range sP {
+			if sP[i] != sC[i] {
+				t.Fatalf("%s (id %s) sample %d: %v uncoalesced vs %v coalesced", q, idP, i, sP[i], sC[i])
+			}
+		}
+	}
+}
+
+// TestCoalescedConcurrentMatchesScalar hammers the coalesced server
+// with concurrent varied requests — so real multi-request batches form
+// — and checks every response against a direct engine call on the
+// stream its X-Request-ID pins down. A response is correct no matter
+// which batch it landed in.
+func TestCoalescedConcurrentMatchesScalar(t *testing.T) {
+	const n, seed = 2000, uint64(0x5eed)
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "coal-conc", values, nil, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{Seed: seed, Coalesce: 8, Linger: 200 * time.Microsecond})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	const N = 64
+	// X-Request-ID is a pure function of (seed, seq); precompute the
+	// inverse map so each response reveals which stream answered it.
+	seqByID := make(map[string]uint64, N)
+	for seq := uint64(1); seq <= N; seq++ {
+		seqByID[metrics.RequestID(seed, seq)] = seq
+	}
+
+	type result struct {
+		id      string
+		samples []float64
+		lo, hi  float64
+		k       int
+		wor     bool
+	}
+	results := make([]result, N)
+	var wg sync.WaitGroup
+	for i := 0; i < N; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo, hi := float64(10*(i%8)), float64(1000+17*i)
+			k, wor := 8+i%16, i%3 == 0
+			id, samples, status := getSample(t, fmt.Sprintf("%s/sample?lo=%v&hi=%v&k=%d&wor=%v", ts.URL, lo, hi, k, wor))
+			if status != http.StatusOK {
+				t.Errorf("req %d: status %d", i, status)
+				return
+			}
+			results[i] = result{id, samples, lo, hi, k, wor}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	for i, res := range results {
+		seq, ok := seqByID[res.id]
+		if !ok {
+			t.Fatalf("req %d: unknown request id %s", i, res.id)
+		}
+		r := srv.randFor(seq)
+		var want []float64
+		var err error
+		if res.wor {
+			want, err = eng.SampleWoRInto(context.Background(), r, res.lo, res.hi, res.k, nil)
+		} else {
+			want, err = eng.SampleInto(context.Background(), r, res.lo, res.hi, res.k, nil)
+		}
+		if err != nil {
+			t.Fatalf("req %d (id %s): scalar replay failed: %v", i, res.id, err)
+		}
+		if len(want) != len(res.samples) {
+			t.Fatalf("req %d (id %s): %d samples, scalar %d", i, res.id, len(res.samples), len(want))
+		}
+		for j := range want {
+			if res.samples[j] != want[j] {
+				t.Fatalf("req %d (id %s) sample %d: coalesced %v != scalar %v", i, res.id, j, res.samples[j], want[j])
+			}
+		}
+	}
+
+	// Every request went through the coalescer, and the metrics saw them.
+	if got := srv.coalesced.Value(); got != N {
+		t.Fatalf("coalesced counter %d, want %d", got, N)
+	}
+	if got := srv.coalBatchSize.Count(); got < 1 || srv.coalBatchSize.Sum() != N {
+		t.Fatalf("batch-size histogram: %d batches summing %v, want sum %d", got, srv.coalBatchSize.Sum(), N)
+	}
+	if srv.coalLinger.Count() != srv.coalBatchSize.Count() {
+		t.Fatalf("linger histogram count %d != batch count %d", srv.coalLinger.Count(), srv.coalBatchSize.Count())
+	}
+}
+
+// TestCoalescedUniformity extends the Uniformity monitor test to the
+// coalesced path: concurrent batched requests over varied ranges must
+// stay chi-squared-consistent with the uniform contract, and identical
+// concurrent requests must return distinct sample streams
+// (cross-request independence inside a batch).
+func TestCoalescedUniformity(t *testing.T) {
+	const n = 1024
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "coal-uni", values, nil, shard.Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(eng, Options{Seed: 99, Coalesce: 8})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// An independent monitor folds every returned sample (stride 1); the
+	// service's own monitor watches the same stream server-side.
+	u := metrics.NewUniformity(values, nil, metrics.UniformityOptions{Stride: 1})
+	ranges := []struct{ lo, hi float64 }{
+		{0, 1023}, {0, 511}, {256, 768}, {100, 149}, {900, 1023},
+	}
+	const workers, rounds, k = 8, 25, 16
+	var mu sync.Mutex
+	byQuery := make(map[string][]string) // query -> sample fingerprints
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				rg := ranges[(w+round)%len(ranges)]
+				q := fmt.Sprintf("lo=%v&hi=%v&k=%d", rg.lo, rg.hi, k)
+				_, samples, status := getSample(t, ts.URL+"/sample?"+q)
+				if status != http.StatusOK {
+					t.Errorf("worker %d round %d: status %d", w, round, status)
+					return
+				}
+				mu.Lock()
+				u.Fold(rg.lo, rg.hi, samples, false)
+				byQuery[q] = append(byQuery[q], fmt.Sprint(samples))
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if q := u.Quality(); q > 1 {
+		stat, crit, folded := u.Snapshot()
+		t.Fatalf("coalesced path failed uniformity: stat %.1f crit %.1f after %d folds", stat, crit, folded)
+	}
+	// Independence: identical queries (many answered inside the same
+	// batch) must never share a stream.
+	for q, prints := range byQuery {
+		seen := make(map[string]bool, len(prints))
+		for _, p := range prints {
+			if seen[p] {
+				t.Fatalf("query %s: two requests returned identical samples — streams shared", q)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestCoalesceMetricsExposed asserts satellite (b): the coalescer
+// series are present on /metrics even before traffic, and carry the
+// traffic after it.
+func TestCoalesceMetricsExposed(t *testing.T) {
+	_, _, _, tsCoal := coalescePair(t, 500, 2, 4)
+	scrape := func() string {
+		resp, err := http.Get(tsCoal.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	body := scrape()
+	for _, series := range []string{
+		"iqs_coalesce_batch_size_count",
+		"iqs_coalesce_linger_seconds_count",
+		"iqs_coalesced_requests_total",
+	} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("series %s missing from /metrics before traffic", series)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if _, _, status := getSample(t, tsCoal.URL+"/sample?lo=0&hi=499&k=8"); status != http.StatusOK {
+			t.Fatalf("request %d: status %d", i, status)
+		}
+	}
+	body = scrape()
+	if !strings.Contains(body, "iqs_coalesced_requests_total 5") {
+		t.Fatalf("coalesced_requests_total did not reach 5:\n%s", body)
+	}
+}
+
+// TestCoalescerShutdownReleasesWaiters proves the drain path: requests
+// in flight when Shutdown fires still get answers, and the dispatcher
+// goroutine exits.
+func TestCoalescerShutdownReleasesWaiters(t *testing.T) {
+	_, coalSrv, _, tsCoal := coalescePair(t, 500, 2, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// 200 may not arrive (the server may already be draining);
+			// the requirement is only that every request completes.
+			resp, err := http.Get(tsCoal.URL + "/sample?lo=0&hi=499&k=16")
+			if err == nil {
+				resp.Body.Close()
+			}
+		}()
+	}
+	wg.Wait()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := coalSrv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	select {
+	case <-coalSrv.coal.stopped:
+	default:
+		t.Fatal("dispatcher still running after Shutdown")
+	}
+	// Requests after shutdown are refused, not deadlocked.
+	if _, _, status := getSample(t, tsCoal.URL+"/sample?lo=0&hi=499&k=4"); status == http.StatusOK {
+		t.Fatal("request served after shutdown")
+	}
+}

@@ -58,6 +58,10 @@ type Engine interface {
 	SampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error)
 	SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error)
 	SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error)
+	// SampleMulti answers a coalesced batch: each request keeps its own
+	// rng stream and buffer and must come back byte-identical to the
+	// equivalent SampleInto/SampleWoRInto call (errors land per request).
+	SampleMulti(ctx context.Context, reqs []*shard.MultiQuery)
 	Batch(ctx context.Context, r *core.Rand, queries []shard.Query) []shard.Result
 	Count(ctx context.Context, lo, hi float64) (int, error)
 	Health() shard.Health
@@ -91,6 +95,16 @@ type Options struct {
 	TraceSampleRate float64
 	// Logger receives the sampled trace lines. Nil discards.
 	Logger *slog.Logger
+	// Coalesce enables adaptive request coalescing on /sample: up to
+	// Coalesce concurrent requests are grouped into one engine batch
+	// (each keeping its own rng stream and response buffer, so answers
+	// are identical to the uncoalesced path per request id). 0 disables.
+	Coalesce int
+	// Linger bounds how long the coalescer waits for stragglers when
+	// more requests are in flight than batched; 0 means 100µs with
+	// coalescing enabled. Batches dispatch immediately when the server
+	// is otherwise idle, so serial latency does not pay the linger.
+	Linger time.Duration
 }
 
 // Server serves the engine over HTTP. Create with New.
@@ -122,6 +136,14 @@ type Server struct {
 	stage     [3]*metrics.Histogram
 
 	baseMallocs uint64 // runtime.MemStats.Mallocs at New, for /stats deltas
+
+	// coal batches concurrent /sample requests into engine SampleMulti
+	// calls; nil when Options.Coalesce is 0. The metrics register
+	// unconditionally so the exposition is stable across configs.
+	coal          *coalescer
+	coalBatchSize *metrics.Histogram
+	coalLinger    *metrics.Histogram
+	coalesced     *metrics.Counter
 
 	hs *http.Server
 }
@@ -156,6 +178,9 @@ func New(eng Engine, opts Options) *Server {
 	if opts.Metrics == nil {
 		opts.Metrics = metrics.NewRegistry()
 	}
+	if opts.Coalesce > 0 && opts.Linger <= 0 {
+		opts.Linger = 100 * time.Microsecond
+	}
 	s := &Server{
 		eng:  eng,
 		opts: opts,
@@ -181,6 +206,10 @@ func New(eng Engine, opts Options) *Server {
 	for i, name := range stageNames {
 		s.stage[i] = reg.Histogram("iqs_server_stage_seconds", "Per-stage handler latency.", nil, metrics.L("stage", name))
 	}
+	s.coalBatchSize = reg.Histogram("iqs_coalesce_batch_size", "Requests per coalesced engine batch.",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+	s.coalLinger = reg.Histogram("iqs_coalesce_linger_seconds", "Time each batch spent waiting for stragglers.", nil)
+	s.coalesced = reg.Counter("iqs_coalesced_requests_total", "Requests answered through a coalesced batch.")
 	reg.GaugeFunc("iqs_server_in_flight", "Requests currently executing.",
 		func() float64 { return float64(len(s.sem)) })
 	reg.GaugeFunc("iqs_server_queue_depth", "Requests admitted or waiting for an execution slot.",
@@ -192,6 +221,9 @@ func New(eng Engine, opts Options) *Server {
 			}
 			return 0
 		})
+	if opts.Coalesce > 0 {
+		s.coal = newCoalescer(s, opts.Coalesce, opts.Linger)
+	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	s.baseMallocs = ms.Mallocs
@@ -218,10 +250,16 @@ func (s *Server) Handler() http.Handler {
 func (s *Server) Serve(l net.Listener) error { return s.hs.Serve(l) }
 
 // Shutdown drains gracefully: new requests are refused with 503 while
-// in-flight ones finish (bounded by ctx).
+// in-flight ones finish (bounded by ctx). The coalescer dispatcher is
+// stopped only after the HTTP drain completes, since in-flight /sample
+// requests may still be waiting on it.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.hs.Shutdown(ctx)
+	err := s.hs.Shutdown(ctx)
+	if s.coal != nil {
+		s.coal.shutdown()
+	}
+	return err
 }
 
 // Stats is the /stats payload. The allocation counters come from
@@ -295,6 +333,8 @@ func statusOf(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
+	case errors.Is(err, errCoalescerStopped):
+		return http.StatusServiceUnavailable
 	case errors.As(err, &ie):
 		return http.StatusInternalServerError
 	default:
@@ -516,7 +556,15 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	endEngine := tr.StartSpan("engine")
 	bp := samplePool.Get().(*[]float64)
 	var out []float64
-	if p.WoR {
+	if s.coal != nil {
+		// Coalesced path: same stream (randFor(seq)) and same pooled
+		// buffer as below, so the response for this X-Request-ID is
+		// byte-identical either way.
+		mq := &shard.MultiQuery{Lo: p.Lo, Hi: p.Hi, K: p.K, WoR: p.WoR, R: s.randFor(seq), Dst: (*bp)[:0]}
+		if err = s.coal.do(ctx, mq); err == nil {
+			out, err = mq.Out, mq.Err
+		}
+	} else if p.WoR {
 		out, err = s.eng.SampleWoRInto(ctx, s.randFor(seq), p.Lo, p.Hi, p.K, (*bp)[:0])
 	} else {
 		out, err = s.eng.SampleInto(ctx, s.randFor(seq), p.Lo, p.Hi, p.K, (*bp)[:0])

@@ -221,6 +221,21 @@ func (s *slowEngine) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64
 func (s *slowEngine) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
 	return s.inner.SampleWoRInto(ctx, r, lo, hi, k, dst)
 }
+
+// SampleMulti wedges like SampleInto: coalesced batches must hold
+// their execution slots for the admission tests too.
+func (s *slowEngine) SampleMulti(ctx context.Context, reqs []*shard.MultiQuery) {
+	select {
+	case <-s.release:
+	case <-ctx.Done():
+		for _, q := range reqs {
+			q.Out, q.Err = q.Dst, ctx.Err()
+		}
+		return
+	}
+	s.inner.SampleMulti(ctx, reqs)
+}
+
 func (s *slowEngine) Batch(ctx context.Context, r *core.Rand, q []shard.Query) []shard.Result {
 	return s.inner.Batch(ctx, r, q)
 }

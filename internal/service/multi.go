@@ -1,0 +1,84 @@
+package service
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// MultiJob is one request in a batched sampling pass. Each job keeps
+// its own rng stream (R) and result buffer (Dst/Out), so batching is
+// invisible in the output: a job's samples are exactly what the
+// equivalent SampleInto / SampleWoRInto call would have produced with
+// the same stream. Only the dataset lookup, the snapshot acquisition
+// and the scratch arena are shared across the batch.
+type MultiJob struct {
+	R      *core.Rand
+	Lo, Hi float64
+	K      int
+	WoR    bool
+	// Dst is the caller-owned buffer the samples are appended to; Out
+	// is the extended slice (Out == Dst on error).
+	Dst []float64
+	Out []float64
+	Err error
+}
+
+// SampleMulti executes jobs against one snapshot of the named dataset:
+// a single lookup, snapshot acquisition and pooled arena serve the
+// whole batch, amortising the per-request setup the scalar paths pay
+// per call. Per-job accounting (request/failure counters, latency
+// histograms, quality folds, panic containment) is identical to the
+// scalar paths. The returned error is non-nil only when the dataset
+// lookup itself fails, in which case every job carries it too.
+//
+// All jobs see the same snapshot — the batch is one linearization
+// point, where sequential scalar calls could straddle a concurrent
+// rebuild. Samples are still exact for the snapshot they came from.
+func (s *Service) SampleMulti(ctx context.Context, name string, jobs []*MultiJob) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	ds, err := s.lookup(name)
+	if err != nil {
+		for _, j := range jobs {
+			s.requests.Add(1)
+			s.failures.Add(1)
+			j.Out, j.Err = j.Dst, err
+		}
+		return err
+	}
+	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.multi")
+	defer end()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	for _, j := range jobs {
+		s.requests.Add(1)
+		op, opName := opSample, "sample"
+		if j.WoR {
+			op, opName = opWoR, "wor"
+		}
+		start := time.Now()
+		j.Out = j.Dst
+		jerr := s.guard(snap.active, opName, func() error {
+			var e error
+			if j.WoR {
+				j.Out, e = snap.sampler.SampleWoRContextInto(ctx, j.R, j.Lo, j.Hi, j.K, j.Out, sc)
+			} else {
+				j.Out, e = snap.sampler.SampleContextInto(ctx, j.R, j.Lo, j.Hi, j.K, j.Out, sc)
+			}
+			return e
+		})
+		s.observeLatency(op, snap.active, time.Since(start).Seconds())
+		if jerr != nil {
+			j.Out, j.Err = j.Dst, jerr
+			s.failures.Add(1)
+			continue
+		}
+		snap.monitor.Fold(j.Lo, j.Hi, j.Out[len(j.Dst):], j.WoR)
+	}
+	return nil
+}

@@ -1,0 +1,224 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/service"
+	"repro/internal/wor"
+)
+
+// MultiQuery is one request in a coalesced batch. Each request keeps
+// its own rng stream (R) and result buffer, so the answer is exactly
+// what SampleInto / SampleWoRInto would produce with the same stream —
+// batching shares structure traversal and scratch, never randomness.
+type MultiQuery struct {
+	Lo, Hi float64
+	K      int
+	WoR    bool
+	R      *core.Rand
+	// Dst is the caller-owned buffer samples are appended to; Out is
+	// the extended slice (Out == Dst on error).
+	Dst []float64
+	Out []float64
+	Err error
+}
+
+// multiPiece is one (request, shard) work unit of a batch.
+type multiPiece struct {
+	req int
+	job service.MultiJob
+	buf *[]float64
+}
+
+// SampleMulti answers a batch of requests in three phases: per-request
+// planning (validation, budget split, stream splits — consuming each
+// request's own R in exactly the order SampleInto/SampleWoRInto
+// would), per-shard grouped execution (all pieces bound for a shard
+// run through one service.SampleMulti call, sharing a snapshot and
+// arena), and per-request merge (partials concatenated in ascending
+// shard order — the same order fanOut issues jobs — then shuffled with
+// the request's R). Because every random draw comes from the same
+// stream in the same sequence, each request's Out is byte-identical to
+// the scalar path's; errors land per request in Err.
+func (c *Coordinator) SampleMulti(ctx context.Context, reqs []*MultiQuery) {
+	shardPieces := make([][]*multiPiece, len(c.hosts))
+	reqPieces := make([][]*multiPiece, len(reqs))
+	opsSeen := [2]bool{}
+
+	// Phase 1: plan each request in order on its own stream.
+	for qi, q := range reqs {
+		q.Out, q.Err = q.Dst, nil
+		if err := core.ValidateRange(q.Lo, q.Hi); err != nil {
+			q.Err = err
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			q.Err = err
+			continue
+		}
+		shards := c.overlapping(q.Lo, q.Hi)
+		var budgets []int
+		if q.WoR {
+			counts := make([]int, len(shards))
+			total := 0
+			for i, s := range shards {
+				n, err := c.hosts[s].svc.Count(ctx, dsName, q.Lo, q.Hi)
+				if err != nil {
+					q.Err = err
+					break
+				}
+				counts[i] = n
+				total += n
+			}
+			if q.Err != nil {
+				continue
+			}
+			if q.K > total || total == 0 {
+				q.Err = core.ErrSampleTooLarge
+				continue
+			}
+			if q.K <= 0 {
+				continue
+			}
+			ranks, err := wor.UniformWoR(q.R, total, q.K)
+			if err != nil {
+				q.Err = err
+				continue
+			}
+			budgets = make([]int, len(shards))
+			for _, rank := range ranks {
+				for i := range shards {
+					if rank < counts[i] {
+						budgets[i]++
+						break
+					}
+					rank -= counts[i]
+				}
+			}
+		} else {
+			if q.K <= 0 {
+				continue
+			}
+			weights := make([]float64, len(shards))
+			total := 0.0
+			for i, s := range shards {
+				w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, q.Lo, q.Hi)
+				if err != nil {
+					q.Err = err
+					break
+				}
+				weights[i] = w
+				total += w
+			}
+			if q.Err != nil {
+				continue
+			}
+			if !(total > 0) {
+				q.Err = core.ErrEmptyRange
+				continue
+			}
+			var err error
+			budgets, err = rng.Multinomial(q.R, q.K, weights)
+			if err != nil {
+				q.Err = fmt.Errorf("%w: %v", core.ErrBadWeight, err)
+				continue
+			}
+		}
+		op := 0
+		if q.WoR {
+			op = 1
+		}
+		opsSeen[op] = true
+		// Split one stream per positive-budget shard in ascending shard
+		// order — the exact sequence fanOut consumes on the scalar path.
+		for i, s := range shards {
+			if budgets[i] <= 0 {
+				continue
+			}
+			p := &multiPiece{req: qi}
+			p.job = service.MultiJob{R: q.R.Split(), Lo: q.Lo, Hi: q.Hi, K: budgets[i], WoR: q.WoR}
+			shardPieces[s] = append(shardPieces[s], p)
+			reqPieces[qi] = append(reqPieces[qi], p)
+		}
+	}
+
+	fanStart := time.Now()
+
+	// Phase 2: one grouped service pass per shard, shards in parallel
+	// on the bounded worker pool. Piece streams were pre-split, so the
+	// schedule cannot influence any request's randomness.
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, c.workers)
+	for s := range shardPieces {
+		ps := shardPieces[s]
+		if len(ps) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(s int, ps []*multiPiece) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			jobs := make([]*service.MultiJob, len(ps))
+			for i, p := range ps {
+				bp := partPool.Get().(*[]float64)
+				p.buf = bp
+				p.job.Dst = (*bp)[:0]
+				jobs[i] = &p.job
+			}
+			c.hosts[s].svc.SampleMulti(ctx, dsName, jobs)
+		}(s, ps)
+	}
+	wg.Wait()
+	for op, seen := range opsSeen {
+		if seen {
+			c.fanout[op].Observe(time.Since(fanStart).Seconds())
+		}
+	}
+
+	// Phase 3: merge each request's partials in issue order and shuffle
+	// the appended tail with the request's own stream — the scalar
+	// path's final consumption on R.
+	for qi, q := range reqs {
+		ps := reqPieces[qi]
+		if len(ps) == 0 {
+			continue
+		}
+		mergeStart := time.Now()
+		var jerr error
+		total := 0
+		for _, p := range ps {
+			if p.job.Err != nil && jerr == nil {
+				jerr = p.job.Err
+			}
+			total += len(p.job.Out)
+		}
+		if jerr != nil {
+			q.Err = jerr
+			q.Out = q.Dst
+		} else {
+			base := len(q.Dst)
+			out := slices.Grow(q.Dst, total)
+			for _, p := range ps {
+				out = append(out, p.job.Out...)
+			}
+			tail := out[base:]
+			q.R.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+			q.Out = out
+			c.merge.Observe(time.Since(mergeStart).Seconds())
+		}
+		for _, p := range ps {
+			if p.buf != nil {
+				*p.buf = p.job.Out[:0]
+				partPool.Put(p.buf)
+				p.buf = nil
+			}
+		}
+	}
+}

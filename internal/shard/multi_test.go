@@ -1,0 +1,112 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func multiFixture(t *testing.T, n, shards int) *Coordinator {
+	t.Helper()
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = float64(1 + (i*7)%13)
+	}
+	c, err := New(context.Background(), "multi", values, weights, Options{Shards: shards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSampleMultiMatchesScalar is the batching determinism contract:
+// a request answered inside a batch must be byte-identical to the same
+// request answered alone through SampleInto / SampleWoRInto with an
+// identically seeded stream.
+func TestSampleMultiMatchesScalar(t *testing.T) {
+	c := multiFixture(t, 4096, 4)
+	ctx := context.Background()
+
+	type spec struct {
+		lo, hi float64
+		k      int
+		wor    bool
+		seed   uint64
+	}
+	specs := []spec{
+		{100, 3000, 16, false, 1},
+		{0, 4095, 64, false, 2},
+		{2000, 2100, 8, true, 3},
+		{50, 60, 0, false, 4},     // k = 0: empty result, no randomness
+		{100, 3000, 16, true, 5},  // same range as first, different mode
+		{9000, 9999, 4, false, 6}, // empty range: ErrEmptyRange
+	}
+
+	reqs := make([]*MultiQuery, len(specs))
+	for i, sp := range specs {
+		reqs[i] = &MultiQuery{Lo: sp.lo, Hi: sp.hi, K: sp.k, WoR: sp.wor, R: core.NewRand(sp.seed)}
+	}
+	c.SampleMulti(ctx, reqs)
+
+	for i, sp := range specs {
+		var want []float64
+		var wantErr error
+		if sp.wor {
+			want, wantErr = c.SampleWoRInto(ctx, core.NewRand(sp.seed), sp.lo, sp.hi, sp.k, nil)
+		} else {
+			want, wantErr = c.SampleInto(ctx, core.NewRand(sp.seed), sp.lo, sp.hi, sp.k, nil)
+		}
+		q := reqs[i]
+		if (q.Err == nil) != (wantErr == nil) || (wantErr != nil && !errors.Is(q.Err, wantErr)) {
+			t.Fatalf("req %d: err %v, scalar err %v", i, q.Err, wantErr)
+		}
+		if len(q.Out) != len(want) {
+			t.Fatalf("req %d: %d samples, scalar %d", i, len(q.Out), len(want))
+		}
+		for j := range want {
+			if q.Out[j] != want[j] {
+				t.Fatalf("req %d sample %d: batched %v != scalar %v", i, j, q.Out[j], want[j])
+			}
+		}
+	}
+}
+
+// TestSampleMultiRepeatedBatch re-runs batches with reused buffers to
+// exercise the pooled partials, and checks every sample stays in range.
+func TestSampleMultiRepeatedBatch(t *testing.T) {
+	c := multiFixture(t, 2048, 3)
+	ctx := context.Background()
+	reqs := make([]*MultiQuery, 8)
+	for i := range reqs {
+		reqs[i] = &MultiQuery{}
+	}
+	for round := 0; round < 20; round++ {
+		for i := range reqs {
+			*reqs[i] = MultiQuery{
+				Lo: float64(10 * i), Hi: float64(1500 + 10*i), K: 8 + i,
+				WoR: i%2 == 1,
+				R:   core.NewRand(uint64(round*100 + i)),
+				Dst: reqs[i].Dst[:0],
+			}
+		}
+		c.SampleMulti(ctx, reqs)
+		for i, q := range reqs {
+			if q.Err != nil {
+				t.Fatalf("round %d req %d: %v", round, i, q.Err)
+			}
+			if len(q.Out) != 8+i {
+				t.Fatalf("round %d req %d: %d samples, want %d", round, i, len(q.Out), 8+i)
+			}
+			for _, v := range q.Out {
+				if v < float64(10*i) || v > float64(1500+10*i) {
+					t.Fatalf("round %d req %d: sample %v out of range", round, i, v)
+				}
+			}
+			reqs[i].Dst = q.Out // recycle capacity next round
+		}
+	}
+}

@@ -299,8 +299,9 @@ func (es *EulerSampler) Sample(r *rng.Source, q NodeID) NodeID {
 // Query appends s independent weighted leaf samples from the subtree of
 // q to dst.
 func (es *EulerSampler) Query(r *rng.Source, q NodeID, s int, dst []NodeID) []NodeID {
-	var sc scratch.Arena
-	return es.QueryScratch(r, q, s, dst, &sc)
+	sc := scratch.Get()
+	defer scratch.Put(sc)
+	return es.QueryScratch(r, q, s, dst, sc)
 }
 
 // QueryScratch is Query with the Euler-position buffer and the range

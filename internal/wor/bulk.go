@@ -1,0 +1,134 @@
+// Bulk variants of the WR/WoR kernels: same algorithms, with variates
+// pre-generated in cache-friendly runs (rng.Fill* / rng.Block) instead
+// of one generator call per draw. Each variant is stream-identical to
+// its scalar twin — same consumed word sequence, same output, same
+// final generator state — so they can replace the scalar calls under
+// golden-seeded paths.
+package wor
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/rng"
+)
+
+var (
+	errKeyBuffer = errors.New("wor: key buffer shorter than sample size")
+	errBadWeight = errors.New("wor: weights must be positive")
+)
+
+// bulkWords sizes the stack scratch the bulk variants stage variates
+// through between refills. Kept to 512 bytes deliberately: these run
+// in frames on fresh fan-out goroutines, and a larger array would
+// force a stack grow-and-copy per goroutine that costs more than
+// blocking saves.
+const bulkWords = 64
+
+// UniformWRBulkInto is UniformWRInto with block-generated variates:
+// the bound n is fixed across all s draws, so whole runs go through
+// rng.FillBounded. Stream-identical to s scalar Intn(n) calls.
+func UniformWRBulkInto(r *rng.Source, n, s int, dst []int) []int {
+	var raw [bulkWords]uint64
+	for done := 0; done < s; {
+		chunk := s - done
+		if chunk > bulkWords {
+			chunk = bulkWords
+		}
+		r.FillBounded(raw[:chunk], uint64(n))
+		for _, v := range raw[:chunk] {
+			dst = append(dst, int(v))
+		}
+		done += chunk
+	}
+	return dst
+}
+
+// UniformWoRBulkInto is UniformWoRInto (Floyd + shuffle) with the urn
+// picks pulled through a primed Block. Floyd's bound grows every
+// iteration and the shuffle's shrinks, so per-draw bounded generation
+// stays — only the raw word supply is batched. Guaranteed minimum
+// consumption is one word per Intn: s for Floyd, s-1 for the shuffle.
+func UniformWoRBulkInto(r *rng.Source, n, s int, dst []int, chosen map[int]struct{}) ([]int, error) {
+	if s > n {
+		return nil, ErrSampleTooLarge
+	}
+	var raw [bulkWords]uint64
+	bk := rng.MakeBlock(r, raw[:])
+	base := len(dst)
+	for j := n - s; j < n; {
+		chunk := n - j
+		if chunk > bulkWords {
+			chunk = bulkWords
+		}
+		bk.Prime(chunk)
+		for end := j + chunk; j < end; j++ {
+			v := bk.Intn(j + 1)
+			if _, dup := chosen[v]; dup {
+				v = j
+			}
+			chosen[v] = struct{}{}
+			dst = append(dst, v)
+		}
+	}
+	tail := dst[base:]
+	for i := len(tail) - 1; i > 0; {
+		chunk := i
+		if chunk > bulkWords {
+			chunk = bulkWords
+		}
+		bk.Prime(chunk)
+		for end := i - chunk; i > end; i-- {
+			j := bk.Intn(i + 1)
+			tail[i], tail[j] = tail[j], tail[i]
+		}
+	}
+	return dst, nil
+}
+
+// WeightedWoRBulkInto is WeightedWoRInto with the n uniform coins
+// generated through rng.FillFloat64 (exactly one word per element on
+// both paths — Float64 never rejects). Heap maintenance is unchanged,
+// so indices and order match the scalar variant exactly.
+func WeightedWoRBulkInto(r *rng.Source, weights []float64, s int, dst []int, keys []float64) ([]int, error) {
+	n := len(weights)
+	if s > n {
+		return nil, ErrSampleTooLarge
+	}
+	if s == 0 {
+		return dst, nil
+	}
+	if len(keys) < s {
+		return nil, errKeyBuffer
+	}
+	var coins [bulkWords]float64
+	base := len(dst)
+	h := 0
+	for off := 0; off < n; {
+		chunk := n - off
+		if chunk > bulkWords {
+			chunk = bulkWords
+		}
+		r.FillFloat64(coins[:chunk])
+		for c, w := range weights[off : off+chunk] {
+			if !(w > 0) {
+				return nil, errBadWeight
+			}
+			logKey := math.Log(coins[c]+1e-300) / w
+			i := off + c
+			switch {
+			case h < s:
+				keys[h] = logKey
+				dst = append(dst, i)
+				h++
+				siftUp(keys[:h], dst[base:], h-1)
+			case logKey > keys[0]:
+				keys[0] = logKey
+				dst[base] = i
+				siftDown(keys[:h], dst[base:], 0)
+			}
+		}
+		off += chunk
+	}
+	return dst, nil
+}

@@ -1,0 +1,186 @@
+package wor
+
+import (
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/rng"
+)
+
+// Every bulk variant must be stream-identical to its scalar twin:
+// same outputs, same final generator state.
+
+func TestUniformWRBulkMatchesScalar(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{{1, 10}, {7, 0}, {100, 1}, {1000, 255}, {1000, 256}, {1000, 1000}} {
+		rs, rb := rng.New(uint64(tc.n+tc.s)), rng.New(uint64(tc.n+tc.s))
+		want := UniformWRInto(rs, tc.n, tc.s, nil)
+		got := UniformWRBulkInto(rb, tc.n, tc.s, nil)
+		if len(got) != len(want) {
+			t.Fatalf("n=%d s=%d: got %d samples want %d", tc.n, tc.s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d s=%d: sample %d: got %d want %d", tc.n, tc.s, i, got[i], want[i])
+			}
+		}
+		if *rs != *rb {
+			t.Fatalf("n=%d s=%d: final states diverge", tc.n, tc.s)
+		}
+	}
+}
+
+func TestUniformWoRBulkMatchesScalar(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{{1, 1}, {10, 10}, {100, 7}, {1000, 300}, {5000, 1000}} {
+		rs, rb := rng.New(uint64(tc.n*7+tc.s)), rng.New(uint64(tc.n*7+tc.s))
+		want, err := UniformWoRInto(rs, tc.n, tc.s, nil, make(map[int]struct{}, tc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := UniformWoRBulkInto(rb, tc.n, tc.s, nil, make(map[int]struct{}, tc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d s=%d: got %d samples want %d", tc.n, tc.s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d s=%d: sample %d: got %d want %d", tc.n, tc.s, i, got[i], want[i])
+			}
+		}
+		if *rs != *rb {
+			t.Fatalf("n=%d s=%d: final states diverge", tc.n, tc.s)
+		}
+	}
+	if _, err := UniformWoRBulkInto(rng.New(1), 3, 4, nil, map[int]struct{}{}); err != ErrSampleTooLarge {
+		t.Fatalf("s>n: got %v want ErrSampleTooLarge", err)
+	}
+}
+
+func TestWeightedWoRBulkMatchesScalar(t *testing.T) {
+	for _, tc := range []struct{ n, s int }{{1, 1}, {50, 8}, {300, 300}, {1000, 64}} {
+		w := make([]float64, tc.n)
+		for i := range w {
+			w[i] = float64(1 + (i*13)%17)
+		}
+		rs, rb := rng.New(uint64(tc.n+3*tc.s)), rng.New(uint64(tc.n+3*tc.s))
+		want, err := WeightedWoRInto(rs, w, tc.s, nil, make([]float64, tc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := WeightedWoRBulkInto(rb, w, tc.s, nil, make([]float64, tc.s))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("n=%d s=%d: got %d winners want %d", tc.n, tc.s, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d s=%d: winner %d: got %d want %d", tc.n, tc.s, i, got[i], want[i])
+			}
+		}
+		if *rs != *rb {
+			t.Fatalf("n=%d s=%d: final states diverge", tc.n, tc.s)
+		}
+	}
+}
+
+// TestBulkZeroAlloc pins the bulk variants' variate staging on the
+// stack (the WoR dedupe map is caller scratch and excluded by reuse).
+func TestBulkZeroAlloc(t *testing.T) {
+	if race.Enabled {
+		t.Skip("race build: allocation counts not asserted")
+	}
+	r := rng.New(2)
+	dst := make([]int, 0, 512)
+	got := testing.AllocsPerRun(100, func() {
+		dst = UniformWRBulkInto(r, 9999, 512, dst[:0])
+	})
+	if got != 0 {
+		t.Errorf("UniformWRBulkInto: %v allocs/op, want 0", got)
+	}
+	w := make([]float64, 512)
+	for i := range w {
+		w[i] = 1 + float64(i%7)
+	}
+	keys := make([]float64, 32)
+	got = testing.AllocsPerRun(100, func() {
+		if _, err := WeightedWoRBulkInto(r, w, 32, dst[:0], keys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if got != 0 {
+		t.Errorf("WeightedWoRBulkInto: %v allocs/op, want 0", got)
+	}
+}
+
+func BenchmarkUniformWoRScalar(b *testing.B) {
+	r := rng.New(1)
+	dst := make([]int, 0, 256)
+	chosen := make(map[int]struct{}, 256)
+	for i := 0; i < b.N; i++ {
+		clear(chosen)
+		var err error
+		dst, err = UniformWoRInto(r, 1<<20, 256, dst[:0], chosen)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sinkWoR = dst[0]
+}
+
+func BenchmarkUniformWoRBulk(b *testing.B) {
+	r := rng.New(1)
+	dst := make([]int, 0, 256)
+	chosen := make(map[int]struct{}, 256)
+	for i := 0; i < b.N; i++ {
+		clear(chosen)
+		var err error
+		dst, err = UniformWoRBulkInto(r, 1<<20, 256, dst[:0], chosen)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sinkWoR = dst[0]
+}
+
+func BenchmarkWeightedWoRScalar(b *testing.B) {
+	r := rng.New(1)
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = 1 + float64(i%11)
+	}
+	dst := make([]int, 0, 64)
+	keys := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = WeightedWoRInto(r, w, 64, dst[:0], keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sinkWoR = dst[0]
+}
+
+func BenchmarkWeightedWoRBulk(b *testing.B) {
+	r := rng.New(1)
+	w := make([]float64, 4096)
+	for i := range w {
+		w[i] = 1 + float64(i%11)
+	}
+	dst := make([]int, 0, 64)
+	keys := make([]float64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		dst, err = WeightedWoRBulkInto(r, w, 64, dst[:0], keys)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	sinkWoR = dst[0]
+}
+
+var sinkWoR int

@@ -20,7 +20,7 @@ SERVER_ERR="$BIN_DIR/server.err"
 # Port 0: the kernel picks a free port; iqsserve prints the bound
 # address on the "listening on" line, which we parse below.
 "$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 \
-  -fault 0.05 -trace-sample-rate 0.25 \
+  -fault 0.05 -trace-sample-rate 0.25 -coalesce 8 \
   >"$SERVER_OUT" 2>"$SERVER_ERR" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
