@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz bench bench-json pprof experiments examples cover serve loadtest metrics-smoke
+.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke
 
 all: build vet test
 
@@ -23,6 +23,15 @@ chaos:
 
 fuzz:
 	go test -fuzz FuzzChunkedQuery -fuzztime 10s ./internal/rangesample
+
+# Differential soak fuzz smoke: a bounded adaptive session that
+# cross-checks every sampling structure against the naive oracle and
+# drives the HTTP serving stack under EM faults, snapshot churn, and
+# admission pressure. Exits non-zero on any discrepancy; minimised
+# repro files land in fuzz-artifacts/ (replay with
+# `go run ./cmd/iqsfuzz -replay fuzz-artifacts/<file>`).
+fuzz-smoke:
+	go run ./cmd/iqsfuzz -duration 30s -server -faults -seed 1 -artifacts fuzz-artifacts
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -1,0 +1,81 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/soak"
+)
+
+func TestRunUsageErrors(t *testing.T) {
+	var sb strings.Builder
+	if code := run([]string{}, &sb); code != 2 {
+		t.Fatalf("no budget: exit %d, want 2", code)
+	}
+	sb.Reset()
+	if code := run([]string{"-bogus"}, &sb); code != 2 {
+		t.Fatalf("bad flag: exit %d, want 2", code)
+	}
+}
+
+// A short healthy session finds nothing and exits zero.
+func TestRunCleanSessionExitsZero(t *testing.T) {
+	var sb strings.Builder
+	dir := t.TempDir()
+	code := run([]string{
+		"-rounds", "4", "-seed", "7", "-q",
+		"-targets", "alias,wor",
+		"-artifacts", filepath.Join(dir, "a"),
+	}, &sb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no discrepancies found") {
+		t.Fatalf("missing summary:\n%s", sb.String())
+	}
+	if _, err := os.Stat(filepath.Join(dir, "a")); !os.IsNotExist(err) {
+		t.Fatal("artifacts dir created despite no findings")
+	}
+}
+
+// -replay on a healthy-case repro reports the bug as fixed (exit 0); a
+// garbage path and version skew exit 2.
+func TestRunReplay(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.json")
+	rep := &soak.Repro{
+		Version: soak.ReproVersion,
+		Case: soak.Case{
+			Target:   soak.TargetAlias,
+			Dataset:  soak.DatasetSpec{Seed: 3, N: 16},
+			Workload: soak.WorkloadSpec{Seed: 4, Queries: 2, Reps: 40},
+		},
+		Failure: &soak.Failure{Target: soak.TargetAlias, Check: "chi2-weights", Detail: "synthetic"},
+	}
+	if err := soak.WriteRepro(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if code := run([]string{"-replay", path}, &sb); code != 0 {
+		t.Fatalf("healthy replay: exit %d, want 0; output:\n%s", code, sb.String())
+	}
+	if !strings.Contains(sb.String(), "no longer fails") {
+		t.Fatalf("missing fixed notice:\n%s", sb.String())
+	}
+	sb.Reset()
+	if code := run([]string{"-replay", filepath.Join(dir, "absent.json")}, &sb); code != 2 {
+		t.Fatalf("absent file: exit %d, want 2", code)
+	}
+	bad := *rep
+	bad.Version = soak.ReproVersion + 5
+	badPath := filepath.Join(dir, "bad.json")
+	if err := soak.WriteRepro(badPath, &bad); err != nil {
+		t.Fatal(err)
+	}
+	sb.Reset()
+	if code := run([]string{"-replay", badPath}, &sb); code != 2 {
+		t.Fatalf("version skew: exit %d, want 2", code)
+	}
+}

@@ -1,6 +1,7 @@
 package em
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -129,6 +130,20 @@ var DefaultRetry = RetryPolicy{MaxAttempts: 5, BaseDelay: 100 * time.Microsecond
 // other error, and success, return immediately. When the attempts are
 // exhausted the last fault is returned wrapped with the attempt count.
 func WithRetry(p RetryPolicy, op func() error) error {
+	return WithRetryContext(context.Background(), p, op)
+}
+
+// WithRetryContext is WithRetry with cancellation-aware backoff: the
+// sleeps between attempts wake on ctx.Done(), a cancelled context stops
+// the retry loop before the next attempt, and an already-cancelled
+// context returns ctx.Err() without running op at all. Cancellation
+// after at least one faulted attempt returns the context error wrapped
+// around the last fault, so errors.Is still matches both ErrFault and
+// the context sentinel.
+func WithRetryContext(ctx context.Context, p RetryPolicy, op func() error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	attempts := p.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -143,11 +158,19 @@ func WithRetry(p RetryPolicy, op func() error) error {
 			break
 		}
 		if delay > 0 {
-			time.Sleep(delay)
+			t := time.NewTimer(delay)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return fmt.Errorf("em: retry canceled after %d attempts: %w (last fault: %w)", a+1, ctx.Err(), err)
+			case <-t.C:
+			}
 			delay *= 2
 			if p.MaxDelay > 0 && delay > p.MaxDelay {
 				delay = p.MaxDelay
 			}
+		} else if ctx.Err() != nil {
+			return fmt.Errorf("em: retry canceled after %d attempts: %w (last fault: %w)", a+1, ctx.Err(), err)
 		}
 	}
 	return fmt.Errorf("em: %d attempts exhausted: %w", attempts, err)

@@ -1,0 +1,84 @@
+package em
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// An already-cancelled context must short-circuit before op ever runs.
+func TestWithRetryContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	n := 0
+	start := time.Now()
+	err := WithRetryContext(ctx, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Second}, func() error {
+		n++
+		return ErrFault
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("op ran %d times on a dead context", n)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("cancelled retry took %v; backoff must not sleep", d)
+	}
+}
+
+// Cancellation during backoff must cut the sleep short and surface both
+// the context error and the last fault.
+func TestWithRetryContextCancelsMidBackoff(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	start := time.Now()
+	err := WithRetryContext(ctx, RetryPolicy{MaxAttempts: 10, BaseDelay: 10 * time.Second}, func() error {
+		n++
+		cancel() // fire while the loop is about to back off
+		return ErrFault
+	})
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("cancel mid-backoff took %v; timer must wake on Done", d)
+	}
+	if n != 1 {
+		t.Fatalf("op ran %d times, want 1", n)
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrFault) {
+		t.Fatalf("want both context.Canceled and ErrFault in chain, got %v", err)
+	}
+}
+
+// A deadline that expires between zero-delay attempts stops the loop
+// even though there is no timer to interrupt.
+func TestWithRetryContextZeroDelayHonoursDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	err := WithRetryContext(ctx, RetryPolicy{MaxAttempts: 1000}, func() error {
+		n++
+		if n == 3 {
+			cancel()
+		}
+		return ErrFault
+	})
+	if n != 3 {
+		t.Fatalf("op ran %d times, want 3", n)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// The context-free wrapper keeps its exact legacy behaviour: retries run
+// to exhaustion and wrap the final fault.
+func TestWithRetryContextBackgroundMatchesWithRetry(t *testing.T) {
+	n := 0
+	err := WithRetryContext(context.Background(), RetryPolicy{MaxAttempts: 4}, func() error {
+		n++
+		return ErrFault
+	})
+	if n != 4 || !errors.Is(err, ErrFault) {
+		t.Fatalf("n=%d err=%v, want 4 attempts ending in ErrFault", n, err)
+	}
+}

@@ -1,6 +1,8 @@
 package emiqs
 
 import (
+	"context"
+
 	"repro/internal/em"
 	"repro/internal/rng"
 )
@@ -22,11 +24,18 @@ import (
 // is false when the range is empty. After rp.MaxAttempts faulted
 // attempts the last fault is returned (errors.Is(err, em.ErrFault)).
 func (rs *RangeSampler) QueryRetry(r *rng.Source, x, y float64, s int, dst []float64, rp em.RetryPolicy) ([]float64, bool, error) {
+	return rs.QueryRetryContext(context.Background(), r, x, y, s, dst, rp)
+}
+
+// QueryRetryContext is QueryRetry with cancellation-aware backoff: the
+// retry sleeps wake on ctx.Done() and a cancelled context stops
+// retrying instead of sleeping out the full schedule.
+func (rs *RangeSampler) QueryRetryContext(ctx context.Context, r *rng.Source, x, y float64, s int, dst []float64, rp em.RetryPolicy) ([]float64, bool, error) {
 	var (
 		out []float64
 		ok  bool
 	)
-	err := em.WithRetry(rp, func() error {
+	err := em.WithRetryContext(ctx, rp, func() error {
 		return em.CatchFault(func() { out, ok = rs.Query(r, x, y, s, dst) })
 	})
 	if err != nil {
@@ -38,8 +47,14 @@ func (rs *RangeSampler) QueryRetry(r *rng.Source, x, y float64, s int, dst []flo
 // QueryRetry is SetSampler.Query with bounded retry + exponential
 // backoff against injected transient faults.
 func (s *SetSampler) QueryRetry(r *rng.Source, count int, dst []float64, rp em.RetryPolicy) ([]float64, error) {
+	return s.QueryRetryContext(context.Background(), r, count, dst, rp)
+}
+
+// QueryRetryContext is SetSampler.QueryRetry with cancellation-aware
+// backoff.
+func (s *SetSampler) QueryRetryContext(ctx context.Context, r *rng.Source, count int, dst []float64, rp em.RetryPolicy) ([]float64, error) {
 	var out []float64
-	err := em.WithRetry(rp, func() error {
+	err := em.WithRetryContext(ctx, rp, func() error {
 		return em.CatchFault(func() { out = s.Query(r, count, dst) })
 	})
 	if err != nil {

@@ -1,6 +1,7 @@
 package emiqs
 
 import (
+	"context"
 	"errors"
 	"testing"
 	"time"
@@ -71,5 +72,36 @@ func TestSetSamplerQueryRetryExhaustsOnPermanentFault(t *testing.T) {
 	_, qerr := ss.QueryRetry(rng.New(4), 4, nil, em.RetryPolicy{MaxAttempts: 3})
 	if qerr == nil || !errors.Is(qerr, em.ErrFault) {
 		t.Fatalf("want exhausted fault error, got %v", qerr)
+	}
+}
+
+// QueryRetryContext with an already-cancelled context must return
+// promptly with the context error instead of sleeping out the backoff
+// schedule against a permanently faulted device.
+func TestQueryRetryContextAlreadyCancelled(t *testing.T) {
+	dev := faultFreeDevice(t)
+	values := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	rs, err := NewRangeSampler(dev, values, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 1, Seed: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, _, qerr := rs.QueryRetryContext(ctx, rng.New(11), 1, 8, 4, nil,
+		em.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Second})
+	if !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", qerr)
+	}
+	if d := time.Since(start); d > 100*time.Millisecond {
+		t.Fatalf("cancelled retry took %v", d)
+	}
+	ss, err := NewSetSampler(faultFreeDevice(t), values, rng.New(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, qerr := ss.QueryRetryContext(ctx, rng.New(13), 2, nil, em.DefaultRetry); !errors.Is(qerr, context.Canceled) {
+		t.Fatalf("set sampler: want context.Canceled, got %v", qerr)
 	}
 }

@@ -323,8 +323,10 @@ func (s *Service) lookup(name string) (*dataset, error) {
 // mirrorPersist writes the dataset through the EM mirror (and touches it
 // back) under bounded retry with exponential backoff. Injected faults
 // surface as *em.FaultError panics inside the array layers; CatchFault
-// turns each into an error and WithRetry absorbs transient runs.
-func (s *Service) mirrorPersist(values []float64) error {
+// turns each into an error and WithRetryContext absorbs transient runs
+// while letting caller cancellation (or the build budget) cut the
+// backoff sleeps short.
+func (s *Service) mirrorPersist(ctx context.Context, values []float64) error {
 	dev := s.opts.Mirror
 	if dev == nil || len(values) == 0 {
 		return nil
@@ -336,7 +338,7 @@ func (s *Service) mirrorPersist(values []float64) error {
 	s.mirrorMu.Lock()
 	defer s.mirrorMu.Unlock()
 	attempt := 0
-	return em.WithRetry(rp, func() error {
+	return em.WithRetryContext(ctx, rp, func() error {
 		if attempt++; attempt > 1 {
 			s.mirrorRetries.Inc()
 		}
@@ -368,7 +370,10 @@ func (s *Service) build(parent context.Context, name string, kind core.Kind, val
 		defer cancel()
 	}
 	var reasons []string
-	if err := s.mirrorPersist(values); err != nil {
+	if err := s.mirrorPersist(ctx, values); err != nil {
+		if parent.Err() != nil {
+			return nil, parent.Err() // the caller gave up mid-persist; no fallback
+		}
 		reasons = append(reasons, fmt.Sprintf("EM mirror: %v", err))
 	}
 	if len(reasons) == 0 {

@@ -230,3 +230,29 @@ func TestRangeWeight(t *testing.T) {
 		t.Fatalf("canceled: %v", err)
 	}
 }
+
+// A caller that is already gone must not pay the mirror retry backoff:
+// Create with a cancelled context and a permanently faulted mirror
+// returns the context error promptly instead of degrading after
+// sleeping out the full retry schedule.
+func TestMirrorRetryRespectsCancelledContext(t *testing.T) {
+	dev, err := em.NewDevice(32, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{WriteFailProb: 1, Seed: 1})
+	s := New(Options{Mirror: dev, Retry: em.RetryPolicy{MaxAttempts: 10, BaseDelay: time.Second}})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	err = s.Create(ctx, "d", core.KindChunked, seq(100), nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("cancelled create took %v; retry backoff ignored the context", d)
+	}
+	if h := s.Health(); h.Downgrades != 0 || len(h.Datasets) != 0 {
+		t.Fatalf("cancelled create must not create or downgrade: %+v", h)
+	}
+}

@@ -1,0 +1,80 @@
+package soak
+
+import "math"
+
+// Bandit is the adaptive workload scheduler: a deterministic UCB1
+// multi-armed bandit over fuzz configurations. Reward is 1 on a found
+// discrepancy and the maximum stat/critical suspicion ratio otherwise,
+// so the fuzzing budget drifts toward configurations whose statistics
+// run closest to their gates — the ones most likely to surface a real
+// discrepancy — while the exploration term keeps every configuration
+// alive.
+type Bandit struct {
+	names  []string
+	pulls  []int
+	reward []float64
+	total  int
+	// c is the exploration coefficient of the UCB1 index
+	// mean_i + c·√(ln t / n_i); √2 is the classical choice.
+	c float64
+}
+
+// NewBandit creates a scheduler over the named arms.
+func NewBandit(names []string) *Bandit {
+	return &Bandit{
+		names:  names,
+		pulls:  make([]int, len(names)),
+		reward: make([]float64, len(names)),
+		c:      math.Sqrt2,
+	}
+}
+
+// Len returns the arm count.
+func (b *Bandit) Len() int { return len(b.names) }
+
+// Name returns arm i's label.
+func (b *Bandit) Name(i int) string { return b.names[i] }
+
+// Pulls returns how often arm i was selected.
+func (b *Bandit) Pulls(i int) int { return b.pulls[i] }
+
+// Mean returns arm i's empirical mean reward (0 before the first pull).
+func (b *Bandit) Mean(i int) float64 {
+	if b.pulls[i] == 0 {
+		return 0
+	}
+	return b.reward[i] / float64(b.pulls[i])
+}
+
+// Next picks the arm to pull: each arm once in order first, then the
+// UCB1 argmax. Ties resolve to the lowest index, so the whole schedule
+// is deterministic.
+func (b *Bandit) Next() int {
+	for i := range b.pulls {
+		if b.pulls[i] == 0 {
+			return i
+		}
+	}
+	best, bestIdx := -1, math.Inf(-1)
+	lnT := math.Log(float64(b.total))
+	for i := range b.pulls {
+		idx := b.Mean(i) + b.c*math.Sqrt(lnT/float64(b.pulls[i]))
+		if idx > bestIdx {
+			best, bestIdx = i, idx
+		}
+	}
+	return best
+}
+
+// Update records the observed reward for a pull of arm i.
+func (b *Bandit) Update(i int, reward float64) {
+	if reward < 0 {
+		reward = 0
+	}
+	if reward > 1 {
+		reward = 1
+	}
+	b.pulls[i]++
+	b.total++
+	b.reward[i] += reward
+}

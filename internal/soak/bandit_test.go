@@ -1,0 +1,70 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/soak"
+)
+
+func TestBanditVisitsEveryArmFirst(t *testing.T) {
+	b := soak.NewBandit([]string{"a", "b", "c"})
+	for want := 0; want < 3; want++ {
+		got := b.Next()
+		if got != want {
+			t.Fatalf("pull %d: arm %d, want %d", want, got, want)
+		}
+		b.Update(got, 0)
+	}
+}
+
+func TestBanditConvergesOnRewardingArm(t *testing.T) {
+	b := soak.NewBandit([]string{"dud", "hot", "dud2"})
+	for i := 0; i < 300; i++ {
+		arm := b.Next()
+		if arm == 1 {
+			b.Update(arm, 0.9)
+		} else {
+			b.Update(arm, 0.05)
+		}
+	}
+	if p := b.Pulls(1); p <= b.Pulls(0) || p <= b.Pulls(2) {
+		t.Fatalf("rewarding arm not favoured: pulls %d/%d/%d", b.Pulls(0), b.Pulls(1), b.Pulls(2))
+	}
+	// UCB1 still explores: no arm is starved entirely.
+	for i := 0; i < 3; i++ {
+		if b.Pulls(i) < 2 {
+			t.Fatalf("arm %d starved: %d pulls", i, b.Pulls(i))
+		}
+	}
+	if m := b.Mean(1); m < 0.8 || m > 1 {
+		t.Fatalf("mean reward %v, want ≈0.9", m)
+	}
+}
+
+func TestBanditDeterministicSchedule(t *testing.T) {
+	run := func() []int {
+		b := soak.NewBandit([]string{"x", "y"})
+		var seq []int
+		for i := 0; i < 50; i++ {
+			a := b.Next()
+			seq = append(seq, a)
+			b.Update(a, float64(a)*0.3)
+		}
+		return seq
+	}
+	s1, s2 := run(), run()
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("schedule diverges at pull %d: %d vs %d", i, s1[i], s2[i])
+		}
+	}
+}
+
+func TestBanditClampsReward(t *testing.T) {
+	b := soak.NewBandit([]string{"a"})
+	b.Update(0, 7)
+	b.Update(0, -3)
+	if m := b.Mean(0); m != 0.5 {
+		t.Fatalf("mean %v after clamped updates, want 0.5", m)
+	}
+}

@@ -1,0 +1,239 @@
+package soak
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// FuzzOptions configures a fuzzing session.
+type FuzzOptions struct {
+	// Seed drives every derived case seed; the same seed replays the
+	// same session (modulo the Duration cutoff).
+	Seed uint64
+	// Rounds bounds the number of cases executed; 0 means unbounded
+	// (Duration must then be set).
+	Rounds int
+	// Duration bounds wall-clock time; 0 means rounds-only.
+	Duration time.Duration
+	// Targets selects what to fuzz; nil means StructureTargets.
+	Targets []Target
+	// Server adds the end-to-end HTTP soak arms (plain, coalesced under
+	// admission pressure, and — with Faults — EM faults plus churn).
+	Server bool
+	// Faults enables the fault-injected server arm.
+	Faults bool
+	// MaxFailures stops the session early after this many distinct
+	// findings; 0 means 3.
+	MaxFailures int
+	// ArtifactsDir receives one minimised repro file per finding; ""
+	// disables writing.
+	ArtifactsDir string
+	// Alpha, when positive, overrides the harness's per-gate
+	// significance level.
+	Alpha float64
+	// Log receives progress lines; nil discards.
+	Log func(format string, args ...any)
+}
+
+// ArmStat reports one scheduler arm after a session.
+type ArmStat struct {
+	Name   string  `json:"name"`
+	Pulls  int     `json:"pulls"`
+	Reward float64 `json:"mean_reward"`
+}
+
+// FuzzResult summarises a session.
+type FuzzResult struct {
+	Rounds    int       `json:"rounds"`
+	Gates     int       `json:"gates"`
+	Repros    []*Repro  `json:"repros,omitempty"`
+	Artifacts []string  `json:"artifacts,omitempty"`
+	Arms      []ArmStat `json:"arms"`
+}
+
+// arm is one bandit arm: a case template whose seeds and size are
+// re-derived every pull.
+type arm struct {
+	name string
+	c    Case
+}
+
+// Fuzz runs an adaptive differential fuzzing session: a UCB1 bandit
+// schedules case templates (structure × dataset shape × workload
+// shape), every failing case is shrunk to a minimal repro, and repro
+// files land in ArtifactsDir. The harness h carries the gate
+// configuration (and the Mutate seam used by the mutation tests).
+func (h *Harness) Fuzz(opts FuzzOptions) (*FuzzResult, error) {
+	if opts.Rounds <= 0 && opts.Duration <= 0 {
+		return nil, fmt.Errorf("soak: fuzz needs Rounds or Duration")
+	}
+	if opts.Alpha > 0 {
+		h.Alpha = opts.Alpha
+	}
+	maxFail := opts.MaxFailures
+	if maxFail <= 0 {
+		maxFail = 3
+	}
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	arms := buildArms(opts)
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("soak: no targets selected")
+	}
+	names := make([]string, len(arms))
+	for i, a := range arms {
+		names[i] = a.name
+	}
+	b := NewBandit(names)
+	seeds := rng.New(opts.Seed ^ 0x6a09e667f3bcc908)
+
+	res := &FuzzResult{}
+	var deadline time.Time
+	if opts.Duration > 0 {
+		deadline = time.Now().Add(opts.Duration)
+	}
+	seen := make(map[string]bool) // (target, check) already reported
+	for round := 0; ; round++ {
+		if opts.Rounds > 0 && round >= opts.Rounds {
+			break
+		}
+		if !deadline.IsZero() && !time.Now().Before(deadline) {
+			break
+		}
+		i := b.Next()
+		c := arms[i].c
+		// Fresh seeds and a fresh size every pull: the arm fixes the
+		// shape, the pull fixes the instance.
+		c.Dataset.Seed = seeds.Uint64()
+		c.Workload.Seed = seeds.Uint64()
+		if c.Faults.ReadProb > 0 || c.Faults.WriteProb > 0 {
+			c.Faults.Seed = seeds.Uint64()
+		}
+		if c.Dataset.N <= 0 {
+			c.Dataset.N = 16 + seeds.Intn(241)
+		}
+		out, err := h.RunCase(c)
+		if err != nil {
+			return nil, fmt.Errorf("soak: arm %s: %w", arms[i].name, err)
+		}
+		res.Rounds++
+		res.Gates += out.Gates
+		reward := out.Suspicion
+		if out.Failure != nil {
+			reward = 1
+			key := string(out.Failure.Target) + "/" + out.Failure.Check
+			if !seen[key] {
+				seen[key] = true
+				logf("round %d arm %s: FAIL %s — shrinking", round, arms[i].name, out.Failure)
+				min := h.Shrink(c, out.Failure)
+				mout, merr := h.RunCase(min)
+				if merr != nil || mout.Failure == nil {
+					min = c // shrinking went sideways; keep the original
+					mout = out
+				}
+				rep := &Repro{Version: ReproVersion, Case: min, Failure: mout.Failure}
+				res.Repros = append(res.Repros, rep)
+				if opts.ArtifactsDir != "" {
+					if path, werr := writeArtifact(opts.ArtifactsDir, len(res.Repros), rep); werr != nil {
+						logf("round %d: cannot write repro: %v", round, werr)
+					} else {
+						res.Artifacts = append(res.Artifacts, path)
+						logf("round %d: repro written to %s", round, path)
+					}
+				}
+				if len(res.Repros) >= maxFail {
+					break
+				}
+			}
+		}
+		b.Update(i, reward)
+	}
+	for i := range arms {
+		res.Arms = append(res.Arms, ArmStat{Name: b.Name(i), Pulls: b.Pulls(i), Reward: b.Mean(i)})
+	}
+	return res, nil
+}
+
+// writeArtifact drops a repro file into dir, creating it on demand.
+func writeArtifact(dir string, n int, rep *Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("repro-%s-%s-%03d.json", rep.Case.Target, rep.Failure.Check, n))
+	return path, WriteRepro(path, rep)
+}
+
+// buildArms expands the selected targets into bandit arms: each target
+// gets a smooth arm (uniform values and weights) and a skewed arm
+// (clustered values, zipf weights); the 1-D structures additionally
+// get a without-replacement arm. The server target contributes a plain
+// arm, a coalesced arm under admission pressure, and — when faults are
+// on — an EM-fault arm with snapshot churn.
+func buildArms(opts FuzzOptions) []arm {
+	targets := opts.Targets
+	if targets == nil {
+		targets = StructureTargets
+	}
+	var arms []arm
+	for _, t := range targets {
+		if t == TargetServer {
+			continue // configured below via opts.Server
+		}
+		arms = append(arms, arm{
+			name: string(t) + "/smooth",
+			c:    Case{Target: t, Workload: WorkloadSpec{Queries: 6}},
+		})
+		arms = append(arms, arm{
+			name: string(t) + "/skewed",
+			c: Case{
+				Target:   t,
+				Dataset:  DatasetSpec{Values: "clustered", Weights: "zipf", Alpha: 1.2},
+				Workload: WorkloadSpec{Queries: 6},
+			},
+		})
+		switch t {
+		case TargetChunked, TargetAliasAug, TargetTreeWalk:
+			arms = append(arms, arm{
+				name: string(t) + "/wor",
+				c: Case{
+					Target:   t,
+					Dataset:  DatasetSpec{Weights: "random"},
+					Workload: WorkloadSpec{Queries: 6, WoR: true},
+				},
+			})
+		}
+	}
+	if opts.Server {
+		arms = append(arms, arm{
+			name: "server/plain",
+			c:    Case{Target: TargetServer, Workload: WorkloadSpec{Queries: 8, K: 8}, Requests: 384},
+		})
+		arms = append(arms, arm{
+			name: "server/coalesced-pressure",
+			c: Case{
+				Target:   TargetServer,
+				Dataset:  DatasetSpec{Weights: "zipf", Alpha: 1.1},
+				Workload: WorkloadSpec{Queries: 8, K: 8, WoR: true},
+				Coalesce: 8, InFlight: 4, Clients: 8, Requests: 384,
+			},
+		})
+		if opts.Faults {
+			arms = append(arms, arm{
+				name: "server/faults-churn",
+				c: Case{
+					Target:   TargetServer,
+					Workload: WorkloadSpec{Queries: 8, K: 8},
+					Faults:   FaultSpec{ReadProb: 0.02, WriteProb: 0.02, MaxConsecutive: 4},
+					Clients:  4, Requests: 384, Churn: true,
+				},
+			})
+		}
+	}
+	return arms
+}

@@ -1,0 +1,337 @@
+package soak
+
+import (
+	"fmt"
+
+	"repro/internal/rangesample"
+	"repro/internal/stats"
+)
+
+// Failure reports one discrepancy: a violated deterministic invariant
+// (support, draw-for-draw identity, error semantics) or a statistical
+// gate whose statistic crossed its critical value.
+type Failure struct {
+	Target   Target       `json:"target"`
+	Check    string       `json:"check"`
+	Detail   string       `json:"detail"`
+	Query    *QueryRecord `json:"query,omitempty"`
+	Stat     float64      `json:"stat,omitempty"`
+	Critical float64      `json:"critical,omitempty"`
+}
+
+// Error makes a Failure usable as a value in error strings.
+func (f *Failure) String() string {
+	s := fmt.Sprintf("[%s] %s: %s", f.Target, f.Check, f.Detail)
+	if f.Critical > 0 {
+		s += fmt.Sprintf(" (stat %.4g, critical %.4g)", f.Stat, f.Critical)
+	}
+	return s
+}
+
+// Outcome summarises one RunCase execution.
+type Outcome struct {
+	// Failure is the first discrepancy found, nil when the case passed.
+	Failure *Failure
+	// Suspicion is the maximum stat/critical ratio observed across all
+	// statistical gates (1.0 when a gate fired) — the bandit's reward
+	// signal: configurations that get *close* to tripping a gate are
+	// worth revisiting.
+	Suspicion float64
+	// Gates counts evaluated gates (statistical and deterministic), a
+	// coverage signal for tests.
+	Gates int
+}
+
+// Harness runs fuzz cases. The zero value is ready to use.
+type Harness struct {
+	// Alpha is the per-gate significance level of the statistical
+	// gates. It defaults to 1e-9: a correct implementation trips a
+	// single gate with probability ~1e-9, so a full fuzzing session
+	// stays false-positive-free, while gross bias (an off-by-one, a
+	// stale buffer, a shared rng stream) produces statistics orders of
+	// magnitude past any critical value.
+	Alpha float64
+	// MinExpected is the smallest expected count a chi-squared cell may
+	// have; adjacent cells are pooled until they reach it. Default 8.
+	MinExpected float64
+	// Mutate, when non-nil, wraps every 1-D range-sampling structure
+	// under test (never the naive oracle) — the seam the mutation tests
+	// use to prove the gates catch an injected off-by-one. Production
+	// runs leave it nil.
+	Mutate func(rangesample.Sampler) rangesample.Sampler
+}
+
+func (h *Harness) alpha() float64 {
+	if h.Alpha > 0 {
+		return h.Alpha
+	}
+	return 1e-9
+}
+
+func (h *Harness) minExpected() float64 {
+	if h.MinExpected > 0 {
+		return h.MinExpected
+	}
+	return 8
+}
+
+// RunCase executes one case. A non-nil Outcome.Failure is a found
+// discrepancy; err reports an invalid case (bad spec), not a finding.
+func (h *Harness) RunCase(c Case) (Outcome, error) {
+	rn := &run{h: h, c: &c}
+	var err error
+	switch c.Target {
+	case TargetChunked, TargetAliasAug, TargetTreeWalk:
+		err = rn.run1D()
+	case TargetAlias:
+		err = rn.runAlias()
+	case TargetWoR:
+		err = rn.runWoR()
+	case TargetTreeSample:
+		err = rn.runTreeSample()
+	case TargetIntervalTree:
+		err = rn.runIntervalTree()
+	case TargetServer:
+		err = rn.runServer()
+	default:
+		return Outcome{}, fmt.Errorf("soak: unknown target %q", c.Target)
+	}
+	if err != nil {
+		return Outcome{}, err
+	}
+	return rn.out, nil
+}
+
+// run is the per-case check context: it collects the first failure and
+// the suspicion signal while an oracle executes.
+type run struct {
+	h   *Harness
+	c   *Case
+	out Outcome
+}
+
+// failed reports whether the case already has a finding; oracles bail
+// out early once it does so the reported failure stays the first one.
+func (rn *run) failed() bool { return rn.out.Failure != nil }
+
+// fail records a deterministic-invariant violation.
+func (rn *run) fail(check, format string, args ...any) {
+	rn.out.Gates++
+	if rn.out.Failure != nil {
+		return
+	}
+	rn.out.Suspicion = 1
+	rn.out.Failure = &Failure{Target: rn.c.Target, Check: check, Detail: fmt.Sprintf(format, args...)}
+}
+
+// failQuery is fail carrying the query that exposed the violation.
+func (rn *run) failQuery(check string, q QueryRecord, format string, args ...any) {
+	rn.fail(check, format, args...)
+	if rn.out.Failure != nil && rn.out.Failure.Query == nil {
+		qq := q
+		rn.out.Failure.Query = &qq
+	}
+}
+
+// pass records a deterministic gate that held.
+func (rn *run) pass() { rn.out.Gates++ }
+
+// statGate records a statistical gate evaluation: the suspicion signal
+// always updates, and the gate fails when stat > critical.
+func (rn *run) statGate(check string, q *QueryRecord, stat, critical float64) {
+	rn.out.Gates++
+	if critical > 0 {
+		if ratio := stat / critical; ratio > rn.out.Suspicion {
+			rn.out.Suspicion = ratio
+		}
+	}
+	if stat <= critical || rn.out.Failure != nil {
+		return
+	}
+	rn.out.Suspicion = 1
+	f := &Failure{
+		Target: rn.c.Target, Check: check,
+		Detail:   fmt.Sprintf("statistic %.6g exceeds critical value %.6g", stat, critical),
+		Stat:     stat,
+		Critical: critical,
+	}
+	if q != nil {
+		qq := *q
+		f.Query = &qq
+	}
+	rn.out.Failure = f
+}
+
+// gateChi2Probs runs a chi-squared goodness-of-fit gate of observed
+// per-cell counts against expected probabilities, pooling adjacent
+// cells until every expected count reaches MinExpected. Cells with zero
+// probability must have zero counts (checked deterministically: a draw
+// landing on a zero-probability cell is a support violation, not a
+// statistical fluctuation).
+func (rn *run) gateChi2Probs(check string, q *QueryRecord, counts []int, probs []float64) {
+	if len(counts) != len(probs) {
+		rn.fail(check, "internal: %d counts vs %d probs", len(counts), len(probs))
+		return
+	}
+	total := 0
+	for i, c := range counts {
+		total += c
+		if probs[i] == 0 && c > 0 {
+			rn.fail(check+"-support", "cell %d has %d draws but zero probability", i, c)
+			return
+		}
+	}
+	if total == 0 {
+		return
+	}
+	minE := rn.h.minExpected()
+	var obs []int
+	var exp []float64
+	accC, accP := 0, 0.0
+	for i := range counts {
+		accC += counts[i]
+		accP += probs[i]
+		if accP*float64(total) >= minE {
+			obs = append(obs, accC)
+			exp = append(exp, accP*float64(total))
+			accC, accP = 0, 0.0
+		}
+	}
+	if accC > 0 || accP > 0 {
+		if len(obs) == 0 {
+			return // too few draws to bin at all: no gate
+		}
+		obs[len(obs)-1] += accC
+		exp[len(exp)-1] += accP * float64(total)
+	}
+	if len(obs) < 2 {
+		return
+	}
+	stat, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		rn.fail(check, "internal: chi-square: %v", err)
+		return
+	}
+	rn.statGate(check, q, stat, stats.ChiSquareCritical(len(obs)-1, rn.h.alpha()))
+}
+
+// gateTwoSampleCounts runs the two-sample chi-squared homogeneity gate
+// between the structure's counts and the oracle's counts over the same
+// cells, pooling adjacent cells (by combined count) to keep the
+// asymptotics honest.
+func (rn *run) gateTwoSampleCounts(check string, q *QueryRecord, a, b []int) {
+	if len(a) != len(b) {
+		rn.fail(check, "internal: %d vs %d cells", len(a), len(b))
+		return
+	}
+	minC := int(2 * rn.h.minExpected())
+	var pa, pb []int
+	accA, accB := 0, 0
+	for i := range a {
+		accA += a[i]
+		accB += b[i]
+		if accA+accB >= minC {
+			pa = append(pa, accA)
+			pb = append(pb, accB)
+			accA, accB = 0, 0
+		}
+	}
+	if (accA > 0 || accB > 0) && len(pa) > 0 {
+		pa[len(pa)-1] += accA
+		pb[len(pb)-1] += accB
+	}
+	if len(pa) < 2 {
+		return
+	}
+	stat, dof, err := stats.ChiSquareTwoSample(pa, pb)
+	if err != nil {
+		return // degenerate pooling (one live cell): no gate
+	}
+	rn.statGate(check, q, stat, stats.ChiSquareCritical(dof, rn.h.alpha()))
+}
+
+// gateKSTwoSample runs the two-sample KS gate between continuous sample
+// sets (the structure's sampled values vs the oracle's).
+func (rn *run) gateKSTwoSample(check string, q *QueryRecord, x, y []float64) {
+	if len(x) == 0 || len(y) == 0 {
+		return
+	}
+	d, err := stats.KSTwoSample(x, y)
+	if err != nil {
+		rn.fail(check, "internal: ks: %v", err)
+		return
+	}
+	rn.statGate(check, q, d, stats.KSTwoSampleCritical(len(x), len(y), rn.h.alpha()))
+}
+
+// gateIndependence runs a chi-squared independence gate over a
+// contingency table of (previous draw bin, current draw bin) pairs from
+// consecutive queries: under cross-query independence (Equation 1 of
+// the paper) the table factorises into its margins.
+func (rn *run) gateIndependence(check string, pairs [][2]int, bins int) {
+	if len(pairs) == 0 || bins < 2 {
+		return
+	}
+	table := make([]int, bins*bins)
+	rows := make([]int, bins)
+	cols := make([]int, bins)
+	for _, p := range pairs {
+		if p[0] < 0 || p[0] >= bins || p[1] < 0 || p[1] >= bins {
+			rn.fail(check, "internal: pair (%d, %d) outside %d bins", p[0], p[1], bins)
+			return
+		}
+		table[p[0]*bins+p[1]]++
+		rows[p[0]]++
+		cols[p[1]]++
+	}
+	n := float64(len(pairs))
+	// Only rows/columns with enough mass participate; sparse margins
+	// would wreck the chi-squared asymptotics.
+	minE := rn.h.minExpected()
+	stat := 0.0
+	liveR, liveC := 0, 0
+	for i := 0; i < bins; i++ {
+		if float64(rows[i]) >= minE {
+			liveR++
+		}
+		if float64(cols[i]) >= minE {
+			liveC++
+		}
+	}
+	if liveR < 2 || liveC < 2 {
+		return
+	}
+	for i := 0; i < bins; i++ {
+		if float64(rows[i]) < minE {
+			continue
+		}
+		for j := 0; j < bins; j++ {
+			if float64(cols[j]) < minE {
+				continue
+			}
+			e := float64(rows[i]) * float64(cols[j]) / n
+			if e == 0 {
+				continue
+			}
+			d := float64(table[i*bins+j]) - e
+			stat += d * d / e
+		}
+	}
+	dof := (liveR - 1) * (liveC - 1)
+	rn.statGate(check, nil, stat, stats.ChiSquareCritical(dof, rn.h.alpha()))
+}
+
+// binOf maps a position in [0, n) to one of `bins` contiguous buckets.
+func binOf(pos, n, bins int) int {
+	if n <= 0 {
+		return 0
+	}
+	b := pos * bins / n
+	if b >= bins {
+		b = bins - 1
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}

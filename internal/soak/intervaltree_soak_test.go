@@ -1,0 +1,60 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/soak"
+)
+
+// The interval tree was the one multi-dimensional structure with no
+// integration coverage; these tests drive it through the shared soak
+// harness across the dataset regimes the fuzzer schedules.
+func TestIntervalTreeSoakRegimes(t *testing.T) {
+	cases := map[string]soak.DatasetSpec{
+		"uniform":       {Seed: 81, N: 80},
+		"zipf-weights":  {Seed: 82, N: 80, Weights: "zipf", Alpha: 1.4},
+		"clustered":     {Seed: 83, N: 80, Values: "clustered", Clusters: 5, Sigma: 0.02},
+		"random-weight": {Seed: 84, N: 80, Weights: "random"},
+		"tiny":          {Seed: 85, N: 3},
+	}
+	for name, ds := range cases {
+		name, ds := name, ds
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			out, err := h.RunCase(soak.Case{
+				Target:   soak.TargetIntervalTree,
+				Dataset:  ds,
+				Workload: soak.WorkloadSpec{Seed: ds.Seed + 1, Queries: 6, Reps: 150},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+			if out.Gates == 0 {
+				t.Fatal("no gates evaluated")
+			}
+		})
+	}
+}
+
+// Many seeds, moderate size: the statistical gates over the stabbing
+// sampler stay quiet across repeated independent instances.
+func TestIntervalTreeSoakManySeeds(t *testing.T) {
+	h := &soak.Harness{}
+	for seed := uint64(0); seed < 8; seed++ {
+		out, err := h.RunCase(soak.Case{
+			Target:   soak.TargetIntervalTree,
+			Dataset:  soak.DatasetSpec{Seed: 100 + seed, N: 40, Weights: "random"},
+			Workload: soak.WorkloadSpec{Seed: 200 + seed, Queries: 4, Reps: 80},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.Failure != nil {
+			t.Fatalf("seed %d: false positive: %v", seed, out.Failure)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+	"repro/internal/scratch"
+)
+
+// indepBins is the bucket count of the cross-query independence
+// contingency tables.
+const indepBins = 4
+
+// run1D differentially tests one 1-D range-sampling structure
+// (Chunked, AliasAug, or TreeWalk) against the Naive oracle, then
+// repeats the workload through internal/core for the draw-for-draw
+// identity contracts of the *Into/Context variants and the WoR path.
+func (rn *run) run1D() error {
+	c := rn.c
+	values, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	naive, err := rangesample.NewNaive(values, weights)
+	if err != nil {
+		return fmt.Errorf("soak: naive oracle: %w", err)
+	}
+	var subject rangesample.Sampler
+	var kind core.Kind
+	switch c.Target {
+	case TargetChunked:
+		subject, err = rangesample.NewChunked(values, weights)
+		kind = core.KindChunked
+	case TargetAliasAug:
+		subject, err = rangesample.NewAliasAug(values, weights)
+		kind = core.KindAliasAug
+	case TargetTreeWalk:
+		subject, err = rangesample.NewTreeWalk(values, weights)
+		kind = core.KindTreeWalk
+	default:
+		return fmt.Errorf("soak: run1D on target %q", c.Target)
+	}
+	if err != nil {
+		return fmt.Errorf("soak: build %s: %w", c.Target, err)
+	}
+	if rn.h.Mutate != nil {
+		subject = rn.h.Mutate(subject)
+	}
+
+	n := naive.Len()
+	sorted := make([]float64, n)
+	sortedW := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sorted[i] = naive.Value(i)
+		sortedW[i] = naive.Weight(i)
+	}
+	queries := c.Queries(sorted)
+	reps := c.reps()
+
+	// Deterministic probe: a query beyond the stored values must report
+	// an empty range and leave dst untouched.
+	ghost := QueryRecord{Lo: sorted[n-1] + 1, Hi: sorted[n-1] + 2, K: 3}
+	if out, ok := subject.Query(rng.New(c.Workload.Seed), ghostIv(ghost), ghost.K, nil); ok || len(out) != 0 {
+		rn.failQuery("empty-range", ghost, "query past max value returned ok=%v with %d samples", ok, len(out))
+	} else {
+		rn.pass()
+	}
+
+	rSub := rng.New(c.Workload.Seed ^ 0x9e3779b97f4a7c15)
+	rOra := rng.New(c.Workload.Seed ^ 0xbf58476d1ce4e5b9)
+	for qi := range queries {
+		q := queries[qi]
+		iv := rangesample.Interval{Lo: q.Lo, Hi: q.Hi}
+		a, b, inRange := posRange(sorted, q.Lo, q.Hi)
+		probs := rangeProbs(sortedW, a, b)
+		counts := make([]int, len(probs))
+		oracleCounts := make([]int, len(probs))
+		subVals := make([]float64, 0, reps*q.K)
+		oraVals := make([]float64, 0, reps*q.K)
+		var bins []int
+		for rep := 0; rep < reps && !rn.failed(); rep++ {
+			out, ok := subject.Query(rSub, iv, q.K, nil)
+			if ok != inRange {
+				rn.failQuery("empty-range-flag", q, "structure ok=%v, oracle range has %d elements", ok, b-a+1)
+				break
+			}
+			if !inRange {
+				break
+			}
+			if len(out) != q.K {
+				rn.failQuery("sample-count", q, "got %d samples, want %d", len(out), q.K)
+				break
+			}
+			for _, pos := range out {
+				if pos < a || pos > b {
+					rn.failQuery("support", q, "sampled position %d outside in-range positions [%d, %d]", pos, a, b)
+					break
+				}
+				v := sorted[pos]
+				if v < q.Lo || v > q.Hi {
+					rn.failQuery("support", q, "sampled value %v outside [%v, %v]", v, q.Lo, q.Hi)
+					break
+				}
+				counts[pos-a]++
+				subVals = append(subVals, v)
+			}
+			oout, ook := naive.Query(rOra, iv, q.K, nil)
+			if ook != inRange {
+				return fmt.Errorf("soak: naive oracle disagrees with posRange on %+v", q)
+			}
+			for _, pos := range oout {
+				oracleCounts[pos-a]++
+				oraVals = append(oraVals, sorted[pos])
+			}
+			if len(out) > 0 {
+				bins = append(bins, binOf(out[0]-a, b-a+1, indepBins))
+			}
+		}
+		if rn.failed() || !inRange {
+			continue
+		}
+		rn.gateChi2Probs("chi2-uniformity", &q, counts, probs)
+		rn.gateTwoSampleCounts("chi2-vs-oracle", &q, counts, oracleCounts)
+		rn.gateKSTwoSample("ks-vs-oracle", &q, subVals, oraVals)
+		// Cross-query independence (Equation 1), gated per query: pairs
+		// from different queries have different margins, and pooling them
+		// would fake dependence (Simpson mixing).
+		rn.gateIndependence("independence", pairUp(bins), indepBins)
+		rn.checkScratchIdentity(q, subject, iv)
+	}
+	if rn.failed() {
+		return nil
+	}
+	return rn.runCore1D(kind, values, weights, sorted, sortedW, queries)
+}
+
+// checkScratchIdentity asserts the documented stream-identity contract
+// between Query and QueryScratch when the structure (or its mutation
+// wrapper) implements ScratchSampler.
+func (rn *run) checkScratchIdentity(q QueryRecord, subject rangesample.Sampler, iv rangesample.Interval) {
+	ss, isScratch := subject.(rangesample.ScratchSampler)
+	if !isScratch {
+		return
+	}
+	seed := rn.c.Workload.Seed ^ (uint64(q.K) * 0x94d049bb133111eb)
+	r1, r2 := rng.New(seed), rng.New(seed)
+	o1, ok1 := subject.Query(r1, iv, q.K, nil)
+	sc := &scratch.Arena{}
+	o2, ok2 := ss.QueryScratch(r2, iv, q.K, nil, sc)
+	if ok1 != ok2 || !equalInts(o1, o2) {
+		rn.failQuery("identity-scratch", q, "Query and QueryScratch diverge: %v/%v vs %v/%v", o1, ok1, o2, ok2)
+		return
+	}
+	if r1.Uint64() != r2.Uint64() {
+		rn.failQuery("identity-scratch-stream", q, "Query and QueryScratch consumed different randomness")
+		return
+	}
+	rn.pass()
+}
+
+// runCore1D runs the internal/core contract checks: the *Into and
+// Context variants must be draw-for-draw identical to the allocating
+// entry points, and the WoR path must return duplicate-free in-range
+// subsets with uniform inclusion, erroring exactly when k exceeds the
+// qualifying count.
+func (rn *run) runCore1D(kind core.Kind, values, weights, sorted, sortedW []float64, queries []QueryRecord) error {
+	cs, err := core.NewRangeSampler(kind, values, weights)
+	if err != nil {
+		return fmt.Errorf("soak: core build %v: %w", kind, err)
+	}
+	naive, err := core.NewRangeSampler(core.KindNaive, values, weights)
+	if err != nil {
+		return fmt.Errorf("soak: core naive oracle: %w", err)
+	}
+	rWoR := rng.New(rn.c.Workload.Seed ^ 0xd6e8feb86659fd93)
+	rWoROra := rng.New(rn.c.Workload.Seed ^ 0xa0761d6478bd642f)
+	reps := rn.c.reps()
+	for qi := range queries {
+		q := queries[qi]
+		if rn.failed() {
+			return nil
+		}
+		seed := rn.c.Workload.Seed + uint64(qi)*0x2545f4914f6cdd1d
+		// Identity: Sample vs SampleInto on the same stream.
+		r1, r2 := rng.New(seed), rng.New(seed)
+		o1, ok1 := cs.Sample(r1, q.Lo, q.Hi, q.K)
+		sc := core.NewScratch()
+		o2, ok2 := cs.SampleInto(r2, q.Lo, q.Hi, q.K, make([]float64, 0, q.K), sc)
+		if ok1 != ok2 || !equalFloats(o1, o2) {
+			rn.failQuery("identity-into", q, "Sample vs SampleInto diverge: %v/%v vs %v/%v", o1, ok1, o2, ok2)
+			return nil
+		}
+		if r1.Uint64() != r2.Uint64() {
+			rn.failQuery("identity-into-stream", q, "Sample and SampleInto consumed different randomness")
+			return nil
+		}
+		rn.pass()
+
+		// WoR support + error semantics + uniform inclusion.
+		a, b, inRange := posRange(sorted, q.Lo, q.Hi)
+		if !inRange {
+			continue
+		}
+		cnt := b - a + 1
+		if _, werr := cs.SampleWoR(rng.New(seed), q.Lo, q.Hi, cnt+1); !errors.Is(werr, core.ErrSampleTooLarge) {
+			rn.failQuery("wor-overdraw", q, "k = count+1 returned %v, want ErrSampleTooLarge", werr)
+			return nil
+		}
+		rn.pass()
+		k := q.K
+		if k > cnt {
+			k = cnt
+		}
+		if k == 0 {
+			continue
+		}
+		incl := make([]int, cnt)
+		oracleIncl := make([]int, cnt)
+		worReps := reps / 4
+		if worReps < 32 {
+			worReps = 32
+		}
+		for rep := 0; rep < worReps; rep++ {
+			out, werr := cs.SampleWoR(rWoR, q.Lo, q.Hi, k)
+			if werr != nil {
+				rn.failQuery("wor-error", q, "SampleWoR(k=%d, count=%d): %v", k, cnt, werr)
+				return nil
+			}
+			if len(out) != k {
+				rn.failQuery("wor-size", q, "got %d, want %d", len(out), k)
+				return nil
+			}
+			seen := make(map[int]bool, k)
+			for _, v := range out {
+				pos := findPos(sorted, v)
+				if pos < a || pos > b {
+					rn.failQuery("wor-support", q, "WoR value %v outside range", v)
+					return nil
+				}
+				if seen[pos] {
+					rn.failQuery("wor-duplicate", q, "duplicate element %v in WoR sample", v)
+					return nil
+				}
+				seen[pos] = true
+				incl[pos-a]++
+			}
+			oout, werr := naive.SampleWoR(rWoROra, q.Lo, q.Hi, k)
+			if werr != nil {
+				return fmt.Errorf("soak: naive SampleWoR oracle: %w", werr)
+			}
+			for _, v := range oout {
+				oracleIncl[findPos(sorted, v)-a]++
+			}
+		}
+		rn.pass()
+		// Differential inclusion: whatever the weight vector, the
+		// structure's WoR inclusion counts must be homogeneous with the
+		// naive baseline's. (Mapping duplicate values to their leftmost
+		// position is the same deterministic collapse on both sides, so
+		// homogeneity is unaffected.)
+		rn.gateTwoSampleCounts("wor-inclusion-vs-naive", &q, incl, oracleIncl)
+		// Uniform inclusion holds only in the uniform-weight regime —
+		// SampleWoR's contract; with weights it dedupes weighted draws.
+		if !hasAdjacentDup(sorted[a:b+1]) && allEqual(sortedW[a:b+1]) {
+			probs := make([]float64, cnt)
+			for i := range probs {
+				probs[i] = 1 / float64(cnt)
+			}
+			rn.gateChi2Probs("wor-inclusion", &q, incl, probs)
+		}
+	}
+	return nil
+}
+
+func ghostIv(q QueryRecord) rangesample.Interval {
+	return rangesample.Interval{Lo: q.Lo, Hi: q.Hi}
+}
+
+// posRange maps a value interval to sorted positions [a, b]; inRange is
+// false when no stored value qualifies.
+func posRange(sorted []float64, lo, hi float64) (a, b int, inRange bool) {
+	a = sort.SearchFloat64s(sorted, lo)
+	b = sort.Search(len(sorted), func(i int) bool { return sorted[i] > hi }) - 1
+	return a, b, a <= b
+}
+
+// rangeProbs returns the normalised weight vector of positions [a, b].
+func rangeProbs(sortedW []float64, a, b int) []float64 {
+	if a > b {
+		return nil
+	}
+	probs := make([]float64, b-a+1)
+	total := 0.0
+	for i := a; i <= b; i++ {
+		total += sortedW[i]
+	}
+	for i := range probs {
+		probs[i] = sortedW[a+i] / total
+	}
+	return probs
+}
+
+// findPos locates v in sorted order (leftmost on duplicates; -1 when
+// absent).
+func findPos(sorted []float64, v float64) int {
+	i := sort.SearchFloat64s(sorted, v)
+	if i < len(sorted) && sorted[i] == v {
+		return i
+	}
+	return -1
+}
+
+// pairUp turns a sequence of first-draw bins into non-overlapping
+// (x_{2i}, x_{2i+1}) pairs: overlapping bigrams share elements and are
+// not valid chi-squared observations.
+func pairUp(bins []int) [][2]int {
+	pairs := make([][2]int, 0, len(bins)/2)
+	for i := 0; i+1 < len(bins); i += 2 {
+		pairs = append(pairs, [2]int{bins[i], bins[i+1]})
+	}
+	return pairs
+}
+
+func allEqual(w []float64) bool {
+	for i := 1; i < len(w); i++ {
+		if w[i] != w[0] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAdjacentDup(sorted []float64) bool {
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] == sorted[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,348 @@
+package soak
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/alias"
+	"repro/internal/rng"
+	"repro/internal/treesample"
+	"repro/internal/wor"
+)
+
+// runAlias differentially tests the alias structure (Theorem 1): the
+// bulk kernels must be draw-for-draw identical to the scalar path, and
+// the draw distribution must match the weight vector.
+func (rn *run) runAlias() error {
+	c := rn.c
+	_, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	al, err := alias.New(weights)
+	if err != nil {
+		return fmt.Errorf("soak: alias build: %w", err)
+	}
+	n := al.Len()
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	probs := make([]float64, n)
+	for i, w := range weights {
+		probs[i] = w / total
+	}
+
+	queries := c.Queries(identityValues(n))
+	reps := c.reps()
+	rDraw := rng.New(c.Workload.Seed ^ 0x9e3779b97f4a7c15)
+	var bins []int
+	for qi := range queries {
+		q := queries[qi]
+		s := q.K * reps
+		// Identity: SampleBulk is specified stream-identical to s scalar
+		// Sample calls — same outputs, same final generator state.
+		seed := c.Workload.Seed + uint64(qi)*0x9e3779b97f4a7c15
+		r1, r2 := rng.New(seed), rng.New(seed)
+		scalar := make([]int, 0, s)
+		for i := 0; i < s; i++ {
+			scalar = append(scalar, al.Sample(r1))
+		}
+		bulk := al.SampleBulk(r2, s, 0, make([]int, 0, s))
+		if !equalInts(scalar, bulk) {
+			rn.failQuery("identity-bulk", q, "SampleBulk diverges from scalar Sample after %d draws", s)
+			return nil
+		}
+		if r1.Uint64() != r2.Uint64() {
+			rn.failQuery("identity-bulk-stream", q, "SampleBulk consumed different randomness than scalar path")
+			return nil
+		}
+		rn.pass()
+		// Identity: CountsBulkInto vs CountsInto on the same stream.
+		r3, r4 := rng.New(seed+1), rng.New(seed+1)
+		c1 := al.CountsInto(r3, s, make([]int, n))
+		c2 := al.CountsBulkInto(r4, s, make([]int, n))
+		if !equalInts(c1, c2) {
+			rn.failQuery("identity-counts", q, "CountsBulkInto diverges from CountsInto")
+			return nil
+		}
+		rn.pass()
+		// Distribution: fresh draws against the weight vector, plus the
+		// cross-query independence pairs.
+		counts := make([]int, n)
+		for i := 0; i < s; i++ {
+			v := al.Sample(rDraw)
+			if v < 0 || v >= n {
+				rn.failQuery("support", q, "Sample returned %d outside [0, %d)", v, n)
+				return nil
+			}
+			counts[v]++
+			if i == 0 {
+				bins = append(bins, binOf(v, n, indepBins))
+			}
+		}
+		rn.gateChi2Probs("chi2-weights", &q, counts, probs)
+		// Differential: the bulk draws above came from the same
+		// distribution; two-sample gate between scalar and bulk counts.
+		bulkCounts := make([]int, n)
+		for _, v := range bulk {
+			bulkCounts[v]++
+		}
+		rn.gateTwoSampleCounts("chi2-scalar-vs-bulk", &q, counts, bulkCounts)
+		if rn.failed() {
+			return nil
+		}
+	}
+	rn.gateIndependence("independence", pairUp(bins), indepBins)
+	return nil
+}
+
+// runWoR differentially tests the WR/WoR kernels: Floyd's uniform WoR
+// against uniform inclusion, the weighted WoR heap against a naive
+// sequential-draw oracle, and every bulk kernel against its scalar twin.
+func (rn *run) runWoR() error {
+	c := rn.c
+	_, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(weights)
+	queries := c.Queries(identityValues(n))
+	reps := c.reps()
+
+	// Error semantics: an overdraw must fail with ErrSampleTooLarge.
+	if _, werr := wor.UniformWoR(rng.New(1), n, n+1); !errors.Is(werr, wor.ErrSampleTooLarge) {
+		rn.fail("wor-overdraw", "UniformWoR(n, n+1) returned %v, want ErrSampleTooLarge", werr)
+		return nil
+	}
+	rn.pass()
+
+	rDraw := rng.New(c.Workload.Seed ^ 0x2545f4914f6cdd1d)
+	rOra := rng.New(c.Workload.Seed ^ 0x9e3779b97f4a7c15)
+	for qi := range queries {
+		q := queries[qi]
+		s := q.K
+		if s > n {
+			s = n
+		}
+		if s == 0 {
+			continue
+		}
+		seed := c.Workload.Seed + uint64(qi)*0xbf58476d1ce4e5b9
+
+		// Identity: every bulk kernel against its scalar twin.
+		r1, r2 := rng.New(seed), rng.New(seed)
+		wr1 := wor.UniformWRInto(r1, n, s, nil)
+		wr2 := wor.UniformWRBulkInto(r2, n, s, nil)
+		if !equalInts(wr1, wr2) || r1.Uint64() != r2.Uint64() {
+			rn.failQuery("identity-wr-bulk", q, "UniformWRBulkInto diverges from UniformWRInto")
+			return nil
+		}
+		r3, r4 := rng.New(seed+1), rng.New(seed+1)
+		wor1, err1 := wor.UniformWoRInto(r3, n, s, nil, make(map[int]struct{}, s))
+		wor2, err2 := wor.UniformWoRBulkInto(r4, n, s, nil, make(map[int]struct{}, s))
+		if err1 != nil || err2 != nil || !equalInts(wor1, wor2) || r3.Uint64() != r4.Uint64() {
+			rn.failQuery("identity-wor-bulk", q, "UniformWoRBulkInto diverges from UniformWoRInto (%v, %v)", err1, err2)
+			return nil
+		}
+		r5, r6 := rng.New(seed+2), rng.New(seed+2)
+		ww1, err1 := wor.WeightedWoRInto(r5, weights, s, nil, make([]float64, s))
+		ww2, err2 := wor.WeightedWoRBulkInto(r6, weights, s, nil, make([]float64, s))
+		if err1 != nil || err2 != nil || !equalInts(ww1, ww2) || r5.Uint64() != r6.Uint64() {
+			rn.failQuery("identity-weighted-bulk", q, "WeightedWoRBulkInto diverges from WeightedWoRInto (%v, %v)", err1, err2)
+			return nil
+		}
+		rn.pass()
+
+		// Uniform WoR: duplicate-free in-range subsets with uniform
+		// inclusion and a uniform first element (exchangeability).
+		incl := make([]int, n)
+		first := make([]int, n)
+		for rep := 0; rep < reps; rep++ {
+			out, werr := wor.UniformWoR(rDraw, n, s)
+			if werr != nil {
+				rn.failQuery("wor-error", q, "UniformWoR(%d, %d): %v", n, s, werr)
+				return nil
+			}
+			if len(out) != s {
+				rn.failQuery("wor-size", q, "got %d, want %d", len(out), s)
+				return nil
+			}
+			seen := make(map[int]bool, s)
+			for _, v := range out {
+				if v < 0 || v >= n {
+					rn.failQuery("wor-support", q, "index %d outside [0, %d)", v, n)
+					return nil
+				}
+				if seen[v] {
+					rn.failQuery("wor-duplicate", q, "duplicate index %d", v)
+					return nil
+				}
+				seen[v] = true
+				incl[v]++
+			}
+			first[out[0]]++
+		}
+		uni := make([]float64, n)
+		for i := range uni {
+			uni[i] = 1 / float64(n)
+		}
+		rn.gateChi2Probs("wor-inclusion", &q, incl, uni)
+		rn.gateChi2Probs("wor-first-element", &q, first, uni)
+
+		// Weighted WoR vs the naive sequential oracle. The
+		// Efraimidis–Spirakis heap emits winners in heap order (not draw
+		// order), so only the *inclusion* distribution is comparable —
+		// and by their theorem it must match successive sampling exactly.
+		wIncl := make([]int, n)
+		oIncl := make([]int, n)
+		for rep := 0; rep < reps; rep++ {
+			out, werr := wor.WeightedWoR(rDraw, weights, s)
+			if werr != nil {
+				rn.failQuery("weighted-wor-error", q, "WeightedWoR: %v", werr)
+				return nil
+			}
+			seen := make(map[int]bool, s)
+			for _, v := range out {
+				if v < 0 || v >= n || seen[v] {
+					rn.failQuery("weighted-wor-support", q, "bad or duplicate index %d", v)
+					return nil
+				}
+				seen[v] = true
+				wIncl[v]++
+			}
+			for _, v := range naiveWeightedWoR(rOra, weights, s) {
+				oIncl[v]++
+			}
+		}
+		rn.gateTwoSampleCounts("weighted-wor-inclusion-vs-oracle", &q, wIncl, oIncl)
+		if rn.failed() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// naiveWeightedWoR is the obviously-correct weighted without-replacement
+// oracle: s successive categorical draws over the remaining weights.
+func naiveWeightedWoR(r *rng.Source, weights []float64, s int) []int {
+	w := append([]float64(nil), weights...)
+	out := make([]int, 0, s)
+	for j := 0; j < s; j++ {
+		total := 0.0
+		for _, wi := range w {
+			total += wi
+		}
+		u := r.Float64() * total
+		idx := -1
+		acc := 0.0
+		for i, wi := range w {
+			if wi == 0 {
+				continue
+			}
+			acc += wi
+			idx = i
+			if u < acc {
+				break
+			}
+		}
+		out = append(out, idx)
+		w[idx] = 0
+	}
+	return out
+}
+
+// runTreeSample differentially tests the two tree-sampling structures
+// of Section 5 against each other and against the leaf-weight
+// distribution, over a random tree generated from the case seed.
+func (rn *run) runTreeSample() error {
+	c := rn.c
+	_, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	m := len(weights)
+	if m < 3 {
+		m = 3
+	}
+	rShape := rng.New(c.Dataset.Seed ^ 0x94d049bb133111eb)
+	parent := make([]int, m)
+	parent[0] = -1
+	hasChild := make([]bool, m)
+	for i := 1; i < m; i++ {
+		parent[i] = rShape.Intn(i)
+		hasChild[parent[i]] = true
+	}
+	lw := make([]float64, m)
+	for i := range lw {
+		if !hasChild[i] {
+			lw[i] = weights[i%len(weights)]
+		}
+	}
+	t, err := treesample.FromParents(parent, lw)
+	if err != nil {
+		return fmt.Errorf("soak: tree build: %w", err)
+	}
+	walk := treesample.NewWalkSampler(t)
+	euler := treesample.NewEulerSampler(t)
+	leafW := t.LeafWeights()
+
+	queries := c.Queries(identityValues(t.NumNodes()))
+	reps := c.reps()
+	rWalk := rng.New(c.Workload.Seed ^ 0x2545f4914f6cdd1d)
+	rEuler := rng.New(c.Workload.Seed ^ 0xd6e8feb86659fd93)
+	for qi := range queries {
+		q := queries[qi]
+		node := treesample.NodeID(int(q.frac() * float64(t.NumNodes())))
+		if int(node) >= t.NumNodes() {
+			node = t.Root()
+		}
+		lo, hi := t.Span(node)
+		span := hi - lo + 1
+		probs := make([]float64, span)
+		total := 0.0
+		for i := lo; i <= hi; i++ {
+			total += leafW[i]
+		}
+		for i := range probs {
+			probs[i] = leafW[lo+i] / total
+		}
+		wCounts := make([]int, span)
+		eCounts := make([]int, span)
+		for rep := 0; rep < reps; rep++ {
+			for _, leaf := range walk.Query(rWalk, node, q.K, nil) {
+				pos, _ := t.Span(leaf)
+				if !t.IsLeaf(leaf) || pos < lo || pos > hi {
+					rn.failQuery("walk-support", q, "walk sampled node %d outside subtree span [%d, %d]", leaf, lo, hi)
+					return nil
+				}
+				wCounts[pos-lo]++
+			}
+			for _, leaf := range euler.Query(rEuler, node, q.K, nil) {
+				pos, _ := t.Span(leaf)
+				if !t.IsLeaf(leaf) || pos < lo || pos > hi {
+					rn.failQuery("euler-support", q, "euler sampled node %d outside subtree span [%d, %d]", leaf, lo, hi)
+					return nil
+				}
+				eCounts[pos-lo]++
+			}
+		}
+		rn.gateChi2Probs("walk-chi2-weights", &q, wCounts, probs)
+		rn.gateChi2Probs("euler-chi2-weights", &q, eCounts, probs)
+		rn.gateTwoSampleCounts("walk-vs-euler", &q, wCounts, eCounts)
+		if rn.failed() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// identityValues builds the sorted pseudo-value array 0..n-1 the
+// workload generator derives index-space queries from.
+func identityValues(n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = float64(i)
+	}
+	return v
+}

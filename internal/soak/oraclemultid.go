@@ -1,0 +1,134 @@
+package soak
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/alias"
+	"repro/internal/intervaltree"
+	"repro/internal/rng"
+)
+
+// runIntervalTree differentially tests the interval-tree stabbing
+// sampler (the multi-dimensional path, Lemma 4) against two oracles:
+// Report for the qualifying set and an alias table over the reported
+// weights for the sampling distribution.
+func (rn *run) runIntervalTree() error {
+	c := rn.c
+	values, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(values)
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	spread := hi - lo
+	if spread <= 0 {
+		spread = 1
+	}
+	// Intervals start at the dataset values with lengths up to 20% of
+	// the value spread, so stabbing at a stored value hits a non-trivial
+	// but not universal subset.
+	rLen := rng.New(c.Dataset.Seed ^ 0xd6e8feb86659fd93)
+	ivs := make([]intervaltree.Interval, n)
+	for i, v := range values {
+		ivs[i] = intervaltree.Interval{L: v, R: v + rLen.Float64()*0.2*spread}
+	}
+	t, err := intervaltree.New(ivs, weights)
+	if err != nil {
+		return fmt.Errorf("soak: interval tree build: %w", err)
+	}
+
+	// Deterministic probe: stabbing left of every interval must report
+	// empty and sample nothing.
+	if out, ok := t.Query(rng.New(c.Workload.Seed), lo-1, 3, nil); ok || len(out) != 0 {
+		rn.fail("empty-stab", "stab left of all intervals returned ok=%v with %d samples", ok, len(out))
+		return nil
+	}
+	rn.pass()
+
+	queries := c.Queries(values)
+	reps := c.reps()
+	rSub := rng.New(c.Workload.Seed ^ 0x9e3779b97f4a7c15)
+	rOra := rng.New(c.Workload.Seed ^ 0xbf58476d1ce4e5b9)
+	for qi := range queries {
+		q := queries[qi]
+		stab := q.Lo
+		report := t.Report(stab, nil)
+		for _, id := range report {
+			if !ivs[id].Contains(stab) {
+				return fmt.Errorf("soak: Report oracle returned non-stabbed interval %d at %v", id, stab)
+			}
+		}
+		slot := make(map[int]int, len(report))
+		sumW := 0.0
+		for i, id := range report {
+			slot[id] = i
+			sumW += weights[id]
+		}
+		// StabWeight must agree with the reported weight sum up to
+		// floating-point reassociation.
+		sw := t.StabWeight(stab)
+		if diff := math.Abs(sw - sumW); diff > 1e-9*(1+sumW) {
+			rn.failQuery("stab-weight", q, "StabWeight %v vs reported sum %v", sw, sumW)
+			return nil
+		}
+		rn.pass()
+		if len(report) == 0 {
+			if out, ok := t.Query(rSub, stab, q.K, nil); ok || len(out) != 0 {
+				rn.failQuery("empty-stab-flag", q, "empty report but Query ok=%v with %d samples", ok, len(out))
+				return nil
+			}
+			rn.pass()
+			continue
+		}
+		probs := make([]float64, len(report))
+		rw := make([]float64, len(report))
+		for i, id := range report {
+			probs[i] = weights[id] / sumW
+			rw[i] = weights[id]
+		}
+		oracle, err := alias.New(rw)
+		if err != nil {
+			return fmt.Errorf("soak: alias oracle over report: %w", err)
+		}
+		counts := make([]int, len(report))
+		oracleCounts := make([]int, len(report))
+		var bins []int
+		for rep := 0; rep < reps; rep++ {
+			out, ok := t.Query(rSub, stab, q.K, nil)
+			if !ok {
+				rn.failQuery("stab-flag", q, "non-empty report (%d intervals) but Query ok=false", len(report))
+				return nil
+			}
+			if len(out) != q.K {
+				rn.failQuery("sample-count", q, "got %d samples, want %d", len(out), q.K)
+				return nil
+			}
+			for _, id := range out {
+				s, inReport := slot[id]
+				if !inReport {
+					rn.failQuery("support", q, "sampled interval %d not in the stab set of %v", id, stab)
+					return nil
+				}
+				counts[s]++
+			}
+			for i := 0; i < q.K; i++ {
+				oracleCounts[oracle.Sample(rOra)]++
+			}
+			bins = append(bins, binOf(slot[out[0]], len(report), indepBins))
+		}
+		rn.gateChi2Probs("chi2-stab-weights", &q, counts, probs)
+		rn.gateTwoSampleCounts("chi2-vs-alias-oracle", &q, counts, oracleCounts)
+		// Per query: pooling pairs across stabs with different margins
+		// would fake dependence (Simpson mixing).
+		rn.gateIndependence("independence", pairUp(bins), indepBins)
+		if rn.failed() {
+			return nil
+		}
+	}
+	return nil
+}

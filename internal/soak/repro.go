@@ -1,0 +1,54 @@
+package soak
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ReproVersion is the repro file format version; bump on incompatible
+// Case changes so stale artifacts fail loudly instead of replaying the
+// wrong thing.
+const ReproVersion = 1
+
+// Repro is a self-contained, minimised reproduction of one finding:
+// the shrunk case (seeds, dataset spec, pinned query trace, fault
+// schedule) plus the failure it reproduces. Serialised as JSON,
+// re-executed with Replay (or `iqsfuzz -replay file`).
+type Repro struct {
+	Version int      `json:"version"`
+	Case    Case     `json:"case"`
+	Failure *Failure `json:"failure"`
+}
+
+// Replay re-executes a repro deterministically. The returned outcome's
+// Failure is nil when the underlying discrepancy has been fixed.
+func (h *Harness) Replay(rep *Repro) (Outcome, error) {
+	if rep.Version != ReproVersion {
+		return Outcome{}, fmt.Errorf("soak: repro version %d, this binary speaks %d", rep.Version, ReproVersion)
+	}
+	return h.RunCase(rep.Case)
+}
+
+// WriteRepro serialises a repro to path (pretty-printed: repros are
+// read by humans bisecting a failure).
+func WriteRepro(path string, rep *Repro) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return fmt.Errorf("soak: encode repro: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadRepro loads a repro file.
+func ReadRepro(path string) (*Repro, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := new(Repro)
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("soak: decode repro %s: %w", path, err)
+	}
+	return rep, nil
+}

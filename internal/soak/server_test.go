@@ -1,0 +1,80 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/soak"
+)
+
+// The end-to-end soak over the real HTTP serving stack must pass on a
+// healthy build in every regime the fuzzer schedules: plain, coalesced
+// under admission pressure, and EM faults with snapshot churn.
+func TestServerSoakRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server soak in -short mode")
+	}
+	cases := map[string]soak.Case{
+		"plain": {
+			Target:   soak.TargetServer,
+			Dataset:  soak.DatasetSpec{Seed: 61, N: 48},
+			Workload: soak.WorkloadSpec{Seed: 62, Queries: 6, K: 8},
+			Requests: 256,
+		},
+		"coalesced-pressure": {
+			Target:   soak.TargetServer,
+			Dataset:  soak.DatasetSpec{Seed: 63, N: 48, Weights: "zipf", Alpha: 1.2},
+			Workload: soak.WorkloadSpec{Seed: 64, Queries: 6, K: 8, WoR: true},
+			Coalesce: 8, InFlight: 4, Clients: 8, Requests: 256,
+		},
+		"faults-churn": {
+			Target:   soak.TargetServer,
+			Dataset:  soak.DatasetSpec{Seed: 65, N: 48},
+			Workload: soak.WorkloadSpec{Seed: 66, Queries: 6, K: 8},
+			Faults:   soak.FaultSpec{ReadProb: 0.05, WriteProb: 0.05, MaxConsecutive: 3, Seed: 67},
+			Clients:  4, Requests: 256, Churn: true,
+		},
+	}
+	for name, c := range cases {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			out, err := h.RunCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+			if out.Gates < 2 {
+				t.Fatalf("only %d gates evaluated", out.Gates)
+			}
+		})
+	}
+}
+
+// The serial server soak (one client) is deterministic end to end —
+// the property -replay relies on for server repros.
+func TestServerSoakSerialDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("server soak in -short mode")
+	}
+	c := soak.Case{
+		Target:   soak.TargetServer,
+		Dataset:  soak.DatasetSpec{Seed: 71, N: 32},
+		Workload: soak.WorkloadSpec{Seed: 72, Queries: 4, K: 4},
+		Requests: 64,
+	}
+	h := &soak.Harness{}
+	a, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gates != b.Gates || (a.Failure == nil) != (b.Failure == nil) {
+		t.Fatalf("server soak nondeterministic: %+v vs %+v", a, b)
+	}
+}

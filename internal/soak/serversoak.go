@@ -1,0 +1,268 @@
+package soak
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"time"
+
+	"repro/internal/em"
+	"repro/internal/server"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// serverFailure is a finding recorded by a traffic worker; workers
+// cannot call rn.fail directly (run is not goroutine-safe), so the
+// first finding is captured under a mutex and reported after the join.
+type serverFailure struct {
+	check  string
+	detail string
+	query  QueryRecord
+}
+
+// runServer drives the real serving stack — service → shard →
+// server.Handler over HTTP — under snapshot churn, EM faults, and
+// admission pressure, and asserts the paper's guarantees end-to-end:
+// every response stays inside the requested range and the stable
+// region's sampling distribution matches the weight vector no matter
+// what the fault schedule and the coalescer are doing.
+func (rn *run) runServer() error {
+	c := rn.c
+	ds := c.Dataset
+	// The grid regime (distinct integer values) is forced so every
+	// returned value maps back to exactly one element.
+	ds.Values = "grid"
+	values, weights, err := ds.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(values)
+
+	shards := c.Shards
+	if shards < 1 {
+		shards = 4
+	}
+	sopts := shard.Options{Shards: shards}
+	if f := c.Faults; f.ReadProb > 0 || f.WriteProb > 0 {
+		mc := f.MaxConsecutive
+		if mc <= 0 {
+			mc = 4 // keep the fault stream transient so the soak terminates
+		}
+		devs := make([]*em.Device, shards)
+		for i := range devs {
+			dev, derr := em.NewDevice(16, 256)
+			if derr != nil {
+				return fmt.Errorf("soak: em device: %w", derr)
+			}
+			dev.SetFaultPolicy(&em.FaultPolicy{
+				ReadFailProb:   f.ReadProb,
+				WriteFailProb:  f.WriteProb,
+				MaxConsecutive: mc,
+				Seed:           f.Seed + uint64(i)*0x9e3779b97f4a7c15,
+			})
+			devs[i] = dev
+		}
+		sopts.Service = func(i int) service.Options {
+			return service.Options{Mirror: devs[i%len(devs)], Retry: em.RetryPolicy{MaxAttempts: 8}}
+		}
+	}
+	ctx := context.Background()
+	coord, err := shard.New(ctx, "soak", values, weights, sopts)
+	if err != nil {
+		return fmt.Errorf("soak: coordinator: %w", err)
+	}
+	srv := server.New(coord, server.Options{
+		MaxInFlight: c.InFlight,
+		Seed:        c.Workload.Seed,
+		Coalesce:    c.Coalesce,
+		Timeout:     30 * time.Second,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Snapshot churn: insert/delete values outside the stable region
+	// [0, n) while traffic flows. The gates below assert the stable
+	// region's distribution and support are unaffected — a stale
+	// snapshot, a torn swap, or coalescer cross-contamination shows up
+	// as an out-of-range value or a skewed count.
+	stopChurn := make(chan struct{})
+	var churnWG sync.WaitGroup
+	if c.Churn {
+		churnWG.Add(1)
+		go func() {
+			defer churnWG.Done()
+			for j := 0; ; j++ {
+				select {
+				case <-stopChurn:
+					return
+				default:
+				}
+				v := float64(n + j%64)
+				_ = coord.Insert(ctx, v, 1)
+				_ = coord.Delete(ctx, v)
+			}
+		}()
+	}
+	defer func() {
+		close(stopChurn)
+		churnWG.Wait()
+	}()
+
+	total := c.Requests
+	if total <= 0 {
+		total = 256
+	}
+	clients := c.Clients
+	if clients < 1 {
+		clients = 1
+	}
+	k := c.Workload.K
+	if k <= 0 {
+		k = 8
+	}
+	if k > n {
+		k = n
+	}
+	queries := c.Queries(values)
+	fullLo, fullHi := values[0], values[n-1]
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	probs := make([]float64, n)
+	for i, w := range weights {
+		probs[i] = w / totalW
+	}
+
+	var (
+		mu     sync.Mutex
+		first  *serverFailure
+		counts = make([]int, n)
+		bins   []int
+		okReqs int
+		sheds  int
+	)
+	record := func(f serverFailure) {
+		mu.Lock()
+		if first == nil {
+			first = &f
+		}
+		mu.Unlock()
+	}
+	client := ts.Client()
+	doRequest := func(idx int) {
+		q := QueryRecord{Lo: fullLo, Hi: fullHi, K: k}
+		fullRange := true
+		if idx%4 == 3 && len(queries) > 0 {
+			q = queries[idx%len(queries)]
+			q.WoR = false
+			fullRange = false
+		} else if c.Workload.WoR && idx%8 == 1 {
+			q.WoR = true
+		}
+		url := fmt.Sprintf("%s/sample?lo=%v&hi=%v&k=%d&wor=%v", ts.URL, q.Lo, q.Hi, q.K, q.WoR)
+		resp, rerr := client.Get(url)
+		if rerr != nil {
+			record(serverFailure{"server-transport", rerr.Error(), q})
+			return
+		}
+		defer resp.Body.Close()
+		switch resp.StatusCode {
+		case http.StatusOK:
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+			// Admission pressure sheds by design; tolerated.
+			mu.Lock()
+			sheds++
+			mu.Unlock()
+			return
+		default:
+			record(serverFailure{"server-status", fmt.Sprintf("unexpected HTTP %d for %s", resp.StatusCode, url), q})
+			return
+		}
+		var body struct {
+			Samples []float64 `json:"samples"`
+			Count   int       `json:"count"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&body); derr != nil {
+			record(serverFailure{"server-decode", derr.Error(), q})
+			return
+		}
+		if body.Count != len(body.Samples) {
+			record(serverFailure{"server-count", fmt.Sprintf("count %d but %d samples", body.Count, len(body.Samples)), q})
+			return
+		}
+		if len(body.Samples) != q.K {
+			record(serverFailure{"server-size", fmt.Sprintf("got %d samples, want %d", len(body.Samples), q.K), q})
+			return
+		}
+		seen := make(map[int]bool, len(body.Samples))
+		for _, v := range body.Samples {
+			if v < q.Lo || v > q.Hi {
+				record(serverFailure{"server-support", fmt.Sprintf("sample %v outside [%v, %v]", v, q.Lo, q.Hi), q})
+				return
+			}
+			pos := int(v)
+			if v != math.Trunc(v) || pos < 0 || pos >= n {
+				record(serverFailure{"server-ghost", fmt.Sprintf("sample %v is not a stable-region element", v), q})
+				return
+			}
+			if q.WoR {
+				if seen[pos] {
+					record(serverFailure{"server-wor-duplicate", fmt.Sprintf("duplicate %v in WoR response", v), q})
+					return
+				}
+				seen[pos] = true
+			}
+			if fullRange {
+				mu.Lock()
+				counts[pos]++
+				mu.Unlock()
+			}
+		}
+		mu.Lock()
+		okReqs++
+		if fullRange && clients == 1 && len(body.Samples) > 0 {
+			bins = append(bins, binOf(int(body.Samples[0]), n, indepBins))
+		}
+		mu.Unlock()
+	}
+
+	if clients == 1 {
+		for i := 0; i < total; i++ {
+			doRequest(i)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for w := 0; w < clients; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < total; i += clients {
+					doRequest(i)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+
+	if first != nil {
+		rn.failQuery(first.check, first.query, "%s", first.detail)
+		return nil
+	}
+	rn.pass()
+	if okReqs == 0 {
+		rn.fail("server-starved", "all %d requests shed (%d) or failed under in_flight=%d clients=%d",
+			total, sheds, c.InFlight, clients)
+		return nil
+	}
+	rn.gateChi2Probs("server-uniformity", nil, counts, probs)
+	if clients == 1 {
+		rn.gateIndependence("server-independence", pairUp(bins), indepBins)
+	}
+	return nil
+}

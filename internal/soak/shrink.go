@@ -1,0 +1,139 @@
+package soak
+
+import "sort"
+
+// shrinkBudget caps RunCase invocations per Shrink call; each case run
+// is cheap (a fraction of a second) so this bounds shrinking to a few
+// seconds worst-case.
+const shrinkBudget = 48
+
+// Shrink minimises a failing case while preserving the failure: it
+// pins the generated query trace into the case, then greedily applies
+// a fixed reduction schedule — shrink the trace, halve the dataset,
+// halve the draw counts, simplify the distributions, strip faults and
+// churn — accepting a reduction only when the reduced case still fails
+// the same check. The result is what lands in the repro file.
+func (h *Harness) Shrink(c Case, f *Failure) Case {
+	budget := shrinkBudget
+	stillFails := func(cand Case) bool {
+		if budget <= 0 {
+			return false
+		}
+		budget--
+		out, err := h.RunCase(cand)
+		return err == nil && out.Failure != nil && out.Failure.Check == f.Check
+	}
+
+	// Pin the trace so later reductions (which change the dataset the
+	// trace was generated from) cannot silently change the queries.
+	if len(c.Trace) == 0 {
+		if vals, err := c.traceValues(); err == nil {
+			cand := c
+			cand.Trace = c.Queries(vals)
+			if stillFails(cand) {
+				c = cand
+			}
+		}
+	}
+
+	// Trace reduction: try halves first, then drop queries one by one.
+	for len(c.Trace) > 1 {
+		half := len(c.Trace) / 2
+		lo, hi := c, c
+		lo.Trace = c.Trace[:half]
+		hi.Trace = c.Trace[half:]
+		if stillFails(lo) {
+			c = lo
+			continue
+		}
+		if stillFails(hi) {
+			c = hi
+			continue
+		}
+		break
+	}
+	for i := 0; i < len(c.Trace) && len(c.Trace) > 1 && budget > 0; {
+		cand := c
+		cand.Trace = append(append([]QueryRecord(nil), c.Trace[:i]...), c.Trace[i+1:]...)
+		if stillFails(cand) {
+			c = cand
+			continue // same index now names the next query
+		}
+		i++
+	}
+
+	// Scalar halving: dataset size, repetitions, sample budget.
+	shrinkInt := func(get func(*Case) *int, floor int) {
+		for budget > 0 {
+			cand := c
+			p := get(&cand)
+			if *p <= floor {
+				return
+			}
+			*p /= 2
+			if *p < floor {
+				*p = floor
+			}
+			if !stillFails(cand) {
+				return
+			}
+			c = cand
+		}
+	}
+	shrinkInt(func(c *Case) *int { return &c.Dataset.N }, 2)
+	shrinkInt(func(c *Case) *int { return &c.Workload.Reps }, 8)
+	shrinkInt(func(c *Case) *int { return &c.Workload.K }, 1)
+	shrinkInt(func(c *Case) *int { return &c.Requests }, 8)
+	shrinkInt(func(c *Case) *int { return &c.Shards }, 1)
+
+	// Simplifications: each is attempted once and kept if the failure
+	// survives without it.
+	try := func(mutate func(*Case)) {
+		cand := c
+		mutate(&cand)
+		if stillFails(cand) {
+			c = cand
+		}
+	}
+	if c.Target != TargetServer {
+		try(func(c *Case) { c.Dataset.Values = "uniform" })
+	}
+	try(func(c *Case) { c.Dataset.Weights = "uniform" })
+	try(func(c *Case) { c.Faults = FaultSpec{} })
+	try(func(c *Case) { c.Churn = false })
+	try(func(c *Case) { c.Coalesce = 0 })
+	try(func(c *Case) { c.Clients = 0 })
+	try(func(c *Case) { c.InFlight = 0 })
+	try(func(c *Case) { c.Workload.WoR = false })
+	return c
+}
+
+// traceValues reconstructs the value array each oracle hands to
+// Case.Queries, so the shrinker can pin the exact trace the failing
+// run executed.
+func (c *Case) traceValues() ([]float64, error) {
+	ds := c.Dataset
+	if c.Target == TargetServer {
+		ds.Values = "grid" // runServer forces the grid regime
+	}
+	values, weights, err := ds.Generate()
+	if err != nil {
+		return nil, err
+	}
+	switch c.Target {
+	case TargetChunked, TargetAliasAug, TargetTreeWalk, TargetServer:
+		sorted := append([]float64(nil), values...)
+		sort.Float64s(sorted)
+		return sorted, nil
+	case TargetAlias, TargetWoR:
+		return identityValues(len(weights)), nil
+	case TargetTreeSample:
+		m := len(weights)
+		if m < 3 {
+			m = 3
+		}
+		return identityValues(m), nil
+	default: // TargetIntervalTree stabs at raw values
+		return values, nil
+	}
+}

@@ -1,0 +1,73 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/rangesample"
+	"repro/internal/soak"
+)
+
+// Shrinking a failing case must keep it failing the same check while
+// only ever making the case smaller or simpler.
+func TestShrinkPreservesFailureAndReduces(t *testing.T) {
+	h := &soak.Harness{
+		Mutate: func(s rangesample.Sampler) rangesample.Sampler { return offByOne{s} },
+	}
+	c := soak.Case{
+		Target:   soak.TargetChunked,
+		Dataset:  soak.DatasetSpec{Seed: 41, N: 200, Weights: "random"},
+		Workload: soak.WorkloadSpec{Seed: 42, Queries: 10, Reps: 200},
+	}
+	out, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failure == nil {
+		t.Fatal("injected bug not caught on the unshrunk case")
+	}
+	min := h.Shrink(c, out.Failure)
+	mout, err := h.RunCase(min)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mout.Failure == nil {
+		t.Fatal("shrunk case no longer fails")
+	}
+	if mout.Failure.Check != out.Failure.Check {
+		t.Fatalf("shrunk case fails %q, original failed %q", mout.Failure.Check, out.Failure.Check)
+	}
+	if len(min.Trace) == 0 {
+		t.Fatal("shrinker did not pin the query trace")
+	}
+	if len(min.Trace) >= 10 {
+		t.Fatalf("trace not reduced: %d queries", len(min.Trace))
+	}
+	if min.Dataset.N > c.Dataset.N {
+		t.Fatalf("dataset grew: %d > %d", min.Dataset.N, c.Dataset.N)
+	}
+}
+
+// Shrinking must be deterministic: same input case, same minimised
+// output.
+func TestShrinkDeterministic(t *testing.T) {
+	h := &soak.Harness{
+		Mutate: func(s rangesample.Sampler) rangesample.Sampler { return offByOne{s} },
+	}
+	c := soak.Case{
+		Target:   soak.TargetChunked,
+		Dataset:  soak.DatasetSpec{Seed: 51, N: 120},
+		Workload: soak.WorkloadSpec{Seed: 52, Queries: 6, Reps: 150},
+	}
+	out, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failure == nil {
+		t.Skip("seed did not trip a gate on this configuration")
+	}
+	a := h.Shrink(c, out.Failure)
+	b := h.Shrink(c, out.Failure)
+	if a.Dataset != b.Dataset || len(a.Trace) != len(b.Trace) || a.Workload != b.Workload {
+		t.Fatalf("shrink nondeterministic:\n%+v\nvs\n%+v", a, b)
+	}
+}

@@ -1,0 +1,233 @@
+package soak_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+	"repro/internal/soak"
+)
+
+// A correct implementation must sail through every structure target:
+// the per-gate alpha is 1e-9, so a single false positive here is
+// overwhelmingly more likely to be a harness bug than bad luck.
+func TestRunCaseStructureTargetsPass(t *testing.T) {
+	for _, target := range soak.StructureTargets {
+		target := target
+		t.Run(string(target), func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			c := soak.Case{
+				Target:   target,
+				Dataset:  soak.DatasetSpec{Seed: 7, N: 64},
+				Workload: soak.WorkloadSpec{Seed: 11, Queries: 4, Reps: 120, WoR: true},
+			}
+			out, err := h.RunCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+			if out.Gates == 0 {
+				t.Fatal("no gates evaluated")
+			}
+		})
+	}
+}
+
+// Skewed datasets (clustered values, zipf weights) exercise the pooled
+// chi-squared path and duplicate handling.
+func TestRunCaseSkewedDatasetsPass(t *testing.T) {
+	for _, target := range []soak.Target{soak.TargetChunked, soak.TargetAliasAug, soak.TargetTreeWalk, soak.TargetIntervalTree} {
+		target := target
+		t.Run(string(target), func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			c := soak.Case{
+				Target:   target,
+				Dataset:  soak.DatasetSpec{Seed: 3, N: 96, Values: "clustered", Weights: "zipf", Alpha: 1.3},
+				Workload: soak.WorkloadSpec{Seed: 5, Queries: 4, Reps: 100},
+			}
+			out, err := h.RunCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+		})
+	}
+}
+
+// The same case must replay to the same outcome — the property every
+// repro file depends on.
+func TestRunCaseDeterministic(t *testing.T) {
+	h := &soak.Harness{}
+	c := soak.Case{
+		Target:   soak.TargetChunked,
+		Dataset:  soak.DatasetSpec{Seed: 21, N: 48, Weights: "random"},
+		Workload: soak.WorkloadSpec{Seed: 22, Queries: 3, Reps: 60, WoR: true},
+	}
+	a, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gates != b.Gates || a.Suspicion != b.Suspicion || (a.Failure == nil) != (b.Failure == nil) {
+		t.Fatalf("outcomes differ: %+v vs %+v", a, b)
+	}
+}
+
+// A pinned trace overrides workload generation, and an invalid spec is
+// an error, not a finding.
+func TestCaseSpecEdges(t *testing.T) {
+	h := &soak.Harness{}
+	c := soak.Case{
+		Target:  soak.TargetChunked,
+		Dataset: soak.DatasetSpec{Seed: 1, N: 32},
+		Trace:   []soak.QueryRecord{{Lo: 5, Hi: 20, K: 4}},
+		Workload: soak.WorkloadSpec{
+			Seed: 2, Reps: 40,
+		},
+	}
+	if out, err := h.RunCase(c); err != nil || out.Failure != nil {
+		t.Fatalf("pinned trace: %v / %v", err, out.Failure)
+	}
+	bad := soak.Case{Target: soak.TargetAlias, Dataset: soak.DatasetSpec{N: 0}}
+	if _, err := h.RunCase(bad); err == nil {
+		t.Fatal("n=0 dataset accepted")
+	}
+	if _, err := h.RunCase(soak.Case{Target: "nope", Dataset: soak.DatasetSpec{N: 4}}); err == nil {
+		t.Fatal("unknown target accepted")
+	}
+}
+
+// offByOne wraps a 1-D sampler and injects the classical bug: every
+// sampled position is shifted one slot toward the low end of the
+// range, piling the first element's probability mass up and starving
+// the last element's.
+type offByOne struct {
+	rangesample.Sampler
+}
+
+func (o offByOne) Query(r *rng.Source, q rangesample.Interval, s int, dst []int) ([]int, bool) {
+	out, ok := o.Sampler.Query(r, q, s, dst)
+	if !ok {
+		return out, ok
+	}
+	first := o.firstPos(q)
+	for i := range out {
+		if out[i] > first {
+			out[i]--
+		}
+	}
+	return out, ok
+}
+
+// firstPos locates the first in-range position.
+func (o offByOne) firstPos(q rangesample.Interval) int {
+	n := o.Sampler.Len()
+	for i := 0; i < n; i++ {
+		if o.Sampler.Value(i) >= q.Lo {
+			return i
+		}
+	}
+	return n
+}
+
+// The mutation check demanded by the acceptance criteria: an injected
+// off-by-one in the sampler must be caught, the failure must shrink to
+// a repro file, and the repro must replay deterministically.
+func TestMutationOffByOneCaughtAndReproReplays(t *testing.T) {
+	h := &soak.Harness{
+		Mutate: func(s rangesample.Sampler) rangesample.Sampler { return offByOne{s} },
+	}
+	dir := t.TempDir()
+	res, err := h.Fuzz(soak.FuzzOptions{
+		Seed:         99,
+		Rounds:       12,
+		Targets:      []soak.Target{soak.TargetChunked},
+		MaxFailures:  1,
+		ArtifactsDir: dir,
+		Log:          t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repros) == 0 {
+		t.Fatal("injected off-by-one not caught within the round budget")
+	}
+	if len(res.Artifacts) == 0 {
+		t.Fatal("no repro artifact written")
+	}
+	rep, err := soak.ReadRepro(res.Artifacts[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repro replays to the same check under the mutated harness...
+	out, err := h.Replay(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Failure == nil || out.Failure.Check != rep.Failure.Check {
+		t.Fatalf("replay did not reproduce %q: got %v", rep.Failure.Check, out.Failure)
+	}
+	// ...and twice in a row (determinism).
+	out2, err := h.Replay(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out2.Failure == nil || out2.Failure.Check != out.Failure.Check {
+		t.Fatalf("second replay diverged: %v vs %v", out2.Failure, out.Failure)
+	}
+	// A healthy harness (no mutation) passes the same case: the repro
+	// pins the bug, not the configuration.
+	clean := &soak.Harness{}
+	cout, err := clean.Replay(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cout.Failure != nil {
+		t.Fatalf("clean replay still fails: %v", cout.Failure)
+	}
+}
+
+// Version skew must fail loudly.
+func TestReplayRejectsVersionSkew(t *testing.T) {
+	h := &soak.Harness{}
+	rep := &soak.Repro{Version: soak.ReproVersion + 1}
+	if _, err := h.Replay(rep); err == nil {
+		t.Fatal("future repro version accepted")
+	}
+}
+
+// WriteRepro/ReadRepro round-trip the full case, including the pinned
+// trace the shrinker produces.
+func TestReproRoundTrip(t *testing.T) {
+	rep := &soak.Repro{
+		Version: soak.ReproVersion,
+		Case: soak.Case{
+			Target:   soak.TargetWoR,
+			Dataset:  soak.DatasetSpec{Seed: 4, N: 9, Weights: "zipf", Alpha: 1.5},
+			Workload: soak.WorkloadSpec{Seed: 5, Reps: 16},
+			Trace:    []soak.QueryRecord{{Lo: 0.25, Hi: 0.75, K: 3, WoR: true}},
+		},
+		Failure: &soak.Failure{Target: soak.TargetWoR, Check: "x", Detail: "y"},
+	}
+	path := filepath.Join(t.TempDir(), "r.json")
+	if err := soak.WriteRepro(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := soak.ReadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Case.Target != rep.Case.Target || len(got.Case.Trace) != 1 || got.Case.Trace[0].K != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+}

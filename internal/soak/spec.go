@@ -1,0 +1,215 @@
+// Package soak is the differential soak-fuzzing harness: it generates
+// random datasets, query workloads, and fault schedules from explicit
+// seeds, runs every sampling structure in this repository against the
+// naive oracle, and gates the results on exact draw-for-draw equality
+// (for paths specified to be stream-identical) and on chi-squared / KS
+// statistics (for paths specified to be distribution-identical). The
+// paper's two guarantees — per-query uniformity and cross-query
+// independence — are exactly the invariants the aggressive hot-path
+// work (arena reuse, bulk kernels, request coalescing) can silently
+// break, so this package is the correctness backstop every perf PR
+// runs under.
+//
+// Everything is deterministic given a Case: the same specs replay to
+// the same draws, which is what makes shrunk repro files
+// re-executable. cmd/iqsfuzz is the CLI front end.
+package soak
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/rng"
+)
+
+// Target names one structure or serving path under differential test.
+type Target string
+
+// The structure targets cross-check one package against the naive
+// oracle; TargetServer drives the real HTTP serving stack end-to-end.
+const (
+	TargetChunked      Target = "chunked"      // rangesample.Chunked (Theorem 3)
+	TargetAliasAug     Target = "aliasaug"     // rangesample.AliasAug (Lemma 2)
+	TargetTreeWalk     Target = "treewalk"     // rangesample.TreeWalk (§3.2)
+	TargetAlias        Target = "alias"        // alias.Alias (Theorem 1)
+	TargetWoR          Target = "wor"          // wor kernels (WR/WoR/weighted WoR)
+	TargetTreeSample   Target = "treesample"   // treesample Walk vs Euler (§5)
+	TargetIntervalTree Target = "intervaltree" // intervaltree stabbing (multi-d path)
+	TargetServer       Target = "server"       // service → shard → server over HTTP
+)
+
+// StructureTargets are the per-package differential targets (everything
+// but the end-to-end server soak).
+var StructureTargets = []Target{
+	TargetChunked, TargetAliasAug, TargetTreeWalk,
+	TargetAlias, TargetWoR, TargetTreeSample, TargetIntervalTree,
+}
+
+// DatasetSpec deterministically describes an input dataset.
+type DatasetSpec struct {
+	Seed     uint64  `json:"seed"`
+	N        int     `json:"n"`
+	Values   string  `json:"values"`  // "uniform" | "clustered" | "grid"
+	Weights  string  `json:"weights"` // "uniform" | "zipf" | "random"
+	Alpha    float64 `json:"alpha,omitempty"`
+	Clusters int     `json:"clusters,omitempty"`
+	Sigma    float64 `json:"sigma,omitempty"`
+}
+
+// Generate materialises the dataset. The same spec always produces the
+// same arrays.
+func (d DatasetSpec) Generate() (values, weights []float64, err error) {
+	if d.N < 1 {
+		return nil, nil, fmt.Errorf("soak: dataset n = %d", d.N)
+	}
+	r := rng.New(d.Seed)
+	switch d.Values {
+	case "", "uniform":
+		values = dataset.UniformValues(r, d.N)
+	case "clustered":
+		k, sigma := d.Clusters, d.Sigma
+		if k <= 0 {
+			k = 8
+		}
+		if sigma <= 0 {
+			sigma = 0.05
+		}
+		values = dataset.ClusteredValues(r, d.N, k, sigma)
+	case "grid":
+		// Distinct, sorted, duplicate-free — the regime the server soak
+		// needs to map returned values back to elements exactly.
+		values = make([]float64, d.N)
+		for i := range values {
+			values[i] = float64(i)
+		}
+	default:
+		return nil, nil, fmt.Errorf("soak: unknown value distribution %q", d.Values)
+	}
+	switch d.Weights {
+	case "", "uniform":
+		weights = dataset.UniformWeights(d.N)
+	case "zipf":
+		a := d.Alpha
+		if a <= 0 {
+			a = 1
+		}
+		weights = dataset.ZipfWeights(r, d.N, a)
+	case "random":
+		weights = dataset.RandomWeights(r, d.N, 0.5, 2)
+	default:
+		return nil, nil, fmt.Errorf("soak: unknown weight distribution %q", d.Weights)
+	}
+	return values, weights, nil
+}
+
+// WorkloadSpec deterministically describes a query workload.
+type WorkloadSpec struct {
+	Seed        uint64  `json:"seed"`
+	Queries     int     `json:"queries"`
+	Reps        int     `json:"reps"` // repeated draws per query, for the statistical gates
+	K           int     `json:"k"`    // sample budget per draw
+	Selectivity float64 `json:"selectivity,omitempty"`
+	WoR         bool    `json:"wor,omitempty"` // also exercise without-replacement paths
+}
+
+// FaultSpec deterministically describes an EM fault schedule for the
+// service-backed targets.
+type FaultSpec struct {
+	ReadProb       float64 `json:"read_prob,omitempty"`
+	WriteProb      float64 `json:"write_prob,omitempty"`
+	MaxConsecutive int     `json:"max_consecutive,omitempty"`
+	Seed           uint64  `json:"seed,omitempty"`
+}
+
+// QueryRecord is one replayable query. Range targets use Lo/Hi as the
+// value interval; the interval-tree target stabs at Lo; node/index
+// targets (alias, wor, treesample) derive their per-query choice from
+// Lo as a fraction in [0, 1).
+type QueryRecord struct {
+	Lo  float64 `json:"lo"`
+	Hi  float64 `json:"hi"`
+	K   int     `json:"k"`
+	WoR bool    `json:"wor,omitempty"`
+}
+
+// Case is one self-contained fuzz case: everything RunCase needs to
+// re-execute a run bit-for-bit.
+type Case struct {
+	Target   Target       `json:"target"`
+	Dataset  DatasetSpec  `json:"dataset"`
+	Workload WorkloadSpec `json:"workload"`
+	// Trace, when non-empty, overrides the generated workload — the
+	// shrinker materialises and then minimises it.
+	Trace []QueryRecord `json:"trace,omitempty"`
+
+	// Server-soak knobs (TargetServer only).
+	Faults   FaultSpec `json:"faults,omitempty"`
+	Shards   int       `json:"shards,omitempty"`
+	Coalesce int       `json:"coalesce,omitempty"`
+	InFlight int       `json:"in_flight,omitempty"`
+	Clients  int       `json:"clients,omitempty"`
+	Requests int       `json:"requests,omitempty"`
+	Churn    bool      `json:"churn,omitempty"`
+}
+
+// Queries returns the case's query trace, generating it from the
+// workload spec when no explicit trace is pinned. sortedValues is the
+// dataset in sorted order; query intervals always span stored values so
+// empty ranges stay rare (the empty-range path has its own dedicated
+// probe in the oracles).
+func (c *Case) Queries(sortedValues []float64) []QueryRecord {
+	if len(c.Trace) > 0 {
+		return c.Trace
+	}
+	w := c.Workload
+	nq := w.Queries
+	if nq < 1 {
+		nq = 8
+	}
+	r := rng.New(w.Seed)
+	n := len(sortedValues)
+	out := make([]QueryRecord, nq)
+	for i := range out {
+		sel := w.Selectivity
+		if sel <= 0 {
+			sel = 0.02 + 0.48*r.Float64()
+		}
+		span := int(sel * float64(n))
+		if span < 1 {
+			span = 1
+		}
+		if span > n {
+			span = n
+		}
+		a := r.Intn(n - span + 1)
+		k := w.K
+		if k <= 0 {
+			k = 1 + r.Intn(32)
+		}
+		wor := w.WoR && r.Bernoulli(0.5)
+		if wor && k > span {
+			k = span // a WoR budget never exceeds the qualifying count
+		}
+		out[i] = QueryRecord{Lo: sortedValues[a], Hi: sortedValues[a+span-1], K: k, WoR: wor}
+	}
+	return out
+}
+
+// reps returns the per-query draw repetition count with its default.
+func (c *Case) reps() int {
+	if c.Workload.Reps > 0 {
+		return c.Workload.Reps
+	}
+	return 200
+}
+
+// frac maps a query's Lo to a deterministic fraction in [0, 1) for the
+// targets that pick nodes or indices rather than value ranges.
+func (q *QueryRecord) frac() float64 {
+	f := q.Lo - math.Floor(q.Lo)
+	if f < 0 || f >= 1 || math.IsNaN(f) {
+		return 0
+	}
+	return f
+}

@@ -1,0 +1,112 @@
+package stats
+
+import "math"
+
+// Two-sample tests. The one-sample machinery in stats.go compares an
+// empirical distribution against a *known* reference (uniform, or
+// explicit expected counts). The differential fuzzer in internal/soak
+// instead compares two *empirical* samples — the structure under test
+// against the naive oracle — where neither side is the ground truth.
+// These helpers provide the sample-vs-sample analogues.
+
+// ChiSquareTwoSample returns the two-sample chi-square homogeneity
+// statistic for two count vectors over the same cells, plus the degrees
+// of freedom. Cells where both counts are zero are skipped (they carry
+// no information and would divide by zero); dof is the number of
+// contributing cells minus one.
+//
+// With totals N1 = Σa and N2 = Σb the statistic is
+//
+//	Σ_i ( a_i·√(N2/N1) − b_i·√(N1/N2) )² / (a_i + b_i)
+//
+// which under H0 (both samples drawn from the same distribution) is
+// asymptotically chi-square with dof degrees of freedom [Press et al.,
+// Numerical Recipes §14.3].
+func ChiSquareTwoSample(a, b []int) (stat float64, dof int, err error) {
+	if len(a) != len(b) || len(a) == 0 {
+		return 0, 0, ErrBadInput
+	}
+	var n1, n2 float64
+	for i := range a {
+		if a[i] < 0 || b[i] < 0 {
+			return 0, 0, ErrBadInput
+		}
+		n1 += float64(a[i])
+		n2 += float64(b[i])
+	}
+	if n1 == 0 || n2 == 0 {
+		return 0, 0, ErrBadInput
+	}
+	r1, r2 := math.Sqrt(n2/n1), math.Sqrt(n1/n2)
+	cells := 0
+	for i := range a {
+		ai, bi := float64(a[i]), float64(b[i])
+		if ai == 0 && bi == 0 {
+			continue
+		}
+		cells++
+		d := ai*r1 - bi*r2
+		stat += d * d / (ai + bi)
+	}
+	if cells < 2 {
+		return 0, 0, ErrBadInput
+	}
+	return stat, cells - 1, nil
+}
+
+// KSTwoSample returns the two-sample Kolmogorov–Smirnov statistic
+// sup_x |F1(x) − F2(x)| between the empirical CDFs of x and y.
+func KSTwoSample(x, y []float64) (float64, error) {
+	if len(x) == 0 || len(y) == 0 {
+		return 0, ErrBadInput
+	}
+	xs := append([]float64(nil), x...)
+	ys := append([]float64(nil), y...)
+	sortFloat64s(xs)
+	sortFloat64s(ys)
+	nx, ny := float64(len(xs)), float64(len(ys))
+	var i, j int
+	maxD := 0.0
+	for i < len(xs) && j < len(ys) {
+		// Advance past ties in lockstep so the CDF gap is evaluated
+		// only at points where both step counts are settled.
+		v := math.Min(xs[i], ys[j])
+		for i < len(xs) && xs[i] == v {
+			i++
+		}
+		for j < len(ys) && ys[j] == v {
+			j++
+		}
+		d := math.Abs(float64(i)/nx - float64(j)/ny)
+		if d > maxD {
+			maxD = d
+		}
+	}
+	return maxD, nil
+}
+
+// KSCritical returns the asymptotic one-sample KS critical value at
+// upper-tail probability alpha for a sample of size n:
+// c(α)/√n with c(α) = √(−ln(α/2)/2).
+func KSCritical(n int, alpha float64) float64 {
+	if n <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.Inf(1)
+	}
+	return ksC(alpha) / math.Sqrt(float64(n))
+}
+
+// KSTwoSampleCritical returns the asymptotic two-sample KS critical
+// value at upper-tail probability alpha for sample sizes n and m:
+// c(α)·√((n+m)/(n·m)).
+func KSTwoSampleCritical(n, m int, alpha float64) float64 {
+	if n <= 0 || m <= 0 || alpha <= 0 || alpha >= 1 {
+		return math.Inf(1)
+	}
+	return ksC(alpha) * math.Sqrt(float64(n+m)/(float64(n)*float64(m)))
+}
+
+// ksC is the KS scaling coefficient c(α) = √(−ln(α/2)/2); c(0.05) ≈
+// 1.358, c(0.01) ≈ 1.628.
+func ksC(alpha float64) float64 {
+	return math.Sqrt(-math.Log(alpha/2) / 2)
+}

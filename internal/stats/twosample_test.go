@@ -1,0 +1,204 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestChiSquareTwoSampleErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b []int
+	}{
+		{"empty", nil, nil},
+		{"mismatch", []int{1, 2}, []int{1}},
+		{"negative", []int{-1, 2}, []int{1, 2}},
+		{"one side zero", []int{0, 0}, []int{3, 4}},
+		{"single live cell", []int{5, 0}, []int{7, 0}},
+	}
+	for _, tc := range cases {
+		if _, _, err := ChiSquareTwoSample(tc.a, tc.b); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+func TestChiSquareTwoSampleIdenticalCounts(t *testing.T) {
+	a := []int{10, 20, 30, 40}
+	stat, dof, err := ChiSquareTwoSample(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stat != 0 {
+		t.Errorf("identical counts: stat = %v, want 0", stat)
+	}
+	if dof != 3 {
+		t.Errorf("dof = %d, want 3", dof)
+	}
+}
+
+func TestChiSquareTwoSampleSkipsEmptyCells(t *testing.T) {
+	a := []int{10, 0, 30}
+	b := []int{12, 0, 28}
+	_, dof, err := ChiSquareTwoSample(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 1 {
+		t.Errorf("dof = %d, want 1 (dead cell skipped)", dof)
+	}
+}
+
+// TestChiSquareTwoSampleKnownValue checks the statistic against a
+// hand-computed 2×2 homogeneity table. For a = (30, 70), b = (50, 50)
+// the classic contingency-table statistic is
+// N(ad−bc)²/((a+b)(c+d)(a+c)(b+d)) = 200·(1500−3500)²/(80·120·100·100)
+// = 8.3333..., and the Numerical Recipes form used here is identical.
+func TestChiSquareTwoSampleKnownValue(t *testing.T) {
+	stat, dof, err := ChiSquareTwoSample([]int{30, 70}, []int{50, 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dof != 1 {
+		t.Fatalf("dof = %d, want 1", dof)
+	}
+	want := 200.0 * 2000 * 2000 / (80.0 * 120 * 100 * 100)
+	if math.Abs(stat-want) > 1e-9 {
+		t.Errorf("stat = %v, want %v", stat, want)
+	}
+}
+
+// TestChiSquareTwoSampleCalibration: counts drawn from the same
+// multinomial stay under the 1% critical value, counts from a visibly
+// different distribution blow past it.
+func TestChiSquareTwoSampleCalibration(t *testing.T) {
+	r := rng.New(42)
+	const cells, draws = 8, 20000
+	sample := func(p []float64) []int {
+		c := make([]int, cells)
+		for i := 0; i < draws; i++ {
+			u := r.Float64()
+			acc := 0.0
+			for j, pj := range p {
+				acc += pj
+				if u < acc || j == cells-1 {
+					c[j]++
+					break
+				}
+			}
+		}
+		return c
+	}
+	uni := make([]float64, cells)
+	for i := range uni {
+		uni[i] = 1.0 / cells
+	}
+	skew := make([]float64, cells)
+	for i := range skew {
+		skew[i] = 1.0 / cells
+	}
+	skew[0], skew[1] = skew[0]*1.3, skew[1]*0.7
+
+	stat, dof, err := ChiSquareTwoSample(sample(uni), sample(uni))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := ChiSquareCritical(dof, 0.01); stat > crit {
+		t.Errorf("same-distribution stat %v exceeds crit %v", stat, crit)
+	}
+	stat, dof, err = ChiSquareTwoSample(sample(uni), sample(skew))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := ChiSquareCritical(dof, 0.01); stat < crit {
+		t.Errorf("skewed-distribution stat %v under crit %v", stat, crit)
+	}
+}
+
+func TestKSTwoSampleErrors(t *testing.T) {
+	if _, err := KSTwoSample(nil, []float64{1}); err == nil {
+		t.Error("empty x: want error")
+	}
+	if _, err := KSTwoSample([]float64{1}, nil); err == nil {
+		t.Error("empty y: want error")
+	}
+}
+
+func TestKSTwoSampleExact(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y []float64
+		want float64
+	}{
+		{"identical", []float64{1, 2, 3}, []float64{1, 2, 3}, 0},
+		{"disjoint", []float64{0, 1, 2}, []float64{10, 11, 12}, 1},
+		{"interleaved", []float64{1, 3}, []float64{2, 4}, 0.5},
+		{"ties", []float64{1, 1, 2}, []float64{1, 2, 2}, 1.0 / 3},
+	}
+	for _, tc := range cases {
+		d, err := KSTwoSample(tc.x, tc.y)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if math.Abs(d-tc.want) > 1e-12 {
+			t.Errorf("%s: D = %v, want %v", tc.name, d, tc.want)
+		}
+	}
+}
+
+// TestKSCriticalTable pins the critical values against the standard
+// asymptotic table: c(0.10) = 1.224, c(0.05) = 1.358, c(0.01) = 1.628.
+func TestKSCriticalTable(t *testing.T) {
+	cases := []struct {
+		alpha float64
+		c     float64
+	}{
+		{0.10, 1.224},
+		{0.05, 1.358},
+		{0.01, 1.628},
+	}
+	for _, tc := range cases {
+		if got := KSCritical(100, tc.alpha) * 10; math.Abs(got-tc.c) > 5e-3 {
+			t.Errorf("KSCritical(100, %v)·√100 = %v, want ≈ %v", tc.alpha, got, tc.c)
+		}
+		// Two-sample with equal sizes n = m: c(α)·√(2/n).
+		want := tc.c * math.Sqrt(2.0/100)
+		if got := KSTwoSampleCritical(100, 100, tc.alpha); math.Abs(got-want) > 5e-4 {
+			t.Errorf("KSTwoSampleCritical(100, 100, %v) = %v, want ≈ %v", tc.alpha, got, want)
+		}
+	}
+	if !math.IsInf(KSCritical(0, 0.05), 1) || !math.IsInf(KSTwoSampleCritical(3, 0, 0.05), 1) {
+		t.Error("degenerate sizes must yield +Inf (never reject)")
+	}
+}
+
+// TestKSTwoSampleCalibration mirrors the chi-square calibration: same
+// distribution stays under the critical value, shifted distribution
+// exceeds it.
+func TestKSTwoSampleCalibration(t *testing.T) {
+	r := rng.New(7)
+	const n = 4000
+	draw := func(shift float64) []float64 {
+		s := make([]float64, n)
+		for i := range s {
+			s[i] = r.Float64() + shift
+		}
+		return s
+	}
+	d, err := KSTwoSample(draw(0), draw(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := KSTwoSampleCritical(n, n, 0.01); d > crit {
+		t.Errorf("same-distribution D %v exceeds crit %v", d, crit)
+	}
+	d, err = KSTwoSample(draw(0), draw(0.08))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crit := KSTwoSampleCritical(n, n, 0.01); d < crit {
+		t.Errorf("shifted-distribution D %v under crit %v", d, crit)
+	}
+}
