@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke
+.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke churn
 
 all: build vet test
 
@@ -74,3 +74,12 @@ loadtest:
 # cmd/metricscheck, and drain on SIGINT.
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# Churn smoke: the mutable-serving statistical gate. In-process server
+# with the ingest write path on, 16 clients at a 30% write mix under EM
+# faults for 10s; after the drain the per-shard chi-squared uniformity
+# monitors (folding every served sample against the instantaneous live
+# weights) must all report quality ratio <= 1, or the run exits 1.
+churn:
+	go run ./cmd/iqsserve -mutable -load -write-mix 0.3 -clients 16 \
+		-duration 10s -n 16384 -fault 0.02 -assert-quality 1 -addr 127.0.0.1:0

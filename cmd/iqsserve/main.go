@@ -16,6 +16,7 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -27,6 +28,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -73,6 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceRate = fs.Float64("trace-sample-rate", 0, "fraction of requests whose per-stage span timings are logged as JSON on stderr (0 disables)")
 		coalesce  = fs.Int("coalesce", 16, "max concurrent /sample requests coalesced into one engine batch; 0 disables coalescing")
 		linger    = fs.Duration("linger", 0, "how long a non-full batch waits for straggler requests; 0 means 100µs when coalescing is on")
+		mutable   = fs.Bool("mutable", false, "serve the dataset behind the ingest write path: /insert, /delete and /bulkload go live and shard boundaries rebalance under skew")
+		writeMix  = fs.Float64("write-mix", 0, "fraction of load-mode requests that are writes (requires -mutable and -load)")
+		assertQ   = fs.Float64("assert-quality", 0, "post-drain gate: enable per-shard sample-quality monitors and exit 1 unless the worst quality ratio stays <= this (0 disables)")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D]")
@@ -83,9 +88,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *shards < 1 || *n < 2 || *inflight < 1 || *queue < 0 || *timeout <= 0 ||
 		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 ||
-		*traceRate < 0 || *traceRate > 1 || *coalesce < 0 || *linger < 0 {
+		*traceRate < 0 || *traceRate > 1 || *coalesce < 0 || *linger < 0 ||
+		*writeMix < 0 || *writeMix > 1 || *assertQ < 0 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
+		return 2
+	}
+	if *writeMix > 0 && !*mutable {
+		fmt.Fprintln(stderr, "iqsserve: -write-mix requires -mutable")
 		return 2
 	}
 	if *pprofOn != "" {
@@ -125,11 +135,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 			devs[i] = dev
 		}
 		svcOpts = func(i int) service.Options {
-			return service.Options{
+			so := service.Options{
 				Mirror:      devs[i],
 				Retry:       em.RetryPolicy{MaxAttempts: 6, BaseDelay: 50 * time.Microsecond, MaxDelay: time.Millisecond},
 				BuildBudget: 30 * time.Second,
 			}
+			if *assertQ > 0 {
+				// The hook owns the whole per-shard Options, so the quality
+				// monitors the gate reads must be re-requested here.
+				so.Quality = metrics.UniformityOptions{Stride: 1, MinFolded: 256}
+			}
+			return so
 		}
 	}
 
@@ -144,17 +160,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range values {
 		values[i] = float64(i)
 	}
-	coord, err := shard.New(context.Background(), "iqs", values, nil, shard.Options{
+	shOpts := shard.Options{
 		Shards:  *shards,
 		Kind:    kind,
 		Service: svcOpts,
 		Metrics: reg,
 		Logger:  logger,
-	})
+	}
+	if *assertQ > 0 {
+		// The gate needs live quality signal: fold every served sample.
+		shOpts.Quality = metrics.UniformityOptions{Stride: 1, MinFolded: 256}
+	}
+	if *mutable {
+		shOpts.Mutable = true
+		shOpts.Ingest = service.MutableOptions{Seed: *seed}
+		shOpts.RebalanceInterval = 500 * time.Millisecond
+	}
+	coord, err := shard.New(context.Background(), "iqs", values, nil, shOpts)
 	if err != nil {
 		fmt.Fprintf(stderr, "iqsserve: build engine: %v\n", err)
 		return 1
 	}
+	defer coord.Close()
 
 	srv := server.New(coord, server.Options{
 		MaxInFlight:     *inflight,
@@ -199,7 +226,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	go func() { serveErr <- srv.Serve(l) }()
 
 	if *load {
-		runLoad(ctx, stdout, "http://"+l.Addr().String(), *clients, *n, *seed)
+		runLoad(ctx, stdout, "http://"+l.Addr().String(), *clients, *n, *seed, *writeMix)
 	} else {
 		<-ctx.Done()
 	}
@@ -226,16 +253,53 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, ", EM faults %d", faults)
 	}
 	fmt.Fprintln(stdout, ")")
+
+	if *assertQ > 0 {
+		// Post-drain statistical gate for the churn smoke job: scrape the
+		// registry the monitors fed during the run and fail hard if any
+		// shard's chi-squared quality ratio ended out of bounds, or if a
+		// write-mix run never applied a write.
+		var buf bytes.Buffer
+		if err := reg.WritePrometheus(&buf); err != nil {
+			fmt.Fprintf(stderr, "iqsserve: render metrics: %v\n", err)
+			return 1
+		}
+		exp, err := metrics.ParseExposition(&buf)
+		if err != nil {
+			fmt.Fprintf(stderr, "iqsserve: parse metrics: %v\n", err)
+			return 1
+		}
+		q, ok := exp.MaxAcross("iqs_sample_quality_ratio")
+		if !ok {
+			fmt.Fprintln(stderr, "iqsserve: quality gate: no iqs_sample_quality_ratio series")
+			return 1
+		}
+		if q > *assertQ {
+			fmt.Fprintf(stderr, "iqsserve: quality gate FAILED: worst ratio %.3f > %.3f\n", q, *assertQ)
+			return 1
+		}
+		if *writeMix > 0 {
+			if applied := exp.SumAcross("iqs_ingest_applied_total"); applied == 0 {
+				fmt.Fprintln(stderr, "iqsserve: quality gate: write-mix run applied no writes")
+				return 1
+			}
+		}
+		fmt.Fprintf(stdout, "iqsserve: quality gate passed (worst ratio %.3f <= %.3f)\n", q, *assertQ)
+	}
 	return 0
 }
 
 // runLoad hammers base with clients goroutines until ctx expires, then
 // reports throughput, latency percentiles, and admission-control sheds.
-func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int, seed uint64) {
-	fmt.Fprintf(stdout, "iqsserve: load mode, %d clients against %s\n", clients, base)
+// writeMix is the probability a request is a write instead of a query:
+// inserts of fresh out-of-span values and deletes of the client's own
+// earlier inserts, so the dataset churns without ever going empty.
+func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int, seed uint64, writeMix float64) {
+	fmt.Fprintf(stdout, "iqsserve: load mode, %d clients against %s (write mix %.0f%%)\n", clients, base, 100*writeMix)
 	var (
 		wg                     sync.WaitGroup
 		ok, busy, gone, failed atomic.Int64
+		wrote                  atomic.Int64
 		mu                     sync.Mutex
 		lats                   []time.Duration
 	)
@@ -247,14 +311,39 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 			r := core.NewRand(seed + uint64(g) + 1)
 			cli := &http.Client{Timeout: 30 * time.Second}
 			var local []time.Duration
+			var inserted []float64
 			for i := 0; ctx.Err() == nil; i++ {
-				lo := float64(r.Intn(n / 2))
-				hi := lo + float64(1+r.Intn(n/2))
-				url := fmt.Sprintf("%s/sample?lo=%g&hi=%g&k=8", base, lo, hi)
-				if i%8 == 7 {
-					url += "&wor=true"
+				var req *http.Request
+				var err error
+				isWrite := writeMix > 0 && r.Float64() < writeMix
+				if isWrite {
+					// Delete an own earlier insert half the time (keeping
+					// the live size roughly flat), else insert a value
+					// unique to this client above the seeded span.
+					var body string
+					if len(inserted) > 0 && r.Float64() < 0.5 {
+						v := inserted[len(inserted)-1]
+						inserted = inserted[:len(inserted)-1]
+						body = fmt.Sprintf(`{"value":%g}`, v)
+						req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+"/delete", strings.NewReader(body))
+					} else {
+						v := float64(n) + float64(g)*1e9 + float64(i)
+						inserted = append(inserted, v)
+						body = fmt.Sprintf(`{"value":%g,"weight":%g}`, v, 1+r.Float64())
+						req, err = http.NewRequestWithContext(ctx, http.MethodPost, base+"/insert", strings.NewReader(body))
+					}
+					if req != nil {
+						req.Header.Set("Content-Type", "application/json")
+					}
+				} else {
+					lo := float64(r.Intn(n / 2))
+					hi := lo + float64(1+r.Intn(n/2))
+					url := fmt.Sprintf("%s/sample?lo=%g&hi=%g&k=8", base, lo, hi)
+					if i%8 == 7 {
+						url += "&wor=true"
+					}
+					req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 				}
-				req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
 				if err != nil {
 					failed.Add(1)
 					continue
@@ -272,6 +361,9 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 				switch resp.StatusCode {
 				case http.StatusOK:
 					ok.Add(1)
+					if isWrite {
+						wrote.Add(1)
+					}
 					local = append(local, time.Since(t0))
 				case http.StatusTooManyRequests:
 					busy.Add(1)
@@ -292,8 +384,8 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 	total := ok.Load() + busy.Load() + gone.Load() + failed.Load()
 	fmt.Fprintf(stdout, "load: %d requests in %v (%.0f req/s)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Fprintf(stdout, "load: ok %d, shed 429 (busy) %d, shed 503 (draining) %d, failed %d\n",
-		ok.Load(), busy.Load(), gone.Load(), failed.Load())
+	fmt.Fprintf(stdout, "load: ok %d (writes %d), shed 429 (busy) %d, shed 503 (draining) %d, failed %d\n",
+		ok.Load(), wrote.Load(), busy.Load(), gone.Load(), failed.Load())
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		pct := func(p float64) time.Duration { return lats[min(len(lats)-1, int(p*float64(len(lats))))] }

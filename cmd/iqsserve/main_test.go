@@ -57,7 +57,7 @@ func TestRunLoadMode(t *testing.T) {
 		t.Fatalf("exit %d, stderr: %s", code, errw.String())
 	}
 	s := out.String()
-	m := regexp.MustCompile(`ok (\d+), shed 429 \(busy\) (\d+)`).FindStringSubmatch(s)
+	m := regexp.MustCompile(`ok (\d+) \(writes \d+\), shed 429 \(busy\) (\d+)`).FindStringSubmatch(s)
 	if m == nil {
 		t.Fatalf("no load report:\n%s", s)
 	}
@@ -88,5 +88,40 @@ func TestRunLoadModeWithFaults(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "EM faults") {
 		t.Errorf("no EM fault report:\n%s", out.String())
+	}
+}
+
+// TestRunMutableChurnMode is the churn gate in miniature: mutable
+// serving with a 25% write mix, and the post-drain quality assertion
+// over the dynamic uniformity monitors must pass.
+func TestRunMutableChurnMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-mutable", "-load", "-addr", "127.0.0.1:0", "-duration", "600ms",
+		"-clients", "4", "-write-mix", "0.25", "-n", "2048", "-shards", "2",
+		"-assert-quality", "1",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errw.String(), out.String())
+	}
+	s := out.String()
+	m := regexp.MustCompile(`ok \d+ \(writes (\d+)\)`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no load report:\n%s", s)
+	}
+	if w, _ := strconv.Atoi(m[1]); w == 0 {
+		t.Errorf("write mix produced no writes:\n%s", s)
+	}
+	if !strings.Contains(s, "quality gate passed") {
+		t.Errorf("no quality gate report:\n%s", s)
+	}
+}
+
+// TestRunRejectsWriteMixWithoutMutable pins the flag validation: a
+// write mix needs the write path.
+func TestRunRejectsWriteMixWithoutMutable(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-load", "-write-mix", "0.5", "-addr", "127.0.0.1:0"}, &out, &errw); code != 2 {
+		t.Fatalf("exit %d, want 2 (bad flags)", code)
 	}
 }

@@ -8,6 +8,12 @@
 //
 //	metricscheck -base http://127.0.0.1:8080 -drive 50
 //	metricscheck -base http://127.0.0.1:8080 -require iqs_server_served_total,iqs_sample_quality_ratio
+//	metricscheck -base http://127.0.0.1:8080 -drive 50 -mutable
+//
+// With -mutable the drive phase mixes /insert and /delete writes into
+// the traffic and the required set grows by the ingest families
+// (iqs_ingest_*, the rebuild histogram, the server write counter),
+// with iqs_ingest_applied_total additionally required to be positive.
 package main
 
 import (
@@ -40,6 +46,21 @@ var defaultRequired = []string{
 	"iqs_coalesced_requests_total",
 }
 
+// mutableRequired joins defaultRequired when -mutable drives writes:
+// the ingest write path must export its delta-log, rebuild, and overlay
+// series, and the server must count the writes it answered.
+var mutableRequired = []string{
+	"iqs_ingest_applied_total",
+	"iqs_ingest_rejected_total",
+	"iqs_ingest_rebuilds_total",
+	"iqs_ingest_rebuild_failures_total",
+	"iqs_ingest_rebuild_seconds_count",
+	"iqs_ingest_delta_log_depth",
+	"iqs_ingest_queue_depth",
+	"iqs_ingest_overlay_fraction",
+	"iqs_server_writes_total",
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -52,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		drive   = fs.Int("drive", 50, "requests to issue before scraping so the series are non-empty; 0 scrapes as-is")
 		require = fs.String("require", "", "comma-separated series names that must be present (default: the standard serving-stack set)")
 		timeout = fs.Duration("timeout", 10*time.Second, "per-HTTP-request deadline")
+		mutable = fs.Bool("mutable", false, "drive /insert and /delete writes too and require the ingest metric families")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -59,12 +81,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	required := defaultRequired
 	if *require != "" {
 		required = strings.Split(*require, ",")
+	} else if *mutable {
+		required = append(append([]string(nil), defaultRequired...), mutableRequired...)
 	}
 	client := &http.Client{Timeout: *timeout}
 	baseURL := strings.TrimRight(*base, "/")
 
 	var wantSamples int
 	for i := 0; i < *drive; i++ {
+		if *mutable && i%4 == 3 {
+			// Insert a fresh value, delete every other one right back, so
+			// both write endpoints and the delete path see traffic.
+			v := 1e9 + float64(i)
+			resp, err := client.Post(baseURL+"/insert", "application/json",
+				strings.NewReader(fmt.Sprintf(`{"value":%g,"weight":2}`, v)))
+			if err != nil {
+				fmt.Fprintf(stderr, "metricscheck: drive /insert: %v\n", err)
+				return 1
+			}
+			drain(resp)
+			if i%8 == 7 {
+				resp, err = client.Post(baseURL+"/delete", "application/json",
+					strings.NewReader(fmt.Sprintf(`{"value":%g}`, v)))
+				if err != nil {
+					fmt.Fprintf(stderr, "metricscheck: drive /delete: %v\n", err)
+					return 1
+				}
+				drain(resp)
+			}
+			continue
+		}
 		if i%10 == 9 {
 			resp, err := client.Post(baseURL+"/batch", "application/json",
 				strings.NewReader(`{"queries":[{"lo":0,"hi":100,"k":4},{"lo":10,"hi":400,"k":8,"wor":true}]}`))
@@ -133,6 +179,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if v, _ := exp.Get("iqs_server_served_total"); v <= 0 {
 			fmt.Fprintln(stderr, "metricscheck: served_total is zero after driving load")
+			bad++
+		}
+	}
+	if *mutable && *drive > 0 {
+		if v := exp.SumAcross("iqs_ingest_applied_total"); v <= 0 {
+			fmt.Fprintln(stderr, "metricscheck: iqs_ingest_applied_total is zero after driving writes")
+			bad++
+		}
+		if v := exp.SumAcross("iqs_server_writes_total"); v <= 0 {
+			fmt.Fprintln(stderr, "metricscheck: iqs_server_writes_total is zero after driving writes")
 			bad++
 		}
 	}

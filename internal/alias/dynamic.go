@@ -45,11 +45,12 @@ type Dynamic struct {
 	weight map[int]float64
 	total  float64 // live total weight (informational)
 
-	// ordered cache of occupied level exponents; rebuilt lazily when the
-	// occupied set changes.
-	order      []int
-	orderDirty bool
-	capTotal   float64 // Σ_ℓ |members(ℓ)|·2^{ℓ+1}, maintained exactly
+	// ordered cache of occupied level exponents; maintained eagerly by
+	// the write path so Sample never mutates the structure (this is what
+	// makes concurrent readers safe — see the concurrency note on
+	// Sample).
+	order    []int
+	capTotal float64 // Σ_ℓ |members(ℓ)|·2^{ℓ+1}, maintained exactly
 }
 
 type level struct {
@@ -100,7 +101,7 @@ func (d *Dynamic) Insert(key int, w float64) error {
 	if lv == nil {
 		lv = &level{exp: exp}
 		d.levels[exp] = lv
-		d.orderDirty = true
+		d.insertOrder(exp)
 	}
 	d.where[key] = slot{exp: exp, idx: len(lv.members)}
 	lv.members = append(lv.members, key)
@@ -127,7 +128,7 @@ func (d *Dynamic) Delete(key int) error {
 	}
 	if len(lv.members) == 0 {
 		delete(d.levels, pos.exp)
-		d.orderDirty = true
+		d.removeOrder(pos.exp)
 	}
 	delete(d.where, key)
 	delete(d.weight, key)
@@ -150,11 +151,14 @@ func (d *Dynamic) UpdateWeight(key int, w float64) error {
 // Sample draws one independent weighted sample. Expected time O(L) with
 // L the number of occupied levels; expected number of rejection rounds
 // is at most 2. It panics if the set is empty.
+//
+// Sample and SampleMany never write to the structure, so concurrent
+// readers (each with its own rng.Source) are safe. Insert, Delete and
+// UpdateWeight require exclusive access.
 func (d *Dynamic) Sample(r *rng.Source) int {
 	if len(d.weight) == 0 {
 		panic("alias: Sample on empty Dynamic")
 	}
-	d.ensureOrder()
 	for {
 		lv := d.sampleLevelByCapacity(r)
 		key := lv.members[r.Intn(len(lv.members))]
@@ -194,21 +198,26 @@ func (d *Dynamic) sampleLevelByCapacity(r *rng.Source) *level {
 	return lastNonEmpty
 }
 
-func (d *Dynamic) ensureOrder() {
-	if !d.orderDirty && len(d.order) > 0 {
-		return
+// insertOrder splices exp into the sorted occupied-level cache. L is
+// tiny (≤ log2 of the weight spread) so a linear splice is fine.
+func (d *Dynamic) insertOrder(exp int) {
+	i := len(d.order)
+	for i > 0 && d.order[i-1] > exp {
+		i--
 	}
-	d.order = d.order[:0]
-	for exp := range d.levels {
-		d.order = append(d.order, exp)
-	}
-	// Insertion sort: L is tiny and this avoids importing sort here.
-	for i := 1; i < len(d.order); i++ {
-		for j := i; j > 0 && d.order[j] < d.order[j-1]; j-- {
-			d.order[j], d.order[j-1] = d.order[j-1], d.order[j]
+	d.order = append(d.order, 0)
+	copy(d.order[i+1:], d.order[i:])
+	d.order[i] = exp
+}
+
+// removeOrder drops exp from the occupied-level cache.
+func (d *Dynamic) removeOrder(exp int) {
+	for i, e := range d.order {
+		if e == exp {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			return
 		}
 	}
-	d.orderDirty = false
 }
 
 // Levels returns the number of occupied weight levels (diagnostic).

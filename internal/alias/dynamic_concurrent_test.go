@@ -1,0 +1,161 @@
+package alias
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/rng"
+)
+
+// Sample/SampleMany are specified non-mutating (the occupied-level
+// order cache is maintained eagerly by the write path), so concurrent
+// readers may share one Dynamic. The pre-PR-7 implementation rebuilt
+// the order cache lazily inside Sample — a write on the read path the
+// detector flags with two concurrent samplers after any level change.
+
+func buildAliasDynamic(tb testing.TB, n int) *Dynamic {
+	tb.Helper()
+	d := NewDynamic()
+	w := 1.0
+	for i := 0; i < n; i++ {
+		if err := d.Insert(i, w); err != nil {
+			tb.Fatalf("insert: %v", err)
+		}
+		w *= 1.07 // spread across several levels
+		if w > 1024 {
+			w = 1
+		}
+	}
+	return d
+}
+
+func TestDynamicConcurrentSamplers(t *testing.T) {
+	d := buildAliasDynamic(t, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			buf := make([]int, 0, 8)
+			for i := 0; i < 2000; i++ {
+				if k := d.Sample(r); !d.Contains(k) {
+					t.Errorf("sampled absent key %d", k)
+					return
+				}
+				buf = buf[:0]
+				buf = d.SampleMany(r, 4, buf)
+			}
+		}(uint64(g + 3))
+	}
+	wg.Wait()
+}
+
+// TestDynamicReadersWithExclusiveWriter runs the RWMutex discipline the
+// callers use, with the writer forcing level occupancy changes (the
+// order-cache churn case) every burst.
+func TestDynamicReadersWithExclusiveWriter(t *testing.T) {
+	d := buildAliasDynamic(t, 128)
+	var mu sync.RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				if d.Len() > 0 {
+					d.Sample(r)
+				}
+				mu.RUnlock()
+			}
+		}(uint64(g + 17))
+	}
+	wr := rng.New(23)
+	next := 1000
+	for i := 0; i < 4000; i++ {
+		mu.Lock()
+		switch wr.Intn(3) {
+		case 0:
+			// Extreme weights occupy fresh levels, churning the order
+			// cache.
+			d.Insert(next, float64(int(1)<<(wr.Intn(20))))
+			next++
+		case 1:
+			if next > 1000 {
+				next--
+				d.Delete(next)
+			}
+		case 2:
+			d.UpdateWeight(wr.Intn(128), 1+wr.Float64()*500)
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDynamicSampleZeroAlloc pins the read path: Sample and a warm
+// SampleMany buffer allocate nothing per call.
+func TestDynamicSampleZeroAlloc(t *testing.T) {
+	d := buildAliasDynamic(t, 512)
+	r := rng.New(5)
+	buf := make([]int, 0, 16)
+	fn := func() {
+		_ = d.Sample(r)
+		buf = buf[:0]
+		buf = d.SampleMany(r, 8, buf)
+	}
+	fn()
+	if race.Enabled {
+		t.Log("race build, allocation count not asserted")
+		return
+	}
+	if got := testing.AllocsPerRun(200, fn); got > 0 {
+		t.Errorf("Sample/SampleMany: %v allocs/op, want 0", got)
+	}
+}
+
+// TestDynamicOrderMaintained verifies the eager order cache tracks the
+// occupied levels through arbitrary churn (the invariant Sample relies
+// on instead of rebuilding).
+func TestDynamicOrderMaintained(t *testing.T) {
+	d := NewDynamic()
+	wr := rng.New(7)
+	next := 0
+	live := map[int]bool{}
+	for i := 0; i < 3000; i++ {
+		if wr.Bernoulli(0.55) || len(live) == 0 {
+			d.Insert(next, float64(int(1)<<(wr.Intn(16)))+wr.Float64())
+			live[next] = true
+			next++
+		} else {
+			for k := range live {
+				d.Delete(k)
+				delete(live, k)
+				break
+			}
+		}
+		if len(d.order) != len(d.levels) {
+			t.Fatalf("order cache has %d entries, %d levels occupied", len(d.order), len(d.levels))
+		}
+		for j := 1; j < len(d.order); j++ {
+			if d.order[j-1] >= d.order[j] {
+				t.Fatalf("order cache unsorted at %d: %v", j, d.order)
+			}
+		}
+		for _, exp := range d.order {
+			if d.levels[exp] == nil {
+				t.Fatalf("order cache lists vacant level %d", exp)
+			}
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/rangesample"
+	"repro/internal/scratch"
+)
+
+// Position-level access to a RangeSampler's sorted element array. The
+// ingest layer (internal/ingest) addresses base elements by sorted
+// position so tombstones and rank arithmetic stay O(log n); nothing
+// here draws randomness or mutates the structure, so all of it is safe
+// under the snapshot-sharing read paths.
+
+// ValueAt returns the i-th smallest stored value. i must be in
+// [0, Len()).
+func (s *RangeSampler) ValueAt(i int) float64 { return s.inner.Value(i) }
+
+// WeightAt returns the weight of the i-th smallest stored value. i must
+// be in [0, Len()).
+func (s *RangeSampler) WeightAt(i int) float64 { return s.inner.Weight(i) }
+
+// PrefixWeight returns the total weight of the i smallest elements in
+// O(1) via the construction-time prefix sums. i must be in [0, Len()].
+func (s *RangeSampler) PrefixWeight(i int) float64 { return s.prefix[i] }
+
+// PosRange returns the half-open sorted-position window [a, b) of the
+// elements with value in [lo, hi]. An invalid or empty range returns
+// a == b.
+func (s *RangeSampler) PosRange(lo, hi float64) (a, b int) {
+	if ValidateRange(lo, hi) != nil {
+		return 0, 0
+	}
+	n := s.inner.Len()
+	a = sort.Search(n, func(i int) bool { return s.inner.Value(i) >= lo })
+	b = sort.Search(n, func(i int) bool { return s.inner.Value(i) > hi })
+	if a > b {
+		b = a
+	}
+	return a, b
+}
+
+// SamplePosInto draws k independent weighted samples from S ∩ [lo, hi]
+// as sorted positions, appending to dst. Randomness consumption matches
+// SampleInto exactly (it is the same position query); ok is false when
+// the range is empty or invalid.
+func (s *RangeSampler) SamplePosInto(r *Rand, lo, hi float64, k int, dst []int, sc *scratch.Arena) ([]int, bool) {
+	if ValidateRange(lo, hi) != nil {
+		return dst, false
+	}
+	return s.queryScratch(r, bstInterval(lo, hi), k, dst, sc)
+}
+
+// InvalidateCovers drops any cover-decomposition caches the underlying
+// structure memoizes (see rangesample.CoverInvalidator). Callers invoke
+// it when retiring a sampler from serving — snapshot swaps and ingest
+// rebuilds — so a stale decomposition can never serve a mutated
+// dataset.
+func (s *RangeSampler) InvalidateCovers() {
+	if ci, ok := s.inner.(rangesample.CoverInvalidator); ok {
+		ci.InvalidateCovers()
+	}
+}

@@ -1,0 +1,908 @@
+// Package ingest is the write path of the serving stack: it makes a
+// dataset mutable while the read hot path keeps sampling from it with
+// the paper's guarantees intact at every instant.
+//
+// Architecture (LSM-flavoured, one Table per dataset per shard):
+//
+//   - The base is the frozen static structure already serving reads
+//     (core.RangeSampler — Theorem 3 / Lemma 2 / §3.2 behind it).
+//   - Inserts land in a memtable overlay: the §9 Direction-1 dynamic
+//     treap (rangesample.Dynamic), whose read paths are strictly
+//     non-mutating, so samplers walk it concurrently with impunity.
+//   - Deletes of base elements become tombstones — a position-keyed set
+//     plus two Fenwick trees (count, weight) over base positions, so
+//     "live weight/count in [lo, hi]" and "p-th live position" stay
+//     O(log n).
+//   - Every accepted write is also appended to the delta log. A
+//     background rebuilder drains the log into a fresh static structure
+//     (through the same build path the service uses, EM mirror and
+//     degradation included) and atomically swaps it in; the overlay,
+//     tombstones and log suffix are replayed onto the new base under
+//     one short exclusive section.
+//   - Writes flow through a bounded queue into a single-writer apply
+//     loop; when the queue is full or the delta log outruns rebuilds
+//     past MaxLag, writes are shed with ErrBackpressure (the server
+//     maps it to 429 + Retry-After). Reads never shed.
+//
+// Sampling the union (the part that keeps the statistics exact): a
+// with-replacement budget k is split between base and overlay by a
+// Multinomial draw over their live in-range weights — the same budget
+// arithmetic the sharded coordinator uses across shards — then base
+// draws are taken through the frozen structure with tombstone rejection
+// (falling back to an exact Fenwick-CDF inversion if rejection thrashes)
+// and overlay draws descend the treap. A without-replacement budget is
+// split by drawing k global ranks uniformly without replacement over the
+// live count (equivalently: the base/overlay split is hypergeometric)
+// and mapping ranks through Fenwick rank-select / treap order
+// statistics. Both compositions are exact, not approximate, so
+// chi-squared uniformity and cross-query independence hold *during*
+// mutation, against the instantaneous dataset state.
+//
+// While the table is pure (no overlay elements, no tombstones) reads
+// take a lock-free fast path straight into the base — the zero-alloc
+// hot path is untouched by the machinery above.
+package ingest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log/slog"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fenwick"
+	"repro/internal/metrics"
+	"repro/internal/rangesample"
+	"repro/internal/rng"
+	"repro/internal/scratch"
+	"repro/internal/wor"
+)
+
+// Typed errors the serving layers map to HTTP statuses.
+var (
+	// ErrBackpressure sheds a write when the queue is full or the delta
+	// log has outrun the rebuilder past MaxLag.
+	ErrBackpressure = errors.New("ingest: write shed, delta log awaiting rebuild")
+	// ErrValueNotFound reports a delete of an absent value.
+	ErrValueNotFound = errors.New("ingest: value not found")
+	// ErrLastElement refuses to delete the final live element (the
+	// serving stack's structures are defined over non-empty sets).
+	ErrLastElement = errors.New("ingest: cannot delete the last live element")
+	// ErrClosed reports a write against a closed table.
+	ErrClosed = errors.New("ingest: table closed")
+)
+
+// Defaults for the Config knobs.
+const (
+	DefaultQueueDepth       = 256
+	DefaultRebuildThreshold = 4096
+)
+
+// rejectionCap bounds tombstone-rejection attempts per with-replacement
+// base draw before the exact Fenwick-CDF fallback takes over. The
+// expected attempt count is 1/(live fraction), so under the MaxLag
+// backpressure regime this is essentially never hit; heavily tombstoned
+// ranges stay correct through the fallback rather than fast.
+const rejectionCap = 32
+
+// Config parameterises a Table.
+type Config struct {
+	// Seed drives overlay treap priorities (structural randomness only,
+	// never the query sampling).
+	Seed uint64
+	// QueueDepth bounds the write queue (default DefaultQueueDepth).
+	QueueDepth int
+	// RebuildThreshold is the delta-log depth that kicks the background
+	// rebuilder (default DefaultRebuildThreshold).
+	RebuildThreshold int
+	// MaxLag is the delta-log depth past which writes are shed with
+	// ErrBackpressure (default 4×RebuildThreshold).
+	MaxLag int
+	// RebuildInterval additionally rebuilds on a timer when positive,
+	// folding trickle writes that never reach the threshold.
+	RebuildInterval time.Duration
+	// Build constructs a fresh static structure over the materialised
+	// live data. Required. The service layer passes its own build path
+	// here so rebuilds inherit EM mirroring, cancellation and naive
+	// degradation.
+	Build func(ctx context.Context, values, weights []float64) (*core.RangeSampler, error)
+	// Metrics, when non-nil, registers the iqs_ingest_* families with
+	// the given labels.
+	Metrics *metrics.Registry
+	Labels  []metrics.Label
+	// Logger receives rebuild failures; nil discards.
+	Logger *slog.Logger
+}
+
+// opKind tags delta-log entries.
+type opKind uint8
+
+const (
+	opInsert opKind = iota
+	opDelete
+	opBulk
+)
+
+// op is one delta-log entry.
+type op struct {
+	kind    opKind
+	value   float64
+	weight  float64
+	values  []float64 // opBulk only
+	weights []float64 // opBulk only
+}
+
+// request is one queued write awaiting the apply loop.
+type request struct {
+	op   op
+	done chan error
+}
+
+// Stats is a point-in-time diagnostic snapshot.
+type Stats struct {
+	Len         int     // live elements
+	LogDepth    int     // delta-log entries awaiting rebuild
+	OverlayLen  int     // memtable elements
+	Tombstones  int     // masked base positions
+	Applied     uint64  // writes applied since creation
+	Shed        uint64  // writes shed with ErrBackpressure
+	Rebuilds    uint64  // successful base swaps
+	RebuildErrs uint64  // failed rebuild attempts
+	OverlayFrac float64 // overlay weight / live weight
+}
+
+// Table serves one mutable dataset: a frozen base, a dynamic overlay,
+// tombstones, and the delta log that reconciles them.
+type Table struct {
+	cfg Config
+
+	// basePtr is the lock-free handle the pure fast path reads;
+	// t.mu guards everything else (and basePtr swaps happen under it).
+	basePtr atomic.Pointer[core.RangeSampler]
+	pure    atomic.Bool
+
+	mu            sync.RWMutex
+	overlay       *rangesample.Dynamic
+	overlayCount  int
+	tomb          map[int]struct{}
+	tombC         *fenwick.Tree // 1 per tombstoned base position
+	tombW         *fenwick.Tree // weight per tombstoned base position
+	log           []op
+	overlaySeed   uint64
+	logDepthGauge atomic.Int64
+
+	queue   chan *request
+	kick    chan struct{}
+	closeCh chan struct{}
+	closed  atomic.Bool
+	wg      sync.WaitGroup
+
+	applied     atomic.Uint64
+	shed        atomic.Uint64
+	rebuilds    atomic.Uint64
+	rebuildErrs atomic.Uint64
+
+	appliedC    *metrics.Counter
+	shedC       *metrics.Counter
+	rebuildsC   *metrics.Counter
+	rebuildErrC *metrics.Counter
+	rebuildHist *metrics.Histogram
+}
+
+// New builds a Table over an already-built base and starts its apply
+// and rebuild loops. The base is adopted, not copied: the caller must
+// stop sampling through any other handle that mutates it (there are
+// none — RangeSampler is immutable).
+func New(base *core.RangeSampler, cfg Config) (*Table, error) {
+	if base == nil || base.Len() == 0 {
+		return nil, fmt.Errorf("ingest: nil or empty base")
+	}
+	if cfg.Build == nil {
+		return nil, fmt.Errorf("ingest: Config.Build is required")
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.RebuildThreshold <= 0 {
+		cfg.RebuildThreshold = DefaultRebuildThreshold
+	}
+	if cfg.MaxLag <= 0 {
+		cfg.MaxLag = 4 * cfg.RebuildThreshold
+	}
+	t := &Table{
+		cfg:         cfg,
+		overlaySeed: cfg.Seed,
+		tomb:        make(map[int]struct{}),
+		tombC:       fenwick.New(base.Len()),
+		tombW:       fenwick.New(base.Len()),
+		queue:       make(chan *request, cfg.QueueDepth),
+		kick:        make(chan struct{}, 1),
+		closeCh:     make(chan struct{}),
+	}
+	t.basePtr.Store(base)
+	t.overlay = rangesample.NewDynamic(t.nextOverlaySeed())
+	t.pure.Store(true)
+	t.registerMetrics()
+	t.wg.Add(2)
+	go t.applyLoop()
+	go t.rebuildLoop()
+	return t, nil
+}
+
+// nextOverlaySeed derives a fresh structural seed per overlay
+// generation (splitmix step), keeping treap shapes independent across
+// rebuild cycles without consuming query randomness.
+func (t *Table) nextOverlaySeed() uint64 {
+	t.overlaySeed += 0x9e3779b97f4a7c15
+	return t.overlaySeed
+}
+
+func (t *Table) registerMetrics() {
+	reg := t.cfg.Metrics
+	if reg == nil {
+		return
+	}
+	ls := t.cfg.Labels
+	t.appliedC = reg.Counter("iqs_ingest_applied_total", "Writes applied to the mutable table.", ls...)
+	t.shedC = reg.Counter("iqs_ingest_rejected_total", "Writes shed by ingest backpressure.", ls...)
+	t.rebuildsC = reg.Counter("iqs_ingest_rebuilds_total", "Delta-log drains into a fresh base structure.", ls...)
+	t.rebuildErrC = reg.Counter("iqs_ingest_rebuild_failures_total", "Rebuild attempts that failed to build.", ls...)
+	t.rebuildHist = reg.Histogram("iqs_ingest_rebuild_seconds", "Wall time of one base rebuild (build + replay + swap).", nil, ls...)
+	reg.GaugeFunc("iqs_ingest_delta_log_depth", "Delta-log entries awaiting rebuild.",
+		func() float64 { return float64(t.logDepthGauge.Load()) }, ls...)
+	reg.GaugeFunc("iqs_ingest_queue_depth", "Writes waiting in the bounded ingest queue.",
+		func() float64 { return float64(len(t.queue)) }, ls...)
+	reg.GaugeFunc("iqs_ingest_overlay_fraction", "Fraction of live weight served by the memtable overlay.",
+		func() float64 { return t.Stats().OverlayFrac }, ls...)
+}
+
+// Close stops the apply and rebuild loops. Queued writes are drained
+// with ErrClosed; reads keep working against the last published state.
+func (t *Table) Close() {
+	if !t.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(t.closeCh)
+	t.wg.Wait()
+	// Drain anything that raced past the closed check into the queue.
+	for {
+		select {
+		case req := <-t.queue:
+			req.done <- ErrClosed
+		default:
+			return
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------
+
+// Insert adds an element with the given weight, visible to sampling as
+// soon as it returns. Sheds with ErrBackpressure under lag.
+func (t *Table) Insert(ctx context.Context, value, weight float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: %v", core.ErrBadValue, value)
+	}
+	if !(weight > 0) || math.IsInf(weight, 0) {
+		return fmt.Errorf("%w: %v", core.ErrBadWeight, weight)
+	}
+	return t.submit(ctx, op{kind: opInsert, value: value, weight: weight})
+}
+
+// Delete removes one live element with the given value (an arbitrary
+// one if duplicated): overlay elements are removed directly, base
+// elements are tombstoned. ErrValueNotFound when absent; the last live
+// element is never deleted.
+func (t *Table) Delete(ctx context.Context, value float64) error {
+	if math.IsNaN(value) || math.IsInf(value, 0) {
+		return fmt.Errorf("%w: %v", core.ErrBadValue, value)
+	}
+	return t.submit(ctx, op{kind: opDelete, value: value})
+}
+
+// BulkLoad appends a batch of elements in one queue slot and one log
+// entry, then kicks an immediate rebuild. weights may be nil (uniform).
+func (t *Table) BulkLoad(ctx context.Context, values, weights []float64) error {
+	if len(values) == 0 {
+		return nil
+	}
+	if weights != nil && len(weights) != len(values) {
+		return fmt.Errorf("%w: %d values vs %d weights", core.ErrBadWeight, len(values), len(weights))
+	}
+	vs := append([]float64(nil), values...)
+	var ws []float64
+	if weights == nil {
+		ws = make([]float64, len(vs))
+		for i := range ws {
+			ws[i] = 1
+		}
+	} else {
+		ws = append([]float64(nil), weights...)
+	}
+	for i, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: %v", core.ErrBadValue, v)
+		}
+		if !(ws[i] > 0) || math.IsInf(ws[i], 0) {
+			return fmt.Errorf("%w: %v", core.ErrBadWeight, ws[i])
+		}
+	}
+	err := t.submit(ctx, op{kind: opBulk, values: vs, weights: ws})
+	if err == nil {
+		t.kickRebuild()
+	}
+	return err
+}
+
+// submit enqueues one validated op and waits for the apply loop's
+// verdict. Backpressure is a fast, non-blocking rejection: a full queue
+// or an over-lag delta log sheds immediately rather than stalling the
+// caller behind the rebuilder.
+func (t *Table) submit(ctx context.Context, o op) error {
+	if t.closed.Load() {
+		return ErrClosed
+	}
+	if int(t.logDepthGauge.Load()) >= t.cfg.MaxLag {
+		t.shedWrite()
+		return ErrBackpressure
+	}
+	req := &request{op: o, done: make(chan error, 1)}
+	select {
+	case t.queue <- req:
+	default:
+		t.shedWrite()
+		return ErrBackpressure
+	}
+	select {
+	case err := <-req.done:
+		return err
+	case <-ctx.Done():
+		// The op may still apply after abandonment; the caller only
+		// loses the acknowledgement, not consistency.
+		return ctx.Err()
+	case <-t.closeCh:
+		return ErrClosed
+	}
+}
+
+func (t *Table) shedWrite() {
+	t.shed.Add(1)
+	if t.shedC != nil {
+		t.shedC.Add(1)
+	}
+}
+
+// applyLoop is the single writer: every mutation funnels through it, so
+// the read paths only ever contend with one short exclusive section per
+// op, never with each other.
+func (t *Table) applyLoop() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.closeCh:
+			return
+		case req := <-t.queue:
+			t.mu.Lock()
+			err := t.applyLocked(req.op)
+			if err == nil {
+				t.log = append(t.log, req.op)
+				t.logDepthGauge.Store(int64(len(t.log)))
+			}
+			t.mu.Unlock()
+			if err == nil {
+				t.applied.Add(1)
+				if t.appliedC != nil {
+					t.appliedC.Add(1)
+				}
+				if int(t.logDepthGauge.Load()) >= t.cfg.RebuildThreshold {
+					t.kickRebuild()
+				}
+			}
+			req.done <- err
+		}
+	}
+}
+
+// applyLocked applies one op to the overlay/tombstone state. Callers
+// hold t.mu exclusively and append to the delta log on success.
+func (t *Table) applyLocked(o op) error {
+	switch o.kind {
+	case opInsert:
+		t.pure.Store(false)
+		if err := t.overlay.Insert(o.value, o.weight); err != nil {
+			return err
+		}
+		t.overlayCount++
+	case opDelete:
+		if t.liveLenLocked() <= 1 {
+			return ErrLastElement
+		}
+		iv := rangesample.Interval{Lo: o.value, Hi: o.value}
+		if t.overlay.Count(iv) > 0 {
+			if err := t.overlay.Delete(o.value); err != nil {
+				return err
+			}
+			t.overlayCount--
+			t.updatePureLocked()
+			return nil
+		}
+		base := t.basePtr.Load()
+		a, b := base.PosRange(o.value, o.value)
+		for p := a; p < b; p++ {
+			if _, dead := t.tomb[p]; dead {
+				continue
+			}
+			t.pure.Store(false)
+			t.tomb[p] = struct{}{}
+			t.tombC.Add(p, 1)
+			t.tombW.Add(p, base.WeightAt(p))
+			return nil
+		}
+		return fmt.Errorf("%w: %v", ErrValueNotFound, o.value)
+	case opBulk:
+		t.pure.Store(false)
+		for i, v := range o.values {
+			if err := t.overlay.Insert(v, o.weights[i]); err != nil {
+				return err
+			}
+			t.overlayCount++
+		}
+	}
+	return nil
+}
+
+// updatePureLocked re-derives the pure flag (lock-free base fast path)
+// after an op that may have emptied the overlay/tombstones.
+func (t *Table) updatePureLocked() {
+	t.pure.Store(t.overlayCount == 0 && len(t.tomb) == 0)
+}
+
+func (t *Table) kickRebuild() {
+	select {
+	case t.kick <- struct{}{}:
+	default:
+	}
+}
+
+// ---------------------------------------------------------------------
+// Rebuild path
+// ---------------------------------------------------------------------
+
+func (t *Table) rebuildLoop() {
+	defer t.wg.Done()
+	var tickC <-chan time.Time
+	if t.cfg.RebuildInterval > 0 {
+		tick := time.NewTicker(t.cfg.RebuildInterval)
+		defer tick.Stop()
+		tickC = tick.C
+	}
+	for {
+		select {
+		case <-t.closeCh:
+			return
+		case <-t.kick:
+		case <-tickC:
+		}
+		t.rebuildOnce(context.Background())
+	}
+}
+
+// rebuildOnce drains the delta log: materialise live data under a read
+// lock (writes keep flowing), build the fresh base outside all locks,
+// then — under one exclusive section — replay the log suffix that
+// landed during the build onto a fresh overlay and swap. The retired
+// base has its cover caches invalidated so a stale decomposition can
+// never serve the mutated dataset.
+func (t *Table) rebuildOnce(ctx context.Context) {
+	t.mu.RLock()
+	depth := len(t.log)
+	if depth == 0 {
+		t.mu.RUnlock()
+		return
+	}
+	values, weights := t.materializeLocked()
+	t.mu.RUnlock()
+
+	start := time.Now()
+	next, err := t.cfg.Build(ctx, values, weights)
+	if err != nil {
+		t.rebuildErrs.Add(1)
+		if t.rebuildErrC != nil {
+			t.rebuildErrC.Add(1)
+		}
+		if t.cfg.Logger != nil {
+			t.cfg.Logger.Warn("ingest rebuild failed", "err", err, "log_depth", depth)
+		}
+		return
+	}
+
+	t.mu.Lock()
+	rest := append([]op(nil), t.log[depth:]...)
+	old := t.basePtr.Load()
+	t.basePtr.Store(next)
+	t.overlay = rangesample.NewDynamic(t.nextOverlaySeed())
+	t.overlayCount = 0
+	t.tomb = make(map[int]struct{})
+	t.tombC = fenwick.New(next.Len())
+	t.tombW = fenwick.New(next.Len())
+	newLog := t.log[:0]
+	for _, o := range rest {
+		if aerr := t.applyLocked(o); aerr != nil {
+			// Replay against content-equivalent state cannot fail; if it
+			// somehow does, dropping the op (loudly) beats wedging the
+			// apply loop.
+			if t.cfg.Logger != nil {
+				t.cfg.Logger.Warn("ingest replay dropped op", "err", aerr)
+			}
+			continue
+		}
+		newLog = append(newLog, o)
+	}
+	t.log = newLog
+	t.logDepthGauge.Store(int64(len(newLog)))
+	t.updatePureLocked()
+	t.mu.Unlock()
+
+	old.InvalidateCovers()
+	t.rebuilds.Add(1)
+	if t.rebuildsC != nil {
+		t.rebuildsC.Add(1)
+	}
+	if t.rebuildHist != nil {
+		t.rebuildHist.Observe(time.Since(start).Seconds())
+	}
+}
+
+// materializeLocked flattens live state — base minus tombstones plus
+// overlay — into fresh arrays. Callers hold at least a read lock.
+func (t *Table) materializeLocked() (values, weights []float64) {
+	base := t.basePtr.Load()
+	n := base.Len()
+	live := n - len(t.tomb) + t.overlayCount
+	values = make([]float64, 0, live)
+	weights = make([]float64, 0, live)
+	for i := 0; i < n; i++ {
+		if _, dead := t.tomb[i]; dead {
+			continue
+		}
+		values = append(values, base.ValueAt(i))
+		weights = append(weights, base.WeightAt(i))
+	}
+	t.overlay.Walk(func(v, w float64) {
+		values = append(values, v)
+		weights = append(weights, w)
+	})
+	return values, weights
+}
+
+// LiveData returns copies of the live values and weights (shard
+// rebalancing and tests).
+func (t *Table) LiveData() (values, weights []float64) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.materializeLocked()
+}
+
+// Flush forces rebuilds until the delta log is empty (tests and
+// drains). It blocks the caller, never the readers.
+func (t *Table) Flush(ctx context.Context) error {
+	for {
+		t.mu.RLock()
+		depth := len(t.log)
+		t.mu.RUnlock()
+		if depth == 0 {
+			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		t.rebuildOnce(ctx)
+		if t.rebuildErrs.Load() > 0 && int(t.logDepthGauge.Load()) >= depth {
+			return fmt.Errorf("ingest: flush stalled at depth %d", depth)
+		}
+	}
+}
+
+// Stats returns a diagnostic snapshot.
+func (t *Table) Stats() Stats {
+	t.mu.RLock()
+	base := t.basePtr.Load()
+	liveW := t.liveWeightLocked()
+	overW := t.overlay.TotalWeight()
+	st := Stats{
+		Len:        base.Len() - len(t.tomb) + t.overlayCount,
+		LogDepth:   len(t.log),
+		OverlayLen: t.overlayCount,
+		Tombstones: len(t.tomb),
+	}
+	t.mu.RUnlock()
+	st.Applied = t.applied.Load()
+	st.Shed = t.shed.Load()
+	st.Rebuilds = t.rebuilds.Load()
+	st.RebuildErrs = t.rebuildErrs.Load()
+	if liveW > 0 {
+		st.OverlayFrac = overW / liveW
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------
+
+func (t *Table) liveLenLocked() int {
+	return t.basePtr.Load().Len() - len(t.tomb) + t.overlayCount
+}
+
+func (t *Table) liveWeightLocked() float64 {
+	base := t.basePtr.Load()
+	return base.TotalWeight() - t.tombW.Total() + t.overlay.TotalWeight()
+}
+
+// Len returns the live element count.
+func (t *Table) Len() int {
+	if t.pure.Load() {
+		return t.basePtr.Load().Len()
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.liveLenLocked()
+}
+
+// TotalWeight returns the live total weight.
+func (t *Table) TotalWeight() float64 {
+	if t.pure.Load() {
+		return t.basePtr.Load().TotalWeight()
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.liveWeightLocked()
+}
+
+// RangeWeight returns the live weight of S ∩ [lo, hi].
+func (t *Table) RangeWeight(lo, hi float64) float64 {
+	if t.pure.Load() {
+		return t.basePtr.Load().RangeWeight(lo, hi)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.rangeWeightLocked(lo, hi)
+}
+
+func (t *Table) rangeWeightLocked(lo, hi float64) float64 {
+	base := t.basePtr.Load()
+	a, b := base.PosRange(lo, hi)
+	w := base.RangeWeight(lo, hi)
+	if b > a {
+		w -= t.tombW.RangeSum(a, b-1)
+	}
+	if w < 0 {
+		w = 0
+	}
+	return w + t.overlay.RangeWeight(rangesample.Interval{Lo: lo, Hi: hi})
+}
+
+// Count returns the live count of S ∩ [lo, hi].
+func (t *Table) Count(lo, hi float64) int {
+	if t.pure.Load() {
+		return t.basePtr.Load().Count(lo, hi)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.countLocked(lo, hi)
+}
+
+func (t *Table) countLocked(lo, hi float64) int {
+	base := t.basePtr.Load()
+	a, b := base.PosRange(lo, hi)
+	c := b - a
+	if b > a {
+		c -= int(t.tombC.RangeSum(a, b-1) + 0.5)
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c + t.overlay.Count(rangesample.Interval{Lo: lo, Hi: hi})
+}
+
+// Kind returns the current base structure kind (degradation shows
+// through here exactly as on the immutable path).
+func (t *Table) Kind() core.Kind { return t.basePtr.Load().Kind() }
+
+// SampleInto draws k independent weighted samples from the live S ∩
+// [lo, hi], appending values to dst; temporaries come from the arena.
+// ok is false when the live range is empty. While the table is pure the
+// call is the base's own zero-alloc hot path, lock-free.
+func (t *Table) SampleInto(r *rng.Source, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, bool) {
+	if t.pure.Load() {
+		return t.basePtr.Load().SampleInto(r, lo, hi, k, dst, sc)
+	}
+	if core.ValidateRange(lo, hi) != nil {
+		return dst, false
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	base := t.basePtr.Load()
+	a, b := base.PosRange(lo, hi)
+	wBaseGross := base.RangeWeight(lo, hi)
+	wTomb := 0.0
+	if b > a {
+		wTomb = t.tombW.RangeSum(a, b-1)
+	}
+	wBase := wBaseGross - wTomb
+	if wBase < 0 {
+		wBase = 0
+	}
+	iv := rangesample.Interval{Lo: lo, Hi: hi}
+	wOver := t.overlay.RangeWeight(iv)
+	if !(wBase+wOver > 0) {
+		return dst, false
+	}
+	if k <= 0 {
+		return dst, true
+	}
+
+	// Two-way budget split: Multinomial over {live base weight, overlay
+	// weight} — the same arithmetic the coordinator uses across shards.
+	split, err := rng.Multinomial(r, k, []float64{wBase, wOver})
+	if err != nil {
+		return dst, false
+	}
+	kBase, kOver := split[0], split[1]
+	start := len(dst)
+
+	// Base draws: weighted position draws through the frozen structure,
+	// tombstones rejected. Rejection is exact (acceptance ∝ live
+	// weight); if it thrashes, an exact CDF inversion over live prefix
+	// weights finishes the budget.
+	attempts := 0
+	for drawn := 0; drawn < kBase; {
+		if attempts >= rejectionCap+kBase {
+			dst = t.denseBaseDrawsLocked(r, a, b, kBase-drawn, dst)
+			break
+		}
+		attempts++
+		pos, ok := base.SamplePosInto(r, lo, hi, 1, sc.Pos(1), sc)
+		if !ok || len(pos) == 0 {
+			break
+		}
+		if _, dead := t.tomb[pos[0]]; dead {
+			continue
+		}
+		dst = append(dst, base.ValueAt(pos[0]))
+		drawn++
+	}
+
+	// Overlay draws: non-mutating weighted treap descents.
+	for i := 0; i < kOver; i++ {
+		v, ok := t.overlay.Sample(r, iv)
+		if !ok {
+			break
+		}
+		dst = append(dst, v)
+	}
+
+	// The split put base draws before overlay draws; shuffle the batch
+	// so the output sequence is exchangeable like every other path.
+	tail := dst[start:]
+	r.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+	return dst, true
+}
+
+// denseBaseDrawsLocked draws rem weighted live base positions in
+// [a, b) by exact CDF inversion: live prefix weight is PrefixWeight
+// minus the tombstone Fenwick prefix, monotone in position, so each
+// draw is a binary search costing O(log² n).
+func (t *Table) denseBaseDrawsLocked(r *rng.Source, a, b, rem int, dst []float64) []float64 {
+	base := t.basePtr.Load()
+	livePrefix := func(p int) float64 { // live weight of positions [a, p]
+		w := base.PrefixWeight(p+1) - base.PrefixWeight(a)
+		if p >= a {
+			w -= t.tombW.RangeSum(a, p)
+		}
+		return w
+	}
+	total := livePrefix(b - 1)
+	if !(total > 0) {
+		return dst
+	}
+	for i := 0; i < rem; i++ {
+		x := r.Float64() * total
+		lo, hi := a, b-1
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if livePrefix(mid) > x {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		// lo is the first position whose live prefix exceeds x; it is
+		// necessarily live (tombstoned positions add no mass).
+		dst = append(dst, base.ValueAt(lo))
+	}
+	return dst
+}
+
+// SampleWoRInto draws a uniformly random size-k subset of the live
+// S ∩ [lo, hi] (without replacement), appending values to dst. Global
+// ranks are drawn uniformly without replacement over the live count —
+// the base/overlay split this induces is exactly hypergeometric — then
+// base ranks map through Fenwick rank-select and overlay ranks through
+// treap order statistics. Returns core.ErrSampleTooLarge when k exceeds
+// the live range count.
+func (t *Table) SampleWoRInto(r *rng.Source, lo, hi float64, k int, dst []float64, sc *scratch.Arena) ([]float64, error) {
+	if t.pure.Load() {
+		return t.basePtr.Load().SampleWoRInto(r, lo, hi, k, dst, sc)
+	}
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return dst, err
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+
+	base := t.basePtr.Load()
+	a, b := base.PosRange(lo, hi)
+	nBase := b - a
+	if b > a {
+		nBase -= int(t.tombC.RangeSum(a, b-1) + 0.5)
+	}
+	if nBase < 0 {
+		nBase = 0
+	}
+	iv := rangesample.Interval{Lo: lo, Hi: hi}
+	nOver := t.overlay.Count(iv)
+	total := nBase + nOver
+	if k > total {
+		return dst, core.ErrSampleTooLarge
+	}
+	if k <= 0 {
+		return dst, nil
+	}
+	ranks, err := wor.UniformWoRInto(r, total, k, sc.Pos(k), sc.Seen(k))
+	if err != nil {
+		return dst, err
+	}
+	for _, rk := range ranks {
+		if rk < nBase {
+			p := t.liveSelectLocked(a, b, rk)
+			dst = append(dst, base.ValueAt(p))
+			continue
+		}
+		v, ok := t.overlay.SelectInRange(iv, rk-nBase)
+		if !ok {
+			return dst, fmt.Errorf("ingest: overlay rank %d/%d missing", rk-nBase, nOver)
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// liveSelectLocked returns the base position holding the rank-th live
+// element (0-based) of the window [a, b): the smallest p with
+// liveCount[a..p] = rank+1. The predicate is monotone and tombstoned
+// positions contribute nothing, so the binary search lands on a live
+// position.
+func (t *Table) liveSelectLocked(a, b, rank int) int {
+	lo, hi := a, b-1
+	want := float64(rank + 1)
+	liveCount := func(p int) float64 {
+		return float64(p-a+1) - t.tombC.RangeSum(a, p)
+	}
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if liveCount(mid) >= want {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo
+}

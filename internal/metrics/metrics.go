@@ -83,12 +83,14 @@ func (k metricKind) expositionType() string {
 	return "untyped"
 }
 
-// instance is one labelled series inside a family.
+// instance is one labelled series inside a family. fn is an atomic
+// pointer because func-backed series rebind on re-registration (see
+// GaugeFunc) while scrapes read it without the registry lock.
 type instance struct {
 	labels []Label
 	c      *Counter
 	g      *Gauge
-	fn     func() float64
+	fn     atomic.Pointer[func() float64]
 	h      *Histogram
 }
 
@@ -163,6 +165,12 @@ func (r *Registry) register(name, help string, kind metricKind, labels []Label, 
 	}
 	sig := signature(labels)
 	if in := f.insts[sig]; in != nil {
+		if kind == kindGaugeFunc || kind == kindCounterFunc {
+			// Latest registrant wins: a replacement component (e.g. a
+			// rebalanced shard's fresh ingest table) takes over the
+			// series instead of leaving it scraping a retired object.
+			in.fn.Store(mk().fn.Load())
+		}
 		return in
 	}
 	in := mk()
@@ -197,23 +205,32 @@ func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
 // GaugeFunc registers a gauge whose value is read by calling fn at
 // scrape time — for mirroring counters owned elsewhere (queue depths,
 // device I/O totals). fn must be safe to call concurrently.
+// Re-registering the same name and labels rebinds the callback to the
+// new fn (latest registrant wins), so a component that replaces
+// another — a rebalanced shard, a recreated dataset — takes over the
+// series rather than leaving it stuck on the retired object.
 func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
 	r.register(name, help, kindGaugeFunc, labels, func() *instance {
-		return &instance{fn: fn}
+		in := &instance{}
+		in.fn.Store(&fn)
+		return in
 	})
 }
 
 // CounterFunc is GaugeFunc exported with type counter, for values that
-// are semantically monotone (I/O totals, injected-fault totals).
+// are semantically monotone (I/O totals, injected-fault totals). Like
+// GaugeFunc, re-registration rebinds the callback.
 func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
 	if r == nil {
 		return
 	}
 	r.register(name, help, kindCounterFunc, labels, func() *instance {
-		return &instance{fn: fn}
+		in := &instance{}
+		in.fn.Store(&fn)
+		return in
 	})
 }
 
@@ -291,7 +308,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			case kindGauge:
 				err = writeSeries(w, f.name, sig, "", "", in.g.Value())
 			case kindGaugeFunc, kindCounterFunc:
-				err = writeSeries(w, f.name, sig, "", "", in.fn())
+				err = writeSeries(w, f.name, sig, "", "", (*in.fn.Load())())
 			case kindHistogram:
 				err = in.h.write(w, f.name, sig)
 			}

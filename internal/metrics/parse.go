@@ -62,6 +62,30 @@ next:
 	return total
 }
 
+// MaxAcross returns the maximum value across every sample of the
+// family whose label block contains all fragments (for bounding a
+// gauge across its label values, e.g. the worst per-dataset quality
+// ratio). ok is false when no sample matches.
+func (e *Exposition) MaxAcross(name string, labelFragments ...string) (float64, bool) {
+	max, found := 0.0, false
+next:
+	for _, s := range e.Samples {
+		if s.Name != name {
+			continue
+		}
+		for _, f := range labelFragments {
+			if !strings.Contains(s.Labels, f) {
+				continue next
+			}
+		}
+		if !found || s.Value > max {
+			max = s.Value
+		}
+		found = true
+	}
+	return max, found
+}
+
 // ParseExposition parses r strictly: every non-comment, non-blank line
 // must be `name[{labels}] value`, label blocks must be well-formed
 // (quoted values, balanced braces), and values must parse as Go floats

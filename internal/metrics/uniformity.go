@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"math"
 	"sort"
 	"sync"
 
@@ -49,6 +50,20 @@ type UniformityOptions struct {
 	// OnBreach, when non-nil, fires each time the quality ratio
 	// crosses 1 from below (not on every fold above it).
 	OnBreach func(stat, critical float64, folded int64)
+	// LiveWeight, when non-nil, switches the monitor to dynamic
+	// expectations for mutable datasets: instead of the frozen
+	// construction-time prefix sums, the per-cell expected mass of each
+	// folded query is computed by querying the live in-range weight
+	// (wor false) or count (wor true) over the intersection of the
+	// query range and the cell's value interval. Cell boundaries stay
+	// frozen at construction (they only define the histogram bins —
+	// the first and last cells are unbounded below/above, so values
+	// inserted outside the original span still bucket and weigh
+	// correctly); the *expectations* track the instantaneous dataset,
+	// which is exactly the paper's per-state guarantee. The callback
+	// must be safe for concurrent use and O(log n)-ish: it runs
+	// cells+1 times per folded query under the monitor mutex.
+	LiveWeight func(lo, hi float64, wor bool) float64
 }
 
 // Uniformity is the streaming chi-squared monitor. All methods are safe
@@ -173,6 +188,12 @@ func (u *Uniformity) Fold(lo, hi float64, samples []float64, wor bool) {
 	}
 	u.folded += m
 
+	if u.opts.LiveWeight != nil {
+		u.foldLiveLocked(lo, hi, m, wor)
+		u.recompute()
+		return
+	}
+
 	// Index bounds of S ∩ [lo, hi] in the sorted order.
 	n := len(u.vals)
 	L := sort.SearchFloat64s(u.vals, lo)
@@ -206,6 +227,39 @@ func (u *Uniformity) Fold(lo, hi float64, samples []float64, wor bool) {
 		u.exp[i] += float64(m) * w / totalIn
 	}
 	u.recompute()
+}
+
+// foldLiveLocked accumulates dynamic expectations: the cell histogram
+// buckets by frozen boundaries (cell i covers the value interval
+// (cellHi[i-1], cellHi[i]], unbounded at both ends), and each cell's
+// expected mass is the live in-range weight of that interval
+// intersected with the query. Caller holds u.mu.
+func (u *Uniformity) foldLiveLocked(lo, hi float64, m int64, wor bool) {
+	totalIn := u.opts.LiveWeight(lo, hi, wor)
+	if !(totalIn > 0) {
+		return
+	}
+	cells := len(u.cellHi)
+	for i := 0; i < cells; i++ {
+		a := lo
+		if i > 0 {
+			if open := math.Nextafter(u.cellHi[i-1], math.Inf(1)); open > a {
+				a = open
+			}
+		}
+		b := hi
+		if i < cells-1 && u.cellHi[i] < b {
+			b = u.cellHi[i]
+		}
+		if a > b {
+			continue
+		}
+		w := u.opts.LiveWeight(a, b, wor)
+		if !(w > 0) {
+			continue
+		}
+		u.exp[i] += float64(m) * w / totalIn
+	}
 }
 
 // minExpected is the classic chi-squared validity floor: cells with

@@ -168,3 +168,112 @@ func TestUniformityStride(t *testing.T) {
 		t.Fatalf("stride 4 folded %d of 100, want 25", folded)
 	}
 }
+
+// TestUniformityLiveWeight exercises the dynamic-expectations mode for
+// mutable datasets: a model dataset mutates mid-stream, the sampler
+// tracks it, and the monitor — fed the live per-range weight — stays
+// quiet; a sampler stuck on the stale distribution trips it.
+func TestUniformityLiveWeight(t *testing.T) {
+	const n = 512
+	vals := testValues(n)
+	// live[i] is the current weight of value i; mutations below double
+	// part of the domain and mask another part.
+	live := make([]float64, n)
+	for i := range live {
+		live[i] = 1
+	}
+	liveWeight := func(lo, hi float64, wor bool) float64 {
+		w := 0.0
+		for i := range live {
+			if float64(i) >= lo && float64(i) <= hi {
+				if wor {
+					if live[i] > 0 {
+						w++
+					}
+				} else {
+					w += live[i]
+				}
+			}
+		}
+		return w
+	}
+	liveDraw := func(r *rng.Source, L, R, k int) []float64 {
+		out := make([]float64, 0, k)
+		total := liveWeight(float64(L), float64(R), false)
+		for len(out) < k {
+			x := r.Float64() * total
+			for i := L; i <= R; i++ {
+				x -= live[i]
+				if x < 0 {
+					out = append(out, float64(i))
+					break
+				}
+			}
+		}
+		return out
+	}
+
+	u := NewUniformity(vals, nil, UniformityOptions{Stride: 1, LiveWeight: liveWeight})
+	r := rng.New(11)
+	drawQueries(u, r, n, 100, 16, false, liveDraw)
+	// Mutate: left quarter gets weight 3 (as if re-inserted heavier),
+	// one slice is deleted outright.
+	for i := 0; i < n/4; i++ {
+		live[i] = 3
+	}
+	for i := 300; i < 340; i++ {
+		live[i] = 0
+	}
+	drawQueries(u, r, n, 300, 16, false, liveDraw)
+	if q := u.Quality(); q > 1 {
+		t.Fatalf("live-tracking sampler tripped the dynamic monitor: quality %v", q)
+	}
+
+	// A sampler still drawing uniformly (stale view) must trip against
+	// the live expectations.
+	stale := NewUniformity(vals, nil, UniformityOptions{Stride: 1, LiveWeight: liveWeight})
+	drawQueries(stale, r, n, 300, 16, false, uniformDraw)
+	if q := stale.Quality(); q <= 1 {
+		t.Fatalf("stale sampler not caught by dynamic expectations: quality %v", q)
+	}
+}
+
+// TestUniformityLiveWeightOutOfSpan: values inserted outside the
+// construction-time span bucket into the unbounded edge cells and the
+// live expectations account for them — no support violation, no bias.
+func TestUniformityLiveWeightOutOfSpan(t *testing.T) {
+	const n = 128
+	vals := testValues(n) // 0..127
+	extra := 0.0          // weight at value 200 (outside the span)
+	liveWeight := func(lo, hi float64, wor bool) float64 {
+		w := 0.0
+		for i := 0; i < n; i++ {
+			if float64(i) >= lo && float64(i) <= hi {
+				w++
+			}
+		}
+		if 200 >= lo && 200 <= hi {
+			w += extra
+		}
+		return w
+	}
+	u := NewUniformity(vals, nil, UniformityOptions{Stride: 1, MinFolded: 64, LiveWeight: liveWeight})
+	extra = 64 // a third of the mass of [64, 200]
+	r := rng.New(13)
+	for q := 0; q < 200; q++ {
+		out := make([]float64, 0, 8)
+		total := liveWeight(64, 200, false)
+		for len(out) < 8 {
+			x := r.Float64() * total
+			if x < extra {
+				out = append(out, 200)
+				continue
+			}
+			out = append(out, 64+float64(r.Intn(n-64)))
+		}
+		u.Fold(64, 200, out, false)
+	}
+	if q := u.Quality(); q > 1 {
+		t.Fatalf("out-of-span inserts mis-accounted: quality %v", q)
+	}
+}

@@ -130,6 +130,17 @@ func (c *coverCache) unlink(e *coverEntry) {
 	e.prev, e.next = nil, nil
 }
 
+// purge drops every resident decomposition. In-flight queries keep
+// sampling from entries they already hold (entries are immutable);
+// subsequent queries rebuild from the structure. Hit/miss counters
+// survive so diagnostics stay cumulative.
+func (c *coverCache) purge() {
+	c.mu.Lock()
+	c.m = make(map[uint64]*coverEntry, c.cap)
+	c.head, c.tail = nil, nil
+	c.mu.Unlock()
+}
+
 // Len reports the resident entry count.
 func (c *coverCache) Len() int {
 	c.mu.Lock()

@@ -12,14 +12,23 @@ import (
 // Direction 1 of Section 9).
 //
 // It is a treap (randomised balanced BST) keyed by value, augmented with
-// subtree weight sums. Insert and Delete run in O(log n) expected time. A
-// query splits the treap at the interval endpoints, draws s independent
-// weighted samples from the middle piece by weighted root-to-node
-// descents, and merges the pieces back — O((1+s)·log n) expected time.
+// subtree weight sums and counts. Insert and Delete run in O(log n)
+// expected time. Queries never restructure the tree: RangeWeight and
+// Count are pruned O(log n) descents, and each sample draw is a weighted
+// root-to-leaf descent that recomputes the in-range weight below the
+// current node as it goes — O(log² n) expected per draw.
 //
-// (Hu et al. achieve O(log n + s); the extra log factor here buys a much
-// simpler dynamization than their sample-buffer machinery. See DESIGN.md
-// substitutions.)
+// (Hu et al. achieve O(log n + s); the extra log factors here buy a much
+// simpler dynamization than their sample-buffer machinery, and — because
+// the read paths are strictly non-mutating — any number of concurrent
+// readers may share one Dynamic. See DESIGN.md substitutions.)
+//
+// Concurrency contract: Query, RangeWeight, Count, SelectInRange, Walk,
+// Len and TotalWeight never write to the structure, so concurrent
+// readers are safe. Insert and Delete restructure the tree and require
+// exclusive access; callers interleaving writes with reads must provide
+// their own synchronisation (internal/ingest wraps one Dynamic per
+// table under an RWMutex).
 //
 // Unlike the static structures, results are returned as values, since
 // sorted positions shift under updates.
@@ -74,7 +83,7 @@ func (n *treapNode) pull() {
 	}
 }
 
-// split partitions t into (< v) and (≥ v).
+// split partitions t into (< v) and (≥ v). Write path only.
 func split(t *treapNode, v float64) (l, r *treapNode) {
 	if t == nil {
 		return nil, nil
@@ -86,23 +95,6 @@ func split(t *treapNode, v float64) (l, r *treapNode) {
 		return t, r2
 	}
 	l2, r2 := split(t.left, v)
-	t.left = r2
-	t.pull()
-	return l2, t
-}
-
-// splitLE partitions t into (≤ v) and (> v).
-func splitLE(t *treapNode, v float64) (l, r *treapNode) {
-	if t == nil {
-		return nil, nil
-	}
-	if t.value <= v {
-		l2, r2 := splitLE(t.right, v)
-		t.right = l2
-		t.pull()
-		return t, r2
-	}
-	l2, r2 := splitLE(t.left, v)
 	t.left = r2
 	t.pull()
 	return l2, t
@@ -126,7 +118,7 @@ func merge(l, r *treapNode) *treapNode {
 }
 
 // Insert adds an element. Duplicate values are permitted; each insertion
-// is a distinct element. O(log n) expected.
+// is a distinct element. O(log n) expected. Requires exclusive access.
 func (d *Dynamic) Insert(value, weight float64) error {
 	if !(weight > 0) {
 		return ErrBadWeight
@@ -144,7 +136,7 @@ func (d *Dynamic) Insert(value, weight float64) error {
 }
 
 // Delete removes one element with the given value (an arbitrary one if
-// duplicated). O(log n) expected.
+// duplicated). O(log n) expected. Requires exclusive access.
 func (d *Dynamic) Delete(value float64) error {
 	var deleted bool
 	d.root = deleteOne(d.root, value, &deleted)
@@ -173,55 +165,273 @@ func deleteOne(t *treapNode, v float64, deleted *bool) *treapNode {
 }
 
 // Query draws s independent weighted samples (as values) from S ∩ q,
-// appending to dst. ok is false when the intersection is empty.
-// O((1+s)·log n) expected time; outputs are independent across queries.
+// appending to dst (the arena-era Into convention: pass a warm buffer
+// and no per-call allocation happens). ok is false when the
+// intersection is empty. O(s·log² n) expected; read-only.
 func (d *Dynamic) Query(r *rng.Source, q Interval, s int, dst []float64) ([]float64, bool) {
-	// Carve out the subtreap holding exactly S ∩ [Lo, Hi].
-	left, rest := split(d.root, q.Lo)
-	mid, right := splitLE(rest, q.Hi)
-	defer func() {
-		d.root = merge(merge(left, mid), right)
-	}()
-	if mid == nil {
+	w := weightIn(d.root, q.Lo, q.Hi)
+	if !(w > 0) {
 		return dst, false
 	}
 	for i := 0; i < s; i++ {
-		dst = append(dst, sampleTreap(r, mid))
+		dst = append(dst, pickIn(d.root, q.Lo, q.Hi, r.Float64()*w))
 	}
 	return dst, true
 }
 
-// RangeWeight returns the total weight of S ∩ q. O(log n) expected.
-func (d *Dynamic) RangeWeight(q Interval) float64 {
-	left, rest := split(d.root, q.Lo)
-	mid, right := splitLE(rest, q.Hi)
-	w := 0.0
-	if mid != nil {
-		w = mid.subtotal
+// Sample draws one weighted sample from S ∩ q. ok is false when the
+// intersection is empty. O(log² n) expected; read-only.
+func (d *Dynamic) Sample(r *rng.Source, q Interval) (float64, bool) {
+	w := weightIn(d.root, q.Lo, q.Hi)
+	if !(w > 0) {
+		return 0, false
 	}
-	d.root = merge(merge(left, mid), right)
+	return pickIn(d.root, q.Lo, q.Hi, r.Float64()*w), true
+}
+
+// RangeWeight returns the total weight of S ∩ q. O(log n); read-only.
+func (d *Dynamic) RangeWeight(q Interval) float64 {
+	return weightIn(d.root, q.Lo, q.Hi)
+}
+
+// Count returns |S ∩ q|. O(log n); read-only.
+func (d *Dynamic) Count(q Interval) int {
+	return countIn(d.root, q.Lo, q.Hi)
+}
+
+// SelectInRange returns the rank-th smallest element of S ∩ q (0-based,
+// duplicates counted with multiplicity). ok is false when rank is out of
+// bounds. O(log² n) expected; read-only. This is the order-statistics
+// hook the ingest layer uses to map global without-replacement ranks
+// onto overlay elements.
+func (d *Dynamic) SelectInRange(q Interval, rank int) (float64, bool) {
+	if rank < 0 {
+		return 0, false
+	}
+	t := d.root
+	for t != nil {
+		if t.value < q.Lo {
+			t = t.right
+			continue
+		}
+		if t.value > q.Hi {
+			t = t.left
+			continue
+		}
+		cl := countGE(t.left, q.Lo)
+		if rank < cl {
+			return selectGE(t.left, q.Lo, rank)
+		}
+		rank -= cl
+		if rank == 0 {
+			return t.value, true
+		}
+		rank--
+		return selectLE(t.right, q.Hi, rank)
+	}
+	return 0, false
+}
+
+// Walk visits every element in ascending value order. Read-only; the
+// ingest rebuilder uses it to materialise the overlay.
+func (d *Dynamic) Walk(fn func(value, weight float64)) {
+	walk(d.root, fn)
+}
+
+func walk(t *treapNode, fn func(value, weight float64)) {
+	if t == nil {
+		return
+	}
+	walk(t.left, fn)
+	fn(t.value, t.weight)
+	walk(t.right, fn)
+}
+
+// weightGE sums the weights of elements with value ≥ lo. O(log n).
+func weightGE(t *treapNode, lo float64) float64 {
+	w := 0.0
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		w += t.weight
+		if t.right != nil {
+			w += t.right.subtotal
+		}
+		t = t.left
+	}
 	return w
 }
 
-// Count returns |S ∩ q|. O(log n) expected.
-func (d *Dynamic) Count(q Interval) int {
-	left, rest := split(d.root, q.Lo)
-	mid, right := splitLE(rest, q.Hi)
-	c := 0
-	if mid != nil {
-		c = mid.count
+// weightLE sums the weights of elements with value ≤ hi. O(log n).
+func weightLE(t *treapNode, hi float64) float64 {
+	w := 0.0
+	for t != nil {
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		w += t.weight
+		if t.left != nil {
+			w += t.left.subtotal
+		}
+		t = t.right
 	}
-	d.root = merge(merge(left, mid), right)
+	return w
+}
+
+// weightIn sums the weights of elements with value in [lo, hi].
+func weightIn(t *treapNode, lo, hi float64) float64 {
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		return weightGE(t.left, lo) + t.weight + weightLE(t.right, hi)
+	}
+	return 0
+}
+
+// countGE counts elements with value ≥ lo. O(log n).
+func countGE(t *treapNode, lo float64) int {
+	c := 0
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		c++
+		if t.right != nil {
+			c += t.right.count
+		}
+		t = t.left
+	}
 	return c
 }
 
-// sampleTreap draws one weighted element from the subtreap t by a
-// top-down descent: at each node choose the node itself or one of its
-// subtrees with probability proportional to their weights (the §3.2
-// strategy adapted to trees that store elements at internal nodes too).
-func sampleTreap(r *rng.Source, t *treapNode) float64 {
-	for {
-		x := r.Float64() * t.subtotal
+// countLE counts elements with value ≤ hi. O(log n).
+func countLE(t *treapNode, hi float64) int {
+	c := 0
+	for t != nil {
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		c++
+		if t.left != nil {
+			c += t.left.count
+		}
+		t = t.right
+	}
+	return c
+}
+
+// countIn counts elements with value in [lo, hi].
+func countIn(t *treapNode, lo, hi float64) int {
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		return countGE(t.left, lo) + 1 + countLE(t.right, hi)
+	}
+	return 0
+}
+
+// pickIn draws the element of [lo, hi] selected by cumulative weight
+// offset x ∈ [0, weightIn). The descent recomputes the in-range weight
+// of one child frontier per level, so a draw costs O(log² n) expected.
+// Floating-point slack (x marginally past the remaining mass) resolves
+// to the nearest in-range element already passed, never to an
+// out-of-range one.
+func pickIn(t *treapNode, lo, hi float64, x float64) float64 {
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		wl := weightGE(t.left, lo)
+		if x < wl {
+			return pickGE(t.left, lo, x, t.value)
+		}
+		x -= wl
+		if x < t.weight {
+			return t.value
+		}
+		x -= t.weight
+		// Everything right of the split node is ≥ lo already.
+		return pickLE(t.right, hi, x, t.value)
+	}
+	return 0 // unreachable when weightIn > 0
+}
+
+// pickGE draws among elements ≥ lo in t by offset x; fb is the slack
+// fallback.
+func pickGE(t *treapNode, lo float64, x float64, fb float64) float64 {
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		wl := weightGE(t.left, lo)
+		if x < wl {
+			t = t.left
+			continue
+		}
+		x -= wl
+		if x < t.weight {
+			return t.value
+		}
+		x -= t.weight
+		fb = t.value
+		// The right subtree is entirely ≥ lo: plain weighted pick.
+		return pickAll(t.right, x, fb)
+	}
+	return fb
+}
+
+// pickLE draws among elements ≤ hi in t by offset x; fb is the slack
+// fallback.
+func pickLE(t *treapNode, hi float64, x float64, fb float64) float64 {
+	for t != nil {
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		if t.left != nil {
+			if x < t.left.subtotal {
+				// The left subtree is entirely ≤ hi: plain weighted pick.
+				return pickAll(t.left, x, fb)
+			}
+			x -= t.left.subtotal
+		}
+		if x < t.weight {
+			return t.value
+		}
+		x -= t.weight
+		fb = t.value
+		t = t.right
+	}
+	return fb
+}
+
+// pickAll draws from the whole subtree t by offset x ∈ [0, t.subtotal);
+// fb is the slack fallback.
+func pickAll(t *treapNode, x float64, fb float64) float64 {
+	for t != nil {
 		if t.left != nil {
 			if x < t.left.subtotal {
 				t = t.left
@@ -232,11 +442,76 @@ func sampleTreap(r *rng.Source, t *treapNode) float64 {
 		if x < t.weight {
 			return t.value
 		}
-		// Floating-point slack can push x past weight when right is
-		// nil; return the node itself in that case.
-		if t.right == nil {
-			return t.value
-		}
+		x -= t.weight
+		fb = t.value
 		t = t.right
 	}
+	return fb
+}
+
+// selectGE returns the rank-th smallest element ≥ lo in t.
+func selectGE(t *treapNode, lo float64, rank int) (float64, bool) {
+	for t != nil {
+		if t.value < lo {
+			t = t.right
+			continue
+		}
+		cl := countGE(t.left, lo)
+		if rank < cl {
+			t = t.left
+			continue
+		}
+		rank -= cl
+		if rank == 0 {
+			return t.value, true
+		}
+		rank--
+		return selectAll(t.right, rank)
+	}
+	return 0, false
+}
+
+// selectLE returns the rank-th smallest element ≤ hi in t.
+func selectLE(t *treapNode, hi float64, rank int) (float64, bool) {
+	for t != nil {
+		if t.value > hi {
+			t = t.left
+			continue
+		}
+		cl := 0
+		if t.left != nil {
+			cl = t.left.count
+		}
+		if rank < cl {
+			return selectAll(t.left, rank)
+		}
+		rank -= cl
+		if rank == 0 {
+			return t.value, true
+		}
+		rank--
+		t = t.right
+	}
+	return 0, false
+}
+
+// selectAll returns the rank-th smallest element of the whole subtree t.
+func selectAll(t *treapNode, rank int) (float64, bool) {
+	for t != nil {
+		cl := 0
+		if t.left != nil {
+			cl = t.left.count
+		}
+		if rank < cl {
+			t = t.left
+			continue
+		}
+		rank -= cl
+		if rank == 0 {
+			return t.value, true
+		}
+		rank--
+		t = t.right
+	}
+	return 0, false
 }

@@ -1,0 +1,187 @@
+package rangesample
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/race"
+	"repro/internal/rng"
+)
+
+// The Dynamic read paths (Query, Sample, RangeWeight, Count,
+// SelectInRange, Walk) are specified non-mutating so concurrent readers
+// may share one instance; writers need external exclusion. These tests
+// run the contract under -race: the pre-PR-7 implementation carved the
+// queried subtreap out with split/merge on every read, which the
+// detector flags immediately with two concurrent readers.
+
+func buildDynamic(tb testing.TB, n int) *Dynamic {
+	tb.Helper()
+	d := NewDynamic(1)
+	for i := 0; i < n; i++ {
+		if err := d.Insert(float64(i), float64(1+i%5)); err != nil {
+			tb.Fatalf("insert: %v", err)
+		}
+	}
+	return d
+}
+
+func TestDynamicConcurrentReaders(t *testing.T) {
+	d := buildDynamic(t, 512)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			buf := make([]float64, 0, 16)
+			for i := 0; i < 400; i++ {
+				lo := float64(r.Intn(500))
+				q := Interval{Lo: lo, Hi: lo + 12}
+				buf = buf[:0]
+				out, ok := d.Query(r, q, 8, buf)
+				if ok {
+					for _, v := range out {
+						if v < q.Lo || v > q.Hi {
+							t.Errorf("sample %v outside [%v, %v]", v, q.Lo, q.Hi)
+							return
+						}
+					}
+				}
+				if w := d.RangeWeight(q); w < 0 {
+					t.Errorf("negative range weight %v", w)
+					return
+				}
+				if c := d.Count(q); c > 0 {
+					if _, ok := d.SelectInRange(q, c-1); !ok {
+						t.Errorf("SelectInRange(%d) missing with count %d", c-1, c)
+						return
+					}
+				}
+			}
+		}(uint64(g + 2))
+	}
+	wg.Wait()
+}
+
+// TestDynamicReadersWithExclusiveWriter interleaves reader bursts with
+// writer bursts under the documented discipline (an RWMutex), the exact
+// shape internal/ingest uses. Under -race this verifies the pairing is
+// sufficient — i.e. reads really touch no shared mutable state beyond
+// what the lock covers.
+func TestDynamicReadersWithExclusiveWriter(t *testing.T) {
+	d := buildDynamic(t, 256)
+	var mu sync.RWMutex
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			r := rng.New(seed)
+			buf := make([]float64, 0, 8)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				mu.RLock()
+				lo := float64(r.Intn(200))
+				buf = buf[:0]
+				d.Query(r, Interval{Lo: lo, Hi: lo + 20}, 4, buf)
+				d.Count(Interval{Lo: lo, Hi: lo + 20})
+				mu.RUnlock()
+			}
+		}(uint64(g + 11))
+	}
+	wr := rng.New(99)
+	for i := 0; i < 2000; i++ {
+		mu.Lock()
+		if wr.Bernoulli(0.6) {
+			d.Insert(wr.Float64()*256, 1+wr.Float64())
+		} else if d.Len() > 1 {
+			d.Delete(float64(wr.Intn(256)))
+		}
+		mu.Unlock()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestDynamicSelectInRange pins the order-statistics hook: ranks
+// enumerate the in-range elements in ascending order, out-of-range
+// ranks report !ok.
+func TestDynamicSelectInRange(t *testing.T) {
+	d := NewDynamic(7)
+	vals := []float64{5, 1, 9, 3, 7, 3, 8}
+	for _, v := range vals {
+		if err := d.Insert(v, 1); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	q := Interval{Lo: 2, Hi: 8}
+	want := []float64{3, 3, 5, 7, 8}
+	if c := d.Count(q); c != len(want) {
+		t.Fatalf("Count = %d, want %d", c, len(want))
+	}
+	for i, wv := range want {
+		got, ok := d.SelectInRange(q, i)
+		if !ok || got != wv {
+			t.Fatalf("SelectInRange(%d) = %v, %v; want %v", i, got, ok, wv)
+		}
+	}
+	if _, ok := d.SelectInRange(q, len(want)); ok {
+		t.Fatal("rank past count reported ok")
+	}
+	if _, ok := d.SelectInRange(q, -1); ok {
+		t.Fatal("negative rank reported ok")
+	}
+}
+
+// TestDynamicQueryZeroAlloc pins the Into convention: with a warm
+// caller buffer, Query allocates nothing per call.
+func TestDynamicQueryZeroAlloc(t *testing.T) {
+	d := buildDynamic(t, 1024)
+	r := rng.New(3)
+	buf := make([]float64, 0, 32)
+	q := Interval{Lo: 100, Hi: 900}
+	fn := func() {
+		buf = buf[:0]
+		var ok bool
+		buf, ok = d.Query(r, q, 16, buf)
+		if !ok {
+			panic("empty range")
+		}
+	}
+	fn()
+	if race.Enabled {
+		t.Log("race build, allocation count not asserted")
+		return
+	}
+	if got := testing.AllocsPerRun(200, fn); got > 0 {
+		t.Errorf("Query: %v allocs/op, want 0", got)
+	}
+}
+
+// TestDynamicWalkOrdered pins Walk's ascending order and completeness.
+func TestDynamicWalkOrdered(t *testing.T) {
+	d := buildDynamic(t, 64)
+	prev := -1.0
+	n := 0
+	var total float64
+	d.Walk(func(v, w float64) {
+		if v < prev {
+			t.Fatalf("walk out of order: %v after %v", v, prev)
+		}
+		prev = v
+		total += w
+		n++
+	})
+	if n != d.Len() {
+		t.Fatalf("walk visited %d of %d", n, d.Len())
+	}
+	if total != d.TotalWeight() {
+		t.Fatalf("walk weight %v vs total %v", total, d.TotalWeight())
+	}
+}

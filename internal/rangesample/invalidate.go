@@ -1,0 +1,32 @@
+package rangesample
+
+// CoverInvalidator is implemented by samplers that memoize canonical
+// cover decompositions (the PR-5 LRU caches). The structures themselves
+// are immutable — a cache entry can only go stale when a *caller*
+// retires the structure from serving (snapshot swap) or starts serving
+// a mutated dataset through a wrapper. Those callers invalidate on the
+// way out so a stale decomposition can never be consulted again, even
+// by code that incorrectly retains the retired structure.
+type CoverInvalidator interface {
+	InvalidateCovers()
+}
+
+// InvalidateCovers drops the chunk-partial alias cache and the top-tree
+// cover cache.
+func (ch *Chunked) InvalidateCovers() {
+	ch.pcache.purge()
+	ch.top.cache.purge()
+}
+
+// InvalidateCovers drops the cover-decomposition cache.
+func (aa *AliasAug) InvalidateCovers() {
+	aa.tree.cache.purge()
+}
+
+// InvalidateCovers drops the cover-decomposition cache (no-op on the
+// uniform fast path, which caches nothing).
+func (p *PosSampler) InvalidateCovers() {
+	if p.tree != nil {
+		p.tree.cache.purge()
+	}
+}

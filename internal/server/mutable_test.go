@@ -1,0 +1,148 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+func newMutableTestServer(t *testing.T, n, shards int, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "http", values, nil, shard.Options{
+		Shards:  shards,
+		Mutable: true,
+		Ingest:  service.MutableOptions{RebuildThreshold: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng, opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postJSON(t *testing.T, url string, body any, wantStatus int) map[string]any {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	var m map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatalf("POST %s: bad JSON: %v", url, err)
+	}
+	return m
+}
+
+func TestWriteEndpoints(t *testing.T) {
+	_, ts := newMutableTestServer(t, 200, 2, Options{})
+
+	// Insert outside the seeded span, then sample it back.
+	postJSON(t, ts.URL+"/insert", map[string]any{"value": 1000.5, "weight": 2}, http.StatusOK)
+	m := getJSON(t, ts.URL+"/sample?lo=1000&hi=1001&k=3", http.StatusOK)
+	for _, s := range m["samples"].([]any) {
+		if s.(float64) != 1000.5 {
+			t.Fatalf("sampled %v, want the inserted 1000.5", s)
+		}
+	}
+
+	// Absent weight means uniform weight 1.
+	postJSON(t, ts.URL+"/insert", map[string]any{"value": -5}, http.StatusOK)
+
+	// Delete masks the value immediately; a repeat is 404.
+	postJSON(t, ts.URL+"/delete", map[string]any{"value": 42}, http.StatusOK)
+	postJSON(t, ts.URL+"/delete", map[string]any{"value": 42}, http.StatusNotFound)
+	getJSON(t, ts.URL+"/sample?lo=42&hi=42&k=1", http.StatusUnprocessableEntity)
+
+	// Bulk load partitions across shards and reports the applied count.
+	m = postJSON(t, ts.URL+"/bulkload", map[string]any{
+		"values": []float64{10.5, 150.5}, "weights": []float64{1, 3},
+	}, http.StatusOK)
+	if m["applied"].(float64) != 2 {
+		t.Fatalf("applied = %v, want 2", m["applied"])
+	}
+
+	// Validation errors are 400s.
+	postJSON(t, ts.URL+"/bulkload", map[string]any{"values": []float64{}}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/bulkload", map[string]any{
+		"values": []float64{1, 2}, "weights": []float64{1},
+	}, http.StatusBadRequest)
+	postJSON(t, ts.URL+"/insert", map[string]any{"value": "NaN"}, http.StatusBadRequest)
+
+	// GET is not a write method.
+	resp, err := http.Get(ts.URL + "/insert")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /insert: %d, want 405", resp.StatusCode)
+	}
+
+	// The write counter saw exactly the five applied writes.
+	st := getJSON(t, ts.URL+"/stats", http.StatusOK)
+	if got := st["engine"].(map[string]any)["Len"].(float64); got != 203 {
+		t.Fatalf("engine len = %v, want 203", got)
+	}
+}
+
+func TestWriteEndpointsOnStaticEngine(t *testing.T) {
+	// An engine without a write path answers 501 before admission.
+	_, ts := newTestServer(t, 100, 2, Options{})
+	postJSON(t, ts.URL+"/bulkload", map[string]any{"values": []float64{1}}, http.StatusNotImplemented)
+}
+
+func TestWriteBackpressureRetryAfter(t *testing.T) {
+	// A one-slot delta log with rebuilds disabled sheds the second write
+	// with 429 and a Retry-After quote.
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	eng, err := shard.New(context.Background(), "bp", values, nil, shard.Options{
+		Shards:  1,
+		Mutable: true,
+		Ingest:  service.MutableOptions{RebuildThreshold: 1 << 20, MaxLag: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(eng.Close)
+	srv := New(eng, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	postJSON(t, ts.URL+"/insert", map[string]any{"value": 1000}, http.StatusOK)
+	b, _ := json.Marshal(map[string]any{"value": 2000})
+	resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second insert: %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 write missing Retry-After")
+	}
+}

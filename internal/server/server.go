@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/service"
@@ -66,6 +67,19 @@ type Engine interface {
 	Count(ctx context.Context, lo, hi float64) (int, error)
 	Health() shard.Health
 	Downgrades() []shard.Downgrade
+}
+
+// MutableEngine is the optional write-path extension of Engine;
+// *shard.Coordinator implements it. The /insert, /delete and /bulkload
+// endpoints serve engines that do; on engines that don't, they answer
+// 501 Not Implemented. Writes flow through the same admission control
+// as queries, and ingest backpressure surfaces as 429 with Retry-After
+// so clients shed by a saturated delta log back off like clients shed
+// by a full request queue.
+type MutableEngine interface {
+	Insert(ctx context.Context, value, weight float64) error
+	Delete(ctx context.Context, value float64) error
+	BulkLoad(ctx context.Context, values, weights []float64) error
 }
 
 // Options configures a Server.
@@ -110,6 +124,7 @@ type Options struct {
 // Server serves the engine over HTTP. Create with New.
 type Server struct {
 	eng  Engine
+	mut  MutableEngine // nil when eng has no write path
 	opts Options
 	reg  *metrics.Registry
 	log  *slog.Logger
@@ -130,9 +145,12 @@ type Server struct {
 	rejectedGone *metrics.Counter // 503: draining or deadline while queued
 
 	// request[path] is the end-to-end handler latency ("/sample",
-	// "/batch"); stage[i] isolates admit / decode / encode.
+	// "/batch", "/write" for the three write endpoints); stage[i]
+	// isolates admit / decode / encode.
 	reqSample *metrics.Histogram
 	reqBatch  *metrics.Histogram
+	reqWrite  *metrics.Histogram
+	writes    *metrics.Counter // write-endpoint requests answered 200
 	stage     [3]*metrics.Histogram
 
 	baseMallocs uint64 // runtime.MemStats.Mallocs at New, for /stats deltas
@@ -188,6 +206,7 @@ func New(eng Engine, opts Options) *Server {
 		log:  opts.Logger,
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
+	s.mut, _ = eng.(MutableEngine)
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
 	}
@@ -203,6 +222,8 @@ func New(eng Engine, opts Options) *Server {
 	s.rejectedGone = reg.Counter("iqs_server_rejected_total", "Requests shed by admission control.", metrics.L("reason", "draining"))
 	s.reqSample = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/sample"))
 	s.reqBatch = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/batch"))
+	s.reqWrite = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/write"))
+	s.writes = reg.Counter("iqs_server_writes_total", "Write-endpoint requests answered 200.")
 	for i, name := range stageNames {
 		s.stage[i] = reg.Histogram("iqs_server_stage_seconds", "Per-stage handler latency.", nil, metrics.L("stage", name))
 	}
@@ -239,6 +260,9 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sample", s.handleSample)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/insert", s.handleInsert)
+	mux.HandleFunc("/delete", s.handleDelete)
+	mux.HandleFunc("/bulkload", s.handleBulkLoad)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
@@ -327,8 +351,17 @@ func statusOf(err error) int {
 	switch {
 	case errors.Is(err, core.ErrBadRange), errors.Is(err, core.ErrBadValue), errors.Is(err, core.ErrBadWeight):
 		return http.StatusBadRequest
-	case errors.Is(err, core.ErrEmptyRange), errors.Is(err, core.ErrSampleTooLarge):
+	case errors.Is(err, core.ErrEmptyRange), errors.Is(err, core.ErrSampleTooLarge),
+		errors.Is(err, service.ErrEmptyDataset):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, service.ErrValueNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, service.ErrNotMutable):
+		return http.StatusNotImplemented
+	case errors.Is(err, ingest.ErrBackpressure):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ingest.ErrClosed):
+		return http.StatusServiceUnavailable
 	case errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
@@ -673,6 +706,113 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})
 	s.stage[stageEncode].Observe(time.Since(encodeStart).Seconds())
 	endEncode()
+}
+
+// writeParams is the body of all three write endpoints. /insert reads
+// Value and Weight (absent or 0 means 1, the uniform weight); /delete
+// reads Value; /bulkload reads Values and optional Weights.
+type writeParams struct {
+	Value   float64   `json:"value"`
+	Weight  float64   `json:"weight"`
+	Values  []float64 `json:"values"`
+	Weights []float64 `json:"weights"`
+}
+
+// beginWrite is the shared front half of the write endpoints: method
+// check, admission, JSON decode. It returns ok=false after answering
+// the request itself; on ok the caller must invoke release when done.
+func (s *Server) beginWrite(w http.ResponseWriter, r *http.Request) (p writeParams, release func(), ok bool) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return p, nil, false
+	}
+	if s.mut == nil {
+		s.failed.Add(1)
+		writeJSON(w, http.StatusNotImplemented, map[string]string{"error": "engine is not mutable"})
+		return p, nil, false
+	}
+	reqStart := time.Now()
+	release, status := s.admit(r.Context())
+	s.stage[stageAdmit].Observe(time.Since(reqStart).Seconds())
+	if status != 0 {
+		s.shed(w, status)
+		return p, nil, false
+	}
+	decodeStart := time.Now()
+	err := json.NewDecoder(r.Body).Decode(&p)
+	s.stage[stageDecode].Observe(time.Since(decodeStart).Seconds())
+	if err != nil {
+		release()
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("bad JSON body: %w", err))
+		return p, nil, false
+	}
+	return p, release, true
+}
+
+// finishWrite answers a completed write. Backpressure quotes the same
+// adaptive Retry-After the admission path does: to the client, a full
+// delta log and a full request queue are the same condition.
+func (s *Server) finishWrite(w http.ResponseWriter, reqStart time.Time, applied int, err error) {
+	defer func() { s.reqWrite.Observe(time.Since(reqStart).Seconds()) }()
+	if err != nil {
+		status := statusOf(err)
+		if status == http.StatusTooManyRequests {
+			w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSecs(), 10))
+		}
+		s.writeError(w, status, err)
+		return
+	}
+	s.served.Add(1)
+	s.writes.Add(1)
+	writeJSON(w, http.StatusOK, map[string]any{"applied": applied})
+}
+
+func (s *Server) handleInsert(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	p, release, ok := s.beginWrite(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if p.Weight == 0 {
+		p.Weight = 1
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	s.finishWrite(w, reqStart, 1, s.mut.Insert(ctx, p.Value, p.Weight))
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	p, release, ok := s.beginWrite(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	s.finishWrite(w, reqStart, 1, s.mut.Delete(ctx, p.Value))
+}
+
+func (s *Server) handleBulkLoad(w http.ResponseWriter, r *http.Request) {
+	reqStart := time.Now()
+	p, release, ok := s.beginWrite(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+	if len(p.Values) == 0 {
+		s.writeError(w, http.StatusBadRequest, errors.New("empty values"))
+		return
+	}
+	if p.Weights != nil && len(p.Weights) != len(p.Values) {
+		s.writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%d values vs %d weights", len(p.Values), len(p.Weights)))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	s.finishWrite(w, reqStart, len(p.Values), s.mut.BulkLoad(ctx, p.Values, p.Weights))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

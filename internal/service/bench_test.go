@@ -32,3 +32,69 @@ func BenchmarkServiceSample(b *testing.B) {
 		}
 	}
 }
+
+// newMutableBenchService hosts a mutable dataset with `dirty` unflushed
+// overlay writes on top of an n-element base.
+func newMutableBenchService(b *testing.B, n, dirty int) *Service {
+	b.Helper()
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+		weights[i] = 1 + float64((i*7)%13)
+	}
+	s := New(Options{})
+	b.Cleanup(s.Close)
+	ctx := context.Background()
+	mo := MutableOptions{RebuildThreshold: 1 << 20} // rebuilds off: state is pinned
+	if err := s.CreateMutable(ctx, "bench", core.KindChunked, values, weights, mo); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < dirty; i++ {
+		if err := s.Insert(ctx, "bench", float64(i)+0.5, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if dirty == 0 {
+		if err := s.Flush(ctx, "bench"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return s
+}
+
+// BenchmarkMutableServiceSampleInto measures the mutable-serving read
+// path in the pure state (ingest machinery attached, overlay empty):
+// the draw must ride the base's zero-alloc hot path.
+func BenchmarkMutableServiceSampleInto(b *testing.B) {
+	s := newMutableBenchService(b, 1<<16, 0)
+	ctx := context.Background()
+	r := core.NewRand(1)
+	dst := make([]float64, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.SampleInto(ctx, r, "bench", 1000, 50000, 16, dst[:0])
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}
+
+// BenchmarkMutableServiceSampleIntoOverlay measures the same path with
+// a live overlay (1024 unflushed writes): every draw pays the
+// weight-proportional base/overlay split.
+func BenchmarkMutableServiceSampleIntoOverlay(b *testing.B) {
+	s := newMutableBenchService(b, 1<<16, 1024)
+	ctx := context.Background()
+	r := core.NewRand(1)
+	dst := make([]float64, 0, 16)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		out, err := s.SampleInto(ctx, r, "bench", 1000, 50000, 16, dst[:0])
+		if err != nil || len(out) != 16 {
+			b.Fatal("bad sample")
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/ingest"
 )
 
 // ErrUnknownDataset is returned for operations naming a dataset the
@@ -50,6 +51,9 @@ func IsTyped(err error) bool {
 		errors.Is(err, ErrDatasetExists) ||
 		errors.Is(err, ErrValueNotFound) ||
 		errors.Is(err, ErrEmptyDataset) ||
+		errors.Is(err, ErrNotMutable) ||
+		errors.Is(err, ingest.ErrBackpressure) ||
+		errors.Is(err, ingest.ErrClosed) ||
 		errors.Is(err, core.ErrBadWeight) ||
 		errors.Is(err, core.ErrBadValue) ||
 		errors.Is(err, core.ErrBadRange) ||

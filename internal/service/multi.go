@@ -64,6 +64,27 @@ func (s *Service) SampleMulti(ctx context.Context, name string, jobs []*MultiJob
 		start := time.Now()
 		j.Out = j.Dst
 		jerr := s.guard(snap.active, opName, func() error {
+			if ds.tbl != nil {
+				// Mutable dataset: draw from the live union (base +
+				// overlay, tombstones masked), like the scalar paths.
+				if e := ctx.Err(); e != nil {
+					return e
+				}
+				if j.WoR {
+					var e error
+					j.Out, e = ds.tbl.SampleWoRInto(j.R, j.Lo, j.Hi, j.K, j.Out, sc)
+					return e
+				}
+				var ok bool
+				j.Out, ok = ds.tbl.SampleInto(j.R, j.Lo, j.Hi, j.K, j.Out, sc)
+				if !ok {
+					if verr := core.ValidateRange(j.Lo, j.Hi); verr != nil {
+						return verr
+					}
+					return core.ErrEmptyRange
+				}
+				return nil
+			}
 			var e error
 			if j.WoR {
 				j.Out, e = snap.sampler.SampleWoRContextInto(ctx, j.R, j.Lo, j.Hi, j.K, j.Out, sc)
@@ -78,7 +99,11 @@ func (s *Service) SampleMulti(ctx context.Context, name string, jobs []*MultiJob
 			s.failures.Add(1)
 			continue
 		}
-		snap.monitor.Fold(j.Lo, j.Hi, j.Out[len(j.Dst):], j.WoR)
+		mon := snap.monitor
+		if ds.tbl != nil {
+			mon = ds.liveMon
+		}
+		mon.Fold(j.Lo, j.Hi, j.Out[len(j.Dst):], j.WoR)
 	}
 	return nil
 }

@@ -1,0 +1,286 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+)
+
+// Mutable serving: CreateMutable hosts a dataset behind an ingest.Table
+// (delta log + memtable overlay + background rebuilds), so Insert,
+// Delete and BulkLoad are visible to sampling immediately instead of
+// paying a full O(n log n) rebuild per write. The table's rebuild
+// callback routes through the service's own build path, so rebuilds of
+// mutable datasets inherit EM mirroring, build budgets, panic
+// containment and naive degradation exactly like static rebuilds — and
+// every retired base has its cover-decomposition caches invalidated by
+// the table before it can go stale.
+//
+// Quality monitoring switches to dynamic expectations: the per-dataset
+// Uniformity monitor is constructed once with a LiveWeight hook that
+// queries the table's instantaneous in-range weight (or count, WoR), so
+// the chi-squared gate keeps checking the paper's per-state guarantee
+// while the dataset changes under traffic.
+
+// ErrNotMutable is returned by write-path operations that require a
+// dataset created with CreateMutable (BulkLoad, Flush, IngestStats).
+var ErrNotMutable = errors.New("service: dataset is not mutable")
+
+// MutableOptions tunes the ingestion write path of one mutable dataset.
+// Zero values mean the ingest package defaults.
+type MutableOptions struct {
+	// QueueDepth bounds the write queue.
+	QueueDepth int
+	// RebuildThreshold is the delta-log depth that kicks a background
+	// rebuild.
+	RebuildThreshold int
+	// MaxLag is the delta-log depth past which writes are shed with
+	// ingest.ErrBackpressure.
+	MaxLag int
+	// RebuildInterval additionally rebuilds on a timer when positive.
+	RebuildInterval time.Duration
+	// Seed drives overlay treap priorities (structural only).
+	Seed uint64
+}
+
+// mapIngestErr translates ingest sentinels into the service's error
+// vocabulary: deleting the last live element maps to ErrEmptyDataset (a
+// dataset never becomes empty), absent values map to ErrValueNotFound.
+// Backpressure and closure pass through as ingest sentinels — the HTTP
+// layer maps them to 429/503.
+func mapIngestErr(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ingest.ErrLastElement):
+		return fmt.Errorf("%w: %w", ErrEmptyDataset, err)
+	case errors.Is(err, ingest.ErrValueNotFound):
+		return fmt.Errorf("%w: %w", ErrValueNotFound, err)
+	}
+	return err
+}
+
+// CreateMutable builds and hosts a mutable dataset. Nil weights mean
+// uniform; inputs are copied. The initial build degrades to naive on
+// failure exactly like Create; the ingestion machinery starts
+// immediately and is stopped by Service.Close.
+func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind, values, weights []float64, mo MutableOptions) (err error) {
+	defer s.track(&err)()
+	if len(values) == 0 {
+		return ErrEmptyDataset
+	}
+	if weights != nil && len(weights) != len(values) {
+		return fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
+	}
+	s.mu.RLock()
+	_, taken := s.datasets[name]
+	s.mu.RUnlock()
+	if taken {
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	vcopy := append([]float64(nil), values...)
+	var wcopy []float64
+	if weights == nil {
+		wcopy = make([]float64, len(values))
+		for i := range wcopy {
+			wcopy[i] = 1
+		}
+	} else {
+		wcopy = append([]float64(nil), weights...)
+	}
+	snap, err := s.build(ctx, name, kind, vcopy, wcopy, "build")
+	if err != nil {
+		return err
+	}
+	ds := &dataset{name: name, requested: kind, values: vcopy, weights: wcopy, snap: snap}
+	cfg := ingest.Config{
+		Seed:             mo.Seed,
+		QueueDepth:       mo.QueueDepth,
+		RebuildThreshold: mo.RebuildThreshold,
+		MaxLag:           mo.MaxLag,
+		RebuildInterval:  mo.RebuildInterval,
+		Metrics:          s.opts.Metrics,
+		Labels: append(append([]metrics.Label(nil), s.opts.MetricLabels...),
+			metrics.L("dataset", name)),
+		Logger: s.log,
+		Build: func(bctx context.Context, vals, ws []float64) (*core.RangeSampler, error) {
+			sn, berr := s.build(bctx, name, ds.requested, vals, ws, "rebuild")
+			if berr != nil {
+				return nil, berr
+			}
+			// Mirror the new base into the Health snapshot; reads keep
+			// going through the table.
+			ds.publish(sn)
+			s.rebuilds.Add(1)
+			return sn.sampler, nil
+		},
+	}
+	tbl, err := ingest.New(snap.sampler, cfg)
+	if err != nil {
+		return err
+	}
+	ds.tbl = tbl
+	qo := s.monitorOpts(name)
+	qo.LiveWeight = func(lo, hi float64, wor bool) float64 {
+		if wor {
+			return float64(tbl.Count(lo, hi))
+		}
+		return tbl.RangeWeight(lo, hi)
+	}
+	ds.liveMon = metrics.NewUniformity(vcopy, wcopy, qo)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.datasets[name]; ok {
+		tbl.Close()
+		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
+	}
+	s.datasets[name] = ds
+	return nil
+}
+
+// mutableSampleInto is the WR read path for mutable datasets: the
+// table's union sampler (frozen base + overlay, tombstones masked) with
+// the dynamic-expectations monitor folded afterwards. While the table
+// is pure (overlay empty, no tombstones) the draw is the base's own
+// zero-alloc hot path.
+func (s *Service) mutableSampleInto(ctx context.Context, ds *dataset, r *core.Rand, lo, hi float64, k int, dst []float64) (out []float64, err error) {
+	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
+	start := time.Now()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	out = dst
+	err = s.guard(snap.active, "sample", func() error {
+		if e := ctx.Err(); e != nil {
+			return e
+		}
+		var ok bool
+		out, ok = ds.tbl.SampleInto(r, lo, hi, k, out, sc)
+		if !ok {
+			if verr := core.ValidateRange(lo, hi); verr != nil {
+				return verr
+			}
+			return core.ErrEmptyRange
+		}
+		return nil
+	})
+	s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
+	end()
+	if err != nil {
+		return dst, err
+	}
+	ds.liveMon.Fold(lo, hi, out[len(dst):], false)
+	return out, nil
+}
+
+// mutableWoRInto is the WoR read path for mutable datasets.
+func (s *Service) mutableWoRInto(ctx context.Context, ds *dataset, r *core.Rand, lo, hi float64, k int, dst []float64) (out []float64, err error) {
+	snap := ds.snapshot()
+	end := metrics.TraceFrom(ctx).StartSpan("service.wor")
+	start := time.Now()
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	out = dst
+	err = s.guard(snap.active, "wor", func() error {
+		if e := ctx.Err(); e != nil {
+			return e
+		}
+		var e error
+		out, e = ds.tbl.SampleWoRInto(r, lo, hi, k, out, sc)
+		return e
+	})
+	s.observeLatency(opWoR, snap.active, time.Since(start).Seconds())
+	end()
+	if err != nil {
+		return dst, err
+	}
+	ds.liveMon.Fold(lo, hi, out[len(dst):], true)
+	return out, nil
+}
+
+// BulkLoad appends a batch of elements to a mutable dataset in one
+// delta-log entry and kicks an immediate rebuild.
+func (s *Service) BulkLoad(ctx context.Context, name string, values, weights []float64) (err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	if ds.tbl == nil {
+		return fmt.Errorf("%w: %q", ErrNotMutable, name)
+	}
+	return mapIngestErr(ds.tbl.BulkLoad(ctx, values, weights))
+}
+
+// Flush drains a mutable dataset's delta log through synchronous
+// rebuilds, returning once the table is pure again.
+func (s *Service) Flush(ctx context.Context, name string) (err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return err
+	}
+	if ds.tbl == nil {
+		return fmt.Errorf("%w: %q", ErrNotMutable, name)
+	}
+	return ds.tbl.Flush(ctx)
+}
+
+// IngestStats returns the ingestion diagnostics of a mutable dataset.
+func (s *Service) IngestStats(name string) (ingest.Stats, error) {
+	ds, err := s.lookup(name)
+	if err != nil {
+		return ingest.Stats{}, err
+	}
+	if ds.tbl == nil {
+		return ingest.Stats{}, fmt.Errorf("%w: %q", ErrNotMutable, name)
+	}
+	return ds.tbl.Stats(), nil
+}
+
+// LiveData returns a copy of the dataset's current elements — the
+// instantaneous materialised state for mutable datasets, the master
+// arrays for static ones. The soak oracle diffs against it.
+func (s *Service) LiveData(name string) (values, weights []float64, err error) {
+	ds, err := s.lookup(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ds.tbl != nil {
+		v, w := ds.tbl.LiveData()
+		return v, w, nil
+	}
+	ds.updMu.Lock()
+	defer ds.updMu.Unlock()
+	return append([]float64(nil), ds.values...), append([]float64(nil), ds.weights...), nil
+}
+
+// Mutable reports whether the named dataset accepts the ingest write
+// path (CreateMutable). Unknown names report false.
+func (s *Service) Mutable(name string) bool {
+	ds, err := s.lookup(name)
+	return err == nil && ds.tbl != nil
+}
+
+// Close stops the ingestion machinery of every mutable dataset: queued
+// writes are drained with ingest.ErrClosed, background rebuilders exit,
+// reads keep answering from the last published state. Static datasets
+// are unaffected. Safe to call more than once.
+func (s *Service) Close() {
+	s.mu.RLock()
+	tables := make([]*ingest.Table, 0, len(s.datasets))
+	for _, ds := range s.datasets {
+		if ds.tbl != nil {
+			tables = append(tables, ds.tbl)
+		}
+	}
+	s.mu.RUnlock()
+	for _, t := range tables {
+		t.Close()
+	}
+}

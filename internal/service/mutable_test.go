@@ -1,0 +1,435 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sort"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+	"repro/internal/stats"
+)
+
+func newMutableService(t *testing.T, n int, mo MutableOptions) *Service {
+	t.Helper()
+	s := New(Options{Quality: metrics.UniformityOptions{Stride: 1}})
+	t.Cleanup(s.Close)
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = float64(1 + i%4)
+	}
+	if err := s.CreateMutable(context.Background(), "d", core.KindChunked, seq(n), ws, mo); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateMutableWritesVisibleImmediately(t *testing.T) {
+	s := newMutableService(t, 100, MutableOptions{RebuildThreshold: 1 << 20})
+	ctx := context.Background()
+	r := core.NewRand(1)
+
+	// Insert outside the original span: countable and sampleable at
+	// once, no rebuild needed (threshold is unreachable).
+	if err := s.Insert(ctx, "d", 500.5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := s.Count(ctx, "d", 500, 501); err != nil || n != 1 {
+		t.Fatalf("Count after insert = %d, %v", n, err)
+	}
+	out, err := s.Sample(ctx, r, "d", 500, 501, 5)
+	if err != nil || len(out) != 5 {
+		t.Fatalf("Sample after insert: %v, %d", err, len(out))
+	}
+	for _, v := range out {
+		if v != 500.5 {
+			t.Fatalf("sampled %v, want the fresh insert", v)
+		}
+	}
+
+	// Delete: masked immediately.
+	if err := s.Delete(ctx, "d", 42); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := s.Count(ctx, "d", 42, 42); n != 0 {
+		t.Fatal("deleted value still counted")
+	}
+	for i := 0; i < 50; i++ {
+		out, err := s.Sample(ctx, r, "d", 40, 44, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range out {
+			if v == 42 {
+				t.Fatal("sampled a deleted value")
+			}
+		}
+	}
+	if w, _ := s.RangeWeight(ctx, "d", 42, 42); w != 0 {
+		t.Fatalf("RangeWeight of deleted value = %v", w)
+	}
+
+	// WoR over the mutated union.
+	wor, err := s.SampleWoR(ctx, r, "d", 40, 44, 4)
+	if err != nil || len(wor) != 4 {
+		t.Fatalf("SampleWoR: %v, %d", err, len(wor))
+	}
+	seen := map[float64]bool{}
+	for _, v := range wor {
+		if v == 42 || seen[v] {
+			t.Fatalf("WoR drew %v (deleted or duplicate)", v)
+		}
+		seen[v] = true
+	}
+
+	h := s.Health()
+	if len(h.Datasets) != 1 || !h.Datasets[0].Mutable {
+		t.Fatalf("health missing mutable flag: %+v", h.Datasets)
+	}
+	if h.Datasets[0].Len != 100 { // +1 insert, -1 delete
+		t.Fatalf("live len = %d, want 100", h.Datasets[0].Len)
+	}
+	if h.Datasets[0].LogDepth == 0 {
+		t.Fatal("delta log depth should be nonzero before any rebuild")
+	}
+
+	// Flush folds the log; content is preserved.
+	if err := s.Flush(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := s.IngestStats("d")
+	if err != nil || st.LogDepth != 0 || st.OverlayLen != 0 || st.Tombstones != 0 {
+		t.Fatalf("post-flush stats: %+v, %v", st, err)
+	}
+	if n, _ := s.Count(ctx, "d", 42, 42); n != 0 {
+		t.Fatal("delete lost across rebuild")
+	}
+	if n, _ := s.Count(ctx, "d", 500, 501); n != 1 {
+		t.Fatal("insert lost across rebuild")
+	}
+}
+
+func TestMutableErrorMapping(t *testing.T) {
+	s := newMutableService(t, 3, MutableOptions{RebuildThreshold: 1 << 20})
+	ctx := context.Background()
+
+	if err := s.Delete(ctx, "d", 99); !errors.Is(err, ErrValueNotFound) || !IsTyped(err) {
+		t.Errorf("missing delete: %v", err)
+	}
+	if err := s.Delete(ctx, "d", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "d", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete(ctx, "d", 2); !errors.Is(err, ErrEmptyDataset) || !IsTyped(err) {
+		t.Errorf("last-element delete: %v", err)
+	}
+	if err := s.Insert(ctx, "d", math.NaN(), 1); !errors.Is(err, core.ErrBadValue) {
+		t.Errorf("NaN insert: %v", err)
+	}
+	if err := s.BulkLoad(ctx, "d", []float64{10, 11}, nil); err != nil {
+		t.Fatalf("bulk load: %v", err)
+	}
+	if n, _ := s.Count(ctx, "d", 10, 11); n != 2 {
+		t.Fatalf("bulk load not visible: %d", n)
+	}
+
+	// Static datasets reject the mutable-only surface.
+	if err := s.Create(ctx, "static", core.KindChunked, seq(10), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.BulkLoad(ctx, "static", []float64{1}, nil); !errors.Is(err, ErrNotMutable) || !IsTyped(err) {
+		t.Errorf("static bulk load: %v", err)
+	}
+	if err := s.Flush(ctx, "static"); !errors.Is(err, ErrNotMutable) {
+		t.Errorf("static flush: %v", err)
+	}
+	if s.Mutable("static") || !s.Mutable("d") || s.Mutable("nope") {
+		t.Error("Mutable() misreports")
+	}
+
+	s.Close()
+	if err := s.Insert(ctx, "d", 1, 1); !errors.Is(err, ingest.ErrClosed) || !IsTyped(err) {
+		t.Errorf("insert after close: %v", err)
+	}
+}
+
+// TestMutableCoverCacheRegression is the PR-5 cover-decomposition cache
+// regression: warm the decomposition cache with repeated identical
+// range queries, mutate the dataset, and verify sampling reflects the
+// mutation both immediately (overlay/tombstone path) and after the
+// rebuild swap (fresh base, retired base's caches invalidated). The
+// static-update path (snapshot swap via Insert/Delete rebuild) is
+// exercised too.
+func TestMutableCoverCacheRegression(t *testing.T) {
+	ctx := context.Background()
+	r := core.NewRand(7)
+
+	for _, kind := range []core.Kind{core.KindChunked, core.KindAliasAug} {
+		s := New(Options{})
+		t.Cleanup(s.Close)
+		if err := s.CreateMutable(ctx, "m", kind, seq(512), nil, MutableOptions{RebuildThreshold: 1 << 20}); err != nil {
+			t.Fatal(err)
+		}
+		// Warm: the same range query repeatedly, so the cover
+		// decomposition for [100, 200] is memoized.
+		for i := 0; i < 64; i++ {
+			if _, err := s.Sample(ctx, r, "m", 100, 200, 8); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Mutate inside the warmed range.
+		for v := 150.0; v < 160; v++ {
+			if err := s.Delete(ctx, "m", v); err != nil {
+				t.Fatal(err)
+			}
+		}
+		check := func(stage string) {
+			t.Helper()
+			for i := 0; i < 200; i++ {
+				out, err := s.Sample(ctx, r, "m", 100, 200, 8)
+				if err != nil {
+					t.Fatalf("%s/%v: %v", stage, kind, err)
+				}
+				for _, v := range out {
+					if v >= 150 && v < 160 {
+						t.Fatalf("%s/%v: sampled deleted value %v", stage, kind, v)
+					}
+				}
+			}
+			if n, _ := s.Count(ctx, "m", 100, 200); n != 91 {
+				t.Fatalf("%s/%v: count = %d, want 91", stage, kind, n)
+			}
+		}
+		check("pre-rebuild")
+		if err := s.Flush(ctx, "m"); err != nil {
+			t.Fatal(err)
+		}
+		check("post-rebuild")
+
+		// Static path: swapIn must invalidate the retired snapshot.
+		if err := s.Create(ctx, "st", kind, seq(256), nil); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 64; i++ {
+			if _, err := s.Sample(ctx, r, "st", 50, 99, 4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := s.Delete(ctx, "st", 75); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			out, err := s.Sample(ctx, r, "st", 50, 99, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range out {
+				if v == 75 {
+					t.Fatalf("%v: static snapshot served deleted value", kind)
+				}
+			}
+		}
+	}
+}
+
+// TestMutableChurnQualityUnderFaults is the PR's acceptance gate at the
+// service layer: with EM faults injected into every rebuild and a
+// background writer sustaining at least 1/8 of the read rate, the
+// dynamic-expectations uniformity monitor — folding every served
+// sample against the instantaneous dataset — must stay below its
+// breach threshold, and a post-churn two-query independence check must
+// pass. Runs under -race in CI.
+func TestMutableChurnQualityUnderFaults(t *testing.T) {
+	dev, err := em.NewDevice(64, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev.SetFaultPolicy(&em.FaultPolicy{ReadFailProb: 0.05, WriteFailProb: 0.05, Seed: 3})
+	s := New(Options{
+		Mirror:  dev,
+		Retry:   em.RetryPolicy{MaxAttempts: 8, BaseDelay: 10 * time.Microsecond, MaxDelay: 100 * time.Microsecond},
+		Quality: metrics.UniformityOptions{Stride: 1, MinFolded: 512},
+	})
+	defer s.Close()
+	ctx := context.Background()
+	const n = 1000
+	ws := make([]float64, n)
+	for i := range ws {
+		ws[i] = float64(1 + i%4)
+	}
+	if err := s.CreateMutable(ctx, "d", core.KindChunked, seq(n), ws, MutableOptions{RebuildThreshold: 64, Seed: 9}); err != nil {
+		t.Fatal(err)
+	}
+
+	var writes atomic.Int64
+	stop := make(chan struct{})
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		wr := core.NewRand(31)
+		var inserted []float64
+		next := 10000.0
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if wr.Bernoulli(0.55) || len(inserted) == 0 {
+				v := float64(wr.Intn(n)) + 0.5
+				if wr.Bernoulli(0.2) {
+					v = next // occasionally out of the original span
+					next++
+				}
+				if err = s.Insert(ctx, "d", v, 1+wr.Float64()*3); err == nil {
+					inserted = append(inserted, v)
+				}
+			} else {
+				v := inserted[len(inserted)-1]
+				if err = s.Delete(ctx, "d", v); err == nil {
+					inserted = inserted[:len(inserted)-1]
+				}
+			}
+			if err == nil {
+				writes.Add(1)
+			} else if !IsTyped(err) {
+				t.Errorf("untyped write error: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Reader: paced so the writer sustains >= reads/8 successful ops —
+	// structurally above the 10%-of-read-QPS acceptance bar.
+	r := core.NewRand(5)
+	const reads = 1600
+	deadline := time.Now().Add(20 * time.Second)
+	buf := make([]float64, 0, 8)
+	for i := 0; i < reads; i++ {
+		for writes.Load()*8 < int64(i) && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Microsecond)
+		}
+		lo := float64(r.Intn(n - 100))
+		hi := lo + 50 + float64(r.Intn(200))
+		var err error
+		buf = buf[:0]
+		if i%5 == 4 {
+			buf, err = s.SampleWoRInto(ctx, r, "d", lo, hi, 4, buf)
+		} else {
+			buf, err = s.SampleInto(ctx, r, "d", lo, hi, 8, buf)
+		}
+		if err != nil && !IsTyped(err) {
+			t.Fatalf("untyped read error: %v", err)
+		}
+	}
+	close(stop)
+	<-writerDone
+
+	w := writes.Load()
+	if w*8 < reads {
+		t.Fatalf("writer too slow: %d writes vs %d reads", w, reads)
+	}
+	if dev.FaultsInjected() == 0 {
+		t.Fatal("EM fault policy injected nothing; the gate did not run under faults")
+	}
+	s.mu.RLock()
+	mon := s.datasets["d"].liveMon
+	s.mu.RUnlock()
+	stat, crit, folded := mon.Snapshot()
+	if folded < 512 {
+		t.Fatalf("monitor folded only %d samples", folded)
+	}
+	if crit > 0 && stat/crit > 1 {
+		t.Fatalf("uniformity breached under churn: stat %v critical %v (folded %d)", stat, crit, folded)
+	}
+	t.Logf("churn gate: %d writes / %d reads, %d EM faults, quality %.3f over %d folded",
+		w, reads, dev.FaultsInjected(), mon.Quality(), folded)
+
+	// Cross-query independence on the settled state: bucket pairs of
+	// successive single-draw queries over a fixed range and chi-square
+	// the joint distribution against the product of its marginals.
+	if err := s.Flush(ctx, "d"); err != nil {
+		t.Fatal(err)
+	}
+	const bins = 4
+	lo, hi := 100.0, 699.0
+	edges := make([]float64, bins-1)
+	w0, _ := s.RangeWeight(ctx, "d", lo, hi)
+	if !(w0 > 0) {
+		t.Fatal("empty independence range")
+	}
+	// Equal-weight bin edges from the live data.
+	vals, wts, err := s.LiveData("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cum, target := 0.0, w0/bins
+	bi := 0
+	type vw struct{ v, w float64 }
+	in := make([]vw, 0, len(vals))
+	for i, v := range vals {
+		if v >= lo && v <= hi {
+			in = append(in, vw{v, wts[i]})
+		}
+	}
+	sort.Slice(in, func(a, b int) bool { return in[a].v < in[b].v })
+	for _, e := range in {
+		cum += e.w
+		if bi < bins-1 && cum >= target*float64(bi+1) {
+			edges[bi] = e.v
+			bi++
+		}
+	}
+	binOf := func(v float64) int {
+		for i, e := range edges {
+			if v <= e {
+				return i
+			}
+		}
+		return bins - 1
+	}
+	const pairs = 4000
+	joint := make([]int, bins*bins)
+	mi := make([]int, bins)
+	mj := make([]int, bins)
+	for p := 0; p < pairs; p++ {
+		a, err := s.Sample(ctx, r, "d", lo, hi, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := s.Sample(ctx, r, "d", lo, hi, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		i, j := binOf(a[0]), binOf(b[0])
+		joint[i*bins+j]++
+		mi[i]++
+		mj[j]++
+	}
+	exp := make([]float64, bins*bins)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			exp[i*bins+j] = float64(mi[i]) * float64(mj[j]) / pairs
+		}
+	}
+	chi := 0.0
+	for c, o := range joint {
+		if exp[c] < 5 {
+			continue
+		}
+		d := float64(o) - exp[c]
+		chi += d * d / exp[c]
+	}
+	if c := stats.ChiSquareCritical((bins-1)*(bins-1), 1e-6); chi > c {
+		t.Fatalf("cross-query dependence: chi2 %v > critical %v", chi, c)
+	}
+}

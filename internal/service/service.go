@@ -48,6 +48,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/em"
+	"repro/internal/ingest"
 	"repro/internal/metrics"
 )
 
@@ -118,6 +119,8 @@ type DatasetHealth struct {
 	Active    core.Kind
 	Degraded  bool
 	Len       int
+	Mutable   bool // created via CreateMutable
+	LogDepth  int  // pending delta-log entries (mutable only)
 }
 
 // snapshot is the immutable unit readers hold: once published it is
@@ -132,7 +135,10 @@ type snapshot struct {
 }
 
 // dataset pairs the published snapshot with the master element arrays
-// updates rebuild from.
+// updates rebuild from. Mutable datasets (CreateMutable) additionally
+// carry an ingest table — the write path — and a live-expectations
+// quality monitor; for those, snap mirrors the table's current base for
+// Health reporting while reads and writes go through tbl.
 type dataset struct {
 	name      string
 	requested core.Kind
@@ -142,6 +148,9 @@ type dataset struct {
 
 	updMu           sync.Mutex // serialises updates; guards values/weights
 	values, weights []float64
+
+	tbl     *ingest.Table       // non-nil iff the dataset is mutable
+	liveMon *metrics.Uniformity // dynamic-expectations monitor (mutable only)
 }
 
 func (ds *dataset) snapshot() *snapshot {
@@ -253,10 +262,10 @@ func (s *Service) observeLatency(op int, kind core.Kind, seconds float64) {
 	}
 }
 
-// newMonitor builds the per-dataset quality monitor for a fresh
-// snapshot. The gauge is resolved through the registry, so rebuilds of
-// the same dataset keep exporting through the same series.
-func (s *Service) newMonitor(name string, values, weights []float64) *metrics.Uniformity {
+// monitorOpts resolves the quality-monitor options for a dataset: the
+// gauge is resolved through the registry, so rebuilds of the same
+// dataset keep exporting through the same series.
+func (s *Service) monitorOpts(name string) metrics.UniformityOptions {
 	qo := s.opts.Quality
 	ls := append(append([]metrics.Label(nil), s.opts.MetricLabels...), metrics.L("dataset", name))
 	qo.Gauge = s.opts.Metrics.Gauge("iqs_sample_quality_ratio",
@@ -269,7 +278,13 @@ func (s *Service) newMonitor(name string, values, weights []float64) *metrics.Un
 			slog.Float64("critical", crit),
 			slog.Int64("folded", folded))
 	}
-	return metrics.NewUniformity(values, weights, qo)
+	return qo
+}
+
+// newMonitor builds the per-dataset quality monitor for a fresh
+// snapshot (frozen expectations — static datasets).
+func (s *Service) newMonitor(name string, values, weights []float64) *metrics.Uniformity {
+	return metrics.NewUniformity(values, weights, s.monitorOpts(name))
 }
 
 // recordDowngrade appends ev to the fixed-size event ring, evicting the
@@ -481,6 +496,13 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 	if err != nil {
 		return nil, err
 	}
+	if ds.tbl != nil {
+		var dst []float64
+		if k > 0 {
+			dst = make([]float64, 0, k)
+		}
+		return s.mutableSampleInto(ctx, ds, r, lo, hi, k, dst)
+	}
 	snap := ds.snapshot()
 	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
 	start := time.Now()
@@ -514,6 +536,9 @@ func (s *Service) SampleInto(ctx context.Context, r *core.Rand, name string, lo,
 	if err != nil {
 		return dst, err
 	}
+	if ds.tbl != nil {
+		return s.mutableSampleInto(ctx, ds, r, lo, hi, k, dst)
+	}
 	snap := ds.snapshot()
 	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
 	start := time.Now()
@@ -544,6 +569,13 @@ func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, 
 	if err != nil {
 		return nil, err
 	}
+	if ds.tbl != nil {
+		var dst []float64
+		if k > 0 {
+			dst = make([]float64, 0, k)
+		}
+		return s.mutableWoRInto(ctx, ds, r, lo, hi, k, dst)
+	}
 	snap := ds.snapshot()
 	end := metrics.TraceFrom(ctx).StartSpan("service.wor")
 	start := time.Now()
@@ -570,6 +602,9 @@ func (s *Service) SampleWoRInto(ctx context.Context, r *core.Rand, name string, 
 	ds, err := s.lookup(name)
 	if err != nil {
 		return dst, err
+	}
+	if ds.tbl != nil {
+		return s.mutableWoRInto(ctx, ds, r, lo, hi, k, dst)
 	}
 	snap := ds.snapshot()
 	end := metrics.TraceFrom(ctx).StartSpan("service.wor")
@@ -605,6 +640,10 @@ func (s *Service) RangeWeight(ctx context.Context, name string, lo, hi float64) 
 	}
 	snap := ds.snapshot()
 	err = s.guard(snap.active, "rangeweight", func() error {
+		if ds.tbl != nil {
+			w = ds.tbl.RangeWeight(lo, hi)
+			return nil
+		}
 		w = snap.sampler.RangeWeight(lo, hi)
 		return nil
 	})
@@ -626,6 +665,10 @@ func (s *Service) Count(ctx context.Context, name string, lo, hi float64) (n int
 	}
 	snap := ds.snapshot()
 	err = s.guard(snap.active, "count", func() error {
+		if ds.tbl != nil {
+			n = ds.tbl.Count(lo, hi)
+			return nil
+		}
 		n = snap.sampler.Count(lo, hi)
 		return nil
 	})
@@ -652,6 +695,9 @@ func (s *Service) Insert(ctx context.Context, name string, value, weight float64
 	if err != nil {
 		return err
 	}
+	if ds.tbl != nil {
+		return mapIngestErr(ds.tbl.Insert(ctx, value, weight))
+	}
 	ds.updMu.Lock()
 	defer ds.updMu.Unlock()
 	if err = ctx.Err(); err != nil {
@@ -669,6 +715,9 @@ func (s *Service) Delete(ctx context.Context, name string, value float64) (err e
 	ds, err := s.lookup(name)
 	if err != nil {
 		return err
+	}
+	if ds.tbl != nil {
+		return mapIngestErr(ds.tbl.Delete(ctx, value))
 	}
 	ds.updMu.Lock()
 	defer ds.updMu.Unlock()
@@ -703,9 +752,15 @@ func (s *Service) swapIn(ctx context.Context, ds *dataset, nv, nw []float64) err
 	if err != nil {
 		return err
 	}
+	old := ds.snapshot()
 	ds.values, ds.weights = nv, nw
 	ds.publish(snap)
 	s.rebuilds.Add(1)
+	if old != nil && old.sampler != nil {
+		// Retired from serving: drop any memoized cover decompositions
+		// so a stale cache can never answer for the mutated dataset.
+		old.sampler.InvalidateCovers()
+	}
 	return nil
 }
 
@@ -730,13 +785,19 @@ func (s *Service) Health() Health {
 	for _, n := range names {
 		ds := s.datasets[n]
 		snap := ds.snapshot()
-		h.Datasets = append(h.Datasets, DatasetHealth{
+		dh := DatasetHealth{
 			Name:      n,
 			Requested: ds.requested,
 			Active:    snap.active,
 			Degraded:  snap.active != ds.requested,
 			Len:       snap.sampler.Len(),
-		})
+		}
+		if ds.tbl != nil {
+			dh.Mutable = true
+			dh.Len = ds.tbl.Len()
+			dh.LogDepth = ds.tbl.Stats().LogDepth
+		}
+		h.Datasets = append(h.Datasets, dh)
 	}
 	s.mu.RUnlock()
 	return h

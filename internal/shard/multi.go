@@ -47,7 +47,8 @@ type multiPiece struct {
 // stream in the same sequence, each request's Out is byte-identical to
 // the scalar path's; errors land per request in Err.
 func (c *Coordinator) SampleMulti(ctx context.Context, reqs []*MultiQuery) {
-	shardPieces := make([][]*multiPiece, len(c.hosts))
+	hosts := c.view()
+	shardPieces := make([][]*multiPiece, len(hosts))
 	reqPieces := make([][]*multiPiece, len(reqs))
 	opsSeen := [2]bool{}
 
@@ -62,13 +63,13 @@ func (c *Coordinator) SampleMulti(ctx context.Context, reqs []*MultiQuery) {
 			q.Err = err
 			continue
 		}
-		shards := c.overlapping(q.Lo, q.Hi)
+		shards := overlapping(hosts, q.Lo, q.Hi)
 		var budgets []int
 		if q.WoR {
 			counts := make([]int, len(shards))
 			total := 0
 			for i, s := range shards {
-				n, err := c.hosts[s].svc.Count(ctx, dsName, q.Lo, q.Hi)
+				n, err := hosts[s].svc.Count(ctx, dsName, q.Lo, q.Hi)
 				if err != nil {
 					q.Err = err
 					break
@@ -108,7 +109,7 @@ func (c *Coordinator) SampleMulti(ctx context.Context, reqs []*MultiQuery) {
 			weights := make([]float64, len(shards))
 			total := 0.0
 			for i, s := range shards {
-				w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, q.Lo, q.Hi)
+				w, err := hosts[s].svc.RangeWeight(ctx, dsName, q.Lo, q.Hi)
 				if err != nil {
 					q.Err = err
 					break
@@ -172,7 +173,7 @@ func (c *Coordinator) SampleMulti(ctx context.Context, reqs []*MultiQuery) {
 				p.job.Dst = (*bp)[:0]
 				jobs[i] = &p.job
 			}
-			c.hosts[s].svc.SampleMulti(ctx, dsName, jobs)
+			hosts[s].svc.SampleMulti(ctx, dsName, jobs)
 		}(s, ps)
 	}
 	wg.Wait()

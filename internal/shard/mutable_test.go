@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ingest"
+	"repro/internal/metrics"
+	"repro/internal/service"
+)
+
+func mkMutable(t *testing.T, n, k int, opts Options) *Coordinator {
+	t.Helper()
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1 + float64(i%4)
+	}
+	opts.Shards = k
+	opts.Mutable = true
+	c, err := New(context.Background(), "mut", values, weights, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestMutableShardWriteRouting(t *testing.T) {
+	ctx := context.Background()
+	c := mkMutable(t, 400, 4, Options{Ingest: service.MutableOptions{RebuildThreshold: 1 << 20}})
+	r := core.NewRand(5)
+
+	// Writes land in the owning shard and are visible immediately.
+	if err := c.Insert(ctx, 1000.5, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert(ctx, -7, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Delete(ctx, 42); !errors.Is(err, service.ErrValueNotFound) {
+		t.Fatalf("double delete: %v, want ErrValueNotFound", err)
+	}
+	n, err := c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if err != nil || n != 401 {
+		t.Fatalf("Count = %d, %v; want 401", n, err)
+	}
+	// The out-of-span insert is sampleable through the global fan-out.
+	got, err := c.Sample(ctx, r, 1000, 1001, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got {
+		if v != 1000.5 {
+			t.Fatalf("sample outside [1000,1001]: %v", v)
+		}
+	}
+	// The deleted value is masked everywhere.
+	if _, err := c.Sample(ctx, r, 42, 42, 1); !errors.Is(err, core.ErrEmptyRange) {
+		t.Fatalf("sampling deleted value: %v, want ErrEmptyRange", err)
+	}
+
+	// BulkLoad partitions by owner; invalid values are rejected whole.
+	if err := c.BulkLoad(ctx, []float64{50.5, 350.25}, []float64{1, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.BulkLoad(ctx, []float64{1, math.NaN()}, nil); !errors.Is(err, core.ErrBadValue) {
+		t.Fatalf("NaN bulk load: %v, want ErrBadValue", err)
+	}
+	n, err = c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if err != nil || n != 403 {
+		t.Fatalf("Count after bulk = %d, %v; want 403", n, err)
+	}
+}
+
+func TestStaticCoordinatorRejectsMutableOps(t *testing.T) {
+	ctx := context.Background()
+	c, _, _ := mkCoordinator(t, 100, 2, false)
+	if err := c.BulkLoad(ctx, []float64{1}, nil); !errors.Is(err, service.ErrNotMutable) {
+		t.Fatalf("BulkLoad on static: %v, want ErrNotMutable", err)
+	}
+	if err := c.Rebalance(ctx); !errors.Is(err, service.ErrNotMutable) {
+		t.Fatalf("Rebalance on static: %v, want ErrNotMutable", err)
+	}
+}
+
+func TestRebalanceRestoresPartition(t *testing.T) {
+	ctx := context.Background()
+	reg := metrics.NewRegistry()
+	c := mkMutable(t, 400, 4, Options{
+		Metrics: reg,
+		Ingest:  service.MutableOptions{RebuildThreshold: 1 << 20},
+	})
+
+	// Skew every write into the last shard's interval.
+	for i := 0; i < 1200; i++ {
+		if err := c.Insert(ctx, 400+float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Delete(ctx, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !c.imbalanced() {
+		t.Fatal("coordinator should report imbalance after skewed writes")
+	}
+	if err := c.Rebalance(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Health().Rebalances; got != 1 {
+		t.Fatalf("Health().Rebalances = %d, want 1", got)
+	}
+	if c.imbalanced() {
+		t.Fatal("still imbalanced after rebalance")
+	}
+
+	// Content is preserved exactly: 400 seed + 1200 inserts - 1 delete.
+	n, err := c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if err != nil || n != 1599 {
+		t.Fatalf("Count after rebalance = %d, %v; want 1599", n, err)
+	}
+	if _, err := c.Sample(ctx, core.NewRand(9), 42, 42, 1); !errors.Is(err, core.ErrEmptyRange) {
+		t.Fatalf("deleted value resurrected by rebalance: %v", err)
+	}
+
+	// Writes keep routing against the new boundaries.
+	if err := c.Insert(ctx, 2000, 1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.SampleWoR(ctx, core.NewRand(11), 1999, 2001, 1)
+	if err != nil || len(got) != 1 || got[0] != 2000 {
+		t.Fatalf("post-rebalance insert not served: %v, %v", got, err)
+	}
+
+	// The func-backed ingest gauges rebound to the fresh generation's
+	// tables: the delta-log depth must reflect the drained state, not
+	// the retired tables' final depth.
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	exp, err := metrics.ParseExposition(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := exp.MaxAcross("iqs_ingest_delta_log_depth"); !ok || v != 1 {
+		// Exactly one write (the 2000 insert) since the rebuild swap.
+		t.Fatalf("iqs_ingest_delta_log_depth max = %v, %v; want 1", v, ok)
+	}
+	if v, ok := exp.Get("iqs_shard_rebalances_total"); !ok || v != 1 {
+		t.Fatalf("iqs_shard_rebalances_total = %v, %v; want 1", v, ok)
+	}
+	if _, ok := exp.MaxAcross("iqs_shard_rebalance_seconds_count"); !ok {
+		t.Fatal("iqs_shard_rebalance_seconds histogram missing")
+	}
+}
+
+func TestBackgroundRebalanceUnderChurn(t *testing.T) {
+	ctx := context.Background()
+	c := mkMutable(t, 200, 4, Options{
+		Ingest:            service.MutableOptions{RebuildThreshold: 64},
+		RebalanceFactor:   2,
+		RebalanceInterval: 2 * time.Millisecond,
+	})
+
+	// Reader hammers global samples while the writer skews the tail
+	// shard hard enough to trip the background rebalancer.
+	var stop atomic.Bool
+	var readerErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := core.NewRand(3)
+		buf := make([]float64, 0, 8)
+		for !stop.Load() {
+			var err error
+			buf, err = c.SampleInto(ctx, r, math.Inf(-1), math.Inf(1), 8, buf[:0])
+			if err != nil && !errors.Is(err, core.ErrEmptyRange) {
+				readerErr = err
+				return
+			}
+		}
+	}()
+
+	inserted := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for c.Health().Rebalances == 0 && time.Now().Before(deadline) {
+		err := c.Insert(ctx, 200+float64(inserted), 1)
+		if errors.Is(err, ingest.ErrBackpressure) {
+			// The skewed shard's delta log outran its rebuilds; back off
+			// like a real writer and let the drain catch up.
+			time.Sleep(100 * time.Microsecond)
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		inserted++
+	}
+	stop.Store(true)
+	wg.Wait()
+	if readerErr != nil {
+		t.Fatalf("reader failed during rebalance: %v", readerErr)
+	}
+	if c.Health().Rebalances == 0 {
+		t.Fatal("background rebalancer never fired")
+	}
+	n, err := c.Count(ctx, math.Inf(-1), math.Inf(1))
+	if err != nil || n != 200+inserted {
+		t.Fatalf("Count = %d, %v; want %d", n, err, 200+inserted)
+	}
+
+	// Close stops writes but the last published view keeps serving reads.
+	c.Close()
+	if err := c.Insert(ctx, 1e6, 1); !errors.Is(err, ingest.ErrClosed) {
+		t.Fatalf("Insert after Close: %v, want ingest.ErrClosed", err)
+	}
+	if _, err := c.Sample(ctx, core.NewRand(7), 0, 100, 4); err != nil {
+		t.Fatalf("read after Close: %v", err)
+	}
+}

@@ -32,12 +32,14 @@ package shard
 import (
 	"context"
 	"fmt"
+	"io"
 	"log/slog"
 	"math"
 	"slices"
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -76,6 +78,22 @@ type Options struct {
 	// Service hook is nil (a hook owns the whole service.Options it
 	// returns, quality included).
 	Quality metrics.UniformityOptions
+	// Mutable hosts every shard's slice behind the ingest write path
+	// (service.CreateMutable): Insert/Delete/BulkLoad are visible to
+	// sampling immediately and fold into the base via background
+	// rebuilds instead of paying a full rebuild per write.
+	Mutable bool
+	// Ingest tunes each shard's ingestion machinery (mutable only).
+	// The per-shard overlay seed is derived from Ingest.Seed, the shard
+	// index and the rebalance generation.
+	Ingest service.MutableOptions
+	// RebalanceFactor triggers a rebalance when the largest shard holds
+	// more than factor× the elements of the smallest (0 means 4;
+	// negative disables the imbalance check). Mutable only.
+	RebalanceFactor float64
+	// RebalanceInterval is the period of the background imbalance check
+	// (0 disables it; Rebalance can still be called directly).
+	RebalanceInterval time.Duration
 }
 
 // Query is one batched range-sampling request.
@@ -100,11 +118,12 @@ type Downgrade struct {
 
 // Health aggregates the per-shard service health views.
 type Health struct {
-	Shards    int
-	Len       int            // total elements across shards
-	Degraded  int            // shards currently serving a fallback kind
-	Aggregate service.Health // counters summed across shards
-	PerShard  []service.Health
+	Shards     int
+	Len        int            // total elements across shards
+	Degraded   int            // shards currently serving a fallback kind
+	Rebalances int            // completed shard-boundary rebalances
+	Aggregate  service.Health // counters summed across shards
+	PerShard   []service.Health
 }
 
 // host is one shard: a dedicated service instance and the half-open
@@ -117,28 +136,55 @@ type host struct {
 // Coordinator routes range-sampling traffic over K range-partitioned
 // shards. All methods are safe for concurrent use; callers supply one
 // *core.Rand per goroutine, as everywhere else in this repository.
+//
+// The shard set is published through an atomic pointer: reads capture
+// one consistent partition view per call and never block on the
+// rebalancer. Writes (mutable coordinators) hold a shared lock that
+// the rebalancer takes exclusively while it re-partitions, so no write
+// can land between the live-data capture and the swap.
 type Coordinator struct {
 	name    string
 	kind    core.Kind
 	workers int
-	hosts   []host
+	opts    Options
+
+	hostsPtr atomic.Pointer[[]host]
+	writeMu  sync.RWMutex // writes shared; rebalance exclusive
+	gen      atomic.Uint64
+
+	stop   chan struct{}
+	bg     sync.WaitGroup
+	closed atomic.Bool
+	log    *slog.Logger
 
 	// fanout[op] (0 sample, 1 wor) times the full per-query fan-out —
 	// budget split, worker draws, merge; merge isolates the final
 	// append-and-shuffle. Always non-nil (unregistered when Options.
 	// Metrics is nil).
-	fanout [2]*metrics.Histogram
-	merge  *metrics.Histogram
+	fanout     [2]*metrics.Histogram
+	merge      *metrics.Histogram
+	rebalances *metrics.Counter
+	rebalanceH *metrics.Histogram
 }
+
+// view returns the current partition. The slice is immutable once
+// published; a rebalance publishes a replacement instead of mutating.
+func (c *Coordinator) view() []host { return *c.hostsPtr.Load() }
 
 // dsName is the dataset name each shard's service hosts its slice
 // under.
 const dsName = "shard"
 
+// pair is one (value, weight) element during partitioning.
+type pair struct{ v, w float64 }
+
 // New range-partitions values (and weights; nil means uniform) into
 // opts.Shards contiguous runs of near-equal size and builds one service
 // instance per run. Values with equal keys always land in the same
-// shard, so update routing by value is deterministic.
+// shard, so update routing by value is deterministic. Mutable
+// coordinators (opts.Mutable) additionally start the background
+// rebalancer when RebalanceInterval is positive; call Close to stop
+// the ingestion machinery.
 func New(ctx context.Context, name string, values, weights []float64, opts Options) (*Coordinator, error) {
 	if opts.Shards < 1 {
 		return nil, fmt.Errorf("%w: shards = %d", core.ErrBadValue, opts.Shards)
@@ -149,7 +195,6 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 	if weights != nil && len(weights) != len(values) {
 		return nil, fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
 	}
-	type pair struct{ v, w float64 }
 	pairs := make([]pair, len(values))
 	for i, v := range values {
 		w := 1.0
@@ -160,8 +205,44 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 	}
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
 
-	// Cut into K near-equal runs, advancing each cut past duplicates so
-	// equal values never straddle a boundary.
+	c := &Coordinator{name: name, kind: opts.Kind, workers: opts.Workers, opts: opts, stop: make(chan struct{})}
+	c.log = opts.Logger
+	if c.log == nil {
+		c.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
+	for op, opName := range []string{"sample", "wor"} {
+		ls := append(append([]metrics.Label(nil), opts.MetricLabels...), metrics.L("op", opName))
+		c.fanout[op] = opts.Metrics.Histogram("iqs_shard_fanout_seconds",
+			"Wall time of the full per-query shard fan-out (budget split, draws, merge).", nil, ls...)
+	}
+	c.merge = opts.Metrics.Histogram("iqs_shard_merge_seconds",
+		"Time to merge and shuffle per-shard partials into the response buffer.", nil, opts.MetricLabels...)
+	c.rebalances = opts.Metrics.Counter("iqs_shard_rebalances_total",
+		"Completed shard-boundary rebalances.", opts.MetricLabels...)
+	c.rebalanceH = opts.Metrics.Histogram("iqs_shard_rebalance_seconds",
+		"Wall time of a full rebalance cycle (capture, re-partition, rebuild, swap).", nil, opts.MetricLabels...)
+
+	hosts, err := c.buildHosts(ctx, pairs)
+	if err != nil {
+		return nil, err
+	}
+	c.hostsPtr.Store(&hosts)
+	if c.workers <= 0 {
+		c.workers = len(hosts)
+	}
+	if opts.Mutable && opts.RebalanceInterval > 0 {
+		c.bg.Add(1)
+		go c.rebalanceLoop()
+	}
+	return c, nil
+}
+
+// buildHosts cuts the sorted pairs into K near-equal runs — each cut
+// advanced past duplicates so equal values never straddle a boundary —
+// and builds one service per run. On error, services already created
+// are closed.
+func (c *Coordinator) buildHosts(ctx context.Context, pairs []pair) ([]host, error) {
+	opts := c.opts
 	k := opts.Shards
 	if k > len(pairs) {
 		k = len(pairs)
@@ -180,17 +261,14 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 		start = end
 	}
 
-	c := &Coordinator{name: name, kind: opts.Kind, workers: opts.Workers}
-	if c.workers <= 0 {
-		c.workers = len(runs)
+	gen := c.gen.Load()
+	var hosts []host
+	fail := func(err error) ([]host, error) {
+		for _, h := range hosts {
+			h.svc.Close()
+		}
+		return nil, err
 	}
-	for op, opName := range []string{"sample", "wor"} {
-		ls := append(append([]metrics.Label(nil), opts.MetricLabels...), metrics.L("op", opName))
-		c.fanout[op] = opts.Metrics.Histogram("iqs_shard_fanout_seconds",
-			"Wall time of the full per-query shard fan-out (budget split, draws, merge).", nil, ls...)
-	}
-	c.merge = opts.Metrics.Histogram("iqs_shard_merge_seconds",
-		"Time to merge and shuffle per-shard partials into the response buffer.", nil, opts.MetricLabels...)
 	for i, run := range runs {
 		sv := make([]float64, 0, run[1]-run[0])
 		sw := make([]float64, 0, run[1]-run[0])
@@ -215,8 +293,17 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 				metrics.L("shard", strconv.Itoa(i)))
 		}
 		svc := service.New(sopts)
-		if err := svc.Create(ctx, dsName, opts.Kind, sv, sw); err != nil {
-			return nil, fmt.Errorf("shard %d: %w", i, err)
+		var err error
+		if opts.Mutable {
+			mo := opts.Ingest
+			// Distinct overlay priorities per shard and per generation.
+			mo.Seed = opts.Ingest.Seed ^ (gen*0x9e3779b97f4a7c15 + uint64(i) + 1)
+			err = svc.CreateMutable(ctx, dsName, opts.Kind, sv, sw, mo)
+		} else {
+			err = svc.Create(ctx, dsName, opts.Kind, sv, sw)
+		}
+		if err != nil {
+			return fail(fmt.Errorf("shard %d: %w", i, err))
 		}
 		lo := math.Inf(-1)
 		if i > 0 {
@@ -226,22 +313,22 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 		if i < len(runs)-1 {
 			hi = pairs[runs[i+1][0]].v
 		}
-		c.hosts = append(c.hosts, host{svc: svc, lo: lo, hi: hi})
+		hosts = append(hosts, host{svc: svc, lo: lo, hi: hi})
 	}
-	return c, nil
+	return hosts, nil
 }
 
 // Shards returns the shard count.
-func (c *Coordinator) Shards() int { return len(c.hosts) }
+func (c *Coordinator) Shards() int { return len(c.view()) }
 
 // Name returns the dataset name the coordinator was created with.
 func (c *Coordinator) Name() string { return c.name }
 
 // overlapping returns the indices of shards whose owned interval
 // intersects [lo, hi].
-func (c *Coordinator) overlapping(lo, hi float64) []int {
-	out := make([]int, 0, len(c.hosts))
-	for i, h := range c.hosts {
+func overlapping(hosts []host, lo, hi float64) []int {
+	out := make([]int, 0, len(hosts))
+	for i, h := range hosts {
 		// Shard i owns values in [h.lo, h.hi); it overlaps the closed
 		// query [lo, hi] unless the query ends before the shard starts
 		// or starts at/after the shard's exclusive end.
@@ -256,13 +343,13 @@ func (c *Coordinator) overlapping(lo, hi float64) []int {
 // owner returns the index of the shard whose interval contains value
 // (the intervals tile the real line, so the first shard ending past the
 // value owns it).
-func (c *Coordinator) owner(value float64) int {
-	for i, h := range c.hosts {
+func owner(hosts []host, value float64) int {
+	for i, h := range hosts {
 		if value < h.hi {
 			return i
 		}
 	}
-	return len(c.hosts) - 1
+	return len(hosts) - 1
 }
 
 // partPool recycles the per-job sample buffers the fan-out workers draw
@@ -404,11 +491,12 @@ func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float
 	if k <= 0 {
 		return dst, nil
 	}
-	shards := c.overlapping(lo, hi)
+	hosts := c.view()
+	shards := overlapping(hosts, lo, hi)
 	weights := make([]float64, len(shards))
 	total := 0.0
 	for i, s := range shards {
-		w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
+		w, err := hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
 		if err != nil {
 			return dst, err
 		}
@@ -423,7 +511,7 @@ func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float
 		return dst, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
 	}
 	return c.fanOut(ctx, r, 0, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
-		return c.hosts[shard].svc.SampleInto(ctx, r, dsName, lo, hi, k, buf)
+		return hosts[shard].svc.SampleInto(ctx, r, dsName, lo, hi, k, buf)
 	})
 }
 
@@ -447,11 +535,12 @@ func (c *Coordinator) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi fl
 	if err := ctx.Err(); err != nil {
 		return dst, err
 	}
-	shards := c.overlapping(lo, hi)
+	hosts := c.view()
+	shards := overlapping(hosts, lo, hi)
 	counts := make([]int, len(shards))
 	total := 0
 	for i, s := range shards {
-		n, err := c.hosts[s].svc.Count(ctx, dsName, lo, hi)
+		n, err := hosts[s].svc.Count(ctx, dsName, lo, hi)
 		if err != nil {
 			return dst, err
 		}
@@ -479,15 +568,16 @@ func (c *Coordinator) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi fl
 		}
 	}
 	return c.fanOut(ctx, r, 1, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
-		return c.hosts[shard].svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, buf)
+		return hosts[shard].svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, buf)
 	})
 }
 
 // Count returns |S ∩ [lo, hi]| summed across shards.
 func (c *Coordinator) Count(ctx context.Context, lo, hi float64) (int, error) {
+	hosts := c.view()
 	total := 0
-	for _, s := range c.overlapping(lo, hi) {
-		n, err := c.hosts[s].svc.Count(ctx, dsName, lo, hi)
+	for _, s := range overlapping(hosts, lo, hi) {
+		n, err := hosts[s].svc.Count(ctx, dsName, lo, hi)
 		if err != nil {
 			return 0, err
 		}
@@ -499,9 +589,10 @@ func (c *Coordinator) Count(ctx context.Context, lo, hi float64) (int, error) {
 // RangeWeight returns the total weight of S ∩ [lo, hi] summed across
 // shards.
 func (c *Coordinator) RangeWeight(ctx context.Context, lo, hi float64) (float64, error) {
+	hosts := c.view()
 	total := 0.0
-	for _, s := range c.overlapping(lo, hi) {
-		w, err := c.hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
+	for _, s := range overlapping(hosts, lo, hi) {
+		w, err := hosts[s].svc.RangeWeight(ctx, dsName, lo, hi)
 		if err != nil {
 			return 0, err
 		}
@@ -510,14 +601,17 @@ func (c *Coordinator) RangeWeight(ctx context.Context, lo, hi float64) (float64,
 	return total, nil
 }
 
-// Insert routes the element to the shard owning its value. The static
-// partition bounds are kept: a shard absorbs all inserts falling in its
-// interval.
+// Insert routes the element to the shard owning its value. Boundaries
+// absorb inserts falling in their interval; skew is corrected by the
+// next rebalance on mutable coordinators.
 func (c *Coordinator) Insert(ctx context.Context, value, weight float64) error {
 	if math.IsNaN(value) || math.IsInf(value, 0) {
 		return fmt.Errorf("%w: value = %v", core.ErrBadValue, value)
 	}
-	return c.hosts[c.owner(value)].svc.Insert(ctx, dsName, value, weight)
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	hosts := c.view()
+	return hosts[owner(hosts, value)].svc.Insert(ctx, dsName, value, weight)
 }
 
 // Delete routes the removal to the shard owning the value.
@@ -525,7 +619,45 @@ func (c *Coordinator) Delete(ctx context.Context, value float64) error {
 	if math.IsNaN(value) || math.IsInf(value, 0) {
 		return fmt.Errorf("%w: value = %v", core.ErrBadValue, value)
 	}
-	return c.hosts[c.owner(value)].svc.Delete(ctx, dsName, value)
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	hosts := c.view()
+	return hosts[owner(hosts, value)].svc.Delete(ctx, dsName, value)
+}
+
+// BulkLoad partitions the batch by owning shard and forwards one
+// per-shard bulk append each. Mutable coordinators only.
+func (c *Coordinator) BulkLoad(ctx context.Context, values, weights []float64) error {
+	if !c.opts.Mutable {
+		return fmt.Errorf("%w: %q", service.ErrNotMutable, c.name)
+	}
+	if weights != nil && len(weights) != len(values) {
+		return fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
+	}
+	c.writeMu.RLock()
+	defer c.writeMu.RUnlock()
+	hosts := c.view()
+	byShard := make(map[int][2][]float64)
+	for i, v := range values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%w: value = %v", core.ErrBadValue, v)
+		}
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		s := owner(hosts, v)
+		part := byShard[s]
+		part[0] = append(part[0], v)
+		part[1] = append(part[1], w)
+		byShard[s] = part
+	}
+	for s, part := range byShard {
+		if err := hosts[s].svc.BulkLoad(ctx, dsName, part[0], part[1]); err != nil {
+			return fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	return nil
 }
 
 // Batch answers queries concurrently on the worker pool, one Result per
@@ -559,8 +691,9 @@ func (c *Coordinator) Batch(ctx context.Context, r *core.Rand, queries []Query) 
 
 // Health sums the per-shard counters and reports each shard's view.
 func (c *Coordinator) Health() Health {
-	h := Health{Shards: len(c.hosts)}
-	for _, hs := range c.hosts {
+	hosts := c.view()
+	h := Health{Shards: len(hosts), Rebalances: int(c.rebalances.Value())}
+	for _, hs := range hosts {
 		sh := hs.svc.Health()
 		h.PerShard = append(h.PerShard, sh)
 		h.Aggregate.Requests += sh.Requests
@@ -583,10 +716,123 @@ func (c *Coordinator) Health() Health {
 // shard index.
 func (c *Coordinator) Downgrades() []Downgrade {
 	var out []Downgrade
-	for i, hs := range c.hosts {
+	for i, hs := range c.view() {
 		for _, ev := range hs.svc.Downgrades() {
 			out = append(out, Downgrade{Shard: i, Event: ev})
 		}
 	}
 	return out
+}
+
+// imbalanced reports whether the current partition violates the
+// configured imbalance factor: skewed writes have concentrated more
+// than factor× the elements of the smallest shard into the largest.
+func (c *Coordinator) imbalanced() bool {
+	factor := c.opts.RebalanceFactor
+	if factor < 0 {
+		return false
+	}
+	if factor == 0 {
+		factor = 4
+	}
+	hosts := c.view()
+	if len(hosts) < 2 {
+		return false
+	}
+	minLen, maxLen := math.MaxInt, 0
+	for _, h := range hosts {
+		n := 0
+		for _, d := range h.svc.Health().Datasets {
+			n += d.Len
+		}
+		if n < minLen {
+			minLen = n
+		}
+		if n > maxLen {
+			maxLen = n
+		}
+	}
+	if minLen < 1 {
+		minLen = 1
+	}
+	return float64(maxLen) > factor*float64(minLen)
+}
+
+// Rebalance re-partitions the dataset across opts.Shards fresh shards
+// from its instantaneous live state: writes are paused (readers are
+// not), every shard's live data is captured, new shard services are
+// built over the re-cut boundaries, and the host view is swapped
+// atomically before the retired services are closed. In-flight reads
+// keep answering against the retired view — retirement stops writes
+// and background rebuilds, never reads. Mutable coordinators only.
+func (c *Coordinator) Rebalance(ctx context.Context) error {
+	if !c.opts.Mutable {
+		return fmt.Errorf("%w: %q", service.ErrNotMutable, c.name)
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	start := time.Now()
+	old := c.view()
+	var pairs []pair
+	for i := range old {
+		v, w, err := old[i].svc.LiveData(dsName)
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+		for j := range v {
+			pairs = append(pairs, pair{v[j], w[j]})
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	c.gen.Add(1)
+	hosts, err := c.buildHosts(ctx, pairs)
+	if err != nil {
+		return err // the old partition keeps serving
+	}
+	c.hostsPtr.Store(&hosts)
+	for i := range old {
+		old[i].svc.Close()
+	}
+	c.rebalances.Inc()
+	c.rebalanceH.Observe(time.Since(start).Seconds())
+	c.log.Info("shard rebalance complete",
+		slog.String("dataset", c.name),
+		slog.Int("shards", len(hosts)),
+		slog.Int("elements", len(pairs)),
+		slog.Duration("took", time.Since(start)))
+	return nil
+}
+
+// rebalanceLoop is the background imbalance check.
+func (c *Coordinator) rebalanceLoop() {
+	defer c.bg.Done()
+	t := time.NewTicker(c.opts.RebalanceInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-t.C:
+			if !c.imbalanced() {
+				continue
+			}
+			if err := c.Rebalance(context.Background()); err != nil {
+				c.log.Warn("shard rebalance failed", slog.String("dataset", c.name), slog.String("err", err.Error()))
+			}
+		}
+	}
+}
+
+// Close stops the background rebalancer and every shard's ingestion
+// machinery. Reads keep answering from the last published state;
+// writes fail with ingest.ErrClosed. Safe to call more than once.
+func (c *Coordinator) Close() {
+	if !c.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(c.stop)
+	c.bg.Wait()
+	for _, h := range c.view() {
+		h.svc.Close()
+	}
 }

@@ -172,7 +172,8 @@ func writeArtifact(dir string, n int, rep *Repro) (string, error) {
 // buildArms expands the selected targets into bandit arms: each target
 // gets a smooth arm (uniform values and weights) and a skewed arm
 // (clustered values, zipf weights); the 1-D structures additionally
-// get a without-replacement arm. The server target contributes a plain
+// get a without-replacement arm, and the mutable ingest target a
+// write-heavy WoR churn arm. The server target contributes a plain
 // arm, a coalesced arm under admission pressure, and — when faults are
 // on — an EM-fault arm with snapshot churn.
 func buildArms(opts FuzzOptions) []arm {
@@ -205,6 +206,17 @@ func buildArms(opts FuzzOptions) []arm {
 					Target:   t,
 					Dataset:  DatasetSpec{Weights: "random"},
 					Workload: WorkloadSpec{Queries: 6, WoR: true},
+				},
+			})
+		case TargetMutable:
+			// The write-heavy arm: more steps means more delta-log churn
+			// and more rebuild/swap cycles per case.
+			arms = append(arms, arm{
+				name: string(t) + "/wor-churn",
+				c: Case{
+					Target:   t,
+					Dataset:  DatasetSpec{Weights: "random"},
+					Workload: WorkloadSpec{Queries: 10, WoR: true},
 				},
 			})
 		}

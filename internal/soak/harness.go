@@ -59,6 +59,11 @@ type Harness struct {
 	// use to prove the gates catch an injected off-by-one. Production
 	// runs leave it nil.
 	Mutate func(rangesample.Sampler) rangesample.Sampler
+	// MutateWrites, when positive, silently drops every MutateWrites-th
+	// write from the mutable subject (never from the shadow oracle) —
+	// the seam the mutation tests use to prove the live gates catch
+	// lost writes. Production runs leave it zero.
+	MutateWrites int
 }
 
 func (h *Harness) alpha() float64 {
@@ -91,6 +96,8 @@ func (h *Harness) RunCase(c Case) (Outcome, error) {
 		err = rn.runTreeSample()
 	case TargetIntervalTree:
 		err = rn.runIntervalTree()
+	case TargetMutable:
+		err = rn.runMutable()
 	case TargetServer:
 		err = rn.runServer()
 	default:

@@ -1,0 +1,377 @@
+package soak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/service"
+)
+
+// mutableDS is the dataset name the mutable soak hosts.
+const mutableDS = "live"
+
+// mutOracle is the naive shadow of a mutable dataset: sorted parallel
+// value/weight slices with O(n) writes. It is the ground truth the
+// ingest stack (delta log + overlay + rebuild swaps) is diffed against
+// after every operation.
+type mutOracle struct {
+	vals []float64
+	ws   []float64
+}
+
+func newMutOracle(values, weights []float64) *mutOracle {
+	n := len(values)
+	type vw struct{ v, w float64 }
+	pairs := make([]vw, n)
+	for i := range pairs {
+		w := 1.0
+		if weights != nil {
+			w = weights[i]
+		}
+		pairs[i] = vw{values[i], w}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	o := &mutOracle{vals: make([]float64, n), ws: make([]float64, n)}
+	for i, p := range pairs {
+		o.vals[i], o.ws[i] = p.v, p.w
+	}
+	return o
+}
+
+func (o *mutOracle) size() int { return len(o.vals) }
+
+// insert adds (v, w) at the leftmost position keeping vals sorted.
+func (o *mutOracle) insert(v, w float64) {
+	i := sort.SearchFloat64s(o.vals, v)
+	o.vals = append(o.vals, 0)
+	o.ws = append(o.ws, 0)
+	copy(o.vals[i+1:], o.vals[i:])
+	copy(o.ws[i+1:], o.ws[i:])
+	o.vals[i], o.ws[i] = v, w
+}
+
+// remove deletes the leftmost element with value v, reporting whether
+// one existed.
+func (o *mutOracle) remove(v float64) bool {
+	i := sort.SearchFloat64s(o.vals, v)
+	if i >= len(o.vals) || o.vals[i] != v {
+		return false
+	}
+	o.vals = append(o.vals[:i], o.vals[i+1:]...)
+	o.ws = append(o.ws[:i], o.ws[i+1:]...)
+	return true
+}
+
+// posRange maps a value interval to live positions [a, b].
+func (o *mutOracle) posRange(lo, hi float64) (a, b int, inRange bool) {
+	return posRange(o.vals, lo, hi)
+}
+
+// rangeWeight sums the live weights of positions [a, b].
+func (o *mutOracle) rangeWeight(a, b int) float64 {
+	t := 0.0
+	for i := a; i <= b && i >= 0; i++ {
+		t += o.ws[i]
+	}
+	return t
+}
+
+// cells collapses positions [a, b] into distinct-value cells with
+// normalised probabilities. Sampling returns values, not positions, so
+// duplicate values are indistinguishable and must share one cell.
+func (o *mutOracle) cells(a, b int) (vals, probs []float64) {
+	total := 0.0
+	for i := a; i <= b; i++ {
+		total += o.ws[i]
+	}
+	for i := a; i <= b; i++ {
+		if len(vals) > 0 && vals[len(vals)-1] == o.vals[i] {
+			probs[len(probs)-1] += o.ws[i] / total
+			continue
+		}
+		vals = append(vals, o.vals[i])
+		probs = append(probs, o.ws[i]/total)
+	}
+	return vals, probs
+}
+
+// multiplicity counts live elements with value v inside positions [a, b].
+func (o *mutOracle) multiplicity(a, b int, v float64) int {
+	n := 0
+	for i := a; i <= b; i++ {
+		if o.vals[i] == v {
+			n++
+		}
+	}
+	return n
+}
+
+// cellIndex locates v in the distinct sorted cell values; -1 if absent.
+func cellIndex(cellVals []float64, v float64) int {
+	i := sort.SearchFloat64s(cellVals, v)
+	if i < len(cellVals) && cellVals[i] == v {
+		return i
+	}
+	return -1
+}
+
+// runMutable differentially tests the ingest write path: a mutable
+// service-hosted dataset executes an interleaved insert/delete/query
+// schedule against the naive mutable oracle. Deterministic gates check
+// count, range weight, write error semantics, and post-rebuild state
+// identity; statistical gates check per-query uniformity against the
+// instantaneous live weights and within-step cross-draw independence —
+// the paper's guarantees, asserted while the dataset changes under the
+// sampler. A small RebuildThreshold forces the delta log through
+// several background rebuild + snapshot-swap cycles per case.
+func (rn *run) runMutable() error {
+	c := rn.c
+	values, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	ctx := context.Background()
+	mo := service.MutableOptions{RebuildThreshold: 24, MaxLag: 1 << 20, Seed: c.Workload.Seed}
+	if err := svc.CreateMutable(ctx, mutableDS, core.KindChunked, values, weights, mo); err != nil {
+		return fmt.Errorf("soak: create mutable: %w", err)
+	}
+	oracle := newMutOracle(values, weights)
+	trace := c.Queries(append([]float64(nil), oracle.vals...))
+	reps := c.reps()
+	r := rng.New(c.Workload.Seed ^ 0x8f14e45fceea1e7b)
+	buf := make([]float64, 0, 64)
+
+	// Deterministic probe: a query past the live maximum must report an
+	// empty range.
+	ghost := QueryRecord{Lo: oracle.vals[oracle.size()-1] + 1, K: 3}
+	ghost.Hi = ghost.Lo + 1
+	if _, gerr := svc.SampleInto(ctx, r, mutableDS, ghost.Lo, ghost.Hi, ghost.K, buf[:0]); !errors.Is(gerr, core.ErrEmptyRange) {
+		rn.failQuery("empty-range", ghost, "sample past max value returned %v, want ErrEmptyRange", gerr)
+	} else {
+		rn.pass()
+	}
+
+	writes, steps := 0, 0
+	dropWrite := func() bool {
+		return rn.h.MutateWrites > 0 && writes%rn.h.MutateWrites == 0
+	}
+	for ti := 0; ti < len(trace) && !rn.failed(); ti++ {
+		rec := trace[ti]
+		switch rec.Op {
+		case OpInsert:
+			oracle.insert(rec.Lo, rec.Hi)
+			writes++
+			if dropWrite() {
+				continue
+			}
+			if err := svc.Insert(ctx, mutableDS, rec.Lo, rec.Hi); err != nil {
+				rn.failQuery("write-insert", rec, "Insert(%v, %v): %v", rec.Lo, rec.Hi, err)
+				continue
+			}
+			rn.pass()
+		case OpDelete:
+			if oracle.size() <= 1 {
+				continue // the last live element is never deletable
+			}
+			present := oracle.remove(rec.Lo)
+			writes++
+			if dropWrite() {
+				continue
+			}
+			err := svc.Delete(ctx, mutableDS, rec.Lo)
+			switch {
+			case present && err != nil:
+				rn.failQuery("write-delete", rec, "Delete(%v): %v", rec.Lo, err)
+			case !present && !errors.Is(err, service.ErrValueNotFound):
+				rn.failQuery("delete-miss", rec, "delete of absent %v returned %v, want ErrValueNotFound", rec.Lo, err)
+			default:
+				rn.pass()
+			}
+		default:
+			steps++
+			rn.mutableQuery(ctx, svc, oracle, rec, reps, r, &buf)
+			if steps%3 == 0 && !rn.failed() {
+				rn.mutableFlushCheck(ctx, svc, oracle)
+			}
+		}
+	}
+	return nil
+}
+
+// mutableFlushCheck forces the delta log through synchronous rebuilds
+// and asserts the published snapshot is exactly the oracle state: the
+// swap must neither lose, duplicate, nor reweight elements.
+func (rn *run) mutableFlushCheck(ctx context.Context, svc *service.Service, o *mutOracle) {
+	if err := svc.Flush(ctx, mutableDS); err != nil {
+		rn.fail("flush", "Flush: %v", err)
+		return
+	}
+	lv, lw, err := svc.LiveData(mutableDS)
+	if err != nil {
+		rn.fail("flush-live", "LiveData: %v", err)
+		return
+	}
+	sort.Float64s(lv)
+	if !equalFloats(lv, o.vals) {
+		rn.fail("flush-values", "post-rebuild live values diverge from oracle: %d vs %d elements", len(lv), o.size())
+		return
+	}
+	sum, osum := 0.0, 0.0
+	for _, w := range lw {
+		sum += w
+	}
+	for _, w := range o.ws {
+		osum += w
+	}
+	if math.Abs(sum-osum) > 1e-9*(1+math.Abs(osum)) {
+		rn.fail("flush-weights", "post-rebuild weight mass %v, oracle %v", sum, osum)
+		return
+	}
+	rn.pass()
+}
+
+// mutableQuery checks one read step against the oracle's instantaneous
+// state: exact count, range weight, support, chi-squared uniformity of
+// repeated draws, and within-step independence (the live state is
+// frozen between writes, so consecutive draws are identically
+// distributed and the contingency gate is valid).
+func (rn *run) mutableQuery(ctx context.Context, svc *service.Service, o *mutOracle, rec QueryRecord, reps int, r *rng.Source, buf *[]float64) {
+	a, b, inRange := o.posRange(rec.Lo, rec.Hi)
+	want := 0
+	if inRange {
+		want = b - a + 1
+	}
+	n, err := svc.Count(ctx, mutableDS, rec.Lo, rec.Hi)
+	if err != nil {
+		rn.failQuery("count", rec, "Count: %v", err)
+		return
+	}
+	if n != want {
+		rn.failQuery("count-vs-oracle", rec, "live Count = %d, oracle has %d", n, want)
+		return
+	}
+	rn.pass()
+	wGot, err := svc.RangeWeight(ctx, mutableDS, rec.Lo, rec.Hi)
+	if err != nil {
+		rn.failQuery("weight", rec, "RangeWeight: %v", err)
+		return
+	}
+	wWant := 0.0
+	if inRange {
+		wWant = o.rangeWeight(a, b)
+	}
+	if math.Abs(wGot-wWant) > 1e-9*(1+math.Abs(wWant)) {
+		rn.failQuery("weight-vs-oracle", rec, "live RangeWeight = %v, oracle has %v", wGot, wWant)
+		return
+	}
+	rn.pass()
+	if !inRange {
+		if _, serr := svc.SampleInto(ctx, r, mutableDS, rec.Lo, rec.Hi, rec.K, (*buf)[:0]); !errors.Is(serr, core.ErrEmptyRange) {
+			rn.failQuery("empty-range", rec, "sample of empty range returned %v, want ErrEmptyRange", serr)
+			return
+		}
+		rn.pass()
+		return
+	}
+	if rec.WoR {
+		rn.mutableWoR(ctx, svc, o, rec, a, b, reps, r, buf)
+		return
+	}
+	k := rec.K
+	if k < 1 {
+		k = 1
+	}
+	cellVals, cellProbs := o.cells(a, b)
+	counts := make([]int, len(cellVals))
+	var bins []int
+	for rep := 0; rep < reps && !rn.failed(); rep++ {
+		out, serr := svc.SampleInto(ctx, r, mutableDS, rec.Lo, rec.Hi, k, (*buf)[:0])
+		if serr != nil {
+			rn.failQuery("sample", rec, "SampleInto: %v", serr)
+			return
+		}
+		if len(out) != k {
+			rn.failQuery("sample-count", rec, "got %d draws, want %d", len(out), k)
+			return
+		}
+		for _, v := range out {
+			ci := cellIndex(cellVals, v)
+			if ci < 0 {
+				rn.failQuery("support", rec, "sampled %v is not a live value in [%v, %v]", v, rec.Lo, rec.Hi)
+				return
+			}
+			counts[ci]++
+		}
+		bins = append(bins, binOf(cellIndex(cellVals, out[0]), len(cellVals), indepBins))
+	}
+	if rn.failed() {
+		return
+	}
+	rn.gateChi2Probs("chi2-live", &rec, counts, cellProbs)
+	rn.gateIndependence("independence-live", pairUp(bins), indepBins)
+}
+
+// mutableWoR checks the without-replacement path against the live
+// state: overdraw error semantics, sample size, per-value multiplicity
+// bounds, and exact multiset identity when the budget equals the
+// qualifying count.
+func (rn *run) mutableWoR(ctx context.Context, svc *service.Service, o *mutOracle, rec QueryRecord, a, b, reps int, r *rng.Source, buf *[]float64) {
+	cnt := b - a + 1
+	if _, serr := svc.SampleWoR(ctx, r, mutableDS, rec.Lo, rec.Hi, cnt+1); !errors.Is(serr, core.ErrSampleTooLarge) {
+		rn.failQuery("wor-overdraw", rec, "k = count+1 returned %v, want ErrSampleTooLarge", serr)
+		return
+	}
+	rn.pass()
+	k := rec.K
+	if k > cnt {
+		k = cnt
+	}
+	if k < 1 {
+		k = 1
+	}
+	worReps := reps / 4
+	if worReps < 16 {
+		worReps = 16
+	}
+	for rep := 0; rep < worReps; rep++ {
+		out, serr := svc.SampleWoRInto(ctx, r, mutableDS, rec.Lo, rec.Hi, k, (*buf)[:0])
+		if serr != nil {
+			rn.failQuery("wor-error", rec, "SampleWoRInto(k=%d, count=%d): %v", k, cnt, serr)
+			return
+		}
+		if len(out) != k {
+			rn.failQuery("wor-size", rec, "got %d, want %d", len(out), k)
+			return
+		}
+		seen := make(map[float64]int, k)
+		for _, v := range out {
+			seen[v]++
+			m := o.multiplicity(a, b, v)
+			if m == 0 {
+				rn.failQuery("wor-support", rec, "WoR value %v is not live in range", v)
+				return
+			}
+			if seen[v] > m {
+				rn.failQuery("wor-multiplicity", rec, "value %v drawn %d times, only %d live", v, seen[v], m)
+				return
+			}
+		}
+		if k == cnt {
+			// Exhaustive draw: the sample is the whole live range.
+			got := append([]float64(nil), out...)
+			sort.Float64s(got)
+			if !equalFloats(got, o.vals[a:b+1]) {
+				rn.failQuery("wor-exhaustive", rec, "k = count draw is not the full live range")
+				return
+			}
+		}
+	}
+	rn.pass()
+}

@@ -36,6 +36,7 @@ const (
 	TargetWoR          Target = "wor"          // wor kernels (WR/WoR/weighted WoR)
 	TargetTreeSample   Target = "treesample"   // treesample Walk vs Euler (§5)
 	TargetIntervalTree Target = "intervaltree" // intervaltree stabbing (multi-d path)
+	TargetMutable      Target = "mutable"      // ingest write path (delta log + overlay + rebuilds)
 	TargetServer       Target = "server"       // service → shard → server over HTTP
 )
 
@@ -44,6 +45,7 @@ const (
 var StructureTargets = []Target{
 	TargetChunked, TargetAliasAug, TargetTreeWalk,
 	TargetAlias, TargetWoR, TargetTreeSample, TargetIntervalTree,
+	TargetMutable,
 }
 
 // DatasetSpec deterministically describes an input dataset.
@@ -122,15 +124,26 @@ type FaultSpec struct {
 	Seed           uint64  `json:"seed,omitempty"`
 }
 
+// Op values for QueryRecord.Op on the mutable target. An empty Op is a
+// plain read query on every target.
+const (
+	OpQuery  = ""    // read: sample Lo..Hi
+	OpInsert = "ins" // write: insert value Lo with weight Hi
+	OpDelete = "del" // write: delete one element with value Lo
+)
+
 // QueryRecord is one replayable query. Range targets use Lo/Hi as the
 // value interval; the interval-tree target stabs at Lo; node/index
 // targets (alias, wor, treesample) derive their per-query choice from
-// Lo as a fraction in [0, 1).
+// Lo as a fraction in [0, 1). The mutable target interleaves writes
+// into the trace via Op (OpInsert/OpDelete reinterpret Lo/Hi as the
+// written value and weight).
 type QueryRecord struct {
 	Lo  float64 `json:"lo"`
 	Hi  float64 `json:"hi"`
 	K   int     `json:"k"`
 	WoR bool    `json:"wor,omitempty"`
+	Op  string  `json:"op,omitempty"`
 }
 
 // Case is one self-contained fuzz case: everything RunCase needs to
@@ -162,6 +175,9 @@ func (c *Case) Queries(sortedValues []float64) []QueryRecord {
 	if len(c.Trace) > 0 {
 		return c.Trace
 	}
+	if c.Target == TargetMutable {
+		return c.mutableTrace(sortedValues)
+	}
 	w := c.Workload
 	nq := w.Queries
 	if nq < 1 {
@@ -192,6 +208,58 @@ func (c *Case) Queries(sortedValues []float64) []QueryRecord {
 			k = span // a WoR budget never exceeds the qualifying count
 		}
 		out[i] = QueryRecord{Lo: sortedValues[a], Hi: sortedValues[a+span-1], K: k, WoR: wor}
+	}
+	return out
+}
+
+// mutableTrace generates the mixed write/read schedule of the mutable
+// target: a burst of 1–3 writes lands before every read step, so each
+// query observes a different instantaneous dataset state. Inserted
+// values are fresh continuous draws inside the original value span
+// (collision-free against the generated datasets), deletes target
+// either an earlier insert or an original element — re-deleting an
+// already-removed original exercises the miss path on both sides.
+func (c *Case) mutableTrace(sorted []float64) []QueryRecord {
+	w := c.Workload
+	nq := w.Queries
+	if nq < 1 {
+		nq = 8
+	}
+	r := rng.New(w.Seed)
+	n := len(sorted)
+	lo, hi := sorted[0], sorted[n-1]
+	if hi <= lo {
+		hi = lo + 1
+	}
+	var out []QueryRecord
+	var pool []float64 // values inserted so far, deletion candidates
+	for i := 0; i < nq; i++ {
+		for j, nw := 0, 1+r.Intn(3); j < nw; j++ {
+			switch {
+			case len(pool) > 0 && r.Bernoulli(0.35):
+				di := r.Intn(len(pool))
+				out = append(out, QueryRecord{Op: OpDelete, Lo: pool[di]})
+				pool = append(pool[:di], pool[di+1:]...)
+			case r.Bernoulli(0.25):
+				out = append(out, QueryRecord{Op: OpDelete, Lo: sorted[r.Intn(n)]})
+			default:
+				v := lo + (hi-lo)*r.Float64()
+				out = append(out, QueryRecord{Op: OpInsert, Lo: v, Hi: 0.5 + 2*r.Float64()})
+				pool = append(pool, v)
+			}
+		}
+		sel := w.Selectivity
+		if sel <= 0 {
+			sel = 0.1 + 0.6*r.Float64()
+		}
+		span := sel * (hi - lo)
+		qlo := lo + (hi-lo-span)*r.Float64()
+		k := w.K
+		if k <= 0 {
+			k = 1 + r.Intn(16)
+		}
+		wor := w.WoR && r.Bernoulli(0.5)
+		out = append(out, QueryRecord{Lo: qlo, Hi: qlo + span, K: k, WoR: wor})
 	}
 	return out
 }

@@ -19,7 +19,9 @@ SERVER_ERR="$BIN_DIR/server.err"
 
 # Port 0: the kernel picks a free port; iqsserve prints the bound
 # address on the "listening on" line, which we parse below.
-"$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 \
+# -mutable puts the ingest write path in front of every shard so the
+# iqs_ingest_* families are live and metricscheck can drive writes.
+"$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 -mutable \
   -fault 0.05 -trace-sample-rate 0.25 -coalesce 8 \
   >"$SERVER_OUT" 2>"$SERVER_ERR" &
 SERVER_PID=$!
@@ -43,7 +45,7 @@ if [ -z "$ADDR" ]; then
 fi
 echo "metrics-smoke: server on $ADDR"
 
-"$BIN_DIR/metricscheck" -base "http://$ADDR" -drive "$DRIVE"
+"$BIN_DIR/metricscheck" -base "http://$ADDR" -drive "$DRIVE" -mutable
 
 # With trace sampling at 0.25 and $DRIVE requests driven, at least one
 # span-timing trace line must have been logged.
