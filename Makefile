@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke churn
+.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke pool-smoke churn
 
 all: build vet test
 
@@ -39,7 +39,7 @@ bench:
 # Reproducible hot-path benchmark snapshot: runs the serving-stack and
 # core sampling benchmarks with -benchmem and merges the results into
 # BENCH_hotpath.json under the given label (override with LABEL=...).
-LABEL ?= after
+LABEL ?= pr8-after
 bench-json:
 	go run ./cmd/benchjson -label $(LABEL) -out BENCH_hotpath.json
 
@@ -74,6 +74,13 @@ loadtest:
 # cmd/metricscheck, and drain on SIGINT.
 metrics-smoke:
 	sh scripts/metrics_smoke.sh
+
+# Sample-pool smoke: gate the binary wire codec at <= 10 allocs/op,
+# boot iqsserve with pooling on, hammer one hot window (JSON + binary
+# framing), and assert pool hits, a >= 0.5 hot-window hit rate,
+# consume-once conservation, and both wire-format counters.
+pool-smoke:
+	sh scripts/pool_smoke.sh
 
 # Churn smoke: the mutable-serving statistical gate. In-process server
 # with the ingest write path on, 16 clients at a 30% write mix under EM

@@ -9,6 +9,15 @@
 // derived single-goroutine qps (1e9/ns_per_op). Entries are keyed by
 // (label, name): re-running with the same label overwrites that label's
 // entries in place instead of duplicating them.
+//
+// Labels must name the PR they measure: prN-before / prN-after. The
+// bare labels "before"/"after" that early snapshots used are ambiguous
+// once several PRs share the file ("after" ended up holding a mix of
+// PR-3 and PR-7 results), so they are rejected for new runs and
+// migrated on load: "before" → "pr3-before" (the file's first
+// snapshot), "after" → "pr7-after" for the mutable-engine benchmarks
+// PR 7 introduced and "pr3-after" for the rest. Any write (a bench run
+// or -normalize) persists the migrated labels.
 package main
 
 import (
@@ -36,6 +45,27 @@ type Entry struct {
 // BenchmarkServerSample-8   12345   98765 ns/op   4321 B/op   21 allocs/op
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([\d.]+) ns/op(?:\s+(\d+) B/op\s+(\d+) allocs/op)?`)
 
+// labelForm is the only accepted shape for new labels: the PR the
+// numbers belong to, plus which side of it they measure.
+var labelForm = regexp.MustCompile(`^pr\d+-(before|after)$`)
+
+// normalizeLabel migrates the legacy bare labels left by early
+// snapshots. "before" predates every prN label, so it is PR 3's
+// baseline; "after" accumulated results from two eras — the mutable
+// benchmarks appeared with PR 7, everything else was written by PR 3.
+func normalizeLabel(label, name string) string {
+	switch label {
+	case "before":
+		return "pr3-before"
+	case "after":
+		if strings.HasPrefix(name, "BenchmarkMutable") {
+			return "pr7-after"
+		}
+		return "pr3-after"
+	}
+	return label
+}
+
 func main() {
 	os.Exit(run(os.Args[1:]))
 }
@@ -43,12 +73,13 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	var (
-		label     = fs.String("label", "after", "label stored with each entry (e.g. before, after, pr7)")
+		label     = fs.String("label", "", "label stored with each entry; must be prN-before or prN-after (e.g. pr8-after)")
 		out       = fs.String("out", "BENCH_hotpath.json", "output JSON file")
 		benchRe   = fs.String("bench", "RangeSample|ServiceSample|ShardSample|ShardBatch|ServerSample|ServerBatch|Fill|Uint64Scalar|AliasSample|UniformWoR|WeightedWoR", "benchmark regex passed to go test -bench")
 		benchtime = fs.String("benchtime", "1s", "benchtime passed to go test")
 		pkgs      = fs.String("pkgs", "./internal/core ./internal/service ./internal/shard ./internal/server ./internal/rng ./internal/alias ./internal/wor", "space-separated package list")
 		validate  = fs.Bool("validate", false, "only validate that the output file is well-formed")
+		normalize = fs.Bool("normalize", false, "rewrite the output file with legacy labels migrated and duplicates dropped, without running benchmarks")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,13 +91,34 @@ func run(args []string) int {
 			return 1
 		}
 		for i, e := range entries {
-			if e.Label == "" || e.Name == "" || !(e.NsPerOp > 0) {
+			if e.Name == "" || !(e.NsPerOp > 0) {
 				fmt.Fprintf(os.Stderr, "benchjson: entry %d malformed: %+v\n", i, e)
+				return 1
+			}
+			if !labelForm.MatchString(e.Label) {
+				fmt.Fprintf(os.Stderr, "benchjson: entry %d label %q not normalized (want prN-before/prN-after; run -normalize)\n", i, e.Label)
 				return 1
 			}
 		}
 		fmt.Printf("benchjson: %s ok, %d entries\n", *out, len(entries))
 		return 0
+	}
+	if *normalize {
+		entries, err := load(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		if err := save(*out, merge(entries, nil)); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			return 1
+		}
+		fmt.Printf("benchjson: normalized %d entries in %s\n", len(entries), *out)
+		return 0
+	}
+	if !labelForm.MatchString(*label) {
+		fmt.Fprintf(os.Stderr, "benchjson: -label %q must be prN-before or prN-after (e.g. -label pr8-after)\n", *label)
+		return 2
 	}
 
 	cmdArgs := append([]string{"test", "-run", "^$", "-bench", *benchRe,
@@ -90,12 +142,7 @@ func run(args []string) int {
 		return 1
 	}
 	entries = merge(entries, fresh)
-	blob, err := json.MarshalIndent(entries, "", "  ")
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
-		return 1
-	}
-	if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+	if err := save(*out, entries); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		return 1
 	}
@@ -107,7 +154,8 @@ func run(args []string) int {
 	return 0
 }
 
-// load reads the existing entries; a missing file is an empty trajectory.
+// load reads the existing entries with legacy labels migrated; a
+// missing file is an empty trajectory.
 func load(path string) ([]Entry, error) {
 	raw, err := os.ReadFile(path)
 	if os.IsNotExist(err) {
@@ -120,7 +168,19 @@ func load(path string) ([]Entry, error) {
 	if err := json.Unmarshal(raw, &entries); err != nil {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
+	for i := range entries {
+		entries[i].Label = normalizeLabel(entries[i].Label, entries[i].Name)
+	}
 	return entries, nil
+}
+
+// save writes the merged trajectory back to disk.
+func save(path string, entries []Entry) error {
+	blob, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
 }
 
 // parse extracts Entry values from go test -bench output.

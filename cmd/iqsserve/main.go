@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/metrics"
+	"repro/internal/samplepool"
 	"repro/internal/server"
 	"repro/internal/service"
 	"repro/internal/shard"
@@ -78,9 +79,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mutable   = fs.Bool("mutable", false, "serve the dataset behind the ingest write path: /insert, /delete and /bulkload go live and shard boundaries rebalance under skew")
 		writeMix  = fs.Float64("write-mix", 0, "fraction of load-mode requests that are writes (requires -mutable and -load)")
 		assertQ   = fs.Float64("assert-quality", 0, "post-drain gate: enable per-shard sample-quality monitors and exit 1 unless the worst quality ratio stays <= this (0 disables)")
+		poolCap   = fs.Int("pool", 0, "precomputed sample-pool capacity per hot window (draws pre-filled off the request path); 0 disables pooling")
+		poolWin   = fs.Int("pool-windows", 0, "max distinct pooled windows per shard (LRU beyond this); 0 means the samplepool default")
+		binaryOn  = fs.Bool("binary", false, "load mode: negotiate the binary response framing (Accept: "+server.BinContentType+") on queries")
+		keepAlive = fs.Bool("keepalive", true, "load mode: reuse persistent connections across requests (false dials per request)")
+		hotFrac   = fs.Float64("hot", 0, "load mode: fraction of queries aimed at one fixed hot range (pool-favorable) instead of a uniform random range")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D]")
+		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D] [-pool N] [-pool-windows N] [-binary] [-keepalive] [-hot P]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -89,7 +95,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *shards < 1 || *n < 2 || *inflight < 1 || *queue < 0 || *timeout <= 0 ||
 		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 ||
 		*traceRate < 0 || *traceRate > 1 || *coalesce < 0 || *linger < 0 ||
-		*writeMix < 0 || *writeMix > 1 || *assertQ < 0 {
+		*writeMix < 0 || *writeMix > 1 || *assertQ < 0 ||
+		*poolCap < 0 || *poolWin < 0 || *hotFrac < 0 || *hotFrac > 1 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
@@ -176,6 +183,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shOpts.Ingest = service.MutableOptions{Seed: *seed}
 		shOpts.RebalanceInterval = 500 * time.Millisecond
 	}
+	if *poolCap > 0 {
+		shOpts.Pool = &samplepool.Config{Capacity: *poolCap, MaxEntries: *poolWin, Seed: *seed}
+	}
 	coord, err := shard.New(context.Background(), "iqs", values, nil, shOpts)
 	if err != nil {
 		fmt.Fprintf(stderr, "iqsserve: build engine: %v\n", err)
@@ -226,7 +236,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	go func() { serveErr <- srv.Serve(l) }()
 
 	if *load {
-		runLoad(ctx, stdout, "http://"+l.Addr().String(), *clients, *n, *seed, *writeMix)
+		runLoad(ctx, stdout, "http://"+l.Addr().String(), loadConfig{
+			clients: *clients, n: *n, seed: *seed, writeMix: *writeMix,
+			binary: *binaryOn, keepAlive: *keepAlive, hotFrac: *hotFrac,
+		})
 	} else {
 		<-ctx.Done()
 	}
@@ -289,17 +302,45 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// loadConfig parameterizes one load-generator run.
+type loadConfig struct {
+	clients   int
+	n         int
+	seed      uint64
+	writeMix  float64
+	binary    bool // negotiate the binary framing on queries
+	keepAlive bool // persistent connections (shared transport)
+	hotFrac   float64
+}
+
 // runLoad hammers base with clients goroutines until ctx expires, then
 // reports throughput, latency percentiles, and admission-control sheds.
 // writeMix is the probability a request is a write instead of a query:
 // inserts of fresh out-of-span values and deletes of the client's own
 // earlier inserts, so the dataset churns without ever going empty.
-func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int, seed uint64, writeMix float64) {
-	fmt.Fprintf(stdout, "iqsserve: load mode, %d clients against %s (write mix %.0f%%)\n", clients, base, 100*writeMix)
+// hotFrac aims that fraction of queries at one fixed range, the
+// pool-favorable regime; with keepAlive every client reuses persistent
+// connections through one shared transport sized for the fleet, so
+// per-request cost measures the serving stack rather than TCP setup.
+func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) {
+	clients, n, seed, writeMix := lc.clients, lc.n, lc.seed, lc.writeMix
+	fmt.Fprintf(stdout, "iqsserve: load mode, %d clients against %s (write mix %.0f%%, hot %.0f%%, binary %v, keepalive %v)\n",
+		clients, base, 100*writeMix, 100*lc.hotFrac, lc.binary, lc.keepAlive)
+	tr := &http.Transport{
+		MaxIdleConns:        clients + 8,
+		MaxIdleConnsPerHost: clients + 8,
+		IdleConnTimeout:     90 * time.Second,
+		DisableKeepAlives:   !lc.keepAlive,
+	}
+	defer tr.CloseIdleConnections()
+	// One fixed hot window: a narrow slice in the middle of the seeded
+	// span, so it lands inside a single shard on any partition count.
+	hotLo := float64(n / 2)
+	hotHi := hotLo + float64(max(n/64, 1))
 	var (
 		wg                     sync.WaitGroup
 		ok, busy, gone, failed atomic.Int64
-		wrote                  atomic.Int64
+		wrote, decodeBad       atomic.Int64
 		mu                     sync.Mutex
 		lats                   []time.Duration
 	)
@@ -309,9 +350,10 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 		go func(g int) {
 			defer wg.Done()
 			r := core.NewRand(seed + uint64(g) + 1)
-			cli := &http.Client{Timeout: 30 * time.Second}
+			cli := &http.Client{Timeout: 30 * time.Second, Transport: tr}
 			var local []time.Duration
 			var inserted []float64
+			var body bytes.Buffer
 			for i := 0; ctx.Err() == nil; i++ {
 				var req *http.Request
 				var err error
@@ -338,11 +380,18 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 				} else {
 					lo := float64(r.Intn(n / 2))
 					hi := lo + float64(1+r.Intn(n/2))
+					wor := i%8 == 7
+					if lc.hotFrac > 0 && r.Float64() < lc.hotFrac {
+						lo, hi, wor = hotLo, hotHi, false
+					}
 					url := fmt.Sprintf("%s/sample?lo=%g&hi=%g&k=8", base, lo, hi)
-					if i%8 == 7 {
+					if wor {
 						url += "&wor=true"
 					}
 					req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+					if req != nil && lc.binary {
+						req.Header.Set("Accept", server.BinContentType)
+					}
 				}
 				if err != nil {
 					failed.Add(1)
@@ -356,7 +405,18 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 					}
 					continue
 				}
-				io.Copy(io.Discard, resp.Body)
+				if lc.binary && !isWrite && resp.StatusCode == http.StatusOK {
+					// Validate the negotiated framing end to end instead of
+					// discarding it: a malformed frame counts against the run.
+					body.Reset()
+					if _, cerr := io.Copy(&body, resp.Body); cerr == nil {
+						if _, derr := server.DecodeSampleBody(body.Bytes()); derr != nil {
+							decodeBad.Add(1)
+						}
+					}
+				} else {
+					io.Copy(io.Discard, resp.Body)
+				}
 				resp.Body.Close()
 				switch resp.StatusCode {
 				case http.StatusOK:
@@ -386,6 +446,9 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, clients, n int,
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	fmt.Fprintf(stdout, "load: ok %d (writes %d), shed 429 (busy) %d, shed 503 (draining) %d, failed %d\n",
 		ok.Load(), wrote.Load(), busy.Load(), gone.Load(), failed.Load())
+	if lc.binary {
+		fmt.Fprintf(stdout, "load: binary frames decoded, %d malformed\n", decodeBad.Load())
+	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
 		pct := func(p float64) time.Duration { return lats[min(len(lats)-1, int(p*float64(len(lats))))] }

@@ -9,11 +9,21 @@
 //	metricscheck -base http://127.0.0.1:8080 -drive 50
 //	metricscheck -base http://127.0.0.1:8080 -require iqs_server_served_total,iqs_sample_quality_ratio
 //	metricscheck -base http://127.0.0.1:8080 -drive 50 -mutable
+//	metricscheck -base http://127.0.0.1:8080 -drive 50 -mutable -pool
 //
 // With -mutable the drive phase mixes /insert and /delete writes into
 // the traffic and the required set grows by the ingest families
 // (iqs_ingest_*, the rebuild histogram, the server write counter),
 // with iqs_ingest_applied_total additionally required to be positive.
+//
+// With -pool (the server booted with -pool N) a hot-window warm phase
+// runs BEFORE any write traffic — a mutable base boots pure and the
+// pool serves only while it stays pure, so warming after the first
+// /insert could never record a hit — and the required set grows by the
+// iqs_pool_* and iqs_wire_encoding_total families. The warm phase mixes
+// binary-framed requests in so both format legs of the wire counter are
+// exercised, and with -mutable a trailing /bulkload kicks a rebuild
+// whose pool rebind must bump iqs_pool_invalidations_total.
 package main
 
 import (
@@ -61,6 +71,28 @@ var mutableRequired = []string{
 	"iqs_server_writes_total",
 }
 
+// poolRequired joins the set under -pool: the consume-once sample-pool
+// families and the wire-format counter. Presence is asserted here;
+// positivity of the hit, draw, wire, and (under -mutable) invalidation
+// counters is asserted separately after the drive.
+var poolRequired = []string{
+	"iqs_pool_hits_total",
+	"iqs_pool_partial_hits_total",
+	"iqs_pool_misses_total",
+	"iqs_pool_draws_total",
+	"iqs_pool_refills_total",
+	"iqs_pool_refill_draws_total",
+	"iqs_pool_invalidations_total",
+	"iqs_pool_evictions_total",
+	"iqs_pool_entries",
+	"iqs_pool_inventory",
+	"iqs_wire_encoding_total",
+}
+
+// binContentType mirrors server.BinContentType: an Accept header
+// containing it negotiates the length-prefixed binary framing.
+const binContentType = "application/x-iqs-bin"
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -74,6 +106,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		require = fs.String("require", "", "comma-separated series names that must be present (default: the standard serving-stack set)")
 		timeout = fs.Duration("timeout", 10*time.Second, "per-HTTP-request deadline")
 		mutable = fs.Bool("mutable", false, "drive /insert and /delete writes too and require the ingest metric families")
+		pool    = fs.Bool("pool", false, "the server runs with -pool: warm a hot window before any writes, require the iqs_pool_* and iqs_wire_encoding_total families, and assert pool hits (plus a rebuild-driven invalidation under -mutable)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -81,11 +114,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 	required := defaultRequired
 	if *require != "" {
 		required = strings.Split(*require, ",")
-	} else if *mutable {
-		required = append(append([]string(nil), defaultRequired...), mutableRequired...)
+	} else {
+		if *mutable {
+			required = append(append([]string(nil), defaultRequired...), mutableRequired...)
+		}
+		if *pool {
+			required = append(append([]string(nil), required...), poolRequired...)
+		}
 	}
 	client := &http.Client{Timeout: *timeout}
 	baseURL := strings.TrimRight(*base, "/")
+
+	if *pool && *drive > 0 {
+		if code := warmPool(client, baseURL, stderr); code != 0 {
+			return code
+		}
+	}
 
 	var wantSamples int
 	for i := 0; i < *drive; i++ {
@@ -139,23 +183,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		wantSamples++
 	}
 
-	resp, err := client.Get(baseURL + "/metrics")
+	if *pool && *mutable && *drive > 0 {
+		if code := driveBulkInvalidation(client, baseURL, stderr); code != 0 {
+			return code
+		}
+	}
+
+	exp, err := scrape(client, baseURL)
 	if err != nil {
-		fmt.Fprintf(stderr, "metricscheck: scrape: %v\n", err)
-		return 1
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		fmt.Fprintf(stderr, "metricscheck: /metrics status %d\n", resp.StatusCode)
-		return 1
-	}
-	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
-		fmt.Fprintf(stderr, "metricscheck: /metrics content type %q, want text/plain\n", ct)
-		return 1
-	}
-	exp, err := metrics.ParseExposition(resp.Body)
-	if err != nil {
-		fmt.Fprintf(stderr, "metricscheck: exposition does not parse: %v\n", err)
+		fmt.Fprintf(stderr, "metricscheck: %v\n", err)
 		return 1
 	}
 
@@ -192,6 +228,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 			bad++
 		}
 	}
+	if *pool && *drive > 0 {
+		for _, name := range []string{"iqs_pool_hits_total", "iqs_pool_draws_total", "iqs_pool_refill_draws_total"} {
+			if v := exp.SumAcross(name); v <= 0 {
+				fmt.Fprintf(stderr, "metricscheck: %s is zero after the hot-window warm phase\n", name)
+				bad++
+			}
+		}
+		// Both wire-format legs must have served traffic: the drive is
+		// JSON, the warm phase mixed binary-framed requests in.
+		for _, format := range []string{`format="json"`, `format="binary"`} {
+			if v := exp.SumAcross("iqs_wire_encoding_total", format); v <= 0 {
+				fmt.Fprintf(stderr, "metricscheck: iqs_wire_encoding_total{%s} is zero\n", format)
+				bad++
+			}
+		}
+		if *mutable {
+			if v := exp.SumAcross("iqs_pool_invalidations_total"); v <= 0 {
+				fmt.Fprintln(stderr, "metricscheck: no pool invalidation recorded after the /bulkload rebuild")
+				bad++
+			}
+		}
+	}
 	// /stats mallocs are process-wide and deliberately excluded from the
 	// exposition; their presence would mean the caveat regressed.
 	for name := range exp.Types {
@@ -205,6 +263,119 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "metricscheck: ok (%d series families, %d samples driven)\n", len(exp.Types), wantSamples)
 	return 0
+}
+
+// warmPool repeats one WR window until the pool records full hits, then
+// runs a bonus round so the scraped hit rate reflects steady-state hot
+// traffic rather than the cold entry's registration misses. It must run
+// before any write: a mutable base boots pure, the pool serves only
+// while it stays pure, and the first /insert gates the pooled path off.
+// One request per round negotiates the binary framing so the
+// format="binary" leg of iqs_wire_encoding_total is live too.
+func warmPool(client *http.Client, baseURL string, stderr io.Writer) int {
+	const hotWindow = "/sample?lo=100&hi=300&k=4"
+	const perRound = 25
+	hot := func(binary bool) int {
+		req, err := http.NewRequest(http.MethodGet, baseURL+hotWindow, nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "metricscheck: warm request: %v\n", err)
+			return 1
+		}
+		if binary {
+			req.Header.Set("Accept", binContentType)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			fmt.Fprintf(stderr, "metricscheck: warm %s: %v\n", hotWindow, err)
+			return 1
+		}
+		drain(resp)
+		return 0
+	}
+	warmed := false
+	for round := 0; round < 20 && !warmed; round++ {
+		for i := 0; i < perRound; i++ {
+			if code := hot(i == 0); code != 0 {
+				return code
+			}
+		}
+		exp, err := scrape(client, baseURL)
+		if err != nil {
+			fmt.Fprintf(stderr, "metricscheck: %v\n", err)
+			return 1
+		}
+		warmed = exp.SumAcross("iqs_pool_hits_total") > 0
+	}
+	if !warmed {
+		fmt.Fprintln(stderr, "metricscheck: pool recorded no full hits after the hot-window warm phase")
+		return 1
+	}
+	for i := 0; i < perRound; i++ {
+		if code := hot(false); code != 0 {
+			return code
+		}
+	}
+	return 0
+}
+
+// driveBulkInvalidation posts a /bulkload — which kicks an immediate
+// ingest rebuild — and polls the exposition until the rebuild's pool
+// rebind bumps iqs_pool_invalidations_total. The create-time bind does
+// not count, so a positive value proves the retire-on-rebuild hook ran.
+func driveBulkInvalidation(client *http.Client, baseURL string, stderr io.Writer) int {
+	var sb strings.Builder
+	sb.WriteString(`{"values":[`)
+	for i := 0; i < 64; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%g", 2e9+float64(i))
+	}
+	sb.WriteString(`]}`)
+	resp, err := client.Post(baseURL+"/bulkload", "application/json", strings.NewReader(sb.String()))
+	if err != nil {
+		fmt.Fprintf(stderr, "metricscheck: drive /bulkload: %v\n", err)
+		return 1
+	}
+	status := resp.StatusCode
+	drain(resp)
+	if status != http.StatusOK {
+		fmt.Fprintf(stderr, "metricscheck: /bulkload status %d\n", status)
+		return 1
+	}
+	for i := 0; i < 50; i++ {
+		exp, err := scrape(client, baseURL)
+		if err != nil {
+			fmt.Fprintf(stderr, "metricscheck: %v\n", err)
+			return 1
+		}
+		if exp.SumAcross("iqs_pool_invalidations_total") > 0 {
+			return 0
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	fmt.Fprintln(stderr, "metricscheck: no pool invalidation after a /bulkload-kicked rebuild")
+	return 1
+}
+
+// scrape fetches and strictly parses the /metrics exposition.
+func scrape(client *http.Client, baseURL string) (*metrics.Exposition, error) {
+	resp, err := client.Get(baseURL + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("scrape: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		return nil, fmt.Errorf("/metrics content type %q, want text/plain", ct)
+	}
+	exp, err := metrics.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("exposition does not parse: %w", err)
+	}
+	return exp, nil
 }
 
 func drain(resp *http.Response) {

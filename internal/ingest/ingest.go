@@ -715,6 +715,23 @@ func (t *Table) countLocked(lo, hi float64) int {
 // through here exactly as on the immutable path).
 func (t *Table) Kind() core.Kind { return t.basePtr.Load().Kind() }
 
+// PureBase returns the frozen base sampler when the table is pure (no
+// overlay inserts, no tombstones — live state IS the base), and false
+// otherwise. Callers use it to serve from base-keyed caches such as
+// sample pools: the same lock-free pure check that gates SampleInto's
+// fast path gates the caller, so any pooled draw bound to the returned
+// sampler is distributed exactly like a live draw at this linearization
+// point. The instant a delta lands, pure flips false before the delta
+// is visible to reads, and the pool's identity check (bound sampler !=
+// presented sampler after the next rebuild rebind) closes the window on
+// the other side.
+func (t *Table) PureBase() (*core.RangeSampler, bool) {
+	if !t.pure.Load() {
+		return nil, false
+	}
+	return t.basePtr.Load(), true
+}
+
 // SampleInto draws k independent weighted samples from the live S ∩
 // [lo, hi], appending values to dst; temporaries come from the arena.
 // ok is false when the live range is empty. While the table is pure the

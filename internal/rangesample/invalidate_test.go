@@ -1,0 +1,129 @@
+package rangesample
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/scratch"
+)
+
+// hammered adapts each CoverInvalidator implementation to one query
+// shape for the invalidation hammer (PosSampler queries by position,
+// the value-range samplers by interval; both return sorted positions).
+type hammered struct {
+	CoverInvalidator
+	query func(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) []int
+	hits  func() uint64
+}
+
+// TestInvalidateCoversConcurrentWithQueries hammers InvalidateCovers —
+// the retire step a snapshot swap runs on the outgoing structure —
+// while queriers keep sampling through the same structure, for every
+// CoverInvalidator implementation. The swap path gives no quiescence
+// guarantee: in-flight requests may still be walking the structure when
+// the purge lands, so a purge racing a cache fill must neither corrupt
+// the cache (stale or cross-wired decompositions) nor the results.
+// Every sampled position must stay inside the queried range, and the
+// cache must function (record hits) again after the last purge.
+func TestInvalidateCoversConcurrentWithQueries(t *testing.T) {
+	n := 2048
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i) + 0.5
+		weights[i] = float64(1 + (i*5)%11)
+	}
+	chunked, err := NewChunked(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliasAug, err := NewAliasAug(values, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := NewPosSampler(weights)
+	posQuery := func(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) []int {
+		// Positions are the values' indexes here (value i+0.5 sits at
+		// position i), so the interval maps to [⌈Lo⌉, ⌊Hi⌋].
+		return pos.QueryScratch(r, int(q.Lo+0.5), int(q.Hi-0.5), s, dst, sc)
+	}
+	subjects := map[string]hammered{
+		"chunked": {chunked, func(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) []int {
+			out, _ := chunked.QueryScratch(r, q, s, dst, sc)
+			return out
+		}, func() uint64 { h, _ := chunked.top.cache.Stats(); return h }},
+		"aliasaug": {aliasAug, func(r *rng.Source, q Interval, s int, dst []int, sc *scratch.Arena) []int {
+			out, _ := aliasAug.QueryScratch(r, q, s, dst, sc)
+			return out
+		}, func() uint64 { h, _ := aliasAug.tree.cache.Stats(); return h }},
+		"possampler": {pos, posQuery, func() uint64 {
+			if pos.tree == nil {
+				return 0
+			}
+			h, _ := pos.tree.cache.Stats()
+			return h
+		}},
+	}
+	for name, s := range subjects {
+		name, s := name, s
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			var wg sync.WaitGroup
+			var stop atomic.Bool
+			// Queriers rotate through ranges wide and narrow enough to
+			// exercise both the top cover cache and the partial-chunk
+			// path, checking the support invariant on every draw.
+			ranges := []Interval{
+				{Lo: 7.5, Hi: 15.5},
+				{Lo: 100.5, Hi: 1800.5},
+				{Lo: 512.5, Hi: 520.5},
+				{Lo: 0.5, Hi: float64(n) - 0.5},
+			}
+			for g := 0; g < 4; g++ {
+				wg.Add(1)
+				go func(seed uint64) {
+					defer wg.Done()
+					r := rng.New(seed)
+					var sc scratch.Arena
+					var dst []int
+					for !stop.Load() {
+						q := ranges[int(r.Uint64()%uint64(len(ranges)))]
+						dst = s.query(r, q, 24, dst[:0], &sc)
+						for _, p := range dst {
+							if v := values[p]; v < q.Lo || v > q.Hi {
+								t.Errorf("%s: position %d (value %v) outside [%v, %v] during invalidation", name, p, v, q.Lo, q.Hi)
+								stop.Store(true)
+								return
+							}
+						}
+					}
+				}(uint64(g) + 1)
+			}
+			// The invalidator: the swap's retire step, repeatedly, with
+			// no coordination with the queriers — exactly the ordering
+			// the service's snapshot swap produces when a request holds
+			// the outgoing snapshot across the purge.
+			for i := 0; i < 400 && !stop.Load(); i++ {
+				s.InvalidateCovers()
+			}
+			stop.Store(true)
+			wg.Wait()
+			if t.Failed() {
+				return
+			}
+			// The caches must still be live after the final purge: a
+			// warm pass over a fixed range has to record fresh hits.
+			before := s.hits()
+			r := rng.New(99)
+			var sc scratch.Arena
+			for i := 0; i < 8; i++ {
+				s.query(r, Interval{Lo: 100.5, Hi: 1800.5}, 16, nil, &sc)
+			}
+			if s.hits() <= before {
+				t.Fatalf("%s: cover cache recorded no hits after the purge storm", name)
+			}
+		})
+	}
+}

@@ -1,0 +1,606 @@
+// Package samplepool serves weighted range-sampling queries from pools
+// of pre-drawn samples, adapting the SWAT SamplePool idea (precomputed
+// per-bucket pools over frozen distributions) to the IQS serving stack.
+//
+// A Pool is bound to one frozen *core.RangeSampler at a time. Entries
+// are keyed by the canonical position window [a, b) the query range
+// resolves to (core.RangeSampler.PosRange) — the same identity the
+// PR-5 LRU cover cache keys on — so every request whose qualifying set
+// is identical shares one pool entry. Each entry holds a buffer of
+// values drawn i.i.d. weight-proportionally from that window by a
+// background filler goroutine running the bulk sampling kernels against
+// the bound (frozen) structure, off the request path.
+//
+// Independence contract (the point of the whole package): a pooled draw
+// is consumed AT MOST ONCE. Pool contents are i.i.d. draws from exactly
+// the per-range distribution the live kernel realises, produced from
+// the filler's own private rng stream; consumption pops each draw from
+// the buffer under the entry lock, so no draw can appear in two
+// responses. A response assembled from j pooled draws plus k−j live
+// kernel draws is therefore distributed exactly like k kernel draws,
+// and distinct queries remain mutually independent (they partition a
+// single i.i.d. sequence and never share randomness) — Equation 1 of
+// the paper survives pooling unchanged.
+//
+// Staleness contract: TakeInto requires the caller to present the
+// sampler it is actually serving from; if it is not the bound one the
+// take is a miss, so a pooled draw can never come from a structure
+// other than the caller's snapshot. Rebinding (snapshot swap, ingest
+// rebuild) purges every entry.
+package samplepool
+
+import (
+	"container/list"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/scratch"
+)
+
+// Config tunes a Pool. The zero value is usable: every field has a
+// sensible default applied by New.
+type Config struct {
+	// Capacity caps the pre-drawn samples kept per entry (default 512).
+	// Fills are demand-proportional: an entry starts with a small target
+	// (a few multiples of its first request's k) that doubles toward
+	// Capacity only while demand keeps draining it, so a window taken a
+	// handful of times never costs a full Capacity-sized fill.
+	Capacity int
+	// MaxEntries caps the number of distinct position windows pooled at
+	// once, evicted LRU (default 256).
+	MaxEntries int
+	// RefillFraction: when an entry's inventory falls below
+	// RefillFraction*Capacity a refill is queued (default 0.5).
+	RefillFraction float64
+	// QueueDepth bounds the refill queue; excess refill requests are
+	// dropped (the entry retries on its next take) (default 64).
+	QueueDepth int
+	// MinTakes is the number of takes a window must see before its
+	// first fill is queued (default 1: fill on first miss). Raising it
+	// protects the filler from uniform-random workloads where almost no
+	// window is ever requested twice — cold windows then cost one tiny
+	// entry and nothing else.
+	MinTakes int
+	// Seed seeds the filler's private rng stream (default 1).
+	Seed uint64
+	// Metrics receives the iqs_pool_* families; nil disables export.
+	Metrics *metrics.Registry
+	// Labels are attached to every exported series.
+	Labels []metrics.Label
+}
+
+func (c Config) withDefaults() Config {
+	if c.Capacity <= 0 {
+		c.Capacity = 512
+	}
+	if c.MaxEntries <= 0 {
+		c.MaxEntries = 256
+	}
+	if !(c.RefillFraction > 0 && c.RefillFraction <= 1) {
+		c.RefillFraction = 0.5
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MinTakes <= 0 {
+		c.MinTakes = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// entry is one pooled position window. buf holds pre-drawn values;
+// takes pop from the tail, the filler appends, both under mu. The
+// window fields and src are fixed at creation.
+type entry struct {
+	mu      sync.Mutex
+	buf     []float64
+	pending bool // a refill is queued or in flight
+	takes   int  // takes seen before the first fill (MinTakes gate)
+	filled  bool // at least one fill completed
+	target  int  // demand-adaptive fill size, doubling toward Capacity
+
+	gen    uint64
+	src    *core.RangeSampler // frozen structure the draws come from
+	a, b   int                // half-open sorted-position window
+	lo, hi float64            // value interval resolving exactly to [a, b)
+
+	elem *list.Element // LRU position, owned by Pool.mu
+	dead atomic.Bool   // evicted or purged; filler skips it
+}
+
+// Stats is a point-in-time snapshot of pool effectiveness counters.
+type Stats struct {
+	Hits, PartialHits, Misses int64 // per take: full / partial / zero pooled draws
+	Draws                     int64 // pooled draws consumed
+	Refills, RefillDraws      int64 // filler batches and draws produced
+	Invalidations, Evictions  int64
+	Entries, Inventory        int // resident windows and total pooled draws
+}
+
+// Pool is a consume-once sample pool over one frozen RangeSampler.
+// All methods are safe for concurrent use.
+type Pool struct {
+	cfg Config
+
+	mu     sync.Mutex
+	bound  *core.RangeSampler
+	table  map[uint64]*entry
+	lru    *list.List // front = most recent
+	closed bool
+	// seen is a fixed-size direct-mapped filter of window keys observed
+	// exactly once. With MinTakes > 1 a window registers a real entry
+	// (allocation, map insert, LRU slot) only on its second sighting, so
+	// a uniform-random workload of one-shot windows costs one array
+	// write per request and nothing else. Collisions merely delay
+	// registration by one take.
+	seen [1024]uint64
+
+	gen      atomic.Uint64 // bumped by every Bind/Invalidate
+	refillCh chan *entry
+	wg       sync.WaitGroup
+
+	hits, partials, misses     *metrics.Counter
+	draws, refills, refillDrws *metrics.Counter
+	invalidations, evictions   *metrics.Counter
+}
+
+// New returns a started Pool (its filler goroutine is running). The
+// pool serves nothing until Bind attaches a frozen sampler. Close it
+// when done.
+func New(cfg Config) *Pool {
+	cfg = cfg.withDefaults()
+	p := &Pool{
+		cfg:      cfg,
+		table:    make(map[uint64]*entry),
+		lru:      list.New(),
+		refillCh: make(chan *entry, cfg.QueueDepth),
+	}
+	m := cfg.Metrics
+	lb := cfg.Labels
+	p.hits = m.Counter("iqs_pool_hits_total", "Sample requests fully served from the pool.", lb...)
+	p.partials = m.Counter("iqs_pool_partial_hits_total", "Sample requests partially served from the pool.", lb...)
+	p.misses = m.Counter("iqs_pool_misses_total", "Sample requests with no pooled draws available.", lb...)
+	p.draws = m.Counter("iqs_pool_draws_total", "Pooled draws consumed (each at most once).", lb...)
+	p.refills = m.Counter("iqs_pool_refills_total", "Background refill batches executed.", lb...)
+	p.refillDrws = m.Counter("iqs_pool_refill_draws_total", "Draws produced by the background filler.", lb...)
+	p.invalidations = m.Counter("iqs_pool_invalidations_total", "Pool purges from snapshot swaps and rebuilds.", lb...)
+	p.evictions = m.Counter("iqs_pool_evictions_total", "Entries evicted by the LRU cap.", lb...)
+	if m != nil {
+		m.GaugeFunc("iqs_pool_entries", "Resident pooled position windows.", func() float64 {
+			return float64(p.Snapshot().Entries)
+		}, lb...)
+		m.GaugeFunc("iqs_pool_inventory", "Total pooled draws resident across entries.", func() float64 {
+			return float64(p.Snapshot().Inventory)
+		}, lb...)
+	}
+	p.wg.Add(1)
+	go p.fillerLoop()
+	return p
+}
+
+// packKey packs a half-open position window into the LRU key, the same
+// scheme the rangesample cover cache uses for its (a, b) keys.
+func packKey(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// Bind atomically makes s the pool's frozen source and purges every
+// entry drawn from the previous one. Callers invoke it wherever they
+// already invalidate cover caches (snapshot swaps, ingest rebuilds), so
+// a stale pooled draw can never outlive its structure. Bind(nil)
+// disables pooled serving until the next Bind.
+func (p *Pool) Bind(s *core.RangeSampler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.bound == s {
+		return
+	}
+	old := p.bound
+	p.bound = s
+	p.gen.Add(1)
+	if old != nil {
+		p.invalidations.Inc()
+	}
+	p.purgeLocked()
+}
+
+// Invalidate purges every pooled draw without changing the binding.
+func (p *Pool) Invalidate() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.gen.Add(1)
+	p.invalidations.Inc()
+	p.purgeLocked()
+}
+
+func (p *Pool) purgeLocked() {
+	for _, e := range p.table {
+		e.dead.Store(true)
+	}
+	p.table = make(map[uint64]*entry)
+	p.lru.Init()
+	p.seen = [1024]uint64{}
+}
+
+// seenIdx maps a window key to its direct-mapped filter slot.
+func seenIdx(key uint64) int {
+	return int(key * 0x9e3779b97f4a7c15 >> 54) // top 10 bits of a Fibonacci hash
+}
+
+// registerOrFilterLocked is the shared cold-window path of TakeInto and
+// Probe, called with p.mu held. With MinTakes > 1 the first sighting of
+// a window only marks the seen filter — the entry (and, once MinTakes
+// is reached, its first fill) materialises on a later take, so one-shot
+// windows never pay an allocation.
+func (p *Pool) registerOrFilterLocked(s *core.RangeSampler, a, b int, key uint64, k int) {
+	takes := 1
+	if p.cfg.MinTakes > 1 {
+		i := seenIdx(key)
+		if p.seen[i] != key {
+			p.seen[i] = key
+			return
+		}
+		p.seen[i] = 0
+		takes = 2
+	}
+	p.registerLocked(s, a, b, key, k, takes)
+}
+
+// TakeInto appends up to k pooled draws for [lo, hi] to dst and returns
+// the extended slice plus the number taken. s must be the frozen
+// sampler the caller is serving this request from: when it is not the
+// currently bound structure the take is a guaranteed miss (never a
+// stale draw). The caller draws the k−taken remainder from the live
+// kernel; the combined response is distributed exactly like k kernel
+// draws (see the package comment).
+func (p *Pool) TakeInto(s *core.RangeSampler, lo, hi float64, k int, dst []float64) ([]float64, int) {
+	if p == nil || k <= 0 || s == nil {
+		return dst, 0
+	}
+	// PosRange is a pure read of the immutable structure — resolve the
+	// window before taking the pool lock.
+	a, b := s.PosRange(lo, hi)
+	if a >= b {
+		// Empty/invalid range: nothing to pool, let the kernel path
+		// produce the canonical response.
+		return dst, 0
+	}
+	key := packKey(a, b)
+	p.mu.Lock()
+	if p.closed || p.bound != s {
+		p.mu.Unlock()
+		return dst, 0
+	}
+	e := p.table[key]
+	if e == nil {
+		p.registerOrFilterLocked(s, a, b, key, k)
+		p.misses.Inc()
+		p.mu.Unlock()
+		return dst, 0
+	}
+	p.lru.MoveToFront(e.elem)
+	p.mu.Unlock()
+
+	e.mu.Lock()
+	j := len(e.buf)
+	if j > k {
+		j = k
+	}
+	if j > 0 {
+		// Pop from the tail: each draw leaves the buffer the moment it
+		// is served, which is the whole consume-once guarantee.
+		dst = append(dst, e.buf[len(e.buf)-j:]...)
+		e.buf = e.buf[:len(e.buf)-j]
+	}
+	e.takes++
+	wantRefill := e.noteDemandLocked(p)
+	e.mu.Unlock()
+
+	if wantRefill {
+		p.mu.Lock()
+		p.enqueueLocked(e)
+		p.mu.Unlock()
+	}
+	switch {
+	case j == k:
+		p.hits.Inc()
+	case j > 0:
+		p.partials.Inc()
+	default:
+		p.misses.Inc()
+	}
+	p.draws.Add(int64(j))
+	return dst, j
+}
+
+// registerLocked creates, indexes and LRU-fronts the entry for window
+// [a, b) of s, evicting past MaxEntries, and queues its first fill when
+// MinTakes allows. k is the registering request's sample size, seeding
+// the demand-adaptive fill target; takes is the demand already seen
+// (2 when the window came through the seen filter). Called with p.mu
+// held.
+func (p *Pool) registerLocked(s *core.RangeSampler, a, b int, key uint64, k, takes int) *entry {
+	target := 4 * k
+	if target < 32 {
+		target = 32
+	}
+	if target > p.cfg.Capacity {
+		target = p.cfg.Capacity
+	}
+	e := &entry{
+		gen: p.gen.Load(),
+		src: s,
+		a:   a, b: b,
+		// The window's own boundary values query back to exactly
+		// [a, b): position a holds the first value ≥ lo so no equal
+		// value precedes it, symmetrically for b−1 (see fill).
+		lo: s.ValueAt(a), hi: s.ValueAt(b - 1),
+		target: target,
+	}
+	e.elem = p.lru.PushFront(e)
+	p.table[key] = e
+	for p.lru.Len() > p.cfg.MaxEntries {
+		victim := p.lru.Remove(p.lru.Back()).(*entry)
+		victim.dead.Store(true)
+		delete(p.table, packKey(victim.a, victim.b))
+		p.evictions.Inc()
+	}
+	e.takes = takes
+	if e.takes >= p.cfg.MinTakes {
+		p.enqueueLocked(e)
+	}
+	return e
+}
+
+// Probe reports whether a request for [lo, hi] with sample size k
+// against s would currently be fully served from the pool, and records
+// demand exactly like a take: a cold window is registered (and queued
+// for fill once MinTakes probes/takes have been seen). The admission
+// path probes every candidate request, so the windows traffic actually
+// asks for warm up even while responses are served through a path that
+// never consumes pooled draws (the request coalescer); once a window is
+// warm the prober flips its traffic onto the consuming path. Probes
+// consume no draws and move no hit/miss counters.
+func (p *Pool) Probe(s *core.RangeSampler, lo, hi float64, k int) bool {
+	if p == nil || s == nil || k <= 0 {
+		return false
+	}
+	a, b := s.PosRange(lo, hi)
+	if a >= b {
+		return false
+	}
+	key := packKey(a, b)
+	p.mu.Lock()
+	if p.closed || p.bound != s {
+		p.mu.Unlock()
+		return false
+	}
+	e := p.table[key]
+	if e == nil {
+		p.registerOrFilterLocked(s, a, b, key, k)
+		p.mu.Unlock()
+		return false
+	}
+	p.lru.MoveToFront(e.elem)
+	p.mu.Unlock()
+
+	e.mu.Lock()
+	e.takes++
+	ok := len(e.buf) >= k
+	wantRefill := e.noteDemandLocked(p)
+	e.mu.Unlock()
+	if wantRefill {
+		p.mu.Lock()
+		p.enqueueLocked(e)
+		p.mu.Unlock()
+	}
+	return ok
+}
+
+// noteDemandLocked decides, under e.mu, whether this take/probe should
+// queue a refill, and grows the fill target while demand keeps draining
+// a previously filled entry — so inventory tracks each window's actual
+// take rate instead of jumping straight to Capacity.
+func (e *entry) noteDemandLocked(p *Pool) bool {
+	ready := e.filled || e.takes >= p.cfg.MinTakes
+	if e.pending || !ready || len(e.buf) >= int(float64(e.target)*p.cfg.RefillFraction) {
+		return false
+	}
+	e.pending = true
+	if e.filled && e.target < p.cfg.Capacity {
+		e.target *= 2
+		if e.target > p.cfg.Capacity {
+			e.target = p.cfg.Capacity
+		}
+	}
+	return true
+}
+
+// Hot reports whether a request for [lo, hi] with sample size k against
+// s would currently be fully served from the pool. Unlike Probe it is a
+// pure read: no entry is created, no fill queued, no LRU movement.
+func (p *Pool) Hot(s *core.RangeSampler, lo, hi float64, k int) bool {
+	if p == nil || s == nil || k <= 0 {
+		return false
+	}
+	a, b := s.PosRange(lo, hi)
+	if a >= b {
+		return false
+	}
+	p.mu.Lock()
+	if p.closed || p.bound != s {
+		p.mu.Unlock()
+		return false
+	}
+	e := p.table[packKey(a, b)]
+	p.mu.Unlock()
+	if e == nil {
+		return false
+	}
+	e.mu.Lock()
+	ok := len(e.buf) >= k
+	e.mu.Unlock()
+	return ok
+}
+
+// enqueueLocked hands e to the filler; called with p.mu held (which is
+// what makes the send race-free against Close). Queue overflow drops
+// the request — the entry re-queues on its next take.
+func (p *Pool) enqueueLocked(e *entry) {
+	if p.closed {
+		e.mu.Lock()
+		e.pending = false
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Lock()
+	e.pending = true
+	e.mu.Unlock()
+	select {
+	case p.refillCh <- e:
+	default:
+		e.mu.Lock()
+		e.pending = false
+		e.mu.Unlock()
+	}
+}
+
+// fillerLoop drains refill requests with a private rng stream and
+// arena, so pool randomness is independent of every request stream.
+func (p *Pool) fillerLoop() {
+	defer p.wg.Done()
+	r := rng.New(p.cfg.Seed)
+	sc := new(scratch.Arena)
+	buf := make([]float64, 0, p.cfg.Capacity)
+	for e := range p.refillCh {
+		p.fill(e, r, sc, buf)
+	}
+}
+
+// fill tops e up to Capacity with fresh i.i.d. draws from its frozen
+// source. The draw interval [e.lo, e.hi] resolves to exactly the window
+// [a, b): e.lo is the value at position a, and since a was the first
+// position with value ≥ the original query's lo, no earlier position
+// carries an equal value (the array is sorted, so an equal predecessor
+// would itself have been ≥ lo); symmetrically no position ≥ b carries
+// e.hi. The refill distribution is therefore identical to the kernel's
+// for every query mapping to this window.
+func (p *Pool) fill(e *entry, r *rng.Source, sc *scratch.Arena, buf []float64) {
+	clearPending := func() {
+		e.mu.Lock()
+		e.pending = false
+		e.mu.Unlock()
+	}
+	if e.dead.Load() || e.gen != p.gen.Load() {
+		clearPending()
+		return
+	}
+	e.mu.Lock()
+	need := e.target - len(e.buf)
+	e.mu.Unlock()
+	if need <= 0 {
+		clearPending()
+		return
+	}
+	out, ok := e.src.SampleInto(r, e.lo, e.hi, need, buf[:0], sc)
+	if !ok {
+		clearPending()
+		return
+	}
+	// The bulk kernel may emit a query's draws grouped by cover node:
+	// i.i.d. as a multiset but order-correlated (adjacent draws share a
+	// node). One kernel response absorbs that whole batch so it never
+	// shows, but the pool slices a batch across MANY responses — a
+	// uniform random permutation (independent of the values) restores
+	// the exact i.i.d. sequence law, so cross-query independence
+	// survives the slicing.
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	e.mu.Lock()
+	// Re-check under the lock: a purge between the draw and here means
+	// the structure is being retired — drop the batch.
+	if e.dead.Load() || e.gen != p.gen.Load() {
+		e.pending = false
+		e.mu.Unlock()
+		return
+	}
+	e.buf = append(e.buf, out...)
+	e.pending = false
+	e.filled = true
+	e.mu.Unlock()
+	p.refills.Inc()
+	p.refillDrws.Add(int64(len(out)))
+}
+
+// Snapshot returns current counter values and inventory.
+func (p *Pool) Snapshot() Stats {
+	if p == nil {
+		return Stats{}
+	}
+	st := Stats{
+		Hits:          p.hits.Value(),
+		PartialHits:   p.partials.Value(),
+		Misses:        p.misses.Value(),
+		Draws:         p.draws.Value(),
+		Refills:       p.refills.Value(),
+		RefillDraws:   p.refillDrws.Value(),
+		Invalidations: p.invalidations.Value(),
+		Evictions:     p.evictions.Value(),
+	}
+	p.mu.Lock()
+	st.Entries = len(p.table)
+	ents := make([]*entry, 0, len(p.table))
+	for _, e := range p.table {
+		ents = append(ents, e)
+	}
+	p.mu.Unlock()
+	for _, e := range ents {
+		e.mu.Lock()
+		st.Inventory += len(e.buf)
+		e.mu.Unlock()
+	}
+	return st
+}
+
+// WaitIdle blocks until the refill queue is drained and no fill is in
+// flight — a test/benchmark helper for deterministic warm-up.
+func (p *Pool) WaitIdle() {
+	for {
+		p.mu.Lock()
+		queued := len(p.refillCh)
+		ents := make([]*entry, 0, len(p.table))
+		for _, e := range p.table {
+			ents = append(ents, e)
+		}
+		p.mu.Unlock()
+		busy := queued > 0
+		for _, e := range ents {
+			e.mu.Lock()
+			busy = busy || e.pending
+			e.mu.Unlock()
+		}
+		if !busy {
+			return
+		}
+		// The filler is single-goroutine; yield until it drains.
+		runtime.Gosched()
+	}
+}
+
+// Close stops the filler and disables the pool. Safe to call once.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.purgeLocked()
+	close(p.refillCh)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

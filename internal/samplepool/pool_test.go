@@ -1,0 +1,519 @@
+package samplepool
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// testSampler builds a chunked sampler over n distinct integer values
+// with a deterministic skewed weight profile, so every draw is
+// identifiable by value and the true per-position probabilities are
+// known in closed form.
+func testSampler(t testing.TB, n int) *core.RangeSampler {
+	t.Helper()
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+		weights[i] = 1 + float64(i%7)
+	}
+	s, err := core.NewRangeSampler(core.KindChunked, values, weights)
+	if err != nil {
+		t.Fatalf("NewRangeSampler: %v", err)
+	}
+	return s
+}
+
+// entryFor exposes the pool entry backing [lo, hi] for whitebox tests.
+func entryFor(p *Pool, s *core.RangeSampler, lo, hi float64) *entry {
+	a, b := s.PosRange(lo, hi)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.table[packKey(a, b)]
+}
+
+// blockRefills marks the entry pending so no further refill can be
+// queued — freezing the inventory lets tests drain it to exhaustion.
+func blockRefills(e *entry) {
+	e.mu.Lock()
+	e.pending = true
+	e.mu.Unlock()
+}
+
+// warm primes the pool entry for [lo, hi] and waits for the fill.
+func warm(t testing.TB, p *Pool, s *core.RangeSampler, lo, hi float64) *entry {
+	t.Helper()
+	if _, took := p.TakeInto(s, lo, hi, 1, nil); took != 0 {
+		t.Fatalf("cold take returned %d pooled draws, want 0", took)
+	}
+	p.WaitIdle()
+	e := entryFor(p, s, lo, hi)
+	if e == nil {
+		t.Fatal("no entry after warm-up")
+	}
+	return e
+}
+
+func TestConsumeOnceExhaustsAndFallsBack(t *testing.T) {
+	s := testSampler(t, 1000)
+	p := New(Config{Capacity: 64, Seed: 7})
+	defer p.Close()
+	p.Bind(s)
+
+	e := warm(t, p, s, 100, 900)
+	blockRefills(e)
+	e.mu.Lock()
+	remembered := append([]float64(nil), e.buf...)
+	e.mu.Unlock()
+	// Fills are demand-proportional: the k=1 warm-up seeds the minimum
+	// initial target of 32, not the full Capacity.
+	if len(remembered) != 32 {
+		t.Fatalf("filled %d draws, want initial demand target 32", len(remembered))
+	}
+
+	// Drain in chunks of 7: every take must pop exactly the tail of the
+	// remembered buffer — each pre-drawn sample served at most once, in
+	// a single response, until strict exhaustion.
+	var served []float64
+	for {
+		out, took := p.TakeInto(s, 100, 900, 7, nil)
+		if took == 0 {
+			break
+		}
+		if took != len(out) {
+			t.Fatalf("took=%d but len(out)=%d", took, len(out))
+		}
+		served = append(served, out...)
+	}
+	if len(served) != len(remembered) {
+		t.Fatalf("served %d pooled draws, want exactly the %d filled", len(served), len(remembered))
+	}
+	// Multiset equality: no draw duplicated, none invented.
+	count := func(xs []float64) map[float64]int {
+		m := make(map[float64]int)
+		for _, x := range xs {
+			m[x]++
+		}
+		return m
+	}
+	cs, cr := count(served), count(remembered)
+	if len(cs) != len(cr) {
+		t.Fatalf("served value multiset differs: %d vs %d distinct", len(cs), len(cr))
+	}
+	for v, n := range cr {
+		if cs[v] != n {
+			t.Fatalf("value %v served %d times, filled %d times", v, cs[v], n)
+		}
+	}
+	// Exhausted pool must strictly fall back: zero pooled draws.
+	if _, took := p.TakeInto(s, 100, 900, 3, nil); took != 0 {
+		t.Fatalf("exhausted pool still served %d draws", took)
+	}
+}
+
+func TestConsumeOnceConcurrent(t *testing.T) {
+	s := testSampler(t, 1000)
+	p := New(Config{Capacity: 512, Seed: 11})
+	defer p.Close()
+	p.Bind(s)
+
+	e := warm(t, p, s, 0, 999)
+	blockRefills(e)
+	e.mu.Lock()
+	remembered := append([]float64(nil), e.buf...)
+	e.mu.Unlock()
+
+	const workers = 8
+	var (
+		wg  sync.WaitGroup
+		mu  sync.Mutex
+		all []float64
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var got []float64
+			for {
+				out, took := p.TakeInto(s, 0, 999, 5, nil)
+				if took == 0 {
+					break
+				}
+				got = append(got, out...)
+			}
+			mu.Lock()
+			all = append(all, got...)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if len(all) != len(remembered) {
+		t.Fatalf("concurrent drains served %d draws total, want exactly %d (each draw once)", len(all), len(remembered))
+	}
+	cs := make(map[float64]int)
+	for _, v := range all {
+		cs[v]++
+	}
+	cr := make(map[float64]int)
+	for _, v := range remembered {
+		cr[v]++
+	}
+	for v, n := range cr {
+		if cs[v] != n {
+			t.Fatalf("value %v served %d times across goroutines, filled %d times", v, cs[v], n)
+		}
+	}
+}
+
+// takePooled collects n pooled draws for [lo, hi], waiting for refills
+// between takes so every draw comes from the pool path.
+func takePooled(t testing.TB, p *Pool, s *core.RangeSampler, lo, hi float64, n int) []float64 {
+	t.Helper()
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		got, took := p.TakeInto(s, lo, hi, min(16, n-len(out)), nil)
+		if took == 0 {
+			p.WaitIdle()
+			continue
+		}
+		out = append(out, got...)
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// binCounts maps integer-valued draws from [lo, hi] to per-position
+// counts.
+func binCounts(t testing.TB, draws []float64, lo, hi float64) []int {
+	t.Helper()
+	n := int(hi-lo) + 1
+	counts := make([]int, n)
+	for _, v := range draws {
+		i := int(v - lo)
+		if i < 0 || i >= n {
+			t.Fatalf("draw %v outside [%v, %v]", v, lo, hi)
+		}
+		counts[i]++
+	}
+	return counts
+}
+
+// TestPoolHitMatchesKernelDistribution is the golden-seed equivalence
+// gate: pooled draws and live-kernel draws for the same range must be
+// statistically indistinguishable (chi-squared two-sample on the
+// per-element counts, KS two-sample on the raw values).
+func TestPoolHitMatchesKernelDistribution(t *testing.T) {
+	s := testSampler(t, 400)
+	p := New(Config{Capacity: 1024, Seed: 20250808})
+	defer p.Close()
+	p.Bind(s)
+
+	const lo, hi = 50, 149 // 100 in-range elements
+	const N = 20000
+	pooled := takePooled(t, p, s, lo, hi, N)
+
+	r := rng.New(99)
+	kernel := make([]float64, 0, N)
+	for len(kernel) < N {
+		out, ok := s.Sample(r, lo, hi, min(64, N-len(kernel)))
+		if !ok {
+			t.Fatal("kernel sample failed")
+		}
+		kernel = append(kernel, out...)
+	}
+
+	cp := binCounts(t, pooled, lo, hi)
+	ck := binCounts(t, kernel, lo, hi)
+	stat, dof, err := stats.ChiSquareTwoSample(cp, ck)
+	if err != nil {
+		t.Fatalf("ChiSquareTwoSample: %v", err)
+	}
+	if crit := stats.ChiSquareCritical(dof, 0.001); stat > crit {
+		t.Fatalf("pooled vs kernel chi2 = %.2f > crit %.2f (dof %d)", stat, crit, dof)
+	}
+	ks, err := stats.KSTwoSample(pooled, kernel)
+	if err != nil {
+		t.Fatalf("KSTwoSample: %v", err)
+	}
+	if crit := stats.KSTwoSampleCritical(len(pooled), len(kernel), 0.001); ks > crit {
+		t.Fatalf("pooled vs kernel KS = %.4f > crit %.4f", ks, crit)
+	}
+}
+
+// TestPooledDrawsIndependent checks within-sequence independence of
+// pooled draws: consecutive draw pairs binned into a joint grid must
+// match the product of the true marginals.
+func TestPooledDrawsIndependent(t *testing.T) {
+	s := testSampler(t, 200)
+	p := New(Config{Capacity: 1024, Seed: 31})
+	defer p.Close()
+	p.Bind(s)
+
+	const lo, hi = 20, 99 // 80 elements
+	const N = 40000
+	draws := takePooled(t, p, s, lo, hi, N)
+
+	// True marginal mass of 4 coarse value bins.
+	const bins = 4
+	a, b := s.PosRange(lo, hi)
+	total := s.PrefixWeight(b) - s.PrefixWeight(a)
+	span := float64(hi-lo+1) / bins
+	mass := make([]float64, bins)
+	for pos := a; pos < b; pos++ {
+		bi := int((s.ValueAt(pos) - lo) / span)
+		if bi >= bins {
+			bi = bins - 1
+		}
+		mass[bi] += s.WeightAt(pos) / total
+	}
+	binOf := func(v float64) int {
+		bi := int((v - lo) / span)
+		if bi >= bins {
+			bi = bins - 1
+		}
+		return bi
+	}
+	pairs := N / 2
+	obs := make([]int, bins*bins)
+	for i := 0; i+1 < N; i += 2 {
+		obs[binOf(draws[i])*bins+binOf(draws[i+1])]++
+	}
+	exp := make([]float64, bins*bins)
+	for i := 0; i < bins; i++ {
+		for j := 0; j < bins; j++ {
+			exp[i*bins+j] = mass[i] * mass[j] * float64(pairs)
+		}
+	}
+	stat, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		t.Fatalf("ChiSquare: %v", err)
+	}
+	if crit := stats.ChiSquareCritical(bins*bins-1, 0.001); stat > crit {
+		t.Fatalf("consecutive pooled draws dependent: chi2 = %.2f > crit %.2f", stat, crit)
+	}
+}
+
+// TestMixedPooledKernelDistribution drains the pool mid-request so
+// responses mix pooled and kernel draws, then checks the combined
+// output against the exact expected distribution — the mixing claim the
+// partial-hit path relies on.
+func TestMixedPooledKernelDistribution(t *testing.T) {
+	s := testSampler(t, 300)
+	p := New(Config{Capacity: 16, Seed: 47}) // capacity < k: every hit is partial
+	defer p.Close()
+	p.Bind(s)
+
+	const lo, hi = 10, 59 // 50 elements
+	const N = 30000
+	r := rng.New(555)
+	sc := core.GetScratch()
+	defer core.PutScratch(sc)
+	combined := make([]float64, 0, N)
+	for len(combined) < N {
+		k := min(24, N-len(combined))
+		p.WaitIdle() // let the single-CPU filler top the entry up
+		out, took := p.TakeInto(s, lo, hi, k, nil)
+		if rem := k - took; rem > 0 {
+			var ok bool
+			out, ok = s.SampleInto(r, lo, hi, rem, out, sc)
+			if !ok {
+				t.Fatal("kernel fallback failed")
+			}
+		}
+		combined = append(combined, out...)
+	}
+
+	a, b := s.PosRange(lo, hi)
+	total := s.PrefixWeight(b) - s.PrefixWeight(a)
+	obs := binCounts(t, combined, lo, hi)
+	exp := make([]float64, b-a)
+	for pos := a; pos < b; pos++ {
+		exp[pos-a] = s.WeightAt(pos) / total * float64(N)
+	}
+	stat, err := stats.ChiSquare(obs, exp)
+	if err != nil {
+		t.Fatalf("ChiSquare: %v", err)
+	}
+	if crit := stats.ChiSquareCritical(b-a-1, 0.001); stat > crit {
+		t.Fatalf("mixed pooled+kernel draws off-distribution: chi2 = %.2f > crit %.2f", stat, crit)
+	}
+	st := p.Snapshot()
+	if st.PartialHits == 0 {
+		t.Fatal("test exercised no partial hits; tighten Capacity")
+	}
+}
+
+func TestStalenessGuardAndBindInvalidation(t *testing.T) {
+	s1 := testSampler(t, 500)
+	s2 := testSampler(t, 500)
+	p := New(Config{Capacity: 64, Seed: 3})
+	defer p.Close()
+	p.Bind(s1)
+	warm(t, p, s1, 0, 499)
+
+	// A take presenting a different sampler than the bound one must be
+	// a guaranteed miss even though the window matches.
+	if _, took := p.TakeInto(s2, 0, 499, 8, nil); took != 0 {
+		t.Fatalf("take against unbound sampler served %d pooled draws", took)
+	}
+
+	// Rebinding purges everything drawn from s1.
+	p.Bind(s2)
+	st := p.Snapshot()
+	if st.Entries != 0 || st.Inventory != 0 {
+		t.Fatalf("after rebind: %d entries / %d inventory, want 0/0", st.Entries, st.Inventory)
+	}
+	if st.Invalidations == 0 {
+		t.Fatal("rebind did not count an invalidation")
+	}
+	// And old-sampler takes stay misses forever.
+	warm(t, p, s2, 0, 499)
+	if _, took := p.TakeInto(s1, 0, 499, 8, nil); took != 0 {
+		t.Fatalf("take against retired sampler served %d pooled draws", took)
+	}
+}
+
+func TestInvalidatePurges(t *testing.T) {
+	s := testSampler(t, 100)
+	p := New(Config{Capacity: 32, Seed: 5})
+	defer p.Close()
+	p.Bind(s)
+	warm(t, p, s, 0, 99)
+	p.Invalidate()
+	if st := p.Snapshot(); st.Entries != 0 || st.Inventory != 0 {
+		t.Fatalf("after Invalidate: %d entries / %d inventory", st.Entries, st.Inventory)
+	}
+	// Binding unchanged: the same structure re-pools on demand.
+	warm(t, p, s, 0, 99)
+	if out, took := p.TakeInto(s, 0, 99, 4, nil); took != 4 || len(out) != 4 {
+		t.Fatalf("re-pool after Invalidate: took %d", took)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s := testSampler(t, 1000)
+	p := New(Config{Capacity: 16, MaxEntries: 4, Seed: 13})
+	defer p.Close()
+	p.Bind(s)
+	for i := 0; i < 6; i++ {
+		lo := float64(i * 100)
+		p.TakeInto(s, lo, lo+50, 1, nil)
+	}
+	p.WaitIdle()
+	st := p.Snapshot()
+	if st.Entries > 4 {
+		t.Fatalf("%d entries resident, cap is 4", st.Entries)
+	}
+	if st.Evictions < 2 {
+		t.Fatalf("evictions = %d, want ≥ 2", st.Evictions)
+	}
+}
+
+func TestHotProbe(t *testing.T) {
+	s := testSampler(t, 200)
+	p := New(Config{Capacity: 32, Seed: 17})
+	defer p.Close()
+	p.Bind(s)
+	if p.Hot(s, 0, 199, 1) {
+		t.Fatal("cold pool reported hot")
+	}
+	e := warm(t, p, s, 0, 199)
+	if !p.Hot(s, 0, 199, 32) {
+		t.Fatal("full entry not hot for k = capacity")
+	}
+	if p.Hot(s, 0, 199, 33) {
+		t.Fatal("hot for k > inventory")
+	}
+	blockRefills(e)
+	for {
+		if _, took := p.TakeInto(s, 0, 199, 8, nil); took == 0 {
+			break
+		}
+	}
+	if p.Hot(s, 0, 199, 1) {
+		t.Fatal("exhausted entry reported hot")
+	}
+}
+
+func TestEmptyRangeAndEdgeCases(t *testing.T) {
+	s := testSampler(t, 100)
+	p := New(Config{Seed: 19})
+	defer p.Close()
+	p.Bind(s)
+	if _, took := p.TakeInto(s, 200, 300, 4, nil); took != 0 {
+		t.Fatal("empty range served pooled draws")
+	}
+	if _, took := p.TakeInto(s, math.NaN(), 10, 4, nil); took != 0 {
+		t.Fatal("invalid range served pooled draws")
+	}
+	if _, took := p.TakeInto(s, 0, 99, 0, nil); took != 0 {
+		t.Fatal("k=0 served pooled draws")
+	}
+	if _, took := p.TakeInto(nil, 0, 99, 4, nil); took != 0 {
+		t.Fatal("nil sampler served pooled draws")
+	}
+	var nilPool *Pool
+	if _, took := nilPool.TakeInto(s, 0, 99, 4, nil); took != 0 {
+		t.Fatal("nil pool served pooled draws")
+	}
+}
+
+func TestMinTakesGatesFirstFill(t *testing.T) {
+	s := testSampler(t, 100)
+	p := New(Config{Capacity: 16, MinTakes: 3, Seed: 37})
+	defer p.Close()
+	p.Bind(s)
+	for take := 1; take <= 2; take++ {
+		p.TakeInto(s, 0, 99, 1, nil)
+		p.WaitIdle()
+		if st := p.Snapshot(); st.Refills != 0 {
+			t.Fatalf("fill ran after %d takes, MinTakes is 3", take)
+		}
+	}
+	p.TakeInto(s, 0, 99, 1, nil)
+	p.WaitIdle()
+	if st := p.Snapshot(); st.Refills != 1 {
+		t.Fatalf("refills = %d after reaching MinTakes, want 1", st.Refills)
+	}
+	if _, took := p.TakeInto(s, 0, 99, 4, nil); took != 4 {
+		t.Fatalf("took %d after fill, want 4", took)
+	}
+}
+
+func TestCloseDisablesPool(t *testing.T) {
+	s := testSampler(t, 100)
+	p := New(Config{Seed: 23})
+	p.Bind(s)
+	warm(t, p, s, 0, 99)
+	p.Close()
+	if _, took := p.TakeInto(s, 0, 99, 4, nil); took != 0 {
+		t.Fatal("closed pool served pooled draws")
+	}
+	p.Close() // idempotent
+}
+
+func TestMetricsRegistered(t *testing.T) {
+	reg := metrics.NewRegistry()
+	s := testSampler(t, 100)
+	p := New(Config{Capacity: 16, Seed: 29, Metrics: reg})
+	defer p.Close()
+	p.Bind(s)
+	warm(t, p, s, 0, 99)
+	p.TakeInto(s, 0, 99, 4, nil)
+	st := p.Snapshot()
+	if st.Hits != 1 || st.Draws != 4 || st.Misses == 0 || st.Refills == 0 {
+		t.Fatalf("stats off: %+v", st)
+	}
+}

@@ -1,0 +1,121 @@
+package samplepool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// offsetSampler builds a sampler whose values occupy [base, base+n):
+// disjoint value ranges per generation make a cross-generation pooled
+// draw detectable by value alone.
+func offsetSampler(t testing.TB, base float64, n int) *core.RangeSampler {
+	t.Helper()
+	values := make([]float64, n)
+	weights := make([]float64, n)
+	for i := range values {
+		values[i] = base + float64(i)
+		weights[i] = 1 + float64(i%5)
+	}
+	s, err := core.NewRangeSampler(core.KindChunked, values, weights)
+	if err != nil {
+		t.Fatalf("NewRangeSampler: %v", err)
+	}
+	return s
+}
+
+// TestBindInvalidateTakeHammer is the pool half of the snapshot-swap
+// ordering guard (run under -race): takers hammer TakeInto against
+// whichever sampler they last observed as current while a swapper
+// rebinds the pool between two generations with disjoint value ranges
+// and invalidates the retired structure's cover caches — the exact
+// retire sequence the service's snapshot swap and the ingest rebuild
+// run. The staleness contract under test: a take presenting sampler s
+// returns pooled draws only when s is still the bound structure, so no
+// draw from generation A can ever surface in a take against generation
+// B, regardless of how the purge interleaves with concurrent fills.
+func TestBindInvalidateTakeHammer(t *testing.T) {
+	const n = 512
+	gens := []*core.RangeSampler{
+		offsetSampler(t, 0, n),
+		offsetSampler(t, 10000, n),
+	}
+	bases := []float64{0, 10000}
+	p := New(Config{Capacity: 128, MinTakes: 1, Seed: 5})
+	defer p.Close()
+	var current atomic.Int32
+	p.Bind(gens[0])
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			dst := make([]float64, 0, 16)
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				gi := current.Load()
+				s, base := gens[gi], bases[gi]
+				lo := base + float64((id*37+i)%128)
+				hi := lo + 64
+				out, took := p.TakeInto(s, lo, hi, 8, dst[:0])
+				if len(out) != took {
+					t.Errorf("TakeInto returned %d values for %d takes", len(out), took)
+					return
+				}
+				for _, v := range out {
+					// A draw outside the presented sampler's window is
+					// stale inventory from the other generation (or a
+					// torn fill) leaking through the swap.
+					if v < lo || v > hi {
+						t.Errorf("pooled draw %v outside [%v, %v] of generation %d", v, lo, hi, gi)
+						return
+					}
+				}
+				if i%16 == 0 {
+					runtime.Gosched()
+				}
+			}
+		}(g)
+	}
+	// The swapper: retire one generation, bind the other, purge the
+	// retiree's cover caches — with takers racing every step.
+	for i := 0; i < 300; i++ {
+		next := int32((i + 1) % 2)
+		current.Store(next)
+		p.Bind(gens[next])
+		gens[1-next].InvalidateCovers()
+		if i%8 == 0 {
+			p.Invalidate()
+		}
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	// The pool must still serve after the swap storm: warm one window
+	// on the final binding and take from it.
+	final := current.Load()
+	s, base := gens[final], bases[final]
+	lo, hi := base+10, base+80
+	for i := 0; i < 4096; i++ {
+		if p.Hot(s, lo, hi, 4) {
+			break
+		}
+		p.TakeInto(s, lo, hi, 4, nil)
+		runtime.Gosched()
+	}
+	if _, took := p.TakeInto(s, lo, hi, 4, nil); took == 0 {
+		t.Fatal("pool serves nothing after the swap storm")
+	}
+}

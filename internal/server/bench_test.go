@@ -2,12 +2,15 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"repro/internal/samplepool"
 	"repro/internal/shard"
 )
 
@@ -21,17 +24,43 @@ func benchServer(b *testing.B) *Server {
 }
 
 func benchServerOpts(b *testing.B, opts Options) *Server {
+	s, _ := benchServerPool(b, nil, opts)
+	return s
+}
+
+func benchServerPool(b *testing.B, pool *samplepool.Config, opts Options) (*Server, *shard.Coordinator) {
 	b.Helper()
 	n := 1 << 14
 	values := make([]float64, n)
 	for i := 0; i < n; i++ {
 		values[i] = float64(i)
 	}
-	coord, err := shard.New(context.Background(), "bench", values, nil, shard.Options{Shards: 4})
+	coord, err := shard.New(context.Background(), "bench", values, nil, shard.Options{Shards: 4, Pool: pool})
 	if err != nil {
 		b.Fatal(err)
 	}
-	return New(coord, opts)
+	b.Cleanup(coord.Close)
+	return New(coord, opts), coord
+}
+
+// warmPool drives the hot request until the coordinator reports the
+// window fully pooled, yielding so the single filler goroutine gets CPU
+// on single-core CI machines.
+func warmPool(b *testing.B, h http.Handler, coord *shard.Coordinator, target string, lo, hi float64, k int) {
+	b.Helper()
+	for i := 0; i < 8192; i++ {
+		req := httptest.NewRequest(http.MethodGet, target, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("warm status %d: %s", rec.Code, rec.Body.String())
+		}
+		runtime.Gosched()
+		if coord.PoolHot(lo, hi, k) {
+			return
+		}
+	}
+	b.Fatal("pool never warmed")
 }
 
 func BenchmarkServerSample(b *testing.B) {
@@ -82,6 +111,126 @@ func BenchmarkServerSampleParallel(b *testing.B) {
 			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
 			_ = s.Shutdown(ctx)
 			cancel()
+		})
+	}
+}
+
+// hot-range workload: one fixed window inside a single shard (shard 1
+// of 4 over 0..16383 owns [4096, 8192)), k=16 — the regime the sample
+// pool targets. The pooled variant yields every few requests so the
+// background filler gets scheduled on single-core machines; the nopool
+// variant yields identically so the comparison is symmetric.
+const (
+	benchHotTarget = "/sample?lo=5000&hi=5200&k=16"
+	benchHotLo     = 5000.0
+	benchHotHi     = 5200.0
+	benchHotK      = 16
+)
+
+func BenchmarkServerSampleHot(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		pool *samplepool.Config
+	}{
+		{"nopool", nil},
+		{"pool", &samplepool.Config{Capacity: 4096, Seed: 9, MinTakes: 2}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, coord := benchServerPool(b, cfg.pool, Options{Seed: 7})
+			h := s.Handler()
+			if cfg.pool != nil {
+				warmPool(b, h, coord, benchHotTarget, benchHotLo, benchHotHi, benchHotK)
+			}
+			req := httptest.NewRequest(http.MethodGet, benchHotTarget, nil)
+			w := &benchWriter{hdr: make(http.Header)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.code = 0
+				h.ServeHTTP(w, req)
+				if w.code != http.StatusOK {
+					b.Fatalf("status %d", w.code)
+				}
+				if i&7 == 7 {
+					runtime.Gosched()
+				}
+			}
+		})
+	}
+}
+
+// benchWriter is a reusable no-op ResponseWriter: the binary allocs/op
+// gate measures the serving stack, not the test recorder.
+type benchWriter struct {
+	hdr  http.Header
+	code int
+	n    int
+}
+
+func (w *benchWriter) Header() http.Header { return w.hdr }
+func (w *benchWriter) Write(p []byte) (int, error) {
+	w.n += len(p)
+	return len(p), nil
+}
+func (w *benchWriter) WriteHeader(c int) { w.code = c }
+
+// BenchmarkServerSampleBinary is the allocs/op gate on the binary
+// encode path (CI asserts ≤ 10): hot window, warm pool, negotiated
+// binary framing, reusable writer.
+func BenchmarkServerSampleBinary(b *testing.B) {
+	s, coord := benchServerPool(b, &samplepool.Config{Capacity: 4096, Seed: 9, MinTakes: 2}, Options{Seed: 7})
+	h := s.Handler()
+	warmPool(b, h, coord, benchHotTarget, benchHotLo, benchHotHi, benchHotK)
+	req := httptest.NewRequest(http.MethodGet, benchHotTarget, nil)
+	req.Header.Set("Accept", BinContentType)
+	w := &benchWriter{hdr: make(http.Header)}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.code = 0
+		h.ServeHTTP(w, req)
+		if w.code != http.StatusOK {
+			b.Fatalf("status %d", w.code)
+		}
+		if i&7 == 7 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// BenchmarkServerSampleUniform is the no-regression gate: every request
+// asks a fresh range never seen before (as a genuinely uniform random
+// workload over a large range space would), so the pool never hits and
+// the pooled variant must stay within a few percent of nopool — the
+// MinTakes gate keeps one-shot windows from queueing fills, so the
+// pool's whole cost is registering (and LRU-evicting) cold entries.
+func BenchmarkServerSampleUniform(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		pool *samplepool.Config
+	}{
+		{"nopool", nil},
+		{"pool", &samplepool.Config{Capacity: 4096, Seed: 9, MinTakes: 2}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			s, _ := benchServerPool(b, cfg.pool, Options{Seed: 7})
+			h := s.Handler()
+			reqs := make([]*http.Request, b.N)
+			for i := range reqs {
+				lo := (i*53 + i/8192) % (1 << 13)
+				hi := lo + 512 + (i*131)%4096
+				reqs[i] = httptest.NewRequest(http.MethodGet, fmt.Sprintf("/sample?lo=%d&hi=%d&k=16", lo, hi), nil)
+			}
+			w := &benchWriter{hdr: make(http.Header)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				w.code = 0
+				h.ServeHTTP(w, reqs[i])
+				if w.code != http.StatusOK {
+					b.Fatalf("status %d", w.code)
+				}
+			}
 		})
 	}
 }

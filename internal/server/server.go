@@ -27,6 +27,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -67,6 +68,19 @@ type Engine interface {
 	Count(ctx context.Context, lo, hi float64) (int, error)
 	Health() shard.Health
 	Downgrades() []shard.Downgrade
+}
+
+// poolProber is the optional pool-aware-admission extension of Engine;
+// *shard.Coordinator implements it. PoolHot reports whether a WR query
+// would be answered entirely from precomputed sample-pool inventory
+// without consuming any (it does record demand, which is what warms
+// pool windows under coalesced serving). The /sample handler routes hot
+// requests around the batch coalescer: coalescing exists to amortise
+// fan-out overhead that the pooled path never pays, and pooled draws
+// are identically distributed and independent per request, so the
+// bypass preserves the IQS contract.
+type poolProber interface {
+	PoolHot(lo, hi float64, k int) bool
 }
 
 // MutableEngine is the optional write-path extension of Engine;
@@ -123,13 +137,18 @@ type Options struct {
 
 // Server serves the engine over HTTP. Create with New.
 type Server struct {
-	eng  Engine
-	mut  MutableEngine // nil when eng has no write path
-	opts Options
-	reg  *metrics.Registry
-	log  *slog.Logger
+	eng    Engine
+	mut    MutableEngine // nil when eng has no write path
+	prober poolProber    // nil when eng has no pool probe
+	opts   Options
+	reg    *metrics.Registry
+	log    *slog.Logger
 
-	sem      chan struct{}
+	sem chan struct{}
+	// release is the single slot-release func admit hands back on every
+	// admission; allocating it once here keeps a closure off the
+	// per-request path.
+	release  func()
 	queued   atomic.Int64
 	draining atomic.Bool
 	reqSeq   atomic.Uint64
@@ -162,6 +181,11 @@ type Server struct {
 	coalBatchSize *metrics.Histogram
 	coalLinger    *metrics.Histogram
 	coalesced     *metrics.Counter
+
+	// wireJSON / wireBin count query responses by negotiated encoding
+	// ("/sample" and "/batch" bodies, success and per-query error alike).
+	wireJSON *metrics.Counter
+	wireBin  *metrics.Counter
 
 	hs *http.Server
 }
@@ -206,7 +230,9 @@ func New(eng Engine, opts Options) *Server {
 		log:  opts.Logger,
 		sem:  make(chan struct{}, opts.MaxInFlight),
 	}
+	s.release = func() { <-s.sem }
 	s.mut, _ = eng.(MutableEngine)
+	s.prober, _ = eng.(poolProber)
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
 	}
@@ -231,6 +257,8 @@ func New(eng Engine, opts Options) *Server {
 		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
 	s.coalLinger = reg.Histogram("iqs_coalesce_linger_seconds", "Time each batch spent waiting for stragglers.", nil)
 	s.coalesced = reg.Counter("iqs_coalesced_requests_total", "Requests answered through a coalesced batch.")
+	s.wireJSON = reg.Counter("iqs_wire_encoding_total", "Query responses encoded, by wire format.", metrics.L("format", "json"))
+	s.wireBin = reg.Counter("iqs_wire_encoding_total", "Query responses encoded, by wire format.", metrics.L("format", "binary"))
 	reg.GaugeFunc("iqs_server_in_flight", "Requests currently executing.",
 		func() float64 { return float64(len(s.sem)) })
 	reg.GaugeFunc("iqs_server_queue_depth", "Requests admitted or waiting for an execution slot.",
@@ -336,7 +364,7 @@ func (s *Server) admit(ctx context.Context) (func(), int) {
 	select {
 	case s.sem <- struct{}{}:
 		s.queued.Add(-1)
-		return func() { <-s.sem }, 0
+		return s.release, 0
 	case <-ctx.Done():
 		s.queued.Add(-1)
 		s.rejectedGone.Add(1)
@@ -524,13 +552,16 @@ func queryValue(r *http.Request, key string) string {
 }
 
 func parseSampleParams(r *http.Request) (sampleParams, error) {
-	var p sampleParams
 	if r.Method == http.MethodPost {
-		if err := json.NewDecoder(r.Body).Decode(&p); err != nil {
-			return p, fmt.Errorf("bad JSON body: %w", err)
+		// Decoded in its own variable so taking its address here does
+		// not force the GET path's p onto the heap.
+		var pp sampleParams
+		if err := json.NewDecoder(r.Body).Decode(&pp); err != nil {
+			return pp, fmt.Errorf("bad JSON body: %w", err)
 		}
-		return p, nil
+		return pp, nil
 	}
+	var p sampleParams
 	var err error
 	lo, hi, k := queryValue(r, "lo"), queryValue(r, "hi"), queryValue(r, "k")
 	if p.Lo, err = strconv.ParseFloat(lo, 64); err != nil {
@@ -589,7 +620,16 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	endEngine := tr.StartSpan("engine")
 	bp := samplePool.Get().(*[]float64)
 	var out []float64
-	if s.coal != nil {
+	coalesce := s.coal != nil
+	if coalesce && !p.WoR && s.prober != nil && s.prober.PoolHot(p.Lo, p.Hi, p.K) {
+		// Pool-aware admission: the whole budget is sitting pre-drawn in
+		// one shard's pool, so the coalescing rendezvous would only add
+		// latency. The pooled response is identically distributed (and
+		// independent) — the IQS contract — though not byte-identical to
+		// what the coalesced kernel would have drawn for this request id.
+		coalesce = false
+	}
+	if coalesce {
 		// Coalesced path: same stream (randFor(seq)) and same pooled
 		// buffer as below, so the response for this X-Request-ID is
 		// byte-identical either way.
@@ -614,11 +654,21 @@ func (s *Server) handleSample(w http.ResponseWriter, r *http.Request) {
 	}
 	endEncode := tr.StartSpan("encode")
 	encodeStart := time.Now()
-	writeJSON(w, http.StatusOK, sampleResponse{
-		Samples:   out,
-		Count:     len(out),
-		ElapsedUS: time.Since(start).Microseconds(),
-	})
+	if wantBinary(r) {
+		s.wireBin.Add(1)
+		bb := binPool.Get().(*[]byte)
+		body := appendSampleFrame((*bb)[:0], out)
+		s.writeBin(w, http.StatusOK, body)
+		*bb = body[:0]
+		binPool.Put(bb)
+	} else {
+		s.wireJSON.Add(1)
+		bb := binPool.Get().(*[]byte)
+		body := appendSampleJSON((*bb)[:0], out, time.Since(start).Microseconds())
+		writeRawJSON(w, http.StatusOK, body)
+		*bb = body[:0]
+		binPool.Put(bb)
+	}
 	s.stage[stageEncode].Observe(time.Since(encodeStart).Seconds())
 	endEncode()
 	*bp = out[:0] // keep any growth the engine caused
@@ -688,6 +738,28 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	endEngine := tr.StartSpan("engine")
 	results := s.eng.Batch(ctx, s.randFor(seq), queries)
 	endEngine()
+	s.served.Add(1)
+	if wantBinary(r) {
+		s.wireBin.Add(1)
+		endEncode := tr.StartSpan("encode")
+		encodeStart := time.Now()
+		bb := binPool.Get().(*[]byte)
+		body := binary.LittleEndian.AppendUint32((*bb)[:0], uint32(len(results)))
+		for _, res := range results {
+			if res.Err != nil {
+				body = appendErrorFrame(body, statusOf(res.Err), res.Err.Error())
+				continue
+			}
+			body = appendSampleFrame(body, res.Samples)
+		}
+		s.writeBin(w, http.StatusOK, body)
+		*bb = body[:0]
+		binPool.Put(bb)
+		s.stage[stageEncode].Observe(time.Since(encodeStart).Seconds())
+		endEncode()
+		return
+	}
+	s.wireJSON.Add(1)
 	out := make([]batchResult, len(results))
 	for i, res := range results {
 		if res.Err != nil {
@@ -700,7 +772,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		out[i] = batchResult{Samples: samples, Status: http.StatusOK}
 	}
-	s.served.Add(1)
 	endEncode := tr.StartSpan("encode")
 	encodeStart := time.Now()
 	writeJSON(w, http.StatusOK, map[string]any{"results": out})

@@ -1,0 +1,237 @@
+// Binary wire format for the query endpoints.
+//
+// JSON encode dominates the /sample hot path once the engine itself is
+// fast (float formatting plus per-element commas cost more than the
+// draw). Clients that opt in via content negotiation — an Accept header
+// containing "application/x-iqs-bin" — get responses in a compact
+// length-prefixed binary framing instead; requests without the header
+// keep getting JSON, so the format is purely additive.
+//
+// All integers are little-endian; floats are IEEE-754 bits via
+// math.Float64bits. One frame is
+//
+//	[u32 payloadLen][payload]
+//
+// with payloadLen the byte length of payload. Payloads start with a
+// one-byte kind tag:
+//
+//	kind 0 (samples): [u8 0][u32 count][count × f64]
+//	kind 1 (error):   [u8 1][u16 httpStatus][u32 msgLen][msg bytes]
+//
+// A /sample response body is exactly one frame (kind 0 on success).
+// A /batch response body is [u32 nResults] followed by nResults frames,
+// one per query in order, each kind 0 or kind 1. Request-level errors
+// (bad parameters, shed load) are answered in JSON with a non-200
+// status regardless of Accept: they are exceptional, and keeping one
+// error shape avoids a second error vocabulary on the wire.
+//
+// Encoding appends into pooled buffers (binPool) so the steady-state
+// binary path allocates nothing for the body.
+package server
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// BinContentType is the negotiated media type of the binary framing.
+const BinContentType = "application/x-iqs-bin"
+
+// Frame kind tags.
+const (
+	binKindSamples = 0
+	binKindError   = 1
+)
+
+// binPool recycles binary response bodies.
+var binPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 4096)
+	return &b
+}}
+
+// wantBinary reports whether the client negotiated the binary framing.
+// A substring scan is deliberate: the header is either absent, exactly
+// the media type, or a list containing it — full Accept parsing (q
+// values, wildcards) buys nothing on this internal protocol.
+func wantBinary(r *http.Request) bool {
+	return strings.Contains(r.Header.Get("Accept"), BinContentType)
+}
+
+// appendSampleFrame appends one kind-0 frame holding samples.
+func appendSampleFrame(b []byte, samples []float64) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(1+4+8*len(samples)))
+	b = append(b, binKindSamples)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(samples)))
+	for _, v := range samples {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	}
+	return b
+}
+
+// appendErrorFrame appends one kind-1 frame holding a per-query error.
+func appendErrorFrame(b []byte, status int, msg string) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(1+2+4+len(msg)))
+	b = append(b, binKindError)
+	b = binary.LittleEndian.AppendUint16(b, uint16(status))
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(msg)))
+	b = append(b, msg...)
+	return b
+}
+
+// Shared header values: Header().Set allocates a fresh []string per
+// call, so the hot paths assign these canonical-key entries directly.
+var (
+	binCTVal  = []string{BinContentType}
+	jsonCTVal = []string{"application/json"}
+)
+
+// writeBin writes a fully-encoded binary body. Content-Length is left
+// to net/http: bodies that fit its write buffer get the header computed
+// for free, larger ones are correctly chunked — setting it here would
+// cost a string and a header slice per response.
+func (s *Server) writeBin(w http.ResponseWriter, status int, body []byte) {
+	w.Header()["Content-Type"] = binCTVal
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// writeRawJSON writes a pre-encoded JSON body (hand-rolled /sample
+// fast path; everything else goes through writeJSON's pooled encoder).
+func writeRawJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header()["Content-Type"] = jsonCTVal
+	w.WriteHeader(status)
+	_, _ = w.Write(body)
+}
+
+// appendSampleJSON hand-encodes a sampleResponse: the stdlib encoder's
+// reflection walk costs several times the pooled draw itself on a
+// 16-sample body. Output is byte-identical to encoding/json for this
+// struct (same shortest-round-trip float formatting, same trailing
+// newline as json.Encoder) for the finite values the engine emits.
+func appendSampleJSON(b []byte, samples []float64, elapsedUS int64) []byte {
+	b = append(b, `{"samples":[`...)
+	for i, v := range samples {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONFloat(b, v)
+	}
+	b = append(b, `],"count":`...)
+	b = strconv.AppendInt(b, int64(len(samples)), 10)
+	b = append(b, `,"elapsed_us":`...)
+	b = strconv.AppendInt(b, elapsedUS, 10)
+	return append(b, '}', '\n')
+}
+
+// appendJSONFloat matches encoding/json's float64 rule: 'f' unless the
+// magnitude forces 'e', shortest form, exponent leading zero trimmed.
+func appendJSONFloat(b []byte, f float64) []byte {
+	format := byte('f')
+	if abs := math.Abs(f); abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+// BinResult is one decoded /batch entry: Status 200 carries Samples,
+// anything else carries Err.
+type BinResult struct {
+	Samples []float64
+	Status  int
+	Err     string
+}
+
+// decodeFrame decodes one frame at the head of b, returning the rest.
+func decodeFrame(b []byte) (res BinResult, rest []byte, err error) {
+	if len(b) < 4 {
+		return res, nil, fmt.Errorf("iqs-bin: truncated frame header (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) < n || n < 1 {
+		return res, nil, fmt.Errorf("iqs-bin: frame length %d exceeds body", n)
+	}
+	payload, rest := b[:n], b[n:]
+	switch payload[0] {
+	case binKindSamples:
+		if len(payload) < 5 {
+			return res, nil, fmt.Errorf("iqs-bin: truncated samples frame")
+		}
+		count := binary.LittleEndian.Uint32(payload[1:])
+		payload = payload[5:]
+		if uint32(len(payload)) != 8*count {
+			return res, nil, fmt.Errorf("iqs-bin: samples frame holds %d bytes, want %d", len(payload), 8*count)
+		}
+		res.Status = http.StatusOK
+		res.Samples = make([]float64, count)
+		for i := range res.Samples {
+			res.Samples[i] = math.Float64frombits(binary.LittleEndian.Uint64(payload[8*i:]))
+		}
+		return res, rest, nil
+	case binKindError:
+		if len(payload) < 7 {
+			return res, nil, fmt.Errorf("iqs-bin: truncated error frame")
+		}
+		res.Status = int(binary.LittleEndian.Uint16(payload[1:]))
+		msgLen := binary.LittleEndian.Uint32(payload[3:])
+		payload = payload[7:]
+		if uint32(len(payload)) != msgLen {
+			return res, nil, fmt.Errorf("iqs-bin: error frame holds %d bytes, want %d", len(payload), msgLen)
+		}
+		res.Err = string(payload)
+		return res, rest, nil
+	default:
+		return res, nil, fmt.Errorf("iqs-bin: unknown frame kind %d", payload[0])
+	}
+}
+
+// DecodeSampleBody decodes a binary /sample response body (one kind-0
+// frame). The load generator and tests use it; servers never decode.
+func DecodeSampleBody(b []byte) ([]float64, error) {
+	res, rest, err := decodeFrame(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("iqs-bin: %d trailing bytes after sample frame", len(rest))
+	}
+	if res.Status != http.StatusOK {
+		return nil, fmt.Errorf("iqs-bin: error frame in /sample body: %d %s", res.Status, res.Err)
+	}
+	return res.Samples, nil
+}
+
+// DecodeBatchBody decodes a binary /batch response body ([u32 nResults]
+// then one frame per query, in order).
+func DecodeBatchBody(b []byte) ([]BinResult, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("iqs-bin: truncated batch header (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	out := make([]BinResult, 0, n)
+	for i := uint32(0); i < n; i++ {
+		res, rest, err := decodeFrame(b)
+		if err != nil {
+			return nil, fmt.Errorf("iqs-bin: result %d: %w", i, err)
+		}
+		out = append(out, res)
+		b = rest
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("iqs-bin: %d trailing bytes after %d results", len(b), n)
+	}
+	return out, nil
+}

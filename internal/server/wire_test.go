@@ -1,0 +1,210 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/samplepool"
+	"repro/internal/shard"
+)
+
+// newWireServer builds a 4-shard engine over 0..n-1 with optional
+// pooling and returns the server plus coordinator.
+func newWireServer(t testing.TB, pool *samplepool.Config, opts Options) (*Server, *shard.Coordinator) {
+	t.Helper()
+	n := 1 << 12
+	values := make([]float64, n)
+	for i := 0; i < n; i++ {
+		values[i] = float64(i)
+	}
+	coord, err := shard.New(context.Background(), "wire", values, nil, shard.Options{Shards: 4, Pool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(coord.Close)
+	return New(coord, opts), coord
+}
+
+// TestSampleBinaryRoundTrip proves the negotiated binary /sample body
+// decodes to exactly the samples the JSON path would carry: same seed,
+// same request id stream, so the responses must agree element-wise.
+func TestSampleBinaryRoundTrip(t *testing.T) {
+	const target = "/sample?lo=100&hi=900&k=12"
+	sJSON, _ := newWireServer(t, nil, Options{Seed: 11})
+	sBin, _ := newWireServer(t, nil, Options{Seed: 11})
+
+	req := httptest.NewRequest(http.MethodGet, target, nil)
+	rec := httptest.NewRecorder()
+	sJSON.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("json status %d: %s", rec.Code, rec.Body.String())
+	}
+	var jr sampleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &jr); err != nil {
+		t.Fatal(err)
+	}
+
+	req = httptest.NewRequest(http.MethodGet, target, nil)
+	req.Header.Set("Accept", BinContentType)
+	rec = httptest.NewRecorder()
+	sBin.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("binary status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != BinContentType {
+		t.Fatalf("Content-Type = %q, want %q", ct, BinContentType)
+	}
+	got, err := DecodeSampleBody(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(jr.Samples) {
+		t.Fatalf("binary carried %d samples, json %d", len(got), len(jr.Samples))
+	}
+	for i := range got {
+		if got[i] != jr.Samples[i] {
+			t.Fatalf("sample %d: binary %v != json %v", i, got[i], jr.Samples[i])
+		}
+	}
+}
+
+// TestBatchBinary decodes a mixed success/error batch.
+func TestBatchBinary(t *testing.T) {
+	s, _ := newWireServer(t, nil, Options{Seed: 3})
+	body := `{"queries":[{"lo":100,"hi":900,"k":4},{"lo":-5,"hi":-1,"k":4},{"lo":0,"hi":4000,"k":0}]}`
+	req := httptest.NewRequest(http.MethodPost, "/batch", strings.NewReader(body))
+	req.Header.Set("Accept", BinContentType)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	results, err := DecodeBatchBody(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("decoded %d results, want 3", len(results))
+	}
+	if results[0].Status != http.StatusOK || len(results[0].Samples) != 4 {
+		t.Fatalf("result 0: status %d, %d samples", results[0].Status, len(results[0].Samples))
+	}
+	if results[1].Status != http.StatusUnprocessableEntity || results[1].Err == "" {
+		t.Fatalf("result 1: status %d err %q, want 422 with message", results[1].Status, results[1].Err)
+	}
+	if results[2].Status != http.StatusOK || len(results[2].Samples) != 0 {
+		t.Fatalf("result 2: status %d, %d samples, want empty OK", results[2].Status, len(results[2].Samples))
+	}
+}
+
+// TestBinaryNegotiation: no Accept header (or an unrelated one) keeps
+// the JSON encoding, and the wire counters attribute each response to
+// its format.
+func TestBinaryNegotiation(t *testing.T) {
+	s, _ := newWireServer(t, nil, Options{Seed: 5})
+	h := s.Handler()
+
+	req := httptest.NewRequest(http.MethodGet, "/sample?lo=0&hi=100&k=2", nil)
+	req.Header.Set("Accept", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q, want JSON without negotiation", ct)
+	}
+	req = httptest.NewRequest(http.MethodGet, "/sample?lo=0&hi=100&k=2", nil)
+	req.Header.Set("Accept", "application/json, "+BinContentType)
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); ct != BinContentType {
+		t.Fatalf("Content-Type = %q, want binary when listed", ct)
+	}
+	if j, bin := s.wireJSON.Value(), s.wireBin.Value(); j != 1 || bin != 1 {
+		t.Fatalf("wire counters json=%d binary=%d, want 1 and 1", j, bin)
+	}
+}
+
+// TestDecodeRejectsMalformed exercises the decoder's bounds checks.
+func TestDecodeRejectsMalformed(t *testing.T) {
+	good := appendSampleFrame(nil, []float64{1, 2, 3})
+	if _, err := DecodeSampleBody(good); err != nil {
+		t.Fatalf("good frame rejected: %v", err)
+	}
+	for name, body := range map[string][]byte{
+		"empty":       {},
+		"shortHeader": good[:3],
+		"truncated":   good[:len(good)-1],
+		"overlength":  append(append([]byte(nil), good...), 0xff),
+		"badKind":     {5, 0, 0, 0, 9, 0, 0, 0, 0},
+	} {
+		if _, err := DecodeSampleBody(body); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+	if _, err := DecodeBatchBody([]byte{1}); err == nil {
+		t.Error("truncated batch header decoded without error")
+	}
+}
+
+// TestPoolAdmissionBypass: with pooling enabled and a window warmed,
+// the coordinator reports the window hot and /sample responses served
+// through the bypass stay correct. The coalescer path and the direct
+// path are byte-identical per request id, so only correctness (not
+// routing) is observable through the response — the probe itself is
+// asserted directly.
+func TestPoolAdmissionBypass(t *testing.T) {
+	pool := &samplepool.Config{Capacity: 256, Seed: 17}
+	s, coord := newWireServer(t, pool, Options{Seed: 17, Coalesce: 8})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 1e9)
+		defer cancel()
+		_ = s.Shutdown(ctx)
+	}()
+	h := s.Handler()
+	const lo, hi, k = 600, 680, 8 // inside shard 0 of 4 over 0..4095
+
+	warmed := false
+	for i := 0; i < 4000; i++ {
+		req := httptest.NewRequest(http.MethodGet, "/sample?lo=600&hi=680&k=8", nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+		runtime.Gosched() // single-CPU CI: let the filler run
+		if coord.PoolHot(lo, hi, k) {
+			warmed = true
+			break
+		}
+	}
+	if !warmed {
+		t.Fatal("pool never reported the hot window ready")
+	}
+	// Served through the bypass now that the window is hot.
+	req := httptest.NewRequest(http.MethodGet, "/sample?lo=600&hi=680&k=8", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hot status %d: %s", rec.Code, rec.Body.String())
+	}
+	var jr sampleResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &jr); err != nil {
+		t.Fatal(err)
+	}
+	if len(jr.Samples) != k {
+		t.Fatalf("hot response carried %d samples, want %d", len(jr.Samples), k)
+	}
+	for _, v := range jr.Samples {
+		if v < lo || v > hi {
+			t.Fatalf("pooled sample %v outside [%v, %v]", v, float64(lo), float64(hi))
+		}
+	}
+	// Multi-shard ranges never probe hot.
+	if coord.PoolHot(0, 4000, 8) {
+		t.Fatal("multi-shard range reported pool-hot")
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
+	"repro/internal/samplepool"
 )
 
 // Mutable serving: CreateMutable hosts a dataset behind an ingest.Table
@@ -98,6 +99,9 @@ func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind
 		return err
 	}
 	ds := &dataset{name: name, requested: kind, values: vcopy, weights: wcopy, snap: snap}
+	if ds.pool = s.newPool(name); ds.pool != nil {
+		ds.pool.Bind(snap.sampler)
+	}
 	cfg := ingest.Config{
 		Seed:             mo.Seed,
 		QueueDepth:       mo.QueueDepth,
@@ -116,12 +120,22 @@ func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind
 			// Mirror the new base into the Health snapshot; reads keep
 			// going through the table.
 			ds.publish(sn)
+			if ds.pool != nil {
+				// Retire every pooled draw for the old base before the
+				// table swaps the new one in: draws pooled against the
+				// retired base can never be served once deltas it did
+				// not see are folded into the replacement.
+				ds.pool.Bind(sn.sampler)
+			}
 			s.rebuilds.Add(1)
 			return sn.sampler, nil
 		},
 	}
 	tbl, err := ingest.New(snap.sampler, cfg)
 	if err != nil {
+		if ds.pool != nil {
+			ds.pool.Close()
+		}
 		return err
 	}
 	ds.tbl = tbl
@@ -137,6 +151,9 @@ func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind
 	defer s.mu.Unlock()
 	if _, ok := s.datasets[name]; ok {
 		tbl.Close()
+		if ds.pool != nil {
+			ds.pool.Close()
+		}
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	s.datasets[name] = ds
@@ -147,14 +164,55 @@ func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind
 // table's union sampler (frozen base + overlay, tombstones masked) with
 // the dynamic-expectations monitor folded afterwards. While the table
 // is pure (overlay empty, no tombstones) the draw is the base's own
-// zero-alloc hot path.
+// zero-alloc hot path — and, when pooling is enabled, may be served
+// from pre-drawn inventory. The pool is consulted only behind the same
+// lock-free purity gate as the fast path (live state IS the frozen
+// base), and a partial hit completes from that same frozen base, so
+// the response is linearized at the purity check exactly like an
+// unpooled pure read. Rebuilds rebind the pool before publishing the
+// new base, so draws pooled against a retired base are unreachable.
 func (s *Service) mutableSampleInto(ctx context.Context, ds *dataset, r *core.Rand, lo, hi float64, k int, dst []float64) (out []float64, err error) {
 	snap := ds.snapshot()
 	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
 	start := time.Now()
+	out = dst
+	if ds.pool != nil && k > 0 {
+		if base, pure := ds.tbl.PureBase(); pure {
+			if err = ctx.Err(); err != nil {
+				end()
+				return dst, err
+			}
+			var took int
+			out, took = ds.pool.TakeInto(base, lo, hi, k, out)
+			if took == k {
+				s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
+				end()
+				ds.liveMon.Fold(lo, hi, out[len(dst):], false)
+				return out, nil
+			}
+			if took > 0 {
+				// Complete the response from the same frozen base the
+				// pooled draws came from, not the union sampler: the
+				// whole response then reflects one state of S.
+				sc := core.GetScratch()
+				err = s.guard(snap.active, "sample", func() error {
+					var e error
+					out, e = base.SampleContextInto(ctx, r, lo, hi, k-took, out, sc)
+					return e
+				})
+				core.PutScratch(sc)
+				s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
+				end()
+				if err != nil {
+					return dst, err
+				}
+				ds.liveMon.Fold(lo, hi, out[len(dst):], false)
+				return out, nil
+			}
+		}
+	}
 	sc := core.GetScratch()
 	defer core.PutScratch(sc)
-	out = dst
 	err = s.guard(snap.active, "sample", func() error {
 		if e := ctx.Err(); e != nil {
 			return e
@@ -274,13 +332,20 @@ func (s *Service) Mutable(name string) bool {
 func (s *Service) Close() {
 	s.mu.RLock()
 	tables := make([]*ingest.Table, 0, len(s.datasets))
+	pools := make([]*samplepool.Pool, 0, len(s.datasets))
 	for _, ds := range s.datasets {
 		if ds.tbl != nil {
 			tables = append(tables, ds.tbl)
+		}
+		if ds.pool != nil {
+			pools = append(pools, ds.pool)
 		}
 	}
 	s.mu.RUnlock()
 	for _, t := range tables {
 		t.Close()
+	}
+	for _, p := range pools {
+		p.Close()
 	}
 }

@@ -50,6 +50,7 @@ import (
 	"repro/internal/em"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
+	"repro/internal/samplepool"
 )
 
 // ErrEmptyDataset is returned by Create for zero elements and by Delete
@@ -90,6 +91,14 @@ type Options struct {
 	// buffer; 0 means 256. The total downgrade count is unaffected
 	// (Health.Downgrades keeps counting past the cap).
 	DowngradeEventCap int
+	// Pool, when non-nil, enables consume-once precomputed sample pools
+	// on the weighted WR read path (internal/samplepool): hot ranges are
+	// answered from pre-drawn buffers refilled off the request path,
+	// with strict kernel fallback on miss or exhaustion. The config is
+	// cloned per dataset; its Metrics/Labels fields are owned by the
+	// service (per-dataset labels are stamped automatically) and the
+	// per-dataset filler seed is derived from Seed and the dataset name.
+	Pool *samplepool.Config
 }
 
 // DowngradeEvent records one fallback to the naive sampler.
@@ -151,6 +160,11 @@ type dataset struct {
 
 	tbl     *ingest.Table       // non-nil iff the dataset is mutable
 	liveMon *metrics.Uniformity // dynamic-expectations monitor (mutable only)
+
+	// pool, when non-nil, caches pre-drawn consume-once samples for hot
+	// ranges of the currently published frozen structure; rebound on
+	// every snapshot swap so it can never serve a retired base.
+	pool *samplepool.Pool
 }
 
 func (ds *dataset) snapshot() *snapshot {
@@ -285,6 +299,24 @@ func (s *Service) monitorOpts(name string) metrics.UniformityOptions {
 // snapshot (frozen expectations — static datasets).
 func (s *Service) newMonitor(name string, values, weights []float64) *metrics.Uniformity {
 	return metrics.NewUniformity(values, weights, s.monitorOpts(name))
+}
+
+// newPool builds the per-dataset sample pool when pooling is enabled;
+// nil otherwise. The filler seed mixes the configured seed with the
+// dataset name so every pool draws from its own stream.
+func (s *Service) newPool(name string) *samplepool.Pool {
+	if s.opts.Pool == nil {
+		return nil
+	}
+	cfg := *s.opts.Pool
+	cfg.Metrics = s.opts.Metrics
+	cfg.Labels = append(append([]metrics.Label(nil), s.opts.MetricLabels...), metrics.L("dataset", name))
+	seed := cfg.Seed
+	for _, b := range []byte(name) {
+		seed = seed*0x100000001b3 + uint64(b) // FNV-style fold
+	}
+	cfg.Seed = seed | 1
+	return samplepool.New(cfg)
 }
 
 // recordDowngrade appends ev to the fixed-size event ring, evicting the
@@ -475,9 +507,15 @@ func (s *Service) Create(ctx context.Context, name string, kind core.Kind, value
 		return err
 	}
 	ds := &dataset{name: name, requested: kind, values: vcopy, weights: wcopy, snap: snap}
+	if ds.pool = s.newPool(name); ds.pool != nil {
+		ds.pool.Bind(snap.sampler)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.datasets[name]; ok {
+		if ds.pool != nil {
+			ds.pool.Close()
+		}
 		return fmt.Errorf("%w: %q", ErrDatasetExists, name)
 	}
 	s.datasets[name] = ds
@@ -503,26 +541,14 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 		}
 		return s.mutableSampleInto(ctx, ds, r, lo, hi, k, dst)
 	}
-	snap := ds.snapshot()
-	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
-	start := time.Now()
-	sc := core.GetScratch()
-	defer core.PutScratch(sc)
-	err = s.guard(snap.active, "sample", func() error {
-		var e error
-		var dst []float64
-		if k > 0 {
-			dst = make([]float64, 0, k)
-		}
-		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k, dst, sc)
-		return e
-	})
-	s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
-	end()
+	var dst []float64
+	if k > 0 {
+		dst = make([]float64, 0, k)
+	}
+	out, err = s.staticSampleInto(ctx, ds, r, lo, hi, k, dst)
 	if err != nil {
 		return nil, err
 	}
-	snap.monitor.Fold(lo, hi, out, false)
 	return out, nil
 }
 
@@ -531,7 +557,15 @@ func (s *Service) Sample(ctx context.Context, r *core.Rand, name string, lo, hi 
 // front end run per request. dst is returned unchanged on error, so a
 // pooled buffer can be recycled regardless of outcome.
 func (s *Service) SampleInto(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int, dst []float64) (out []float64, err error) {
-	defer s.track(&err)()
+	// Inline (open-coded) form of track: a deferred literal here stays
+	// off the heap, where the returned closure costs an allocation per
+	// request on the hottest read path.
+	s.requests.Add(1)
+	defer func() {
+		if err != nil {
+			s.failures.Add(1)
+		}
+	}()
 	ds, err := s.lookup(name)
 	if err != nil {
 		return dst, err
@@ -539,15 +573,80 @@ func (s *Service) SampleInto(ctx context.Context, r *core.Rand, name string, lo,
 	if ds.tbl != nil {
 		return s.mutableSampleInto(ctx, ds, r, lo, hi, k, dst)
 	}
+	return s.staticSampleInto(ctx, ds, r, lo, hi, k, dst)
+}
+
+// PoolHot reports whether a WR request for (lo, hi, k) against the
+// named dataset would be satisfied entirely from the sample pool.
+// It never consumes inventory, but it does record demand (samplepool
+// Probe): the server probes every candidate request on its admission
+// path, so probing is what warms the windows traffic asks for even
+// while responses flow through the coalescer, which never consumes
+// pooled draws. A hot request then skips the coalescer, because the
+// pooled path is already cheaper than the coalescing rendezvous. For
+// mutable datasets the probe additionally requires the table to be pure
+// (no overlay deltas), mirroring the gate on the pooled serving path.
+func (s *Service) PoolHot(name string, lo, hi float64, k int) bool {
+	ds, err := s.lookup(name)
+	if err != nil || ds.pool == nil {
+		return false
+	}
+	if ds.tbl != nil {
+		base, ok := ds.tbl.PureBase()
+		if !ok {
+			return false
+		}
+		return ds.pool.Probe(base, lo, hi, k)
+	}
+	snap := ds.snapshot()
+	if snap == nil || snap.sampler == nil {
+		return false
+	}
+	return ds.pool.Probe(snap.sampler, lo, hi, k)
+}
+
+// PoolStats returns a point-in-time snapshot of the named dataset's
+// sample-pool counters. The zero Stats is returned when pooling is
+// disabled or the dataset does not exist.
+func (s *Service) PoolStats(name string) samplepool.Stats {
+	ds, err := s.lookup(name)
+	if err != nil || ds.pool == nil {
+		return samplepool.Stats{}
+	}
+	return ds.pool.Snapshot()
+}
+
+// staticSampleInto is the WR read path for static datasets, shared by
+// Sample and SampleInto. When pooling is enabled it first consumes
+// pre-drawn samples for the snapshot's exact position window — a full
+// pool hit skips the kernel (and the arena checkout) entirely — and
+// draws any remainder from the live kernel; pooled and kernel draws
+// come from the identical frozen distribution, so the combined response
+// is distributed exactly like k kernel draws (see internal/samplepool).
+func (s *Service) staticSampleInto(ctx context.Context, ds *dataset, r *core.Rand, lo, hi float64, k int, dst []float64) (out []float64, err error) {
 	snap := ds.snapshot()
 	end := metrics.TraceFrom(ctx).StartSpan("service.sample")
 	start := time.Now()
+	out = dst
+	took := 0
+	if ds.pool != nil && k > 0 {
+		if err = ctx.Err(); err != nil {
+			end()
+			return dst, err
+		}
+		out, took = ds.pool.TakeInto(snap.sampler, lo, hi, k, out)
+		if took == k {
+			s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
+			end()
+			snap.monitor.Fold(lo, hi, out[len(dst):], false)
+			return out, nil
+		}
+	}
 	sc := core.GetScratch()
 	defer core.PutScratch(sc)
-	out = dst
 	err = s.guard(snap.active, "sample", func() error {
 		var e error
-		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k, out, sc)
+		out, e = snap.sampler.SampleContextInto(ctx, r, lo, hi, k-took, out, sc)
 		return e
 	})
 	s.observeLatency(opSample, snap.active, time.Since(start).Seconds())
@@ -598,7 +697,12 @@ func (s *Service) SampleWoR(ctx context.Context, r *core.Rand, name string, lo, 
 // SampleWoRInto is SampleWoR appending into caller-owned dst. dst is
 // returned unchanged on error.
 func (s *Service) SampleWoRInto(ctx context.Context, r *core.Rand, name string, lo, hi float64, k int, dst []float64) (out []float64, err error) {
-	defer s.track(&err)()
+	s.requests.Add(1)
+	defer func() {
+		if err != nil {
+			s.failures.Add(1)
+		}
+	}()
 	ds, err := s.lookup(name)
 	if err != nil {
 		return dst, err
@@ -630,7 +734,12 @@ func (s *Service) SampleWoRInto(ctx context.Context, r *core.Rand, name string, 
 // sharded coordinator calls it per shard per query to split the sample
 // budget multinomially over in-range shard weights.
 func (s *Service) RangeWeight(ctx context.Context, name string, lo, hi float64) (w float64, err error) {
-	defer s.track(&err)()
+	s.requests.Add(1)
+	defer func() {
+		if err != nil {
+			s.failures.Add(1)
+		}
+	}()
 	ds, err := s.lookup(name)
 	if err != nil {
 		return 0, err
@@ -755,6 +864,13 @@ func (s *Service) swapIn(ctx context.Context, ds *dataset, nv, nw []float64) err
 	old := ds.snapshot()
 	ds.values, ds.weights = nv, nw
 	ds.publish(snap)
+	if ds.pool != nil {
+		// Rebind before the old snapshot is torn down: every pooled
+		// draw for the retired sampler is purged, and the identity
+		// check in TakeInto guarantees requests racing the swap can
+		// only consume draws for the sampler they actually serve from.
+		ds.pool.Bind(snap.sampler)
+	}
 	s.rebuilds.Add(1)
 	if old != nil && old.sampler != nil {
 		// Retired from serving: drop any memoized cover decompositions

@@ -106,6 +106,19 @@ func (c *Coordinator) SampleMulti(ctx context.Context, reqs []*MultiQuery) {
 			if q.K <= 0 {
 				continue
 			}
+			if len(shards) == 1 {
+				// Mirror of SampleInto's single-shard fast path: the split
+				// is deterministic and consumes no randomness, so skipping
+				// RangeWeight + Multinomial keeps the coalesced answer
+				// byte-identical to the scalar path per request id. An
+				// empty intersection surfaces from the kernel draw.
+				opsSeen[0] = true
+				p := &multiPiece{req: qi}
+				p.job = service.MultiJob{R: q.R.Split(), Lo: q.Lo, Hi: q.Hi, K: q.K}
+				shardPieces[shards[0]] = append(shardPieces[shards[0]], p)
+				reqPieces[qi] = append(reqPieces[qi], p)
+				continue
+			}
 			weights := make([]float64, len(shards))
 			total := 0.0
 			for i, s := range shards {

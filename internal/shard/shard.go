@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/rng"
+	"repro/internal/samplepool"
 	"repro/internal/service"
 	"repro/internal/wor"
 )
@@ -78,6 +79,12 @@ type Options struct {
 	// Service hook is nil (a hook owns the whole service.Options it
 	// returns, quality included).
 	Quality metrics.UniformityOptions
+	// Pool, when non-nil, enables precomputed sample pools on every
+	// shard's service (unless the Service hook set its own Pool). Each
+	// shard pools independently against its own frozen snapshot; the
+	// coordinator's PoolHot probe reports whether a query would be
+	// served entirely from pooled inventory.
+	Pool *samplepool.Config
 	// Mutable hosts every shard's slice behind the ingest write path
 	// (service.CreateMutable): Insert/Delete/BulkLoad are visible to
 	// sampling immediately and fold into the base via background
@@ -285,6 +292,9 @@ func (c *Coordinator) buildHosts(ctx context.Context, pairs []pair) ([]host, err
 		if sopts.Metrics == nil {
 			sopts.Metrics = opts.Metrics
 		}
+		if sopts.Pool == nil {
+			sopts.Pool = opts.Pool
+		}
 		if sopts.Logger == nil {
 			sopts.Logger = opts.Logger
 		}
@@ -361,30 +371,33 @@ var partPool = sync.Pool{New: func() any {
 	return &b
 }}
 
-// fanOut runs draw for every shard with a positive budget on the
-// bounded worker pool, each under a context that the first error
-// cancels. Each task gets its own rng stream, split from r in
-// deterministic order before any goroutine starts. Per-shard partials
-// land in pooled buffers and are appended to dst; the appended region
-// comes back shuffled with r so the output order carries no shard
-// signal. dst is returned unchanged on error.
-func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, op int, shards []int, budgets []int, dst []float64,
-	draw func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error)) ([]float64, error) {
+// draw runs one shard's share of a fan-out: op 0 is the weighted WR
+// path, op 1 the uniform WoR path. A method instead of a per-request
+// closure keeps the dispatch allocation-free.
+func (h host) draw(ctx context.Context, op int, r *core.Rand, lo, hi float64, k int, buf []float64) ([]float64, error) {
+	if op == 1 {
+		return h.svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, buf)
+	}
+	return h.svc.SampleInto(ctx, r, dsName, lo, hi, k, buf)
+}
 
-	type job struct {
-		shard, k int
-		r        *core.Rand
-	}
-	jobs := make([]job, 0, len(shards))
-	total := 0
-	for i, s := range shards {
-		if budgets[i] <= 0 {
-			continue
+// fanOut draws every shard with a positive budget on the bounded worker
+// pool, each under a context that the first error cancels. Each task
+// gets its own rng stream, split from r in deterministic order before
+// any goroutine starts. Per-shard partials land in pooled buffers and
+// are appended to dst; the appended region comes back shuffled with r
+// so the output order carries no shard signal. dst is returned
+// unchanged on error.
+func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, op int, hosts []host, shards []int, budgets []int, lo, hi float64, dst []float64) ([]float64, error) {
+	total, positive, last := 0, 0, -1
+	for i := range shards {
+		if budgets[i] > 0 {
+			positive++
+			last = i
+			total += budgets[i]
 		}
-		jobs = append(jobs, job{shard: s, k: budgets[i], r: r.Split()})
-		total += budgets[i]
 	}
-	if len(jobs) == 0 {
+	if positive == 0 {
 		return dst, nil
 	}
 	endSpan := metrics.TraceFrom(ctx).StartSpan("shard.fanout")
@@ -393,6 +406,37 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, op int, shards [
 		c.fanout[op].Observe(time.Since(fanStart).Seconds())
 		endSpan()
 	}()
+
+	if positive == 1 {
+		// Single-shard queries (the hot-range case) draw inline on the
+		// caller's goroutine: no jobs slice, derived context, semaphore,
+		// worker goroutine or pooled partial buffer. Randomness
+		// consumption is byte-identical to the worker path — one stream
+		// split, the draw appends the same values in the same order (one
+		// partial, appended first), and the tail is shuffled with r
+		// exactly as the merge below would.
+		out, err := hosts[shards[last]].draw(ctx, op, r.Split(), lo, hi, budgets[last], dst)
+		if err != nil {
+			return dst, err
+		}
+		mergeStart := time.Now()
+		tail := out[len(dst):]
+		r.Shuffle(len(tail), func(i, k int) { tail[i], tail[k] = tail[k], tail[i] })
+		c.merge.Observe(time.Since(mergeStart).Seconds())
+		return out, nil
+	}
+
+	type job struct {
+		shard, k int
+		r        *core.Rand
+	}
+	jobs := make([]job, 0, positive)
+	for i, s := range shards {
+		if budgets[i] <= 0 {
+			continue
+		}
+		jobs = append(jobs, job{shard: s, k: budgets[i], r: r.Split()})
+	}
 
 	fctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -435,7 +479,7 @@ func (c *Coordinator) fanOut(ctx context.Context, r *core.Rand, op int, shards [
 			j := jobs[ji]
 			bp := partPool.Get().(*[]float64)
 			bufs[ji] = bp
-			out, err := draw(fctx, j.r, j.shard, j.k, (*bp)[:0])
+			out, err := hosts[j.shard].draw(fctx, op, j.r, lo, hi, j.k, (*bp)[:0])
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
@@ -492,6 +536,29 @@ func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float
 		return dst, nil
 	}
 	hosts := c.view()
+	first, overlaps := -1, 0
+	for i, h := range hosts {
+		if hi < h.lo || lo >= h.hi {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		overlaps++
+	}
+	if overlaps == 1 {
+		// Single overlapping shard — the hot-range case. The multinomial
+		// split is deterministic (the whole budget lands on that shard)
+		// and Multinomial consumes no randomness for one category, so the
+		// RangeWeight round trip and the weight/budget slices are pure
+		// overhead: skip them. The random stream is untouched, so answers
+		// stay byte-identical to the weighted path; an empty intersection
+		// surfaces as core.ErrEmptyRange from the kernel draw, exactly as
+		// the weighted path reports it. SampleMulti applies the identical
+		// rule so coalesced answers keep matching per request id.
+		shardsOne, budgetsOne := [1]int{first}, [1]int{k}
+		return c.fanOut(ctx, r, 0, hosts, shardsOne[:], budgetsOne[:], lo, hi, dst)
+	}
 	shards := overlapping(hosts, lo, hi)
 	weights := make([]float64, len(shards))
 	total := 0.0
@@ -510,9 +577,7 @@ func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float
 	if err != nil {
 		return dst, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
 	}
-	return c.fanOut(ctx, r, 0, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
-		return hosts[shard].svc.SampleInto(ctx, r, dsName, lo, hi, k, buf)
-	})
+	return c.fanOut(ctx, r, 0, hosts, shards, budgets, lo, hi, dst)
 }
 
 // SampleWoR draws a uniformly random size-k subset of S ∩ [lo, hi]
@@ -567,9 +632,28 @@ func (c *Coordinator) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi fl
 			rank -= counts[i]
 		}
 	}
-	return c.fanOut(ctx, r, 1, shards, budgets, dst, func(ctx context.Context, r *core.Rand, shard, k int, buf []float64) ([]float64, error) {
-		return hosts[shard].svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, buf)
-	})
+	return c.fanOut(ctx, r, 1, hosts, shards, budgets, lo, hi, dst)
+}
+
+// PoolHot reports whether a WR query for (lo, hi, k) would be served
+// entirely from precomputed pool inventory: exactly one shard overlaps
+// the range (so the whole budget lands there deterministically) and
+// that shard's pool holds at least k draws for the window. The probe
+// never consumes inventory; the HTTP layer uses it to route hot
+// requests around the batch coalescer.
+func (c *Coordinator) PoolHot(lo, hi float64, k int) bool {
+	if c.opts.Pool == nil && c.opts.Service == nil {
+		return false
+	}
+	if core.ValidateRange(lo, hi) != nil || k <= 0 {
+		return false
+	}
+	hosts := c.view()
+	shards := overlapping(hosts, lo, hi)
+	if len(shards) != 1 {
+		return false
+	}
+	return hosts[shards[0]].svc.PoolHot(dsName, lo, hi, k)
 }
 
 // Count returns |S ∩ [lo, hi]| summed across shards.

@@ -98,6 +98,8 @@ func (h *Harness) RunCase(c Case) (Outcome, error) {
 		err = rn.runIntervalTree()
 	case TargetMutable:
 		err = rn.runMutable()
+	case TargetPooled:
+		err = rn.runPooled()
 	case TargetServer:
 		err = rn.runServer()
 	default:

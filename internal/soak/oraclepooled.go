@@ -1,0 +1,262 @@
+package soak
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/samplepool"
+	"repro/internal/service"
+)
+
+// pooledDS is the dataset name the pooled soak hosts.
+const pooledDS = "pooled"
+
+// warmAttempts bounds the PoolHot probe loop per window. The probes
+// record demand and the interleaved yields hand the single filler
+// goroutine the CPU, so a healthy pool warms a window in a few dozen
+// iterations even on one core; exhausting the budget means the filler
+// is wedged or the invalidation path purges entries it should not.
+const warmAttempts = 8192
+
+// runPooled differentially tests the consume-once sample pool: the same
+// dataset is served by a pooled service and a pool-free kernel service,
+// and repeated draws through both must be statistically identical (the
+// package's core claim: j pooled + k−j kernel draws are distributed
+// exactly like k kernel draws) and independent within a step. A second
+// phase drives a pooled *mutable* dataset through writes and a rebuild
+// to check the invalidation contract: the pool gates itself off while
+// overlay deltas exist, purges on the snapshot swap, and never serves a
+// draw from the pre-write distribution afterwards (a deleted value
+// reappearing is a deterministic support violation, not a statistic).
+func (rn *run) runPooled() error {
+	c := rn.c
+	values, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	poolCfg := &samplepool.Config{Capacity: 256, MinTakes: 1, Seed: c.Workload.Seed | 1}
+	svcPool := service.New(service.Options{Pool: poolCfg})
+	defer svcPool.Close()
+	svcKern := service.New(service.Options{})
+	defer svcKern.Close()
+	ctx := context.Background()
+	if err := svcPool.Create(ctx, pooledDS, core.KindChunked, values, weights); err != nil {
+		return fmt.Errorf("soak: create pooled: %w", err)
+	}
+	if err := svcKern.Create(ctx, pooledDS, core.KindChunked, values, weights); err != nil {
+		return fmt.Errorf("soak: create kernel twin: %w", err)
+	}
+	oracle := newMutOracle(values, weights)
+	trace := c.Queries(append([]float64(nil), oracle.vals...))
+	reps := c.reps()
+	// Distinct fixed streams: the two services must agree in
+	// distribution, never draw-for-draw.
+	rP := rng.New(c.Workload.Seed ^ 0x9e3779b97f4a7c15)
+	rK := rng.New(c.Workload.Seed ^ 0x3c6ef372fe94f82a)
+	buf := make([]float64, 0, 64)
+
+	for ti := 0; ti < len(trace) && !rn.failed(); ti++ {
+		rec := trace[ti]
+		if rec.Op != OpQuery {
+			continue
+		}
+		a, b, inRange := oracle.posRange(rec.Lo, rec.Hi)
+		if !inRange {
+			continue
+		}
+		k := rec.K
+		if k < 1 {
+			k = 1
+		}
+		if !rn.warmWindow(svcPool, rec, k) {
+			return nil
+		}
+		cellVals, cellProbs := oracle.cells(a, b)
+		countsP := make([]int, len(cellVals))
+		countsK := make([]int, len(cellVals))
+		var bins []int
+		for rep := 0; rep < reps && !rn.failed(); rep++ {
+			outP, perr := svcPool.SampleInto(ctx, rP, pooledDS, rec.Lo, rec.Hi, k, buf[:0])
+			if perr != nil {
+				rn.failQuery("pooled-sample", rec, "pooled SampleInto: %v", perr)
+				return nil
+			}
+			if len(outP) != k {
+				rn.failQuery("pooled-count", rec, "pooled path returned %d draws, want %d", len(outP), k)
+				return nil
+			}
+			for _, v := range outP {
+				ci := cellIndex(cellVals, v)
+				if ci < 0 {
+					rn.failQuery("pooled-support", rec, "pooled draw %v is not a stored value in [%v, %v]", v, rec.Lo, rec.Hi)
+					return nil
+				}
+				countsP[ci]++
+			}
+			bins = append(bins, binOf(cellIndex(cellVals, outP[0]), len(cellVals), indepBins))
+			outK, kerr := svcKern.SampleInto(ctx, rK, pooledDS, rec.Lo, rec.Hi, k, buf[:0])
+			if kerr != nil {
+				rn.failQuery("kernel-sample", rec, "kernel SampleInto: %v", kerr)
+				return nil
+			}
+			for _, v := range outK {
+				if ci := cellIndex(cellVals, v); ci >= 0 {
+					countsK[ci]++
+				}
+			}
+		}
+		if rn.failed() {
+			return nil
+		}
+		rn.gateChi2Probs("chi2-pooled", &rec, countsP, cellProbs)
+		rn.gateTwoSampleCounts("pooled-vs-kernel", &rec, countsP, countsK)
+		rn.gateIndependence("independence-pooled", pairUp(bins), indepBins)
+	}
+	if rn.failed() {
+		return nil
+	}
+
+	// Conservation: consumed pooled draws can never exceed what the
+	// filler produced — a violation means a draw was served twice.
+	st := svcPool.PoolStats(pooledDS)
+	if st.Draws > st.RefillDraws {
+		rn.fail("pool-conservation", "consumed %d pooled draws but the filler only produced %d", st.Draws, st.RefillDraws)
+		return nil
+	}
+	rn.pass()
+	if st.Hits == 0 && st.PartialHits == 0 {
+		rn.fail("pool-exercised", "no request consumed pooled inventory despite warmed windows (hits=0, partials=0, misses=%d)", st.Misses)
+		return nil
+	}
+	rn.pass()
+
+	rn.runPooledChurn(ctx, values, weights, poolCfg, reps)
+	return nil
+}
+
+// warmWindow probes one window until the pool reports it fully stocked,
+// yielding so the filler goroutine gets scheduled. Exhausting the
+// budget is a finding (wedged filler or over-eager purge), not a spec
+// error.
+func (rn *run) warmWindow(svc *service.Service, rec QueryRecord, k int) bool {
+	for i := 0; i < warmAttempts; i++ {
+		if svc.PoolHot(pooledDS, rec.Lo, rec.Hi, k) {
+			rn.pass()
+			return true
+		}
+		runtime.Gosched()
+	}
+	rn.failQuery("pool-warm", rec, "window never fully pooled after %d probes", warmAttempts)
+	return false
+}
+
+// runPooledChurn is the invalidation phase: a pooled mutable dataset
+// has one window warmed, then mutated, then rebuilt. Gates: the pooled
+// path must disable itself while overlay deltas are pending, the
+// rebuild's snapshot swap must purge the pool, and post-rebuild draws
+// must follow the post-write distribution exactly — in particular a
+// draw of the deleted value would prove a stale pooled sample survived
+// the swap.
+func (rn *run) runPooledChurn(ctx context.Context, values, weights []float64, poolCfg *samplepool.Config, reps int) {
+	svc := service.New(service.Options{Pool: poolCfg})
+	defer svc.Close()
+	mo := service.MutableOptions{RebuildThreshold: 64, MaxLag: 1 << 20, Seed: rn.c.Workload.Seed}
+	if err := svc.CreateMutable(ctx, pooledDS, core.KindChunked, values, weights, mo); err != nil {
+		rn.fail("pool-churn-create", "CreateMutable: %v", err)
+		return
+	}
+	oracle := newMutOracle(values, weights)
+	n := oracle.size()
+	// The churn window: the middle half of the dataset, wide enough to
+	// hold the writes below and a meaningful post-rebuild chi-squared.
+	a, b := n/4, n-1-n/4
+	if b <= a {
+		a, b = 0, n-1
+	}
+	rec := QueryRecord{Lo: oracle.vals[a], Hi: oracle.vals[b], K: 4}
+	if !rn.warmWindow(svc, rec, rec.K) {
+		return
+	}
+	before := svc.PoolStats(pooledDS)
+
+	// Writes inside the window: one delete and two inserts straddling
+	// the deleted value's weight. The oracle mirrors every write.
+	victim := oracle.vals[(a+b)/2]
+	if err := svc.Delete(ctx, pooledDS, victim); err != nil {
+		rn.failQuery("pool-churn-write", rec, "Delete(%v): %v", victim, err)
+		return
+	}
+	oracle.remove(victim)
+	r := rng.New(rn.c.Workload.Seed ^ 0xa5a5a5a5a5a5a5a5)
+	for i := 0; i < 2; i++ {
+		v := rec.Lo + (rec.Hi-rec.Lo)*r.Float64()
+		w := 0.5 + 2*r.Float64()
+		if err := svc.Insert(ctx, pooledDS, v, w); err != nil {
+			rn.failQuery("pool-churn-write", rec, "Insert(%v, %v): %v", v, w, err)
+			return
+		}
+		oracle.insert(v, w)
+	}
+	// With overlay deltas pending the pooled fast path must gate itself
+	// off: serving pre-write pooled draws now would be a stale read.
+	if svc.PoolHot(pooledDS, rec.Lo, rec.Hi, rec.K) {
+		rn.failQuery("pool-churn-gate", rec, "PoolHot still true with overlay deltas pending")
+		return
+	}
+	rn.pass()
+
+	// The rebuild publishes a fresh snapshot; the swap must purge the
+	// pool (visible as an invalidation) before the window re-warms from
+	// the post-write distribution.
+	if err := svc.Flush(ctx, pooledDS); err != nil {
+		rn.fail("pool-churn-flush", "Flush: %v", err)
+		return
+	}
+	after := svc.PoolStats(pooledDS)
+	if after.Invalidations <= before.Invalidations {
+		rn.failQuery("pool-invalidate", rec, "rebuild swap did not invalidate the pool (%d -> %d)", before.Invalidations, after.Invalidations)
+		return
+	}
+	rn.pass()
+	if !rn.warmWindow(svc, rec, rec.K) {
+		return
+	}
+	aa, bb, inRange := oracle.posRange(rec.Lo, rec.Hi)
+	if !inRange {
+		rn.failQuery("pool-churn-oracle", rec, "churn window empty after writes")
+		return
+	}
+	cellVals, cellProbs := oracle.cells(aa, bb)
+	counts := make([]int, len(cellVals))
+	// Duplicate values can leave other live elements sharing the
+	// victim's value; only a value with no live copies proves staleness.
+	victimGone := cellIndex(cellVals, victim) < 0
+	rQ := rng.New(rn.c.Workload.Seed ^ 0x0123456789abcdef)
+	buf := make([]float64, 0, 64)
+	for rep := 0; rep < reps && !rn.failed(); rep++ {
+		out, err := svc.SampleInto(ctx, rQ, pooledDS, rec.Lo, rec.Hi, rec.K, buf[:0])
+		if err != nil {
+			rn.failQuery("pool-churn-sample", rec, "post-rebuild SampleInto: %v", err)
+			return
+		}
+		for _, v := range out {
+			if victimGone && v == victim {
+				rn.failQuery("pool-stale-draw", rec, "deleted value %v served after rebuild: stale pooled draw", v)
+				return
+			}
+			ci := cellIndex(cellVals, v)
+			if ci < 0 {
+				rn.failQuery("pool-churn-support", rec, "post-rebuild draw %v not in live window", v)
+				return
+			}
+			counts[ci]++
+		}
+	}
+	if rn.failed() {
+		return
+	}
+	rn.gateChi2Probs("chi2-pooled-churn", &rec, counts, cellProbs)
+}

@@ -1,0 +1,65 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/soak"
+)
+
+// The pooled target must warm windows, consume pooled inventory, and
+// pass the pooled-vs-kernel equivalence, independence, conservation,
+// and invalidation-under-churn gates on a healthy stack in both the
+// smooth and skewed regimes.
+func TestRunCasePooledRegimes(t *testing.T) {
+	cases := map[string]soak.Case{
+		"smooth": {
+			Target:   soak.TargetPooled,
+			Dataset:  soak.DatasetSpec{Seed: 21, N: 96},
+			Workload: soak.WorkloadSpec{Seed: 23, Queries: 4, Reps: 120, K: 6},
+		},
+		"skewed": {
+			Target:   soak.TargetPooled,
+			Dataset:  soak.DatasetSpec{Seed: 27, N: 128, Values: "clustered", Weights: "zipf", Alpha: 1.2},
+			Workload: soak.WorkloadSpec{Seed: 29, Queries: 4, Reps: 100, K: 4},
+		},
+	}
+	for name, c := range cases {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			out, err := h.RunCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+			if out.Gates == 0 {
+				t.Fatal("no gates evaluated")
+			}
+		})
+	}
+}
+
+// A short fuzz session over the pooled arm must execute cleanly: the
+// bandit schedules it like any structure target and no gate trips on a
+// healthy pool.
+func TestPooledFuzzSessionClean(t *testing.T) {
+	h := &soak.Harness{}
+	res, err := h.Fuzz(soak.FuzzOptions{
+		Seed:    61,
+		Rounds:  3,
+		Targets: []soak.Target{soak.TargetPooled},
+		Log:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repros) != 0 {
+		t.Fatalf("healthy pool produced findings: %v", res.Repros[0].Failure)
+	}
+	if res.Gates == 0 {
+		t.Fatal("no gates evaluated across the session")
+	}
+}

@@ -121,7 +121,7 @@ func (c *Case) traceValues() ([]float64, error) {
 		return nil, err
 	}
 	switch c.Target {
-	case TargetChunked, TargetAliasAug, TargetTreeWalk, TargetMutable, TargetServer:
+	case TargetChunked, TargetAliasAug, TargetTreeWalk, TargetMutable, TargetPooled, TargetServer:
 		sorted := append([]float64(nil), values...)
 		sort.Float64s(sorted)
 		return sorted, nil

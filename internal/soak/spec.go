@@ -37,6 +37,7 @@ const (
 	TargetTreeSample   Target = "treesample"   // treesample Walk vs Euler (§5)
 	TargetIntervalTree Target = "intervaltree" // intervaltree stabbing (multi-d path)
 	TargetMutable      Target = "mutable"      // ingest write path (delta log + overlay + rebuilds)
+	TargetPooled       Target = "pooled"       // consume-once sample pool vs live kernel (+ invalidation under churn)
 	TargetServer       Target = "server"       // service → shard → server over HTTP
 )
 
@@ -45,7 +46,7 @@ const (
 var StructureTargets = []Target{
 	TargetChunked, TargetAliasAug, TargetTreeWalk,
 	TargetAlias, TargetWoR, TargetTreeSample, TargetIntervalTree,
-	TargetMutable,
+	TargetMutable, TargetPooled,
 }
 
 // DatasetSpec deterministically describes an input dataset.

@@ -20,9 +20,11 @@ SERVER_ERR="$BIN_DIR/server.err"
 # Port 0: the kernel picks a free port; iqsserve prints the bound
 # address on the "listening on" line, which we parse below.
 # -mutable puts the ingest write path in front of every shard so the
-# iqs_ingest_* families are live and metricscheck can drive writes.
+# iqs_ingest_* families are live and metricscheck can drive writes;
+# -pool 512 enables the precomputed sample pools so the iqs_pool_*
+# families are live and metricscheck's -pool warm phase can hit them.
 "$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 -mutable \
-  -fault 0.05 -trace-sample-rate 0.25 -coalesce 8 \
+  -pool 512 -fault 0.05 -trace-sample-rate 0.25 -coalesce 8 \
   >"$SERVER_OUT" 2>"$SERVER_ERR" &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
@@ -45,7 +47,25 @@ if [ -z "$ADDR" ]; then
 fi
 echo "metrics-smoke: server on $ADDR"
 
-"$BIN_DIR/metricscheck" -base "http://$ADDR" -drive "$DRIVE" -mutable
+"$BIN_DIR/metricscheck" -base "http://$ADDR" -drive "$DRIVE" -mutable -pool
+
+# Pool-hit-rate gate: metricscheck's warm phase hammered one hot window
+# before the write drive, so full hits must dominate that window's
+# lookups. The floor is deliberately loose (the write drive's misses
+# share the denominator); metricscheck already asserted hits > 0.
+METRICS_SNAP="$BIN_DIR/metrics.snap"
+curl -fsS "http://$ADDR/metrics" >"$METRICS_SNAP"
+awk '
+  /^iqs_pool_hits_total/ { hits += $NF }
+  /^iqs_pool_partial_hits_total/ { lookups += $NF }
+  /^iqs_pool_misses_total/ { lookups += $NF }
+  END {
+    lookups += hits
+    if (lookups <= 0) { print "metrics-smoke: pool saw no lookups" > "/dev/stderr"; exit 1 }
+    rate = hits / lookups
+    printf "metrics-smoke: pool hit rate %.3f (%d/%d)\n", rate, hits, lookups
+    if (rate < 0.02) { print "metrics-smoke: pool hit rate below 0.02 floor" > "/dev/stderr"; exit 1 }
+  }' "$METRICS_SNAP"
 
 # With trace sampling at 0.25 and $DRIVE requests driven, at least one
 # span-timing trace line must have been logged.

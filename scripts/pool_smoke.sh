@@ -1,0 +1,114 @@
+#!/usr/bin/env sh
+# pool_smoke.sh — the sample-pool serving-path smoke: gate the binary
+# wire codec's allocation budget, boot iqsserve with pooling on, drive a
+# hot-window read loop (JSON and binary framing), and assert the pool
+# actually served — full hits recorded, a high hit rate on the hot
+# window, draws conserved against refills, and both wire-format legs
+# counted. Exits non-zero on any failure. Used by `make pool-smoke`.
+set -eu
+
+BIN_DIR=${BIN_DIR:-/tmp/iqs-pool-smoke}
+HOT_REQUESTS=${HOT_REQUESTS:-120}
+mkdir -p "$BIN_DIR"
+
+# Allocation gate first: the end-to-end binary /sample path must stay at
+# or under 10 allocs/op (same budget the CI bench-smoke job enforces).
+go test -run XXX -bench 'ServerSampleBinary' -benchmem -benchtime=100x \
+  ./internal/server >"$BIN_DIR/bench-bin.out"
+if awk '/BenchmarkServerSampleBinary/ { if ($NF != "allocs/op") exit 1; found=1; if ($(NF-1)+0 > 10) { print "binary allocs/op regression: " $0; bad=1 } } END { exit bad || !found }' "$BIN_DIR/bench-bin.out"; then
+  echo "pool-smoke: binary allocation gate holds (<= 10 allocs/op)"
+else
+  cat "$BIN_DIR/bench-bin.out" >&2
+  echo "pool-smoke: binary allocation gate failed" >&2
+  exit 1
+fi
+
+go build -o "$BIN_DIR/iqsserve" ./cmd/iqsserve
+
+SERVER_OUT="$BIN_DIR/server.out"
+SERVER_ERR="$BIN_DIR/server.err"
+: >"$SERVER_OUT"
+: >"$SERVER_ERR"
+
+"$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 -pool 512 \
+  >"$SERVER_OUT" 2>"$SERVER_ERR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+ADDR=
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^iqsserve: listening on \([^ ]*\) .*/\1/p' "$SERVER_OUT")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "pool-smoke: server died during startup" >&2
+    cat "$SERVER_ERR" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "pool-smoke: server never reported its address" >&2
+  cat "$SERVER_OUT" "$SERVER_ERR" >&2
+  exit 1
+fi
+echo "pool-smoke: server on $ADDR"
+
+# Hot load: one pool-favorable window, hammered. Every 8th request
+# negotiates the binary framing so the format="binary" wire leg is
+# exercised alongside JSON.
+i=0
+while [ "$i" -lt "$HOT_REQUESTS" ]; do
+  if [ $((i % 8)) -eq 0 ]; then
+    curl -fsS -H 'Accept: application/x-iqs-bin' \
+      "http://$ADDR/sample?lo=100&hi=300&k=4" >/dev/null
+  else
+    curl -fsS "http://$ADDR/sample?lo=100&hi=300&k=4" >/dev/null
+  fi
+  i=$((i + 1))
+done
+
+METRICS_SNAP="$BIN_DIR/metrics.snap"
+curl -fsS "http://$ADDR/metrics" >"$METRICS_SNAP"
+
+# The pooled path must have served: full hits recorded, the hot window
+# dominated by hits (the first few registration/fill lookups miss, so
+# the floor is 0.5 rather than ~1), consume-once conservation (draws
+# never exceed what the filler produced), and both wire legs counted.
+awk '
+  /^iqs_pool_hits_total/ { hits += $NF }
+  /^iqs_pool_partial_hits_total/ { lookups += $NF }
+  /^iqs_pool_misses_total/ { lookups += $NF }
+  /^iqs_pool_draws_total/ { draws += $NF }
+  /^iqs_pool_refill_draws_total/ { refill += $NF }
+  /^iqs_wire_encoding_total\{[^}]*format="json"/ { json += $NF }
+  /^iqs_wire_encoding_total\{[^}]*format="binary"/ { bin += $NF }
+  END {
+    lookups += hits
+    bad = 0
+    if (hits <= 0) { print "pool-smoke: no full pool hits" > "/dev/stderr"; bad = 1 }
+    if (lookups > 0) {
+      rate = hits / lookups
+      printf "pool-smoke: pool hit rate %.3f (%d/%d), %d draws / %d refilled\n", rate, hits, lookups, draws, refill
+      if (rate < 0.5) { print "pool-smoke: hot-window hit rate below 0.5" > "/dev/stderr"; bad = 1 }
+    }
+    if (draws > refill) { print "pool-smoke: draws exceed refill draws (double-serve)" > "/dev/stderr"; bad = 1 }
+    if (json <= 0) { print "pool-smoke: no json-framed responses counted" > "/dev/stderr"; bad = 1 }
+    if (bin <= 0) { print "pool-smoke: no binary-framed responses counted" > "/dev/stderr"; bad = 1 }
+    exit bad
+  }' "$METRICS_SNAP"
+
+kill -INT "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "pool-smoke: server exited with status $WAIT_STATUS" >&2
+  cat "$SERVER_ERR" >&2
+  exit 1
+fi
+if ! grep -q 'drained cleanly' "$SERVER_OUT"; then
+  echo "pool-smoke: server did not drain cleanly" >&2
+  cat "$SERVER_OUT" >&2
+  exit 1
+fi
+echo "pool-smoke: PASS"
