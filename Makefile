@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke pool-smoke churn
+.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke pool-smoke estimate-smoke churn
 
 all: build vet test
 
@@ -81,6 +81,13 @@ metrics-smoke:
 # consume-once conservation, and both wire-format counters.
 pool-smoke:
 	sh scripts/pool_smoke.sh
+
+# Approximate-analytics smoke: boot iqsserve, hammer /estimate across
+# count/sum/avg/distinct with cmd/metricscheck -estimate, validate every
+# response's q-error against its certified bound, and assert the
+# iqs_estimate_* families export with zero bound violations.
+estimate-smoke:
+	sh scripts/estimate_smoke.sh
 
 # Churn smoke: the mutable-serving statistical gate. In-process server
 # with the ingest write path on, 16 clients at a 30% write mix under EM

@@ -90,15 +90,9 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 			return 1
 		}
-		for i, e := range entries {
-			if e.Name == "" || !(e.NsPerOp > 0) {
-				fmt.Fprintf(os.Stderr, "benchjson: entry %d malformed: %+v\n", i, e)
-				return 1
-			}
-			if !labelForm.MatchString(e.Label) {
-				fmt.Fprintf(os.Stderr, "benchjson: entry %d label %q not normalized (want prN-before/prN-after; run -normalize)\n", i, e.Label)
-				return 1
-			}
+		if msg := validateEntries(entries); msg != "" {
+			fmt.Fprintf(os.Stderr, "benchjson: %s\n", msg)
+			return 1
 		}
 		fmt.Printf("benchjson: %s ok, %d entries\n", *out, len(entries))
 		return 0
@@ -152,6 +146,41 @@ func run(args []string) int {
 	}
 	fmt.Printf("benchjson: wrote %d entries (%d new/updated) to %s\n", len(entries), len(fresh), *out)
 	return 0
+}
+
+// validateEntries schema-checks a loaded trajectory and returns a
+// description of the first defect, or "" when the file is sound. Beyond
+// the field-level checks (a Benchmark-prefixed name, positive ns/op,
+// non-negative memory stats, a normalized prN-before/prN-after label,
+// qps consistent with ns/op) it rejects duplicate (label, name) keys:
+// the merge discipline guarantees uniqueness, so a duplicate means the
+// file was hand-edited or written by a broken tool and the trajectory
+// would silently shadow one of the measurements.
+func validateEntries(entries []Entry) string {
+	seen := make(map[string]int, len(entries))
+	for i, e := range entries {
+		if !strings.HasPrefix(e.Name, "Benchmark") {
+			return fmt.Sprintf("entry %d name %q does not name a benchmark: %+v", i, e.Name, e)
+		}
+		if !(e.NsPerOp > 0) {
+			return fmt.Sprintf("entry %d ns_per_op %v not positive: %+v", i, e.NsPerOp, e)
+		}
+		if e.BytesPerOp < 0 || e.AllocsPerOp < 0 {
+			return fmt.Sprintf("entry %d has negative memory stats: %+v", i, e)
+		}
+		if !labelForm.MatchString(e.Label) {
+			return fmt.Sprintf("entry %d label %q not normalized (want prN-before/prN-after; run -normalize)", i, e.Label)
+		}
+		if want := 1e9 / e.NsPerOp; e.QPS <= 0 || e.QPS > 1.01*want || e.QPS < 0.99*want {
+			return fmt.Sprintf("entry %d qps %v inconsistent with ns_per_op %v (want ~%.1f)", i, e.QPS, e.NsPerOp, want)
+		}
+		key := e.Label + "\x00" + e.Name
+		if j, dup := seen[key]; dup {
+			return fmt.Sprintf("entries %d and %d duplicate key (%s, %s); run -normalize", j, i, e.Label, e.Name)
+		}
+		seen[key] = i
+	}
+	return ""
 }
 
 // load reads the existing entries with legacy labels migrated; a

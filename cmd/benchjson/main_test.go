@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func good(label, name string) Entry {
+	return Entry{Label: label, Name: name, NsPerOp: 2000, BytesPerOp: 64, AllocsPerOp: 2, QPS: 5e5}
+}
+
+func TestValidateEntries(t *testing.T) {
+	cases := []struct {
+		name    string
+		entries []Entry
+		want    string // substring of the defect message; "" = sound
+	}{
+		{"empty", nil, ""},
+		{"sound", []Entry{good("pr3-before", "BenchmarkA"), good("pr3-after", "BenchmarkA")}, ""},
+		{"bad name", []Entry{{Label: "pr3-after", Name: "A", NsPerOp: 1, QPS: 1e9}}, "does not name a benchmark"},
+		{"zero ns", []Entry{{Label: "pr3-after", Name: "BenchmarkA", NsPerOp: 0}}, "not positive"},
+		{"negative allocs", []Entry{{Label: "pr3-after", Name: "BenchmarkA", NsPerOp: 2000, AllocsPerOp: -1, QPS: 5e5}}, "negative memory stats"},
+		{"legacy label", []Entry{good("after", "BenchmarkA")}, "not normalized"},
+		{"qps drift", []Entry{{Label: "pr3-after", Name: "BenchmarkA", NsPerOp: 2000, QPS: 1e6}}, "inconsistent with ns_per_op"},
+		{"duplicate key", []Entry{good("pr3-after", "BenchmarkA"), good("pr3-after", "BenchmarkA")}, "duplicate key"},
+	}
+	for _, tc := range cases {
+		msg := validateEntries(tc.entries)
+		if tc.want == "" && msg != "" {
+			t.Errorf("%s: unexpected defect %q", tc.name, msg)
+		}
+		if tc.want != "" && !strings.Contains(msg, tc.want) {
+			t.Errorf("%s: defect %q does not mention %q", tc.name, msg, tc.want)
+		}
+	}
+}
+
+// TestValidateFlagRejectsMalformedFile pins the CLI exit codes the CI
+// schema-check step relies on: a sound file passes, a duplicated or
+// otherwise malformed one fails.
+func TestValidateFlagRejectsMalformedFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, blob string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(blob), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	sound := write("ok.json", `[
+  {"label":"pr9-after","name":"BenchmarkX","ns_per_op":1000,"b_per_op":0,"allocs_per_op":0,"qps":1000000}
+]`)
+	if code := run([]string{"-validate", "-out", sound}); code != 0 {
+		t.Errorf("sound file: exit %d, want 0", code)
+	}
+	dup := write("dup.json", `[
+  {"label":"pr9-after","name":"BenchmarkX","ns_per_op":1000,"qps":1000000},
+  {"label":"pr9-after","name":"BenchmarkX","ns_per_op":1200,"qps":833333}
+]`)
+	if code := run([]string{"-validate", "-out", dup}); code != 1 {
+		t.Errorf("duplicate keys: exit %d, want 1", code)
+	}
+	garbled := write("garbled.json", `{"not":"a list"}`)
+	if code := run([]string{"-validate", "-out", garbled}); code != 1 {
+		t.Errorf("non-list JSON: exit %d, want 1", code)
+	}
+}
+
+// TestValidateCheckedInSnapshot keeps the repository's own trajectory
+// file loadable and schema-clean from the test suite, not only the CI
+// shell step.
+func TestValidateCheckedInSnapshot(t *testing.T) {
+	entries, err := load("../../BENCH_hotpath.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("checked-in snapshot is empty")
+	}
+	if msg := validateEntries(entries); msg != "" {
+		t.Fatalf("checked-in snapshot malformed: %s", msg)
+	}
+}

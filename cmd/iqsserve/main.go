@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"math"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -84,6 +85,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		binaryOn  = fs.Bool("binary", false, "load mode: negotiate the binary response framing (Accept: "+server.BinContentType+") on queries")
 		keepAlive = fs.Bool("keepalive", true, "load mode: reuse persistent connections across requests (false dials per request)")
 		hotFrac   = fs.Float64("hot", 0, "load mode: fraction of queries aimed at one fixed hot range (pool-favorable) instead of a uniform random range")
+		estFrac   = fs.Float64("estimate", 0, "load mode: fraction of queries sent to /estimate (cycling count/sum/avg/distinct), each response validated client-side")
 	)
 	fs.Usage = func() {
 		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D] [-pool N] [-pool-windows N] [-binary] [-keepalive] [-hot P]")
@@ -96,7 +98,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*fault < 0 || *fault > 1 || *clients < 1 || *duration < 0 ||
 		*traceRate < 0 || *traceRate > 1 || *coalesce < 0 || *linger < 0 ||
 		*writeMix < 0 || *writeMix > 1 || *assertQ < 0 ||
-		*poolCap < 0 || *poolWin < 0 || *hotFrac < 0 || *hotFrac > 1 {
+		*poolCap < 0 || *poolWin < 0 || *hotFrac < 0 || *hotFrac > 1 ||
+		*estFrac < 0 || *estFrac > 1 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
@@ -239,6 +242,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runLoad(ctx, stdout, "http://"+l.Addr().String(), loadConfig{
 			clients: *clients, n: *n, seed: *seed, writeMix: *writeMix,
 			binary: *binaryOn, keepAlive: *keepAlive, hotFrac: *hotFrac,
+			estFrac: *estFrac,
 		})
 	} else {
 		<-ctx.Done()
@@ -311,6 +315,7 @@ type loadConfig struct {
 	binary    bool // negotiate the binary framing on queries
 	keepAlive bool // persistent connections (shared transport)
 	hotFrac   float64
+	estFrac   float64 // fraction of queries sent to /estimate
 }
 
 // runLoad hammers base with clients goroutines until ctx expires, then
@@ -341,9 +346,12 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) 
 		wg                     sync.WaitGroup
 		ok, busy, gone, failed atomic.Int64
 		wrote, decodeBad       atomic.Int64
+		estimated              atomic.Int64
+		estQErrBits            atomic.Uint64 // Float64bits of the worst scored q-error
 		mu                     sync.Mutex
 		lats                   []time.Duration
 	)
+	estOps := [...]string{"count", "sum", "avg", "distinct"}
 	start := time.Now()
 	for g := 0; g < clients; g++ {
 		wg.Add(1)
@@ -358,6 +366,7 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) 
 				var req *http.Request
 				var err error
 				isWrite := writeMix > 0 && r.Float64() < writeMix
+				isEst := false
 				if isWrite {
 					// Delete an own earlier insert half the time (keeping
 					// the live size roughly flat), else insert a value
@@ -376,6 +385,17 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) 
 					}
 					if req != nil {
 						req.Header.Set("Content-Type", "application/json")
+					}
+				} else if lc.estFrac > 0 && r.Float64() < lc.estFrac {
+					// Approximate-analytics traffic: cycle the aggregates
+					// over random ranges (distinct ignores the range).
+					isEst = true
+					lo := float64(r.Intn(n / 2))
+					hi := lo + float64(1+r.Intn(n/2))
+					url := fmt.Sprintf("%s/estimate?op=%s&lo=%g&hi=%g&k=256", base, estOps[i%len(estOps)], lo, hi)
+					req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+					if req != nil {
+						req.Header.Set("Accept", server.BinContentType)
 					}
 				} else {
 					lo := float64(r.Intn(n / 2))
@@ -405,7 +425,24 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) 
 					}
 					continue
 				}
-				if lc.binary && !isWrite && resp.StatusCode == http.StatusOK {
+				if isEst && resp.StatusCode == http.StatusOK {
+					// Estimates always negotiate the binary framing; decode
+					// the frame and keep the worst scored q-error seen.
+					body.Reset()
+					if _, cerr := io.Copy(&body, resp.Body); cerr == nil {
+						res, derr := server.DecodeEstimateBody(body.Bytes())
+						if derr != nil {
+							decodeBad.Add(1)
+						} else if q := res.QError; q >= 1 && !math.IsInf(q, 1) {
+							for {
+								prev := estQErrBits.Load()
+								if q <= math.Float64frombits(prev) || estQErrBits.CompareAndSwap(prev, math.Float64bits(q)) {
+									break
+								}
+							}
+						}
+					}
+				} else if lc.binary && !isWrite && resp.StatusCode == http.StatusOK {
 					// Validate the negotiated framing end to end instead of
 					// discarding it: a malformed frame counts against the run.
 					body.Reset()
@@ -423,6 +460,9 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) 
 					ok.Add(1)
 					if isWrite {
 						wrote.Add(1)
+					}
+					if isEst {
+						estimated.Add(1)
 					}
 					local = append(local, time.Since(t0))
 				case http.StatusTooManyRequests:
@@ -448,6 +488,10 @@ func runLoad(ctx context.Context, stdout io.Writer, base string, lc loadConfig) 
 		ok.Load(), wrote.Load(), busy.Load(), gone.Load(), failed.Load())
 	if lc.binary {
 		fmt.Fprintf(stdout, "load: binary frames decoded, %d malformed\n", decodeBad.Load())
+	}
+	if lc.estFrac > 0 {
+		fmt.Fprintf(stdout, "load: estimates ok %d, worst scored q-error %.4f, %d malformed frames\n",
+			estimated.Load(), math.Float64frombits(estQErrBits.Load()), decodeBad.Load())
 	}
 	if len(lats) > 0 {
 		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })

@@ -117,6 +117,31 @@ func TestRunMutableChurnMode(t *testing.T) {
 	}
 }
 
+// TestRunEstimateLoadMode drives the approximate-analytics traffic arm:
+// every estimate response is decoded client-side from the binary frame
+// and the run reports how many validated plus the worst scored q-error.
+func TestRunEstimateLoadMode(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{
+		"-load", "-addr", "127.0.0.1:0", "-duration", "600ms",
+		"-clients", "4", "-estimate", "0.5", "-n", "4096", "-shards", "2",
+	}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s\nstdout: %s", code, errw.String(), out.String())
+	}
+	s := out.String()
+	m := regexp.MustCompile(`load: estimates ok (\d+), worst scored q-error ([0-9.]+), (\d+) malformed frames`).FindStringSubmatch(s)
+	if m == nil {
+		t.Fatalf("no estimate report:\n%s", s)
+	}
+	if n, _ := strconv.Atoi(m[1]); n == 0 {
+		t.Errorf("estimate arm produced no validated responses:\n%s", s)
+	}
+	if bad, _ := strconv.Atoi(m[3]); bad != 0 {
+		t.Errorf("estimate frames failed to decode (%d malformed):\n%s", bad, s)
+	}
+}
+
 // TestRunRejectsWriteMixWithoutMutable pins the flag validation: a
 // write mix needs the write path.
 func TestRunRejectsWriteMixWithoutMutable(t *testing.T) {

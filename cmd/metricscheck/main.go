@@ -16,6 +16,13 @@
 // (iqs_ingest_*, the rebuild histogram, the server write counter),
 // with iqs_ingest_applied_total additionally required to be positive.
 //
+// With -estimate the drive phase also cycles /estimate traffic through
+// count/sum/avg/distinct, validates every response client-side (a
+// scored q-error must sit inside its certified bound), and the required
+// set grows by the iqs_estimate_* families, with
+// iqs_estimate_qerror_bound_exceeded_total additionally required to
+// stay zero.
+//
 // With -pool (the server booted with -pool N) a hot-window warm phase
 // runs BEFORE any write traffic — a mutable base boots pure and the
 // pool serves only while it stays pure, so warming after the first
@@ -27,6 +34,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -89,6 +97,16 @@ var poolRequired = []string{
 	"iqs_wire_encoding_total",
 }
 
+// estimateRequired joins the set under -estimate: the request counter
+// (per-op labels), the failure counter, the q-error histogram, and the
+// bound-violation counter must all be exported.
+var estimateRequired = []string{
+	"iqs_estimate_requests_total",
+	"iqs_estimate_failed_total",
+	"iqs_estimate_qerror_count",
+	"iqs_estimate_qerror_bound_exceeded_total",
+}
+
 // binContentType mirrors server.BinContentType: an Accept header
 // containing it negotiates the length-prefixed binary framing.
 const binContentType = "application/x-iqs-bin"
@@ -107,6 +125,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		timeout = fs.Duration("timeout", 10*time.Second, "per-HTTP-request deadline")
 		mutable = fs.Bool("mutable", false, "drive /insert and /delete writes too and require the ingest metric families")
 		pool    = fs.Bool("pool", false, "the server runs with -pool: warm a hot window before any writes, require the iqs_pool_* and iqs_wire_encoding_total families, and assert pool hits (plus a rebuild-driven invalidation under -mutable)")
+		est     = fs.Bool("estimate", false, "drive /estimate traffic (count/sum/avg/distinct), validate each response's q-error against its bound, and require the iqs_estimate_* families")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -120,6 +139,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		if *pool {
 			required = append(append([]string(nil), required...), poolRequired...)
+		}
+		if *est {
+			required = append(append([]string(nil), required...), estimateRequired...)
 		}
 	}
 	client := &http.Client{Timeout: *timeout}
@@ -189,6 +211,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	wantEstimates := 0
+	if *est && *drive > 0 {
+		var code int
+		if wantEstimates, code = driveEstimates(client, baseURL, *drive, stderr); code != 0 {
+			return code
+		}
+	}
+
 	exp, err := scrape(client, baseURL)
 	if err != nil {
 		fmt.Fprintf(stderr, "metricscheck: %v\n", err)
@@ -248,6 +278,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "metricscheck: no pool invalidation recorded after the /bulkload rebuild")
 				bad++
 			}
+		}
+	}
+	if *est && *drive > 0 {
+		if v := exp.SumAcross("iqs_estimate_requests_total"); v < float64(wantEstimates) {
+			fmt.Fprintf(stderr, "metricscheck: iqs_estimate_requests_total %v < %d driven estimates\n", v, wantEstimates)
+			bad++
+		}
+		if v := exp.SumAcross("iqs_estimate_qerror_count"); v <= 0 {
+			fmt.Fprintln(stderr, "metricscheck: q-error histogram observed nothing after driving scored counts")
+			bad++
+		}
+		// Every scored q-error sat inside its certified bound client-side;
+		// the server-side monitor must agree.
+		if v := exp.SumAcross("iqs_estimate_qerror_bound_exceeded_total"); v > 0 {
+			fmt.Fprintf(stderr, "metricscheck: %v q-error bound violations recorded\n", v)
+			bad++
 		}
 	}
 	// /stats mallocs are process-wide and deliberately excluded from the
@@ -356,6 +402,56 @@ func driveBulkInvalidation(client *http.Client, baseURL string, stderr io.Writer
 	}
 	fmt.Fprintln(stderr, "metricscheck: no pool invalidation after a /bulkload-kicked rebuild")
 	return 1
+}
+
+// driveEstimates issues n /estimate requests cycling through the four
+// operators over varied ranges, decoding every JSON response. Each
+// response must answer 200 with a finite estimate bracketed by its own
+// confidence interval, and a scored q-error (COUNT responses) must sit
+// inside its certified bound whenever the bound is finite — the
+// client-side twin of the server's bound-violation counter. Returns how
+// many estimates were validated.
+func driveEstimates(client *http.Client, baseURL string, n int, stderr io.Writer) (int, int) {
+	ops := [...]string{"count", "sum", "avg", "distinct"}
+	done := 0
+	for i := 0; i < n; i++ {
+		op := ops[i%len(ops)]
+		url := fmt.Sprintf("%s/estimate?op=%s&lo=%d&hi=%d&k=512", baseURL, op, i%50, 200+i%1000)
+		resp, err := client.Get(url)
+		if err != nil {
+			fmt.Fprintf(stderr, "metricscheck: drive /estimate: %v\n", err)
+			return done, 1
+		}
+		var body struct {
+			Estimate float64 `json:"estimate"`
+			CILo     float64 `json:"ci_lo"`
+			CIHi     float64 `json:"ci_hi"`
+			QError   float64 `json:"q_error"`
+			QBound   float64 `json:"q_bound"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&body)
+		drain(resp)
+		if resp.StatusCode != http.StatusOK {
+			fmt.Fprintf(stderr, "metricscheck: /estimate op=%s status %d\n", op, resp.StatusCode)
+			return done, 1
+		}
+		if decErr != nil {
+			fmt.Fprintf(stderr, "metricscheck: /estimate op=%s body: %v\n", op, decErr)
+			return done, 1
+		}
+		if body.Estimate < body.CILo || body.Estimate > body.CIHi {
+			fmt.Fprintf(stderr, "metricscheck: /estimate op=%s estimate %v outside its interval [%v, %v]\n",
+				op, body.Estimate, body.CILo, body.CIHi)
+			return done, 1
+		}
+		if body.QError >= 1 && body.QBound > 1 && body.QError > body.QBound {
+			fmt.Fprintf(stderr, "metricscheck: /estimate op=%s q-error %v exceeds bound %v\n",
+				op, body.QError, body.QBound)
+			return done, 1
+		}
+		done++
+	}
+	return done, 0
 }
 
 // scrape fetches and strictly parses the /metrics exposition.

@@ -1,0 +1,307 @@
+// Package estimate turns the repository's independent-sampling
+// machinery into approximate analytics: COUNT, SUM and AVG over a value
+// range with normal-approximation confidence intervals, and
+// distinct-count from mergeable KMV sketches unified with adaptive
+// threshold samples over streaming ingest (Ting 2018).
+//
+// # Count
+//
+// The serving layer draws m rows uniformly from the full dataset (the
+// paper's independent-sample contract makes every draw an independent
+// uniform row pick on uniform-weight data) and counts the matches x in
+// [lo, hi]. The estimator N̂ = N·x/m is unbiased with Var(N̂) =
+// N²·p(1−p)/m; the 1−α interval is N̂ ± z·N·√(p̂(1−p̂)/m). The monitored
+// q-error bound follows "Q-error Bounds of Random Uniform Sampling for
+// Cardinality Estimation" (PAPERS.md): by Chernoff, with probability
+// ≥ 1−δ the multiplicative error of x/m stays within 1±ε for
+// ε = √(3·ln(2/δ)/(m·p)), so q = max(N̂/N, N/N̂) ≤ (1+ε)/(1−ε) when
+// ε < 1. The serving layer evaluates the bound at p̂ and exports both
+// the empirical q-error (exact counts are O(log n) here, so every
+// estimate can be scored) and the bound violation count.
+//
+// # Sum and Avg
+//
+// Draws from [lo, hi] are weight-proportional (Horvitz–Thompson with
+// inclusion probability wᵢ/W(lo,hi) per draw). The HT estimator of the
+// weighted range sum Σ wᵢvᵢ is W·mean(draws); AVG is the plain sample
+// mean of the draws (the weighted average of v over the range). Both
+// get CLT intervals: mean ± z·s/√m scaled by W for SUM. On
+// uniform-weight data these are exactly the textbook row-sampling
+// estimators.
+//
+// # Distinct
+//
+// Each shard maintains a KMV sketch of its base values plus an adaptive
+// threshold sample of the values streamed into its ingest overlay since
+// the sketch was built. Both are threshold samples in Ting's sense: a
+// set of retained hashes strictly below a cut τ, with |S| estimated as
+// kept/frac(τ). The union over shards keeps hashes below τ* = min τᵢ —
+// a valid threshold sample of the union because each constituent
+// retains every hash below its own τ ≥ τ* — so the estimator stays
+// unbiased conditioned on the thresholds. When every view is unsaturated
+// (τ = 2^64) the union count is exact.
+package estimate
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// Op selects the aggregate an estimate answers.
+type Op uint8
+
+const (
+	OpCount Op = iota
+	OpSum
+	OpAvg
+	OpDistinct
+)
+
+// ErrBadOp is returned for an unknown aggregate name.
+var ErrBadOp = errors.New("estimate: unknown op (want count, sum, avg or distinct)")
+
+// ParseOp maps the wire spelling to an Op.
+func ParseOp(s string) (Op, error) {
+	switch strings.ToLower(s) {
+	case "count":
+		return OpCount, nil
+	case "sum":
+		return OpSum, nil
+	case "avg", "mean":
+		return OpAvg, nil
+	case "distinct", "ndv":
+		return OpDistinct, nil
+	}
+	return 0, fmt.Errorf("%w: %q", ErrBadOp, s)
+}
+
+func (o Op) String() string {
+	switch o {
+	case OpCount:
+		return "count"
+	case OpSum:
+		return "sum"
+	case OpAvg:
+		return "avg"
+	case OpDistinct:
+		return "distinct"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Result is one answered estimate.
+type Result struct {
+	Op         Op
+	Estimate   float64
+	CILo, CIHi float64 // confidence interval at Confidence
+	Confidence float64 // nominal coverage, e.g. 0.95
+	K          int     // sample draws consumed (0 for sketch-served distinct)
+	Exact      bool    // the estimate is exact (degenerate or unsaturated cases)
+	// QError and QBound are set for OpCount, where the exact answer is
+	// cheap enough to score every estimate: QError = max(est/exact,
+	// exact/est) and QBound = (1+ε)/(1−ε) at the measured selectivity
+	// (+Inf when ε ≥ 1, i.e. the sample cannot certify a bound).
+	QError, QBound float64
+}
+
+// clampCI orders and floors an interval for nonnegative quantities.
+func clampCI(lo, hi float64, nonneg bool) (float64, float64) {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if nonneg && lo < 0 {
+		lo = 0
+	}
+	return lo, hi
+}
+
+// Count estimates the rows matching a predicate observed matches times
+// in draws uniform row picks, over a population of total rows.
+func Count(total, matches, draws int, conf float64) Result {
+	res := Result{Op: OpCount, Confidence: conf, K: draws}
+	if total <= 0 || draws <= 0 {
+		res.Exact = total <= 0 // an empty population really has count 0
+		return res
+	}
+	p := float64(matches) / float64(draws)
+	res.Estimate = float64(total) * p
+	z := stats.NormalQuantile(1 - (1-conf)/2)
+	half := z * float64(total) * math.Sqrt(p*(1-p)/float64(draws))
+	res.CILo, res.CIHi = clampCI(res.Estimate-half, res.Estimate+half, true)
+	if res.CIHi > float64(total) {
+		res.CIHi = float64(total)
+	}
+	res.QBound = QErrorBound(draws, p, 1-conf)
+	return res
+}
+
+// Sum estimates Σ wᵢvᵢ over the queried range from weight-proportional
+// draws, where rangeWeight = W(lo,hi) is the exact total weight of the
+// range (O(log n) from the prefix sums). With no draws over a non-empty
+// range the estimate is undefined and the zero-width interval reflects
+// only the empty-range case.
+func Sum(rangeWeight float64, draws []float64, conf float64) Result {
+	res := Result{Op: OpSum, Confidence: conf, K: len(draws)}
+	if rangeWeight <= 0 {
+		res.Exact = true // empty range: the sum is exactly 0
+		return res
+	}
+	if len(draws) == 0 {
+		return res
+	}
+	sm := stats.Summarize(draws)
+	res.Estimate = rangeWeight * sm.Mean
+	std := math.Sqrt(sm.Variance)
+	z := stats.NormalQuantile(1 - (1-conf)/2)
+	half := z * rangeWeight * std / math.Sqrt(float64(len(draws)))
+	res.CILo, res.CIHi = clampCI(res.Estimate-half, res.Estimate+half, false)
+	// A zero sample variance across >1 draws means the range is (almost
+	// surely) constant-valued: the HT estimate is then exact. A single
+	// draw carries no variance information and is reported without an
+	// interval but not as exact.
+	res.Exact = sm.Variance == 0 && len(draws) > 1
+	return res
+}
+
+// Avg estimates the weighted average of v over the queried range from
+// weight-proportional draws: the plain sample mean, with a CLT
+// interval.
+func Avg(draws []float64, conf float64) Result {
+	res := Result{Op: OpAvg, Confidence: conf, K: len(draws)}
+	if len(draws) == 0 {
+		return res
+	}
+	sm := stats.Summarize(draws)
+	res.Estimate = sm.Mean
+	z := stats.NormalQuantile(1 - (1-conf)/2)
+	half := z * math.Sqrt(sm.Variance) / math.Sqrt(float64(len(draws)))
+	res.CILo, res.CIHi = clampCI(res.Estimate-half, res.Estimate+half, false)
+	res.Exact = sm.Variance == 0 && len(draws) > 1
+	return res
+}
+
+// QError returns max(est/exact, exact/est), the symmetric
+// multiplicative error metric of the cardinality-estimation literature.
+// Conventions at the boundary: both zero is a perfect 1; exactly one
+// zero is +Inf.
+func QError(est, exact float64) float64 {
+	if est < 0 || exact < 0 || math.IsNaN(est) || math.IsNaN(exact) {
+		return math.NaN()
+	}
+	if est == 0 && exact == 0 {
+		return 1
+	}
+	if est == 0 || exact == 0 {
+		return math.Inf(1)
+	}
+	if est > exact {
+		return est / exact
+	}
+	return exact / est
+}
+
+// QErrorBound returns the monitored q-error bound for a uniform sample
+// of m rows at (measured) selectivity p: with probability ≥ 1−delta the
+// sampled fraction is within (1±ε) of the true one for
+// ε = √(3·ln(2/δ)/(m·p)), giving q ≤ (1+ε)/(1−ε). Returns +Inf when
+// ε ≥ 1 (the sample is too small to certify anything at this
+// selectivity, e.g. zero matches).
+func QErrorBound(m int, p, delta float64) float64 {
+	if m <= 0 || p <= 0 || delta <= 0 || delta >= 1 {
+		return math.Inf(1)
+	}
+	eps := math.Sqrt(3 * math.Log(2/delta) / (float64(m) * p))
+	if eps >= 1 {
+		return math.Inf(1)
+	}
+	return (1 + eps) / (1 - eps)
+}
+
+// View is a threshold sample of a value set: the distinct hashes
+// strictly below the exclusive cut Tau, under the shared dataset
+// hasher. AllKept marks an exhaustive view (conceptually τ = 2^64:
+// every hash of the set is present, so counts through it are exact).
+type View struct {
+	Hashes  []uint64
+	Tau     uint64
+	AllKept bool
+}
+
+// KMVView adapts a KMV sketch to a threshold view: a saturated sketch
+// retains the k−1 hashes strictly below its k-th minimum (the cut), an
+// unsaturated one has seen every hash.
+func KMVView(s *sketch.KMV) View {
+	if s == nil {
+		return View{AllKept: true}
+	}
+	h := s.Hashes()
+	if !s.Saturated() {
+		return View{Hashes: h, AllKept: true}
+	}
+	return View{Hashes: h[:len(h)-1], Tau: h[len(h)-1]}
+}
+
+// UnionDistinct estimates the distinct count of the union of the sets
+// behind the views. All views must come from the same hasher. The union
+// keeps each view's hashes below the smallest cut τ* — a threshold
+// sample of the union — and estimates kept/frac(τ*); when every view is
+// exhaustive the deduplicated count is exact. The interval uses the KMV
+// deviation analysis: conditioned on τ*, kept is a sum of independent
+// indicators with relative deviation ~1/√kept, so the 1−α interval is
+// est/(1+zε) .. est/(1−zε) with ε = 1/√kept.
+func UnionDistinct(conf float64, views ...View) Result {
+	res := Result{Op: OpDistinct, Confidence: conf}
+	tau := uint64(math.MaxUint64)
+	exact := true
+	total := 0
+	for _, v := range views {
+		if !v.AllKept && v.Tau < tau {
+			tau = v.Tau
+			exact = false
+		}
+		total += len(v.Hashes)
+	}
+	merged := make([]uint64, 0, total)
+	for _, v := range views {
+		for _, h := range v.Hashes {
+			if exact || h < tau {
+				merged = append(merged, h)
+			}
+		}
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+	kept := 0
+	for i, h := range merged {
+		if i == 0 || merged[i-1] != h {
+			kept++
+		}
+	}
+	if exact {
+		res.Estimate = float64(kept)
+		res.CILo, res.CIHi = res.Estimate, res.Estimate
+		res.Exact = true
+		return res
+	}
+	res.Estimate = sketch.DistinctGivenKth(kept, tau)
+	if kept == 0 {
+		// Nothing below the cut: the estimator degenerates; report 0
+		// with an uninformative interval capped by what τ* can hide.
+		res.CILo, res.CIHi = 0, sketch.DistinctGivenKth(1, tau)
+		return res
+	}
+	z := stats.NormalQuantile(1 - (1-conf)/2)
+	eps := z / math.Sqrt(float64(kept))
+	lo := res.Estimate / (1 + eps)
+	hi := math.Inf(1)
+	if eps < 1 {
+		hi = res.Estimate / (1 - eps)
+	}
+	res.CILo, res.CIHi = clampCI(lo, hi, true)
+	return res
+}

@@ -1,0 +1,287 @@
+package estimate
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sketch"
+)
+
+func TestParseOp(t *testing.T) {
+	for s, want := range map[string]Op{
+		"count": OpCount, "sum": OpSum, "avg": OpAvg, "mean": OpAvg,
+		"distinct": OpDistinct, "ndv": OpDistinct, "COUNT": OpCount,
+	} {
+		got, err := ParseOp(s)
+		if err != nil || got != want {
+			t.Errorf("ParseOp(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseOp("median"); err == nil {
+		t.Error("ParseOp(median) succeeded, want error")
+	}
+	for _, op := range []Op{OpCount, OpSum, OpAvg, OpDistinct} {
+		back, err := ParseOp(op.String())
+		if err != nil || back != op {
+			t.Errorf("round trip %v failed: %v, %v", op, back, err)
+		}
+	}
+}
+
+func TestCountEstimator(t *testing.T) {
+	res := Count(10000, 300, 1000, 0.95)
+	if res.Op != OpCount || res.K != 1000 {
+		t.Fatalf("bad metadata: %+v", res)
+	}
+	if res.Estimate != 3000 {
+		t.Fatalf("estimate = %v, want 3000", res.Estimate)
+	}
+	if res.CILo >= res.Estimate || res.CIHi <= res.Estimate {
+		t.Fatalf("interval [%v, %v] does not bracket %v", res.CILo, res.CIHi, res.Estimate)
+	}
+	// Known binomial half-width: z·N·sqrt(p(1-p)/m) ≈ 1.96·10000·0.01449 ≈ 284.
+	if half := res.CIHi - res.Estimate; half < 250 || half > 320 {
+		t.Fatalf("half-width %v outside the binomial expectation", half)
+	}
+	if res.QBound <= 1 || math.IsInf(res.QBound, 1) {
+		t.Fatalf("q-bound %v not a finite bound > 1", res.QBound)
+	}
+
+	// Degenerate cases.
+	if r := Count(0, 0, 100, 0.95); !r.Exact || r.Estimate != 0 {
+		t.Fatalf("empty population: %+v", r)
+	}
+	if r := Count(100, 0, 50, 0.95); r.Estimate != 0 || r.CILo != 0 {
+		t.Fatalf("zero matches: %+v", r)
+	}
+	if r := Count(100, 50, 50, 0.95); r.CIHi > 100 {
+		t.Fatalf("interval exceeds the population: %+v", r)
+	}
+}
+
+// TestCountCoverageAndQBound simulates the serving setup on fixed
+// seeds: uniform row draws, N=20000, selectivity 0.2. The nominal 95%
+// intervals must cover the truth ≥ 90% of the time (the soak gate), and
+// the q-error bound at 95% must hold with at most ~3x the nominal 5%
+// violation rate on these seeds.
+func TestCountCoverageAndQBound(t *testing.T) {
+	const (
+		n      = 20000
+		p      = 0.2
+		m      = 800
+		trials = 400
+	)
+	exact := float64(n) * p
+	r := rng.New(99)
+	covered, qViolations := 0, 0
+	for trial := 0; trial < trials; trial++ {
+		matches := 0
+		for i := 0; i < m; i++ {
+			if r.Float64() < p {
+				matches++
+			}
+		}
+		res := Count(n, matches, m, 0.95)
+		if res.CILo <= exact && exact <= res.CIHi {
+			covered++
+		}
+		if q := QError(res.Estimate, exact); !math.IsInf(res.QBound, 1) && q > res.QBound {
+			qViolations++
+		}
+	}
+	if cov := float64(covered) / trials; cov < 0.90 {
+		t.Fatalf("empirical coverage %.3f < 0.90", cov)
+	}
+	if frac := float64(qViolations) / trials; frac > 0.15 {
+		t.Fatalf("q-bound violated in %.3f of trials", frac)
+	}
+}
+
+func TestSumAvgEstimators(t *testing.T) {
+	// Constant draws: exact, zero-width interval.
+	draws := []float64{5, 5, 5, 5}
+	if r := Sum(40, draws, 0.95); !r.Exact || r.Estimate != 200 || r.CILo != 200 || r.CIHi != 200 {
+		t.Fatalf("constant sum: %+v", r)
+	}
+	if r := Avg(draws, 0.95); !r.Exact || r.Estimate != 5 {
+		t.Fatalf("constant avg: %+v", r)
+	}
+	// Empty range.
+	if r := Sum(0, nil, 0.95); !r.Exact || r.Estimate != 0 {
+		t.Fatalf("empty-range sum: %+v", r)
+	}
+	// Varied draws bracket the estimate.
+	draws = []float64{1, 3, 5, 7, 9, 11}
+	r := Sum(60, draws, 0.95)
+	if r.Estimate != 360 {
+		t.Fatalf("sum = %v, want 60·mean=360", r.Estimate)
+	}
+	if r.Exact || r.CILo >= r.Estimate || r.CIHi <= r.Estimate {
+		t.Fatalf("varied sum interval: %+v", r)
+	}
+	a := Avg(draws, 0.95)
+	if a.Estimate != 6 || a.CILo >= 6 || a.CIHi <= 6 {
+		t.Fatalf("varied avg: %+v", a)
+	}
+	// Monte Carlo: HT sum from uniform draws over known values.
+	src := rng.New(3)
+	values := make([]float64, 1000)
+	var total float64
+	for i := range values {
+		values[i] = src.Float64() * 10
+		total += values[i]
+	}
+	var mc []float64
+	for i := 0; i < 2000; i++ {
+		mc = append(mc, values[src.Intn(len(values))])
+	}
+	est := Sum(float64(len(values)), mc, 0.99)
+	if est.CILo > total || total > est.CIHi {
+		t.Fatalf("MC sum interval [%v, %v] misses the truth %v", est.CILo, est.CIHi, total)
+	}
+}
+
+func TestQError(t *testing.T) {
+	for _, tc := range []struct{ est, exact, want float64 }{
+		{100, 100, 1},
+		{200, 100, 2},
+		{100, 200, 2},
+		{0, 0, 1},
+	} {
+		if got := QError(tc.est, tc.exact); got != tc.want {
+			t.Errorf("QError(%v, %v) = %v, want %v", tc.est, tc.exact, got, tc.want)
+		}
+	}
+	if !math.IsInf(QError(0, 5), 1) || !math.IsInf(QError(5, 0), 1) {
+		t.Error("one-sided zero must be +Inf")
+	}
+	if !math.IsNaN(QError(-1, 5)) {
+		t.Error("negative input must be NaN")
+	}
+}
+
+func TestQErrorBound(t *testing.T) {
+	b1 := QErrorBound(1000, 0.3, 0.05)
+	if b1 <= 1 {
+		t.Fatalf("bound %v must exceed 1", b1)
+	}
+	// More draws tighten, lower selectivity loosens.
+	if b2 := QErrorBound(4000, 0.3, 0.05); b2 >= b1 {
+		t.Fatalf("bound did not tighten with draws: %v -> %v", b1, b2)
+	}
+	if b3 := QErrorBound(1000, 0.05, 0.05); b3 <= b1 {
+		t.Fatalf("bound did not loosen with selectivity: %v -> %v", b1, b3)
+	}
+	if !math.IsInf(QErrorBound(10, 0.001, 0.05), 1) {
+		t.Error("uncertifiable sample must report +Inf")
+	}
+	if !math.IsInf(QErrorBound(0, 0.5, 0.05), 1) || !math.IsInf(QErrorBound(100, 0, 0.05), 1) {
+		t.Error("degenerate inputs must report +Inf")
+	}
+}
+
+func TestUnionDistinctExactWhenUnsaturated(t *testing.T) {
+	h := sketch.NewHasher(7)
+	a, _ := sketch.NewKMV(64)
+	b, _ := sketch.NewKMV(64)
+	for i := 0; i < 30; i++ {
+		a.Add(h.Hash(i))
+	}
+	for i := 20; i < 50; i++ {
+		b.Add(h.Hash(i))
+	}
+	res := UnionDistinct(0.95, KMVView(a), KMVView(b))
+	if !res.Exact || res.Estimate != 50 || res.CILo != 50 || res.CIHi != 50 {
+		t.Fatalf("unsaturated union: %+v, want exact 50", res)
+	}
+}
+
+func TestUnionDistinctApproximatesUnion(t *testing.T) {
+	h := sketch.NewHasher(11)
+	const k = 512
+	a, _ := sketch.NewKMV(k)
+	b, _ := sketch.NewKMV(k)
+	// Overlapping sets: 0..39999 and 20000..59999 — union 60000.
+	for i := 0; i < 40000; i++ {
+		a.Add(h.Hash(i))
+	}
+	for i := 20000; i < 60000; i++ {
+		b.Add(h.Hash(i))
+	}
+	res := UnionDistinct(0.99, KMVView(a), KMVView(b))
+	if res.Exact {
+		t.Fatal("saturated union reported exact")
+	}
+	if rel := math.Abs(res.Estimate-60000) / 60000; rel > 0.15 {
+		t.Fatalf("union estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+	if res.CILo > 60000 || 60000 > res.CIHi {
+		t.Fatalf("99%% interval [%v, %v] misses 60000", res.CILo, res.CIHi)
+	}
+	// The same rule must agree with sketch-level Merge on these inputs.
+	m := a.Clone()
+	if err := m.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	viaMerge := UnionDistinct(0.99, KMVView(m))
+	if rel := math.Abs(res.Estimate-viaMerge.Estimate) / viaMerge.Estimate; rel > 0.10 {
+		t.Fatalf("min-τ union %v vs Merge union %v disagree by %.3f", res.Estimate, viaMerge.Estimate, rel)
+	}
+}
+
+func TestThresholdAdaptiveSampler(t *testing.T) {
+	h := sketch.NewHasher(13)
+	th := NewThreshold(128)
+	// Below capacity: exhaustive view, exact counting.
+	for i := 0; i < 100; i++ {
+		th.AddHash(h.Hash(i))
+	}
+	v := th.View()
+	if !v.AllKept || len(v.Hashes) != 100 {
+		t.Fatalf("below-capacity view: AllKept=%v len=%d", v.AllKept, len(v.Hashes))
+	}
+	if res := UnionDistinct(0.95, v); !res.Exact || res.Estimate != 100 {
+		t.Fatalf("exact regime: %+v", res)
+	}
+	// Past capacity the threshold adapts and estimates stay calibrated.
+	for i := 100; i < 50000; i++ {
+		th.AddHash(h.Hash(i))
+	}
+	if th.Offered() != 50000 {
+		t.Fatalf("offered = %d", th.Offered())
+	}
+	v = th.View()
+	if v.AllKept || len(v.Hashes) != 128 {
+		t.Fatalf("adaptive view: AllKept=%v len=%d, want 128 kept", v.AllKept, len(v.Hashes))
+	}
+	res := UnionDistinct(0.99, v)
+	if rel := math.Abs(res.Estimate-50000) / 50000; rel > 0.30 {
+		t.Fatalf("threshold estimate %v off by %.3f relative at capacity 128", res.Estimate, rel)
+	}
+	// Unioning the stream sample with a base KMV over a disjoint set
+	// approximates the combined distinct count — the overlay+base shape
+	// the service runs.
+	base, _ := sketch.NewKMV(512)
+	for i := 100000; i < 140000; i++ {
+		base.Add(h.Hash(i))
+	}
+	u := UnionDistinct(0.99, KMVView(base), th.View())
+	if rel := math.Abs(u.Estimate-90000) / 90000; rel > 0.30 {
+		t.Fatalf("base+stream union %v off by %.3f relative", u.Estimate, rel)
+	}
+	if u.CILo > 90000 || 90000 > u.CIHi {
+		t.Fatalf("base+stream interval [%v, %v] misses 90000", u.CILo, u.CIHi)
+	}
+}
+
+func TestUnionDistinctEmptyViews(t *testing.T) {
+	res := UnionDistinct(0.95)
+	if !res.Exact || res.Estimate != 0 {
+		t.Fatalf("no views: %+v", res)
+	}
+	res = UnionDistinct(0.95, View{AllKept: true})
+	if !res.Exact || res.Estimate != 0 {
+		t.Fatalf("empty exhaustive view: %+v", res)
+	}
+}

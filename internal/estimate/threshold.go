@@ -1,0 +1,49 @@
+package estimate
+
+import "repro/internal/sketch"
+
+// Threshold is an adaptive threshold sampler over a stream of hashed
+// values (Ting, "Adaptive threshold sampling and unbiased estimation",
+// 2018). It retains every distinct hash strictly below a cut τ that
+// adapts to the stream: τ starts at 2^64 (everything kept, counts
+// exact) and, once more than capacity distinct hashes have been
+// retained, tightens to the (capacity+1)-th smallest hash seen. That is
+// precisely a bottom-(capacity+1) sketch — bottom-k is the canonical
+// adaptive threshold sample — so the retained set is a valid threshold
+// sample at every prefix of the stream, and estimates conditioned on τ
+// are unbiased regardless of the (data-dependent) times at which τ
+// tightened. The serving layer runs one per mutable dataset to absorb
+// ingest-overlay inserts that post-date the base KMV sketch; its View
+// unions with KMV views through the shared min-τ rule.
+//
+// Threshold is not synchronised; callers serialise access (the service
+// layer owns one behind its estimator mutex).
+type Threshold struct {
+	s       *sketch.KMV
+	offered int
+}
+
+// NewThreshold returns a sampler retaining at most capacity hashes
+// below its adaptive cut (capacity < 1 falls back to 256).
+func NewThreshold(capacity int) *Threshold {
+	if capacity < 1 {
+		capacity = 256
+	}
+	s, _ := sketch.NewKMV(capacity + 1) // capacity+1 ≥ 2: NewKMV cannot fail
+	return &Threshold{s: s}
+}
+
+// AddHash offers one hashed value to the sampler.
+func (t *Threshold) AddHash(h uint64) {
+	t.offered++
+	t.s.Add(h)
+}
+
+// Offered returns how many hashes have been offered (diagnostics).
+func (t *Threshold) Offered() int { return t.offered }
+
+// View returns the current threshold sample. The hash slice aliases the
+// sampler's store and is only valid until the next AddHash.
+func (t *Threshold) View() View {
+	return KMVView(t.s)
+}

@@ -153,6 +153,7 @@ type Stats struct {
 	Rebuilds    uint64  // successful base swaps
 	RebuildErrs uint64  // failed rebuild attempts
 	OverlayFrac float64 // overlay weight / live weight
+	LagSeconds  float64 // estimated time for the rebuilder to drain the log
 }
 
 // Table serves one mutable dataset: a frozen base, a dynamic overlay,
@@ -185,6 +186,12 @@ type Table struct {
 	shed        atomic.Uint64
 	rebuilds    atomic.Uint64
 	rebuildErrs atomic.Uint64
+	// drainRate is an EWMA of observed rebuild throughput in delta-log
+	// ops per second (Float64bits). It converts a log depth into the
+	// wall time the rebuilder needs to work through it — the honest
+	// Retry-After for writers shed at MaxLag, which tracks the
+	// rebuilder, not the read queue.
+	drainRate atomic.Uint64
 
 	appliedC    *metrics.Counter
 	shedC       *metrics.Counter
@@ -554,9 +561,35 @@ func (t *Table) rebuildOnce(ctx context.Context) {
 	if t.rebuildsC != nil {
 		t.rebuildsC.Add(1)
 	}
+	elapsed := time.Since(start).Seconds()
 	if t.rebuildHist != nil {
-		t.rebuildHist.Observe(time.Since(start).Seconds())
+		t.rebuildHist.Observe(elapsed)
 	}
+	if elapsed > 0 {
+		rate := float64(depth) / elapsed
+		if prev := math.Float64frombits(t.drainRate.Load()); prev > 0 {
+			rate = 0.5*prev + 0.5*rate
+		}
+		t.drainRate.Store(math.Float64bits(rate))
+	}
+}
+
+// WriteLagSeconds estimates how long the background rebuilder needs to
+// drain the current delta log: log depth over an EWMA of observed
+// rebuild throughput. It returns 0 when the log is empty or no rebuild
+// has completed yet (no rate signal). This is the write path's honest
+// backoff quote — under pure-write backpressure the read queue can be
+// empty while the rebuilder is minutes behind.
+func (t *Table) WriteLagSeconds() float64 {
+	depth := float64(t.logDepthGauge.Load())
+	if depth <= 0 {
+		return 0
+	}
+	rate := math.Float64frombits(t.drainRate.Load())
+	if rate <= 0 {
+		return 0
+	}
+	return depth / rate
 }
 
 // materializeLocked flattens live state — base minus tombstones plus
@@ -629,6 +662,7 @@ func (t *Table) Stats() Stats {
 	if liveW > 0 {
 		st.OverlayFrac = overW / liveW
 	}
+	st.LagSeconds = t.WriteLagSeconds()
 	return st
 }
 

@@ -635,3 +635,58 @@ func TestStatsString(t *testing.T) {
 	}
 	_ = fmt.Sprintf("%+v", st)
 }
+
+// TestWriteLagSecondsTracksLogDepth: the drain-lag estimate must be 0
+// with no signal, grow with the delta log once a rebuild has calibrated
+// the drain rate, and fall back to 0 when the log drains. This is the
+// quantity the serving layer quotes as the write path's Retry-After
+// under churn.
+func TestWriteLagSecondsTracksLogDepth(t *testing.T) {
+	tbl := newTestTable(t, 1024, nil, Config{Seed: 5, RebuildThreshold: 1 << 20})
+	ctx := context.Background()
+
+	// No rebuild yet: no rate signal even with a non-empty log.
+	for i := 0; i < 64; i++ {
+		if err := tbl.Insert(ctx, float64(2000+i), 1); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	if lag := tbl.WriteLagSeconds(); lag != 0 {
+		t.Fatalf("lag before any rebuild = %v, want 0 (no rate signal)", lag)
+	}
+
+	// Flush calibrates the drain rate and empties the log: lag 0 again.
+	if err := tbl.Flush(ctx); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if lag := tbl.WriteLagSeconds(); lag != 0 {
+		t.Fatalf("lag with empty log = %v, want 0", lag)
+	}
+	if st := tbl.Stats(); st.LagSeconds != 0 {
+		t.Fatalf("Stats.LagSeconds = %v, want 0", st.LagSeconds)
+	}
+
+	// With a calibrated rate, lag must appear with the log and scale
+	// with its depth (proportionally: same rate, deeper log).
+	for i := 0; i < 64; i++ {
+		if err := tbl.Insert(ctx, float64(3000+i), 1); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	lagSmall := tbl.WriteLagSeconds()
+	if lagSmall <= 0 {
+		t.Fatalf("lag with 64 queued ops = %v, want > 0", lagSmall)
+	}
+	for i := 0; i < 192; i++ {
+		if err := tbl.Insert(ctx, float64(4000+i), 1); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+	}
+	lagLarge := tbl.WriteLagSeconds()
+	if lagLarge != 4*lagSmall {
+		t.Fatalf("lag at 4x depth = %v, want exactly 4x %v (same rate)", lagLarge, lagSmall)
+	}
+	if st := tbl.Stats(); st.LagSeconds != lagLarge {
+		t.Fatalf("Stats.LagSeconds = %v, want %v", st.LagSeconds, lagLarge)
+	}
+}

@@ -134,13 +134,21 @@ type Pool struct {
 	table  map[uint64]*entry
 	lru    *list.List // front = most recent
 	closed bool
-	// seen is a fixed-size direct-mapped filter of window keys observed
-	// exactly once. With MinTakes > 1 a window registers a real entry
-	// (allocation, map insert, LRU slot) only on its second sighting, so
-	// a uniform-random workload of one-shot windows costs one array
-	// write per request and nothing else. Collisions merely delay
-	// registration by one take.
-	seen [1024]uint64
+	// seen is a fixed-size 2-way set-associative filter of window keys
+	// observed exactly once (0 = empty way; packKey never yields 0
+	// because windows require a < b). With MinTakes > 1 a window
+	// registers a real entry (allocation, map insert, LRU slot) only on
+	// its second sighting, so a uniform-random workload of one-shot
+	// windows costs one array write per request and nothing else. Two
+	// ways per set matter: a direct-mapped slot let two colliding hot
+	// windows perpetually overwrite each other, so neither ever
+	// re-observed its own key and both permanently missed the pool.
+	// With two ways a colliding pair occupies one way each, and when a
+	// set overflows the victim way is chosen at random — no access
+	// pattern can keep evicting the same key before its second
+	// sighting, so every hot window registers with probability 1.
+	seen      [1024][2]uint64
+	filterRng uint64 // xorshift state for random way replacement, under mu
 
 	gen      atomic.Uint64 // bumped by every Bind/Invalidate
 	refillCh chan *entry
@@ -157,10 +165,11 @@ type Pool struct {
 func New(cfg Config) *Pool {
 	cfg = cfg.withDefaults()
 	p := &Pool{
-		cfg:      cfg,
-		table:    make(map[uint64]*entry),
-		lru:      list.New(),
-		refillCh: make(chan *entry, cfg.QueueDepth),
+		cfg:       cfg,
+		table:     make(map[uint64]*entry),
+		lru:       list.New(),
+		refillCh:  make(chan *entry, cfg.QueueDepth),
+		filterRng: cfg.Seed*0x9e3779b97f4a7c15 | 1,
 	}
 	m := cfg.Metrics
 	lb := cfg.Labels
@@ -224,7 +233,7 @@ func (p *Pool) purgeLocked() {
 	}
 	p.table = make(map[uint64]*entry)
 	p.lru.Init()
-	p.seen = [1024]uint64{}
+	p.seen = [1024][2]uint64{}
 }
 
 // seenIdx maps a window key to its direct-mapped filter slot.
@@ -240,12 +249,34 @@ func seenIdx(key uint64) int {
 func (p *Pool) registerOrFilterLocked(s *core.RangeSampler, a, b int, key uint64, k int) {
 	takes := 1
 	if p.cfg.MinTakes > 1 {
-		i := seenIdx(key)
-		if p.seen[i] != key {
-			p.seen[i] = key
+		set := &p.seen[seenIdx(key)]
+		switch key {
+		case set[0]:
+			set[0] = 0
+		case set[1]:
+			set[1] = 0
+		default:
+			// First sighting: take an empty way, or — when both ways
+			// hold other colliding once-seen keys — displace a way
+			// chosen by the pool's rng. Any deterministic victim choice
+			// (including hashing the key) admits an access pattern that
+			// evicts each colliding hot key before its second sighting
+			// forever; a random victim makes every hot key survive a
+			// round with probability ≥ 2^-w, so all of them register
+			// eventually regardless of interleaving.
+			switch {
+			case set[0] == 0:
+				set[0] = key
+			case set[1] == 0:
+				set[1] = key
+			default:
+				p.filterRng ^= p.filterRng << 13
+				p.filterRng ^= p.filterRng >> 7
+				p.filterRng ^= p.filterRng << 17
+				set[p.filterRng&1] = key
+			}
 			return
 		}
-		p.seen[i] = 0
 		takes = 2
 	}
 	p.registerLocked(s, a, b, key, k, takes)

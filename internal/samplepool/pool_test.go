@@ -517,3 +517,88 @@ func TestMetricsRegistered(t *testing.T) {
 		t.Fatalf("stats off: %+v", st)
 	}
 }
+
+// TestCollidingHotWindowsBothRegister: with MinTakes > 1, two hot
+// windows whose keys hash to the same seen-filter set used to overwrite
+// each other's direct-mapped slot on every sighting — neither ever
+// re-observed its own key, so neither registered and both permanently
+// missed the pool. With the 2-way filter both must register within two
+// sightings each and then serve pooled draws.
+func TestCollidingHotWindowsBothRegister(t *testing.T) {
+	const n = 4096
+	s := testSampler(t, n)
+
+	// Find two single-position windows landing in the same filter set
+	// (pigeonhole over 1024 sets guarantees a pair among n windows).
+	firstIn := map[int]int{}
+	wa, wb := -1, -1
+	for a := 0; a < n; a++ {
+		i := seenIdx(packKey(a, a+1))
+		if first, ok := firstIn[i]; ok {
+			wa, wb = first, a
+			break
+		}
+		firstIn[i] = a
+	}
+	if wa < 0 {
+		t.Fatal("no colliding windows found")
+	}
+
+	p := New(Config{Capacity: 64, MinTakes: 2, Seed: 11})
+	defer p.Close()
+	p.Bind(s)
+
+	for i := 0; i < 4; i++ {
+		p.TakeInto(s, float64(wa), float64(wa), 1, nil)
+		p.TakeInto(s, float64(wb), float64(wb), 1, nil)
+	}
+	p.WaitIdle()
+	if st := p.Snapshot(); st.Entries != 2 {
+		t.Fatalf("entries = %d after alternating colliding hot windows, want 2", st.Entries)
+	}
+	if _, took := p.TakeInto(s, float64(wa), float64(wa), 1, nil); took != 1 {
+		t.Fatalf("window A served %d pooled draws, want 1", took)
+	}
+	if _, took := p.TakeInto(s, float64(wb), float64(wb), 1, nil); took != 1 {
+		t.Fatalf("window B served %d pooled draws, want 1", took)
+	}
+}
+
+// TestCollidingHotWindowsOverfullSet drives four hot windows into one
+// 2-way set — more colliding keys than ways. Random way replacement
+// lets each key survive to its second sighting with positive
+// probability per round, and registrations permanently remove
+// competitors, so all four must register within the (deterministic,
+// seeded) hammer loop.
+func TestCollidingHotWindowsOverfullSet(t *testing.T) {
+	const n = 1 << 14
+	s := testSampler(t, n)
+
+	bySet := map[int][]int{}
+	var ws []int
+	for a := 0; a < n; a++ {
+		i := seenIdx(packKey(a, a+1))
+		bySet[i] = append(bySet[i], a)
+		if len(bySet[i]) == 4 {
+			ws = bySet[i]
+			break
+		}
+	}
+	if ws == nil {
+		t.Fatal("no 4-way colliding windows found")
+	}
+
+	p := New(Config{Capacity: 64, MinTakes: 2, Seed: 13})
+	defer p.Close()
+	p.Bind(s)
+
+	for i := 0; i < 64; i++ {
+		for _, w := range ws {
+			p.TakeInto(s, float64(w), float64(w), 1, nil)
+		}
+	}
+	p.WaitIdle()
+	if st := p.Snapshot(); st.Entries != len(ws) {
+		t.Fatalf("entries = %d after hammering %d colliding hot windows, want all registered", st.Entries, len(ws))
+	}
+}

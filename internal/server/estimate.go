@@ -1,0 +1,244 @@
+// The /estimate endpoint: approximate COUNT/SUM/AVG/DISTINCT over a
+// value range, answered from the engine's sampling and sketch machinery
+// instead of a scan. Requests flow through the same admission control
+// and per-request deadlines as /sample; responses carry the estimate,
+// its confidence interval, and — for COUNT, where the engine scores
+// itself against the exact answer — the measured q-error next to the
+// Chernoff bound it is monitored against. The server feeds every scored
+// q-error into the iqs_estimate_qerror histogram and counts bound
+// violations, so the paper's accuracy guarantee is a dashboard fact
+// rather than a code comment.
+package server
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/service"
+)
+
+// estimator is the optional approximate-analytics extension of Engine;
+// *shard.Coordinator implements it. Engines without it answer 501 on
+// /estimate.
+type estimator interface {
+	Estimate(ctx context.Context, r *core.Rand, req service.EstimateRequest) (estimate.Result, error)
+}
+
+// estimateParams are the /estimate inputs, accepted as query parameters
+// (GET) or a JSON body (POST). Lo/Hi are ignored for op=distinct.
+type estimateParams struct {
+	Op   string  `json:"op"`
+	Lo   float64 `json:"lo"`
+	Hi   float64 `json:"hi"`
+	K    int     `json:"k"`
+	Conf float64 `json:"conf"`
+}
+
+// estimateResponse is the /estimate payload.
+type estimateResponse struct {
+	Op         string  `json:"op"`
+	Estimate   float64 `json:"estimate"`
+	CILo       float64 `json:"ci_lo"`
+	CIHi       float64 `json:"ci_hi"`
+	Confidence float64 `json:"confidence"`
+	K          int     `json:"k"`
+	Exact      bool    `json:"exact"`
+	// QError / QBound are populated for op=count (0 otherwise); +Inf
+	// encodes as the JSON string "inf" via the float fields' own
+	// formatting being invalid JSON, so they are clamped to a sentinel.
+	QError    float64 `json:"q_error"`
+	QBound    float64 `json:"q_bound"`
+	ElapsedUS int64   `json:"elapsed_us"`
+}
+
+// jsonSafe clamps non-finite values (an uncertifiable +Inf bound) to 0,
+// which the response documents as "not available" — encoding/json
+// rejects infinities outright.
+func jsonSafe(f float64) float64 {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return 0
+	}
+	return f
+}
+
+func parseEstimateParams(r *http.Request) (estimateParams, error) {
+	if r.Method == http.MethodPost {
+		var pp estimateParams
+		if err := json.NewDecoder(r.Body).Decode(&pp); err != nil {
+			return pp, fmt.Errorf("bad JSON body: %w", err)
+		}
+		return pp, nil
+	}
+	var p estimateParams
+	var err error
+	p.Op = queryValue(r, "op")
+	if lo := queryValue(r, "lo"); lo != "" {
+		if p.Lo, err = strconv.ParseFloat(lo, 64); err != nil {
+			return p, fmt.Errorf("bad lo: %q", lo)
+		}
+	}
+	if hi := queryValue(r, "hi"); hi != "" {
+		if p.Hi, err = strconv.ParseFloat(hi, 64); err != nil {
+			return p, fmt.Errorf("bad hi: %q", hi)
+		}
+	}
+	if k := queryValue(r, "k"); k != "" {
+		if p.K, err = strconv.Atoi(k); err != nil {
+			return p, fmt.Errorf("bad k: %q", k)
+		}
+	}
+	if conf := queryValue(r, "conf"); conf != "" {
+		if p.Conf, err = strconv.ParseFloat(conf, 64); err != nil {
+			return p, fmt.Errorf("bad conf: %q", conf)
+		}
+	}
+	return p, nil
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet && r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET or POST"))
+		return
+	}
+	if s.est == nil {
+		s.writeError(w, http.StatusNotImplemented, errors.New("engine has no estimator"))
+		return
+	}
+	reqStart := time.Now()
+	rctx, seq, tr := s.beginRequest(w, r)
+	defer func() {
+		s.reqEstimate.Observe(time.Since(reqStart).Seconds())
+		s.finishTrace(tr, "/estimate", time.Since(reqStart))
+	}()
+	endAdmit := tr.StartSpan("admit")
+	release, status := s.admit(rctx)
+	s.stage[stageAdmit].Observe(time.Since(reqStart).Seconds())
+	endAdmit()
+	if status != 0 {
+		s.shed(w, status)
+		return
+	}
+	defer release()
+	p, err := parseEstimateParams(r)
+	if err != nil {
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	op, err := estimate.ParseOp(p.Op)
+	if err != nil {
+		s.estFailed.Add(1)
+		s.writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if p.K < 0 || p.K > s.opts.MaxK {
+		s.estFailed.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("k = %d out of [0, %d]", p.K, s.opts.MaxK))
+		return
+	}
+	if p.Conf < 0 || p.Conf >= 1 {
+		s.estFailed.Add(1)
+		s.writeError(w, http.StatusBadRequest, fmt.Errorf("conf = %v out of [0, 1)", p.Conf))
+		return
+	}
+	s.estReq[op].Add(1)
+	ctx, cancel := context.WithTimeout(rctx, s.opts.Timeout)
+	defer cancel()
+	start := time.Now()
+	endEngine := tr.StartSpan("engine")
+	res, err := s.est.Estimate(ctx, s.randFor(seq), service.EstimateRequest{
+		Op: op, Lo: p.Lo, Hi: p.Hi, K: p.K, Conf: p.Conf,
+	})
+	endEngine()
+	if err != nil {
+		s.estFailed.Add(1)
+		s.writeError(w, statusOf(err), err)
+		return
+	}
+	s.served.Add(1)
+	if q := res.QError; q >= 1 && !math.IsInf(q, 1) {
+		s.estQError.Observe(q)
+		if !math.IsInf(res.QBound, 1) && q > res.QBound {
+			s.estQBoundExceeded.Add(1)
+		}
+	}
+	if wantBinary(r) {
+		s.wireBin.Add(1)
+		bb := binPool.Get().(*[]byte)
+		body := appendEstimateFrame((*bb)[:0], res)
+		s.writeBin(w, http.StatusOK, body)
+		*bb = body[:0]
+		binPool.Put(bb)
+		return
+	}
+	s.wireJSON.Add(1)
+	writeJSON(w, http.StatusOK, estimateResponse{
+		Op:         res.Op.String(),
+		Estimate:   jsonSafe(res.Estimate),
+		CILo:       jsonSafe(res.CILo),
+		CIHi:       jsonSafe(res.CIHi),
+		Confidence: res.Confidence,
+		K:          res.K,
+		Exact:      res.Exact,
+		QError:     jsonSafe(res.QError),
+		QBound:     jsonSafe(res.QBound),
+		ElapsedUS:  time.Since(start).Microseconds(),
+	})
+}
+
+// appendEstimateFrame appends one kind-2 frame:
+//
+//	[u8 2][u8 op][u8 exact][u32 k]
+//	[f64 estimate][f64 ciLo][f64 ciHi][f64 conf][f64 qError][f64 qBound]
+//
+// Non-finite q fields travel as their IEEE bits — binary clients get
+// the honest +Inf, unlike the JSON clamping.
+func appendEstimateFrame(b []byte, res estimate.Result) []byte {
+	b = binary.LittleEndian.AppendUint32(b, uint32(1+1+1+4+6*8))
+	b = append(b, binKindEstimate, uint8(res.Op), boolByte(res.Exact))
+	b = binary.LittleEndian.AppendUint32(b, uint32(res.K))
+	for _, f := range [...]float64{res.Estimate, res.CILo, res.CIHi, res.Confidence, res.QError, res.QBound} {
+		b = binary.LittleEndian.AppendUint64(b, math.Float64bits(f))
+	}
+	return b
+}
+
+func boolByte(v bool) uint8 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// DecodeEstimateBody decodes a binary /estimate response body (one
+// kind-2 frame). The load generator and tests use it.
+func DecodeEstimateBody(b []byte) (estimate.Result, error) {
+	var res estimate.Result
+	if len(b) < 4 {
+		return res, fmt.Errorf("iqs-bin: truncated estimate header (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) != n || n != 1+1+1+4+6*8 {
+		return res, fmt.Errorf("iqs-bin: estimate frame length %d, body %d", n, len(b))
+	}
+	if b[0] != binKindEstimate {
+		return res, fmt.Errorf("iqs-bin: frame kind %d, want %d", b[0], binKindEstimate)
+	}
+	res.Op = estimate.Op(b[1])
+	res.Exact = b[2] == 1
+	res.K = int(binary.LittleEndian.Uint32(b[3:]))
+	fields := [...]*float64{&res.Estimate, &res.CILo, &res.CIHi, &res.Confidence, &res.QError, &res.QBound}
+	for i, f := range fields {
+		*f = math.Float64frombits(binary.LittleEndian.Uint64(b[7+8*i:]))
+	}
+	return res, nil
+}

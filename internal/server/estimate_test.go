@@ -1,0 +1,174 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/estimate"
+)
+
+func TestEstimateEndpointJSON(t *testing.T) {
+	_, ts := newTestServer(t, 10000, 4, Options{})
+
+	// COUNT over [0, 2499]: exact 2500 of 10000.
+	m := getJSON(t, ts.URL+"/estimate?op=count&lo=0&hi=2499&k=2000", http.StatusOK)
+	if m["op"] != "count" {
+		t.Fatalf("op = %v", m["op"])
+	}
+	est := m["estimate"].(float64)
+	if rel := math.Abs(est-2500) / 2500; rel > 0.15 {
+		t.Fatalf("count estimate %v off by %.3f relative", est, rel)
+	}
+	if lo, hi := m["ci_lo"].(float64), m["ci_hi"].(float64); lo > 2500 || 2500 > hi {
+		t.Fatalf("interval [%v, %v] misses 2500", lo, hi)
+	}
+	if q := m["q_error"].(float64); q < 1 {
+		t.Fatalf("q_error %v not scored", q)
+	}
+	if qb := m["q_bound"].(float64); qb <= 1 {
+		t.Fatalf("q_bound %v not populated", qb)
+	}
+	if m["confidence"].(float64) != 0.95 {
+		t.Fatalf("default confidence: %v", m["confidence"])
+	}
+
+	// SUM via POST body.
+	body := `{"op":"sum","lo":100,"hi":199,"k":500}`
+	resp, err := http.Post(ts.URL+"/estimate", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sm map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&sm); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST sum: %d %v", resp.StatusCode, sm)
+	}
+	if rel := math.Abs(sm["estimate"].(float64)-14950) / 14950; rel > 0.10 {
+		t.Fatalf("sum estimate %v off by %.3f relative", sm["estimate"], rel)
+	}
+
+	// DISTINCT ignores the range and needs no k.
+	m = getJSON(t, ts.URL+"/estimate?op=distinct", http.StatusOK)
+	if rel := math.Abs(m["estimate"].(float64)-10000) / 10000; rel > 0.20 {
+		t.Fatalf("distinct estimate %v off by %.3f relative", m["estimate"], rel)
+	}
+
+	// Errors keep the typed vocabulary.
+	getJSON(t, ts.URL+"/estimate?op=median&lo=0&hi=1", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/estimate?op=count&lo=5&hi=1", http.StatusBadRequest)
+	getJSON(t, ts.URL+"/estimate?op=avg&lo=1e9&hi=2e9", http.StatusUnprocessableEntity)
+	getJSON(t, ts.URL+"/estimate?op=count&lo=0&hi=1&conf=1.5", http.StatusBadRequest)
+}
+
+func TestEstimateEndpointBinary(t *testing.T) {
+	_, ts := newTestServer(t, 10000, 2, Options{})
+	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/estimate?op=count&lo=0&hi=4999&k=1000", nil)
+	req.Header.Set("Accept", BinContentType)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != BinContentType {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DecodeEstimateBody(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != estimate.OpCount || res.K != 1000 {
+		t.Fatalf("decoded metadata: %+v", res)
+	}
+	if rel := math.Abs(res.Estimate-5000) / 5000; rel > 0.15 {
+		t.Fatalf("decoded estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+	if res.CILo > 5000 || 5000 > res.CIHi {
+		t.Fatalf("decoded interval [%v, %v] misses 5000", res.CILo, res.CIHi)
+	}
+	if res.QError < 1 || res.QBound <= 1 {
+		t.Fatalf("decoded q fields: %v / %v", res.QError, res.QBound)
+	}
+}
+
+func TestEstimateFrameRoundTrip(t *testing.T) {
+	in := estimate.Result{
+		Op: estimate.OpCount, Estimate: 1234.5, CILo: 1100.25, CIHi: 1360.75,
+		Confidence: 0.99, K: 512, QError: 1.05, QBound: math.Inf(1),
+	}
+	out, err := DecodeEstimateBody(appendEstimateFrame(nil, in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+	if _, err := DecodeEstimateBody([]byte{1, 2, 3}); err == nil {
+		t.Fatal("truncated body decoded")
+	}
+}
+
+func TestEstimateMetricsExported(t *testing.T) {
+	srv, ts := newTestServer(t, 5000, 2, Options{})
+	for i := 0; i < 20; i++ {
+		getJSON(t, ts.URL+"/estimate?op=count&lo=0&hi=999&k=500", http.StatusOK)
+	}
+	getJSON(t, ts.URL+"/estimate?op=distinct", http.StatusOK)
+	getJSON(t, ts.URL+"/estimate?op=nope", http.StatusBadRequest)
+
+	rec := httptest.NewRecorder()
+	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/metrics", nil))
+	text := rec.Body.String()
+	for _, want := range []string{
+		`iqs_estimate_requests_total{op="count"} 20`,
+		`iqs_estimate_requests_total{op="distinct"} 1`,
+		`iqs_estimate_failed_total 1`,
+		`iqs_estimate_qerror_bucket`,
+		`iqs_estimate_qerror_bound_exceeded_total`,
+		`iqs_server_request_seconds_count{path="/estimate"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every scored COUNT feeds the q-error histogram.
+	if !strings.Contains(text, `iqs_estimate_qerror_count 20`) {
+		t.Errorf("q-error histogram did not observe all 20 scored counts:\n%s",
+			grepLines(text, "iqs_estimate_qerror"))
+	}
+}
+
+func grepLines(text, substr string) string {
+	var b bytes.Buffer
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, substr) {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+func TestEstimateWithoutEstimatorAnswers501(t *testing.T) {
+	// A bare Engine stub without the estimator extension.
+	eng := &laggedEngine{lag: 0}
+	srv := New(eng, Options{})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	getJSON(t, ts.URL+"/estimate?op=count&lo=0&hi=1", http.StatusNotImplemented)
+}

@@ -8,6 +8,7 @@ import (
 	"net/http/httptest"
 	"testing"
 
+	"repro/internal/ingest"
 	"repro/internal/service"
 	"repro/internal/shard"
 )
@@ -144,5 +145,65 @@ func TestWriteBackpressureRetryAfter(t *testing.T) {
 	}
 	if resp.Header.Get("Retry-After") == "" {
 		t.Fatal("429 write missing Retry-After")
+	}
+}
+
+// laggedEngine wraps a read engine with a write path that always sheds
+// with ingest backpressure while reporting a fixed ingest drain lag.
+type laggedEngine struct {
+	Engine
+	lag float64
+}
+
+func (e *laggedEngine) Insert(ctx context.Context, value, weight float64) error {
+	return ingest.ErrBackpressure
+}
+func (e *laggedEngine) Delete(ctx context.Context, value float64) error {
+	return ingest.ErrBackpressure
+}
+func (e *laggedEngine) BulkLoad(ctx context.Context, values, weights []float64) error {
+	return ingest.ErrBackpressure
+}
+func (e *laggedEngine) WriteLagSeconds() float64 { return e.lag }
+
+// TestWriteRetryAfterTracksIngestLag: a write shed by a saturated delta
+// log must quote the rebuilder's drain lag, not the read queue's depth.
+// Pre-fix, finishWrite reused retryAfterSecs(), which reports 1s on an
+// idle read queue even with the rebuilder minutes behind — this test
+// fails on that code.
+func TestWriteRetryAfterTracksIngestLag(t *testing.T) {
+	values := make([]float64, 100)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	inner, err := shard.New(context.Background(), "lag", values, nil, shard.Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(inner.Close)
+
+	for _, tc := range []struct {
+		lag  float64
+		want string
+	}{
+		{137.2, "138"}, // ceil of the drain estimate
+		{1e6, "300"},   // clamped to the write-path cap
+		{0, "1"},       // no lag signal: read-queue fallback (idle queue)
+	} {
+		srv := New(&laggedEngine{Engine: inner, lag: tc.lag}, Options{})
+		ts := httptest.NewServer(srv.Handler())
+		b, _ := json.Marshal(map[string]any{"value": 7})
+		resp, err := http.Post(ts.URL+"/insert", "application/json", bytes.NewReader(b))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("lag %v: status %d, want 429", tc.lag, resp.StatusCode)
+		}
+		if got := resp.Header.Get("Retry-After"); got != tc.want {
+			t.Errorf("lag %v: Retry-After %q, want %q", tc.lag, got, tc.want)
+		}
+		ts.Close()
 	}
 }

@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/estimate"
 	"repro/internal/ingest"
 	"repro/internal/metrics"
 	"repro/internal/rng"
@@ -81,6 +82,17 @@ type Engine interface {
 // bypass preserves the IQS contract.
 type poolProber interface {
 	PoolHot(lo, hi float64, k int) bool
+}
+
+// writeLagger is the optional ingest-lag extension of Engine;
+// *shard.Coordinator implements it. WriteLagSeconds estimates how long
+// the slowest shard's rebuilder needs to drain its delta log. The write
+// endpoints quote it as Retry-After on backpressure 429s: the read
+// queue can be empty while the rebuilder is minutes behind, so deriving
+// write backoff from the read queue (the old behaviour) told shed
+// writers to stampede back ~1s later into a log that was still full.
+type writeLagger interface {
+	WriteLagSeconds() float64
 }
 
 // MutableEngine is the optional write-path extension of Engine;
@@ -140,6 +152,8 @@ type Server struct {
 	eng    Engine
 	mut    MutableEngine // nil when eng has no write path
 	prober poolProber    // nil when eng has no pool probe
+	lagger writeLagger   // nil when eng has no ingest-lag estimate
+	est    estimator     // nil when eng has no approximate analytics
 	opts   Options
 	reg    *metrics.Registry
 	log    *slog.Logger
@@ -187,6 +201,15 @@ type Server struct {
 	wireJSON *metrics.Counter
 	wireBin  *metrics.Counter
 
+	// /estimate instrumentation: per-op request counters, failures, the
+	// empirical q-error distribution of scored (COUNT) estimates, and
+	// how often a scored q-error escaped its Chernoff bound.
+	reqEstimate       *metrics.Histogram
+	estReq            [4]*metrics.Counter
+	estFailed         *metrics.Counter
+	estQError         *metrics.Histogram
+	estQBoundExceeded *metrics.Counter
+
 	hs *http.Server
 }
 
@@ -233,6 +256,8 @@ func New(eng Engine, opts Options) *Server {
 	s.release = func() { <-s.sem }
 	s.mut, _ = eng.(MutableEngine)
 	s.prober, _ = eng.(poolProber)
+	s.lagger, _ = eng.(writeLagger)
+	s.est, _ = eng.(estimator)
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
 	}
@@ -259,6 +284,14 @@ func New(eng Engine, opts Options) *Server {
 	s.coalesced = reg.Counter("iqs_coalesced_requests_total", "Requests answered through a coalesced batch.")
 	s.wireJSON = reg.Counter("iqs_wire_encoding_total", "Query responses encoded, by wire format.", metrics.L("format", "json"))
 	s.wireBin = reg.Counter("iqs_wire_encoding_total", "Query responses encoded, by wire format.", metrics.L("format", "binary"))
+	s.reqEstimate = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/estimate"))
+	for _, op := range []estimate.Op{estimate.OpCount, estimate.OpSum, estimate.OpAvg, estimate.OpDistinct} {
+		s.estReq[op] = reg.Counter("iqs_estimate_requests_total", "Estimate requests accepted, by aggregate.", metrics.L("op", op.String()))
+	}
+	s.estFailed = reg.Counter("iqs_estimate_failed_total", "Estimate requests answered with an error.")
+	s.estQError = reg.Histogram("iqs_estimate_qerror", "Empirical q-error of scored (COUNT) estimates.",
+		[]float64{1.0, 1.01, 1.02, 1.05, 1.1, 1.2, 1.5, 2, 3, 5, 10})
+	s.estQBoundExceeded = reg.Counter("iqs_estimate_qerror_bound_exceeded_total", "Scored estimates whose q-error escaped the monitored Chernoff bound.")
 	reg.GaugeFunc("iqs_server_in_flight", "Requests currently executing.",
 		func() float64 { return float64(len(s.sem)) })
 	reg.GaugeFunc("iqs_server_queue_depth", "Requests admitted or waiting for an execution slot.",
@@ -288,6 +321,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sample", s.handleSample)
 	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/estimate", s.handleEstimate)
 	mux.HandleFunc("/insert", s.handleInsert)
 	mux.HandleFunc("/delete", s.handleDelete)
 	mux.HandleFunc("/bulkload", s.handleBulkLoad)
@@ -454,6 +488,28 @@ func (s *Server) retryAfterSecs() int64 {
 		secs = 60
 	}
 	return secs
+}
+
+// writeRetryAfterSecs quotes backoff for a backpressured write: the
+// engine's estimated ingest drain lag, clamped to [1s, 300s] — the cap
+// is higher than the read path's 60s because a behind rebuilder really
+// can need minutes, and quoting less re-sheds every retry. Without a
+// lag signal (no completed rebuild yet, or an engine with no ingest
+// path) it falls back to the read-queue estimate.
+func (s *Server) writeRetryAfterSecs() int64 {
+	if s.lagger != nil {
+		if lag := s.lagger.WriteLagSeconds(); lag > 0 {
+			secs := int64(math.Ceil(lag))
+			if secs < 1 {
+				secs = 1
+			}
+			if secs > 300 {
+				secs = 300
+			}
+			return secs
+		}
+	}
+	return s.retryAfterSecs()
 }
 
 // shed answers a request refused by admission control.
@@ -820,15 +876,21 @@ func (s *Server) beginWrite(w http.ResponseWriter, r *http.Request) (p writePara
 	return p, release, true
 }
 
-// finishWrite answers a completed write. Backpressure quotes the same
-// adaptive Retry-After the admission path does: to the client, a full
-// delta log and a full request queue are the same condition.
+// finishWrite answers a completed write. Backpressure (a saturated
+// delta log) quotes a Retry-After derived from the ingest drain lag —
+// how long the rebuilder actually needs to work through the log —
+// falling back to the admission path's read-queue estimate only when no
+// lag signal exists yet. The two conditions are not interchangeable:
+// the read queue drains in timeout-bounded rounds (~seconds) while a
+// full delta log drains at the rebuilder's pace (possibly minutes), so
+// the old shared quote told writers shed at MaxLag to stampede back ~1s
+// later into a log that was still full.
 func (s *Server) finishWrite(w http.ResponseWriter, reqStart time.Time, applied int, err error) {
 	defer func() { s.reqWrite.Observe(time.Since(reqStart).Seconds()) }()
 	if err != nil {
 		status := statusOf(err)
 		if status == http.StatusTooManyRequests {
-			w.Header().Set("Retry-After", strconv.FormatInt(s.retryAfterSecs(), 10))
+			w.Header().Set("Retry-After", strconv.FormatInt(s.writeRetryAfterSecs(), 10))
 		}
 		s.writeError(w, status, err)
 		return

@@ -44,8 +44,9 @@ const BinContentType = "application/x-iqs-bin"
 
 // Frame kind tags.
 const (
-	binKindSamples = 0
-	binKindError   = 1
+	binKindSamples  = 0
+	binKindError    = 1
+	binKindEstimate = 2 // /estimate responses; layout in estimate.go
 )
 
 // binPool recycles binary response bodies.

@@ -1,0 +1,240 @@
+package service
+
+import (
+	"context"
+	"math"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/sketch"
+)
+
+// Approximate analytics: Estimate answers COUNT/SUM/AVG over a value
+// range from the dataset's own independent-sampling read paths
+// (Horvitz–Thompson with normal-approximation intervals, see
+// internal/estimate), and DISTINCT from per-dataset sketch state — a
+// KMV sketch of the published snapshot's values plus an adaptive
+// threshold sample (Ting 2018) absorbing values streamed into the
+// ingest overlay since that snapshot was built. The sketch state is
+// bound to the snapshot-swap lifecycle exactly like the sample pools:
+// every path that rebinds a pool (Create, static swapIn, the mutable
+// rebuild callback) also rebuilds the sketch from the same element
+// arrays, so the base sketch always describes the published base and
+// the stream sample exactly the overlay-era inserts.
+//
+// Deletes cannot leave a KMV sketch, so between a delete and the next
+// rebuild the distinct estimate may over-count by the deleted values;
+// the rebuild folds them out. COUNT draws are weight-proportional rows,
+// so the count estimator is unbiased on uniform-weight data (the
+// setting of the monitored q-error bound) and estimates the weight
+// fraction otherwise — see DESIGN.md §12.
+
+// defaultEstimateSalt seeds the shared value hasher when the caller
+// does not choose one. Every service in a fan-in group must agree on
+// the salt (and K) for its sketches to merge; the sharded coordinator
+// passes one Options value to every shard, so agreement is automatic.
+const defaultEstimateSalt = 0x51f3bd2a64089fc5
+
+// EstimateOptions tunes the per-dataset distinct-count estimator state.
+// The zero value (and a nil Options.Estimate) means defaults:
+// estimation is always on.
+type EstimateOptions struct {
+	// K is the KMV sketch capacity; 0 means 1024 (≈6% standard error).
+	K int
+	// Salt seeds the shared value hasher. Services whose sketches merge
+	// at a fan-in must agree; 0 means a fixed default.
+	Salt uint64
+	// StreamCapacity bounds the adaptive threshold sample absorbing
+	// ingest-overlay inserts; 0 means 4·K.
+	StreamCapacity int
+}
+
+func (o *EstimateOptions) withDefaults() EstimateOptions {
+	var c EstimateOptions
+	if o != nil {
+		c = *o
+	}
+	if c.K <= 0 {
+		c.K = 1024
+	}
+	if c.Salt == 0 {
+		c.Salt = defaultEstimateSalt
+	}
+	if c.StreamCapacity <= 0 {
+		c.StreamCapacity = 4 * c.K
+	}
+	return c
+}
+
+// EstimateRequest asks for one aggregate over [Lo, Hi].
+type EstimateRequest struct {
+	Op     estimate.Op
+	Lo, Hi float64
+	// K is the sample budget for count/sum/avg; 0 means 256. Distinct
+	// is served from sketch state and consumes no draws.
+	K int
+	// Conf is the nominal interval coverage; 0 means 0.95.
+	Conf float64
+}
+
+// distinctState is one dataset's sketch state. base describes the
+// element array the current snapshot/base was built from; stream holds
+// hashes of values inserted through the ingest path since. A mutex (not
+// the dataset's) serialises sketch mutation against view extraction —
+// reads only clone/copy, so the section is short.
+type distinctState struct {
+	cfg EstimateOptions
+	h   sketch.Hasher
+
+	mu     sync.Mutex
+	base   *sketch.KMV
+	stream *estimate.Threshold
+}
+
+func (s *Service) newDistinct(values []float64) *distinctState {
+	cfg := s.opts.Estimate.withDefaults()
+	d := &distinctState{cfg: cfg, h: sketch.NewHasher(cfg.Salt)}
+	d.rebuild(values)
+	return d
+}
+
+// rebuild replaces the base sketch with one over values and resets the
+// stream sample — called wherever the dataset publishes a rebuilt
+// snapshot (the same sites that rebind the sample pool).
+func (d *distinctState) rebuild(values []float64) {
+	base, err := sketch.NewKMV(d.cfg.K)
+	if err != nil {
+		return // unreachable: withDefaults guarantees K ≥ 1
+	}
+	for _, v := range values {
+		base.Add(d.h.HashFloat(v))
+	}
+	d.mu.Lock()
+	d.base = base
+	d.stream = estimate.NewThreshold(d.cfg.StreamCapacity)
+	d.mu.Unlock()
+}
+
+// noteInsert folds one ingested value into the stream sample.
+func (d *distinctState) noteInsert(v float64) {
+	h := d.h.HashFloat(v)
+	d.mu.Lock()
+	d.stream.AddHash(h)
+	d.mu.Unlock()
+}
+
+// views returns a stable snapshot of the sketch state: a clone of the
+// base sketch and a copied view of the stream sample.
+func (d *distinctState) views() (*sketch.KMV, estimate.View) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	base := d.base.Clone()
+	v := d.stream.View()
+	v.Hashes = append([]uint64(nil), v.Hashes...)
+	return base, v
+}
+
+// DistinctSketch returns a clone of the named dataset's base KMV sketch
+// together with the current view of its ingest-stream threshold sample.
+// The sharded coordinator merges the per-shard sketches with sketch
+// Merge and unions the stream views at its fan-in.
+func (s *Service) DistinctSketch(name string) (*sketch.KMV, estimate.View, error) {
+	ds, err := s.lookup(name)
+	if err != nil {
+		return nil, estimate.View{}, err
+	}
+	base, v := ds.est.views()
+	return base, v, nil
+}
+
+// estimateDraws pulls k draws for [lo, hi] through the dataset's
+// canonical read path (pools, guards and quality monitors included).
+func (s *Service) estimateDraws(ctx context.Context, ds *dataset, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	if ds.tbl != nil {
+		return s.mutableSampleInto(ctx, ds, r, lo, hi, k, nil)
+	}
+	return s.staticSampleInto(ctx, ds, r, lo, hi, k, nil)
+}
+
+// fullRange spans every finite value, so a draw over it is a
+// weight-proportional pick from the whole dataset.
+const fullRangeLo, fullRangeHi = -math.MaxFloat64, math.MaxFloat64
+
+// Estimate answers one approximate aggregate over the named dataset.
+// COUNT additionally scores itself against the exact count (O(log n)
+// here) and reports the measured q-error next to the monitored bound.
+func (s *Service) Estimate(ctx context.Context, r *core.Rand, name string, req EstimateRequest) (res estimate.Result, err error) {
+	defer s.track(&err)()
+	ds, err := s.lookup(name)
+	if err != nil {
+		return res, err
+	}
+	if err = ctx.Err(); err != nil {
+		return res, err
+	}
+	if req.K <= 0 {
+		req.K = 256
+	}
+	if req.Conf <= 0 || req.Conf >= 1 {
+		req.Conf = 0.95
+	}
+	if req.Op != estimate.OpDistinct {
+		if err = core.ValidateRange(req.Lo, req.Hi); err != nil {
+			return res, err
+		}
+	}
+	switch req.Op {
+	case estimate.OpCount:
+		total := ds.snapshot().sampler.Len()
+		if ds.tbl != nil {
+			total = ds.tbl.Len()
+		}
+		draws, derr := s.estimateDraws(ctx, ds, r, fullRangeLo, fullRangeHi, req.K)
+		if derr != nil {
+			return res, derr
+		}
+		matches := 0
+		for _, v := range draws {
+			if v >= req.Lo && v <= req.Hi {
+				matches++
+			}
+		}
+		res = estimate.Count(total, matches, len(draws), req.Conf)
+		var exact int
+		if ds.tbl != nil {
+			exact = ds.tbl.Count(req.Lo, req.Hi)
+		} else {
+			exact = ds.snapshot().sampler.Count(req.Lo, req.Hi)
+		}
+		res.QError = estimate.QError(res.Estimate, float64(exact))
+		return res, nil
+
+	case estimate.OpSum, estimate.OpAvg:
+		var w float64
+		if ds.tbl != nil {
+			w = ds.tbl.RangeWeight(req.Lo, req.Hi)
+		} else {
+			w = ds.snapshot().sampler.RangeWeight(req.Lo, req.Hi)
+		}
+		if w <= 0 {
+			if req.Op == estimate.OpSum {
+				return estimate.Sum(0, nil, req.Conf), nil
+			}
+			return res, core.ErrEmptyRange
+		}
+		draws, derr := s.estimateDraws(ctx, ds, r, req.Lo, req.Hi, req.K)
+		if derr != nil {
+			return res, derr
+		}
+		if req.Op == estimate.OpSum {
+			return estimate.Sum(w, draws, req.Conf), nil
+		}
+		return estimate.Avg(draws, req.Conf), nil
+
+	case estimate.OpDistinct:
+		base, view := ds.est.views()
+		return estimate.UnionDistinct(req.Conf, estimate.KMVView(base), view), nil
+	}
+	return res, estimate.ErrBadOp
+}

@@ -1,0 +1,227 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+)
+
+func TestEstimateCountSumAvgStatic(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	if err := s.Create(ctx, "d", core.KindChunked, seq(10000), nil); err != nil {
+		t.Fatal(err)
+	}
+	r := core.NewRand(7)
+
+	// COUNT over [0, 2499]: exact 2500 of 10000. The estimate must land
+	// near it, the interval must bracket it, and the q-error must be
+	// scored against the exact answer.
+	res, err := s.Estimate(ctx, r, "d", EstimateRequest{Op: estimate.OpCount, Lo: 0, Hi: 2499, K: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Op != estimate.OpCount || res.K != 2000 {
+		t.Fatalf("metadata: %+v", res)
+	}
+	if rel := math.Abs(res.Estimate-2500) / 2500; rel > 0.15 {
+		t.Fatalf("count estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+	if res.CILo > 2500 || 2500 > res.CIHi {
+		t.Fatalf("interval [%v, %v] misses 2500", res.CILo, res.CIHi)
+	}
+	if res.QError < 1 || math.IsNaN(res.QError) {
+		t.Fatalf("q-error %v not scored", res.QError)
+	}
+	if res.QBound <= 1 {
+		t.Fatalf("q-bound %v not computed", res.QBound)
+	}
+
+	// SUM over [100, 199]: exact 100·(100+199)/2 = 14950 under uniform
+	// weights (W = count, mean of values ≈ 149.5).
+	res, err = s.Estimate(ctx, r, "d", EstimateRequest{Op: estimate.OpSum, Lo: 100, Hi: 199, K: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Estimate-14950) / 14950; rel > 0.10 {
+		t.Fatalf("sum estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+
+	// AVG over the same range ≈ 149.5.
+	res, err = s.Estimate(ctx, r, "d", EstimateRequest{Op: estimate.OpAvg, Lo: 100, Hi: 199})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate < 120 || res.Estimate > 180 {
+		t.Fatalf("avg estimate %v implausible for [100,199]", res.Estimate)
+	}
+
+	// Empty range: SUM is exactly 0, AVG is a typed empty-range error.
+	res, err = s.Estimate(ctx, r, "d", EstimateRequest{Op: estimate.OpSum, Lo: 20000, Hi: 30000})
+	if err != nil || !res.Exact || res.Estimate != 0 {
+		t.Fatalf("empty-range sum: %+v, %v", res, err)
+	}
+	if _, err = s.Estimate(ctx, r, "d", EstimateRequest{Op: estimate.OpAvg, Lo: 20000, Hi: 30000}); !errors.Is(err, core.ErrEmptyRange) {
+		t.Fatalf("empty-range avg: %v", err)
+	}
+
+	// Boundary validation and unknown datasets keep the typed contract.
+	if _, err = s.Estimate(ctx, r, "d", EstimateRequest{Op: estimate.OpCount, Lo: 5, Hi: 1}); !errors.Is(err, core.ErrBadRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err = s.Estimate(ctx, r, "nope", EstimateRequest{Op: estimate.OpCount}); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+}
+
+func TestEstimateDistinctStaticExactAndSketched(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	r := core.NewRand(9)
+
+	// Fewer distinct values than the sketch capacity: exact.
+	small := make([]float64, 300)
+	for i := range small {
+		small[i] = float64(i % 40) // 40 distinct values
+	}
+	if err := s.Create(ctx, "small", core.KindChunked, small, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Estimate(ctx, r, "small", EstimateRequest{Op: estimate.OpDistinct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Estimate != 40 {
+		t.Fatalf("small distinct: %+v, want exact 40", res)
+	}
+
+	// Past capacity (default K = 1024): estimated within the sketch's
+	// relative error, interval bracketing the truth.
+	if err := s.Create(ctx, "big", core.KindChunked, seq(50000), nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Estimate(ctx, r, "big", EstimateRequest{Op: estimate.OpDistinct, Conf: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("sketched distinct reported exact")
+	}
+	if rel := math.Abs(res.Estimate-50000) / 50000; rel > 0.20 {
+		t.Fatalf("distinct estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+	if res.CILo > 50000 || 50000 > res.CIHi {
+		t.Fatalf("99%% interval [%v, %v] misses 50000", res.CILo, res.CIHi)
+	}
+
+	// Static rebuilds refresh the sketch: deleting then inserting keeps
+	// the state aligned with the published base.
+	if err := s.Insert(ctx, "small", 1000, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Estimate(ctx, r, "small", EstimateRequest{Op: estimate.OpDistinct})
+	if err != nil || !res.Exact || res.Estimate != 41 {
+		t.Fatalf("post-insert distinct: %+v, %v, want exact 41", res, err)
+	}
+}
+
+func TestEstimateDistinctMutableStream(t *testing.T) {
+	s := New(Options{})
+	ctx := context.Background()
+	r := core.NewRand(11)
+	vals := make([]float64, 64)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	// A huge rebuild threshold keeps inserts in the overlay so the
+	// stream sample — not a rebuild — must carry them.
+	if err := s.CreateMutable(ctx, "m", core.KindChunked, vals, nil, MutableOptions{RebuildThreshold: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+
+	for i := 64; i < 128; i++ {
+		if err := s.Insert(ctx, "m", float64(i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := s.Estimate(ctx, r, "m", EstimateRequest{Op: estimate.OpDistinct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Estimate != 128 {
+		t.Fatalf("base+overlay distinct: %+v, want exact 128 (64 base + 64 streamed)", res)
+	}
+
+	// Flush folds the overlay into a new base and resets the stream; the
+	// answer must not change.
+	if err := s.Flush(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Estimate(ctx, r, "m", EstimateRequest{Op: estimate.OpDistinct})
+	if err != nil || res.Estimate != 128 {
+		t.Fatalf("post-flush distinct: %+v, %v, want 128", res, err)
+	}
+
+	// BulkLoad feeds the stream too.
+	if err := s.BulkLoad(ctx, "m", []float64{500, 501, 502}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(ctx, "m"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = s.Estimate(ctx, r, "m", EstimateRequest{Op: estimate.OpDistinct})
+	if err != nil || res.Estimate != 131 {
+		t.Fatalf("post-bulkload distinct: %+v, %v, want 131", res, err)
+	}
+
+	// COUNT on the mutable path answers from the table (base+overlay).
+	cres, err := s.Estimate(ctx, r, "m", EstimateRequest{Op: estimate.OpCount, Lo: 0, Hi: 1000, K: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cres.Estimate != 131 { // full-range: every draw matches
+		t.Fatalf("mutable count estimate %v, want exactly 131", cres.Estimate)
+	}
+}
+
+func TestDistinctSketchAccessorMerges(t *testing.T) {
+	// Two services sharing default estimate options act like two shards:
+	// their base sketches must merge and the union rule must count the
+	// combined value set.
+	a, b := New(Options{}), New(Options{})
+	ctx := context.Background()
+	va, vb := make([]float64, 0, 3000), make([]float64, 0, 3000)
+	for i := 0; i < 3000; i++ {
+		va = append(va, float64(i))      // 0..2999
+		vb = append(vb, float64(i+1500)) // 1500..4499 — union 4500 distinct
+	}
+	if err := a.Create(ctx, "d", core.KindChunked, va, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Create(ctx, "d", core.KindChunked, vb, nil); err != nil {
+		t.Fatal(err)
+	}
+	ska, sva, err := a.DistinctSketch("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	skb, svb, err := b.DistinctSketch("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ska.Merge(skb); err != nil {
+		t.Fatalf("shard sketches must merge: %v", err)
+	}
+	res := estimate.UnionDistinct(0.99, estimate.KMVView(ska), sva, svb)
+	if rel := math.Abs(res.Estimate-4500) / 4500; rel > 0.15 {
+		t.Fatalf("merged distinct %v off by %.3f relative", res.Estimate, rel)
+	}
+	if _, _, err := a.DistinctSketch("nope"); !errors.Is(err, ErrUnknownDataset) {
+		t.Fatalf("unknown dataset: %v", err)
+	}
+}

@@ -102,6 +102,7 @@ func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind
 	if ds.pool = s.newPool(name); ds.pool != nil {
 		ds.pool.Bind(snap.sampler)
 	}
+	ds.est = s.newDistinct(vcopy)
 	cfg := ingest.Config{
 		Seed:             mo.Seed,
 		QueueDepth:       mo.QueueDepth,
@@ -127,6 +128,10 @@ func (s *Service) CreateMutable(ctx context.Context, name string, kind core.Kind
 				// not see are folded into the replacement.
 				ds.pool.Bind(sn.sampler)
 			}
+			// The materialized arrays fold every overlay-era insert and
+			// delete into the new base, so the sketch rebuilds from them
+			// and the stream sample starts over.
+			ds.est.rebuild(vals)
 			s.rebuilds.Add(1)
 			return sn.sampler, nil
 		},
@@ -272,7 +277,13 @@ func (s *Service) BulkLoad(ctx context.Context, name string, values, weights []f
 	if ds.tbl == nil {
 		return fmt.Errorf("%w: %q", ErrNotMutable, name)
 	}
-	return mapIngestErr(ds.tbl.BulkLoad(ctx, values, weights))
+	if err = mapIngestErr(ds.tbl.BulkLoad(ctx, values, weights)); err != nil {
+		return err
+	}
+	for _, v := range values {
+		ds.est.noteInsert(v)
+	}
+	return nil
 }
 
 // Flush drains a mutable dataset's delta log through synchronous

@@ -99,6 +99,12 @@ type Options struct {
 	// service (per-dataset labels are stamped automatically) and the
 	// per-dataset filler seed is derived from Seed and the dataset name.
 	Pool *samplepool.Config
+	// Estimate tunes the per-dataset distinct-count sketch state backing
+	// Estimate (estimate.go). Nil means defaults; estimation is always
+	// on. Services whose sketches meet at a shard fan-in must share the
+	// same K and Salt — the coordinator passes one Options to every
+	// shard, so the defaults satisfy this automatically.
+	Estimate *EstimateOptions
 }
 
 // DowngradeEvent records one fallback to the naive sampler.
@@ -165,6 +171,11 @@ type dataset struct {
 	// ranges of the currently published frozen structure; rebound on
 	// every snapshot swap so it can never serve a retired base.
 	pool *samplepool.Pool
+
+	// est holds the distinct-count sketch state (estimate.go), rebuilt
+	// wherever the pool is rebound so it always describes the published
+	// base plus the overlay-era insert stream.
+	est *distinctState
 }
 
 func (ds *dataset) snapshot() *snapshot {
@@ -510,6 +521,7 @@ func (s *Service) Create(ctx context.Context, name string, kind core.Kind, value
 	if ds.pool = s.newPool(name); ds.pool != nil {
 		ds.pool.Bind(snap.sampler)
 	}
+	ds.est = s.newDistinct(vcopy)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.datasets[name]; ok {
@@ -614,6 +626,25 @@ func (s *Service) PoolStats(name string) samplepool.Stats {
 		return samplepool.Stats{}
 	}
 	return ds.pool.Snapshot()
+}
+
+// WriteLagSeconds reports the largest estimated ingest drain lag across
+// the service's mutable datasets, in seconds (0 when every delta log is
+// empty, no rebuild has produced a rate signal yet, or no dataset is
+// mutable). The serving layer quotes it as the write path's Retry-After
+// under backpressure.
+func (s *Service) WriteLagSeconds() float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var lag float64
+	for _, ds := range s.datasets {
+		if ds.tbl != nil {
+			if l := ds.tbl.WriteLagSeconds(); l > lag {
+				lag = l
+			}
+		}
+	}
+	return lag
 }
 
 // staticSampleInto is the WR read path for static datasets, shared by
@@ -805,7 +836,13 @@ func (s *Service) Insert(ctx context.Context, name string, value, weight float64
 		return err
 	}
 	if ds.tbl != nil {
-		return mapIngestErr(ds.tbl.Insert(ctx, value, weight))
+		if err = mapIngestErr(ds.tbl.Insert(ctx, value, weight)); err != nil {
+			return err
+		}
+		// Accepted into the overlay: fold into the stream sample so
+		// distinct estimates see it before the next rebuild.
+		ds.est.noteInsert(value)
+		return nil
 	}
 	ds.updMu.Lock()
 	defer ds.updMu.Unlock()
@@ -870,6 +907,9 @@ func (s *Service) swapIn(ctx context.Context, ds *dataset, nv, nw []float64) err
 		// check in TakeInto guarantees requests racing the swap can
 		// only consume draws for the sampler they actually serve from.
 		ds.pool.Bind(snap.sampler)
+	}
+	if ds.est != nil {
+		ds.est.rebuild(nv)
 	}
 	s.rebuilds.Add(1)
 	if old != nil && old.sampler != nil {

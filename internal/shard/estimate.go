@@ -1,0 +1,107 @@
+package shard
+
+import (
+	"context"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/service"
+	"repro/internal/sketch"
+)
+
+// Approximate analytics over the partition. COUNT/SUM/AVG reuse the
+// coordinator's own fan-out read path — the multinomial budget split
+// over in-range shard weights makes the merged draws exactly k
+// independent global samples (the same canonical-decomposition argument
+// the sampling path rests on), so the estimators in internal/estimate
+// apply to the merged multiset unchanged. DISTINCT merges the per-shard
+// base KMV sketches with sketch.Merge — every shard service hashes
+// through the same salt, so the sketches are compatible by construction
+// — and unions the result with each shard's ingest-stream threshold
+// sample under the min-τ rule.
+
+// fullLo/fullHi span every finite value: a draw over them is a
+// weight-proportional pick from the whole partition.
+const fullLo, fullHi = -math.MaxFloat64, math.MaxFloat64
+
+// Estimate answers one approximate aggregate over the sharded dataset.
+// COUNT scores itself against the exact cross-shard count and carries
+// the measured q-error next to the monitored bound.
+func (c *Coordinator) Estimate(ctx context.Context, r *core.Rand, req service.EstimateRequest) (estimate.Result, error) {
+	var res estimate.Result
+	if req.K <= 0 {
+		req.K = 256
+	}
+	if req.Conf <= 0 || req.Conf >= 1 {
+		req.Conf = 0.95
+	}
+	if req.Op != estimate.OpDistinct {
+		if err := core.ValidateRange(req.Lo, req.Hi); err != nil {
+			return res, err
+		}
+	}
+	switch req.Op {
+	case estimate.OpCount:
+		total, err := c.Count(ctx, fullLo, fullHi)
+		if err != nil {
+			return res, err
+		}
+		draws, err := c.SampleInto(ctx, r, fullLo, fullHi, req.K, nil)
+		if err != nil {
+			return res, err
+		}
+		matches := 0
+		for _, v := range draws {
+			if v >= req.Lo && v <= req.Hi {
+				matches++
+			}
+		}
+		res = estimate.Count(total, matches, len(draws), req.Conf)
+		exact, err := c.Count(ctx, req.Lo, req.Hi)
+		if err != nil {
+			return res, err
+		}
+		res.QError = estimate.QError(res.Estimate, float64(exact))
+		return res, nil
+
+	case estimate.OpSum, estimate.OpAvg:
+		w, err := c.RangeWeight(ctx, req.Lo, req.Hi)
+		if err != nil {
+			return res, err
+		}
+		if w <= 0 {
+			if req.Op == estimate.OpSum {
+				return estimate.Sum(0, nil, req.Conf), nil
+			}
+			return res, core.ErrEmptyRange
+		}
+		draws, err := c.SampleInto(ctx, r, req.Lo, req.Hi, req.K, nil)
+		if err != nil {
+			return res, err
+		}
+		if req.Op == estimate.OpSum {
+			return estimate.Sum(w, draws, req.Conf), nil
+		}
+		return estimate.Avg(draws, req.Conf), nil
+
+	case estimate.OpDistinct:
+		var merged *sketch.KMV
+		views := make([]estimate.View, 0, c.Shards())
+		for _, hs := range c.view() {
+			base, stream, err := hs.svc.DistinctSketch(dsName)
+			if err != nil {
+				return res, err
+			}
+			if merged == nil {
+				merged = base
+			} else if err := merged.Merge(base); err != nil {
+				return res, err
+			}
+			views = append(views, stream)
+		}
+		views = append(views, estimate.KMVView(merged))
+		return estimate.UnionDistinct(req.Conf, views...), nil
+	}
+	return res, estimate.ErrBadOp
+}

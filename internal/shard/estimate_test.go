@@ -1,0 +1,121 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/service"
+)
+
+func TestCoordinatorEstimate(t *testing.T) {
+	ctx := context.Background()
+	vals := make([]float64, 20000)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	c, err := New(ctx, "est", vals, nil, Options{Shards: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := core.NewRand(21)
+
+	// COUNT over [0, 4999] spans two shard boundaries: exact 5000 of
+	// 20000. The full-range draws split multinomially over the shards.
+	res, err := c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpCount, Lo: 0, Hi: 4999, K: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Estimate-5000) / 5000; rel > 0.15 {
+		t.Fatalf("count estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+	if res.CILo > 5000 || 5000 > res.CIHi {
+		t.Fatalf("interval [%v, %v] misses 5000", res.CILo, res.CIHi)
+	}
+	if res.QError < 1 || res.QBound <= 1 {
+		t.Fatalf("q-error %v / bound %v not populated", res.QError, res.QBound)
+	}
+
+	// SUM over a range crossing shards: exact 5000·(5000+9999)/2.
+	exactSum := 5000.0 * (5000 + 9999) / 2
+	res, err = c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpSum, Lo: 5000, Hi: 9999, K: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(res.Estimate-exactSum) / exactSum; rel > 0.10 {
+		t.Fatalf("sum estimate %v off by %.3f relative (exact %v)", res.Estimate, rel, exactSum)
+	}
+
+	// AVG over the same range ≈ 7499.5.
+	res, err = c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpAvg, Lo: 5000, Hi: 9999, K: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Estimate < 7300 || res.Estimate > 7700 {
+		t.Fatalf("avg estimate %v implausible for [5000,9999]", res.Estimate)
+	}
+
+	// DISTINCT merges the four per-shard sketches: 20000 distinct values
+	// well past the default sketch capacity.
+	res, err = c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpDistinct, Conf: 0.99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exact {
+		t.Fatal("sketched cross-shard distinct reported exact")
+	}
+	if rel := math.Abs(res.Estimate-20000) / 20000; rel > 0.20 {
+		t.Fatalf("distinct estimate %v off by %.3f relative", res.Estimate, rel)
+	}
+	if res.CILo > 20000 || 20000 > res.CIHi {
+		t.Fatalf("99%% interval [%v, %v] misses 20000", res.CILo, res.CIHi)
+	}
+
+	// Typed validation survives the fan-out.
+	if _, err = c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpCount, Lo: 5, Hi: 1}); !errors.Is(err, core.ErrBadRange) {
+		t.Fatalf("inverted range: %v", err)
+	}
+	if _, err = c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpAvg, Lo: 1e9, Hi: 2e9}); !errors.Is(err, core.ErrEmptyRange) {
+		t.Fatalf("empty-range avg: %v", err)
+	}
+}
+
+func TestCoordinatorEstimateMutableStream(t *testing.T) {
+	ctx := context.Background()
+	vals := make([]float64, 256)
+	for i := range vals {
+		vals[i] = float64(i)
+	}
+	c, err := New(ctx, "est-mut", vals, nil, Options{
+		Shards:  2,
+		Mutable: true,
+		Ingest:  service.MutableOptions{RebuildThreshold: 1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	r := core.NewRand(23)
+
+	// Stream new distinct values into both shards' overlays; the union
+	// of base sketches and stream samples must count them immediately.
+	for i := 0; i < 64; i++ {
+		if err := c.Insert(ctx, float64(1000+i), 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Insert(ctx, float64(-1000-i), 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := c.Estimate(ctx, r, service.EstimateRequest{Op: estimate.OpDistinct})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Exact || res.Estimate != 384 {
+		t.Fatalf("mutable distinct: %+v, want exact 384 (256 base + 128 streamed)", res)
+	}
+}

@@ -796,6 +796,21 @@ func (c *Coordinator) Health() Health {
 	return h
 }
 
+// WriteLagSeconds reports the largest estimated ingest drain lag across
+// all shards, in seconds. A write shed by any one shard's saturated
+// delta log gets a Retry-After quote covering the slowest rebuilder,
+// which is the earliest moment a retried write routed to that shard can
+// succeed.
+func (c *Coordinator) WriteLagSeconds() float64 {
+	var lag float64
+	for _, hs := range c.view() {
+		if l := hs.svc.WriteLagSeconds(); l > lag {
+			lag = l
+		}
+	}
+	return lag
+}
+
 // Downgrades returns every shard's downgrade events tagged with the
 // shard index.
 func (c *Coordinator) Downgrades() []Downgrade {

@@ -15,6 +15,7 @@ package sketch
 import (
 	"errors"
 	"math"
+	"math/bits"
 	"sort"
 )
 
@@ -31,12 +32,27 @@ func NewHasher(salt uint64) Hasher { return Hasher{salt: salt} }
 // Hash maps an element id to a uniform 64-bit value (splitmix64 finaliser
 // over the salted id; full avalanche, so distinct ids give independent-
 // looking hashes).
-func (h Hasher) Hash(element int) uint64 {
-	x := uint64(element) ^ h.salt
+func (h Hasher) Hash(element int) uint64 { return h.Hash64(uint64(element)) }
+
+// Hash64 maps a raw 64-bit key through the same salted finaliser.
+func (h Hasher) Hash64(key uint64) uint64 {
+	x := key ^ h.salt
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
 	return x ^ (x >> 31)
+}
+
+// HashFloat hashes a float64 value by its bit pattern, folding -0 into
+// +0 so the two representations of zero count as one distinct value.
+// Distinct-count sketches over dataset values hash through this, so
+// sketches built independently (per shard, per overlay stream) agree on
+// every value's hash and stay mergeable.
+func (h Hasher) HashFloat(v float64) uint64 {
+	if v == 0 {
+		v = 0
+	}
+	return h.Hash64(math.Float64bits(v))
 }
 
 // KMV is a bottom-k sketch. The zero value is not usable; construct with
@@ -63,18 +79,29 @@ func NewKMV(k int) (*KMV, error) {
 	return &KMV{k: k, hashes: make([]uint64, 0, k)}, nil
 }
 
+// MaxK caps the k KForEpsilonDelta returns: past ~4M retained hashes
+// (32 MB per sketch) an exact hash set costs the same memory and gives
+// zero error, so a larger sketch is never the right tool.
+const MaxK = 1 << 22
+
 // KForEpsilonDelta returns a k giving relative error ≤ eps with
 // probability ≥ 1−delta (standard KMV analysis: k ≈ 3/eps² · ln(2/δ)
-// suffices by Chernoff bounds on the k-th order statistic).
+// suffices by Chernoff bounds on the k-th order statistic). The result
+// is clamped to [8, MaxK]: tiny eps/delta push the float formula past
+// what int can hold, and the unguarded conversion was
+// platform-dependent garbage (negative on amd64).
 func KForEpsilonDelta(eps, delta float64) int {
 	if eps <= 0 || eps >= 1 || delta <= 0 || delta >= 1 {
 		return 64
 	}
-	k := int(math.Ceil(3 / (eps * eps) * math.Log(2/delta)))
-	if k < 8 {
-		k = 8
+	k := math.Ceil(3 / (eps * eps) * math.Log(2/delta))
+	if !(k >= 8) { // also catches NaN
+		return 8
 	}
-	return k
+	if k > MaxK {
+		return MaxK
+	}
+	return int(k)
 }
 
 // Build constructs a sketch over the elements in O(|elements| + k log k)
@@ -160,12 +187,46 @@ func (s *KMV) Clone() *KMV {
 	return &KMV{k: s.k, hashes: append([]uint64(nil), s.hashes...), saturated: s.saturated}
 }
 
+// Saturated reports whether the sketch has retained k hashes (the
+// estimator regime); below that the distinct count is exact.
+func (s *KMV) Saturated() bool { return s.saturated }
+
+// Hashes exposes the retained hashes in ascending order. The slice is
+// the sketch's own backing store: callers must not mutate it and must
+// stop using it after the next Add/Merge (clone the sketch first when a
+// stable view is needed).
+func (s *KMV) Hashes() []uint64 { return s.hashes }
+
 // Estimate returns the estimated number of distinct elements.
 func (s *KMV) Estimate() float64 {
 	if !s.saturated {
 		return float64(len(s.hashes)) // exact below k
 	}
-	kth := s.hashes[s.k-1]
-	frac := (float64(kth) + 1) / math.Pow(2, 64) // map to (0,1]
-	return float64(s.k-1) / frac
+	return DistinctGivenKth(s.k-1, s.hashes[s.k-1])
+}
+
+// DistinctGivenKth returns m / frac(kth), where frac(h) = (h+1)/2^64
+// maps a hash to its quantile in (0, 1] — the KMV estimator for m
+// retained hashes strictly below the excluded k-th minimum kth, and the
+// shared kernel of every threshold-sampling estimator layered on these
+// sketches (internal/estimate merges per-shard views through it).
+//
+// The ratio is computed with integer-exact arithmetic: m·2^64/(kth+1)
+// via a 128-by-64-bit division, then rounded once. Converting kth
+// through float64 first (the old path) discards the low 11 bits of any
+// hash above 2^53, which systematically biases estimates whose k-th
+// minimum lands in the upper hash range (small sets just past
+// saturation, merged sketches of overlapping shards). Requires m ≤ kth,
+// which holds for any threshold sample: m distinct hashes below kth
+// need kth ≥ m.
+func DistinctGivenKth(m int, kth uint64) float64 {
+	if m <= 0 {
+		return 0
+	}
+	if kth == math.MaxUint64 {
+		return float64(m) // frac is exactly 1
+	}
+	d := kth + 1
+	q, r := bits.Div64(uint64(m), 0, d) // m·2^64 / d, exact
+	return float64(q) + float64(r)/float64(d)
 }

@@ -221,3 +221,94 @@ func BenchmarkMerge(b *testing.B) {
 		}
 	}
 }
+
+// TestDistinctGivenKthExact pins the estimator to the correctly rounded
+// value of m·2^64/(kth+1) on adversarial kth values above 2^53, where
+// the pre-fix float64(kth) conversion discarded low-order hash bits and
+// produced a neighbouring float instead. Witnesses were searched
+// against a 200-bit big.Float ground truth; each tuple is a case where
+// the integer-exact division matches the true rounding and the old
+// float-rounded path does not, so this test fails on the pre-fix code.
+func TestDistinctGivenKthExact(t *testing.T) {
+	cases := []struct {
+		m    int
+		kth  uint64
+		want float64
+	}{
+		{63, 0x68429d5506ba2d, 39600.609603255456},
+		{63, 0x1dfd504da7c67654, 537.7881078515928},
+		{63, 0x7e6123026dea6ed, 2041.8511039155526},
+		{63, 0x287dae59307176e1, 398.31131024714136},
+		{63, 0xd622c467a8080c4c, 75.31668825083653},
+		{63, 0x10edc187400b1b94, 952.6996971166268},
+		{63, 0x4dffbbdd67056ef7, 206.77198682729684},
+		{63, 0x5f63d8fc29a39ea, 2705.18838152908},
+		{63, 0x71329a45f73bed37, 142.47643520645445},
+		{63, 0x1f7e1e53114e6733, 512.1194910543339},
+		{63, 0x8ab610eeaa71ead3, 116.27035510208705},
+		{63, 0xec6d7e206d89ddc6, 68.2153554977457},
+	}
+	for _, c := range cases {
+		if got := DistinctGivenKth(c.m, c.kth); got != c.want {
+			t.Errorf("DistinctGivenKth(%d, %#x) = %v, want %v", c.m, c.kth, got, c.want)
+		}
+	}
+	// Edges: frac exactly 1 (kth = 2^64−1) and exactly 1/2 (kth+1 = 2^63).
+	if got := DistinctGivenKth(63, ^uint64(0)); got != 63 {
+		t.Errorf("kth=max: got %v, want 63", got)
+	}
+	if got := DistinctGivenKth(63, 1<<63-1); got != 126 {
+		t.Errorf("kth=2^63-1: got %v, want 126", got)
+	}
+	if got := DistinctGivenKth(0, 12345); got != 0 {
+		t.Errorf("m=0: got %v, want 0", got)
+	}
+}
+
+// TestEstimateAdversarialKth drives the adversarial kth values through
+// the public Estimate path: a saturated sketch whose k-th minimum
+// carries significant low-order bits must estimate with integer-exact
+// precision (fails on the pre-fix float64(kth) code).
+func TestEstimateAdversarialKth(t *testing.T) {
+	const k = 64
+	kths := []uint64{0x68429d5506ba2d, 0xd622c467a8080c4c, 0xec6d7e206d89ddc6}
+	wants := []float64{39600.609603255456, 75.31668825083653, 68.2153554977457}
+	for i, kth := range kths {
+		s, err := NewKMV(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < k-1; j++ {
+			s.Add(uint64(j)) // k−1 smallest hashes: 0..k−2
+		}
+		s.Add(kth)
+		if got := s.Estimate(); got != wants[i] {
+			t.Errorf("Estimate with kth=%#x: got %v, want %v", kth, got, wants[i])
+		}
+	}
+}
+
+// TestKForEpsilonDeltaOverflow: tiny eps/delta push 3/eps²·ln(2/δ) past
+// what int can represent; the unguarded conversion yielded
+// platform-dependent garbage (negative on amd64). The result must stay
+// a usable positive k clamped to MaxK.
+func TestKForEpsilonDeltaOverflow(t *testing.T) {
+	for _, tc := range []struct{ eps, delta float64 }{
+		{1e-9, 1e-9},
+		{1e-12, 1e-12},
+		{1e-300, 0.01},
+		{0.01, 1e-300},
+	} {
+		k := KForEpsilonDelta(tc.eps, tc.delta)
+		if k <= 0 {
+			t.Errorf("KForEpsilonDelta(%g, %g) = %d, want positive", tc.eps, tc.delta, k)
+		}
+		if k > MaxK {
+			t.Errorf("KForEpsilonDelta(%g, %g) = %d, exceeds MaxK %d", tc.eps, tc.delta, k, MaxK)
+		}
+	}
+	// The clamp must not disturb the ordinary regime.
+	if k := KForEpsilonDelta(0.05, 0.01); k < 8 || k > MaxK {
+		t.Errorf("ordinary regime k = %d out of range", k)
+	}
+}

@@ -1,0 +1,66 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/soak"
+)
+
+// The estimate target must hold its gates on a healthy stack with fixed
+// seeds: self-scored q-errors agree with the oracle, finite certified
+// bounds are violated no more often than their nominal rate, pooled
+// interval coverage stays above the 90% floor at nominal 95%, the
+// unsaturated distinct estimate is exact, and the churn phase sees the
+// documented overlay over-count collapse on rebuild.
+func TestRunCaseEstimateRegimes(t *testing.T) {
+	cases := map[string]soak.Case{
+		"smooth": {
+			Target:   soak.TargetEstimate,
+			Dataset:  soak.DatasetSpec{Seed: 41, N: 160},
+			Workload: soak.WorkloadSpec{Seed: 43, Queries: 4, Reps: 120},
+		},
+		"skewed": {
+			Target:   soak.TargetEstimate,
+			Dataset:  soak.DatasetSpec{Seed: 47, N: 192, Values: "clustered", Weights: "zipf", Alpha: 1.2},
+			Workload: soak.WorkloadSpec{Seed: 53, Queries: 4, Reps: 100},
+		},
+	}
+	for name, c := range cases {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			out, err := h.RunCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+			if out.Gates == 0 {
+				t.Fatal("no gates evaluated")
+			}
+		})
+	}
+}
+
+// A short fuzz session over the estimate arm must execute cleanly under
+// the bandit with derived seeds, like every other structure target.
+func TestEstimateFuzzSessionClean(t *testing.T) {
+	h := &soak.Harness{}
+	res, err := h.Fuzz(soak.FuzzOptions{
+		Seed:    71,
+		Rounds:  3,
+		Targets: []soak.Target{soak.TargetEstimate},
+		Log:     t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Repros) != 0 {
+		t.Fatalf("healthy estimator produced findings: %v", res.Repros[0].Failure)
+	}
+	if res.Gates == 0 {
+		t.Fatal("no gates evaluated across the session")
+	}
+}

@@ -100,6 +100,8 @@ func (h *Harness) RunCase(c Case) (Outcome, error) {
 		err = rn.runMutable()
 	case TargetPooled:
 		err = rn.runPooled()
+	case TargetEstimate:
+		err = rn.runEstimate()
 	case TargetServer:
 		err = rn.runServer()
 	default:

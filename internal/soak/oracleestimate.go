@@ -1,0 +1,316 @@
+package soak
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/estimate"
+	"repro/internal/rng"
+	"repro/internal/service"
+)
+
+// estimateDS is the dataset name the estimate soak hosts.
+const estimateDS = "approx"
+
+// estConf is the nominal interval coverage every soak estimate requests;
+// the pooled coverage gate asserts the empirical rate stays above
+// estCoverFloor (the paper-suite acceptance: >= 90% at nominal 95%).
+const (
+	estConf       = 0.95
+	estCoverFloor = 0.90
+	// estK is the per-estimate draw budget. 512 keeps the expected match
+	// count m·p comfortably in normal-approximation territory even at the
+	// generator's smallest selectivities, so the pooled CLT coverage is
+	// meaningfully close to nominal rather than binomial-degenerate.
+	estK = 512
+)
+
+// runEstimate differentially tests the approximate-analytics suite: a
+// service-hosted dataset answers repeated COUNT/SUM/AVG/DISTINCT
+// estimates whose ground truth the naive oracle computes exactly.
+// Deterministic gates check the self-scored q-error against the
+// oracle's exact count (the service computing a different "exact" than
+// the oracle is a correctness bug, not an approximation), the exact
+// distinct count while the sketch is unsaturated, and empty-range
+// semantics. Statistical gates check that finite certified q-error
+// bounds are violated no more often than their nominal failure rate and
+// that pooled interval coverage stays above estCoverFloor. A churn
+// phase drives the distinct estimator through the ingest overlay: the
+// threshold stream must track inserts exactly, over-count deletes (the
+// documented contract) no further than the ever-inserted set, and snap
+// back to the live distinct count on rebuild.
+func (rn *run) runEstimate() error {
+	c := rn.c
+	values, weights, err := c.Dataset.Generate()
+	if err != nil {
+		return err
+	}
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	ctx := context.Background()
+	if err := svc.Create(ctx, estimateDS, core.KindChunked, values, weights); err != nil {
+		return fmt.Errorf("soak: create estimate: %w", err)
+	}
+	oracle := newMutOracle(values, weights)
+	trace := c.Queries(append([]float64(nil), oracle.vals...))
+	reps := c.reps()
+	r := rng.New(c.Workload.Seed ^ 0xc2b2ae3d27d4eb4f)
+
+	// Deterministic distinct probe: at soak sizes the sketch never
+	// saturates, so the estimate must be the exact distinct value count.
+	exactDistinct := distinctCount(oracle.vals)
+	dres, derr := svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpDistinct, Conf: estConf})
+	switch {
+	case derr != nil:
+		rn.fail("distinct", "Estimate(distinct): %v", derr)
+	case dres.Exact && dres.Estimate != float64(exactDistinct):
+		rn.fail("distinct-exact", "unsaturated distinct = %v, oracle has %d", dres.Estimate, exactDistinct)
+	case !dres.Exact && relErr(dres.Estimate, float64(exactDistinct)) > 0.15:
+		rn.fail("distinct-sketched", "sketched distinct = %v, oracle has %d", dres.Estimate, exactDistinct)
+	default:
+		rn.pass()
+	}
+	if rn.failed() {
+		return nil
+	}
+
+	// Empty-range probes past the live maximum: COUNT estimates zero
+	// exactly (no full-range draw can match), SUM is exactly zero, AVG is
+	// the typed empty-range error.
+	ghost := QueryRecord{Lo: oracle.vals[oracle.size()-1] + 1, K: estK}
+	ghost.Hi = ghost.Lo + 1
+	gres, gerr := svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpCount, Lo: ghost.Lo, Hi: ghost.Hi, K: estK, Conf: estConf})
+	if gerr != nil || gres.Estimate != 0 || gres.QError != 1 {
+		rn.failQuery("empty-count", ghost, "count past max: est %v, q-error %v, err %v (want 0, 1, nil)", gres.Estimate, gres.QError, gerr)
+	} else {
+		rn.pass()
+	}
+	gres, gerr = svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpSum, Lo: ghost.Lo, Hi: ghost.Hi, K: estK, Conf: estConf})
+	if gerr != nil || !gres.Exact || gres.Estimate != 0 {
+		rn.failQuery("empty-sum", ghost, "sum past max: est %v, exact %v, err %v (want exact 0)", gres.Estimate, gres.Exact, gerr)
+	} else {
+		rn.pass()
+	}
+	if _, aerr := svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpAvg, Lo: ghost.Lo, Hi: ghost.Hi, K: estK, Conf: estConf}); !errors.Is(aerr, core.ErrEmptyRange) {
+		rn.failQuery("empty-avg", ghost, "avg past max returned %v, want ErrEmptyRange", aerr)
+	} else {
+		rn.pass()
+	}
+	if rn.failed() {
+		return nil
+	}
+
+	// The COUNT estimator draws weight-proportionally from the full
+	// range, so its uniform-row-pick analysis (estimate, interval, and
+	// Chernoff q-error bound) is only calibrated on uniform-weight data —
+	// the documented caveat. On skewed weights the self-scored q-error
+	// must still agree with the oracle (both score against the true
+	// count), but its accuracy gates do not apply.
+	uniformW := c.Dataset.Weights == "" || c.Dataset.Weights == "uniform"
+
+	// Pooled interval-coverage tally across every scored estimate in the
+	// case; the per-op nominal rate is estConf, the gate floor
+	// estCoverFloor.
+	scored, covered := 0, 0
+	for ti := 0; ti < len(trace) && !rn.failed(); ti++ {
+		rec := trace[ti]
+		if rec.Op != OpQuery {
+			continue
+		}
+		a, b, inRange := oracle.posRange(rec.Lo, rec.Hi)
+		if !inRange {
+			continue
+		}
+		exactCount := float64(b - a + 1)
+		exactSum, exactW := 0.0, 0.0
+		for i := a; i <= b; i++ {
+			exactSum += oracle.ws[i] * oracle.vals[i]
+			exactW += oracle.ws[i]
+		}
+		exactAvg := exactSum / exactW
+		violations := 0
+		for rep := 0; rep < reps && !rn.failed(); rep++ {
+			resC, cerr := svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpCount, Lo: rec.Lo, Hi: rec.Hi, K: estK, Conf: estConf})
+			if cerr != nil {
+				rn.failQuery("count-estimate", rec, "Estimate(count): %v", cerr)
+				return nil
+			}
+			// The service scores its own q-error against an exact count it
+			// computes internally; recomputing it against the oracle's exact
+			// must agree, or the serving stack's notion of "exact" is wrong.
+			if wantQ := estimate.QError(resC.Estimate, exactCount); !sameQ(resC.QError, wantQ) {
+				rn.failQuery("qerror-vs-oracle", rec, "self-scored q-error %v, oracle scores %v (est %v, exact %v)", resC.QError, wantQ, resC.Estimate, exactCount)
+				return nil
+			}
+			if resC.K != estK {
+				rn.failQuery("count-draws", rec, "count consumed %d draws, want %d", resC.K, estK)
+				return nil
+			}
+			if uniformW {
+				if !math.IsInf(resC.QBound, 1) && resC.QError > resC.QBound {
+					violations++
+				}
+				scored++
+				if ciCovers(resC.CILo, resC.CIHi, exactCount) {
+					covered++
+				}
+			}
+			resS, serr := svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpSum, Lo: rec.Lo, Hi: rec.Hi, K: estK, Conf: estConf})
+			if serr != nil {
+				rn.failQuery("sum-estimate", rec, "Estimate(sum): %v", serr)
+				return nil
+			}
+			scored++
+			if ciCovers(resS.CILo, resS.CIHi, exactSum) {
+				covered++
+			}
+			resA, aerr := svc.Estimate(ctx, r, estimateDS, service.EstimateRequest{Op: estimate.OpAvg, Lo: rec.Lo, Hi: rec.Hi, K: estK, Conf: estConf})
+			if aerr != nil {
+				rn.failQuery("avg-estimate", rec, "Estimate(avg): %v", aerr)
+				return nil
+			}
+			scored++
+			if ciCovers(resA.CILo, resA.CIHi, exactAvg) {
+				covered++
+			}
+		}
+		if rn.failed() {
+			return nil
+		}
+		// Finite certified bounds fail with probability <= 1-estConf each
+		// (and in practice far less: the Chernoff constant is loose), so
+		// the per-query violation count exceeding the nominal budget is a
+		// finding, not a fluctuation.
+		if uniformW {
+			rn.statGate("qerror-bound-rate", &rec, float64(violations), (1-estConf)*float64(reps))
+		}
+	}
+	if rn.failed() {
+		return nil
+	}
+	if scored >= 100 {
+		misses := scored - covered
+		rn.statGate("ci-coverage", nil, float64(misses), (1-estCoverFloor)*float64(scored))
+	}
+
+	rn.runEstimateChurn(ctx, values, weights)
+	return nil
+}
+
+// runEstimateChurn drives the distinct estimator through the ingest
+// overlay: a mutable dataset with rebuilds held off takes inserts (the
+// threshold stream must absorb them exactly — the sketch is unsaturated
+// at soak sizes) and deletes (the documented over-count: the stream
+// cannot unsee a value, so the estimate pins to the ever-inserted
+// distinct count until a rebuild re-bases it on the live arrays).
+func (rn *run) runEstimateChurn(ctx context.Context, values, weights []float64) {
+	svc := service.New(service.Options{})
+	defer svc.Close()
+	// RebuildThreshold far above the write volume: every write stays in
+	// the overlay until the explicit Flush.
+	mo := service.MutableOptions{RebuildThreshold: 1 << 20, MaxLag: 1 << 20, Seed: rn.c.Workload.Seed}
+	if err := svc.CreateMutable(ctx, estimateDS, core.KindChunked, values, weights, mo); err != nil {
+		rn.fail("churn-create", "CreateMutable: %v", err)
+		return
+	}
+	oracle := newMutOracle(values, weights)
+	ever := make(map[float64]bool, oracle.size())
+	for _, v := range oracle.vals {
+		ever[v] = true
+	}
+	r := rng.New(rn.c.Workload.Seed ^ 0x165667b19e3779f9)
+	rq := rng.New(rn.c.Workload.Seed ^ 0x27220a95fe791189)
+	lo, hi := oracle.vals[0], oracle.vals[oracle.size()-1]
+	if hi <= lo {
+		hi = lo + 1
+	}
+	// A mixed write burst: fresh continuous inserts (collision-free
+	// against generated datasets) and deletes of original elements.
+	for i := 0; i < 24; i++ {
+		if i%3 == 2 && oracle.size() > 1 {
+			victim := oracle.vals[r.Intn(oracle.size())]
+			if err := svc.Delete(ctx, estimateDS, victim); err != nil {
+				rn.fail("churn-delete", "Delete(%v): %v", victim, err)
+				return
+			}
+			oracle.remove(victim)
+			continue
+		}
+		v := lo + (hi-lo)*r.Float64()
+		if err := svc.Insert(ctx, estimateDS, v, 0.5+2*r.Float64()); err != nil {
+			rn.fail("churn-insert", "Insert(%v): %v", v, err)
+			return
+		}
+		oracle.insert(v, 1)
+		ever[v] = true
+	}
+	live := distinctCount(oracle.vals)
+	res, err := svc.Estimate(ctx, rq, estimateDS, service.EstimateRequest{Op: estimate.OpDistinct, Conf: estConf})
+	if err != nil {
+		rn.fail("churn-distinct", "Estimate(distinct) under overlay: %v", err)
+		return
+	}
+	// Unsaturated views count the union of base and streamed values
+	// exactly: the ever-inserted distinct count, never below live.
+	if !res.Exact || res.Estimate != float64(len(ever)) {
+		rn.fail("churn-overcount", "overlay distinct = %v (exact %v), ever-inserted has %d", res.Estimate, res.Exact, len(ever))
+		return
+	}
+	if res.Estimate < float64(live) {
+		rn.fail("churn-undercount", "overlay distinct %v below live distinct %d", res.Estimate, live)
+		return
+	}
+	rn.pass()
+	// The rebuild re-bases the sketch and stream on the materialized live
+	// arrays: the delete over-count must vanish.
+	if err := svc.Flush(ctx, estimateDS); err != nil {
+		rn.fail("churn-flush", "Flush: %v", err)
+		return
+	}
+	res, err = svc.Estimate(ctx, rq, estimateDS, service.EstimateRequest{Op: estimate.OpDistinct, Conf: estConf})
+	if err != nil {
+		rn.fail("churn-distinct", "Estimate(distinct) after rebuild: %v", err)
+		return
+	}
+	if !res.Exact || res.Estimate != float64(live) {
+		rn.fail("churn-rebase", "post-rebuild distinct = %v (exact %v), live has %d", res.Estimate, res.Exact, live)
+		return
+	}
+	rn.pass()
+}
+
+// distinctCount counts distinct values in a sorted slice.
+func distinctCount(sorted []float64) int {
+	n := 0
+	for i, v := range sorted {
+		if i == 0 || sorted[i-1] != v {
+			n++
+		}
+	}
+	return n
+}
+
+// relErr is the relative error of est against a nonzero exact value.
+func relErr(est, exact float64) float64 {
+	return math.Abs(est-exact) / math.Abs(exact)
+}
+
+// ciCovers reports whether [lo, hi] contains exact, with a hair of
+// float tolerance so zero-width exact intervals compare safely.
+func ciCovers(lo, hi, exact float64) bool {
+	tol := 1e-9 * (1 + math.Abs(exact))
+	return lo-tol <= exact && exact <= hi+tol
+}
+
+// sameQ compares two q-error scores, treating +Inf as equal to +Inf and
+// allowing float roundoff between the service's internal exact count
+// and the oracle's.
+func sameQ(got, want float64) bool {
+	if math.IsInf(got, 1) || math.IsInf(want, 1) {
+		return math.IsInf(got, 1) && math.IsInf(want, 1)
+	}
+	return math.Abs(got-want) <= 1e-9*(1+math.Abs(want))
+}

@@ -38,6 +38,7 @@ const (
 	TargetIntervalTree Target = "intervaltree" // intervaltree stabbing (multi-d path)
 	TargetMutable      Target = "mutable"      // ingest write path (delta log + overlay + rebuilds)
 	TargetPooled       Target = "pooled"       // consume-once sample pool vs live kernel (+ invalidation under churn)
+	TargetEstimate     Target = "estimate"     // approximate COUNT/SUM/AVG/DISTINCT vs exact oracle (q-error + coverage)
 	TargetServer       Target = "server"       // service → shard → server over HTTP
 )
 
@@ -46,7 +47,7 @@ const (
 var StructureTargets = []Target{
 	TargetChunked, TargetAliasAug, TargetTreeWalk,
 	TargetAlias, TargetWoR, TargetTreeSample, TargetIntervalTree,
-	TargetMutable, TargetPooled,
+	TargetMutable, TargetPooled, TargetEstimate,
 }
 
 // DatasetSpec deterministically describes an input dataset.

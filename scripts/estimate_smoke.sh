@@ -1,0 +1,70 @@
+#!/usr/bin/env sh
+# estimate_smoke.sh — boot iqsserve, hammer the /estimate endpoint with
+# cmd/metricscheck -estimate (cycling count/sum/avg/distinct, validating
+# every response's q-error against its certified bound client-side),
+# assert the iqs_estimate_* metric families are exported with zero bound
+# violations, and drain cleanly. Exits non-zero on any failure. Used by
+# `make estimate-smoke` and the CI estimate step.
+set -eu
+
+BIN_DIR=${BIN_DIR:-/tmp/iqs-estimate-smoke}
+DRIVE=${DRIVE:-80}
+mkdir -p "$BIN_DIR"
+
+go build -o "$BIN_DIR/iqsserve" ./cmd/iqsserve
+go build -o "$BIN_DIR/metricscheck" ./cmd/metricscheck
+
+SERVER_OUT="$BIN_DIR/server.out"
+SERVER_ERR="$BIN_DIR/server.err"
+: >"$SERVER_OUT"
+: >"$SERVER_ERR"
+
+"$BIN_DIR/iqsserve" -addr 127.0.0.1:0 -shards 4 -n 16384 \
+  >"$SERVER_OUT" 2>"$SERVER_ERR" &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+ADDR=
+for _ in $(seq 1 50); do
+  ADDR=$(sed -n 's/^iqsserve: listening on \([^ ]*\) .*/\1/p' "$SERVER_OUT")
+  [ -n "$ADDR" ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "estimate-smoke: server died during startup" >&2
+    cat "$SERVER_ERR" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "estimate-smoke: server never reported its address" >&2
+  cat "$SERVER_OUT" "$SERVER_ERR" >&2
+  exit 1
+fi
+echo "estimate-smoke: server on $ADDR"
+
+# One visible end-to-end probe before the drive: a scored COUNT must
+# answer with an estimate and its q fields.
+curl -fsS "http://$ADDR/estimate?op=count&lo=0&hi=4095&k=1024" \
+  | grep -q '"q_error"' || {
+  echo "estimate-smoke: /estimate probe missing q_error" >&2
+  exit 1
+}
+
+"$BIN_DIR/metricscheck" -base "http://$ADDR" -drive "$DRIVE" -estimate
+
+# Graceful drain: SIGINT, then the server must report a clean exit.
+kill -INT "$SERVER_PID"
+WAIT_STATUS=0
+wait "$SERVER_PID" || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "estimate-smoke: server exited with status $WAIT_STATUS" >&2
+  cat "$SERVER_ERR" >&2
+  exit 1
+fi
+if ! grep -q 'drained cleanly' "$SERVER_OUT"; then
+  echo "estimate-smoke: server did not drain cleanly" >&2
+  cat "$SERVER_OUT" >&2
+  exit 1
+fi
+echo "estimate-smoke: PASS"
