@@ -1,6 +1,6 @@
 # Convenience targets; everything is plain `go` underneath.
 
-.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke pool-smoke estimate-smoke churn
+.PHONY: all build vet test race chaos fuzz fuzz-smoke bench bench-json pprof experiments examples cover serve loadtest metrics-smoke pool-smoke estimate-smoke cluster-smoke churn
 
 all: build vet test
 
@@ -88,6 +88,13 @@ pool-smoke:
 # iqs_estimate_* families export with zero bound violations.
 estimate-smoke:
 	sh scripts/estimate_smoke.sh
+
+# Multi-node smoke: boot two data nodes and a router (replicas=2),
+# drive load with cmd/metricscheck -cluster, SIGKILL the primary owner
+# of shard 0, drive again asserting zero 5xx, and require positive
+# failover counters before draining the survivors on SIGINT.
+cluster-smoke:
+	sh scripts/cluster_smoke.sh
 
 # Churn smoke: the mutable-serving statistical gate. In-process server
 # with the ingest write path on, 16 clients at a 30% write mix under EM

@@ -75,9 +75,9 @@ func run(args []string) int {
 	var (
 		label     = fs.String("label", "", "label stored with each entry; must be prN-before or prN-after (e.g. pr8-after)")
 		out       = fs.String("out", "BENCH_hotpath.json", "output JSON file")
-		benchRe   = fs.String("bench", "RangeSample|ServiceSample|ShardSample|ShardBatch|ServerSample|ServerBatch|Fill|Uint64Scalar|AliasSample|UniformWoR|WeightedWoR", "benchmark regex passed to go test -bench")
+		benchRe   = fs.String("bench", "RangeSample|ServiceSample|ShardSample|ShardBatch|ServerSample|ServerBatch|ClusterSample|Fill|Uint64Scalar|AliasSample|UniformWoR|WeightedWoR", "benchmark regex passed to go test -bench")
 		benchtime = fs.String("benchtime", "1s", "benchtime passed to go test")
-		pkgs      = fs.String("pkgs", "./internal/core ./internal/service ./internal/shard ./internal/server ./internal/rng ./internal/alias ./internal/wor", "space-separated package list")
+		pkgs      = fs.String("pkgs", "./internal/core ./internal/service ./internal/shard ./internal/server ./internal/cluster ./internal/rng ./internal/alias ./internal/wor", "space-separated package list")
 		validate  = fs.Bool("validate", false, "only validate that the output file is well-formed")
 		normalize = fs.Bool("normalize", false, "rewrite the output file with legacy labels migrated and duplicates dropped, without running benchmarks")
 	)

@@ -13,6 +13,17 @@
 //
 // With -fault > 0 every shard gets a fault-injected EM mirror, so the
 // PR 1 degradation machinery is live under HTTP traffic too.
+//
+// With -nodes the same binary becomes either tier of the
+// internal/cluster scale-out: -node hosts the shards the hash ring
+// assigns to -addr and serves /subsample; -router holds no shards and
+// fans sub-sample budgets out to the nodes. Combined with -load, the
+// load generator hammers the in-process router, so the whole cluster
+// path is measurable from one command:
+//
+//	iqsserve -node -addr 127.0.0.1:9001 -nodes 127.0.0.1:9001,127.0.0.1:9002 &
+//	iqsserve -node -addr 127.0.0.1:9002 -nodes 127.0.0.1:9001,127.0.0.1:9002 &
+//	iqsserve -router -nodes 127.0.0.1:9001,127.0.0.1:9002 -load
 package main
 
 import (
@@ -35,6 +46,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/em"
 	"repro/internal/metrics"
@@ -86,9 +98,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		keepAlive = fs.Bool("keepalive", true, "load mode: reuse persistent connections across requests (false dials per request)")
 		hotFrac   = fs.Float64("hot", 0, "load mode: fraction of queries aimed at one fixed hot range (pool-favorable) instead of a uniform random range")
 		estFrac   = fs.Float64("estimate", 0, "load mode: fraction of queries sent to /estimate (cycling count/sum/avg/distinct), each response validated client-side")
+		routerOn  = fs.Bool("router", false, "cluster router mode: hold no shard data, plan queries locally and fan sub-samples out to -nodes")
+		nodeOn    = fs.Bool("node", false, "cluster data-node mode: host the shards the hash ring assigns to -addr and serve /subsample")
+		nodesCSV  = fs.String("nodes", "", "comma-separated data-node addresses in canonical cluster order (required by -router and -node)")
+		replicas  = fs.Int("replicas", 2, "cluster replica count R: owners per shard, failover width")
+		ioRate    = fs.Float64("io-rate", 0, "node mode: storage device sustained read rate in blocks/s; sub-samples admit their estimated block cost before drawing (0 disables the gate)")
+		ioBurst   = fs.Float64("io-burst", 0, "node mode: I/O gate burst capacity in blocks; 0 derives a default from -io-rate")
 	)
 	fs.Usage = func() {
-		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D] [-pool N] [-pool-windows N] [-binary] [-keepalive] [-hot P]")
+		fmt.Fprintln(stderr, "usage: iqsserve [-addr A] [-shards K] [-seed S] [-duration D] [-n N] [-kind K] [-timeout D] [-inflight N] [-queue N] [-fault P] [-load] [-clients N] [-pprof A] [-trace-sample-rate P] [-coalesce N] [-linger D] [-pool N] [-pool-windows N] [-binary] [-keepalive] [-hot P] [-router|-node] [-nodes A,B,...] [-replicas R] [-io-rate B] [-io-burst B]")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -99,13 +117,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		*traceRate < 0 || *traceRate > 1 || *coalesce < 0 || *linger < 0 ||
 		*writeMix < 0 || *writeMix > 1 || *assertQ < 0 ||
 		*poolCap < 0 || *poolWin < 0 || *hotFrac < 0 || *hotFrac > 1 ||
-		*estFrac < 0 || *estFrac > 1 {
+		*estFrac < 0 || *estFrac > 1 ||
+		*replicas < 1 || *ioRate < 0 || *ioBurst < 0 {
 		fmt.Fprintln(stderr, "iqsserve: bad flag values")
 		fs.Usage()
 		return 2
 	}
 	if *writeMix > 0 && !*mutable {
 		fmt.Fprintln(stderr, "iqsserve: -write-mix requires -mutable")
+		return 2
+	}
+	var nodeList []string
+	for _, a := range strings.Split(*nodesCSV, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			nodeList = append(nodeList, a)
+		}
+	}
+	if *routerOn || *nodeOn {
+		switch {
+		case *routerOn && *nodeOn:
+			fmt.Fprintln(stderr, "iqsserve: -router and -node are mutually exclusive")
+			return 2
+		case len(nodeList) == 0:
+			fmt.Fprintln(stderr, "iqsserve: -router/-node require -nodes")
+			return 2
+		case *mutable || *poolCap > 0:
+			fmt.Fprintln(stderr, "iqsserve: -mutable and -pool are single-node features (both would make draws diverge from the router's deterministic plan)")
+			return 2
+		}
+		if *routerOn && (*fault > 0 || *assertQ > 0) {
+			fmt.Fprintln(stderr, "iqsserve: -fault and -assert-quality need shard services; the router hosts none (set them on the nodes)")
+			return 2
+		}
+	}
+	if (*ioRate > 0 || *ioBurst > 0) && !*nodeOn {
+		fmt.Fprintln(stderr, "iqsserve: -io-rate/-io-burst only apply to -node")
 		return 2
 	}
 	if *pprofOn != "" {
@@ -170,33 +216,78 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for i := range values {
 		values[i] = float64(i)
 	}
-	shOpts := shard.Options{
-		Shards:  *shards,
-		Kind:    kind,
-		Service: svcOpts,
-		Metrics: reg,
-		Logger:  logger,
+	var eng server.Engine
+	var nodeBackend server.NodeBackend
+	switch {
+	case *routerOn:
+		rt, err := cluster.NewRouter(values, nil, cluster.Options{
+			Nodes:    nodeList,
+			Replicas: *replicas,
+			Shards:   *shards,
+			Metrics:  reg,
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "iqsserve: build router: %v\n", err)
+			return 1
+		}
+		defer rt.Close()
+		eng = rt
+		fmt.Fprintf(stdout, "iqsserve: router over %d nodes (replicas=%d, shards=%d)\n",
+			len(nodeList), *replicas, *shards)
+	case *nodeOn:
+		nopts := cluster.NodeOptions{
+			Nodes:    nodeList,
+			Self:     *addr,
+			Replicas: *replicas,
+			Shards:   *shards,
+			Kind:     kind,
+			Service:  svcOpts,
+			IOGate:   em.NewIOGate(*ioRate, *ioBurst),
+			Metrics:  reg,
+			Logger:   logger,
+		}
+		if *assertQ > 0 {
+			nopts.Quality = metrics.UniformityOptions{Stride: 1, MinFolded: 256}
+		}
+		nh, err := cluster.NewNodeHost(context.Background(), values, nil, nopts)
+		if err != nil {
+			fmt.Fprintf(stderr, "iqsserve: build node: %v\n", err)
+			return 1
+		}
+		defer nh.Close()
+		eng, nodeBackend = nh, nh
+		fmt.Fprintf(stdout, "iqsserve: node %s owns shards %v of %d (replicas=%d, io-rate=%g)\n",
+			*addr, nh.Owned(), *shards, *replicas, *ioRate)
+	default:
+		shOpts := shard.Options{
+			Shards:  *shards,
+			Kind:    kind,
+			Service: svcOpts,
+			Metrics: reg,
+			Logger:  logger,
+		}
+		if *assertQ > 0 {
+			// The gate needs live quality signal: fold every served sample.
+			shOpts.Quality = metrics.UniformityOptions{Stride: 1, MinFolded: 256}
+		}
+		if *mutable {
+			shOpts.Mutable = true
+			shOpts.Ingest = service.MutableOptions{Seed: *seed}
+			shOpts.RebalanceInterval = 500 * time.Millisecond
+		}
+		if *poolCap > 0 {
+			shOpts.Pool = &samplepool.Config{Capacity: *poolCap, MaxEntries: *poolWin, Seed: *seed}
+		}
+		coord, err := shard.New(context.Background(), "iqs", values, nil, shOpts)
+		if err != nil {
+			fmt.Fprintf(stderr, "iqsserve: build engine: %v\n", err)
+			return 1
+		}
+		defer coord.Close()
+		eng = coord
 	}
-	if *assertQ > 0 {
-		// The gate needs live quality signal: fold every served sample.
-		shOpts.Quality = metrics.UniformityOptions{Stride: 1, MinFolded: 256}
-	}
-	if *mutable {
-		shOpts.Mutable = true
-		shOpts.Ingest = service.MutableOptions{Seed: *seed}
-		shOpts.RebalanceInterval = 500 * time.Millisecond
-	}
-	if *poolCap > 0 {
-		shOpts.Pool = &samplepool.Config{Capacity: *poolCap, MaxEntries: *poolWin, Seed: *seed}
-	}
-	coord, err := shard.New(context.Background(), "iqs", values, nil, shOpts)
-	if err != nil {
-		fmt.Fprintf(stderr, "iqsserve: build engine: %v\n", err)
-		return 1
-	}
-	defer coord.Close()
 
-	srv := server.New(coord, server.Options{
+	srv := server.New(eng, server.Options{
 		MaxInFlight:     *inflight,
 		MaxQueue:        *queue,
 		Timeout:         *timeout,
@@ -206,6 +297,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Logger:          logger,
 		Coalesce:        *coalesce,
 		Linger:          *linger,
+		Node:            nodeBackend,
 	})
 
 	// Flag-guarded profiling endpoint on its own mux and listener, so
@@ -224,7 +316,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-		go func() { _ = http.Serve(pl, pmux) }()
+		// Even the debug listener bounds slow header reads and idle
+		// connections: every listener this binary opens carries explicit
+		// timeouts.
+		ps := &http.Server{
+			Handler:           pmux,
+			ReadHeaderTimeout: 10 * time.Second,
+			IdleTimeout:       120 * time.Second,
+		}
+		go func() { _ = ps.Serve(pl) }()
 		fmt.Fprintf(stdout, "iqsserve: pprof on http://%s/debug/pprof/\n", pl.Addr())
 	}
 	l, err := net.Listen("tcp", *addr)
@@ -259,7 +359,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	h := coord.Health()
+	h := eng.Health()
 	fmt.Fprintf(stdout, "iqsserve: drained cleanly (engine requests %d, failures %d, panics contained %d, downgrades %d",
 		h.Aggregate.Requests, h.Aggregate.Failures, h.Aggregate.PanicsContained, h.Aggregate.Downgrades)
 	if devs != nil {

@@ -31,6 +31,12 @@
 // binary-framed requests in so both format legs of the wire counter are
 // exercised, and with -mutable a trailing /bulkload kicks a rebuild
 // whose pool rebind must bump iqs_pool_invalidations_total.
+//
+// With -cluster the base must be a cluster router (iqsserve -router):
+// the single-node engine families are swapped for the iqs_cluster_*
+// set, any 5xx during the drive fails the check (the failover path
+// must absorb node loss invisibly), and the sub-sample RPC and merge
+// counters must be positive after the drive.
 package main
 
 import (
@@ -46,22 +52,44 @@ import (
 	"repro/internal/metrics"
 )
 
-var defaultRequired = []string{
+// serverRequired is the HTTP front-end set, present on any iqsserve
+// tier: single-node, cluster router, or data node.
+var serverRequired = []string{
 	"iqs_server_served_total",
 	"iqs_server_request_seconds_count",
 	"iqs_server_stage_seconds_count",
 	"iqs_server_in_flight",
 	"iqs_server_queue_depth",
-	"iqs_service_requests_total",
-	"iqs_service_sample_seconds_count",
-	"iqs_shard_fanout_seconds_count",
-	"iqs_shard_merge_seconds_count",
-	"iqs_sample_quality_ratio",
 	// Coalescer series: registered unconditionally, so they must be
 	// present (zero is fine when -coalesce is off).
 	"iqs_coalesce_batch_size_count",
 	"iqs_coalesce_linger_seconds_count",
 	"iqs_coalesced_requests_total",
+}
+
+// engineRequired joins serverRequired on a single-node server: the
+// shard coordinator and per-shard service families. A cluster router
+// hosts no shard services, so -cluster swaps this set for
+// clusterRequired instead.
+var engineRequired = []string{
+	"iqs_service_requests_total",
+	"iqs_service_sample_seconds_count",
+	"iqs_shard_fanout_seconds_count",
+	"iqs_shard_merge_seconds_count",
+	"iqs_sample_quality_ratio",
+}
+
+// clusterRequired joins serverRequired under -cluster (base points at
+// a cluster router): the fan-out, per-node RPC, failover, and breaker
+// families the router registers.
+var clusterRequired = []string{
+	"iqs_cluster_fanout_seconds_count",
+	"iqs_cluster_merge_seconds_count",
+	"iqs_cluster_subsample_seconds_count",
+	"iqs_cluster_subsamples_total",
+	"iqs_cluster_node_errors_total",
+	"iqs_cluster_failovers_total",
+	"iqs_cluster_breaker_open",
 }
 
 // mutableRequired joins defaultRequired when -mutable drives writes:
@@ -126,22 +154,32 @@ func run(args []string, stdout, stderr io.Writer) int {
 		mutable = fs.Bool("mutable", false, "drive /insert and /delete writes too and require the ingest metric families")
 		pool    = fs.Bool("pool", false, "the server runs with -pool: warm a hot window before any writes, require the iqs_pool_* and iqs_wire_encoding_total families, and assert pool hits (plus a rebuild-driven invalidation under -mutable)")
 		est     = fs.Bool("estimate", false, "drive /estimate traffic (count/sum/avg/distinct), validate each response's q-error against its bound, and require the iqs_estimate_* families")
+		clus    = fs.Bool("cluster", false, "the base is a cluster router: require the iqs_cluster_* families instead of the single-node engine set, assert sub-sample fan-out happened, and fail the drive on any 5xx")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	required := defaultRequired
+	if *clus && (*mutable || *pool || *est) {
+		fmt.Fprintln(stderr, "metricscheck: -cluster is incompatible with -mutable/-pool/-estimate (the router serves none of those paths)")
+		return 2
+	}
+	required := append([]string(nil), serverRequired...)
+	if *clus {
+		required = append(required, clusterRequired...)
+	} else {
+		required = append(required, engineRequired...)
+	}
 	if *require != "" {
 		required = strings.Split(*require, ",")
 	} else {
 		if *mutable {
-			required = append(append([]string(nil), defaultRequired...), mutableRequired...)
+			required = append(required, mutableRequired...)
 		}
 		if *pool {
-			required = append(append([]string(nil), required...), poolRequired...)
+			required = append(required, poolRequired...)
 		}
 		if *est {
-			required = append(append([]string(nil), required...), estimateRequired...)
+			required = append(required, estimateRequired...)
 		}
 	}
 	client := &http.Client{Timeout: *timeout}
@@ -184,7 +222,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintf(stderr, "metricscheck: drive /batch: %v\n", err)
 				return 1
 			}
+			status := resp.StatusCode
 			drain(resp)
+			if *clus && status >= 500 {
+				fmt.Fprintf(stderr, "metricscheck: /batch answered %d through the cluster\n", status)
+				return 1
+			}
 			continue
 		}
 		url := fmt.Sprintf("%s/sample?lo=%d&hi=%d&k=8", baseURL, i%100, 200+i%800)
@@ -201,7 +244,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "metricscheck: /sample response missing X-Request-ID")
 			return 1
 		}
+		status := resp.StatusCode
 		drain(resp)
+		if *clus && status >= 500 {
+			fmt.Fprintf(stderr, "metricscheck: /sample answered %d through the cluster\n", status)
+			return 1
+		}
 		wantSamples++
 	}
 
@@ -276,6 +324,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *mutable {
 			if v := exp.SumAcross("iqs_pool_invalidations_total"); v <= 0 {
 				fmt.Fprintln(stderr, "metricscheck: no pool invalidation recorded after the /bulkload rebuild")
+				bad++
+			}
+		}
+	}
+	if *clus && *drive > 0 {
+		// The driven queries span multiple shards, so sub-sample RPCs and
+		// merges must have happened; zero means the fan-out path was
+		// bypassed entirely.
+		for _, name := range []string{"iqs_cluster_subsamples_total", "iqs_cluster_fanout_seconds_count", "iqs_cluster_merge_seconds_count"} {
+			if v := exp.SumAcross(name); v <= 0 {
+				fmt.Fprintf(stderr, "metricscheck: %s is zero after driving cluster load\n", name)
 				bad++
 			}
 		}

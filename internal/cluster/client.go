@@ -1,0 +1,166 @@
+// Node client: persistent keep-alive connections speaking the PR-8
+// binary framing, a per-node circuit breaker, and the typed error the
+// router surfaces when a node answers with an engine error.
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/server"
+)
+
+// RemoteError is a node-reported sub-sample failure. It carries the
+// node's HTTP status, which the server layer passes through
+// (statusOf), so a deterministic engine error — say a 422
+// sample-too-large — surfaces from the router exactly as a single node
+// would report it.
+type RemoteError struct {
+	Node   string
+	Status int
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("cluster: node %s: %s (http %d)", e.Node, e.Msg, e.Status)
+}
+
+// HTTPStatus implements the server layer's status pass-through.
+func (e *RemoteError) HTTPStatus() int { return e.Status }
+
+// retryable reports whether a failed sub-sample may succeed on a
+// replica. Transport failures, timeouts, shed/overload statuses and
+// misrouting (421, a stale assignment view) are retryable; any other
+// node-reported status is a deterministic engine answer that every
+// replica would repeat.
+func retryable(err error) bool {
+	var re *RemoteError
+	if errors.As(err, &re) {
+		return re.Status >= 500 ||
+			re.Status == http.StatusTooManyRequests ||
+			re.Status == http.StatusMisdirectedRequest
+	}
+	return true
+}
+
+// breaker is a per-node circuit breaker: threshold consecutive
+// failures open it for cooldown, after which one probe is allowed
+// through (half-open); a success closes it, a failure re-opens it for
+// another cooldown.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether an attempt may proceed now.
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails < b.threshold || !now.Before(b.openUntil)
+}
+
+// open reports whether the breaker is currently open (for the gauge).
+func (b *breaker) open(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.fails >= b.threshold && now.Before(b.openUntil)
+}
+
+func (b *breaker) onSuccess() {
+	b.mu.Lock()
+	b.fails = 0
+	b.mu.Unlock()
+}
+
+func (b *breaker) onFailure(now time.Time) {
+	b.mu.Lock()
+	b.fails++
+	if b.fails >= b.threshold {
+		b.openUntil = now.Add(b.cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// frameBufPool recycles request-frame encode buffers.
+var frameBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 64)
+	return &b
+}}
+
+// nodeClient is the router's view of one data node.
+type nodeClient struct {
+	index int
+	addr  string
+	url   string // http://addr/subsample
+	hc    *http.Client
+	br    breaker
+
+	lat       *metrics.Histogram // per-attempt RPC latency
+	attempts  *metrics.Counter
+	errs      *metrics.Counter
+	failovers *metrics.Counter // retryable failures that moved on
+}
+
+// subsample runs one sub-sample RPC against the node: a kind-3 frame
+// out, a kind-0 (samples appended to dst) or kind-1 (RemoteError) back.
+// reqID, when non-empty, rides the X-Request-ID header so the node's
+// logs and traces correlate with the router's.
+func (nc *nodeClient) subsample(ctx context.Context, wor bool, shardIdx int, seed uint64, lo, hi float64, k int, reqID string, dst []float64) ([]float64, error) {
+	bb := frameBufPool.Get().(*[]byte)
+	frame := server.AppendSubsampleRequest((*bb)[:0], server.SubsampleRequest{
+		WoR: wor, Shard: shardIdx, Seed: seed, Lo: lo, Hi: hi, K: k,
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, nc.url, bytes.NewReader(frame))
+	if err != nil {
+		*bb = frame[:0]
+		frameBufPool.Put(bb)
+		return dst, err
+	}
+	req.Header["Content-Type"] = []string{server.BinContentType}
+	req.Header["Accept"] = []string{server.BinContentType}
+	if reqID != "" {
+		req.Header["X-Request-Id"] = []string{reqID}
+	}
+	start := time.Now()
+	nc.attempts.Add(1)
+	resp, err := nc.hc.Do(req)
+	*bb = frame[:0]
+	frameBufPool.Put(bb)
+	if err != nil {
+		nc.errs.Add(1)
+		return dst, fmt.Errorf("cluster: node %s: %w", nc.addr, err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	nc.lat.Observe(time.Since(start).Seconds())
+	if rerr != nil {
+		nc.errs.Add(1)
+		return dst, fmt.Errorf("cluster: node %s: %w", nc.addr, rerr)
+	}
+	out, status, msg, derr := server.DecodeSampleBodyInto(body, dst)
+	if derr != nil {
+		nc.errs.Add(1)
+		if resp.StatusCode == http.StatusOK {
+			// A 200 that doesn't parse is a protocol bug, not an outage.
+			return dst, fmt.Errorf("cluster: node %s: malformed reply: %w", nc.addr, derr)
+		}
+		// Sheds and front-proxy errors answer JSON; classify by the
+		// HTTP status so 429/503 stay failover-eligible.
+		return dst, &RemoteError{Node: nc.addr, Status: resp.StatusCode, Msg: http.StatusText(resp.StatusCode)}
+	}
+	if status != http.StatusOK {
+		nc.errs.Add(1)
+		return dst, &RemoteError{Node: nc.addr, Status: status, Msg: msg}
+	}
+	return out, nil
+}

@@ -1,0 +1,535 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/stats"
+)
+
+// testDataset builds a dataset with duplicate values and non-uniform
+// weights — the inputs that stress tie-permutation and prefix-sum
+// bit-exactness.
+func testDataset(n int) (values, weights []float64) {
+	r := rng.New(0xDA7A)
+	values = make([]float64, n)
+	weights = make([]float64, n)
+	for i := range values {
+		values[i] = math.Floor(r.Float64()*float64(n)/3) / 7
+		weights[i] = 0.25 + 3*r.Float64()
+	}
+	return values, weights
+}
+
+// testCluster is a booted router + N node servers over loopback TCP.
+type testCluster struct {
+	router    *Router
+	nodes     []*server.Server
+	hosts     []*NodeHost
+	listeners []net.Listener
+	addrs     []string
+}
+
+func (tc *testCluster) close() {
+	tc.router.Close()
+	for i, s := range tc.nodes {
+		if s != nil {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+			s.Shutdown(ctx)
+			cancel()
+		}
+		if tc.listeners[i] != nil {
+			tc.listeners[i].Close()
+		}
+	}
+	for _, nh := range tc.hosts {
+		nh.Close()
+	}
+}
+
+// killNode stops node i's server and listener, simulating a crash.
+func (tc *testCluster) killNode(i int) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	tc.nodes[i].Shutdown(ctx)
+	cancel()
+	tc.listeners[i].Close()
+	tc.nodes[i] = nil
+	tc.listeners[i] = nil
+}
+
+// bootCluster starts nNodes data nodes hosting the dataset and a
+// router fronting them. wrap, when non-nil, wraps each node's handler
+// (for intercepting headers in tests).
+func bootCluster(t testing.TB, values, weights []float64, nNodes, shards, replicas int, wrap func(node int, h http.Handler) http.Handler) *testCluster {
+	t.Helper()
+	tc := &testCluster{}
+	for i := 0; i < nNodes; i++ {
+		l, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		tc.listeners = append(tc.listeners, l)
+		tc.addrs = append(tc.addrs, l.Addr().String())
+	}
+	for i := 0; i < nNodes; i++ {
+		nh, err := NewNodeHost(context.Background(), values, weights, NodeOptions{
+			Nodes:    tc.addrs,
+			Self:     tc.addrs[i],
+			Replicas: replicas,
+			Shards:   shards,
+		})
+		if err != nil {
+			t.Fatalf("node %d: %v", i, err)
+		}
+		tc.hosts = append(tc.hosts, nh)
+		srv := server.New(nh, server.Options{Node: nh, Seed: uint64(1000 + i)})
+		tc.nodes = append(tc.nodes, srv)
+		h := srv.Handler()
+		if wrap != nil {
+			h = wrap(i, h)
+		}
+		go http.Serve(tc.listeners[i], h)
+	}
+	rt, err := NewRouter(values, weights, Options{
+		Nodes:          tc.addrs,
+		Replicas:       replicas,
+		Shards:         shards,
+		AttemptTimeout: 2 * time.Second,
+		Backoff:        200 * time.Microsecond,
+	})
+	if err != nil {
+		tc.close()
+		t.Fatalf("router: %v", err)
+	}
+	tc.router = rt
+	return tc
+}
+
+// twinCoordinator builds the single-node reference for the same
+// dataset and shard count.
+func twinCoordinator(t testing.TB, values, weights []float64, shards int) *shard.Coordinator {
+	t.Helper()
+	c, err := shard.New(context.Background(), "twin", values, weights, shard.Options{Shards: shards})
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	return c
+}
+
+type idQuery struct {
+	lo, hi float64
+	k      int
+	wor    bool
+}
+
+// identityQueries covers single-shard, multi-shard, full-range, empty,
+// zero-budget and error cases.
+func identityQueries(values []float64) []idQuery {
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	mid := (lo + hi) / 2
+	return []idQuery{
+		{lo, hi, 64, false},
+		{lo, hi, 64, true},
+		{mid, mid + (hi-lo)/64, 32, false}, // hot narrow range
+		{mid, mid + (hi-lo)/64, 8, true},
+		{lo, mid, 128, false},
+		{mid, hi, 128, true},
+		{lo, hi, 0, false},
+		{lo, hi, 0, true},
+		{hi + 1, hi + 2, 16, false},                 // empty range
+		{hi + 1, hi + 2, 4, true},                   // WoR empty → too large
+		{lo, hi, len(values) * 2, true},             // k > count
+		{lo + (hi-lo)/3, hi - (hi-lo)/3, 96, false}, // interior multi-shard
+	}
+}
+
+// assertIdentical runs every query against both engines with the same
+// seed and requires byte-identical samples and matching error classes.
+func assertIdentical(t *testing.T, tag string, tc *testCluster, coord *shard.Coordinator, values []float64, seed uint64) {
+	t.Helper()
+	ctx := context.Background()
+	for qi, q := range identityQueries(values) {
+		rc, rr := rng.New(seed+uint64(qi)), rng.New(seed+uint64(qi))
+		var want, got []float64
+		var werr, gerr error
+		if q.wor {
+			want, werr = coord.SampleWoRInto(ctx, rc, q.lo, q.hi, q.k, nil)
+			got, gerr = tc.router.SampleWoRInto(ctx, rr, q.lo, q.hi, q.k, nil)
+		} else {
+			want, werr = coord.SampleInto(ctx, rc, q.lo, q.hi, q.k, nil)
+			got, gerr = tc.router.SampleInto(ctx, rr, q.lo, q.hi, q.k, nil)
+		}
+		if (werr == nil) != (gerr == nil) {
+			t.Fatalf("%s query %d (%+v): coordinator err = %v, router err = %v", tag, qi, q, werr, gerr)
+		}
+		if werr != nil {
+			// The coordinator's error class must surface through the wire
+			// (locally or as a RemoteError with the matching status).
+			for _, sentinel := range []error{core.ErrEmptyRange, core.ErrSampleTooLarge, core.ErrBadRange} {
+				if errors.Is(werr, sentinel) && !remoteIs(gerr, sentinel) {
+					t.Fatalf("%s query %d: coordinator %v vs router %v", tag, qi, werr, gerr)
+				}
+			}
+			continue
+		}
+		if len(want) != len(got) {
+			t.Fatalf("%s query %d (%+v): len %d vs %d", tag, qi, q, len(want), len(got))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s query %d (%+v): sample %d: %v vs %v", tag, qi, q, i, want[i], got[i])
+			}
+		}
+	}
+}
+
+// remoteIs matches a sentinel against either a local error or a
+// RemoteError carrying the node's message (the sentinel's text
+// travelled the wire; match by status class).
+func remoteIs(err error, sentinel error) bool {
+	if errors.Is(err, sentinel) {
+		return true
+	}
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		return false
+	}
+	switch sentinel {
+	case core.ErrSampleTooLarge:
+		return re.Status == http.StatusUnprocessableEntity
+	case core.ErrEmptyRange:
+		return re.Status == http.StatusNotFound || re.Status == http.StatusUnprocessableEntity
+	case core.ErrBadRange:
+		return re.Status == http.StatusBadRequest
+	}
+	return false
+}
+
+func TestRouterDrawIdentity(t *testing.T) {
+	values, weights := testDataset(4000)
+	tc := bootCluster(t, values, weights, 3, 5, 2, nil)
+	defer tc.close()
+	coord := twinCoordinator(t, values, weights, 5)
+	defer coord.Close()
+	assertIdentical(t, "healthy", tc, coord, values, 7700)
+}
+
+func TestRouterDrawIdentityUniform(t *testing.T) {
+	values, _ := testDataset(2500)
+	tc := bootCluster(t, values, nil, 2, 4, 2, nil)
+	defer tc.close()
+	coord := twinCoordinator(t, values, nil, 4)
+	defer coord.Close()
+	assertIdentical(t, "uniform", tc, coord, values, 4400)
+}
+
+func TestRouterFailover(t *testing.T) {
+	values, weights := testDataset(3000)
+	tc := bootCluster(t, values, weights, 3, 6, 2, nil)
+	defer tc.close()
+	coord := twinCoordinator(t, values, weights, 6)
+	defer coord.Close()
+
+	assertIdentical(t, "pre-kill", tc, coord, values, 123)
+	// Kill the primary owner of shard 0: the ring hashes the ephemeral
+	// node addresses, so a fixed victim index might be secondary
+	// everywhere and never receive an attempt to fail over from.
+	tc.killNode(tc.router.owners[0][0])
+	// Every shard keeps a live replica (R=2, one node down), so answers
+	// must stay byte-identical while the router fails over.
+	assertIdentical(t, "post-kill", tc, coord, values, 456)
+	if tc.router.Failovers() == 0 {
+		t.Fatal("no failovers recorded after killing a node")
+	}
+}
+
+func TestRouterDistribution(t *testing.T) {
+	// Uniform weights over a multi-shard range: sample counts per value
+	// bucket must pass a chi-squared uniformity test.
+	n := 1200
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	tc := bootCluster(t, values, nil, 2, 4, 2, nil)
+	defer tc.close()
+
+	ctx := context.Background()
+	r := rng.New(99)
+	const draws = 30000
+	counts := make([]int, 10)
+	buf := make([]float64, 0, 64)
+	for got := 0; got < draws; {
+		out, err := tc.router.SampleInto(ctx, r, 0, float64(n-1), 64, buf[:0])
+		if err != nil {
+			t.Fatalf("sample: %v", err)
+		}
+		for _, v := range out {
+			counts[int(v)*len(counts)/n]++
+			got++
+		}
+	}
+	chi2, err := stats.ChiSquareUniform(counts)
+	if err != nil {
+		t.Fatalf("chi2: %v", err)
+	}
+	if crit := stats.ChiSquareCritical(len(counts)-1, 1e-9); chi2 > crit {
+		t.Fatalf("chi2 = %.2f > critical %.2f: cluster samples not uniform", chi2, crit)
+	}
+}
+
+func TestNodeNotOwned(t *testing.T) {
+	values, weights := testDataset(1000)
+	addrs := []string{"127.0.0.1:1", "127.0.0.1:2", "127.0.0.1:3"}
+	nh, err := NewNodeHost(context.Background(), values, weights, NodeOptions{
+		Nodes: addrs, Self: addrs[0], Replicas: 1, Shards: 6,
+	})
+	if err != nil {
+		t.Fatalf("node: %v", err)
+	}
+	defer nh.Close()
+	owned := nh.Owned()
+	if len(owned) == 0 || len(owned) == 6 {
+		t.Fatalf("R=1 over 3 nodes should own a strict subset, got %v", owned)
+	}
+	// Subsample for a shard someone else owns → NotOwnedError (421).
+	var missing int = -1
+	ownedSet := map[int]bool{}
+	for _, s := range owned {
+		ownedSet[s] = true
+	}
+	for s := 0; s < 6; s++ {
+		if !ownedSet[s] {
+			missing = s
+			break
+		}
+	}
+	_, err = nh.Subsample(context.Background(), server.SubsampleRequest{Shard: missing, Seed: 1, Lo: 0, Hi: 1, K: 1}, nil)
+	var noe *NotOwnedError
+	if !errors.As(err, &noe) {
+		t.Fatalf("want NotOwnedError, got %v", err)
+	}
+	if noe.HTTPStatus() != http.StatusMisdirectedRequest {
+		t.Fatalf("status = %d, want 421", noe.HTTPStatus())
+	}
+}
+
+func TestRingDeterministicAndDistinct(t *testing.T) {
+	nodes := []string{"a:1", "b:1", "c:1", "d:1"}
+	r1, r2 := buildRing(nodes, 0), buildRing(nodes, 0)
+	for s := 0; s < 32; s++ {
+		o1, o2 := r1.owners(s, 3), r2.owners(s, 3)
+		if len(o1) != 3 {
+			t.Fatalf("shard %d: %d owners, want 3", s, len(o1))
+		}
+		seen := map[int]bool{}
+		for i := range o1 {
+			if o1[i] != o2[i] {
+				t.Fatalf("shard %d: rings disagree: %v vs %v", s, o1, o2)
+			}
+			if seen[o1[i]] {
+				t.Fatalf("shard %d: duplicate owner in %v", s, o1)
+			}
+			seen[o1[i]] = true
+		}
+	}
+	if got := r1.owners(0, 99); len(got) != len(nodes) {
+		t.Fatalf("replicas should clamp to node count, got %v", got)
+	}
+}
+
+func TestBreaker(t *testing.T) {
+	b := breaker{threshold: 3, cooldown: 50 * time.Millisecond}
+	now := time.Now()
+	if !b.allow(now) {
+		t.Fatal("fresh breaker should allow")
+	}
+	for i := 0; i < 3; i++ {
+		b.onFailure(now)
+	}
+	if b.allow(now) {
+		t.Fatal("breaker should be open after threshold failures")
+	}
+	if !b.open(now) {
+		t.Fatal("open() should report open")
+	}
+	later := now.Add(60 * time.Millisecond)
+	if !b.allow(later) {
+		t.Fatal("cooldown elapsed: breaker should admit a half-open probe")
+	}
+	b.onSuccess()
+	if !b.allow(now) || b.open(now) {
+		t.Fatal("success should close the breaker")
+	}
+}
+
+func TestPartitionMapsAgree(t *testing.T) {
+	values, weights := testDataset(800)
+	tc := bootCluster(t, values, weights, 3, 4, 2, nil)
+	defer tc.close()
+
+	rb, err := tc.router.PartitionJSON()
+	if err != nil {
+		t.Fatalf("router partition: %v", err)
+	}
+	// Every node must serve the same assignment (modulo Self/Owned).
+	resp, err := http.Get("http://" + tc.addrs[1] + "/cluster/partition")
+	if err != nil {
+		t.Fatalf("node partition: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("node partition status = %d", resp.StatusCode)
+	}
+	var want, got PartitionMap
+	if err := json.Unmarshal(rb, &want); err != nil {
+		t.Fatalf("decode router map: %v", err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode node map: %v", err)
+	}
+	if got.Self != tc.addrs[1] || len(got.Owned) == 0 {
+		t.Fatalf("node map should set Self/Owned, got %+v", got)
+	}
+	if fmt.Sprint(want.Assignment) != fmt.Sprint(got.Assignment) || fmt.Sprint(want.Cuts) != fmt.Sprint(got.Cuts) {
+		t.Fatalf("router and node assignment views diverge:\n%v\n%v", want, got)
+	}
+	for _, h := range tc.hosts {
+		for _, s := range h.Owned() {
+			found := false
+			for _, addr := range want.Assignment[s] {
+				if addr == h.opts.Self {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("node %s hosts shard %d but router assignment %v omits it", h.opts.Self, s, want.Assignment[s])
+			}
+		}
+	}
+}
+
+func TestRequestIDPropagation(t *testing.T) {
+	values, weights := testDataset(1500)
+	var mu sync.Mutex
+	seen := map[int][]string{}
+	tc := bootCluster(t, values, weights, 2, 4, 2, func(node int, h http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/subsample" {
+				mu.Lock()
+				seen[node] = append(seen[node], r.Header.Get("X-Request-ID"))
+				mu.Unlock()
+			}
+			h.ServeHTTP(w, r)
+		})
+	})
+	defer tc.close()
+
+	// Front the router with a server, as production does, and send a
+	// query with an explicit inbound request ID over a multi-shard range.
+	fe := server.New(tc.router, server.Options{Seed: 42})
+	ts := httptest.NewServer(fe.Handler())
+	defer ts.Close()
+
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	req, _ := http.NewRequest(http.MethodGet,
+		fmt.Sprintf("%s/sample?lo=%v&hi=%v&k=64", ts.URL, lo, hi), nil)
+	const wantID = "cafe0123cafe0123"
+	req.Header.Set("X-Request-ID", wantID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("sample: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Request-ID"); got != wantID {
+		t.Fatalf("router echoed id %q, want %q", got, wantID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	hops := 0
+	for node, ids := range seen {
+		for _, id := range ids {
+			hops++
+			if id != wantID {
+				t.Fatalf("node %d saw X-Request-ID %q, want %q", node, id, wantID)
+			}
+		}
+	}
+	if hops == 0 {
+		t.Fatal("no sub-sample hops recorded")
+	}
+}
+
+func TestNodeEngineAnswersOwnedQueries(t *testing.T) {
+	values, weights := testDataset(2000)
+	tc := bootCluster(t, values, weights, 2, 4, 2, nil)
+	defer tc.close()
+	// With R=2 over 2 nodes every node owns every shard, so the node's
+	// own engine must answer global queries draw-identically too.
+	coord := twinCoordinator(t, values, weights, 4)
+	defer coord.Close()
+	ctx := context.Background()
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	want, err := coord.SampleInto(ctx, rng.New(5), lo, hi, 80, nil)
+	if err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	got, err := tc.hosts[0].SampleInto(ctx, rng.New(5), lo, hi, 80, nil)
+	if err != nil {
+		t.Fatalf("node engine: %v", err)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("sample %d: %v vs %v", i, want[i], got[i])
+		}
+	}
+}
+
+func BenchmarkClusterSample(b *testing.B) {
+	n := 1 << 16
+	values := make([]float64, n)
+	for i := range values {
+		values[i] = float64(i)
+	}
+	tc := bootCluster(b, values, nil, 2, 4, 2, nil)
+	defer tc.close()
+	lo, hi := float64(n/2), float64(n/2+n/64)
+	ctx := context.Background()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		r := rng.New(rng.New(uint64(b.N)).Uint64())
+		buf := make([]float64, 0, 64)
+		for pb.Next() {
+			out, err := tc.router.SampleInto(ctx, r, lo, hi, 64, buf[:0])
+			if err != nil {
+				b.Fatalf("sample: %v", err)
+			}
+			buf = out[:0]
+		}
+	})
+}

@@ -1,0 +1,194 @@
+// The fan-out executor shared by the Router (remote draws over kind-3
+// frames) and NodeHost (local draws for its own /sample endpoint).
+// Randomness consumption replicates Coordinator.fanOut exactly: one
+// SplitSeed per positive-budget shard in ascending shard order before
+// any concurrency starts, partials merged in job order, tail shuffled
+// with the request stream.
+package cluster
+
+import (
+	"context"
+	"slices"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// drawFn draws one shard's sub-budget on the stream seeded by seed,
+// appending into dst. The Router's drawFn speaks the wire with
+// failover; NodeHost's calls its local shard service.
+type drawFn func(ctx context.Context, wor bool, shard int, seed uint64, lo, hi float64, k int, dst []float64) ([]float64, error)
+
+// partPool recycles per-job sample buffers across fan-outs.
+var partPool = sync.Pool{New: func() any {
+	b := make([]float64, 0, 256)
+	return &b
+}}
+
+type fanExec struct {
+	meta    *Meta
+	workers int
+	draw    drawFn
+	// fanout[op] (0 sample, 1 wor) and merge mirror the coordinator's
+	// histograms; always non-nil (unregistered registry when unset).
+	fanout [2]*metrics.Histogram
+	merge  *metrics.Histogram
+}
+
+// sampleInto is Coordinator.SampleInto with planning against Meta and
+// draws through e.draw. Validation order, fast paths and randomness
+// consumption are identical.
+func (e *fanExec) sampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return dst, err
+	}
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	if k <= 0 {
+		return dst, nil
+	}
+	shards, budgets, err := e.meta.planWR(r, lo, hi, k)
+	if err != nil {
+		return dst, err
+	}
+	return e.fanOut(ctx, r, 0, shards, budgets, lo, hi, dst)
+}
+
+// sampleWoRInto is Coordinator.SampleWoRInto likewise.
+func (e *fanExec) sampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return dst, err
+	}
+	if err := ctx.Err(); err != nil {
+		return dst, err
+	}
+	shards, budgets, err := e.meta.planWoR(r, lo, hi, k)
+	if err != nil {
+		return dst, err
+	}
+	return e.fanOut(ctx, r, 1, shards, budgets, lo, hi, dst)
+}
+
+// fanOut executes the planned budgets. Seeds are derived from r in
+// ascending shard order before any goroutine starts (each SplitSeed
+// consumes the two Uint64 draws Coordinator's r.Split() would);
+// partials merge in job order and the appended tail is shuffled with
+// r. dst is returned unchanged on error.
+func (e *fanExec) fanOut(ctx context.Context, r *core.Rand, op int, shards, budgets []int, lo, hi float64, dst []float64) ([]float64, error) {
+	total, positive, last := 0, 0, -1
+	for i := range shards {
+		if budgets[i] > 0 {
+			positive++
+			last = i
+			total += budgets[i]
+		}
+	}
+	if positive == 0 {
+		return dst, nil
+	}
+	endSpan := metrics.TraceFrom(ctx).StartSpan("cluster.fanout")
+	fanStart := time.Now()
+	defer func() {
+		e.fanout[op].Observe(time.Since(fanStart).Seconds())
+		endSpan()
+	}()
+
+	if positive == 1 {
+		// Single-shard fan-out (the hot-range case): one draw on the
+		// caller's goroutine, no jobs slice or worker machinery.
+		out, err := e.draw(ctx, op == 1, shards[last], r.SplitSeed(), lo, hi, budgets[last], dst)
+		if err != nil {
+			return dst, err
+		}
+		mergeStart := time.Now()
+		tail := out[len(dst):]
+		r.Shuffle(len(tail), func(i, k int) { tail[i], tail[k] = tail[k], tail[i] })
+		e.merge.Observe(time.Since(mergeStart).Seconds())
+		return out, nil
+	}
+
+	type job struct {
+		shard, k int
+		seed     uint64
+	}
+	jobs := make([]job, 0, positive)
+	for i, s := range shards {
+		if budgets[i] <= 0 {
+			continue
+		}
+		jobs = append(jobs, job{shard: s, k: budgets[i], seed: r.SplitSeed()})
+	}
+
+	fctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, e.workers)
+		mu       sync.Mutex
+		firstErr error
+	)
+	parts := make([][]float64, len(jobs))
+	bufs := make([]*[]float64, len(jobs))
+	defer func() {
+		for ji, bp := range bufs {
+			if bp == nil {
+				continue
+			}
+			if parts[ji] != nil {
+				*bp = parts[ji][:0]
+			}
+			partPool.Put(bp)
+		}
+	}()
+	for ji := range jobs {
+		wg.Add(1)
+		go func(ji int) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-fctx.Done():
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = fctx.Err()
+				}
+				mu.Unlock()
+				return
+			}
+			j := jobs[ji]
+			bp := partPool.Get().(*[]float64)
+			bufs[ji] = bp
+			out, err := e.draw(fctx, op == 1, j.shard, j.seed, lo, hi, j.k, (*bp)[:0])
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				cancel() // first error stops the sibling draws
+				return
+			}
+			parts[ji] = out
+		}(ji)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		if err := ctx.Err(); err != nil {
+			return dst, err
+		}
+		return dst, firstErr
+	}
+	mergeStart := time.Now()
+	base := len(dst)
+	dst = slices.Grow(dst, total)
+	for _, p := range parts {
+		dst = append(dst, p...)
+	}
+	tail := dst[base:]
+	r.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+	e.merge.Observe(time.Since(mergeStart).Seconds())
+	return dst, nil
+}

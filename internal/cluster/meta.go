@@ -1,0 +1,256 @@
+// Package cluster scales the sharded serving stack across processes: a
+// Router tier fronts N data nodes, each hosting a subset of the shards
+// behind a consistent-hash partition map with R-way replication.
+//
+// The whole design rests on one invariant: a clustered deployment must
+// answer every query with the exact bytes a single-node
+// shard.Coordinator would produce for the same seed. That holds
+// because every random decision is made once, on the router, with the
+// coordinator's own exported planners:
+//
+//   - Partition: shard.SortByValue + shard.CutRuns are pure functions
+//     of (values, weights, K), so the router and every node derive
+//     identical shard contents and boundaries from the dataset — no
+//     assignment exchange.
+//   - Budgets: the router replans the multinomial WR split
+//     (shard.PlanWR) and hypergeometric WoR split (shard.PlanWoR) on
+//     the request's own rng stream, against per-shard range weights
+//     and counts computed from local metadata that replicates each
+//     shard kernel's arithmetic bit-for-bit (see Meta).
+//   - Streams: where the coordinator's fan-out calls r.Split() per
+//     positive-budget shard, the router calls r.SplitSeed() — the same
+//     two Uint64 draws — and ships the 8-byte seed in a kind-3 frame.
+//     The node rebuilds rng.New(seed): the identical child stream.
+//   - Merge: partials are concatenated in ascending shard order and
+//     the tail shuffled with the request stream, exactly as
+//     Coordinator.fanOut merges.
+//
+// Nodes are therefore pure functions of (shard data, seed, budget):
+// failing over a sub-sample to a replica — or retrying it after a
+// timeout — cannot perturb the answer, which is what makes the
+// failover path safe to take silently.
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// dsName is the dataset name every node's shard services host their
+// run under, mirroring the coordinator's.
+const dsName = "shard"
+
+// metaShard is one shard's local metadata: the run's values and
+// weights (in the order the coordinator hands them to the shard
+// service) plus the prefix-weight array its kernel would build, so the
+// router evaluates RangeWeight/Count without touching a node.
+type metaShard struct {
+	vals    []float64 // run values, sorted ascending
+	weights []float64 // run weights, same order as vals
+	prefix  []float64 // kernel-order prefix weights; prefix[n] = total
+	lo, hi  float64   // half-open ownership interval [lo, hi)
+}
+
+// Meta is the deterministic partition view shared by the router and
+// every node: the dataset sorted and cut into shard runs with the
+// coordinator's own code, plus per-shard prefix weights replicating
+// core.RangeSampler bit-for-bit.
+//
+// Bit-exactness matters because the WR budget split feeds the shard
+// range weights into rng.Multinomial: a weight differing in the last
+// ulp from what the single-node coordinator computes could tip a
+// budget and diverge the whole stream. Two details make it exact:
+// every kernel sorts its input through the same index-sort
+// (rangesample's base), so ties land in the same permutation here as
+// on the node, and prefix sums are accumulated per shard in that
+// kernel order — never globally — so float rounding matches the
+// shard-local arithmetic.
+type Meta struct {
+	shards []metaShard
+	n      int
+}
+
+// NewMeta sorts and cuts the dataset exactly as shard.New does and
+// precomputes each run's kernel-order prefix weights. nil weights mean
+// uniform.
+func NewMeta(values, weights []float64, shards int) (*Meta, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("%w: shards = %d", core.ErrBadValue, shards)
+	}
+	if len(values) == 0 {
+		return nil, service.ErrEmptyDataset
+	}
+	if weights != nil && len(weights) != len(values) {
+		return nil, fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
+	}
+	sv, sw := shard.SortByValue(values, weights)
+	runs := shard.CutRuns(sv, shards)
+	m := &Meta{n: len(sv), shards: make([]metaShard, 0, len(runs))}
+	for i, run := range runs {
+		rv := sv[run[0]:run[1]]
+		rw := sw[run[0]:run[1]]
+		// Replicate the kernel's base construction: indices sorted by
+		// value with sort.Slice. rv is already ascending, but sort.Slice
+		// is not stable, so ties may settle in a different permutation
+		// than input order — and the prefix sums must accumulate in the
+		// kernel's exact weight order or the last ulp diverges.
+		idx := make([]int, len(rv))
+		for j := range idx {
+			idx[j] = j
+		}
+		sort.Slice(idx, func(x, y int) bool { return rv[idx[x]] < rv[idx[y]] })
+		prefix := make([]float64, len(rv)+1)
+		for j, k := range idx {
+			prefix[j+1] = prefix[j] + rw[k]
+		}
+		lo, hi := shard.RunBounds(sv, runs, i)
+		m.shards = append(m.shards, metaShard{vals: rv, weights: rw, prefix: prefix, lo: lo, hi: hi})
+	}
+	return m, nil
+}
+
+// Shards returns the effective shard count (runs never start empty, so
+// this can be below the requested K).
+func (m *Meta) Shards() int { return len(m.shards) }
+
+// Len returns the dataset size.
+func (m *Meta) Len() int { return m.n }
+
+// Bounds returns shard i's half-open ownership interval.
+func (m *Meta) Bounds(i int) (lo, hi float64) { return m.shards[i].lo, m.shards[i].hi }
+
+// Cuts returns the interior shard boundaries (len Shards()-1), the
+// finite values of the partition map.
+func (m *Meta) Cuts() []float64 {
+	cuts := make([]float64, 0, len(m.shards)-1)
+	for i := 1; i < len(m.shards); i++ {
+		cuts = append(cuts, m.shards[i].lo)
+	}
+	return cuts
+}
+
+// Run returns copies of shard i's values and weights in the order the
+// coordinator hands them to a shard service — what a node builds its
+// local service from.
+func (m *Meta) Run(i int) (values, weights []float64) {
+	ms := &m.shards[i]
+	return append([]float64(nil), ms.vals...), append([]float64(nil), ms.weights...)
+}
+
+// overlapping returns the shards whose interval intersects [lo, hi],
+// by the coordinator's rule.
+func (m *Meta) overlapping(lo, hi float64) []int {
+	out := make([]int, 0, len(m.shards))
+	for i := range m.shards {
+		ms := &m.shards[i]
+		if hi < ms.lo || lo >= ms.hi {
+			continue
+		}
+		out = append(out, i)
+	}
+	return out
+}
+
+// rangeWeight is core.RangeSampler.RangeWeight evaluated against the
+// shard-local arrays: same sort.Search bounds, same prefix difference.
+func (ms *metaShard) rangeWeight(lo, hi float64) float64 {
+	if core.ValidateRange(lo, hi) != nil {
+		return 0
+	}
+	n := len(ms.vals)
+	a := sort.Search(n, func(i int) bool { return ms.vals[i] >= lo })
+	b := sort.Search(n, func(i int) bool { return ms.vals[i] > hi })
+	if a >= b {
+		return 0
+	}
+	return ms.prefix[b] - ms.prefix[a]
+}
+
+// count is core.RangeSampler.Count against the shard-local arrays.
+func (ms *metaShard) count(lo, hi float64) int {
+	if core.ValidateRange(lo, hi) != nil {
+		return 0
+	}
+	n := len(ms.vals)
+	a := sort.Search(n, func(i int) bool { return ms.vals[i] >= lo })
+	b := sort.Search(n, func(i int) bool { return ms.vals[i] > hi }) - 1
+	if a > b {
+		return 0
+	}
+	return b - a + 1
+}
+
+// planWR mirrors Coordinator.SampleInto's planning phase on the
+// request stream r: the single-overlap fast path consumes no
+// randomness and routes the whole budget; otherwise in-range shard
+// weights feed shard.PlanWR. Callers must have validated the range and
+// k > 0 first, exactly as the coordinator orders its checks.
+func (m *Meta) planWR(r *core.Rand, lo, hi float64, k int) (shards, budgets []int, err error) {
+	first, overlaps := -1, 0
+	for i := range m.shards {
+		ms := &m.shards[i]
+		if hi < ms.lo || lo >= ms.hi {
+			continue
+		}
+		if first < 0 {
+			first = i
+		}
+		overlaps++
+	}
+	if overlaps == 1 {
+		return []int{first}, []int{k}, nil
+	}
+	shards = m.overlapping(lo, hi)
+	weights := make([]float64, len(shards))
+	total := 0.0
+	for i, s := range shards {
+		w := m.shards[s].rangeWeight(lo, hi)
+		weights[i] = w
+		total += w
+	}
+	if !(total > 0) {
+		return nil, nil, core.ErrEmptyRange
+	}
+	budgets, err = shard.PlanWR(r, k, weights)
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, budgets, nil
+}
+
+// planWoR mirrors Coordinator.SampleWoRInto's planning phase: shard
+// counts feed shard.PlanWoR's global rank draw on r.
+func (m *Meta) planWoR(r *core.Rand, lo, hi float64, k int) (shards, budgets []int, err error) {
+	shards = m.overlapping(lo, hi)
+	counts := make([]int, len(shards))
+	for i, s := range shards {
+		counts[i] = m.shards[s].count(lo, hi)
+	}
+	budgets, err = shard.PlanWoR(r, k, counts)
+	if err != nil {
+		return nil, nil, err
+	}
+	return shards, budgets, nil
+}
+
+// Count returns |S ∩ [lo, hi]| summed across shards.
+func (m *Meta) Count(lo, hi float64) int {
+	total := 0
+	for _, s := range m.overlapping(lo, hi) {
+		total += m.shards[s].count(lo, hi)
+	}
+	return total
+}
+
+// RangeWeight returns the total in-range weight summed across shards.
+func (m *Meta) RangeWeight(lo, hi float64) float64 {
+	total := 0.0
+	for _, s := range m.overlapping(lo, hi) {
+		total += m.shards[s].rangeWeight(lo, hi)
+	}
+	return total
+}

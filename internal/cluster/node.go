@@ -1,0 +1,361 @@
+// NodeHost: one data node's engine. It derives the shard assignment
+// from the shared (nodes, replicas, shards) configuration — no
+// coordination service — builds a full service instance per owned
+// shard exactly as the single-node coordinator would, and serves two
+// surfaces: Subsample (the router's kind-3 RPC: rebuild the stream
+// from the frame's seed, draw the sub-budget) and the regular
+// server.Engine methods for queries its owned shards can answer alone.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/em"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/service"
+	"repro/internal/shard"
+)
+
+// NotOwnedError reports a query or sub-sample that needs a shard this
+// node does not host — a stale router view or misconfiguration. It
+// maps to 421 (Misdirected Request), which the router treats as
+// failover-eligible.
+type NotOwnedError struct {
+	Shard int
+	Node  string
+}
+
+func (e *NotOwnedError) Error() string {
+	return fmt.Sprintf("cluster: shard %d not owned by node %s", e.Shard, e.Node)
+}
+
+// HTTPStatus implements the server layer's status pass-through.
+func (e *NotOwnedError) HTTPStatus() int { return http.StatusMisdirectedRequest }
+
+// NodeOptions configures a NodeHost.
+type NodeOptions struct {
+	// Nodes is the cluster's canonical node list; must match the
+	// router's and every peer's.
+	Nodes []string
+	// Self is this node's address; must appear in Nodes.
+	Self string
+	// Replicas, Shards, VirtualPoints as in Options; all three must
+	// match the router's or assignment views diverge.
+	Replicas      int
+	Shards        int
+	VirtualPoints int
+	// Kind is the per-shard index structure.
+	Kind core.Kind
+	// Workers bounds the local fan-out for the node's own /sample; 0
+	// means the owned-shard count.
+	Workers int
+	// Service, when non-nil, supplies service.Options for owned shard
+	// i (fault-injection hook, as on the coordinator).
+	Service func(shard int) service.Options
+	// Quality configures per-shard sample-quality monitors when the
+	// Service hook is nil.
+	Quality metrics.UniformityOptions
+	// IOGate, when non-nil, models this node's storage device: every
+	// sub-sample admits its estimated block cost (em.IOBlocks) before
+	// drawing, so the node saturates at the device's bandwidth.
+	IOGate *em.IOGate
+	// IOBlock is the block size B for the gate's cost model; 0 means
+	// 1024 words.
+	IOBlock int
+	Metrics *metrics.Registry
+	// MetricLabels are stamped on the node's series; shard services
+	// additionally get shard="i".
+	MetricLabels []metrics.Label
+	Logger       *slog.Logger
+}
+
+// NodeHost hosts one node's owned shards.
+type NodeHost struct {
+	meta    *Meta
+	opts    NodeOptions
+	self    int
+	owners  [][]int // shard → replica-ordered node indices
+	ownedIx []int   // ascending owned shard indices
+	owned   map[int]*service.Service
+	exec    fanExec
+	gate    *em.IOGate
+	ioBlock int
+
+	gateWait *metrics.Histogram
+}
+
+// NewNodeHost builds the services for every shard the ring assigns to
+// opts.Self. The dataset (values, weights; nil weights uniform) must
+// be the same arrays every other node and the router load: partition
+// and assignment are derived, not exchanged.
+func NewNodeHost(ctx context.Context, values, weights []float64, opts NodeOptions) (*NodeHost, error) {
+	self := -1
+	for i, addr := range opts.Nodes {
+		if addr == opts.Self {
+			self = i
+			break
+		}
+	}
+	if self < 0 {
+		return nil, fmt.Errorf("%w: self %q not in node list", core.ErrBadValue, opts.Self)
+	}
+	meta, err := NewMeta(values, weights, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas > len(opts.Nodes) {
+		opts.Replicas = len(opts.Nodes)
+	}
+	if opts.IOBlock <= 0 {
+		opts.IOBlock = 1024
+	}
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
+	}
+
+	nh := &NodeHost{
+		meta:    meta,
+		opts:    opts,
+		self:    self,
+		owned:   make(map[int]*service.Service),
+		gate:    opts.IOGate,
+		ioBlock: opts.IOBlock,
+	}
+	rg := buildRing(opts.Nodes, opts.VirtualPoints)
+	nh.owners = make([][]int, meta.Shards())
+	fail := func(err error) (*NodeHost, error) {
+		for _, svc := range nh.owned {
+			svc.Close()
+		}
+		return nil, err
+	}
+	for i := 0; i < meta.Shards(); i++ {
+		own := rg.owners(i, opts.Replicas)
+		nh.owners[i] = own
+		mine := false
+		for _, ni := range own {
+			if ni == self {
+				mine = true
+				break
+			}
+		}
+		if !mine {
+			continue
+		}
+		var sopts service.Options
+		if opts.Service != nil {
+			sopts = opts.Service(i)
+		} else {
+			sopts.Quality = opts.Quality
+		}
+		if sopts.Metrics == nil {
+			sopts.Metrics = opts.Metrics
+		}
+		if sopts.Logger == nil {
+			sopts.Logger = opts.Logger
+		}
+		if sopts.MetricLabels == nil {
+			sopts.MetricLabels = append(append([]metrics.Label(nil), opts.MetricLabels...),
+				metrics.L("shard", strconv.Itoa(i)))
+		}
+		svc := service.New(sopts)
+		sv, sw := meta.Run(i)
+		if err := svc.Create(ctx, dsName, opts.Kind, sv, sw); err != nil {
+			svc.Close()
+			return fail(fmt.Errorf("shard %d: %w", i, err))
+		}
+		nh.owned[i] = svc
+		nh.ownedIx = append(nh.ownedIx, i)
+	}
+
+	nh.exec.meta = meta
+	nh.exec.workers = opts.Workers
+	if nh.exec.workers <= 0 {
+		nh.exec.workers = len(nh.ownedIx)
+		if nh.exec.workers == 0 {
+			nh.exec.workers = 1
+		}
+	}
+	nh.exec.draw = nh.drawLocal
+	reg := opts.Metrics
+	for op, opName := range []string{"sample", "wor"} {
+		ls := append(append([]metrics.Label(nil), opts.MetricLabels...), metrics.L("op", opName))
+		nh.exec.fanout[op] = reg.Histogram("iqs_cluster_fanout_seconds",
+			"Wall time of the full per-query cluster fan-out (plan, draws, merge).", nil, ls...)
+	}
+	nh.exec.merge = reg.Histogram("iqs_cluster_merge_seconds",
+		"Time to merge and shuffle per-shard partials into the response buffer.", nil, opts.MetricLabels...)
+	nh.gateWait = reg.Histogram("iqs_cluster_io_wait_seconds",
+		"Time sub-samples spent queued for I/O admission credits.", nil, opts.MetricLabels...)
+	if nh.gate != nil {
+		reg.CounterFunc("iqs_cluster_io_waits_total",
+			"Sub-sample admissions that had to queue for the I/O gate.",
+			func() float64 { return float64(nh.gate.Waits()) }, opts.MetricLabels...)
+	}
+	return nh, nil
+}
+
+// Owned returns the ascending shard indices this node hosts.
+func (nh *NodeHost) Owned() []int { return append([]int(nil), nh.ownedIx...) }
+
+// Close shuts down the owned shard services.
+func (nh *NodeHost) Close() {
+	for _, svc := range nh.owned {
+		svc.Close()
+	}
+}
+
+// Subsample implements server.NodeBackend: rebuild the sub-stream from
+// the frame's seed and draw the router-planned budget on the owned
+// shard. The draw is a pure function of (shard data, seed, budget), so
+// any replica owner produces identical bytes — the failover-safety
+// invariant.
+func (nh *NodeHost) Subsample(ctx context.Context, req server.SubsampleRequest, dst []float64) ([]float64, error) {
+	svc, ok := nh.owned[req.Shard]
+	if !ok {
+		return dst, &NotOwnedError{Shard: req.Shard, Node: nh.opts.Self}
+	}
+	if nh.gate != nil {
+		n := len(nh.meta.shards[req.Shard].vals)
+		wait := time.Now()
+		if err := nh.gate.Admit(ctx, em.IOBlocks(n, req.K, nh.ioBlock)); err != nil {
+			return dst, err
+		}
+		nh.gateWait.Observe(time.Since(wait).Seconds())
+	}
+	r := rng.New(req.Seed)
+	if req.WoR {
+		return svc.SampleWoRInto(ctx, r, dsName, req.Lo, req.Hi, req.K, dst)
+	}
+	return svc.SampleInto(ctx, r, dsName, req.Lo, req.Hi, req.K, dst)
+}
+
+// drawLocal is the node's drawFn for its own /sample surface: like the
+// router's, but the "RPC" is a local service call on the rebuilt
+// stream — still draw-identical to the coordinator because the stream
+// seed fixes the draw.
+func (nh *NodeHost) drawLocal(ctx context.Context, wor bool, shardIdx int, seed uint64, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	svc, ok := nh.owned[shardIdx]
+	if !ok {
+		return dst, &NotOwnedError{Shard: shardIdx, Node: nh.opts.Self}
+	}
+	r := rng.New(seed)
+	if wor {
+		return svc.SampleWoRInto(ctx, r, dsName, lo, hi, k, dst)
+	}
+	return svc.SampleInto(ctx, r, dsName, lo, hi, k, dst)
+}
+
+// Sample implements server.Engine for queries answerable from owned
+// shards; others fail with NotOwnedError (421) so a client retries
+// against the router.
+func (nh *NodeHost) Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return nh.exec.sampleInto(ctx, r, lo, hi, k, nil)
+}
+
+// SampleInto implements server.Engine.
+func (nh *NodeHost) SampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	return nh.exec.sampleInto(ctx, r, lo, hi, k, dst)
+}
+
+// SampleWoR implements server.Engine.
+func (nh *NodeHost) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return nh.exec.sampleWoRInto(ctx, r, lo, hi, k, nil)
+}
+
+// SampleWoRInto implements server.Engine.
+func (nh *NodeHost) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	return nh.exec.sampleWoRInto(ctx, r, lo, hi, k, dst)
+}
+
+// SampleMulti implements server.Engine via the scalar path per
+// request (each on its own stream).
+func (nh *NodeHost) SampleMulti(ctx context.Context, reqs []*shard.MultiQuery) {
+	for _, q := range reqs {
+		if q.WoR {
+			q.Out, q.Err = nh.SampleWoRInto(ctx, q.R, q.Lo, q.Hi, q.K, q.Dst)
+		} else {
+			q.Out, q.Err = nh.SampleInto(ctx, q.R, q.Lo, q.Hi, q.K, q.Dst)
+		}
+	}
+}
+
+// Batch implements server.Engine.
+func (nh *NodeHost) Batch(ctx context.Context, r *core.Rand, queries []shard.Query) []shard.Result {
+	results := make([]shard.Result, len(queries))
+	for i := range queries {
+		rr := r.Split()
+		q := queries[i]
+		if q.WoR {
+			results[i].Samples, results[i].Err = nh.SampleWoR(ctx, rr, q.Lo, q.Hi, q.K)
+		} else {
+			results[i].Samples, results[i].Err = nh.Sample(ctx, rr, q.Lo, q.Hi, q.K)
+		}
+	}
+	return results
+}
+
+// Count answers from the partition metadata (the node knows the full
+// sorted dataset, not just its shards).
+func (nh *NodeHost) Count(ctx context.Context, lo, hi float64) (int, error) {
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return 0, err
+	}
+	return nh.meta.Count(lo, hi), nil
+}
+
+// Health aggregates the owned services' health, coordinator-style.
+func (nh *NodeHost) Health() shard.Health {
+	h := shard.Health{Shards: len(nh.ownedIx)}
+	for _, i := range nh.ownedIx {
+		sh := nh.owned[i].Health()
+		h.PerShard = append(h.PerShard, sh)
+		h.Aggregate.Requests += sh.Requests
+		h.Aggregate.Failures += sh.Failures
+		h.Aggregate.PanicsContained += sh.PanicsContained
+		h.Aggregate.Downgrades += sh.Downgrades
+		h.Aggregate.Rebuilds += sh.Rebuilds
+		h.Aggregate.EMFaults += sh.EMFaults
+		for _, d := range sh.Datasets {
+			h.Len += d.Len
+			if d.Degraded {
+				h.Degraded++
+			}
+		}
+	}
+	return h
+}
+
+// Downgrades reports the owned services' downgrade events tagged with
+// global shard indices.
+func (nh *NodeHost) Downgrades() []shard.Downgrade {
+	var out []shard.Downgrade
+	for _, i := range nh.ownedIx {
+		for _, ev := range nh.owned[i].Downgrades() {
+			out = append(out, shard.Downgrade{Shard: i, Event: ev})
+		}
+	}
+	return out
+}
+
+// PartitionJSON implements server.PartitionProvider with the node's
+// own view (Self and Owned set).
+func (nh *NodeHost) PartitionJSON() ([]byte, error) {
+	pm := buildPartitionMap(nh.meta, nh.opts.Nodes, nh.owners, nh.opts.Replicas)
+	pm.Self = nh.opts.Self
+	pm.Owned = nh.Owned()
+	return json.Marshal(pm)
+}

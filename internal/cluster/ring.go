@@ -1,0 +1,93 @@
+// Consistent-hash shard placement.
+//
+// Shards are assigned to nodes by hashing virtual points for every node
+// address onto a 64-bit ring and walking clockwise from each shard's
+// hash until R distinct nodes are met: the shard's replica set, in
+// failover preference order. The construction is a pure function of
+// (node list, replica count), so the router and every node derive the
+// same assignment independently — no coordination service, no
+// assignment exchange, and a node knows which shards to host from its
+// own address alone.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// defaultVirtualPoints is the per-node virtual point count: enough that
+// shard ownership spreads near-uniformly even for small clusters.
+const defaultVirtualPoints = 64
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// ring is an immutable consistent-hash ring over node indices.
+type ring struct {
+	nodes  int
+	points []ringPoint // sorted by (hash, node)
+}
+
+// hash64 is FNV-1a finished with a splitmix64 finalizer: raw FNV of
+// short keys differing in one character ("shard#1" vs "shard#2",
+// sibling virtual points) clusters in narrow arcs, which concentrates
+// whole shard ranges on one node; the finalizer's avalanche scatters
+// them uniformly.
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	x := h.Sum64()
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// buildRing hashes vpoints virtual points per node address. Hash
+// collisions break ties by node index so the ring is deterministic for
+// a given node list in any process.
+func buildRing(nodes []string, vpoints int) *ring {
+	if vpoints <= 0 {
+		vpoints = defaultVirtualPoints
+	}
+	rg := &ring{nodes: len(nodes), points: make([]ringPoint, 0, len(nodes)*vpoints)}
+	for ni, addr := range nodes {
+		for v := 0; v < vpoints; v++ {
+			rg.points = append(rg.points, ringPoint{hash: hash64(fmt.Sprintf("%s#%d", addr, v)), node: ni})
+		}
+	}
+	sort.Slice(rg.points, func(i, j int) bool {
+		if rg.points[i].hash != rg.points[j].hash {
+			return rg.points[i].hash < rg.points[j].hash
+		}
+		return rg.points[i].node < rg.points[j].node
+	})
+	return rg
+}
+
+// owners returns shard's replica set: the first r distinct nodes
+// clockwise from hash("shard#i"), in preference order. r is clamped to
+// the node count; the slice is freshly allocated.
+func (rg *ring) owners(shard, r int) []int {
+	if r < 1 {
+		r = 1
+	}
+	if r > rg.nodes {
+		r = rg.nodes
+	}
+	h := hash64(fmt.Sprintf("shard#%d", shard))
+	start := sort.Search(len(rg.points), func(j int) bool { return rg.points[j].hash >= h })
+	out := make([]int, 0, r)
+	seen := make([]bool, rg.nodes)
+	for n := 0; n < len(rg.points) && len(out) < r; n++ {
+		p := rg.points[(start+n)%len(rg.points)]
+		if seen[p.node] {
+			continue
+		}
+		seen[p.node] = true
+		out = append(out, p.node)
+	}
+	return out
+}

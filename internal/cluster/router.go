@@ -1,0 +1,401 @@
+// The router tier: a server.Engine that plans every query locally —
+// budgets and stream seeds on the request's own rng stream, against
+// the deterministic partition metadata — and fans the sub-budgets out
+// to the owning nodes over persistent binary connections, failing over
+// to replicas behind per-node circuit breakers.
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/shard"
+)
+
+// Options configures a Router.
+type Options struct {
+	// Nodes are the data-node addresses (host:port), in the cluster's
+	// canonical order; every node must be configured with the same list
+	// or assignment views diverge.
+	Nodes []string
+	// Replicas is R, the owners per shard (failover width); 0 means 2,
+	// clamped to len(Nodes).
+	Replicas int
+	// Shards is the partition count K the nodes were built with.
+	Shards int
+	// VirtualPoints is the consistent-hash virtual point count per
+	// node; 0 means 64. Must match the nodes'.
+	VirtualPoints int
+	// Workers bounds concurrent sub-sample RPCs per query; 0 means the
+	// shard count.
+	Workers int
+	// AttemptTimeout bounds one sub-sample RPC attempt so a hung node
+	// fails over instead of consuming the whole request deadline; 0
+	// means 1s. The request context still applies on top.
+	AttemptTimeout time.Duration
+	// Rounds is how many times the full replica set is cycled before a
+	// shard's draw is declared failed; 0 means 2.
+	Rounds int
+	// Backoff is the base sleep between failover attempts (doubling,
+	// capped at 64×); 0 means 2ms.
+	Backoff time.Duration
+	// BreakerThreshold consecutive failures open a node's circuit
+	// breaker; 0 means 3.
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker rejects attempts
+	// before admitting a half-open probe; 0 means 500ms.
+	BreakerCooldown time.Duration
+	// Client, when non-nil, overrides the HTTP client (tests). The
+	// default uses a dedicated keep-alive transport sized for the
+	// fan-out width.
+	Client *http.Client
+	// Metrics receives the iqs_cluster_* families; nil disables.
+	Metrics *metrics.Registry
+	// MetricLabels are constant labels stamped on the router's series;
+	// per-node series additionally get a node="i" label.
+	MetricLabels []metrics.Label
+}
+
+// Router fans queries out over the cluster. It implements
+// server.Engine; mount it behind a server.Server to get the standard
+// HTTP surface (admission control, coalescing, binary wire) in front
+// of the cluster.
+type Router struct {
+	meta    *Meta
+	opts    Options
+	owners  [][]int // shard → replica-ordered node indices
+	clients []*nodeClient
+	exec    fanExec
+	workers int
+
+	failoverN atomic.Int64 // total failovers (for tests and /stats)
+	transport *http.Transport
+}
+
+// NewRouter derives the partition metadata from the dataset (nil
+// weights mean uniform) and the shard assignment from the node list.
+// The router holds no shard data — only sorted values and prefix
+// weights — but must see the exact dataset the nodes were built from.
+func NewRouter(values, weights []float64, opts Options) (*Router, error) {
+	if len(opts.Nodes) == 0 {
+		return nil, fmt.Errorf("%w: no nodes", core.ErrBadValue)
+	}
+	meta, err := NewMeta(values, weights, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Replicas <= 0 {
+		opts.Replicas = 2
+	}
+	if opts.Replicas > len(opts.Nodes) {
+		opts.Replicas = len(opts.Nodes)
+	}
+	if opts.AttemptTimeout <= 0 {
+		opts.AttemptTimeout = time.Second
+	}
+	if opts.Rounds <= 0 {
+		opts.Rounds = 2
+	}
+	if opts.Backoff <= 0 {
+		opts.Backoff = 2 * time.Millisecond
+	}
+	if opts.BreakerThreshold <= 0 {
+		opts.BreakerThreshold = 3
+	}
+	if opts.BreakerCooldown <= 0 {
+		opts.BreakerCooldown = 500 * time.Millisecond
+	}
+
+	rt := &Router{meta: meta, opts: opts}
+	rt.workers = opts.Workers
+	if rt.workers <= 0 {
+		rt.workers = meta.Shards()
+	}
+
+	hc := opts.Client
+	if hc == nil {
+		rt.transport = &http.Transport{
+			MaxIdleConns:        4 * len(opts.Nodes) * rt.workers,
+			MaxIdleConnsPerHost: 4 * rt.workers,
+			IdleConnTimeout:     90 * time.Second,
+		}
+		hc = &http.Client{Transport: rt.transport}
+	}
+
+	rg := buildRing(opts.Nodes, opts.VirtualPoints)
+	rt.owners = make([][]int, meta.Shards())
+	for i := range rt.owners {
+		rt.owners[i] = rg.owners(i, opts.Replicas)
+	}
+
+	reg := opts.Metrics
+	rt.clients = make([]*nodeClient, len(opts.Nodes))
+	for i, addr := range opts.Nodes {
+		ls := append(append([]metrics.Label(nil), opts.MetricLabels...), metrics.L("node", fmt.Sprint(i)))
+		nc := &nodeClient{
+			index: i,
+			addr:  addr,
+			url:   "http://" + addr + "/subsample",
+			hc:    hc,
+			br:    breaker{threshold: opts.BreakerThreshold, cooldown: opts.BreakerCooldown},
+			lat: reg.Histogram("iqs_cluster_subsample_seconds",
+				"Per-attempt sub-sample RPC latency.", nil, ls...),
+			attempts: reg.Counter("iqs_cluster_subsamples_total",
+				"Sub-sample RPC attempts issued.", ls...),
+			errs: reg.Counter("iqs_cluster_node_errors_total",
+				"Sub-sample RPC attempts that failed.", ls...),
+			failovers: reg.Counter("iqs_cluster_failovers_total",
+				"Retryable sub-sample failures that moved to another replica or retried.", ls...),
+		}
+		reg.GaugeFunc("iqs_cluster_breaker_open",
+			"1 while the node's circuit breaker is open.",
+			func() float64 {
+				if nc.br.open(time.Now()) {
+					return 1
+				}
+				return 0
+			}, ls...)
+		rt.clients[i] = nc
+	}
+	for op, opName := range []string{"sample", "wor"} {
+		ls := append(append([]metrics.Label(nil), opts.MetricLabels...), metrics.L("op", opName))
+		rt.exec.fanout[op] = reg.Histogram("iqs_cluster_fanout_seconds",
+			"Wall time of the full per-query cluster fan-out (plan, RPCs, merge).", nil, ls...)
+	}
+	rt.exec.merge = reg.Histogram("iqs_cluster_merge_seconds",
+		"Time to merge and shuffle per-node partials into the response buffer.", nil, opts.MetricLabels...)
+
+	rt.exec.meta = meta
+	rt.exec.workers = rt.workers
+	rt.exec.draw = rt.drawRemote
+	return rt, nil
+}
+
+// Close releases the router's idle keep-alive connections.
+func (rt *Router) Close() {
+	if rt.transport != nil {
+		rt.transport.CloseIdleConnections()
+	}
+}
+
+// ForwardsRequestID opts the fronting server into carrying the request
+// ID in the context so node hops share it.
+func (rt *Router) ForwardsRequestID() {}
+
+// Failovers returns the total failover count (tests, smoke checks).
+func (rt *Router) Failovers() int64 { return rt.failoverN.Load() }
+
+// drawRemote is the router's drawFn: try the shard's replica owners in
+// preference order, skipping open breakers while a closed one remains,
+// backing off between attempts, cycling the set opts.Rounds times.
+// Deterministic engine errors return immediately — every replica holds
+// identical data and the seed fixes the draw, so retrying cannot
+// change the answer (and that same purity is why failing over a
+// timed-out attempt preserves draw identity).
+func (rt *Router) drawRemote(ctx context.Context, wor bool, shardIdx int, seed uint64, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	owners := rt.owners[shardIdx]
+	reqID := metrics.RequestIDFromContext(ctx)
+	var lastErr error
+	attempt := 0
+	for round := 0; round < rt.opts.Rounds; round++ {
+		for _, ni := range owners {
+			nc := rt.clients[ni]
+			now := time.Now()
+			if !nc.br.allow(now) && !rt.allOpen(owners, now) {
+				continue
+			}
+			if attempt > 0 {
+				shift := attempt - 1
+				if shift > 6 {
+					shift = 6
+				}
+				if err := sleepCtx(ctx, rt.opts.Backoff<<uint(shift)); err != nil {
+					return dst, err
+				}
+			}
+			attempt++
+			actx, cancel := context.WithTimeout(ctx, rt.opts.AttemptTimeout)
+			out, err := nc.subsample(actx, wor, shardIdx, seed, lo, hi, k, reqID, dst)
+			cancel()
+			if err == nil {
+				nc.br.onSuccess()
+				return out, nil
+			}
+			nc.br.onFailure(time.Now())
+			if !retryable(err) {
+				return dst, err
+			}
+			lastErr = err
+			nc.failovers.Add(1)
+			rt.failoverN.Add(1)
+			if ctx.Err() != nil {
+				return dst, ctx.Err()
+			}
+		}
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("cluster: shard %d: all %d replicas circuit-open", shardIdx, len(owners))
+	}
+	return dst, lastErr
+}
+
+// allOpen reports whether every owner's breaker is open — the
+// all-replicas-down case where skipping open breakers would fail the
+// query without even probing.
+func (rt *Router) allOpen(owners []int, now time.Time) bool {
+	for _, ni := range owners {
+		if rt.clients[ni].br.allow(now) {
+			return false
+		}
+	}
+	return true
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Sample implements server.Engine.
+func (rt *Router) Sample(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return rt.exec.sampleInto(ctx, r, lo, hi, k, nil)
+}
+
+// SampleInto implements server.Engine.
+func (rt *Router) SampleInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	return rt.exec.sampleInto(ctx, r, lo, hi, k, dst)
+}
+
+// SampleWoR implements server.Engine.
+func (rt *Router) SampleWoR(ctx context.Context, r *core.Rand, lo, hi float64, k int) ([]float64, error) {
+	return rt.exec.sampleWoRInto(ctx, r, lo, hi, k, nil)
+}
+
+// SampleWoRInto implements server.Engine.
+func (rt *Router) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi float64, k int, dst []float64) ([]float64, error) {
+	return rt.exec.sampleWoRInto(ctx, r, lo, hi, k, dst)
+}
+
+// SampleMulti answers a coalesced batch. Each request runs the scalar
+// path on its own stream and buffer — network fan-out dominates, so
+// requests run concurrently on the worker bound, and byte-identity to
+// the scalar path holds per request by construction.
+func (rt *Router) SampleMulti(ctx context.Context, reqs []*shard.MultiQuery) {
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, rt.workers)
+	for _, q := range reqs {
+		wg.Add(1)
+		go func(q *shard.MultiQuery) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if q.WoR {
+				q.Out, q.Err = rt.SampleWoRInto(ctx, q.R, q.Lo, q.Hi, q.K, q.Dst)
+			} else {
+				q.Out, q.Err = rt.SampleInto(ctx, q.R, q.Lo, q.Hi, q.K, q.Dst)
+			}
+		}(q)
+	}
+	wg.Wait()
+}
+
+// Batch implements server.Engine: streams split from r per query in
+// order (the coordinator's consumption), then concurrent scalar calls.
+func (rt *Router) Batch(ctx context.Context, r *core.Rand, queries []shard.Query) []shard.Result {
+	results := make([]shard.Result, len(queries))
+	rands := make([]*core.Rand, len(queries))
+	for i := range queries {
+		rands[i] = r.Split()
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, rt.workers)
+	for i := range queries {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			q := queries[i]
+			if q.WoR {
+				results[i].Samples, results[i].Err = rt.SampleWoR(ctx, rands[i], q.Lo, q.Hi, q.K)
+			} else {
+				results[i].Samples, results[i].Err = rt.Sample(ctx, rands[i], q.Lo, q.Hi, q.K)
+			}
+		}(i)
+	}
+	wg.Wait()
+	return results
+}
+
+// Count answers from the partition metadata — no node round trip.
+func (rt *Router) Count(ctx context.Context, lo, hi float64) (int, error) {
+	if err := core.ValidateRange(lo, hi); err != nil {
+		return 0, err
+	}
+	return rt.meta.Count(lo, hi), nil
+}
+
+// Health reports the partition dimensions; per-node health lives on
+// the nodes' own /healthz.
+func (rt *Router) Health() shard.Health {
+	return shard.Health{Shards: rt.meta.Shards(), Len: rt.meta.Len()}
+}
+
+// Downgrades implements server.Engine; the router itself never
+// downgrades (nodes report their own).
+func (rt *Router) Downgrades() []shard.Downgrade { return nil }
+
+// PartitionMap is the operator-facing assignment view served at
+// /cluster/partition by routers and nodes alike.
+type PartitionMap struct {
+	Shards   int      `json:"shards"`
+	Len      int      `json:"len"`
+	Nodes    []string `json:"nodes"`
+	Replicas int      `json:"replicas"`
+	// Cuts are the interior shard boundaries (shard i owns
+	// [Cuts[i-1], Cuts[i]), with the first and last extending to ±inf).
+	Cuts []float64 `json:"cuts"`
+	// Assignment maps shard index → replica-ordered node addresses.
+	Assignment [][]string `json:"assignment"`
+	// Self and Owned are set when a node serves the map: its own
+	// address and the shards it hosts.
+	Self  string `json:"self,omitempty"`
+	Owned []int  `json:"owned,omitempty"`
+}
+
+func buildPartitionMap(meta *Meta, nodes []string, owners [][]int, replicas int) PartitionMap {
+	pm := PartitionMap{
+		Shards:     meta.Shards(),
+		Len:        meta.Len(),
+		Nodes:      nodes,
+		Replicas:   replicas,
+		Cuts:       meta.Cuts(),
+		Assignment: make([][]string, meta.Shards()),
+	}
+	for i, own := range owners {
+		addrs := make([]string, len(own))
+		for j, ni := range own {
+			addrs[j] = nodes[ni]
+		}
+		pm.Assignment[i] = addrs
+	}
+	return pm
+}
+
+// PartitionJSON implements server.PartitionProvider.
+func (rt *Router) PartitionJSON() ([]byte, error) {
+	return json.Marshal(buildPartitionMap(rt.meta, rt.opts.Nodes, rt.owners, rt.opts.Replicas))
+}

@@ -1,0 +1,122 @@
+// I/O-aware admission for cluster nodes.
+//
+// The EM model (Section 8) prices a query by the blocks it touches, not
+// the CPU it burns: a node's storage device serves a finite number of
+// block reads per second, and that — not cycles — is what saturates a
+// data node under a sampling load with large budgets. IOGate turns that
+// bound into an admission gate: a token bucket holding "block credits"
+// refilled at the device's sustained read rate. A sub-sample draw
+// admits its estimated block cost before touching the structure;
+// requests queue (respecting their context deadline) when the device
+// is oversubscribed, so latency degrades smoothly instead of the node
+// thrashing.
+//
+// Because each node gates on its own device, aggregate cluster
+// bandwidth scales with the node count — the property the scale-out
+// saturation experiment (EXPERIMENTS.md C1) measures.
+package em
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+)
+
+// IOGate is a token bucket over I/O block credits. The zero rate is
+// modelled by a nil gate: all methods are nil-safe no-ops, so callers
+// hold one *IOGate field and never branch.
+type IOGate struct {
+	mu     sync.Mutex
+	rate   float64 // credits (blocks) per second
+	burst  float64 // bucket capacity
+	tokens float64
+	last   time.Time
+
+	waits int64 // admissions that had to wait
+}
+
+// NewIOGate returns a gate refilling rate blocks/second with capacity
+// burst (burst < rate/100 is raised to rate/100 so single queries fit).
+// rate <= 0 returns nil: an absent device bound, admission disabled.
+func NewIOGate(rate, burst float64) *IOGate {
+	if rate <= 0 {
+		return nil
+	}
+	if burst < rate/100 {
+		burst = rate / 100
+	}
+	return &IOGate{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// IOBlocks estimates the block cost of one range-sampling draw of k
+// values from a structure of n elements with block size B: one
+// root-to-leaf locate (⌈log_B n⌉, as in the EM structures of §8) plus
+// the pooled-sample stream of ⌈k/B⌉ blocks (internal/emiqs pool
+// regime). B <= 1 degrades to the one-I/O-per-sample bound.
+func IOBlocks(n, k, blockSize int) int {
+	if k < 0 {
+		k = 0
+	}
+	if blockSize <= 1 {
+		return 1 + k
+	}
+	locate := 1
+	if n > 1 {
+		locate += int(math.Ceil(math.Log(float64(n)) / math.Log(float64(blockSize))))
+	}
+	return locate + (k+blockSize-1)/blockSize
+}
+
+// Admit blocks until the gate grants blocks credits or ctx expires.
+// A cost above the burst capacity is admitted once the bucket can
+// cover a full burst and drives the balance negative — the debt is
+// paid down by the refill, so oversized requests are servable but
+// still pace the stream to the device rate. Nil gates admit
+// immediately.
+func (g *IOGate) Admit(ctx context.Context, blocks int) error {
+	if g == nil || blocks <= 0 {
+		return nil
+	}
+	need := float64(blocks)
+	waited := false
+	for {
+		g.mu.Lock()
+		target := math.Min(need, g.burst)
+		now := time.Now()
+		g.tokens = math.Min(g.burst, g.tokens+now.Sub(g.last).Seconds()*g.rate)
+		g.last = now
+		if g.tokens >= target {
+			g.tokens -= need
+			if waited {
+				g.waits++
+			}
+			g.mu.Unlock()
+			return nil
+		}
+		wait := time.Duration((target - g.tokens) / g.rate * float64(time.Second))
+		g.mu.Unlock()
+		if wait < 50*time.Microsecond {
+			wait = 50 * time.Microsecond
+		}
+		waited = true
+		t := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Waits reports how many admissions had to queue for credits — the
+// node's "device saturated" signal.
+func (g *IOGate) Waits() int64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.waits
+}

@@ -1,0 +1,89 @@
+package em
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestIOGateNil(t *testing.T) {
+	var g *IOGate
+	if g2 := NewIOGate(0, 10); g2 != nil {
+		t.Fatal("rate 0 should return nil gate")
+	}
+	if err := g.Admit(context.Background(), 1000); err != nil {
+		t.Fatalf("nil gate must admit: %v", err)
+	}
+	if g.Waits() != 0 {
+		t.Fatal("nil gate reports no waits")
+	}
+}
+
+func TestIOGatePacesToRate(t *testing.T) {
+	// 10k blocks/s, small burst: admitting 1000 blocks in 100-block
+	// requests must take roughly 100ms (1000/10000 s), well above 50ms.
+	g := NewIOGate(10_000, 200)
+	start := time.Now()
+	for i := 0; i < 10; i++ {
+		if err := g.Admit(context.Background(), 100); err != nil {
+			t.Fatalf("admit: %v", err)
+		}
+	}
+	if el := time.Since(start); el < 50*time.Millisecond {
+		t.Fatalf("1000 blocks at 10k/s finished in %v; gate not pacing", el)
+	}
+	if g.Waits() == 0 {
+		t.Fatal("oversubscribed gate should record waits")
+	}
+}
+
+func TestIOGateBurstAdmitsImmediately(t *testing.T) {
+	g := NewIOGate(1000, 500)
+	start := time.Now()
+	if err := g.Admit(context.Background(), 400); err != nil {
+		t.Fatalf("admit: %v", err)
+	}
+	if el := time.Since(start); el > 20*time.Millisecond {
+		t.Fatalf("within-burst admit took %v", el)
+	}
+}
+
+func TestIOGateRespectsContext(t *testing.T) {
+	g := NewIOGate(10, 1) // 10 blocks/s
+	// First oversized admit rides the burst into debt; the second must
+	// wait ~10s for the debt to clear and the deadline fires first.
+	if err := g.Admit(context.Background(), 100); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if err := g.Admit(ctx, 1); err == nil {
+		t.Fatal("expected context deadline error")
+	}
+}
+
+func TestIOGateOversizedCostDoesNotDeadlock(t *testing.T) {
+	g := NewIOGate(1000, 100)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	// Cost above burst admits once the bucket covers a full burst and
+	// goes into debt instead of waiting for unreachable credits.
+	if err := g.Admit(ctx, 10_000); err != nil {
+		t.Fatalf("oversized admit should not deadlock, got %v", err)
+	}
+}
+
+func TestIOBlocks(t *testing.T) {
+	if got := IOBlocks(1<<20, 1024, 1024); got < 2 || got > 5 {
+		t.Fatalf("IOBlocks(1M, 1024, 1024) = %d, want locate+1 stream blocks", got)
+	}
+	if got := IOBlocks(100, 0, 1024); got < 1 {
+		t.Fatalf("zero-budget draw still locates: %d", got)
+	}
+	if got := IOBlocks(100, 7, 1); got != 8 {
+		t.Fatalf("B<=1 degrades to per-sample I/O: got %d, want 8", got)
+	}
+	if got := IOBlocks(100, -3, 8); got < 1 {
+		t.Fatalf("negative k clamps: %d", got)
+	}
+}

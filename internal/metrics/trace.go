@@ -111,6 +111,26 @@ func TraceFrom(ctx context.Context) *Trace {
 	return t
 }
 
+type requestIDKey struct{}
+
+// ContextWithRequestID installs the request ID in ctx for downstream
+// propagation. Unlike a Trace — pooled, installed only for sampled
+// requests — the plain ID is attached unconditionally by servers whose
+// engine declares it forwards requests to other processes, so a cluster
+// router can stamp the same X-Request-ID on every node hop of a query.
+func ContextWithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFromContext returns the request ID installed by
+// ContextWithRequestID, falling back to the trace's ID, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	if id, ok := ctx.Value(requestIDKey{}).(string); ok {
+		return id
+	}
+	return TraceFrom(ctx).ID()
+}
+
 const hexDigits = "0123456789abcdef"
 
 // RequestID derives a 16-hex-digit request ID from a base seed and a

@@ -52,9 +52,19 @@ func New(seed uint64) *Source {
 // Split derives an independent-stream Source from r. The derived stream is
 // seeded from two outputs of r, so distinct calls yield distinct streams.
 func (r *Source) Split() *Source {
+	return New(r.SplitSeed())
+}
+
+// SplitSeed consumes exactly the randomness Split would and returns the
+// derived stream's seed instead of the stream: New(r.SplitSeed()) is
+// byte-identical to r.Split(). The cluster router ships this 8-byte
+// seed to a remote node in place of the Source, so a sub-sample drawn
+// remotely replays the same stream a local shard fan-out would have
+// used.
+func (r *Source) SplitSeed() uint64 {
 	a := r.Uint64()
 	b := r.Uint64()
-	return New(a ^ bits.RotateLeft64(b, 32))
+	return a ^ bits.RotateLeft64(b, 32)
 }
 
 // Uint64 returns the next 64 uniformly random bits.

@@ -1,0 +1,113 @@
+// Cluster-node endpoints: /subsample and /cluster/partition.
+//
+// In a scale-out deployment (internal/cluster) every data node is a
+// regular Server whose Options.Node carries a cluster.NodeHost. The
+// router speaks the PR-8 binary framing over persistent keep-alive
+// connections: one kind-3 sub-sample request frame per POST, one kind-0
+// (samples) or kind-1 (error) frame back. Sub-sample traffic runs under
+// the same admission control, per-request deadline, and drain semantics
+// as every other query — a node shedding load sheds its routers too,
+// which is what lets the router fail over to a replica.
+package server
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// maxSubsampleBody bounds the /subsample request read: one kind-3 frame
+// is 38 bytes, so anything larger is malformed by construction.
+const maxSubsampleBody = 64
+
+// handleSubsample serves one sub-sample frame from the cluster router.
+// The router's X-Request-ID propagates: the node echoes the inbound id
+// (minting its own only for direct probes), so one id follows a query
+// across the router→node hop in both servers' logs and traces.
+func (s *Server) handleSubsample(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+		return
+	}
+	reqStart := time.Now()
+	seq := s.reqSeq.Add(1)
+	id := r.Header.Get("X-Request-ID")
+	if id == "" {
+		id = metrics.RequestID(s.opts.Seed, seq)
+	}
+	w.Header().Set("X-Request-ID", id)
+	defer func() {
+		s.reqSubs.Observe(time.Since(reqStart).Seconds())
+	}()
+	release, status := s.admit(r.Context())
+	if status != 0 {
+		s.shed(w, status)
+		return
+	}
+	defer release()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSubsampleBody))
+	if err != nil {
+		s.writeSubsampleError(w, http.StatusBadRequest, err)
+		return
+	}
+	req, err := DecodeSubsampleBody(body)
+	if err != nil {
+		s.writeSubsampleError(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.K < 0 || req.K > s.opts.MaxK {
+		s.writeSubsampleError(w, http.StatusBadRequest, errors.New("sub-budget out of range"))
+		return
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.Timeout)
+	defer cancel()
+	bp := samplePool.Get().(*[]float64)
+	out, err := s.node.Subsample(ctx, req, (*bp)[:0])
+	if err != nil {
+		samplePool.Put(bp)
+		s.writeSubsampleError(w, statusOf(err), err)
+		return
+	}
+	s.subsServed.Add(1)
+	s.served.Add(1)
+	s.wireBin.Add(1)
+	bb := binPool.Get().(*[]byte)
+	rb := appendSampleFrame((*bb)[:0], out)
+	s.writeBin(w, http.StatusOK, rb)
+	*bb = rb[:0]
+	binPool.Put(bb)
+	*bp = out[:0] // keep any growth the draw caused
+	samplePool.Put(bp)
+}
+
+// writeSubsampleError answers a failed sub-sample with a kind-1 frame,
+// keeping the hop binary in both directions so the router needs exactly
+// one decoder.
+func (s *Server) writeSubsampleError(w http.ResponseWriter, status int, err error) {
+	s.subsFailed.Add(1)
+	s.failed.Add(1)
+	bb := binPool.Get().(*[]byte)
+	body := appendErrorFrame((*bb)[:0], status, err.Error())
+	s.writeBin(w, status, body)
+	*bb = body[:0]
+	binPool.Put(bb)
+}
+
+// handlePartition serves the cluster partition map as JSON — the
+// operator's view of how shards map to nodes and replicas.
+func (s *Server) handlePartition(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
+		return
+	}
+	b, err := s.part.PartitionJSON()
+	if err != nil {
+		s.writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeRawJSON(w, http.StatusOK, b)
+}

@@ -108,6 +108,34 @@ type MutableEngine interface {
 	BulkLoad(ctx context.Context, values, weights []float64) error
 }
 
+// NodeBackend serves cluster sub-sample frames: one shard's share of a
+// router-planned fan-out, drawn on a stream rebuilt from the frame's
+// seed. *cluster.NodeHost implements it; when Options.Node is set the
+// server additionally mounts POST /subsample (binary kind-3 frames in,
+// kind-0/kind-1 frames out) behind the same admission control as every
+// query endpoint.
+type NodeBackend interface {
+	Subsample(ctx context.Context, req SubsampleRequest, dst []float64) ([]float64, error)
+}
+
+// PartitionProvider exposes the cluster partition map; engines or node
+// backends that implement it get GET /cluster/partition mounted. Both
+// *cluster.Router and *cluster.NodeHost implement it, so operators can
+// ask any tier how shards map to nodes.
+type PartitionProvider interface {
+	PartitionJSON() ([]byte, error)
+}
+
+// requestIDForwarder marks an engine that forwards work to other
+// processes and wants the request ID in its context (cluster.Router).
+// For such engines beginRequest installs the ID via
+// metrics.ContextWithRequestID and honours an inbound X-Request-ID, so
+// one ID follows a query across every router→node hop. Engines that
+// answer locally skip the per-request context allocation entirely.
+type requestIDForwarder interface {
+	ForwardsRequestID()
+}
+
 // Options configures a Server.
 type Options struct {
 	// MaxInFlight bounds concurrently executing requests; 0 means 64.
@@ -145,6 +173,10 @@ type Options struct {
 	// coalescing enabled. Batches dispatch immediately when the server
 	// is otherwise idle, so serial latency does not pay the linger.
 	Linger time.Duration
+	// Node, when non-nil, runs the server in cluster-node mode: POST
+	// /subsample serves binary sub-sample frames from the cluster
+	// router in addition to the regular query endpoints.
+	Node NodeBackend
 }
 
 // Server serves the engine over HTTP. Create with New.
@@ -200,6 +232,19 @@ type Server struct {
 	// ("/sample" and "/batch" bodies, success and per-query error alike).
 	wireJSON *metrics.Counter
 	wireBin  *metrics.Counter
+
+	// Node mode (Options.Node): the sub-sample backend, the partition
+	// provider (from Node or the engine, whichever implements it), and
+	// the /subsample serving counters.
+	node       NodeBackend
+	part       PartitionProvider
+	subsServed *metrics.Counter
+	subsFailed *metrics.Counter
+	reqSubs    *metrics.Histogram
+
+	// forwardID is set when the engine forwards requests downstream and
+	// needs the request ID carried in the context (requestIDForwarder).
+	forwardID bool
 
 	// /estimate instrumentation: per-op request counters, failures, the
 	// empirical q-error distribution of scored (COUNT) estimates, and
@@ -258,6 +303,11 @@ func New(eng Engine, opts Options) *Server {
 	s.prober, _ = eng.(poolProber)
 	s.lagger, _ = eng.(writeLagger)
 	s.est, _ = eng.(estimator)
+	s.node = opts.Node
+	_, s.forwardID = eng.(requestIDForwarder)
+	if s.part, _ = opts.Node.(PartitionProvider); s.part == nil {
+		s.part, _ = eng.(PartitionProvider)
+	}
 	if s.log == nil {
 		s.log = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.LevelError + 1}))
 	}
@@ -303,15 +353,24 @@ func New(eng Engine, opts Options) *Server {
 			}
 			return 0
 		})
+	if opts.Node != nil {
+		s.subsServed = reg.Counter("iqs_cluster_node_subsamples_total", "Sub-sample frames served 200.", metrics.L("outcome", "ok"))
+		s.subsFailed = reg.Counter("iqs_cluster_node_subsamples_total", "Sub-sample frames served 200.", metrics.L("outcome", "error"))
+		s.reqSubs = reg.Histogram("iqs_server_request_seconds", "End-to-end handler latency.", nil, metrics.L("path", "/subsample"))
+	}
 	if opts.Coalesce > 0 {
 		s.coal = newCoalescer(s, opts.Coalesce, opts.Linger)
 	}
 	var ms runtime.MemStats
 	runtime.ReadMemStats(&ms)
 	s.baseMallocs = ms.Mallocs
+	// Explicit idle/header timeouts: per-request deadlines only start
+	// once a handler runs, so without these a slow-header client or an
+	// abandoned keep-alive connection would pin a conn goroutine forever.
 	s.hs = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       120 * time.Second,
 	}
 	return s
 }
@@ -328,6 +387,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	if s.node != nil {
+		mux.HandleFunc("/subsample", s.handleSubsample)
+	}
+	if s.part != nil {
+		mux.HandleFunc("/cluster/partition", s.handlePartition)
+	}
 	return mux
 }
 
@@ -406,10 +471,14 @@ func (s *Server) admit(ctx context.Context) (func(), int) {
 	}
 }
 
-// statusOf maps the typed error vocabulary to HTTP statuses. Untyped
+// statusOf maps the typed error vocabulary to HTTP statuses. Errors
+// carrying their own status (the cluster router's remote errors
+// implement HTTPStatus) pass it through, so a 422 from a node surfaces
+// as a 422 from the router, exactly like single-node serving. Untyped
 // errors map to 500 — the chaos tests prove none occur.
 func statusOf(err error) int {
 	var ie *service.InternalError
+	var he interface{ HTTPStatus() int }
 	switch {
 	case errors.Is(err, core.ErrBadRange), errors.Is(err, core.ErrBadValue), errors.Is(err, core.ErrBadWeight):
 		return http.StatusBadRequest
@@ -430,6 +499,8 @@ func statusOf(err error) int {
 		return 499 // client closed request (nginx convention)
 	case errors.Is(err, errCoalescerStopped):
 		return http.StatusServiceUnavailable
+	case errors.As(err, &he):
+		return he.HTTPStatus()
 	case errors.As(err, &ie):
 		return http.StatusInternalServerError
 	default:
@@ -535,8 +606,19 @@ func (s *Server) randFor(seq uint64) *core.Rand {
 func (s *Server) beginRequest(w http.ResponseWriter, r *http.Request) (ctx context.Context, seq uint64, tr *metrics.Trace) {
 	seq = s.reqSeq.Add(1)
 	id := metrics.RequestID(s.opts.Seed, seq)
+	if s.forwardID {
+		// A forwarding engine (the cluster router) keeps one ID per
+		// query across tiers: honour the caller's inbound ID and carry
+		// it in the context so the node RPCs can stamp it.
+		if inbound := r.Header.Get("X-Request-ID"); inbound != "" {
+			id = inbound
+		}
+	}
 	w.Header().Set("X-Request-ID", id)
 	ctx = r.Context()
+	if s.forwardID {
+		ctx = metrics.ContextWithRequestID(ctx, id)
+	}
 	if s.traceEvery > 0 && seq%s.traceEvery == 0 {
 		tr = metrics.NewTrace(id, true)
 		ctx = metrics.ContextWithTrace(ctx, tr)

@@ -44,9 +44,10 @@ const BinContentType = "application/x-iqs-bin"
 
 // Frame kind tags.
 const (
-	binKindSamples  = 0
-	binKindError    = 1
-	binKindEstimate = 2 // /estimate responses; layout in estimate.go
+	binKindSamples   = 0
+	binKindError     = 1
+	binKindEstimate  = 2 // /estimate responses; layout in estimate.go
+	binKindSubsample = 3 // /subsample requests (cluster router → node)
 )
 
 // binPool recycles binary response bodies.
@@ -198,6 +199,71 @@ func decodeFrame(b []byte) (res BinResult, rest []byte, err error) {
 	}
 }
 
+// SubsampleRequest is the decoded kind-3 frame: one shard's share of a
+// cluster fan-out. The router plans the whole query — per-shard budgets
+// on the request's rng stream, then one split-derived seed per positive
+// shard — and ships only (shard, seed, budget, range, op); the node
+// rebuilds the stream with rng.New(Seed) and draws from its local copy
+// of the shard, so the bytes coming back are exactly what a local
+// fan-out worker would have produced. See internal/cluster.
+type SubsampleRequest struct {
+	// WoR selects the without-replacement path (op 1); false is the
+	// weighted WR path (op 0).
+	WoR bool
+	// Shard is the global shard index being drawn.
+	Shard int
+	// Seed is the split-derived stream seed (rng.SplitSeed).
+	Seed uint64
+	// Lo, Hi is the query range; K the shard's sub-budget.
+	Lo, Hi float64
+	K      int
+}
+
+// AppendSubsampleRequest appends one kind-3 frame:
+//
+//	[u8 3][u8 op][u32 shard][u64 seed][f64 lo][f64 hi][u32 k]
+func AppendSubsampleRequest(b []byte, req SubsampleRequest) []byte {
+	const payloadLen = 1 + 1 + 4 + 8 + 8 + 8 + 4
+	b = binary.LittleEndian.AppendUint32(b, payloadLen)
+	b = append(b, binKindSubsample)
+	op := byte(0)
+	if req.WoR {
+		op = 1
+	}
+	b = append(b, op)
+	b = binary.LittleEndian.AppendUint32(b, uint32(req.Shard))
+	b = binary.LittleEndian.AppendUint64(b, req.Seed)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(req.Lo))
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(req.Hi))
+	b = binary.LittleEndian.AppendUint32(b, uint32(req.K))
+	return b
+}
+
+// DecodeSubsampleBody decodes a /subsample request body (one kind-3
+// frame).
+func DecodeSubsampleBody(b []byte) (SubsampleRequest, error) {
+	var req SubsampleRequest
+	if len(b) < 4 {
+		return req, fmt.Errorf("iqs-bin: truncated frame header (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	const payloadLen = 1 + 1 + 4 + 8 + 8 + 8 + 4
+	if n != payloadLen || len(b) != payloadLen {
+		return req, fmt.Errorf("iqs-bin: subsample frame length %d, want %d", n, payloadLen)
+	}
+	if b[0] != binKindSubsample {
+		return req, fmt.Errorf("iqs-bin: frame kind %d, want %d", b[0], binKindSubsample)
+	}
+	req.WoR = b[1] == 1
+	req.Shard = int(binary.LittleEndian.Uint32(b[2:]))
+	req.Seed = binary.LittleEndian.Uint64(b[6:])
+	req.Lo = math.Float64frombits(binary.LittleEndian.Uint64(b[14:]))
+	req.Hi = math.Float64frombits(binary.LittleEndian.Uint64(b[22:]))
+	req.K = int(binary.LittleEndian.Uint32(b[30:]))
+	return req, nil
+}
+
 // DecodeSampleBody decodes a binary /sample response body (one kind-0
 // frame). The load generator and tests use it; servers never decode.
 func DecodeSampleBody(b []byte) ([]float64, error) {
@@ -212,6 +278,50 @@ func DecodeSampleBody(b []byte) ([]float64, error) {
 		return nil, fmt.Errorf("iqs-bin: error frame in /sample body: %d %s", res.Status, res.Err)
 	}
 	return res.Samples, nil
+}
+
+// DecodeSampleBodyInto decodes one kind-0 or kind-1 frame, appending a
+// kind-0 frame's samples into caller-owned dst (returned unchanged for
+// kind-1, whose status and message come back instead). The cluster
+// router runs it per sub-sample reply, so the steady-state decode path
+// allocates nothing beyond dst growth.
+func DecodeSampleBodyInto(b []byte, dst []float64) (out []float64, status int, msg string, err error) {
+	if len(b) < 4 {
+		return dst, 0, "", fmt.Errorf("iqs-bin: truncated frame header (%d bytes)", len(b))
+	}
+	n := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	if uint32(len(b)) != n || n < 1 {
+		return dst, 0, "", fmt.Errorf("iqs-bin: frame length %d vs %d body bytes", n, len(b))
+	}
+	switch b[0] {
+	case binKindSamples:
+		if len(b) < 5 {
+			return dst, 0, "", fmt.Errorf("iqs-bin: truncated samples frame")
+		}
+		count := binary.LittleEndian.Uint32(b[1:])
+		b = b[5:]
+		if uint32(len(b)) != 8*count {
+			return dst, 0, "", fmt.Errorf("iqs-bin: samples frame holds %d bytes, want %d", len(b), 8*count)
+		}
+		for i := uint32(0); i < count; i++ {
+			dst = append(dst, math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:])))
+		}
+		return dst, http.StatusOK, "", nil
+	case binKindError:
+		if len(b) < 7 {
+			return dst, 0, "", fmt.Errorf("iqs-bin: truncated error frame")
+		}
+		status = int(binary.LittleEndian.Uint16(b[1:]))
+		msgLen := binary.LittleEndian.Uint32(b[3:])
+		b = b[7:]
+		if uint32(len(b)) != msgLen {
+			return dst, 0, "", fmt.Errorf("iqs-bin: error frame holds %d bytes, want %d", len(b), msgLen)
+		}
+		return dst, status, string(b), nil
+	default:
+		return dst, 0, "", fmt.Errorf("iqs-bin: unknown frame kind %d", b[0])
+	}
 }
 
 // DecodeBatchBody decodes a binary /batch response body ([u32 nResults]

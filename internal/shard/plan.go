@@ -1,0 +1,134 @@
+// Exported partition and budget-splitting planners.
+//
+// The coordinator's correctness rests on three deterministic pieces:
+// how a dataset is sorted and cut into contiguous shard runs, how a WR
+// budget splits multinomially over in-range shard weights, and how a
+// WoR budget splits hypergeometrically via a global rank draw. The
+// cluster router (internal/cluster) replans the exact same splits
+// against remote nodes, so all three are exported here and the
+// Coordinator consumes them itself — one implementation, byte-identical
+// everywhere it runs.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+	"repro/internal/wor"
+)
+
+// SortByValue returns fresh copies of values and weights sorted by
+// value, using the exact comparison and algorithm New applies before
+// cutting shard runs. nil weights mean uniform (every weight 1). Ties
+// are permuted deterministically for a given input order, so every
+// process sorting the same arrays derives the same shard contents.
+func SortByValue(values, weights []float64) (sv, sw []float64) {
+	idx := make([]int, len(values))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(x, y int) bool { return values[idx[x]] < values[idx[y]] })
+	sv = make([]float64, len(values))
+	sw = make([]float64, len(values))
+	for i, j := range idx {
+		sv[i] = values[j]
+		if weights != nil {
+			sw[i] = weights[j]
+		} else {
+			sw[i] = 1
+		}
+	}
+	return sv, sw
+}
+
+// CutRuns cuts n sorted values into at most k contiguous [start, end)
+// runs of near-equal size, advancing each cut past duplicates so equal
+// values never straddle a boundary. Fewer than k runs come back when k
+// exceeds the number of distinct values (a run never starts empty).
+func CutRuns(sorted []float64, k int) [][2]int {
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	var runs [][2]int
+	start := 0
+	for i := 0; i < k && start < len(sorted); i++ {
+		end := start + (len(sorted)-start)/(k-i)
+		if end <= start {
+			end = start + 1
+		}
+		for end < len(sorted) && sorted[end] == sorted[end-1] {
+			end++
+		}
+		runs = append(runs, [2]int{start, end})
+		start = end
+	}
+	return runs
+}
+
+// RunBounds returns the half-open ownership interval [lo, hi) of run i:
+// the first run extends to -inf, the last to +inf, and interior
+// boundaries sit on the first value of the next run — the exact
+// intervals the coordinator's hosts carry, so routing by value agrees
+// across processes.
+func RunBounds(sorted []float64, runs [][2]int, i int) (lo, hi float64) {
+	lo = math.Inf(-1)
+	if i > 0 {
+		lo = sorted[runs[i][0]]
+	}
+	hi = math.Inf(1)
+	if i < len(runs)-1 {
+		hi = sorted[runs[i+1][0]]
+	}
+	return lo, hi
+}
+
+// PlanWR draws per-shard WR budgets summing to k, distributed
+// Multinomial(k, weights/Σweights) on r — the paper's weighted
+// canonical-decomposition split lifted to shards. Randomness
+// consumption is exactly rng.Multinomial's; errors carry the
+// coordinator's typed vocabulary.
+func PlanWR(r *core.Rand, k int, weights []float64) ([]int, error) {
+	budgets, err := rng.Multinomial(r, k, weights)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
+	}
+	return budgets, nil
+}
+
+// PlanWoR draws per-shard WoR budgets for a global without-replacement
+// sample of size k over shards holding counts[i] qualifying elements
+// each: a single uniform WoR rank draw over the total (wor.UniformWoR,
+// Floyd) bucketed by shard prefix counts realises the multivariate
+// hypergeometric law exactly. k exceeding the total (or an empty
+// range) returns core.ErrSampleTooLarge; k <= 0 returns all-zero
+// budgets, consuming no randomness.
+func PlanWoR(r *core.Rand, k int, counts []int) ([]int, error) {
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	if k > total || total == 0 {
+		return nil, core.ErrSampleTooLarge
+	}
+	budgets := make([]int, len(counts))
+	if k <= 0 {
+		return budgets, nil
+	}
+	ranks, err := wor.UniformWoR(r, total, k)
+	if err != nil {
+		return nil, err
+	}
+	for _, rank := range ranks {
+		for i, n := range counts {
+			if rank < n {
+				budgets[i]++
+				break
+			}
+			rank -= n
+		}
+	}
+	return budgets, nil
+}

@@ -36,7 +36,6 @@ import (
 	"log/slog"
 	"math"
 	"slices"
-	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -44,10 +43,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/rng"
 	"repro/internal/samplepool"
 	"repro/internal/service"
-	"repro/internal/wor"
 )
 
 // Options configures a Coordinator.
@@ -182,9 +179,6 @@ func (c *Coordinator) view() []host { return *c.hostsPtr.Load() }
 // under.
 const dsName = "shard"
 
-// pair is one (value, weight) element during partitioning.
-type pair struct{ v, w float64 }
-
 // New range-partitions values (and weights; nil means uniform) into
 // opts.Shards contiguous runs of near-equal size and builds one service
 // instance per run. Values with equal keys always land in the same
@@ -202,15 +196,7 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 	if weights != nil && len(weights) != len(values) {
 		return nil, fmt.Errorf("%w: %d values vs %d weights", core.ErrBadValue, len(values), len(weights))
 	}
-	pairs := make([]pair, len(values))
-	for i, v := range values {
-		w := 1.0
-		if weights != nil {
-			w = weights[i]
-		}
-		pairs[i] = pair{v, w}
-	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	sv, sw := SortByValue(values, weights)
 
 	c := &Coordinator{name: name, kind: opts.Kind, workers: opts.Workers, opts: opts, stop: make(chan struct{})}
 	c.log = opts.Logger
@@ -229,7 +215,7 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 	c.rebalanceH = opts.Metrics.Histogram("iqs_shard_rebalance_seconds",
 		"Wall time of a full rebalance cycle (capture, re-partition, rebuild, swap).", nil, opts.MetricLabels...)
 
-	hosts, err := c.buildHosts(ctx, pairs)
+	hosts, err := c.buildHosts(ctx, sv, sw)
 	if err != nil {
 		return nil, err
 	}
@@ -244,29 +230,13 @@ func New(ctx context.Context, name string, values, weights []float64, opts Optio
 	return c, nil
 }
 
-// buildHosts cuts the sorted pairs into K near-equal runs — each cut
-// advanced past duplicates so equal values never straddle a boundary —
-// and builds one service per run. On error, services already created
-// are closed.
-func (c *Coordinator) buildHosts(ctx context.Context, pairs []pair) ([]host, error) {
+// buildHosts cuts the sorted arrays into K near-equal runs via CutRuns
+// (each cut advanced past duplicates so equal values never straddle a
+// boundary) and builds one service per run. On error, services already
+// created are closed.
+func (c *Coordinator) buildHosts(ctx context.Context, sorted, sortedW []float64) ([]host, error) {
 	opts := c.opts
-	k := opts.Shards
-	if k > len(pairs) {
-		k = len(pairs)
-	}
-	var runs [][2]int // [start, end)
-	start := 0
-	for i := 0; i < k && start < len(pairs); i++ {
-		end := start + (len(pairs)-start)/(k-i)
-		if end <= start {
-			end = start + 1
-		}
-		for end < len(pairs) && pairs[end].v == pairs[end-1].v {
-			end++
-		}
-		runs = append(runs, [2]int{start, end})
-		start = end
-	}
+	runs := CutRuns(sorted, opts.Shards)
 
 	gen := c.gen.Load()
 	var hosts []host
@@ -277,12 +247,10 @@ func (c *Coordinator) buildHosts(ctx context.Context, pairs []pair) ([]host, err
 		return nil, err
 	}
 	for i, run := range runs {
-		sv := make([]float64, 0, run[1]-run[0])
-		sw := make([]float64, 0, run[1]-run[0])
-		for _, p := range pairs[run[0]:run[1]] {
-			sv = append(sv, p.v)
-			sw = append(sw, p.w)
-		}
+		// Fresh copies: mutable services retain and grow their slices, so
+		// shards must never alias one backing array.
+		sv := append(make([]float64, 0, run[1]-run[0]), sorted[run[0]:run[1]]...)
+		sw := append(make([]float64, 0, run[1]-run[0]), sortedW[run[0]:run[1]]...)
 		var sopts service.Options
 		if opts.Service != nil {
 			sopts = opts.Service(i)
@@ -315,14 +283,7 @@ func (c *Coordinator) buildHosts(ctx context.Context, pairs []pair) ([]host, err
 		if err != nil {
 			return fail(fmt.Errorf("shard %d: %w", i, err))
 		}
-		lo := math.Inf(-1)
-		if i > 0 {
-			lo = pairs[run[0]].v
-		}
-		hi := math.Inf(1)
-		if i < len(runs)-1 {
-			hi = pairs[runs[i+1][0]].v
-		}
+		lo, hi := RunBounds(sorted, runs, i)
 		hosts = append(hosts, host{svc: svc, lo: lo, hi: hi})
 	}
 	return hosts, nil
@@ -573,9 +534,9 @@ func (c *Coordinator) SampleInto(ctx context.Context, r *core.Rand, lo, hi float
 	if !(total > 0) {
 		return dst, core.ErrEmptyRange
 	}
-	budgets, err := rng.Multinomial(r, k, weights)
+	budgets, err := PlanWR(r, k, weights)
 	if err != nil {
-		return dst, fmt.Errorf("%w: %v", core.ErrBadWeight, err)
+		return dst, err
 	}
 	return c.fanOut(ctx, r, 0, hosts, shards, budgets, lo, hi, dst)
 }
@@ -603,34 +564,16 @@ func (c *Coordinator) SampleWoRInto(ctx context.Context, r *core.Rand, lo, hi fl
 	hosts := c.view()
 	shards := overlapping(hosts, lo, hi)
 	counts := make([]int, len(shards))
-	total := 0
 	for i, s := range shards {
 		n, err := hosts[s].svc.Count(ctx, dsName, lo, hi)
 		if err != nil {
 			return dst, err
 		}
 		counts[i] = n
-		total += n
 	}
-	if k > total || total == 0 {
-		return dst, core.ErrSampleTooLarge
-	}
-	if k <= 0 {
-		return dst, nil
-	}
-	ranks, err := wor.UniformWoR(r, total, k)
+	budgets, err := PlanWoR(r, k, counts)
 	if err != nil {
 		return dst, err
-	}
-	budgets := make([]int, len(shards))
-	for _, rank := range ranks {
-		for i := range shards {
-			if rank < counts[i] {
-				budgets[i]++
-				break
-			}
-			rank -= counts[i]
-		}
 	}
 	return c.fanOut(ctx, r, 1, hosts, shards, budgets, lo, hi, dst)
 }
@@ -872,19 +815,18 @@ func (c *Coordinator) Rebalance(ctx context.Context) error {
 	defer c.writeMu.Unlock()
 	start := time.Now()
 	old := c.view()
-	var pairs []pair
+	var vs, ws []float64
 	for i := range old {
 		v, w, err := old[i].svc.LiveData(dsName)
 		if err != nil {
 			return fmt.Errorf("shard %d: %w", i, err)
 		}
-		for j := range v {
-			pairs = append(pairs, pair{v[j], w[j]})
-		}
+		vs = append(vs, v...)
+		ws = append(ws, w...)
 	}
-	sort.Slice(pairs, func(i, j int) bool { return pairs[i].v < pairs[j].v })
+	sv, sw := SortByValue(vs, ws)
 	c.gen.Add(1)
-	hosts, err := c.buildHosts(ctx, pairs)
+	hosts, err := c.buildHosts(ctx, sv, sw)
 	if err != nil {
 		return err // the old partition keeps serving
 	}
@@ -897,7 +839,7 @@ func (c *Coordinator) Rebalance(ctx context.Context) error {
 	c.log.Info("shard rebalance complete",
 		slog.String("dataset", c.name),
 		slog.Int("shards", len(hosts)),
-		slog.Int("elements", len(pairs)),
+		slog.Int("elements", len(sv)),
 		slog.Duration("took", time.Since(start)))
 	return nil
 }

@@ -1,0 +1,74 @@
+package soak_test
+
+import (
+	"testing"
+
+	"repro/internal/soak"
+)
+
+// The cluster soak — router + live node HTTP servers vs the
+// single-node coordinator — must pass on a healthy build in both
+// fuzzer regimes: the weighted differential arm and the node-kill
+// failover arm.
+func TestClusterSoakRegimes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak in -short mode")
+	}
+	cases := map[string]soak.Case{
+		"differential": {
+			Target:   soak.TargetCluster,
+			Dataset:  soak.DatasetSpec{Seed: 81, N: 48, Weights: "zipf", Alpha: 1.1},
+			Workload: soak.WorkloadSpec{Seed: 82, Queries: 6, K: 8, WoR: true, Reps: 96},
+			Shards:   5, Nodes: 3, Replicas: 2,
+		},
+		"failover": {
+			Target:   soak.TargetCluster,
+			Dataset:  soak.DatasetSpec{Seed: 83, N: 48},
+			Workload: soak.WorkloadSpec{Seed: 84, Queries: 6, K: 8, Reps: 64},
+			Shards:   4, Nodes: 2, Replicas: 2, Kill: true,
+		},
+	}
+	for name, c := range cases {
+		name, c := name, c
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			h := &soak.Harness{}
+			out, err := h.RunCase(c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if out.Failure != nil {
+				t.Fatalf("false positive: %v", out.Failure)
+			}
+			if out.Gates < 4 {
+				t.Fatalf("only %d gates evaluated", out.Gates)
+			}
+		})
+	}
+}
+
+// The cluster soak is deterministic: the same case replays to the
+// same gate count and verdict, the property repro files rely on.
+func TestClusterSoakDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster soak in -short mode")
+	}
+	c := soak.Case{
+		Target:   soak.TargetCluster,
+		Dataset:  soak.DatasetSpec{Seed: 91, N: 32},
+		Workload: soak.WorkloadSpec{Seed: 92, Queries: 4, K: 4, Reps: 32},
+		Shards:   3, Nodes: 2, Replicas: 2,
+	}
+	h := &soak.Harness{}
+	a, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := h.RunCase(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Gates != b.Gates || (a.Failure == nil) != (b.Failure == nil) {
+		t.Fatalf("cluster soak nondeterministic: %+v vs %+v", a, b)
+	}
+}

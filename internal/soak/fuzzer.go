@@ -183,7 +183,7 @@ func buildArms(opts FuzzOptions) []arm {
 	}
 	var arms []arm
 	for _, t := range targets {
-		if t == TargetServer {
+		if t == TargetServer || t == TargetCluster {
 			continue // configured below via opts.Server
 		}
 		arms = append(arms, arm{
@@ -246,6 +246,25 @@ func buildArms(opts FuzzOptions) []arm {
 				},
 			})
 		}
+		// The cluster arms boot real data-node HTTP servers, so they ride
+		// the same opt-in as the other end-to-end arms.
+		arms = append(arms, arm{
+			name: "cluster/differential",
+			c: Case{
+				Target:   TargetCluster,
+				Dataset:  DatasetSpec{Weights: "zipf", Alpha: 1.1},
+				Workload: WorkloadSpec{Queries: 6, K: 8, WoR: true, Reps: 96},
+				Shards:   5, Nodes: 3, Replicas: 2,
+			},
+		})
+		arms = append(arms, arm{
+			name: "cluster/failover",
+			c: Case{
+				Target:   TargetCluster,
+				Workload: WorkloadSpec{Queries: 6, K: 8, Reps: 96},
+				Shards:   4, Nodes: 2, Replicas: 2, Kill: true,
+			},
+		})
 	}
 	return arms
 }

@@ -104,6 +104,8 @@ func (h *Harness) RunCase(c Case) (Outcome, error) {
 		err = rn.runEstimate()
 	case TargetServer:
 		err = rn.runServer()
+	case TargetCluster:
+		err = rn.runCluster()
 	default:
 		return Outcome{}, fmt.Errorf("soak: unknown target %q", c.Target)
 	}

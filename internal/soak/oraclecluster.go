@@ -1,0 +1,265 @@
+package soak
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/rng"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// runCluster is the multi-node differential soak: a router fronting
+// live data-node HTTP servers versus the single-node coordinator on
+// the same dataset and the same seeds. Because the router plans every
+// budget and stream seed locally, its responses are specified to be
+// draw-for-draw identical to the coordinator's — the strongest gate in
+// this package, checked directly — and the statistical gates (full
+// dataset uniformity, cross-query independence) re-verify the paper's
+// guarantees through the wire path. With Kill set, the primary owner
+// of shard 0 is crashed mid-case and the identity gate re-runs: a
+// failover to a replica must not perturb a single draw.
+func (rn *run) runCluster() error {
+	c := rn.c
+	ds := c.Dataset
+	// The grid regime (distinct integer values) is forced so every
+	// returned value maps back to exactly one element.
+	ds.Values = "grid"
+	values, weights, err := ds.Generate()
+	if err != nil {
+		return err
+	}
+	n := len(values)
+	shards := c.Shards
+	if shards < 1 {
+		shards = 4
+	}
+	nNodes := c.Nodes
+	if nNodes < 2 {
+		nNodes = 2
+	}
+	replicas := c.Replicas
+	if replicas < 1 || c.Kill && replicas < 2 {
+		// A kill phase needs a surviving owner per shard.
+		replicas = 2
+	}
+	if replicas > nNodes {
+		replicas = nNodes
+	}
+
+	// Boot: listeners first so every node and the router share the
+	// final address list (the ring is a pure function of it).
+	listeners := make([]net.Listener, nNodes)
+	addrs := make([]string, nNodes)
+	for i := range listeners {
+		l, lerr := net.Listen("tcp", "127.0.0.1:0")
+		if lerr != nil {
+			return fmt.Errorf("soak: cluster listen: %w", lerr)
+		}
+		listeners[i] = l
+		addrs[i] = l.Addr().String()
+	}
+	ctx := context.Background()
+	hosts := make([]*cluster.NodeHost, nNodes)
+	servers := make([]*server.Server, nNodes)
+	defer func() {
+		for i := range servers {
+			if servers[i] != nil {
+				sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+				servers[i].Shutdown(sctx)
+				cancel()
+			}
+			if listeners[i] != nil {
+				listeners[i].Close()
+			}
+			if hosts[i] != nil {
+				hosts[i].Close()
+			}
+		}
+	}()
+	for i := range hosts {
+		nh, nerr := cluster.NewNodeHost(ctx, values, weights, cluster.NodeOptions{
+			Nodes:    addrs,
+			Self:     addrs[i],
+			Replicas: replicas,
+			Shards:   shards,
+		})
+		if nerr != nil {
+			return fmt.Errorf("soak: cluster node %d: %w", i, nerr)
+		}
+		hosts[i] = nh
+		srv := server.New(nh, server.Options{Node: nh, Seed: c.Workload.Seed + uint64(i), Timeout: 30 * time.Second})
+		servers[i] = srv
+		go http.Serve(listeners[i], srv.Handler())
+	}
+	rt, rerr := cluster.NewRouter(values, weights, cluster.Options{
+		Nodes:          addrs,
+		Replicas:       replicas,
+		Shards:         shards,
+		AttemptTimeout: 5 * time.Second,
+		Backoff:        200 * time.Microsecond,
+	})
+	if rerr != nil {
+		return fmt.Errorf("soak: cluster router: %w", rerr)
+	}
+	defer rt.Close()
+	coord, cerr := shard.New(ctx, "soak", values, weights, shard.Options{Shards: shards})
+	if cerr != nil {
+		return fmt.Errorf("soak: coordinator: %w", cerr)
+	}
+	defer coord.Close()
+
+	seeds := rng.New(c.Workload.Seed ^ 0x5bd1e995c2b2ae35)
+	checkIdentity := func(tag string, q QueryRecord) {
+		if rn.failed() {
+			return
+		}
+		seed := seeds.Uint64()
+		var want, got []float64
+		var werr, gerr error
+		if q.WoR {
+			want, werr = coord.SampleWoRInto(ctx, rng.New(seed), q.Lo, q.Hi, q.K, nil)
+			got, gerr = rt.SampleWoRInto(ctx, rng.New(seed), q.Lo, q.Hi, q.K, nil)
+		} else {
+			want, werr = coord.SampleInto(ctx, rng.New(seed), q.Lo, q.Hi, q.K, nil)
+			got, gerr = rt.SampleInto(ctx, rng.New(seed), q.Lo, q.Hi, q.K, nil)
+		}
+		if (werr == nil) != (gerr == nil) {
+			rn.failQuery(tag+"-error", q, "coordinator err = %v, router err = %v", werr, gerr)
+			return
+		}
+		if werr != nil {
+			rn.pass()
+			return
+		}
+		if len(want) != len(got) {
+			rn.failQuery(tag, q, "coordinator drew %d samples, router drew %d", len(want), len(got))
+			return
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				rn.failQuery(tag, q, "draw %d: coordinator %v, router %v — draw identity broken", i, want[i], got[i])
+				return
+			}
+		}
+		rn.pass()
+	}
+
+	// Phase 1: draw identity over the case's query trace (mixed ranges,
+	// budgets, and WoR) on shared seeds.
+	queries := c.Queries(values)
+	for _, q := range queries {
+		checkIdentity("cluster-identity", q)
+	}
+
+	// Phase 2: distribution and independence of the router's own output
+	// over the full dataset — the wire path must not bias what the
+	// kernels drew. Every rep also re-checks identity: it is free and
+	// pins the two engines together for the whole phase.
+	k := c.Workload.K
+	if k <= 0 {
+		k = 8
+	}
+	if k > n {
+		k = n
+	}
+	fullLo, fullHi := values[0], values[n-1]
+	totalW := 0.0
+	for _, w := range weights {
+		totalW += w
+	}
+	probs := make([]float64, n)
+	for i, w := range weights {
+		probs[i] = w / totalW
+	}
+	counts := make([]int, n)
+	var bins []int
+	full := QueryRecord{Lo: fullLo, Hi: fullHi, K: k}
+	reps := c.reps()
+	for i := 0; i < reps && !rn.failed(); i++ {
+		seed := seeds.Uint64()
+		want, werr := coord.SampleInto(ctx, rng.New(seed), fullLo, fullHi, k, nil)
+		got, gerr := rt.SampleInto(ctx, rng.New(seed), fullLo, fullHi, k, nil)
+		if werr != nil || gerr != nil {
+			rn.failQuery("cluster-draw", full, "full-range draw: coordinator err = %v, router err = %v", werr, gerr)
+			break
+		}
+		ok := true
+		for j, v := range got {
+			if j < len(want) && want[j] != v {
+				rn.failQuery("cluster-identity", full, "draw %d: coordinator %v, router %v — draw identity broken", j, want[j], v)
+				ok = false
+				break
+			}
+			pos := int(v)
+			if v != math.Trunc(v) || pos < 0 || pos >= n {
+				rn.failQuery("cluster-support", full, "sample %v is not a dataset element", v)
+				ok = false
+				break
+			}
+			counts[pos]++
+		}
+		if !ok {
+			break
+		}
+		if len(got) > 0 {
+			bins = append(bins, binOf(int(got[0]), n, indepBins))
+		}
+	}
+	if !rn.failed() {
+		rn.gateChi2Probs("cluster-uniformity", nil, counts, probs)
+		rn.gateIndependence("cluster-independence", pairUp(bins), indepBins)
+	}
+
+	// Phase 3 (Kill): crash the primary owner of shard 0 and re-run the
+	// identity gates — replicas hold identical data and the seeds fix
+	// the draws, so failover must be invisible in the samples. The
+	// victim comes from the router's own partition map.
+	if c.Kill && !rn.failed() {
+		raw, perr := rt.PartitionJSON()
+		var pm cluster.PartitionMap
+		if perr == nil {
+			perr = json.Unmarshal(raw, &pm)
+		}
+		if perr != nil || len(pm.Assignment) == 0 || len(pm.Assignment[0]) == 0 {
+			return fmt.Errorf("soak: cluster partition map: %v", perr)
+		}
+		victim := -1
+		for i, a := range addrs {
+			if a == pm.Assignment[0][0] {
+				victim = i
+			}
+		}
+		if victim < 0 {
+			return fmt.Errorf("soak: cluster victim %q not in node list", pm.Assignment[0][0])
+		}
+		sctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		servers[victim].Shutdown(sctx)
+		cancel()
+		listeners[victim].Close()
+		servers[victim], listeners[victim] = nil, nil
+
+		for _, q := range queries {
+			checkIdentity("cluster-failover-identity", q)
+		}
+		// Full-range draws touch every shard, so the victim's primaries
+		// are guaranteed to be attempted and failed over.
+		for i := 0; i < 16 && !rn.failed(); i++ {
+			checkIdentity("cluster-failover-identity", full)
+		}
+		if !rn.failed() {
+			if rt.Failovers() == 0 {
+				rn.fail("cluster-failover", "killing node %s produced no failovers", addrs[victim])
+			} else {
+				rn.pass()
+			}
+		}
+	}
+	return nil
+}

@@ -85,6 +85,9 @@ func (h *Harness) Shrink(c Case, f *Failure) Case {
 	shrinkInt(func(c *Case) *int { return &c.Workload.K }, 1)
 	shrinkInt(func(c *Case) *int { return &c.Requests }, 8)
 	shrinkInt(func(c *Case) *int { return &c.Shards }, 1)
+	if c.Nodes > 2 {
+		shrinkInt(func(c *Case) *int { return &c.Nodes }, 2)
+	}
 
 	// Simplifications: each is attempted once and kept if the failure
 	// survives without it.
@@ -95,9 +98,10 @@ func (h *Harness) Shrink(c Case, f *Failure) Case {
 			c = cand
 		}
 	}
-	if c.Target != TargetServer {
+	if c.Target != TargetServer && c.Target != TargetCluster {
 		try(func(c *Case) { c.Dataset.Values = "uniform" })
 	}
+	try(func(c *Case) { c.Kill = false })
 	try(func(c *Case) { c.Dataset.Weights = "uniform" })
 	try(func(c *Case) { c.Faults = FaultSpec{} })
 	try(func(c *Case) { c.Churn = false })
@@ -113,15 +117,15 @@ func (h *Harness) Shrink(c Case, f *Failure) Case {
 // run executed.
 func (c *Case) traceValues() ([]float64, error) {
 	ds := c.Dataset
-	if c.Target == TargetServer {
-		ds.Values = "grid" // runServer forces the grid regime
+	if c.Target == TargetServer || c.Target == TargetCluster {
+		ds.Values = "grid" // runServer and runCluster force the grid regime
 	}
 	values, weights, err := ds.Generate()
 	if err != nil {
 		return nil, err
 	}
 	switch c.Target {
-	case TargetChunked, TargetAliasAug, TargetTreeWalk, TargetMutable, TargetPooled, TargetServer:
+	case TargetChunked, TargetAliasAug, TargetTreeWalk, TargetMutable, TargetPooled, TargetServer, TargetCluster:
 		sorted := append([]float64(nil), values...)
 		sort.Float64s(sorted)
 		return sorted, nil

@@ -40,6 +40,7 @@ const (
 	TargetPooled       Target = "pooled"       // consume-once sample pool vs live kernel (+ invalidation under churn)
 	TargetEstimate     Target = "estimate"     // approximate COUNT/SUM/AVG/DISTINCT vs exact oracle (q-error + coverage)
 	TargetServer       Target = "server"       // service → shard → server over HTTP
+	TargetCluster      Target = "cluster"      // router + data nodes vs single-node coordinator (draw identity + failover)
 )
 
 // StructureTargets are the per-package differential targets (everything
@@ -166,6 +167,13 @@ type Case struct {
 	Clients  int       `json:"clients,omitempty"`
 	Requests int       `json:"requests,omitempty"`
 	Churn    bool      `json:"churn,omitempty"`
+
+	// Cluster-soak knobs (TargetCluster only): data-node count, replica
+	// width, and whether a node-kill failover phase runs after the
+	// healthy phases.
+	Nodes    int  `json:"nodes,omitempty"`
+	Replicas int  `json:"replicas,omitempty"`
+	Kill     bool `json:"kill,omitempty"`
 }
 
 // Queries returns the case's query trace, generating it from the

@@ -1,0 +1,124 @@
+#!/usr/bin/env sh
+# cluster_smoke.sh — boot two data nodes and a router (replicas=2, so
+# every shard has a failover owner), drive load through
+# metricscheck -cluster, crash one node, drive again asserting zero
+# 5xx, and require the router's failover counters to prove the replica
+# path actually absorbed the loss. Used by `make cluster-smoke` and the
+# CI cluster step.
+set -eu
+
+BIN_DIR=${BIN_DIR:-/tmp/iqs-cluster-smoke}
+DRIVE=${DRIVE:-60}
+# The node addresses are part of the cluster identity (the hash ring is
+# a pure function of the -nodes list), so they must be fixed upfront.
+NODE1=${NODE1:-127.0.0.1:19411}
+NODE2=${NODE2:-127.0.0.1:19412}
+NODES="$NODE1,$NODE2"
+mkdir -p "$BIN_DIR"
+
+go build -o "$BIN_DIR/iqsserve" ./cmd/iqsserve
+go build -o "$BIN_DIR/metricscheck" ./cmd/metricscheck
+
+N1_OUT="$BIN_DIR/node1.out"
+N2_OUT="$BIN_DIR/node2.out"
+R_OUT="$BIN_DIR/router.out"
+R_ERR="$BIN_DIR/router.err"
+: >"$N1_OUT"; : >"$N2_OUT"; : >"$R_OUT"; : >"$R_ERR"
+
+# -n 4096 with 6 shards keeps metricscheck's driven ranges (values up
+# to ~1000) spanning shard boundaries, so the multi-shard fan-out and
+# merge paths are exercised, not just the single-shard fast path.
+COMMON="-nodes $NODES -replicas 2 -shards 6 -n 4096"
+
+"$BIN_DIR/iqsserve" -node -addr "$NODE1" $COMMON >"$N1_OUT" 2>&1 &
+N1_PID=$!
+"$BIN_DIR/iqsserve" -node -addr "$NODE2" $COMMON >"$N2_OUT" 2>&1 &
+N2_PID=$!
+"$BIN_DIR/iqsserve" -router -addr 127.0.0.1:0 $COMMON >"$R_OUT" 2>"$R_ERR" &
+R_PID=$!
+trap 'kill "$N1_PID" "$N2_PID" "$R_PID" 2>/dev/null || true' EXIT
+
+wait_listening() {
+  out=$1; pid=$2; who=$3
+  addr=
+  for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^iqsserve: listening on \([^ ]*\) .*/\1/p' "$out")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || {
+      echo "cluster-smoke: $who died during startup" >&2
+      cat "$out" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  if [ -z "$addr" ]; then
+    echo "cluster-smoke: $who never reported its address" >&2
+    cat "$out" >&2
+    exit 1
+  fi
+  echo "$addr"
+}
+
+wait_listening "$N1_OUT" "$N1_PID" "node1" >/dev/null
+wait_listening "$N2_OUT" "$N2_PID" "node2" >/dev/null
+ADDR=$(wait_listening "$R_OUT" "$R_PID" "router")
+echo "cluster-smoke: router on $ADDR, nodes $NODES"
+
+# Phase 1: healthy cluster. metricscheck asserts the iqs_cluster_*
+# families, positive sub-sample/merge counters, and zero 5xx.
+"$BIN_DIR/metricscheck" -cluster -base "http://$ADDR" -drive "$DRIVE"
+
+# Phase 2: crash a node and drive again. The victim is the PRIMARY
+# owner of shard 0 (read from the router's partition map) — killing a
+# pure secondary would be absorbed without a single failover, proving
+# nothing. SIGKILL: no drain, connections die mid-flight. Replica
+# failover must keep the error budget at zero: metricscheck -cluster
+# fails on any 5xx.
+VICTIM=$(curl -fsS "http://$ADDR/cluster/partition" \
+  | sed -n 's/.*"assignment":\[\["\([^"]*\)".*/\1/p')
+if [ "$VICTIM" = "$NODE2" ]; then
+  VICTIM_PID=$N2_PID; SURVIVOR_PID=$N1_PID; SURVIVOR_OUT=$N1_OUT
+else
+  VICTIM=$NODE1
+  VICTIM_PID=$N1_PID; SURVIVOR_PID=$N2_PID; SURVIVOR_OUT=$N2_OUT
+fi
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+echo "cluster-smoke: killed primary owner $VICTIM, re-driving"
+"$BIN_DIR/metricscheck" -cluster -base "http://$ADDR" -drive "$DRIVE"
+
+# The second drive ran against a dead primary for some shards, so the
+# router must have recorded failovers (and may hold node2's breaker
+# open).
+METRICS_SNAP="$BIN_DIR/metrics.snap"
+curl -fsS "http://$ADDR/metrics" >"$METRICS_SNAP"
+awk '
+  /^iqs_cluster_failovers_total/ { fo += $NF }
+  END {
+    if (fo <= 0) { print "cluster-smoke: no failovers recorded after the node kill" > "/dev/stderr"; exit 1 }
+    printf "cluster-smoke: %d failovers absorbed\n", fo
+  }' "$METRICS_SNAP"
+
+# Graceful drain: router first, then the surviving node.
+kill -INT "$R_PID"
+WAIT_STATUS=0
+wait "$R_PID" || WAIT_STATUS=$?
+if [ "$WAIT_STATUS" -ne 0 ]; then
+  echo "cluster-smoke: router exited with status $WAIT_STATUS" >&2
+  cat "$R_ERR" >&2
+  exit 1
+fi
+if ! grep -q 'drained cleanly' "$R_OUT"; then
+  echo "cluster-smoke: router did not drain cleanly" >&2
+  cat "$R_OUT" >&2
+  exit 1
+fi
+kill -INT "$SURVIVOR_PID"
+WAIT_STATUS=0
+wait "$SURVIVOR_PID" || WAIT_STATUS=$?
+trap - EXIT
+if [ "$WAIT_STATUS" -ne 0 ] || ! grep -q 'drained cleanly' "$SURVIVOR_OUT"; then
+  echo "cluster-smoke: surviving node did not drain cleanly (status $WAIT_STATUS)" >&2
+  cat "$SURVIVOR_OUT" >&2
+  exit 1
+fi
+echo "cluster-smoke: PASS"
